@@ -1,0 +1,109 @@
+//===- bench/bench_ablation_ordering.cpp - Variable-ordering ablation ----------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation for Section 4's remark that the linear ordering on unknowns
+/// ("innermost loops first", Bourdoncle) has a significant impact on the
+/// structured solvers. We solve the same intraprocedural systems under
+/// three orderings — reverse post-order, construction order, and a
+/// deterministic shuffle — and report evaluation counts for SRR and SW.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/intra.h"
+#include "lang/parser.h"
+#include "lattice/combine.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "support/rng.h"
+#include "support/table.h"
+#include "workloads/wcet_suite.h"
+
+#include <cstdio>
+#include <numeric>
+
+using namespace warrow;
+
+namespace {
+
+std::vector<uint32_t> orderingFor(const Cfg &G, int Kind) {
+  if (Kind == 0)
+    return G.reversePostOrder();
+  std::vector<uint32_t> Order(G.numNodes());
+  std::iota(Order.begin(), Order.end(), 0u);
+  if (Kind == 2) {
+    Rng R(12345);
+    R.shuffle(Order);
+  }
+  return Order;
+}
+
+const char *orderingName(int Kind) {
+  switch (Kind) {
+  case 0:
+    return "rpo";
+  case 1:
+    return "natural";
+  default:
+    return "shuffled";
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: variable ordering vs. solver work "
+              "(Bourdoncle's remark, Section 4) ===\n\n");
+
+  // Call-free single-function benchmarks suit the dense formulation.
+  const char *Names[] = {"qsort_exam", "insertsort", "bsort100",
+                         "janne_complex"};
+
+  Table T({"Program", "Ordering", "SRR evals", "SW evals", "SW queue max"});
+  for (const char *Name : Names) {
+    const WcetBenchmark *B = findWcetBenchmark(Name);
+    if (!B)
+      continue;
+    DiagnosticEngine Diags;
+    auto P = parseProgram(B->Source, Diags);
+    if (!P) {
+      std::fprintf(stderr, "error: %s: %s", Name, Diags.str().c_str());
+      return 1;
+    }
+    ProgramCfg Cfgs = buildProgramCfg(*P);
+    size_t MainIdx = P->functionIndex(P->Symbols.lookup("main"));
+    // Only analyze main (the dense fragment is call-free): skip programs
+    // whose main contains calls.
+    bool HasCalls = false;
+    for (const CfgEdge &E : Cfgs.cfgOf(MainIdx).edges())
+      if (E.Act.K == Action::Kind::Call)
+        HasCalls = true;
+    if (HasCalls)
+      continue;
+
+    for (int Kind = 0; Kind < 3; ++Kind) {
+      IntraSystem IS = buildIntraSystem(
+          *P, Cfgs, MainIdx, orderingFor(Cfgs.cfgOf(MainIdx), Kind));
+      SolverOptions Options;
+      Options.MaxRhsEvals = 10'000'000;
+      SolveResult<AbsValue> Srr =
+          solveSRR(IS.System, WarrowCombine{}, Options);
+      SolveResult<AbsValue> Sw = solveSW(IS.System, WarrowCombine{}, Options);
+      T.addRow({Name, orderingName(Kind),
+                Srr.Stats.Converged ? std::to_string(Srr.Stats.RhsEvals)
+                                    : "diverged",
+                Sw.Stats.Converged ? std::to_string(Sw.Stats.RhsEvals)
+                                   : "diverged",
+                std::to_string(Sw.Stats.QueueMax)});
+    }
+  }
+  std::fputs(T.str().c_str(), stdout);
+  std::printf("\nExpected shape: the ordering changes the work by double-"
+              "digit percentages while leaving results identical — the "
+              "effect Section 4 attributes to Bourdoncle. Which ordering "
+              "wins depends on the loop structure; none dominates.\n");
+  return 0;
+}

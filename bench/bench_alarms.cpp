@@ -1,0 +1,71 @@
+//===- bench/bench_alarms.cpp - Alarm counts per solver strategy ----------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-user consequence of the paper's precision results: running the
+/// division-by-zero and array-bounds checkers over the WCET suite, the
+/// ⊟-solver's tighter invariants suppress alarms that the widening-only
+/// and two-phase results cannot rule out. All three are sound, so alarm
+/// counts order the strategies by precision: ⊟ ≤ two-phase ≤ ▽-only.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/checks.h"
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+#include "support/table.h"
+#include "workloads/wcet_suite.h"
+
+#include <cstdio>
+
+using namespace warrow;
+
+namespace {
+
+CheckSummary alarmsFor(const Program &P, const ProgramCfg &Cfgs,
+                       SolverChoice Choice) {
+  InterprocAnalysis Analysis(P, Cfgs, AnalysisOptions{});
+  AnalysisResult Result = Analysis.run(Choice);
+  return summarize(runChecks(P, Cfgs, Result));
+}
+
+std::string cell(const CheckSummary &S) {
+  return std::to_string(S.DivAlarms) + "/" + std::to_string(S.BoundsAlarms);
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Alarms (division-by-zero / out-of-bounds) per solver "
+              "strategy ===\n\n");
+
+  Table T({"Program", "⊟ alarms", "two-phase", "▽-only"});
+  uint64_t WarrowTotal = 0, TwoPhaseTotal = 0, WidenTotal = 0;
+  for (const WcetBenchmark &B : wcetSuite()) {
+    DiagnosticEngine Diags;
+    auto P = parseProgram(B.Source, Diags);
+    if (!P) {
+      std::fprintf(stderr, "error: %s: %s", B.Name.c_str(),
+                   Diags.str().c_str());
+      return 1;
+    }
+    ProgramCfg Cfgs = buildProgramCfg(*P);
+    CheckSummary Warrow = alarmsFor(*P, Cfgs, SolverChoice::Warrow);
+    CheckSummary TwoPhase = alarmsFor(*P, Cfgs, SolverChoice::TwoPhase);
+    CheckSummary Widen = alarmsFor(*P, Cfgs, SolverChoice::WidenOnly);
+    WarrowTotal += Warrow.DivAlarms + Warrow.BoundsAlarms;
+    TwoPhaseTotal += TwoPhase.DivAlarms + TwoPhase.BoundsAlarms;
+    WidenTotal += Widen.DivAlarms + Widen.BoundsAlarms;
+    T.addRow({B.Name, cell(Warrow), cell(TwoPhase), cell(Widen)});
+  }
+  std::fputs(T.str().c_str(), stdout);
+  std::printf("\nTotal alarms: ⊟ %llu, two-phase %llu, ▽-only %llu "
+              "(expected ordering: ⊟ ≤ two-phase ≤ ▽-only).\n",
+              static_cast<unsigned long long>(WarrowTotal),
+              static_cast<unsigned long long>(TwoPhaseTotal),
+              static_cast<unsigned long long>(WidenTotal));
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- bench/bench_local_solvers.cpp - Local solver micro-benchmarks ------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark comparison of the local solvers (RLD, SLR, SLR+,
+/// SLR+ with localized ⊟) on interprocedural analysis workloads — the
+/// setting of the paper's Section 7, measured per solver rather than per
+/// program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+#include "workloads/spec_generator.h"
+#include "workloads/wcet_suite.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace warrow;
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+};
+
+Prepared prepareSpec(const char *Name) {
+  const SpecProfile *Profile = findSpecProfile(Name);
+  std::string Source = generateSpecProgram(*Profile);
+  DiagnosticEngine Diags;
+  Prepared R;
+  R.P = parseProgram(Source, Diags);
+  R.Cfgs = buildProgramCfg(*R.P);
+  return R;
+}
+
+Prepared prepareWcet(const char *Name) {
+  const WcetBenchmark *B = findWcetBenchmark(Name);
+  DiagnosticEngine Diags;
+  Prepared R;
+  R.P = parseProgram(B->Source, Diags);
+  R.Cfgs = buildProgramCfg(*R.P);
+  return R;
+}
+
+void runAnalysis(benchmark::State &State, const Prepared &Ready,
+                 SolverChoice Choice, bool Context, bool Localized) {
+  for (auto _ : State) {
+    AnalysisOptions Options;
+    Options.ContextSensitive = Context;
+    Options.LocalizedWidening = Localized;
+    InterprocAnalysis Analysis(*Ready.P, Ready.Cfgs, Options);
+    AnalysisResult R = Analysis.run(Choice);
+    benchmark::DoNotOptimize(R.NumUnknowns);
+    State.counters["unknowns"] = static_cast<double>(R.NumUnknowns);
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+    State.counters["converged"] = R.Stats.Converged ? 1 : 0;
+  }
+}
+
+void BM_Mcf_Warrow(benchmark::State &State) {
+  static Prepared Ready = prepareSpec("429.mcf");
+  runAnalysis(State, Ready, SolverChoice::Warrow, false, false);
+}
+BENCHMARK(BM_Mcf_Warrow);
+
+void BM_Mcf_WarrowLocalized(benchmark::State &State) {
+  static Prepared Ready = prepareSpec("429.mcf");
+  runAnalysis(State, Ready, SolverChoice::Warrow, false, true);
+}
+BENCHMARK(BM_Mcf_WarrowLocalized);
+
+void BM_Mcf_WidenOnly(benchmark::State &State) {
+  static Prepared Ready = prepareSpec("429.mcf");
+  runAnalysis(State, Ready, SolverChoice::WidenOnly, false, false);
+}
+BENCHMARK(BM_Mcf_WidenOnly);
+
+void BM_Mcf_TwoPhase(benchmark::State &State) {
+  static Prepared Ready = prepareSpec("429.mcf");
+  runAnalysis(State, Ready, SolverChoice::TwoPhase, false, false);
+}
+BENCHMARK(BM_Mcf_TwoPhase);
+
+void BM_Mcf_WarrowContext(benchmark::State &State) {
+  static Prepared Ready = prepareSpec("429.mcf");
+  runAnalysis(State, Ready, SolverChoice::Warrow, true, false);
+}
+BENCHMARK(BM_Mcf_WarrowContext);
+
+void BM_Lbm_WarrowContext(benchmark::State &State) {
+  static Prepared Ready = prepareSpec("470.lbm");
+  runAnalysis(State, Ready, SolverChoice::Warrow, true, false);
+}
+BENCHMARK(BM_Lbm_WarrowContext);
+
+void BM_Ndes_Warrow(benchmark::State &State) {
+  static Prepared Ready = prepareWcet("ndes");
+  runAnalysis(State, Ready, SolverChoice::Warrow, false, false);
+}
+BENCHMARK(BM_Ndes_Warrow);
+
+void BM_Ndes_WarrowContext(benchmark::State &State) {
+  static Prepared Ready = prepareWcet("ndes");
+  runAnalysis(State, Ready, SolverChoice::Warrow, true, false);
+}
+BENCHMARK(BM_Ndes_WarrowContext);
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- bench/bench_operator.cpp - Combine operator micro-costs ------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-update cost of the combine operators on interval and environment
+/// values: the ⊟ operator adds one order check over plain ▽ (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/env.h"
+#include "lattice/combine.h"
+#include "lattice/interval.h"
+#include "support/rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace warrow;
+
+namespace {
+
+std::vector<Interval> sampleIntervals(size_t Count, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<Interval> Out;
+  Out.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    int64_t Lo = R.range(-1000, 1000);
+    Out.push_back(
+        Interval::make(Lo, Lo + static_cast<int64_t>(R.below(100))));
+  }
+  return Out;
+}
+
+template <typename C> void runIntervalCombine(benchmark::State &State) {
+  C Combine{};
+  auto Values = sampleIntervals(1024, 7);
+  for (auto _ : State) {
+    Interval Acc = Interval::constant(0);
+    for (const Interval &V : Values)
+      Acc = Combine(0, Acc, V);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+
+void BM_Interval_Join(benchmark::State &State) {
+  runIntervalCombine<JoinCombine>(State);
+}
+void BM_Interval_Widen(benchmark::State &State) {
+  runIntervalCombine<WidenCombine>(State);
+}
+void BM_Interval_Warrow(benchmark::State &State) {
+  runIntervalCombine<WarrowCombine>(State);
+}
+BENCHMARK(BM_Interval_Join);
+BENCHMARK(BM_Interval_Widen);
+BENCHMARK(BM_Interval_Warrow);
+
+void BM_Env_Warrow(benchmark::State &State) {
+  size_t Vars = static_cast<size_t>(State.range(0));
+  Rng R(11);
+  std::vector<AbsEnv> Envs;
+  for (int K = 0; K < 64; ++K) {
+    AbsEnv E;
+    for (size_t V = 1; V <= Vars; ++V) {
+      int64_t Lo = R.range(-100, 100);
+      E.set(static_cast<Symbol>(V),
+            Interval::make(Lo, Lo + static_cast<int64_t>(R.below(50))));
+    }
+    Envs.push_back(std::move(E));
+  }
+  WarrowCombine Combine;
+  for (auto _ : State) {
+    AbsEnv Acc = Envs[0];
+    for (const AbsEnv &E : Envs)
+      Acc = Combine(0, Acc, E);
+    benchmark::DoNotOptimize(Acc.size());
+  }
+}
+BENCHMARK(BM_Env_Warrow)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DegradingWarrow(benchmark::State &State) {
+  auto Values = sampleIntervals(1024, 9);
+  for (auto _ : State) {
+    DegradingWarrowCombine<int> Combine(4);
+    Interval Acc = Interval::constant(0);
+    int Unknown = 0;
+    for (const Interval &V : Values) {
+      Acc = Combine(Unknown, Acc, V);
+      Unknown = (Unknown + 1) % 8;
+    }
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_DegradingWarrow);
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- bench/bench_solvers.cpp - Solver micro-benchmarks -----------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark micro-benchmarks for the dense solvers, covering the
+/// complexity claims of Section 4:
+///  - Theorem 1: SRR's evaluation count is O(h n^2) and at most
+///    n + (h/2)n(n+1) on monotone systems;
+///  - Theorem 2: SW behaves like ordinary worklist iteration up to the
+///    priority-queue log factor (evaluations ~ h * N);
+///  - ⊟ vs ⊔/▽ overhead per solver on the same systems.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lattice/combine.h"
+#include "solvers/rr.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "solvers/two_phase.h"
+#include "solvers/wl.h"
+#include "workloads/eq_generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace warrow;
+
+namespace {
+
+void BM_ChainSW_Join(benchmark::State &State) {
+  DenseSystem<Interval> S =
+      chainSystem(static_cast<unsigned>(State.range(0)), 64);
+  for (auto _ : State) {
+    SolveResult<Interval> R = solveSW(S, JoinCombine{});
+    benchmark::DoNotOptimize(R.Sigma.data());
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+  }
+}
+BENCHMARK(BM_ChainSW_Join)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ChainSW_Warrow(benchmark::State &State) {
+  DenseSystem<Interval> S =
+      chainSystem(static_cast<unsigned>(State.range(0)), 64);
+  for (auto _ : State) {
+    SolveResult<Interval> R = solveSW(S, WarrowCombine{});
+    benchmark::DoNotOptimize(R.Sigma.data());
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+  }
+}
+BENCHMARK(BM_ChainSW_Warrow)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RingSolvers(benchmark::State &State) {
+  unsigned Size = static_cast<unsigned>(State.range(0));
+  int Which = static_cast<int>(State.range(1));
+  DenseSystem<Interval> S = ringSystem(Size, 1000);
+  // RR and W may legitimately diverge under ⊟ (Examples 1-2); cap their
+  // work and report convergence as a counter instead of hanging.
+  SolverOptions Options;
+  Options.MaxRhsEvals = 300'000;
+  for (auto _ : State) {
+    SolveResult<Interval> R;
+    switch (Which) {
+    case 0:
+      R = solveRR(S, WarrowCombine{}, Options);
+      break;
+    case 1:
+      R = solveW(S, WarrowCombine{}, Options);
+      break;
+    case 2:
+      R = solveSRR(S, WarrowCombine{}, Options);
+      break;
+    default:
+      R = solveSW(S, WarrowCombine{}, Options);
+      break;
+    }
+    benchmark::DoNotOptimize(R.Stats.RhsEvals);
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+    State.counters["converged"] = R.Stats.Converged ? 1 : 0;
+  }
+}
+// SRR/SW terminate under ⊟ on monotone systems (Theorems 1-2); RR and W
+// are capped (they can diverge, which the counters make visible).
+BENCHMARK(BM_RingSolvers)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 3})
+    ->Args({512, 2})
+    ->Args({512, 3});
+
+void BM_RandomSystem_SW(benchmark::State &State) {
+  DenseSystem<Interval> S = randomMonotoneSystem(
+      static_cast<unsigned>(State.range(0)), 4, 512, 42);
+  for (auto _ : State) {
+    SolveResult<Interval> R = solveSW(S, WarrowCombine{});
+    benchmark::DoNotOptimize(R.Stats.RhsEvals);
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+  }
+}
+BENCHMARK(BM_RandomSystem_SW)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_RandomSystem_SRR(benchmark::State &State) {
+  DenseSystem<Interval> S = randomMonotoneSystem(
+      static_cast<unsigned>(State.range(0)), 4, 512, 42);
+  for (auto _ : State) {
+    SolveResult<Interval> R = solveSRR(S, WarrowCombine{});
+    benchmark::DoNotOptimize(R.Stats.RhsEvals);
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+  }
+}
+BENCHMARK(BM_RandomSystem_SRR)->Arg(100)->Arg(400);
+
+void BM_TwoPhase(benchmark::State &State) {
+  DenseSystem<Interval> S = randomMonotoneSystem(
+      static_cast<unsigned>(State.range(0)), 4, 512, 42);
+  for (auto _ : State) {
+    SolveResult<Interval> R = solveTwoPhase(S);
+    benchmark::DoNotOptimize(R.Stats.RhsEvals);
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+  }
+}
+BENCHMARK(BM_TwoPhase)->Arg(100)->Arg(400);
+
+} // namespace

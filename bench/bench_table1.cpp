@@ -1,0 +1,102 @@
+//===- bench/bench_table1.cpp - Regenerates the paper's Table 1 ----------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 1 of the paper: solver efficiency on SpecCpu2006-scale programs.
+/// For each benchmark, four configurations are measured:
+///
+///     {context-insensitive, context-sensitive} x {▽-solver, ⊟-solver}
+///
+/// reporting wall-clock time and the number of unknowns encountered. The
+/// reproduction targets the paper's *shape*: ⊟ only marginally slower
+/// than ▽ without context; with context, the number of unknowns may grow
+/// or shrink under ⊟ relative to ▽ as the computed intervals change which
+/// contexts arise. (Real SpecCpu sources are not redistributable — the
+/// workloads are synthetic programs reproducing the structural drivers;
+/// see DESIGN.md.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "workloads/spec_generator.h"
+
+#include <cstdio>
+
+using namespace warrow;
+
+namespace {
+
+struct Measurement {
+  double Seconds = 0;
+  uint64_t Unknowns = 0;
+  bool Converged = false;
+};
+
+Measurement measure(const Program &P, const ProgramCfg &Cfgs,
+                    bool ContextSensitive, SolverChoice Choice) {
+  AnalysisOptions Options;
+  Options.ContextSensitive = ContextSensitive;
+  Options.Solver.MaxRhsEvals = 500'000'000;
+  InterprocAnalysis Analysis(P, Cfgs, Options);
+  AnalysisResult R = Analysis.run(Choice);
+  return {R.Seconds, R.NumUnknowns, R.Stats.Converged};
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Table 1: SpecCpu2006-scale programs — time and number "
+              "of unknowns ===\n");
+  std::printf("(▽ = widening-only SLR+, ⊟ = combined-operator SLR+; "
+              "synthetic workloads, see DESIGN.md)\n\n");
+
+  Table T({"Program", "noctx ▽ t(s)", "noctx ▽ unk", "noctx ⊟ t(s)",
+           "noctx ⊟ unk", "ctx ▽ t(s)", "ctx ▽ unk", "ctx ⊟ t(s)",
+           "ctx ⊟ unk"});
+
+  for (const SpecProfile &Profile : specSuite()) {
+    std::string Source = generateSpecProgram(Profile);
+    DiagnosticEngine Diags;
+    auto P = parseProgram(Source, Diags);
+    if (!P) {
+      std::fprintf(stderr, "error: %s failed to parse:\n%s",
+                   Profile.Name.c_str(), Diags.str().c_str());
+      return 1;
+    }
+    ProgramCfg Cfgs = buildProgramCfg(*P);
+
+    Measurement NoCtxWiden =
+        measure(*P, Cfgs, false, SolverChoice::WidenOnly);
+    Measurement NoCtxWarrow = measure(*P, Cfgs, false, SolverChoice::Warrow);
+    Measurement CtxWiden = measure(*P, Cfgs, true, SolverChoice::WidenOnly);
+    Measurement CtxWarrow = measure(*P, Cfgs, true, SolverChoice::Warrow);
+    for (const Measurement *M :
+         {&NoCtxWiden, &NoCtxWarrow, &CtxWiden, &CtxWarrow})
+      if (!M->Converged)
+        std::fprintf(stderr, "warning: %s: a configuration hit the "
+                             "evaluation budget\n",
+                     Profile.Name.c_str());
+
+    T.addRow({Profile.Name, formatFixed(NoCtxWiden.Seconds, 2),
+              formatThousands(NoCtxWiden.Unknowns),
+              formatFixed(NoCtxWarrow.Seconds, 2),
+              formatThousands(NoCtxWarrow.Unknowns),
+              formatFixed(CtxWiden.Seconds, 2),
+              formatThousands(CtxWiden.Unknowns),
+              formatFixed(CtxWarrow.Seconds, 2),
+              formatThousands(CtxWarrow.Unknowns)});
+  }
+  std::fputs(T.str().c_str(), stdout);
+  std::printf(
+      "\nPaper shape checks: (1) without context, ⊟ is at most marginally "
+      "slower than ▽;\n(2) with context, unknown counts grow relative to "
+      "no-context, by a program-dependent factor;\n(3) ⊟ may change the "
+      "number of encountered contexts in either direction.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- examples/constant_folding.cpp - The second analysis client ---------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates that the solver machinery is generic over the value
+/// domain: the same CFGs and the same SW solver run a *constant
+/// propagation* analysis over the flat lattice, side by side with the
+/// interval analysis. On finite-height domains join already acts as a
+/// widening, so ⊟ and plain join coincide — the paper's operator matters
+/// exactly when chains are infinite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/constprop.h"
+#include "analysis/intra.h"
+#include "lang/parser.h"
+#include "lattice/combine.h"
+#include "solvers/sw.h"
+
+#include <cstdio>
+
+using namespace warrow;
+
+static const char *ProgramSource = R"(
+int main() {
+  int base = 40;
+  int scale = 2;
+  int offset = base + scale;
+  int x = unknown();
+  int y = offset;
+  if (x > 0)
+    y = offset + 0;
+  int limit = offset * scale;
+  int i = 0;
+  while (i < limit)
+    i = i + 1;
+  return i + y;
+}
+)";
+
+int main() {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(ProgramSource, Diags);
+  if (!P) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+
+  std::printf("program:\n%s\n", ProgramSource);
+
+  // Constant propagation (flat lattice, finite height).
+  ConstPropSystem CP = buildConstPropSystem(*P, Cfgs, 0);
+  SolveResult<CpEnv> CpResult = solveSW(CP.System, JoinCombine{});
+  std::printf("constant propagation at exit (SW + join):\n  %s\n",
+              CpResult.Sigma[CP.VarOfNode[Cfg::ExitNode]]
+                  .str(P->Symbols)
+                  .c_str());
+
+  // Interval analysis (infinite height: ⊟ earns its keep).
+  IntraSystem IV = buildIntraSystem(*P, Cfgs, 0,
+                                    Cfgs.cfgOf(0).reversePostOrder());
+  SolveResult<AbsValue> IvResult = solveSW(IV.System, WarrowCombine{});
+  std::printf("interval analysis at exit (SW + ⊟):\n  %s\n",
+              IvResult.Sigma[IV.VarOfNode[Cfg::ExitNode]]
+                  .str(P->Symbols)
+                  .c_str());
+
+  std::printf("\nsolver stats: constprop %s\n              intervals %s\n",
+              CpResult.Stats.str().c_str(), IvResult.Stats.str().c_str());
+  std::printf("\nNote how constant propagation pins base/scale/offset/limit"
+              "\nexactly while intervals bound the loop counter i — and how"
+              "\nthe same generic solver ran both.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- examples/interproc_globals.cpp - The paper's Example 7 -------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The motivating program of the paper's Section 6 (Example 7): a global
+/// written from two calling contexts of `f`. Flow-insensitive analysis
+/// of `g` with context-sensitive calls requires side-effecting
+/// constraints — and narrowing those soundly is exactly what SLR+ with ⊟
+/// contributes. This example prints the value of g under the three solver
+/// strategies, reproducing Example 9's [0,3] for the ⊟-solver.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+
+#include <cstdio>
+
+using namespace warrow;
+
+static const char *ProgramSource = R"(
+int g = 0;
+void f(int b) {
+  if (b)
+    g = b + 1;
+  else
+    g = -b - 1;
+  return;
+}
+int main() {
+  f(1);
+  f(2);
+  return 0;
+}
+)";
+
+int main() {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(ProgramSource, Diags);
+  if (!P) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+  Symbol G = P->Symbols.lookup("g");
+
+  std::printf("program (the paper's Example 7):\n%s\n", ProgramSource);
+
+  for (bool ContextSensitive : {false, true}) {
+    AnalysisOptions Options;
+    Options.ContextSensitive = ContextSensitive;
+    InterprocAnalysis Analysis(*P, Cfgs, Options);
+
+    AnalysisResult Widen = Analysis.run(SolverChoice::WidenOnly);
+    AnalysisResult Classic = Analysis.run(SolverChoice::TwoPhase);
+    AnalysisResult Warrow = Analysis.run(SolverChoice::Warrow);
+
+    std::printf("%s analysis:\n",
+                ContextSensitive ? "context-sensitive" : "context-insensitive");
+    std::printf("  widening only : g = %-10s (%llu unknowns)\n",
+                Widen.globalValue(G).str().c_str(),
+                static_cast<unsigned long long>(Widen.NumUnknowns));
+    std::printf("  two-phase WN  : g = %-10s (global frozen: classical "
+                "narrowing is unsound on side effects)\n",
+                Classic.globalValue(G).str().c_str());
+    std::printf("  ⊟-solver SLR+ : g = %-10s (the paper's Example 9 "
+                "result)\n\n",
+                Warrow.globalValue(G).str().c_str());
+  }
+  return 0;
+}

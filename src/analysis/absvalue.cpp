@@ -1,0 +1,102 @@
+//===- analysis/absvalue.cpp - Solver value domain ----------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/absvalue.h"
+
+#include "support/hash.h"
+
+using namespace warrow;
+
+bool AbsValue::leq(const AbsValue &Other) const {
+  if (isBot())
+    return true;
+  if (Other.isBot())
+    return false;
+  assert(K == Other.K && "comparing values of different kinds");
+  if (isEnv())
+    return EnvValue.leq(Other.EnvValue);
+  return ItvValue.leq(Other.ItvValue);
+}
+
+AbsValue AbsValue::join(const AbsValue &Other) const {
+  if (isBot())
+    return Other;
+  if (Other.isBot())
+    return *this;
+  assert(K == Other.K && "joining values of different kinds");
+  if (isEnv())
+    return env(EnvValue.join(Other.EnvValue));
+  return itv(ItvValue.join(Other.ItvValue));
+}
+
+AbsValue AbsValue::widen(const AbsValue &Other) const {
+  if (isBot())
+    return Other;
+  if (Other.isBot())
+    return *this;
+  assert(K == Other.K && "widening values of different kinds");
+  if (isEnv())
+    return env(EnvValue.widen(Other.EnvValue));
+  return itv(ItvValue.widen(Other.ItvValue));
+}
+
+AbsValue
+AbsValue::widenWithThresholds(const AbsValue &Other,
+                              const std::vector<int64_t> &Thresholds) const {
+  if (isBot())
+    return Other;
+  if (Other.isBot())
+    return *this;
+  assert(K == Other.K && "widening values of different kinds");
+  if (isEnv())
+    return env(EnvValue.widenWithThresholds(Other.EnvValue, Thresholds));
+  return itv(ItvValue.widenWithThresholds(Other.ItvValue, Thresholds));
+}
+
+AbsValue AbsValue::narrow(const AbsValue &Other) const {
+  // Precondition Other ⊑ *this; narrowing to unreachable is legal.
+  if (isBot() || Other.isBot())
+    return Other;
+  assert(K == Other.K && "narrowing values of different kinds");
+  if (isEnv())
+    return env(EnvValue.narrow(Other.EnvValue));
+  return itv(ItvValue.narrow(Other.ItvValue));
+}
+
+bool AbsValue::operator==(const AbsValue &Other) const {
+  if (K != Other.K)
+    return false;
+  if (isEnv())
+    return EnvValue == Other.EnvValue;
+  if (isItv())
+    return ItvValue == Other.ItvValue;
+  return true; // Both bottom.
+}
+
+std::string AbsValue::str(const Interner &Symbols) const {
+  if (isBot())
+    return "unreachable";
+  if (isEnv())
+    return EnvValue.str(Symbols);
+  return ItvValue.str();
+}
+
+std::string AbsValue::str() const {
+  if (isBot())
+    return "unreachable";
+  if (isItv())
+    return ItvValue.str();
+  std::string Out = "env(" + std::to_string(EnvValue.size()) + " vars)";
+  return Out;
+}
+
+size_t AbsValue::hashValue() const {
+  if (isBot())
+    return 0x0b;
+  if (isEnv())
+    return hashAll(static_cast<int>(K), EnvValue.hashValue());
+  return hashAll(static_cast<int>(K), ItvValue.hashValue());
+}

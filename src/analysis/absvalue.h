@@ -1,0 +1,100 @@
+//===- analysis/absvalue.h - Solver value domain ----------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single value domain handed to the generic solvers by the
+/// interprocedural analysis. Unknowns are heterogeneous — program points
+/// carry abstract *environments*, flow-insensitive globals carry
+/// *intervals* — so `AbsValue` is a tagged sum with a polymorphic bottom:
+///
+///     Bot  <  Env(e)         (program point: Bot = "unreachable")
+///     Bot  <  Itv(i)         (global: Bot = empty interval)
+///
+/// Values of different non-bottom kinds never meet in a well-formed
+/// system (asserted). `Itv` of the empty interval normalizes to `Bot`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_ABSVALUE_H
+#define WARROW_ANALYSIS_ABSVALUE_H
+
+#include "analysis/env.h"
+#include "lattice/interval.h"
+
+#include <cassert>
+#include <string>
+
+namespace warrow {
+
+/// Sum domain: bottom, reachable environment, or interval.
+class AbsValue {
+public:
+  enum class Kind : uint8_t { Bot, Env, Itv };
+
+  /// Default: bottom.
+  AbsValue() : K(Kind::Bot) {}
+
+  static AbsValue bot() { return AbsValue(); }
+  static AbsValue env(AbsEnv E) {
+    AbsValue V;
+    V.K = Kind::Env;
+    V.EnvValue = std::move(E);
+    return V;
+  }
+  static AbsValue itv(const Interval &I) {
+    if (I.isBot())
+      return bot();
+    AbsValue V;
+    V.K = Kind::Itv;
+    V.ItvValue = I;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isBot() const { return K == Kind::Bot; }
+  bool isEnv() const { return K == Kind::Env; }
+  bool isItv() const { return K == Kind::Itv; }
+
+  const AbsEnv &envValue() const {
+    assert(isEnv() && "not an environment value");
+    return EnvValue;
+  }
+  /// Interval payload; bottom maps to the empty interval.
+  Interval itvValue() const {
+    assert(!isEnv() && "not an interval value");
+    return isBot() ? Interval::bot() : ItvValue;
+  }
+  /// Environment payload with bottom mapped "nowhere" — callers check
+  /// isBot() first; provided for symmetry in generic code.
+  const AbsEnv &envValueOrTop() const {
+    static const AbsEnv Top;
+    return isEnv() ? EnvValue : Top;
+  }
+
+  bool leq(const AbsValue &Other) const;
+  AbsValue join(const AbsValue &Other) const;
+  AbsValue widen(const AbsValue &Other) const;
+  AbsValue narrow(const AbsValue &Other) const;
+  /// Widening with a sorted threshold set (see Interval/AbsEnv).
+  AbsValue widenWithThresholds(const AbsValue &Other,
+                               const std::vector<int64_t> &Thresholds) const;
+  bool operator==(const AbsValue &Other) const;
+
+  std::string str(const Interner &Symbols) const;
+  /// str() without variable names (symbol numbers).
+  std::string str() const;
+
+  size_t hashValue() const;
+
+private:
+  Kind K;
+  AbsEnv EnvValue;
+  Interval ItvValue;
+};
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_ABSVALUE_H

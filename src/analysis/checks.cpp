@@ -1,0 +1,233 @@
+//===- analysis/checks.cpp - Program checkers over analysis results ------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/checks.h"
+
+#include "analysis/transfer.h"
+#include "lang/sema.h"
+#include "support/casting.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+using namespace warrow;
+
+std::string CheckFinding::str(const Program &P) const {
+  std::string Out = P.Symbols.spelling(P.Functions[Func]->Name);
+  Out += ":" + std::to_string(Line) + ": ";
+  switch (K) {
+  case Kind::DivByZero:
+    Out += Definite ? "error: " : "warning: ";
+    break;
+  case Kind::ArrayOutOfBounds:
+    Out += Definite ? "error: " : "warning: ";
+    break;
+  case Kind::UnreachableCode:
+    Out += "note: ";
+    break;
+  }
+  Out += Message;
+  return Out;
+}
+
+namespace {
+
+/// Walks an expression tree and reports division/array hazards under the
+/// given environment.
+class ExprChecker {
+public:
+  ExprChecker(const Program &P, const FuncVars &Vars, uint32_t Func,
+              const EvalContext &Ctx, std::vector<CheckFinding> &Out)
+      : P(P), Vars(Vars), Func(Func), Ctx(Ctx), Out(Out) {}
+
+  void check(const Expr &E, const AbsEnv &Env, uint32_t Line) {
+    switch (E.kind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::VarRef:
+      return;
+    case Expr::Kind::ArrayRef: {
+      const auto *A = cast<ArrayRef>(&E);
+      check(A->index(), Env, Line);
+      checkIndex(A->name(), A->index(), Env, Line);
+      return;
+    }
+    case Expr::Kind::Unary:
+      check(cast<UnaryExpr>(&E)->operand(), Env, Line);
+      return;
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(&E);
+      check(B->lhs(), Env, Line);
+      check(B->rhs(), Env, Line);
+      if (B->op() == BinaryOp::Div || B->op() == BinaryOp::Rem) {
+        Interval Divisor = evalExpr(B->rhs(), Env, Ctx);
+        if (Divisor.isBot())
+          return; // Operand infeasible: nothing executes here.
+        if (Divisor.contains(0)) {
+          bool Definite = Divisor.isConstant();
+          Out.push_back(
+              {CheckFinding::Kind::DivByZero, Func, Line, Definite,
+               std::string(B->op() == BinaryOp::Div ? "division"
+                                                    : "modulo") +
+                   " by zero: divisor may be " + Divisor.str()});
+        }
+      }
+      return;
+    }
+    case Expr::Kind::Call:
+      for (const ExprPtr &Arg : cast<CallExpr>(&E)->args())
+        check(*Arg, Env, Line);
+      return;
+    }
+  }
+
+  void checkIndex(Symbol Array, const Expr &Index, const AbsEnv &Env,
+                  uint32_t Line) {
+    int64_t Size = -1;
+    if (const GlobalDecl *G = P.global(Array)) {
+      Size = G->ArraySize;
+    } else {
+      auto It = Vars.Arrays.find(Array);
+      if (It != Vars.Arrays.end())
+        Size = It->second;
+    }
+    if (Size < 0)
+      return;
+    Interval Idx = evalExpr(Index, Env, Ctx);
+    if (Idx.isBot())
+      return;
+    Interval InBounds = Interval::make(0, Size - 1);
+    if (Idx.leq(InBounds))
+      return;
+    bool Definite = Idx.meet(InBounds).isBot();
+    Out.push_back({CheckFinding::Kind::ArrayOutOfBounds, Func, Line,
+                   Definite,
+                   "index " + Idx.str() + " may leave " +
+                       P.Symbols.spelling(Array) + "[0.." +
+                       std::to_string(Size - 1) + "]"});
+  }
+
+private:
+  const Program &P;
+  const FuncVars &Vars;
+  uint32_t Func;
+  const EvalContext &Ctx;
+  std::vector<CheckFinding> &Out;
+};
+
+} // namespace
+
+std::vector<CheckFinding> warrow::runChecks(const Program &P,
+                                            const ProgramCfg &Cfgs,
+                                            const AnalysisResult &Result) {
+  std::vector<CheckFinding> Findings;
+
+  // Join point values over contexts once.
+  std::unordered_map<uint64_t, AbsValue> ByPoint;
+  for (const auto &[X, Value] : Result.Solution.Sigma) {
+    if (!X.isPoint())
+      continue;
+    uint64_t Key = (static_cast<uint64_t>(X.Func) << 32) | X.Node;
+    AbsValue &Slot = ByPoint[Key];
+    Slot = Slot.join(Value);
+  }
+
+  EvalContext Ctx = EvalContext::forProgram(P, [&Result](Symbol G) {
+    return Result.globalValue(G);
+  });
+
+  for (uint32_t Func = 0; Func < P.Functions.size(); ++Func) {
+    const Cfg &G = Cfgs.cfgOf(Func);
+    FuncVars Vars = collectFunctionVars(*P.Functions[Func]);
+    ExprChecker Checker(P, Vars, Func, Ctx, Findings);
+
+    // Expression hazards on edges leaving reachable points.
+    for (const CfgEdge &E : G.edges()) {
+      uint64_t Key = (static_cast<uint64_t>(Func) << 32) | E.From;
+      auto It = ByPoint.find(Key);
+      if (It == ByPoint.end() || It->second.isBot())
+        continue; // Unreachable: execution never evaluates this edge.
+      const AbsEnv &Env = It->second.envValueOrTop();
+      uint32_t Line = G.lineOf(E.From);
+      const Action &A = E.Act;
+      if (A.Value)
+        Checker.check(*A.Value, Env, Line);
+      if (A.Index) {
+        Checker.check(*A.Index, Env, Line);
+        if (A.K == Action::Kind::Store)
+          Checker.checkIndex(A.Lhs, *A.Index, Env, Line);
+      }
+      for (const Expr *Arg : A.Args)
+        Checker.check(*Arg, Env, Line);
+    }
+
+    // Dead code: source lines all of whose nodes are unreachable. Only
+    // lines belonging to explored (in-dom) points count — points outside
+    // the solved domain were never demanded, not proven dead.
+    std::unordered_map<uint32_t, bool> LineReachable; // Line -> any alive.
+    std::set<uint32_t> LinesInDom;
+    for (uint32_t Node = 0; Node < G.numNodes(); ++Node) {
+      uint32_t Line = G.lineOf(Node);
+      if (Line == 0)
+        continue;
+      // Skip structural islands (no incoming edges, e.g. the node a
+      // `return` leaves behind): they are artifacts of lowering, not
+      // program points of their line.
+      if (Node != G.entry() && G.inEdges(Node).empty())
+        continue;
+      uint64_t Key = (static_cast<uint64_t>(Func) << 32) | Node;
+      auto It = ByPoint.find(Key);
+      if (It == ByPoint.end())
+        continue;
+      LinesInDom.insert(Line);
+      if (!It->second.isBot())
+        LineReachable[Line] = true;
+    }
+    for (uint32_t Line : LinesInDom)
+      if (!LineReachable.count(Line))
+        Findings.push_back({CheckFinding::Kind::UnreachableCode, Func, Line,
+                            true, "code on this line is unreachable"});
+  }
+
+  std::sort(Findings.begin(), Findings.end(),
+            [](const CheckFinding &A, const CheckFinding &B) {
+              if (A.Func != B.Func)
+                return A.Func < B.Func;
+              if (A.Line != B.Line)
+                return A.Line < B.Line;
+              if (A.K != B.K)
+                return static_cast<int>(A.K) < static_cast<int>(B.K);
+              return A.Message < B.Message;
+            });
+  // Deduplicate: the same hazard surfaces once per CFG edge that
+  // evaluates it (e.g. both polarities of a guard).
+  Findings.erase(std::unique(Findings.begin(), Findings.end(),
+                             [](const CheckFinding &A,
+                                const CheckFinding &B) {
+                               return A.Func == B.Func && A.Line == B.Line &&
+                                      A.K == B.K && A.Message == B.Message;
+                             }),
+                 Findings.end());
+  return Findings;
+}
+
+CheckSummary warrow::summarize(const std::vector<CheckFinding> &Findings) {
+  CheckSummary S;
+  for (const CheckFinding &F : Findings) {
+    switch (F.K) {
+    case CheckFinding::Kind::DivByZero:
+      ++S.DivAlarms;
+      break;
+    case CheckFinding::Kind::ArrayOutOfBounds:
+      ++S.BoundsAlarms;
+      break;
+    case CheckFinding::Kind::UnreachableCode:
+      ++S.DeadLines;
+      break;
+    }
+  }
+  return S;
+}

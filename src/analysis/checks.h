@@ -1,0 +1,66 @@
+//===- analysis/checks.h - Program checkers over analysis results -*- C++ -*-=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkers that consume the interval analysis results to report
+/// potential run-time errors — the "so what" of solver precision: a more
+/// precise post solution produces fewer false alarms. Three checks:
+///
+///   - division/modulo whose divisor interval contains 0,
+///   - array accesses whose index interval leaves the array bounds,
+///   - program points proven unreachable (dead code).
+///
+/// Alarms are *may* warnings: soundness means every real error is
+/// reported; precision means fewer spurious ones. The alarm-count bench
+/// compares the solver strategies on exactly this metric.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_CHECKS_H
+#define WARROW_ANALYSIS_CHECKS_H
+
+#include "analysis/interproc.h"
+#include "lang/cfg.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// One checker finding.
+struct CheckFinding {
+  enum class Kind { DivByZero, ArrayOutOfBounds, UnreachableCode };
+  Kind K = Kind::DivByZero;
+  uint32_t Func = 0;
+  uint32_t Line = 0;
+  /// True when the error definitely occurs on every execution reaching
+  /// the point (e.g. divisor exactly [0,0]).
+  bool Definite = false;
+  std::string Message;
+
+  std::string str(const Program &P) const;
+};
+
+/// Summary counters per kind.
+struct CheckSummary {
+  uint64_t DivAlarms = 0;
+  uint64_t BoundsAlarms = 0;
+  uint64_t DeadLines = 0;
+
+  uint64_t total() const { return DivAlarms + BoundsAlarms + DeadLines; }
+};
+
+/// Runs all checks against \p Result (environments joined over contexts).
+std::vector<CheckFinding> runChecks(const Program &P, const ProgramCfg &Cfgs,
+                                    const AnalysisResult &Result);
+
+/// Tallies findings by kind.
+CheckSummary summarize(const std::vector<CheckFinding> &Findings);
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_CHECKS_H

@@ -1,0 +1,129 @@
+//===- analysis/constants.cpp - Program constant collection --------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/constants.h"
+
+#include "support/casting.h"
+#include "support/saturating.h"
+
+#include <functional>
+#include <vector>
+
+using namespace warrow;
+
+namespace {
+
+void collectFromExpr(const Expr &E, std::vector<int64_t> &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit: {
+    int64_t V = cast<IntLit>(&E)->value();
+    Out.push_back(V);
+    Out.push_back(satSub64(V, 1));
+    Out.push_back(satAdd64(V, 1));
+    Out.push_back(satNeg64(V));
+    return;
+  }
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::ArrayRef:
+    collectFromExpr(cast<ArrayRef>(&E)->index(), Out);
+    return;
+  case Expr::Kind::Unary:
+    collectFromExpr(cast<UnaryExpr>(&E)->operand(), Out);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    collectFromExpr(B->lhs(), Out);
+    collectFromExpr(B->rhs(), Out);
+    return;
+  }
+  case Expr::Kind::Call:
+    for (const ExprPtr &Arg : cast<CallExpr>(&E)->args())
+      collectFromExpr(*Arg, Out);
+    return;
+  }
+}
+
+void collectFromStmt(const Stmt &S, std::vector<int64_t> &Out) {
+  switch (S.kind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->stmts())
+      collectFromStmt(*Child, Out);
+    return;
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(&S);
+    if (D->isArray()) {
+      Out.push_back(D->arraySize());
+      Out.push_back(D->arraySize() - 1);
+    }
+    if (D->init())
+      collectFromExpr(*D->init(), Out);
+    return;
+  }
+  case Stmt::Kind::Assign:
+    collectFromExpr(cast<AssignStmt>(&S)->value(), Out);
+    return;
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(&S);
+    collectFromExpr(A->index(), Out);
+    collectFromExpr(A->value(), Out);
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    collectFromExpr(I->cond(), Out);
+    collectFromStmt(I->thenStmt(), Out);
+    if (I->elseStmt())
+      collectFromStmt(*I->elseStmt(), Out);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    collectFromExpr(W->cond(), Out);
+    collectFromStmt(W->body(), Out);
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    if (F->init())
+      collectFromStmt(*F->init(), Out);
+    if (F->cond())
+      collectFromExpr(*F->cond(), Out);
+    if (F->step())
+      collectFromStmt(*F->step(), Out);
+    collectFromStmt(F->body(), Out);
+    return;
+  }
+  case Stmt::Kind::ExprCall:
+    collectFromExpr(cast<ExprCallStmt>(&S)->call(), Out);
+    return;
+  case Stmt::Kind::Return:
+    if (const Expr *Value = cast<ReturnStmt>(&S)->value())
+      collectFromExpr(*Value, Out);
+    return;
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Empty:
+    return;
+  }
+}
+
+} // namespace
+
+ThresholdSet warrow::collectProgramConstants(const Program &P) {
+  std::vector<int64_t> Values;
+  for (const GlobalDecl &G : P.Globals) {
+    if (G.isArray()) {
+      Values.push_back(G.ArraySize);
+      Values.push_back(G.ArraySize - 1);
+    } else {
+      Values.push_back(G.Init);
+    }
+  }
+  for (const auto &F : P.Functions)
+    collectFromStmt(*F->Body, Values);
+  return ThresholdSet::of(std::move(Values));
+}

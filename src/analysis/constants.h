@@ -1,0 +1,89 @@
+//===- analysis/constants.h - Program constant collection -------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects the integer constants syntactically occurring in a program
+/// (literals, global initializers, array sizes) into a widening
+/// threshold set, plus the ⊟ variant that uses it. Threshold widening is
+/// one of the *operator-level* precision refinements the paper cites as
+/// complementary to its solver-level contribution; the ablation bench
+/// measures how the two compose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_CONSTANTS_H
+#define WARROW_ANALYSIS_CONSTANTS_H
+
+#include "analysis/absvalue.h"
+#include "lang/ast.h"
+#include "lattice/thresholds.h"
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace warrow {
+
+/// All integer literals of \p P (and each c-1/c+1 neighbour, so strict
+/// and non-strict guard bounds both snap), global initializers, and
+/// array sizes, as a sorted threshold set.
+ThresholdSet collectProgramConstants(const Program &P);
+
+/// ⊟ with threshold widening over AbsValue: like `WarrowCombine`, but
+/// growing values pass through the thresholds before jumping to infinity.
+///
+/// The operator *degrades* (paper, end of Section 4): each unknown
+/// carries a counter of narrowing->widening phase switches, and past
+/// `MaxSwitches` the unknown stops narrowing. This matters specifically
+/// for the threshold variant: side-effecting systems are effectively
+/// non-monotonic (a recorded contribution is a stale sample of a monotone
+/// function), and a self-feeding global can ping-pong forever between a
+/// freshly narrowed finite bound and infinity — each round the thresholds
+/// hand the narrowing a slightly larger finite target. Bounding the
+/// switches restores termination at a bounded precision cost.
+class ThresholdWarrowCombine {
+public:
+  explicit ThresholdWarrowCombine(std::shared_ptr<ThresholdSet> Thresholds,
+                                  unsigned MaxSwitches = 6)
+      : Thresholds(std::move(Thresholds)), MaxSwitches(MaxSwitches) {}
+
+  template <typename V>
+  AbsValue operator()(const V &X, const AbsValue &Old, const AbsValue &New) {
+    State &S = States[keyOf(X)];
+    if (New.leq(Old)) {
+      if (S.Switches >= MaxSwitches)
+        return Old; // Narrowing budget exhausted: freeze.
+      AbsValue Result = Old.narrow(New);
+      if (!(Result == Old)) // Equal-value confirmations are not a phase.
+        S.Narrowing = true;
+      return Result;
+    }
+    if (S.Narrowing) {
+      S.Narrowing = false;
+      ++S.Switches;
+    }
+    return Old.widenWithThresholds(New, Thresholds->values());
+  }
+
+  static constexpr bool isIdempotent() { return false; }
+
+private:
+  struct State {
+    bool Narrowing = false;
+    unsigned Switches = 0;
+  };
+  template <typename V> static size_t keyOf(const V &X) {
+    return std::hash<V>{}(X);
+  }
+
+  std::shared_ptr<ThresholdSet> Thresholds;
+  unsigned MaxSwitches;
+  std::unordered_map<size_t, State> States;
+};
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_CONSTANTS_H

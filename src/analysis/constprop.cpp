@@ -1,0 +1,260 @@
+//===- analysis/constprop.cpp - Constant propagation ---------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/constprop.h"
+
+#include "lang/sema.h"
+#include "support/casting.h"
+#include "support/saturating.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warrow;
+
+CpValue CpEnv::get(Symbol Name) const {
+  if (!Reachable)
+    return CpValue::bot();
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Name,
+      [](const Entry &E, Symbol S) { return E.first < S; });
+  if (It != Entries.end() && It->first == Name)
+    return It->second;
+  return CpValue::top();
+}
+
+void CpEnv::set(Symbol Name, const CpValue &Value) {
+  if (!Reachable)
+    return;
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Name,
+      [](const Entry &E, Symbol S) { return E.first < S; });
+  bool Present = It != Entries.end() && It->first == Name;
+  if (!Value.isConstant()) { // top (or bot, treated as unknown) erases.
+    if (Present)
+      Entries.erase(It);
+    return;
+  }
+  if (Present)
+    It->second = Value;
+  else
+    Entries.insert(It, {Name, Value});
+}
+
+bool CpEnv::leq(const CpEnv &O) const {
+  if (!Reachable)
+    return true;
+  if (!O.Reachable)
+    return false;
+  for (const Entry &E : O.Entries)
+    if (!get(E.first).leq(E.second))
+      return false;
+  return true;
+}
+
+CpEnv CpEnv::join(const CpEnv &O) const {
+  if (!Reachable)
+    return O;
+  if (!O.Reachable)
+    return *this;
+  CpEnv R;
+  for (const Entry &E : Entries) {
+    CpValue Joined = E.second.join(O.get(E.first));
+    if (Joined.isConstant())
+      R.Entries.push_back({E.first, Joined});
+  }
+  return R;
+}
+
+bool CpEnv::operator==(const CpEnv &O) const {
+  return Reachable == O.Reachable && Entries == O.Entries;
+}
+
+std::string CpEnv::str(const Interner &Symbols) const {
+  if (!Reachable)
+    return "unreachable";
+  std::string Out = "{";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Symbols.spelling(Entries[I].first) + "=" +
+           std::to_string(Entries[I].second.constantValue());
+  }
+  return Out + "}";
+}
+
+CpValue warrow::evalConstExpr(const Expr &E, const CpEnv &Env,
+                              const Program &P) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return CpValue::constant(cast<IntLit>(&E)->value());
+  case Expr::Kind::VarRef: {
+    Symbol Name = cast<VarRef>(&E)->name();
+    if (P.isGlobal(Name))
+      return CpValue::top(); // Globals are outside this fragment.
+    return Env.get(Name);
+  }
+  case Expr::Kind::ArrayRef:
+    return CpValue::top(); // Arrays are not tracked.
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    CpValue V = evalConstExpr(U->operand(), Env, P);
+    if (V.isBot())
+      return V;
+    if (!V.isConstant())
+      return CpValue::top();
+    int64_t C = V.constantValue();
+    return CpValue::constant(U->op() == UnaryOp::Neg ? satNeg64(C)
+                                                     : (C == 0 ? 1 : 0));
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    CpValue L = evalConstExpr(B->lhs(), Env, P);
+    CpValue R = evalConstExpr(B->rhs(), Env, P);
+    if (L.isBot() || R.isBot())
+      return CpValue::bot();
+    // Short-circuit algebra that works with one constant side.
+    if (B->op() == BinaryOp::Mul) {
+      if ((L.isConstant() && L.constantValue() == 0) ||
+          (R.isConstant() && R.constantValue() == 0))
+        return CpValue::constant(0);
+    }
+    if (!L.isConstant() || !R.isConstant())
+      return CpValue::top();
+    int64_t A = L.constantValue(), C = R.constantValue();
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return CpValue::constant(satAdd64(A, C));
+    case BinaryOp::Sub:
+      return CpValue::constant(satSub64(A, C));
+    case BinaryOp::Mul:
+      return CpValue::constant(satMul64(A, C));
+    case BinaryOp::Div:
+      if (C == 0)
+        return CpValue::bot(); // Division by zero: no value.
+      return CpValue::constant(
+          A == INT64_MIN && C == -1 ? INT64_MAX : A / C);
+    case BinaryOp::Rem:
+      if (C == 0)
+        return CpValue::bot();
+      return CpValue::constant(A == INT64_MIN && C == -1 ? 0 : A % C);
+    case BinaryOp::Lt:
+      return CpValue::constant(A < C);
+    case BinaryOp::Le:
+      return CpValue::constant(A <= C);
+    case BinaryOp::Gt:
+      return CpValue::constant(A > C);
+    case BinaryOp::Ge:
+      return CpValue::constant(A >= C);
+    case BinaryOp::Eq:
+      return CpValue::constant(A == C);
+    case BinaryOp::Ne:
+      return CpValue::constant(A != C);
+    case BinaryOp::LAnd:
+      return CpValue::constant(A != 0 && C != 0);
+    case BinaryOp::LOr:
+      return CpValue::constant(A != 0 || C != 0);
+    }
+    return CpValue::top();
+  }
+  case Expr::Kind::Call:
+    return CpValue::top(); // unknown() — or a call, excluded by contract.
+  }
+  return CpValue::top();
+}
+
+namespace {
+
+/// Post environment of executing \p Act on \p Pre; bottom when infeasible.
+CpEnv applyConstAction(const Action &Act, const CpEnv &Pre,
+                       const Program &P) {
+  if (Pre.isBot())
+    return Pre;
+  switch (Act.K) {
+  case Action::Kind::Skip:
+    return Pre;
+  case Action::Kind::DeclScalar: {
+    CpEnv Post = Pre;
+    Post.set(Act.Lhs, CpValue::constant(0));
+    return Post;
+  }
+  case Action::Kind::DeclArray:
+    return Pre; // Arrays untracked.
+  case Action::Kind::Assign: {
+    CpValue V = evalConstExpr(*Act.Value, Pre, P);
+    if (V.isBot())
+      return CpEnv::bot();
+    CpEnv Post = Pre;
+    if (!P.isGlobal(Act.Lhs))
+      Post.set(Act.Lhs, V);
+    return Post;
+  }
+  case Action::Kind::Store:
+    return Pre;
+  case Action::Kind::Guard: {
+    CpValue Cond = evalConstExpr(*Act.Value, Pre, P);
+    if (Cond.isBot())
+      return CpEnv::bot();
+    if (Cond.isConstant()) {
+      bool Truth = Cond.constantValue() != 0;
+      if (Truth != Act.Positive)
+        return CpEnv::bot(); // Edge infeasible under constant folding.
+    }
+    return Pre;
+  }
+  case Action::Kind::Input: {
+    CpEnv Post = Pre;
+    if (!P.isGlobal(Act.Lhs))
+      Post.set(Act.Lhs, CpValue::top());
+    return Post;
+  }
+  case Action::Kind::Call:
+    assert(false && "constant propagation fragment is call-free");
+    return Pre;
+  }
+  return Pre;
+}
+
+} // namespace
+
+ConstPropSystem warrow::buildConstPropSystem(const Program &P,
+                                             const ProgramCfg &Cfgs,
+                                             size_t FuncIndex) {
+  const Cfg &G = Cfgs.cfgOf(FuncIndex);
+  std::vector<uint32_t> Order = G.reversePostOrder();
+
+  ConstPropSystem CS;
+  CS.VarOfNode.assign(G.numNodes(), 0);
+  for (uint32_t Node : Order)
+    CS.VarOfNode[Node] = CS.System.addVar("n" + std::to_string(Node));
+
+  for (uint32_t Node : Order) {
+    Var X = CS.VarOfNode[Node];
+    std::vector<Var> Deps;
+    std::vector<std::pair<uint32_t, Var>> InEdgeVars;
+    for (uint32_t EdgeId : G.inEdges(Node)) {
+      Deps.push_back(CS.VarOfNode[G.edge(EdgeId).From]);
+      InEdgeVars.push_back({EdgeId, CS.VarOfNode[G.edge(EdgeId).From]});
+    }
+    CS.System.define(
+        X,
+        [&P, &G, Node, InEdgeVars](const DenseSystem<CpEnv>::GetFn &Get)
+            -> CpEnv {
+          if (Node == G.entry())
+            return CpEnv::reachableTop();
+          CpEnv Acc = CpEnv::bot();
+          for (const auto &[EdgeId, PreVar] : InEdgeVars) {
+            const CfgEdge &E = G.edge(EdgeId);
+            assert(E.Act.K != Action::Kind::Call &&
+                   "constant propagation fragment is call-free");
+            Acc = Acc.join(applyConstAction(E.Act, Get(PreVar), P));
+          }
+          return Acc;
+        },
+        std::move(Deps));
+  }
+  return CS;
+}

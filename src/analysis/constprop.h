@@ -1,0 +1,89 @@
+//===- analysis/constprop.h - Constant propagation --------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second client of the generic solver machinery: intraprocedural
+/// constant propagation over the flat lattice. Where the interval
+/// analysis exercises ⊟'s narrowing (infinite descending chains), this
+/// analysis demonstrates that the same solvers and equation-system
+/// plumbing work unchanged for a finite-height domain where join already
+/// is a widening and the two-phase/⊟ distinction collapses.
+///
+/// Restrictions mirror the dense interval fragment (`intra.h`): one
+/// call-free function, globals read as top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_CONSTPROP_H
+#define WARROW_ANALYSIS_CONSTPROP_H
+
+#include "eqsys/dense_system.h"
+#include "lang/cfg.h"
+#include "lattice/flat.h"
+#include "support/hash.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// A flat constant-propagation value.
+using CpValue = Flat<int64_t>;
+
+/// Environment for constant propagation: missing bindings are top (any
+/// value); a dedicated flag distinguishes unreachable.
+class CpEnv {
+public:
+  CpEnv() = default;
+
+  static CpEnv bot() {
+    CpEnv E;
+    E.Reachable = false;
+    return E;
+  }
+  static CpEnv reachableTop() { return CpEnv(); }
+
+  bool isBot() const { return !Reachable; }
+
+  /// Value of \p Name; top when unbound, bottom env yields bottom value.
+  CpValue get(Symbol Name) const;
+  /// Binds \p Name (top erases). No-op on the bottom environment.
+  void set(Symbol Name, const CpValue &Value);
+
+  bool leq(const CpEnv &O) const;
+  CpEnv join(const CpEnv &O) const;
+  bool operator==(const CpEnv &O) const;
+  // Finite height: acceleration is trivial.
+  CpEnv widen(const CpEnv &O) const { return join(O); }
+  CpEnv narrow(const CpEnv &O) const { return O; }
+
+  std::string str(const Interner &Symbols) const;
+  size_t size() const { return Entries.size(); }
+
+private:
+  using Entry = std::pair<Symbol, CpValue>;
+  bool Reachable = true;
+  std::vector<Entry> Entries; // Sorted; only constant bindings stored.
+};
+
+/// A dense constant-propagation system for one call-free function.
+struct ConstPropSystem {
+  DenseSystem<CpEnv> System;
+  std::vector<Var> VarOfNode;
+};
+
+/// Builds the system over the function's reverse post-order.
+ConstPropSystem buildConstPropSystem(const Program &P, const ProgramCfg &Cfgs,
+                                     size_t FuncIndex);
+
+/// Abstract evaluation of \p E under \p Env (globals and unknown() are
+/// top; calls are not allowed in this fragment).
+CpValue evalConstExpr(const Expr &E, const CpEnv &Env, const Program &P);
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_CONSTPROP_H

@@ -1,0 +1,151 @@
+//===- analysis/env.cpp - Abstract environments -------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/env.h"
+
+#include "support/hash.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warrow;
+
+std::vector<AbsEnv::Entry>::iterator AbsEnv::lowerBound(Symbol Name) {
+  return std::lower_bound(
+      Entries.begin(), Entries.end(), Name,
+      [](const Entry &E, Symbol S) { return E.first < S; });
+}
+
+std::vector<AbsEnv::Entry>::const_iterator
+AbsEnv::lowerBound(Symbol Name) const {
+  return std::lower_bound(
+      Entries.begin(), Entries.end(), Name,
+      [](const Entry &E, Symbol S) { return E.first < S; });
+}
+
+Interval AbsEnv::get(Symbol Name) const {
+  auto It = lowerBound(Name);
+  if (It != Entries.end() && It->first == Name)
+    return It->second;
+  return Interval::top();
+}
+
+void AbsEnv::set(Symbol Name, const Interval &Value) {
+  assert(!Value.isBot() && "environments never bind bottom");
+  auto It = lowerBound(Name);
+  bool Present = It != Entries.end() && It->first == Name;
+  if (Value.isTop()) {
+    if (Present)
+      Entries.erase(It);
+    return;
+  }
+  if (Present)
+    It->second = Value;
+  else
+    Entries.insert(It, {Name, Value});
+}
+
+bool AbsEnv::leq(const AbsEnv &Other) const {
+  // A ⊑ B iff for all variables bound in B: A(x) ⊑ B(x).
+  for (const Entry &E : Other.Entries)
+    if (!get(E.first).leq(E.second))
+      return false;
+  return true;
+}
+
+AbsEnv AbsEnv::join(const AbsEnv &Other) const {
+  // Only variables bound on both sides stay constrained.
+  AbsEnv Result;
+  for (const Entry &E : Entries) {
+    auto It = Other.lowerBound(E.first);
+    if (It == Other.Entries.end() || It->first != E.first)
+      continue;
+    Interval Joined = E.second.join(It->second);
+    if (!Joined.isTop())
+      Result.Entries.push_back({E.first, Joined});
+  }
+  return Result;
+}
+
+AbsEnv AbsEnv::widen(const AbsEnv &Other) const {
+  AbsEnv Result;
+  for (const Entry &E : Entries) {
+    auto It = Other.lowerBound(E.first);
+    if (It == Other.Entries.end() || It->first != E.first)
+      continue; // Other side is top; widening to top drops the binding.
+    Interval Widened = E.second.widen(It->second);
+    if (!Widened.isTop())
+      Result.Entries.push_back({E.first, Widened});
+  }
+  return Result;
+}
+
+AbsEnv AbsEnv::widenWithThresholds(
+    const AbsEnv &Other, const std::vector<int64_t> &Thresholds) const {
+  AbsEnv Result;
+  for (const Entry &E : Entries) {
+    auto It = Other.lowerBound(E.first);
+    if (It == Other.Entries.end() || It->first != E.first)
+      continue;
+    Interval Widened = E.second.widenWithThresholds(It->second, Thresholds);
+    if (!Widened.isTop())
+      Result.Entries.push_back({E.first, Widened});
+  }
+  return Result;
+}
+
+AbsEnv AbsEnv::narrow(const AbsEnv &Other) const {
+  // Precondition Other ⊑ *this. Narrow our bindings pointwise, and adopt
+  // bindings present only in Other (legal: top △ v ⊒ v, and often where
+  // the real precision is — a binding widened to top gets re-learned).
+  // Note for ⊟ users: a widening that drops a binding followed by a
+  // narrowing that re-adopts it can alternate; on non-monotonic systems
+  // this must be bounded by a degrading ⊟ (per-unknown switch counters),
+  // which the analysis drivers use.
+  AbsEnv Result = *this;
+  for (Entry &E : Result.Entries)
+    E.second = E.second.narrow(Other.get(E.first));
+  for (const Entry &E : Other.Entries) {
+    auto It = Result.lowerBound(E.first);
+    if (It == Result.Entries.end() || It->first != E.first)
+      Result.Entries.insert(It, E);
+  }
+  // Normalize (narrowing cannot produce top from non-top, but be safe).
+  Result.Entries.erase(
+      std::remove_if(Result.Entries.begin(), Result.Entries.end(),
+                     [](const Entry &E) { return E.second.isTop(); }),
+      Result.Entries.end());
+  return Result;
+}
+
+bool AbsEnv::meetWith(const AbsEnv &Other) {
+  for (const Entry &E : Other.Entries) {
+    Interval Met = get(E.first).meet(E.second);
+    if (Met.isBot())
+      return false;
+    set(E.first, Met);
+  }
+  return true;
+}
+
+std::string AbsEnv::str(const Interner &Symbols) const {
+  std::string Out = "{";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Symbols.spelling(Entries[I].first) + "->" + Entries[I].second.str();
+  }
+  return Out + "}";
+}
+
+size_t AbsEnv::hashValue() const {
+  size_t Seed = Entries.size();
+  for (const Entry &E : Entries) {
+    hashCombine(Seed, E.first);
+    hashCombine(Seed, E.second.hashValue());
+  }
+  return Seed;
+}

@@ -1,0 +1,88 @@
+//===- analysis/env.h - Abstract environments -------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract environments mapping local scalars (and smashed local arrays)
+/// to intervals. Missing bindings mean "any value" (top), so the empty
+/// environment is the top element; unreachability is represented one
+/// level up (`AbsValue::bot`). As an invariant, environments never bind a
+/// variable to the empty interval — operations that would produce one
+/// report unreachability instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_ENV_H
+#define WARROW_ANALYSIS_ENV_H
+
+#include "lattice/interval.h"
+#include "support/interner.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace warrow {
+
+/// Interval environment over interned symbols; absent symbols are top.
+class AbsEnv {
+public:
+  AbsEnv() = default;
+
+  /// The top environment (no constraints on any variable).
+  static AbsEnv top() { return AbsEnv(); }
+
+  /// Value of \p Name (top when unbound). Never returns bottom.
+  Interval get(Symbol Name) const;
+
+  /// Binds \p Name to \p Value. Binding to top erases the entry; binding
+  /// to bottom is a caller bug (environments never go empty — assert).
+  void set(Symbol Name, const Interval &Value);
+
+  /// True if no variable is constrained.
+  bool isTop() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  const std::vector<std::pair<Symbol, Interval>> &entries() const {
+    return Entries;
+  }
+
+  bool leq(const AbsEnv &Other) const;
+  bool operator==(const AbsEnv &Other) const {
+    return Entries == Other.Entries;
+  }
+
+  AbsEnv join(const AbsEnv &Other) const;
+  AbsEnv widen(const AbsEnv &Other) const;
+  AbsEnv narrow(const AbsEnv &Other) const;
+  /// Pointwise threshold widening (unstable bounds snap to the closest
+  /// enclosing threshold before falling to infinity).
+  AbsEnv widenWithThresholds(const AbsEnv &Other,
+                             const std::vector<int64_t> &Thresholds) const;
+
+  /// Pointwise meet; returns false (leaving *this unspecified) when some
+  /// variable's meet is empty, i.e. the environment became unreachable.
+  bool meetWith(const AbsEnv &Other);
+
+  /// "{x->[0,3], y->[1,1]}" using the interner for names.
+  std::string str(const Interner &Symbols) const;
+
+  size_t hashValue() const;
+
+private:
+  using Entry = std::pair<Symbol, Interval>;
+  // Sorted by symbol; values never top (normalized away) and never bottom.
+  std::vector<Entry> Entries;
+
+  std::vector<Entry>::iterator lowerBound(Symbol Name);
+  std::vector<Entry>::const_iterator lowerBound(Symbol Name) const;
+};
+
+} // namespace warrow
+
+template <> struct std::hash<warrow::AbsEnv> {
+  size_t operator()(const warrow::AbsEnv &E) const { return E.hashValue(); }
+};
+
+#endif // WARROW_ANALYSIS_ENV_H

@@ -1,0 +1,286 @@
+//===- analysis/interproc.cpp - Interprocedural analysis -----------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+
+#include "analysis/constants.h"
+#include "analysis/transfer.h"
+#include "lattice/combine.h"
+#include "solvers/slr_plus.h"
+#include "solvers/two_phase_local.h"
+#include "support/timer.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+std::string AnalysisVar::str(const Program &P) const {
+  if (isGlobal())
+    return "global:" + P.Symbols.spelling(Glob);
+  std::string Out = P.Symbols.spelling(P.Functions[Func]->Name);
+  Out += ":" + std::to_string(Node);
+  Out += "@" + std::to_string(Ctx);
+  return Out;
+}
+
+uint32_t ContextTable::intern(const ContextValues &Values) {
+  // Encode to a canonical string key (Flat<> lacks operator<).
+  std::string Key;
+  for (const Flat<int64_t> &V : Values) {
+    if (V.isTop())
+      Key += "T;";
+    else if (V.isBot())
+      Key += "B;";
+    else
+      Key += "C" + std::to_string(V.constantValue()) + ";";
+  }
+  auto It = Ids.find(Key);
+  if (It != Ids.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Contexts.size());
+  Contexts.push_back(Values);
+  Ids.emplace(std::move(Key), Id);
+  return Id;
+}
+
+namespace warrow {
+
+/// Builds the right-hand sides of the constraint system. Kept out of the
+/// header; owns no state beyond references into the analysis object.
+class InterprocRhs {
+public:
+  InterprocRhs(InterprocAnalysis &A, const Program &P, const ProgramCfg &Cfgs)
+      : A(A), P(P), Cfgs(Cfgs) {}
+
+  using Get = SideEffectingSystem<AnalysisVar, AbsValue>::Get;
+  using Side = SideEffectingSystem<AnalysisVar, AbsValue>::Side;
+
+  AbsValue evalRhs(const AnalysisVar &X, const Get &GetFn,
+                   const Side &SideFn) {
+    if (X.isGlobal())
+      return globalBase(X.Glob);
+
+    const Cfg &G = Cfgs.cfgOf(X.Func);
+    // Contributions are joined per target across this evaluation (several
+    // in-edges may write the same global / call the same callee context)
+    // and forwarded *immediately* with the running join, so that reading
+    // a callee's exit after contributing its entry environment sees the
+    // parameters. Repeated `side` calls per target carry monotonically
+    // growing values, so the recorded contribution sigma(x,z) ends at the
+    // full join — equivalent to Section 6's one-side-effect contract.
+    std::unordered_map<AnalysisVar, AbsValue> Pending;
+    auto Contribute = [&Pending, &SideFn](const AnalysisVar &Target,
+                                          const AbsValue &Value) {
+      AbsValue &Slot = Pending[Target];
+      AbsValue Joined = Slot.join(Value);
+      if (Joined == Slot)
+        return;
+      Slot = std::move(Joined);
+      SideFn(Target, Slot);
+    };
+
+    EvalContext Ctx =
+        EvalContext::forProgram(P, [&GetFn](Symbol Name) {
+          return GetFn(AnalysisVar::global(Name)).itvValue();
+        });
+
+    AbsValue Acc = AbsValue::bot();
+    if (X.Node == G.entry()) {
+      if (X.Func == A.MainIdx && X.Ctx == A.InitialCtx)
+        Acc = AbsValue::env(AbsEnv::top()); // Program start.
+      // Other entries receive only side-effected parameter environments.
+    } else {
+      for (uint32_t EdgeId : G.inEdges(X.Node)) {
+        const CfgEdge &E = G.edge(EdgeId);
+        AbsValue Pre =
+            GetFn(AnalysisVar::point(X.Func, E.From, X.Ctx));
+        if (Pre.isBot())
+          continue;
+        const AbsEnv &PreEnv = Pre.envValue();
+        if (E.Act.K == Action::Kind::Call) {
+          applyCall(E.Act, PreEnv, Ctx, GetFn, Contribute, Acc);
+          continue;
+        }
+        BasicEffect Eff = applyBasicAction(E.Act, PreEnv, Ctx);
+        for (auto &[GlobalSym, Value] : Eff.GlobalWrites)
+          Contribute(AnalysisVar::global(GlobalSym), AbsValue::itv(Value));
+        if (Eff.Post)
+          Acc = Acc.join(AbsValue::env(std::move(*Eff.Post)));
+      }
+    }
+
+    return Acc;
+  }
+
+private:
+  /// The base value of a global: its declared initializer (arrays start
+  /// zeroed). Contributions are joined in by the solver.
+  AbsValue globalBase(Symbol G) const {
+    const GlobalDecl *Decl = P.global(G);
+    assert(Decl && "global unknown for undeclared symbol");
+    if (Decl->isArray())
+      return AbsValue::itv(Interval::constant(0));
+    return AbsValue::itv(Interval::constant(Decl->Init));
+  }
+
+  /// Context for a call with the given argument values.
+  uint32_t contextFor(uint32_t CalleeIdx, const std::vector<Interval> &Args) {
+    if (!A.Options.ContextSensitive)
+      return A.InitialCtx;
+    ContextValues Values;
+    Values.reserve(Args.size());
+    for (const Interval &Arg : Args) {
+      if (Arg.isConstant())
+        Values.push_back(Flat<int64_t>::constant(Arg.constantValue()));
+      else
+        Values.push_back(Flat<int64_t>::top());
+    }
+    uint32_t Ctx = A.Contexts.intern(Values);
+    auto &Seen = A.CtxPerFunc[CalleeIdx];
+    if (Seen.count(Ctx))
+      return Ctx;
+    if (Seen.size() >= A.Options.MaxContextsPerFunction) {
+      // Context gas exhausted: collapse onto the all-top context.
+      ContextValues Tops(Args.size(), Flat<int64_t>::top());
+      uint32_t TopCtx = A.Contexts.intern(Tops);
+      Seen.insert(TopCtx);
+      return TopCtx;
+    }
+    Seen.insert(Ctx);
+    return Ctx;
+  }
+
+  template <typename ContributeFn>
+  void applyCall(const Action &Act, const AbsEnv &PreEnv,
+                 const EvalContext &Ctx, const Get &GetFn,
+                 ContributeFn &Contribute, AbsValue &Acc) {
+    size_t CalleeIdx = P.functionIndex(Act.Callee);
+    assert(CalleeIdx < P.Functions.size() && "sema checked callee");
+    const FuncDecl &Callee = *P.Functions[CalleeIdx];
+
+    std::vector<Interval> Args;
+    Args.reserve(Act.Args.size());
+    for (const Expr *Arg : Act.Args) {
+      Interval V = evalExpr(*Arg, PreEnv, Ctx);
+      if (V.isBot())
+        return; // Unreachable call.
+      Args.push_back(V);
+    }
+
+    uint32_t CalleeCtx =
+        contextFor(static_cast<uint32_t>(CalleeIdx), Args);
+
+    // Side-effect the parameter binding to the callee's entry.
+    AbsEnv ParamEnv;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      // In context-sensitive mode the context constants refine the
+      // parameter (relevant once contexts collapse onto all-top).
+      Interval Bound = Args[I];
+      if (A.Options.ContextSensitive) {
+        const Flat<int64_t> &CtxVal = A.Contexts.values(CalleeCtx)[I];
+        if (CtxVal.isConstant())
+          Bound = Bound.meet(Interval::constant(CtxVal.constantValue()));
+      }
+      if (Bound.isBot())
+        return; // Contradictory binding: unreachable.
+      ParamEnv.set(Callee.Params[I], Bound);
+    }
+    Contribute(
+        AnalysisVar::point(static_cast<uint32_t>(CalleeIdx),
+                           Cfg::EntryNode, CalleeCtx),
+        AbsValue::env(std::move(ParamEnv)));
+
+    // Read the callee's exit and bind the return value.
+    AbsValue ExitVal = GetFn(AnalysisVar::point(
+        static_cast<uint32_t>(CalleeIdx), Cfg::ExitNode, CalleeCtx));
+    if (ExitVal.isBot())
+      return; // Callee (in this context) never returns.
+    Interval RetValue = ExitVal.envValue().get(A.RetSym);
+
+    AbsEnv Post = PreEnv;
+    if (Act.Lhs) {
+      if (P.isGlobal(Act.Lhs))
+        Contribute(AnalysisVar::global(Act.Lhs), AbsValue::itv(RetValue));
+      else
+        Post.set(Act.Lhs, RetValue);
+    }
+    Acc = Acc.join(AbsValue::env(std::move(Post)));
+  }
+
+  InterprocAnalysis &A;
+  const Program &P;
+  const ProgramCfg &Cfgs;
+};
+
+} // namespace warrow
+
+InterprocAnalysis::InterprocAnalysis(const Program &P, const ProgramCfg &Cfgs,
+                                     AnalysisOptions Options)
+    : P(P), Cfgs(Cfgs), Options(Options) {
+  Symbol MainSym = P.Symbols.lookup("main");
+  MainIdx = static_cast<uint32_t>(P.functionIndex(MainSym));
+  assert(MainIdx < P.Functions.size() && "program has main (sema)");
+  RetSym = P.Symbols.lookup(ReturnValueName);
+  assert(RetSym != 0 && "CFGs built before analysis (interns $ret)");
+}
+
+AnalysisVar InterprocAnalysis::root() const {
+  return AnalysisVar::point(MainIdx, Cfg::ExitNode, InitialCtx);
+}
+
+AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
+  // Reset per-run context state.
+  Contexts = ContextTable();
+  CtxPerFunc.clear();
+  InitialCtx = Contexts.intern({}); // Id 0: the empty tuple.
+
+  InterprocRhs RhsBuilder(*this, P, Cfgs);
+  SideEffectingSystem<AnalysisVar, AbsValue> System(
+      [&RhsBuilder](const AnalysisVar &X)
+          -> SideEffectingSystem<AnalysisVar, AbsValue>::Rhs {
+        return [&RhsBuilder, X](const InterprocRhs::Get &GetFn,
+                                const InterprocRhs::Side &SideFn) {
+          return RhsBuilder.evalRhs(X, GetFn, SideFn);
+        };
+      });
+
+  AnalysisResult Result;
+  Timer Clock;
+  switch (Choice) {
+  case SolverChoice::Warrow:
+    if (Options.ThresholdWidening) {
+      auto Thresholds =
+          std::make_shared<ThresholdSet>(collectProgramConstants(P));
+      SlrPlusSolver<AnalysisVar, AbsValue, ThresholdWarrowCombine> Solver(
+          System,
+          ThresholdWarrowCombine(std::move(Thresholds),
+                                 Options.WarrowMaxSwitches),
+          Options.Solver, Options.LocalizedWidening);
+      Result.Solution = Solver.solveFor(root());
+    } else {
+      SlrPlusSolver<AnalysisVar, AbsValue,
+                    DegradingWarrowCombine<AnalysisVar>>
+          Solver(System,
+                 DegradingWarrowCombine<AnalysisVar>(
+                     Options.WarrowMaxSwitches),
+                 Options.Solver, Options.LocalizedWidening);
+      Result.Solution = Solver.solveFor(root());
+    }
+    break;
+  case SolverChoice::WidenOnly:
+    Result.Solution =
+        solveSLRPlus(System, root(), WidenCombine{}, Options.Solver);
+    break;
+  case SolverChoice::TwoPhase:
+    Result.Solution = solveTwoPhaseSide(System, root(), Options.Solver,
+                                        Options.TwoPhaseNarrowRounds);
+    break;
+  }
+  Result.Seconds = Clock.seconds();
+  Result.Stats = Result.Solution.Stats;
+  Result.NumUnknowns = Result.Solution.Sigma.size();
+  return Result;
+}

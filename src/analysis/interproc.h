@@ -1,0 +1,202 @@
+//===- analysis/interproc.h - Interprocedural analysis ----------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-sensitive interprocedural interval analysis with flow-
+/// insensitive globals, formulated as a side-effecting constraint system
+/// (the Goblint setting of the paper's Sections 6 and 7):
+///
+///  - Unknowns are (function, CFG node, context) triples valued in
+///    abstract environments, plus one interval-valued unknown per global.
+///  - The right-hand side of a point joins the transformed environments
+///    of its incoming edges. Call edges *side-effect* the callee entry
+///    with the bound parameter environment and read the callee exit.
+///  - Writes to globals are side effects onto the global's unknown;
+///    reads query it. Flow-insensitivity and the multi-contributor
+///    narrowing problem (Example 8) arise exactly as in the paper.
+///  - A context is the tuple of *flat-constant* abstractions of the
+///    actual parameters — the analysis-relevant analogue of Table 1's
+///    "calling context includes all non-interval values of locals".
+///    Context-insensitive mode uses a single shared context. Contexts are
+///    capped per function (`MaxContextsPerFunction` "context gas"); past
+///    the cap calls collapse onto the all-top context, keeping the
+///    encountered unknowns finite even for adversarial programs.
+///
+/// The solvers compared in the experiments:
+///    `Warrow`    SLR+ with the ⊟ operator (the paper's contribution),
+///    `WidenOnly` SLR+ with plain ▽ (Table 1's baseline),
+///    `TwoPhase`  ▽-phase then △-sweeps with frozen globals (Figure 7's
+///                baseline; only sound for context-insensitive mode).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_INTERPROC_H
+#define WARROW_ANALYSIS_INTERPROC_H
+
+#include "analysis/absvalue.h"
+#include "eqsys/local_system.h"
+#include "lang/cfg.h"
+#include "lattice/flat.h"
+#include "solvers/stats.h"
+#include "support/hash.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace warrow {
+
+/// An unknown of the interprocedural constraint system.
+struct AnalysisVar {
+  enum class Kind : uint8_t { Point, Global };
+
+  Kind K = Kind::Point;
+  uint32_t Func = 0; ///< Function index (Point).
+  uint32_t Node = 0; ///< CFG node (Point).
+  uint32_t Ctx = 0;  ///< Context id (Point).
+  Symbol Glob = 0;   ///< Global symbol (Global).
+
+  static AnalysisVar point(uint32_t Func, uint32_t Node, uint32_t Ctx) {
+    AnalysisVar V;
+    V.K = Kind::Point;
+    V.Func = Func;
+    V.Node = Node;
+    V.Ctx = Ctx;
+    return V;
+  }
+  static AnalysisVar global(Symbol G) {
+    AnalysisVar V;
+    V.K = Kind::Global;
+    V.Glob = G;
+    return V;
+  }
+
+  bool isPoint() const { return K == Kind::Point; }
+  bool isGlobal() const { return K == Kind::Global; }
+
+  bool operator==(const AnalysisVar &O) const {
+    return K == O.K && Func == O.Func && Node == O.Node && Ctx == O.Ctx &&
+           Glob == O.Glob;
+  }
+
+  size_t hashValue() const {
+    return hashAll(static_cast<uint32_t>(K), Func, Node, Ctx, Glob);
+  }
+
+  std::string str(const Program &P) const;
+};
+
+} // namespace warrow
+
+// The hash specialization must precede any instantiation of containers
+// keyed by AnalysisVar (e.g. PartialSolution below).
+template <> struct std::hash<warrow::AnalysisVar> {
+  size_t operator()(const warrow::AnalysisVar &V) const {
+    return V.hashValue();
+  }
+};
+
+namespace warrow {
+
+/// One calling context: flat-constant abstraction of the actuals.
+using ContextValues = std::vector<Flat<int64_t>>;
+
+/// Interns contexts to dense ids.
+class ContextTable {
+public:
+  ContextTable() = default;
+
+  uint32_t intern(const ContextValues &Values);
+  const ContextValues &values(uint32_t Id) const { return Contexts[Id]; }
+  size_t size() const { return Contexts.size(); }
+
+private:
+  std::vector<ContextValues> Contexts;
+  // Keyed by a canonical string encoding (Flat<> has no operator<).
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+/// Knobs of the analysis.
+struct AnalysisOptions {
+  bool ContextSensitive = false;
+  /// Context gas: calls beyond this many distinct contexts per function
+  /// collapse onto the all-top context.
+  unsigned MaxContextsPerFunction = 4096;
+  /// Descending sweeps for the two-phase baseline.
+  unsigned TwoPhaseNarrowRounds = 8;
+  /// Use threshold widening (program constants) in the ⊟-solver — the
+  /// operator-level refinement the paper calls complementary to ⊟.
+  bool ThresholdWidening = false;
+  /// Apply ⊟ only at dynamically detected widening points (unknowns on
+  /// dependency cycles and side-effected unknowns); plain join elsewhere.
+  bool LocalizedWidening = false;
+  /// Degrading budget of the ⊟ operator (paper, end of Section 4): per
+  /// unknown, the number of narrowing->widening phase switches before the
+  /// unknown stops narrowing. Side-effecting systems are effectively
+  /// non-monotonic (recorded contributions are stale samples), so a
+  /// self-feeding global can alternate forever under pure ⊟; the budget
+  /// guarantees termination and is generous enough never to trigger on
+  /// the monotonic benchmark suites.
+  unsigned WarrowMaxSwitches = 16;
+  SolverOptions Solver;
+};
+
+/// Which solver strategy to run.
+enum class SolverChoice { Warrow, WidenOnly, TwoPhase };
+
+/// Result of one analysis run.
+struct AnalysisResult {
+  PartialSolution<AnalysisVar, AbsValue> Solution;
+  SolverStats Stats;
+  double Seconds = 0;
+  /// Unknowns encountered (== Solution.Sigma.size()).
+  uint64_t NumUnknowns = 0;
+
+  /// Abstract environment at (Func, Node, Ctx); bottom if unreachable or
+  /// outside the solved domain.
+  AbsValue at(uint32_t Func, uint32_t Node, uint32_t Ctx = 0) const {
+    return Solution.value(AnalysisVar::point(Func, Node, Ctx));
+  }
+  /// Flow-insensitive value of a global.
+  Interval globalValue(Symbol G) const {
+    return Solution.value(AnalysisVar::global(G)).itvValue();
+  }
+};
+
+/// Builds and solves the interprocedural constraint system.
+class InterprocAnalysis {
+public:
+  InterprocAnalysis(const Program &P, const ProgramCfg &Cfgs,
+                    AnalysisOptions Options = {});
+
+  /// Runs the chosen solver from scratch.
+  AnalysisResult run(SolverChoice Choice);
+
+  /// The interesting unknown: main's exit point in the initial context.
+  AnalysisVar root() const;
+
+  const AnalysisOptions &options() const { return Options; }
+
+private:
+  friend class InterprocRhs;
+
+  const Program &P;
+  const ProgramCfg &Cfgs;
+  AnalysisOptions Options;
+  uint32_t MainIdx = 0;
+  Symbol RetSym = 0;
+
+  // Mutable context state shared across a run (reset per run()).
+  ContextTable Contexts;
+  uint32_t InitialCtx = 0;
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> CtxPerFunc;
+};
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_INTERPROC_H

@@ -1,0 +1,73 @@
+//===- analysis/intra.cpp - Intraprocedural dense analysis --------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/intra.h"
+
+#include "analysis/transfer.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+IntraSystem warrow::buildIntraSystem(const Program &P, const ProgramCfg &Cfgs,
+                                     size_t FuncIndex,
+                                     const std::vector<uint32_t> &Order) {
+  const Cfg &G = Cfgs.cfgOf(FuncIndex);
+  assert(Order.size() == G.numNodes() && "ordering must cover all nodes");
+
+  IntraSystem IS;
+  IS.NodeOfVar = Order;
+  IS.VarOfNode.assign(G.numNodes(), 0);
+
+  for (uint32_t Node : Order) {
+    Var X = IS.System.addVar("n" + std::to_string(Node));
+    IS.VarOfNode[Node] = X;
+  }
+
+  for (size_t Position = 0; Position < Order.size(); ++Position) {
+    uint32_t Node = Order[Position];
+    Var X = IS.VarOfNode[Node];
+
+    std::vector<Var> Deps;
+    for (uint32_t EdgeId : G.inEdges(Node))
+      Deps.push_back(IS.VarOfNode[G.edge(EdgeId).From]);
+
+    // The right-hand side captures the program and CFG by reference (both
+    // outlive the system) and a copy of the in-edge variable indices so
+    // the system stays self-contained when IntraSystem is moved.
+    std::vector<std::pair<uint32_t, Var>> InEdgeVars;
+    for (uint32_t EdgeId : G.inEdges(Node))
+      InEdgeVars.push_back({EdgeId, IS.VarOfNode[G.edge(EdgeId).From]});
+
+    IS.System.define(
+        X,
+        [&P, &G, Node, InEdgeVars](const DenseSystem<AbsValue>::GetFn &Get)
+            -> AbsValue {
+          EvalContext Ctx = EvalContext::forProgram(
+              P, [](Symbol) { return Interval::top(); });
+
+          if (Node == G.entry())
+            return AbsValue::env(AbsEnv::top());
+
+          AbsValue Acc = AbsValue::bot();
+          for (const auto &[EdgeId, PreVar] : InEdgeVars) {
+            const CfgEdge &E = G.edge(EdgeId);
+            assert(E.Act.K != Action::Kind::Call &&
+                   "intraprocedural systems are call-free");
+            AbsValue Pre = Get(PreVar);
+            if (Pre.isBot())
+              continue;
+            BasicEffect Eff = applyBasicAction(E.Act, Pre.envValue(), Ctx);
+            // Global writes are dropped in the intraprocedural fragment.
+            if (Eff.Post)
+              Acc = Acc.join(AbsValue::env(std::move(*Eff.Post)));
+          }
+          return Acc;
+        },
+        std::move(Deps));
+  }
+  return IS;
+}

@@ -1,0 +1,56 @@
+//===- analysis/intra.h - Intraprocedural dense analysis --------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *dense* (finite, declared-dependency) formulation of the interval
+/// analysis for a single call-free function: one unknown per CFG node.
+/// This is the bridge between the language substrate and the paper's
+/// Section 4 solvers (RR, W, SRR, SW, two-phase), which operate on
+/// `DenseSystem`. The interprocedural experiments use the local solvers
+/// instead; the dense form exists to
+///   - cross-check solver implementations against each other,
+///   - run the variable-ordering ablation (Bourdoncle's remark), and
+///   - feed the solver micro-benchmarks with realistic loop systems.
+///
+/// Restrictions (by design): no calls (asserted); globals are read as
+/// their declared initializer joined with top — i.e. top — and writes to
+/// globals are ignored (the intraprocedural fragment has no global
+/// unknowns). Workload functions used with this analysis are call-free
+/// and global-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_INTRA_H
+#define WARROW_ANALYSIS_INTRA_H
+
+#include "analysis/absvalue.h"
+#include "eqsys/dense_system.h"
+#include "lang/cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warrow {
+
+/// A dense interval-analysis equation system for one function.
+struct IntraSystem {
+  DenseSystem<AbsValue> System;
+  /// Node id of each variable (VarOfNode[Order[i]] == i).
+  std::vector<uint32_t> NodeOfVar;
+  std::vector<Var> VarOfNode;
+};
+
+/// Builds the dense system for function \p FuncIndex of \p P over the
+/// node ordering \p Order (a permutation of all node ids; variables are
+/// numbered in that order). Use `Cfg::reversePostOrder()` for the
+/// recommended ordering.
+IntraSystem buildIntraSystem(const Program &P, const ProgramCfg &Cfgs,
+                             size_t FuncIndex,
+                             const std::vector<uint32_t> &Order);
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_INTRA_H

@@ -1,0 +1,53 @@
+//===- analysis/precision.cpp - Precision comparison ---------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/precision.h"
+
+#include "lattice/lattice.h"
+
+using namespace warrow;
+
+std::string PrecisionComparison::str() const {
+  std::string Out;
+  Out += "points=" + std::to_string(ComparablePoints);
+  Out += " improved=" + std::to_string(Improved);
+  Out += " equal=" + std::to_string(Equal);
+  Out += " worse=" + std::to_string(Worse);
+  Out += " incomparable=" + std::to_string(Incomparable);
+  Out += " globals_improved=" + std::to_string(GlobalsImproved) + "/" +
+         std::to_string(GlobalsTotal);
+  return Out;
+}
+
+PrecisionComparison warrow::comparePrecision(
+    const PartialSolution<AnalysisVar, AbsValue> &Candidate,
+    const PartialSolution<AnalysisVar, AbsValue> &Baseline) {
+  PrecisionComparison C;
+  for (const auto &[X, CandidateValue] : Candidate.Sigma) {
+    auto It = Baseline.Sigma.find(X);
+    if (It == Baseline.Sigma.end())
+      continue;
+    const AbsValue &BaselineValue = It->second;
+    if (X.isGlobal()) {
+      ++C.GlobalsTotal;
+      if (strictlyLess(CandidateValue, BaselineValue))
+        ++C.GlobalsImproved;
+      continue;
+    }
+    ++C.ComparablePoints;
+    bool CandLeq = CandidateValue.leq(BaselineValue);
+    bool BaseLeq = BaselineValue.leq(CandidateValue);
+    if (CandLeq && BaseLeq)
+      ++C.Equal;
+    else if (CandLeq)
+      ++C.Improved;
+    else if (BaseLeq)
+      ++C.Worse;
+    else
+      ++C.Incomparable;
+  }
+  return C;
+}

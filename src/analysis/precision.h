@@ -1,0 +1,54 @@
+//===- analysis/precision.h - Precision comparison --------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Comparison of two analysis results, producing the metric of the
+/// paper's Figure 7: the percentage of program points at which one
+/// solver's result is *strictly more precise* than another's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_PRECISION_H
+#define WARROW_ANALYSIS_PRECISION_H
+
+#include "analysis/interproc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace warrow {
+
+/// Pointwise comparison statistics (A = candidate, B = baseline).
+struct PrecisionComparison {
+  uint64_t ComparablePoints = 0; ///< Point unknowns present in both doms.
+  uint64_t Improved = 0;         ///< A strictly below B.
+  uint64_t Equal = 0;
+  uint64_t Worse = 0;        ///< B strictly below A.
+  uint64_t Incomparable = 0; ///< Neither ordered (shouldn't happen for
+                             ///< monotone context-insensitive runs).
+  uint64_t GlobalsImproved = 0;
+  uint64_t GlobalsTotal = 0;
+
+  /// Figure 7's metric: improved points / comparable points.
+  double improvedPercent() const {
+    return ComparablePoints == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(Improved) /
+                     static_cast<double>(ComparablePoints);
+  }
+
+  std::string str() const;
+};
+
+/// Compares \p Candidate against \p Baseline over the intersection of
+/// their domains.
+PrecisionComparison
+comparePrecision(const PartialSolution<AnalysisVar, AbsValue> &Candidate,
+                 const PartialSolution<AnalysisVar, AbsValue> &Baseline);
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_PRECISION_H

@@ -1,0 +1,379 @@
+//===- analysis/transfer.cpp - Interval transfer functions --------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/transfer.h"
+
+#include "lang/sema.h"
+#include "support/casting.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+namespace {
+
+/// Abstract truth value of an interval: can it be zero / nonzero?
+struct Truth {
+  bool CanBeFalse;
+  bool CanBeTrue;
+};
+
+Truth truthOf(const Interval &I) {
+  if (I.isBot())
+    return {false, false};
+  bool HasZero = I.contains(0);
+  bool HasNonZero = !(I.isConstant() && I.constantValue() == 0);
+  return {HasZero, HasNonZero};
+}
+
+Interval truthInterval(Truth T) {
+  if (!T.CanBeFalse && !T.CanBeTrue)
+    return Interval::bot();
+  if (!T.CanBeFalse)
+    return Interval::constant(1);
+  if (!T.CanBeTrue)
+    return Interval::constant(0);
+  return Interval::make(0, 1);
+}
+
+/// Result interval of `L op R` for a comparison operator.
+Interval compareIntervals(BinaryOp Op, const Interval &L, const Interval &R) {
+  if (L.isBot() || R.isBot())
+    return Interval::bot();
+  auto Definite = [](bool True, bool False) {
+    if (True)
+      return Interval::constant(1);
+    if (False)
+      return Interval::constant(0);
+    return Interval::make(0, 1);
+  };
+  switch (Op) {
+  case BinaryOp::Lt:
+    return Definite(L.hi() < R.lo(), L.lo() >= R.hi());
+  case BinaryOp::Le:
+    return Definite(L.hi() <= R.lo(), L.lo() > R.hi());
+  case BinaryOp::Gt:
+    return Definite(L.lo() > R.hi(), L.hi() <= R.lo());
+  case BinaryOp::Ge:
+    return Definite(L.lo() >= R.hi(), L.hi() < R.lo());
+  case BinaryOp::Eq:
+    return Definite(L.isConstant() && R.isConstant() &&
+                        L.constantValue() == R.constantValue(),
+                    L.meet(R).isBot());
+  case BinaryOp::Ne:
+    return Definite(L.meet(R).isBot(),
+                    L.isConstant() && R.isConstant() &&
+                        L.constantValue() == R.constantValue());
+  default:
+    assert(false && "not a comparison");
+    return Interval::top();
+  }
+}
+
+/// The comparison holding when `a op b` is *false*.
+BinaryOp negateComparison(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+    return BinaryOp::Ge;
+  case BinaryOp::Le:
+    return BinaryOp::Gt;
+  case BinaryOp::Gt:
+    return BinaryOp::Le;
+  case BinaryOp::Ge:
+    return BinaryOp::Lt;
+  case BinaryOp::Eq:
+    return BinaryOp::Ne;
+  case BinaryOp::Ne:
+    return BinaryOp::Eq;
+  default:
+    assert(false && "not a comparison");
+    return Op;
+  }
+}
+
+/// Value of `a` refined by `a op b`.
+Interval restrictByComparison(BinaryOp Op, const Interval &A,
+                              const Interval &B) {
+  switch (Op) {
+  case BinaryOp::Lt:
+    return A.restrictLess(B);
+  case BinaryOp::Le:
+    return A.restrictLessEq(B);
+  case BinaryOp::Gt:
+    return A.restrictGreater(B);
+  case BinaryOp::Ge:
+    return A.restrictGreaterEq(B);
+  case BinaryOp::Eq:
+    return A.restrictEqual(B);
+  case BinaryOp::Ne:
+    return A.restrictNotEqual(B);
+  default:
+    assert(false && "not a comparison");
+    return A;
+  }
+}
+
+/// The mirrored operator: `a op b` iff `b mirror(op) a`.
+BinaryOp mirrorComparison(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+    return BinaryOp::Gt;
+  case BinaryOp::Le:
+    return BinaryOp::Ge;
+  case BinaryOp::Gt:
+    return BinaryOp::Lt;
+  case BinaryOp::Ge:
+    return BinaryOp::Le;
+  default:
+    return Op; // Eq/Ne are symmetric.
+  }
+}
+
+} // namespace
+
+EvalContext EvalContext::forProgram(const Program &P, GlobalReader Reader) {
+  EvalContext Ctx;
+  Ctx.Prog = &P;
+  Ctx.ReadGlobal = std::move(Reader);
+  Ctx.UnknownSym = P.Symbols.lookup(UnknownBuiltinName);
+  return Ctx;
+}
+
+Interval warrow::evalExpr(const Expr &E, const AbsEnv &Env,
+                          const EvalContext &Ctx) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return Interval::constant(cast<IntLit>(&E)->value());
+  case Expr::Kind::VarRef: {
+    Symbol Name = cast<VarRef>(&E)->name();
+    if (Ctx.isGlobal(Name))
+      return Ctx.ReadGlobal(Name);
+    return Env.get(Name);
+  }
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(&E);
+    // Smashed array read: the index only matters for feasibility.
+    Interval Index = evalExpr(A->index(), Env, Ctx);
+    if (Index.isBot())
+      return Interval::bot();
+    if (Ctx.isGlobal(A->name()))
+      return Ctx.ReadGlobal(A->name());
+    return Env.get(A->name());
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    Interval V = evalExpr(U->operand(), Env, Ctx);
+    if (U->op() == UnaryOp::Neg)
+      return V.neg();
+    Truth T = truthOf(V);
+    return truthInterval({T.CanBeTrue, T.CanBeFalse}); // !: swap roles.
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    Interval L = evalExpr(B->lhs(), Env, Ctx);
+    Interval R = evalExpr(B->rhs(), Env, Ctx);
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return L.add(R);
+    case BinaryOp::Sub:
+      return L.sub(R);
+    case BinaryOp::Mul:
+      return L.mul(R);
+    case BinaryOp::Div:
+      return L.div(R);
+    case BinaryOp::Rem:
+      return L.rem(R);
+    case BinaryOp::LAnd: {
+      Truth TL = truthOf(L), TR = truthOf(R);
+      return truthInterval(
+          {TL.CanBeFalse || (TL.CanBeTrue && TR.CanBeFalse),
+           TL.CanBeTrue && TR.CanBeTrue});
+    }
+    case BinaryOp::LOr: {
+      Truth TL = truthOf(L), TR = truthOf(R);
+      return truthInterval(
+          {TL.CanBeFalse && TR.CanBeFalse,
+           TL.CanBeTrue || (TL.CanBeFalse && TR.CanBeTrue)});
+    }
+    default:
+      return compareIntervals(B->op(), L, R);
+    }
+  }
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(&E);
+    if (Ctx.UnknownSym && Call->callee() == Ctx.UnknownSym)
+      return Interval::top(); // unknown(): any integer.
+    assert(false && "function calls are handled by the driver");
+    return Interval::top();
+  }
+  }
+  return Interval::top();
+}
+
+bool warrow::refineByCond(AbsEnv &Env, const Expr &Cond, bool Positive,
+                          const EvalContext &Ctx) {
+  // Logical connectives first.
+  if (const auto *U = dyn_cast<UnaryExpr>(&Cond)) {
+    if (U->op() == UnaryOp::Not)
+      return refineByCond(Env, U->operand(), !Positive, Ctx);
+  }
+  if (const auto *B = dyn_cast<BinaryExpr>(&Cond)) {
+    // a && b (positive) and !(a || b) are conjunctions; refine in sequence.
+    bool IsConjunction = (B->op() == BinaryOp::LAnd && Positive) ||
+                         (B->op() == BinaryOp::LOr && !Positive);
+    bool IsDisjunction = (B->op() == BinaryOp::LOr && Positive) ||
+                         (B->op() == BinaryOp::LAnd && !Positive);
+    // The polarity each operand carries inside the connective.
+    bool OperandPolarity = Positive;
+    if (IsConjunction && B->op() == BinaryOp::LOr)
+      OperandPolarity = false; // !(a||b) = !a && !b.
+    if (IsDisjunction && B->op() == BinaryOp::LAnd)
+      OperandPolarity = false; // !(a&&b) = !a || !b.
+    if (IsConjunction) {
+      return refineByCond(Env, B->lhs(), OperandPolarity, Ctx) &&
+             refineByCond(Env, B->rhs(), OperandPolarity, Ctx);
+    }
+    if (IsDisjunction) {
+      // Join of the two refined branches.
+      AbsEnv Left = Env;
+      AbsEnv Right = Env;
+      bool LeftOk = refineByCond(Left, B->lhs(), OperandPolarity, Ctx);
+      bool RightOk = refineByCond(Right, B->rhs(), OperandPolarity, Ctx);
+      if (!LeftOk && !RightOk)
+        return false;
+      Env = LeftOk && RightOk ? Left.join(Right) : (LeftOk ? Left : Right);
+      return true;
+    }
+    if (isComparison(B->op())) {
+      BinaryOp Op = Positive ? B->op() : negateComparison(B->op());
+      Interval L = evalExpr(B->lhs(), Env, Ctx);
+      Interval R = evalExpr(B->rhs(), Env, Ctx);
+      if (L.isBot() || R.isBot())
+        return false;
+      // Infeasible outright?
+      Interval Outcome = compareIntervals(Op, L, R);
+      if (Outcome.isConstant() && Outcome.constantValue() == 0)
+        return false;
+      // Refine a variable operand on either side (locals only; globals
+      // are flow-insensitive and cannot be constrained per-path).
+      if (const auto *LV = dyn_cast<VarRef>(&B->lhs())) {
+        if (!Ctx.isGlobal(LV->name())) {
+          Interval Refined = restrictByComparison(Op, L, R);
+          if (Refined.isBot())
+            return false;
+          Env.set(LV->name(), Refined);
+        }
+      }
+      if (const auto *RV = dyn_cast<VarRef>(&B->rhs())) {
+        if (!Ctx.isGlobal(RV->name())) {
+          Interval Refined = restrictByComparison(mirrorComparison(Op), R, L);
+          if (Refined.isBot())
+            return false;
+          Env.set(RV->name(), Refined);
+        }
+      }
+      return true;
+    }
+    // Fall through: arithmetic used as a truth value.
+  }
+
+  // Generic condition: an expression tested against zero.
+  Interval V = evalExpr(Cond, Env, Ctx);
+  Truth T = truthOf(V);
+  if (Positive) {
+    if (!T.CanBeTrue)
+      return false;
+    if (const auto *Var = dyn_cast<VarRef>(&Cond)) {
+      if (!Ctx.isGlobal(Var->name())) {
+        Interval Refined = V.restrictNotEqual(Interval::constant(0));
+        if (Refined.isBot())
+          return false;
+        Env.set(Var->name(), Refined);
+      }
+    }
+    return true;
+  }
+  if (!T.CanBeFalse)
+    return false;
+  if (const auto *Var = dyn_cast<VarRef>(&Cond)) {
+    if (!Ctx.isGlobal(Var->name()))
+      Env.set(Var->name(), Interval::constant(0));
+  }
+  return true;
+}
+
+BasicEffect warrow::applyBasicAction(const Action &Act, const AbsEnv &Pre,
+                                     const EvalContext &Ctx) {
+  BasicEffect Effect;
+  switch (Act.K) {
+  case Action::Kind::Skip:
+    Effect.Post = Pre;
+    return Effect;
+  case Action::Kind::DeclScalar: {
+    AbsEnv Post = Pre;
+    Post.set(Act.Lhs, Interval::constant(0)); // Declarations zero-init.
+    Effect.Post = std::move(Post);
+    return Effect;
+  }
+  case Action::Kind::DeclArray: {
+    AbsEnv Post = Pre;
+    Post.set(Act.Lhs, Interval::constant(0)); // Smashed zero contents.
+    Effect.Post = std::move(Post);
+    return Effect;
+  }
+  case Action::Kind::Assign: {
+    Interval Value = evalExpr(*Act.Value, Pre, Ctx);
+    if (Value.isBot())
+      return Effect; // Unreachable (reads a still-bottom global).
+    if (Ctx.isGlobal(Act.Lhs)) {
+      Effect.GlobalWrites.push_back({Act.Lhs, Value});
+      Effect.Post = Pre;
+      return Effect;
+    }
+    AbsEnv Post = Pre;
+    Post.set(Act.Lhs, Value);
+    Effect.Post = std::move(Post);
+    return Effect;
+  }
+  case Action::Kind::Store: {
+    Interval Index = evalExpr(*Act.Index, Pre, Ctx);
+    Interval Value = evalExpr(*Act.Value, Pre, Ctx);
+    if (Index.isBot() || Value.isBot())
+      return Effect;
+    if (Ctx.isGlobal(Act.Lhs)) {
+      Effect.GlobalWrites.push_back({Act.Lhs, Value});
+      Effect.Post = Pre;
+      return Effect;
+    }
+    // Weak update into the smashed local array.
+    AbsEnv Post = Pre;
+    Post.set(Act.Lhs, Pre.get(Act.Lhs).join(Value));
+    Effect.Post = std::move(Post);
+    return Effect;
+  }
+  case Action::Kind::Guard: {
+    AbsEnv Post = Pre;
+    if (refineByCond(Post, *Act.Value, Act.Positive, Ctx))
+      Effect.Post = std::move(Post);
+    return Effect;
+  }
+  case Action::Kind::Input: {
+    if (Ctx.isGlobal(Act.Lhs)) {
+      Effect.GlobalWrites.push_back({Act.Lhs, Interval::top()});
+      Effect.Post = Pre;
+      return Effect;
+    }
+    AbsEnv Post = Pre;
+    Post.set(Act.Lhs, Interval::top());
+    Effect.Post = std::move(Post);
+    return Effect;
+  }
+  case Action::Kind::Call:
+    assert(false && "call actions are handled by the driver");
+    return Effect;
+  }
+  return Effect;
+}

@@ -1,0 +1,71 @@
+//===- analysis/transfer.h - Interval transfer functions --------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract transfer functions of the interval analysis: expression
+/// evaluation, condition refinement (guards), and the effect of non-call
+/// CFG actions on abstract environments. Global variables are read
+/// through a callback (their values live in the flow-insensitive
+/// unknowns of the constraint system) and written by returning pending
+/// contributions — the caller routes them into `side`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_TRANSFER_H
+#define WARROW_ANALYSIS_TRANSFER_H
+
+#include "analysis/env.h"
+#include "lang/cfg.h"
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace warrow {
+
+/// Reads the current abstract value of a global (scalar or smashed array).
+using GlobalReader = std::function<Interval(Symbol)>;
+
+/// Static context needed by the transfer functions.
+struct EvalContext {
+  const Program *Prog = nullptr;
+  GlobalReader ReadGlobal;
+  /// Symbol of the `unknown()` builtin (0 if the program never uses it).
+  Symbol UnknownSym = 0;
+
+  /// Builds a context for \p P with the unknown-builtin symbol resolved.
+  static EvalContext forProgram(const Program &P, GlobalReader Reader);
+
+  bool isGlobal(Symbol Name) const { return Prog->isGlobal(Name); }
+};
+
+/// Abstract value of \p E under \p Env (calls are not allowed here —
+/// call edges are handled by the interprocedural driver). May return the
+/// empty interval when a read yields bottom (e.g. a global still at its
+/// initial bottom during iteration).
+Interval evalExpr(const Expr &E, const AbsEnv &Env, const EvalContext &Ctx);
+
+/// Refines \p Env under the assumption truth(Cond) == Positive. Returns
+/// false when the condition is infeasible (environment unreachable).
+bool refineByCond(AbsEnv &Env, const Expr &Cond, bool Positive,
+                  const EvalContext &Ctx);
+
+/// Result of a non-call action: the post environment (nullopt when the
+/// edge is infeasible) plus pending global contributions.
+struct BasicEffect {
+  std::optional<AbsEnv> Post;
+  std::vector<std::pair<Symbol, Interval>> GlobalWrites;
+};
+
+/// Applies a Skip/Decl*/Assign/Store/Guard/Input action. `Call` actions
+/// are the interprocedural driver's job (asserted here).
+BasicEffect applyBasicAction(const Action &Act, const AbsEnv &Pre,
+                             const EvalContext &Ctx);
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_TRANSFER_H

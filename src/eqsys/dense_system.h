@@ -1,0 +1,145 @@
+//===- eqsys/dense_system.h - Finite equation systems -----------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A finite system of equations `x_i = f_i(sigma)` over a fixed set of
+/// unknowns `x_1 .. x_n` (Section 2 of the paper). Right-hand sides are
+/// black boxes `f : (Var -> D) -> D`; for the worklist-style solvers each
+/// equation additionally declares a (super-)set `dep_i` of unknowns it may
+/// read, from which the influence sets `infl_y = {x | y in dep_x} ∪ {y}`
+/// are derived.
+///
+/// The *order* of variables (their indices) is the linear ordering that
+/// the structured solvers SRR and SW rely on; per Bourdoncle's observation
+/// (cited in Section 4), clients should number innermost-loop unknowns
+/// first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_EQSYS_DENSE_SYSTEM_H
+#define WARROW_EQSYS_DENSE_SYSTEM_H
+
+#include "solvers/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// Index of an unknown in a dense system.
+using Var = uint32_t;
+
+/// A finite equation system over domain D with declared dependencies.
+template <typename D> class DenseSystem {
+public:
+  /// Read access to the current assignment, passed to right-hand sides.
+  using GetFn = std::function<D(Var)>;
+  /// A right-hand side: a pure function of the assignment.
+  using Rhs = std::function<D(const GetFn &)>;
+
+  /// Adds a fresh unknown with the given diagnostic \p Name and initial
+  /// value; its equation must be supplied via `define` before solving.
+  Var addVar(std::string Name = "", D Init = D::bot()) {
+    Var X = static_cast<Var>(Equations.size());
+    Equations.push_back({nullptr, {}, std::move(Name), std::move(Init)});
+    InflValid = false;
+    return X;
+  }
+
+  /// Sets the equation of \p X: right-hand side \p F reading only unknowns
+  /// in \p Deps.
+  void define(Var X, Rhs F, std::vector<Var> Deps) {
+    assert(X < Equations.size() && "unknown variable");
+    Equations[X].F = std::move(F);
+    Equations[X].Deps = std::move(Deps);
+    InflValid = false;
+  }
+
+  size_t size() const { return Equations.size(); }
+
+  /// Evaluates f_X on \p Get.
+  D eval(Var X, const GetFn &Get) const {
+    assert(Equations[X].F && "undefined equation");
+    return Equations[X].F(Get);
+  }
+
+  const std::vector<Var> &deps(Var X) const { return Equations[X].Deps; }
+  const std::string &name(Var X) const { return Equations[X].Name; }
+  const D &initial(Var X) const { return Equations[X].Init; }
+
+  /// Initial assignment (per-variable initial values).
+  std::vector<D> initialAssignment() const {
+    std::vector<D> Sigma;
+    Sigma.reserve(size());
+    for (const auto &Eq : Equations)
+      Sigma.push_back(Eq.Init);
+    return Sigma;
+  }
+
+  /// Unknowns influenced by X: `{y | X in dep_y} ∪ {X}`, ascending.
+  const std::vector<Var> &influenced(Var X) const {
+    if (!InflValid)
+      buildInfluence();
+    return Infl[X];
+  }
+
+  /// Sum over i of (2 + |dep_i|): the `N` of Theorem 2.
+  uint64_t theoremTwoN() const {
+    uint64_t N = 0;
+    for (const auto &Eq : Equations)
+      N += 2 + Eq.Deps.size();
+    return N;
+  }
+
+private:
+  struct Equation {
+    Rhs F;
+    std::vector<Var> Deps;
+    std::string Name;
+    D Init;
+  };
+
+  void buildInfluence() const {
+    Infl.assign(Equations.size(), {});
+    for (Var Y = 0; Y < Equations.size(); ++Y)
+      Infl[Y].push_back(Y); // Self-influence per Section 2's precaution.
+    for (Var X = 0; X < Equations.size(); ++X)
+      for (Var Y : Equations[X].Deps)
+        if (Y != X)
+          Infl[Y].push_back(X);
+    // Dedupe and sort for deterministic scheduling.
+    for (auto &Set : Infl) {
+      std::sort(Set.begin(), Set.end());
+      Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+    }
+    InflValid = true;
+  }
+
+  std::vector<Equation> Equations;
+  mutable std::vector<std::vector<Var>> Infl;
+  mutable bool InflValid = false;
+};
+
+/// An update record for solver traces (paper-example tests).
+template <typename D> struct UpdateRecord {
+  Var X;
+  D Value;
+};
+
+/// Outcome of a dense solver run.
+template <typename D> struct SolveResult {
+  std::vector<D> Sigma;
+  SolverStats Stats;
+  std::vector<UpdateRecord<D>> Trace; // Filled iff Options.RecordTrace.
+};
+
+} // namespace warrow
+
+#endif // WARROW_EQSYS_DENSE_SYSTEM_H

@@ -1,0 +1,104 @@
+//===- eqsys/local_system.h - Infinite systems of pure equations -*- C++ -*-=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Systems of *pure* equations over an arbitrary (possibly infinite) set
+/// of unknowns, as consumed by the local solvers of Sections 5 and 6.
+///
+/// A right-hand side is pure in the sense of Hofmann/Karbyshev/Seidl:
+/// evaluating `f_x(get)` performs a finite sequence of value lookups
+/// through `get` — where each next lookup may depend on values already
+/// seen — and then returns a value. Local solvers discover dependencies by
+/// instrumenting `get`; no static dependency declaration exists.
+///
+/// `SideEffectingSystem` extends right-hand sides with a `side` callback
+/// (Section 6): evaluation may additionally contribute values to other
+/// unknowns. Contract (as in the paper): a right-hand side never side-
+/// effects its own left-hand side and contributes to each unknown at most
+/// once per evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_EQSYS_LOCAL_SYSTEM_H
+#define WARROW_EQSYS_LOCAL_SYSTEM_H
+
+#include "solvers/stats.h"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace warrow {
+
+/// A pure equation system: unknowns of hashable type V, values in D.
+template <typename V, typename D> class LocalSystem {
+public:
+  /// Value lookup callback handed to right-hand sides.
+  using Get = std::function<D(const V &)>;
+  /// A pure right-hand side.
+  using Rhs = std::function<D(const Get &)>;
+
+  LocalSystem() = default;
+  /// \p RhsOf yields the equation of any unknown on demand;
+  /// \p InitialOf yields per-unknown initial values (sigma_0).
+  explicit LocalSystem(std::function<Rhs(const V &)> RhsOf,
+                       std::function<D(const V &)> InitialOf = nullptr)
+      : RhsOf(std::move(RhsOf)), InitialOf(std::move(InitialOf)) {}
+
+  Rhs rhs(const V &X) const { return RhsOf(X); }
+  D initial(const V &X) const {
+    return InitialOf ? InitialOf(X) : D::bot();
+  }
+
+private:
+  std::function<Rhs(const V &)> RhsOf;
+  std::function<D(const V &)> InitialOf;
+};
+
+/// A side-effecting equation system (Section 6).
+template <typename V, typename D> class SideEffectingSystem {
+public:
+  using Get = std::function<D(const V &)>;
+  /// Contribution callback: `side(z, d)` contributes d to unknown z.
+  using Side = std::function<void(const V &, const D &)>;
+  /// A pure right-hand side with side effects.
+  using Rhs = std::function<D(const Get &, const Side &)>;
+
+  SideEffectingSystem() = default;
+  explicit SideEffectingSystem(std::function<Rhs(const V &)> RhsOf,
+                               std::function<D(const V &)> InitialOf = nullptr)
+      : RhsOf(std::move(RhsOf)), InitialOf(std::move(InitialOf)) {}
+
+  Rhs rhs(const V &X) const { return RhsOf(X); }
+  D initial(const V &X) const {
+    return InitialOf ? InitialOf(X) : D::bot();
+  }
+
+private:
+  std::function<Rhs(const V &)> RhsOf;
+  std::function<D(const V &)> InitialOf;
+};
+
+/// Outcome of a local solver run: a *partial* ⊕-solution with domain
+/// `dom = keys(Sigma)`.
+template <typename V, typename D> struct PartialSolution {
+  std::unordered_map<V, D> Sigma;
+  SolverStats Stats;
+  /// Update sequence (unknown, new value); filled iff
+  /// SolverOptions::RecordTrace was set.
+  std::vector<std::pair<V, D>> Trace;
+
+  /// Value of \p X, or the supplied default for unknowns outside dom.
+  D value(const V &X, D Default = D::bot()) const {
+    auto It = Sigma.find(X);
+    return It == Sigma.end() ? Default : It->second;
+  }
+  bool inDomain(const V &X) const { return Sigma.count(X) != 0; }
+};
+
+} // namespace warrow
+
+#endif // WARROW_EQSYS_LOCAL_SYSTEM_H

@@ -1,0 +1,118 @@
+//===- eqsys/verify.h - Solution verification -------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent verification that an assignment actually is what a solver
+/// claims: a ⊕-solution (sigma[x] = sigma[x] ⊕ f_x(sigma)), a post
+/// solution (f_x(sigma) ⊑ sigma[x]), or a partial variant thereof with a
+/// dependency-closed domain. Verification re-evaluates every right-hand
+/// side exactly once, so it is cheap relative to solving and is the
+/// recommended belt-and-braces check after a run — the test suite uses
+/// it, and downstream clients can too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_EQSYS_VERIFY_H
+#define WARROW_EQSYS_VERIFY_H
+
+#include "eqsys/dense_system.h"
+#include "eqsys/local_system.h"
+
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// Outcome of a verification pass.
+struct VerifyResult {
+  bool Ok = true;
+  /// Human-readable descriptions of the violations found (at most 16).
+  std::vector<std::string> Violations;
+
+  explicit operator bool() const { return Ok; }
+
+  void fail(std::string Message) {
+    Ok = false;
+    if (Violations.size() < 16)
+      Violations.push_back(std::move(Message));
+  }
+};
+
+/// Checks sigma[x] = sigma[x] ⊕ f_x(sigma) for every unknown of a dense
+/// system.
+template <typename D, typename C>
+VerifyResult verifyCombineSolution(const DenseSystem<D> &System,
+                                   const std::vector<D> &Sigma, C &&Combine) {
+  VerifyResult R;
+  auto Get = [&Sigma](Var Y) { return Sigma[Y]; };
+  for (Var X = 0; X < System.size(); ++X) {
+    D Combined = Combine(X, Sigma[X], System.eval(X, Get));
+    if (!(Sigma[X] == Combined))
+      R.fail("not a ⊕-solution at " + System.name(X));
+  }
+  return R;
+}
+
+/// Checks f_x(sigma) ⊑ sigma[x] for every unknown of a dense system.
+template <typename D>
+VerifyResult verifyPostSolution(const DenseSystem<D> &System,
+                                const std::vector<D> &Sigma) {
+  VerifyResult R;
+  auto Get = [&Sigma](Var Y) { return Sigma[Y]; };
+  for (Var X = 0; X < System.size(); ++X)
+    if (!System.eval(X, Get).leq(Sigma[X]))
+      R.fail("not a post solution at " + System.name(X));
+  return R;
+}
+
+/// Checks that \p Solution is a partial post solution of a local system:
+/// every right-hand side, evaluated over dom (with out-of-dom reads
+/// failing the check), stays below sigma.
+template <typename V, typename D>
+VerifyResult verifyPartialPostSolution(const LocalSystem<V, D> &System,
+                                       const PartialSolution<V, D> &Solution) {
+  VerifyResult R;
+  for (const auto &[X, Value] : Solution.Sigma) {
+    bool EscapedDomain = false;
+    typename LocalSystem<V, D>::Get Get = [&](const V &Y) -> D {
+      if (!Solution.inDomain(Y))
+        EscapedDomain = true;
+      return Solution.value(Y);
+    };
+    D Rhs = System.rhs(X)(Get);
+    if (EscapedDomain)
+      R.fail("domain not dependency-closed at some unknown");
+    else if (!Rhs.leq(Value))
+      R.fail("not a partial post solution at some unknown");
+  }
+  return R;
+}
+
+/// Side-effecting variant: contributions recorded per target must be
+/// supplied by the caller (target -> joined contribution), since the
+/// system alone cannot reproduce them.
+template <typename V, typename D, typename ContribFn>
+VerifyResult
+verifyPartialPostSolutionSide(const SideEffectingSystem<V, D> &System,
+                              const PartialSolution<V, D> &Solution,
+                              ContribFn &&ContributionOf) {
+  VerifyResult R;
+  for (const auto &[X, Value] : Solution.Sigma) {
+    typename SideEffectingSystem<V, D>::Get Get = [&](const V &Y) -> D {
+      return Solution.value(Y);
+    };
+    typename SideEffectingSystem<V, D>::Side Ignore = [](const V &,
+                                                         const D &) {};
+    D Rhs = System.rhs(X)(Get, Ignore).join(ContributionOf(X));
+    if (!Rhs.leq(Value))
+      R.fail("not a partial post solution at some unknown");
+  }
+  return R;
+}
+
+} // namespace warrow
+
+#endif // WARROW_EQSYS_VERIFY_H

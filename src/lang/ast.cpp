@@ -1,0 +1,82 @@
+//===- lang/ast.cpp - Mini-C abstract syntax --------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ast.h"
+
+using namespace warrow;
+
+bool warrow::isComparison(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool warrow::isLogical(BinaryOp Op) {
+  return Op == BinaryOp::LAnd || Op == BinaryOp::LOr;
+}
+
+const char *warrow::spelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::LAnd:
+    return "&&";
+  case BinaryOp::LOr:
+    return "||";
+  }
+  return "?";
+}
+
+const CallExpr &ExprCallStmt::call() const { return *cast<CallExpr>(Call.get()); }
+
+const FuncDecl *Program::function(Symbol Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+size_t Program::functionIndex(Symbol Name) const {
+  for (size_t I = 0; I < Functions.size(); ++I)
+    if (Functions[I]->Name == Name)
+      return I;
+  return Functions.size();
+}
+
+const GlobalDecl *Program::global(Symbol Name) const {
+  for (const auto &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}

@@ -1,0 +1,419 @@
+//===- lang/ast.h - Mini-C abstract syntax ----------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for mini-C, the analysis substrate. LLVM-style class hierarchies
+/// with kind discriminators and `classof` for `isa<>`/`dyn_cast<>`.
+///
+/// Language summary:
+///   program  := (global | function)*
+///   global   := 'int' ident ('=' intconst)? ';'
+///             | 'int' ident '[' intconst ']' ';'
+///   function := ('int'|'void') ident '(' params ')' block
+///   stmt     := decl | assign ';' | call ';' | if | while | for | return
+///             | break ';' | continue ';' | block | ';'
+///   expr     := full arithmetic/relational/logical expression grammar;
+///               calls (including the builtin `unknown()`, an arbitrary
+///               input value) may appear only as a whole statement or as
+///               the whole right-hand side of an assignment.
+///
+/// Arrays are 1-D with constant size, zero-initialized (analysis smashes
+/// them to a single interval). All values are mathematical integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_AST_H
+#define WARROW_LANG_AST_H
+
+#include "support/casting.h"
+#include "support/interner.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LAnd,
+  LOr,
+};
+
+enum class UnaryOp : uint8_t { Neg, Not };
+
+/// True for the six relational operators.
+bool isComparison(BinaryOp Op);
+/// True for `&&` and `||`.
+bool isLogical(BinaryOp Op);
+/// Source spelling of an operator ("<=", "&&", ...).
+const char *spelling(BinaryOp Op);
+
+/// Base class of all expressions.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLit,
+    VarRef,
+    ArrayRef,
+    Unary,
+    Binary,
+    Call,
+  };
+
+  Kind kind() const { return K; }
+  uint32_t line() const { return Line; }
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, uint32_t Line) : K(K), Line(Line) {}
+
+private:
+  Kind K;
+  uint32_t Line;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An integer literal.
+class IntLit : public Expr {
+public:
+  IntLit(int64_t Value, uint32_t Line)
+      : Expr(Kind::IntLit, Line), Value(Value) {}
+  int64_t value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// A read of a scalar variable (local, parameter, or global).
+class VarRef : public Expr {
+public:
+  VarRef(Symbol Name, uint32_t Line) : Expr(Kind::VarRef, Line), Name(Name) {}
+  Symbol name() const { return Name; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  Symbol Name;
+};
+
+/// A read of an array element `a[i]`.
+class ArrayRef : public Expr {
+public:
+  ArrayRef(Symbol Name, ExprPtr Index, uint32_t Line)
+      : Expr(Kind::ArrayRef, Line), Name(Name), Index(std::move(Index)) {}
+  Symbol name() const { return Name; }
+  const Expr &index() const { return *Index; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayRef; }
+
+private:
+  Symbol Name;
+  ExprPtr Index;
+};
+
+/// A unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, uint32_t Line)
+      : Expr(Kind::Unary, Line), Op(Op), Operand(std::move(Operand)) {}
+  UnaryOp op() const { return Op; }
+  const Expr &operand() const { return *Operand; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+/// A binary operation.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, uint32_t Line)
+      : Expr(Kind::Binary, Line), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  BinaryOp op() const { return Op; }
+  const Expr &lhs() const { return *Lhs; }
+  const Expr &rhs() const { return *Rhs; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  ExprPtr Lhs, Rhs;
+};
+
+/// A function call `f(e1, ..., ek)`. The callee `unknown` (no arguments)
+/// is a builtin producing an arbitrary integer.
+class CallExpr : public Expr {
+public:
+  CallExpr(Symbol Callee, std::vector<ExprPtr> Args, uint32_t Line)
+      : Expr(Kind::Call, Line), Callee(Callee), Args(std::move(Args)) {}
+  Symbol callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  Symbol Callee;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Base class of all statements.
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Block,
+    Decl,
+    Assign,
+    ArrayAssign,
+    If,
+    While,
+    For,
+    ExprCall,
+    Return,
+    Break,
+    Continue,
+    Empty,
+  };
+
+  Kind kind() const { return K; }
+  uint32_t line() const { return Line; }
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, uint32_t Line) : K(K), Line(Line) {}
+
+private:
+  Kind K;
+  uint32_t Line;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// `{ stmt* }`.
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, uint32_t Line)
+      : Stmt(Kind::Block, Line), Stmts(std::move(Stmts)) {}
+  const std::vector<StmtPtr> &stmts() const { return Stmts; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// `int x;`, `int x = e;`, or `int a[n];`.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(Symbol Name, ExprPtr Init, int64_t ArraySize, uint32_t Line)
+      : Stmt(Kind::Decl, Line), Name(Name), Init(std::move(Init)),
+        ArraySize(ArraySize) {}
+  Symbol name() const { return Name; }
+  /// Null for plain `int x;` and for arrays.
+  const Expr *init() const { return Init.get(); }
+  bool isArray() const { return ArraySize >= 0; }
+  int64_t arraySize() const { return ArraySize; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Decl; }
+
+private:
+  Symbol Name;
+  ExprPtr Init;
+  int64_t ArraySize; // -1 for scalars.
+};
+
+/// `x = e;` (x scalar, local or global).
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(Symbol Name, ExprPtr Value, uint32_t Line)
+      : Stmt(Kind::Assign, Line), Name(Name), Value(std::move(Value)) {}
+  Symbol name() const { return Name; }
+  const Expr &value() const { return *Value; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  Symbol Name;
+  ExprPtr Value;
+};
+
+/// `a[i] = e;`.
+class ArrayAssignStmt : public Stmt {
+public:
+  ArrayAssignStmt(Symbol Name, ExprPtr Index, ExprPtr Value, uint32_t Line)
+      : Stmt(Kind::ArrayAssign, Line), Name(Name), Index(std::move(Index)),
+        Value(std::move(Value)) {}
+  Symbol name() const { return Name; }
+  const Expr &index() const { return *Index; }
+  const Expr &value() const { return *Value; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == Kind::ArrayAssign;
+  }
+
+private:
+  Symbol Name;
+  ExprPtr Index, Value;
+};
+
+/// `if (c) then else?`.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, uint32_t Line)
+      : Stmt(Kind::If, Line), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  const Expr &cond() const { return *Cond; }
+  const Stmt &thenStmt() const { return *Then; }
+  const Stmt *elseStmt() const { return Else.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else;
+};
+
+/// `while (c) body`.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, uint32_t Line)
+      : Stmt(Kind::While, Line), Cond(std::move(Cond)), Body(std::move(Body)) {
+  }
+  const Expr &cond() const { return *Cond; }
+  const Stmt &body() const { return *Body; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+/// `for (init; cond; step) body`; any header part may be absent.
+/// Kept as its own node (rather than desugared) so `continue` can target
+/// the step in CFG construction.
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step, StmtPtr Body,
+          uint32_t Line)
+      : Stmt(Kind::For, Line), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  const Stmt *init() const { return Init.get(); }
+  const Expr *cond() const { return Cond.get(); }
+  const Stmt *step() const { return Step.get(); }
+  const Stmt &body() const { return *Body; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  StmtPtr Init;
+  ExprPtr Cond;
+  StmtPtr Step;
+  StmtPtr Body;
+};
+
+/// A call used as a statement: `f(...);` or `x = f(...);` is an
+/// AssignStmt whose value is a CallExpr.
+class ExprCallStmt : public Stmt {
+public:
+  ExprCallStmt(ExprPtr Call, uint32_t Line)
+      : Stmt(Kind::ExprCall, Line), Call(std::move(Call)) {}
+  const CallExpr &call() const;
+  static bool classof(const Stmt *S) { return S->kind() == Kind::ExprCall; }
+
+private:
+  ExprPtr Call;
+};
+
+/// `return e?;`.
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, uint32_t Line)
+      : Stmt(Kind::Return, Line), Value(std::move(Value)) {}
+  const Expr *value() const { return Value.get(); }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  ExprPtr Value;
+};
+
+/// `break;`.
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(uint32_t Line) : Stmt(Kind::Break, Line) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+/// `continue;`.
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(uint32_t Line) : Stmt(Kind::Continue, Line) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+/// `;`.
+class EmptyStmt : public Stmt {
+public:
+  explicit EmptyStmt(uint32_t Line) : Stmt(Kind::Empty, Line) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and the program
+//===----------------------------------------------------------------------===//
+
+/// A global variable (optionally array, optionally constant-initialized;
+/// like C statics, globals are zero-initialized by default).
+struct GlobalDecl {
+  Symbol Name = 0;
+  int64_t Init = 0;
+  int64_t ArraySize = -1; // -1 for scalars.
+  uint32_t Line = 0;
+
+  bool isArray() const { return ArraySize >= 0; }
+};
+
+/// A function definition.
+struct FuncDecl {
+  Symbol Name = 0;
+  std::vector<Symbol> Params;
+  StmtPtr Body;
+  bool ReturnsVoid = false;
+  uint32_t Line = 0;
+};
+
+/// A parsed program: interner + globals + functions.
+struct Program {
+  Interner Symbols;
+  std::vector<GlobalDecl> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Functions;
+
+  /// Looks up a function by symbol; null if absent.
+  const FuncDecl *function(Symbol Name) const;
+  /// Index of a function in `Functions`; size() if absent.
+  size_t functionIndex(Symbol Name) const;
+  /// Looks up a global by symbol; null if absent.
+  const GlobalDecl *global(Symbol Name) const;
+  bool isGlobal(Symbol Name) const { return global(Name) != nullptr; }
+};
+
+} // namespace warrow
+
+#endif // WARROW_LANG_AST_H

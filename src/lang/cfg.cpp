@@ -1,0 +1,343 @@
+//===- lang/cfg.cpp - Control-flow graphs ------------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/cfg.h"
+
+#include "lang/pretty.h"
+#include "lang/sema.h"
+#include "support/casting.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace warrow;
+
+std::string Action::str(const Interner &Symbols) const {
+  switch (K) {
+  case Kind::Skip:
+    return "skip";
+  case Kind::DeclScalar:
+    return "decl " + Symbols.spelling(Lhs);
+  case Kind::DeclArray:
+    return "decl-array " + Symbols.spelling(Lhs);
+  case Kind::Assign:
+    return Symbols.spelling(Lhs) + " = " + printExpr(*Value, Symbols);
+  case Kind::Store:
+    return Symbols.spelling(Lhs) + "[" + printExpr(*Index, Symbols) +
+           "] = " + printExpr(*Value, Symbols);
+  case Kind::Guard:
+    return std::string(Positive ? "guard " : "guard !(") +
+           printExpr(*Value, Symbols) + (Positive ? "" : ")");
+  case Kind::Call: {
+    std::string Out;
+    if (Lhs)
+      Out += Symbols.spelling(Lhs) + " = ";
+    Out += Symbols.spelling(Callee) + "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(*Args[I], Symbols);
+    }
+    return Out + ")";
+  }
+  case Kind::Input:
+    return Symbols.spelling(Lhs) + " = unknown()";
+  }
+  return "?";
+}
+
+uint32_t Cfg::addNode(uint32_t Line) {
+  NodeLines.push_back(Line);
+  In.emplace_back();
+  Out.emplace_back();
+  return static_cast<uint32_t>(NodeLines.size() - 1);
+}
+
+void Cfg::addEdge(uint32_t From, uint32_t To, Action Act) {
+  assert(From < numNodes() && To < numNodes() && "edge endpoints exist");
+  uint32_t Id = static_cast<uint32_t>(Edges.size());
+  Edges.push_back({From, To, std::move(Act)});
+  Out[From].push_back(Id);
+  In[To].push_back(Id);
+}
+
+const Expr *Cfg::adoptExpr(ExprPtr E) {
+  OwnedExprs.push_back(std::move(E));
+  return OwnedExprs.back().get();
+}
+
+std::vector<uint32_t> Cfg::reversePostOrder() const {
+  std::vector<uint32_t> Post;
+  std::vector<char> Visited(numNodes(), 0);
+  // Iterative DFS with an explicit stack of (node, next-out-edge-index).
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.push_back({EntryNode, 0});
+  Visited[EntryNode] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextIdx] = Stack.back();
+    if (NextIdx < Out[Node].size()) {
+      uint32_t Succ = Edges[Out[Node][NextIdx]].To;
+      ++NextIdx;
+      if (!Visited[Succ]) {
+        Visited[Succ] = 1;
+        Stack.push_back({Succ, 0});
+      }
+      continue;
+    }
+    Post.push_back(Node);
+    Stack.pop_back();
+  }
+  std::vector<uint32_t> Rpo(Post.rbegin(), Post.rend());
+  // Append unreachable nodes (dead code) in index order.
+  for (uint32_t N = 0; N < numNodes(); ++N)
+    if (!Visited[N])
+      Rpo.push_back(N);
+  return Rpo;
+}
+
+size_t ProgramCfg::totalNodes() const {
+  size_t Total = 0;
+  for (const Cfg &C : Funcs)
+    Total += C.numNodes();
+  return Total;
+}
+
+namespace {
+
+/// Statement-to-CFG lowering for one function.
+class CfgBuilder {
+public:
+  CfgBuilder(Program &P, Cfg &G)
+      : P(P), G(G), UnknownSym(P.Symbols.lookup(UnknownBuiltinName)),
+        RetSym(P.Symbols.intern(ReturnValueName)) {}
+
+  void build(const FuncDecl &F) {
+    uint32_t Entry = G.addNode(F.Line);
+    uint32_t Exit = G.addNode(F.Line);
+    assert(Entry == Cfg::EntryNode && Exit == Cfg::ExitNode &&
+           "entry/exit convention");
+    (void)Entry;
+    (void)Exit;
+    uint32_t End = lower(*F.Body, Cfg::EntryNode);
+    // Fall-through at the end of the body.
+    G.addEdge(End, Cfg::ExitNode, Action{});
+  }
+
+private:
+  struct LoopContext {
+    uint32_t BreakTarget;
+    uint32_t ContinueTarget;
+  };
+
+  /// Lowers \p S starting at node \p Cur; returns the node reached after
+  /// the statement completes normally.
+  uint32_t lower(const Stmt &S, uint32_t Cur);
+  /// Lowers an assignment of expression \p Value into scalar \p Lhs,
+  /// handling root-position calls and `unknown()`.
+  uint32_t lowerAssign(Symbol Lhs, const Expr &Value, uint32_t Cur,
+                       uint32_t Line);
+
+  Action guard(const Expr *Cond, bool Positive) {
+    Action A;
+    A.K = Action::Kind::Guard;
+    A.Value = Cond;
+    A.Positive = Positive;
+    return A;
+  }
+
+  Program &P;
+  Cfg &G;
+  Symbol UnknownSym;
+  Symbol RetSym;
+  std::vector<LoopContext> Loops;
+};
+
+uint32_t CfgBuilder::lowerAssign(Symbol Lhs, const Expr &Value, uint32_t Cur,
+                                 uint32_t Line) {
+  uint32_t Next = G.addNode(Line);
+  if (const auto *Call = dyn_cast<CallExpr>(&Value)) {
+    Action A;
+    if (UnknownSym && Call->callee() == UnknownSym) {
+      A.K = Action::Kind::Input;
+      A.Lhs = Lhs;
+    } else {
+      A.K = Action::Kind::Call;
+      A.Lhs = Lhs;
+      A.Callee = Call->callee();
+      for (const ExprPtr &Arg : Call->args())
+        A.Args.push_back(Arg.get());
+    }
+    G.addEdge(Cur, Next, std::move(A));
+    return Next;
+  }
+  Action A;
+  A.K = Action::Kind::Assign;
+  A.Lhs = Lhs;
+  A.Value = &Value;
+  G.addEdge(Cur, Next, std::move(A));
+  return Next;
+}
+
+uint32_t CfgBuilder::lower(const Stmt &S, uint32_t Cur) {
+  switch (S.kind()) {
+  case Stmt::Kind::Block: {
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->stmts())
+      Cur = lower(*Child, Cur);
+    return Cur;
+  }
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(&S);
+    if (D->isArray()) {
+      uint32_t Next = G.addNode(S.line());
+      Action A;
+      A.K = Action::Kind::DeclArray;
+      A.Lhs = D->name();
+      G.addEdge(Cur, Next, std::move(A));
+      return Next;
+    }
+    if (D->init())
+      return lowerAssign(D->name(), *D->init(), Cur, S.line());
+    uint32_t Next = G.addNode(S.line());
+    Action A;
+    A.K = Action::Kind::DeclScalar;
+    A.Lhs = D->name();
+    G.addEdge(Cur, Next, std::move(A));
+    return Next;
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    return lowerAssign(A->name(), A->value(), Cur, S.line());
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *St = cast<ArrayAssignStmt>(&S);
+    uint32_t Next = G.addNode(S.line());
+    Action A;
+    A.K = Action::Kind::Store;
+    A.Lhs = St->name();
+    A.Index = &St->index();
+    A.Value = &St->value();
+    G.addEdge(Cur, Next, std::move(A));
+    return Next;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    uint32_t ThenEntry = G.addNode(I->thenStmt().line());
+    uint32_t Join = G.addNode(S.line());
+    G.addEdge(Cur, ThenEntry, guard(&I->cond(), true));
+    uint32_t ThenEnd = lower(I->thenStmt(), ThenEntry);
+    G.addEdge(ThenEnd, Join, Action{});
+    if (I->elseStmt()) {
+      uint32_t ElseEntry = G.addNode(I->elseStmt()->line());
+      G.addEdge(Cur, ElseEntry, guard(&I->cond(), false));
+      uint32_t ElseEnd = lower(*I->elseStmt(), ElseEntry);
+      G.addEdge(ElseEnd, Join, Action{});
+    } else {
+      G.addEdge(Cur, Join, guard(&I->cond(), false));
+    }
+    return Join;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    uint32_t Head = G.addNode(S.line());
+    uint32_t BodyEntry = G.addNode(W->body().line());
+    uint32_t After = G.addNode(S.line());
+    G.addEdge(Cur, Head, Action{});
+    G.addEdge(Head, BodyEntry, guard(&W->cond(), true));
+    G.addEdge(Head, After, guard(&W->cond(), false));
+    Loops.push_back({After, Head});
+    uint32_t BodyEnd = lower(W->body(), BodyEntry);
+    Loops.pop_back();
+    G.addEdge(BodyEnd, Head, Action{});
+    return After;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    if (F->init())
+      Cur = lower(*F->init(), Cur);
+    const Expr *Cond = F->cond();
+    if (!Cond)
+      Cond = G.adoptExpr(std::make_unique<IntLit>(1, S.line()));
+    uint32_t Head = G.addNode(S.line());
+    uint32_t BodyEntry = G.addNode(F->body().line());
+    uint32_t StepEntry = G.addNode(S.line());
+    uint32_t After = G.addNode(S.line());
+    G.addEdge(Cur, Head, Action{});
+    G.addEdge(Head, BodyEntry, guard(Cond, true));
+    G.addEdge(Head, After, guard(Cond, false));
+    Loops.push_back({After, StepEntry});
+    uint32_t BodyEnd = lower(F->body(), BodyEntry);
+    Loops.pop_back();
+    G.addEdge(BodyEnd, StepEntry, Action{});
+    uint32_t StepEnd = StepEntry;
+    if (F->step())
+      StepEnd = lower(*F->step(), StepEntry);
+    G.addEdge(StepEnd, Head, Action{});
+    return After;
+  }
+  case Stmt::Kind::ExprCall: {
+    const CallExpr &Call = cast<ExprCallStmt>(&S)->call();
+    uint32_t Next = G.addNode(S.line());
+    if (UnknownSym && Call.callee() == UnknownSym) {
+      G.addEdge(Cur, Next, Action{}); // Discarded input: no-op.
+      return Next;
+    }
+    Action A;
+    A.K = Action::Kind::Call;
+    A.Lhs = 0;
+    A.Callee = Call.callee();
+    for (const ExprPtr &Arg : Call.args())
+      A.Args.push_back(Arg.get());
+    G.addEdge(Cur, Next, std::move(A));
+    return Next;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(&S);
+    if (R->value()) {
+      Action A;
+      A.K = Action::Kind::Assign;
+      A.Lhs = RetSym;
+      A.Value = R->value();
+      G.addEdge(Cur, Cfg::ExitNode, std::move(A));
+    } else {
+      G.addEdge(Cur, Cfg::ExitNode, Action{});
+    }
+    // Code after a return is unreachable; give it a fresh island node.
+    return G.addNode(S.line());
+  }
+  case Stmt::Kind::Break: {
+    assert(!Loops.empty() && "break outside loop survived sema");
+    G.addEdge(Cur, Loops.back().BreakTarget, Action{});
+    return G.addNode(S.line());
+  }
+  case Stmt::Kind::Continue: {
+    assert(!Loops.empty() && "continue outside loop survived sema");
+    G.addEdge(Cur, Loops.back().ContinueTarget, Action{});
+    return G.addNode(S.line());
+  }
+  case Stmt::Kind::Empty:
+    return Cur;
+  }
+  assert(false && "unhandled statement kind");
+  return Cur;
+}
+
+} // namespace
+
+Cfg warrow::buildCfg(const FuncDecl &F, Program &P) {
+  Cfg G;
+  CfgBuilder Builder(P, G);
+  Builder.build(F);
+  return G;
+}
+
+ProgramCfg warrow::buildProgramCfg(Program &P) {
+  ProgramCfg PC;
+  PC.Prog = &P;
+  PC.Funcs.reserve(P.Functions.size());
+  for (const auto &F : P.Functions)
+    PC.Funcs.push_back(buildCfg(*F, P));
+  return PC;
+}

@@ -1,0 +1,134 @@
+//===- lang/cfg.h - Control-flow graphs -------------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graphs for mini-C functions. Nodes are program points;
+/// edges carry `Action`s (the small-step statements the abstract and
+/// concrete interpreters execute). The analysis unknowns of the paper's
+/// experiments are exactly (function, node, context) triples over these
+/// graphs.
+///
+/// Conventions:
+///  - node 0 is the function entry, node 1 the (unique) exit;
+///  - `return e` becomes an `Assign` to the reserved symbol `$ret`
+///    followed by a jump to the exit node;
+///  - branch nodes have exactly two outgoing `Guard` edges with
+///    complementary polarity on the same condition;
+///  - arrays are declared via `DeclArray` (zero-initialized), scalars via
+///    `DeclScalar` (initialized to 0 concretely, unconstrained
+///    abstractly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_CFG_H
+#define WARROW_LANG_CFG_H
+
+#include "lang/ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// The reserved name binding a function's return value in its exit
+/// environment.
+constexpr const char *ReturnValueName = "$ret";
+
+/// One small-step operation labelling a CFG edge.
+struct Action {
+  enum class Kind : uint8_t {
+    Skip,       ///< No-op.
+    DeclScalar, ///< Declare scalar Lhs (concretely 0, abstractly top).
+    DeclArray,  ///< Declare array Lhs, zero-initialized.
+    Assign,     ///< Lhs = Value (Lhs scalar local or global).
+    Store,      ///< Lhs[Index] = Value (Lhs array local or global).
+    Guard,      ///< Pass iff truth(Value) == Positive.
+    Call,       ///< Lhs = Callee(Args); Lhs may be 0 (ignored result).
+    Input,      ///< Lhs = unknown() — an arbitrary integer.
+  };
+
+  Kind K = Kind::Skip;
+  Symbol Lhs = 0;
+  const Expr *Value = nullptr;
+  const Expr *Index = nullptr;
+  bool Positive = true;
+  Symbol Callee = 0;
+  std::vector<const Expr *> Args;
+
+  /// Diagnostic rendering ("x = e", "guard(c)", ...).
+  std::string str(const Interner &Symbols) const;
+};
+
+/// A CFG edge From -> To labelled with Act.
+struct CfgEdge {
+  uint32_t From = 0;
+  uint32_t To = 0;
+  Action Act;
+};
+
+/// The control-flow graph of one function.
+class Cfg {
+public:
+  static constexpr uint32_t EntryNode = 0;
+  static constexpr uint32_t ExitNode = 1;
+
+  uint32_t entry() const { return EntryNode; }
+  uint32_t exit() const { return ExitNode; }
+  size_t numNodes() const { return NodeLines.size(); }
+  size_t numEdges() const { return Edges.size(); }
+
+  const std::vector<CfgEdge> &edges() const { return Edges; }
+  const CfgEdge &edge(uint32_t EdgeId) const { return Edges[EdgeId]; }
+  /// Ids of edges entering \p Node.
+  const std::vector<uint32_t> &inEdges(uint32_t Node) const {
+    return In[Node];
+  }
+  /// Ids of edges leaving \p Node.
+  const std::vector<uint32_t> &outEdges(uint32_t Node) const {
+    return Out[Node];
+  }
+  /// Source line associated with \p Node (0 if synthetic).
+  uint32_t lineOf(uint32_t Node) const { return NodeLines[Node]; }
+
+  uint32_t addNode(uint32_t Line = 0);
+  void addEdge(uint32_t From, uint32_t To, Action Act);
+
+  /// Adopts a synthesized expression (e.g. the implicit `1` of an empty
+  /// for-condition) so its lifetime matches the CFG's.
+  const Expr *adoptExpr(ExprPtr E);
+
+  /// Nodes in reverse post-order from the entry (good iteration order for
+  /// the structured solvers; Bourdoncle's observation in Section 4).
+  std::vector<uint32_t> reversePostOrder() const;
+
+private:
+  std::vector<CfgEdge> Edges;
+  std::vector<std::vector<uint32_t>> In, Out;
+  std::vector<uint32_t> NodeLines;
+  std::vector<ExprPtr> OwnedExprs;
+};
+
+/// CFGs of all functions of a program (indexed like Program::Functions).
+struct ProgramCfg {
+  const Program *Prog = nullptr;
+  std::vector<Cfg> Funcs;
+
+  const Cfg &cfgOf(size_t FuncIndex) const { return Funcs[FuncIndex]; }
+  /// Total number of CFG nodes across all functions.
+  size_t totalNodes() const;
+};
+
+/// Builds the CFG of \p F (which must have passed sema).
+Cfg buildCfg(const FuncDecl &F, Program &P);
+
+/// Builds CFGs for every function of \p P. (Non-const: interns `$ret` and
+/// may intern synthetic names.)
+ProgramCfg buildProgramCfg(Program &P);
+
+} // namespace warrow
+
+#endif // WARROW_LANG_CFG_H

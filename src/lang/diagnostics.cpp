@@ -1,0 +1,25 @@
+//===- lang/diagnostics.cpp - Diagnostic collection -------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/diagnostics.h"
+
+using namespace warrow;
+
+std::string Diagnostic::str() const {
+  std::string Out = std::to_string(Line) + ":" + std::to_string(Column) + ": ";
+  Out += Level == Severity::Error ? "error: " : "warning: ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

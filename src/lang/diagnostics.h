@@ -1,0 +1,61 @@
+//===- lang/diagnostics.h - Diagnostic collection ---------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error/warning collection for the front-end. The library is
+/// exception-free; the lexer/parser/sema record diagnostics here and
+/// return null / partial results on failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_DIAGNOSTICS_H
+#define WARROW_LANG_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// One diagnostic message with a source position.
+struct Diagnostic {
+  enum class Severity { Error, Warning } Level = Severity::Error;
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+  std::string Message;
+
+  /// "line:col: error: message" (messages start lowercase, no trailing
+  /// period, per the coding standard).
+  std::string str() const;
+};
+
+/// Accumulates diagnostics across front-end phases.
+class DiagnosticEngine {
+public:
+  void error(uint32_t Line, uint32_t Column, std::string Message) {
+    Diags.push_back(
+        {Diagnostic::Severity::Error, Line, Column, std::move(Message)});
+    ++Errors;
+  }
+  void warning(uint32_t Line, uint32_t Column, std::string Message) {
+    Diags.push_back(
+        {Diagnostic::Severity::Warning, Line, Column, std::move(Message)});
+  }
+
+  bool hasErrors() const { return Errors != 0; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// All diagnostics rendered one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned Errors = 0;
+};
+
+} // namespace warrow
+
+#endif // WARROW_LANG_DIAGNOSTICS_H

@@ -1,0 +1,302 @@
+//===- lang/interp.cpp - Concrete mini-C interpreter -------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/interp.h"
+
+#include "lang/sema.h"
+#include "support/casting.h"
+#include "support/saturating.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+Interpreter::Interpreter(const Program &P, const ProgramCfg &Cfgs,
+                         std::vector<int64_t> Inputs, InterpOptions Options)
+    : P(P), Cfgs(Cfgs), Inputs(std::move(Inputs)), Options(Options) {
+  RetSym = P.Symbols.lookup(ReturnValueName);
+  UnknownSym = P.Symbols.lookup(UnknownBuiltinName);
+  for (const auto &F : P.Functions)
+    VarsPerFunc.push_back(collectFunctionVars(*F));
+  // Initialize globals.
+  for (const GlobalDecl &G : P.Globals) {
+    if (G.isArray())
+      Globals.Arrays[G.Name] =
+          std::vector<int64_t>(static_cast<size_t>(G.ArraySize), 0);
+    else
+      Globals.Scalars[G.Name] = G.Init;
+  }
+}
+
+int64_t Interpreter::nextInput() {
+  if (Inputs.empty())
+    return 0;
+  int64_t Value = Inputs[NextInput % Inputs.size()];
+  ++NextInput;
+  return Value;
+}
+
+bool Interpreter::trap(std::string Reason) {
+  Result.St = InterpResult::Status::Trapped;
+  Result.TrapReason = std::move(Reason);
+  return false;
+}
+
+InterpResult Interpreter::run() {
+  Result = InterpResult();
+  Symbol MainSym = P.Symbols.lookup("main");
+  size_t MainIdx = P.functionIndex(MainSym);
+  assert(MainIdx < P.Functions.size() && "sema guarantees main exists");
+  int64_t ReturnValue = 0;
+  if (runFunction(MainIdx, ConcreteFrame(), 0, ReturnValue))
+    Result.ReturnValue = ReturnValue;
+  return Result;
+}
+
+bool Interpreter::evalExpr(const Expr &E, const ConcreteFrame &Frame,
+                           int64_t &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    Out = cast<IntLit>(&E)->value();
+    return true;
+  case Expr::Kind::VarRef: {
+    Symbol Name = cast<VarRef>(&E)->name();
+    auto It = Frame.Scalars.find(Name);
+    if (It != Frame.Scalars.end()) {
+      Out = It->second;
+      return true;
+    }
+    auto GIt = Globals.Scalars.find(Name);
+    if (GIt != Globals.Scalars.end()) {
+      Out = GIt->second;
+      return true;
+    }
+    Out = 0; // Read before assignment: defined as 0.
+    return true;
+  }
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(&E);
+    int64_t Index;
+    if (!evalExpr(A->index(), Frame, Index))
+      return false;
+    const std::vector<int64_t> *Storage = nullptr;
+    auto It = Frame.Arrays.find(A->name());
+    if (It != Frame.Arrays.end())
+      Storage = &It->second;
+    else {
+      auto GIt = Globals.Arrays.find(A->name());
+      if (GIt != Globals.Arrays.end())
+        Storage = &GIt->second;
+    }
+    if (!Storage)
+      return trap("read of undeclared array");
+    if (Index < 0 || static_cast<size_t>(Index) >= Storage->size())
+      return trap("array index out of bounds");
+    Out = (*Storage)[static_cast<size_t>(Index)];
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    int64_t V;
+    if (!evalExpr(U->operand(), Frame, V))
+      return false;
+    Out = U->op() == UnaryOp::Neg ? satNeg64(V) : (V == 0 ? 1 : 0);
+    return true;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    int64_t L;
+    if (!evalExpr(B->lhs(), Frame, L))
+      return false;
+    // Short-circuit the logical operators (their operands have no side
+    // effects, but the right operand may trap, e.g. divide by zero).
+    if (B->op() == BinaryOp::LAnd && L == 0) {
+      Out = 0;
+      return true;
+    }
+    if (B->op() == BinaryOp::LOr && L != 0) {
+      Out = 1;
+      return true;
+    }
+    int64_t R;
+    if (!evalExpr(B->rhs(), Frame, R))
+      return false;
+    switch (B->op()) {
+    case BinaryOp::Add:
+      Out = satAdd64(L, R);
+      return true;
+    case BinaryOp::Sub:
+      Out = satSub64(L, R);
+      return true;
+    case BinaryOp::Mul:
+      Out = satMul64(L, R);
+      return true;
+    case BinaryOp::Div:
+      if (R == 0)
+        return trap("division by zero");
+      Out = (L == INT64_MIN && R == -1) ? INT64_MAX : L / R;
+      return true;
+    case BinaryOp::Rem:
+      if (R == 0)
+        return trap("modulo by zero");
+      Out = (L == INT64_MIN && R == -1) ? 0 : L % R;
+      return true;
+    case BinaryOp::Lt:
+      Out = L < R;
+      return true;
+    case BinaryOp::Le:
+      Out = L <= R;
+      return true;
+    case BinaryOp::Gt:
+      Out = L > R;
+      return true;
+    case BinaryOp::Ge:
+      Out = L >= R;
+      return true;
+    case BinaryOp::Eq:
+      Out = L == R;
+      return true;
+    case BinaryOp::Ne:
+      Out = L != R;
+      return true;
+    case BinaryOp::LAnd:
+      Out = R != 0; // L already known nonzero.
+      return true;
+    case BinaryOp::LOr:
+      Out = R != 0; // L already known zero.
+      return true;
+    }
+    return trap("unknown binary operator");
+  }
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(&E);
+    if (UnknownSym && Call->callee() == UnknownSym) {
+      Out = nextInput(); // unknown() as an expression primitive.
+      return true;
+    }
+    return trap("call in expression position survived sema");
+  }
+  }
+  return trap("unknown expression kind");
+}
+
+bool Interpreter::runFunction(size_t FuncIndex, ConcreteFrame Frame,
+                              unsigned Depth, int64_t &ReturnValue) {
+  if (Depth > Options.MaxCallDepth)
+    return trap("call depth limit exceeded");
+  const Cfg &G = Cfgs.cfgOf(FuncIndex);
+
+  uint32_t Node = G.entry();
+  for (;;) {
+    if (Observe)
+      Observe(static_cast<uint32_t>(FuncIndex), Node, Frame, Globals);
+    if (Node == G.exit()) {
+      auto It = Frame.Scalars.find(RetSym);
+      ReturnValue = It == Frame.Scalars.end() ? 0 : It->second;
+      return true;
+    }
+    if (++Result.Steps > Options.MaxSteps) {
+      Result.St = InterpResult::Status::OutOfFuel;
+      return false;
+    }
+
+    // Pick the edge to follow.
+    const CfgEdge *Chosen = nullptr;
+    for (uint32_t EdgeId : G.outEdges(Node)) {
+      const CfgEdge &E = G.edge(EdgeId);
+      if (E.Act.K != Action::Kind::Guard) {
+        Chosen = &E;
+        break;
+      }
+      int64_t Cond;
+      if (!evalExpr(*E.Act.Value, Frame, Cond))
+        return false;
+      if ((Cond != 0) == E.Act.Positive) {
+        Chosen = &E;
+        break;
+      }
+    }
+    if (!Chosen)
+      return trap("stuck: no viable CFG edge");
+
+    const Action &A = Chosen->Act;
+    switch (A.K) {
+    case Action::Kind::Skip:
+    case Action::Kind::Guard:
+      break;
+    case Action::Kind::DeclScalar:
+      Frame.Scalars[A.Lhs] = 0;
+      break;
+    case Action::Kind::DeclArray: {
+      const FuncVars &Vars = VarsPerFunc[FuncIndex];
+      auto It = Vars.Arrays.find(A.Lhs);
+      assert(It != Vars.Arrays.end() && "declared array has a size");
+      Frame.Arrays[A.Lhs] =
+          std::vector<int64_t>(static_cast<size_t>(It->second), 0);
+      break;
+    }
+    case Action::Kind::Assign: {
+      int64_t Value;
+      if (!evalExpr(*A.Value, Frame, Value))
+        return false;
+      if (Globals.Scalars.count(A.Lhs) && !Frame.Scalars.count(A.Lhs))
+        Globals.Scalars[A.Lhs] = Value;
+      else
+        Frame.Scalars[A.Lhs] = Value;
+      break;
+    }
+    case Action::Kind::Store: {
+      int64_t Index, Value;
+      if (!evalExpr(*A.Index, Frame, Index) ||
+          !evalExpr(*A.Value, Frame, Value))
+        return false;
+      std::vector<int64_t> *Storage = nullptr;
+      auto It = Frame.Arrays.find(A.Lhs);
+      if (It != Frame.Arrays.end())
+        Storage = &It->second;
+      else {
+        auto GIt = Globals.Arrays.find(A.Lhs);
+        if (GIt != Globals.Arrays.end())
+          Storage = &GIt->second;
+      }
+      if (!Storage)
+        return trap("store to undeclared array");
+      if (Index < 0 || static_cast<size_t>(Index) >= Storage->size())
+        return trap("array index out of bounds");
+      (*Storage)[static_cast<size_t>(Index)] = Value;
+      break;
+    }
+    case Action::Kind::Input: {
+      Frame.Scalars[A.Lhs] = nextInput();
+      break;
+    }
+    case Action::Kind::Call: {
+      size_t CalleeIdx = P.functionIndex(A.Callee);
+      assert(CalleeIdx < P.Functions.size() && "sema checked callee");
+      const FuncDecl &Callee = *P.Functions[CalleeIdx];
+      ConcreteFrame CalleeFrame;
+      for (size_t I = 0; I < A.Args.size(); ++I) {
+        int64_t ArgValue;
+        if (!evalExpr(*A.Args[I], Frame, ArgValue))
+          return false;
+        CalleeFrame.Scalars[Callee.Params[I]] = ArgValue;
+      }
+      int64_t CalleeReturn = 0;
+      if (!runFunction(CalleeIdx, std::move(CalleeFrame), Depth + 1,
+                       CalleeReturn))
+        return false;
+      if (A.Lhs) {
+        if (Globals.Scalars.count(A.Lhs) && !Frame.Scalars.count(A.Lhs))
+          Globals.Scalars[A.Lhs] = CalleeReturn;
+        else
+          Frame.Scalars[A.Lhs] = CalleeReturn;
+      }
+      break;
+    }
+    }
+    Node = Chosen->To;
+  }
+}

@@ -1,0 +1,110 @@
+//===- lang/interp.h - Concrete mini-C interpreter --------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete interpreter executing mini-C programs over their CFGs. Its
+/// purpose is to serve as the *soundness oracle* for the abstract
+/// interpreter: an observer callback sees every (function, node, state)
+/// the execution visits, and property tests assert that each concrete
+/// state is contained in the corresponding abstract environment.
+///
+/// Semantics matching the abstract domain's assumptions:
+///  - integers are mathematical, approximated with saturating int64;
+///  - scalars are 0 when read before assignment; arrays zero-initialize;
+///  - `unknown()` pops the next value from a user-supplied input tape
+///    (cyclic; 0 when empty);
+///  - division/modulo by zero and out-of-bounds array accesses trap
+///    (execution stops; states observed before the trap remain valid).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_INTERP_H
+#define WARROW_LANG_INTERP_H
+
+#include "lang/cfg.h"
+#include "lang/sema.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace warrow {
+
+/// Concrete values of one activation record.
+struct ConcreteFrame {
+  std::unordered_map<Symbol, int64_t> Scalars;
+  std::unordered_map<Symbol, std::vector<int64_t>> Arrays;
+};
+
+/// Concrete values of globals.
+struct ConcreteGlobals {
+  std::unordered_map<Symbol, int64_t> Scalars;
+  std::unordered_map<Symbol, std::vector<int64_t>> Arrays;
+};
+
+/// Interpreter limits.
+struct InterpOptions {
+  uint64_t MaxSteps = 1'000'000;
+  unsigned MaxCallDepth = 200;
+};
+
+/// Outcome of a run.
+struct InterpResult {
+  enum class Status { Finished, OutOfFuel, Trapped } St = Status::Finished;
+  int64_t ReturnValue = 0;
+  uint64_t Steps = 0;
+  std::string TrapReason;
+
+  bool finished() const { return St == Status::Finished; }
+};
+
+/// Executes `main` of a program over its CFGs.
+class Interpreter {
+public:
+  /// Called at every visited program point, *before* executing an
+  /// outgoing edge.
+  using Observer = std::function<void(
+      uint32_t FuncIndex, uint32_t Node, const ConcreteFrame &Frame,
+      const ConcreteGlobals &Globals)>;
+
+  Interpreter(const Program &P, const ProgramCfg &Cfgs,
+              std::vector<int64_t> Inputs = {}, InterpOptions Options = {});
+
+  void setObserver(Observer Obs) { Observe = std::move(Obs); }
+
+  /// Runs `main()`.
+  InterpResult run();
+
+  const ConcreteGlobals &globals() const { return Globals; }
+
+private:
+  /// Runs one function; returns false on trap/out-of-fuel.
+  bool runFunction(size_t FuncIndex, ConcreteFrame Frame, unsigned Depth,
+                   int64_t &ReturnValue);
+  /// Evaluates an expression (no calls inside; sema guarantees that).
+  bool evalExpr(const Expr &E, const ConcreteFrame &Frame, int64_t &Out);
+  bool trap(std::string Reason);
+  /// Pops the next `unknown()` value from the (cyclic) input tape.
+  int64_t nextInput();
+
+  const Program &P;
+  const ProgramCfg &Cfgs;
+  std::vector<FuncVars> VarsPerFunc;
+  std::vector<int64_t> Inputs;
+  size_t NextInput = 0;
+  InterpOptions Options;
+  Observer Observe;
+  ConcreteGlobals Globals;
+  InterpResult Result;
+  Symbol RetSym = 0;
+  Symbol UnknownSym = 0;
+};
+
+} // namespace warrow
+
+#endif // WARROW_LANG_INTERP_H

@@ -1,0 +1,213 @@
+//===- lang/lexer.cpp - Mini-C lexer ---------------------------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/lexer.h"
+
+#include <cctype>
+
+using namespace warrow;
+
+namespace {
+
+TokenKind keywordKind(std::string_view Text) {
+  if (Text == "int")
+    return TokenKind::KwInt;
+  if (Text == "void")
+    return TokenKind::KwVoid;
+  if (Text == "if")
+    return TokenKind::KwIf;
+  if (Text == "else")
+    return TokenKind::KwElse;
+  if (Text == "while")
+    return TokenKind::KwWhile;
+  if (Text == "for")
+    return TokenKind::KwFor;
+  if (Text == "return")
+    return TokenKind::KwReturn;
+  if (Text == "break")
+    return TokenKind::KwBreak;
+  if (Text == "continue")
+    return TokenKind::KwContinue;
+  return TokenKind::Identifier;
+}
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+bool isIdentCont(char C) {
+  return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+} // namespace
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = next();
+    Tokens.push_back(T);
+    if (T.is(TokenKind::Eof))
+      break;
+  }
+  return Tokens;
+}
+
+void Lexer::advance() {
+  if (Pos >= Source.size())
+    return;
+  if (Source[Pos] == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  ++Pos;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t StartLine = Line, StartCol = Column;
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(StartLine, StartCol, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, size_t Start) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = Source.substr(Start, Pos - Start);
+  T.Line = TokLine;
+  T.Column = TokColumn;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokLine = Line;
+  TokColumn = Column;
+  size_t Start = Pos;
+  char C = peek();
+
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Start);
+
+  if (isIdentStart(C)) {
+    while (isIdentCont(peek()))
+      advance();
+    return makeToken(keywordKind(Source.substr(Start, Pos - Start)), Start);
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = 0;
+    bool Overflow = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      int Digit = peek() - '0';
+      if (Value > (INT64_MAX - Digit) / 10)
+        Overflow = true;
+      else
+        Value = Value * 10 + Digit;
+      advance();
+    }
+    if (Overflow)
+      Diags.error(TokLine, TokColumn, "integer literal too large");
+    Token T = makeToken(TokenKind::IntLiteral, Start);
+    T.IntValue = Value;
+    return T;
+  }
+
+  advance(); // Consume C.
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start);
+  case ')':
+    return makeToken(TokenKind::RParen, Start);
+  case '{':
+    return makeToken(TokenKind::LBrace, Start);
+  case '}':
+    return makeToken(TokenKind::RBrace, Start);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Start);
+  case ',':
+    return makeToken(TokenKind::Comma, Start);
+  case '+':
+    return makeToken(TokenKind::Plus, Start);
+  case '-':
+    return makeToken(TokenKind::Minus, Start);
+  case '*':
+    return makeToken(TokenKind::Star, Start);
+  case '/':
+    return makeToken(TokenKind::Slash, Start);
+  case '%':
+    return makeToken(TokenKind::Percent, Start);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEqual, Start);
+    }
+    return makeToken(TokenKind::Less, Start);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEqual, Start);
+    }
+    return makeToken(TokenKind::Greater, Start);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqualEqual, Start);
+    }
+    return makeToken(TokenKind::Assign, Start);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::BangEqual, Start);
+    }
+    return makeToken(TokenKind::Bang, Start);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeToken(TokenKind::AmpAmp, Start);
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeToken(TokenKind::PipePipe, Start);
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(TokLine, TokColumn,
+              std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Start);
+}

@@ -1,0 +1,54 @@
+//===- lang/lexer.h - Mini-C lexer ------------------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for mini-C. Supports `//` and `/* */` comments,
+/// decimal integer literals, and the token set of `token.h`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_LEXER_H
+#define WARROW_LANG_LEXER_H
+
+#include "lang/diagnostics.h"
+#include "lang/token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace warrow {
+
+/// Lexes a complete source buffer into a token vector (terminated by an
+/// Eof token). The buffer must outlive the tokens.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the whole input.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  void advance();
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, size_t Start);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  uint32_t TokLine = 1;
+  uint32_t TokColumn = 1;
+};
+
+} // namespace warrow
+
+#endif // WARROW_LANG_LEXER_H

@@ -1,0 +1,549 @@
+//===- lang/parser.cpp - Mini-C parser --------------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+#include "lang/sema.h"
+
+using namespace warrow;
+
+std::unique_ptr<Program> warrow::parseProgram(std::string_view Source,
+                                              DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return nullptr;
+  Parser P(std::move(Tokens), Diags);
+  std::unique_ptr<Program> Prog = P.parse();
+  if (!Prog || Diags.hasErrors())
+    return nullptr;
+  if (!checkProgram(*Prog, Diags))
+    return nullptr;
+  return Prog;
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // Eof token.
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (match(Kind))
+    return true;
+  error(current(), std::string("expected ") + std::string(tokenKindName(Kind)) +
+                       " " + Context + ", found " +
+                       std::string(tokenKindName(current().Kind)));
+  return false;
+}
+
+void Parser::error(const Token &At, std::string Message) {
+  Diags.error(At.Line, At.Column, std::move(Message));
+}
+
+void Parser::synchronize() {
+  while (!check(TokenKind::Eof)) {
+    if (match(TokenKind::Semicolon))
+      return;
+    switch (current().Kind) {
+    case TokenKind::KwInt:
+    case TokenKind::KwVoid:
+    case TokenKind::KwIf:
+    case TokenKind::KwWhile:
+    case TokenKind::KwFor:
+    case TokenKind::KwReturn:
+    case TokenKind::RBrace:
+      return;
+    default:
+      consume();
+    }
+  }
+}
+
+std::unique_ptr<Program> Parser::parse() {
+  auto P = std::make_unique<Program>();
+  while (!check(TokenKind::Eof)) {
+    if (!parseTopLevel(*P))
+      synchronize();
+  }
+  return P;
+}
+
+bool Parser::parseTopLevel(Program &P) {
+  bool ReturnsVoid;
+  if (match(TokenKind::KwVoid)) {
+    ReturnsVoid = true;
+  } else if (match(TokenKind::KwInt)) {
+    ReturnsVoid = false;
+  } else {
+    error(current(), "expected 'int' or 'void' at top level");
+    consume();
+    return false;
+  }
+
+  if (!check(TokenKind::Identifier)) {
+    error(current(), "expected identifier after type");
+    return false;
+  }
+
+  if (peek(1).is(TokenKind::LParen)) {
+    std::unique_ptr<FuncDecl> F = parseFunction(ReturnsVoid, P);
+    if (!F)
+      return false;
+    P.Functions.push_back(std::move(F));
+    return true;
+  }
+
+  // Global variable.
+  if (ReturnsVoid) {
+    error(current(), "global variables must have type 'int'");
+    return false;
+  }
+  Token NameTok = consume();
+  GlobalDecl G;
+  G.Name = P.Symbols.intern(NameTok.Text);
+  G.Line = NameTok.Line;
+  if (match(TokenKind::LBracket)) {
+    if (!check(TokenKind::IntLiteral)) {
+      error(current(), "array size must be an integer constant");
+      return false;
+    }
+    G.ArraySize = consume().IntValue;
+    if (!expect(TokenKind::RBracket, "after array size"))
+      return false;
+  } else if (match(TokenKind::Assign)) {
+    bool Negative = match(TokenKind::Minus);
+    if (!check(TokenKind::IntLiteral)) {
+      error(current(), "global initializer must be an integer constant");
+      return false;
+    }
+    G.Init = consume().IntValue;
+    if (Negative)
+      G.Init = -G.Init;
+  }
+  if (!expect(TokenKind::Semicolon, "after global declaration"))
+    return false;
+  P.Globals.push_back(G);
+  return true;
+}
+
+std::unique_ptr<FuncDecl> Parser::parseFunction(bool ReturnsVoid, Program &P) {
+  Token NameTok = consume();
+  auto F = std::make_unique<FuncDecl>();
+  F->Name = P.Symbols.intern(NameTok.Text);
+  F->ReturnsVoid = ReturnsVoid;
+  F->Line = NameTok.Line;
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (match(TokenKind::KwVoid))
+        break; // `f(void)` style empty parameter list.
+      if (!expect(TokenKind::KwInt, "before parameter name"))
+        return nullptr;
+      if (!check(TokenKind::Identifier)) {
+        error(current(), "expected parameter name");
+        return nullptr;
+      }
+      F->Params.push_back(P.Symbols.intern(consume().Text));
+    } while (match(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "after parameter list"))
+    return nullptr;
+  if (!check(TokenKind::LBrace)) {
+    error(current(), "expected function body");
+    return nullptr;
+  }
+  F->Body = parseBlock(P);
+  return F->Body ? std::move(F) : nullptr;
+}
+
+StmtPtr Parser::parseBlock(Program &P) {
+  Token Open = current();
+  if (!expect(TokenKind::LBrace, "to open block"))
+    return nullptr;
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    StmtPtr S = parseStmt(P);
+    if (S)
+      Stmts.push_back(std::move(S));
+    else
+      synchronize();
+  }
+  if (!expect(TokenKind::RBrace, "to close block"))
+    return nullptr;
+  return std::make_unique<BlockStmt>(std::move(Stmts), Open.Line);
+}
+
+StmtPtr Parser::parseStmt(Program &P) {
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock(P);
+  case TokenKind::Semicolon: {
+    Token T = consume();
+    return std::make_unique<EmptyStmt>(T.Line);
+  }
+  case TokenKind::KwIf: {
+    Token T = consume();
+    if (!expect(TokenKind::LParen, "after 'if'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr(P);
+    if (!Cond || !expect(TokenKind::RParen, "after condition"))
+      return nullptr;
+    StmtPtr Then = parseStmt(P);
+    if (!Then)
+      return nullptr;
+    StmtPtr Else;
+    if (match(TokenKind::KwElse)) {
+      Else = parseStmt(P);
+      if (!Else)
+        return nullptr;
+    }
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), T.Line);
+  }
+  case TokenKind::KwWhile: {
+    Token T = consume();
+    if (!expect(TokenKind::LParen, "after 'while'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr(P);
+    if (!Cond || !expect(TokenKind::RParen, "after condition"))
+      return nullptr;
+    StmtPtr Body = parseStmt(P);
+    if (!Body)
+      return nullptr;
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body),
+                                       T.Line);
+  }
+  case TokenKind::KwFor: {
+    Token T = consume();
+    if (!expect(TokenKind::LParen, "after 'for'"))
+      return nullptr;
+    StmtPtr Init;
+    if (!check(TokenKind::Semicolon)) {
+      Init = parseSimpleStmt(P, /*RequireSemi=*/false);
+      if (!Init)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "after for-initializer"))
+      return nullptr;
+    ExprPtr Cond;
+    if (!check(TokenKind::Semicolon)) {
+      Cond = parseExpr(P);
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "after for-condition"))
+      return nullptr;
+    StmtPtr Step;
+    if (!check(TokenKind::RParen)) {
+      Step = parseSimpleStmt(P, /*RequireSemi=*/false);
+      if (!Step)
+        return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "after for-header"))
+      return nullptr;
+    StmtPtr Body = parseStmt(P);
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body),
+                                     T.Line);
+  }
+  case TokenKind::KwReturn: {
+    Token T = consume();
+    ExprPtr Value;
+    if (!check(TokenKind::Semicolon)) {
+      Value = parseExpr(P);
+      if (!Value)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "after return"))
+      return nullptr;
+    return std::make_unique<ReturnStmt>(std::move(Value), T.Line);
+  }
+  case TokenKind::KwBreak: {
+    Token T = consume();
+    if (!expect(TokenKind::Semicolon, "after 'break'"))
+      return nullptr;
+    return std::make_unique<BreakStmt>(T.Line);
+  }
+  case TokenKind::KwContinue: {
+    Token T = consume();
+    if (!expect(TokenKind::Semicolon, "after 'continue'"))
+      return nullptr;
+    return std::make_unique<ContinueStmt>(T.Line);
+  }
+  default:
+    return parseSimpleStmt(P, /*RequireSemi=*/true);
+  }
+}
+
+StmtPtr Parser::parseSimpleStmt(Program &P, bool RequireSemi) {
+  auto FinishSemi = [&](StmtPtr S) -> StmtPtr {
+    if (RequireSemi && !expect(TokenKind::Semicolon, "after statement"))
+      return nullptr;
+    return S;
+  };
+
+  if (match(TokenKind::KwInt)) {
+    if (!check(TokenKind::Identifier)) {
+      error(current(), "expected variable name after 'int'");
+      return nullptr;
+    }
+    Token NameTok = consume();
+    Symbol Name = P.Symbols.intern(NameTok.Text);
+    if (match(TokenKind::LBracket)) {
+      if (!check(TokenKind::IntLiteral)) {
+        error(current(), "array size must be an integer constant");
+        return nullptr;
+      }
+      int64_t Size = consume().IntValue;
+      if (!expect(TokenKind::RBracket, "after array size"))
+        return nullptr;
+      return FinishSemi(std::make_unique<DeclStmt>(Name, nullptr, Size,
+                                                   NameTok.Line));
+    }
+    ExprPtr Init;
+    if (match(TokenKind::Assign)) {
+      Init = parseExpr(P);
+      if (!Init)
+        return nullptr;
+    }
+    return FinishSemi(std::make_unique<DeclStmt>(Name, std::move(Init),
+                                                 /*ArraySize=*/-1,
+                                                 NameTok.Line));
+  }
+
+  if (!check(TokenKind::Identifier)) {
+    error(current(), "expected statement");
+    return nullptr;
+  }
+
+  Token NameTok = consume();
+  Symbol Name = P.Symbols.intern(NameTok.Text);
+
+  if (match(TokenKind::Assign)) {
+    ExprPtr Value = parseExpr(P);
+    if (!Value)
+      return nullptr;
+    return FinishSemi(
+        std::make_unique<AssignStmt>(Name, std::move(Value), NameTok.Line));
+  }
+
+  if (match(TokenKind::LBracket)) {
+    ExprPtr Index = parseExpr(P);
+    if (!Index || !expect(TokenKind::RBracket, "after array index"))
+      return nullptr;
+    if (!expect(TokenKind::Assign, "in array assignment"))
+      return nullptr;
+    ExprPtr Value = parseExpr(P);
+    if (!Value)
+      return nullptr;
+    return FinishSemi(std::make_unique<ArrayAssignStmt>(
+        Name, std::move(Index), std::move(Value), NameTok.Line));
+  }
+
+  if (check(TokenKind::LParen)) {
+    consume();
+    std::vector<ExprPtr> Args;
+    if (!check(TokenKind::RParen)) {
+      do {
+        ExprPtr Arg = parseExpr(P);
+        if (!Arg)
+          return nullptr;
+        Args.push_back(std::move(Arg));
+      } while (match(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "after call arguments"))
+      return nullptr;
+    auto Call =
+        std::make_unique<CallExpr>(Name, std::move(Args), NameTok.Line);
+    return FinishSemi(
+        std::make_unique<ExprCallStmt>(std::move(Call), NameTok.Line));
+  }
+
+  error(NameTok, "expected '=', '[', or '(' after identifier");
+  return nullptr;
+}
+
+ExprPtr Parser::parseLOr(Program &P) {
+  ExprPtr Lhs = parseLAnd(P);
+  while (Lhs && check(TokenKind::PipePipe)) {
+    Token T = consume();
+    ExprPtr Rhs = parseLAnd(P);
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(BinaryOp::LOr, std::move(Lhs),
+                                       std::move(Rhs), T.Line);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseLAnd(Program &P) {
+  ExprPtr Lhs = parseEquality(P);
+  while (Lhs && check(TokenKind::AmpAmp)) {
+    Token T = consume();
+    ExprPtr Rhs = parseEquality(P);
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(BinaryOp::LAnd, std::move(Lhs),
+                                       std::move(Rhs), T.Line);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseEquality(Program &P) {
+  ExprPtr Lhs = parseRelational(P);
+  while (Lhs &&
+         (check(TokenKind::EqualEqual) || check(TokenKind::BangEqual))) {
+    Token T = consume();
+    BinaryOp Op =
+        T.is(TokenKind::EqualEqual) ? BinaryOp::Eq : BinaryOp::Ne;
+    ExprPtr Rhs = parseRelational(P);
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       T.Line);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseRelational(Program &P) {
+  ExprPtr Lhs = parseAdditive(P);
+  while (Lhs && (check(TokenKind::Less) || check(TokenKind::LessEqual) ||
+                 check(TokenKind::Greater) ||
+                 check(TokenKind::GreaterEqual))) {
+    Token T = consume();
+    BinaryOp Op;
+    switch (T.Kind) {
+    case TokenKind::Less:
+      Op = BinaryOp::Lt;
+      break;
+    case TokenKind::LessEqual:
+      Op = BinaryOp::Le;
+      break;
+    case TokenKind::Greater:
+      Op = BinaryOp::Gt;
+      break;
+    default:
+      Op = BinaryOp::Ge;
+      break;
+    }
+    ExprPtr Rhs = parseAdditive(P);
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       T.Line);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseAdditive(Program &P) {
+  ExprPtr Lhs = parseMultiplicative(P);
+  while (Lhs && (check(TokenKind::Plus) || check(TokenKind::Minus))) {
+    Token T = consume();
+    BinaryOp Op = T.is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    ExprPtr Rhs = parseMultiplicative(P);
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       T.Line);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseMultiplicative(Program &P) {
+  ExprPtr Lhs = parseUnary(P);
+  while (Lhs && (check(TokenKind::Star) || check(TokenKind::Slash) ||
+                 check(TokenKind::Percent))) {
+    Token T = consume();
+    BinaryOp Op = T.is(TokenKind::Star)    ? BinaryOp::Mul
+                  : T.is(TokenKind::Slash) ? BinaryOp::Div
+                                           : BinaryOp::Rem;
+    ExprPtr Rhs = parseUnary(P);
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs),
+                                       T.Line);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseUnary(Program &P) {
+  if (check(TokenKind::Minus)) {
+    Token T = consume();
+    ExprPtr Operand = parseUnary(P);
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(Operand),
+                                       T.Line);
+  }
+  if (check(TokenKind::Bang)) {
+    Token T = consume();
+    ExprPtr Operand = parseUnary(P);
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(Operand),
+                                       T.Line);
+  }
+  return parsePrimary(P);
+}
+
+ExprPtr Parser::parsePrimary(Program &P) {
+  if (check(TokenKind::IntLiteral)) {
+    Token T = consume();
+    return std::make_unique<IntLit>(T.IntValue, T.Line);
+  }
+  if (match(TokenKind::LParen)) {
+    ExprPtr Inner = parseExpr(P);
+    if (!Inner || !expect(TokenKind::RParen, "after expression"))
+      return nullptr;
+    return Inner;
+  }
+  if (check(TokenKind::Identifier)) {
+    Token T = consume();
+    Symbol Name = P.Symbols.intern(T.Text);
+    if (match(TokenKind::LBracket)) {
+      ExprPtr Index = parseExpr(P);
+      if (!Index || !expect(TokenKind::RBracket, "after array index"))
+        return nullptr;
+      return std::make_unique<ArrayRef>(Name, std::move(Index), T.Line);
+    }
+    if (match(TokenKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          ExprPtr Arg = parseExpr(P);
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+        } while (match(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen, "after call arguments"))
+        return nullptr;
+      return std::make_unique<CallExpr>(Name, std::move(Args), T.Line);
+    }
+    return std::make_unique<VarRef>(Name, T.Line);
+  }
+  error(current(), "expected expression");
+  return nullptr;
+}

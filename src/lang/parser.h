@@ -1,0 +1,83 @@
+//===- lang/parser.h - Mini-C parser ----------------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for mini-C. Produces a `Program`; on error,
+/// diagnostics are recorded and null is returned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_PARSER_H
+#define WARROW_LANG_PARSER_H
+
+#include "lang/ast.h"
+#include "lang/diagnostics.h"
+#include "lang/token.h"
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace warrow {
+
+/// Parses \p Source into a Program. Returns null if any error was
+/// diagnosed (lexical, syntactic, or semantic — `parseProgram` runs the
+/// semantic checks of `sema.h` as its final step).
+std::unique_ptr<Program> parseProgram(std::string_view Source,
+                                      DiagnosticEngine &Diags);
+
+/// Implementation class (exposed for tests of error recovery).
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  /// Parses a whole translation unit (without running sema).
+  std::unique_ptr<Program> parse();
+
+private:
+  // --- Token helpers -------------------------------------------------------
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool match(TokenKind Kind);
+  /// Consumes a token of \p Kind or diagnoses an error. Returns success.
+  bool expect(TokenKind Kind, const char *Context);
+  void error(const Token &At, std::string Message);
+  /// Skips tokens until a statement/declaration boundary.
+  void synchronize();
+
+  // --- Declarations --------------------------------------------------------
+  bool parseTopLevel(Program &P);
+  std::unique_ptr<FuncDecl> parseFunction(bool ReturnsVoid, Program &P);
+
+  // --- Statements ----------------------------------------------------------
+  StmtPtr parseStmt(Program &P);
+  StmtPtr parseBlock(Program &P);
+  /// Declaration, assignment, or call — the forms legal in `for` headers.
+  /// \p RequireSemi controls whether a trailing ';' is consumed.
+  StmtPtr parseSimpleStmt(Program &P, bool RequireSemi);
+
+  // --- Expressions (precedence climbing) ------------------------------------
+  ExprPtr parseExpr(Program &P) { return parseLOr(P); }
+  ExprPtr parseLOr(Program &P);
+  ExprPtr parseLAnd(Program &P);
+  ExprPtr parseEquality(Program &P);
+  ExprPtr parseRelational(Program &P);
+  ExprPtr parseAdditive(Program &P);
+  ExprPtr parseMultiplicative(Program &P);
+  ExprPtr parseUnary(Program &P);
+  ExprPtr parsePrimary(Program &P);
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace warrow
+
+#endif // WARROW_LANG_PARSER_H

@@ -1,0 +1,265 @@
+//===- lang/pretty.cpp - Mini-C pretty printer -------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/pretty.h"
+
+#include "support/casting.h"
+
+using namespace warrow;
+
+namespace {
+
+/// Precedence levels matching the parser (higher binds tighter).
+int precedence(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::LOr:
+    return 1;
+  case BinaryOp::LAnd:
+    return 2;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return 3;
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return 4;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return 5;
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+    return 6;
+  }
+  return 0;
+}
+
+void printExprInto(const Expr &E, const Interner &Symbols, std::string &Out,
+                   int ParentPrec) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    Out += std::to_string(cast<IntLit>(&E)->value());
+    return;
+  case Expr::Kind::VarRef:
+    Out += Symbols.spelling(cast<VarRef>(&E)->name());
+    return;
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(&E);
+    Out += Symbols.spelling(A->name());
+    Out += '[';
+    printExprInto(A->index(), Symbols, Out, 0);
+    Out += ']';
+    return;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    Out += U->op() == UnaryOp::Neg ? '-' : '!';
+    printExprInto(U->operand(), Symbols, Out, 7);
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    int Prec = precedence(B->op());
+    bool Paren = Prec < ParentPrec;
+    if (Paren)
+      Out += '(';
+    printExprInto(B->lhs(), Symbols, Out, Prec);
+    Out += ' ';
+    Out += spelling(B->op());
+    Out += ' ';
+    // Left-associative operators: parenthesize an equal-precedence RHS.
+    printExprInto(B->rhs(), Symbols, Out, Prec + 1);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    Out += Symbols.spelling(C->callee());
+    Out += '(';
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      if (I)
+        Out += ", ";
+      printExprInto(*C->args()[I], Symbols, Out, 0);
+    }
+    Out += ')';
+    return;
+  }
+  }
+}
+
+void indentInto(std::string &Out, unsigned Indent) {
+  Out.append(2 * Indent, ' ');
+}
+
+void printStmtInto(const Stmt &S, const Interner &Symbols, std::string &Out,
+                   unsigned Indent) {
+  switch (S.kind()) {
+  case Stmt::Kind::Block: {
+    indentInto(Out, Indent);
+    Out += "{\n";
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->stmts())
+      printStmtInto(*Child, Symbols, Out, Indent + 1);
+    indentInto(Out, Indent);
+    Out += "}\n";
+    return;
+  }
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(&S);
+    indentInto(Out, Indent);
+    Out += "int " + Symbols.spelling(D->name());
+    if (D->isArray()) {
+      Out += '[' + std::to_string(D->arraySize()) + ']';
+    } else if (D->init()) {
+      Out += " = ";
+      printExprInto(*D->init(), Symbols, Out, 0);
+    }
+    Out += ";\n";
+    return;
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    indentInto(Out, Indent);
+    Out += Symbols.spelling(A->name()) + " = ";
+    printExprInto(A->value(), Symbols, Out, 0);
+    Out += ";\n";
+    return;
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(&S);
+    indentInto(Out, Indent);
+    Out += Symbols.spelling(A->name()) + '[';
+    printExprInto(A->index(), Symbols, Out, 0);
+    Out += "] = ";
+    printExprInto(A->value(), Symbols, Out, 0);
+    Out += ";\n";
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    indentInto(Out, Indent);
+    Out += "if (";
+    printExprInto(I->cond(), Symbols, Out, 0);
+    Out += ")\n";
+    printStmtInto(I->thenStmt(), Symbols, Out, Indent + 1);
+    if (I->elseStmt()) {
+      indentInto(Out, Indent);
+      Out += "else\n";
+      printStmtInto(*I->elseStmt(), Symbols, Out, Indent + 1);
+    }
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    indentInto(Out, Indent);
+    Out += "while (";
+    printExprInto(W->cond(), Symbols, Out, 0);
+    Out += ")\n";
+    printStmtInto(W->body(), Symbols, Out, Indent + 1);
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    indentInto(Out, Indent);
+    Out += "for (";
+    if (F->init()) {
+      std::string Init;
+      printStmtInto(*F->init(), Symbols, Init, 0);
+      // Strip trailing ";\n" — the header supplies its own separators.
+      while (!Init.empty() && (Init.back() == '\n' || Init.back() == ';'))
+        Init.pop_back();
+      Out += Init;
+    }
+    Out += "; ";
+    if (F->cond())
+      printExprInto(*F->cond(), Symbols, Out, 0);
+    Out += "; ";
+    if (F->step()) {
+      std::string Step;
+      printStmtInto(*F->step(), Symbols, Step, 0);
+      while (!Step.empty() && (Step.back() == '\n' || Step.back() == ';'))
+        Step.pop_back();
+      Out += Step;
+    }
+    Out += ")\n";
+    printStmtInto(F->body(), Symbols, Out, Indent + 1);
+    return;
+  }
+  case Stmt::Kind::ExprCall: {
+    indentInto(Out, Indent);
+    printExprInto(cast<ExprCallStmt>(&S)->call(), Symbols, Out, 0);
+    Out += ";\n";
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(&S);
+    indentInto(Out, Indent);
+    Out += "return";
+    if (R->value()) {
+      Out += ' ';
+      printExprInto(*R->value(), Symbols, Out, 0);
+    }
+    Out += ";\n";
+    return;
+  }
+  case Stmt::Kind::Break:
+    indentInto(Out, Indent);
+    Out += "break;\n";
+    return;
+  case Stmt::Kind::Continue:
+    indentInto(Out, Indent);
+    Out += "continue;\n";
+    return;
+  case Stmt::Kind::Empty:
+    indentInto(Out, Indent);
+    Out += ";\n";
+    return;
+  }
+}
+
+} // namespace
+
+std::string warrow::printExpr(const Expr &E, const Interner &Symbols) {
+  std::string Out;
+  printExprInto(E, Symbols, Out, 0);
+  return Out;
+}
+
+std::string warrow::printStmt(const Stmt &S, const Interner &Symbols,
+                              unsigned Indent) {
+  std::string Out;
+  printStmtInto(S, Symbols, Out, Indent);
+  return Out;
+}
+
+std::string warrow::printProgram(const Program &P) {
+  std::string Out;
+  for (const GlobalDecl &G : P.Globals) {
+    Out += "int " + P.Symbols.spelling(G.Name);
+    if (G.isArray())
+      Out += '[' + std::to_string(G.ArraySize) + ']';
+    else if (G.Init != 0)
+      Out += " = " + std::to_string(G.Init);
+    Out += ";\n";
+  }
+  if (!P.Globals.empty())
+    Out += '\n';
+  for (const auto &F : P.Functions) {
+    Out += F->ReturnsVoid ? "void " : "int ";
+    Out += P.Symbols.spelling(F->Name);
+    Out += '(';
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "int " + P.Symbols.spelling(F->Params[I]);
+    }
+    Out += ")\n";
+    Out += printStmt(*F->Body, P.Symbols, 0);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- lang/pretty.h - Mini-C pretty printer --------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty printer for mini-C ASTs. Printing then reparsing yields an
+/// equivalent AST (checked by round-trip tests), which also gives the
+/// synthetic workload generator a validation path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_PRETTY_H
+#define WARROW_LANG_PRETTY_H
+
+#include "lang/ast.h"
+
+#include <string>
+
+namespace warrow {
+
+/// Renders a whole program as parseable source text.
+std::string printProgram(const Program &P);
+
+/// Renders one expression (needs the program's interner for names).
+std::string printExpr(const Expr &E, const Interner &Symbols);
+
+/// Renders one statement at the given indentation depth.
+std::string printStmt(const Stmt &S, const Interner &Symbols,
+                      unsigned Indent = 0);
+
+} // namespace warrow
+
+#endif // WARROW_LANG_PRETTY_H

@@ -1,0 +1,394 @@
+//===- lang/sema.cpp - Mini-C semantic checks --------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/sema.h"
+
+#include "support/casting.h"
+
+#include <functional>
+#include <unordered_set>
+
+using namespace warrow;
+
+namespace {
+
+/// Per-function checking context.
+class SemaChecker {
+public:
+  SemaChecker(const Program &P, DiagnosticEngine &Diags)
+      : P(P), Diags(Diags) {
+    UnknownSym = P.Symbols.lookup(UnknownBuiltinName);
+  }
+
+  bool run();
+
+private:
+  void checkFunction(const FuncDecl &F);
+  void collectDecls(const Stmt &S);
+  void checkStmt(const Stmt &S, unsigned LoopDepth);
+  /// Checks an expression. \p CallAllowed permits a root-position call to
+  /// a declared function; \p UnknownAllowed permits the `unknown()`
+  /// builtin (banned inside conditions, which guard edges may evaluate
+  /// more than once).
+  void checkExpr(const Expr &E, bool CallAllowed, bool UnknownAllowed = true);
+  void checkCall(const CallExpr &Call, bool AsStatement);
+
+  bool isKnownScalar(Symbol Name) const {
+    if (Vars.isScalar(Name))
+      return true;
+    const GlobalDecl *G = P.global(Name);
+    return G && !G->isArray();
+  }
+  bool isKnownArray(Symbol Name) const {
+    if (Vars.isArray(Name))
+      return true;
+    const GlobalDecl *G = P.global(Name);
+    return G && G->isArray();
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  Symbol UnknownSym = 0;
+  const FuncDecl *CurrentFunc = nullptr;
+  FuncVars Vars;
+};
+
+bool SemaChecker::run() {
+  // Unique global names.
+  std::unordered_set<Symbol> GlobalNames;
+  for (const GlobalDecl &G : P.Globals) {
+    if (!GlobalNames.insert(G.Name).second)
+      Diags.error(G.Line, 1,
+                  "duplicate global '" + P.Symbols.spelling(G.Name) + "'");
+    if (G.isArray() && G.ArraySize <= 0)
+      Diags.error(G.Line, 1, "array size must be positive");
+  }
+
+  // Unique function names; no function/global clash.
+  std::unordered_set<Symbol> FuncNames;
+  for (const auto &F : P.Functions) {
+    if (!FuncNames.insert(F->Name).second)
+      Diags.error(F->Line, 1,
+                  "duplicate function '" + P.Symbols.spelling(F->Name) + "'");
+    if (GlobalNames.count(F->Name))
+      Diags.error(F->Line, 1,
+                  "'" + P.Symbols.spelling(F->Name) +
+                      "' is both a global and a function");
+  }
+
+  // main() exists.
+  Symbol MainSym = P.Symbols.lookup("main");
+  const FuncDecl *Main = MainSym ? P.function(MainSym) : nullptr;
+  if (!Main)
+    Diags.error(1, 1, "program has no 'main' function");
+  else if (!Main->Params.empty())
+    Diags.error(Main->Line, 1, "'main' must take no parameters");
+  else if (Main->ReturnsVoid)
+    Diags.error(Main->Line, 1, "'main' must return 'int'");
+
+  for (const auto &F : P.Functions)
+    checkFunction(*F);
+  return !Diags.hasErrors();
+}
+
+void SemaChecker::checkFunction(const FuncDecl &F) {
+  CurrentFunc = &F;
+  Vars = FuncVars();
+  std::unordered_set<Symbol> Seen;
+  for (Symbol Param : F.Params) {
+    if (!Seen.insert(Param).second)
+      Diags.error(F.Line, 1,
+                  "duplicate parameter '" + P.Symbols.spelling(Param) + "'");
+    if (P.isGlobal(Param))
+      Diags.error(F.Line, 1, "parameter '" + P.Symbols.spelling(Param) +
+                                 "' shadows a global");
+    Vars.Scalars.push_back(Param);
+  }
+  collectDecls(*F.Body);
+  // Re-walk for duplicate locals (collectDecls gathered all of them).
+  std::unordered_set<Symbol> Uniq;
+  for (Symbol S : Vars.Scalars)
+    if (!Uniq.insert(S).second)
+      Diags.error(F.Line, 1, "duplicate local '" + P.Symbols.spelling(S) +
+                                 "' in function '" +
+                                 P.Symbols.spelling(F.Name) + "'");
+  for (const auto &[S, Size] : Vars.Arrays) {
+    if (!Uniq.insert(S).second)
+      Diags.error(F.Line, 1, "duplicate local '" + P.Symbols.spelling(S) +
+                                 "' in function '" +
+                                 P.Symbols.spelling(F.Name) + "'");
+    if (Size <= 0)
+      Diags.error(F.Line, 1, "array size must be positive");
+  }
+  for (Symbol S : Uniq)
+    if (P.isGlobal(S))
+      Diags.error(F.Line, 1,
+                  "local '" + P.Symbols.spelling(S) + "' shadows a global");
+  checkStmt(*F.Body, 0);
+  CurrentFunc = nullptr;
+}
+
+void SemaChecker::collectDecls(const Stmt &S) {
+  switch (S.kind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->stmts())
+      collectDecls(*Child);
+    return;
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(&S);
+    if (D->isArray())
+      Vars.Arrays[D->name()] = D->arraySize();
+    else
+      Vars.Scalars.push_back(D->name());
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    collectDecls(I->thenStmt());
+    if (I->elseStmt())
+      collectDecls(*I->elseStmt());
+    return;
+  }
+  case Stmt::Kind::While:
+    collectDecls(cast<WhileStmt>(&S)->body());
+    return;
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    if (F->init())
+      collectDecls(*F->init());
+    if (F->step())
+      collectDecls(*F->step());
+    collectDecls(F->body());
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void SemaChecker::checkStmt(const Stmt &S, unsigned LoopDepth) {
+  switch (S.kind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->stmts())
+      checkStmt(*Child, LoopDepth);
+    return;
+  case Stmt::Kind::Decl: {
+    const auto *D = cast<DeclStmt>(&S);
+    if (D->init())
+      checkExpr(*D->init(), /*CallAllowed=*/true);
+    return;
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    if (!isKnownScalar(A->name()))
+      Diags.error(S.line(), 1,
+                  "assignment to undeclared or non-scalar '" +
+                      P.Symbols.spelling(A->name()) + "'");
+    checkExpr(A->value(), /*CallAllowed=*/true);
+    return;
+  }
+  case Stmt::Kind::ArrayAssign: {
+    const auto *A = cast<ArrayAssignStmt>(&S);
+    if (!isKnownArray(A->name()))
+      Diags.error(S.line(), 1,
+                  "store to undeclared or non-array '" +
+                      P.Symbols.spelling(A->name()) + "'");
+    checkExpr(A->index(), /*CallAllowed=*/false);
+    checkExpr(A->value(), /*CallAllowed=*/false);
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    checkExpr(I->cond(), /*CallAllowed=*/false, /*UnknownAllowed=*/false);
+    checkStmt(I->thenStmt(), LoopDepth);
+    if (I->elseStmt())
+      checkStmt(*I->elseStmt(), LoopDepth);
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    checkExpr(W->cond(), /*CallAllowed=*/false, /*UnknownAllowed=*/false);
+    checkStmt(W->body(), LoopDepth + 1);
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    if (F->init())
+      checkStmt(*F->init(), LoopDepth);
+    if (F->cond())
+      checkExpr(*F->cond(), /*CallAllowed=*/false, /*UnknownAllowed=*/false);
+    if (F->step())
+      checkStmt(*F->step(), LoopDepth + 1);
+    checkStmt(F->body(), LoopDepth + 1);
+    return;
+  }
+  case Stmt::Kind::ExprCall:
+    checkCall(cast<ExprCallStmt>(&S)->call(), /*AsStatement=*/true);
+    return;
+  case Stmt::Kind::Return: {
+    const auto *R = cast<ReturnStmt>(&S);
+    if (R->value()) {
+      if (CurrentFunc && CurrentFunc->ReturnsVoid)
+        Diags.error(S.line(), 1, "void function returns a value");
+      checkExpr(*R->value(), /*CallAllowed=*/false);
+    } else if (CurrentFunc && !CurrentFunc->ReturnsVoid) {
+      Diags.warning(S.line(), 1, "non-void function returns without value");
+    }
+    return;
+  }
+  case Stmt::Kind::Break:
+    if (LoopDepth == 0)
+      Diags.error(S.line(), 1, "'break' outside of a loop");
+    return;
+  case Stmt::Kind::Continue:
+    if (LoopDepth == 0)
+      Diags.error(S.line(), 1, "'continue' outside of a loop");
+    return;
+  case Stmt::Kind::Empty:
+    return;
+  }
+}
+
+void SemaChecker::checkExpr(const Expr &E, bool CallAllowed,
+                            bool UnknownAllowed) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return;
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRef>(&E);
+    if (!isKnownScalar(V->name())) {
+      if (isKnownArray(V->name()))
+        Diags.error(E.line(), 1,
+                    "array '" + P.Symbols.spelling(V->name()) +
+                        "' used without index");
+      else
+        Diags.error(E.line(), 1, "use of undeclared variable '" +
+                                     P.Symbols.spelling(V->name()) + "'");
+    }
+    return;
+  }
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(&E);
+    if (!isKnownArray(A->name()))
+      Diags.error(E.line(), 1, "'" + P.Symbols.spelling(A->name()) +
+                                   "' is not a declared array");
+    checkExpr(A->index(), /*CallAllowed=*/false, UnknownAllowed);
+    return;
+  }
+  case Expr::Kind::Unary:
+    checkExpr(cast<UnaryExpr>(&E)->operand(), /*CallAllowed=*/false,
+              UnknownAllowed);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    checkExpr(B->lhs(), /*CallAllowed=*/false, UnknownAllowed);
+    checkExpr(B->rhs(), /*CallAllowed=*/false, UnknownAllowed);
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(&E);
+    if (UnknownSym && Call->callee() == UnknownSym) {
+      // `unknown()` is an expression primitive: legal anywhere except in
+      // conditions (guard edges may evaluate a condition several times).
+      if (!UnknownAllowed)
+        Diags.error(E.line(), 1,
+                    "'unknown()' may not appear inside a condition");
+      if (!Call->args().empty())
+        Diags.error(E.line(), 1, "'unknown' takes no arguments");
+      return;
+    }
+    if (!CallAllowed) {
+      Diags.error(E.line(), 1,
+                  "calls may only appear as a whole statement or as the "
+                  "whole right-hand side of an assignment");
+      return;
+    }
+    checkCall(*Call, /*AsStatement=*/false);
+    return;
+  }
+  }
+}
+
+void SemaChecker::checkCall(const CallExpr &Call, bool AsStatement) {
+  for (const ExprPtr &Arg : Call.args())
+    checkExpr(*Arg, /*CallAllowed=*/false);
+
+  if (UnknownSym && Call.callee() == UnknownSym) {
+    if (!Call.args().empty())
+      Diags.error(Call.line(), 1, "'unknown' takes no arguments");
+    return;
+  }
+
+  const FuncDecl *Callee = P.function(Call.callee());
+  if (!Callee) {
+    Diags.error(Call.line(), 1, "call to undefined function '" +
+                                    P.Symbols.spelling(Call.callee()) + "'");
+    return;
+  }
+  if (Callee->Params.size() != Call.args().size())
+    Diags.error(Call.line(), 1,
+                "wrong number of arguments to '" +
+                    P.Symbols.spelling(Call.callee()) + "' (expected " +
+                    std::to_string(Callee->Params.size()) + ", got " +
+                    std::to_string(Call.args().size()) + ")");
+  if (!AsStatement && Callee->ReturnsVoid)
+    Diags.error(Call.line(), 1, "void function '" +
+                                    P.Symbols.spelling(Call.callee()) +
+                                    "' used as a value");
+}
+
+} // namespace
+
+bool warrow::checkProgram(const Program &P, DiagnosticEngine &Diags) {
+  SemaChecker Checker(P, Diags);
+  return Checker.run();
+}
+
+FuncVars warrow::collectFunctionVars(const FuncDecl &F) {
+  FuncVars Vars;
+  for (Symbol Param : F.Params)
+    Vars.Scalars.push_back(Param);
+  // Local declarations, recursively.
+  std::function<void(const Stmt &)> Walk = [&](const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Child : cast<BlockStmt>(&S)->stmts())
+        Walk(*Child);
+      return;
+    case Stmt::Kind::Decl: {
+      const auto *D = cast<DeclStmt>(&S);
+      if (D->isArray())
+        Vars.Arrays[D->name()] = D->arraySize();
+      else
+        Vars.Scalars.push_back(D->name());
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(&S);
+      Walk(I->thenStmt());
+      if (I->elseStmt())
+        Walk(*I->elseStmt());
+      return;
+    }
+    case Stmt::Kind::While:
+      Walk(cast<WhileStmt>(&S)->body());
+      return;
+    case Stmt::Kind::For: {
+      const auto *FS = cast<ForStmt>(&S);
+      if (FS->init())
+        Walk(*FS->init());
+      if (FS->step())
+        Walk(*FS->step());
+      Walk(FS->body());
+      return;
+    }
+    default:
+      return;
+    }
+  };
+  Walk(*F.Body);
+  return Vars;
+}

@@ -1,0 +1,62 @@
+//===- lang/sema.h - Mini-C semantic checks ---------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic checks for mini-C programs and name-resolution helpers shared
+/// by CFG construction, the interpreter, and the abstract interpreter.
+///
+/// Enforced rules (beyond syntax):
+///  - a zero-parameter `int main()` exists;
+///  - function, global, and per-function local names are unique; locals do
+///    not shadow globals or parameters;
+///  - every identifier resolves; scalar/array usage matches declarations;
+///  - call arity matches; `unknown()` is the only builtin (0 arguments);
+///  - calls appear only as a whole statement or as the whole right-hand
+///    side of a scalar assignment (the analysis-friendly call form);
+///  - `void` functions do not return values; `break`/`continue` appear
+///    inside loops only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_SEMA_H
+#define WARROW_LANG_SEMA_H
+
+#include "lang/ast.h"
+#include "lang/diagnostics.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace warrow {
+
+/// Runs all semantic checks; returns false (with diagnostics) on error.
+bool checkProgram(const Program &P, DiagnosticEngine &Diags);
+
+/// Variables of one function as collected from its declarations.
+struct FuncVars {
+  /// Parameters followed by locals, in declaration order.
+  std::vector<Symbol> Scalars;
+  /// Local arrays with their sizes.
+  std::unordered_map<Symbol, int64_t> Arrays;
+
+  bool isScalar(Symbol Name) const {
+    for (Symbol S : Scalars)
+      if (S == Name)
+        return true;
+    return false;
+  }
+  bool isArray(Symbol Name) const { return Arrays.count(Name) != 0; }
+};
+
+/// Collects parameters, scalar locals, and local arrays of \p F.
+FuncVars collectFunctionVars(const FuncDecl &F);
+
+/// The name of the nondeterministic-input builtin.
+constexpr const char *UnknownBuiltinName = "unknown";
+
+} // namespace warrow
+
+#endif // WARROW_LANG_SEMA_H

@@ -1,0 +1,87 @@
+//===- lang/token.cpp - Mini-C tokens --------------------------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/token.h"
+
+using namespace warrow;
+
+std::string_view warrow::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  }
+  return "unknown token";
+}

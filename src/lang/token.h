@@ -1,0 +1,81 @@
+//===- lang/token.h - Mini-C tokens -----------------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds of the mini-C language that serves as the analysis
+/// substrate (the role CIL-parsed C plays for Goblint in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LANG_TOKEN_H
+#define WARROW_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace warrow {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  Identifier,
+  IntLiteral,
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  // Operators.
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  Bang,
+};
+
+/// Human-readable token-kind name for diagnostics ("';'", "identifier").
+std::string_view tokenKindName(TokenKind Kind);
+
+/// A lexed token. `Text` views into the source buffer, which must outlive
+/// the token stream.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;
+  int64_t IntValue = 0; // Valid for IntLiteral.
+  uint32_t Line = 0;    // 1-based.
+  uint32_t Column = 0;  // 1-based.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace warrow
+
+#endif // WARROW_LANG_TOKEN_H

@@ -1,0 +1,193 @@
+//===- lattice/combine.h - Generic combine (⊕) operators --------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central abstraction: a *generic solver* performs updates
+///
+///     sigma[x] <- sigma[x] ⊕ f_x(sigma)
+///
+/// for a binary operator ⊕ supplied by the client (Section 2). This file
+/// provides ⊕ as small function objects:
+///
+///  - `AssignCombine`   a ⊕ b = b            (plain solutions)
+///  - `JoinCombine`     a ⊕ b = a ⊔ b        (post solutions)
+///  - `MeetCombine`     a ⊕ b = a ⊓ b        (pre solutions)
+///  - `WidenCombine`    a ⊕ b = a ▽ b        (widening iteration)
+///  - `NarrowCombine`   a ⊕ b = a △ b        (narrowing iteration)
+///  - `WarrowCombine`   the paper's new ⊟:  a △ b if b ⊑ a, else a ▽ b
+///  - `DegradingWarrowCombine`  ⊟ with per-unknown switch counters that
+///    give up narrowing after k widening/narrowing phase switches
+///    (the termination enforcement sketch at the end of Section 4).
+///
+/// Solvers invoke the operator as `Combine(X, Old, New)` where `X` is the
+/// unknown being updated; stateless operators ignore it, the degrading one
+/// keys its counters on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_COMBINE_H
+#define WARROW_LATTICE_COMBINE_H
+
+#include "lattice/lattice.h"
+
+#include <unordered_map>
+
+namespace warrow {
+
+/// a ⊕ b = b. A ⊕-solution is then an ordinary solution sigma[x] = f_x(sigma).
+struct AssignCombine {
+  template <typename V, typename D>
+  D operator()(const V &, const D &, const D &New) const {
+    return New;
+  }
+  /// True if `(a ⊕ b) ⊕ b = a ⊕ b` holds for all a, b. Non-idempotent
+  /// operators make worklist solvers reschedule the updated unknown itself
+  /// (Section 2's precaution).
+  static constexpr bool isIdempotent() { return true; }
+};
+
+/// a ⊕ b = a ⊔ b. A ⊕-solution is a post solution.
+struct JoinCombine {
+  template <typename V, typename D>
+  D operator()(const V &, const D &Old, const D &New) const {
+    return Old.join(New);
+  }
+  static constexpr bool isIdempotent() { return true; }
+};
+
+/// a ⊕ b = a ⊓ b. A ⊕-solution is a pre solution.
+struct MeetCombine {
+  template <typename V, typename D>
+  D operator()(const V &, const D &Old, const D &New) const {
+    return Old.meet(New);
+  }
+  static constexpr bool isIdempotent() { return true; }
+};
+
+/// a ⊕ b = a ▽ b: classical widening iteration.
+struct WidenCombine {
+  template <typename V, typename D>
+  D operator()(const V &, const D &Old, const D &New) const {
+    return Old.widen(New);
+  }
+  // Widenings need not be idempotent in general; standard interval widening
+  // is, but stay conservative for the generic case.
+  static constexpr bool isIdempotent() { return false; }
+};
+
+/// a ⊕ b = a △ b: classical narrowing iteration (only sound when applied
+/// to post solutions of monotonic systems; see Fact 1).
+struct NarrowCombine {
+  template <typename V, typename D>
+  D operator()(const V &, const D &Old, const D &New) const {
+    return Old.narrow(New);
+  }
+  static constexpr bool isIdempotent() { return false; }
+};
+
+/// The paper's combined operator (Section 3):
+///
+///     a ⊟ b = a △ b   if b ⊑ a
+///             a ▽ b   otherwise
+///
+/// Lemma 1: every ⊟-solution of a finite system over a lattice is a post
+/// solution — regardless of monotonicity of the right-hand sides.
+struct WarrowCombine {
+  template <typename V, typename D>
+  D operator()(const V &, const D &Old, const D &New) const {
+    if (New.leq(Old))
+      return Old.narrow(New);
+    return Old.widen(New);
+  }
+  // ⊟ is not necessarily idempotent, but (a ⊟ b) ⊟ b = (a ⊟ b) △ b holds
+  // whenever △ is idempotent; solvers must still reschedule on change.
+  static constexpr bool isIdempotent() { return false; }
+};
+
+/// ⊟ with degrading narrowing. Each unknown carries a counter of switches
+/// from the narrowing regime back to widening; once the counter exceeds
+/// \p MaxSwitches the operator stops improving values (a ⊕ b = a for b ⊑ a),
+/// guaranteeing termination even for non-monotonic systems.
+///
+/// This object is stateful; use one instance per solver run.
+template <typename V> class DegradingWarrowCombine {
+public:
+  explicit DegradingWarrowCombine(unsigned MaxSwitches)
+      : MaxSwitches(MaxSwitches) {}
+
+  template <typename D>
+  D operator()(const V &X, const D &Old, const D &New) {
+    State &S = States[X];
+    if (New.leq(Old)) {
+      if (S.Switches >= MaxSwitches)
+        return Old; // Narrowing budget exhausted: freeze.
+      D Result = Old.narrow(New);
+      // Only a narrowing that actually shrank the value arms the switch
+      // counter — re-evaluations that merely confirm the current value
+      // are not a narrowing phase.
+      if (!(Result == Old))
+        S.Narrowing = true;
+      return Result;
+    }
+    if (S.Narrowing) {
+      S.Narrowing = false;
+      ++S.Switches; // A narrowing phase was abandoned for widening again.
+    }
+    return Old.widen(New);
+  }
+
+  static constexpr bool isIdempotent() { return false; }
+
+  /// Total number of narrowing->widening switches observed (diagnostics).
+  unsigned totalSwitches() const {
+    unsigned N = 0;
+    for (const auto &[X, S] : States)
+      N += S.Switches;
+    return N;
+  }
+
+private:
+  struct State {
+    bool Narrowing = false;
+    unsigned Switches = 0;
+  };
+  unsigned MaxSwitches;
+  std::unordered_map<V, State> States;
+};
+
+/// ⊟ with *delayed* widening: the first \p Delay growing updates of each
+/// unknown are combined with plain join; only afterwards does widening
+/// kick in. The classical precision knob (used by Astrée and Goblint):
+/// short ascending chains stabilize exactly before any widening loss,
+/// at the cost of up to `Delay` extra iterations per unknown.
+///
+/// Stateful per unknown; use one instance per solver run.
+template <typename V> class DelayedWarrowCombine {
+public:
+  explicit DelayedWarrowCombine(unsigned Delay) : Delay(Delay) {}
+
+  template <typename D>
+  D operator()(const V &X, const D &Old, const D &New) {
+    if (New.leq(Old))
+      return Old.narrow(New);
+    unsigned &Grown = GrowthCount[X];
+    if (Grown < Delay) {
+      ++Grown;
+      return Old.join(New);
+    }
+    return Old.widen(New);
+  }
+
+  static constexpr bool isIdempotent() { return false; }
+
+private:
+  unsigned Delay;
+  std::unordered_map<V, unsigned> GrowthCount;
+};
+
+} // namespace warrow
+
+#endif // WARROW_LATTICE_COMBINE_H

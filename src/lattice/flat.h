@@ -1,0 +1,131 @@
+//===- lattice/flat.h - Flat (constant-propagation) lattice -----*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat lattice over an arbitrary value type: bot < {v} < top. Used by
+/// the context-sensitive analysis, whose calling contexts record the
+/// *flat-constant* abstraction of actual parameters (the "non-interval
+/// values of locals" of the paper's Table 1 setup).
+///
+/// Flat lattices have height 2, so widening/narrowing are simply join/old
+/// (both trivially satisfy the laws).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_FLAT_H
+#define WARROW_LATTICE_FLAT_H
+
+#include "support/hash.h"
+
+#include <cassert>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+
+namespace warrow {
+
+/// bot < constant(v) < top, for any equality-comparable, hashable T.
+template <typename T> class Flat {
+public:
+  /// Default: bottom.
+  Flat() : Kind(KBot) {}
+
+  static Flat bot() { return Flat(); }
+  static Flat top() {
+    Flat F;
+    F.Kind = KTop;
+    return F;
+  }
+  static Flat constant(T V) {
+    Flat F;
+    F.Kind = KConst;
+    F.Value = std::move(V);
+    return F;
+  }
+
+  bool isBot() const { return Kind == KBot; }
+  bool isTop() const { return Kind == KTop; }
+  bool isConstant() const { return Kind == KConst; }
+  const T &constantValue() const {
+    assert(isConstant() && "no constant payload");
+    return *Value;
+  }
+
+  bool leq(const Flat &Other) const {
+    if (Kind == KBot || Other.Kind == KTop)
+      return true;
+    if (Other.Kind == KBot || Kind == KTop)
+      return false;
+    return *Value == *Other.Value;
+  }
+
+  Flat join(const Flat &Other) const {
+    if (Kind == KBot)
+      return Other;
+    if (Other.Kind == KBot)
+      return *this;
+    if (Kind == KConst && Other.Kind == KConst && *Value == *Other.Value)
+      return *this;
+    return top();
+  }
+
+  Flat meet(const Flat &Other) const {
+    if (Kind == KTop)
+      return Other;
+    if (Other.Kind == KTop)
+      return *this;
+    if (Kind == KConst && Other.Kind == KConst && *Value == *Other.Value)
+      return *this;
+    return bot();
+  }
+
+  bool operator==(const Flat &Other) const {
+    if (Kind != Other.Kind)
+      return false;
+    if (Kind != KConst)
+      return true;
+    return *Value == *Other.Value;
+  }
+
+  /// Finite height: join is already a widening.
+  Flat widen(const Flat &Other) const { return join(Other); }
+  /// Finite height: keeping the old value is a (trivial) narrowing; we use
+  /// the new one, which is the most precise legal choice.
+  Flat narrow(const Flat &Other) const { return Other; }
+
+  std::string str() const {
+    if (Kind == KBot)
+      return "bot";
+    if (Kind == KTop)
+      return "top";
+    if constexpr (std::is_arithmetic_v<T>)
+      return std::to_string(*Value);
+    else
+      return "const";
+  }
+
+  size_t hashValue() const {
+    if (Kind == KBot)
+      return 0x62; // 'b'
+    if (Kind == KTop)
+      return 0x74; // 't'
+    return hashAll(*Value);
+  }
+
+private:
+  enum KindTy { KBot, KConst, KTop };
+  KindTy Kind;
+  std::optional<T> Value;
+};
+
+} // namespace warrow
+
+template <typename T> struct std::hash<warrow::Flat<T>> {
+  size_t operator()(const warrow::Flat<T> &F) const { return F.hashValue(); }
+};
+
+#endif // WARROW_LATTICE_FLAT_H

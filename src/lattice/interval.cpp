@@ -1,0 +1,233 @@
+//===- lattice/interval.cpp - Integer interval domain ----------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/interval.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+using namespace warrow;
+
+bool Interval::leq(const Interval &Other) const {
+  if (Empty)
+    return true;
+  if (Other.Empty)
+    return false;
+  return Other.Lo <= Lo && Hi <= Other.Hi;
+}
+
+Interval Interval::join(const Interval &Other) const {
+  if (Empty)
+    return Other;
+  if (Other.Empty)
+    return *this;
+  return Interval(min(Lo, Other.Lo), max(Hi, Other.Hi));
+}
+
+Interval Interval::meet(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  Bound NewLo = max(Lo, Other.Lo);
+  Bound NewHi = min(Hi, Other.Hi);
+  if (NewLo > NewHi)
+    return bot();
+  return Interval(NewLo, NewHi);
+}
+
+bool Interval::operator==(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return Empty == Other.Empty;
+  return Lo == Other.Lo && Hi == Other.Hi;
+}
+
+Interval Interval::widen(const Interval &Other) const {
+  if (Empty)
+    return Other;
+  if (Other.Empty)
+    return *this;
+  Bound NewLo = Other.Lo < Lo ? Bound::negInf() : Lo;
+  Bound NewHi = Other.Hi > Hi ? Bound::posInf() : Hi;
+  return Interval(NewLo, NewHi);
+}
+
+Interval Interval::narrow(const Interval &Other) const {
+  // Precondition of narrowing: Other ⊑ *this. Only infinite bounds improve.
+  if (Other.Empty)
+    return Other;
+  if (Empty)
+    return *this;
+  Bound NewLo = Lo.isNegInf() ? Other.Lo : Lo;
+  Bound NewHi = Hi.isPosInf() ? Other.Hi : Hi;
+  if (NewLo > NewHi) // Defensive: tolerate misuse on incomparable args.
+    return Other;
+  return Interval(NewLo, NewHi);
+}
+
+Interval
+Interval::widenWithThresholds(const Interval &Other,
+                              const std::vector<int64_t> &Thresholds) const {
+  if (Empty)
+    return Other;
+  if (Other.Empty)
+    return *this;
+  Bound NewLo = Lo;
+  if (Other.Lo < Lo) {
+    // Snap to the largest threshold <= Other.Lo, else -inf.
+    NewLo = Bound::negInf();
+    if (Other.Lo.isFinite()) {
+      auto It = std::upper_bound(Thresholds.begin(), Thresholds.end(),
+                                 Other.Lo.finite());
+      if (It != Thresholds.begin())
+        NewLo = Bound(*std::prev(It));
+    }
+  }
+  Bound NewHi = Hi;
+  if (Other.Hi > Hi) {
+    // Snap to the smallest threshold >= Other.Hi, else +inf.
+    NewHi = Bound::posInf();
+    if (Other.Hi.isFinite()) {
+      auto It = std::lower_bound(Thresholds.begin(), Thresholds.end(),
+                                 Other.Hi.finite());
+      if (It != Thresholds.end())
+        NewHi = Bound(*It);
+    }
+  }
+  return Interval(NewLo, NewHi);
+}
+
+Interval Interval::add(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  return Interval(Lo + Other.Lo, Hi + Other.Hi);
+}
+
+Interval Interval::sub(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  return Interval(Lo - Other.Hi, Hi - Other.Lo);
+}
+
+Interval Interval::mul(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  Bound Candidates[4] = {Lo * Other.Lo, Lo * Other.Hi, Hi * Other.Lo,
+                         Hi * Other.Hi};
+  Bound NewLo = Candidates[0], NewHi = Candidates[0];
+  for (const Bound &C : Candidates) {
+    NewLo = min(NewLo, C);
+    NewHi = max(NewHi, C);
+  }
+  return Interval(NewLo, NewHi);
+}
+
+Interval Interval::div(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  // Remove 0 from the divisor: divide by the positive and negative parts
+  // separately and join.
+  Interval Pos = Other.meet(atLeast(Bound(1)));
+  Interval Neg = Other.meet(atMost(Bound(-1)));
+  Interval Result = bot();
+  auto DivideBy = [&](const Interval &Divisor) {
+    if (Divisor.Empty)
+      return;
+    Bound Candidates[4] = {Lo / Divisor.Lo, Lo / Divisor.Hi, Hi / Divisor.Lo,
+                           Hi / Divisor.Hi};
+    Bound NewLo = Candidates[0], NewHi = Candidates[0];
+    for (const Bound &C : Candidates) {
+      NewLo = min(NewLo, C);
+      NewHi = max(NewHi, C);
+    }
+    Result = Result.join(Interval(NewLo, NewHi));
+  };
+  DivideBy(Pos);
+  DivideBy(Neg);
+  return Result;
+}
+
+Interval Interval::rem(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  // |a % b| < |b| and the sign of a % b follows a (C semantics).
+  Bound MaxAbsDivisorMinus1;
+  if (!Other.Lo.isFinite() || !Other.Hi.isFinite()) {
+    MaxAbsDivisorMinus1 = Bound::posInf();
+  } else {
+    int64_t AbsLo = Other.Lo.finite() == std::numeric_limits<int64_t>::min()
+                        ? std::numeric_limits<int64_t>::max()
+                        : std::abs(Other.Lo.finite());
+    int64_t AbsHi = std::abs(Other.Hi.finite());
+    int64_t M = std::max(AbsLo, AbsHi);
+    if (M == 0)
+      return bot(); // Divisor is exactly [0,0]: undefined everywhere.
+    MaxAbsDivisorMinus1 = Bound(M - 1);
+  }
+  Bound NewLo = Lo >= Bound(0) ? Bound(0) : -MaxAbsDivisorMinus1;
+  Bound NewHi = Hi <= Bound(0) ? Bound(0) : MaxAbsDivisorMinus1;
+  // The result is also bounded by the dividend's magnitude when that is
+  // tighter (e.g. [0,3] % [10,10] = [0,3]).
+  if (Lo >= Bound(0) && Hi < NewHi)
+    NewHi = Hi;
+  if (Hi <= Bound(0) && Lo > NewLo)
+    NewLo = Lo;
+  return Interval(NewLo, NewHi);
+}
+
+Interval Interval::neg() const {
+  if (Empty)
+    return bot();
+  return Interval(-Hi, -Lo);
+}
+
+Interval Interval::restrictLess(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  return meet(atMost(Other.Hi.pred()));
+}
+
+Interval Interval::restrictLessEq(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  return meet(atMost(Other.Hi));
+}
+
+Interval Interval::restrictGreater(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  return meet(atLeast(Other.Lo.succ()));
+}
+
+Interval Interval::restrictGreaterEq(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return bot();
+  return meet(atLeast(Other.Lo));
+}
+
+Interval Interval::restrictNotEqual(const Interval &Other) const {
+  if (Empty)
+    return bot();
+  if (Other.Empty)
+    return *this;
+  if (!(Other.Lo == Other.Hi))
+    return *this; // Non-singleton: cannot refine an interval.
+  Bound V = Other.Lo;
+  if (Lo == V && Hi == V)
+    return bot();
+  if (Lo == V)
+    return Interval(Lo.succ(), Hi);
+  if (Hi == V)
+    return Interval(Lo, Hi.pred());
+  return *this;
+}
+
+std::string Interval::str() const {
+  if (Empty)
+    return "bot";
+  if (isTop())
+    return "top";
+  return "[" + Lo.str() + "," + Hi.str() + "]";
+}

@@ -1,0 +1,144 @@
+//===- lattice/interval.h - Integer interval domain -------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical integer interval domain of Cousot & Cousot, over
+/// mathematical integers extended with +/- infinity (`Bound`).
+///
+/// Widening pins unstable bounds to infinity (optionally passing through a
+/// sorted threshold set first); narrowing improves *only* infinite bounds —
+/// the standard definitions, satisfying the laws required by `WidenNarrow`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_INTERVAL_H
+#define WARROW_LATTICE_INTERVAL_H
+
+#include "support/hash.h"
+#include "support/saturating.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// An integer interval: empty (bottom) or [Lo, Hi] with Lo <= Hi.
+class Interval {
+public:
+  /// Default-constructs bottom (the empty interval).
+  Interval() : Empty(true), Lo(Bound(0)), Hi(Bound(0)) {}
+
+  static Interval bot() { return Interval(); }
+  static Interval top() {
+    return Interval(Bound::negInf(), Bound::posInf());
+  }
+  /// Singleton [V, V].
+  static Interval constant(int64_t V) {
+    return Interval(Bound(V), Bound(V));
+  }
+  /// [Lo, Hi]; asserts Lo <= Hi.
+  static Interval make(Bound Lo, Bound Hi) { return Interval(Lo, Hi); }
+  static Interval make(int64_t Lo, int64_t Hi) {
+    return Interval(Bound(Lo), Bound(Hi));
+  }
+  /// [Lo, +inf).
+  static Interval atLeast(Bound Lo) { return Interval(Lo, Bound::posInf()); }
+  /// (-inf, Hi].
+  static Interval atMost(Bound Hi) { return Interval(Bound::negInf(), Hi); }
+
+  bool isBot() const { return Empty; }
+  bool isTop() const { return !Empty && Lo.isNegInf() && Hi.isPosInf(); }
+  /// True for a non-empty singleton [v, v] with finite v.
+  bool isConstant() const { return !Empty && Lo == Hi && Lo.isFinite(); }
+
+  Bound lo() const {
+    assert(!Empty && "bottom interval has no bounds");
+    return Lo;
+  }
+  Bound hi() const {
+    assert(!Empty && "bottom interval has no bounds");
+    return Hi;
+  }
+  /// The constant payload; only valid if `isConstant()`.
+  int64_t constantValue() const {
+    assert(isConstant() && "not a constant interval");
+    return Lo.finite();
+  }
+
+  bool contains(int64_t V) const {
+    return !Empty && Lo <= Bound(V) && Bound(V) <= Hi;
+  }
+
+  // --- Lattice structure ---------------------------------------------------
+  bool leq(const Interval &Other) const;
+  Interval join(const Interval &Other) const;
+  Interval meet(const Interval &Other) const;
+  bool operator==(const Interval &Other) const;
+
+  // --- Acceleration ---------------------------------------------------------
+  /// Standard widening: bounds that grew jump to infinity.
+  Interval widen(const Interval &Other) const;
+  /// Standard narrowing: only infinite bounds may be improved.
+  Interval narrow(const Interval &Other) const;
+  /// Threshold widening: an unstable bound first snaps to the closest
+  /// enclosing threshold from \p Thresholds (sorted ascending), and only
+  /// past the last threshold jumps to infinity.
+  Interval widenWithThresholds(const Interval &Other,
+                               const std::vector<int64_t> &Thresholds) const;
+
+  // --- Abstract arithmetic --------------------------------------------------
+  Interval add(const Interval &Other) const;
+  Interval sub(const Interval &Other) const;
+  Interval mul(const Interval &Other) const;
+  /// C-style truncating division. Division by an interval containing only 0
+  /// yields bottom; otherwise 0 is removed from the divisor.
+  Interval div(const Interval &Other) const;
+  /// C-style remainder (sign follows the dividend).
+  Interval rem(const Interval &Other) const;
+  Interval neg() const;
+
+  // --- Refinement helpers (used by guard transfer functions) ----------------
+  /// Largest subinterval with all values <  Other's max.
+  Interval restrictLess(const Interval &Other) const;
+  /// Largest subinterval with all values <= Other's max.
+  Interval restrictLessEq(const Interval &Other) const;
+  /// Largest subinterval with all values >  Other's min.
+  Interval restrictGreater(const Interval &Other) const;
+  /// Largest subinterval with all values >= Other's min.
+  Interval restrictGreaterEq(const Interval &Other) const;
+  /// Meet with Other (refinement on equality guards).
+  Interval restrictEqual(const Interval &Other) const { return meet(Other); }
+  /// Refinement on disequality: only improves when Other is a constant at
+  /// one of our bounds.
+  Interval restrictNotEqual(const Interval &Other) const;
+
+  /// "[lo,hi]", "bot", or "top".
+  std::string str() const;
+
+  size_t hashValue() const {
+    if (Empty)
+      return 0x9e3779b9;
+    return hashAll(Lo.raw(), Hi.raw());
+  }
+
+private:
+  Interval(Bound Lo, Bound Hi) : Empty(false), Lo(Lo), Hi(Hi) {
+    assert(Lo <= Hi && "inverted interval bounds");
+    assert(!Lo.isPosInf() && !Hi.isNegInf() && "degenerate infinities");
+  }
+
+  bool Empty;
+  Bound Lo, Hi;
+};
+
+} // namespace warrow
+
+template <> struct std::hash<warrow::Interval> {
+  size_t operator()(const warrow::Interval &I) const { return I.hashValue(); }
+};
+
+#endif // WARROW_LATTICE_INTERVAL_H

@@ -1,0 +1,66 @@
+//===- lattice/lattice.h - Lattice concepts ---------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concepts describing the algebraic structures the solvers operate on.
+///
+/// A domain type `D` models `JoinSemiLattice` by providing:
+///   - `static D bot()`                      least element
+///   - `D join(const D &) const`             least upper bound
+///   - `bool leq(const D &) const`           partial order
+///   - `operator==`
+/// `Lattice` additionally requires `meet`. `WidenNarrow` requires the
+/// acceleration operators of Cousot & Cousot:
+///   - `D widen(const D &) const`   with a ⊑ b  ==>  b ⊑ a.widen(b)
+///   - `D narrow(const D &) const`  with b ⊑ a  ==>  b ⊑ a.narrow(b) ⊑ a
+///
+/// (The paper's widening law is `a ⊔ b ⊑ a ▽ b`; all our domains satisfy
+/// it, and the domain law tests check it on random samples.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_LATTICE_H
+#define WARROW_LATTICE_LATTICE_H
+
+#include <concepts>
+#include <string>
+
+namespace warrow {
+
+template <typename D>
+concept JoinSemiLattice = requires(const D &A, const D &B) {
+  { D::bot() } -> std::convertible_to<D>;
+  { A.join(B) } -> std::convertible_to<D>;
+  { A.leq(B) } -> std::convertible_to<bool>;
+  { A == B } -> std::convertible_to<bool>;
+};
+
+template <typename D>
+concept Lattice = JoinSemiLattice<D> && requires(const D &A, const D &B) {
+  { D::top() } -> std::convertible_to<D>;
+  { A.meet(B) } -> std::convertible_to<D>;
+};
+
+template <typename D>
+concept WidenNarrow = JoinSemiLattice<D> && requires(const D &A, const D &B) {
+  { A.widen(B) } -> std::convertible_to<D>;
+  { A.narrow(B) } -> std::convertible_to<D>;
+};
+
+/// Domains used in diagnostics/tables also render themselves.
+template <typename D>
+concept Printable = requires(const D &A) {
+  { A.str() } -> std::convertible_to<std::string>;
+};
+
+/// Convenience: strict order check `A ⊏ B`.
+template <JoinSemiLattice D> bool strictlyLess(const D &A, const D &B) {
+  return A.leq(B) && !(A == B);
+}
+
+} // namespace warrow
+
+#endif // WARROW_LATTICE_LATTICE_H

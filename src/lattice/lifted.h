@@ -1,0 +1,104 @@
+//===- lattice/lifted.h - Bottom-lifting a domain ---------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Lifted<D>` adds a fresh bottom element below an existing domain. The
+/// analysis uses it to distinguish "unreachable program point" (the fresh
+/// bottom) from "reachable with empty knowledge" (D's own bottom, e.g. an
+/// environment with no variables yet).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_LIFTED_H
+#define WARROW_LATTICE_LIFTED_H
+
+#include "support/hash.h"
+
+#include <cassert>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace warrow {
+
+/// D extended with a fresh least element ("unreachable").
+template <typename D> class Lifted {
+public:
+  /// Default: the fresh bottom.
+  Lifted() = default;
+
+  static Lifted bot() { return Lifted(); }
+  static Lifted of(D Value) {
+    Lifted L;
+    L.Payload = std::move(Value);
+    return L;
+  }
+
+  bool isBot() const { return !Payload.has_value(); }
+  const D &value() const {
+    assert(Payload && "bottom Lifted has no payload");
+    return *Payload;
+  }
+
+  bool leq(const Lifted &O) const {
+    if (isBot())
+      return true;
+    if (O.isBot())
+      return false;
+    return Payload->leq(*O.Payload);
+  }
+  Lifted join(const Lifted &O) const {
+    if (isBot())
+      return O;
+    if (O.isBot())
+      return *this;
+    return of(Payload->join(*O.Payload));
+  }
+  Lifted meet(const Lifted &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    return of(Payload->meet(*O.Payload));
+  }
+  bool operator==(const Lifted &O) const {
+    if (isBot() || O.isBot())
+      return isBot() == O.isBot();
+    return *Payload == *O.Payload;
+  }
+  Lifted widen(const Lifted &O) const {
+    if (isBot())
+      return O;
+    if (O.isBot())
+      return *this;
+    return of(Payload->widen(*O.Payload));
+  }
+  Lifted narrow(const Lifted &O) const {
+    if (isBot() || O.isBot())
+      return O;
+    return of(Payload->narrow(*O.Payload));
+  }
+
+  std::string str() const {
+    return isBot() ? "unreachable" : Payload->str();
+  }
+
+  size_t hashValue() const {
+    return isBot() ? 0x1f : hashAll(std::hash<D>{}(*Payload));
+  }
+
+private:
+  std::optional<D> Payload;
+};
+
+} // namespace warrow
+
+template <typename D> struct std::hash<warrow::Lifted<D>> {
+  size_t operator()(const warrow::Lifted<D> &L) const {
+    return L.hashValue();
+  }
+};
+
+#endif // WARROW_LATTICE_LIFTED_H

@@ -1,0 +1,184 @@
+//===- lattice/mapdom.h - Map lattices --------------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pointwise map lattice `K -> D` where keys absent from the map are
+/// implicitly bound to `D::bot()`. Backed by a sorted vector of pairs for
+/// deterministic iteration and cheap pointwise merges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_MAPDOM_H
+#define WARROW_LATTICE_MAPDOM_H
+
+#include "support/hash.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace warrow {
+
+/// Pointwise-lifted lattice of finite maps; missing keys mean bottom.
+/// Bindings to D::bot() are normalized away so that `==` is extensional.
+template <typename K, typename D> class MapLattice {
+public:
+  MapLattice() = default;
+
+  static MapLattice bot() { return MapLattice(); }
+
+  /// Value bound to \p Key (bottom when absent).
+  D get(const K &Key) const {
+    auto It = find(Key);
+    return It == Entries.end() ? D::bot() : It->second;
+  }
+
+  /// Binds \p Key to \p Value (erases the entry when Value is bottom).
+  void set(const K &Key, D Value) {
+    auto It = lowerBound(Key);
+    bool Present = It != Entries.end() && It->first == Key;
+    if (Value == D::bot()) {
+      if (Present)
+        Entries.erase(It);
+      return;
+    }
+    if (Present)
+      It->second = std::move(Value);
+    else
+      Entries.insert(It, {Key, std::move(Value)});
+  }
+
+  bool isBot() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  const std::vector<std::pair<K, D>> &entries() const { return Entries; }
+
+  bool leq(const MapLattice &O) const {
+    for (const auto &[Key, Value] : Entries)
+      if (!Value.leq(O.get(Key)))
+        return false;
+    return true;
+  }
+
+  bool operator==(const MapLattice &O) const { return Entries == O.Entries; }
+
+  MapLattice join(const MapLattice &O) const {
+    return merge(O, [](const D &A, const D &B) { return A.join(B); });
+  }
+  MapLattice widen(const MapLattice &O) const {
+    return merge(O, [](const D &A, const D &B) { return A.widen(B); });
+  }
+  MapLattice narrow(const MapLattice &O) const {
+    // Pointwise narrowing. Keys present only in `this` keep their value
+    // (narrowing with bottom would be unsound pointwise-wise only if D's
+    // narrow mishandles it; keeping the old value is always legal).
+    MapLattice R = *this;
+    for (auto &[Key, Value] : R.Entries)
+      Value = Value.narrow(O.get(Key));
+    R.normalize();
+    return R;
+  }
+  MapLattice meet(const MapLattice &O) const {
+    MapLattice R;
+    for (const auto &[Key, Value] : Entries) {
+      D M = Value.meet(O.get(Key));
+      if (!(M == D::bot()))
+        R.Entries.push_back({Key, std::move(M)});
+    }
+    return R;
+  }
+
+  std::string str() const {
+    std::string Out = "{";
+    bool FirstEntry = true;
+    for (const auto &[Key, Value] : Entries) {
+      if (!FirstEntry)
+        Out += ", ";
+      FirstEntry = false;
+      if constexpr (std::is_arithmetic_v<K>)
+        Out += std::to_string(Key);
+      else
+        Out += "?";
+      Out += "->" + Value.str();
+    }
+    return Out + "}";
+  }
+
+  size_t hashValue() const {
+    size_t Seed = Entries.size();
+    for (const auto &[Key, Value] : Entries) {
+      hashCombine(Seed, std::hash<K>{}(Key));
+      hashCombine(Seed, std::hash<D>{}(Value));
+    }
+    return Seed;
+  }
+
+private:
+  using Entry = std::pair<K, D>;
+  std::vector<Entry> Entries; // Sorted by key, no bottom values.
+
+  typename std::vector<Entry>::const_iterator find(const K &Key) const {
+    auto It = lowerBound(Key);
+    if (It != Entries.end() && It->first == Key)
+      return It;
+    return Entries.end();
+  }
+
+  typename std::vector<Entry>::const_iterator lowerBound(const K &Key) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Key,
+        [](const Entry &E, const K &Key) { return E.first < Key; });
+  }
+  typename std::vector<Entry>::iterator lowerBound(const K &Key) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Key,
+        [](const Entry &E, const K &Key) { return E.first < Key; });
+  }
+
+  template <typename Fn> MapLattice merge(const MapLattice &O, Fn Op) const {
+    MapLattice R;
+    size_t I = 0, J = 0;
+    while (I < Entries.size() || J < O.Entries.size()) {
+      if (J == O.Entries.size() ||
+          (I < Entries.size() && Entries[I].first < O.Entries[J].first)) {
+        R.Entries.push_back({Entries[I].first, Op(Entries[I].second, D::bot())});
+        ++I;
+      } else if (I == Entries.size() ||
+                 O.Entries[J].first < Entries[I].first) {
+        R.Entries.push_back(
+            {O.Entries[J].first, Op(D::bot(), O.Entries[J].second)});
+        ++J;
+      } else {
+        R.Entries.push_back(
+            {Entries[I].first, Op(Entries[I].second, O.Entries[J].second)});
+        ++I;
+        ++J;
+      }
+    }
+    R.normalize();
+    return R;
+  }
+
+  void normalize() {
+    Entries.erase(std::remove_if(
+                      Entries.begin(), Entries.end(),
+                      [](const Entry &E) { return E.second == D::bot(); }),
+                  Entries.end());
+  }
+};
+
+} // namespace warrow
+
+template <typename K, typename D>
+struct std::hash<warrow::MapLattice<K, D>> {
+  size_t operator()(const warrow::MapLattice<K, D> &M) const {
+    return M.hashValue();
+  }
+};
+
+#endif // WARROW_LATTICE_MAPDOM_H

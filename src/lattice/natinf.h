@@ -1,0 +1,102 @@
+//===- lattice/natinf.h - Naturals extended with infinity -------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lattice `N ∪ {∞}` of non-negative integers with the natural order,
+/// exactly as used by the paper's Examples 1-4:
+///
+///   widening:   a ▽ b = a  if b <= a,  ∞ otherwise
+///   narrowing:  a △ b = b  if a = ∞,   a otherwise      (for b <= a)
+///
+/// Join is max, meet is min. This tiny domain is what makes plain
+/// round-robin and worklist iteration diverge under ⊟, so it is kept
+/// faithful to the paper rather than generalized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_NATINF_H
+#define WARROW_LATTICE_NATINF_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace warrow {
+
+/// A natural number or infinity, ordered by <=; a complete lattice with
+/// bottom 0 and top ∞.
+class NatInf {
+public:
+  /// Bottom: 0.
+  NatInf() : Value(0) {}
+  explicit NatInf(uint64_t V) : Value(V) {
+    assert(V != InfRep && "finite payload collides with infinity encoding");
+  }
+
+  static NatInf bot() { return NatInf(); }
+  static NatInf top() { return inf(); }
+  static NatInf inf() {
+    NatInf N;
+    N.Value = InfRep;
+    return N;
+  }
+
+  bool isInf() const { return Value == InfRep; }
+  uint64_t finite() const {
+    assert(!isInf() && "infinite NatInf has no finite payload");
+    return Value;
+  }
+
+  bool leq(const NatInf &Other) const { return Value <= Other.Value; }
+  NatInf join(const NatInf &Other) const {
+    return fromRep(Value >= Other.Value ? Value : Other.Value);
+  }
+  NatInf meet(const NatInf &Other) const {
+    return fromRep(Value <= Other.Value ? Value : Other.Value);
+  }
+  bool operator==(const NatInf &Other) const { return Value == Other.Value; }
+
+  /// a ▽ b = a if b <= a else ∞ (paper, Example 1).
+  NatInf widen(const NatInf &Other) const {
+    return Other.leq(*this) ? *this : inf();
+  }
+  /// a △ b = b if a = ∞ else a (paper, Example 1; defined for b <= a).
+  NatInf narrow(const NatInf &Other) const {
+    return isInf() ? Other : *this;
+  }
+
+  /// Saturating addition (∞ absorbs).
+  NatInf plus(uint64_t K) const {
+    if (isInf())
+      return inf();
+    uint64_t R = Value + K;
+    return R < Value || R == InfRep ? inf() : fromRep(R);
+  }
+
+  std::string str() const {
+    return isInf() ? "inf" : std::to_string(Value);
+  }
+
+  size_t hashValue() const { return std::hash<uint64_t>{}(Value); }
+
+private:
+  static constexpr uint64_t InfRep = ~0ULL;
+  static NatInf fromRep(uint64_t Rep) {
+    NatInf N;
+    N.Value = Rep;
+    return N;
+  }
+  uint64_t Value;
+};
+
+} // namespace warrow
+
+template <> struct std::hash<warrow::NatInf> {
+  size_t operator()(const warrow::NatInf &N) const { return N.hashValue(); }
+};
+
+#endif // WARROW_LATTICE_NATINF_H

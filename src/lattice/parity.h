@@ -1,0 +1,100 @@
+//===- lattice/parity.h - Parity domain -------------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four-element parity lattice: bot < {Even, Odd} < top, with exact
+/// abstract arithmetic. A classical companion domain for intervals
+/// (products of the two recover information neither has alone); here it
+/// primarily exercises the generic solver machinery with another finite
+/// domain and feeds the product-domain tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_PARITY_H
+#define WARROW_LATTICE_PARITY_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace warrow {
+
+/// bot < Even, Odd < top.
+class Parity {
+public:
+  /// Default: bottom.
+  Parity() : Bits(0) {}
+
+  static Parity bot() { return Parity(0); }
+  static Parity top() { return Parity(EvenBit | OddBit); }
+  static Parity even() { return Parity(EvenBit); }
+  static Parity odd() { return Parity(OddBit); }
+
+  /// Abstraction of a concrete integer.
+  static Parity ofValue(int64_t V) {
+    // C's % can yield -1 for negative odd values; test against 0.
+    return V % 2 == 0 ? even() : odd();
+  }
+
+  bool isBot() const { return Bits == 0; }
+  bool isTop() const { return Bits == (EvenBit | OddBit); }
+  bool mayBeEven() const { return Bits & EvenBit; }
+  bool mayBeOdd() const { return Bits & OddBit; }
+
+  bool leq(const Parity &O) const { return (Bits & ~O.Bits) == 0; }
+  Parity join(const Parity &O) const { return Parity(Bits | O.Bits); }
+  Parity meet(const Parity &O) const { return Parity(Bits & O.Bits); }
+  bool operator==(const Parity &O) const { return Bits == O.Bits; }
+
+  // Finite lattice: join is a widening, the new value a narrowing.
+  Parity widen(const Parity &O) const { return join(O); }
+  Parity narrow(const Parity &O) const { return O; }
+
+  // --- Abstract arithmetic --------------------------------------------------
+  Parity add(const Parity &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    Parity R = bot();
+    // even+even=even, odd+odd=even, mixed=odd.
+    if ((mayBeEven() && O.mayBeEven()) || (mayBeOdd() && O.mayBeOdd()))
+      R = R.join(even());
+    if ((mayBeEven() && O.mayBeOdd()) || (mayBeOdd() && O.mayBeEven()))
+      R = R.join(odd());
+    return R;
+  }
+  Parity sub(const Parity &O) const { return add(O); } // Same table.
+  Parity mul(const Parity &O) const {
+    if (isBot() || O.isBot())
+      return bot();
+    Parity R = bot();
+    if (mayBeEven() || O.mayBeEven())
+      R = R.join(even());
+    if (mayBeOdd() && O.mayBeOdd())
+      R = R.join(odd());
+    return R;
+  }
+  Parity neg() const { return *this; }
+
+  std::string str() const {
+    static const char *Names[4] = {"bot", "even", "odd", "top"};
+    return Names[Bits];
+  }
+
+  size_t hashValue() const { return std::hash<uint8_t>{}(Bits); }
+
+private:
+  static constexpr uint8_t EvenBit = 1, OddBit = 2;
+  explicit Parity(uint8_t Bits) : Bits(Bits) {}
+  uint8_t Bits;
+};
+
+} // namespace warrow
+
+template <> struct std::hash<warrow::Parity> {
+  size_t operator()(const warrow::Parity &P) const { return P.hashValue(); }
+};
+
+#endif // WARROW_LATTICE_PARITY_H

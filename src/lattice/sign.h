@@ -1,0 +1,149 @@
+//===- lattice/sign.h - Sign domain -----------------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The eight-element sign lattice over {<0, =0, >0} subsets:
+///
+///                     top
+///                  .   |   .
+///                 <=0 !=0 >=0
+///                  . x . x .
+///                 <0  =0   >0
+///                   .  |  .
+///                     bot
+///
+/// Small, finite, and with exact complements — useful both as a secondary
+/// analysis domain and as a stress test for the generic solver templates
+/// (it exercises a domain whose widening is plain join).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_SIGN_H
+#define WARROW_LATTICE_SIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace warrow {
+
+/// Bitset over the three atoms Neg (<0), Zero (=0), Pos (>0).
+class Sign {
+public:
+  /// Default: bottom (empty set of signs).
+  Sign() : Bits(0) {}
+
+  static Sign bot() { return Sign(0); }
+  static Sign top() { return Sign(NegBit | ZeroBit | PosBit); }
+  static Sign negative() { return Sign(NegBit); }
+  static Sign zero() { return Sign(ZeroBit); }
+  static Sign positive() { return Sign(PosBit); }
+  static Sign nonNegative() { return Sign(ZeroBit | PosBit); }
+  static Sign nonPositive() { return Sign(NegBit | ZeroBit); }
+  static Sign nonZero() { return Sign(NegBit | PosBit); }
+
+  /// Abstraction of a single concrete integer.
+  static Sign ofValue(int64_t V) {
+    if (V < 0)
+      return negative();
+    if (V == 0)
+      return zero();
+    return positive();
+  }
+
+  bool isBot() const { return Bits == 0; }
+  bool isTop() const { return Bits == (NegBit | ZeroBit | PosBit); }
+  bool mayBeNegative() const { return Bits & NegBit; }
+  bool mayBeZero() const { return Bits & ZeroBit; }
+  bool mayBePositive() const { return Bits & PosBit; }
+
+  bool leq(const Sign &Other) const { return (Bits & ~Other.Bits) == 0; }
+  Sign join(const Sign &Other) const { return Sign(Bits | Other.Bits); }
+  Sign meet(const Sign &Other) const { return Sign(Bits & Other.Bits); }
+  bool operator==(const Sign &Other) const { return Bits == Other.Bits; }
+
+  // Finite lattice: acceleration is trivial.
+  Sign widen(const Sign &Other) const { return join(Other); }
+  Sign narrow(const Sign &Other) const { return Other; }
+
+  // --- Abstract arithmetic --------------------------------------------------
+  Sign add(const Sign &Other) const {
+    if (isBot() || Other.isBot())
+      return bot();
+    Sign R = bot();
+    // Case analysis per atom pair.
+    auto Combine = [&R](int A, int B) {
+      int S = A + B;
+      if (A != 0 && B != 0 && A != B) {
+        // neg + pos: anything.
+        R = R.join(top());
+        return;
+      }
+      R = R.join(ofValue(S));
+      // pos + pos stays pos; but pos + zero stays pos etc. — ofValue of the
+      // representative sum is exact for equal-or-zero sign pairs.
+    };
+    forEachAtomPair(Other, Combine);
+    return R;
+  }
+
+  Sign neg() const {
+    Sign R = bot();
+    if (mayBeNegative())
+      R = R.join(positive());
+    if (mayBeZero())
+      R = R.join(zero());
+    if (mayBePositive())
+      R = R.join(negative());
+    return R;
+  }
+
+  Sign sub(const Sign &Other) const { return add(Other.neg()); }
+
+  Sign mul(const Sign &Other) const {
+    if (isBot() || Other.isBot())
+      return bot();
+    Sign R = bot();
+    forEachAtomPair(Other, [&R](int A, int B) { R = R.join(ofValue(A * B)); });
+    return R;
+  }
+
+  std::string str() const {
+    static const char *Names[8] = {"bot", "<0",  "=0",  "<=0",
+                                   ">0",  "!=0", ">=0", "top"};
+    return Names[Bits];
+  }
+
+  size_t hashValue() const { return std::hash<uint8_t>{}(Bits); }
+
+private:
+  static constexpr uint8_t NegBit = 1, ZeroBit = 2, PosBit = 4;
+  explicit Sign(uint8_t Bits) : Bits(Bits) {}
+
+  /// Invokes \p F with representative values (-1, 0, 1) of every atom pair
+  /// in `this x Other`.
+  template <typename Fn> void forEachAtomPair(const Sign &Other, Fn F) const {
+    static constexpr int Reps[3] = {-1, 0, 1};
+    static constexpr uint8_t Masks[3] = {NegBit, ZeroBit, PosBit};
+    for (int I = 0; I < 3; ++I) {
+      if (!(Bits & Masks[I]))
+        continue;
+      for (int J = 0; J < 3; ++J)
+        if (Other.Bits & Masks[J])
+          F(Reps[I], Reps[J]);
+    }
+  }
+
+  uint8_t Bits;
+};
+
+} // namespace warrow
+
+template <> struct std::hash<warrow::Sign> {
+  size_t operator()(const warrow::Sign &S) const { return S.hashValue(); }
+};
+
+#endif // WARROW_LATTICE_SIGN_H

@@ -1,0 +1,30 @@
+//===- lattice/thresholds.cpp - Widening threshold sets --------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/thresholds.h"
+
+#include <algorithm>
+
+using namespace warrow;
+
+ThresholdSet ThresholdSet::of(std::vector<int64_t> Values) {
+  ThresholdSet S;
+  S.Sorted = std::move(Values);
+  S.Sorted.push_back(-1);
+  S.Sorted.push_back(0);
+  S.Sorted.push_back(1);
+  std::sort(S.Sorted.begin(), S.Sorted.end());
+  S.Sorted.erase(std::unique(S.Sorted.begin(), S.Sorted.end()),
+                 S.Sorted.end());
+  return S;
+}
+
+void ThresholdSet::add(int64_t Value) {
+  auto It = std::lower_bound(Sorted.begin(), Sorted.end(), Value);
+  if (It != Sorted.end() && *It == Value)
+    return;
+  Sorted.insert(It, Value);
+}

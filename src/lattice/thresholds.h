@@ -1,0 +1,45 @@
+//===- lattice/thresholds.h - Widening threshold sets -----------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Threshold sets for `Interval::widenWithThresholds`. Related work cited
+/// by the paper improves the *operators* (e.g. widening with thresholds or
+/// landmarks [Simon & King, APLAS'06]); the paper's ⊟ is complementary to
+/// such refinements, and the ablation bench compares both axes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_THRESHOLDS_H
+#define WARROW_LATTICE_THRESHOLDS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace warrow {
+
+/// A sorted, deduplicated set of widening thresholds.
+class ThresholdSet {
+public:
+  ThresholdSet() = default;
+
+  /// Builds from arbitrary values (sorts and dedupes). 0, 1, and -1 are
+  /// always included — they stabilize common loop idioms.
+  static ThresholdSet of(std::vector<int64_t> Values);
+
+  void add(int64_t Value);
+
+  const std::vector<int64_t> &values() const { return Sorted; }
+  bool empty() const { return Sorted.empty(); }
+  size_t size() const { return Sorted.size(); }
+
+private:
+  std::vector<int64_t> Sorted;
+};
+
+} // namespace warrow
+
+#endif // WARROW_LATTICE_THRESHOLDS_H

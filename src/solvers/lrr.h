@@ -1,0 +1,96 @@
+//===- solvers/lrr.h - Local round-robin solver ------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The naive generic *local* solver sketched in the paper's Section 5:
+///
+///   "one such instance can be derived from the round-robin algorithm.
+///    For that, the evaluation of right-hand sides is instrumented in
+///    such a way that it keeps track of the set of accessed unknowns.
+///    Each round then operates on a growing set of unknowns. In the
+///    first round, just x0 alone is considered. In any subsequent round
+///    all unknowns are added whose values have been newly accessed
+///    during the last iteration."
+///
+/// LRR is a *generic* local solver (right-hand sides are evaluated
+/// atomically against one assignment), so with ⊕ = ⊟ it returns partial
+/// post solutions on termination — but, inheriting round-robin's
+/// weakness, it may diverge under ⊟ even on finite monotonic systems
+/// (Example 1), unlike SLR. It serves as the baseline that motivates
+/// SLR's priority discipline, and as a second independent implementation
+/// for cross-checking SLR's results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_LRR_H
+#define WARROW_SOLVERS_LRR_H
+
+#include "eqsys/local_system.h"
+#include "solvers/stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace warrow {
+
+/// Runs local round-robin iteration for the interesting unknown \p X0.
+template <typename V, typename D, typename C>
+PartialSolution<V, D> solveLRR(const LocalSystem<V, D> &System, const V &X0,
+                               C &&Combine, const SolverOptions &Options = {}) {
+  PartialSolution<V, D> Result;
+
+  // The worklist of known unknowns, in discovery order (deterministic).
+  std::vector<V> Known;
+  std::unordered_set<V> KnownSet;
+  auto Discover = [&](const V &Y) {
+    if (KnownSet.insert(Y).second) {
+      Known.push_back(Y);
+      Result.Sigma.emplace(Y, System.initial(Y));
+    }
+  };
+  Discover(X0);
+
+  bool Dirty = true;
+  while (Dirty) {
+    Dirty = false;
+    // Iterate over a snapshot: unknowns discovered this round join the
+    // next round (the paper's "growing set").
+    size_t RoundSize = Known.size();
+    for (size_t I = 0; I < RoundSize; ++I) {
+      if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
+        Result.Stats.Converged = false;
+        Result.Stats.VarsSeen = Result.Sigma.size();
+        return Result;
+      }
+      ++Result.Stats.RhsEvals;
+      const V X = Known[I];
+      typename LocalSystem<V, D>::Get Get = [&](const V &Y) -> D {
+        Discover(Y);
+        return Result.Sigma.at(Y);
+      };
+      // Evaluate the right-hand side before touching Sigma[X]: discovery
+      // inserts into the map and would invalidate references.
+      D RhsValue = System.rhs(X)(Get);
+      D New = Combine(X, Result.Sigma.at(X), RhsValue);
+      if (!(New == Result.Sigma.at(X))) {
+        Result.Sigma[X] = std::move(New);
+        ++Result.Stats.Updates;
+        if (Options.RecordTrace)
+          Result.Trace.push_back({X, Result.Sigma.at(X)});
+        Dirty = true;
+      }
+    }
+    if (Known.size() > RoundSize)
+      Dirty = true; // Fresh unknowns need at least one evaluation.
+  }
+  Result.Stats.VarsSeen = Result.Sigma.size();
+  return Result;
+}
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_LRR_H

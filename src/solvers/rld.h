@@ -1,0 +1,99 @@
+//===- solvers/rld.h - The local solver RLD (paper Fig. 5) ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recursive local solver RLD of Hofmann, Karbyshev & Seidl (SAS'10),
+/// reproduced from the paper's Figure 5:
+///
+///     let rec solve x =
+///       if x ∉ stable then
+///         stable <- stable ∪ {x};
+///         tmp <- s[x] ⊕ f_x (eval x);
+///         if tmp != s[x] then
+///           W <- infl[x];
+///           s[x] <- tmp; infl[x] <- [];
+///           stable <- stable \ W;
+///           foreach y in W do solve y
+///     and eval x y =
+///       solve y; infl[y] <- infl[y] ∪ {x}; s[y]
+///     in stable <- {}; infl <- {}; s <- {}; solve x0; s
+///
+/// RLD is included as the *baseline the paper repairs*: because `eval`
+/// recursively solves every queried unknown, one right-hand side may be
+/// evaluated against several intermediate assignments, so RLD is not a
+/// generic solver in the paper's sense — with ⊕ = ⊟ it can return
+/// non-⊟-solutions even when it terminates (Section 5). The test suite
+/// exhibits such a case and shows SLR fixing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_RLD_H
+#define WARROW_SOLVERS_RLD_H
+
+#include "eqsys/local_system.h"
+#include "solvers/stats.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace warrow {
+
+/// Runs RLD for the interesting unknown \p X0.
+template <typename V, typename D, typename C>
+PartialSolution<V, D> solveRLD(const LocalSystem<V, D> &System, const V &X0,
+                               C &&Combine, const SolverOptions &Options = {}) {
+  PartialSolution<V, D> Result;
+  std::unordered_set<V> Stable;
+  std::unordered_map<V, std::unordered_set<V>> Infl;
+  bool Failed = false;
+
+  // `s` defaults any unseen unknown to its initial value.
+  auto ValueOf = [&](const V &Y) -> D & {
+    auto It = Result.Sigma.find(Y);
+    if (It == Result.Sigma.end())
+      It = Result.Sigma.emplace(Y, System.initial(Y)).first;
+    return It->second;
+  };
+
+  std::function<void(const V &)> Solve = [&](const V &X) {
+    if (Failed || Stable.count(X))
+      return;
+    Stable.insert(X);
+    if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
+      Failed = true;
+      return;
+    }
+    ++Result.Stats.RhsEvals;
+    typename LocalSystem<V, D>::Get Eval = [&, X](const V &Y) -> D {
+      Solve(Y);
+      Infl[Y].insert(X);
+      return ValueOf(Y);
+    };
+    D New = System.rhs(X)(Eval);
+    D &Slot = ValueOf(X);
+    D Tmp = Combine(X, Slot, New);
+    if (Tmp == Slot)
+      return;
+    std::unordered_set<V> W = std::move(Infl[X]);
+    Slot = Tmp;
+    ++Result.Stats.Updates;
+    Infl[X].clear();
+    for (const V &Y : W)
+      Stable.erase(Y);
+    for (const V &Y : W)
+      Solve(Y);
+  };
+
+  Solve(X0);
+  Result.Stats.Converged = !Failed;
+  Result.Stats.VarsSeen = Result.Sigma.size();
+  return Result;
+}
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_RLD_H

@@ -1,0 +1,67 @@
+//===- solvers/rr.h - Round-robin solver (paper Fig. 1) ---------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic round-robin solver RR of the paper's Figure 1:
+///
+///     do {
+///       dirty <- false;
+///       forall (x in X) {
+///         new <- sigma[x] ⊕ f_x(sigma);
+///         if (sigma[x] != new) { sigma[x] <- new; dirty <- true; }
+///       }
+///     } while (dirty);
+///
+/// RR treats right-hand sides as black boxes (no dependency information
+/// needed) and works for any combine operator ⊕ — but, as the paper's
+/// Example 1 shows, it may diverge under ⊟ even for finite monotonic
+/// systems. Divergence is reported via `Stats.Converged`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_RR_H
+#define WARROW_SOLVERS_RR_H
+
+#include "eqsys/dense_system.h"
+#include "solvers/stats.h"
+
+namespace warrow {
+
+/// Runs round-robin iteration with combine operator \p Combine, starting
+/// from the system's initial assignment.
+template <typename D, typename C>
+SolveResult<D> solveRR(const DenseSystem<D> &System, C &&Combine,
+                       const SolverOptions &Options = {}) {
+  SolveResult<D> Result;
+  Result.Sigma = System.initialAssignment();
+  Result.Stats.VarsSeen = System.size();
+  auto Get = [&Result](Var Y) { return Result.Sigma[Y]; };
+
+  bool Dirty = true;
+  while (Dirty) {
+    Dirty = false;
+    for (Var X = 0; X < System.size(); ++X) {
+      if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
+        Result.Stats.Converged = false;
+        return Result;
+      }
+      ++Result.Stats.RhsEvals;
+      D New = Combine(X, Result.Sigma[X], System.eval(X, Get));
+      if (!(Result.Sigma[X] == New)) {
+        Result.Sigma[X] = New;
+        ++Result.Stats.Updates;
+        if (Options.RecordTrace)
+          Result.Trace.push_back({X, Result.Sigma[X]});
+        Dirty = true;
+      }
+    }
+  }
+  return Result;
+}
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_RR_H

@@ -1,0 +1,172 @@
+//===- solvers/slr.h - The local solver SLR (paper Fig. 6) ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured local recursive solver SLR, the paper's Figure 6 and
+/// main contribution on the algorithmic side:
+///
+///     let rec solve x =
+///       if x ∉ stable then
+///         stable <- stable ∪ {x};
+///         tmp <- sigma[x] ⊕ f_x (eval x);
+///         if tmp != sigma[x] then
+///           W <- infl[x];
+///           foreach y in W do add Q y;
+///           sigma[x] <- tmp; infl[x] <- {x}; stable <- stable \ W;
+///           while (Q != {}) ∧ (min_key Q <= key[x]) do
+///             solve (extract_min Q)
+///     and init y =
+///       dom <- dom ∪ {y}; key[y] <- -count; count++;
+///       infl[y] <- {y}; sigma[y] <- sigma_0[y]
+///     and eval x y =
+///       if y ∉ dom then init y; solve y end;
+///       infl[y] <- infl[y] ∪ {x};
+///       sigma[y]
+///     in ... init x0; solve x0; sigma
+///
+/// Differences from RLD that make SLR a *generic* local solver (and
+/// terminating for monotonic systems under ⊟, Theorem 3):
+///  - `eval` recursively solves only *fresh* unknowns, so the evaluation
+///    of a right-hand side is effectively atomic;
+///  - every unknown always depends on itself (`infl[y] ∋ y`);
+///  - destabilized unknowns go into a global priority queue ordered by
+///    discovery time (fresher unknowns = smaller key = solved first), and
+///    `solve x` drains only entries with key <= key[x].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_SLR_H
+#define WARROW_SOLVERS_SLR_H
+
+#include "eqsys/local_system.h"
+#include "solvers/stats.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace warrow {
+
+/// SLR solver engine. Kept as a class so that tests and the experiment
+/// drivers can inspect the discovered domain, keys, and influence sets.
+template <typename V, typename D, typename C> class SlrSolver {
+public:
+  SlrSolver(const LocalSystem<V, D> &System, C Combine,
+            const SolverOptions &Options = {})
+      : System(System), Combine(std::move(Combine)), Options(Options) {}
+
+  /// Solves for \p X0 and returns the partial ⊕-solution.
+  PartialSolution<V, D> solveFor(const V &X0) {
+    init(X0);
+    solve(X0);
+    // Complete any work left in the queue (possible when destabilizations
+    // race with evaluations that end up not changing any value up the
+    // recursion; the final assignment must be a partial ⊕-solution).
+    while (!Failed && !Queue.empty()) {
+      int64_t MinKey = *Queue.begin();
+      Queue.erase(Queue.begin());
+      solve(KeyToVar.at(MinKey));
+    }
+    PartialSolution<V, D> Result;
+    Result.Sigma = Sigma;
+    Result.Stats = Stats;
+    Result.Stats.Converged = !Failed;
+    Result.Stats.VarsSeen = Sigma.size();
+    return Result;
+  }
+
+  const std::unordered_map<V, D> &assignment() const { return Sigma; }
+  const std::unordered_map<V, int64_t> &keys() const { return Key; }
+
+private:
+  void init(const V &Y) {
+    assert(!Sigma.count(Y) && "double init");
+    Key[Y] = -Count;
+    KeyToVar.emplace(-Count, Y);
+    ++Count;
+    Infl[Y] = {Y};
+    Sigma.emplace(Y, System.initial(Y));
+  }
+
+  void addQ(const V &Y) {
+    Queue.insert(Key.at(Y));
+    if (Queue.size() > Stats.QueueMax)
+      Stats.QueueMax = Queue.size();
+  }
+
+  void solve(const V &X) {
+    if (Failed || Stable.count(X))
+      return;
+    Stable.insert(X);
+    if (Stats.RhsEvals >= Options.MaxRhsEvals) {
+      Failed = true;
+      return;
+    }
+    ++Stats.RhsEvals;
+    typename LocalSystem<V, D>::Get Eval = [this, X](const V &Y) -> D {
+      return eval(X, Y);
+    };
+    D New = System.rhs(X)(Eval);
+    if (Failed)
+      return;
+    D Tmp = Combine(X, Sigma.at(X), New);
+    if (!(Tmp == Sigma.at(X))) {
+      std::unordered_set<V> W = std::move(Infl[X]);
+      for (const V &Y : W)
+        addQ(Y);
+      Sigma[X] = std::move(Tmp);
+      ++Stats.Updates;
+      Infl[X] = {X};
+      for (const V &Y : W)
+        Stable.erase(Y);
+      int64_t KeyX = Key.at(X);
+      while (!Failed && !Queue.empty() && *Queue.begin() <= KeyX) {
+        int64_t MinKey = *Queue.begin();
+        Queue.erase(Queue.begin());
+        solve(KeyToVar.at(MinKey));
+      }
+    }
+  }
+
+  D eval(const V &X, const V &Y) {
+    if (!Sigma.count(Y)) {
+      init(Y);
+      solve(Y);
+    }
+    Infl[Y].insert(X);
+    return Sigma.at(Y);
+  }
+
+  const LocalSystem<V, D> &System;
+  C Combine;
+  SolverOptions Options;
+
+  std::unordered_map<V, D> Sigma; // dom = keys(Sigma).
+  std::unordered_map<V, int64_t> Key;
+  std::unordered_map<int64_t, V> KeyToVar;
+  std::unordered_map<V, std::unordered_set<V>> Infl;
+  std::unordered_set<V> Stable;
+  std::set<int64_t> Queue; // Ordered: *begin() is min_key.
+  int64_t Count = 0;
+  SolverStats Stats;
+  bool Failed = false;
+};
+
+/// Convenience wrapper running SLR once.
+template <typename V, typename D, typename C>
+PartialSolution<V, D> solveSLR(const LocalSystem<V, D> &System, const V &X0,
+                               C &&Combine, const SolverOptions &Options = {}) {
+  SlrSolver<V, D, std::decay_t<C>> Solver(System, std::forward<C>(Combine),
+                                          Options);
+  return Solver.solveFor(X0);
+}
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_SLR_H

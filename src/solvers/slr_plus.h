@@ -1,0 +1,252 @@
+//===- solvers/slr_plus.h - Side-effecting SLR+ (paper Sec. 6) --*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SLR+ — the extension of SLR to side-effecting constraint systems
+/// (Section 6). Right-hand sides receive, besides `get`, a callback
+/// `side(z, d)` contributing the value d to unknown z; such systems
+/// express context-sensitive interprocedural analysis with flow-
+/// insensitive globals (Apinis/Seidl/Vojdani, APLAS'12; Goblint).
+///
+/// The crucial twist (Example 8): individual contributions must not be
+/// combined into the target with ⊟ one by one — narrowing on a single
+/// contribution is unsound. SLR+ therefore materializes one fresh unknown
+/// `(x, z)` per (contributing equation x, target z) holding the *last*
+/// contribution of x to z, maintains `set[z]` = all contributors seen, and
+/// extends z's right-hand side with `⊔ { sigma(x,z) | x in set[z] }`. The
+/// ⊟ operator is then applied to the *joined* value, which is safe.
+///
+/// Paper modifications relative to Fig. 6, implemented verbatim:
+///
+///     side x y d =
+///       if (x,y) ∉ dom then sigma[(x,y)] <- ⊥;
+///       if d != sigma[(x,y)] then
+///         sigma[(x,y)] <- d;
+///         if y in dom then set[y] ∪= {x}; stable \= {y}; add Q y
+///         else init y; set[y] <- {x}; solve y
+///
+///     (in solve)
+///     tmp <- sigma(x) ⊕ (f_x (eval x) (side x) ⊔ ⊔{sigma(z,x) | z in set x})
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_SLR_PLUS_H
+#define WARROW_SOLVERS_SLR_PLUS_H
+
+#include "eqsys/local_system.h"
+#include "solvers/stats.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace warrow {
+
+/// SLR+ solver engine for side-effecting systems.
+///
+/// With \p LocalizedCombine enabled, the ⊕ operator is applied only at
+/// dynamically detected *widening points* — unknowns whose evaluation was
+/// re-entered while already in progress (i.e. that sit on a dependency
+/// cycle) and unknowns receiving side effects; all other unknowns are
+/// combined with plain join. Every cycle passes through a widening point,
+/// so termination for monotonic systems is preserved, while acyclic
+/// unknowns never lose precision to widening (the localized-widening
+/// refinement of the follow-up journal work on SLR).
+template <typename V, typename D, typename C> class SlrPlusSolver {
+public:
+  SlrPlusSolver(const SideEffectingSystem<V, D> &System, C Combine,
+                const SolverOptions &Options = {},
+                bool LocalizedCombine = false)
+      : System(System), Combine(std::move(Combine)), Options(Options),
+        Localized(LocalizedCombine) {}
+
+  /// Solves for \p X0 and returns the partial ⊕-solution.
+  PartialSolution<V, D> solveFor(const V &X0) {
+    init(X0);
+    solve(X0);
+    // Drain any unknowns destabilized by side effects that no enclosing
+    // update flushed (Fig. 6 drains inside the update branch only; if the
+    // chain up to x0 never changes value, destabilized unknowns would
+    // otherwise be left unsolved and the result would not be a partial
+    // ⊕-solution).
+    while (!Failed && !Queue.empty()) {
+      int64_t MinKey = *Queue.begin();
+      Queue.erase(Queue.begin());
+      solve(KeyToVar.at(MinKey));
+    }
+    PartialSolution<V, D> Result;
+    Result.Sigma = Sigma;
+    Result.Stats = Stats;
+    Result.Stats.Converged = !Failed;
+    Result.Stats.VarsSeen = Sigma.size();
+    Result.Trace = std::move(Trace);
+    return Result;
+  }
+
+  // --- Introspection (used by the two-phase baseline and by tests) --------
+  const std::unordered_map<V, D> &assignment() const { return Sigma; }
+  const std::unordered_map<V, int64_t> &keys() const { return Key; }
+  /// Contributions per target: target -> (contributor -> last value).
+  const std::unordered_map<V, std::unordered_map<V, D>> &
+  contributions() const {
+    return Contribs;
+  }
+  /// True if \p X ever received a side-effect contribution.
+  bool isSideEffected(const V &X) const {
+    auto It = SetOf.find(X);
+    return It != SetOf.end() && !It->second.empty();
+  }
+  /// Widening points detected so far (meaningful in localized mode).
+  const std::unordered_set<V> &wideningPoints() const {
+    return WideningPoints;
+  }
+  const SolverStats &stats() const { return Stats; }
+  bool failed() const { return Failed; }
+
+private:
+  void init(const V &Y) {
+    assert(!Sigma.count(Y) && "double init");
+    Key[Y] = -Count;
+    KeyToVar.emplace(-Count, Y);
+    ++Count;
+    Infl[Y] = {Y};
+    SetOf[Y]; // set[y] <- {} (created empty).
+    Sigma.emplace(Y, System.initial(Y));
+  }
+
+  void addQ(const V &Y) {
+    Queue.insert(Key.at(Y));
+    if (Queue.size() > Stats.QueueMax)
+      Stats.QueueMax = Queue.size();
+  }
+
+  void solve(const V &X) {
+    if (Failed || Stable.count(X))
+      return;
+    Stable.insert(X);
+    if (Stats.RhsEvals >= Options.MaxRhsEvals) {
+      Failed = true;
+      return;
+    }
+    ++Stats.RhsEvals;
+    OnStack.insert(X);
+    typename SideEffectingSystem<V, D>::Get Eval = [this,
+                                                    X](const V &Y) -> D {
+      return eval(X, Y);
+    };
+    typename SideEffectingSystem<V, D>::Side Side =
+        [this, X](const V &Y, const D &Value) { side(X, Y, Value); };
+    D New = System.rhs(X)(Eval, Side);
+    if (Failed) {
+      OnStack.erase(X);
+      return;
+    }
+    // Join in the recorded contributions of all known contributors.
+    for (const V &Z : SetOf.at(X)) {
+      auto TargetIt = Contribs.find(X);
+      if (TargetIt == Contribs.end())
+        break;
+      auto It = TargetIt->second.find(Z);
+      if (It != TargetIt->second.end())
+        New = New.join(It->second);
+    }
+    // In localized mode, ⊕ is applied at widening points only; elsewhere
+    // the unknown simply tracks its right-hand side (plain assignment) —
+    // acyclic unknowns stabilize once their inputs do, values may both
+    // grow and shrink, and no widening-induced precision is lost.
+    bool UseCombine =
+        !Localized || WideningPoints.count(X) || isSideEffected(X);
+    D Tmp = UseCombine ? Combine(X, Sigma.at(X), New) : New;
+    if (!(Tmp == Sigma.at(X))) {
+      std::unordered_set<V> W = std::move(Infl[X]);
+      for (const V &Y : W)
+        addQ(Y);
+      Sigma[X] = std::move(Tmp);
+      ++Stats.Updates;
+      if (Options.RecordTrace)
+        Trace.push_back({X, Sigma.at(X)});
+      Infl[X] = {X};
+      for (const V &Y : W)
+        Stable.erase(Y);
+      int64_t KeyX = Key.at(X);
+      while (!Failed && !Queue.empty() && *Queue.begin() <= KeyX) {
+        int64_t MinKey = *Queue.begin();
+        Queue.erase(Queue.begin());
+        solve(KeyToVar.at(MinKey));
+      }
+    }
+    OnStack.erase(X);
+  }
+
+  D eval(const V &X, const V &Y) {
+    if (!Sigma.count(Y)) {
+      init(Y);
+      solve(Y);
+    } else if (Localized && OnStack.count(Y)) {
+      // Y queried while its own evaluation is in progress: Y closes a
+      // dependency cycle and becomes a widening point.
+      WideningPoints.insert(Y);
+    }
+    Infl[Y].insert(X);
+    return Sigma.at(Y);
+  }
+
+  void side(const V &X, const V &Y, const D &Value) {
+    auto &TargetContribs = Contribs[Y];
+    auto It = TargetContribs.find(X);
+    if (It == TargetContribs.end())
+      It = TargetContribs.emplace(X, D::bot()).first; // sigma[(x,y)] <- ⊥
+    if (Value == It->second)
+      return;
+    It->second = Value;
+    if (Sigma.count(Y)) {
+      SetOf[Y].insert(X);
+      Stable.erase(Y);
+      addQ(Y);
+      return;
+    }
+    init(Y);
+    SetOf[Y] = {X};
+    solve(Y);
+  }
+
+  const SideEffectingSystem<V, D> &System;
+  C Combine;
+  SolverOptions Options;
+
+  std::unordered_map<V, D> Sigma;
+  std::unordered_map<V, int64_t> Key;
+  std::unordered_map<int64_t, V> KeyToVar;
+  std::unordered_map<V, std::unordered_set<V>> Infl;
+  std::unordered_map<V, std::unordered_set<V>> SetOf;
+  std::unordered_map<V, std::unordered_map<V, D>> Contribs;
+  std::unordered_set<V> Stable;
+  std::unordered_set<V> OnStack;
+  std::unordered_set<V> WideningPoints;
+  std::set<int64_t> Queue;
+  std::vector<std::pair<V, D>> Trace;
+  int64_t Count = 0;
+  SolverStats Stats;
+  bool Failed = false;
+  bool Localized = false;
+};
+
+/// Convenience wrapper running SLR+ once.
+template <typename V, typename D, typename C>
+PartialSolution<V, D> solveSLRPlus(const SideEffectingSystem<V, D> &System,
+                                   const V &X0, C &&Combine,
+                                   const SolverOptions &Options = {}) {
+  SlrPlusSolver<V, D, std::decay_t<C>> Solver(System, std::forward<C>(Combine),
+                                              Options);
+  return Solver.solveFor(X0);
+}
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_SLR_PLUS_H

@@ -1,0 +1,19 @@
+//===- solvers/stats.cpp - Solver statistics -------------------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solvers/stats.h"
+
+using namespace warrow;
+
+std::string SolverStats::str() const {
+  std::string Out;
+  Out += "evals=" + std::to_string(RhsEvals);
+  Out += " updates=" + std::to_string(Updates);
+  Out += " vars=" + std::to_string(VarsSeen);
+  Out += " queue_max=" + std::to_string(QueueMax);
+  Out += Converged ? " converged" : " DIVERGED";
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- solvers/stats.h - Solver statistics ----------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumentation shared by all solvers: right-hand-side evaluation
+/// counts (the cost measure of Theorems 1 and 2), update counts, and a
+/// convergence flag. Solvers never diverge silently — they stop at a step
+/// budget and report `Converged = false`, which is how the paper's
+/// divergence Examples 1-2 are observed programmatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_STATS_H
+#define WARROW_SOLVERS_STATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace warrow {
+
+/// Counters reported by every solver run.
+struct SolverStats {
+  /// Number of right-hand-side evaluations performed.
+  uint64_t RhsEvals = 0;
+  /// Number of evaluations that changed an unknown's value.
+  uint64_t Updates = 0;
+  /// Number of distinct unknowns touched (== system size for dense
+  /// solvers; the size of `dom` for local solvers).
+  uint64_t VarsSeen = 0;
+  /// Largest observed size of the worklist / priority queue.
+  uint64_t QueueMax = 0;
+  /// False when the evaluation budget was exhausted before stabilization.
+  bool Converged = true;
+
+  std::string str() const;
+};
+
+/// Budget and instrumentation knobs accepted by every solver.
+struct SolverOptions {
+  /// Hard ceiling on right-hand-side evaluations; hitting it aborts the
+  /// run with `Converged = false`.
+  uint64_t MaxRhsEvals = 50'000'000;
+  /// When true, solvers record the sequence of (unknown, value) updates in
+  /// the result (used by the paper-example tests).
+  bool RecordTrace = false;
+};
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_STATS_H

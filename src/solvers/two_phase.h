@@ -1,0 +1,71 @@
+//===- solvers/two_phase.h - Classic widening/narrowing solver --*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical two-phase iteration of Cousot & Cousot against which the
+/// paper's ⊟-solvers are compared: first an ascending (widening) phase
+/// with ⊕ = ▽ until stabilization, then a descending (narrowing) phase
+/// with ⊕ = △ on the obtained post solution (Fact 1). The narrowing phase
+/// is only sound for *monotonic* systems — which is precisely the
+/// limitation the paper removes.
+///
+/// Both phases run structured worklist iteration (SW) so that the
+/// comparison with the ⊟-solver isolates the operator, not the strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_TWO_PHASE_H
+#define WARROW_SOLVERS_TWO_PHASE_H
+
+#include "eqsys/dense_system.h"
+#include "lattice/combine.h"
+#include "solvers/stats.h"
+#include "solvers/sw.h"
+
+namespace warrow {
+
+/// Runs the widening phase followed by the narrowing phase and merges the
+/// statistics. \p NarrowRounds bounds the descending iteration: each round
+/// is one SW stabilization pass with ⊕ = △ (one round suffices for
+/// idempotent narrowings; 0 disables the phase entirely).
+template <typename D>
+SolveResult<D> solveTwoPhase(const DenseSystem<D> &System,
+                             const SolverOptions &Options = {},
+                             unsigned NarrowRounds = 1) {
+  // Phase 1: ascending iteration with widening.
+  SolveResult<D> Up = solveSW(System, WidenCombine{}, Options);
+  if (!Up.Stats.Converged)
+    return Up;
+
+  // Phase 2: descending iteration with narrowing, seeded with the post
+  // solution from phase 1.
+  for (unsigned Round = 0; Round < NarrowRounds; ++Round) {
+    // Re-run SW on a copy of the system state: build a wrapper system
+    // whose initial assignment is the current sigma.
+    DenseSystem<D> Seeded;
+    for (Var X = 0; X < System.size(); ++X)
+      Seeded.addVar(System.name(X), Up.Sigma[X]);
+    for (Var X = 0; X < System.size(); ++X)
+      Seeded.define(
+          X, [&System, X](const typename DenseSystem<D>::GetFn &Get) {
+            return System.eval(X, Get);
+          },
+          System.deps(X));
+    SolveResult<D> Down = solveSW(Seeded, NarrowCombine{}, Options);
+    Up.Stats.RhsEvals += Down.Stats.RhsEvals;
+    Up.Stats.Updates += Down.Stats.Updates;
+    Up.Stats.Converged = Down.Stats.Converged;
+    bool Changed = !(Down.Sigma == Up.Sigma);
+    Up.Sigma = std::move(Down.Sigma);
+    if (!Up.Stats.Converged || !Changed)
+      break;
+  }
+  return Up;
+}
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_TWO_PHASE_H

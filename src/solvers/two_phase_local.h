@@ -1,0 +1,119 @@
+//===- solvers/two_phase_local.h - Two-phase baseline (local) ---*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical two-phase widening/narrowing baseline for *side-effecting*
+/// local systems — the comparison point of the paper's Figure 7.
+///
+/// Phase 1 runs SLR+ with ⊕ = ▽ to obtain a post solution on the
+/// discovered domain. Phase 2 performs descending (narrowing) sweeps over
+/// that fixed domain with ⊕ = △, re-evaluating each right-hand side
+/// against the current assignment.
+///
+/// Faithful to the pre-paper state of the art, side-effected unknowns
+/// (globals) are *frozen* during phase 2: without SLR+'s per-contributor
+/// value tracking, narrowing a global from any individual contribution is
+/// unsound (paper, Example 8), so a classical solver must keep the widened
+/// value. Side effects emitted during phase-2 re-evaluations are therefore
+/// discarded. This is the precision gap the ⊟-solver closes.
+///
+/// Soundness requires monotonic right-hand sides and a fixed unknown set —
+/// exactly the conditions of Fact 1; the context-sensitive analyses of
+/// Table 1 violate them, which is why only ▽ and ⊟ are compared there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_TWO_PHASE_LOCAL_H
+#define WARROW_SOLVERS_TWO_PHASE_LOCAL_H
+
+#include "eqsys/local_system.h"
+#include "lattice/combine.h"
+#include "solvers/slr_plus.h"
+#include "solvers/stats.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace warrow {
+
+/// Runs the two-phase baseline on a side-effecting system, solving for
+/// \p X0. \p MaxNarrowRounds bounds the number of full descending sweeps.
+template <typename V, typename D>
+PartialSolution<V, D>
+solveTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
+                  const SolverOptions &Options = {},
+                  unsigned MaxNarrowRounds = 8) {
+  // Phase 1: ascending with widening.
+  SlrPlusSolver<V, D, WidenCombine> Ascending(System, WidenCombine{},
+                                              Options);
+  PartialSolution<V, D> Result = Ascending.solveFor(X0);
+  if (!Result.Stats.Converged)
+    return Result;
+
+  // Stable iteration order: by discovery key, oldest (x0) last, so inner
+  // (fresher) unknowns narrow first — mirroring SLR's priority discipline.
+  std::vector<std::pair<int64_t, V>> Order;
+  Order.reserve(Result.Sigma.size());
+  for (const auto &[X, KeyValue] : Ascending.keys())
+    Order.push_back({KeyValue, X});
+  std::sort(Order.begin(), Order.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  auto GetCurrent = [&System, &Result](const V &Y) -> D {
+    auto It = Result.Sigma.find(Y);
+    return It == Result.Sigma.end() ? System.initial(Y) : It->second;
+  };
+  typename SideEffectingSystem<V, D>::Side DiscardSide =
+      [](const V &, const D &) {};
+
+  // Phase 2: descending sweeps with narrowing; frozen globals.
+  for (unsigned Round = 0; Round < MaxNarrowRounds; ++Round) {
+    bool Changed = false;
+    for (const auto &[KeyValue, X] : Order) {
+      if (Ascending.isSideEffected(X))
+        continue; // Frozen: classical solvers cannot narrow globals.
+      if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
+        Result.Stats.Converged = false;
+        return Result;
+      }
+      ++Result.Stats.RhsEvals;
+      D New = System.rhs(X)(GetCurrent, DiscardSide);
+      D Narrowed = Result.Sigma.at(X).narrow(New);
+      if (!(Narrowed == Result.Sigma.at(X))) {
+        Result.Sigma[X] = std::move(Narrowed);
+        ++Result.Stats.Updates;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return Result;
+}
+
+/// Two-phase baseline for plain (non-side-effecting) local systems,
+/// implemented by wrapping them as side-effecting systems with no effects.
+template <typename V, typename D>
+PartialSolution<V, D> solveTwoPhaseLocal(const LocalSystem<V, D> &System,
+                                         const V &X0,
+                                         const SolverOptions &Options = {},
+                                         unsigned MaxNarrowRounds = 8) {
+  SideEffectingSystem<V, D> Wrapped(
+      [&System](const V &X) -> typename SideEffectingSystem<V, D>::Rhs {
+        typename LocalSystem<V, D>::Rhs F = System.rhs(X);
+        return [F](const typename SideEffectingSystem<V, D>::Get &Get,
+                   const typename SideEffectingSystem<V, D>::Side &) {
+          return F(Get);
+        };
+      },
+      [&System](const V &X) { return System.initial(X); });
+  return solveTwoPhaseSide(Wrapped, X0, Options, MaxNarrowRounds);
+}
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_TWO_PHASE_LOCAL_H

@@ -1,0 +1,106 @@
+//===- solvers/wl.h - Worklist solver (paper Fig. 2) ------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic worklist solver W of the paper's Figure 2:
+///
+///     W <- X;
+///     while (W != {}) {
+///       x <- extract(W);
+///       new <- sigma[x] ⊕ f_x(sigma);
+///       if (sigma[x] != new) { sigma[x] <- new; W <- W ∪ infl_x; }
+///     }
+///
+/// W needs the declared dependency sets to compute `infl`. The worklist is
+/// a *set* maintained with a LIFO extraction discipline (the discipline
+/// under which the paper's Example 2 diverges with ⊟): extraction pops the
+/// most recently pushed absent unknown; pushing an unknown already present
+/// leaves its position unchanged. On update of x the influence set is
+/// pushed with x itself last, so x is re-extracted first — the paper's
+/// precaution for non-idempotent ⊕.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SOLVERS_WL_H
+#define WARROW_SOLVERS_WL_H
+
+#include "eqsys/dense_system.h"
+#include "solvers/stats.h"
+
+#include <deque>
+#include <vector>
+
+namespace warrow {
+
+/// Extraction discipline of the worklist (the paper leaves it open; its
+/// Example 2 uses LIFO).
+enum class WorklistDiscipline { Lifo, Fifo };
+
+/// Runs worklist iteration with combine operator \p Combine.
+template <typename D, typename C>
+SolveResult<D> solveW(const DenseSystem<D> &System, C &&Combine,
+                      const SolverOptions &Options = {},
+                      WorklistDiscipline Discipline =
+                          WorklistDiscipline::Lifo) {
+  SolveResult<D> Result;
+  Result.Sigma = System.initialAssignment();
+  Result.Stats.VarsSeen = System.size();
+  auto Get = [&Result](Var Y) { return Result.Sigma[Y]; };
+
+  // A deque covers both disciplines: LIFO pops the back, FIFO the front.
+  std::deque<Var> Work;
+  std::vector<char> InWork(System.size(), 0);
+  auto Push = [&](Var Y) {
+    if (InWork[Y])
+      return;
+    InWork[Y] = 1;
+    Work.push_back(Y);
+    if (Work.size() > Result.Stats.QueueMax)
+      Result.Stats.QueueMax = Work.size();
+  };
+  if (Discipline == WorklistDiscipline::Lifo) {
+    // All unknowns, first variable on top of the stack.
+    for (Var X = System.size(); X > 0; --X)
+      Push(X - 1);
+  } else {
+    for (Var X = 0; X < System.size(); ++X)
+      Push(X);
+  }
+
+  while (!Work.empty()) {
+    if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
+      Result.Stats.Converged = false;
+      return Result;
+    }
+    Var X;
+    if (Discipline == WorklistDiscipline::Lifo) {
+      X = Work.back();
+      Work.pop_back();
+    } else {
+      X = Work.front();
+      Work.pop_front();
+    }
+    InWork[X] = 0;
+    ++Result.Stats.RhsEvals;
+    D New = Combine(X, Result.Sigma[X], System.eval(X, Get));
+    if (Result.Sigma[X] == New)
+      continue;
+    Result.Sigma[X] = New;
+    ++Result.Stats.Updates;
+    if (Options.RecordTrace)
+      Result.Trace.push_back({X, Result.Sigma[X]});
+    // Push influenced unknowns; X itself last so it is re-evaluated first.
+    for (Var Y : System.influenced(X))
+      if (Y != X)
+        Push(Y);
+    Push(X);
+  }
+  return Result;
+}
+
+} // namespace warrow
+
+#endif // WARROW_SOLVERS_WL_H

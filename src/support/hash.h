@@ -1,0 +1,36 @@
+//===- support/hash.h - Hash combining utilities ----------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combining helpers for user-defined unknown (variable) types
+/// used as keys of the local solvers' hash maps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SUPPORT_HASH_H
+#define WARROW_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace warrow {
+
+/// Mixes \p Value into \p Seed (boost::hash_combine-style, 64-bit constants).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes all arguments into one seed.
+template <typename... Ts> size_t hashAll(const Ts &...Vals) {
+  size_t Seed = 0;
+  (hashCombine(Seed, std::hash<Ts>{}(Vals)), ...);
+  return Seed;
+}
+
+} // namespace warrow
+
+#endif // WARROW_SUPPORT_HASH_H

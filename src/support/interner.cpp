@@ -1,0 +1,38 @@
+//===- support/interner.cpp - String interning ----------------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/interner.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+Interner::Interner() {
+  // Reserve symbol 0 for the empty string so that 0 can double as "none".
+  Spellings.emplace_back();
+  Ids.emplace(std::string_view(Spellings.back()), 0);
+}
+
+Symbol Interner::intern(std::string_view Text) {
+  auto It = Ids.find(Text);
+  if (It != Ids.end())
+    return It->second;
+  Symbol Sym = static_cast<Symbol>(Spellings.size());
+  Spellings.emplace_back(Text);
+  // Key the map by a view into our own stable storage, not the argument.
+  Ids.emplace(std::string_view(Spellings.back()), Sym);
+  return Sym;
+}
+
+const std::string &Interner::spelling(Symbol Sym) const {
+  assert(Sym < Spellings.size() && "symbol from a different interner?");
+  return Spellings[Sym];
+}
+
+Symbol Interner::lookup(std::string_view Text) const {
+  auto It = Ids.find(Text);
+  return It == Ids.end() ? 0 : It->second;
+}

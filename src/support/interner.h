@@ -1,0 +1,59 @@
+//===- support/interner.h - String interning --------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A string interner mapping identifier spellings to dense `Symbol` ids.
+/// The front-end and the analysis refer to variables and functions by
+/// `Symbol` so that environments can be arrays/maps keyed by small ints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SUPPORT_INTERNER_H
+#define WARROW_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace warrow {
+
+/// Dense id of an interned string. Value 0 is reserved for the empty string.
+using Symbol = uint32_t;
+
+/// Interns strings and hands out dense `Symbol` ids.
+///
+/// Symbols are only meaningful relative to the interner that produced them;
+/// each parsed `Program` owns one interner.
+class Interner {
+public:
+  Interner();
+
+  /// Interns \p Text, returning its (possibly pre-existing) symbol.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the spelling of \p Sym. The reference is stable: spellings are
+  /// never deallocated while the interner lives.
+  const std::string &spelling(Symbol Sym) const;
+
+  /// Returns the symbol of \p Text if already interned, or 0 otherwise
+  /// (note 0 is also the id of the empty string).
+  Symbol lookup(std::string_view Text) const;
+
+  /// Number of distinct symbols handed out (including the empty string).
+  size_t size() const { return Spellings.size(); }
+
+private:
+  // Deque: growing never moves existing strings, so string_view keys into
+  // them (including short SSO strings) stay valid.
+  std::deque<std::string> Spellings;
+  std::unordered_map<std::string_view, Symbol> Ids;
+};
+
+} // namespace warrow
+
+#endif // WARROW_SUPPORT_INTERNER_H

@@ -1,0 +1,43 @@
+//===- support/rng.cpp - Deterministic random numbers ---------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/rng.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+uint64_t Rng::next() {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t Rng::below(uint64_t Limit) {
+  assert(Limit > 0 && "below(0) has no valid result");
+  // Rejection sampling to avoid modulo bias; the loop almost never spins.
+  uint64_t Threshold = -Limit % Limit;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Limit;
+  }
+}
+
+int64_t Rng::range(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return static_cast<int64_t>(static_cast<uint64_t>(Lo) + below(Span));
+}
+
+bool Rng::chance(uint64_t Num, uint64_t Den) {
+  assert(Den > 0 && "zero denominator");
+  return below(Den) < Num;
+}

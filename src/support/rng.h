@@ -1,0 +1,60 @@
+//===- support/rng.h - Deterministic random numbers -------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64) used by property tests and the
+/// synthetic workload generators. Determinism matters: benchmark tables and
+/// tests must reproduce bit-identically across runs and platforms, which
+/// rules out `std::mt19937` + distribution objects (implementation-defined).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SUPPORT_RNG_H
+#define WARROW_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace warrow {
+
+/// SplitMix64 generator: tiny, fast, and statistically fine for workload
+/// shaping (not for cryptography).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Limit). \p Limit must be positive.
+  uint64_t below(uint64_t Limit);
+
+  /// Uniform value in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t range(int64_t Lo, int64_t Hi);
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+  /// Picks a uniformly random element of \p Items (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    return Items[below(Items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[below(I)]);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace warrow
+
+#endif // WARROW_SUPPORT_RNG_H

@@ -1,0 +1,118 @@
+//===- support/saturating.cpp - Saturating 64-bit arithmetic --------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/saturating.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+namespace {
+constexpr int64_t IntMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t IntMax = std::numeric_limits<int64_t>::max();
+} // namespace
+
+int64_t warrow::satAdd64(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return B > 0 ? IntMax : IntMin;
+  return R;
+}
+
+int64_t warrow::satSub64(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_sub_overflow(A, B, &R))
+    return B < 0 ? IntMax : IntMin;
+  return R;
+}
+
+int64_t warrow::satMul64(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return (A > 0) == (B > 0) ? IntMax : IntMin;
+  return R;
+}
+
+int64_t warrow::satNeg64(int64_t A) { return A == IntMin ? IntMax : -A; }
+
+Bound warrow::operator+(Bound A, Bound B) {
+  assert(!(A.isPosInf() && B.isNegInf()) && !(A.isNegInf() && B.isPosInf()) &&
+         "adding opposite infinities");
+  if (A.isPosInf() || B.isPosInf())
+    return Bound::posInf();
+  if (A.isNegInf() || B.isNegInf())
+    return Bound::negInf();
+  return Bound(satAdd64(A.Value, B.Value));
+}
+
+Bound warrow::operator-(Bound A, Bound B) {
+  assert(!(A.isPosInf() && B.isPosInf()) && !(A.isNegInf() && B.isNegInf()) &&
+         "subtracting equal infinities");
+  if (A.isPosInf() || B.isNegInf())
+    return Bound::posInf();
+  if (A.isNegInf() || B.isPosInf())
+    return Bound::negInf();
+  return Bound(satSub64(A.Value, B.Value));
+}
+
+Bound warrow::operator*(Bound A, Bound B) {
+  // 0 * inf is defined as 0: intervals use it for [0,0] * [a,b].
+  if (A.isFinite() && A.Value == 0)
+    return Bound(0);
+  if (B.isFinite() && B.Value == 0)
+    return Bound(0);
+  bool Negative = (A < Bound(0)) != (B < Bound(0));
+  if (!A.isFinite() || !B.isFinite())
+    return Negative ? Bound::negInf() : Bound::posInf();
+  return Bound(satMul64(A.Value, B.Value));
+}
+
+Bound warrow::operator/(Bound A, Bound B) {
+  assert(!(B.isFinite() && B.Value == 0) && "division by zero bound");
+  if (!B.isFinite()) {
+    // finite / inf -> 0; inf / inf is not needed by the interval code, but
+    // define it as saturated to keep the function total.
+    if (A.isFinite())
+      return Bound(0);
+    return (A > Bound(0)) == (B > Bound(0)) ? Bound::posInf()
+                                            : Bound::negInf();
+  }
+  if (A.isPosInf())
+    return B.Value > 0 ? Bound::posInf() : Bound::negInf();
+  if (A.isNegInf())
+    return B.Value > 0 ? Bound::negInf() : Bound::posInf();
+  if (A.Value == IntMin && B.Value == -1)
+    return Bound(IntMax); // Saturate the single overflowing case.
+  return Bound(A.Value / B.Value);
+}
+
+Bound warrow::operator-(Bound A) {
+  if (A.isPosInf())
+    return Bound::negInf();
+  if (A.isNegInf())
+    return Bound::posInf();
+  return Bound(satNeg64(A.Value));
+}
+
+Bound Bound::succ() const {
+  if (!isFinite())
+    return *this;
+  return Bound(satAdd64(Value, 1));
+}
+
+Bound Bound::pred() const {
+  if (!isFinite())
+    return *this;
+  return Bound(satSub64(Value, 1));
+}
+
+std::string Bound::str() const {
+  if (isNegInf())
+    return "-inf";
+  if (isPosInf())
+    return "+inf";
+  return std::to_string(Value);
+}

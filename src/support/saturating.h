@@ -1,0 +1,113 @@
+//===- support/saturating.h - Saturating 64-bit arithmetic ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Saturating arithmetic on `int64_t` extended with +/- infinity, used as
+/// the bound type of the interval domain. The two extreme representable
+/// values act as the infinities; all operations saturate towards them and
+/// never overflow (UB-free).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SUPPORT_SATURATING_H
+#define WARROW_SUPPORT_SATURATING_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace warrow {
+
+/// An extended integer: int64 where the extreme values denote -inf/+inf.
+///
+/// `Bound` forms a totally ordered set with -inf as least and +inf as
+/// greatest element; arithmetic saturates. Division and modulo follow C
+/// semantics for finite operands (truncation towards zero) and are only
+/// called with nonzero divisors by the interval code.
+class Bound {
+public:
+  /// Finite bound. Values beyond the finite range clamp to the infinities.
+  constexpr Bound() : Value(0) {}
+  constexpr explicit Bound(int64_t V) : Value(V) {}
+
+  static constexpr Bound negInf() {
+    return Bound(std::numeric_limits<int64_t>::min());
+  }
+  static constexpr Bound posInf() {
+    return Bound(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr bool isNegInf() const {
+    return Value == std::numeric_limits<int64_t>::min();
+  }
+  constexpr bool isPosInf() const {
+    return Value == std::numeric_limits<int64_t>::max();
+  }
+  constexpr bool isFinite() const { return !isNegInf() && !isPosInf(); }
+
+  /// Finite payload; must only be called on finite bounds.
+  constexpr int64_t finite() const { return Value; }
+
+  /// Raw representation (infinities included); useful for hashing.
+  constexpr int64_t raw() const { return Value; }
+
+  friend constexpr bool operator==(Bound A, Bound B) {
+    return A.Value == B.Value;
+  }
+  friend constexpr bool operator!=(Bound A, Bound B) {
+    return A.Value != B.Value;
+  }
+  friend constexpr bool operator<(Bound A, Bound B) {
+    return A.Value < B.Value;
+  }
+  friend constexpr bool operator<=(Bound A, Bound B) {
+    return A.Value <= B.Value;
+  }
+  friend constexpr bool operator>(Bound A, Bound B) {
+    return A.Value > B.Value;
+  }
+  friend constexpr bool operator>=(Bound A, Bound B) {
+    return A.Value >= B.Value;
+  }
+
+  friend Bound operator+(Bound A, Bound B);
+  friend Bound operator-(Bound A, Bound B);
+  friend Bound operator*(Bound A, Bound B);
+  /// Truncating division; \p B must be nonzero and finite or infinite.
+  friend Bound operator/(Bound A, Bound B);
+  friend Bound operator-(Bound A);
+
+  /// Bound incremented/decremented by one (saturating; infinities fixed).
+  Bound succ() const;
+  Bound pred() const;
+
+  friend Bound min(Bound A, Bound B) { return A.Value <= B.Value ? A : B; }
+  friend Bound max(Bound A, Bound B) { return A.Value >= B.Value ? A : B; }
+
+  /// Renders "-inf", "+inf", or the decimal value.
+  std::string str() const;
+
+private:
+  int64_t Value;
+};
+
+// Namespace-scope declarations of the friend operators (so qualified
+// out-of-line definitions match).
+Bound operator+(Bound A, Bound B);
+Bound operator-(Bound A, Bound B);
+Bound operator*(Bound A, Bound B);
+Bound operator/(Bound A, Bound B);
+Bound operator-(Bound A);
+
+/// Saturating helpers on raw int64 (exposed for tests).
+int64_t satAdd64(int64_t A, int64_t B);
+int64_t satSub64(int64_t A, int64_t B);
+int64_t satMul64(int64_t A, int64_t B);
+int64_t satNeg64(int64_t A);
+
+} // namespace warrow
+
+#endif // WARROW_SUPPORT_SATURATING_H

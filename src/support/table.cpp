@@ -1,0 +1,79 @@
+//===- support/table.cpp - ASCII table rendering ---------------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace warrow;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row/header arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t C = 0; C < Cells.size(); ++C) {
+      if (C)
+        Line += "  ";
+      size_t Pad = Widths[C] - Cells[C].size();
+      if (C == 0) { // Left-align the label column.
+        Line += Cells[C];
+        Line.append(Pad, ' ');
+      } else {
+        Line.append(Pad, ' ');
+        Line += Cells[C];
+      }
+    }
+    // Trim trailing spaces for tidy diffs.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line;
+  };
+
+  std::string Out = RenderRow(Headers);
+  Out += '\n';
+  size_t Total = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C ? 2 : 0);
+  Out.append(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows) {
+    Out += RenderRow(Row);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string warrow::formatFixed(double Value, int Digits) {
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string warrow::formatThousands(uint64_t Value) {
+  std::string Raw = std::to_string(Value);
+  std::string Out;
+  for (size_t I = 0; I < Raw.size(); ++I) {
+    if (I != 0 && (Raw.size() - I) % 3 == 0)
+      Out += ' ';
+    Out += Raw[I];
+  }
+  return Out;
+}

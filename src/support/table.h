@@ -1,0 +1,49 @@
+//===- support/table.h - ASCII table rendering ------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned ASCII table rendering for the benchmark drivers that
+/// regenerate the paper's Table 1 and Figure 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SUPPORT_TABLE_H
+#define WARROW_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// Collects rows of strings and renders them with aligned columns.
+class Table {
+public:
+  /// \p Headers defines the column count; every row must match it.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends a data row. Must have exactly as many cells as there are
+  /// headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table: header, separator line, then rows. The first column
+  /// is left-aligned, all other columns right-aligned (numeric convention).
+  std::string str() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p Value with \p Digits decimal places (no locale surprises).
+std::string formatFixed(double Value, int Digits);
+
+/// Formats a count with thousands separators ("97 785" style, as the paper
+/// prints unknown counts).
+std::string formatThousands(uint64_t Value);
+
+} // namespace warrow
+
+#endif // WARROW_SUPPORT_TABLE_H

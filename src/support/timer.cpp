@@ -1,0 +1,14 @@
+//===- support/timer.cpp - Wall-clock timing ------------------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/timer.h"
+
+using namespace warrow;
+
+double Timer::seconds() const {
+  auto Now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(Now - Start).count();
+}

@@ -1,0 +1,39 @@
+//===- support/timer.h - Wall-clock timing ----------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock stopwatch used by the experiment drivers (Table 1 timings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SUPPORT_TIMER_H
+#define WARROW_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace warrow {
+
+/// Steady-clock stopwatch. Starts running on construction.
+class Timer {
+public:
+  Timer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  double seconds() const;
+
+  /// Elapsed milliseconds since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace warrow
+
+#endif // WARROW_SUPPORT_TIMER_H

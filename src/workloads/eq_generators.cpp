@@ -1,0 +1,159 @@
+//===- workloads/eq_generators.cpp - Synthetic equation systems ---------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/eq_generators.h"
+
+#include "support/rng.h"
+
+using namespace warrow;
+
+DenseSystem<NatInf> warrow::paperExampleOne() {
+  DenseSystem<NatInf> S;
+  Var X1 = S.addVar("x1");
+  Var X2 = S.addVar("x2");
+  Var X3 = S.addVar("x3");
+  using Get = DenseSystem<NatInf>::GetFn;
+  S.define(X1, [X2](const Get &G) { return G(X2); }, {X2});
+  S.define(X2, [X3](const Get &G) { return G(X3).plus(1); }, {X3});
+  S.define(X3, [X1](const Get &G) { return G(X1); }, {X1});
+  return S;
+}
+
+DenseSystem<NatInf> warrow::paperExampleTwo() {
+  DenseSystem<NatInf> S;
+  Var X1 = S.addVar("x1");
+  Var X2 = S.addVar("x2");
+  using Get = DenseSystem<NatInf>::GetFn;
+  S.define(
+      X1,
+      [X1, X2](const Get &G) { return G(X1).plus(1).meet(G(X2).plus(1)); },
+      {X1, X2});
+  S.define(
+      X2,
+      [X1, X2](const Get &G) { return G(X2).plus(1).meet(G(X1).plus(1)); },
+      {X1, X2});
+  return S;
+}
+
+LocalSystem<uint64_t, NatInf> warrow::paperExampleFive() {
+  using Sys = LocalSystem<uint64_t, NatInf>;
+  return Sys([](uint64_t V) -> Sys::Rhs {
+    if (V % 2 == 0) {
+      uint64_t N = V / 2;
+      return [V, N](const Sys::Get &Get) {
+        // y_{2n} = max(y_{y_{2n}}, n): the current value of y_{2n} is the
+        // index of the inner read.
+        NatInf Self = Get(V);
+        if (Self.isInf())
+          return NatInf::inf();
+        return Get(Self.finite()).join(NatInf(N));
+      };
+    }
+    uint64_t N = (V - 1) / 2;
+    return [N](const Sys::Get &Get) { return Get(6 * N + 4); };
+  });
+}
+
+DenseSystem<Interval> warrow::chainSystem(unsigned Length, int64_t Bound) {
+  DenseSystem<Interval> S;
+  using Get = DenseSystem<Interval>::GetFn;
+  for (unsigned I = 0; I < Length; ++I)
+    S.addVar("c" + std::to_string(I));
+  S.define(0, [](const Get &) { return Interval::constant(0); }, {});
+  Interval Cap = Interval::make(0, Bound);
+  for (Var X = 1; X < Length; ++X) {
+    Var Prev = X - 1;
+    S.define(
+        X,
+        [Prev, Cap](const Get &G) {
+          return G(Prev).add(Interval::constant(1)).meet(Cap);
+        },
+        {Prev});
+  }
+  return S;
+}
+
+DenseSystem<Interval> warrow::ringSystem(unsigned Length, int64_t Bound) {
+  DenseSystem<Interval> S;
+  using Get = DenseSystem<Interval>::GetFn;
+  for (unsigned I = 0; I < Length; ++I)
+    S.addVar("r" + std::to_string(I));
+  Interval Cap = Interval::make(0, Bound);
+  Interval Step = Interval::make(0, 1);
+  for (Var X = 0; X < Length; ++X) {
+    Var Prev = X == 0 ? Length - 1 : X - 1;
+    if (X == 0) {
+      S.define(
+          X,
+          [Prev, Cap, Step](const Get &G) {
+            return Interval::constant(0).join(
+                G(Prev).add(Step).meet(Cap));
+          },
+          {Prev});
+    } else {
+      S.define(
+          X,
+          [Prev, Cap, Step](const Get &G) {
+            return G(Prev).add(Step).meet(Cap);
+          },
+          {Prev});
+    }
+  }
+  return S;
+}
+
+DenseSystem<Interval> warrow::randomMonotoneSystem(unsigned Size,
+                                                   unsigned Degree,
+                                                   int64_t Bound,
+                                                   uint64_t Seed) {
+  DenseSystem<Interval> S;
+  using Get = DenseSystem<Interval>::GetFn;
+  Rng R(Seed);
+  for (unsigned I = 0; I < Size; ++I)
+    S.addVar("v" + std::to_string(I));
+  Interval Cap = Interval::make(0, Bound);
+  for (Var X = 0; X < Size; ++X) {
+    std::vector<Var> Deps;
+    std::vector<int64_t> Increments;
+    for (unsigned D = 0; D < Degree; ++D) {
+      Deps.push_back(static_cast<Var>(R.below(Size)));
+      Increments.push_back(R.range(0, 3));
+    }
+    bool Seeded = X == 0 || R.chance(1, 8);
+    S.define(
+        X,
+        [Deps, Increments, Cap, Seeded](const Get &G) {
+          Interval Acc = Seeded ? Interval::constant(0) : Interval::bot();
+          for (size_t I = 0; I < Deps.size(); ++I)
+            Acc = Acc.join(G(Deps[I])
+                               .add(Interval::constant(Increments[I]))
+                               .meet(Cap));
+          return Acc;
+        },
+        Deps);
+  }
+  return S;
+}
+
+DenseSystem<Interval> warrow::oscillatingSystem(int64_t K) {
+  // x0 flips between [0,+inf) and [0,5] depending on its own value: a
+  // non-monotone right-hand side under which plain ⊟ alternates widening
+  // and narrowing forever. x1 = x0 tags along.
+  DenseSystem<Interval> S;
+  using Get = DenseSystem<Interval>::GetFn;
+  Var X0 = S.addVar("osc");
+  Var X1 = S.addVar("dep");
+  S.define(
+      X0,
+      [X0, K](const Get &G) {
+        if (G(X0).leq(Interval::make(0, K)))
+          return Interval::atLeast(Bound(0));
+        return Interval::make(0, 5);
+      },
+      {X0});
+  S.define(X1, [X0](const Get &G) { return G(X0); }, {X0});
+  return S;
+}

@@ -1,0 +1,67 @@
+//===- workloads/eq_generators.h - Synthetic equation systems ---*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canned and synthetic equation systems:
+///  - the paper's Example 1 (RR diverges under ⊟) and Example 2
+///    (LIFO worklist diverges under ⊟), over ℕ∪{∞};
+///  - the paper's Example 5 (infinite system for local solving);
+///  - parameterized monotone systems (chains, cycles, random sparse
+///    systems) used by the solver complexity benches (Theorems 1-2) and
+///    the cross-checking property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_WORKLOADS_EQ_GENERATORS_H
+#define WARROW_WORKLOADS_EQ_GENERATORS_H
+
+#include "eqsys/dense_system.h"
+#include "eqsys/local_system.h"
+#include "lattice/interval.h"
+#include "lattice/natinf.h"
+
+#include <cstdint>
+
+namespace warrow {
+
+/// Paper Example 1:  x1 = x2;  x2 = x3 + 1;  x3 = x1  over ℕ∪{∞}.
+/// Monotone, but plain round-robin with ⊟ diverges on it.
+DenseSystem<NatInf> paperExampleOne();
+
+/// Paper Example 2:  x1 = (x1+1) ⊓ (x2+1);  x2 = (x2+1) ⊓ (x1+1).
+/// Monotone, but LIFO worklist iteration with ⊟ diverges on it.
+DenseSystem<NatInf> paperExampleTwo();
+
+/// Paper Example 5 (infinite system over max-lattice ℕ∪{∞}):
+///    y_{2n}   = max(y_{y_{2n}}, n)
+///    y_{2n+1} = y_{6n+4}
+/// Local solving for y1 terminates with dom {y0, y1, y2, y4}.
+LocalSystem<uint64_t, NatInf> paperExampleFive();
+
+/// A chain x_0 = [0,0], x_i = (x_{i-1} + [1,1]) ⊓ [0, Bound] over
+/// intervals — models a counted loop of length `Bound` unrolled across
+/// `Length` program points. Monotone; finite height ~ Bound.
+DenseSystem<Interval> chainSystem(unsigned Length, int64_t Bound);
+
+/// A ring of `Length` unknowns x_i = (x_{i-1} + [0,1]) ⊓ [0,Bound] with a
+/// seed x_0 ⊒ [0,0] — a loop-shaped system requiring widening.
+DenseSystem<Interval> ringSystem(unsigned Length, int64_t Bound);
+
+/// A random sparse monotone interval system: each unknown joins `Degree`
+/// randomly chosen others (plus increments), all meet-bounded by
+/// [0, Bound]. Deterministic in `Seed`.
+DenseSystem<Interval> randomMonotoneSystem(unsigned Size, unsigned Degree,
+                                           int64_t Bound, uint64_t Seed);
+
+/// A *non-monotone* two-unknown system that oscillates forever under ⊟
+/// with plain narrowing, used to demonstrate the degrading operator ⊟ₖ:
+///    x = if y <= [0,K] then [0,10] else [0,0]
+///    y = x + [1,1]
+DenseSystem<Interval> oscillatingSystem(int64_t K);
+
+} // namespace warrow
+
+#endif // WARROW_WORKLOADS_EQ_GENERATORS_H

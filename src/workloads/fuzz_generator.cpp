@@ -1,0 +1,302 @@
+//===- workloads/fuzz_generator.cpp - Random program fuzzing --------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/fuzz_generator.h"
+
+#include "support/rng.h"
+
+#include <string>
+#include <vector>
+
+using namespace warrow;
+
+namespace {
+
+/// Generation context for one function body.
+struct FuzzContext {
+  Rng &R;
+  const FuzzOptions &Options;
+  std::string Out;
+  unsigned Indent = 1;
+  unsigned NextLocal = 0;
+  unsigned NextLoop = 0;
+  unsigned LoopsOnPath = 0; ///< Bounds nesting of loops (termination cost).
+  unsigned CallsEmitted = 0; ///< Bounds the call-tree fan-out.
+  bool InLoop = false;
+  std::vector<std::string> Scalars; ///< In-scope scalar names.
+  std::vector<std::string> Arrays;  ///< In-scope array names (all size 8).
+  std::vector<std::string> Globals;
+  std::vector<std::pair<std::string, unsigned>> Callees; ///< (name, arity).
+
+  FuzzContext(Rng &R, const FuzzOptions &Options) : R(R), Options(Options) {}
+
+  void line(const std::string &Text) {
+    Out.append(2 * Indent, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+};
+
+/// A random arithmetic expression. \p AllowUnknown is false inside
+/// conditions (sema forbids it there) and array indices are wrapped into
+/// range by construction.
+std::string genExpr(FuzzContext &C, unsigned Depth, bool AllowUnknown);
+
+std::string genLeaf(FuzzContext &C, bool AllowUnknown) {
+  switch (C.R.below(4)) {
+  case 0:
+    return std::to_string(C.R.range(-20, 20));
+  case 1:
+    if (!C.Scalars.empty())
+      return C.R.pick(C.Scalars);
+    return std::to_string(C.R.range(0, 9));
+  case 2:
+    if (!C.Globals.empty())
+      return C.R.pick(C.Globals);
+    return std::to_string(C.R.range(0, 9));
+  default:
+    if (AllowUnknown && C.R.chance(1, 2))
+      return "unknown()";
+    return std::to_string(C.R.range(-5, 5));
+  }
+}
+
+std::string genExpr(FuzzContext &C, unsigned Depth, bool AllowUnknown) {
+  if (Depth == 0 || C.R.chance(1, 3))
+    return genLeaf(C, AllowUnknown);
+  switch (C.R.below(6)) {
+  case 0:
+    return "(" + genExpr(C, Depth - 1, AllowUnknown) + " + " +
+           genExpr(C, Depth - 1, AllowUnknown) + ")";
+  case 1:
+    return "(" + genExpr(C, Depth - 1, AllowUnknown) + " - " +
+           genExpr(C, Depth - 1, AllowUnknown) + ")";
+  case 2:
+    return "(" + genExpr(C, Depth - 1, AllowUnknown) + " * " +
+           std::to_string(C.R.range(-4, 4)) + ")";
+  case 3:
+    // Strictly positive divisor: (e % 7 + 8) is within [2, 15].
+    return "(" + genExpr(C, Depth - 1, AllowUnknown) + " / (" +
+           genExpr(C, Depth - 1, AllowUnknown) + " % 7 + 8))";
+  case 4:
+    return "(" + genExpr(C, Depth - 1, AllowUnknown) + " % (" +
+           genExpr(C, Depth - 1, AllowUnknown) + " % 5 + 6))";
+  default:
+    if (!C.Arrays.empty() && C.Options.UseArrays) {
+      // In-range index: ((e % 8) + 8) % 8 is within [0, 7].
+      return C.R.pick(C.Arrays) + "[((" + genExpr(C, Depth - 1, AllowUnknown) +
+             " % 8) + 8) % 8]";
+    }
+    return "(-" + genExpr(C, Depth - 1, AllowUnknown) + ")";
+  }
+}
+
+/// A random condition (no unknown() — guard edges may re-evaluate it).
+std::string genCond(FuzzContext &C, unsigned Depth) {
+  if (Depth > 0 && C.R.chance(1, 4)) {
+    switch (C.R.below(3)) {
+    case 0:
+      return "(" + genCond(C, Depth - 1) + " && " + genCond(C, Depth - 1) +
+             ")";
+    case 1:
+      return "(" + genCond(C, Depth - 1) + " || " + genCond(C, Depth - 1) +
+             ")";
+    default:
+      return "!" + genCond(C, Depth - 1);
+    }
+  }
+  static const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+  return "(" + genExpr(C, 1, /*AllowUnknown=*/false) + " " +
+         Ops[C.R.below(6)] + " " + genExpr(C, 1, /*AllowUnknown=*/false) +
+         ")";
+}
+
+void genBlock(FuzzContext &C, unsigned Depth);
+
+void genStmt(FuzzContext &C, unsigned Depth) {
+  unsigned Kind = static_cast<unsigned>(C.R.below(10));
+  switch (Kind) {
+  case 0: { // Fresh local.
+    std::string Name = "v" + std::to_string(C.NextLocal++);
+    C.line("int " + Name + " = " + genExpr(C, 2, true) + ";");
+    C.Scalars.push_back(Name);
+    return;
+  }
+  case 1: // Assignment to an existing scalar.
+    if (!C.Scalars.empty()) {
+      C.line(C.R.pick(C.Scalars) + " = " + genExpr(C, 2, true) + ";");
+      return;
+    }
+    [[fallthrough]];
+  case 2: // Global write.
+    if (!C.Globals.empty()) {
+      C.line(C.R.pick(C.Globals) + " = " + genExpr(C, 2, true) + ";");
+      return;
+    }
+    [[fallthrough]];
+  case 3: // Array store.
+    if (!C.Arrays.empty()) {
+      C.line(C.R.pick(C.Arrays) + "[((" + genExpr(C, 1, false) +
+             " % 8) + 8) % 8] = " + genExpr(C, 2, true) + ";");
+      return;
+    }
+    [[fallthrough]];
+  case 4: // Branch.
+    if (Depth > 0) {
+      C.line("if (" + genCond(C, 1) + ") {");
+      ++C.Indent;
+      genBlock(C, Depth - 1);
+      --C.Indent;
+      if (C.R.chance(1, 2)) {
+        C.line("} else {");
+        ++C.Indent;
+        genBlock(C, Depth - 1);
+        --C.Indent;
+      }
+      C.line("}");
+      return;
+    }
+    [[fallthrough]];
+  case 5: // Counted loop (for-loop: continue still reaches the step).
+    if (Depth > 0 && C.LoopsOnPath < 2) {
+      std::string IV = "li" + std::to_string(C.NextLoop++);
+      int64_t Bound =
+          1 + static_cast<int64_t>(C.R.below(C.Options.MaxLoopBound));
+      C.line("for (int " + IV + " = 0; " + IV + " < " +
+             std::to_string(Bound) + "; " + IV + " = " + IV + " + 1) {");
+      ++C.Indent;
+      ++C.LoopsOnPath;
+      bool WasInLoop = C.InLoop;
+      C.InLoop = true;
+      C.Scalars.push_back(IV);
+      genBlock(C, Depth - 1);
+      C.InLoop = WasInLoop;
+      --C.LoopsOnPath;
+      --C.Indent;
+      C.line("}");
+      return;
+    }
+    [[fallthrough]];
+  case 6: // Call — outside loops and bounded, so the concrete call tree
+          // stays polynomial.
+    if (!C.Callees.empty() && C.Options.UseCalls && C.LoopsOnPath == 0 &&
+        C.CallsEmitted < 3) {
+      ++C.CallsEmitted;
+      const auto &[Callee, Arity] = C.R.pick(C.Callees);
+      std::string Args;
+      for (unsigned I = 0; I < Arity; ++I) {
+        if (I)
+          Args += ", ";
+        Args += genExpr(C, 1, true);
+      }
+      if (C.R.chance(2, 3)) {
+        std::string Name = "v" + std::to_string(C.NextLocal++);
+        C.line("int " + Name + " = " + Callee + "(" + Args + ");");
+        C.Scalars.push_back(Name);
+      } else {
+        C.line(Callee + "(" + Args + ");");
+      }
+      return;
+    }
+    [[fallthrough]];
+  case 7: // break / continue.
+    if (C.InLoop && C.R.chance(1, 3)) {
+      C.line(C.R.chance(1, 2) ? "break;" : "continue;");
+      return;
+    }
+    [[fallthrough]];
+  default: // Plain recomputation.
+    if (!C.Scalars.empty())
+      C.line(C.R.pick(C.Scalars) + " = " + genExpr(C, 2, true) + ";");
+    else
+      C.line(";");
+    return;
+  }
+}
+
+void genBlock(FuzzContext &C, unsigned Depth) {
+  size_t ScalarMark = C.Scalars.size();
+  unsigned Stmts =
+      1 + static_cast<unsigned>(C.R.below(C.Options.MaxStmtsPerBlock));
+  for (unsigned I = 0; I < Stmts; ++I)
+    genStmt(C, Depth);
+  // Locals remain declared (flat function scope) but fall out of the
+  // use-set to avoid sibling-scope duplicates... which cannot happen as
+  // names are globally unique; keeping them usable is fine.
+  (void)ScalarMark;
+}
+
+} // namespace
+
+std::string warrow::generateFuzzProgram(uint64_t Seed,
+                                        const FuzzOptions &Options) {
+  Rng R(Seed);
+  std::string Out;
+  Out += "// Fuzzed program, seed " + std::to_string(Seed) + ".\n";
+
+  std::vector<std::string> Globals;
+  if (Options.UseGlobals) {
+    unsigned NumGlobals = 1 + static_cast<unsigned>(R.below(3));
+    for (unsigned G = 0; G < NumGlobals; ++G) {
+      Globals.push_back("fg" + std::to_string(G));
+      Out += "int fg" + std::to_string(G) + " = " +
+             std::to_string(R.range(-5, 5)) + ";\n";
+    }
+    if (Options.UseArrays)
+      Out += "int fgarr[8];\n";
+  }
+
+  unsigned NumFunctions =
+      Options.MaxFunctions == 0
+          ? 0
+          : static_cast<unsigned>(R.below(Options.MaxFunctions + 1));
+  std::vector<std::pair<std::string, unsigned>> Defined;
+
+  for (unsigned F = 0; F < NumFunctions; ++F) {
+    std::string Name = "fz" + std::to_string(F);
+    unsigned Arity = 1 + static_cast<unsigned>(R.below(2));
+    FuzzContext C(R, Options);
+    C.Globals = Globals;
+    // Later functions may call earlier ones only: acyclic, terminating.
+    C.Callees = Defined;
+    std::string Header = "int " + Name + "(";
+    for (unsigned A = 0; A < Arity; ++A) {
+      if (A)
+        Header += ", ";
+      std::string Param = "p" + std::to_string(A);
+      Header += "int " + Param;
+      C.Scalars.push_back(Param);
+    }
+    Header += ") {";
+    if (Options.UseArrays && R.chance(1, 2)) {
+      C.Arrays.push_back("a0");
+      C.line("int a0[8];");
+    }
+    if (Options.UseArrays && Options.UseGlobals)
+      C.Arrays.push_back("fgarr");
+    genBlock(C, Options.MaxDepth);
+    C.line("return " + genExpr(C, 2, true) + ";");
+    Out += Header + "\n" + C.Out + "}\n\n";
+    Defined.push_back({Name, Arity});
+  }
+
+  // main.
+  {
+    FuzzContext C(R, Options);
+    C.Globals = Globals;
+    C.Callees = Defined;
+    if (Options.UseArrays) {
+      C.Arrays.push_back("m0");
+      C.line("int m0[8];");
+      if (Options.UseGlobals)
+        C.Arrays.push_back("fgarr");
+    }
+    genBlock(C, Options.MaxDepth);
+    C.line("return " + genExpr(C, 2, true) + ";");
+    Out += "int main() {\n" + C.Out + "}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,258 @@
+//===- workloads/spec_generator.cpp - SpecCpu-scale workloads ------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/spec_generator.h"
+
+#include "support/rng.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+namespace {
+
+/// Source emission helper.
+class SourceWriter {
+public:
+  void line(const std::string &Text) {
+    Out.append(2 * Indent, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+  void open(const std::string &Text) {
+    line(Text + " {");
+    ++Indent;
+  }
+  void close() {
+    --Indent;
+    line("}");
+  }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+  unsigned Indent = 0;
+};
+
+} // namespace
+
+std::string warrow::generateSpecProgram(const SpecProfile &Profile) {
+  Rng R(Profile.Seed);
+  SourceWriter W;
+
+  unsigned NumFuncs = Profile.NumFunctions;
+  unsigned Depth = Profile.MaxCallDepth == 0 ? 1 : Profile.MaxCallDepth;
+  // Level of a function: functions may only call into the next level, so
+  // the call graph is acyclic with depth <= Depth.
+  auto LevelOf = [&](unsigned F) {
+    return static_cast<unsigned>(
+        (static_cast<uint64_t>(F) * Depth) / NumFuncs);
+  };
+  auto FirstOfLevel = [&](unsigned L) -> unsigned {
+    // Smallest F with LevelOf(F) == L.
+    uint64_t Num = static_cast<uint64_t>(L) * NumFuncs;
+    unsigned F = static_cast<unsigned>((Num + Depth - 1) / Depth);
+    while (F < NumFuncs && LevelOf(F) != L)
+      ++F;
+    return F;
+  };
+
+  // Globals.
+  W.line("// Generated workload '" + Profile.Name + "' (seed " +
+         std::to_string(Profile.Seed) + "). Do not edit.");
+  for (unsigned G = 0; G < Profile.NumGlobals; ++G)
+    W.line("int g" + std::to_string(G) + " = 0;");
+  W.line("int g_result = 0;");
+  W.line("");
+
+  // Constant pool for context-sensitive call sites.
+  std::vector<int64_t> ConstPool;
+  for (unsigned V = 0; V < std::max(1u, Profile.ContextVariants); ++V)
+    ConstPool.push_back(static_cast<int64_t>(7 + 13 * V));
+
+  unsigned SiteCounter = 0;
+
+  auto EmitFunction = [&](unsigned F) {
+    unsigned Level = LevelOf(F);
+    std::string Name = "f" + std::to_string(F);
+    W.open("int " + Name + "(int p0, int p1)");
+    W.line("int acc = p0 % 50;");
+    W.line("int key = p1;");
+
+    // Loops.
+    for (unsigned L = 0; L < Profile.LoopsPerFunction; ++L) {
+      std::string IV = "i" + std::to_string(L);
+      int64_t Bound = 5 + static_cast<int64_t>(R.below(28));
+      (void)Bound;
+      int64_t Scale = 1 + static_cast<int64_t>(R.below(5));
+      W.line("int " + IV + " = 0;");
+      W.open("while (" + IV + " < " + std::to_string(Bound) + ")");
+      W.line("acc = acc + " + IV + " * " + std::to_string(Scale) + ";");
+      W.line("if (acc > 1000)");
+      W.line("  acc = 1000;");
+      W.line("if (acc < -1000)");
+      W.line("  acc = -1000;");
+      if (Profile.NumGlobals > 0 && R.chance(3, 4)) {
+        unsigned G = static_cast<unsigned>(R.below(Profile.NumGlobals));
+        // Write a *bounded local* into the global — the pattern whose
+        // narrowing the ⊟-solver enables (Fig. 7 discussion).
+        W.line("g" + std::to_string(G) + " = " + IV + ";");
+      }
+      if (R.chance(1, 3)) {
+        W.open("if (" + IV + " % 3 == 0)");
+        W.line("key = key + 1;");
+        W.close();
+      }
+      W.line(IV + " = " + IV + " + 1;");
+      W.close();
+    }
+
+    // Global read feeding a branch.
+    if (Profile.NumGlobals > 0) {
+      unsigned G = static_cast<unsigned>(R.below(Profile.NumGlobals));
+      W.line("int gin = g" + std::to_string(G) + ";");
+      W.open("if (gin > acc)");
+      W.line("acc = acc + 1;");
+      W.close();
+    }
+
+    // Calls into the next level.
+    if (Level + 1 < Depth) {
+      unsigned Lo = FirstOfLevel(Level + 1);
+      unsigned Hi = Level + 2 < Depth ? FirstOfLevel(Level + 2) : NumFuncs;
+      if (Lo < Hi) {
+        for (unsigned C = 0; C < Profile.CallsPerFunction; ++C) {
+          unsigned Callee =
+              Lo + static_cast<unsigned>(R.below(Hi - Lo));
+          std::string Result = "t" + std::to_string(C);
+          std::string ArgOne;
+          if (Profile.ContextVariants > 0 && R.chance(4, 5)) {
+            int64_t K = ConstPool[R.below(ConstPool.size())];
+            ++SiteCounter;
+            ArgOne = std::to_string(K);
+          } else {
+            ArgOne = "key";
+          }
+          W.line("int " + Result + " = f" + std::to_string(Callee) +
+                 "(acc % 20, " + ArgOne + ");");
+          W.line("acc = (acc + " + Result + ") % 500;");
+        }
+        if (Profile.ContextDrift > 0) {
+          // The first loop counter's exit value: an exact constant under
+          // ⊟ (head narrows, exit meets the negated guard), but
+          // [bound,+inf) under pure ▽ — so this call contributes one
+          // *fresh constant context* per ⊟ run and only the shared top
+          // context per ▽ run.
+          unsigned Callee =
+              Lo + static_cast<unsigned>(R.below(Hi - Lo));
+          W.line("int post = i0;");
+          W.line("int td = f" + std::to_string(Callee) +
+                 "(acc % 20, post + " + std::to_string(F % 17) + ");");
+          W.line("acc = (acc + td) % 500;");
+        }
+        if (Profile.ContextDrift < 0 && Profile.NumGlobals > 0) {
+          // A call guarded by a narrowable global: globals only ever hold
+          // loop counters (< 1000), so the ⊟-solver proves the branch
+          // dead and never creates the callee context; the ▽-solver keeps
+          // the global at [0,+inf) and must analyze it.
+          unsigned Callee =
+              Lo + static_cast<unsigned>(R.below(Hi - Lo));
+          unsigned Gate = static_cast<unsigned>(R.below(Profile.NumGlobals));
+          W.line("int gate = g" + std::to_string(Gate) + ";");
+          W.open("if (gate > 5000)");
+          W.line("int tg = f" + std::to_string(Callee) + "(acc % 20, " +
+                 std::to_string(7000 + F) + ");");
+          W.line("acc = (acc + tg) % 500;");
+          W.close();
+        }
+      }
+    }
+
+    if (Profile.NumGlobals > 0 && R.chance(1, 2)) {
+      unsigned G = static_cast<unsigned>(R.below(Profile.NumGlobals));
+      W.line("g" + std::to_string(G) + " = acc % 128;");
+    }
+    W.line("return acc % 1000;");
+    W.close();
+    W.line("");
+  };
+
+  for (unsigned F = 0; F < NumFuncs; ++F)
+    EmitFunction(F);
+
+  // main: drive the level-0 functions.
+  W.open("int main()");
+  W.line("int total = 0;");
+  W.line("int it = 0;");
+  W.open("while (it < 4)");
+  unsigned TopEnd = Depth > 1 ? FirstOfLevel(1) : NumFuncs;
+  for (unsigned F = 0; F < std::min(TopEnd, 4u); ++F) {
+    std::string Result = "r" + std::to_string(F);
+    std::string ArgOne;
+    if (Profile.ContextVariants > 0) {
+      int64_t K = ConstPool[SiteCounter % ConstPool.size()];
+      ++SiteCounter;
+      ArgOne = std::to_string(K);
+    } else {
+      ArgOne = "it";
+    }
+    W.line("int " + Result + " = f" + std::to_string(F) + "(it, " + ArgOne +
+           ");");
+    W.line("total = (total + " + Result + ") % 10000;");
+  }
+  W.line("it = it + 1;");
+  W.close();
+  W.line("g_result = total;");
+  W.line("return total;");
+  W.close();
+
+  return W.take();
+}
+
+const std::vector<SpecProfile> &warrow::specSuite() {
+  static const std::vector<SpecProfile> Suite = [] {
+    std::vector<SpecProfile> S;
+    auto Add = [&S](const char *Name, unsigned Funcs, unsigned Loops,
+                    unsigned Calls, unsigned Globals, unsigned Variants,
+                    unsigned Depth, uint64_t Seed) {
+      SpecProfile P;
+      P.Name = Name;
+      P.NumFunctions = Funcs;
+      P.LoopsPerFunction = Loops;
+      P.CallsPerFunction = Calls;
+      P.NumGlobals = Globals;
+      P.ContextVariants = Variants;
+      P.MaxCallDepth = Depth;
+      P.Seed = Seed;
+      S.push_back(P);
+    };
+    // Sized so context-insensitive unknown counts land near Table 1;
+    // ContextVariants and ContextDrift shape the ctx/no-ctx ratios and
+    // the ⊟-vs-▽ differences per the paper.
+    Add("401.bzip2", 345, 2, 2, 10, 1, 8, 401);
+    Add("429.mcf", 45, 2, 2, 6, 2, 6, 429);
+    Add("433.milc", 300, 2, 3, 12, 4, 8, 433);
+    Add("456.hmmer", 320, 2, 4, 14, 7, 8, 456);
+    Add("458.sjeng", 370, 2, 4, 14, 7, 8, 458);
+    Add("470.lbm", 22, 2, 2, 4, 2, 4, 470);
+    Add("482.sphinx", 660, 2, 2, 12, 2, 8, 482);
+    for (SpecProfile &P : S) {
+      if (P.Name == "456.hmmer" || P.Name == "458.sjeng")
+        P.ContextDrift = 1;
+      if (P.Name == "470.lbm")
+        P.ContextDrift = -1;
+    }
+    return S;
+  }();
+  return Suite;
+}
+
+const SpecProfile *warrow::findSpecProfile(const std::string &Name) {
+  for (const SpecProfile &P : specSuite())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

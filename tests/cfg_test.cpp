@@ -1,0 +1,189 @@
+//===- tests/cfg_test.cpp - CFG construction tests -----------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/cfg.h"
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+};
+
+Built build(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  Built B;
+  B.Cfgs = buildProgramCfg(*P);
+  B.P = std::move(P);
+  return B;
+}
+
+/// Counts edges of a given action kind.
+size_t countEdges(const Cfg &G, Action::Kind K) {
+  size_t N = 0;
+  for (const CfgEdge &E : G.edges())
+    if (E.Act.K == K)
+      ++N;
+  return N;
+}
+
+TEST(Cfg, StraightLine) {
+  Built B = build("int main() { int x = 1; x = x + 1; return x; }");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  EXPECT_EQ(G.entry(), 0u);
+  EXPECT_EQ(G.exit(), 1u);
+  EXPECT_EQ(countEdges(G, Action::Kind::Assign), 3u)
+      << "decl-with-init, assignment, and return";
+  // Two edges into the exit: the return, plus the (unreachable)
+  // fall-through from the dead island after the return statement.
+  EXPECT_EQ(G.inEdges(G.exit()).size(), 2u);
+}
+
+TEST(Cfg, IfProducesComplementaryGuards) {
+  Built B = build("int main() { int x = 0; if (x < 1) x = 1; return x; }");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  EXPECT_EQ(countEdges(G, Action::Kind::Guard), 2u);
+  // Find the branch node: a node with two guard out-edges.
+  bool FoundBranch = false;
+  for (uint32_t N = 0; N < G.numNodes(); ++N) {
+    const auto &Out = G.outEdges(N);
+    if (Out.size() == 2 && G.edge(Out[0]).Act.K == Action::Kind::Guard &&
+        G.edge(Out[1]).Act.K == Action::Kind::Guard) {
+      FoundBranch = true;
+      EXPECT_NE(G.edge(Out[0]).Act.Positive, G.edge(Out[1]).Act.Positive);
+      EXPECT_EQ(G.edge(Out[0]).Act.Value, G.edge(Out[1]).Act.Value)
+          << "same condition expression on both guards";
+    }
+  }
+  EXPECT_TRUE(FoundBranch);
+}
+
+TEST(Cfg, WhileLoopHasBackEdge) {
+  Built B = build(
+      "int main() { int i = 0; while (i < 5) i = i + 1; return i; }");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  // There must be a cycle: some edge goes to an already-smaller node in
+  // reverse post-order.
+  std::vector<uint32_t> Rpo = G.reversePostOrder();
+  std::vector<uint32_t> Position(G.numNodes());
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    Position[Rpo[I]] = I;
+  bool HasBackEdge = false;
+  for (const CfgEdge &E : G.edges())
+    if (Position[E.To] <= Position[E.From])
+      HasBackEdge = true;
+  EXPECT_TRUE(HasBackEdge);
+}
+
+TEST(Cfg, ForLoopContinueTargetsStep) {
+  Built B = build(R"(
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 10; i = i + 1) {
+        if (i == 3)
+          continue;
+        acc = acc + i;
+      }
+      return acc;
+    }
+  )");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  // The loop must terminate concretely; structurally we check the step
+  // assignment exists and the graph is connected to the exit.
+  EXPECT_GE(countEdges(G, Action::Kind::Assign), 4u);
+  EXPECT_FALSE(G.inEdges(G.exit()).empty());
+}
+
+TEST(Cfg, ReturnCreatesUnreachableIsland) {
+  Built B = build("int main() { return 1; int y = 2; return y; }");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  // Some node has no incoming edges besides the entry (the dead decl).
+  size_t Orphans = 0;
+  for (uint32_t N = 0; N < G.numNodes(); ++N)
+    if (N != G.entry() && G.inEdges(N).empty())
+      ++Orphans;
+  EXPECT_GE(Orphans, 1u);
+}
+
+TEST(Cfg, CallEdges) {
+  Built B = build(R"(
+    int g = 0;
+    int f(int x) { return x + 1; }
+    int main() {
+      int r = f(3);
+      g = f(4);
+      f(5);
+      return r;
+    }
+  )");
+  const Cfg &Main = B.Cfgs.cfgOf(B.P->functionIndex(
+      B.P->Symbols.lookup("main")));
+  EXPECT_EQ(countEdges(Main, Action::Kind::Call), 3u);
+  size_t WithResult = 0;
+  for (const CfgEdge &E : Main.edges())
+    if (E.Act.K == Action::Kind::Call && E.Act.Lhs != 0)
+      ++WithResult;
+  EXPECT_EQ(WithResult, 2u);
+}
+
+TEST(Cfg, InputAction) {
+  Built B = build("int main() { int x = unknown(); unknown(); return x; }");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  EXPECT_EQ(countEdges(G, Action::Kind::Input), 1u)
+      << "discarded unknown() is a no-op";
+}
+
+TEST(Cfg, DeclKinds) {
+  Built B = build("int main() { int x; int a[5]; return 0; }");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  EXPECT_EQ(countEdges(G, Action::Kind::DeclScalar), 1u);
+  EXPECT_EQ(countEdges(G, Action::Kind::DeclArray), 1u);
+}
+
+TEST(Cfg, ReversePostOrderCoversAllNodes) {
+  Built B = build(R"(
+    int main() {
+      int i = 0;
+      while (i < 3) {
+        int j = 0;
+        while (j < i)
+          j = j + 1;
+        i = i + 1;
+      }
+      return i;
+    }
+  )");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  std::vector<uint32_t> Rpo = G.reversePostOrder();
+  EXPECT_EQ(Rpo.size(), G.numNodes());
+  std::vector<char> Seen(G.numNodes(), 0);
+  for (uint32_t N : Rpo) {
+    EXPECT_LT(N, G.numNodes());
+    EXPECT_FALSE(Seen[N]) << "duplicate node in RPO";
+    Seen[N] = 1;
+  }
+  EXPECT_EQ(Rpo[0], G.entry()) << "RPO starts at the entry";
+}
+
+TEST(Cfg, ActionRendering) {
+  Built B = build("int g = 0; int main() { g = 1 + 2; return g; }");
+  const Cfg &G = B.Cfgs.cfgOf(0);
+  bool Found = false;
+  for (const CfgEdge &E : G.edges())
+    if (E.Act.K == Action::Kind::Assign &&
+        E.Act.str(B.P->Symbols) == "g = 1 + 2")
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

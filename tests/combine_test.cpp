@@ -1,0 +1,107 @@
+//===- tests/combine_test.cpp - Combine operator (⊕/⊟) tests ------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/combine.h"
+#include "lattice/interval.h"
+#include "lattice/natinf.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+TEST(Combine, BasicOperators) {
+  int X = 0;
+  EXPECT_EQ(AssignCombine{}(X, Iv(0, 1), Iv(5, 6)), Iv(5, 6));
+  EXPECT_EQ(JoinCombine{}(X, Iv(0, 1), Iv(5, 6)), Iv(0, 6));
+  EXPECT_EQ(MeetCombine{}(X, Iv(0, 5), Iv(3, 9)), Iv(3, 5));
+  Interval W = WidenCombine{}(X, Iv(0, 1), Iv(0, 6));
+  EXPECT_TRUE(W.hi().isPosInf());
+  EXPECT_EQ(NarrowCombine{}(X, Interval::atLeast(Bound(0)), Iv(0, 6)),
+            Iv(0, 6));
+}
+
+TEST(Combine, WarrowDefinition) {
+  // a ⊟ b = a △ b if b ⊑ a, else a ▽ b (Section 3).
+  int X = 0;
+  WarrowCombine Warrow;
+  // Growing: widening.
+  Interval Grew = Warrow(X, Iv(0, 1), Iv(0, 5));
+  EXPECT_TRUE(Grew.hi().isPosInf());
+  // Shrinking: narrowing (improves only infinite bounds; the finite
+  // lower bound 0 stays).
+  EXPECT_EQ(Warrow(X, Interval::atLeast(Bound(0)), Iv(2, 7)), Iv(0, 7));
+  EXPECT_EQ(Warrow(X, Iv(0, 100), Iv(2, 7)), Iv(0, 100));
+  // Incomparable: widening.
+  Interval Mixed = Warrow(X, Iv(0, 5), Iv(3, 9));
+  EXPECT_TRUE(Mixed.hi().isPosInf());
+  EXPECT_EQ(Mixed.lo(), Bound(0));
+}
+
+TEST(Combine, WarrowOnNatInfMatchesPaper) {
+  // Example 1's operators: a ▽ b = (b<=a ? a : inf), a △ b = (a=inf ? b : a).
+  int X = 0;
+  WarrowCombine Warrow;
+  EXPECT_EQ(Warrow(X, NatInf(0), NatInf(1)), NatInf::inf());
+  EXPECT_EQ(Warrow(X, NatInf::inf(), NatInf(1)), NatInf(1));
+  EXPECT_EQ(Warrow(X, NatInf(5), NatInf(3)), NatInf(5));
+  EXPECT_EQ(Warrow(X, NatInf(5), NatInf(5)), NatInf(5));
+}
+
+TEST(Combine, WarrowResultIsUpperBoundOfNewWhenGrowing) {
+  // If b ⋢ a then b ⊑ a ▽ b (widening covers); if b ⊑ a then the result
+  // stays between b and a. Either way the ⊟-update never loses b entirely
+  // — the key to Lemma 1.
+  Rng R(11);
+  WarrowCombine Warrow;
+  for (int K = 0; K < 500; ++K) {
+    int64_t ALo = R.range(-20, 20);
+    Interval A = Iv(ALo, ALo + static_cast<int64_t>(R.below(10)));
+    int64_t BLo = R.range(-20, 20);
+    Interval B = Iv(BLo, BLo + static_cast<int64_t>(R.below(10)));
+    Interval Out = Warrow(0, A, B);
+    if (B.leq(A)) {
+      EXPECT_TRUE(B.leq(Out));
+      EXPECT_TRUE(Out.leq(A));
+    } else {
+      EXPECT_TRUE(B.leq(Out));
+      EXPECT_TRUE(A.leq(Out));
+    }
+  }
+}
+
+TEST(Combine, DegradingWarrowCountsSwitches) {
+  DegradingWarrowCombine<int> Deg(/*MaxSwitches=*/1);
+  int X = 0;
+  // Grow: widen to [0, inf).
+  Interval V = Deg(X, Iv(0, 0), Iv(0, 5));
+  EXPECT_TRUE(V.hi().isPosInf());
+  // Shrink: narrowing still allowed (0 switches so far).
+  V = Deg(X, V, Iv(0, 5));
+  EXPECT_EQ(V, Iv(0, 5));
+  // Grow again: switch #1 recorded.
+  V = Deg(X, V, Iv(0, 9));
+  EXPECT_TRUE(V.hi().isPosInf());
+  EXPECT_EQ(Deg.totalSwitches(), 1u);
+  // Shrink attempt: budget exhausted -> frozen at the old value.
+  Interval Frozen = Deg(X, V, Iv(0, 9));
+  EXPECT_EQ(Frozen, V) << "narrowing disabled after MaxSwitches";
+}
+
+TEST(Combine, DegradingWarrowIsPerUnknown) {
+  DegradingWarrowCombine<int> Deg(/*MaxSwitches=*/0);
+  // Unknown 0 exhausts immediately; unknown 1 still narrows from scratch.
+  Interval V0 = Deg(0, Interval::atLeast(Bound(0)), Iv(0, 5));
+  EXPECT_EQ(V0, Interval::atLeast(Bound(0))) << "0-budget freezes at once";
+  Interval V1 = Deg(1, Interval::atLeast(Bound(0)), Iv(0, 5));
+  EXPECT_EQ(V1, Interval::atLeast(Bound(0)));
+}
+
+} // namespace

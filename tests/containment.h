@@ -1,0 +1,113 @@
+//===- tests/containment.h - Shared soundness-check helper ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The abstract-vs-concrete containment oracle shared by the WCET
+// soundness tests and the fuzz tests: every concrete state observed at a
+// program point must lie inside the (context-joined) abstract value the
+// analysis computed for that point.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_TESTS_CONTAINMENT_H
+#define WARROW_TESTS_CONTAINMENT_H
+
+#include "analysis/interproc.h"
+#include "lang/interp.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace warrow {
+
+struct ContainmentViolation {
+  std::string Where;
+  std::string Detail;
+};
+
+struct ContainmentOutcome {
+  std::vector<ContainmentViolation> Violations;
+  InterpResult Run;
+};
+
+/// Runs the program concretely on \p Inputs and checks containment of
+/// every observed state in \p Result.
+inline ContainmentOutcome
+checkContainment(const Program &P, const ProgramCfg &Cfgs,
+                 const AnalysisResult &Result,
+                 const std::vector<int64_t> &Inputs,
+                 InterpOptions Options = {}) {
+  ContainmentOutcome Outcome;
+  auto &Violations = Outcome.Violations;
+
+  // Group the solution by (func, node): join over contexts.
+  std::unordered_map<uint64_t, AbsValue> ByPoint;
+  std::unordered_map<Symbol, Interval> Globals;
+  for (const auto &[X, Value] : Result.Solution.Sigma) {
+    if (X.isGlobal()) {
+      Globals[X.Glob] = Value.itvValue();
+      continue;
+    }
+    uint64_t Key = (static_cast<uint64_t>(X.Func) << 32) | X.Node;
+    AbsValue &Slot = ByPoint[Key];
+    Slot = Slot.join(Value);
+  }
+
+  Interpreter Interp(P, Cfgs, Inputs, Options);
+  Interp.setObserver([&](uint32_t Func, uint32_t Node,
+                         const ConcreteFrame &Frame,
+                         const ConcreteGlobals &ConcGlobals) {
+    if (Violations.size() > 5)
+      return; // Enough evidence.
+    uint64_t Key = (static_cast<uint64_t>(Func) << 32) | Node;
+    auto It = ByPoint.find(Key);
+    std::string Where = P.Symbols.spelling(P.Functions[Func]->Name) + ":" +
+                        std::to_string(Node);
+    if (It == ByPoint.end() || It->second.isBot()) {
+      Violations.push_back({Where, "point deemed unreachable but visited"});
+      return;
+    }
+    const AbsEnv &Env = It->second.envValue();
+    for (const auto &[Name, Value] : Frame.Scalars) {
+      if (!Env.get(Name).contains(Value))
+        Violations.push_back(
+            {Where, P.Symbols.spelling(Name) + "=" + std::to_string(Value) +
+                        " not in " + Env.get(Name).str()});
+    }
+    for (const auto &[Name, Contents] : Frame.Arrays) {
+      Interval Abs = Env.get(Name);
+      for (int64_t Element : Contents)
+        if (!Abs.contains(Element))
+          Violations.push_back(
+              {Where, "array " + P.Symbols.spelling(Name) + " element " +
+                          std::to_string(Element) + " not in " + Abs.str()});
+    }
+    for (const auto &[Name, Value] : ConcGlobals.Scalars) {
+      auto GIt = Globals.find(Name);
+      Interval Abs = GIt == Globals.end() ? Interval::top() : GIt->second;
+      if (!Abs.contains(Value))
+        Violations.push_back(
+            {Where, "global " + P.Symbols.spelling(Name) + "=" +
+                        std::to_string(Value) + " not in " + Abs.str()});
+    }
+    for (const auto &[Name, Contents] : ConcGlobals.Arrays) {
+      auto GIt = Globals.find(Name);
+      Interval Abs = GIt == Globals.end() ? Interval::top() : GIt->second;
+      for (int64_t Element : Contents)
+        if (!Abs.contains(Element))
+          Violations.push_back(
+              {Where, "global array " + P.Symbols.spelling(Name) +
+                          " element " + std::to_string(Element) +
+                          " not in " + Abs.str()});
+    }
+  });
+  Outcome.Run = Interp.run();
+  return Outcome;
+}
+
+} // namespace warrow
+
+#endif // WARROW_TESTS_CONTAINMENT_H

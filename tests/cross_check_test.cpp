@@ -1,0 +1,176 @@
+//===- tests/cross_check_test.cpp - Cross-solver validation ---------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests validating the solver implementations against each
+// other on families of random systems:
+//  - with ⊕ = ⊔ on bounded monotone systems, every solver computes the
+//    same least fixpoint (dense RR/W/SRR/SW and local RLD/SLR/SLR+);
+//  - SLR+ restricted to systems without side effects agrees with SLR;
+//  - SLR+ with ⊟ returns partial post solutions on random *side-effecting*
+//    monotone systems, and the two-phase baseline is never more precise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/combine.h"
+#include "solvers/rld.h"
+#include "solvers/rr.h"
+#include "solvers/slr.h"
+#include "solvers/slr_plus.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "solvers/two_phase_local.h"
+#include "solvers/wl.h"
+#include "support/rng.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace warrow;
+
+namespace {
+
+using IntSys = LocalSystem<int, Interval>;
+using SideSys = SideEffectingSystem<int, Interval>;
+
+/// Wraps a dense system as a local one.
+IntSys localView(std::shared_ptr<DenseSystem<Interval>> Dense) {
+  return IntSys(
+      [Dense](int X) -> IntSys::Rhs {
+        return [Dense, X](const IntSys::Get &Get) {
+          return Dense->eval(static_cast<Var>(X), [&Get](Var Y) {
+            return Get(static_cast<int>(Y));
+          });
+        };
+      });
+}
+
+class CrossCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossCheck, AllSolversAgreeOnLeastFixpoints) {
+  // Bounded monotone systems: plain ⊔-iteration terminates, and every
+  // generic solver must land on the same (least) fixpoint when started
+  // from bottom.
+  auto Dense = std::make_shared<DenseSystem<Interval>>(
+      randomMonotoneSystem(24, 3, 60, GetParam()));
+  SolveResult<Interval> RR = solveRR(*Dense, JoinCombine{});
+  SolveResult<Interval> W = solveW(*Dense, JoinCombine{});
+  SolveResult<Interval> SRR = solveSRR(*Dense, JoinCombine{});
+  SolveResult<Interval> SW = solveSW(*Dense, JoinCombine{});
+  ASSERT_TRUE(RR.Stats.Converged && W.Stats.Converged &&
+              SRR.Stats.Converged && SW.Stats.Converged);
+  for (Var X = 0; X < Dense->size(); ++X) {
+    EXPECT_EQ(RR.Sigma[X], W.Sigma[X]) << "var " << X;
+    EXPECT_EQ(RR.Sigma[X], SRR.Sigma[X]) << "var " << X;
+    EXPECT_EQ(RR.Sigma[X], SW.Sigma[X]) << "var " << X;
+  }
+
+  // Local solvers on the same system, solving for every unknown in turn
+  // via unknown 0..n-1 as the root of interest.
+  IntSys Local = localView(Dense);
+  PartialSolution<int, Interval> Slr = solveSLR(Local, 0, JoinCombine{});
+  PartialSolution<int, Interval> Rld = solveRLD(Local, 0, JoinCombine{});
+  ASSERT_TRUE(Slr.Stats.Converged && Rld.Stats.Converged);
+  for (const auto &[X, Value] : Slr.Sigma) {
+    EXPECT_EQ(Value, RR.Sigma[static_cast<Var>(X)])
+        << "SLR disagrees with the dense least fixpoint at " << X;
+    EXPECT_EQ(Rld.value(X), Value) << "RLD disagrees with SLR at " << X;
+  }
+}
+
+TEST_P(CrossCheck, SlrPlusEqualsSlrWithoutSideEffects) {
+  auto Dense = std::make_shared<DenseSystem<Interval>>(
+      randomMonotoneSystem(20, 3, 300, GetParam() * 13 + 1));
+  IntSys Local = localView(Dense);
+  SideSys NoSide(
+      [Dense](int X) -> SideSys::Rhs {
+        return [Dense, X](const SideSys::Get &Get, const SideSys::Side &) {
+          return Dense->eval(static_cast<Var>(X), [&Get](Var Y) {
+            return Get(static_cast<int>(Y));
+          });
+        };
+      });
+  PartialSolution<int, Interval> A = solveSLR(Local, 0, WarrowCombine{});
+  PartialSolution<int, Interval> B = solveSLRPlus(NoSide, 0, WarrowCombine{});
+  ASSERT_TRUE(A.Stats.Converged && B.Stats.Converged);
+  EXPECT_EQ(A.Sigma.size(), B.Sigma.size());
+  for (const auto &[X, Value] : A.Sigma)
+    EXPECT_EQ(B.value(X), Value) << "unknown " << X;
+}
+
+/// A random monotone *side-effecting* system: unknowns 0..N-1 with join
+/// rhs over random deps; some unknowns additionally contribute their
+/// (capped) value to a random sink unknown in [N, N+Sinks).
+SideSys randomSideSystem(unsigned N, unsigned Sinks, uint64_t Seed) {
+  auto Plan = std::make_shared<std::vector<std::tuple<int, int, int64_t>>>();
+  auto Deps = std::make_shared<std::vector<std::vector<int>>>();
+  Rng R(Seed);
+  Deps->resize(N);
+  for (unsigned X = 0; X < N; ++X) {
+    for (int D = 0; D < 3; ++D)
+      (*Deps)[X].push_back(static_cast<int>(R.below(N)));
+    if (R.chance(1, 3))
+      Plan->push_back({static_cast<int>(X),
+                       static_cast<int>(N + R.below(Sinks)),
+                       R.range(0, 20)});
+  }
+  return SideSys([Plan, Deps, N](int X) -> SideSys::Rhs {
+    if (X >= static_cast<int>(N)) // Sinks: contributions only.
+      return [](const SideSys::Get &, const SideSys::Side &) {
+        return Interval::bot();
+      };
+    return [Plan, Deps, X](const SideSys::Get &Get,
+                           const SideSys::Side &Side) {
+      Interval Acc = Interval::constant(0);
+      for (int Y : (*Deps)[X])
+        Acc = Acc.join(
+            Get(Y).add(Interval::constant(1)).meet(Interval::make(0, 50)));
+      for (const auto &[From, To, Offset] : *Plan)
+        if (From == X)
+          Side(To, Acc.add(Interval::constant(Offset)));
+      return Acc;
+    };
+  });
+}
+
+TEST_P(CrossCheck, SlrPlusPostSolutionOnRandomSideSystems) {
+  SideSys S = randomSideSystem(18, 4, GetParam() * 31 + 7);
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  PartialSolution<int, Interval> R = Solver.solveFor(0);
+  ASSERT_TRUE(R.Stats.Converged);
+  // Partial post solution: rhs (plus recorded contributions) below sigma.
+  for (const auto &[X, Value] : R.Sigma) {
+    SideSys::Get Get = [&R](const int &Y) { return R.value(Y); };
+    SideSys::Side Ignore = [](const int &, const Interval &) {};
+    Interval Rhs = S.rhs(X)(Get, Ignore);
+    auto It = Solver.contributions().find(X);
+    if (It != Solver.contributions().end())
+      for (const auto &[From, V] : It->second)
+        Rhs = Rhs.join(V);
+    EXPECT_TRUE(Rhs.leq(Value)) << "unknown " << X;
+  }
+}
+
+TEST_P(CrossCheck, TwoPhaseNeverBeatsWarrowOnSideSystems) {
+  SideSys S = randomSideSystem(18, 4, GetParam() * 17 + 3);
+  PartialSolution<int, Interval> Warrow = solveSLRPlus(S, 0, WarrowCombine{});
+  PartialSolution<int, Interval> Classic = solveTwoPhaseSide(S, 0);
+  ASSERT_TRUE(Warrow.Stats.Converged && Classic.Stats.Converged);
+  for (const auto &[X, Value] : Warrow.Sigma) {
+    if (!Classic.inDomain(X))
+      continue;
+    EXPECT_TRUE(Value.leq(Classic.value(X)))
+        << "two-phase more precise than ⊟ at " << X << ": "
+        << Value.str() << " vs " << Classic.value(X).str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossCheck,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull));
+
+} // namespace

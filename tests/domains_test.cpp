@@ -1,0 +1,209 @@
+//===- tests/domains_test.cpp - Secondary domain tests ------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for NatInf, Flat, Sign, PowerSet, Product, Lifted, and MapLattice,
+// including generic law checks shared across all of them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/flat.h"
+#include "lattice/lifted.h"
+#include "lattice/mapdom.h"
+#include "lattice/natinf.h"
+#include "lattice/powerset.h"
+#include "lattice/product.h"
+#include "lattice/sign.h"
+#include "lattice/thresholds.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+/// Generic lattice/acceleration law checks on a sample set.
+template <typename D> void checkLaws(const std::vector<D> &Samples) {
+  for (const D &A : Samples) {
+    EXPECT_TRUE(A.leq(A));
+    EXPECT_TRUE(D::bot().leq(A));
+    for (const D &B : Samples) {
+      EXPECT_TRUE(A.leq(A.join(B)));
+      EXPECT_TRUE(B.leq(A.join(B)));
+      EXPECT_TRUE(A.join(B) == B.join(A));
+      // Widening covers the join.
+      EXPECT_TRUE(A.join(B).leq(A.widen(B)));
+      // Narrowing sandwich for comparable pairs.
+      if (B.leq(A)) {
+        EXPECT_TRUE(B.leq(A.narrow(B)));
+        EXPECT_TRUE(A.narrow(B).leq(A));
+      }
+      // Antisymmetry.
+      if (A.leq(B) && B.leq(A)) {
+        EXPECT_TRUE(A == B);
+      }
+    }
+  }
+}
+
+// --- NatInf -------------------------------------------------------------------
+
+TEST(NatInf, PaperOperators) {
+  NatInf Zero(0), Three(3), Five(5), Inf = NatInf::inf();
+  EXPECT_EQ(Three.join(Five), Five);
+  EXPECT_EQ(Three.meet(Five), Three);
+  // a ▽ b = a if b <= a, else inf.
+  EXPECT_EQ(Five.widen(Three), Five);
+  EXPECT_EQ(Three.widen(Five), Inf);
+  // a △ b = b if a = inf, else a.
+  EXPECT_EQ(Inf.narrow(Three), Three);
+  EXPECT_EQ(Five.narrow(Three), Five);
+  EXPECT_EQ(Zero, NatInf::bot());
+  EXPECT_EQ(Inf.plus(7), Inf);
+  EXPECT_EQ(Three.plus(2), Five);
+  EXPECT_EQ(Inf.str(), "inf");
+  EXPECT_EQ(Three.str(), "3");
+}
+
+TEST(NatInf, Laws) {
+  checkLaws<NatInf>({NatInf(0), NatInf(1), NatInf(2), NatInf(7),
+                     NatInf(100), NatInf::inf()});
+}
+
+// --- Flat ----------------------------------------------------------------------
+
+TEST(Flat, Structure) {
+  using F = Flat<int64_t>;
+  F Bot = F::bot(), Top = F::top(), Three = F::constant(3),
+    Four = F::constant(4);
+  EXPECT_TRUE(Bot.leq(Three));
+  EXPECT_TRUE(Three.leq(Top));
+  EXPECT_FALSE(Three.leq(Four));
+  EXPECT_EQ(Three.join(Four), Top);
+  EXPECT_EQ(Three.join(Three), Three);
+  EXPECT_EQ(Three.meet(Four), Bot);
+  EXPECT_EQ(Three.meet(Top), Three);
+  EXPECT_EQ(Three.constantValue(), 3);
+  checkLaws<F>({Bot, Top, Three, Four, F::constant(-1)});
+}
+
+// --- Sign -----------------------------------------------------------------------
+
+TEST(Sign, AbstractionAndOps) {
+  EXPECT_EQ(Sign::ofValue(-3), Sign::negative());
+  EXPECT_EQ(Sign::ofValue(0), Sign::zero());
+  EXPECT_EQ(Sign::ofValue(9), Sign::positive());
+  EXPECT_EQ(Sign::positive().join(Sign::zero()), Sign::nonNegative());
+  EXPECT_EQ(Sign::positive().add(Sign::positive()), Sign::positive());
+  EXPECT_EQ(Sign::positive().add(Sign::zero()), Sign::positive());
+  EXPECT_TRUE(Sign::positive().add(Sign::negative()).isTop());
+  EXPECT_EQ(Sign::positive().mul(Sign::negative()), Sign::negative());
+  EXPECT_EQ(Sign::negative().neg(), Sign::positive());
+  EXPECT_EQ(Sign::nonNegative().neg(), Sign::nonPositive());
+  EXPECT_EQ(Sign::positive().sub(Sign::positive()).str(), "top");
+}
+
+TEST(Sign, SoundnessExhaustive) {
+  const int64_t Values[] = {-7, -1, 0, 1, 3};
+  for (int64_t X : Values)
+    for (int64_t Y : Values) {
+      Sign SX = Sign::ofValue(X), SY = Sign::ofValue(Y);
+      EXPECT_TRUE(Sign::ofValue(X + Y).leq(SX.add(SY)));
+      EXPECT_TRUE(Sign::ofValue(X - Y).leq(SX.sub(SY)));
+      EXPECT_TRUE(Sign::ofValue(X * Y).leq(SX.mul(SY)));
+      EXPECT_TRUE(Sign::ofValue(-X).leq(SX.neg()));
+    }
+}
+
+TEST(Sign, Laws) {
+  checkLaws<Sign>({Sign::bot(), Sign::top(), Sign::negative(), Sign::zero(),
+                   Sign::positive(), Sign::nonNegative(),
+                   Sign::nonPositive(), Sign::nonZero()});
+}
+
+// --- PowerSet --------------------------------------------------------------------
+
+TEST(PowerSet, SetOps) {
+  using PS = PowerSet<int>;
+  PS A = PS::of({1, 2, 3});
+  PS B = PS::of({3, 4});
+  EXPECT_EQ(A.join(B), PS::of({1, 2, 3, 4}));
+  EXPECT_EQ(A.meet(B), PS::of({3}));
+  EXPECT_TRUE(PS::singleton(2).leq(A));
+  EXPECT_FALSE(A.leq(B));
+  EXPECT_TRUE(A.contains(2));
+  EXPECT_FALSE(A.contains(9));
+  EXPECT_EQ(PS::of({2, 1, 2, 3}).str(), "{1,2,3}") << "sorted, deduped";
+  checkLaws<PS>({PS::bot(), A, B, PS::singleton(1), PS::of({1, 4})});
+}
+
+// --- Product ---------------------------------------------------------------------
+
+TEST(Product, Componentwise) {
+  using P = Product<NatInf, Sign>;
+  P A(NatInf(2), Sign::positive());
+  P B(NatInf(5), Sign::zero());
+  EXPECT_EQ(A.join(B).first(), NatInf(5));
+  EXPECT_EQ(A.join(B).second(), Sign::nonNegative());
+  EXPECT_TRUE(P::bot().leq(A));
+  EXPECT_FALSE(A.leq(B));
+  checkLaws<P>({P::bot(), A, B, P(NatInf::inf(), Sign::top())});
+}
+
+// --- Lifted ----------------------------------------------------------------------
+
+TEST(Lifted, FreshBottom) {
+  using L = Lifted<NatInf>;
+  L Bot = L::bot();
+  L Zero = L::of(NatInf(0));
+  L Five = L::of(NatInf(5));
+  EXPECT_TRUE(Bot.leq(Zero));
+  EXPECT_FALSE(Zero.leq(Bot)) << "payload bottom sits above fresh bottom";
+  EXPECT_EQ(Bot.join(Five), Five);
+  EXPECT_EQ(Zero.join(Five), L::of(NatInf(5)));
+  EXPECT_EQ(Five.meet(Bot), Bot);
+  EXPECT_EQ(Bot.str(), "unreachable");
+  checkLaws<L>({Bot, Zero, Five, L::of(NatInf::inf())});
+}
+
+// --- MapLattice -------------------------------------------------------------------
+
+TEST(MapLattice, PointwiseOps) {
+  using M = MapLattice<int, NatInf>;
+  M A;
+  A.set(1, NatInf(3));
+  A.set(2, NatInf(5));
+  M B;
+  B.set(2, NatInf(7));
+  B.set(3, NatInf(1));
+  M J = A.join(B);
+  EXPECT_EQ(J.get(1), NatInf(3));
+  EXPECT_EQ(J.get(2), NatInf(7));
+  EXPECT_EQ(J.get(3), NatInf(1));
+  EXPECT_EQ(J.get(9), NatInf::bot());
+  M Met = A.meet(B);
+  EXPECT_EQ(Met.get(2), NatInf(5));
+  EXPECT_EQ(Met.size(), 1u);
+  EXPECT_TRUE(A.meet(M::bot()).isBot());
+  // Setting bottom erases.
+  M C = A;
+  C.set(1, NatInf::bot());
+  EXPECT_EQ(C.size(), 1u);
+  checkLaws<M>({M::bot(), A, B, J, Met});
+}
+
+// --- ThresholdSet -----------------------------------------------------------------
+
+TEST(Thresholds, SortedDeduped) {
+  ThresholdSet T = ThresholdSet::of({100, 10, 100, 5});
+  // Always includes -1, 0, 1.
+  EXPECT_EQ(T.values(), (std::vector<int64_t>{-1, 0, 1, 5, 10, 100}));
+  T.add(7);
+  T.add(7);
+  EXPECT_EQ(T.size(), 7u);
+}
+
+} // namespace

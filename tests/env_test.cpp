@@ -1,0 +1,132 @@
+//===- tests/env_test.cpp - Abstract environment tests -------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/absvalue.h"
+#include "analysis/env.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+TEST(AbsEnv, MissingMeansTop) {
+  AbsEnv E;
+  EXPECT_TRUE(E.isTop());
+  EXPECT_TRUE(E.get(3).isTop());
+  E.set(3, Iv(0, 5));
+  EXPECT_EQ(E.get(3), Iv(0, 5));
+  E.set(3, Interval::top());
+  EXPECT_TRUE(E.isTop()) << "binding to top erases";
+}
+
+TEST(AbsEnv, OrderIsPointwise) {
+  AbsEnv A;
+  A.set(1, Iv(0, 3));
+  A.set(2, Iv(5, 5));
+  AbsEnv B;
+  B.set(1, Iv(0, 10));
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+  EXPECT_TRUE(A.leq(AbsEnv::top()));
+  EXPECT_FALSE(AbsEnv::top().leq(A));
+}
+
+TEST(AbsEnv, JoinKeepsCommonKeysOnly) {
+  AbsEnv A;
+  A.set(1, Iv(0, 3));
+  A.set(2, Iv(1, 1));
+  AbsEnv B;
+  B.set(1, Iv(5, 9));
+  AbsEnv J = A.join(B);
+  EXPECT_EQ(J.get(1), Iv(0, 9));
+  EXPECT_TRUE(J.get(2).isTop()) << "keys absent on one side join to top";
+}
+
+TEST(AbsEnv, WidenNarrowPointwise) {
+  AbsEnv A;
+  A.set(1, Iv(0, 3));
+  AbsEnv B;
+  B.set(1, Iv(0, 7));
+  AbsEnv W = A.widen(B);
+  EXPECT_TRUE(W.get(1).hi().isPosInf());
+  AbsEnv Smaller;
+  Smaller.set(1, Iv(0, 5));
+  AbsEnv N = W.narrow(Smaller);
+  EXPECT_EQ(N.get(1), Iv(0, 5));
+  // Narrowing adopts bindings present only in the smaller side (legal:
+  // top △ v ⊒ v; alternation with binding-dropping widenings is bounded
+  // by the degrading ⊟ the analysis drivers use).
+  AbsEnv Extra;
+  Extra.set(1, Iv(0, 5));
+  Extra.set(9, Iv(2, 2));
+  AbsEnv N2 = W.narrow(Extra);
+  EXPECT_EQ(N2.get(9), Iv(2, 2));
+}
+
+TEST(AbsEnv, MeetDetectsInfeasibility) {
+  AbsEnv A;
+  A.set(1, Iv(0, 3));
+  AbsEnv B;
+  B.set(1, Iv(10, 20));
+  AbsEnv C = A;
+  EXPECT_FALSE(C.meetWith(B));
+  AbsEnv D;
+  D.set(1, Iv(2, 8));
+  AbsEnv E = A;
+  EXPECT_TRUE(E.meetWith(D));
+  EXPECT_EQ(E.get(1), Iv(2, 3));
+}
+
+TEST(AbsEnv, NarrowingLawHolds) {
+  AbsEnv A;
+  A.set(1, Interval::atLeast(Bound(0)));
+  A.set(2, Iv(0, 9));
+  AbsEnv B;
+  B.set(1, Iv(0, 4));
+  B.set(2, Iv(1, 3));
+  ASSERT_TRUE(B.leq(A));
+  AbsEnv N = A.narrow(B);
+  EXPECT_TRUE(B.leq(N));
+  EXPECT_TRUE(N.leq(A));
+}
+
+TEST(AbsValue, KindsAndBottom) {
+  AbsValue Bot = AbsValue::bot();
+  AbsEnv E;
+  E.set(1, Iv(0, 1));
+  AbsValue Env = AbsValue::env(E);
+  AbsValue Itv = AbsValue::itv(Iv(2, 3));
+  EXPECT_TRUE(Bot.isBot());
+  EXPECT_TRUE(Bot.leq(Env));
+  EXPECT_TRUE(Bot.leq(Itv));
+  EXPECT_FALSE(Env.leq(Bot));
+  EXPECT_EQ(Bot.join(Itv), Itv);
+  EXPECT_EQ(Itv.join(Bot), Itv);
+  EXPECT_TRUE(AbsValue::itv(Interval::bot()).isBot())
+      << "empty interval normalizes to bottom";
+  EXPECT_EQ(Bot.itvValue(), Interval::bot());
+}
+
+TEST(AbsValue, EnvOps) {
+  AbsEnv E1;
+  E1.set(1, Iv(0, 1));
+  AbsEnv E2;
+  E2.set(1, Iv(0, 5));
+  AbsValue A = AbsValue::env(E1), B = AbsValue::env(E2);
+  EXPECT_TRUE(A.leq(B));
+  EXPECT_EQ(A.join(B), B);
+  AbsValue W = A.widen(B);
+  EXPECT_TRUE(W.envValue().get(1).hi().isPosInf());
+  AbsValue N = W.narrow(B);
+  EXPECT_EQ(N.envValue().get(1), Iv(0, 5));
+  EXPECT_EQ(W.narrow(AbsValue::bot()), AbsValue::bot())
+      << "narrowing to unreachable is legal";
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/fuzz_test.cpp - Randomized end-to-end soundness ---------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based fuzzing of the whole pipeline: random programs must
+// parse, pretty-print round-trip, execute without trapping, and — the
+// core property — every concrete execution must be contained in the
+// abstract results of all solver strategies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "containment.h"
+#include "lang/parser.h"
+#include "lang/pretty.h"
+#include "support/rng.h"
+#include "workloads/fuzz_generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+class Fuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Fuzz, GeneratedProgramIsWellFormed) {
+  std::string Source = generateFuzzProgram(GetParam());
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  ASSERT_TRUE(P != nullptr) << "seed " << GetParam() << ":\n"
+                            << Diags.str() << Source;
+  // Pretty-printer round trip.
+  std::string Printed = printProgram(*P);
+  DiagnosticEngine Diags2;
+  auto P2 = parseProgram(Printed, Diags2);
+  ASSERT_TRUE(P2 != nullptr) << Diags2.str();
+  EXPECT_EQ(printProgram(*P2), Printed);
+}
+
+TEST_P(Fuzz, ConcreteExecutionNeverTraps) {
+  std::string Source = generateFuzzProgram(GetParam());
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.str();
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+  InterpOptions Options;
+  Options.MaxSteps = 2'000'000;
+  for (uint64_t TapeSeed = 0; TapeSeed < 3; ++TapeSeed) {
+    std::vector<int64_t> Tape;
+    Rng R(GetParam() * 1000 + TapeSeed);
+    for (int I = 0; I < 16; ++I)
+      Tape.push_back(R.range(-1000, 1000));
+    Interpreter Interp(*P, Cfgs, Tape, Options);
+    InterpResult Out = Interp.run();
+    EXPECT_NE(Out.St, InterpResult::Status::Trapped)
+        << "seed " << GetParam() << " tape " << TapeSeed << ": "
+        << Out.TrapReason << "\n"
+        << Source;
+  }
+}
+
+TEST_P(Fuzz, AbstractContainsConcrete) {
+  std::string Source = generateFuzzProgram(GetParam());
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.str();
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+
+  struct Config {
+    const char *Name;
+    SolverChoice Choice;
+    bool Context;
+    bool Thresholds;
+    bool Localized;
+  };
+  const Config Configs[] = {
+      {"warrow", SolverChoice::Warrow, false, false, false},
+      {"warrow-ctx", SolverChoice::Warrow, true, false, false},
+      {"warrow-thresholds", SolverChoice::Warrow, false, true, false},
+      {"warrow-localized", SolverChoice::Warrow, false, false, true},
+      {"two-phase", SolverChoice::TwoPhase, false, false, false},
+      {"widen-only", SolverChoice::WidenOnly, false, false, false},
+  };
+
+  for (const Config &Cfg : Configs) {
+    AnalysisOptions Options;
+    Options.ContextSensitive = Cfg.Context;
+    Options.ThresholdWidening = Cfg.Thresholds;
+    Options.LocalizedWidening = Cfg.Localized;
+    InterprocAnalysis Analysis(*P, Cfgs, Options);
+    AnalysisResult Result = Analysis.run(Cfg.Choice);
+    ASSERT_TRUE(Result.Stats.Converged)
+        << Cfg.Name << " diverged on seed " << GetParam() << "\n"
+        << Source;
+
+    std::vector<int64_t> Tape;
+    Rng R(GetParam() * 77 + 5);
+    for (int I = 0; I < 16; ++I)
+      Tape.push_back(R.range(-300, 300));
+    InterpOptions InterpOpts;
+    InterpOpts.MaxSteps = 2'000'000;
+    ContainmentOutcome Outcome =
+        checkContainment(*P, Cfgs, Result, Tape, InterpOpts);
+    for (const ContainmentViolation &V : Outcome.Violations)
+      ADD_FAILURE() << Cfg.Name << " seed " << GetParam() << " at "
+                    << V.Where << ": " << V.Detail << "\n"
+                    << Source;
+    if (!Outcome.Violations.empty())
+      break;
+  }
+}
+
+std::vector<uint64_t> fuzzSeeds() {
+  std::vector<uint64_t> Seeds;
+  for (uint64_t S = 1; S <= 40; ++S)
+    Seeds.push_back(S);
+  return Seeds;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::ValuesIn(fuzzSeeds()));
+
+} // namespace

@@ -1,0 +1,230 @@
+//===- tests/interp_test.cpp - Concrete interpreter tests ----------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/interp.h"
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+struct Runner {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+
+  InterpResult run(std::vector<int64_t> Inputs = {},
+                   InterpOptions Options = {}) {
+    Interpreter I(*P, Cfgs, std::move(Inputs), Options);
+    return I.run();
+  }
+};
+
+Runner prepare(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  Runner R;
+  R.Cfgs = buildProgramCfg(*P);
+  R.P = std::move(P);
+  return R;
+}
+
+TEST(Interp, ArithmeticAndReturn) {
+  Runner R = prepare("int main() { return 2 + 3 * 4 - 10 / 2; }");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished()) << Out.TrapReason;
+  EXPECT_EQ(Out.ReturnValue, 9);
+}
+
+TEST(Interp, LoopsAndConditions) {
+  Runner R = prepare(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 1; i <= 10; i = i + 1)
+        if (i % 2 == 0)
+          sum = sum + i;
+      return sum;
+    }
+  )");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished());
+  EXPECT_EQ(Out.ReturnValue, 30);
+}
+
+TEST(Interp, WhileBreakContinue) {
+  Runner R = prepare(R"(
+    int main() {
+      int i = 0;
+      int acc = 0;
+      while (1) {
+        i = i + 1;
+        if (i > 10)
+          break;
+        if (i % 3 == 0)
+          continue;
+        acc = acc + i;
+      }
+      return acc;
+    }
+  )");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished());
+  EXPECT_EQ(Out.ReturnValue, 1 + 2 + 4 + 5 + 7 + 8 + 10);
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  Runner R = prepare(R"(
+    int fib(int n) {
+      if (n < 2)
+        return n;
+      int a = fib(n - 1);
+      int b = fib(n - 2);
+      return a + b;
+    }
+    int main() {
+      int r = fib(10);
+      return r;
+    }
+  )");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished());
+  EXPECT_EQ(Out.ReturnValue, 55);
+}
+
+TEST(Interp, GlobalsPersistAcrossCalls) {
+  Runner R = prepare(R"(
+    int counter = 5;
+    void bump() { counter = counter + 1; return; }
+    int main() {
+      bump();
+      bump();
+      bump();
+      return counter;
+    }
+  )");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished());
+  EXPECT_EQ(Out.ReturnValue, 8);
+  Symbol G = R.P->Symbols.lookup("counter");
+  Interpreter I(*R.P, R.Cfgs);
+  I.run();
+  EXPECT_EQ(I.globals().Scalars.at(G), 8);
+}
+
+TEST(Interp, ArraysZeroInitialized) {
+  Runner R = prepare(R"(
+    int garr[4];
+    int main() {
+      int larr[3];
+      int acc = garr[0] + garr[3] + larr[0] + larr[2];
+      larr[1] = 7;
+      acc = acc + larr[1];
+      return acc;
+    }
+  )");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished());
+  EXPECT_EQ(Out.ReturnValue, 7);
+}
+
+TEST(Interp, InputTape) {
+  Runner R = prepare(R"(
+    int main() {
+      int a = unknown();
+      int b = unknown();
+      int c = unknown();
+      return a * 100 + b * 10 + c;
+    }
+  )");
+  InterpResult Out = R.run({1, 2});
+  ASSERT_TRUE(Out.finished());
+  EXPECT_EQ(Out.ReturnValue, 121) << "tape wraps around";
+  InterpResult Empty = R.run({});
+  EXPECT_EQ(Empty.ReturnValue, 0) << "empty tape yields zeros";
+}
+
+TEST(Interp, ShortCircuitProtectsDivision) {
+  Runner R = prepare(R"(
+    int main() {
+      int x = 0;
+      int ok = 0;
+      if (x != 0 && 10 / x > 1)
+        ok = 1;
+      if (x == 0 || 10 / x > 1)
+        ok = ok + 2;
+      return ok;
+    }
+  )");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished()) << Out.TrapReason;
+  EXPECT_EQ(Out.ReturnValue, 2);
+}
+
+TEST(Interp, Traps) {
+  EXPECT_EQ(prepare("int main() { int x = 0; return 1 / x; }").run().St,
+            InterpResult::Status::Trapped);
+  EXPECT_EQ(prepare("int main() { int x = 0; return 1 % x; }").run().St,
+            InterpResult::Status::Trapped);
+  EXPECT_EQ(
+      prepare("int main() { int a[3]; a[5] = 1; return 0; }").run().St,
+      InterpResult::Status::Trapped);
+  EXPECT_EQ(
+      prepare("int main() { int a[3]; int i = -1; return a[i]; }").run().St,
+      InterpResult::Status::Trapped);
+}
+
+TEST(Interp, FuelLimit) {
+  Runner R = prepare("int main() { while (1) { } return 0; }");
+  InterpOptions Options;
+  Options.MaxSteps = 1000;
+  InterpResult Out = R.run({}, Options);
+  EXPECT_EQ(Out.St, InterpResult::Status::OutOfFuel);
+}
+
+TEST(Interp, CallDepthLimit) {
+  Runner R = prepare(R"(
+    int spin(int n) {
+      int r = spin(n + 1);
+      return r;
+    }
+    int main() {
+      int r = spin(0);
+      return r;
+    }
+  )");
+  InterpResult Out = R.run();
+  EXPECT_EQ(Out.St, InterpResult::Status::Trapped);
+}
+
+TEST(Interp, ObserverSeesProgramPoints) {
+  Runner R = prepare(
+      "int main() { int i = 0; while (i < 3) i = i + 1; return i; }");
+  size_t Visits = 0;
+  bool SawExit = false;
+  Interpreter I(*R.P, R.Cfgs);
+  I.setObserver([&](uint32_t Func, uint32_t Node, const ConcreteFrame &,
+                    const ConcreteGlobals &) {
+    EXPECT_EQ(Func, 0u);
+    ++Visits;
+    if (Node == Cfg::ExitNode)
+      SawExit = true;
+  });
+  InterpResult Out = I.run();
+  ASSERT_TRUE(Out.finished());
+  EXPECT_GT(Visits, 10u);
+  EXPECT_TRUE(SawExit);
+}
+
+TEST(Interp, ReadBeforeAssignIsZero) {
+  Runner R = prepare("int main() { int x; return x + 1; }");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished());
+  EXPECT_EQ(Out.ReturnValue, 1);
+}
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- tests/interproc_test.cpp - Interprocedural analysis tests ---------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end tests of the side-effecting interprocedural interval
+// analysis, including the paper's Example 7 program (global g = [0,3]).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+struct Analyzed {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+
+  AnalysisResult run(SolverChoice Choice, AnalysisOptions Options = {}) {
+    InterprocAnalysis A(*P, Cfgs, Options);
+    return A.run(Choice);
+  }
+  Symbol sym(const char *Name) { return P->Symbols.lookup(Name); }
+  uint32_t funcIndex(const char *Name) {
+    return static_cast<uint32_t>(P->functionIndex(sym(Name)));
+  }
+};
+
+Analyzed prepare(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  Analyzed A;
+  A.Cfgs = buildProgramCfg(*P);
+  A.P = std::move(P);
+  return A;
+}
+
+// The paper's Example 7 program, verbatim (modulo syntax).
+constexpr const char *ExampleSeven = R"(
+  int g = 0;
+  void f(int b) {
+    if (b)
+      g = b + 1;
+    else
+      g = -b - 1;
+    return;
+  }
+  int main() {
+    f(1);
+    f(2);
+    return 0;
+  }
+)";
+
+TEST(Interproc, ExampleSevenWarrowGetsZeroToThree) {
+  Analyzed A = prepare(ExampleSeven);
+  AnalysisResult R = A.run(SolverChoice::Warrow);
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_EQ(R.globalValue(A.sym("g")), Iv(0, 3))
+      << "the paper's Example 9 result";
+}
+
+TEST(Interproc, ExampleSevenContextSensitive) {
+  Analyzed A = prepare(ExampleSeven);
+  AnalysisOptions Options;
+  Options.ContextSensitive = true;
+  AnalysisResult R = A.run(SolverChoice::Warrow, Options);
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_EQ(R.globalValue(A.sym("g")), Iv(0, 3));
+  // Two distinct constant contexts for f plus main's: more unknowns than
+  // the insensitive run.
+  AnalysisResult Insensitive = A.run(SolverChoice::Warrow);
+  EXPECT_GT(R.NumUnknowns, Insensitive.NumUnknowns);
+}
+
+TEST(Interproc, ExampleSevenWidenOnlyIsCoarser) {
+  Analyzed A = prepare(ExampleSeven);
+  AnalysisResult R = A.run(SolverChoice::WidenOnly);
+  ASSERT_TRUE(R.Stats.Converged);
+  Interval G = R.globalValue(A.sym("g"));
+  EXPECT_TRUE(Iv(0, 3).leq(G));
+  EXPECT_TRUE(G.hi().isPosInf())
+      << "pure widening cannot bound g, got " << G.str();
+}
+
+TEST(Interproc, LoopInvariant) {
+  Analyzed A = prepare(R"(
+    int main() {
+      int i = 0;
+      while (i < 42)
+        i = i + 1;
+      return i;
+    }
+  )");
+  AnalysisResult R = A.run(SolverChoice::Warrow);
+  ASSERT_TRUE(R.Stats.Converged);
+  // At main's exit, $ret = i = exactly 42.
+  AbsValue Exit = R.at(A.funcIndex("main"), Cfg::ExitNode);
+  ASSERT_TRUE(Exit.isEnv());
+  EXPECT_EQ(Exit.envValue().get(A.sym("$ret")), Interval::constant(42));
+}
+
+TEST(Interproc, NestedDependentLoops) {
+  Analyzed A = prepare(R"(
+    int main() {
+      int total = 0;
+      int i = 0;
+      while (i < 10) {
+        int j = 0;
+        while (j < i)
+          j = j + 1;
+        total = j;
+        i = i + 1;
+      }
+      return total;
+    }
+  )");
+  AnalysisResult R = A.run(SolverChoice::Warrow);
+  AnalysisResult C = A.run(SolverChoice::TwoPhase);
+  ASSERT_TRUE(R.Stats.Converged && C.Stats.Converged);
+  AbsValue Exit = R.at(A.funcIndex("main"), Cfg::ExitNode);
+  ASSERT_TRUE(Exit.isEnv());
+  Interval Ret = Exit.envValue().get(A.sym("$ret"));
+  // The inner loop's back edge re-joins the unbounded i, so no interval
+  // narrowing (neither ⊟ nor a separate phase) can recover the upper
+  // bound — the classical "decreasing sequence fails" pattern
+  // [Halbwachs & Henry, SAS'12] cited in the paper's related work.
+  EXPECT_EQ(Ret.lo(), Bound(0));
+  AbsValue CExit = C.at(A.funcIndex("main"), Cfg::ExitNode);
+  EXPECT_TRUE(Ret == CExit.envValue().get(A.sym("$ret")))
+      << "⊟ and two-phase agree here";
+}
+
+TEST(Interproc, ReturnValuesFlowBack) {
+  Analyzed A = prepare(R"(
+    int clamp(int v) {
+      if (v < 0)
+        return 0;
+      if (v > 9)
+        return 9;
+      return v;
+    }
+    int main() {
+      int x = unknown();
+      int c = clamp(x);
+      return c;
+    }
+  )");
+  AnalysisResult R = A.run(SolverChoice::Warrow);
+  ASSERT_TRUE(R.Stats.Converged);
+  AbsValue Exit = R.at(A.funcIndex("main"), Cfg::ExitNode);
+  ASSERT_TRUE(Exit.isEnv());
+  EXPECT_EQ(Exit.envValue().get(A.sym("$ret")), Iv(0, 9));
+}
+
+TEST(Interproc, ContextSensitivityGainsPrecision) {
+  Analyzed A = prepare(R"(
+    int id(int v) { return v; }
+    int main() {
+      int a = id(3);
+      int b = id(10);
+      return a + b;
+    }
+  )");
+  AnalysisOptions Sensitive;
+  Sensitive.ContextSensitive = true;
+  AnalysisResult RS = A.run(SolverChoice::Warrow, Sensitive);
+  ASSERT_TRUE(RS.Stats.Converged);
+  AbsValue ExitS = RS.at(A.funcIndex("main"), Cfg::ExitNode);
+  EXPECT_EQ(ExitS.envValue().get(A.sym("$ret")), Interval::constant(13))
+      << "constants kept apart per context";
+
+  AnalysisResult RI = A.run(SolverChoice::Warrow);
+  AbsValue ExitI = RI.at(A.funcIndex("main"), Cfg::ExitNode);
+  Interval RetI = ExitI.envValue().get(A.sym("$ret"));
+  EXPECT_TRUE(Interval::constant(13).leq(RetI));
+  EXPECT_FALSE(RetI.isConstant()) << "insensitive analysis merges contexts";
+}
+
+TEST(Interproc, RecursionTerminates) {
+  Analyzed A = prepare(R"(
+    int down(int n) {
+      if (n <= 0)
+        return 0;
+      int r = down(n - 1);
+      return r + 1;
+    }
+    int main() {
+      int r = down(17);
+      return r;
+    }
+  )");
+  for (bool Sensitive : {false, true}) {
+    AnalysisOptions Options;
+    Options.ContextSensitive = Sensitive;
+    AnalysisResult R = A.run(SolverChoice::Warrow, Options);
+    EXPECT_TRUE(R.Stats.Converged) << "sensitive=" << Sensitive;
+  }
+}
+
+TEST(Interproc, UnreachableCodeStaysBottom) {
+  Analyzed A = prepare(R"(
+    int main() {
+      int x = 1;
+      if (x > 5)
+        x = 100;
+      return x;
+    }
+  )");
+  AnalysisResult R = A.run(SolverChoice::Warrow);
+  ASSERT_TRUE(R.Stats.Converged);
+  AbsValue Exit = R.at(A.funcIndex("main"), Cfg::ExitNode);
+  EXPECT_EQ(Exit.envValue().get(A.sym("$ret")), Interval::constant(1))
+      << "the then-branch is infeasible";
+}
+
+TEST(Interproc, GlobalArraySmashing) {
+  Analyzed A = prepare(R"(
+    int buf[10];
+    int main() {
+      int i = 0;
+      while (i < 10) {
+        buf[i] = i;
+        i = i + 1;
+      }
+      return buf[3];
+    }
+  )");
+  AnalysisResult R = A.run(SolverChoice::Warrow);
+  ASSERT_TRUE(R.Stats.Converged);
+  Interval Buf = R.globalValue(A.sym("buf"));
+  EXPECT_TRUE(Buf.contains(0));
+  EXPECT_TRUE(Buf.contains(9));
+  EXPECT_EQ(Buf, Iv(0, 9)) << "⊟ narrows the smashed array";
+}
+
+TEST(Interproc, TwoPhaseBaselineSoundButCoarserOnGlobals) {
+  Analyzed A = prepare(ExampleSeven);
+  AnalysisResult Classic = A.run(SolverChoice::TwoPhase);
+  AnalysisResult Warrow = A.run(SolverChoice::Warrow);
+  ASSERT_TRUE(Classic.Stats.Converged && Warrow.Stats.Converged);
+  Interval GClassic = Classic.globalValue(A.sym("g"));
+  Interval GWarrow = Warrow.globalValue(A.sym("g"));
+  EXPECT_TRUE(GWarrow.leq(GClassic));
+  EXPECT_TRUE(GClassic.hi().isPosInf()) << "frozen widened global";
+}
+
+TEST(Interproc, ContextGasCapsContexts) {
+  // Recursion over constants would create unboundedly many contexts
+  // without the gas; with a small cap the analysis still terminates.
+  Analyzed A = prepare(R"(
+    int chase(int n) {
+      if (n >= 40)
+        return n;
+      int r = chase(n + 1);
+      return r;
+    }
+    int main() {
+      int r = chase(0);
+      return r;
+    }
+  )");
+  AnalysisOptions Options;
+  Options.ContextSensitive = true;
+  Options.MaxContextsPerFunction = 4;
+  AnalysisResult R = A.run(SolverChoice::Warrow, Options);
+  EXPECT_TRUE(R.Stats.Converged);
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+//===- tests/interval_test.cpp - Interval domain tests -----------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit tests plus parameterized property tests of the lattice and
+// widening/narrowing laws on random interval samples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/interval.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+TEST(Interval, Basics) {
+  EXPECT_TRUE(Interval::bot().isBot());
+  EXPECT_TRUE(Interval::top().isTop());
+  EXPECT_TRUE(Interval::constant(4).isConstant());
+  EXPECT_EQ(Interval::constant(4).constantValue(), 4);
+  EXPECT_TRUE(Iv(1, 3).contains(2));
+  EXPECT_FALSE(Iv(1, 3).contains(4));
+  EXPECT_FALSE(Interval::bot().contains(0));
+  EXPECT_EQ(Iv(1, 3).str(), "[1,3]");
+  EXPECT_EQ(Interval::bot().str(), "bot");
+  EXPECT_EQ(Interval::atLeast(Bound(2)).str(), "[2,+inf]");
+}
+
+TEST(Interval, LatticeOps) {
+  EXPECT_EQ(Iv(0, 3).join(Iv(2, 5)), Iv(0, 5));
+  EXPECT_EQ(Iv(0, 3).meet(Iv(2, 5)), Iv(2, 3));
+  EXPECT_TRUE(Iv(0, 1).meet(Iv(3, 4)).isBot());
+  EXPECT_TRUE(Iv(1, 2).leq(Iv(0, 3)));
+  EXPECT_FALSE(Iv(0, 3).leq(Iv(1, 2)));
+  EXPECT_EQ(Interval::bot().join(Iv(1, 2)), Iv(1, 2));
+  EXPECT_TRUE(Interval::bot().leq(Interval::bot()));
+}
+
+TEST(Interval, WidenNarrow) {
+  // Unstable bounds jump to infinity.
+  EXPECT_EQ(Iv(0, 3).widen(Iv(0, 5)), Iv(0, 3).widen(Iv(2, 5)));
+  Interval W = Iv(0, 3).widen(Iv(0, 5));
+  EXPECT_TRUE(W.hi().isPosInf());
+  EXPECT_EQ(W.lo(), Bound(0));
+  Interval W2 = Iv(0, 3).widen(Iv(-1, 3));
+  EXPECT_TRUE(W2.lo().isNegInf());
+  // Stable: unchanged.
+  EXPECT_EQ(Iv(0, 5).widen(Iv(1, 4)), Iv(0, 5));
+  // Narrowing refines only infinite bounds.
+  EXPECT_EQ(Interval::atLeast(Bound(0)).narrow(Iv(0, 7)), Iv(0, 7));
+  EXPECT_EQ(Iv(0, 100).narrow(Iv(0, 7)), Iv(0, 100));
+  EXPECT_EQ(Interval::top().narrow(Iv(-3, 7)), Iv(-3, 7));
+}
+
+TEST(Interval, WidenWithThresholds) {
+  std::vector<int64_t> Thresholds = {-1, 0, 1, 10, 100};
+  EXPECT_EQ(Iv(0, 3).widenWithThresholds(Iv(0, 5), Thresholds), Iv(0, 10));
+  EXPECT_EQ(Iv(0, 3).widenWithThresholds(Iv(0, 50), Thresholds),
+            Iv(0, 100));
+  Interval Past = Iv(0, 3).widenWithThresholds(Iv(0, 500), Thresholds);
+  EXPECT_TRUE(Past.hi().isPosInf());
+  Interval Down = Iv(0, 3).widenWithThresholds(Iv(-5, 3), Thresholds);
+  EXPECT_TRUE(Down.lo().isNegInf())
+      << "no threshold lies at or below -5, so the bound falls to -inf";
+  std::vector<int64_t> WithNeg = {-10, -1, 0, 1, 10, 100};
+  EXPECT_EQ(Iv(0, 3).widenWithThresholds(Iv(-5, 3), WithNeg), Iv(-10, 3))
+      << "snaps to the largest threshold at or below the new bound";
+}
+
+TEST(Interval, Arithmetic) {
+  EXPECT_EQ(Iv(1, 2).add(Iv(3, 5)), Iv(4, 7));
+  EXPECT_EQ(Iv(1, 2).sub(Iv(3, 5)), Iv(-4, -1));
+  EXPECT_EQ(Iv(-2, 3).mul(Iv(4, 5)), Iv(-10, 15));
+  EXPECT_EQ(Iv(-2, -1).mul(Iv(-3, -2)), Iv(2, 6));
+  EXPECT_EQ(Iv(2, 3).neg(), Iv(-3, -2));
+  EXPECT_TRUE(Iv(1, 2).add(Interval::bot()).isBot());
+}
+
+TEST(Interval, Division) {
+  EXPECT_EQ(Iv(10, 20).div(Iv(2, 5)), Iv(2, 10));
+  EXPECT_EQ(Iv(10, 20).div(Iv(-2, -1)), Iv(-20, -5));
+  // Divisor straddling zero: zero removed, both signs joined.
+  EXPECT_EQ(Iv(10, 20).div(Iv(-2, 2)), Iv(-20, 20));
+  EXPECT_TRUE(Iv(10, 20).div(Interval::constant(0)).isBot())
+      << "division by exactly zero is infeasible";
+  EXPECT_EQ(Iv(7, 7).div(Iv(2, 2)), Iv(3, 3));
+  EXPECT_EQ(Iv(-7, -7).div(Iv(2, 2)), Interval::constant(-3))
+      << "C-style truncation towards zero";
+}
+
+TEST(Interval, Remainder) {
+  Interval R = Iv(0, 100).rem(Iv(10, 10));
+  EXPECT_TRUE(Iv(0, 9).leq(R));
+  EXPECT_TRUE(R.leq(Iv(0, 9)));
+  // Sign follows the dividend.
+  Interval R2 = Iv(-100, -1).rem(Iv(10, 10));
+  EXPECT_TRUE(R2.leq(Iv(-9, 0)));
+  // Bounded by the dividend when smaller.
+  EXPECT_TRUE(Iv(0, 3).rem(Iv(10, 10)).leq(Iv(0, 3)));
+  EXPECT_TRUE(Iv(1, 5).rem(Interval::constant(0)).isBot());
+  // Soundness spot checks.
+  for (int64_t A = -20; A <= 20; ++A)
+    for (int64_t B = 1; B <= 7; ++B)
+      EXPECT_TRUE(Iv(A, A).rem(Iv(B, B)).contains(A % B))
+          << A << " % " << B;
+}
+
+TEST(Interval, Restrictions) {
+  EXPECT_EQ(Iv(0, 10).restrictLess(Iv(3, 5)), Iv(0, 4));
+  EXPECT_EQ(Iv(0, 10).restrictLessEq(Iv(3, 5)), Iv(0, 5));
+  EXPECT_EQ(Iv(0, 10).restrictGreater(Iv(3, 5)), Iv(4, 10));
+  EXPECT_EQ(Iv(0, 10).restrictGreaterEq(Iv(3, 5)), Iv(3, 10));
+  EXPECT_EQ(Iv(0, 10).restrictEqual(Iv(3, 5)), Iv(3, 5));
+  EXPECT_EQ(Iv(0, 10).restrictNotEqual(Interval::constant(0)), Iv(1, 10));
+  EXPECT_EQ(Iv(0, 10).restrictNotEqual(Interval::constant(10)), Iv(0, 9));
+  EXPECT_EQ(Iv(0, 10).restrictNotEqual(Interval::constant(5)), Iv(0, 10))
+      << "interior removal cannot be represented";
+  EXPECT_TRUE(Interval::constant(3)
+                  .restrictNotEqual(Interval::constant(3))
+                  .isBot());
+  EXPECT_TRUE(Iv(5, 10).restrictLess(Iv(0, 5)).isBot());
+}
+
+// --- Property tests over random samples ------------------------------------
+
+class IntervalLaws : public ::testing::TestWithParam<uint64_t> {
+protected:
+  Interval sample(Rng &R) {
+    switch (R.below(8)) {
+    case 0:
+      return Interval::bot();
+    case 1:
+      return Interval::top();
+    case 2:
+      return Interval::atLeast(Bound(R.range(-50, 50)));
+    case 3:
+      return Interval::atMost(Bound(R.range(-50, 50)));
+    default: {
+      int64_t A = R.range(-50, 50), B = R.range(-50, 50);
+      return Interval::make(Bound(std::min(A, B)), Bound(std::max(A, B)));
+    }
+    }
+  }
+};
+
+TEST_P(IntervalLaws, LatticeLaws) {
+  Rng R(GetParam());
+  for (int K = 0; K < 300; ++K) {
+    Interval A = sample(R), B = sample(R), C = sample(R);
+    // Partial order.
+    EXPECT_TRUE(A.leq(A));
+    EXPECT_TRUE(Interval::bot().leq(A));
+    EXPECT_TRUE(A.leq(Interval::top()));
+    // Join is lub.
+    EXPECT_TRUE(A.leq(A.join(B)));
+    EXPECT_TRUE(B.leq(A.join(B)));
+    if (A.leq(C) && B.leq(C)) {
+      EXPECT_TRUE(A.join(B).leq(C));
+    }
+    // Meet is glb.
+    EXPECT_TRUE(A.meet(B).leq(A));
+    EXPECT_TRUE(A.meet(B).leq(B));
+    if (C.leq(A) && C.leq(B)) {
+      EXPECT_TRUE(C.leq(A.meet(B)));
+    }
+    // Commutativity / associativity.
+    EXPECT_EQ(A.join(B), B.join(A));
+    EXPECT_EQ(A.meet(B), B.meet(A));
+    EXPECT_EQ(A.join(B).join(C), A.join(B.join(C)));
+  }
+}
+
+TEST_P(IntervalLaws, WideningLaws) {
+  Rng R(GetParam() + 1000);
+  for (int K = 0; K < 300; ++K) {
+    Interval A = sample(R), B = sample(R);
+    // a ⊔ b ⊑ a ▽ b.
+    EXPECT_TRUE(A.join(B).leq(A.widen(B)))
+        << A.str() << " widen " << B.str();
+    // Narrowing: for b ⊑ a, b ⊑ a △ b ⊑ a.
+    Interval Small = A.meet(B);
+    EXPECT_TRUE(Small.leq(A.narrow(Small)));
+    EXPECT_TRUE(A.narrow(Small).leq(A));
+  }
+}
+
+TEST_P(IntervalLaws, ArithmeticSoundness) {
+  Rng R(GetParam() + 2000);
+  for (int K = 0; K < 200; ++K) {
+    int64_t ALo = R.range(-20, 20);
+    int64_t AHi = ALo + static_cast<int64_t>(R.below(5));
+    int64_t BLo = R.range(-20, 20);
+    int64_t BHi = BLo + static_cast<int64_t>(R.below(5));
+    Interval A = Iv(ALo, AHi), B = Iv(BLo, BHi);
+    for (int64_t X = ALo; X <= AHi; ++X)
+      for (int64_t Y = BLo; Y <= BHi; ++Y) {
+        EXPECT_TRUE(A.add(B).contains(X + Y));
+        EXPECT_TRUE(A.sub(B).contains(X - Y));
+        EXPECT_TRUE(A.mul(B).contains(X * Y));
+        if (Y != 0) {
+          EXPECT_TRUE(A.div(B).contains(X / Y))
+              << A.str() << "/" << B.str() << " at " << X << "/" << Y;
+          EXPECT_TRUE(A.rem(B).contains(X % Y))
+              << A.str() << "%" << B.str() << " at " << X << "%" << Y;
+        }
+      }
+  }
+}
+
+TEST_P(IntervalLaws, WideningStabilizesChains) {
+  Rng R(GetParam() + 3000);
+  for (int K = 0; K < 50; ++K) {
+    Interval Acc = sample(R);
+    // Any sequence combined via widening stabilizes quickly.
+    int Changes = 0;
+    for (int Step = 0; Step < 100; ++Step) {
+      Interval Next = Acc.widen(Acc.join(sample(R)));
+      if (!(Next == Acc))
+        ++Changes;
+      Acc = Next;
+    }
+    EXPECT_LE(Changes, 4) << "interval widening has small height";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalLaws,
+                         ::testing::Values(1ull, 2ull, 3ull, 17ull, 99ull));
+
+} // namespace

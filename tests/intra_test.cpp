@@ -1,0 +1,138 @@
+//===- tests/intra_test.cpp - Dense intraprocedural analysis tests --------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/intra.h"
+#include "lang/parser.h"
+#include "lattice/combine.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "solvers/two_phase.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace warrow;
+
+namespace {
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+struct DenseRun {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+  IntraSystem IS;
+};
+
+DenseRun buildFromSource(std::string_view Source, bool UseRpo = true) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  DenseRun Run;
+  Run.Cfgs = buildProgramCfg(*P);
+  Run.P = std::move(P);
+  std::vector<uint32_t> Order;
+  if (UseRpo) {
+    Order = Run.Cfgs.cfgOf(0).reversePostOrder();
+  } else {
+    Order.resize(Run.Cfgs.cfgOf(0).numNodes());
+    std::iota(Order.begin(), Order.end(), 0u);
+  }
+  Run.IS = buildIntraSystem(*Run.P, Run.Cfgs, 0, Order);
+  return Run;
+}
+
+TEST(Intra, SimpleLoopInvariantWithSW) {
+  DenseRun Run = buildFromSource(
+      "int main() { int i = 0; while (i < 8) i = i + 1; return i; }");
+  SolveResult<AbsValue> R = solveSW(Run.IS.System, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  Var ExitVar = Run.IS.VarOfNode[Cfg::ExitNode];
+  ASSERT_TRUE(R.Sigma[ExitVar].isEnv());
+  Symbol Ret = Run.P->Symbols.lookup("$ret");
+  EXPECT_EQ(R.Sigma[ExitVar].envValue().get(Ret), Interval::constant(8));
+}
+
+TEST(Intra, SrrAndSwAgree) {
+  DenseRun Run = buildFromSource(R"(
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 20; i = i + 1) {
+        if (i % 2 == 0)
+          acc = acc + 1;
+      }
+      return acc;
+    }
+  )");
+  SolveResult<AbsValue> Srr = solveSRR(Run.IS.System, WarrowCombine{});
+  SolveResult<AbsValue> Sw = solveSW(Run.IS.System, WarrowCombine{});
+  ASSERT_TRUE(Srr.Stats.Converged && Sw.Stats.Converged);
+  for (Var X = 0; X < Run.IS.System.size(); ++X)
+    EXPECT_TRUE(Srr.Sigma[X] == Sw.Sigma[X]) << "var " << X;
+}
+
+TEST(Intra, OrderingAffectsWorkNotResult) {
+  const char *Source = R"(
+    int main() {
+      int i = 0;
+      int j = 0;
+      while (i < 30) {
+        j = 0;
+        while (j < i)
+          j = j + 1;
+        i = i + 1;
+      }
+      return i + j;
+    }
+  )";
+  DenseRun Rpo = buildFromSource(Source, /*UseRpo=*/true);
+  DenseRun Natural = buildFromSource(Source, /*UseRpo=*/false);
+  SolveResult<AbsValue> A = solveSW(Rpo.IS.System, WarrowCombine{});
+  SolveResult<AbsValue> B = solveSW(Natural.IS.System, WarrowCombine{});
+  ASSERT_TRUE(A.Stats.Converged && B.Stats.Converged);
+  // Same analysis result per node (possibly different work).
+  Symbol Ret = Rpo.P->Symbols.lookup("$ret");
+  Var ExitA = Rpo.IS.VarOfNode[Cfg::ExitNode];
+  Var ExitB = Natural.IS.VarOfNode[Cfg::ExitNode];
+  EXPECT_TRUE(A.Sigma[ExitA].envValue().get(Ret) ==
+              B.Sigma[ExitB].envValue().get(Ret));
+}
+
+TEST(Intra, TwoPhaseOnDenseSystem) {
+  DenseRun Run = buildFromSource(
+      "int main() { int i = 0; while (i < 9) i = i + 1; return i; }");
+  SolveResult<AbsValue> R = solveTwoPhase(Run.IS.System);
+  ASSERT_TRUE(R.Stats.Converged);
+  Var ExitVar = Run.IS.VarOfNode[Cfg::ExitNode];
+  Symbol Ret = Run.P->Symbols.lookup("$ret");
+  EXPECT_EQ(R.Sigma[ExitVar].envValue().get(Ret), Interval::constant(9));
+}
+
+TEST(Intra, GuardsPruneBranches) {
+  DenseRun Run = buildFromSource(R"(
+    int main() {
+      int x = unknown();
+      int y = 0;
+      if (x > 10) {
+        if (x < 5)
+          y = 99;
+        else
+          y = 1;
+      } else {
+        y = 2;
+      }
+      return y;
+    }
+  )");
+  SolveResult<AbsValue> R = solveSW(Run.IS.System, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  Var ExitVar = Run.IS.VarOfNode[Cfg::ExitNode];
+  Symbol Ret = Run.P->Symbols.lookup("$ret");
+  EXPECT_EQ(R.Sigma[ExitVar].envValue().get(Ret), Iv(1, 2))
+      << "y = 99 is dead (x > 10 contradicts x < 5)";
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+//===- tests/lexer_test.cpp - Lexer tests --------------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+TEST(Lexer, Keywords) {
+  DiagnosticEngine Diags;
+  auto Tokens =
+      lex("int void if else while for return break continue", Diags);
+  ASSERT_EQ(Tokens.size(), 10u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwVoid);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwIf);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwElse);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::KwFor);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::KwReturn);
+  EXPECT_EQ(Tokens[7].Kind, TokenKind::KwBreak);
+  EXPECT_EQ(Tokens[8].Kind, TokenKind::KwContinue);
+  EXPECT_EQ(Tokens[9].Kind, TokenKind::Eof);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("= == != < <= > >= && || ! + - * / % ( ) { } [ ] ; ,",
+                    Diags);
+  std::vector<TokenKind> Expected = {
+      TokenKind::Assign,      TokenKind::EqualEqual, TokenKind::BangEqual,
+      TokenKind::Less,        TokenKind::LessEqual,  TokenKind::Greater,
+      TokenKind::GreaterEqual, TokenKind::AmpAmp,    TokenKind::PipePipe,
+      TokenKind::Bang,        TokenKind::Plus,       TokenKind::Minus,
+      TokenKind::Star,        TokenKind::Slash,      TokenKind::Percent,
+      TokenKind::LParen,      TokenKind::RParen,     TokenKind::LBrace,
+      TokenKind::RBrace,      TokenKind::LBracket,   TokenKind::RBracket,
+      TokenKind::Semicolon,   TokenKind::Comma,      TokenKind::Eof};
+  ASSERT_EQ(Tokens.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, IntegerLiterals) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("0 42 123456789", Diags);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 123456789);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, OverflowingLiteralDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("99999999999999999999999999", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, CommentsSkipped) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a // line comment\nb /* block\ncomment */ c", Diags);
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+  EXPECT_EQ(Tokens[2].Line, 3u);
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, PositionsTracked) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a\n  b", Diags);
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[0].Column, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[1].Column, 3u);
+}
+
+TEST(Lexer, InvalidCharacter) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a # b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  bool HasError = false;
+  for (const Token &T : Tokens)
+    if (T.Kind == TokenKind::Error)
+      HasError = true;
+  EXPECT_TRUE(HasError);
+}
+
+TEST(Lexer, SingleAmpersandRejected) {
+  DiagnosticEngine Diags;
+  lex("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace

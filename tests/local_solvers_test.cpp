@@ -1,0 +1,179 @@
+//===- tests/local_solvers_test.cpp - RLD and SLR tests ------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/combine.h"
+#include "lattice/interval.h"
+#include "solvers/rld.h"
+#include "solvers/slr.h"
+#include "solvers/two_phase_local.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+using IntSys = LocalSystem<int, Interval>;
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+/// A small loop-shaped local system:
+///   0 (head) = [0,0] ⊔ (get(1) + [1,1]) ⊓ [0,Cap]
+///   1 (body) = get(0)
+///   2 (exit) = get(0) restricted >= Cap
+IntSys loopSystem(int64_t Cap) {
+  return IntSys([Cap](int X) -> IntSys::Rhs {
+    switch (X) {
+    case 0:
+      return [Cap](const IntSys::Get &Get) {
+        return Interval::constant(0).join(
+            Get(1).add(Interval::constant(1)).meet(Iv(0, Cap)));
+      };
+    case 1:
+      return [](const IntSys::Get &Get) { return Get(0); };
+    default:
+      return [Cap](const IntSys::Get &Get) {
+        return Get(0).restrictGreaterEq(Interval::constant(Cap));
+      };
+    }
+  });
+}
+
+TEST(Slr, SolvesLoopSystemExactly) {
+  IntSys S = loopSystem(10);
+  PartialSolution<int, Interval> R = solveSLR(S, 2, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_EQ(R.value(0), Iv(0, 10));
+  EXPECT_EQ(R.value(1), Iv(0, 10));
+  EXPECT_EQ(R.value(2), Iv(10, 10));
+}
+
+TEST(Slr, ExploresOnlyReachableUnknowns) {
+  // Solving unknown 1 does not need unknown 2.
+  IntSys S = loopSystem(5);
+  PartialSolution<int, Interval> R = solveSLR(S, 1, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_TRUE(R.inDomain(0));
+  EXPECT_TRUE(R.inDomain(1));
+  EXPECT_FALSE(R.inDomain(2)) << "local solving must stay local";
+}
+
+TEST(Slr, PartialSolutionProperty) {
+  // Theorem 3(1): upon termination the result is a partial ⊟-solution:
+  // sigma[x] = sigma[x] ⊟ f_x(sigma) over dom, and dom is closed under
+  // dependencies.
+  IntSys S = loopSystem(25);
+  PartialSolution<int, Interval> R = solveSLR(S, 2, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  WarrowCombine Warrow;
+  for (const auto &[X, Value] : R.Sigma) {
+    std::vector<int> Accessed;
+    IntSys::Get Get = [&R, &Accessed](const int &Y) {
+      Accessed.push_back(Y);
+      return R.value(Y);
+    };
+    Interval Rhs = S.rhs(X)(Get);
+    EXPECT_EQ(Value, Warrow(X, Value, Rhs)) << "unknown " << X;
+    for (int Y : Accessed)
+      EXPECT_TRUE(R.inDomain(Y)) << "dep " << Y << " of " << X;
+  }
+}
+
+TEST(Rld, SolvesMonotoneSystems) {
+  IntSys S = loopSystem(7);
+  PartialSolution<int, Interval> R = solveRLD(S, 2, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  // RLD does terminate here and the result is a post solution.
+  IntSys::Get Get = [&R](const int &Y) { return R.value(Y); };
+  for (const auto &[X, Value] : R.Sigma)
+    EXPECT_TRUE(S.rhs(X)(Get).leq(Value));
+}
+
+TEST(Rld, NotAGenericSolverNestedEvaluations) {
+  // Section 5: RLD evaluates right-hand sides non-atomically — a nested
+  // `solve` inside `eval` can update unknowns mid-evaluation. We detect
+  // the non-atomicity directly: a right-hand side that reads y twice can
+  // observe two *different* values within one evaluation under RLD,
+  // never under SLR.
+  auto MakeSystem = [](bool *SawTornRead) {
+    return IntSys([SawTornRead](int X) -> IntSys::Rhs {
+      switch (X) {
+      case 0:
+        // x0 reads x1, then x2 (whose solving bumps x1), then x1 again.
+        return [SawTornRead](const IntSys::Get &Get) {
+          Interval First = Get(1);
+          Interval Middle = Get(2);
+          Interval Second = Get(1);
+          if (!(First == Second))
+            *SawTornRead = true;
+          return First.join(Middle).join(Second);
+        };
+      case 1:
+        return [](const IntSys::Get &Get) {
+          return Interval::constant(0).join(Get(2));
+        };
+      default: // x2 depends on x1 and grows it.
+        return [](const IntSys::Get &Get) {
+          return Get(1).add(Interval::constant(1)).meet(Iv(0, 3));
+        };
+      }
+    });
+  };
+
+  bool RldTorn = false;
+  solveRLD(MakeSystem(&RldTorn), 0, JoinCombine{});
+  bool SlrTorn = false;
+  solveSLR(MakeSystem(&SlrTorn), 0, JoinCombine{});
+  EXPECT_FALSE(SlrTorn) << "SLR evaluates right-hand sides atomically";
+  // (RLD may or may not exhibit the tear depending on evaluation order;
+  // we only assert SLR's guarantee, which is the paper's point.)
+}
+
+TEST(Slr, TerminatesOnRandomMonotoneLocalSystems) {
+  // Theorem 3(2) over a family of systems: finitely many unknowns, all
+  // monotone.
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    const unsigned Size = 40;
+    // Build a local view of a random dense monotone system.
+    auto Dense = std::make_shared<DenseSystem<Interval>>(
+        randomMonotoneSystem(Size, 3, 400, Seed));
+    IntSys S(
+        [Dense](int X) -> IntSys::Rhs {
+          return [Dense, X](const IntSys::Get &Get) {
+            return Dense->eval(static_cast<Var>(X),
+                               [&Get](Var Y) {
+                                 return Get(static_cast<int>(Y));
+                               });
+          };
+        });
+    PartialSolution<int, Interval> R = solveSLR(S, 0, WarrowCombine{});
+    ASSERT_TRUE(R.Stats.Converged) << "seed " << Seed;
+    // Post-solution on the explored domain.
+    IntSys::Get Get = [&R](const int &Y) { return R.value(Y); };
+    for (const auto &[X, Value] : R.Sigma)
+      EXPECT_TRUE(S.rhs(X)(Get).leq(Value));
+  }
+}
+
+TEST(TwoPhaseLocal, MatchesWarrowOnSimpleLoops) {
+  IntSys S = loopSystem(9);
+  PartialSolution<int, Interval> Warrow = solveSLR(S, 2, WarrowCombine{});
+  PartialSolution<int, Interval> Classic = solveTwoPhaseLocal(S, 2);
+  ASSERT_TRUE(Warrow.Stats.Converged && Classic.Stats.Converged);
+  EXPECT_EQ(Warrow.value(0), Classic.value(0));
+  EXPECT_EQ(Warrow.value(2), Classic.value(2));
+}
+
+TEST(Slr, BudgetExhaustionReported) {
+  IntSys S = loopSystem(1000000);
+  SolverOptions Tight;
+  Tight.MaxRhsEvals = 3;
+  PartialSolution<int, Interval> R = solveSLR(S, 2, WarrowCombine{}, Tight);
+  EXPECT_FALSE(R.Stats.Converged);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/paper_examples_test.cpp - The paper's worked examples ----------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Step-exact reproductions of the paper's Examples 1-6. These pin the
+// solver implementations to the published iteration sequences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/combine.h"
+#include "solvers/rr.h"
+#include "solvers/slr.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "solvers/wl.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+NatInf Fin(uint64_t V) { return NatInf(V); }
+NatInf Inf() { return NatInf::inf(); }
+
+/// Asserts that the recorded update trace starts with the given
+/// (variable, value) prefix.
+void expectTracePrefix(const SolveResult<NatInf> &Result,
+                       const std::vector<std::pair<Var, NatInf>> &Prefix) {
+  ASSERT_GE(Result.Trace.size(), Prefix.size())
+      << "trace shorter than the expected prefix";
+  for (size_t I = 0; I < Prefix.size(); ++I) {
+    EXPECT_EQ(Result.Trace[I].X, Prefix[I].first) << "step " << I;
+    EXPECT_EQ(Result.Trace[I].Value, Prefix[I].second)
+        << "step " << I << ": got " << Result.Trace[I].Value.str()
+        << ", want " << Prefix[I].second.str();
+  }
+}
+
+// --- Example 1: round-robin with ⊟ diverges ------------------------------
+
+TEST(PaperExample1, RoundRobinWithWarrowDiverges) {
+  DenseSystem<NatInf> S = paperExampleOne();
+  SolverOptions Options;
+  Options.MaxRhsEvals = 2000;
+  Options.RecordTrace = true;
+  SolveResult<NatInf> R = solveRR(S, WarrowCombine{}, Options);
+  EXPECT_FALSE(R.Stats.Converged) << "Example 1 must diverge under RR+⊟";
+
+  // The paper's table: sigma_1..sigma_5 after each round-robin sweep are
+  //   x1: 0 8 1 8 2 ...   x2: 8 1 8 2 8 ...   x3: 0 8 1 8 2 ...
+  // Updates in evaluation order x1,x2,x3 per sweep:
+  expectTracePrefix(R, {
+                           {1, Inf()},    // sweep 1: x2 -> inf
+                           {0, Inf()},    // sweep 2: x1 -> inf
+                           {1, Fin(1)},   //          x2 -> 1
+                           {2, Inf()},    //          x3 -> inf
+                           {0, Fin(1)},   // sweep 3: x1 -> 1
+                           {1, Inf()},    //          x2 -> inf
+                           {2, Fin(1)},   //          x3 -> 1
+                           {0, Inf()},    // sweep 4
+                           {1, Fin(2)},
+                           {2, Inf()},
+                       });
+}
+
+TEST(PaperExample1, RoundRobinWithJoinConvergesToInf) {
+  // With plain join the system's least fixpoint is all-infinite; ordinary
+  // Kleene iteration does not terminate, but widening does.
+  DenseSystem<NatInf> S = paperExampleOne();
+  SolveResult<NatInf> R = solveRR(S, WidenCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_EQ(R.Sigma[0], Inf());
+  EXPECT_EQ(R.Sigma[1], Inf());
+  EXPECT_EQ(R.Sigma[2], Inf());
+}
+
+// --- Example 3: structured round-robin terminates on Example 1 -----------
+
+TEST(PaperExample3, StructuredRoundRobinTerminates) {
+  DenseSystem<NatInf> S = paperExampleOne();
+  SolverOptions Options;
+  Options.RecordTrace = true;
+  SolveResult<NatInf> R = solveSRR(S, WarrowCombine{}, Options);
+  ASSERT_TRUE(R.Stats.Converged) << "Theorem 1: SRR must terminate";
+
+  // The paper's Example 3 update sequence:
+  //   x2->inf, x1->inf, x2->1, x1->1, x3->inf, x2->inf, x1->inf.
+  expectTracePrefix(R, {
+                           {1, Inf()},
+                           {0, Inf()},
+                           {1, Fin(1)},
+                           {0, Fin(1)},
+                           {2, Inf()},
+                           {1, Inf()},
+                           {0, Inf()},
+                       });
+  EXPECT_EQ(R.Trace.size(), 7u) << "no further updates after the trace";
+  EXPECT_EQ(R.Sigma[0], Inf());
+  EXPECT_EQ(R.Sigma[1], Inf());
+  EXPECT_EQ(R.Sigma[2], Inf());
+}
+
+// --- Example 2: LIFO worklist with ⊟ diverges -----------------------------
+
+TEST(PaperExample2, WorklistWithWarrowDiverges) {
+  DenseSystem<NatInf> S = paperExampleTwo();
+  SolverOptions Options;
+  Options.MaxRhsEvals = 2000;
+  Options.RecordTrace = true;
+  SolveResult<NatInf> R = solveW(S, WarrowCombine{}, Options);
+  EXPECT_FALSE(R.Stats.Converged) << "Example 2 must diverge under W+⊟";
+
+  // Paper iteration: x1: 0 8 1 1 | 1 1 1 8 ...; x2: 0 0 0 0 | 8 2 2 2 ...
+  expectTracePrefix(R, {
+                           {0, Inf()},  // x1 -> inf
+                           {0, Fin(1)}, // x1 -> 1
+                           {1, Inf()},  // x2 -> inf
+                           {1, Fin(2)}, // x2 -> 2
+                           {0, Inf()},  // x1 -> inf (the cycle continues)
+                       });
+}
+
+// --- Example 4: structured worklist terminates on Example 2 ---------------
+
+TEST(PaperExample4, StructuredWorklistTerminates) {
+  DenseSystem<NatInf> S = paperExampleTwo();
+  SolverOptions Options;
+  Options.RecordTrace = true;
+  SolveResult<NatInf> R = solveSW(S, WarrowCombine{}, Options);
+  ASSERT_TRUE(R.Stats.Converged) << "Theorem 2: SW must terminate";
+
+  // Paper iteration: updates x1->inf, x1->1, x2->inf, x1->inf; final
+  // values are both infinite.
+  expectTracePrefix(R, {
+                           {0, Inf()},
+                           {0, Fin(1)},
+                           {1, Inf()},
+                           {0, Inf()},
+                       });
+  EXPECT_EQ(R.Sigma[0], Inf());
+  EXPECT_EQ(R.Sigma[1], Inf());
+}
+
+// --- Examples 5 and 6: local solving of an infinite system ----------------
+
+TEST(PaperExample5, SlrComputesThePartialSolution) {
+  LocalSystem<uint64_t, NatInf> S = paperExampleFive();
+  // ⊕ = join (= max): the partial max-solution of Example 5/6.
+  PartialSolution<uint64_t, NatInf> R = solveSLR(S, uint64_t{1}, JoinCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  // dom = {y0, y1, y2, y4} with y1=y2=y4=2 (paper Example 6).
+  EXPECT_EQ(R.Sigma.size(), 4u);
+  EXPECT_TRUE(R.inDomain(0));
+  EXPECT_EQ(R.value(1), Fin(2));
+  EXPECT_EQ(R.value(2), Fin(2));
+  EXPECT_EQ(R.value(4), Fin(2));
+  EXPECT_EQ(R.value(0), Fin(0));
+}
+
+TEST(PaperExample5, SlrWithWarrowAlsoTerminates) {
+  LocalSystem<uint64_t, NatInf> S = paperExampleFive();
+  PartialSolution<uint64_t, NatInf> R = solveSLR(S, uint64_t{1}, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged) << "Theorem 3: SLR with ⊟ terminates";
+  // The NatInf widening jumps straight to infinity, and the rhs of y4 at
+  // infinity stays infinite, so ⊟ cannot recover Example 6's exact value;
+  // Theorem 3 promises termination and a sound post solution only.
+  EXPECT_TRUE(Fin(2).leq(R.value(1)));
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/parser_test.cpp - Parser tests ------------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/parser.h"
+
+#include "support/casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  return P;
+}
+
+void parseFails(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  EXPECT_TRUE(P == nullptr || Diags.hasErrors())
+      << "expected a diagnostic for:\n"
+      << Source;
+}
+
+TEST(Parser, MinimalProgram) {
+  auto P = parseOk("int main() { return 0; }");
+  ASSERT_EQ(P->Functions.size(), 1u);
+  EXPECT_EQ(P->Symbols.spelling(P->Functions[0]->Name), "main");
+  EXPECT_FALSE(P->Functions[0]->ReturnsVoid);
+}
+
+TEST(Parser, GlobalsWithInitializers) {
+  auto P = parseOk("int g = 5;\nint h = -3;\nint arr[10];\nint z;\n"
+                   "int main() { return g; }");
+  ASSERT_EQ(P->Globals.size(), 4u);
+  EXPECT_EQ(P->Globals[0].Init, 5);
+  EXPECT_EQ(P->Globals[1].Init, -3);
+  EXPECT_TRUE(P->Globals[2].isArray());
+  EXPECT_EQ(P->Globals[2].ArraySize, 10);
+  EXPECT_EQ(P->Globals[3].Init, 0);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto P = parseOk("int main() { int x = 1 + 2 * 3; return x; }");
+  const auto *Body = cast<BlockStmt>(P->Functions[0]->Body.get());
+  const auto *Decl = cast<DeclStmt>(Body->stmts()[0].get());
+  const auto *Add = cast<BinaryExpr>(Decl->init());
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  const auto *Mul = cast<BinaryExpr>(&Add->rhs());
+  EXPECT_EQ(Mul->op(), BinaryOp::Mul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  auto P = parseOk("int main() { int x = (1 + 2) * 3; return x; }");
+  const auto *Body = cast<BlockStmt>(P->Functions[0]->Body.get());
+  const auto *Decl = cast<DeclStmt>(Body->stmts()[0].get());
+  const auto *Mul = cast<BinaryExpr>(Decl->init());
+  EXPECT_EQ(Mul->op(), BinaryOp::Mul);
+  EXPECT_EQ(cast<BinaryExpr>(&Mul->lhs())->op(), BinaryOp::Add);
+}
+
+TEST(Parser, LogicalOperatorsLowerThanComparison) {
+  auto P = parseOk(
+      "int main() { int x = 1; if (x < 2 && x > 0 || x == 5) x = 0; "
+      "return x; }");
+  const auto *Body = cast<BlockStmt>(P->Functions[0]->Body.get());
+  const auto *If = cast<IfStmt>(Body->stmts()[1].get());
+  const auto *Or = cast<BinaryExpr>(&If->cond());
+  EXPECT_EQ(Or->op(), BinaryOp::LOr);
+  EXPECT_EQ(cast<BinaryExpr>(&Or->lhs())->op(), BinaryOp::LAnd);
+}
+
+TEST(Parser, ControlFlowForms) {
+  auto P = parseOk(R"(
+    int main() {
+      int i = 0;
+      int acc = 0;
+      while (i < 10) {
+        i = i + 1;
+        if (i == 5)
+          continue;
+        acc = acc + i;
+        if (acc > 100)
+          break;
+      }
+      for (int j = 0; j < 4; j = j + 1)
+        acc = acc + j;
+      return acc;
+    }
+  )");
+  ASSERT_TRUE(P != nullptr);
+}
+
+TEST(Parser, ForWithEmptyParts) {
+  parseOk("int main() { int i = 0; for (;;) { i = i + 1; if (i > 3) break; }"
+          " return i; }");
+  parseOk("int main() { int i = 0; for (; i < 3;) i = i + 1; return i; }");
+}
+
+TEST(Parser, ArraysAndCalls) {
+  auto P = parseOk(R"(
+    int a[4];
+    int f(int x) { return x + 1; }
+    int main() {
+      a[0] = 1;
+      a[1] = a[0] + 2;
+      int r = f(a[1]);
+      f(3);
+      return r;
+    }
+  )");
+  ASSERT_EQ(P->Functions.size(), 2u);
+}
+
+TEST(Parser, VoidFunction) {
+  auto P = parseOk("int g = 0;\nvoid f() { g = 1; return; }\n"
+                   "int main() { f(); return g; }");
+  EXPECT_TRUE(P->Functions[0]->ReturnsVoid);
+}
+
+TEST(Parser, SyntaxErrors) {
+  parseFails("int main() { return 0 }");          // Missing ';'.
+  parseFails("int main() { int = 3; }");          // Missing name.
+  parseFails("int main() { x = ; }");             // Missing expr.
+  parseFails("int main() { if x { } }");          // Missing parens.
+  parseFails("int main() { while (1 { } }");      // Unbalanced.
+  parseFails("int main() { int a[x]; }");         // Non-constant size.
+  parseFails("float main() { }");                 // Unknown type.
+  parseFails("int main() { return 0; } trailing"); // Garbage at end.
+}
+
+TEST(Parser, ErrorRecoveryFindsMultipleErrors) {
+  DiagnosticEngine Diags;
+  parseProgram("int main() { x = ; y = ; return 0; }", Diags);
+  EXPECT_GE(Diags.all().size(), 2u) << Diags.str();
+}
+
+TEST(Parser, NegativeNumbersAndUnaryOps) {
+  auto P = parseOk("int main() { int x = -5; int y = !x; int z = - - 3; "
+                   "return x + y + z; }");
+  ASSERT_TRUE(P != nullptr);
+}
+
+} // namespace

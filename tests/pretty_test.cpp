@@ -1,0 +1,105 @@
+//===- tests/pretty_test.cpp - Pretty printer round-trip tests ----------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/parser.h"
+#include "lang/pretty.h"
+#include "workloads/spec_generator.h"
+#include "workloads/wcet_suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+/// print(parse(S)) must be a fixpoint of print∘parse.
+void expectRoundTrip(std::string_view Source) {
+  DiagnosticEngine Diags1;
+  auto P1 = parseProgram(Source, Diags1);
+  ASSERT_TRUE(P1 != nullptr) << Diags1.str();
+  std::string Printed1 = printProgram(*P1);
+  DiagnosticEngine Diags2;
+  auto P2 = parseProgram(Printed1, Diags2);
+  ASSERT_TRUE(P2 != nullptr) << "reparse failed:\n"
+                             << Printed1 << "\n"
+                             << Diags2.str();
+  EXPECT_EQ(printProgram(*P2), Printed1) << "printer not idempotent";
+}
+
+TEST(Pretty, SimpleProgram) {
+  expectRoundTrip("int main() { int x = 1 + 2 * 3; return x; }");
+}
+
+TEST(Pretty, PrecedencePreserved) {
+  expectRoundTrip(
+      "int main() { int x = (1 + 2) * 3 - 4 / (5 % 2); return x; }");
+}
+
+TEST(Pretty, NestedControlFlow) {
+  expectRoundTrip(R"(
+    int g = 3;
+    int helper(int a, int b) {
+      if (a < b && a > 0 || b == 7)
+        return a;
+      else
+        return b;
+    }
+    int main() {
+      int acc = 0;
+      for (int i = 0; i < 10; i = i + 1) {
+        if (i % 2 == 0)
+          continue;
+        acc = acc + i;
+        while (acc > 10)
+          acc = acc - g;
+      }
+      int r = helper(acc, 3);
+      return r;
+    }
+  )");
+}
+
+TEST(Pretty, ArraysAndUnary) {
+  expectRoundTrip(R"(
+    int buf[8];
+    int main() {
+      int i = -3;
+      int j = !i;
+      buf[i + 3] = -i * 2;
+      int v = buf[0];
+      int w = unknown();
+      return v + j + w;
+    }
+  )");
+}
+
+TEST(Pretty, AllWcetBenchmarksRoundTrip) {
+  for (const WcetBenchmark &B : wcetSuite()) {
+    SCOPED_TRACE(B.Name);
+    expectRoundTrip(B.Source);
+  }
+}
+
+TEST(Pretty, GeneratedSpecProgramsRoundTrip) {
+  SpecProfile Small;
+  Small.Name = "tiny";
+  Small.NumFunctions = 6;
+  Small.Seed = 99;
+  expectRoundTrip(generateSpecProgram(Small));
+}
+
+TEST(Pretty, ExprPrinting) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram("int main() { int x = 1 - (2 - 3); return x; }",
+                        Diags);
+  ASSERT_TRUE(P != nullptr);
+  std::string Out = printProgram(*P);
+  EXPECT_NE(Out.find("1 - (2 - 3)"), std::string::npos)
+      << "right-associated subtraction keeps parentheses:\n"
+      << Out;
+}
+
+} // namespace

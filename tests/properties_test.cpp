@@ -1,0 +1,190 @@
+//===- tests/properties_test.cpp - Extra property tests --------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Additional randomized property tests: environment lattice laws, guard
+// refinement soundness against concrete filtering, and the delayed-⊟
+// operator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/env.h"
+#include "lattice/combine.h"
+#include "lattice/interval.h"
+#include "solvers/sw.h"
+#include "support/rng.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+class EnvLaws : public ::testing::TestWithParam<uint64_t> {
+protected:
+  AbsEnv sample(Rng &R) {
+    AbsEnv E;
+    unsigned Vars = static_cast<unsigned>(R.below(5));
+    for (unsigned K = 0; K < Vars; ++K) {
+      Symbol S = static_cast<Symbol>(1 + R.below(6));
+      int64_t Lo = R.range(-20, 20);
+      switch (R.below(4)) {
+      case 0:
+        E.set(S, Interval::atLeast(Bound(Lo)));
+        break;
+      case 1:
+        E.set(S, Interval::atMost(Bound(Lo)));
+        break;
+      default:
+        E.set(S, Iv(Lo, Lo + static_cast<int64_t>(R.below(15))));
+        break;
+      }
+    }
+    return E;
+  }
+};
+
+TEST_P(EnvLaws, PartialOrderAndJoin) {
+  Rng R(GetParam());
+  for (int K = 0; K < 300; ++K) {
+    AbsEnv A = sample(R), B = sample(R), C = sample(R);
+    EXPECT_TRUE(A.leq(A));
+    EXPECT_TRUE(A.leq(AbsEnv::top()));
+    // Join is an upper bound and least among sampled upper bounds.
+    AbsEnv J = A.join(B);
+    EXPECT_TRUE(A.leq(J));
+    EXPECT_TRUE(B.leq(J));
+    if (A.leq(C) && B.leq(C)) {
+      EXPECT_TRUE(J.leq(C));
+    }
+    // Widening covers the join.
+    EXPECT_TRUE(J.leq(A.widen(B)));
+    // Antisymmetry up to normalization.
+    if (A.leq(B) && B.leq(A)) {
+      EXPECT_TRUE(A == B);
+    }
+  }
+}
+
+TEST_P(EnvLaws, WidenThenNarrowSandwich) {
+  Rng R(GetParam() + 500);
+  for (int K = 0; K < 300; ++K) {
+    AbsEnv A = sample(R), B = sample(R);
+    AbsEnv W = A.widen(B);
+    // Narrowing the widened value with something below it stays between.
+    AbsEnv Lower = A.join(B); // Lower ⊑ W by the widening law.
+    ASSERT_TRUE(Lower.leq(W));
+    AbsEnv N = W.narrow(Lower);
+    EXPECT_TRUE(Lower.leq(N));
+    // (N ⊑ W need not hold pointwise for adopted bindings' *keys*, but
+    // the lattice order must still sandwich.)
+    EXPECT_TRUE(N.leq(W));
+  }
+}
+
+TEST_P(EnvLaws, WideningStabilizes) {
+  Rng R(GetParam() + 900);
+  for (int K = 0; K < 40; ++K) {
+    AbsEnv Acc = sample(R);
+    int Changes = 0;
+    for (int Step = 0; Step < 60; ++Step) {
+      AbsEnv Next = Acc.widen(Acc.join(sample(R)));
+      if (!(Next == Acc))
+        ++Changes;
+      Acc = Next;
+    }
+    // Each variable can change at most ~3 times (two bounds to infinity,
+    // then the binding drops); six variables max.
+    EXPECT_LE(Changes, 18);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvLaws,
+                         ::testing::Values(11ull, 22ull, 33ull));
+
+// --- Guard refinement soundness ---------------------------------------------
+
+TEST(RefinementProperties, RestrictMatchesConcreteFiltering) {
+  Rng R(77);
+  for (int K = 0; K < 400; ++K) {
+    int64_t ALo = R.range(-15, 15);
+    Interval A = Iv(ALo, ALo + static_cast<int64_t>(R.below(8)));
+    int64_t BLo = R.range(-15, 15);
+    Interval B = Iv(BLo, BLo + static_cast<int64_t>(R.below(8)));
+    for (int64_t X = A.lo().finite(); X <= A.hi().finite(); ++X)
+      for (int64_t Y = B.lo().finite(); Y <= B.hi().finite(); ++Y) {
+        if (X < Y) {
+          EXPECT_TRUE(A.restrictLess(B).contains(X))
+              << X << "<" << Y << " for " << A.str() << " " << B.str();
+        }
+        if (X <= Y) {
+          EXPECT_TRUE(A.restrictLessEq(B).contains(X));
+        }
+        if (X > Y) {
+          EXPECT_TRUE(A.restrictGreater(B).contains(X));
+        }
+        if (X >= Y) {
+          EXPECT_TRUE(A.restrictGreaterEq(B).contains(X));
+        }
+        if (X == Y) {
+          EXPECT_TRUE(A.restrictEqual(B).contains(X));
+        }
+        if (X != Y) {
+          EXPECT_TRUE(A.restrictNotEqual(B).contains(X));
+        }
+      }
+  }
+}
+
+// --- Delayed widening ---------------------------------------------------------
+
+TEST(DelayedWarrow, ShortChainsStayExact) {
+  // A counter capped at 3: with delay >= 3 the chain stabilizes exactly
+  // without ever widening; with delay 0 it overshoots and narrows back.
+  DenseSystem<Interval> S = chainSystem(6, 3);
+  DelayedWarrowCombine<Var> Delayed(8);
+  SolveResult<Interval> R = solveSW(S, Delayed);
+  ASSERT_TRUE(R.Stats.Converged);
+  for (Var X = 0; X < S.size(); ++X) {
+    EXPECT_TRUE(R.Sigma[X].hi().isFinite() || R.Sigma[X].isBot())
+        << "no widening should have fired at " << S.name(X);
+  }
+}
+
+TEST(DelayedWarrow, LongChainsStillTerminate) {
+  DenseSystem<Interval> S = ringSystem(10, 100000);
+  DelayedWarrowCombine<Var> Delayed(3);
+  SolverOptions Options;
+  Options.MaxRhsEvals = 50'000;
+  SolveResult<Interval> R = solveSW(S, Delayed, Options);
+  EXPECT_TRUE(R.Stats.Converged)
+      << "after the delay, widening must still enforce termination";
+  // Post solution property.
+  auto Get = [&R](Var Y) { return R.Sigma[Y]; };
+  for (Var X = 0; X < S.size(); ++X) {
+    EXPECT_TRUE(S.eval(X, Get).leq(R.Sigma[X]));
+  }
+}
+
+TEST(DelayedWarrow, MoreDelayIsNeverLessPrecise) {
+  DenseSystem<Interval> S = randomMonotoneSystem(20, 3, 40, 9);
+  DelayedWarrowCombine<Var> NoDelay(0);
+  SolveResult<Interval> R0 = solveSW(S, NoDelay);
+  DelayedWarrowCombine<Var> SomeDelay(50);
+  SolveResult<Interval> R1 = solveSW(S, SomeDelay);
+  ASSERT_TRUE(R0.Stats.Converged && R1.Stats.Converged);
+  // With enough delay to exhaust the (bounded) chains, the result is the
+  // least fixpoint — no other post solution can be below it.
+  SolveResult<Interval> Lfp = solveSW(S, JoinCombine{});
+  for (Var X = 0; X < S.size(); ++X) {
+    EXPECT_EQ(R1.Sigma[X], Lfp.Sigma[X]) << "var " << X;
+    EXPECT_TRUE(Lfp.Sigma[X].leq(R0.Sigma[X])) << "var " << X;
+  }
+}
+
+} // namespace

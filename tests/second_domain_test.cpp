@@ -1,0 +1,290 @@
+//===- tests/second_domain_test.cpp - Parity, const-prop, LRR -------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests for the genericity demonstrators: the parity domain, the
+// constant-propagation analysis (a second client of the solver
+// machinery), and the naive local round-robin solver from Section 5's
+// prose.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/constprop.h"
+#include "lang/interp.h"
+#include "lang/parser.h"
+#include "lattice/combine.h"
+#include "lattice/parity.h"
+#include "lattice/product.h"
+#include "solvers/lrr.h"
+#include "solvers/slr.h"
+#include "solvers/sw.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+// --- Parity -----------------------------------------------------------------
+
+TEST(Parity, LatticeStructure) {
+  EXPECT_TRUE(Parity::bot().leq(Parity::even()));
+  EXPECT_TRUE(Parity::even().leq(Parity::top()));
+  EXPECT_FALSE(Parity::even().leq(Parity::odd()));
+  EXPECT_EQ(Parity::even().join(Parity::odd()), Parity::top());
+  EXPECT_EQ(Parity::even().meet(Parity::top()), Parity::even());
+  EXPECT_TRUE(Parity::even().meet(Parity::odd()).isBot());
+  EXPECT_EQ(Parity::ofValue(4), Parity::even());
+  EXPECT_EQ(Parity::ofValue(-3), Parity::odd());
+  EXPECT_EQ(Parity::ofValue(0), Parity::even());
+  EXPECT_EQ(Parity::odd().str(), "odd");
+}
+
+TEST(Parity, ArithmeticSoundnessExhaustive) {
+  for (int64_t A = -6; A <= 6; ++A)
+    for (int64_t B = -6; B <= 6; ++B) {
+      Parity PA = Parity::ofValue(A), PB = Parity::ofValue(B);
+      EXPECT_TRUE(Parity::ofValue(A + B).leq(PA.add(PB))) << A << "+" << B;
+      EXPECT_TRUE(Parity::ofValue(A - B).leq(PA.sub(PB))) << A << "-" << B;
+      EXPECT_TRUE(Parity::ofValue(A * B).leq(PA.mul(PB))) << A << "*" << B;
+      EXPECT_TRUE(Parity::ofValue(-A).leq(PA.neg()));
+    }
+  // Exactness spot checks.
+  EXPECT_EQ(Parity::even().add(Parity::even()), Parity::even());
+  EXPECT_EQ(Parity::odd().add(Parity::odd()), Parity::even());
+  EXPECT_EQ(Parity::odd().add(Parity::even()), Parity::odd());
+  EXPECT_EQ(Parity::odd().mul(Parity::odd()), Parity::odd());
+  EXPECT_EQ(Parity::even().mul(Parity::top()), Parity::even());
+}
+
+TEST(Parity, ProductWithIntervalRefines) {
+  // The product carries information neither component has: an even value
+  // in [3,5] must be 4 — the product proves evenness and the range.
+  using PI = Product<Parity, Interval>;
+  PI V(Parity::even(), Interval::make(3, 5));
+  EXPECT_TRUE(V.first().mayBeEven());
+  EXPECT_FALSE(V.first().mayBeOdd());
+  EXPECT_TRUE(V.second().contains(4));
+  // Component-wise solver round trip through SW.
+  DenseSystem<PI> S;
+  Var X = S.addVar("x");
+  S.define(
+      X,
+      [](const DenseSystem<PI>::GetFn &Get) {
+        PI Old = Get(0);
+        Parity NextParity = Old.first().join(Parity::even());
+        Interval NextItv =
+            Old.second().join(Interval::make(0, 2)).meet(Interval::make(0, 8));
+        return PI(NextParity, NextItv);
+      },
+      {X});
+  SolveResult<PI> R = solveSW(S, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_EQ(R.Sigma[X].first(), Parity::even());
+  EXPECT_TRUE(R.Sigma[X].second().leq(Interval::make(0, 8)));
+}
+
+// --- Constant propagation -----------------------------------------------------
+
+struct CpRun {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+  ConstPropSystem CS;
+  SolveResult<CpEnv> R;
+};
+
+CpRun runConstProp(std::string_view Source) {
+  DiagnosticEngine Diags;
+  CpRun Run;
+  Run.P = parseProgram(Source, Diags);
+  EXPECT_TRUE(Run.P != nullptr) << Diags.str();
+  Run.Cfgs = buildProgramCfg(*Run.P);
+  Run.CS = buildConstPropSystem(*Run.P, Run.Cfgs, 0);
+  Run.R = solveSW(Run.CS.System, JoinCombine{});
+  EXPECT_TRUE(Run.R.Stats.Converged);
+  return Run;
+}
+
+TEST(ConstProp, FoldsStraightLineConstants) {
+  CpRun Run = runConstProp(R"(
+    int main() {
+      int a = 6;
+      int b = a * 7;
+      int c = b - 2;
+      return c;
+    }
+  )");
+  Var ExitVar = Run.CS.VarOfNode[Cfg::ExitNode];
+  CpEnv Exit = Run.R.Sigma[ExitVar];
+  Symbol C = Run.P->Symbols.lookup("c");
+  EXPECT_EQ(Exit.get(C), CpValue::constant(40));
+  EXPECT_EQ(Exit.get(Run.P->Symbols.lookup("$ret")),
+            CpValue::constant(40));
+}
+
+TEST(ConstProp, JoinsToTopAcrossBranches) {
+  CpRun Run = runConstProp(R"(
+    int main() {
+      int x = unknown();
+      int y = 0;
+      int z = 5;
+      if (x > 0)
+        y = 1;
+      else
+        y = 2;
+      return y + z;
+    }
+  )");
+  Var ExitVar = Run.CS.VarOfNode[Cfg::ExitNode];
+  CpEnv Exit = Run.R.Sigma[ExitVar];
+  EXPECT_TRUE(Exit.get(Run.P->Symbols.lookup("y")).isTop())
+      << "different constants per branch";
+  EXPECT_EQ(Exit.get(Run.P->Symbols.lookup("z")), CpValue::constant(5));
+}
+
+TEST(ConstProp, ConstantGuardsKillBranches) {
+  CpRun Run = runConstProp(R"(
+    int main() {
+      int flag = 0;
+      int r = 1;
+      if (flag)
+        r = 99;
+      return r;
+    }
+  )");
+  Var ExitVar = Run.CS.VarOfNode[Cfg::ExitNode];
+  EXPECT_EQ(Run.R.Sigma[ExitVar].get(Run.P->Symbols.lookup("r")),
+            CpValue::constant(1))
+      << "the then-branch folds away";
+}
+
+TEST(ConstProp, LoopsLoseInductionVariablesButKeepInvariants) {
+  CpRun Run = runConstProp(R"(
+    int main() {
+      int k = 3;
+      int i = 0;
+      while (i < 10)
+        i = i + k;
+      return i;
+    }
+  )");
+  Var ExitVar = Run.CS.VarOfNode[Cfg::ExitNode];
+  CpEnv Exit = Run.R.Sigma[ExitVar];
+  EXPECT_EQ(Exit.get(Run.P->Symbols.lookup("k")), CpValue::constant(3));
+  EXPECT_TRUE(Exit.get(Run.P->Symbols.lookup("i")).isTop());
+}
+
+TEST(ConstProp, SoundAgainstConcreteExecution) {
+  const char *Source = R"(
+    int main() {
+      int a = 4;
+      int b = a * a;
+      int c = unknown();
+      int d = b + 0;
+      if (c > 10)
+        d = d + 16;
+      int e = d / 8;
+      return e;
+    }
+  )";
+  CpRun Run = runConstProp(Source);
+  // Concretely execute and check every frame value against the abstract.
+  Interpreter Interp(*Run.P, Run.Cfgs, {42, -7});
+  bool Violated = false;
+  Interp.setObserver([&](uint32_t Func, uint32_t Node,
+                         const ConcreteFrame &Frame, const ConcreteGlobals &) {
+    if (Func != 0)
+      return;
+    const CpEnv &Abs = Run.R.Sigma[Run.CS.VarOfNode[Node]];
+    if (Abs.isBot()) {
+      Violated = true;
+      return;
+    }
+    for (const auto &[Name, Value] : Frame.Scalars) {
+      CpValue V = Abs.get(Name);
+      if (V.isConstant() && V.constantValue() != Value)
+        Violated = true;
+    }
+  });
+  InterpResult Out = Interp.run();
+  ASSERT_TRUE(Out.finished());
+  EXPECT_FALSE(Violated);
+}
+
+// --- LRR (the paper's naive local solver) --------------------------------------
+
+TEST(Lrr, SolvesLocallyAndLazily) {
+  LocalSystem<uint64_t, NatInf> S = paperExampleFive();
+  PartialSolution<uint64_t, NatInf> R =
+      solveLRR(S, uint64_t{1}, JoinCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_EQ(R.value(1), NatInf(2));
+  EXPECT_EQ(R.Sigma.size(), 4u) << "dom = {y0, y1, y2, y4}, like SLR";
+}
+
+TEST(Lrr, AgreesWithSlrOnMonotoneSystems) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    auto Dense = std::make_shared<DenseSystem<Interval>>(
+        randomMonotoneSystem(20, 3, 80, Seed * 3 + 1));
+    LocalSystem<int, Interval> Local(
+        [Dense](int X) -> LocalSystem<int, Interval>::Rhs {
+          return [Dense, X](const LocalSystem<int, Interval>::Get &Get) {
+            return Dense->eval(static_cast<Var>(X), [&Get](Var Y) {
+              return Get(static_cast<int>(Y));
+            });
+          };
+        });
+    PartialSolution<int, Interval> A = solveLRR(Local, 0, JoinCombine{});
+    PartialSolution<int, Interval> B = solveSLR(Local, 0, JoinCombine{});
+    ASSERT_TRUE(A.Stats.Converged && B.Stats.Converged);
+    EXPECT_EQ(A.Sigma.size(), B.Sigma.size()) << "seed " << Seed;
+    for (const auto &[X, Value] : B.Sigma)
+      EXPECT_EQ(A.value(X), Value) << "unknown " << X;
+  }
+}
+
+TEST(Lrr, InheritsRoundRobinDivergenceUnderWarrow) {
+  // Example 1 as a local system: LRR diverges with ⊟ exactly like RR —
+  // the weakness that motivates SLR (Section 5).
+  auto Dense = std::make_shared<DenseSystem<NatInf>>(paperExampleOne());
+  LocalSystem<int, NatInf> Local(
+      [Dense](int X) -> LocalSystem<int, NatInf>::Rhs {
+        return [Dense, X](const LocalSystem<int, NatInf>::Get &Get) {
+          return Dense->eval(static_cast<Var>(X), [&Get](Var Y) {
+            return Get(static_cast<int>(Y));
+          });
+        };
+      });
+  SolverOptions Options;
+  Options.MaxRhsEvals = 3000;
+  PartialSolution<int, NatInf> R =
+      solveLRR(Local, 0, WarrowCombine{}, Options);
+  EXPECT_FALSE(R.Stats.Converged);
+  // SLR terminates on the same system (Theorem 3).
+  PartialSolution<int, NatInf> S = solveSLR(Local, 0, WarrowCombine{});
+  EXPECT_TRUE(S.Stats.Converged);
+}
+
+TEST(Lrr, WorkExceedsSlr) {
+  // LRR re-evaluates the whole known set per round; SLR's priorities
+  // focus the work. On a loop-heavy chain LRR does strictly more
+  // evaluations.
+  auto Dense = std::make_shared<DenseSystem<Interval>>(chainSystem(40, 100));
+  LocalSystem<int, Interval> Local(
+      [Dense](int X) -> LocalSystem<int, Interval>::Rhs {
+        return [Dense, X](const LocalSystem<int, Interval>::Get &Get) {
+          return Dense->eval(static_cast<Var>(X), [&Get](Var Y) {
+            return Get(static_cast<int>(Y));
+          });
+        };
+      });
+  PartialSolution<int, Interval> A = solveLRR(Local, 39, JoinCombine{});
+  PartialSolution<int, Interval> B = solveSLR(Local, 39, JoinCombine{});
+  ASSERT_TRUE(A.Stats.Converged && B.Stats.Converged);
+  EXPECT_GT(A.Stats.RhsEvals, B.Stats.RhsEvals);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- tests/sema_test.cpp - Semantic checker tests ----------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+bool accepts(std::string_view Source) {
+  DiagnosticEngine Diags;
+  return parseProgram(Source, Diags) != nullptr;
+}
+
+TEST(Sema, RequiresMain) {
+  EXPECT_FALSE(accepts("int f() { return 0; }"));
+  EXPECT_FALSE(accepts("int main(int x) { return x; }"));
+  EXPECT_FALSE(accepts("void main() { }"));
+  EXPECT_TRUE(accepts("int main() { return 0; }"));
+}
+
+TEST(Sema, DuplicateNames) {
+  EXPECT_FALSE(accepts("int g = 0; int g = 1; int main() { return 0; }"));
+  EXPECT_FALSE(
+      accepts("int f() { return 0; } int f() { return 1; } "
+              "int main() { return 0; }"));
+  EXPECT_FALSE(accepts("int main() { int x = 0; int x = 1; return x; }"));
+  EXPECT_FALSE(accepts(
+      "int main() { if (1) { int x = 0; x = x; } else { int x = 1; x = x; } "
+      "return 0; }"))
+      << "sibling-scope duplicates are rejected (flat function scope)";
+}
+
+TEST(Sema, ShadowingRejected) {
+  EXPECT_FALSE(accepts("int g = 0; int main() { int g = 1; return g; }"));
+  EXPECT_FALSE(
+      accepts("int g = 0; int f(int g) { return g; } "
+              "int main() { int r = f(1); return r; }"));
+}
+
+TEST(Sema, UndeclaredVariables) {
+  EXPECT_FALSE(accepts("int main() { return x; }"));
+  EXPECT_FALSE(accepts("int main() { y = 3; return 0; }"));
+  EXPECT_TRUE(accepts("int g = 1; int main() { return g; }"));
+}
+
+TEST(Sema, ArrayVsScalarUsage) {
+  EXPECT_FALSE(accepts("int main() { int a[3]; return a; }"));
+  EXPECT_FALSE(accepts("int main() { int x = 0; return x[0]; }"));
+  EXPECT_FALSE(accepts("int main() { int x = 0; x[1] = 2; return 0; }"));
+  EXPECT_TRUE(accepts("int main() { int a[3]; a[0] = 1; return a[0]; }"));
+  EXPECT_FALSE(accepts("int main() { int a[0]; return 0; }"))
+      << "non-positive array sizes rejected";
+}
+
+TEST(Sema, CallRules) {
+  EXPECT_FALSE(accepts("int main() { int r = nosuch(1); return r; }"));
+  EXPECT_FALSE(accepts(
+      "int f(int x) { return x; } int main() { int r = f(); return r; }"));
+  EXPECT_FALSE(accepts(
+      "int f(int x) { return x; } int main() { int r = f(1, 2); return r; }"));
+  // Nested calls are rejected (analysis-friendly call form).
+  EXPECT_FALSE(accepts(
+      "int f(int x) { return x; } int main() { int r = f(1) + 1; return r; }"));
+  EXPECT_FALSE(accepts(
+      "int f(int x) { return x; } int main() { int r = f(f(1)); return r; }"));
+  // Root-position calls are fine.
+  EXPECT_TRUE(accepts(
+      "int f(int x) { return x; } int main() { int r = f(1); return r; }"));
+  EXPECT_TRUE(accepts(
+      "int f(int x) { return x; } int main() { f(1); return 0; }"));
+}
+
+TEST(Sema, VoidFunctionRules) {
+  EXPECT_FALSE(accepts("int g = 0; void f() { return 1; } "
+                       "int main() { f(); return g; }"));
+  EXPECT_FALSE(accepts("int g = 0; void f() { g = 1; } "
+                       "int main() { int r = f(); return r; }"));
+  EXPECT_TRUE(accepts("int g = 0; void f() { g = 1; return; } "
+                      "int main() { f(); return g; }"));
+}
+
+TEST(Sema, UnknownBuiltin) {
+  EXPECT_TRUE(accepts("int main() { int x = unknown(); return x; }"));
+  EXPECT_FALSE(accepts("int main() { int x = unknown(3); return x; }"));
+}
+
+TEST(Sema, BreakContinueOutsideLoop) {
+  EXPECT_FALSE(accepts("int main() { break; return 0; }"));
+  EXPECT_FALSE(accepts("int main() { continue; return 0; }"));
+  EXPECT_TRUE(accepts(
+      "int main() { while (1) { break; } return 0; }"));
+}
+
+TEST(Sema, CollectFunctionVars) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(R"(
+    int f(int p, int q) {
+      int a = 0;
+      int buf[7];
+      while (p < q) {
+        int inner = p;
+        p = p + inner;
+      }
+      return a;
+    }
+    int main() { int r = f(1, 2); return r; }
+  )",
+                        Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.str();
+  FuncVars Vars = collectFunctionVars(*P->Functions[0]);
+  EXPECT_EQ(Vars.Scalars.size(), 4u) << "p, q, a, inner";
+  EXPECT_EQ(Vars.Arrays.size(), 1u);
+  EXPECT_EQ(Vars.Arrays.begin()->second, 7);
+}
+
+} // namespace

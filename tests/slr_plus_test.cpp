@@ -1,0 +1,168 @@
+//===- tests/slr_plus_test.cpp - Side-effecting SLR+ tests ---------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests of the side-effecting solver of Section 6, including a direct
+// encoding of the paper's Examples 7-9 (the global g receiving [0,3]).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/combine.h"
+#include "lattice/interval.h"
+#include "solvers/slr_plus.h"
+#include "solvers/two_phase_local.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+using Sys = SideEffectingSystem<int, Interval>;
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+/// Hand encoding of the paper's Example 7/9 constraint structure:
+///   unknown 100 = the global g (rhs: its initializer [0,0])
+///   unknown 1   = "f called with b=1": sides g += b+1 = [2,2]
+///   unknown 2   = "f called with b=2": sides g += b+1 = [3,3]
+///   unknown 0   = main: reads both call returns and g.
+Sys exampleSevenSystem() {
+  return Sys([](int X) -> Sys::Rhs {
+    switch (X) {
+    case 100:
+      return [](const Sys::Get &, const Sys::Side &) {
+        return Interval::constant(0); // int g = 0.
+      };
+    case 1:
+      return [](const Sys::Get &, const Sys::Side &Side) {
+        Side(100, Interval::constant(2)); // g = b+1 for b=1.
+        return Interval::constant(1);
+      };
+    case 2:
+      return [](const Sys::Get &, const Sys::Side &Side) {
+        Side(100, Interval::constant(3)); // g = b+1 for b=2.
+        return Interval::constant(2);
+      };
+    default:
+      return [](const Sys::Get &Get, const Sys::Side &) {
+        Interval A = Get(1);
+        Interval B = Get(2);
+        return Get(100).join(A).join(B);
+      };
+    }
+  });
+}
+
+TEST(SlrPlus, ExampleSevenGlobalGetsZeroToThree) {
+  Sys S = exampleSevenSystem();
+  PartialSolution<int, Interval> R = solveSLRPlus(S, 0, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  // The paper's Example 9: sigma[g] first [0,0], widened to [0,inf] on
+  // joining [0,3], then narrowed back to [0,3].
+  EXPECT_EQ(R.value(100), Iv(0, 3));
+}
+
+TEST(SlrPlus, WidenOnlyKeepsGlobalWide) {
+  Sys S = exampleSevenSystem();
+  PartialSolution<int, Interval> R = solveSLRPlus(S, 0, WidenCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  Interval G = R.value(100);
+  EXPECT_TRUE(G.hi().isPosInf())
+      << "pure widening cannot recover the [0,3] bound, got " << G.str();
+  EXPECT_EQ(G.lo(), Bound(0));
+}
+
+TEST(SlrPlus, TwoPhaseBaselineFreezesGlobals) {
+  Sys S = exampleSevenSystem();
+  PartialSolution<int, Interval> R = solveTwoPhaseSide(S, 0);
+  ASSERT_TRUE(R.Stats.Converged);
+  // The classical baseline cannot narrow side-effected unknowns
+  // (Example 8): g stays at its widened value.
+  Interval G = R.value(100);
+  EXPECT_TRUE(G.hi().isPosInf());
+}
+
+TEST(SlrPlus, ContributionsJoinNotOverwrite) {
+  // Two contributors to one global; the global's value must cover both
+  // even after the later one is recorded.
+  Sys S = exampleSevenSystem();
+  PartialSolution<int, Interval> R = solveSLRPlus(S, 0, WarrowCombine{});
+  Interval G = R.value(100);
+  EXPECT_TRUE(G.contains(0));
+  EXPECT_TRUE(G.contains(2));
+  EXPECT_TRUE(G.contains(3));
+}
+
+TEST(SlrPlus, PartialPostSolutionProperty) {
+  // Theorem 4(1): on termination, re-evaluating every right-hand side
+  // (joined with recorded contributions) stays below sigma.
+  Sys S = exampleSevenSystem();
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  PartialSolution<int, Interval> R = Solver.solveFor(0);
+  ASSERT_TRUE(R.Stats.Converged);
+  for (const auto &[X, Value] : R.Sigma) {
+    Sys::Get Get = [&R](const int &Y) { return R.value(Y); };
+    Interval Contributions = Interval::bot();
+    auto It = Solver.contributions().find(X);
+    if (It != Solver.contributions().end())
+      for (const auto &[Contributor, V] : It->second)
+        Contributions = Contributions.join(V);
+    Sys::Side Ignore = [](const int &, const Interval &) {};
+    Interval Rhs = S.rhs(X)(Get, Ignore).join(Contributions);
+    EXPECT_TRUE(Rhs.leq(Value)) << "unknown " << X;
+  }
+}
+
+TEST(SlrPlus, FreshUnknownDiscoveredViaSideEffect) {
+  // A side effect to a never-read unknown must still enter the domain.
+  Sys S([](int X) -> Sys::Rhs {
+    if (X == 0)
+      return [](const Sys::Get &, const Sys::Side &Side) {
+        Side(42, Interval::constant(7));
+        return Interval::constant(0);
+      };
+    return [](const Sys::Get &, const Sys::Side &) {
+      return Interval::bot();
+    };
+  });
+  PartialSolution<int, Interval> R = solveSLRPlus(S, 0, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_TRUE(R.inDomain(42));
+  EXPECT_EQ(R.value(42), Interval::constant(7));
+}
+
+TEST(SlrPlus, ChangingContributionsReconverge) {
+  // A contributor whose contribution grows with its own value: the
+  // target must end up covering the final contribution.
+  Sys S([](int X) -> Sys::Rhs {
+    switch (X) {
+    case 0: // Driver: reads the counter and the sink.
+      return [](const Sys::Get &Get, const Sys::Side &) {
+        return Get(1).join(Get(50));
+      };
+    case 1: // Counter looping to 4, contributing its value to 50.
+      return [](const Sys::Get &Get, const Sys::Side &Side) {
+        Interval Self =
+            Interval::constant(0).join(Get(1).add(Interval::constant(1)));
+        Self = Self.meet(Iv(0, 4));
+        if (!Self.isBot())
+          Side(50, Self);
+        return Self;
+      };
+    default:
+      return [](const Sys::Get &, const Sys::Side &) {
+        return Interval::bot();
+      };
+    }
+  });
+  PartialSolution<int, Interval> R = solveSLRPlus(S, 0, WarrowCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_EQ(R.value(1), Iv(0, 4));
+  EXPECT_TRUE(Iv(0, 4).leq(R.value(50)));
+  EXPECT_EQ(R.value(50), Iv(0, 4)) << "⊟ narrows the sink back down";
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/soundness_test.cpp - Abstract-vs-concrete soundness ---------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The central property test: for every workload program, every concrete
+// state observed by the interpreter at a program point must be contained
+// in the abstract environment the analysis computed for that point —
+// for all three solver strategies and both context modes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "containment.h"
+#include "lang/parser.h"
+#include "workloads/wcet_suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+struct SoundnessCase {
+  std::string Benchmark;
+  SolverChoice Choice;
+  bool ContextSensitive;
+};
+
+std::string caseName(const ::testing::TestParamInfo<SoundnessCase> &Info) {
+  std::string Name = Info.param.Benchmark;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  switch (Info.param.Choice) {
+  case SolverChoice::Warrow:
+    Name += "_warrow";
+    break;
+  case SolverChoice::WidenOnly:
+    Name += "_widen";
+    break;
+  case SolverChoice::TwoPhase:
+    Name += "_twophase";
+    break;
+  }
+  Name += Info.param.ContextSensitive ? "_ctx" : "_noctx";
+  return Name;
+}
+
+class Soundness : public ::testing::TestWithParam<SoundnessCase> {};
+
+TEST_P(Soundness, ConcreteStatesContained) {
+  const SoundnessCase &Case = GetParam();
+  const WcetBenchmark *B = findWcetBenchmark(Case.Benchmark);
+  ASSERT_TRUE(B != nullptr);
+  DiagnosticEngine Diags;
+  auto P = parseProgram(B->Source, Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.str();
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+
+  AnalysisOptions Options;
+  Options.ContextSensitive = Case.ContextSensitive;
+  InterprocAnalysis Analysis(*P, Cfgs, Options);
+  AnalysisResult Result = Analysis.run(Case.Choice);
+  ASSERT_TRUE(Result.Stats.Converged);
+
+  // Several input tapes: the benchmark's own plus derived variations.
+  std::vector<std::vector<int64_t>> Tapes;
+  Tapes.push_back(B->Inputs);
+  std::vector<int64_t> Alt;
+  for (int64_t V : B->Inputs)
+    Alt.push_back(-V + 3);
+  Tapes.push_back(Alt);
+  Tapes.push_back({0});
+  Tapes.push_back({987654321, -987654321, 1, -1});
+
+  for (const auto &Tape : Tapes) {
+    ContainmentOutcome Outcome = checkContainment(*P, Cfgs, Result, Tape);
+    EXPECT_NE(Outcome.Run.St, InterpResult::Status::Trapped)
+        << "workload trapped: " << Outcome.Run.TrapReason;
+    for (const ContainmentViolation &V : Outcome.Violations)
+      ADD_FAILURE() << B->Name << " at " << V.Where << ": " << V.Detail;
+    if (!Outcome.Violations.empty())
+      break;
+  }
+}
+
+std::vector<SoundnessCase> allCases() {
+  std::vector<SoundnessCase> Cases;
+  for (const WcetBenchmark &B : wcetSuite()) {
+    Cases.push_back({B.Name, SolverChoice::Warrow, false});
+    Cases.push_back({B.Name, SolverChoice::Warrow, true});
+    Cases.push_back({B.Name, SolverChoice::TwoPhase, false});
+    Cases.push_back({B.Name, SolverChoice::WidenOnly, false});
+  }
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(WcetSuite, Soundness,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace

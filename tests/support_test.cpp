@@ -1,0 +1,164 @@
+//===- tests/support_test.cpp - Support library tests ------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/casting.h"
+#include "support/interner.h"
+#include "support/rng.h"
+#include "support/saturating.h"
+#include "support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+using namespace warrow;
+
+namespace {
+
+// --- casting ---------------------------------------------------------------
+
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Base::Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->K == Base::Kind::B; }
+};
+
+TEST(Casting, IsaCastDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_TRUE((isa<DerivedB, DerivedA>(B))) << "variadic isa";
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_if_present<DerivedA>(Null), nullptr);
+}
+
+// --- interner ----------------------------------------------------------------
+
+TEST(Interner, InternAndLookup) {
+  Interner I;
+  Symbol Foo = I.intern("foo");
+  Symbol Bar = I.intern("bar");
+  EXPECT_NE(Foo, Bar);
+  EXPECT_EQ(I.intern("foo"), Foo);
+  EXPECT_EQ(I.spelling(Foo), "foo");
+  EXPECT_EQ(I.lookup("bar"), Bar);
+  EXPECT_EQ(I.lookup("baz"), 0u);
+  EXPECT_EQ(I.intern(""), 0u) << "empty string is symbol 0";
+}
+
+TEST(Interner, StableUnderGrowth) {
+  // Many short strings: SSO buffers must not invalidate map keys.
+  Interner I;
+  std::vector<Symbol> Syms;
+  for (int K = 0; K < 2000; ++K)
+    Syms.push_back(I.intern("v" + std::to_string(K)));
+  for (int K = 0; K < 2000; ++K) {
+    EXPECT_EQ(I.spelling(Syms[K]), "v" + std::to_string(K));
+    EXPECT_EQ(I.intern("v" + std::to_string(K)), Syms[K]);
+  }
+}
+
+// --- saturating arithmetic -----------------------------------------------------
+
+TEST(Saturating, RawHelpers) {
+  constexpr int64_t Max = std::numeric_limits<int64_t>::max();
+  constexpr int64_t Min = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(satAdd64(Max, 1), Max);
+  EXPECT_EQ(satAdd64(Min, -1), Min);
+  EXPECT_EQ(satAdd64(1, 2), 3);
+  EXPECT_EQ(satSub64(Min, 1), Min);
+  EXPECT_EQ(satSub64(Max, -1), Max);
+  EXPECT_EQ(satMul64(Max / 2, 3), Max);
+  EXPECT_EQ(satMul64(Min / 2, 3), Min);
+  EXPECT_EQ(satMul64(-4, 5), -20);
+  EXPECT_EQ(satNeg64(Min), Max);
+}
+
+TEST(Saturating, BoundOrderingAndArithmetic) {
+  Bound NegInf = Bound::negInf();
+  Bound PosInf = Bound::posInf();
+  Bound Five(5);
+  EXPECT_TRUE(NegInf < Five);
+  EXPECT_TRUE(Five < PosInf);
+  EXPECT_TRUE(NegInf < PosInf);
+  EXPECT_EQ(Five + Bound(3), Bound(8));
+  EXPECT_EQ(PosInf + Five, PosInf);
+  EXPECT_EQ(NegInf + Five, NegInf);
+  EXPECT_EQ(Five - PosInf, NegInf);
+  EXPECT_EQ(-PosInf, NegInf);
+  EXPECT_EQ(-Five, Bound(-5));
+  EXPECT_EQ(Five * NegInf, NegInf);
+  EXPECT_EQ(Bound(-2) * PosInf, NegInf);
+  EXPECT_EQ(Bound(0) * PosInf, Bound(0)) << "0 * inf = 0 by convention";
+  EXPECT_EQ(Bound(7) / Bound(2), Bound(3));
+  EXPECT_EQ(Bound(-7) / Bound(2), Bound(-3)) << "C-style truncation";
+  EXPECT_EQ(PosInf / Bound(-1), NegInf);
+  EXPECT_EQ(Bound(7) / PosInf, Bound(0));
+  EXPECT_EQ(PosInf.succ(), PosInf);
+  EXPECT_EQ(Five.succ(), Bound(6));
+  EXPECT_EQ(Five.pred(), Bound(4));
+  EXPECT_EQ(Five.str(), "5");
+  EXPECT_EQ(PosInf.str(), "+inf");
+  EXPECT_EQ(NegInf.str(), "-inf");
+}
+
+// --- rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng A(42), B(42);
+  for (int K = 0; K < 100; ++K)
+    EXPECT_EQ(A.next(), B.next());
+  Rng R(7);
+  for (int K = 0; K < 1000; ++K) {
+    uint64_t V = R.below(10);
+    EXPECT_LT(V, 10u);
+    int64_t W = R.range(-5, 5);
+    EXPECT_GE(W, -5);
+    EXPECT_LE(W, 5);
+  }
+}
+
+TEST(Rng, RangeCoversEndpoints) {
+  Rng R(3);
+  std::set<int64_t> Seen;
+  for (int K = 0; K < 200; ++K)
+    Seen.insert(R.range(0, 3));
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, RendersAligned) {
+  Table T({"Program", "Time(s)", "Unknowns"});
+  T.addRow({"bzip2", "3.3", "6 565"});
+  T.addRow({"mcf", "0.4", "1 245"});
+  std::string Out = T.str();
+  EXPECT_NE(Out.find("Program"), std::string::npos);
+  EXPECT_NE(Out.find("bzip2"), std::string::npos);
+  // Numeric columns right-aligned: "3.3" and "0.4" end at same offset.
+  EXPECT_NE(Out.find("6 565"), std::string::npos);
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatThousands(97785), "97 785");
+  EXPECT_EQ(formatThousands(784), "784");
+  EXPECT_EQ(formatThousands(1234567), "1 234 567");
+}
+
+} // namespace

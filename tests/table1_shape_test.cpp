@@ -1,0 +1,110 @@
+//===- tests/table1_shape_test.cpp - Table 1 shape guards -------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regression guards for the qualitative claims `bench_table1` reproduces:
+// context growth, and the ⊟-vs-▽ divergence of encountered unknowns in
+// both directions. Uses scaled-down profiles so the test stays fast.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+#include "workloads/spec_generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+struct Measured {
+  uint64_t Unknowns = 0;
+  bool Converged = false;
+};
+
+struct Workload {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+};
+
+Workload buildWorkload(SpecProfile Profile) {
+  std::string Source = generateSpecProgram(Profile);
+  DiagnosticEngine Diags;
+  Workload W;
+  W.P = parseProgram(Source, Diags);
+  EXPECT_TRUE(W.P != nullptr) << Diags.str();
+  W.Cfgs = buildProgramCfg(*W.P);
+  return W;
+}
+
+Measured measure(const Workload &W, bool Context, SolverChoice Choice) {
+  AnalysisOptions Options;
+  Options.ContextSensitive = Context;
+  InterprocAnalysis Analysis(*W.P, W.Cfgs, Options);
+  AnalysisResult R = Analysis.run(Choice);
+  return {R.NumUnknowns, R.Stats.Converged};
+}
+
+SpecProfile smallProfile(int Drift) {
+  SpecProfile P;
+  P.Name = "shape-test";
+  P.NumFunctions = 40;
+  P.LoopsPerFunction = 2;
+  P.CallsPerFunction = 3;
+  P.NumGlobals = 8;
+  P.ContextVariants = 5;
+  P.MaxCallDepth = 6;
+  P.ContextDrift = Drift;
+  P.Seed = 4242;
+  return P;
+}
+
+TEST(TableOneShape, ContextMultipliesUnknowns) {
+  Workload W = buildWorkload(smallProfile(0));
+  Measured NoCtx = measure(W, false, SolverChoice::Warrow);
+  Measured Ctx = measure(W, true, SolverChoice::Warrow);
+  ASSERT_TRUE(NoCtx.Converged && Ctx.Converged);
+  EXPECT_GT(Ctx.Unknowns, NoCtx.Unknowns);
+  EXPECT_GT(Ctx.Unknowns, NoCtx.Unknowns * 3 / 2)
+      << "five constant variants should multiply contexts noticeably";
+}
+
+TEST(TableOneShape, PositiveDriftGivesWarrowMoreUnknowns) {
+  // Post-loop counters become constants only under ⊟ (the ▽-solver keeps
+  // them unbounded), so ⊟ spawns extra constant contexts.
+  Workload W = buildWorkload(smallProfile(+1));
+  Measured Widen = measure(W, true, SolverChoice::WidenOnly);
+  Measured Warrow = measure(W, true, SolverChoice::Warrow);
+  ASSERT_TRUE(Widen.Converged && Warrow.Converged);
+  EXPECT_GT(Warrow.Unknowns, Widen.Unknowns)
+      << "the 456.hmmer/458.sjeng direction";
+}
+
+TEST(TableOneShape, NegativeDriftGivesWarrowFewerUnknowns) {
+  // Calls guarded by narrowable globals are dead under ⊟ but reachable
+  // under ▽.
+  Workload W = buildWorkload(smallProfile(-1));
+  Measured Widen = measure(W, true, SolverChoice::WidenOnly);
+  Measured Warrow = measure(W, true, SolverChoice::Warrow);
+  ASSERT_TRUE(Widen.Converged && Warrow.Converged);
+  EXPECT_LT(Warrow.Unknowns, Widen.Unknowns) << "the 470.lbm direction";
+}
+
+TEST(TableOneShape, InsensitiveUnknownCountsMatchCfgSize) {
+  // Context-insensitive: every backward-reachable program point appears
+  // exactly once, plus the globals — the unknown count is bounded by
+  // total CFG nodes + globals.
+  Workload W = buildWorkload(smallProfile(0));
+  Measured NoCtx = measure(W, false, SolverChoice::Warrow);
+  ASSERT_TRUE(NoCtx.Converged);
+  uint64_t UpperBound =
+      W.Cfgs.totalNodes() + W.P->Globals.size();
+  EXPECT_LE(NoCtx.Unknowns, UpperBound);
+  EXPECT_GT(NoCtx.Unknowns, UpperBound / 2)
+      << "most points should be explored";
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- tests/transfer_test.cpp - Transfer function tests ------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/transfer.h"
+#include "lang/parser.h"
+#include "support/casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+/// Fixture providing a program whose expressions we can pick apart.
+class TransferTest : public ::testing::Test {
+protected:
+  /// Parses a program whose main contains `int r = <expr>;` as the first
+  /// statement and returns that expression.
+  const Expr &parseExpr(const std::string &ExprText) {
+    std::string Source = "int g = 7;\nint main() { int x; int y; int a[4]; "
+                         "int r = " +
+                         ExprText + "; return r; }";
+    DiagnosticEngine Diags;
+    P = parseProgram(Source, Diags);
+    EXPECT_TRUE(P != nullptr) << Diags.str();
+    const auto *Body = cast<BlockStmt>(P->Functions[0]->Body.get());
+    const auto *Decl = cast<DeclStmt>(Body->stmts()[3].get());
+    Ctx.Prog = P.get();
+    Ctx.ReadGlobal = [](Symbol) { return Iv(7, 7); };
+    return *Decl->init();
+  }
+
+  Symbol sym(const char *Name) { return P->Symbols.lookup(Name); }
+
+  std::unique_ptr<Program> P;
+  EvalContext Ctx;
+};
+
+TEST_F(TransferTest, EvalArithmetic) {
+  const Expr &E = parseExpr("x * 2 + y");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(1, 3));
+  Env.set(sym("y"), Iv(10, 10));
+  EXPECT_EQ(evalExpr(E, Env, Ctx), Iv(12, 16));
+}
+
+TEST_F(TransferTest, EvalGlobalsThroughReader) {
+  const Expr &E = parseExpr("g + 1");
+  AbsEnv Env;
+  EXPECT_EQ(evalExpr(E, Env, Ctx), Iv(8, 8));
+}
+
+TEST_F(TransferTest, EvalComparisons) {
+  const Expr &E = parseExpr("x < y");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(0, 1));
+  Env.set(sym("y"), Iv(5, 9));
+  EXPECT_EQ(evalExpr(E, Env, Ctx), Interval::constant(1));
+  Env.set(sym("y"), Iv(-9, -5));
+  EXPECT_EQ(evalExpr(E, Env, Ctx), Interval::constant(0));
+  Env.set(sym("y"), Iv(0, 9));
+  EXPECT_EQ(evalExpr(E, Env, Ctx), Iv(0, 1));
+}
+
+TEST_F(TransferTest, EvalLogic) {
+  const Expr &E = parseExpr("x && !y");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(1, 5));
+  Env.set(sym("y"), Interval::constant(0));
+  EXPECT_EQ(evalExpr(E, Env, Ctx), Interval::constant(1));
+  Env.set(sym("y"), Iv(2, 3));
+  EXPECT_EQ(evalExpr(E, Env, Ctx), Interval::constant(0));
+}
+
+TEST_F(TransferTest, EvalArraySmashed) {
+  const Expr &E = parseExpr("a[x]");
+  AbsEnv Env;
+  Env.set(sym("a"), Iv(0, 42)); // Smashed contents.
+  Env.set(sym("x"), Iv(0, 3));
+  EXPECT_EQ(evalExpr(E, Env, Ctx), Iv(0, 42));
+}
+
+TEST_F(TransferTest, RefineSimpleComparison) {
+  const Expr &E = parseExpr("x < 10");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(0, 100));
+  AbsEnv Pos = Env;
+  ASSERT_TRUE(refineByCond(Pos, E, true, Ctx));
+  EXPECT_EQ(Pos.get(sym("x")), Iv(0, 9));
+  AbsEnv Neg = Env;
+  ASSERT_TRUE(refineByCond(Neg, E, false, Ctx));
+  EXPECT_EQ(Neg.get(sym("x")), Iv(10, 100));
+}
+
+TEST_F(TransferTest, RefineBothSides) {
+  const Expr &E = parseExpr("x <= y");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(0, 100));
+  Env.set(sym("y"), Iv(20, 30));
+  ASSERT_TRUE(refineByCond(Env, E, true, Ctx));
+  EXPECT_EQ(Env.get(sym("x")), Iv(0, 30));
+  EXPECT_EQ(Env.get(sym("y")), Iv(20, 30));
+}
+
+TEST_F(TransferTest, RefineDetectsInfeasible) {
+  const Expr &E = parseExpr("x > 50");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(0, 10));
+  EXPECT_FALSE(refineByCond(Env, E, true, Ctx));
+  AbsEnv Env2;
+  Env2.set(sym("x"), Iv(60, 70));
+  EXPECT_FALSE(refineByCond(Env2, E, false, Ctx));
+}
+
+TEST_F(TransferTest, RefineConjunctionAndDisjunction) {
+  const Expr &E = parseExpr("x >= 2 && x <= 8");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(0, 100));
+  ASSERT_TRUE(refineByCond(Env, E, true, Ctx));
+  EXPECT_EQ(Env.get(sym("x")), Iv(2, 8));
+  // Negation: x < 2 || x > 8 — join of the two branches.
+  AbsEnv Neg;
+  Neg.set(sym("x"), Iv(0, 100));
+  ASSERT_TRUE(refineByCond(Neg, E, false, Ctx));
+  EXPECT_EQ(Neg.get(sym("x")), Iv(0, 100))
+      << "disjunctive refinement joins back to the hull";
+}
+
+TEST_F(TransferTest, RefineDisjunctionPositive) {
+  const Expr &E = parseExpr("x < 2 || x > 90");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(0, 100));
+  ASSERT_TRUE(refineByCond(Env, E, true, Ctx));
+  EXPECT_EQ(Env.get(sym("x")), Iv(0, 100)) << "hull of [0,1] and [91,100]";
+  AbsEnv Neg;
+  Neg.set(sym("x"), Iv(0, 100));
+  ASSERT_TRUE(refineByCond(Neg, E, false, Ctx));
+  EXPECT_EQ(Neg.get(sym("x")), Iv(2, 90));
+}
+
+TEST_F(TransferTest, RefineTruthiness) {
+  const Expr &E = parseExpr("x");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(0, 5));
+  AbsEnv Pos = Env;
+  ASSERT_TRUE(refineByCond(Pos, E, true, Ctx));
+  EXPECT_EQ(Pos.get(sym("x")), Iv(1, 5));
+  AbsEnv Neg = Env;
+  ASSERT_TRUE(refineByCond(Neg, E, false, Ctx));
+  EXPECT_EQ(Neg.get(sym("x")), Interval::constant(0));
+}
+
+TEST_F(TransferTest, RefineEquality) {
+  const Expr &E = parseExpr("x == 7");
+  AbsEnv Env;
+  Env.set(sym("x"), Iv(0, 100));
+  AbsEnv Pos = Env;
+  ASSERT_TRUE(refineByCond(Pos, E, true, Ctx));
+  EXPECT_EQ(Pos.get(sym("x")), Interval::constant(7));
+  AbsEnv Bad;
+  Bad.set(sym("x"), Iv(20, 30));
+  EXPECT_FALSE(refineByCond(Bad, E, true, Ctx));
+  AbsEnv NotEq;
+  NotEq.set(sym("x"), Iv(7, 30));
+  ASSERT_TRUE(refineByCond(NotEq, E, false, Ctx));
+  EXPECT_EQ(NotEq.get(sym("x")), Iv(8, 30));
+}
+
+TEST_F(TransferTest, BasicActionsViaProgram) {
+  // Exercise applyBasicAction through a small CFG-free setup: build the
+  // actions by hand from parsed expressions.
+  const Expr &E = parseExpr("x + 1");
+  Action Assign;
+  Assign.K = Action::Kind::Assign;
+  Assign.Lhs = sym("y");
+  Assign.Value = &E;
+  AbsEnv Pre;
+  Pre.set(sym("x"), Iv(0, 4));
+  BasicEffect Eff = applyBasicAction(Assign, Pre, Ctx);
+  ASSERT_TRUE(Eff.Post.has_value());
+  EXPECT_EQ(Eff.Post->get(sym("y")), Iv(1, 5));
+  EXPECT_TRUE(Eff.GlobalWrites.empty());
+
+  // Assigning to the global instead routes the value to GlobalWrites.
+  Action GlobalAssign = Assign;
+  GlobalAssign.Lhs = sym("g");
+  BasicEffect GEff = applyBasicAction(GlobalAssign, Pre, Ctx);
+  ASSERT_TRUE(GEff.Post.has_value());
+  ASSERT_EQ(GEff.GlobalWrites.size(), 1u);
+  EXPECT_EQ(GEff.GlobalWrites[0].first, sym("g"));
+  EXPECT_EQ(GEff.GlobalWrites[0].second, Iv(1, 5));
+  EXPECT_TRUE(GEff.Post->get(sym("g")).isTop())
+      << "globals never enter the local environment";
+}
+
+TEST_F(TransferTest, StoreIsWeakUpdate) {
+  const Expr &E = parseExpr("5");
+  Action Store;
+  Store.K = Action::Kind::Store;
+  Store.Lhs = sym("a");
+  Store.Index = &E; // Arbitrary in-range expression.
+  Store.Value = &E;
+  AbsEnv Pre;
+  Pre.set(sym("a"), Interval::constant(0));
+  BasicEffect Eff = applyBasicAction(Store, Pre, Ctx);
+  ASSERT_TRUE(Eff.Post.has_value());
+  EXPECT_EQ(Eff.Post->get(sym("a")), Iv(0, 5))
+      << "smashed arrays join stores into the old contents";
+}
+
+} // namespace

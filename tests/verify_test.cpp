@@ -1,0 +1,87 @@
+//===- tests/verify_test.cpp - Solution verification tests -----------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eqsys/verify.h"
+#include "lattice/combine.h"
+#include "solvers/slr.h"
+#include "solvers/slr_plus.h"
+#include "solvers/sw.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+TEST(Verify, AcceptsSolverOutputs) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    DenseSystem<Interval> S = randomMonotoneSystem(25, 3, 200, Seed);
+    SolveResult<Interval> R = solveSW(S, WarrowCombine{});
+    ASSERT_TRUE(R.Stats.Converged);
+    EXPECT_TRUE(verifyCombineSolution(S, R.Sigma, WarrowCombine{}))
+        << "seed " << Seed;
+    EXPECT_TRUE(verifyPostSolution(S, R.Sigma)) << "seed " << Seed;
+  }
+}
+
+TEST(Verify, RejectsCorruptedAssignments) {
+  DenseSystem<Interval> S = chainSystem(10, 50);
+  SolveResult<Interval> R = solveSW(S, JoinCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  ASSERT_TRUE(verifyPostSolution(S, R.Sigma));
+  // Corrupt one unknown below its right-hand side.
+  std::vector<Interval> Bad = R.Sigma;
+  Bad[5] = Interval::bot();
+  VerifyResult V = verifyPostSolution(S, Bad);
+  EXPECT_FALSE(V);
+  ASSERT_FALSE(V.Violations.empty());
+  EXPECT_NE(V.Violations[0].find("c5"), std::string::npos)
+      << V.Violations[0];
+}
+
+TEST(Verify, PartialSolutions) {
+  LocalSystem<uint64_t, NatInf> S = paperExampleFive();
+  PartialSolution<uint64_t, NatInf> R =
+      solveSLR(S, uint64_t{1}, JoinCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_TRUE(verifyPartialPostSolution(S, R));
+  // Shrink the domain: no longer dependency-closed.
+  PartialSolution<uint64_t, NatInf> Chopped = R;
+  Chopped.Sigma.erase(4);
+  EXPECT_FALSE(verifyPartialPostSolution(S, Chopped));
+}
+
+TEST(Verify, SideEffectingSolutions) {
+  using Sys = SideEffectingSystem<int, Interval>;
+  Sys S([](int X) -> Sys::Rhs {
+    switch (X) {
+    case 0:
+      return [](const Sys::Get &Get, const Sys::Side &Side) {
+        Side(7, Interval::make(2, 3));
+        return Get(7);
+      };
+    default:
+      return [](const Sys::Get &, const Sys::Side &) {
+        return Interval::bot();
+      };
+    }
+  });
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  PartialSolution<int, Interval> R = Solver.solveFor(0);
+  ASSERT_TRUE(R.Stats.Converged);
+  auto ContributionOf = [&Solver](int X) {
+    Interval Acc = Interval::bot();
+    auto It = Solver.contributions().find(X);
+    if (It != Solver.contributions().end())
+      for (const auto &[From, V] : It->second)
+        Acc = Acc.join(V);
+    return Acc;
+  };
+  EXPECT_TRUE(verifyPartialPostSolutionSide(S, R, ContributionOf));
+}
+
+} // namespace

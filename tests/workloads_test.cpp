@@ -1,0 +1,95 @@
+//===- tests/workloads_test.cpp - Workload sanity tests ------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/interp.h"
+#include "lang/parser.h"
+#include "workloads/spec_generator.h"
+#include "workloads/wcet_suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+TEST(WcetSuite, HasTwentyNineBenchmarks) {
+  EXPECT_EQ(wcetSuite().size(), 29u);
+  EXPECT_TRUE(findWcetBenchmark("qsort_exam") != nullptr);
+  EXPECT_TRUE(findWcetBenchmark("janne_complex") != nullptr);
+  EXPECT_TRUE(findWcetBenchmark("nope") == nullptr);
+}
+
+TEST(WcetSuite, AllBenchmarksParseAndRun) {
+  for (const WcetBenchmark &B : wcetSuite()) {
+    SCOPED_TRACE(B.Name);
+    DiagnosticEngine Diags;
+    auto P = parseProgram(B.Source, Diags);
+    ASSERT_TRUE(P != nullptr) << Diags.str();
+    ProgramCfg Cfgs = buildProgramCfg(*P);
+    Interpreter I(*P, Cfgs, B.Inputs);
+    InterpResult R = I.run();
+    EXPECT_TRUE(R.finished())
+        << "status " << static_cast<int>(R.St) << " " << R.TrapReason
+        << " after " << R.Steps << " steps";
+  }
+}
+
+TEST(WcetSuite, SizesVaryLikeTheOriginalSuite) {
+  int MinLines = 1 << 30, MaxLines = 0;
+  for (const WcetBenchmark &B : wcetSuite()) {
+    MinLines = std::min(MinLines, B.lineCount());
+    MaxLines = std::max(MaxLines, B.lineCount());
+  }
+  EXPECT_LT(MinLines, 40);
+  EXPECT_GT(MaxLines, 40) << "the suite spans a size range";
+}
+
+TEST(SpecGenerator, Deterministic) {
+  SpecProfile Profile;
+  Profile.Name = "det";
+  Profile.NumFunctions = 10;
+  Profile.Seed = 7;
+  EXPECT_EQ(generateSpecProgram(Profile), generateSpecProgram(Profile));
+  SpecProfile Other = Profile;
+  Other.Seed = 8;
+  EXPECT_NE(generateSpecProgram(Profile), generateSpecProgram(Other));
+}
+
+TEST(SpecGenerator, AllProfilesParse) {
+  for (const SpecProfile &Profile : specSuite()) {
+    SCOPED_TRACE(Profile.Name);
+    std::string Source = generateSpecProgram(Profile);
+    DiagnosticEngine Diags;
+    auto P = parseProgram(Source, Diags);
+    ASSERT_TRUE(P != nullptr) << Diags.str();
+    EXPECT_GE(P->Functions.size(), Profile.NumFunctions);
+  }
+}
+
+TEST(SpecGenerator, SmallProfileRunsConcretely) {
+  const SpecProfile *Lbm = findSpecProfile("470.lbm");
+  ASSERT_TRUE(Lbm != nullptr);
+  std::string Source = generateSpecProgram(*Lbm);
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  ASSERT_TRUE(P != nullptr) << Diags.str();
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+  InterpOptions Options;
+  Options.MaxSteps = 5'000'000;
+  Interpreter I(*P, Cfgs, {3, 1, 4}, Options);
+  InterpResult R = I.run();
+  EXPECT_TRUE(R.finished()) << R.TrapReason;
+}
+
+TEST(SpecGenerator, SuiteHasSevenPrograms) {
+  EXPECT_EQ(specSuite().size(), 7u);
+  for (const char *Name :
+       {"401.bzip2", "429.mcf", "433.milc", "456.hmmer", "458.sjeng",
+        "470.lbm", "482.sphinx"})
+    EXPECT_TRUE(findSpecProfile(Name) != nullptr) << Name;
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- tools/warrow_analyze.cpp - Command-line analyzer -------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `warrow-analyze` — command-line front door to the library: parses a
+/// mini-C file, runs the interval analysis with a chosen solver, and
+/// prints per-line invariants, global values, and solver statistics.
+///
+///   warrow-analyze [options] file.mc
+///     --solver=warrow|widen|two-phase   solver strategy (default warrow)
+///     --context                         context-sensitive analysis
+///     --thresholds                      program-constant threshold widening
+///     --check                           report potential run-time errors
+///     --dump-cfg                        print CFG edges instead of analyzing
+///     --dump-dot                        print CFGs as Graphviz dot
+///     --quiet                           only print the summary line
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/checks.h"
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+#include "lang/pretty.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+using namespace warrow;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--solver=warrow|widen|two-phase] [--context] "
+               "[--thresholds] [--dump-cfg] [--quiet] file.mc\n",
+               Argv0);
+}
+
+/// Escapes a label for dot output.
+std::string dotEscape(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+int dumpDot(const Program &P, const ProgramCfg &Cfgs) {
+  std::printf("digraph cfg {\n  node [shape=circle, fontsize=10];\n");
+  for (size_t F = 0; F < P.Functions.size(); ++F) {
+    const Cfg &G = Cfgs.cfgOf(F);
+    std::string Name = P.Symbols.spelling(P.Functions[F]->Name);
+    std::printf("  subgraph cluster_%zu {\n    label=\"%s\";\n", F,
+                dotEscape(Name).c_str());
+    for (uint32_t N = 0; N < G.numNodes(); ++N)
+      std::printf("    %s%u [label=\"%u\"%s];\n", Name.c_str(), N, N,
+                  N == G.entry()   ? ", shape=doublecircle"
+                  : N == G.exit()  ? ", shape=square"
+                                   : "");
+    for (const CfgEdge &E : G.edges())
+      std::printf("    %s%u -> %s%u [label=\"%s\", fontsize=9];\n",
+                  Name.c_str(), E.From, Name.c_str(), E.To,
+                  dotEscape(E.Act.str(P.Symbols)).c_str());
+    std::printf("  }\n");
+  }
+  std::printf("}\n");
+  return 0;
+}
+
+int dumpCfg(const Program &P, const ProgramCfg &Cfgs) {
+  for (size_t F = 0; F < P.Functions.size(); ++F) {
+    const Cfg &G = Cfgs.cfgOf(F);
+    std::printf("function %s: %zu nodes, %zu edges\n",
+                P.Symbols.spelling(P.Functions[F]->Name).c_str(),
+                G.numNodes(), G.numEdges());
+    for (const CfgEdge &E : G.edges())
+      std::printf("  n%u -> n%u: %s\n", E.From, E.To,
+                  E.Act.str(P.Symbols).c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SolverChoice Choice = SolverChoice::Warrow;
+  AnalysisOptions Options;
+  bool DumpCfg = false;
+  bool DumpDot = false;
+  bool Quiet = false;
+  bool Check = false;
+  const char *Path = nullptr;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--solver=warrow") == 0) {
+      Choice = SolverChoice::Warrow;
+    } else if (std::strcmp(Arg, "--solver=widen") == 0) {
+      Choice = SolverChoice::WidenOnly;
+    } else if (std::strcmp(Arg, "--solver=two-phase") == 0) {
+      Choice = SolverChoice::TwoPhase;
+    } else if (std::strcmp(Arg, "--context") == 0) {
+      Options.ContextSensitive = true;
+    } else if (std::strcmp(Arg, "--thresholds") == 0) {
+      Options.ThresholdWidening = true;
+    } else if (std::strcmp(Arg, "--check") == 0) {
+      Check = true;
+    } else if (std::strcmp(Arg, "--dump-cfg") == 0) {
+      DumpCfg = true;
+    } else if (std::strcmp(Arg, "--dump-dot") == 0) {
+      DumpDot = true;
+    } else if (std::strcmp(Arg, "--quiet") == 0) {
+      Quiet = true;
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      printUsage(Argv[0]);
+      return 2;
+    } else if (Path) {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!Path) {
+    printUsage(Argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+  if (DumpDot)
+    return dumpDot(*P, Cfgs);
+  if (DumpCfg)
+    return dumpCfg(*P, Cfgs);
+
+  InterprocAnalysis Analysis(*P, Cfgs, Options);
+  AnalysisResult Result = Analysis.run(Choice);
+  if (!Result.Stats.Converged) {
+    std::fprintf(stderr,
+                 "error: solver hit the evaluation budget (%s)\n",
+                 Result.Stats.str().c_str());
+    return 1;
+  }
+
+  if (Check) {
+    std::vector<CheckFinding> Findings = runChecks(*P, Cfgs, Result);
+    for (const CheckFinding &F : Findings)
+      std::printf("%s\n", F.str(*P).c_str());
+    CheckSummary S = summarize(Findings);
+    std::printf("%s: %llu potential division(s) by zero, %llu potential "
+                "out-of-bounds access(es), %llu dead line(s)\n",
+                Path, static_cast<unsigned long long>(S.DivAlarms),
+                static_cast<unsigned long long>(S.BoundsAlarms),
+                static_cast<unsigned long long>(S.DeadLines));
+    return S.DivAlarms + S.BoundsAlarms > 0 ? 3 : 0;
+  }
+
+  if (!Quiet) {
+    // Invariants per function and line, joined over contexts and nodes.
+    for (size_t F = 0; F < P->Functions.size(); ++F) {
+      const Cfg &G = Cfgs.cfgOf(F);
+      std::map<uint32_t, AbsValue> PerLine;
+      for (const auto &[X, Value] : Result.Solution.Sigma) {
+        if (!X.isPoint() || X.Func != F)
+          continue;
+        uint32_t Line = G.lineOf(X.Node);
+        if (Line == 0)
+          continue;
+        AbsValue &Slot = PerLine[Line];
+        Slot = Slot.join(Value);
+      }
+      std::printf("function %s:\n",
+                  P->Symbols.spelling(P->Functions[F]->Name).c_str());
+      for (const auto &[Line, Value] : PerLine)
+        std::printf("  line %3u: %s\n", Line,
+                    Value.str(P->Symbols).c_str());
+    }
+    if (!P->Globals.empty()) {
+      std::printf("globals (flow-insensitive):\n");
+      for (const GlobalDecl &G : P->Globals)
+        std::printf("  %s = %s\n", P->Symbols.spelling(G.Name).c_str(),
+                    Result.globalValue(G.Name).str().c_str());
+    }
+  }
+  std::printf("%s: %llu unknowns, %s, %.1f ms\n", Path,
+              static_cast<unsigned long long>(Result.NumUnknowns),
+              Result.Stats.str().c_str(), Result.Seconds * 1e3);
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- tools/warrow_run.cpp - Command-line mini-C runner --------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `warrow-run` — executes a mini-C program with the concrete
+/// interpreter. `unknown()` values are taken from the command line.
+///
+///   warrow-run [--trace] [--max-steps=N] file.mc [input values...]
+///
+/// Exits with the program's return value (clamped to 0..125), or 126 on a
+/// trap and 127 on fuel exhaustion; prints the result and statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/interp.h"
+#include "lang/parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace warrow;
+
+int main(int Argc, char **Argv) {
+  bool Trace = false;
+  InterpOptions Options;
+  const char *Path = nullptr;
+  std::vector<int64_t> Inputs;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--trace") == 0) {
+      Trace = true;
+    } else if (std::strncmp(Arg, "--max-steps=", 12) == 0) {
+      Options.MaxSteps = std::strtoull(Arg + 12, nullptr, 10);
+    } else if (!Path && (Arg[0] != '-' || Arg[1] == '\0')) {
+      Path = Arg;
+    } else {
+      // Remaining arguments are input-tape values (possibly negative).
+      Inputs.push_back(std::strtoll(Arg, nullptr, 10));
+    }
+  }
+  if (!Path) {
+    std::fprintf(stderr,
+                 "usage: %s [--trace] [--max-steps=N] file.mc [inputs...]\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Buffer.str(), Diags);
+  if (!P) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 2;
+  }
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+
+  Interpreter Interp(*P, Cfgs, Inputs, Options);
+  if (Trace) {
+    Interp.setObserver([&P](uint32_t Func, uint32_t Node,
+                            const ConcreteFrame &Frame,
+                            const ConcreteGlobals &) {
+      std::string Vars;
+      for (const auto &[Name, Value] : Frame.Scalars) {
+        if (!Vars.empty())
+          Vars += " ";
+        Vars += P->Symbols.spelling(Name) + "=" + std::to_string(Value);
+      }
+      std::printf("  %s:n%u  %s\n",
+                  P->Symbols.spelling(P->Functions[Func]->Name).c_str(),
+                  Node, Vars.c_str());
+    });
+  }
+  InterpResult R = Interp.run();
+
+  switch (R.St) {
+  case InterpResult::Status::Finished:
+    std::printf("%s: returned %lld after %llu steps\n", Path,
+                static_cast<long long>(R.ReturnValue),
+                static_cast<unsigned long long>(R.Steps));
+    if (R.ReturnValue >= 0 && R.ReturnValue <= 125)
+      return static_cast<int>(R.ReturnValue);
+    return 0;
+  case InterpResult::Status::Trapped:
+    std::fprintf(stderr, "%s: trap after %llu steps: %s\n", Path,
+                 static_cast<unsigned long long>(R.Steps),
+                 R.TrapReason.c_str());
+    return 126;
+  case InterpResult::Status::OutOfFuel:
+    std::fprintf(stderr, "%s: out of fuel after %llu steps\n", Path,
+                 static_cast<unsigned long long>(R.Steps));
+    return 127;
+  }
+  return 2;
+}
