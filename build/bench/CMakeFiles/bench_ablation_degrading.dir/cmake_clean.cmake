@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_degrading.dir/bench_ablation_degrading.cpp.o"
+  "CMakeFiles/bench_ablation_degrading.dir/bench_ablation_degrading.cpp.o.d"
+  "bench_ablation_degrading"
+  "bench_ablation_degrading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_degrading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

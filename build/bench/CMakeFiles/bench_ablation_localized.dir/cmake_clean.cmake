@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_localized.dir/bench_ablation_localized.cpp.o"
+  "CMakeFiles/bench_ablation_localized.dir/bench_ablation_localized.cpp.o.d"
+  "bench_ablation_localized"
+  "bench_ablation_localized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alarms.dir/bench_alarms.cpp.o"
+  "CMakeFiles/bench_alarms.dir/bench_alarms.cpp.o.d"
+  "bench_alarms"
+  "bench_alarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_solvers.dir/bench_local_solvers.cpp.o"
+  "CMakeFiles/bench_local_solvers.dir/bench_local_solvers.cpp.o.d"
+  "bench_local_solvers"
+  "bench_local_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

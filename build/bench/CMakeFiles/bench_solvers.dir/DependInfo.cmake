@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_solvers.cpp" "bench/CMakeFiles/bench_solvers.dir/bench_solvers.cpp.o" "gcc" "bench/CMakeFiles/bench_solvers.dir/bench_solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/warrow_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

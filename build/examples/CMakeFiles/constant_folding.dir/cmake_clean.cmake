@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constant_folding.dir/constant_folding.cpp.o"
+  "CMakeFiles/constant_folding.dir/constant_folding.cpp.o.d"
+  "constant_folding"
+  "constant_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constant_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

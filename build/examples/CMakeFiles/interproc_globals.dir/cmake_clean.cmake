@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interproc_globals.dir/interproc_globals.cpp.o"
+  "CMakeFiles/interproc_globals.dir/interproc_globals.cpp.o.d"
+  "interproc_globals"
+  "interproc_globals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interproc_globals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

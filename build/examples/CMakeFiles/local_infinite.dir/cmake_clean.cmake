@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_infinite.dir/local_infinite.cpp.o"
+  "CMakeFiles/local_infinite.dir/local_infinite.cpp.o.d"
+  "local_infinite"
+  "local_infinite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_infinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

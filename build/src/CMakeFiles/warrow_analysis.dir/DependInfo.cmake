@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/absvalue.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/absvalue.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/absvalue.cpp.o.d"
+  "/root/repo/src/analysis/checks.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/checks.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/checks.cpp.o.d"
+  "/root/repo/src/analysis/constants.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/constants.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/constants.cpp.o.d"
+  "/root/repo/src/analysis/constprop.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/constprop.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/constprop.cpp.o.d"
+  "/root/repo/src/analysis/env.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/env.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/env.cpp.o.d"
+  "/root/repo/src/analysis/interproc.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/interproc.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/interproc.cpp.o.d"
+  "/root/repo/src/analysis/intra.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/intra.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/intra.cpp.o.d"
+  "/root/repo/src/analysis/precision.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/precision.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/precision.cpp.o.d"
+  "/root/repo/src/analysis/transfer.cpp" "src/CMakeFiles/warrow_analysis.dir/analysis/transfer.cpp.o" "gcc" "src/CMakeFiles/warrow_analysis.dir/analysis/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/warrow_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warrow_analysis.dir/analysis/absvalue.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/absvalue.cpp.o.d"
+  "CMakeFiles/warrow_analysis.dir/analysis/checks.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/checks.cpp.o.d"
+  "CMakeFiles/warrow_analysis.dir/analysis/constants.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/constants.cpp.o.d"
+  "CMakeFiles/warrow_analysis.dir/analysis/constprop.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/constprop.cpp.o.d"
+  "CMakeFiles/warrow_analysis.dir/analysis/env.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/env.cpp.o.d"
+  "CMakeFiles/warrow_analysis.dir/analysis/interproc.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/interproc.cpp.o.d"
+  "CMakeFiles/warrow_analysis.dir/analysis/intra.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/intra.cpp.o.d"
+  "CMakeFiles/warrow_analysis.dir/analysis/precision.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/precision.cpp.o.d"
+  "CMakeFiles/warrow_analysis.dir/analysis/transfer.cpp.o"
+  "CMakeFiles/warrow_analysis.dir/analysis/transfer.cpp.o.d"
+  "libwarrow_analysis.a"
+  "libwarrow_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warrow_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/warrow_lang.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/cfg.cpp" "src/CMakeFiles/warrow_lang.dir/lang/cfg.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/cfg.cpp.o.d"
+  "/root/repo/src/lang/diagnostics.cpp" "src/CMakeFiles/warrow_lang.dir/lang/diagnostics.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/diagnostics.cpp.o.d"
+  "/root/repo/src/lang/interp.cpp" "src/CMakeFiles/warrow_lang.dir/lang/interp.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/interp.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/warrow_lang.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/warrow_lang.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/pretty.cpp" "src/CMakeFiles/warrow_lang.dir/lang/pretty.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/pretty.cpp.o.d"
+  "/root/repo/src/lang/sema.cpp" "src/CMakeFiles/warrow_lang.dir/lang/sema.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/sema.cpp.o.d"
+  "/root/repo/src/lang/token.cpp" "src/CMakeFiles/warrow_lang.dir/lang/token.cpp.o" "gcc" "src/CMakeFiles/warrow_lang.dir/lang/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/warrow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warrow_lang.dir/lang/ast.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/ast.cpp.o.d"
+  "CMakeFiles/warrow_lang.dir/lang/cfg.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/cfg.cpp.o.d"
+  "CMakeFiles/warrow_lang.dir/lang/diagnostics.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/diagnostics.cpp.o.d"
+  "CMakeFiles/warrow_lang.dir/lang/interp.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/interp.cpp.o.d"
+  "CMakeFiles/warrow_lang.dir/lang/lexer.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/lexer.cpp.o.d"
+  "CMakeFiles/warrow_lang.dir/lang/parser.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/parser.cpp.o.d"
+  "CMakeFiles/warrow_lang.dir/lang/pretty.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/pretty.cpp.o.d"
+  "CMakeFiles/warrow_lang.dir/lang/sema.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/sema.cpp.o.d"
+  "CMakeFiles/warrow_lang.dir/lang/token.cpp.o"
+  "CMakeFiles/warrow_lang.dir/lang/token.cpp.o.d"
+  "libwarrow_lang.a"
+  "libwarrow_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warrow_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

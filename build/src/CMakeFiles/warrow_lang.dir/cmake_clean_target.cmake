@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwarrow_lang.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warrow_lattice.dir/lattice/interval.cpp.o"
+  "CMakeFiles/warrow_lattice.dir/lattice/interval.cpp.o.d"
+  "CMakeFiles/warrow_lattice.dir/lattice/thresholds.cpp.o"
+  "CMakeFiles/warrow_lattice.dir/lattice/thresholds.cpp.o.d"
+  "libwarrow_lattice.a"
+  "libwarrow_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warrow_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warrow_solvers.dir/solvers/stats.cpp.o"
+  "CMakeFiles/warrow_solvers.dir/solvers/stats.cpp.o.d"
+  "libwarrow_solvers.a"
+  "libwarrow_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warrow_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

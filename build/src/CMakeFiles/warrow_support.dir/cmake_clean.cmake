@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warrow_support.dir/support/interner.cpp.o"
+  "CMakeFiles/warrow_support.dir/support/interner.cpp.o.d"
+  "CMakeFiles/warrow_support.dir/support/rng.cpp.o"
+  "CMakeFiles/warrow_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/warrow_support.dir/support/saturating.cpp.o"
+  "CMakeFiles/warrow_support.dir/support/saturating.cpp.o.d"
+  "CMakeFiles/warrow_support.dir/support/table.cpp.o"
+  "CMakeFiles/warrow_support.dir/support/table.cpp.o.d"
+  "CMakeFiles/warrow_support.dir/support/timer.cpp.o"
+  "CMakeFiles/warrow_support.dir/support/timer.cpp.o.d"
+  "libwarrow_support.a"
+  "libwarrow_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warrow_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

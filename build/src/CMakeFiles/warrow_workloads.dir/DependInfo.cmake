@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/eq_generators.cpp" "src/CMakeFiles/warrow_workloads.dir/workloads/eq_generators.cpp.o" "gcc" "src/CMakeFiles/warrow_workloads.dir/workloads/eq_generators.cpp.o.d"
+  "/root/repo/src/workloads/fuzz_generator.cpp" "src/CMakeFiles/warrow_workloads.dir/workloads/fuzz_generator.cpp.o" "gcc" "src/CMakeFiles/warrow_workloads.dir/workloads/fuzz_generator.cpp.o.d"
+  "/root/repo/src/workloads/spec_generator.cpp" "src/CMakeFiles/warrow_workloads.dir/workloads/spec_generator.cpp.o" "gcc" "src/CMakeFiles/warrow_workloads.dir/workloads/spec_generator.cpp.o.d"
+  "/root/repo/src/workloads/wcet_suite.cpp" "src/CMakeFiles/warrow_workloads.dir/workloads/wcet_suite.cpp.o" "gcc" "src/CMakeFiles/warrow_workloads.dir/workloads/wcet_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/warrow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warrow_workloads.dir/workloads/eq_generators.cpp.o"
+  "CMakeFiles/warrow_workloads.dir/workloads/eq_generators.cpp.o.d"
+  "CMakeFiles/warrow_workloads.dir/workloads/fuzz_generator.cpp.o"
+  "CMakeFiles/warrow_workloads.dir/workloads/fuzz_generator.cpp.o.d"
+  "CMakeFiles/warrow_workloads.dir/workloads/spec_generator.cpp.o"
+  "CMakeFiles/warrow_workloads.dir/workloads/spec_generator.cpp.o.d"
+  "CMakeFiles/warrow_workloads.dir/workloads/wcet_suite.cpp.o"
+  "CMakeFiles/warrow_workloads.dir/workloads/wcet_suite.cpp.o.d"
+  "libwarrow_workloads.a"
+  "libwarrow_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warrow_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfg_test.cpp" "tests/CMakeFiles/warrow_tests.dir/cfg_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/cfg_test.cpp.o.d"
+  "/root/repo/tests/checks_test.cpp" "tests/CMakeFiles/warrow_tests.dir/checks_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/checks_test.cpp.o.d"
+  "/root/repo/tests/combine_test.cpp" "tests/CMakeFiles/warrow_tests.dir/combine_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/combine_test.cpp.o.d"
+  "/root/repo/tests/constants_test.cpp" "tests/CMakeFiles/warrow_tests.dir/constants_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/constants_test.cpp.o.d"
+  "/root/repo/tests/cross_check_test.cpp" "tests/CMakeFiles/warrow_tests.dir/cross_check_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/cross_check_test.cpp.o.d"
+  "/root/repo/tests/dense_solvers_test.cpp" "tests/CMakeFiles/warrow_tests.dir/dense_solvers_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/dense_solvers_test.cpp.o.d"
+  "/root/repo/tests/domains_test.cpp" "tests/CMakeFiles/warrow_tests.dir/domains_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/domains_test.cpp.o.d"
+  "/root/repo/tests/env_test.cpp" "tests/CMakeFiles/warrow_tests.dir/env_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/env_test.cpp.o.d"
+  "/root/repo/tests/eqsys_test.cpp" "tests/CMakeFiles/warrow_tests.dir/eqsys_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/eqsys_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/warrow_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/interp_test.cpp" "tests/CMakeFiles/warrow_tests.dir/interp_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/interp_test.cpp.o.d"
+  "/root/repo/tests/interproc_test.cpp" "tests/CMakeFiles/warrow_tests.dir/interproc_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/interproc_test.cpp.o.d"
+  "/root/repo/tests/interval_test.cpp" "tests/CMakeFiles/warrow_tests.dir/interval_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/interval_test.cpp.o.d"
+  "/root/repo/tests/intra_test.cpp" "tests/CMakeFiles/warrow_tests.dir/intra_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/intra_test.cpp.o.d"
+  "/root/repo/tests/lexer_test.cpp" "tests/CMakeFiles/warrow_tests.dir/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/local_solvers_test.cpp" "tests/CMakeFiles/warrow_tests.dir/local_solvers_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/local_solvers_test.cpp.o.d"
+  "/root/repo/tests/paper_examples_test.cpp" "tests/CMakeFiles/warrow_tests.dir/paper_examples_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/paper_examples_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/warrow_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/precision_test.cpp" "tests/CMakeFiles/warrow_tests.dir/precision_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/precision_test.cpp.o.d"
+  "/root/repo/tests/pretty_test.cpp" "tests/CMakeFiles/warrow_tests.dir/pretty_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/pretty_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/warrow_tests.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/second_domain_test.cpp" "tests/CMakeFiles/warrow_tests.dir/second_domain_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/second_domain_test.cpp.o.d"
+  "/root/repo/tests/sema_test.cpp" "tests/CMakeFiles/warrow_tests.dir/sema_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/sema_test.cpp.o.d"
+  "/root/repo/tests/slr_plus_test.cpp" "tests/CMakeFiles/warrow_tests.dir/slr_plus_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/slr_plus_test.cpp.o.d"
+  "/root/repo/tests/solver_features_test.cpp" "tests/CMakeFiles/warrow_tests.dir/solver_features_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/solver_features_test.cpp.o.d"
+  "/root/repo/tests/soundness_test.cpp" "tests/CMakeFiles/warrow_tests.dir/soundness_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/soundness_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/warrow_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/table1_shape_test.cpp" "tests/CMakeFiles/warrow_tests.dir/table1_shape_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/table1_shape_test.cpp.o.d"
+  "/root/repo/tests/transfer_test.cpp" "tests/CMakeFiles/warrow_tests.dir/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/transfer_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/warrow_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/verify_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/warrow_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/warrow_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/warrow_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/warrow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warrow-analyze.dir/warrow_analyze.cpp.o"
+  "CMakeFiles/warrow-analyze.dir/warrow_analyze.cpp.o.d"
+  "warrow-analyze"
+  "warrow-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warrow-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warrow-run.dir/warrow_run.cpp.o"
+  "CMakeFiles/warrow-run.dir/warrow_run.cpp.o.d"
+  "warrow-run"
+  "warrow-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warrow-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
