@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/bench_json.h"
 #include "lattice/combine.h"
 #include "solvers/sw.h"
 #include "support/table.h"
@@ -22,9 +23,13 @@
 
 #include <cstdio>
 
+#include "support/timer.h"
+
 using namespace warrow;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = warrow::bench::consumeJsonFlag(argc, argv);
+  warrow::bench::JsonReport Report;
   std::printf("=== Ablation: degrading narrowing ⊟_k on a non-monotone "
               "system (Section 4) ===\n\n");
 
@@ -34,7 +39,12 @@ int main() {
     DegradingWarrowCombine<Var> Combine(K);
     SolverOptions Options;
     Options.MaxRhsEvals = 100'000;
+    Timer Elapsed;
     SolveResult<Interval> R = solveSW(S, Combine, Options);
+    Report.addRecord("oscillating/100", "SW+warrow-k" + std::to_string(K),
+                     Elapsed.seconds() * 1e9, 1, R.Stats.RhsEvals)
+        .set("converged", R.Stats.Converged)
+        .set("switches", static_cast<uint64_t>(Combine.totalSwitches()));
     T.addRow({std::to_string(K), R.Stats.Converged ? "yes" : "NO",
               std::to_string(R.Stats.RhsEvals),
               std::to_string(Combine.totalSwitches()),
@@ -45,7 +55,11 @@ int main() {
     DenseSystem<Interval> S = oscillatingSystem(100);
     SolverOptions Options;
     Options.MaxRhsEvals = 100'000;
+    Timer Elapsed;
     SolveResult<Interval> R = solveSW(S, WarrowCombine{}, Options);
+    Report.addRecord("oscillating/100", "SW+warrow", Elapsed.seconds() * 1e9,
+                     1, R.Stats.RhsEvals)
+        .set("converged", R.Stats.Converged);
     T.addRow({"plain ⊟", R.Stats.Converged ? "yes" : "NO",
               std::to_string(R.Stats.RhsEvals), "-",
               R.Sigma.empty() ? "-" : R.Sigma[0].str()});
@@ -54,5 +68,7 @@ int main() {
   std::printf("\nExpected shape: every finite k terminates (larger k does "
               "more work before giving up); plain ⊟ hits the evaluation "
               "budget on this non-monotone system.\n");
+  if (!JsonPath.empty() && !Report.writeFile(JsonPath))
+    return 1;
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "analysis/interproc.h"
 #include "analysis/precision.h"
+#include "bench/bench_json.h"
 #include "lang/parser.h"
 #include "support/table.h"
 #include "workloads/wcet_suite.h"
@@ -24,7 +25,9 @@
 
 using namespace warrow;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = warrow::bench::consumeJsonFlag(argc, argv);
+  warrow::bench::JsonReport Report;
   std::printf("=== Ablation: ⊟ everywhere vs. ⊟ at widening points only "
               "===\n\n");
 
@@ -59,6 +62,13 @@ int main() {
     }
     PrecisionComparison Cmp = comparePrecision(LocalizedResult.Solution,
                                                EverywhereResult.Solution);
+    Report.addRecord(B.Name, "slr+warrow-localized",
+                     LocalizedResult.Seconds * 1e9, 1,
+                     LocalizedResult.Stats.RhsEvals)
+        .set("improved", static_cast<uint64_t>(Cmp.Improved))
+        .set("worse", static_cast<uint64_t>(Cmp.Worse));
+    Report.addRecord(B.Name, "slr+warrow", EverywhereResult.Seconds * 1e9, 1,
+                     EverywhereResult.Stats.RhsEvals);
     Wins += Cmp.Improved;
     Losses += Cmp.Worse;
     T.addRow({B.Name, std::to_string(Cmp.ComparablePoints),
@@ -73,5 +83,7 @@ int main() {
               "the everywhere-⊟ run widened in passing).\n",
               static_cast<unsigned long long>(Wins),
               static_cast<unsigned long long>(Losses));
+  if (!JsonPath.empty() && !Report.writeFile(JsonPath))
+    return 1;
   return 0;
 }

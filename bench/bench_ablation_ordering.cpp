@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/intra.h"
+#include "bench/bench_json.h"
 #include "lang/parser.h"
 #include "lattice/combine.h"
 #include "solvers/srr.h"
@@ -24,6 +25,8 @@
 
 #include <cstdio>
 #include <numeric>
+
+#include "support/timer.h"
 
 using namespace warrow;
 
@@ -54,7 +57,9 @@ const char *orderingName(int Kind) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = warrow::bench::consumeJsonFlag(argc, argv);
+  warrow::bench::JsonReport Report;
   std::printf("=== Ablation: variable ordering vs. solver work "
               "(Bourdoncle's remark, Section 4) ===\n\n");
 
@@ -89,9 +94,19 @@ int main() {
           *P, Cfgs, MainIdx, orderingFor(Cfgs.cfgOf(MainIdx), Kind));
       SolverOptions Options;
       Options.MaxRhsEvals = 10'000'000;
+      Timer SrrTimer;
       SolveResult<AbsValue> Srr =
           solveSRR(IS.System, WarrowCombine{}, Options);
+      double SrrNs = SrrTimer.seconds() * 1e9;
+      Timer SwTimer;
       SolveResult<AbsValue> Sw = solveSW(IS.System, WarrowCombine{}, Options);
+      double SwNs = SwTimer.seconds() * 1e9;
+      std::string Workload = std::string(Name) + "/" + orderingName(Kind);
+      Report.addRecord(Workload, "SRR+warrow", SrrNs, 1, Srr.Stats.RhsEvals)
+          .set("converged", Srr.Stats.Converged);
+      Report.addRecord(Workload, "SW+warrow", SwNs, 1, Sw.Stats.RhsEvals)
+          .set("converged", Sw.Stats.Converged)
+          .set("queue_max", Sw.Stats.QueueMax);
       T.addRow({Name, orderingName(Kind),
                 Srr.Stats.Converged ? std::to_string(Srr.Stats.RhsEvals)
                                     : "diverged",
@@ -105,5 +120,7 @@ int main() {
               "digit percentages while leaving results identical — the "
               "effect Section 4 attributes to Bourdoncle. Which ordering "
               "wins depends on the loop structure; none dominates.\n");
+  if (!JsonPath.empty() && !Report.writeFile(JsonPath))
+    return 1;
   return 0;
 }

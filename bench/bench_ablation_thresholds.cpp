@@ -18,6 +18,7 @@
 
 #include "analysis/interproc.h"
 #include "analysis/precision.h"
+#include "bench/bench_json.h"
 #include "lang/parser.h"
 #include "support/table.h"
 #include "workloads/wcet_suite.h"
@@ -26,7 +27,9 @@
 
 using namespace warrow;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = warrow::bench::consumeJsonFlag(argc, argv);
+  warrow::bench::JsonReport Report;
   std::printf("=== Ablation: ⊟ composed with threshold widening "
               "(program constants) ===\n\n");
 
@@ -59,6 +62,13 @@ int main() {
 
     PrecisionComparison Cmp =
         comparePrecision(ThresholdResult.Solution, PlainResult.Solution);
+    Report.addRecord(B.Name, "slr+warrow+thresholds",
+                     ThresholdResult.Seconds * 1e9, 1,
+                     ThresholdResult.Stats.RhsEvals)
+        .set("improved", static_cast<uint64_t>(Cmp.Improved))
+        .set("points", static_cast<uint64_t>(Cmp.ComparablePoints));
+    Report.addRecord(B.Name, "slr+warrow", PlainResult.Seconds * 1e9, 1,
+                     PlainResult.Stats.RhsEvals);
     TotalImproved += Cmp.Improved;
     TotalPoints += Cmp.ComparablePoints;
     T.addRow({B.Name, std::to_string(Cmp.ComparablePoints),
@@ -73,5 +83,7 @@ int main() {
               "discussion predicts.\n",
               static_cast<unsigned long long>(TotalImproved),
               static_cast<unsigned long long>(TotalPoints));
+  if (!JsonPath.empty() && !Report.writeFile(JsonPath))
+    return 1;
   return 0;
 }

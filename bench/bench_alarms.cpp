@@ -15,6 +15,7 @@
 
 #include "analysis/checks.h"
 #include "analysis/interproc.h"
+#include "bench/bench_json.h"
 #include "lang/parser.h"
 #include "support/table.h"
 #include "workloads/wcet_suite.h"
@@ -25,11 +26,18 @@ using namespace warrow;
 
 namespace {
 
-CheckSummary alarmsFor(const Program &P, const ProgramCfg &Cfgs,
-                       SolverChoice Choice) {
+struct AlarmRun {
+  CheckSummary Summary;
+  double Seconds = 0;
+  uint64_t RhsEvals = 0;
+};
+
+AlarmRun alarmsFor(const Program &P, const ProgramCfg &Cfgs,
+                   SolverChoice Choice) {
   InterprocAnalysis Analysis(P, Cfgs, AnalysisOptions{});
   AnalysisResult Result = Analysis.run(Choice);
-  return summarize(runChecks(P, Cfgs, Result));
+  return {summarize(runChecks(P, Cfgs, Result)), Result.Seconds,
+          Result.Stats.RhsEvals};
 }
 
 std::string cell(const CheckSummary &S) {
@@ -38,7 +46,9 @@ std::string cell(const CheckSummary &S) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = warrow::bench::consumeJsonFlag(argc, argv);
+  warrow::bench::JsonReport Report;
   std::printf("=== Alarms (division-by-zero / out-of-bounds) per solver "
               "strategy ===\n\n");
 
@@ -53,13 +63,26 @@ int main() {
       return 1;
     }
     ProgramCfg Cfgs = buildProgramCfg(*P);
-    CheckSummary Warrow = alarmsFor(*P, Cfgs, SolverChoice::Warrow);
-    CheckSummary TwoPhase = alarmsFor(*P, Cfgs, SolverChoice::TwoPhase);
-    CheckSummary Widen = alarmsFor(*P, Cfgs, SolverChoice::WidenOnly);
-    WarrowTotal += Warrow.DivAlarms + Warrow.BoundsAlarms;
-    TwoPhaseTotal += TwoPhase.DivAlarms + TwoPhase.BoundsAlarms;
-    WidenTotal += Widen.DivAlarms + Widen.BoundsAlarms;
-    T.addRow({B.Name, cell(Warrow), cell(TwoPhase), cell(Widen)});
+    AlarmRun Warrow = alarmsFor(*P, Cfgs, SolverChoice::Warrow);
+    AlarmRun TwoPhase = alarmsFor(*P, Cfgs, SolverChoice::TwoPhase);
+    AlarmRun Widen = alarmsFor(*P, Cfgs, SolverChoice::WidenOnly);
+    WarrowTotal += Warrow.Summary.DivAlarms + Warrow.Summary.BoundsAlarms;
+    TwoPhaseTotal +=
+        TwoPhase.Summary.DivAlarms + TwoPhase.Summary.BoundsAlarms;
+    WidenTotal += Widen.Summary.DivAlarms + Widen.Summary.BoundsAlarms;
+    T.addRow({B.Name, cell(Warrow.Summary), cell(TwoPhase.Summary),
+              cell(Widen.Summary)});
+    struct Cfg {
+      const char *Solver;
+      const AlarmRun *R;
+    };
+    for (Cfg C : {Cfg{"slr+warrow", &Warrow}, Cfg{"two-phase", &TwoPhase},
+                  Cfg{"slr+widen", &Widen}})
+      Report.addRecord(B.Name, C.Solver, C.R->Seconds * 1e9, 1,
+                       C.R->RhsEvals)
+          .set("div_alarms", static_cast<uint64_t>(C.R->Summary.DivAlarms))
+          .set("bounds_alarms",
+               static_cast<uint64_t>(C.R->Summary.BoundsAlarms));
   }
   std::fputs(T.str().c_str(), stdout);
   std::printf("\nTotal alarms: ⊟ %llu, two-phase %llu, ▽-only %llu "
@@ -67,5 +90,7 @@ int main() {
               static_cast<unsigned long long>(WarrowTotal),
               static_cast<unsigned long long>(TwoPhaseTotal),
               static_cast<unsigned long long>(WidenTotal));
+  if (!JsonPath.empty() && !Report.writeFile(JsonPath))
+    return 1;
   return 0;
 }

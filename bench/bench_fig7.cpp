@@ -18,6 +18,7 @@
 
 #include "analysis/interproc.h"
 #include "analysis/precision.h"
+#include "bench/bench_json.h"
 #include "lang/parser.h"
 #include "support/table.h"
 #include "workloads/wcet_suite.h"
@@ -27,7 +28,8 @@
 
 using namespace warrow;
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = warrow::bench::consumeJsonFlag(argc, argv);
   std::printf("=== Figure 7: program points improved by the ⊟-solver over "
               "two-phase widening/narrowing ===\n\n");
 
@@ -37,6 +39,8 @@ int main() {
     PrecisionComparison Cmp;
     double WarrowSeconds;
     double ClassicSeconds;
+    uint64_t WarrowEvals;
+    uint64_t ClassicEvals;
   };
   std::vector<Row> Rows;
 
@@ -58,7 +62,8 @@ int main() {
     }
     Rows.push_back({B.Name, B.lineCount(),
                     comparePrecision(Warrow.Solution, Classic.Solution),
-                    Warrow.Seconds, Classic.Seconds});
+                    Warrow.Seconds, Classic.Seconds, Warrow.Stats.RhsEvals,
+                    Classic.Stats.RhsEvals});
   }
 
   // Sorted by program size, as in the paper's figure.
@@ -96,5 +101,19 @@ int main() {
   std::printf("Benchmarks with no improvement: %zu (paper: 1, "
               "qsort-exam)\n",
               ZeroCount);
+
+  if (!JsonPath.empty()) {
+    warrow::bench::JsonReport Report;
+    for (const Row &R : Rows) {
+      Report.addRecord(R.Name, "slr+warrow", R.WarrowSeconds * 1e9, 1,
+                       R.WarrowEvals)
+          .set("points", static_cast<uint64_t>(R.Cmp.ComparablePoints))
+          .set("improved", static_cast<uint64_t>(R.Cmp.Improved));
+      Report.addRecord(R.Name, "two-phase", R.ClassicSeconds * 1e9, 1,
+                       R.ClassicEvals);
+    }
+    if (!Report.writeFile(JsonPath))
+      return 1;
+  }
   return 0;
 }

@@ -1,0 +1,193 @@
+//===- bench/bench_json.h - Machine-readable bench output -------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared `--json out.json` support for every bench binary, so that perf
+/// trajectories are tracked by tooling instead of eyeballed from tables.
+/// The schema is one JSON array of flat record objects; every record
+/// carries at least
+///
+///     workload    string  what was solved (program / generator / size)
+///     solver      string  which solver or configuration ran
+///     wall_ns     number  wall-clock nanoseconds (per iteration)
+///     iterations  number  timing-loop iterations behind wall_ns
+///     rhs_evals   number  right-hand-side evaluations (0 if untimed)
+///
+/// plus free-form extra fields per bench. Table regenerators append
+/// records explicitly; google-benchmark binaries use the reporter in
+/// gbench_json.h which derives the records from labeled benchmark runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_BENCH_BENCH_JSON_H
+#define WARROW_BENCH_BENCH_JSON_H
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace warrow {
+namespace bench {
+
+/// Escapes \p S for inclusion in a JSON string literal.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// One flat JSON object, fields kept in insertion order.
+class JsonRecord {
+public:
+  JsonRecord &set(const std::string &Key, const std::string &Value) {
+    return raw(Key, "\"" + jsonEscape(Value) + "\"");
+  }
+  JsonRecord &set(const std::string &Key, const char *Value) {
+    return set(Key, std::string(Value));
+  }
+  JsonRecord &set(const std::string &Key, uint64_t Value) {
+    return raw(Key, std::to_string(Value));
+  }
+  JsonRecord &set(const std::string &Key, int64_t Value) {
+    return raw(Key, std::to_string(Value));
+  }
+  JsonRecord &set(const std::string &Key, double Value) {
+    if (!std::isfinite(Value))
+      return raw(Key, "null");
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+    return raw(Key, Buf);
+  }
+  JsonRecord &set(const std::string &Key, bool Value) {
+    return raw(Key, Value ? "true" : "false");
+  }
+
+  std::string render() const {
+    std::string S = "{";
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += "\"" + jsonEscape(Fields[I].first) + "\": " + Fields[I].second;
+    }
+    return S + "}";
+  }
+
+private:
+  JsonRecord &raw(const std::string &Key, std::string Rendered) {
+    Fields.emplace_back(Key, std::move(Rendered));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
+
+/// Collects records and writes them as a JSON array.
+class JsonReport {
+public:
+  JsonRecord &addRecord() {
+    Records.emplace_back();
+    return Records.back();
+  }
+
+  /// Convenience for the required schema fields.
+  JsonRecord &addRecord(const std::string &Workload, const std::string &Solver,
+                        double WallNs, uint64_t Iterations,
+                        uint64_t RhsEvals) {
+    JsonRecord &R = addRecord();
+    R.set("workload", Workload)
+        .set("solver", Solver)
+        .set("wall_ns", WallNs)
+        .set("iterations", Iterations)
+        .set("rhs_evals", RhsEvals);
+    return R;
+  }
+
+  bool empty() const { return Records.empty(); }
+
+  std::string render() const {
+    std::string S = "[\n";
+    for (size_t I = 0; I < Records.size(); ++I) {
+      S += "  " + Records[I].render();
+      if (I + 1 < Records.size())
+        S += ",";
+      S += "\n";
+    }
+    return S + "]\n";
+  }
+
+  /// Writes the report; returns false (with a message on stderr) on I/O
+  /// failure.
+  bool writeFile(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   Path.c_str());
+      return false;
+    }
+    std::string S = render();
+    bool Ok = std::fwrite(S.data(), 1, S.size(), F) == S.size();
+    Ok &= std::fclose(F) == 0;
+    if (!Ok)
+      std::fprintf(stderr, "error: short write to %s\n", Path.c_str());
+    return Ok;
+  }
+
+private:
+  std::vector<JsonRecord> Records;
+};
+
+/// Extracts `--json PATH` or `--json=PATH` from the argument vector,
+/// compacting argv in place. Returns the path, or "" if absent.
+inline std::string consumeJsonFlag(int &Argc, char **Argv) {
+  std::string Path;
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0 && I + 1 < Argc) {
+      Path = Argv[++I];
+      continue;
+    }
+    if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      Path = Argv[I] + 7;
+      continue;
+    }
+    Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
+  Argv[Argc] = nullptr;
+  return Path;
+}
+
+} // namespace bench
+} // namespace warrow
+
+#endif // WARROW_BENCH_BENCH_JSON_H

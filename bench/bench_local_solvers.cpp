@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/interproc.h"
+#include "bench/gbench_json.h"
 #include "lang/parser.h"
 #include "workloads/spec_generator.h"
 #include "workloads/wcet_suite.h"
@@ -47,8 +48,24 @@ Prepared prepareWcet(const char *Name) {
   return R;
 }
 
+const char *solverName(SolverChoice Choice, bool Context, bool Localized) {
+  switch (Choice) {
+  case SolverChoice::Warrow:
+    return Localized ? (Context ? "slr+warrow-localized-ctx"
+                                : "slr+warrow-localized")
+                     : (Context ? "slr+warrow-ctx" : "slr+warrow");
+  case SolverChoice::WidenOnly:
+    return Context ? "slr+widen-ctx" : "slr+widen";
+  default:
+    return Context ? "two-phase-ctx" : "two-phase";
+  }
+}
+
 void runAnalysis(benchmark::State &State, const Prepared &Ready,
-                 SolverChoice Choice, bool Context, bool Localized) {
+                 const char *Workload, SolverChoice Choice, bool Context,
+                 bool Localized) {
+  warrow::bench::setBenchMeta(State, Workload,
+                              solverName(Choice, Context, Localized));
   for (auto _ : State) {
     AnalysisOptions Options;
     Options.ContextSensitive = Context;
@@ -64,50 +81,52 @@ void runAnalysis(benchmark::State &State, const Prepared &Ready,
 
 void BM_Mcf_Warrow(benchmark::State &State) {
   static Prepared Ready = prepareSpec("429.mcf");
-  runAnalysis(State, Ready, SolverChoice::Warrow, false, false);
+  runAnalysis(State, Ready, "429.mcf", SolverChoice::Warrow, false, false);
 }
 BENCHMARK(BM_Mcf_Warrow);
 
 void BM_Mcf_WarrowLocalized(benchmark::State &State) {
   static Prepared Ready = prepareSpec("429.mcf");
-  runAnalysis(State, Ready, SolverChoice::Warrow, false, true);
+  runAnalysis(State, Ready, "429.mcf", SolverChoice::Warrow, false, true);
 }
 BENCHMARK(BM_Mcf_WarrowLocalized);
 
 void BM_Mcf_WidenOnly(benchmark::State &State) {
   static Prepared Ready = prepareSpec("429.mcf");
-  runAnalysis(State, Ready, SolverChoice::WidenOnly, false, false);
+  runAnalysis(State, Ready, "429.mcf", SolverChoice::WidenOnly, false, false);
 }
 BENCHMARK(BM_Mcf_WidenOnly);
 
 void BM_Mcf_TwoPhase(benchmark::State &State) {
   static Prepared Ready = prepareSpec("429.mcf");
-  runAnalysis(State, Ready, SolverChoice::TwoPhase, false, false);
+  runAnalysis(State, Ready, "429.mcf", SolverChoice::TwoPhase, false, false);
 }
 BENCHMARK(BM_Mcf_TwoPhase);
 
 void BM_Mcf_WarrowContext(benchmark::State &State) {
   static Prepared Ready = prepareSpec("429.mcf");
-  runAnalysis(State, Ready, SolverChoice::Warrow, true, false);
+  runAnalysis(State, Ready, "429.mcf", SolverChoice::Warrow, true, false);
 }
 BENCHMARK(BM_Mcf_WarrowContext);
 
 void BM_Lbm_WarrowContext(benchmark::State &State) {
   static Prepared Ready = prepareSpec("470.lbm");
-  runAnalysis(State, Ready, SolverChoice::Warrow, true, false);
+  runAnalysis(State, Ready, "470.lbm", SolverChoice::Warrow, true, false);
 }
 BENCHMARK(BM_Lbm_WarrowContext);
 
 void BM_Ndes_Warrow(benchmark::State &State) {
   static Prepared Ready = prepareWcet("ndes");
-  runAnalysis(State, Ready, SolverChoice::Warrow, false, false);
+  runAnalysis(State, Ready, "ndes", SolverChoice::Warrow, false, false);
 }
 BENCHMARK(BM_Ndes_Warrow);
 
 void BM_Ndes_WarrowContext(benchmark::State &State) {
   static Prepared Ready = prepareWcet("ndes");
-  runAnalysis(State, Ready, SolverChoice::Warrow, true, false);
+  runAnalysis(State, Ready, "ndes", SolverChoice::Warrow, true, false);
 }
 BENCHMARK(BM_Ndes_WarrowContext);
 
 } // namespace
+
+WARROW_GBENCH_JSON_MAIN

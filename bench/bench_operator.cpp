@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/env.h"
+#include "bench/gbench_json.h"
 #include "lattice/combine.h"
 #include "lattice/interval.h"
 #include "support/rng.h"
@@ -33,7 +34,9 @@ std::vector<Interval> sampleIntervals(size_t Count, uint64_t Seed) {
   return Out;
 }
 
-template <typename C> void runIntervalCombine(benchmark::State &State) {
+template <typename C>
+void runIntervalCombine(benchmark::State &State, const char *Name) {
+  warrow::bench::setBenchMeta(State, "interval-combine/1024", Name);
   C Combine{};
   auto Values = sampleIntervals(1024, 7);
   for (auto _ : State) {
@@ -45,13 +48,13 @@ template <typename C> void runIntervalCombine(benchmark::State &State) {
 }
 
 void BM_Interval_Join(benchmark::State &State) {
-  runIntervalCombine<JoinCombine>(State);
+  runIntervalCombine<JoinCombine>(State, "join");
 }
 void BM_Interval_Widen(benchmark::State &State) {
-  runIntervalCombine<WidenCombine>(State);
+  runIntervalCombine<WidenCombine>(State, "widen");
 }
 void BM_Interval_Warrow(benchmark::State &State) {
-  runIntervalCombine<WarrowCombine>(State);
+  runIntervalCombine<WarrowCombine>(State, "warrow");
 }
 BENCHMARK(BM_Interval_Join);
 BENCHMARK(BM_Interval_Widen);
@@ -70,6 +73,8 @@ void BM_Env_Warrow(benchmark::State &State) {
     }
     Envs.push_back(std::move(E));
   }
+  warrow::bench::setBenchMeta(
+      State, "env-combine/" + std::to_string(Vars) + "vars", "warrow");
   WarrowCombine Combine;
   for (auto _ : State) {
     AbsEnv Acc = Envs[0];
@@ -81,6 +86,7 @@ void BM_Env_Warrow(benchmark::State &State) {
 BENCHMARK(BM_Env_Warrow)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_DegradingWarrow(benchmark::State &State) {
+  warrow::bench::setBenchMeta(State, "interval-combine/1024", "warrow-k4");
   auto Values = sampleIntervals(1024, 9);
   for (auto _ : State) {
     DegradingWarrowCombine<int> Combine(4);
@@ -96,3 +102,5 @@ void BM_DegradingWarrow(benchmark::State &State) {
 BENCHMARK(BM_DegradingWarrow);
 
 } // namespace
+
+WARROW_GBENCH_JSON_MAIN

@@ -1,0 +1,97 @@
+//===- bench/bench_parallel.cpp - SCC-parallel solver scaling ------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scaling sweep of the SCC-scheduled parallel SW solver against
+/// sequential SW, on condensations with many independent components
+/// (the shape the scheduler exploits) and with cross-linked components
+/// (a deeper DAG with less parallel slack). Thread counts 1/2/4/8 are
+/// measured so the speedup is *measured, not asserted*; on a 1-core
+/// machine the sweep degenerates to an overhead measurement of the
+/// scheduling layer, which is itself worth tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/gbench_json.h"
+#include "lattice/combine.h"
+#include "solvers/parallel_sw.h"
+#include "solvers/sw.h"
+#include "workloads/eq_generators.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace warrow;
+
+namespace {
+
+// 128 independent ring SCCs of 256 unknowns: ≥ 64-way parallel slack.
+const DenseSystem<Interval> &independentWorkload() {
+  static DenseSystem<Interval> S = manyComponentSystem(128, 256, 2048, 0, 42);
+  return S;
+}
+
+// Same shape, but every ring entry reads two earlier rings: a DAG with
+// real dependency edges for the ready-count scheduler to respect.
+const DenseSystem<Interval> &linkedWorkload() {
+  static DenseSystem<Interval> S = manyComponentSystem(128, 256, 2048, 2, 43);
+  return S;
+}
+
+void runParallel(benchmark::State &State, const DenseSystem<Interval> &S,
+                 const std::string &Workload) {
+  ParallelOptions P;
+  P.Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    SolveResult<Interval> R = solveParallelSW(S, WarrowCombine{}, P);
+    benchmark::DoNotOptimize(R.Sigma.data());
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+    State.counters["converged"] = R.Stats.Converged ? 1 : 0;
+  }
+  State.counters["threads"] = static_cast<double>(P.Threads);
+  warrow::bench::setBenchMeta(State, Workload,
+                              "parallel-sw/" +
+                                  std::to_string(State.range(0)) + "t");
+}
+
+void BM_ParallelSW_Independent(benchmark::State &State) {
+  runParallel(State, independentWorkload(), "many-components/128x256");
+}
+BENCHMARK(BM_ParallelSW_Independent)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ParallelSW_Linked(benchmark::State &State) {
+  runParallel(State, linkedWorkload(), "linked-components/128x256x2");
+}
+BENCHMARK(BM_ParallelSW_Linked)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SequentialSW_Independent(benchmark::State &State) {
+  const DenseSystem<Interval> &S = independentWorkload();
+  for (auto _ : State) {
+    SolveResult<Interval> R = solveSW(S, WarrowCombine{});
+    benchmark::DoNotOptimize(R.Sigma.data());
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+    State.counters["converged"] = R.Stats.Converged ? 1 : 0;
+  }
+  warrow::bench::setBenchMeta(State, "many-components/128x256", "SW");
+}
+BENCHMARK(BM_SequentialSW_Independent)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialSW_Linked(benchmark::State &State) {
+  const DenseSystem<Interval> &S = linkedWorkload();
+  for (auto _ : State) {
+    SolveResult<Interval> R = solveSW(S, WarrowCombine{});
+    benchmark::DoNotOptimize(R.Sigma.data());
+    State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
+    State.counters["converged"] = R.Stats.Converged ? 1 : 0;
+  }
+  warrow::bench::setBenchMeta(State, "linked-components/128x256x2", "SW");
+}
+BENCHMARK(BM_SequentialSW_Linked)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+WARROW_GBENCH_JSON_MAIN

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/gbench_json.h"
 #include "lattice/combine.h"
 #include "solvers/rr.h"
 #include "solvers/srr.h"
@@ -37,6 +38,8 @@ void BM_ChainSW_Join(benchmark::State &State) {
     benchmark::DoNotOptimize(R.Sigma.data());
     State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
   }
+  warrow::bench::setBenchMeta(
+      State, "chain/" + std::to_string(State.range(0)), "SW+join");
 }
 BENCHMARK(BM_ChainSW_Join)->Arg(64)->Arg(256)->Arg(1024);
 
@@ -48,6 +51,8 @@ void BM_ChainSW_Warrow(benchmark::State &State) {
     benchmark::DoNotOptimize(R.Sigma.data());
     State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
   }
+  warrow::bench::setBenchMeta(
+      State, "chain/" + std::to_string(State.range(0)), "SW+warrow");
 }
 BENCHMARK(BM_ChainSW_Warrow)->Arg(64)->Arg(256)->Arg(1024);
 
@@ -79,6 +84,9 @@ void BM_RingSolvers(benchmark::State &State) {
     State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
     State.counters["converged"] = R.Stats.Converged ? 1 : 0;
   }
+  static const char *SolverNames[] = {"RR", "W", "SRR", "SW"};
+  warrow::bench::setBenchMeta(State, "ring/" + std::to_string(Size),
+                              std::string(SolverNames[Which]) + "+warrow");
 }
 // SRR/SW terminate under ⊟ on monotone systems (Theorems 1-2); RR and W
 // are capped (they can diverge, which the counters make visible).
@@ -98,6 +106,8 @@ void BM_RandomSystem_SW(benchmark::State &State) {
     benchmark::DoNotOptimize(R.Stats.RhsEvals);
     State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
   }
+  warrow::bench::setBenchMeta(
+      State, "random/" + std::to_string(State.range(0)), "SW+warrow");
 }
 BENCHMARK(BM_RandomSystem_SW)->Arg(100)->Arg(400)->Arg(1600);
 
@@ -109,6 +119,8 @@ void BM_RandomSystem_SRR(benchmark::State &State) {
     benchmark::DoNotOptimize(R.Stats.RhsEvals);
     State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
   }
+  warrow::bench::setBenchMeta(
+      State, "random/" + std::to_string(State.range(0)), "SRR+warrow");
 }
 BENCHMARK(BM_RandomSystem_SRR)->Arg(100)->Arg(400);
 
@@ -120,7 +132,11 @@ void BM_TwoPhase(benchmark::State &State) {
     benchmark::DoNotOptimize(R.Stats.RhsEvals);
     State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
   }
+  warrow::bench::setBenchMeta(
+      State, "random/" + std::to_string(State.range(0)), "two-phase");
 }
 BENCHMARK(BM_TwoPhase)->Arg(100)->Arg(400);
 
 } // namespace
+
+WARROW_GBENCH_JSON_MAIN

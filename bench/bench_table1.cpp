@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/interproc.h"
+#include "bench/bench_json.h"
 #include "lang/parser.h"
 #include "support/table.h"
 #include "support/timer.h"
@@ -35,6 +36,7 @@ namespace {
 struct Measurement {
   double Seconds = 0;
   uint64_t Unknowns = 0;
+  uint64_t RhsEvals = 0;
   bool Converged = false;
 };
 
@@ -45,12 +47,14 @@ Measurement measure(const Program &P, const ProgramCfg &Cfgs,
   Options.Solver.MaxRhsEvals = 500'000'000;
   InterprocAnalysis Analysis(P, Cfgs, Options);
   AnalysisResult R = Analysis.run(Choice);
-  return {R.Seconds, R.NumUnknowns, R.Stats.Converged};
+  return {R.Seconds, R.NumUnknowns, R.Stats.RhsEvals, R.Stats.Converged};
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath = warrow::bench::consumeJsonFlag(argc, argv);
+  warrow::bench::JsonReport Report;
   std::printf("=== Table 1: SpecCpu2006-scale programs — time and number "
               "of unknowns ===\n");
   std::printf("(▽ = widening-only SLR+, ⊟ = combined-operator SLR+; "
@@ -83,6 +87,18 @@ int main() {
                              "evaluation budget\n",
                      Profile.Name.c_str());
 
+    struct Cfg {
+      const char *Solver;
+      const Measurement *M;
+    };
+    for (Cfg C : {Cfg{"slr+widen", &NoCtxWiden}, Cfg{"slr+warrow", &NoCtxWarrow},
+                  Cfg{"slr+widen-ctx", &CtxWiden},
+                  Cfg{"slr+warrow-ctx", &CtxWarrow}})
+      Report.addRecord(Profile.Name, C.Solver, C.M->Seconds * 1e9, 1,
+                       C.M->RhsEvals)
+          .set("unknowns", C.M->Unknowns)
+          .set("converged", C.M->Converged);
+
     T.addRow({Profile.Name, formatFixed(NoCtxWiden.Seconds, 2),
               formatThousands(NoCtxWiden.Unknowns),
               formatFixed(NoCtxWarrow.Seconds, 2),
@@ -98,5 +114,7 @@ int main() {
       "slower than ▽;\n(2) with context, unknown counts grow relative to "
       "no-context, by a program-dependent factor;\n(3) ⊟ may change the "
       "number of encountered contexts in either direction.\n");
+  if (!JsonPath.empty() && !Report.writeFile(JsonPath))
+    return 1;
   return 0;
 }

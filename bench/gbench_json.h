@@ -1,0 +1,132 @@
+//===- bench/gbench_json.h - JSON main for google-benchmark -----*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `--json out.json` support for the google-benchmark binaries. Each
+/// benchmark tags itself via `setBenchMeta(State, workload, solver)`;
+/// the custom file reporter turns every timed run into one record of the
+/// schema documented in bench_json.h. Binaries replace
+/// `benchmark::benchmark_main` with the `WARROW_GBENCH_JSON_MAIN` macro.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_BENCH_GBENCH_JSON_H
+#define WARROW_BENCH_GBENCH_JSON_H
+
+#include "bench/bench_json.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace warrow {
+namespace bench {
+
+/// Tags a benchmark run with its workload/solver pair (rendered into the
+/// run label, which google-benchmark carries through to reporters).
+inline void setBenchMeta(benchmark::State &State, const std::string &Workload,
+                         const std::string &Solver) {
+  State.SetLabel("workload=" + Workload + ";solver=" + Solver);
+}
+
+/// Reads `key=value` out of a `k1=v1;k2=v2` label; "" if absent.
+inline std::string labelField(const std::string &Label,
+                              const std::string &Key) {
+  size_t Pos = 0;
+  while (Pos < Label.size()) {
+    size_t End = Label.find(';', Pos);
+    if (End == std::string::npos)
+      End = Label.size();
+    size_t Eq = Label.find('=', Pos);
+    if (Eq != std::string::npos && Eq < End &&
+        Label.compare(Pos, Eq - Pos, Key) == 0)
+      return Label.substr(Eq + 1, End - Eq - 1);
+    Pos = End + 1;
+  }
+  return "";
+}
+
+/// File reporter accumulating one JSON record per timed run.
+class JsonFileReporter : public benchmark::BenchmarkReporter {
+public:
+  explicit JsonFileReporter(std::string Path) : Path(std::move(Path)) {}
+
+  bool ReportContext(const Context &) override { return true; }
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      double WallNs = R.iterations == 0
+                          ? R.real_accumulated_time * 1e9
+                          : R.real_accumulated_time * 1e9 /
+                                static_cast<double>(R.iterations);
+      std::string Workload = labelField(R.report_label, "workload");
+      std::string Solver = labelField(R.report_label, "solver");
+      uint64_t Evals = 0;
+      if (auto It = R.counters.find("evals"); It != R.counters.end())
+        Evals = static_cast<uint64_t>(It->second.value);
+      JsonRecord &Rec = Report.addRecord(
+          Workload.empty() ? R.benchmark_name() : Workload,
+          Solver.empty() ? "unknown" : Solver, WallNs,
+          static_cast<uint64_t>(R.iterations), Evals);
+      Rec.set("name", R.benchmark_name());
+      for (const auto &[Name, Counter] : R.counters)
+        if (Name != "evals")
+          Rec.set(Name, Counter.value);
+    }
+  }
+
+  void Finalize() override { WriteOk = Report.writeFile(Path); }
+
+  bool ok() const { return WriteOk; }
+
+private:
+  std::string Path;
+  JsonReport Report;
+  bool WriteOk = true;
+};
+
+/// Shared main: `--json out.json` plus the usual benchmark flags. The
+/// library insists on --benchmark_out whenever a file reporter is
+/// installed; our reporter writes the file itself, so the mandatory
+/// stream is sunk to /dev/null.
+inline int gbenchJsonMain(int argc, char **argv) {
+  std::string JsonPath = consumeJsonFlag(argc, argv);
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutFlag = "--benchmark_out=/dev/null";
+  if (!JsonPath.empty())
+    Args.push_back(OutFlag.data());
+  int EffArgc = static_cast<int>(Args.size());
+  Args.push_back(nullptr);
+  benchmark::Initialize(&EffArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(EffArgc, Args.data()))
+    return 1;
+  if (JsonPath.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    JsonFileReporter FileReporter(JsonPath);
+    benchmark::RunSpecifiedBenchmarks(nullptr, &FileReporter);
+    if (!FileReporter.ok()) {
+      benchmark::Shutdown();
+      return 1;
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace bench
+} // namespace warrow
+
+/// Drop-in replacement for benchmark_main that understands `--json`.
+#define WARROW_GBENCH_JSON_MAIN                                              \
+  int main(int argc, char **argv) {                                          \
+    return warrow::bench::gbenchJsonMain(argc, argv);                        \
+  }
+
+#endif // WARROW_BENCH_GBENCH_JSON_H

@@ -1,0 +1,77 @@
+//===- graph/dependency_graph.h - Static dependency graphs ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static dependency graph of a finite equation system. An edge
+/// `y -> x` records that equation x declares y among its dependencies
+/// (`y ∈ dep_x`), i.e. that information flows from y to x. The graph is
+/// the input to the SCC/condensation machinery (graph/scc.h) and the weak
+/// topological ordering (graph/wto.h) that drive the parallel structured
+/// solvers: a component may be solved once all components it reads from
+/// have stabilized.
+///
+/// Extraction only looks at the *declared* dependency sets. Since the
+/// worklist solvers already require `dep_x` to be a superset of the
+/// unknowns actually read (eqsys/dense_system.h), every runtime read is
+/// covered by an edge, which is what makes the condensation schedule
+/// race-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_GRAPH_DEPENDENCY_GRAPH_H
+#define WARROW_GRAPH_DEPENDENCY_GRAPH_H
+
+#include "eqsys/dense_system.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace warrow {
+
+/// A directed graph over dense node ids `0 .. size()-1`, stored as
+/// forward adjacency (successor) lists.
+struct DepGraph {
+  /// Succ[y] = ascending, deduplicated successors of y (edges y -> x).
+  std::vector<std::vector<uint32_t>> Succ;
+
+  size_t size() const { return Succ.size(); }
+
+  /// Adds the edge \p From -> \p To (duplicates removed by `finalize`).
+  void addEdge(uint32_t From, uint32_t To) { Succ[From].push_back(To); }
+
+  /// Sorts and dedupes all adjacency lists (idempotent).
+  void finalize() {
+    for (auto &S : Succ) {
+      std::sort(S.begin(), S.end());
+      S.erase(std::unique(S.begin(), S.end()), S.end());
+    }
+  }
+
+  /// True if the edge \p From -> \p To exists (after `finalize`).
+  bool hasEdge(uint32_t From, uint32_t To) const {
+    const auto &S = Succ[From];
+    return std::binary_search(S.begin(), S.end(), To);
+  }
+};
+
+/// Extracts the static dependency graph of \p System: one node per
+/// unknown, an edge `y -> x` for every `y ∈ dep_x`. Self-edges are kept —
+/// they mark trivial components that still need fixpoint iteration.
+template <typename D>
+DepGraph extractDependencyGraph(const DenseSystem<D> &System) {
+  DepGraph G;
+  G.Succ.resize(System.size());
+  for (Var X = 0; X < System.size(); ++X)
+    for (Var Y : System.deps(X))
+      G.addEdge(Y, X);
+  G.finalize();
+  return G;
+}
+
+} // namespace warrow
+
+#endif // WARROW_GRAPH_DEPENDENCY_GRAPH_H

@@ -1,0 +1,43 @@
+//===- graph/order.h - Condensation-consistent variable orders --*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Priority orders derived from the condensation of the dependency
+/// graph. SW (Fig. 4) is parameterized by a fixed total order on the
+/// unknowns; an order is *condensation-consistent* when every member of
+/// component c precedes every member of component c' for c < c' in the
+/// topological numbering. Under such an order sequential SW stabilizes
+/// each component before touching its successors, which is exactly the
+/// schedule the SCC-parallel solver runs concurrently — making the two
+/// bit-identical (see solvers/parallel_sw.h and DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_GRAPH_ORDER_H
+#define WARROW_GRAPH_ORDER_H
+
+#include "graph/scc.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warrow {
+
+/// The canonical condensation-consistent order: variables sorted by
+/// (topological component number, variable id). Returns Rank where
+/// Rank[v] is v's priority — smaller ranks are evaluated first.
+inline std::vector<uint32_t> topologicalRank(const Condensation &Cond) {
+  std::vector<uint32_t> Rank(Cond.CompOf.size());
+  uint32_t Next = 0;
+  for (CompId Comp = 0; Comp < Cond.numComponents(); ++Comp)
+    for (uint32_t V : Cond.Members[Comp]) // Members are ascending.
+      Rank[V] = Next++;
+  return Rank;
+}
+
+} // namespace warrow
+
+#endif // WARROW_GRAPH_ORDER_H

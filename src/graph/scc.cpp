@@ -1,0 +1,119 @@
+//===- graph/scc.cpp - Tarjan SCC and condensation DAG -------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/scc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace warrow;
+
+namespace {
+
+constexpr uint32_t Unvisited = std::numeric_limits<uint32_t>::max();
+
+/// One explicit DFS frame: the node and the index of the next successor
+/// edge to examine.
+struct Frame {
+  uint32_t Node;
+  uint32_t NextEdge;
+};
+
+} // namespace
+
+Condensation warrow::condense(const DepGraph &G) {
+  const size_t N = G.size();
+  Condensation C;
+  C.CompOf.assign(N, Unvisited);
+
+  // Iterative Tarjan. Components complete in reverse topological order;
+  // ids are flipped afterwards so that edges go small -> large.
+  std::vector<uint32_t> Index(N, Unvisited);
+  std::vector<uint32_t> Lowlink(N, 0);
+  std::vector<char> OnStack(N, 0);
+  std::vector<uint32_t> Stack; // Tarjan's node stack.
+  std::vector<Frame> Dfs;      // Explicit recursion stack.
+  Stack.reserve(N);
+  uint32_t NextIndex = 0;
+  uint32_t NumComps = 0;
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    Dfs.push_back({Root, 0});
+    Index[Root] = Lowlink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      const auto &Succ = G.Succ[F.Node];
+      if (F.NextEdge < Succ.size()) {
+        uint32_t W = Succ[F.NextEdge++];
+        if (Index[W] == Unvisited) {
+          Index[W] = Lowlink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = 1;
+          Dfs.push_back({W, 0});
+        } else if (OnStack[W]) {
+          Lowlink[F.Node] = std::min(Lowlink[F.Node], Index[W]);
+        }
+        continue;
+      }
+      // All successors done: maybe emit a component, then return to the
+      // parent frame, folding our lowlink into it.
+      uint32_t V = F.Node;
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        Lowlink[Dfs.back().Node] = std::min(Lowlink[Dfs.back().Node],
+                                            Lowlink[V]);
+      if (Lowlink[V] == Index[V]) {
+        CompId Id = NumComps++;
+        for (;;) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          C.CompOf[W] = Id;
+          if (W == V)
+            break;
+        }
+      }
+    }
+  }
+
+  // Flip to topological numbering (Tarjan completes successors first).
+  for (uint32_t V = 0; V < N; ++V)
+    C.CompOf[V] = NumComps - 1 - C.CompOf[V];
+
+  C.Members.assign(NumComps, {});
+  for (uint32_t V = 0; V < N; ++V)
+    C.Members[C.CompOf[V]].push_back(V); // Ascending: V grows.
+
+  // Induced DAG: dedupe per source component, drop intra-component edges.
+  C.CompSucc.assign(NumComps, {});
+  C.PredCount.assign(NumComps, 0);
+  C.Cyclic.assign(NumComps, false);
+  for (CompId Id = 0; Id < NumComps; ++Id) {
+    if (C.Members[Id].size() > 1)
+      C.Cyclic[Id] = true;
+    for (uint32_t V : C.Members[Id])
+      for (uint32_t W : G.Succ[V]) {
+        CompId To = C.CompOf[W];
+        if (To == Id) {
+          C.Cyclic[Id] = true; // Self-loop or multi-node cycle.
+          continue;
+        }
+        assert(To > Id && "condensation edge against topological order");
+        C.CompSucc[Id].push_back(To);
+      }
+    auto &S = C.CompSucc[Id];
+    std::sort(S.begin(), S.end());
+    S.erase(std::unique(S.begin(), S.end()), S.end());
+    for (CompId To : S)
+      ++C.PredCount[To];
+  }
+  return C;
+}

@@ -1,0 +1,58 @@
+//===- graph/scc.h - Tarjan SCC and condensation DAG ------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly connected components (iterative Tarjan) and the condensation
+/// DAG of a dependency graph. The condensation is the schedule driving
+/// the parallel structured solvers (solvers/parallel_sw.h): components
+/// with no unfinished predecessors are "ready" and independent ready
+/// components can be solved concurrently without changing any result —
+/// within a component the solvers keep the exact sequential iteration
+/// order, and across components all reads go to already-final values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_GRAPH_SCC_H
+#define WARROW_GRAPH_SCC_H
+
+#include "graph/dependency_graph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace warrow {
+
+/// Id of a strongly connected component.
+using CompId = uint32_t;
+
+/// The condensation of a `DepGraph`: its SCCs plus the induced DAG.
+struct Condensation {
+  /// Component of each node.
+  std::vector<CompId> CompOf;
+  /// Members of each component, ascending node ids. Component ids are
+  /// numbered in topological order of the condensation: every edge of
+  /// `CompSucc` goes from a smaller to a strictly larger id.
+  std::vector<std::vector<uint32_t>> Members;
+  /// Successor components (deduplicated, no self-edges).
+  std::vector<std::vector<CompId>> CompSucc;
+  /// Number of distinct predecessor components feeding each component —
+  /// the ready counts consumed by the parallel scheduler.
+  std::vector<uint32_t> PredCount;
+  /// True for components that need fixpoint iteration: more than one
+  /// member, or a single member with a self-loop.
+  std::vector<bool> Cyclic;
+
+  size_t numComponents() const { return Members.size(); }
+};
+
+/// Computes the SCCs of \p G (iterative Tarjan, safe for millions of
+/// nodes) and returns the condensation with components numbered in
+/// topological order.
+Condensation condense(const DepGraph &G);
+
+} // namespace warrow
+
+#endif // WARROW_GRAPH_SCC_H

@@ -1,0 +1,103 @@
+//===- graph/wto.cpp - Weak topological ordering -------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/wto.h"
+
+#include "graph/scc.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warrow;
+
+namespace {
+
+/// Builds the subgraph of \p G induced by \p Nodes (ascending), with
+/// nodes renamed to `0 .. Nodes.size()-1` in that order.
+DepGraph inducedSubgraph(const DepGraph &G, const std::vector<uint32_t> &Nodes,
+                         std::vector<uint32_t> &LocalOf) {
+  DepGraph Sub;
+  Sub.Succ.resize(Nodes.size());
+  for (uint32_t Local = 0; Local < Nodes.size(); ++Local)
+    LocalOf[Nodes[Local]] = Local;
+  for (uint32_t Local = 0; Local < Nodes.size(); ++Local)
+    for (uint32_t W : G.Succ[Nodes[Local]]) {
+      // Membership test: W is in the subgraph iff LocalOf maps it back.
+      auto It = std::lower_bound(Nodes.begin(), Nodes.end(), W);
+      if (It != Nodes.end() && *It == W)
+        Sub.addEdge(Local, LocalOf[W]);
+    }
+  Sub.finalize();
+  return Sub;
+}
+
+/// Emits the WTO of the subgraph induced by \p Nodes at \p Depth.
+/// Recursion depth equals loop-nesting depth: each level removes the
+/// head of every cyclic component before descending.
+void decompose(const DepGraph &G, const std::vector<uint32_t> &Nodes,
+               uint32_t Depth, std::vector<uint32_t> &LocalOf,
+               std::vector<WtoEntry> &Out) {
+  if (Nodes.empty())
+    return;
+  DepGraph Sub = inducedSubgraph(G, Nodes, LocalOf);
+  Condensation C = condense(Sub);
+  // Component ids are topological, so a plain id sweep emits every
+  // component after all components feeding it.
+  for (CompId Id = 0; Id < C.numComponents(); ++Id) {
+    const std::vector<uint32_t> &Local = C.Members[Id];
+    if (!C.Cyclic[Id]) {
+      assert(Local.size() == 1 && "acyclic component with several nodes");
+      Out.push_back({Nodes[Local[0]], Depth, false});
+      continue;
+    }
+    // Head = smallest node id (members are ascending), per the loop-
+    // heads-first numbering convention.
+    std::vector<uint32_t> Global;
+    Global.reserve(Local.size());
+    for (uint32_t L : Local)
+      Global.push_back(Nodes[L]);
+    Out.push_back({Global.front(), Depth, true});
+    Global.erase(Global.begin());
+    decompose(G, Global, Depth + 1, LocalOf, Out);
+  }
+}
+
+} // namespace
+
+std::vector<WtoEntry> warrow::weakTopologicalOrder(const DepGraph &G) {
+  std::vector<uint32_t> All(G.size());
+  for (uint32_t V = 0; V < G.size(); ++V)
+    All[V] = V;
+  std::vector<uint32_t> LocalOf(G.size(), 0); // Scratch, reused per level.
+  std::vector<WtoEntry> Out;
+  Out.reserve(G.size());
+  decompose(G, All, 0, LocalOf, Out);
+  assert(Out.size() == G.size() && "WTO must enumerate every node once");
+  return Out;
+}
+
+std::string warrow::wtoToString(const std::vector<WtoEntry> &Wto) {
+  std::string S;
+  uint32_t Depth = 0;
+  auto CloseTo = [&](uint32_t Target) {
+    while (Depth > Target) {
+      S += ')';
+      --Depth;
+    }
+  };
+  for (const WtoEntry &E : Wto) {
+    CloseTo(E.Depth);
+    if (!S.empty() && S.back() != '(')
+      S += ' ';
+    if (E.IsHead) {
+      S += '(';
+      ++Depth;
+    }
+    S += std::to_string(E.Node);
+  }
+  CloseTo(0);
+  return S;
+}

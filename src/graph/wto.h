@@ -1,0 +1,60 @@
+//===- graph/wto.h - Weak topological ordering ------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Bourdoncle-style weak topological ordering (WTO) of a dependency
+/// graph: a hierarchical ordering of the nodes where every cycle is
+/// contained in a *component* headed by its entry node, and nested
+/// cycles form nested components. Section 4 of the paper cites exactly
+/// this structure as the ordering the structured solvers want: unknowns
+/// of inner loops get smaller priorities and stabilize first.
+///
+/// Construction follows Bourdoncle's recursive decomposition: compute
+/// the SCCs; emit trivial components directly in topological order; for
+/// a nontrivial component, emit its head, remove the head, and recurse
+/// on the remainder (which breaks the component's cycles through the
+/// head). Recursion depth equals the loop-nesting depth, not the graph
+/// size, so the implementation is safe for very large, shallowly nested
+/// systems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_GRAPH_WTO_H
+#define WARROW_GRAPH_WTO_H
+
+#include "graph/dependency_graph.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// One position of a weak topological ordering.
+struct WtoEntry {
+  /// The node at this position.
+  uint32_t Node;
+  /// Component nesting depth: 0 for top-level positions, +1 inside each
+  /// enclosing component.
+  uint32_t Depth;
+  /// True if this node heads a (cyclic) component; the component body is
+  /// the following run of entries with strictly larger depth.
+  bool IsHead;
+};
+
+/// Computes a weak topological ordering of \p G. The head of every
+/// component is its smallest node id, matching the convention that
+/// clients number loop heads before loop bodies (dense_system.h).
+std::vector<WtoEntry> weakTopologicalOrder(const DepGraph &G);
+
+/// Renders a WTO in Bourdoncle's parenthesized notation, e.g.
+/// `0 (1 2 (3 4) 5) 6` — heads open a parenthesis. For tests and debug
+/// output.
+std::string wtoToString(const std::vector<WtoEntry> &Wto);
+
+} // namespace warrow
+
+#endif // WARROW_GRAPH_WTO_H

@@ -36,6 +36,18 @@
 ///    discovery time (fresher unknowns = smaller key = solved first), and
 ///    `solve x` drains only entries with key <= key[x].
 ///
+/// Representation: unknowns are interned into dense *slots* in discovery
+/// order, so `key[y] = -slot(y)` and every piece of bookkeeping —
+/// sigma, stable, infl, the priority queue — is a flat vector indexed by
+/// slot instead of a node-based map keyed by V. The single hash lookup
+/// left on the hot path is the `y ∈ dom` test in `eval`. The queue is an
+/// indexed binary heap over slots; since keys are negated slots, the
+/// minimum key is the *maximum* slot, hence the `std::greater` instance.
+/// `infl` vectors may transiently hold duplicate entries (the set-insert
+/// of Fig. 6 is approximated by an append with a cheap back-check);
+/// duplicates are harmless because destabilization and re-queueing are
+/// both idempotent, and every update of y resets `infl[y]`.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_SLR_H
@@ -43,13 +55,14 @@
 
 #include "eqsys/local_system.h"
 #include "solvers/stats.h"
+#include "support/indexed_heap.h"
 
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace warrow {
 
@@ -63,97 +76,124 @@ public:
 
   /// Solves for \p X0 and returns the partial ⊕-solution.
   PartialSolution<V, D> solveFor(const V &X0) {
-    init(X0);
-    solve(X0);
+    solve(internFresh(X0));
     // Complete any work left in the queue (possible when destabilizations
     // race with evaluations that end up not changing any value up the
     // recursion; the final assignment must be a partial ⊕-solution).
-    while (!Failed && !Queue.empty()) {
-      int64_t MinKey = *Queue.begin();
-      Queue.erase(Queue.begin());
-      solve(KeyToVar.at(MinKey));
-    }
+    while (!Failed && !Queue.empty())
+      solve(Queue.pop());
     PartialSolution<V, D> Result;
-    Result.Sigma = Sigma;
+    Result.Sigma.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      Result.Sigma.emplace(VarOf[S], SigmaV[S]);
     Result.Stats = Stats;
     Result.Stats.Converged = !Failed;
-    Result.Stats.VarsSeen = Sigma.size();
+    Result.Stats.VarsSeen = VarOf.size();
     return Result;
   }
 
-  const std::unordered_map<V, D> &assignment() const { return Sigma; }
-  const std::unordered_map<V, int64_t> &keys() const { return Key; }
+  /// Discovered unknowns in discovery order (slot order); `keys` of the
+  /// paper are the negated positions in this sequence.
+  const std::vector<V> &discoveryOrder() const { return VarOf; }
 
-private:
-  void init(const V &Y) {
-    assert(!Sigma.count(Y) && "double init");
-    Key[Y] = -Count;
-    KeyToVar.emplace(-Count, Y);
-    ++Count;
-    Infl[Y] = {Y};
-    Sigma.emplace(Y, System.initial(Y));
+  /// Materializes the paper's key map (diagnostics/tests only).
+  std::unordered_map<V, int64_t> keys() const {
+    std::unordered_map<V, int64_t> K;
+    K.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      K.emplace(VarOf[S], -static_cast<int64_t>(S));
+    return K;
   }
 
-  void addQ(const V &Y) {
-    Queue.insert(Key.at(Y));
+  /// Materializes the current assignment (diagnostics/tests only).
+  std::unordered_map<V, D> assignment() const {
+    std::unordered_map<V, D> A;
+    A.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      A.emplace(VarOf[S], SigmaV[S]);
+    return A;
+  }
+
+private:
+  /// Interns \p Y, which must be fresh, into the next slot (`init` of
+  /// Fig. 6: key <- -count, infl <- {y}, sigma <- sigma_0).
+  uint32_t internFresh(const V &Y) {
+    assert(!SlotOf.count(Y) && "double init");
+    uint32_t S = static_cast<uint32_t>(VarOf.size());
+    SlotOf.emplace(Y, S);
+    VarOf.push_back(Y);
+    SigmaV.push_back(System.initial(Y));
+    InflV.push_back({S});
+    StableV.push_back(0);
+    Queue.resizeUniverse(VarOf.size());
+    return S;
+  }
+
+  void addQ(uint32_t S) {
+    Queue.push(S);
     if (Queue.size() > Stats.QueueMax)
       Stats.QueueMax = Queue.size();
   }
 
-  void solve(const V &X) {
-    if (Failed || Stable.count(X))
+  void solve(uint32_t XS) {
+    if (Failed || StableV[XS])
       return;
-    Stable.insert(X);
+    StableV[XS] = 1;
     if (Stats.RhsEvals >= Options.MaxRhsEvals) {
       Failed = true;
       return;
     }
     ++Stats.RhsEvals;
-    typename LocalSystem<V, D>::Get Eval = [this, X](const V &Y) -> D {
-      return eval(X, Y);
+    typename LocalSystem<V, D>::Get Eval = [this, XS](const V &Y) -> D {
+      return eval(XS, Y);
     };
-    D New = System.rhs(X)(Eval);
+    D New = System.rhs(VarOf[XS])(Eval);
     if (Failed)
       return;
-    D Tmp = Combine(X, Sigma.at(X), New);
-    if (!(Tmp == Sigma.at(X))) {
-      std::unordered_set<V> W = std::move(Infl[X]);
-      for (const V &Y : W)
-        addQ(Y);
-      Sigma[X] = std::move(Tmp);
+    D Tmp = Combine(VarOf[XS], SigmaV[XS], New);
+    if (!(Tmp == SigmaV[XS])) {
+      std::vector<uint32_t> W = std::move(InflV[XS]);
+      for (uint32_t YS : W)
+        addQ(YS);
+      SigmaV[XS] = std::move(Tmp);
       ++Stats.Updates;
-      Infl[X] = {X};
-      for (const V &Y : W)
-        Stable.erase(Y);
-      int64_t KeyX = Key.at(X);
-      while (!Failed && !Queue.empty() && *Queue.begin() <= KeyX) {
-        int64_t MinKey = *Queue.begin();
-        Queue.erase(Queue.begin());
-        solve(KeyToVar.at(MinKey));
-      }
+      InflV[XS] = {XS};
+      for (uint32_t YS : W)
+        StableV[YS] = 0;
+      // min_key Q <= key[x]  ⟺  max slot in Q >= slot(x).
+      while (!Failed && !Queue.empty() && Queue.top() >= XS)
+        solve(Queue.pop());
     }
   }
 
-  D eval(const V &X, const V &Y) {
-    if (!Sigma.count(Y)) {
-      init(Y);
-      solve(Y);
+  D eval(uint32_t XS, const V &Y) {
+    uint32_t YS;
+    auto It = SlotOf.find(Y);
+    if (It == SlotOf.end()) {
+      YS = internFresh(Y);
+      solve(YS);
+    } else {
+      YS = It->second;
     }
-    Infl[Y].insert(X);
-    return Sigma.at(Y);
+    // infl[y] ∪= {x}: append with a cheap duplicate filter; exact set
+    // semantics are not required (see file comment).
+    std::vector<uint32_t> &I = InflV[YS];
+    if (I.empty() || I.back() != XS)
+      I.push_back(XS);
+    return SigmaV[YS];
   }
 
   const LocalSystem<V, D> &System;
   C Combine;
   SolverOptions Options;
 
-  std::unordered_map<V, D> Sigma; // dom = keys(Sigma).
-  std::unordered_map<V, int64_t> Key;
-  std::unordered_map<int64_t, V> KeyToVar;
-  std::unordered_map<V, std::unordered_set<V>> Infl;
-  std::unordered_set<V> Stable;
-  std::set<int64_t> Queue; // Ordered: *begin() is min_key.
-  int64_t Count = 0;
+  // Dense slot-indexed state; slots are discovery order (`count`).
+  std::unordered_map<V, uint32_t> SlotOf; // dom = keys(SlotOf).
+  std::vector<V> VarOf;
+  std::vector<D> SigmaV;
+  std::vector<std::vector<uint32_t>> InflV;
+  std::vector<uint8_t> StableV;
+  IndexedHeap<std::greater<uint32_t>> Queue; // top() = max slot = min key.
   SolverStats Stats;
   bool Failed = false;
 };

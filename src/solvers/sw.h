@@ -31,8 +31,8 @@
 
 #include "eqsys/dense_system.h"
 #include "solvers/stats.h"
+#include "support/indexed_heap.h"
 
-#include <queue>
 #include <vector>
 
 namespace warrow {
@@ -46,19 +46,14 @@ SolveResult<D> solveSW(const DenseSystem<D> &System, C &&Combine,
   Result.Stats.VarsSeen = System.size();
   auto Get = [&Result](Var Y) { return Result.Sigma[Y]; };
 
-  // Min-heap over variable indices with an "in queue" guard implementing
-  // the `add` of the paper (insert or leave unchanged).
-  std::priority_queue<Var, std::vector<Var>, std::greater<Var>> Queue;
-  std::vector<char> InQueue(System.size(), 0);
-  size_t InQueueCount = 0;
+  // Indexed min-heap over variable indices; push implements the `add` of
+  // the paper (insert or leave unchanged).
+  IndexedHeap<> Queue;
+  Queue.resizeUniverse(System.size());
   auto Add = [&](Var Y) {
-    if (InQueue[Y])
-      return;
-    InQueue[Y] = 1;
     Queue.push(Y);
-    ++InQueueCount;
-    if (InQueueCount > Result.Stats.QueueMax)
-      Result.Stats.QueueMax = InQueueCount;
+    if (Queue.size() > Result.Stats.QueueMax)
+      Result.Stats.QueueMax = Queue.size();
   };
   for (Var X = 0; X < System.size(); ++X)
     Add(X);
@@ -68,10 +63,7 @@ SolveResult<D> solveSW(const DenseSystem<D> &System, C &&Combine,
       Result.Stats.Converged = false;
       return Result;
     }
-    Var X = Queue.top();
-    Queue.pop();
-    InQueue[X] = 0;
-    --InQueueCount;
+    Var X = Queue.pop();
     ++Result.Stats.RhsEvals;
     D New = Combine(X, Result.Sigma[X], System.eval(X, Get));
     if (Result.Sigma[X] == New)
@@ -81,6 +73,56 @@ SolveResult<D> solveSW(const DenseSystem<D> &System, C &&Combine,
     if (Options.RecordTrace)
       Result.Trace.push_back({X, Result.Sigma[X]});
     Add(X); // Precaution for non-idempotent ⊕ (Fig. 4 line `add Q x_i`).
+    for (Var Y : System.influenced(X))
+      Add(Y);
+  }
+  return Result;
+}
+
+/// SW under an explicit priority order: \p Rank maps each variable to
+/// its priority (smaller = evaluated first), so Fig. 4's "fixed variable
+/// ordering" becomes a parameter instead of the identity. With a
+/// condensation-consistent Rank (graph/order.h) sequential SW stabilizes
+/// every component before its successors, and its result is bit-identical
+/// to solveParallelSW at any thread count.
+template <typename D, typename C>
+SolveResult<D> solveOrderedSW(const DenseSystem<D> &System, C &&Combine,
+                              const std::vector<uint32_t> &Rank,
+                              const SolverOptions &Options = {}) {
+  SolveResult<D> Result;
+  Result.Sigma = System.initialAssignment();
+  Result.Stats.VarsSeen = System.size();
+  auto Get = [&Result](Var Y) { return Result.Sigma[Y]; };
+
+  // The heap holds ranks; VarAt inverts the permutation on extraction.
+  std::vector<Var> VarAt(System.size());
+  for (Var X = 0; X < System.size(); ++X)
+    VarAt[Rank[X]] = X;
+  IndexedHeap<> Queue;
+  Queue.resizeUniverse(System.size());
+  auto Add = [&](Var Y) {
+    Queue.push(Rank[Y]);
+    if (Queue.size() > Result.Stats.QueueMax)
+      Result.Stats.QueueMax = Queue.size();
+  };
+  for (Var X = 0; X < System.size(); ++X)
+    Add(X);
+
+  while (!Queue.empty()) {
+    if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
+      Result.Stats.Converged = false;
+      return Result;
+    }
+    Var X = VarAt[Queue.pop()];
+    ++Result.Stats.RhsEvals;
+    D New = Combine(X, Result.Sigma[X], System.eval(X, Get));
+    if (Result.Sigma[X] == New)
+      continue;
+    Result.Sigma[X] = New;
+    ++Result.Stats.Updates;
+    if (Options.RecordTrace)
+      Result.Trace.push_back({X, Result.Sigma[X]});
+    Add(X);
     for (Var Y : System.influenced(X))
       Add(Y);
   }

@@ -1,0 +1,134 @@
+//===- support/indexed_heap.h - Indexed binary heap -------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A binary min-heap over dense `uint32_t` ids with a membership bitmap:
+/// the priority-queue shape all structured solvers share. `push` is a
+/// set-insert (an id already present is left untouched — the `add Q x`
+/// of Figures 4 and 6), `pop` removes the minimum element under the
+/// comparator. Compared to the previous `std::set` / `std::priority_queue`
+/// + guard-vector combinations this keeps all state in three flat arrays
+/// (no node allocations, no rebalancing), which is the difference between
+/// cache misses and cache hits on the solvers' hottest loop.
+///
+/// The comparator orders *ids*: the default `std::less` pops the
+/// smallest id first (SW's fixed variable ordering); SLR instantiates
+/// `std::greater` because its keys are the negated discovery slots, so
+/// the minimum key is the maximum slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SUPPORT_INDEXED_HEAP_H
+#define WARROW_SUPPORT_INDEXED_HEAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace warrow {
+
+/// Min-heap over ids `0 .. universe-1` with O(1) membership test and
+/// set-like `push`. \p Compare orders ids; `pop` returns the least id.
+template <typename Compare = std::less<uint32_t>> class IndexedHeap {
+public:
+  explicit IndexedHeap(Compare Cmp = Compare()) : Cmp(Cmp) {}
+
+  /// Declares the id universe `0 .. N-1`; existing contents are kept.
+  /// Heap storage is reserved so pushes never reallocate; growth is
+  /// geometric because local solvers enlarge the universe one unknown at
+  /// a time.
+  void resizeUniverse(size_t N) {
+    InHeap.resize(N, 0);
+    if (Heap.capacity() < N)
+      Heap.reserve(std::max(N, 2 * Heap.capacity()));
+  }
+
+  size_t universeSize() const { return InHeap.size(); }
+  bool empty() const { return Heap.empty(); }
+  size_t size() const { return Heap.size(); }
+  bool contains(uint32_t Id) const { return InHeap[Id]; }
+
+  /// The minimum element under the comparator. Heap must be non-empty.
+  uint32_t top() const {
+    assert(!Heap.empty());
+    return Heap.front();
+  }
+
+  /// Set-insert: adds \p Id unless already present. Returns true if the
+  /// heap changed.
+  bool push(uint32_t Id) {
+    assert(Id < InHeap.size() && "id outside declared universe");
+    if (InHeap[Id])
+      return false;
+    InHeap[Id] = 1;
+    Heap.push_back(Id);
+    siftUp(Heap.size() - 1);
+    return true;
+  }
+
+  /// Removes and returns the minimum element.
+  uint32_t pop() {
+    assert(!Heap.empty());
+    uint32_t Min = Heap.front();
+    InHeap[Min] = 0;
+    uint32_t Last = Heap.back();
+    Heap.pop_back();
+    if (!Heap.empty()) {
+      Heap.front() = Last;
+      siftDown(0);
+    }
+    return Min;
+  }
+
+  /// Removes all elements; the universe (bitmap size) is kept.
+  void clear() {
+    for (uint32_t Id : Heap)
+      InHeap[Id] = 0;
+    Heap.clear();
+  }
+
+private:
+  // `Cmp(a, b)` == "a has higher priority than b" (a popped first).
+  bool before(uint32_t A, uint32_t B) const { return Cmp(A, B); }
+
+  void siftUp(size_t I) {
+    uint32_t Id = Heap[I];
+    while (I > 0) {
+      size_t Parent = (I - 1) / 2;
+      if (!before(Id, Heap[Parent]))
+        break;
+      Heap[I] = Heap[Parent];
+      I = Parent;
+    }
+    Heap[I] = Id;
+  }
+
+  void siftDown(size_t I) {
+    uint32_t Id = Heap[I];
+    size_t N = Heap.size();
+    for (;;) {
+      size_t Child = 2 * I + 1;
+      if (Child >= N)
+        break;
+      if (Child + 1 < N && before(Heap[Child + 1], Heap[Child]))
+        ++Child;
+      if (!before(Heap[Child], Id))
+        break;
+      Heap[I] = Heap[Child];
+      I = Child;
+    }
+    Heap[I] = Id;
+  }
+
+  Compare Cmp;
+  std::vector<uint32_t> Heap;
+  std::vector<uint8_t> InHeap;
+};
+
+} // namespace warrow
+
+#endif // WARROW_SUPPORT_INDEXED_HEAP_H

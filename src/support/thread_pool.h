@@ -1,0 +1,117 @@
+//===- support/thread_pool.h - Fixed-size thread pool -----------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately simple fixed-size thread pool: one shared FIFO task
+/// queue behind a mutex, no work stealing. The parallel solver schedules
+/// whole SCCs — coarse tasks whose cost dwarfs a queue lock — so a
+/// stealing deque would buy nothing and cost determinism of the
+/// bookkeeping. Tasks may submit further tasks (that is exactly how the
+/// ready-count scheduler releases successor components); `waitIdle`
+/// accounts for in-flight tasks, not just queued ones, so it only
+/// returns once the transitive task graph has drained.
+///
+/// `ThreadPool(0)` degenerates to inline execution on the caller's
+/// thread — the zero-overhead configuration used for single-threaded
+/// runs and for deterministic debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_SUPPORT_THREAD_POOL_H
+#define WARROW_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace warrow {
+
+/// Fixed-size FIFO thread pool; see file comment.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 means "run tasks inline in submit".
+  explicit ThreadPool(unsigned Threads) {
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I < Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Stopping = true;
+    }
+    WakeWorkers.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Task. With no workers the task (and anything it
+  /// transitively submits) runs before submit returns.
+  void submit(std::function<void()> Task) {
+    if (Workers.empty()) {
+      Task();
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Queue.push_back(std::move(Task));
+      ++Pending;
+    }
+    WakeWorkers.notify_one();
+  }
+
+  /// Blocks until every submitted task — including tasks submitted *by*
+  /// tasks — has finished.
+  void waitIdle() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Idle.wait(Lock, [this] { return Pending == 0; });
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        WakeWorkers.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained.
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Task();
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        if (--Pending == 0)
+          Idle.notify_all();
+      }
+    }
+  }
+
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  size_t Pending = 0; // Queued + running tasks.
+  bool Stopping = false;
+};
+
+} // namespace warrow
+
+#endif // WARROW_SUPPORT_THREAD_POOL_H

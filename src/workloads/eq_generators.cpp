@@ -138,6 +138,46 @@ DenseSystem<Interval> warrow::randomMonotoneSystem(unsigned Size,
   return S;
 }
 
+DenseSystem<Interval> warrow::manyComponentSystem(unsigned NumComps,
+                                                  unsigned CompSize,
+                                                  int64_t Bound,
+                                                  unsigned CrossLinks,
+                                                  uint64_t Seed) {
+  DenseSystem<Interval> S;
+  using Get = DenseSystem<Interval>::GetFn;
+  Rng R(Seed);
+  for (unsigned C = 0; C < NumComps; ++C)
+    for (unsigned I = 0; I < CompSize; ++I)
+      S.addVar("m" + std::to_string(C) + "_" + std::to_string(I));
+  Interval Cap = Interval::make(0, Bound);
+  Interval Step = Interval::make(0, 1);
+  for (unsigned C = 0; C < NumComps; ++C) {
+    Var Base = C * CompSize;
+    for (unsigned I = 0; I < CompSize; ++I) {
+      Var X = Base + I;
+      Var Prev = I == 0 ? Base + CompSize - 1 : X - 1;
+      std::vector<Var> Deps = {Prev};
+      // Cross links only at the ring entry, only from strictly earlier
+      // components: the condensation stays one SCC per ring.
+      if (I == 0 && C > 0)
+        for (unsigned L = 0; L < CrossLinks; ++L)
+          Deps.push_back(static_cast<Var>(R.below(Base)));
+      bool Entry = I == 0;
+      S.define(
+          X,
+          [Deps, Cap, Step, Entry](const Get &G) {
+            Interval Acc =
+                Entry ? Interval::constant(0) : Interval::bot();
+            for (Var Y : Deps)
+              Acc = Acc.join(G(Y).add(Step).meet(Cap));
+            return Acc;
+          },
+          Deps);
+    }
+  }
+  return S;
+}
+
 DenseSystem<Interval> warrow::oscillatingSystem(int64_t K) {
   // x0 flips between [0,+inf) and [0,5] depending on its own value: a
   // non-monotone right-hand side under which plain ⊟ alternates widening

@@ -56,6 +56,17 @@ DenseSystem<Interval> ringSystem(unsigned Length, int64_t Bound);
 DenseSystem<Interval> randomMonotoneSystem(unsigned Size, unsigned Degree,
                                            int64_t Bound, uint64_t Seed);
 
+/// A monotone interval system shaped like `NumComps` loops (rings of
+/// `CompSize` unknowns, each a nontrivial SCC) linked by `CrossLinks`
+/// forward edges per component from earlier components — a condensation
+/// DAG with many independent components, the workload shape the parallel
+/// SCC-scheduled solver exploits. `CrossLinks = 0` gives fully
+/// independent components (embarrassingly parallel). Deterministic in
+/// `Seed`.
+DenseSystem<Interval> manyComponentSystem(unsigned NumComps,
+                                          unsigned CompSize, int64_t Bound,
+                                          unsigned CrossLinks, uint64_t Seed);
+
 /// A *non-monotone* two-unknown system that oscillates forever under ⊟
 /// with plain narrowing, used to demonstrate the degrading operator ⊟ₖ:
 ///    x = if y <= [0,K] then [0,10] else [0,0]

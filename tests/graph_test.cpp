@@ -1,0 +1,187 @@
+//===- tests/graph_test.cpp - SCC / condensation / WTO tests -------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The graph layer under the parallel solvers: dependency-graph
+// extraction, iterative Tarjan + condensation (topologically numbered
+// components, ready counts), and the Bourdoncle-style weak topological
+// ordering — on self-loops, nested loops, cross edges, and the graphs of
+// the paper's Examples 1 and 2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/dependency_graph.h"
+#include "graph/scc.h"
+#include "graph/wto.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace warrow;
+
+namespace {
+
+DepGraph graphOf(size_t N, std::initializer_list<std::pair<int, int>> Edges) {
+  DepGraph G;
+  G.Succ.resize(N);
+  for (auto [From, To] : Edges)
+    G.addEdge(static_cast<uint32_t>(From), static_cast<uint32_t>(To));
+  G.finalize();
+  return G;
+}
+
+/// Every condensation invariant the scheduler relies on.
+void expectWellFormed(const DepGraph &G, const Condensation &C) {
+  ASSERT_EQ(C.CompOf.size(), G.size());
+  size_t TotalMembers = 0;
+  for (CompId Id = 0; Id < C.numComponents(); ++Id) {
+    TotalMembers += C.Members[Id].size();
+    for (uint32_t V : C.Members[Id])
+      EXPECT_EQ(C.CompOf[V], Id);
+    for (CompId To : C.CompSucc[Id])
+      EXPECT_GT(To, Id) << "condensation edge must respect topo numbering";
+  }
+  EXPECT_EQ(TotalMembers, G.size());
+  // Ready counts = in-degrees of the condensation DAG.
+  std::vector<uint32_t> InDegree(C.numComponents(), 0);
+  for (CompId Id = 0; Id < C.numComponents(); ++Id)
+    for (CompId To : C.CompSucc[Id])
+      ++InDegree[To];
+  EXPECT_EQ(InDegree, C.PredCount);
+}
+
+TEST(Scc, ChainIsAllTrivial) {
+  // 0 -> 1 -> 2 -> 3: four trivial components in topological order.
+  DepGraph G = graphOf(4, {{0, 1}, {1, 2}, {2, 3}});
+  Condensation C = condense(G);
+  expectWellFormed(G, C);
+  ASSERT_EQ(C.numComponents(), 4u);
+  for (uint32_t V = 0; V < 4; ++V) {
+    EXPECT_EQ(C.CompOf[V], V);
+    EXPECT_FALSE(C.Cyclic[V]);
+  }
+  EXPECT_EQ(C.PredCount[0], 0u);
+  EXPECT_EQ(C.PredCount[3], 1u);
+}
+
+TEST(Scc, SelfLoopIsCyclic) {
+  DepGraph G = graphOf(2, {{0, 0}, {0, 1}});
+  Condensation C = condense(G);
+  expectWellFormed(G, C);
+  ASSERT_EQ(C.numComponents(), 2u);
+  EXPECT_TRUE(C.Cyclic[C.CompOf[0]]) << "self-loop must mark the component";
+  EXPECT_FALSE(C.Cyclic[C.CompOf[1]]);
+}
+
+TEST(Scc, PaperExampleOneIsOneComponent) {
+  // x1 = x2; x2 = x3 + 1; x3 = x1: a single 3-cycle.
+  DepGraph G = extractDependencyGraph(paperExampleOne());
+  Condensation C = condense(G);
+  expectWellFormed(G, C);
+  ASSERT_EQ(C.numComponents(), 1u);
+  EXPECT_TRUE(C.Cyclic[0]);
+  EXPECT_EQ(C.Members[0], (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(Scc, PaperExampleTwoIsOneComponent) {
+  // x1 and x2 read each other and themselves.
+  DepGraph G = extractDependencyGraph(paperExampleTwo());
+  EXPECT_TRUE(G.hasEdge(0, 0));
+  EXPECT_TRUE(G.hasEdge(1, 0));
+  Condensation C = condense(G);
+  expectWellFormed(G, C);
+  ASSERT_EQ(C.numComponents(), 1u);
+  EXPECT_TRUE(C.Cyclic[0]);
+}
+
+TEST(Scc, CrossEdgesBetweenComponents) {
+  // Two 2-cycles {0,1} and {2,3}, cross edges 1->2 and 0->3.
+  DepGraph G =
+      graphOf(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}, {0, 3}});
+  Condensation C = condense(G);
+  expectWellFormed(G, C);
+  ASSERT_EQ(C.numComponents(), 2u);
+  EXPECT_TRUE(C.Cyclic[0] && C.Cyclic[1]);
+  EXPECT_EQ(C.CompOf[0], C.CompOf[1]);
+  EXPECT_EQ(C.CompOf[2], C.CompOf[3]);
+  EXPECT_LT(C.CompOf[0], C.CompOf[2]) << "reader must come later";
+  // Both cross edges collapse into one condensation edge.
+  EXPECT_EQ(C.CompSucc[C.CompOf[0]],
+            (std::vector<CompId>{C.CompOf[2]}));
+  EXPECT_EQ(C.PredCount[C.CompOf[2]], 1u);
+}
+
+TEST(Scc, ManyComponentSystemShape) {
+  DenseSystem<Interval> S = manyComponentSystem(16, 8, 64, 0, 7);
+  Condensation C = condense(extractDependencyGraph(S));
+  ASSERT_EQ(C.numComponents(), 16u);
+  for (CompId Id = 0; Id < 16; ++Id) {
+    EXPECT_TRUE(C.Cyclic[Id]);
+    EXPECT_EQ(C.Members[Id].size(), 8u);
+    EXPECT_EQ(C.PredCount[Id], 0u) << "CrossLinks=0 must be independent";
+  }
+  // With cross links, later components acquire predecessors.
+  DenseSystem<Interval> Linked = manyComponentSystem(16, 8, 64, 2, 7);
+  Condensation CL = condense(extractDependencyGraph(Linked));
+  ASSERT_EQ(CL.numComponents(), 16u);
+  uint32_t WithPreds = 0;
+  for (CompId Id = 0; Id < 16; ++Id)
+    WithPreds += CL.PredCount[Id] > 0;
+  EXPECT_GE(WithPreds, 15u - 1u);
+}
+
+TEST(Wto, AcyclicIsTopologicalAtDepthZero) {
+  // Diamond with a cross edge: 0 -> {1,2} -> 3, 1 -> 2.
+  DepGraph G = graphOf(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 2}});
+  std::vector<WtoEntry> W = weakTopologicalOrder(G);
+  ASSERT_EQ(W.size(), 4u);
+  for (const WtoEntry &E : W) {
+    EXPECT_EQ(E.Depth, 0u);
+    EXPECT_FALSE(E.IsHead);
+  }
+  EXPECT_EQ(wtoToString(W), "0 1 2 3");
+}
+
+TEST(Wto, SimpleLoop) {
+  // 0 -> (1 <-> 2) -> 3.
+  DepGraph G = graphOf(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  EXPECT_EQ(wtoToString(weakTopologicalOrder(G)), "0 (1 2) 3");
+}
+
+TEST(Wto, NestedLoops) {
+  // Outer cycle 0 -> 1 -> 2 -> 3 -> 0 with inner cycle 1 <-> 2.
+  DepGraph G = graphOf(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}, {3, 0}});
+  EXPECT_EQ(wtoToString(weakTopologicalOrder(G)), "(0 (1 2) 3)");
+}
+
+TEST(Wto, SelfLoopBecomesSingletonComponent) {
+  DepGraph G = graphOf(3, {{0, 1}, {1, 1}, {1, 2}});
+  EXPECT_EQ(wtoToString(weakTopologicalOrder(G)), "0 (1) 2");
+}
+
+TEST(Wto, PaperExampleGraphs) {
+  EXPECT_EQ(
+      wtoToString(weakTopologicalOrder(
+          extractDependencyGraph(paperExampleOne()))),
+      "(0 2 1)"); // x1 reads x2 reads x3 reads x1: head 0, then 2 -> 1.
+  EXPECT_EQ(wtoToString(weakTopologicalOrder(
+                extractDependencyGraph(paperExampleTwo()))),
+            "(0 (1))");
+}
+
+TEST(Wto, EveryNodeExactlyOnce) {
+  DenseSystem<Interval> S = randomMonotoneSystem(200, 4, 64, 99);
+  DepGraph G = extractDependencyGraph(S);
+  std::vector<WtoEntry> W = weakTopologicalOrder(G);
+  ASSERT_EQ(W.size(), G.size());
+  std::set<uint32_t> Seen;
+  for (const WtoEntry &E : W)
+    Seen.insert(E.Node);
+  EXPECT_EQ(Seen.size(), G.size());
+}
+
+} // namespace
