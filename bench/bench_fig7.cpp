@@ -41,6 +41,8 @@ int main(int argc, char **argv) {
     double ClassicSeconds;
     uint64_t WarrowEvals;
     uint64_t ClassicEvals;
+    uint64_t WarrowCacheHits;
+    uint64_t ClassicCacheHits;
   };
   std::vector<Row> Rows;
 
@@ -63,7 +65,8 @@ int main(int argc, char **argv) {
     Rows.push_back({B.Name, B.lineCount(),
                     comparePrecision(Warrow.Solution, Classic.Solution),
                     Warrow.Seconds, Classic.Seconds, Warrow.Stats.RhsEvals,
-                    Classic.Stats.RhsEvals});
+                    Classic.Stats.RhsEvals, Warrow.Stats.RhsCacheHits,
+                    Classic.Stats.RhsCacheHits});
   }
 
   // Sorted by program size, as in the paper's figure.
@@ -108,9 +111,11 @@ int main(int argc, char **argv) {
       Report.addRecord(R.Name, "slr+warrow", R.WarrowSeconds * 1e9, 1,
                        R.WarrowEvals)
           .set("points", static_cast<uint64_t>(R.Cmp.ComparablePoints))
-          .set("improved", static_cast<uint64_t>(R.Cmp.Improved));
+          .set("improved", static_cast<uint64_t>(R.Cmp.Improved))
+          .set("cache_hits", R.WarrowCacheHits);
       Report.addRecord(R.Name, "two-phase", R.ClassicSeconds * 1e9, 1,
-                       R.ClassicEvals);
+                       R.ClassicEvals)
+          .set("cache_hits", R.ClassicCacheHits);
     }
     if (!Report.writeFile(JsonPath))
       return 1;

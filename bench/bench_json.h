@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace warrow {
@@ -111,6 +112,27 @@ private:
   std::vector<std::pair<std::string, std::string>> Fields;
 };
 
+/// Host/build metadata record (`"meta": true`), prepended to every
+/// report so cross-host numbers are interpretable: CI hardware varies,
+/// and a wall_ns from a 1-thread container is not comparable to a
+/// 16-thread workstation. Tools must skip records carrying "meta".
+inline JsonRecord makeMetaRecord() {
+  JsonRecord R;
+  R.set("meta", true);
+  R.set("hardware_concurrency",
+        static_cast<uint64_t>(std::thread::hardware_concurrency()));
+#ifdef __VERSION__
+  R.set("compiler", std::string(__VERSION__));
+#endif
+#ifdef WARROW_BUILD_TYPE
+  R.set("build_type", std::string(WARROW_BUILD_TYPE));
+#endif
+#ifdef WARROW_CXX_FLAGS
+  R.set("cxx_flags", std::string(WARROW_CXX_FLAGS));
+#endif
+  return R;
+}
+
 /// Collects records and writes them as a JSON array.
 class JsonReport {
 public:
@@ -136,6 +158,8 @@ public:
 
   std::string render() const {
     std::string S = "[\n";
+    S += "  " + makeMetaRecord().render();
+    S += Records.empty() ? "\n" : ",\n";
     for (size_t I = 0; I < Records.size(); ++I) {
       S += "  " + Records[I].render();
       if (I + 1 < Records.size())

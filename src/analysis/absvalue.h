@@ -39,6 +39,10 @@ public:
 
   static AbsValue bot() { return AbsValue(); }
   static AbsValue env(AbsEnv E) {
+    // Choke point: every environment entering the solver-facing value
+    // domain is interned, so stability checks downstream are pointer
+    // compares and copies are ref-count bumps (see analysis/env_pool.h).
+    E.freeze();
     AbsValue V;
     V.K = Kind::Env;
     V.EnvValue = std::move(E);

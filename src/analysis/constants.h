@@ -52,6 +52,11 @@ public:
 
   template <typename V>
   AbsValue operator()(const V &X, const AbsValue &Old, const AbsValue &New) {
+    // a ⊟ a = a with no state change (the seed path for equal values
+    // neither armed Narrowing nor counted a switch); with hash-consed
+    // environments this == is a pointer compare.
+    if (New == Old)
+      return Old;
     State &S = States[keyOf(X)];
     if (New.leq(Old)) {
       if (S.Switches >= MaxSwitches)

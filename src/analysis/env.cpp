@@ -13,33 +13,75 @@
 
 using namespace warrow;
 
-std::vector<AbsEnv::Entry>::iterator AbsEnv::lowerBound(Symbol Name) {
+namespace {
+
+/// Sorted lookup helper over entry vectors.
+EnvData::const_iterator lowerBound(const EnvData &Entries, Symbol Name) {
   return std::lower_bound(
       Entries.begin(), Entries.end(), Name,
-      [](const Entry &E, Symbol S) { return E.first < S; });
+      [](const EnvEntry &E, Symbol S) { return E.first < S; });
 }
 
-std::vector<AbsEnv::Entry>::const_iterator
-AbsEnv::lowerBound(Symbol Name) const {
-  return std::lower_bound(
-      Entries.begin(), Entries.end(), Name,
-      [](const Entry &E, Symbol S) { return E.first < S; });
+} // namespace
+
+const EnvData &AbsEnv::entries() const {
+  static const EnvData Empty;
+  return Node ? *Node : Empty;
+}
+
+AbsEnv AbsEnv::fromEntries(EnvData &&Entries) {
+  if (Entries.empty())
+    return AbsEnv();
+  return AbsEnv(EnvPool::local().intern(std::move(Entries)));
+}
+
+EnvData &AbsEnv::mutableEntries() {
+  if (!Node)
+    Node = EnvRef::make(EnvData{});
+  else if (!Node.unique() || Node.frozen())
+    Node = EnvRef::make(EnvData(*Node));
+  return Node.mutableData();
+}
+
+void AbsEnv::freeze() {
+  if (Node && !Node.frozen())
+    Node = EnvPool::local().intern(std::move(Node));
 }
 
 Interval AbsEnv::get(Symbol Name) const {
-  auto It = lowerBound(Name);
-  if (It != Entries.end() && It->first == Name)
+  if (!Node)
+    return Interval::top();
+  auto It = lowerBound(*Node, Name);
+  if (It != Node->end() && It->first == Name)
     return It->second;
   return Interval::top();
 }
 
 void AbsEnv::set(Symbol Name, const Interval &Value) {
   assert(!Value.isBot() && "environments never bind bottom");
-  auto It = lowerBound(Name);
+  // No-op fast paths first, so shared/frozen nodes are not cloned for
+  // writes that change nothing (common in straight-line transfer code).
+  if (!Node) {
+    if (Value.isTop())
+      return;
+  } else {
+    auto It = lowerBound(*Node, Name);
+    bool Present = It != Node->end() && It->first == Name;
+    if (Value.isTop() && !Present)
+      return;
+    if (Present && It->second == Value)
+      return;
+  }
+  EnvData &Entries = mutableEntries();
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Name,
+      [](const EnvEntry &E, Symbol S) { return E.first < S; });
   bool Present = It != Entries.end() && It->first == Name;
   if (Value.isTop()) {
-    if (Present)
-      Entries.erase(It);
+    assert(Present && "non-present top handled above");
+    Entries.erase(It);
+    if (Entries.empty())
+      Node.reset(); // Invariant: null node iff top.
     return;
   }
   if (Present)
@@ -50,51 +92,112 @@ void AbsEnv::set(Symbol Name, const Interval &Value) {
 
 bool AbsEnv::leq(const AbsEnv &Other) const {
   // A ⊑ B iff for all variables bound in B: A(x) ⊑ B(x).
-  for (const Entry &E : Other.Entries)
-    if (!get(E.first).leq(E.second))
+  if (Node == Other.Node)
+    return true;
+  if (!Other.Node)
+    return true;
+  if (!Node)
+    return false; // Other binds something non-top; top ⋢ it.
+  auto It = Node->begin(), End = Node->end();
+  for (const EnvEntry &E : *Other.Node) {
+    while (It != End && It->first < E.first)
+      ++It;
+    if (It == End || It->first != E.first)
+      return false; // Unbound here means top, never ⊑ a real binding.
+    if (!It->second.leq(E.second))
       return false;
+  }
   return true;
 }
 
+bool AbsEnv::operator==(const AbsEnv &Other) const {
+  if (Node == Other.Node)
+    return true;
+  if (!Node || !Other.Node)
+    return false;
+  // Distinct frozen nodes from one pool differ by construction, but
+  // values may cross threads (parallel solvers), so unequal memoized
+  // hashes are the only O(1) negative answer; equal hashes fall back to
+  // the structural compare (also covering genuine hash collisions).
+  if (Node.frozen() && Other.Node.frozen() &&
+      Node.get()->Hash != Other.Node.get()->Hash)
+    return false;
+  return *Node == *Other.Node;
+}
+
 AbsEnv AbsEnv::join(const AbsEnv &Other) const {
+  if (Node == Other.Node)
+    return *this; // e ⊔ e = e.
   // Only variables bound on both sides stay constrained.
-  AbsEnv Result;
-  for (const Entry &E : Entries) {
-    auto It = Other.lowerBound(E.first);
-    if (It == Other.Entries.end() || It->first != E.first)
-      continue;
-    Interval Joined = E.second.join(It->second);
-    if (!Joined.isTop())
-      Result.Entries.push_back({E.first, Joined});
+  if (!Node || !Other.Node)
+    return AbsEnv();
+  EnvData Result;
+  auto AIt = Node->begin(), AEnd = Node->end();
+  auto BIt = Other.Node->begin(), BEnd = Other.Node->end();
+  while (AIt != AEnd && BIt != BEnd) {
+    if (AIt->first < BIt->first) {
+      ++AIt;
+    } else if (BIt->first < AIt->first) {
+      ++BIt;
+    } else {
+      Interval Joined = AIt->second.join(BIt->second);
+      if (!Joined.isTop())
+        Result.push_back({AIt->first, Joined});
+      ++AIt;
+      ++BIt;
+    }
   }
-  return Result;
+  return fromEntries(std::move(Result));
 }
 
 AbsEnv AbsEnv::widen(const AbsEnv &Other) const {
-  AbsEnv Result;
-  for (const Entry &E : Entries) {
-    auto It = Other.lowerBound(E.first);
-    if (It == Other.Entries.end() || It->first != E.first)
-      continue; // Other side is top; widening to top drops the binding.
-    Interval Widened = E.second.widen(It->second);
-    if (!Widened.isTop())
-      Result.Entries.push_back({E.first, Widened});
+  if (Node == Other.Node)
+    return *this; // e ▽ e = e.
+  if (!Node || !Other.Node)
+    return AbsEnv(); // Either side top; widening to top drops bindings.
+  EnvData Result;
+  auto AIt = Node->begin(), AEnd = Node->end();
+  auto BIt = Other.Node->begin(), BEnd = Other.Node->end();
+  while (AIt != AEnd && BIt != BEnd) {
+    if (AIt->first < BIt->first) {
+      ++AIt;
+    } else if (BIt->first < AIt->first) {
+      ++BIt;
+    } else {
+      Interval Widened = AIt->second.widen(BIt->second);
+      if (!Widened.isTop())
+        Result.push_back({AIt->first, Widened});
+      ++AIt;
+      ++BIt;
+    }
   }
-  return Result;
+  return fromEntries(std::move(Result));
 }
 
 AbsEnv AbsEnv::widenWithThresholds(
     const AbsEnv &Other, const std::vector<int64_t> &Thresholds) const {
-  AbsEnv Result;
-  for (const Entry &E : Entries) {
-    auto It = Other.lowerBound(E.first);
-    if (It == Other.Entries.end() || It->first != E.first)
-      continue;
-    Interval Widened = E.second.widenWithThresholds(It->second, Thresholds);
-    if (!Widened.isTop())
-      Result.Entries.push_back({E.first, Widened});
+  if (Node == Other.Node)
+    return *this;
+  if (!Node || !Other.Node)
+    return AbsEnv();
+  EnvData Result;
+  auto AIt = Node->begin(), AEnd = Node->end();
+  auto BIt = Other.Node->begin(), BEnd = Other.Node->end();
+  while (AIt != AEnd && BIt != BEnd) {
+    if (AIt->first < BIt->first) {
+      ++AIt;
+    } else if (BIt->first < AIt->first) {
+      ++BIt;
+    } else {
+      Interval Widened =
+          AIt->second.widenWithThresholds(BIt->second, Thresholds);
+      if (!Widened.isTop())
+        Result.push_back({AIt->first, Widened});
+      ++AIt;
+      ++BIt;
+    }
   }
-  return Result;
+  return fromEntries(std::move(Result));
 }
 
 AbsEnv AbsEnv::narrow(const AbsEnv &Other) const {
@@ -105,33 +208,67 @@ AbsEnv AbsEnv::narrow(const AbsEnv &Other) const {
   // narrowing that re-adopts it can alternate; on non-monotonic systems
   // this must be bounded by a degrading ⊟ (per-unknown switch counters),
   // which the analysis drivers use.
-  AbsEnv Result = *this;
-  for (Entry &E : Result.Entries)
-    E.second = E.second.narrow(Other.get(E.first));
-  for (const Entry &E : Other.Entries) {
-    auto It = Result.lowerBound(E.first);
-    if (It == Result.Entries.end() || It->first != E.first)
-      Result.Entries.insert(It, E);
+  if (Node == Other.Node)
+    return *this; // e △ e = e.
+  if (!Other.Node)
+    return *this; // v △ top = v pointwise.
+  if (!Node)
+    return Other; // Adopt every binding (top △ v).
+  EnvData Result;
+  auto AIt = Node->begin(), AEnd = Node->end();
+  auto BIt = Other.Node->begin(), BEnd = Other.Node->end();
+  while (AIt != AEnd || BIt != BEnd) {
+    if (BIt == BEnd || (AIt != AEnd && AIt->first < BIt->first)) {
+      Interval Narrowed = AIt->second.narrow(Interval::top());
+      if (!Narrowed.isTop())
+        Result.push_back({AIt->first, Narrowed});
+      ++AIt;
+    } else if (AIt == AEnd || BIt->first < AIt->first) {
+      if (!BIt->second.isTop())
+        Result.push_back(*BIt); // Other-only binding adopted.
+      ++BIt;
+    } else {
+      Interval Narrowed = AIt->second.narrow(BIt->second);
+      if (!Narrowed.isTop())
+        Result.push_back({AIt->first, Narrowed});
+      ++AIt;
+      ++BIt;
+    }
   }
-  // Normalize (narrowing cannot produce top from non-top, but be safe).
-  Result.Entries.erase(
-      std::remove_if(Result.Entries.begin(), Result.Entries.end(),
-                     [](const Entry &E) { return E.second.isTop(); }),
-      Result.Entries.end());
-  return Result;
+  return fromEntries(std::move(Result));
 }
 
 bool AbsEnv::meetWith(const AbsEnv &Other) {
-  for (const Entry &E : Other.Entries) {
-    Interval Met = get(E.first).meet(E.second);
-    if (Met.isBot())
-      return false;
-    set(E.first, Met);
+  if (Node == Other.Node)
+    return true; // e ⊓ e = e, never empty (bindings are non-bottom).
+  if (!Other.Node)
+    return true;
+  EnvData Result;
+  auto AIt = Node ? Node->begin() : EnvData::const_iterator{};
+  auto AEnd = Node ? Node->end() : AIt;
+  auto BIt = Other.Node->begin(), BEnd = Other.Node->end();
+  while (AIt != AEnd || BIt != BEnd) {
+    if (BIt == BEnd || (AIt != AEnd && AIt->first < BIt->first)) {
+      Result.push_back(*AIt);
+      ++AIt;
+    } else if (AIt == AEnd || BIt->first < AIt->first) {
+      Result.push_back(*BIt); // Meet with our implicit top.
+      ++BIt;
+    } else {
+      Interval Met = AIt->second.meet(BIt->second);
+      if (Met.isBot())
+        return false; // Unreachable; *this left unchanged.
+      Result.push_back({AIt->first, Met});
+      ++AIt;
+      ++BIt;
+    }
   }
+  *this = fromEntries(std::move(Result));
   return true;
 }
 
 std::string AbsEnv::str(const Interner &Symbols) const {
+  const EnvData &Entries = entries();
   std::string Out = "{";
   for (size_t I = 0; I < Entries.size(); ++I) {
     if (I)
@@ -142,10 +279,9 @@ std::string AbsEnv::str(const Interner &Symbols) const {
 }
 
 size_t AbsEnv::hashValue() const {
-  size_t Seed = Entries.size();
-  for (const Entry &E : Entries) {
-    hashCombine(Seed, E.first);
-    hashCombine(Seed, E.second.hashValue());
-  }
-  return Seed;
+  if (!Node)
+    return 0; // EnvDataHash of the empty vector.
+  if (Node.frozen())
+    return Node.get()->Hash;
+  return EnvDataHash{}(*Node);
 }

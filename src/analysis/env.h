@@ -12,11 +12,20 @@
 /// variable to the empty interval — operations that would produce one
 /// report unreachability instead.
 ///
+/// Representation: a copy-on-write handle over hash-consed entry vectors
+/// (env_pool.h). Copies bump a reference count; mutation clones only
+/// shared or frozen nodes; `freeze()` interns the contents so that
+/// structurally equal environments share one canonical node and equality
+/// is a pointer compare. The public API is unchanged from the value-
+/// semantics implementation — transfer functions and solvers compile
+/// as before.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_ANALYSIS_ENV_H
 #define WARROW_ANALYSIS_ENV_H
 
+#include "analysis/env_pool.h"
 #include "lattice/interval.h"
 #include "support/interner.h"
 
@@ -42,16 +51,12 @@ public:
   void set(Symbol Name, const Interval &Value);
 
   /// True if no variable is constrained.
-  bool isTop() const { return Entries.empty(); }
-  size_t size() const { return Entries.size(); }
-  const std::vector<std::pair<Symbol, Interval>> &entries() const {
-    return Entries;
-  }
+  bool isTop() const { return !Node; }
+  size_t size() const { return Node ? Node->size() : 0; }
+  const EnvData &entries() const;
 
   bool leq(const AbsEnv &Other) const;
-  bool operator==(const AbsEnv &Other) const {
-    return Entries == Other.Entries;
-  }
+  bool operator==(const AbsEnv &Other) const;
 
   AbsEnv join(const AbsEnv &Other) const;
   AbsEnv widen(const AbsEnv &Other) const;
@@ -65,18 +70,35 @@ public:
   /// variable's meet is empty, i.e. the environment became unreachable.
   bool meetWith(const AbsEnv &Other);
 
+  /// Interns the contents into the thread-local pool: afterwards this
+  /// handle points at the canonical node for its value and equality with
+  /// other frozen environments is a pointer compare. Idempotent; called
+  /// automatically at the solver choke point (AbsValue::env).
+  void freeze();
+  /// True when the contents are interned (top counts as frozen).
+  bool isFrozen() const { return !Node || Node.frozen(); }
+  /// Identity of the underlying representation (null for top). Two
+  /// environments with equal ids are equal; the converse holds only for
+  /// frozen environments from the same thread. Diagnostics/tests.
+  const void *nodeId() const { return Node.get(); }
+
   /// "{x->[0,3], y->[1,1]}" using the interner for names.
   std::string str(const Interner &Symbols) const;
 
   size_t hashValue() const;
 
 private:
-  using Entry = std::pair<Symbol, Interval>;
-  // Sorted by symbol; values never top (normalized away) and never bottom.
-  std::vector<Entry> Entries;
+  using Entry = EnvEntry;
 
-  std::vector<Entry>::iterator lowerBound(Symbol Name);
-  std::vector<Entry>::const_iterator lowerBound(Symbol Name) const;
+  explicit AbsEnv(EnvRef N) : Node(std::move(N)) {}
+  /// Normalizes (empty → top) and interns.
+  static AbsEnv fromEntries(EnvData &&Entries);
+  /// Copy-on-write access: clones the node when shared or frozen.
+  EnvData &mutableEntries();
+
+  /// Sorted by symbol; values never top (normalized away) and never
+  /// bottom; null node iff empty (top).
+  EnvRef Node;
 };
 
 } // namespace warrow

@@ -1,0 +1,81 @@
+//===- analysis/env_pool.h - Interning pool for environments ----*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hash-consing pool behind `AbsEnv`: environment contents (sorted
+/// symbol→interval entry vectors) are interned into immutable ref-counted
+/// nodes, one canonical node per distinct environment *per thread*. All
+/// environments flowing through the solvers are frozen (AbsValue::env
+/// freezes at the choke point), so the `Sigma[x] == New` stability checks
+/// that dominate SLR/SLR+ runs degenerate to pointer compares.
+///
+/// The pool is thread-local: interning needs no locks, and the arena's
+/// strong references die with the thread. Frozen nodes themselves are
+/// atomically ref-counted and may outlive their pool — the parallel
+/// solvers copy values across workers — at the price that a cross-thread
+/// equality of equal-valued nodes falls back to a structural compare
+/// (AbsEnv::operator== handles this; same-thread comparisons stay O(1)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_ENV_POOL_H
+#define WARROW_ANALYSIS_ENV_POOL_H
+
+#include "lattice/hashcons.h"
+#include "lattice/interval.h"
+#include "support/hash.h"
+#include "support/interner.h"
+
+#include <utility>
+#include <vector>
+
+namespace warrow {
+
+/// One environment binding; vectors of these, sorted by symbol, are the
+/// interned representation (values never top, never bottom).
+using EnvEntry = std::pair<Symbol, Interval>;
+using EnvData = std::vector<EnvEntry>;
+using EnvRef = ConsRef<EnvData>;
+
+/// Hash of environment contents (matches the pre-consing AbsEnv hash, so
+/// stored hashes stay stable across the representation change).
+struct EnvDataHash {
+  size_t operator()(const EnvData &Entries) const {
+    size_t Seed = Entries.size();
+    for (const EnvEntry &E : Entries) {
+      hashCombine(Seed, E.first);
+      hashCombine(Seed, E.second.hashValue());
+    }
+    return Seed;
+  }
+};
+
+/// Thread-local interning arena for environment contents.
+class EnvPool {
+public:
+  /// The calling thread's pool.
+  static EnvPool &local() {
+    static thread_local EnvPool Pool;
+    return Pool;
+  }
+
+  EnvRef intern(EnvRef Node) { return Arena.intern(std::move(Node)); }
+  EnvRef intern(EnvData &&Entries) {
+    return Arena.intern(std::move(Entries));
+  }
+
+  /// Distinct environments interned by this thread (diagnostics/tests).
+  size_t distinctEnvs() const { return Arena.size(); }
+  uint64_t internHits() const { return Arena.hits(); }
+  uint64_t internMisses() const { return Arena.misses(); }
+
+private:
+  HashConsArena<EnvData, EnvDataHash> Arena;
+};
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_ENV_POOL_H

@@ -98,6 +98,11 @@ struct NarrowCombine {
 struct WarrowCombine {
   template <typename V, typename D>
   D operator()(const V &, const D &Old, const D &New) const {
+    // Identity fast path: a ⊟ a = a △ a = a (△ over intervals/envs keeps
+    // the left value when nothing shrank). With hash-consed environments
+    // the == is a pointer compare, making re-confirming updates free.
+    if (New == Old)
+      return Old;
     if (New.leq(Old))
       return Old.narrow(New);
     return Old.widen(New);
@@ -120,6 +125,10 @@ public:
 
   template <typename D>
   D operator()(const V &X, const D &Old, const D &New) {
+    // a ⊟ₖ a = a, and the seed path for equal values neither armed the
+    // narrowing flag nor bumped the counter — state stays identical.
+    if (New == Old)
+      return Old;
     State &S = States[X];
     if (New.leq(Old)) {
       if (S.Switches >= MaxSwitches)
@@ -171,6 +180,8 @@ public:
 
   template <typename D>
   D operator()(const V &X, const D &Old, const D &New) {
+    if (New == Old)
+      return Old; // a ⊟ a = a; growth counters untouched, as before.
     if (New.leq(Old))
       return Old.narrow(New);
     unsigned &Grown = GrowthCount[X];

@@ -1,0 +1,172 @@
+//===- lattice/hashcons.h - Hash-consing arena ------------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic hash-consing: ref-counted nodes holding one value each, plus an
+/// arena that *interns* nodes so structurally equal values share a single
+/// canonical node. Nodes begin life mutable ("thawed"); interning freezes
+/// them — the hash is memoized in the node, and the arena keeps a strong
+/// reference so later interns of equal values return the same pointer.
+///
+/// The payoff on the analysis hot path: copies of interned values are a
+/// reference-count bump, and equality of two frozen nodes is a pointer
+/// compare (positive case), a memoized-hash compare (almost every negative
+/// case), or a structural compare (only on a genuine hash collision or a
+/// cross-arena comparison — see AbsEnv::operator==).
+///
+/// Reference counts are atomic so frozen nodes may be shared across
+/// threads (the parallel solvers copy assignments between workers); the
+/// arena itself is single-threaded — use one per thread (EnvPool::local()).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_HASHCONS_H
+#define WARROW_LATTICE_HASHCONS_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace warrow {
+
+/// A ref-counted node holding one value of \p T. Nodes start mutable;
+/// an arena freezes them (once) on interning, memoizing the hash. A
+/// frozen node's Data must never be mutated again — every sharer may be
+/// relying on the cached hash and on canonical-pointer equality.
+template <typename T> struct ConsNode {
+  explicit ConsNode(T Value) : Data(std::move(Value)) {}
+
+  mutable std::atomic<uint32_t> RefCount{1};
+  /// Memoized hash; valid iff `Frozen`. Written before the release-store
+  /// of Frozen, so any thread observing Frozen==true sees the hash.
+  size_t Hash = 0;
+  std::atomic<bool> Frozen{false};
+  T Data;
+};
+
+/// Intrusive smart pointer over ConsNode<T>. Copying is a ref-count bump.
+template <typename T> class ConsRef {
+public:
+  ConsRef() = default;
+  /// Wraps a fresh value in a new mutable node.
+  static ConsRef make(T Value) {
+    ConsRef R;
+    R.N = new ConsNode<T>(std::move(Value));
+    return R;
+  }
+
+  ConsRef(const ConsRef &O) : N(O.N) { retain(); }
+  ConsRef(ConsRef &&O) noexcept : N(O.N) { O.N = nullptr; }
+  ConsRef &operator=(ConsRef O) noexcept {
+    std::swap(N, O.N);
+    return *this;
+  }
+  ~ConsRef() { release(); }
+
+  explicit operator bool() const { return N != nullptr; }
+  ConsNode<T> *get() const { return N; }
+  const T &operator*() const { return N->Data; }
+  const T *operator->() const { return &N->Data; }
+
+  /// True when this handle is the only owner; mutation through
+  /// `mutableData` is then safe provided the node is not frozen.
+  bool unique() const {
+    return N && N->RefCount.load(std::memory_order_acquire) == 1;
+  }
+  bool frozen() const {
+    return N && N->Frozen.load(std::memory_order_acquire);
+  }
+  /// In-place access; callers must hold the only reference to a thawed
+  /// node (copy-on-write goes through here — see AbsEnv::mutableEntries).
+  T &mutableData() {
+    assert(unique() && !frozen() && "mutating a shared or frozen node");
+    return N->Data;
+  }
+
+  void reset() {
+    release();
+    N = nullptr;
+  }
+
+  /// Pointer identity (not structural equality).
+  friend bool operator==(const ConsRef &A, const ConsRef &B) {
+    return A.N == B.N;
+  }
+  friend bool operator!=(const ConsRef &A, const ConsRef &B) {
+    return A.N != B.N;
+  }
+
+private:
+  void retain() const {
+    if (N)
+      N->RefCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  void release() const {
+    if (N && N->RefCount.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      delete N;
+  }
+
+  ConsNode<T> *N = nullptr;
+};
+
+/// Hash-consing arena. `intern` maps structurally equal values onto one
+/// canonical frozen node; collisions (distinct values, equal hash) live
+/// side by side in a bucket and are told apart structurally, so a poor
+/// \p HashFn costs time, never correctness (hashcons_test exercises a
+/// constant hash). The arena holds a strong reference to every canonical
+/// node; nodes outlive the arena while any outside reference remains.
+template <typename T, typename HashFn = std::hash<T>,
+          typename EqFn = std::equal_to<T>>
+class HashConsArena {
+public:
+  /// Interns \p Node: returns the canonical node for its value. A thawed
+  /// node whose value is new is frozen in place (no copy); otherwise the
+  /// existing canonical node is returned and \p Node is dropped. Already
+  /// frozen nodes (canonicalized here or by another arena) pass through.
+  ConsRef<T> intern(ConsRef<T> Node) {
+    if (!Node || Node.frozen())
+      return Node;
+    size_t H = HashFn{}(Node.get()->Data);
+    std::vector<ConsRef<T>> &Bucket = Table[H];
+    for (const ConsRef<T> &Existing : Bucket)
+      if (EqFn{}(Existing.get()->Data, Node.get()->Data)) {
+        ++HitCount;
+        return Existing;
+      }
+    ++MissCount;
+    Node.get()->Hash = H;
+    Node.get()->Frozen.store(true, std::memory_order_release);
+    Bucket.push_back(Node);
+    ++NodeCount;
+    return Node;
+  }
+
+  ConsRef<T> intern(T &&Value) {
+    return intern(ConsRef<T>::make(std::move(Value)));
+  }
+
+  /// Number of distinct (canonical) values interned.
+  size_t size() const { return NodeCount; }
+  /// Interns that found an existing canonical node.
+  uint64_t hits() const { return HitCount; }
+  /// Interns that created a new canonical node.
+  uint64_t misses() const { return MissCount; }
+
+private:
+  std::unordered_map<size_t, std::vector<ConsRef<T>>> Table;
+  size_t NodeCount = 0;
+  uint64_t HitCount = 0;
+  uint64_t MissCount = 0;
+};
+
+} // namespace warrow
+
+#endif // WARROW_LATTICE_HASHCONS_H

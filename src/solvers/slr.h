@@ -125,6 +125,7 @@ private:
     SigmaV.push_back(System.initial(Y));
     InflV.push_back({S});
     StableV.push_back(0);
+    CacheV.emplace_back();
     Queue.resizeUniverse(VarOf.size());
     return S;
   }
@@ -139,15 +140,15 @@ private:
     if (Failed || StableV[XS])
       return;
     StableV[XS] = 1;
-    if (Stats.RhsEvals >= Options.MaxRhsEvals) {
+    // Cache hits count against the budget too: on a divergent system the
+    // hit path must not be able to loop past MaxRhsEvals for free. On
+    // convergent runs hits replace evals one-for-one, so the sum equals
+    // the uncached eval count and Converged is bit-identical either way.
+    if (Stats.RhsEvals + Stats.RhsCacheHits >= Options.MaxRhsEvals) {
       Failed = true;
       return;
     }
-    ++Stats.RhsEvals;
-    typename LocalSystem<V, D>::Get Eval = [this, XS](const V &Y) -> D {
-      return eval(XS, Y);
-    };
-    D New = System.rhs(VarOf[XS])(Eval);
+    D New = evaluate(XS);
     if (Failed)
       return;
     D Tmp = Combine(VarOf[XS], SigmaV[XS], New);
@@ -166,7 +167,57 @@ private:
     }
   }
 
-  D eval(uint32_t XS, const V &Y) {
+  /// f_x(eval x), answered from the read cache when every value the last
+  /// evaluation of x read through `Get` is unchanged. Right-hand sides
+  /// are pure in the instrumented-Get sense (DESIGN §3): same reads, same
+  /// result — so a hit returns the identical value the evaluation would
+  /// have produced and the solver's behavior is bit-for-bit unchanged.
+  D evaluate(uint32_t XS) {
+    if (Options.RhsCache && CacheV[XS].Valid && cacheIsFresh(XS)) {
+      ++Stats.RhsCacheHits;
+      // Replay the influence registrations the skipped evaluation would
+      // have performed (same order, same back-dedup): dropping them
+      // would lose future destabilizations of x. Every update of y
+      // resets infl[y], so prior registrations may be gone by now.
+      for (const auto &R : CacheV[XS].Reads) {
+        std::vector<uint32_t> &I = InflV[R.first];
+        if (I.empty() || I.back() != XS)
+          I.push_back(XS);
+      }
+      return CacheV[XS].Value;
+    }
+    if (Options.RhsCache)
+      ++Stats.RhsCacheMisses;
+    ++Stats.RhsEvals;
+    // Reads lives in this frame: CacheV may reallocate while the RHS
+    // recursively interns fresh unknowns, so no reference into it may be
+    // held across the rhs() call (same reason everything below indexes).
+    std::vector<std::pair<uint32_t, D>> Reads;
+    typename LocalSystem<V, D>::Get Eval = [this, XS,
+                                            &Reads](const V &Y) -> D {
+      uint32_t YS = eval(XS, Y);
+      if (Options.RhsCache)
+        Reads.emplace_back(YS, SigmaV[YS]);
+      return SigmaV[YS];
+    };
+    D New = System.rhs(VarOf[XS])(Eval);
+    if (!Failed && Options.RhsCache)
+      CacheV[XS] = CacheEntry{std::move(Reads), New, true};
+    return New;
+  }
+
+  /// True when every recorded read of x's last evaluation would return
+  /// the identical value today. With hash-consed environments each check
+  /// is (almost always) a pointer or memoized-hash compare.
+  bool cacheIsFresh(uint32_t XS) const {
+    for (const auto &R : CacheV[XS].Reads)
+      if (!(R.second == SigmaV[R.first]))
+        return false;
+    return true;
+  }
+
+  /// `eval x y` of Fig. 6 minus the value read; returns y's slot.
+  uint32_t eval(uint32_t XS, const V &Y) {
     uint32_t YS;
     auto It = SlotOf.find(Y);
     if (It == SlotOf.end()) {
@@ -180,8 +231,17 @@ private:
     std::vector<uint32_t> &I = InflV[YS];
     if (I.empty() || I.back() != XS)
       I.push_back(XS);
-    return SigmaV[YS];
+    return YS;
   }
+
+  /// Last evaluation of one unknown: the (slot, value) pairs read through
+  /// `Get`, in read order with duplicates, and the RHS result. Copies of
+  /// consed values are ref-count bumps, so keeping them is cheap.
+  struct CacheEntry {
+    std::vector<std::pair<uint32_t, D>> Reads;
+    D Value{};
+    bool Valid = false;
+  };
 
   const LocalSystem<V, D> &System;
   C Combine;
@@ -193,6 +253,7 @@ private:
   std::vector<D> SigmaV;
   std::vector<std::vector<uint32_t>> InflV;
   std::vector<uint8_t> StableV;
+  std::vector<CacheEntry> CacheV;
   IndexedHeap<std::greater<uint32_t>> Queue; // top() = max slot = min key.
   SolverStats Stats;
   bool Failed = false;

@@ -31,6 +31,17 @@
 ///     (in solve)
 ///     tmp <- sigma(x) ⊕ (f_x (eval x) (side x) ⊔ ⊔{sigma(z,x) | z in set x})
 ///
+/// Representation (mirroring slr.h): unknowns are interned into dense
+/// *slots* in discovery order — sigma, stable, infl, the on-stack and
+/// widening-point marks, the priority queue, and the evaluation cache are
+/// flat vectors indexed by slot; the single V-keyed hash lookup left on
+/// the hot path is the `y ∈ dom` test. The per-contributor cells sigma(x,z)
+/// stay in a V-keyed map (contribution traffic is orders of magnitude
+/// below get traffic, and tests read the map through `contributions()`).
+/// `set[z]` itself is implicit: the join in solve() runs over *all* of
+/// z's cells — cells that never changed still hold ⊥ and join as no-ops,
+/// so the result is identical — and a per-slot flag tracks `set[z] != {}`.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_SLR_PLUS_H
@@ -38,13 +49,15 @@
 
 #include "eqsys/local_system.h"
 #include "solvers/stats.h"
+#include "support/indexed_heap.h"
 
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace warrow {
 
@@ -68,30 +81,41 @@ public:
 
   /// Solves for \p X0 and returns the partial ⊕-solution.
   PartialSolution<V, D> solveFor(const V &X0) {
-    init(X0);
-    solve(X0);
+    solve(internFresh(X0));
     // Drain any unknowns destabilized by side effects that no enclosing
     // update flushed (Fig. 6 drains inside the update branch only; if the
     // chain up to x0 never changes value, destabilized unknowns would
     // otherwise be left unsolved and the result would not be a partial
     // ⊕-solution).
-    while (!Failed && !Queue.empty()) {
-      int64_t MinKey = *Queue.begin();
-      Queue.erase(Queue.begin());
-      solve(KeyToVar.at(MinKey));
-    }
+    while (!Failed && !Queue.empty())
+      solve(Queue.pop());
     PartialSolution<V, D> Result;
-    Result.Sigma = Sigma;
+    Result.Sigma.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      Result.Sigma.emplace(VarOf[S], SigmaV[S]);
     Result.Stats = Stats;
     Result.Stats.Converged = !Failed;
-    Result.Stats.VarsSeen = Sigma.size();
+    Result.Stats.VarsSeen = VarOf.size();
     Result.Trace = std::move(Trace);
     return Result;
   }
 
   // --- Introspection (used by the two-phase baseline and by tests) --------
-  const std::unordered_map<V, D> &assignment() const { return Sigma; }
-  const std::unordered_map<V, int64_t> &keys() const { return Key; }
+  std::unordered_map<V, D> assignment() const {
+    std::unordered_map<V, D> A;
+    A.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      A.emplace(VarOf[S], SigmaV[S]);
+    return A;
+  }
+  /// The paper's key map: key[y] = -(discovery index of y).
+  std::unordered_map<V, int64_t> keys() const {
+    std::unordered_map<V, int64_t> K;
+    K.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      K.emplace(VarOf[S], -static_cast<int64_t>(S));
+    return K;
+  }
   /// Contributions per target: target -> (contributor -> last value).
   const std::unordered_map<V, std::unordered_map<V, D>> &
   contributions() const {
@@ -99,8 +123,8 @@ public:
   }
   /// True if \p X ever received a side-effect contribution.
   bool isSideEffected(const V &X) const {
-    auto It = SetOf.find(X);
-    return It != SetOf.end() && !It->second.empty();
+    auto It = SlotOf.find(X);
+    return It != SlotOf.end() && SideEffectedV[It->second];
   }
   /// Widening points detected so far (meaningful in localized mode).
   const std::unordered_set<V> &wideningPoints() const {
@@ -110,128 +134,215 @@ public:
   bool failed() const { return Failed; }
 
 private:
-  void init(const V &Y) {
-    assert(!Sigma.count(Y) && "double init");
-    Key[Y] = -Count;
-    KeyToVar.emplace(-Count, Y);
-    ++Count;
-    Infl[Y] = {Y};
-    SetOf[Y]; // set[y] <- {} (created empty).
-    Sigma.emplace(Y, System.initial(Y));
+  /// Last evaluation of one unknown: the (slot, value) pairs read through
+  /// `Get`, in read order with duplicates, and the RHS result before the
+  /// contribution join and ⊕. Consed values make the copies cheap.
+  struct CacheEntry {
+    std::vector<std::pair<uint32_t, D>> Reads;
+    D Value{};
+    bool Valid = false;
+  };
+
+  /// `init` of Fig. 6: key <- -count, infl <- {y}, sigma <- sigma_0.
+  uint32_t internFresh(const V &Y) {
+    assert(!SlotOf.count(Y) && "double init");
+    uint32_t S = static_cast<uint32_t>(VarOf.size());
+    SlotOf.emplace(Y, S);
+    VarOf.push_back(Y);
+    SigmaV.push_back(System.initial(Y));
+    InflV.push_back({S});
+    StableV.push_back(0);
+    OnStackV.push_back(0);
+    WideningPointV.push_back(0);
+    SideEffectedV.push_back(0);
+    CacheV.emplace_back();
+    Queue.resizeUniverse(VarOf.size());
+    return S;
   }
 
-  void addQ(const V &Y) {
-    Queue.insert(Key.at(Y));
+  void addQ(uint32_t S) {
+    Queue.push(S);
     if (Queue.size() > Stats.QueueMax)
       Stats.QueueMax = Queue.size();
   }
 
-  void solve(const V &X) {
-    if (Failed || Stable.count(X))
+  void solve(uint32_t XS) {
+    if (Failed || StableV[XS])
       return;
-    Stable.insert(X);
-    if (Stats.RhsEvals >= Options.MaxRhsEvals) {
+    StableV[XS] = 1;
+    // Hits count against the budget so the hit path cannot loop past
+    // MaxRhsEvals on a divergent system; on convergent runs hits replace
+    // evals one-for-one and the sum matches the uncached eval count.
+    if (Stats.RhsEvals + Stats.RhsCacheHits >= Options.MaxRhsEvals) {
       Failed = true;
       return;
     }
-    ++Stats.RhsEvals;
-    OnStack.insert(X);
-    typename SideEffectingSystem<V, D>::Get Eval = [this,
-                                                    X](const V &Y) -> D {
-      return eval(X, Y);
-    };
-    typename SideEffectingSystem<V, D>::Side Side =
-        [this, X](const V &Y, const D &Value) { side(X, Y, Value); };
-    D New = System.rhs(X)(Eval, Side);
+    OnStackV[XS] = 1;
+    D New = evaluate(XS);
     if (Failed) {
-      OnStack.erase(X);
+      OnStackV[XS] = 0;
       return;
     }
-    // Join in the recorded contributions of all known contributors.
-    for (const V &Z : SetOf.at(X)) {
-      auto TargetIt = Contribs.find(X);
-      if (TargetIt == Contribs.end())
-        break;
-      auto It = TargetIt->second.find(Z);
-      if (It != TargetIt->second.end())
-        New = New.join(It->second);
-    }
+    // Join in the recorded contributions of all contributors (cells that
+    // never changed still hold ⊥ and drop out of the join).
+    auto ContribIt = Contribs.find(VarOf[XS]);
+    if (ContribIt != Contribs.end())
+      for (const auto &[Z, Value] : ContribIt->second)
+        New = New.join(Value);
     // In localized mode, ⊕ is applied at widening points only; elsewhere
     // the unknown simply tracks its right-hand side (plain assignment) —
     // acyclic unknowns stabilize once their inputs do, values may both
     // grow and shrink, and no widening-induced precision is lost.
     bool UseCombine =
-        !Localized || WideningPoints.count(X) || isSideEffected(X);
-    D Tmp = UseCombine ? Combine(X, Sigma.at(X), New) : New;
-    if (!(Tmp == Sigma.at(X))) {
-      std::unordered_set<V> W = std::move(Infl[X]);
-      for (const V &Y : W)
-        addQ(Y);
-      Sigma[X] = std::move(Tmp);
+        !Localized || WideningPointV[XS] || SideEffectedV[XS];
+    D Tmp = UseCombine ? Combine(VarOf[XS], SigmaV[XS], New) : New;
+    if (!(Tmp == SigmaV[XS])) {
+      std::vector<uint32_t> W = std::move(InflV[XS]);
+      for (uint32_t YS : W)
+        addQ(YS);
+      SigmaV[XS] = std::move(Tmp);
       ++Stats.Updates;
       if (Options.RecordTrace)
-        Trace.push_back({X, Sigma.at(X)});
-      Infl[X] = {X};
-      for (const V &Y : W)
-        Stable.erase(Y);
-      int64_t KeyX = Key.at(X);
-      while (!Failed && !Queue.empty() && *Queue.begin() <= KeyX) {
-        int64_t MinKey = *Queue.begin();
-        Queue.erase(Queue.begin());
-        solve(KeyToVar.at(MinKey));
+        Trace.push_back({VarOf[XS], SigmaV[XS]});
+      InflV[XS] = {XS};
+      for (uint32_t YS : W)
+        StableV[YS] = 0;
+      // min_key Q <= key[x]  ⟺  max slot in Q >= slot(x).
+      while (!Failed && !Queue.empty() && Queue.top() >= XS)
+        solve(Queue.pop());
+    }
+    OnStackV[XS] = 0;
+  }
+
+  /// f_x (eval x) (side x), answered from the read cache when every value
+  /// x's last evaluation read through `Get` is unchanged. Sound despite
+  /// the side effects: contribution values are a pure function of the
+  /// reads, and only x's own evaluations write x's contribution cells, so
+  /// with identical reads every `side` call the skipped evaluation would
+  /// make finds its value already recorded and early-returns (no
+  /// destabilization). The contribution join over set[x] stays in solve()
+  /// — other contributors can change without x's reads changing.
+  D evaluate(uint32_t XS) {
+    if (Options.RhsCache && CacheV[XS].Valid && cacheIsFresh(XS)) {
+      ++Stats.RhsCacheHits;
+      // Replay what a real re-evaluation would do per read, in order:
+      // re-register influence (updates of y reset infl[y], so earlier
+      // registrations may be gone) and re-run the localized widening-
+      // point detection (X is on the stack, exactly as during a real
+      // evaluation, so self-reads behave identically).
+      for (const auto &R : CacheV[XS].Reads) {
+        if (Localized && OnStackV[R.first])
+          markWideningPoint(R.first);
+        std::vector<uint32_t> &I = InflV[R.first];
+        if (I.empty() || I.back() != XS)
+          I.push_back(XS);
+      }
+      return CacheV[XS].Value;
+    }
+    if (Options.RhsCache)
+      ++Stats.RhsCacheMisses;
+    ++Stats.RhsEvals;
+    // Reads lives in this frame: CacheV may reallocate while the RHS
+    // recursively interns fresh unknowns, so no reference into it may be
+    // held across the rhs() call (everything below indexes).
+    std::vector<std::pair<uint32_t, D>> Reads;
+    typename SideEffectingSystem<V, D>::Get Eval =
+        [this, XS, &Reads](const V &Y) -> D {
+      uint32_t YS = eval(XS, Y);
+      if (Options.RhsCache)
+        Reads.emplace_back(YS, SigmaV[YS]);
+      return SigmaV[YS];
+    };
+    typename SideEffectingSystem<V, D>::Side Side =
+        [this, XS](const V &Y, const D &Value) { side(XS, Y, Value); };
+    D New = System.rhs(VarOf[XS])(Eval, Side);
+    if (!Failed && Options.RhsCache)
+      CacheV[XS] = CacheEntry{std::move(Reads), New, true};
+    return New;
+  }
+
+  /// True when every recorded read of x's last evaluation would return
+  /// the identical value today; pointer/memoized-hash compares for
+  /// consed environments.
+  bool cacheIsFresh(uint32_t XS) const {
+    for (const auto &R : CacheV[XS].Reads)
+      if (!(R.second == SigmaV[R.first]))
+        return false;
+    return true;
+  }
+
+  void markWideningPoint(uint32_t YS) {
+    if (!WideningPointV[YS]) {
+      WideningPointV[YS] = 1;
+      WideningPoints.insert(VarOf[YS]);
+    }
+  }
+
+  /// `eval x y` of the paper minus the value read; returns y's slot.
+  uint32_t eval(uint32_t XS, const V &Y) {
+    uint32_t YS;
+    auto It = SlotOf.find(Y);
+    if (It == SlotOf.end()) {
+      YS = internFresh(Y);
+      solve(YS);
+    } else {
+      YS = It->second;
+      if (Localized && OnStackV[YS]) {
+        // Y queried while its own evaluation is in progress: Y closes a
+        // dependency cycle and becomes a widening point.
+        markWideningPoint(YS);
       }
     }
-    OnStack.erase(X);
+    // infl[y] ∪= {x}: append with a cheap duplicate filter (see slr.h —
+    // transient duplicates are harmless, updates of y reset infl[y]).
+    std::vector<uint32_t> &I = InflV[YS];
+    if (I.empty() || I.back() != XS)
+      I.push_back(XS);
+    return YS;
   }
 
-  D eval(const V &X, const V &Y) {
-    if (!Sigma.count(Y)) {
-      init(Y);
-      solve(Y);
-    } else if (Localized && OnStack.count(Y)) {
-      // Y queried while its own evaluation is in progress: Y closes a
-      // dependency cycle and becomes a widening point.
-      WideningPoints.insert(Y);
-    }
-    Infl[Y].insert(X);
-    return Sigma.at(Y);
-  }
-
-  void side(const V &X, const V &Y, const D &Value) {
+  void side(uint32_t XS, const V &Y, const D &Value) {
     auto &TargetContribs = Contribs[Y];
-    auto It = TargetContribs.find(X);
+    auto It = TargetContribs.find(VarOf[XS]);
     if (It == TargetContribs.end())
-      It = TargetContribs.emplace(X, D::bot()).first; // sigma[(x,y)] <- ⊥
+      It = TargetContribs.emplace(VarOf[XS], D::bot()).first; // <- ⊥
     if (Value == It->second)
       return;
     It->second = Value;
-    if (Sigma.count(Y)) {
-      SetOf[Y].insert(X);
-      Stable.erase(Y);
-      addQ(Y);
+    auto SlotIt = SlotOf.find(Y);
+    if (SlotIt != SlotOf.end()) {
+      SideEffectedV[SlotIt->second] = 1; // set[y] ∪= {x}
+      StableV[SlotIt->second] = 0;
+      addQ(SlotIt->second);
       return;
     }
-    init(Y);
-    SetOf[Y] = {X};
-    solve(Y);
+    uint32_t YS = internFresh(Y);
+    SideEffectedV[YS] = 1; // set[y] <- {x}
+    solve(YS);
   }
 
   const SideEffectingSystem<V, D> &System;
   C Combine;
   SolverOptions Options;
 
-  std::unordered_map<V, D> Sigma;
-  std::unordered_map<V, int64_t> Key;
-  std::unordered_map<int64_t, V> KeyToVar;
-  std::unordered_map<V, std::unordered_set<V>> Infl;
-  std::unordered_map<V, std::unordered_set<V>> SetOf;
+  // Dense slot-indexed state; slots are discovery order (`count`).
+  std::unordered_map<V, uint32_t> SlotOf; // dom = keys(SlotOf).
+  std::vector<V> VarOf;
+  std::vector<D> SigmaV;
+  std::vector<std::vector<uint32_t>> InflV;
+  std::vector<uint8_t> StableV;
+  std::vector<uint8_t> OnStackV;
+  std::vector<uint8_t> WideningPointV;
+  std::vector<uint8_t> SideEffectedV;
+  std::vector<CacheEntry> CacheV;
+  IndexedHeap<std::greater<uint32_t>> Queue; // top() = max slot = min key.
+
+  // Contribution cells sigma(x,z), target-major; V-keyed on purpose (see
+  // file comment). WideningPoints mirrors WideningPointV for the public
+  // accessor (writes are rare — once per detected point).
   std::unordered_map<V, std::unordered_map<V, D>> Contribs;
-  std::unordered_set<V> Stable;
-  std::unordered_set<V> OnStack;
   std::unordered_set<V> WideningPoints;
-  std::set<int64_t> Queue;
   std::vector<std::pair<V, D>> Trace;
-  int64_t Count = 0;
   SolverStats Stats;
   bool Failed = false;
   bool Localized = false;

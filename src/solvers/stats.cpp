@@ -14,6 +14,9 @@ std::string SolverStats::str() const {
   Out += " updates=" + std::to_string(Updates);
   Out += " vars=" + std::to_string(VarsSeen);
   Out += " queue_max=" + std::to_string(QueueMax);
+  if (RhsCacheHits || RhsCacheMisses)
+    Out += " cache_hits=" + std::to_string(RhsCacheHits) + "/" +
+           std::to_string(RhsCacheHits + RhsCacheMisses);
   Out += Converged ? " converged" : " DIVERGED";
   return Out;
 }

@@ -32,6 +32,12 @@ struct SolverStats {
   uint64_t VarsSeen = 0;
   /// Largest observed size of the worklist / priority queue.
   uint64_t QueueMax = 0;
+  /// Destabilized unknowns whose re-evaluation was skipped because every
+  /// value read through `Get` last time is pointer-identical now (the RHS
+  /// cache in the local solvers; see DESIGN §6b). Not counted in RhsEvals.
+  uint64_t RhsCacheHits = 0;
+  /// Evaluations that ran because no cached read tuple matched.
+  uint64_t RhsCacheMisses = 0;
   /// False when the evaluation budget was exhausted before stabilization.
   bool Converged = true;
 
@@ -46,6 +52,11 @@ struct SolverOptions {
   /// When true, solvers record the sequence of (unknown, value) updates in
   /// the result (used by the paper-example tests).
   bool RecordTrace = false;
+  /// Skip re-evaluating a destabilized unknown when the values it read
+  /// last time are unchanged (identical consed nodes). Sound for pure
+  /// right-hand sides and bit-identical either way; off = measure the
+  /// uncached solver (tests cross-check the two).
+  bool RhsCache = true;
 };
 
 } // namespace warrow

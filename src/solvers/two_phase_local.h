@@ -35,6 +35,7 @@
 #include "solvers/stats.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -70,18 +71,53 @@ solveTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
   typename SideEffectingSystem<V, D>::Side DiscardSide =
       [](const V &, const D &) {};
 
+  // Per-unknown read cache for the sweeps: a descending round mostly
+  // re-confirms values, so most right-hand sides see the exact inputs of
+  // the previous round and need not run (side effects are discarded in
+  // phase 2, so skipping is trivially sound here).
+  struct CacheEntry {
+    std::vector<std::pair<V, D>> Reads;
+    D Value{};
+  };
+  std::unordered_map<V, CacheEntry> Cache;
+
   // Phase 2: descending sweeps with narrowing; frozen globals.
   for (unsigned Round = 0; Round < MaxNarrowRounds; ++Round) {
     bool Changed = false;
     for (const auto &[KeyValue, X] : Order) {
       if (Ascending.isSideEffected(X))
         continue; // Frozen: classical solvers cannot narrow globals.
-      if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
+      if (Result.Stats.RhsEvals + Result.Stats.RhsCacheHits >=
+          Options.MaxRhsEvals) {
         Result.Stats.Converged = false;
         return Result;
       }
-      ++Result.Stats.RhsEvals;
-      D New = System.rhs(X)(GetCurrent, DiscardSide);
+      D New;
+      auto CIt = Options.RhsCache ? Cache.find(X) : Cache.end();
+      bool Hit = CIt != Cache.end() &&
+                 std::all_of(CIt->second.Reads.begin(),
+                             CIt->second.Reads.end(), [&](const auto &R) {
+                               return R.second == GetCurrent(R.first);
+                             });
+      if (Hit) {
+        ++Result.Stats.RhsCacheHits;
+        New = CIt->second.Value;
+      } else {
+        if (Options.RhsCache)
+          ++Result.Stats.RhsCacheMisses;
+        ++Result.Stats.RhsEvals;
+        std::vector<std::pair<V, D>> Reads;
+        typename SideEffectingSystem<V, D>::Get Get =
+            [&](const V &Y) -> D {
+          D Val = GetCurrent(Y);
+          if (Options.RhsCache)
+            Reads.emplace_back(Y, Val);
+          return Val;
+        };
+        New = System.rhs(X)(Get, DiscardSide);
+        if (Options.RhsCache)
+          Cache[X] = CacheEntry{std::move(Reads), New};
+      }
       D Narrowed = Result.Sigma.at(X).narrow(New);
       if (!(Narrowed == Result.Sigma.at(X))) {
         Result.Sigma[X] = std::move(Narrowed);

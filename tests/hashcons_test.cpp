@@ -1,0 +1,338 @@
+//===- tests/hashcons_test.cpp - Hash-consing and RHS-cache tests --------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Coverage for the shared-value layer introduced for the analysis hot
+// path: the generic hash-consing arena (canonicalization, collision
+// fallback under a deliberately bad hash), the copy-on-write AbsEnv
+// (aliasing safety, freeze semantics), property tests checking the
+// consed environment operations against a straightforward map-based
+// reference implementation of the same pointwise definitions, and
+// end-to-end solver cross-checks asserting that the RHS evaluation
+// cache changes nothing but the eval counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/absvalue.h"
+#include "analysis/env.h"
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+#include "lattice/combine.h"
+#include "lattice/hashcons.h"
+#include "solvers/slr.h"
+#include "workloads/wcet_suite.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+
+using namespace warrow;
+
+namespace {
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+//===----------------------------------------------------------------------===//
+// Arena basics
+//===----------------------------------------------------------------------===//
+
+TEST(HashConsArena, CanonicalizesEqualValues) {
+  HashConsArena<std::string> Arena;
+  ConsRef<std::string> A = Arena.intern(std::string("hello"));
+  ConsRef<std::string> B = Arena.intern(std::string("hello"));
+  ConsRef<std::string> C = Arena.intern(std::string("world"));
+  EXPECT_EQ(A.get(), B.get()) << "equal values share one canonical node";
+  EXPECT_NE(A.get(), C.get());
+  EXPECT_TRUE(A.frozen());
+  EXPECT_TRUE(C.frozen());
+  EXPECT_EQ(Arena.size(), 2u);
+  EXPECT_EQ(Arena.hits(), 1u);
+  EXPECT_EQ(Arena.misses(), 2u);
+}
+
+TEST(HashConsArena, FrozenNodesPassThrough) {
+  HashConsArena<std::string> Arena;
+  ConsRef<std::string> A = Arena.intern(std::string("x"));
+  ConsRef<std::string> Again = Arena.intern(A);
+  EXPECT_EQ(A.get(), Again.get());
+  EXPECT_EQ(Arena.hits(), 0u) << "re-interning frozen nodes is free";
+}
+
+/// A deliberately terrible hash: every value collides.
+struct ConstantHash {
+  size_t operator()(const std::string &) const { return 42; }
+};
+
+TEST(HashConsArena, CollisionFallbackIsStructural) {
+  HashConsArena<std::string, ConstantHash> Arena;
+  ConsRef<std::string> A = Arena.intern(std::string("aa"));
+  ConsRef<std::string> B = Arena.intern(std::string("bb"));
+  ConsRef<std::string> A2 = Arena.intern(std::string("aa"));
+  EXPECT_NE(A.get(), B.get())
+      << "colliding but distinct values must stay distinct";
+  EXPECT_EQ(A.get(), A2.get())
+      << "equal values canonicalize even when everything collides";
+  EXPECT_EQ(A.get()->Hash, B.get()->Hash);
+  EXPECT_EQ(Arena.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Copy-on-write aliasing safety
+//===----------------------------------------------------------------------===//
+
+TEST(CowEnv, MutationAfterShareDoesNotLeak) {
+  AbsEnv A;
+  A.set(1, Iv(0, 3));
+  AbsEnv B = A; // Shares the node.
+  B.set(1, Iv(5, 5));
+  B.set(2, Iv(7, 7));
+  EXPECT_EQ(A.get(1), Iv(0, 3)) << "writes through B must not alias A";
+  EXPECT_TRUE(A.get(2).isTop());
+  EXPECT_EQ(B.get(1), Iv(5, 5));
+}
+
+TEST(CowEnv, MutationAfterFreezeClones) {
+  AbsEnv A;
+  A.set(1, Iv(0, 3));
+  A.freeze();
+  const void *FrozenId = A.nodeId();
+  AbsEnv B = A;
+  B.set(1, Iv(0, 4));
+  EXPECT_EQ(A.nodeId(), FrozenId) << "frozen nodes are immutable";
+  EXPECT_EQ(A.get(1), Iv(0, 3));
+  EXPECT_EQ(B.get(1), Iv(0, 4));
+  EXPECT_NE(B.nodeId(), FrozenId);
+  // Re-freezing B's changed contents yields a different canonical node;
+  // re-freezing the original value finds the same one again.
+  B.freeze();
+  EXPECT_NE(B.nodeId(), FrozenId);
+  AbsEnv C;
+  C.set(1, Iv(0, 3));
+  C.freeze();
+  EXPECT_EQ(C.nodeId(), FrozenId) << "interning is canonical";
+}
+
+TEST(CowEnv, FreezeMakesEqualityPointerBased) {
+  AbsEnv A, B;
+  A.set(3, Iv(1, 2));
+  A.set(7, Iv(-1, 1));
+  B.set(7, Iv(-1, 1));
+  B.set(3, Iv(1, 2));
+  EXPECT_TRUE(A == B) << "thawed structural equality";
+  A.freeze();
+  B.freeze();
+  EXPECT_EQ(A.nodeId(), B.nodeId());
+  EXPECT_TRUE(A == B);
+  // Mixed frozen/thawed comparisons still work structurally.
+  AbsEnv C;
+  C.set(3, Iv(1, 2));
+  C.set(7, Iv(-1, 1));
+  EXPECT_TRUE(A == C);
+  EXPECT_TRUE(C == A);
+}
+
+TEST(CowEnv, NoOpWritesKeepCanonicalNode) {
+  AbsEnv A;
+  A.set(1, Iv(0, 3));
+  A.freeze();
+  const void *Id = A.nodeId();
+  A.set(1, Iv(0, 3));          // Rebinding the same value.
+  A.set(9, Interval::top());   // Binding an absent symbol to top.
+  EXPECT_EQ(A.nodeId(), Id) << "no-op writes must not clone";
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests against a map-based reference implementation
+//===----------------------------------------------------------------------===//
+
+/// Reference environment: a plain map with the documented pointwise
+/// semantics (absent = top, never binds top or bottom).
+using RefEnv = std::map<Symbol, Interval>;
+
+constexpr Symbol MaxSym = 5;
+
+RefEnv refOf(const AbsEnv &E) {
+  RefEnv R;
+  for (const EnvEntry &Entry : E.entries())
+    R.emplace(Entry.first, Entry.second);
+  return R;
+}
+
+Interval refGet(const RefEnv &E, Symbol S) {
+  auto It = E.find(S);
+  return It == E.end() ? Interval::top() : It->second;
+}
+
+void refBind(RefEnv &R, Symbol S, const Interval &V) {
+  if (!V.isTop())
+    R.emplace(S, V);
+}
+
+RefEnv refJoin(const RefEnv &A, const RefEnv &B) {
+  RefEnv R;
+  for (Symbol S = 0; S <= MaxSym; ++S)
+    refBind(R, S, refGet(A, S).join(refGet(B, S)));
+  return R;
+}
+
+RefEnv refWiden(const RefEnv &A, const RefEnv &B) {
+  RefEnv R;
+  for (Symbol S = 0; S <= MaxSym; ++S)
+    refBind(R, S, refGet(A, S).widen(refGet(B, S)));
+  return R;
+}
+
+RefEnv refNarrow(const RefEnv &A, const RefEnv &B) {
+  RefEnv R;
+  for (Symbol S = 0; S <= MaxSym; ++S) {
+    // The env narrow adopts bindings present only in the other side
+    // (top △ v = v via the adoption rule) and otherwise narrows pointwise.
+    Interval AV = refGet(A, S), BV = refGet(B, S);
+    refBind(R, S, AV.isTop() ? BV : AV.narrow(BV));
+  }
+  return R;
+}
+
+bool refMeet(RefEnv &A, const RefEnv &B) {
+  RefEnv R;
+  for (Symbol S = 0; S <= MaxSym; ++S) {
+    Interval Met = refGet(A, S).meet(refGet(B, S));
+    if (Met.isBot())
+      return false;
+    refBind(R, S, Met);
+  }
+  A = std::move(R);
+  return true;
+}
+
+bool refLeq(const RefEnv &A, const RefEnv &B) {
+  for (Symbol S = 0; S <= MaxSym; ++S)
+    if (!refGet(A, S).leq(refGet(B, S)))
+      return false;
+  return true;
+}
+
+/// Deterministic random environment over symbols [0, MaxSym] with small
+/// bounds so joins/meets/widenings hit top, bottom, and equal cases often.
+AbsEnv randomEnv(std::mt19937 &Rng) {
+  std::uniform_int_distribution<int> NumBindings(0, 4);
+  std::uniform_int_distribution<Symbol> Sym(0, MaxSym);
+  std::uniform_int_distribution<int64_t> BoundDist(-4, 4);
+  AbsEnv E;
+  int N = NumBindings(Rng);
+  for (int I = 0; I < N; ++I) {
+    int64_t Lo = BoundDist(Rng), Hi = BoundDist(Rng);
+    if (Lo > Hi)
+      std::swap(Lo, Hi);
+    E.set(Sym(Rng), Iv(Lo, Hi));
+  }
+  if (Rng() % 2)
+    E.freeze(); // Exercise frozen/thawed operand mixes.
+  return E;
+}
+
+TEST(CowEnvProperty, OpsAgreeWithReferenceSemantics) {
+  std::mt19937 Rng(20260806); // Deterministic.
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    AbsEnv A = randomEnv(Rng), B = randomEnv(Rng);
+    RefEnv RA = refOf(A), RB = refOf(B);
+
+    for (Symbol S = 0; S <= MaxSym; ++S)
+      ASSERT_EQ(A.get(S), refGet(RA, S));
+
+    ASSERT_EQ(refOf(A.join(B)), refJoin(RA, RB)) << "join iter " << Iter;
+    ASSERT_EQ(refOf(A.widen(B)), refWiden(RA, RB)) << "widen iter " << Iter;
+    ASSERT_EQ(refOf(A.narrow(B)), refNarrow(RA, RB)) << "narrow iter " << Iter;
+
+    ASSERT_EQ(A.leq(B), refLeq(RA, RB)) << "leq iter " << Iter;
+    ASSERT_EQ(A == B, RA == RB) << "eq iter " << Iter;
+    ASSERT_EQ(A.hashValue() == B.hashValue() || !(A == B), true)
+        << "equal envs must hash equal, iter " << Iter;
+
+    AbsEnv M = A;
+    RefEnv RM = RA;
+    bool Feasible = M.meetWith(B);
+    bool RefFeasible = refMeet(RM, RB);
+    ASSERT_EQ(Feasible, RefFeasible) << "meet feasibility iter " << Iter;
+    if (Feasible)
+      ASSERT_EQ(refOf(M), RM) << "meet iter " << Iter;
+
+    // Operands must be untouched by any of the above (aliasing safety).
+    ASSERT_EQ(refOf(A), RA) << "A mutated, iter " << Iter;
+    ASSERT_EQ(refOf(B), RB) << "B mutated, iter " << Iter;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Solver cross-checks: RHS cache on vs. off
+//===----------------------------------------------------------------------===//
+
+using IntSys = LocalSystem<int, Interval>;
+
+TEST(RhsCache, SlrAssignmentsIdenticalCacheOnOff) {
+  // A loop-shaped system with enough re-evaluation traffic for hits.
+  IntSys S([](int X) -> IntSys::Rhs {
+    switch (X) {
+    case 0:
+      return [](const IntSys::Get &Get) {
+        return Interval::constant(0).join(
+            Get(1).add(Interval::constant(1)).meet(Iv(0, 40)));
+      };
+    case 1:
+      return [](const IntSys::Get &Get) { return Get(0).join(Get(2)); };
+    default:
+      return [](const IntSys::Get &Get) { return Get(0); };
+    }
+  });
+  SolverOptions On, Off;
+  Off.RhsCache = false;
+  PartialSolution<int, Interval> RON = solveSLR(S, 0, WarrowCombine{}, On);
+  PartialSolution<int, Interval> ROFF = solveSLR(S, 0, WarrowCombine{}, Off);
+  ASSERT_TRUE(RON.Stats.Converged);
+  ASSERT_TRUE(ROFF.Stats.Converged);
+  ASSERT_EQ(RON.Sigma.size(), ROFF.Sigma.size());
+  for (const auto &[X, Value] : ROFF.Sigma)
+    EXPECT_EQ(RON.value(X), Value) << "unknown " << X;
+  EXPECT_EQ(RON.Stats.Updates, ROFF.Stats.Updates);
+  // Hits replace evals one-for-one; the total work count is unchanged.
+  EXPECT_EQ(RON.Stats.RhsEvals + RON.Stats.RhsCacheHits,
+            ROFF.Stats.RhsEvals);
+  EXPECT_EQ(ROFF.Stats.RhsCacheHits, 0u);
+}
+
+TEST(RhsCache, InterprocResultsIdenticalOnWcetSuite) {
+  uint64_t TotalHits = 0;
+  for (const WcetBenchmark &B : wcetSuite()) {
+    DiagnosticEngine Diags;
+    auto P = parseProgram(B.Source, Diags);
+    ASSERT_TRUE(P) << B.Name << ": " << Diags.str();
+    ProgramCfg Cfgs = buildProgramCfg(*P);
+    AnalysisOptions On, Off;
+    Off.Solver.RhsCache = false;
+    for (SolverChoice Choice :
+         {SolverChoice::Warrow, SolverChoice::TwoPhase}) {
+      InterprocAnalysis CachedAnalysis(*P, Cfgs, On);
+      InterprocAnalysis UncachedAnalysis(*P, Cfgs, Off);
+      AnalysisResult Cached = CachedAnalysis.run(Choice);
+      AnalysisResult Uncached = UncachedAnalysis.run(Choice);
+      ASSERT_TRUE(Cached.Stats.Converged) << B.Name;
+      ASSERT_TRUE(Uncached.Stats.Converged) << B.Name;
+      ASSERT_EQ(Cached.NumUnknowns, Uncached.NumUnknowns) << B.Name;
+      EXPECT_EQ(Cached.Stats.Updates, Uncached.Stats.Updates) << B.Name;
+      EXPECT_EQ(Cached.Stats.RhsEvals + Cached.Stats.RhsCacheHits,
+                Uncached.Stats.RhsEvals)
+          << B.Name << ": hits must replace evals one-for-one";
+      for (const auto &[X, Value] : Uncached.Solution.Sigma)
+        ASSERT_EQ(Cached.Solution.value(X), Value)
+            << B.Name << " at " << X.str(*P);
+      TotalHits += Cached.Stats.RhsCacheHits;
+    }
+  }
+  EXPECT_GT(TotalHits, 0u) << "the WCET suite must exercise the cache";
+}
+
+} // namespace

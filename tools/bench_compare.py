@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON report against a checked-in baseline.
+
+Gating policy (CI): the deterministic work counter ``rhs_evals`` must not
+regress — any record whose eval count exceeds the baseline's fails the
+run (exact integer compare; eval counts are reproducible across hosts).
+Improvements are reported and tolerated. Wall times are reported as
+ratios but never gate, since CI hardware varies.
+
+Records are keyed by ``name`` when present (google-benchmark style
+reports where one workload/solver pair may appear under several
+benchmark instances), else by ``(workload, solver)``. Metadata records
+(``"meta": true``) are skipped. A record present in the baseline but
+missing from the new report fails the run — silently dropping a
+benchmark must not read as "no regression".
+
+Usage:
+    bench_compare.py BASELINE.json NEW.json [--wall-warn RATIO]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as fp:
+        data = json.load(fp)
+    if not isinstance(data, list):
+        raise SystemExit(f"error: {path}: expected a JSON array of records")
+    return [r for r in data if isinstance(r, dict) and not r.get("meta")]
+
+
+def key_of(record):
+    if "name" in record:
+        return record["name"]
+    return (record.get("workload"), record.get("solver"))
+
+
+def index(records, path):
+    table = {}
+    for r in records:
+        k = key_of(r)
+        if k in table:
+            raise SystemExit(f"error: {path}: duplicate record key {k!r}")
+        table[k] = r
+    return table
+
+
+def fmt_key(k):
+    return k if isinstance(k, str) else f"{k[0]}/{k[1]}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument(
+        "--wall-warn",
+        type=float,
+        default=2.0,
+        metavar="RATIO",
+        help="warn (non-gating) when wall_ns exceeds baseline by RATIO",
+    )
+    args = ap.parse_args()
+
+    base = index(load_records(args.baseline), args.baseline)
+    new = index(load_records(args.new), args.new)
+
+    failures = []
+    improvements = 0
+    wall_warnings = []
+
+    for k, b in sorted(base.items(), key=lambda kv: fmt_key(kv[0])):
+        n = new.get(k)
+        if n is None:
+            failures.append(f"{fmt_key(k)}: missing from new report")
+            continue
+        be, ne = b.get("rhs_evals"), n.get("rhs_evals")
+        if be is not None:
+            if ne is None:
+                failures.append(f"{fmt_key(k)}: rhs_evals missing from new report")
+            elif ne > be:
+                failures.append(f"{fmt_key(k)}: rhs_evals {be} -> {ne} (REGRESSION)")
+            elif ne < be:
+                improvements += 1
+        bw, nw = b.get("wall_ns"), n.get("wall_ns")
+        if bw and nw and nw > bw * args.wall_warn:
+            wall_warnings.append(f"{fmt_key(k)}: wall {bw:.0f}ns -> {nw:.0f}ns " f"({nw / bw:.2f}x, non-gating)")
+
+    extra = sorted(set(new) - set(base), key=fmt_key)
+    print(f"bench_compare: {len(base)} baseline records, {len(new)} new, " f"{improvements} improved rhs_evals, {len(extra)} new-only")
+    for w in wall_warnings:
+        print(f"warning: {w}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench_compare: OK (no rhs_evals regressions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
