@@ -1,0 +1,112 @@
+//===- examples/race_detection.cpp - Lockset races and the ⊟-operator ----------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The race-flavored version of the paper's Example 7 precision gap. Two
+/// programs:
+///
+///  - `racy`: the worker forgets the lock, so the detector must report a
+///    race on `g` under every solver strategy (all are sound).
+///  - `guarded`: every live access holds `m`; the only bare write sits in
+///    dead code reachable *only* under widened loop bounds. The ⊟-solver
+///    narrows the bound, refutes the guard and retracts the stale access
+///    contribution; the two-phase baseline freezes the accumulator after
+///    its widening phase and keeps the false alarm.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/races.h"
+#include "lang/parser.h"
+
+#include <cstdio>
+
+using namespace warrow;
+
+static const char *RacySource = R"(
+int g = 0;
+mutex m;
+
+void worker(int n) {
+  int j = 0;
+  while (j < n) {
+    g = g + 1;
+    j = j + 1;
+  }
+}
+
+int main() {
+  spawn worker(5);
+  lock(m);
+  g = g + 2;
+  unlock(m);
+  return 0;
+}
+)";
+
+static const char *GuardedSource = R"(
+int g = 0;
+mutex m;
+
+void worker(int n) {
+  int j = 0;
+  while (j < n) {
+    lock(m);
+    g = g + 1;
+    unlock(m);
+    j = j + 1;
+  }
+}
+
+int main() {
+  spawn worker(10);
+  int i = 0;
+  while (i < 10) {
+    lock(m);
+    g = g + 1;
+    unlock(m);
+    i = i + 1;
+  }
+  if (i > 10) {
+    g = 0;
+  }
+  return i;
+}
+)";
+
+static void analyze(const char *Title, const char *Source) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "parse failed:\n%s", Diags.str().c_str());
+    return;
+  }
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+  std::printf("=== %s ===\n%s\n", Title, Source);
+
+  struct Row {
+    const char *Name;
+    SolverChoice Choice;
+  };
+  for (Row R : {Row{"warrow (⊟)", SolverChoice::Warrow},
+                Row{"two-phase", SolverChoice::TwoPhase},
+                Row{"widen-only", SolverChoice::WidenOnly}}) {
+    RaceAnalysis Analysis(*P, Cfgs, AnalysisOptions{});
+    RaceAnalysisResult Result = Analysis.run(R.Choice);
+    std::printf("%-12s %zu race alarm(s)\n", R.Name, Result.Races.size());
+    for (const RaceFinding &F : Result.Races)
+      std::printf("             %s\n", F.str(*P).c_str());
+  }
+  std::printf("\n");
+}
+
+int main() {
+  analyze("racy: worker writes g without the lock", RacySource);
+  analyze("guarded: bare write only in dead code", GuardedSource);
+  std::printf("The guarded program shows the precision gap: the frozen\n"
+              "two-phase accumulators keep the access recorded under the\n"
+              "widened loop bound, while ⊟ replaces it with bottom.\n");
+  return 0;
+}

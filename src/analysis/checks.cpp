@@ -29,6 +29,9 @@ std::string CheckFinding::str(const Program &P) const {
   case Kind::UnreachableCode:
     Out += "note: ";
     break;
+  case Kind::DataRace:
+    Out += "warning: ";
+    break;
   }
   Out += Message;
   return Out;
@@ -226,6 +229,9 @@ CheckSummary warrow::summarize(const std::vector<CheckFinding> &Findings) {
       break;
     case CheckFinding::Kind::UnreachableCode:
       ++S.DeadLines;
+      break;
+    case CheckFinding::Kind::DataRace:
+      ++S.RaceAlarms;
       break;
     }
   }

@@ -15,7 +15,9 @@
 ///
 /// Alarms are *may* warnings: soundness means every real error is
 /// reported; precision means fewer spurious ones. The alarm-count bench
-/// compares the solver strategies on exactly this metric.
+/// compares the solver strategies on exactly this metric. A fourth kind,
+/// data races, is produced by the lockset analysis (analysis/races.h)
+/// and funneled through the same finding/summary types.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +35,7 @@ namespace warrow {
 
 /// One checker finding.
 struct CheckFinding {
-  enum class Kind { DivByZero, ArrayOutOfBounds, UnreachableCode };
+  enum class Kind { DivByZero, ArrayOutOfBounds, UnreachableCode, DataRace };
   Kind K = Kind::DivByZero;
   uint32_t Func = 0;
   uint32_t Line = 0;
@@ -50,8 +52,11 @@ struct CheckSummary {
   uint64_t DivAlarms = 0;
   uint64_t BoundsAlarms = 0;
   uint64_t DeadLines = 0;
+  uint64_t RaceAlarms = 0;
 
-  uint64_t total() const { return DivAlarms + BoundsAlarms + DeadLines; }
+  uint64_t total() const {
+    return DivAlarms + BoundsAlarms + DeadLines + RaceAlarms;
+  }
 };
 
 /// Runs all checks against \p Result (environments joined over contexts).

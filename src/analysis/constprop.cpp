@@ -211,7 +211,11 @@ CpEnv applyConstAction(const Action &Act, const CpEnv &Pre,
       Post.set(Act.Lhs, CpValue::top());
     return Post;
   }
+  case Action::Kind::Lock:
+  case Action::Kind::Unlock:
+    return Pre; // Mutex operations do not touch integer state.
   case Action::Kind::Call:
+  case Action::Kind::Spawn:
     assert(false && "constant propagation fragment is call-free");
     return Pre;
   }

@@ -104,6 +104,10 @@ public:
           applyCall(E.Act, PreEnv, Ctx, GetFn, Contribute, Acc);
           continue;
         }
+        if (E.Act.K == Action::Kind::Spawn) {
+          applySpawn(E.Act, PreEnv, Ctx, GetFn, Contribute, Acc);
+          continue;
+        }
         BasicEffect Eff = applyBasicAction(E.Act, PreEnv, Ctx);
         for (auto &[GlobalSym, Value] : Eff.GlobalWrites)
           Contribute(AnalysisVar::global(GlobalSym), AbsValue::itv(Value));
@@ -210,6 +214,53 @@ private:
     Acc = Acc.join(AbsValue::env(std::move(Post)));
   }
 
+  /// `spawn f(args)`: bind the arguments into the spawned function's
+  /// entry (side effect) and continue with the spawner's state unchanged.
+  /// The spawned body's global writes must still be accounted for, and
+  /// SLR+ is demand-driven — nothing else reads the spawned function's
+  /// unknowns — so the exit is read (and discarded) purely to force
+  /// exploration of the body.
+  template <typename ContributeFn>
+  void applySpawn(const Action &Act, const AbsEnv &PreEnv,
+                  const EvalContext &Ctx, const Get &GetFn,
+                  ContributeFn &Contribute, AbsValue &Acc) {
+    size_t CalleeIdx = P.functionIndex(Act.Callee);
+    assert(CalleeIdx < P.Functions.size() && "sema checked spawn callee");
+    const FuncDecl &Callee = *P.Functions[CalleeIdx];
+
+    std::vector<Interval> Args;
+    Args.reserve(Act.Args.size());
+    for (const Expr *Arg : Act.Args) {
+      Interval V = evalExpr(*Arg, PreEnv, Ctx);
+      if (V.isBot())
+        return; // Unreachable spawn.
+      Args.push_back(V);
+    }
+
+    uint32_t CalleeCtx = contextFor(static_cast<uint32_t>(CalleeIdx), Args);
+
+    AbsEnv ParamEnv;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      Interval Bound = Args[I];
+      if (A.Options.ContextSensitive) {
+        const Flat<int64_t> &CtxVal = A.Contexts.values(CalleeCtx)[I];
+        if (CtxVal.isConstant())
+          Bound = Bound.meet(Interval::constant(CtxVal.constantValue()));
+      }
+      if (Bound.isBot())
+        return;
+      ParamEnv.set(Callee.Params[I], Bound);
+    }
+    Contribute(AnalysisVar::point(static_cast<uint32_t>(CalleeIdx),
+                                  Cfg::EntryNode, CalleeCtx),
+               AbsValue::env(std::move(ParamEnv)));
+
+    (void)GetFn(AnalysisVar::point(static_cast<uint32_t>(CalleeIdx),
+                                   Cfg::ExitNode, CalleeCtx));
+
+    Acc = Acc.join(AbsValue::env(PreEnv));
+  }
+
   InterprocAnalysis &A;
   const Program &P;
   const ProgramCfg &Cfgs;
@@ -283,4 +334,17 @@ AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
   Result.Stats = Result.Solution.Stats;
   Result.NumUnknowns = Result.Solution.Sigma.size();
   return Result;
+}
+
+VerifyResult InterprocAnalysis::verifySolution(const AnalysisResult &Result) {
+  InterprocRhs RhsBuilder(*this, P, Cfgs);
+  SideEffectingSystem<AnalysisVar, AbsValue> System(
+      [&RhsBuilder](const AnalysisVar &X)
+          -> SideEffectingSystem<AnalysisVar, AbsValue>::Rhs {
+        return [&RhsBuilder, X](const InterprocRhs::Get &GetFn,
+                                const InterprocRhs::Side &SideFn) {
+          return RhsBuilder.evalRhs(X, GetFn, SideFn);
+        };
+      });
+  return verifySideEffectingSolution(System, Result.Solution);
 }

@@ -38,6 +38,7 @@
 
 #include "analysis/absvalue.h"
 #include "eqsys/local_system.h"
+#include "eqsys/verify.h"
 #include "lang/cfg.h"
 #include "lattice/flat.h"
 #include "solvers/stats.h"
@@ -176,6 +177,13 @@ public:
 
   /// Runs the chosen solver from scratch.
   AnalysisResult run(SolverChoice Choice);
+
+  /// Independent soundness check: re-evaluates every right-hand side over
+  /// the solved assignment and compares direct results and side-effect
+  /// contributions against sigma (verify.h's side-effecting check). Call
+  /// directly after an SLR+-based run() — the run's context table is
+  /// reused.
+  VerifyResult verifySolution(const AnalysisResult &Result);
 
   /// The interesting unknown: main's exit point in the initial context.
   AnalysisVar root() const;

@@ -56,7 +56,8 @@ IntraSystem warrow::buildIntraSystem(const Program &P, const ProgramCfg &Cfgs,
           for (const auto &[EdgeId, PreVar] : InEdgeVars) {
             const CfgEdge &E = G.edge(EdgeId);
             assert(E.Act.K != Action::Kind::Call &&
-                   "intraprocedural systems are call-free");
+                   E.Act.K != Action::Kind::Spawn &&
+                   "intraprocedural systems are call/spawn-free");
             AbsValue Pre = Get(PreVar);
             if (Pre.isBot())
               continue;

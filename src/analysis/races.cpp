@@ -1,0 +1,815 @@
+//===- analysis/races.cpp - Lockset-based data-race detection -----------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/races.h"
+
+#include "analysis/transfer.h"
+#include "lattice/combine.h"
+#include "solvers/slr_plus.h"
+#include "solvers/two_phase_local.h"
+#include "support/casting.h"
+#include "support/timer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warrow;
+
+//===----------------------------------------------------------------------===//
+// LockSet
+//===----------------------------------------------------------------------===//
+
+LockSet LockSet::of(std::vector<Symbol> Mutexes) {
+  LockSet L;
+  std::sort(Mutexes.begin(), Mutexes.end());
+  Mutexes.erase(std::unique(Mutexes.begin(), Mutexes.end()), Mutexes.end());
+  L.Locks = std::move(Mutexes);
+  return L;
+}
+
+void LockSet::add(Symbol M) {
+  auto It = std::lower_bound(Locks.begin(), Locks.end(), M);
+  if (It == Locks.end() || *It != M)
+    Locks.insert(It, M);
+}
+
+void LockSet::remove(Symbol M) {
+  auto It = std::lower_bound(Locks.begin(), Locks.end(), M);
+  if (It != Locks.end() && *It == M)
+    Locks.erase(It);
+}
+
+bool LockSet::contains(Symbol M) const {
+  return std::binary_search(Locks.begin(), Locks.end(), M);
+}
+
+bool LockSet::disjointWith(const LockSet &Other) const {
+  auto AIt = Locks.begin();
+  auto BIt = Other.Locks.begin();
+  while (AIt != Locks.end() && BIt != Other.Locks.end()) {
+    if (*AIt < *BIt)
+      ++AIt;
+    else if (*BIt < *AIt)
+      ++BIt;
+    else
+      return false;
+  }
+  return true;
+}
+
+bool LockSet::leq(const LockSet &Other) const {
+  // Must-ordering: lower = more locks held.
+  return std::includes(Locks.begin(), Locks.end(), Other.Locks.begin(),
+                       Other.Locks.end());
+}
+
+LockSet LockSet::join(const LockSet &Other) const {
+  LockSet R;
+  std::set_intersection(Locks.begin(), Locks.end(), Other.Locks.begin(),
+                        Other.Locks.end(), std::back_inserter(R.Locks));
+  return R;
+}
+
+std::string LockSet::str(const Interner &Symbols) const {
+  std::string Out = "{";
+  for (size_t I = 0; I < Locks.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += Symbols.spelling(Locks[I]);
+  }
+  return Out + "}";
+}
+
+size_t LockSet::hashValue() const {
+  size_t H = 0x15;
+  for (Symbol M : Locks)
+    hashCombine(H, std::hash<Symbol>()(M));
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// RaceAccess / AccessSet
+//===----------------------------------------------------------------------===//
+
+bool RaceAccess::operator<(const RaceAccess &Other) const {
+  auto Key = [](const RaceAccess &A) {
+    return std::make_tuple(A.Glob, A.Func, A.Line, A.IsWrite, A.Multithreaded);
+  };
+  if (Key(*this) != Key(Other))
+    return Key(*this) < Key(Other);
+  return Locks.mutexes() < Other.Locks.mutexes();
+}
+
+std::string RaceAccess::str(const Program &P) const {
+  std::string Out = IsWrite ? "write of " : "read of ";
+  Out += P.Symbols.spelling(Glob);
+  Out += " at " + P.Symbols.spelling(P.Functions[Func]->Name) + ":" +
+         std::to_string(Line);
+  Out += Multithreaded ? " [MT]" : " [ST]";
+  Out += " holding " + Locks.str(P.Symbols);
+  return Out;
+}
+
+void AccessSet::insert(RaceAccess A) {
+  auto It = std::lower_bound(Accesses.begin(), Accesses.end(), A);
+  if (It == Accesses.end() || !(*It == A))
+    Accesses.insert(It, std::move(A));
+}
+
+void AccessSet::unionWith(const AccessSet &Other) {
+  if (Other.Accesses.empty())
+    return;
+  std::vector<RaceAccess> Merged;
+  Merged.reserve(Accesses.size() + Other.Accesses.size());
+  std::set_union(Accesses.begin(), Accesses.end(), Other.Accesses.begin(),
+                 Other.Accesses.end(), std::back_inserter(Merged));
+  Accesses = std::move(Merged);
+}
+
+bool AccessSet::leq(const AccessSet &Other) const {
+  return std::includes(Other.Accesses.begin(), Other.Accesses.end(),
+                       Accesses.begin(), Accesses.end());
+}
+
+AccessSet AccessSet::join(const AccessSet &Other) const {
+  AccessSet R = *this;
+  R.unionWith(Other);
+  return R;
+}
+
+std::string AccessSet::str(const Program &P) const {
+  std::string Out = "[";
+  for (size_t I = 0; I < Accesses.size(); ++I) {
+    if (I)
+      Out += "; ";
+    Out += Accesses[I].str(P);
+  }
+  return Out + "]";
+}
+
+//===----------------------------------------------------------------------===//
+// RaceValue
+//===----------------------------------------------------------------------===//
+
+bool RaceValue::leq(const RaceValue &Other) const {
+  if (isBot())
+    return true;
+  if (Other.isBot())
+    return false;
+  assert(K == Other.K && "comparing values of different kinds");
+  switch (K) {
+  case Kind::Point:
+    return Env.leq(Other.Env) && Locks.leq(Other.Locks) &&
+           (!Multithreaded || Other.Multithreaded);
+  case Kind::Itv:
+    return Itv.leq(Other.Itv);
+  case Kind::Acc:
+    return Accesses.leq(Other.Accesses);
+  case Kind::Bot:
+    break;
+  }
+  return true;
+}
+
+RaceValue RaceValue::join(const RaceValue &Other) const {
+  if (isBot())
+    return Other;
+  if (Other.isBot())
+    return *this;
+  assert(K == Other.K && "joining values of different kinds");
+  switch (K) {
+  case Kind::Point:
+    return point(Env.join(Other.Env), Locks.join(Other.Locks),
+                 Multithreaded || Other.Multithreaded);
+  case Kind::Itv:
+    return itv(Itv.join(Other.Itv));
+  case Kind::Acc:
+    return acc(Accesses.join(Other.Accesses));
+  case Kind::Bot:
+    break;
+  }
+  return *this;
+}
+
+RaceValue RaceValue::widen(const RaceValue &Other) const {
+  if (isBot())
+    return Other;
+  if (Other.isBot())
+    return *this;
+  assert(K == Other.K && "widening values of different kinds");
+  switch (K) {
+  case Kind::Point:
+    // Locksets and the threading flag live in finite lattices (subsets of
+    // the declared mutexes; a two-point flag), so their widening is the
+    // plain join; only the environment needs the interval widening.
+    return point(Env.widen(Other.Env), Locks.join(Other.Locks),
+                 Multithreaded || Other.Multithreaded);
+  case Kind::Itv:
+    return itv(Itv.widen(Other.Itv));
+  case Kind::Acc:
+    // Access sets are finite (sites x encountered locksets), join suffices.
+    return acc(Accesses.join(Other.Accesses));
+  case Kind::Bot:
+    break;
+  }
+  return *this;
+}
+
+RaceValue RaceValue::narrow(const RaceValue &Other) const {
+  // Precondition Other ⊑ *this; narrowing to unreachable is legal.
+  if (isBot() || Other.isBot())
+    return Other;
+  assert(K == Other.K && "narrowing values of different kinds");
+  switch (K) {
+  case Kind::Point:
+    // The finite components simply adopt the (smaller) new value — this
+    // is what lets ⊟ shed a spurious "multithreaded" bit or re-establish
+    // a lockset once narrowed intervals refute a path.
+    return point(Env.narrow(Other.Env), Other.Locks, Other.Multithreaded);
+  case Kind::Itv:
+    return itv(Itv.narrow(Other.Itv));
+  case Kind::Acc:
+    // Adopt the new (smaller) set: stale accesses disappear.
+    return acc(Other.Accesses);
+  case Kind::Bot:
+    break;
+  }
+  return *this;
+}
+
+bool RaceValue::operator==(const RaceValue &Other) const {
+  if (K != Other.K)
+    return false;
+  switch (K) {
+  case Kind::Point:
+    return Env == Other.Env && Locks == Other.Locks &&
+           Multithreaded == Other.Multithreaded;
+  case Kind::Itv:
+    return Itv == Other.Itv;
+  case Kind::Acc:
+    return Accesses == Other.Accesses;
+  case Kind::Bot:
+    break;
+  }
+  return true; // Both bottom.
+}
+
+std::string RaceValue::str(const Interner &Symbols) const {
+  switch (K) {
+  case Kind::Bot:
+    return "unreachable";
+  case Kind::Point:
+    return Env.str(Symbols) + " locks=" + Locks.str(Symbols) +
+           (Multithreaded ? " MT" : " ST");
+  case Kind::Itv:
+    return Itv.str();
+  case Kind::Acc:
+    return "accesses(" + std::to_string(Accesses.size()) + ")";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// RaceVar
+//===----------------------------------------------------------------------===//
+
+std::string RaceVar::str(const Program &P) const {
+  if (isGlobal())
+    return "global:" + P.Symbols.spelling(Glob);
+  if (isAccess())
+    return "access:" + P.Symbols.spelling(Glob);
+  std::string Out = P.Symbols.spelling(P.Functions[Func]->Name);
+  Out += ":" + std::to_string(Node);
+  Out += "@" + std::to_string(Ctx);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Right-hand sides
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects the globals read by an expression (including smashed global
+/// arrays; index expressions are recursed into).
+void collectGlobalReads(const Expr &E, const Program &P,
+                        std::vector<Symbol> &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return;
+  case Expr::Kind::VarRef: {
+    Symbol Name = cast<VarRef>(&E)->name();
+    if (P.isGlobal(Name))
+      Out.push_back(Name);
+    return;
+  }
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(&E);
+    if (P.isGlobal(A->name()))
+      Out.push_back(A->name());
+    collectGlobalReads(A->index(), P, Out);
+    return;
+  }
+  case Expr::Kind::Unary:
+    collectGlobalReads(cast<UnaryExpr>(&E)->operand(), P, Out);
+    return;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    collectGlobalReads(B->lhs(), P, Out);
+    collectGlobalReads(B->rhs(), P, Out);
+    return;
+  }
+  case Expr::Kind::Call:
+    for (const ExprPtr &Arg : cast<CallExpr>(&E)->args())
+      collectGlobalReads(*Arg, P, Out);
+    return;
+  }
+}
+
+/// The globals an action syntactically reads and writes. Guard edges
+/// "read" their condition; call/spawn edges read their arguments; a call
+/// binding its result to a global writes it.
+struct ActionGlobals {
+  std::vector<Symbol> Reads;
+  std::vector<Symbol> Writes;
+};
+
+ActionGlobals globalsOf(const Action &Act, const Program &P) {
+  ActionGlobals AG;
+  if (Act.Value)
+    collectGlobalReads(*Act.Value, P, AG.Reads);
+  if (Act.Index)
+    collectGlobalReads(*Act.Index, P, AG.Reads);
+  for (const Expr *Arg : Act.Args)
+    collectGlobalReads(*Arg, P, AG.Reads);
+  switch (Act.K) {
+  case Action::Kind::Assign:
+  case Action::Kind::Store:
+  case Action::Kind::Input:
+  case Action::Kind::Call:
+    if (Act.Lhs && P.isGlobal(Act.Lhs))
+      AG.Writes.push_back(Act.Lhs);
+    break;
+  default:
+    break;
+  }
+  return AG;
+}
+
+} // namespace
+
+namespace warrow {
+
+/// Builds the right-hand sides of the race constraint system. Mirrors
+/// InterprocRhs with the lockset/threading product and the access-record
+/// side effects layered on.
+class RaceRhs {
+public:
+  RaceRhs(RaceAnalysis &A, const Program &P, const ProgramCfg &Cfgs)
+      : A(A), P(P), Cfgs(Cfgs) {}
+
+  using Get = SideEffectingSystem<RaceVar, RaceValue>::Get;
+  using Side = SideEffectingSystem<RaceVar, RaceValue>::Side;
+
+  RaceValue evalRhs(const RaceVar &X, const Get &GetFn, const Side &SideFn) {
+    if (X.isGlobal())
+      return globalBase(X.Glob);
+    if (X.isAccess())
+      return RaceValue::bot(); // Accumulator: value = join of contributions.
+
+    const Cfg &G = Cfgs.cfgOf(X.Func);
+
+    // Global-value and access contributions are accumulated over the
+    // whole evaluation and flushed at the end — *including the bottom
+    // values* of syntactically touched targets on edges that turned out
+    // infeasible. Flushing bottom replaces this equation's stale per-
+    // contributor cell sigma(x,z) in the solver, which is exactly how the
+    // ⊟-iteration sheds accesses (and global writes) it first recorded
+    // under widened bounds; a classical accumulate-only protocol would
+    // keep them forever. Callee entries use the immediate running-join
+    // protocol of interproc.cpp instead (the exit read must see the
+    // freshly contributed parameters).
+    std::unordered_map<RaceVar, RaceValue> Pending;
+    auto Touch = [&Pending](const RaceVar &T) {
+      Pending.try_emplace(T, RaceValue::bot());
+    };
+    auto Accumulate = [&Pending](const RaceVar &T, const RaceValue &V) {
+      RaceValue &Slot = Pending[T];
+      Slot = Slot.join(V);
+    };
+    std::unordered_map<RaceVar, RaceValue> EntryPending;
+    auto ContributeEntry = [&EntryPending, &SideFn](const RaceVar &T,
+                                                    const RaceValue &V) {
+      RaceValue &Slot = EntryPending[T];
+      RaceValue Joined = Slot.join(V);
+      if (Joined == Slot)
+        return;
+      Slot = std::move(Joined);
+      SideFn(T, Slot);
+    };
+
+    EvalContext Ctx = EvalContext::forProgram(P, [&GetFn](Symbol Name) {
+      return GetFn(RaceVar::global(Name)).itvValue();
+    });
+
+    RaceValue Acc = RaceValue::bot();
+    if (X.Node == G.entry()) {
+      if (X.Func == A.MainIdx && X.Ctx == A.InitialCtx)
+        // Program start: no locks held, single-threaded.
+        Acc = RaceValue::point(AbsEnv::top(), LockSet::none(), false);
+      // Other entries receive only side-effected parameter products.
+    } else {
+      for (uint32_t EdgeId : G.inEdges(X.Node)) {
+        const CfgEdge &E = G.edge(EdgeId);
+        ActionGlobals AG = globalsOf(E.Act, P);
+        for (Symbol R : AG.Reads)
+          Touch(RaceVar::access(R));
+        for (Symbol W : AG.Writes) {
+          Touch(RaceVar::access(W));
+          Touch(RaceVar::global(W));
+        }
+        RaceValue Pre = GetFn(RaceVar::point(X.Func, E.From, X.Ctx));
+        if (Pre.isBot())
+          continue;
+        processEdge(X, G, E, AG, Pre, Ctx, GetFn, ContributeEntry,
+                    Accumulate, Acc);
+      }
+    }
+
+    for (const auto &[T, V] : Pending)
+      SideFn(T, V);
+    return Acc;
+  }
+
+private:
+  using EntryFn = std::function<void(const RaceVar &, const RaceValue &)>;
+  using AccumulateFn = std::function<void(const RaceVar &, const RaceValue &)>;
+
+  /// The base value of a global: its declared initializer.
+  RaceValue globalBase(Symbol G) const {
+    const GlobalDecl *Decl = P.global(G);
+    assert(Decl && "global unknown for undeclared symbol");
+    if (Decl->isArray())
+      return RaceValue::itv(Interval::constant(0));
+    return RaceValue::itv(Interval::constant(Decl->Init));
+  }
+
+  /// Context for a call with the given argument values (same policy as
+  /// the interval analysis: flat-constant abstraction with context gas).
+  uint32_t contextFor(uint32_t CalleeIdx, const std::vector<Interval> &Args) {
+    if (!A.Options.ContextSensitive)
+      return A.InitialCtx;
+    ContextValues Values;
+    Values.reserve(Args.size());
+    for (const Interval &Arg : Args) {
+      if (Arg.isConstant())
+        Values.push_back(Flat<int64_t>::constant(Arg.constantValue()));
+      else
+        Values.push_back(Flat<int64_t>::top());
+    }
+    uint32_t Ctx = A.Contexts.intern(Values);
+    auto &Seen = A.CtxPerFunc[CalleeIdx];
+    if (Seen.count(Ctx))
+      return Ctx;
+    if (Seen.size() >= A.Options.MaxContextsPerFunction) {
+      ContextValues Tops(Args.size(), Flat<int64_t>::top());
+      uint32_t TopCtx = A.Contexts.intern(Tops);
+      Seen.insert(TopCtx);
+      return TopCtx;
+    }
+    Seen.insert(Ctx);
+    return Ctx;
+  }
+
+  RaceAccess makeAccess(Symbol Glob, bool IsWrite, uint32_t Func,
+                        uint32_t Line, const LockSet &Locks, bool MT) const {
+    RaceAccess Rec;
+    Rec.Glob = Glob;
+    Rec.IsWrite = IsWrite;
+    Rec.Multithreaded = MT;
+    Rec.Func = Func;
+    Rec.Line = Line;
+    Rec.Locks = Locks;
+    return Rec;
+  }
+
+  void recordAccess(const AccumulateFn &Accumulate, Symbol Glob, bool IsWrite,
+                    uint32_t Func, uint32_t Line, const LockSet &Locks,
+                    bool MT) {
+    AccessSet S;
+    S.insert(makeAccess(Glob, IsWrite, Func, Line, Locks, MT));
+    Accumulate(RaceVar::access(Glob), RaceValue::acc(std::move(S)));
+  }
+
+  void processEdge(const RaceVar &X, const Cfg &G, const CfgEdge &E,
+                   const ActionGlobals &AG, const RaceValue &Pre,
+                   const EvalContext &Ctx, const Get &GetFn,
+                   const EntryFn &ContributeEntry,
+                   const AccumulateFn &Accumulate, RaceValue &Acc) {
+    const AbsEnv &PreEnv = Pre.env();
+    const LockSet &PreLocks = Pre.locks();
+    bool MT = Pre.multithreaded();
+    uint32_t Line = G.lineOf(E.From);
+
+    // Operand evaluation happens before any transfer of control, so all
+    // syntactic reads execute under the pre-state's lockset whenever the
+    // source point is reachable.
+    for (Symbol R : AG.Reads)
+      recordAccess(Accumulate, R, /*IsWrite=*/false, X.Func, Line, PreLocks,
+                   MT);
+
+    switch (E.Act.K) {
+    case Action::Kind::Lock: {
+      LockSet Post = PreLocks;
+      Post.add(E.Act.Lhs);
+      Acc = Acc.join(RaceValue::point(PreEnv, std::move(Post), MT));
+      return;
+    }
+    case Action::Kind::Unlock: {
+      LockSet Post = PreLocks;
+      Post.remove(E.Act.Lhs);
+      Acc = Acc.join(RaceValue::point(PreEnv, std::move(Post), MT));
+      return;
+    }
+    case Action::Kind::Call:
+      applyCall(E.Act, PreEnv, PreLocks, MT, X.Func, Line, Ctx, GetFn,
+                ContributeEntry, Accumulate, Acc);
+      return;
+    case Action::Kind::Spawn:
+      applySpawn(E.Act, PreEnv, PreLocks, MT, Ctx, GetFn, ContributeEntry,
+                 Acc);
+      return;
+    default:
+      break;
+    }
+
+    // Plain write targets execute under the pre-state's lockset too
+    // (lock/unlock are their own edges).
+    for (Symbol W : AG.Writes)
+      recordAccess(Accumulate, W, /*IsWrite=*/true, X.Func, Line, PreLocks,
+                   MT);
+
+    BasicEffect Eff = applyBasicAction(E.Act, PreEnv, Ctx);
+    for (auto &[GlobalSym, Value] : Eff.GlobalWrites)
+      Accumulate(RaceVar::global(GlobalSym), RaceValue::itv(Value));
+    if (Eff.Post)
+      Acc = Acc.join(
+          RaceValue::point(std::move(*Eff.Post), PreLocks, MT));
+  }
+
+  void applyCall(const Action &Act, const AbsEnv &PreEnv,
+                 const LockSet &PreLocks, bool MT, uint32_t CallerIdx,
+                 uint32_t Line, const EvalContext &Ctx, const Get &GetFn,
+                 const EntryFn &ContributeEntry,
+                 const AccumulateFn &Accumulate, RaceValue &Acc) {
+    size_t CalleeIdx = P.functionIndex(Act.Callee);
+    assert(CalleeIdx < P.Functions.size() && "sema checked callee");
+    const FuncDecl &Callee = *P.Functions[CalleeIdx];
+
+    std::vector<Interval> Args;
+    Args.reserve(Act.Args.size());
+    for (const Expr *Arg : Act.Args) {
+      Interval V = evalExpr(*Arg, PreEnv, Ctx);
+      if (V.isBot())
+        return; // Unreachable call.
+      Args.push_back(V);
+    }
+
+    uint32_t CalleeCtx = contextFor(static_cast<uint32_t>(CalleeIdx), Args);
+
+    AbsEnv ParamEnv;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      Interval Bound = Args[I];
+      if (A.Options.ContextSensitive) {
+        const Flat<int64_t> &CtxVal = A.Contexts.values(CalleeCtx)[I];
+        if (CtxVal.isConstant())
+          Bound = Bound.meet(Interval::constant(CtxVal.constantValue()));
+      }
+      if (Bound.isBot())
+        return; // Contradictory binding: unreachable.
+      ParamEnv.set(Callee.Params[I], Bound);
+    }
+    // The callee inherits the caller's lockset and threading phase.
+    ContributeEntry(RaceVar::point(static_cast<uint32_t>(CalleeIdx),
+                                   Cfg::EntryNode, CalleeCtx),
+                    RaceValue::point(std::move(ParamEnv), PreLocks, MT));
+
+    RaceValue ExitVal = GetFn(RaceVar::point(
+        static_cast<uint32_t>(CalleeIdx), Cfg::ExitNode, CalleeCtx));
+    if (ExitVal.isBot())
+      return; // Callee (in this context) never returns.
+    Interval RetValue = ExitVal.env().get(A.RetSym);
+    // The caller resumes under the callee's *exit* lockset and phase (the
+    // callee may lock/unlock asymmetrically or spawn).
+    const LockSet &PostLocks = ExitVal.locks();
+    bool PostMT = ExitVal.multithreaded();
+
+    AbsEnv Post = PreEnv;
+    if (Act.Lhs) {
+      if (P.isGlobal(Act.Lhs)) {
+        Accumulate(RaceVar::global(Act.Lhs), RaceValue::itv(RetValue));
+        // The result store happens after the call returns: record it
+        // under the post-call lockset, not the one at the call site.
+        recordAccess(Accumulate, Act.Lhs, /*IsWrite=*/true, CallerIdx, Line,
+                     PostLocks, PostMT);
+      } else {
+        Post.set(Act.Lhs, RetValue);
+      }
+    }
+    Acc = Acc.join(RaceValue::point(std::move(Post), PostLocks, PostMT));
+  }
+
+  /// `spawn f(args)`: contribute the bound parameters to f's entry with
+  /// the empty lockset and the multithreaded flag set, force exploration
+  /// of f's body (nothing else reads its unknowns under the demand-driven
+  /// solver), and mark the spawner itself multithreaded from here on.
+  void applySpawn(const Action &Act, const AbsEnv &PreEnv,
+                  const LockSet &PreLocks, bool MT, const EvalContext &Ctx,
+                  const Get &GetFn, const EntryFn &ContributeEntry,
+                  RaceValue &Acc) {
+    size_t CalleeIdx = P.functionIndex(Act.Callee);
+    assert(CalleeIdx < P.Functions.size() && "sema checked spawn callee");
+    const FuncDecl &Callee = *P.Functions[CalleeIdx];
+
+    std::vector<Interval> Args;
+    Args.reserve(Act.Args.size());
+    for (const Expr *Arg : Act.Args) {
+      Interval V = evalExpr(*Arg, PreEnv, Ctx);
+      if (V.isBot())
+        return; // Unreachable spawn.
+      Args.push_back(V);
+    }
+
+    uint32_t CalleeCtx = contextFor(static_cast<uint32_t>(CalleeIdx), Args);
+
+    AbsEnv ParamEnv;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      Interval Bound = Args[I];
+      if (A.Options.ContextSensitive) {
+        const Flat<int64_t> &CtxVal = A.Contexts.values(CalleeCtx)[I];
+        if (CtxVal.isConstant())
+          Bound = Bound.meet(Interval::constant(CtxVal.constantValue()));
+      }
+      if (Bound.isBot())
+        return;
+      ParamEnv.set(Callee.Params[I], Bound);
+    }
+    // The new thread starts with no locks held and is multithreaded by
+    // construction.
+    ContributeEntry(RaceVar::point(static_cast<uint32_t>(CalleeIdx),
+                                   Cfg::EntryNode, CalleeCtx),
+                    RaceValue::point(std::move(ParamEnv), LockSet::none(),
+                                     /*Multithreaded=*/true));
+
+    (void)GetFn(RaceVar::point(static_cast<uint32_t>(CalleeIdx),
+                               Cfg::ExitNode, CalleeCtx));
+
+    // The spawner keeps its state but is multithreaded from now on.
+    Acc = Acc.join(RaceValue::point(PreEnv, PreLocks, /*Multithreaded=*/true));
+  }
+
+  RaceAnalysis &A;
+  const Program &P;
+  const ProgramCfg &Cfgs;
+};
+
+} // namespace warrow
+
+//===----------------------------------------------------------------------===//
+// RaceAnalysis
+//===----------------------------------------------------------------------===//
+
+RaceAnalysis::RaceAnalysis(const Program &P, const ProgramCfg &Cfgs,
+                           AnalysisOptions Options)
+    : P(P), Cfgs(Cfgs), Options(Options) {
+  Symbol MainSym = P.Symbols.lookup("main");
+  MainIdx = static_cast<uint32_t>(P.functionIndex(MainSym));
+  assert(MainIdx < P.Functions.size() && "program has main (sema)");
+  RetSym = P.Symbols.lookup(ReturnValueName);
+  assert(RetSym != 0 && "CFGs built before analysis (interns $ret)");
+}
+
+RaceVar RaceAnalysis::root() const {
+  return RaceVar::point(MainIdx, Cfg::ExitNode, InitialCtx);
+}
+
+SideEffectingSystem<RaceVar, RaceValue>
+RaceAnalysis::buildSystem(RaceRhs &Builder) {
+  return SideEffectingSystem<RaceVar, RaceValue>(
+      [&Builder](const RaceVar &X)
+          -> SideEffectingSystem<RaceVar, RaceValue>::Rhs {
+        return [&Builder, X](const RaceRhs::Get &GetFn,
+                             const RaceRhs::Side &SideFn) {
+          return Builder.evalRhs(X, GetFn, SideFn);
+        };
+      });
+}
+
+RaceAnalysisResult RaceAnalysis::run(SolverChoice Choice) {
+  // Reset per-run context state.
+  Contexts = ContextTable();
+  CtxPerFunc.clear();
+  InitialCtx = Contexts.intern({}); // Id 0: the empty tuple.
+
+  RaceRhs RhsBuilder(*this, P, Cfgs);
+  SideEffectingSystem<RaceVar, RaceValue> System = buildSystem(RhsBuilder);
+
+  RaceAnalysisResult Result;
+  Timer Clock;
+  switch (Choice) {
+  case SolverChoice::Warrow: {
+    // Threshold widening only refines the interval components; the plain
+    // degrading ⊟ covers both configurations of the race product.
+    SlrPlusSolver<RaceVar, RaceValue, DegradingWarrowCombine<RaceVar>> Solver(
+        System, DegradingWarrowCombine<RaceVar>(Options.WarrowMaxSwitches),
+        Options.Solver, Options.LocalizedWidening);
+    Result.Solution = Solver.solveFor(root());
+    break;
+  }
+  case SolverChoice::WidenOnly:
+    Result.Solution =
+        solveSLRPlus(System, root(), WidenCombine{}, Options.Solver);
+    break;
+  case SolverChoice::TwoPhase:
+    Result.Solution = solveTwoPhaseSide(System, root(), Options.Solver,
+                                        Options.TwoPhaseNarrowRounds);
+    break;
+  }
+  Result.Seconds = Clock.seconds();
+  Result.Stats = Result.Solution.Stats;
+  Result.NumUnknowns = Result.Solution.Sigma.size();
+  Result.Races = findRaces(P, Result);
+  return Result;
+}
+
+VerifyResult RaceAnalysis::verify(const RaceAnalysisResult &Result) {
+  RaceRhs RhsBuilder(*this, P, Cfgs);
+  SideEffectingSystem<RaceVar, RaceValue> System = buildSystem(RhsBuilder);
+  return verifySideEffectingSolution(System, Result.Solution);
+}
+
+//===----------------------------------------------------------------------===//
+// Race extraction
+//===----------------------------------------------------------------------===//
+
+std::vector<RaceFinding> warrow::findRaces(const Program &P,
+                                           const RaceAnalysisResult &Result) {
+  std::vector<RaceFinding> Races;
+  for (const GlobalDecl &G : P.Globals) {
+    const AccessSet &S = Result.accessesOf(G.Name);
+    const std::vector<RaceAccess> &All = S.accesses();
+    // First witness in the set's deterministic (sorted) order: an MT
+    // write paired with an MT access holding a disjoint lockset. The
+    // pair may be a single unprotected write with itself.
+    const RaceAccess *Write = nullptr;
+    const RaceAccess *Other = nullptr;
+    for (const RaceAccess &W : All) {
+      if (!W.IsWrite || !W.Multithreaded)
+        continue;
+      for (const RaceAccess &O : All) {
+        if (!O.Multithreaded)
+          continue;
+        if (!W.Locks.disjointWith(O.Locks))
+          continue;
+        Write = &W;
+        Other = &O;
+        break;
+      }
+      if (Write)
+        break;
+    }
+    if (!Write)
+      continue;
+    RaceFinding F;
+    F.Glob = G.Name;
+    F.Write = *Write;
+    F.Other = *Other;
+    Races.push_back(std::move(F));
+  }
+  return Races;
+}
+
+std::string RaceFinding::str(const Program &P) const {
+  std::string Out = "data race on " + P.Symbols.spelling(Glob) + ": ";
+  Out += Write.str(P);
+  if (Write == Other) {
+    Out += " is unprotected";
+  } else {
+    Out += " vs " + Other.str(P);
+  }
+  return Out;
+}
+
+std::vector<CheckFinding>
+warrow::raceCheckFindings(const Program &P,
+                          const std::vector<RaceFinding> &Races) {
+  std::vector<CheckFinding> Findings;
+  Findings.reserve(Races.size());
+  for (const RaceFinding &F : Races)
+    Findings.push_back({CheckFinding::Kind::DataRace, F.Write.Func,
+                        F.Write.Line, false, F.str(P)});
+  return Findings;
+}

@@ -1,0 +1,375 @@
+//===- analysis/races.h - Lockset-based data-race detection -----*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Must-lockset data-race detection for multithreaded mini-C, formulated
+/// as a side-effecting constraint system on SLR+ (the Goblint recipe on
+/// top of the paper's Section 6 machinery):
+///
+///  - Program points carry a *product* of the interval environment, the
+///    must-set of held mutexes, and a single-threaded/multithreaded flag.
+///    Locksets join by intersection (must information); the flag joins by
+///    "or" (multithreaded once any path spawned).
+///  - Global reads and writes *side-effect* an access record
+///    (global, read/write, lockset, threading phase, site) into one
+///    accumulator unknown per global; the per-global value is the join
+///    (set union) of all contributions.
+///  - `spawn f(e)` contributes the bound parameter environment — with the
+///    empty lockset and the multithreaded flag — to f's entry, marks the
+///    spawner multithreaded, and forces exploration of f's body.
+///  - After solving, a global is *racy* iff its accumulated accesses
+///    contain a multithreaded write w and a multithreaded access a
+///    (possibly w itself) whose locksets are disjoint — the Eraser
+///    discipline on must-locksets.
+///
+/// The precision experiment mirrors the paper's alarm benches: right-hand
+/// sides re-contribute the access set of every *syntactically* touched
+/// global on every evaluation — an edge whose guard the ⊟-iteration
+/// refutes contributes the empty set, *replacing* its stale per-
+/// contributor cell sigma(x,z) so the spurious access disappears. The
+/// two-phase baseline freezes side-effected unknowns in its narrowing
+/// phase (Example 8), so accesses reached only under widened loop bounds
+/// stay in the accumulator and surface as false race alarms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_RACES_H
+#define WARROW_ANALYSIS_RACES_H
+
+#include "analysis/checks.h"
+#include "analysis/interproc.h"
+#include "eqsys/local_system.h"
+#include "eqsys/verify.h"
+#include "lang/cfg.h"
+#include "solvers/stats.h"
+#include "support/hash.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace warrow {
+
+/// A must-set of held mutexes. Ordering is by *reverse* inclusion: more
+/// locks held means more precise information, so `a.leq(b)` iff a holds
+/// at least b's locks, the join is set intersection, and the top element
+/// is the empty set ("nothing definitely held").
+class LockSet {
+public:
+  LockSet() = default;
+
+  /// The empty (top) lockset.
+  static LockSet none() { return LockSet(); }
+  static LockSet of(std::vector<Symbol> Mutexes);
+
+  void add(Symbol M);
+  void remove(Symbol M);
+  bool contains(Symbol M) const;
+  bool empty() const { return Locks.empty(); }
+  size_t size() const { return Locks.size(); }
+  const std::vector<Symbol> &mutexes() const { return Locks; }
+
+  /// True when no mutex is held by both (the race condition on a pair).
+  bool disjointWith(const LockSet &Other) const;
+
+  /// Must-ordering: this ⊑ other iff this holds a superset of the locks.
+  bool leq(const LockSet &Other) const;
+  /// Must-join: intersection of the held sets.
+  LockSet join(const LockSet &Other) const;
+  bool operator==(const LockSet &Other) const { return Locks == Other.Locks; }
+
+  /// "{m1,m2}" using the interner for names.
+  std::string str(const Interner &Symbols) const;
+  size_t hashValue() const;
+
+private:
+  /// Sorted, deduplicated.
+  std::vector<Symbol> Locks;
+};
+
+/// One recorded access to a global: the syntactic site plus the must-
+/// lockset and threading phase it executes under.
+struct RaceAccess {
+  Symbol Glob = 0;
+  bool IsWrite = false;
+  /// True when the access can happen after some thread was spawned —
+  /// only such accesses participate in races.
+  bool Multithreaded = false;
+  uint32_t Func = 0;
+  uint32_t Line = 0;
+  LockSet Locks;
+
+  bool operator==(const RaceAccess &Other) const {
+    return Glob == Other.Glob && IsWrite == Other.IsWrite &&
+           Multithreaded == Other.Multithreaded && Func == Other.Func &&
+           Line == Other.Line && Locks == Other.Locks;
+  }
+  bool operator<(const RaceAccess &Other) const;
+
+  /// "write of g at f:12 [MT] holding {m}".
+  std::string str(const Program &P) const;
+};
+
+/// A finite set of access records; join is set union, so the accumulator
+/// per global grows towards the full set of (site, lockset) pairs — and
+/// shrinks again under ⊟ when contributions are replaced by smaller sets.
+class AccessSet {
+public:
+  AccessSet() = default;
+
+  void insert(RaceAccess A);
+  void unionWith(const AccessSet &Other);
+  bool empty() const { return Accesses.empty(); }
+  size_t size() const { return Accesses.size(); }
+  const std::vector<RaceAccess> &accesses() const { return Accesses; }
+
+  /// Subset ordering.
+  bool leq(const AccessSet &Other) const;
+  AccessSet join(const AccessSet &Other) const;
+  bool operator==(const AccessSet &Other) const {
+    return Accesses == Other.Accesses;
+  }
+
+  std::string str(const Program &P) const;
+
+private:
+  /// Sorted by operator<, deduplicated.
+  std::vector<RaceAccess> Accesses;
+};
+
+/// The heterogeneous value domain of the race system. Program points
+/// carry `Point` products, flow-insensitive globals carry intervals, and
+/// per-global access accumulators carry access sets; `Bot` is the shared
+/// polymorphic bottom (unreachable / empty), as in `AbsValue`.
+class RaceValue {
+public:
+  enum class Kind : uint8_t { Bot, Point, Itv, Acc };
+
+  RaceValue() : K(Kind::Bot) {}
+
+  static RaceValue bot() { return RaceValue(); }
+  static RaceValue point(AbsEnv Env, LockSet Locks, bool Multithreaded) {
+    // Same choke point as AbsValue::env: every environment entering the
+    // solver is interned so equality is a pointer compare.
+    Env.freeze();
+    RaceValue V;
+    V.K = Kind::Point;
+    V.Env = std::move(Env);
+    V.Locks = std::move(Locks);
+    V.Multithreaded = Multithreaded;
+    return V;
+  }
+  static RaceValue itv(const Interval &I) {
+    if (I.isBot())
+      return bot();
+    RaceValue V;
+    V.K = Kind::Itv;
+    V.Itv = I;
+    return V;
+  }
+  static RaceValue acc(AccessSet Accesses) {
+    if (Accesses.empty())
+      return bot();
+    RaceValue V;
+    V.K = Kind::Acc;
+    V.Accesses = std::move(Accesses);
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isBot() const { return K == Kind::Bot; }
+  bool isPoint() const { return K == Kind::Point; }
+  bool isItv() const { return K == Kind::Itv; }
+  bool isAcc() const { return K == Kind::Acc; }
+
+  const AbsEnv &env() const {
+    assert(isPoint() && "not a point value");
+    return Env;
+  }
+  const LockSet &locks() const {
+    assert(isPoint() && "not a point value");
+    return Locks;
+  }
+  bool multithreaded() const {
+    assert(isPoint() && "not a point value");
+    return Multithreaded;
+  }
+  /// Interval payload; bottom maps to the empty interval.
+  Interval itvValue() const {
+    assert((isItv() || isBot()) && "not an interval value");
+    return isBot() ? Interval::bot() : Itv;
+  }
+  /// Access-set payload; bottom maps to the empty set.
+  const AccessSet &accValue() const {
+    assert((isAcc() || isBot()) && "not an access-set value");
+    static const AccessSet Empty;
+    return isBot() ? Empty : Accesses;
+  }
+
+  bool leq(const RaceValue &Other) const;
+  RaceValue join(const RaceValue &Other) const;
+  RaceValue widen(const RaceValue &Other) const;
+  RaceValue narrow(const RaceValue &Other) const;
+  bool operator==(const RaceValue &Other) const;
+
+  std::string str(const Interner &Symbols) const;
+
+private:
+  Kind K;
+  AbsEnv Env;
+  LockSet Locks;
+  bool Multithreaded = false;
+  Interval Itv;
+  AccessSet Accesses;
+};
+
+/// An unknown of the race constraint system: a program point, a flow-
+/// insensitive global value, or a per-global access accumulator.
+struct RaceVar {
+  enum class Kind : uint8_t { Point, Global, Access };
+
+  Kind K = Kind::Point;
+  uint32_t Func = 0; ///< Function index (Point).
+  uint32_t Node = 0; ///< CFG node (Point).
+  uint32_t Ctx = 0;  ///< Context id (Point).
+  Symbol Glob = 0;   ///< Global symbol (Global / Access).
+
+  static RaceVar point(uint32_t Func, uint32_t Node, uint32_t Ctx) {
+    RaceVar V;
+    V.K = Kind::Point;
+    V.Func = Func;
+    V.Node = Node;
+    V.Ctx = Ctx;
+    return V;
+  }
+  static RaceVar global(Symbol G) {
+    RaceVar V;
+    V.K = Kind::Global;
+    V.Glob = G;
+    return V;
+  }
+  static RaceVar access(Symbol G) {
+    RaceVar V;
+    V.K = Kind::Access;
+    V.Glob = G;
+    return V;
+  }
+
+  bool isPoint() const { return K == Kind::Point; }
+  bool isGlobal() const { return K == Kind::Global; }
+  bool isAccess() const { return K == Kind::Access; }
+
+  bool operator==(const RaceVar &O) const {
+    return K == O.K && Func == O.Func && Node == O.Node && Ctx == O.Ctx &&
+           Glob == O.Glob;
+  }
+
+  size_t hashValue() const {
+    return hashAll(static_cast<uint32_t>(K), Func, Node, Ctx, Glob);
+  }
+
+  std::string str(const Program &P) const;
+};
+
+} // namespace warrow
+
+// The hash specialization must precede any instantiation of containers
+// keyed by RaceVar (e.g. PartialSolution below).
+template <> struct std::hash<warrow::RaceVar> {
+  size_t operator()(const warrow::RaceVar &V) const { return V.hashValue(); }
+};
+
+namespace warrow {
+
+/// One reported race: a global plus the witnessing pair of accesses (a
+/// multithreaded write and a multithreaded access with disjoint locksets;
+/// the two may coincide for a single unprotected write).
+struct RaceFinding {
+  Symbol Glob = 0;
+  RaceAccess Write;
+  RaceAccess Other;
+
+  std::string str(const Program &P) const;
+};
+
+/// Result of one race-analysis run.
+struct RaceAnalysisResult {
+  PartialSolution<RaceVar, RaceValue> Solution;
+  SolverStats Stats;
+  double Seconds = 0;
+  uint64_t NumUnknowns = 0;
+  /// One finding per racy global, in declaration order.
+  std::vector<RaceFinding> Races;
+
+  /// Accumulated accesses of a global (empty if never accessed).
+  const AccessSet &accessesOf(Symbol G) const {
+    auto It = Solution.Sigma.find(RaceVar::access(G));
+    static const AccessSet Empty;
+    return It == Solution.Sigma.end() ? Empty : It->second.accValue();
+  }
+  /// Flow-insensitive interval of a global.
+  Interval globalValue(Symbol G) const {
+    return Solution.value(RaceVar::global(G)).itvValue();
+  }
+  RaceValue at(uint32_t Func, uint32_t Node, uint32_t Ctx = 0) const {
+    return Solution.value(RaceVar::point(Func, Node, Ctx));
+  }
+};
+
+/// Builds and solves the race constraint system.
+class RaceAnalysis {
+public:
+  RaceAnalysis(const Program &P, const ProgramCfg &Cfgs,
+               AnalysisOptions Options = {});
+
+  /// Runs the chosen solver from scratch and extracts the races.
+  RaceAnalysisResult run(SolverChoice Choice);
+
+  /// Independent soundness check: re-evaluates every right-hand side over
+  /// the solved assignment (verify.h's side-effecting solution check).
+  /// Call directly after run() — the run's context table is reused.
+  VerifyResult verify(const RaceAnalysisResult &Result);
+
+  /// The interesting unknown: main's exit point in the initial context.
+  RaceVar root() const;
+
+  const AnalysisOptions &options() const { return Options; }
+
+private:
+  friend class RaceRhs;
+
+  SideEffectingSystem<RaceVar, RaceValue> buildSystem(class RaceRhs &Builder);
+
+  const Program &P;
+  const ProgramCfg &Cfgs;
+  AnalysisOptions Options;
+  uint32_t MainIdx = 0;
+  Symbol RetSym = 0;
+
+  // Mutable context state shared across a run (reset per run()).
+  ContextTable Contexts;
+  uint32_t InitialCtx = 0;
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> CtxPerFunc;
+};
+
+/// Extracts the racy globals from the accumulated access sets: one
+/// finding per global with a multithreaded write and some multithreaded
+/// access holding a disjoint lockset. Deterministic (declaration order;
+/// lexicographically smallest witness pair).
+std::vector<RaceFinding> findRaces(const Program &P,
+                                   const RaceAnalysisResult &Result);
+
+/// Converts race findings to checker findings (Kind::DataRace) so the
+/// alarm accounting of checks.h covers races too.
+std::vector<CheckFinding>
+raceCheckFindings(const Program &P, const std::vector<RaceFinding> &Races);
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_RACES_H

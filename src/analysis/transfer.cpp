@@ -371,8 +371,15 @@ BasicEffect warrow::applyBasicAction(const Action &Act, const AbsEnv &Pre,
     Effect.Post = std::move(Post);
     return Effect;
   }
+  case Action::Kind::Lock:
+  case Action::Kind::Unlock:
+    // Mutex operations do not touch integer state; the lockset component
+    // (races.cpp) tracks them in its own product layer.
+    Effect.Post = Pre;
+    return Effect;
   case Action::Kind::Call:
-    assert(false && "call actions are handled by the driver");
+  case Action::Kind::Spawn:
+    assert(false && "call/spawn actions are handled by the driver");
     return Effect;
   }
   return Effect;

@@ -22,6 +22,7 @@
 #include "eqsys/local_system.h"
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace warrow {
@@ -29,16 +30,43 @@ namespace warrow {
 /// Outcome of a verification pass.
 struct VerifyResult {
   bool Ok = true;
-  /// Human-readable descriptions of the violations found (at most 16).
+  /// Human-readable descriptions of the violations found. Capped at 16
+  /// detailed entries; when more violations occur, `Dropped` counts the
+  /// overflow and the final entry summarizes it ("... and N more").
   std::vector<std::string> Violations;
+  /// Number of violations beyond the detailed cap.
+  size_t Dropped = 0;
 
   explicit operator bool() const { return Ok; }
 
+  /// All violation lines joined with newlines (empty when Ok).
+  std::string str() const {
+    std::string S;
+    for (const std::string &V : Violations) {
+      S += V;
+      S += '\n';
+    }
+    return S;
+  }
+
   void fail(std::string Message) {
     Ok = false;
-    if (Violations.size() < 16)
+    if (Violations.size() < DetailCap) {
       Violations.push_back(std::move(Message));
+      return;
+    }
+    // Keep (or refresh) one trailing summary entry so consumers printing
+    // the list see that it was truncated rather than complete.
+    ++Dropped;
+    std::string Trailer = "... and " + std::to_string(Dropped) + " more";
+    if (Violations.size() == DetailCap)
+      Violations.push_back(std::move(Trailer));
+    else
+      Violations.back() = std::move(Trailer);
   }
+
+private:
+  static constexpr size_t DetailCap = 16;
 };
 
 /// Checks sigma[x] = sigma[x] ⊕ f_x(sigma) for every unknown of a dense
@@ -88,6 +116,58 @@ VerifyResult verifyPartialPostSolution(const LocalSystem<V, D> &System,
     else if (!Rhs.leq(Value))
       R.fail("not a partial post solution at some unknown");
   }
+  return R;
+}
+
+/// Full check of a side-effecting solution with no solver cooperation:
+/// re-evaluates every right-hand side over sigma exactly once, recording
+/// the side effects it emits, and checks that
+///
+///   - every direct result stays below its unknown's value,
+///   - for every target z, the join of all fresh contributions to z stays
+///     below sigma[z],
+///   - reads and (non-bottom) contribution targets stay inside dom.
+///
+/// Sound for any ⊕-solution produced by SLR+ whose ⊕ keeps sigma[x] above
+/// f_x(sigma) ⊔ ⊔ contributions (⊟, ▽, and join all do): right-hand sides
+/// are pure functions of their reads, so re-evaluating over the final
+/// sigma reproduces exactly the contributions the solver last recorded.
+/// Bottom contributions to unknowns outside dom are permitted — the
+/// always-contribute protocol of the race analysis emits them for
+/// syntactically touched but unreachable targets, and the solver
+/// deliberately never materializes such unknowns.
+template <typename V, typename D>
+VerifyResult
+verifySideEffectingSolution(const SideEffectingSystem<V, D> &System,
+                            const PartialSolution<V, D> &Solution) {
+  VerifyResult R;
+  std::unordered_map<V, D> ContribJoin;
+  for (const auto &[X, Value] : Solution.Sigma) {
+    bool EscapedDomain = false;
+    typename SideEffectingSystem<V, D>::Get Get = [&](const V &Y) -> D {
+      if (!Solution.inDomain(Y))
+        EscapedDomain = true;
+      return Solution.value(Y);
+    };
+    typename SideEffectingSystem<V, D>::Side Record = [&](const V &Z,
+                                                          const D &Val) {
+      if (!Solution.inDomain(Z)) {
+        if (!(Val == D::bot()))
+          EscapedDomain = true;
+        return;
+      }
+      auto It = ContribJoin.try_emplace(Z, D::bot()).first;
+      It->second = It->second.join(Val);
+    };
+    D Direct = System.rhs(X)(Get, Record);
+    if (EscapedDomain)
+      R.fail("domain not dependency-closed at some unknown");
+    else if (!Direct.leq(Value))
+      R.fail("direct right-hand side exceeds sigma at some unknown");
+  }
+  for (const auto &[Z, Joined] : ContribJoin)
+    if (!Joined.leq(Solution.value(Z)))
+      R.fail("joined side-effect contributions exceed sigma at a target");
   return R;
 }
 

@@ -60,6 +60,8 @@ const char *warrow::spelling(BinaryOp Op) {
 
 const CallExpr &ExprCallStmt::call() const { return *cast<CallExpr>(Call.get()); }
 
+const CallExpr &SpawnStmt::call() const { return *cast<CallExpr>(Call.get()); }
+
 const FuncDecl *Program::function(Symbol Name) const {
   for (const auto &F : Functions)
     if (F->Name == Name)
@@ -78,5 +80,12 @@ const GlobalDecl *Program::global(Symbol Name) const {
   for (const auto &G : Globals)
     if (G.Name == Name)
       return &G;
+  return nullptr;
+}
+
+const MutexDecl *Program::mutex(Symbol Name) const {
+  for (const auto &M : Mutexes)
+    if (M.Name == Name)
+      return &M;
   return nullptr;
 }

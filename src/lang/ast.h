@@ -9,12 +9,15 @@
 /// with kind discriminators and `classof` for `isa<>`/`dyn_cast<>`.
 ///
 /// Language summary:
-///   program  := (global | function)*
+///   program  := (global | mutex | function)*
 ///   global   := 'int' ident ('=' intconst)? ';'
 ///             | 'int' ident '[' intconst ']' ';'
+///   mutex    := 'mutex' ident ';'
 ///   function := ('int'|'void') ident '(' params ')' block
 ///   stmt     := decl | assign ';' | call ';' | if | while | for | return
 ///             | break ';' | continue ';' | block | ';'
+///             | 'spawn' ident '(' args ')' ';'
+///             | 'lock' '(' ident ')' ';' | 'unlock' '(' ident ')' ';'
 ///   expr     := full arithmetic/relational/logical expression grammar;
 ///               calls (including the builtin `unknown()`, an arbitrary
 ///               input value) may appear only as a whole statement or as
@@ -196,6 +199,9 @@ public:
     Break,
     Continue,
     Empty,
+    Spawn,
+    Lock,
+    Unlock,
   };
 
   Kind kind() const { return K; }
@@ -375,6 +381,44 @@ public:
   static bool classof(const Stmt *S) { return S->kind() == Kind::Empty; }
 };
 
+/// `spawn f(e1, ..., ek);` — start a new thread executing `f` with the
+/// given arguments; the spawner continues immediately and any return
+/// value is discarded. Stored as a CallExpr for uniformity with calls.
+class SpawnStmt : public Stmt {
+public:
+  SpawnStmt(ExprPtr Call, uint32_t Line)
+      : Stmt(Kind::Spawn, Line), Call(std::move(Call)) {}
+  const CallExpr &call() const;
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Spawn; }
+
+private:
+  ExprPtr Call;
+};
+
+/// `lock(m);` — acquire a declared mutex (blocking, non-reentrant).
+class LockStmt : public Stmt {
+public:
+  LockStmt(Symbol Mutex, uint32_t Line)
+      : Stmt(Kind::Lock, Line), Mutex(Mutex) {}
+  Symbol mutex() const { return Mutex; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Lock; }
+
+private:
+  Symbol Mutex;
+};
+
+/// `unlock(m);` — release a declared mutex.
+class UnlockStmt : public Stmt {
+public:
+  UnlockStmt(Symbol Mutex, uint32_t Line)
+      : Stmt(Kind::Unlock, Line), Mutex(Mutex) {}
+  Symbol mutex() const { return Mutex; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Unlock; }
+
+private:
+  Symbol Mutex;
+};
+
 //===----------------------------------------------------------------------===//
 // Declarations and the program
 //===----------------------------------------------------------------------===//
@@ -390,6 +434,15 @@ struct GlobalDecl {
   bool isArray() const { return ArraySize >= 0; }
 };
 
+/// A top-level mutex declaration `mutex m;`. Mutexes form their own
+/// namespace-less declared kind: they are not integer variables, can only
+/// appear as the operand of `lock`/`unlock`, and are the (finite) universe
+/// of the must-lockset analysis.
+struct MutexDecl {
+  Symbol Name = 0;
+  uint32_t Line = 0;
+};
+
 /// A function definition.
 struct FuncDecl {
   Symbol Name = 0;
@@ -403,6 +456,7 @@ struct FuncDecl {
 struct Program {
   Interner Symbols;
   std::vector<GlobalDecl> Globals;
+  std::vector<MutexDecl> Mutexes;
   std::vector<std::unique_ptr<FuncDecl>> Functions;
 
   /// Looks up a function by symbol; null if absent.
@@ -412,6 +466,9 @@ struct Program {
   /// Looks up a global by symbol; null if absent.
   const GlobalDecl *global(Symbol Name) const;
   bool isGlobal(Symbol Name) const { return global(Name) != nullptr; }
+  /// Looks up a mutex by symbol; null if absent.
+  const MutexDecl *mutex(Symbol Name) const;
+  bool isMutex(Symbol Name) const { return mutex(Name) != nullptr; }
 };
 
 } // namespace warrow

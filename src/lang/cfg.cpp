@@ -45,6 +45,19 @@ std::string Action::str(const Interner &Symbols) const {
   }
   case Kind::Input:
     return Symbols.spelling(Lhs) + " = unknown()";
+  case Kind::Spawn: {
+    std::string Out = "spawn " + Symbols.spelling(Callee) + "(";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(*Args[I], Symbols);
+    }
+    return Out + ")";
+  }
+  case Kind::Lock:
+    return "lock(" + Symbols.spelling(Lhs) + ")";
+  case Kind::Unlock:
+    return "unlock(" + Symbols.spelling(Lhs) + ")";
   }
   return "?";
 }
@@ -319,6 +332,33 @@ uint32_t CfgBuilder::lower(const Stmt &S, uint32_t Cur) {
   }
   case Stmt::Kind::Empty:
     return Cur;
+  case Stmt::Kind::Spawn: {
+    const CallExpr &Call = cast<SpawnStmt>(&S)->call();
+    uint32_t Next = G.addNode(S.line());
+    Action A;
+    A.K = Action::Kind::Spawn;
+    A.Callee = Call.callee();
+    for (const ExprPtr &Arg : Call.args())
+      A.Args.push_back(Arg.get());
+    G.addEdge(Cur, Next, std::move(A));
+    return Next;
+  }
+  case Stmt::Kind::Lock: {
+    uint32_t Next = G.addNode(S.line());
+    Action A;
+    A.K = Action::Kind::Lock;
+    A.Lhs = cast<LockStmt>(&S)->mutex();
+    G.addEdge(Cur, Next, std::move(A));
+    return Next;
+  }
+  case Stmt::Kind::Unlock: {
+    uint32_t Next = G.addNode(S.line());
+    Action A;
+    A.K = Action::Kind::Unlock;
+    A.Lhs = cast<UnlockStmt>(&S)->mutex();
+    G.addEdge(Cur, Next, std::move(A));
+    return Next;
+  }
   }
   assert(false && "unhandled statement kind");
   return Cur;

@@ -49,6 +49,9 @@ struct Action {
     Guard,      ///< Pass iff truth(Value) == Positive.
     Call,       ///< Lhs = Callee(Args); Lhs may be 0 (ignored result).
     Input,      ///< Lhs = unknown() — an arbitrary integer.
+    Spawn,      ///< spawn Callee(Args): start a thread, discard result.
+    Lock,       ///< lock(Lhs): acquire mutex Lhs.
+    Unlock,     ///< unlock(Lhs): release mutex Lhs.
   };
 
   Kind K = Kind::Skip;

@@ -296,6 +296,32 @@ bool Interpreter::runFunction(size_t FuncIndex, ConcreteFrame Frame,
       }
       break;
     }
+    case Action::Kind::Spawn: {
+      // The concrete oracle executes the *sequentialized* semantics: the
+      // spawned function runs to completion at the spawn point (one legal
+      // interleaving), its return value is discarded. The abstract
+      // semantics over-approximates this: it binds the arguments into the
+      // spawned function's entry and keeps the spawner's state unchanged.
+      size_t CalleeIdx = P.functionIndex(A.Callee);
+      assert(CalleeIdx < P.Functions.size() && "sema checked spawn callee");
+      const FuncDecl &Callee = *P.Functions[CalleeIdx];
+      ConcreteFrame CalleeFrame;
+      for (size_t I = 0; I < A.Args.size(); ++I) {
+        int64_t ArgValue;
+        if (!evalExpr(*A.Args[I], Frame, ArgValue))
+          return false;
+        CalleeFrame.Scalars[Callee.Params[I]] = ArgValue;
+      }
+      int64_t Discarded = 0;
+      if (!runFunction(CalleeIdx, std::move(CalleeFrame), Depth + 1,
+                       Discarded))
+        return false;
+      break;
+    }
+    case Action::Kind::Lock:
+    case Action::Kind::Unlock:
+      // Mutex operations are no-ops under the sequentialized semantics.
+      break;
     }
     Node = Chosen->To;
   }

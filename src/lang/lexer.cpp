@@ -31,6 +31,14 @@ TokenKind keywordKind(std::string_view Text) {
     return TokenKind::KwBreak;
   if (Text == "continue")
     return TokenKind::KwContinue;
+  if (Text == "spawn")
+    return TokenKind::KwSpawn;
+  if (Text == "lock")
+    return TokenKind::KwLock;
+  if (Text == "unlock")
+    return TokenKind::KwUnlock;
+  if (Text == "mutex")
+    return TokenKind::KwMutex;
   return TokenKind::Identifier;
 }
 

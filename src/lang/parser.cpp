@@ -71,6 +71,10 @@ void Parser::synchronize() {
     case TokenKind::KwWhile:
     case TokenKind::KwFor:
     case TokenKind::KwReturn:
+    case TokenKind::KwSpawn:
+    case TokenKind::KwLock:
+    case TokenKind::KwUnlock:
+    case TokenKind::KwMutex:
     case TokenKind::RBrace:
       return;
     default:
@@ -89,13 +93,28 @@ std::unique_ptr<Program> Parser::parse() {
 }
 
 bool Parser::parseTopLevel(Program &P) {
+  if (match(TokenKind::KwMutex)) {
+    if (!check(TokenKind::Identifier)) {
+      error(current(), "expected mutex name after 'mutex'");
+      return false;
+    }
+    Token NameTok = consume();
+    MutexDecl M;
+    M.Name = P.Symbols.intern(NameTok.Text);
+    M.Line = NameTok.Line;
+    if (!expect(TokenKind::Semicolon, "after mutex declaration"))
+      return false;
+    P.Mutexes.push_back(M);
+    return true;
+  }
+
   bool ReturnsVoid;
   if (match(TokenKind::KwVoid)) {
     ReturnsVoid = true;
   } else if (match(TokenKind::KwInt)) {
     ReturnsVoid = false;
   } else {
-    error(current(), "expected 'int' or 'void' at top level");
+    error(current(), "expected 'int', 'void', or 'mutex' at top level");
     consume();
     return false;
   }
@@ -291,6 +310,61 @@ StmtPtr Parser::parseStmt(Program &P) {
     if (!expect(TokenKind::Semicolon, "after 'continue'"))
       return nullptr;
     return std::make_unique<ContinueStmt>(T.Line);
+  }
+  case TokenKind::KwSpawn: {
+    Token T = consume();
+    if (!check(TokenKind::Identifier)) {
+      error(current(), "expected function name after 'spawn'");
+      return nullptr;
+    }
+    Token NameTok = consume();
+    Symbol Callee = P.Symbols.intern(NameTok.Text);
+    if (!expect(TokenKind::LParen, "after spawned function name"))
+      return nullptr;
+    std::vector<ExprPtr> Args;
+    if (!check(TokenKind::RParen)) {
+      do {
+        ExprPtr Arg = parseExpr(P);
+        if (!Arg)
+          return nullptr;
+        Args.push_back(std::move(Arg));
+      } while (match(TokenKind::Comma));
+    }
+    if (!expect(TokenKind::RParen, "after spawn arguments"))
+      return nullptr;
+    if (!expect(TokenKind::Semicolon, "after 'spawn'"))
+      return nullptr;
+    auto Call =
+        std::make_unique<CallExpr>(Callee, std::move(Args), NameTok.Line);
+    return std::make_unique<SpawnStmt>(std::move(Call), T.Line);
+  }
+  case TokenKind::KwMutex:
+    // KwMutex is a synchronize() sync point (for top-level recovery), so
+    // it must be consumed here or statement recovery loops without
+    // progress.
+    error(current(), "mutex declarations are only allowed at the top level");
+    consume();
+    return nullptr;
+  case TokenKind::KwLock:
+  case TokenKind::KwUnlock: {
+    Token T = consume();
+    bool IsLock = T.is(TokenKind::KwLock);
+    const char *What = IsLock ? "'lock'" : "'unlock'";
+    if (!expect(TokenKind::LParen, IsLock ? "after 'lock'" : "after 'unlock'"))
+      return nullptr;
+    if (!check(TokenKind::Identifier)) {
+      error(current(), std::string("expected mutex name in ") + What);
+      return nullptr;
+    }
+    Symbol Mutex = P.Symbols.intern(consume().Text);
+    if (!expect(TokenKind::RParen, "after mutex name"))
+      return nullptr;
+    if (!expect(TokenKind::Semicolon,
+                IsLock ? "after 'lock'" : "after 'unlock'"))
+      return nullptr;
+    if (IsLock)
+      return std::make_unique<LockStmt>(Mutex, T.Line);
+    return std::make_unique<UnlockStmt>(Mutex, T.Line);
   }
   default:
     return parseSimpleStmt(P, /*RequireSemi=*/true);

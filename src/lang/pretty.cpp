@@ -218,6 +218,21 @@ void printStmtInto(const Stmt &S, const Interner &Symbols, std::string &Out,
     indentInto(Out, Indent);
     Out += ";\n";
     return;
+  case Stmt::Kind::Spawn:
+    indentInto(Out, Indent);
+    Out += "spawn ";
+    printExprInto(cast<SpawnStmt>(&S)->call(), Symbols, Out, 0);
+    Out += ";\n";
+    return;
+  case Stmt::Kind::Lock:
+    indentInto(Out, Indent);
+    Out += "lock(" + Symbols.spelling(cast<LockStmt>(&S)->mutex()) + ");\n";
+    return;
+  case Stmt::Kind::Unlock:
+    indentInto(Out, Indent);
+    Out +=
+        "unlock(" + Symbols.spelling(cast<UnlockStmt>(&S)->mutex()) + ");\n";
+    return;
   }
 }
 
@@ -246,7 +261,9 @@ std::string warrow::printProgram(const Program &P) {
       Out += " = " + std::to_string(G.Init);
     Out += ";\n";
   }
-  if (!P.Globals.empty())
+  for (const MutexDecl &M : P.Mutexes)
+    Out += "mutex " + P.Symbols.spelling(M.Name) + ";\n";
+  if (!P.Globals.empty() || !P.Mutexes.empty())
     Out += '\n';
   for (const auto &F : P.Functions) {
     Out += F->ReturnsVoid ? "void " : "int ";

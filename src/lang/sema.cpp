@@ -28,6 +28,7 @@ public:
 private:
   void checkFunction(const FuncDecl &F);
   void collectDecls(const Stmt &S);
+  void collectLockedMutexes(const Stmt &S);
   void checkStmt(const Stmt &S, unsigned LoopDepth);
   /// Checks an expression. \p CallAllowed permits a root-position call to
   /// a declared function; \p UnknownAllowed permits the `unknown()`
@@ -54,6 +55,9 @@ private:
   Symbol UnknownSym = 0;
   const FuncDecl *CurrentFunc = nullptr;
   FuncVars Vars;
+  /// Mutexes that appear in a `lock` somewhere in the current function;
+  /// `unlock` of anything else is diagnosed (it could never be held).
+  std::unordered_set<Symbol> LockedInFunc;
 };
 
 bool SemaChecker::run() {
@@ -67,7 +71,18 @@ bool SemaChecker::run() {
       Diags.error(G.Line, 1, "array size must be positive");
   }
 
-  // Unique function names; no function/global clash.
+  // Unique mutex names; no mutex/global clash.
+  std::unordered_set<Symbol> MutexNames;
+  for (const MutexDecl &M : P.Mutexes) {
+    if (!MutexNames.insert(M.Name).second)
+      Diags.error(M.Line, 1,
+                  "duplicate mutex '" + P.Symbols.spelling(M.Name) + "'");
+    if (GlobalNames.count(M.Name))
+      Diags.error(M.Line, 1, "'" + P.Symbols.spelling(M.Name) +
+                                 "' is both a global and a mutex");
+  }
+
+  // Unique function names; no function/global/mutex clash.
   std::unordered_set<Symbol> FuncNames;
   for (const auto &F : P.Functions) {
     if (!FuncNames.insert(F->Name).second)
@@ -77,6 +92,9 @@ bool SemaChecker::run() {
       Diags.error(F->Line, 1,
                   "'" + P.Symbols.spelling(F->Name) +
                       "' is both a global and a function");
+    if (MutexNames.count(F->Name))
+      Diags.error(F->Line, 1, "'" + P.Symbols.spelling(F->Name) +
+                                  "' is both a mutex and a function");
   }
 
   // main() exists.
@@ -105,6 +123,9 @@ void SemaChecker::checkFunction(const FuncDecl &F) {
     if (P.isGlobal(Param))
       Diags.error(F.Line, 1, "parameter '" + P.Symbols.spelling(Param) +
                                  "' shadows a global");
+    if (P.isMutex(Param))
+      Diags.error(F.Line, 1, "parameter '" + P.Symbols.spelling(Param) +
+                                 "' shadows a mutex");
     Vars.Scalars.push_back(Param);
   }
   collectDecls(*F.Body);
@@ -123,12 +144,51 @@ void SemaChecker::checkFunction(const FuncDecl &F) {
     if (Size <= 0)
       Diags.error(F.Line, 1, "array size must be positive");
   }
-  for (Symbol S : Uniq)
+  for (Symbol S : Uniq) {
     if (P.isGlobal(S))
       Diags.error(F.Line, 1,
                   "local '" + P.Symbols.spelling(S) + "' shadows a global");
+    if (P.isMutex(S))
+      Diags.error(F.Line, 1,
+                  "local '" + P.Symbols.spelling(S) + "' shadows a mutex");
+  }
+  LockedInFunc.clear();
+  collectLockedMutexes(*F.Body);
   checkStmt(*F.Body, 0);
   CurrentFunc = nullptr;
+}
+
+void SemaChecker::collectLockedMutexes(const Stmt &S) {
+  switch (S.kind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : cast<BlockStmt>(&S)->stmts())
+      collectLockedMutexes(*Child);
+    return;
+  case Stmt::Kind::Lock:
+    LockedInFunc.insert(cast<LockStmt>(&S)->mutex());
+    return;
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    collectLockedMutexes(I->thenStmt());
+    if (I->elseStmt())
+      collectLockedMutexes(*I->elseStmt());
+    return;
+  }
+  case Stmt::Kind::While:
+    collectLockedMutexes(cast<WhileStmt>(&S)->body());
+    return;
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    if (F->init())
+      collectLockedMutexes(*F->init());
+    if (F->step())
+      collectLockedMutexes(*F->step());
+    collectLockedMutexes(F->body());
+    return;
+  }
+  default:
+    return;
+  }
 }
 
 void SemaChecker::collectDecls(const Stmt &S) {
@@ -249,6 +309,48 @@ void SemaChecker::checkStmt(const Stmt &S, unsigned LoopDepth) {
     return;
   case Stmt::Kind::Empty:
     return;
+  case Stmt::Kind::Spawn: {
+    const CallExpr &Call = cast<SpawnStmt>(&S)->call();
+    for (const ExprPtr &Arg : Call.args())
+      checkExpr(*Arg, /*CallAllowed=*/false);
+    if (UnknownSym && Call.callee() == UnknownSym) {
+      Diags.error(S.line(), 1, "cannot spawn the builtin 'unknown'");
+      return;
+    }
+    const FuncDecl *Callee = P.function(Call.callee());
+    if (!Callee) {
+      Diags.error(S.line(), 1, "spawn of undefined function '" +
+                                   P.Symbols.spelling(Call.callee()) + "'");
+      return;
+    }
+    if (Callee->Params.size() != Call.args().size())
+      Diags.error(S.line(), 1,
+                  "wrong number of arguments to spawned '" +
+                      P.Symbols.spelling(Call.callee()) + "' (expected " +
+                      std::to_string(Callee->Params.size()) + ", got " +
+                      std::to_string(Call.args().size()) + ")");
+    return;
+  }
+  case Stmt::Kind::Lock: {
+    Symbol M = cast<LockStmt>(&S)->mutex();
+    if (!P.isMutex(M))
+      Diags.error(S.line(), 1,
+                  "lock of undeclared mutex '" + P.Symbols.spelling(M) + "'");
+    return;
+  }
+  case Stmt::Kind::Unlock: {
+    Symbol M = cast<UnlockStmt>(&S)->mutex();
+    if (!P.isMutex(M)) {
+      Diags.error(S.line(), 1, "unlock of undeclared mutex '" +
+                                   P.Symbols.spelling(M) + "'");
+      return;
+    }
+    if (!LockedInFunc.count(M))
+      Diags.error(S.line(), 1,
+                  "unlock of mutex '" + P.Symbols.spelling(M) +
+                      "' that is never locked in this function");
+    return;
+  }
   }
 }
 
@@ -264,6 +366,9 @@ void SemaChecker::checkExpr(const Expr &E, bool CallAllowed,
         Diags.error(E.line(), 1,
                     "array '" + P.Symbols.spelling(V->name()) +
                         "' used without index");
+      else if (P.isMutex(V->name()))
+        Diags.error(E.line(), 1, "mutex '" + P.Symbols.spelling(V->name()) +
+                                     "' cannot be used as a value");
       else
         Diags.error(E.line(), 1, "use of undeclared variable '" +
                                      P.Symbols.spelling(V->name()) + "'");

@@ -36,6 +36,14 @@ std::string_view warrow::tokenKindName(TokenKind Kind) {
     return "'break'";
   case TokenKind::KwContinue:
     return "'continue'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwLock:
+    return "'lock'";
+  case TokenKind::KwUnlock:
+    return "'unlock'";
+  case TokenKind::KwMutex:
+    return "'mutex'";
   case TokenKind::LParen:
     return "'('";
   case TokenKind::RParen:

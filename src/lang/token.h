@@ -34,6 +34,11 @@ enum class TokenKind : uint8_t {
   KwReturn,
   KwBreak,
   KwContinue,
+  // Concurrency keywords (Goblint-style multithreaded mini-C).
+  KwSpawn,
+  KwLock,
+  KwUnlock,
+  KwMutex,
   // Punctuation.
   LParen,
   RParen,

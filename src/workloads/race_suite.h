@@ -1,0 +1,56 @@
+//===- workloads/race_suite.h - Concurrent race benchmarks ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multithreaded mini-C benchmarks for the lockset race detector
+/// (analysis/races.h), in the style of Goblint's concurrency regression
+/// suite: spawned worker threads sharing globals under mutex discipline
+/// (or deliberately without it). Each program carries a known answer —
+/// the set of genuinely racy globals — so the benches can separate real
+/// races from false alarms per solver.
+///
+/// Two programs (`narrow_guard`, `narrow_bound_read`) are built so the
+/// only unprotected access sits in code reachable *only* under widened
+/// loop bounds: the ⊟-iteration narrows the bound, refutes the guard and
+/// replaces the stale access contribution, while the two-phase baseline's
+/// frozen accumulators keep it — the race-flavored version of the paper's
+/// Example 7 precision gap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_WORKLOADS_RACE_SUITE_H
+#define WARROW_WORKLOADS_RACE_SUITE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// One concurrent benchmark program with its known answer.
+struct RaceBenchmark {
+  std::string Name;
+  std::string Source;
+  /// Globals that genuinely can race (every sound analysis must report
+  /// at least these).
+  std::vector<std::string> RacyGlobals;
+  /// True when the ⊟-solver is expected to report *exactly* the known
+  /// answer while the two-phase baseline reports strictly more (the
+  /// frozen-accumulator precision gap).
+  bool WarrowBeatsTwoPhase = false;
+  /// Input tape for concrete (sequentialized) soundness runs.
+  std::vector<int64_t> Inputs;
+};
+
+/// The full concurrent suite, in no particular order.
+const std::vector<RaceBenchmark> &raceSuite();
+
+/// Looks up a benchmark by name (null if absent).
+const RaceBenchmark *findRaceBenchmark(const std::string &Name);
+
+} // namespace warrow
+
+#endif // WARROW_WORKLOADS_RACE_SUITE_H

@@ -258,8 +258,9 @@ TEST(CowEnvProperty, OpsAgreeWithReferenceSemantics) {
     bool Feasible = M.meetWith(B);
     bool RefFeasible = refMeet(RM, RB);
     ASSERT_EQ(Feasible, RefFeasible) << "meet feasibility iter " << Iter;
-    if (Feasible)
+    if (Feasible) {
       ASSERT_EQ(refOf(M), RM) << "meet iter " << Iter;
+    }
 
     // Operands must be untouched by any of the above (aliasing safety).
     ASSERT_EQ(refOf(A), RA) << "A mutated, iter " << Iter;

@@ -227,4 +227,44 @@ TEST(Interp, ReadBeforeAssignIsZero) {
   EXPECT_EQ(Out.ReturnValue, 1);
 }
 
+TEST(Interp, SpawnSequentializesThreadBody) {
+  // The sequentialized semantics runs the spawned body to completion at
+  // the spawn point, so its global effects are visible afterwards.
+  Runner R = prepare(R"(
+    int g = 0;
+    mutex m;
+    void worker(int n) {
+      lock(m);
+      g = g + n;
+      unlock(m);
+    }
+    int main() {
+      spawn worker(7);
+      lock(m);
+      int v = g;
+      unlock(m);
+      return v;
+    }
+  )");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished()) << Out.TrapReason;
+  EXPECT_EQ(Out.ReturnValue, 7);
+}
+
+TEST(Interp, LockUnlockAreNoOpsOnState) {
+  Runner R = prepare(R"(
+    mutex m;
+    int main() {
+      int x = 3;
+      lock(m);
+      x = x * 2;
+      unlock(m);
+      return x;
+    }
+  )");
+  InterpResult Out = R.run();
+  ASSERT_TRUE(Out.finished()) << Out.TrapReason;
+  EXPECT_EQ(Out.ReturnValue, 6);
+}
+
 } // namespace

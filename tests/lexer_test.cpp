@@ -110,4 +110,19 @@ TEST(Lexer, SingleAmpersandRejected) {
   EXPECT_TRUE(Diags.hasErrors());
 }
 
+TEST(Lexer, ConcurrencyKeywords) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("spawn lock unlock mutex spawned lockx", Diags);
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwSpawn);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwLock);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwUnlock);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwMutex);
+  // Keywords don't swallow identifier prefixes.
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::Eof);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
 } // namespace

@@ -142,6 +142,30 @@ TEST(Parser, ErrorRecoveryFindsMultipleErrors) {
   EXPECT_GE(Diags.all().size(), 2u) << Diags.str();
 }
 
+TEST(Parser, ConcurrencyForms) {
+  auto P = parseOk(R"(
+    int g = 0;
+    mutex m;
+    void w(int a) { lock(m); g = a; unlock(m); }
+    int main() { spawn w(1); return 0; }
+  )");
+  ASSERT_TRUE(P != nullptr);
+  ASSERT_EQ(P->Mutexes.size(), 1u);
+  EXPECT_EQ(P->Symbols.spelling(P->Mutexes[0].Name), "m");
+  EXPECT_TRUE(P->isMutex(P->Mutexes[0].Name));
+}
+
+TEST(Parser, ConcurrencySyntaxErrors) {
+  parseFails("mutex; int main() { return 0; }");           // Missing name.
+  parseFails("mutex m = 3; int main() { return 0; }");     // No initializer.
+  parseFails("int main() { spawn 3; return 0; }");         // Not a call.
+  parseFails("void w() { } int main() { spawn w; return 0; }"); // No parens.
+  parseFails("int main() { mutex m; return 0; }");         // Top level only.
+  parseFails("mutex m; int main() { lock(); return 0; }"); // Missing name.
+  parseFails("mutex m; int main() { lock(m) return 0; }"); // Missing ';'.
+  parseFails("mutex m; int main() { lock m; return 0; }"); // Missing parens.
+}
+
 TEST(Parser, NegativeNumbersAndUnaryOps) {
   auto P = parseOk("int main() { int x = -5; int y = !x; int z = - - 3; "
                    "return x + y + z; }");

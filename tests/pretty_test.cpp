@@ -6,6 +6,7 @@
 
 #include "lang/parser.h"
 #include "lang/pretty.h"
+#include "workloads/race_suite.h"
 #include "workloads/spec_generator.h"
 #include "workloads/wcet_suite.h"
 
@@ -89,6 +90,35 @@ TEST(Pretty, GeneratedSpecProgramsRoundTrip) {
   Small.NumFunctions = 6;
   Small.Seed = 99;
   expectRoundTrip(generateSpecProgram(Small));
+}
+
+TEST(Pretty, ConcurrencyRoundTrip) {
+  expectRoundTrip(R"(
+    int g = 0;
+    mutex m;
+    mutex n;
+    void worker(int k) {
+      lock(m);
+      g = g + k;
+      unlock(m);
+    }
+    int main() {
+      spawn worker(2);
+      lock(n);
+      lock(m);
+      int v = g;
+      unlock(m);
+      unlock(n);
+      return v;
+    }
+  )");
+}
+
+TEST(Pretty, AllRaceBenchmarksRoundTrip) {
+  for (const RaceBenchmark &B : raceSuite()) {
+    SCOPED_TRACE(B.Name);
+    expectRoundTrip(B.Source);
+  }
 }
 
 TEST(Pretty, ExprPrinting) {

@@ -1,0 +1,404 @@
+//===- tests/races_test.cpp - Lockset race detector tests ----------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Known-answer tests for the lockset-based race detector: each program in
+// the race suite carries the set of genuinely racy globals. The ⊟-solver
+// must report exactly that set; the widening-only and two-phase baselines
+// must report a superset (soundness), and on the two precision programs
+// the two-phase baseline must report strictly more (the frozen-accumulator
+// gap). Every SLR+-based solution is additionally re-checked with the
+// independent side-effecting verifier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/races.h"
+#include "lang/interp.h"
+#include "lang/parser.h"
+#include "workloads/race_suite.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+
+using namespace warrow;
+
+namespace {
+
+struct ParsedBench {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+};
+
+ParsedBench parseBench(const RaceBenchmark &B) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(B.Source, Diags);
+  EXPECT_TRUE(P != nullptr) << B.Name << ": " << Diags.str();
+  ProgramCfg Cfgs = P ? buildProgramCfg(*P) : ProgramCfg();
+  return {std::move(P), std::move(Cfgs)};
+}
+
+std::set<std::string> racyGlobals(const Program &P,
+                                  const RaceAnalysisResult &Result) {
+  std::set<std::string> Names;
+  for (const RaceFinding &F : Result.Races)
+    Names.insert(P.Symbols.spelling(F.Glob));
+  return Names;
+}
+
+std::set<std::string> expectedGlobals(const RaceBenchmark &B) {
+  return std::set<std::string>(B.RacyGlobals.begin(), B.RacyGlobals.end());
+}
+
+std::string describeRaces(const Program &P,
+                          const RaceAnalysisResult &Result) {
+  std::string S;
+  for (const RaceFinding &F : Result.Races)
+    S += F.str(P) + "\n";
+  return S;
+}
+
+std::string caseName(const ::testing::TestParamInfo<std::string> &Info) {
+  std::string Name = Info.param;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+std::vector<std::string> suiteNames() {
+  std::vector<std::string> Names;
+  for (const RaceBenchmark &B : raceSuite())
+    Names.push_back(B.Name);
+  return Names;
+}
+
+class RaceSuite : public ::testing::TestWithParam<std::string> {};
+
+// The ⊟-solver reports exactly the known racy globals: no missed race,
+// no false alarm, and the independent verifier accepts the solution.
+TEST_P(RaceSuite, WarrowMatchesKnownAnswer) {
+  const RaceBenchmark *B = findRaceBenchmark(GetParam());
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  RaceAnalysis Analysis(*PB.P, PB.Cfgs, AnalysisOptions{});
+  RaceAnalysisResult Result = Analysis.run(SolverChoice::Warrow);
+  ASSERT_TRUE(Result.Stats.Converged) << Result.Stats.str();
+
+  EXPECT_EQ(racyGlobals(*PB.P, Result), expectedGlobals(*B))
+      << describeRaces(*PB.P, Result);
+
+  VerifyResult V = Analysis.verify(Result);
+  EXPECT_TRUE(V.Ok) << V.str();
+}
+
+// Widening-only is sound (reports at least the known races) and its
+// SLR+ solution also passes the verifier.
+TEST_P(RaceSuite, WidenOnlyIsSoundAndVerifies) {
+  const RaceBenchmark *B = findRaceBenchmark(GetParam());
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  RaceAnalysis Analysis(*PB.P, PB.Cfgs, AnalysisOptions{});
+  RaceAnalysisResult Result = Analysis.run(SolverChoice::WidenOnly);
+  ASSERT_TRUE(Result.Stats.Converged) << Result.Stats.str();
+
+  std::set<std::string> Racy = racyGlobals(*PB.P, Result);
+  for (const std::string &G : B->RacyGlobals)
+    EXPECT_TRUE(Racy.count(G)) << "missed race on " << G;
+
+  VerifyResult V = Analysis.verify(Result);
+  EXPECT_TRUE(V.Ok) << V.str();
+}
+
+// The two-phase baseline is sound, never beats ⊟, and on the two
+// precision programs reports strictly more alarms (its narrowing phase
+// freezes the access accumulators, so spurious accesses recorded under
+// widened loop bounds are never retracted).
+TEST_P(RaceSuite, TwoPhaseSoundButNoMorePrecise) {
+  const RaceBenchmark *B = findRaceBenchmark(GetParam());
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  RaceAnalysis WarrowAnalysis(*PB.P, PB.Cfgs, AnalysisOptions{});
+  RaceAnalysisResult Warrow = WarrowAnalysis.run(SolverChoice::Warrow);
+  ASSERT_TRUE(Warrow.Stats.Converged);
+
+  RaceAnalysis TwoPhaseAnalysis(*PB.P, PB.Cfgs, AnalysisOptions{});
+  RaceAnalysisResult TwoPhase = TwoPhaseAnalysis.run(SolverChoice::TwoPhase);
+  ASSERT_TRUE(TwoPhase.Stats.Converged);
+
+  std::set<std::string> TwoPhaseRacy = racyGlobals(*PB.P, TwoPhase);
+  for (const std::string &G : B->RacyGlobals)
+    EXPECT_TRUE(TwoPhaseRacy.count(G)) << "two-phase missed race on " << G;
+
+  // ⊟ alarms ⊆ two-phase alarms on every program.
+  for (const std::string &G : racyGlobals(*PB.P, Warrow))
+    EXPECT_TRUE(TwoPhaseRacy.count(G))
+        << "warrow alarm on " << G << " absent from two-phase";
+
+  if (B->WarrowBeatsTwoPhase) {
+    EXPECT_GT(TwoPhase.Races.size(), Warrow.Races.size())
+        << "expected the frozen-accumulator gap on " << B->Name << "\n"
+        << "two-phase:\n"
+        << describeRaces(*PB.P, TwoPhase) << "warrow:\n"
+        << describeRaces(*PB.P, Warrow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RaceSuite,
+                         ::testing::ValuesIn(suiteNames()), caseName);
+
+// --- lattice unit tests ---------------------------------------------------
+
+Symbol sym(Interner &I, const char *S) { return I.intern(S); }
+
+TEST(LockSetTest, MustOrderingAndJoin) {
+  Interner I;
+  Symbol A = sym(I, "a"), B = sym(I, "b"), C = sym(I, "c");
+  LockSet AB = LockSet::of({A, B});
+  LockSet BC = LockSet::of({B, C});
+  LockSet None = LockSet::none();
+
+  // More locks held = lower in the must-ordering.
+  EXPECT_TRUE(AB.leq(LockSet::of({A})));
+  EXPECT_TRUE(AB.leq(None));
+  EXPECT_FALSE(None.leq(AB));
+  EXPECT_FALSE(AB.leq(BC));
+
+  // Join is intersection.
+  EXPECT_EQ(AB.join(BC), LockSet::of({B}));
+  EXPECT_EQ(AB.join(None), None);
+  EXPECT_EQ(AB.join(AB), AB);
+
+  // Disjointness is the race condition on a pair.
+  EXPECT_FALSE(AB.disjointWith(BC));
+  EXPECT_TRUE(LockSet::of({A}).disjointWith(LockSet::of({C})));
+  EXPECT_TRUE(None.disjointWith(AB));
+  EXPECT_TRUE(None.disjointWith(None));
+
+  // add/remove keep the set canonical.
+  LockSet S = None;
+  S.add(B);
+  S.add(A);
+  S.add(B);
+  EXPECT_EQ(S, AB);
+  EXPECT_TRUE(S.contains(A));
+  S.remove(A);
+  EXPECT_EQ(S, LockSet::of({B}));
+  S.remove(C);
+  EXPECT_EQ(S, LockSet::of({B}));
+  EXPECT_EQ(AB.str(I), "{a,b}");
+}
+
+TEST(AccessSetTest, UnionDedupAndSubset) {
+  Interner I;
+  Symbol G = sym(I, "g");
+  RaceAccess W{G, true, true, 0, 10, LockSet::none()};
+  RaceAccess R{G, false, true, 0, 12, LockSet::of({sym(I, "m")})};
+
+  AccessSet S;
+  S.insert(W);
+  S.insert(W);
+  EXPECT_EQ(S.size(), 1u);
+  AccessSet T = S;
+  T.insert(R);
+  EXPECT_TRUE(S.leq(T));
+  EXPECT_FALSE(T.leq(S));
+  EXPECT_EQ(S.join(T), T);
+
+  AccessSet U;
+  U.insert(R);
+  U.unionWith(S);
+  EXPECT_EQ(U, T);
+}
+
+TEST(RaceValueTest, LatticeOperations) {
+  Interner I;
+  Symbol X = sym(I, "x");
+  Symbol M = sym(I, "m");
+
+  // Point: env joins, lockset intersects, MT flag ors.
+  AbsEnv E1 = AbsEnv::top();
+  E1.set(X, Interval::constant(1));
+  AbsEnv E2 = AbsEnv::top();
+  E2.set(X, Interval::constant(5));
+  RaceValue P1 = RaceValue::point(E1, LockSet::of({M}), false);
+  RaceValue P2 = RaceValue::point(E2, LockSet::none(), true);
+  RaceValue J = P1.join(P2);
+  ASSERT_TRUE(J.isPoint());
+  EXPECT_EQ(J.env().get(X), Interval::make(1, 5));
+  EXPECT_TRUE(J.locks().empty());
+  EXPECT_TRUE(J.multithreaded());
+  EXPECT_TRUE(P1.leq(J));
+  EXPECT_TRUE(P2.leq(J));
+  EXPECT_FALSE(J.leq(P1));
+
+  // Bot is the universal bottom across the payload kinds.
+  RaceValue Bot = RaceValue::bot();
+  EXPECT_TRUE(Bot.leq(P1));
+  EXPECT_EQ(P1.join(Bot), P1);
+  EXPECT_EQ(Bot.join(P2), P2);
+
+  // Access sets: widen is join (finite lattice), narrow adopts the new
+  // (smaller) set so stale accesses disappear.
+  AccessSet Small, Big;
+  RaceAccess A{X, true, true, 0, 3, LockSet::none()};
+  RaceAccess B{X, false, true, 1, 7, LockSet::of({M})};
+  Small.insert(A);
+  Big.insert(A);
+  Big.insert(B);
+  RaceValue VSmall = RaceValue::acc(Small);
+  RaceValue VBig = RaceValue::acc(Big);
+  EXPECT_TRUE(VSmall.leq(VBig));
+  EXPECT_EQ(VSmall.widen(VBig), VBig);
+  EXPECT_EQ(VBig.narrow(VSmall), VSmall);
+
+  // Intervals behave like the plain interval lattice.
+  RaceValue I1 = RaceValue::itv(Interval::make(0, 3));
+  RaceValue I2 = RaceValue::itv(Interval::make(2, 9));
+  EXPECT_EQ(I1.join(I2).itvValue(), Interval::make(0, 9));
+  EXPECT_TRUE(RaceValue::itv(Interval::bot()).isBot());
+}
+
+// --- access-record inspection ---------------------------------------------
+
+TEST(RaceAccessRecords, PhaseFlagSeparatesInitWrite) {
+  const RaceBenchmark *B = findRaceBenchmark("phase_protect");
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  RaceAnalysis Analysis(*PB.P, PB.Cfgs, AnalysisOptions{});
+  RaceAnalysisResult Result = Analysis.run(SolverChoice::Warrow);
+  ASSERT_TRUE(Result.Stats.Converged);
+
+  Symbol G = PB.P->Symbols.intern("g");
+  const AccessSet &Accesses = Result.accessesOf(G);
+  ASSERT_FALSE(Accesses.empty());
+
+  // The `g = 42` initialization write is the only single-threaded access;
+  // every multithreaded access must hold the mutex.
+  size_t SingleThreaded = 0;
+  for (const RaceAccess &A : Accesses.accesses()) {
+    if (!A.Multithreaded) {
+      ++SingleThreaded;
+      EXPECT_TRUE(A.IsWrite);
+      EXPECT_TRUE(A.Locks.empty());
+    } else {
+      EXPECT_EQ(A.Locks.size(), 1u) << A.str(*PB.P);
+    }
+  }
+  EXPECT_EQ(SingleThreaded, 1u);
+  EXPECT_TRUE(Result.Races.empty());
+}
+
+TEST(RaceAccessRecords, LocksetsRecordedPerSite) {
+  const RaceBenchmark *B = findRaceBenchmark("lock_split");
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  RaceAnalysis Analysis(*PB.P, PB.Cfgs, AnalysisOptions{});
+  RaceAnalysisResult Result = Analysis.run(SolverChoice::Warrow);
+  ASSERT_TRUE(Result.Stats.Converged);
+
+  Symbol G = PB.P->Symbols.intern("g");
+  Symbol M = PB.P->Symbols.intern("m");
+  // Every access to g holds m (main's extra n is allowed on top).
+  for (const RaceAccess &A : Result.accessesOf(G).accesses())
+    EXPECT_TRUE(A.Locks.contains(M)) << A.str(*PB.P);
+
+  // h races: its finding carries a bare multithreaded write.
+  ASSERT_EQ(Result.Races.size(), 1u);
+  Symbol H = PB.P->Symbols.intern("h");
+  EXPECT_EQ(Result.Races[0].Glob, H);
+  EXPECT_TRUE(Result.Races[0].Write.Multithreaded);
+  EXPECT_TRUE(
+      Result.Races[0].Write.Locks.disjointWith(Result.Races[0].Other.Locks));
+}
+
+TEST(RaceCheckIntegration, FindingsCountAsRaceAlarms) {
+  const RaceBenchmark *B = findRaceBenchmark("two_counters");
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  RaceAnalysis Analysis(*PB.P, PB.Cfgs, AnalysisOptions{});
+  RaceAnalysisResult Result = Analysis.run(SolverChoice::Warrow);
+  ASSERT_TRUE(Result.Stats.Converged);
+
+  std::vector<CheckFinding> Findings =
+      raceCheckFindings(*PB.P, Result.Races);
+  ASSERT_EQ(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].K, CheckFinding::Kind::DataRace);
+  EXPECT_NE(Findings[0].str(*PB.P).find("unsafe"), std::string::npos);
+
+  CheckSummary S = summarize(Findings);
+  EXPECT_EQ(S.RaceAlarms, 1u);
+  EXPECT_EQ(S.total(), 1u);
+}
+
+// The flow-insensitive interval of a shared global stays sound under the
+// product domain (the worker and main contributions are joined).
+TEST(RaceGlobalValues, IntervalTracksContributions) {
+  const RaceBenchmark *B = findRaceBenchmark("reader_writer");
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  RaceAnalysis Analysis(*PB.P, PB.Cfgs, AnalysisOptions{});
+  RaceAnalysisResult Result = Analysis.run(SolverChoice::Warrow);
+  ASSERT_TRUE(Result.Stats.Converged);
+
+  Symbol G = PB.P->Symbols.intern("g");
+  Interval V = Result.globalValue(G);
+  // g starts at 0 and is assigned j with j in [0,7].
+  EXPECT_TRUE(Interval::constant(0).leq(V));
+  EXPECT_TRUE(Interval::constant(7).leq(V));
+}
+
+// Localized widening composes with the race system too.
+TEST(RaceOptions, LocalizedWideningMatchesKnownAnswer) {
+  const RaceBenchmark *B = findRaceBenchmark("narrow_guard");
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  AnalysisOptions Options;
+  Options.LocalizedWidening = true;
+  RaceAnalysis Analysis(*PB.P, PB.Cfgs, Options);
+  RaceAnalysisResult Result = Analysis.run(SolverChoice::Warrow);
+  ASSERT_TRUE(Result.Stats.Converged);
+  EXPECT_TRUE(Result.Races.empty())
+      << describeRaces(*PB.P, Result);
+
+  VerifyResult V = Analysis.verify(Result);
+  EXPECT_TRUE(V.Ok) << V.str();
+}
+
+// The sequentialized interpreter executes the concurrent programs (spawn
+// runs the thread body inline), so the suite is runnable end to end.
+TEST(RaceInterp, CounterLockedSequentializes) {
+  const RaceBenchmark *B = findRaceBenchmark("counter_locked");
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  Interpreter I(*PB.P, PB.Cfgs);
+  InterpResult R = I.run();
+  ASSERT_TRUE(R.finished()) << R.TrapReason;
+  // worker(5) adds 5, main's loop adds 10.
+  EXPECT_EQ(R.ReturnValue, 15);
+}
+
+} // namespace

@@ -120,4 +120,56 @@ TEST(Sema, CollectFunctionVars) {
   EXPECT_EQ(Vars.Arrays.begin()->second, 7);
 }
 
+std::string errorsFor(std::string_view Source) {
+  DiagnosticEngine Diags;
+  parseProgram(Source, Diags);
+  return Diags.str();
+}
+
+TEST(Sema, ConcurrencyWellFormed) {
+  EXPECT_TRUE(accepts(R"(
+    int g = 0;
+    mutex m;
+    void worker(int n) { lock(m); g = g + n; unlock(m); }
+    int main() { spawn worker(3); lock(m); int v = g; unlock(m); return v; }
+  )"));
+}
+
+TEST(Sema, SpawnErrors) {
+  EXPECT_NE(errorsFor("int main() { spawn nope(); return 0; }")
+                .find("spawn of undefined function 'nope'"),
+            std::string::npos);
+  EXPECT_NE(errorsFor("void w(int a) { a = a; } "
+                      "int main() { spawn w(); return 0; }")
+                .find("wrong number of arguments to spawned 'w'"),
+            std::string::npos);
+  EXPECT_FALSE(accepts("int main() { spawn unknown(); return 0; }"))
+      << "the input builtin is not spawnable";
+}
+
+TEST(Sema, LockUnlockErrors) {
+  EXPECT_NE(errorsFor("int main() { lock(m); return 0; }")
+                .find("lock of undeclared mutex 'm'"),
+            std::string::npos);
+  EXPECT_NE(errorsFor("int main() { unlock(q); return 0; }")
+                .find("unlock of undeclared mutex 'q'"),
+            std::string::npos);
+  EXPECT_NE(
+      errorsFor("mutex m; int main() { unlock(m); return 0; }")
+          .find("unlock of mutex 'm' that is never locked in this function"),
+      std::string::npos);
+  EXPECT_TRUE(accepts("mutex m; int main() { lock(m); if (1) { unlock(m); } "
+                      "return 0; }"))
+      << "unlock checks are per function, not path-sensitive";
+}
+
+TEST(Sema, MutexNamespace) {
+  EXPECT_FALSE(accepts("mutex m; mutex m; int main() { return 0; }"))
+      << "duplicate mutex declaration";
+  EXPECT_FALSE(accepts("mutex m; int main() { return m; }"))
+      << "a mutex is not a value";
+  EXPECT_FALSE(accepts("mutex m; int main() { m = 3; return 0; }"))
+      << "a mutex is not assignable";
+}
+
 } // namespace

@@ -65,6 +65,14 @@ TEST_P(Soundness, ConcreteStatesContained) {
   AnalysisResult Result = Analysis.run(Case.Choice);
   ASSERT_TRUE(Result.Stats.Converged);
 
+  // Independent re-evaluation check of the solved assignment. Only the
+  // SLR+-based strategies promise a post-solution per unknown; the
+  // two-phase baseline's frozen globals are checked by containment only.
+  if (Case.Choice != SolverChoice::TwoPhase) {
+    VerifyResult Verified = Analysis.verifySolution(Result);
+    EXPECT_TRUE(Verified.Ok) << Verified.str();
+  }
+
   // Several input tapes: the benchmark's own plus derived variations.
   std::vector<std::vector<int64_t>> Tapes;
   Tapes.push_back(B->Inputs);

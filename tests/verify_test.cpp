@@ -84,4 +84,58 @@ TEST(Verify, SideEffectingSolutions) {
   EXPECT_TRUE(verifyPartialPostSolutionSide(S, R, ContributionOf));
 }
 
+// The self-contained side-effecting check re-runs every right-hand side
+// and re-derives the contributions itself — no solver internals needed.
+TEST(Verify, SideEffectingSelfContainedCheck) {
+  using Sys = SideEffectingSystem<int, Interval>;
+  Sys S([](int X) -> Sys::Rhs {
+    switch (X) {
+    case 0:
+      return [](const Sys::Get &Get, const Sys::Side &Side) {
+        Side(7, Interval::make(2, 3));
+        // Contributions to targets outside the domain are tolerated iff
+        // they are bottom (the always-contribute protocol emits those).
+        Side(99, Interval::bot());
+        return Get(7);
+      };
+    default:
+      return [](const Sys::Get &, const Sys::Side &) {
+        return Interval::bot();
+      };
+    }
+  });
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  PartialSolution<int, Interval> R = Solver.solveFor(0);
+  ASSERT_TRUE(R.Stats.Converged);
+  EXPECT_TRUE(verifySideEffectingSolution(S, R));
+
+  // Shrinking a side-effect target below the joined contributions must
+  // be caught.
+  PartialSolution<int, Interval> Bad = R;
+  Bad.Sigma[7] = Interval::constant(2);
+  VerifyResult V = verifySideEffectingSolution(S, Bad);
+  ASSERT_FALSE(V.Ok);
+  EXPECT_NE(V.str().find("side-effect contributions exceed sigma"),
+            std::string::npos)
+      << V.str();
+
+  // Dropping a read dependency breaks domain closure.
+  PartialSolution<int, Interval> Chopped = R;
+  Chopped.Sigma.erase(7);
+  EXPECT_FALSE(verifySideEffectingSolution(S, Chopped));
+}
+
+TEST(Verify, ViolationListTruncates) {
+  VerifyResult R;
+  for (int I = 0; I < 25; ++I)
+    R.fail("violation " + std::to_string(I));
+  EXPECT_FALSE(R.Ok);
+  // 16 detailed entries plus one trailing summary.
+  ASSERT_EQ(R.Violations.size(), 17u);
+  EXPECT_EQ(R.Dropped, 9u);
+  EXPECT_EQ(R.Violations.back(), "... and 9 more");
+  EXPECT_EQ(R.Violations[15], "violation 15");
+  EXPECT_NE(R.str().find("... and 9 more"), std::string::npos);
+}
+
 } // namespace

@@ -14,8 +14,15 @@ benchmark instances), else by ``(workload, solver)``. Metadata records
 missing from the new report fails the run — silently dropping a
 benchmark must not read as "no regression".
 
+Additional exact gates can be requested with a repeatable
+``--exact-field NAME``: the named integer field must match the baseline
+*exactly* in both directions (a drop is as suspicious as a rise — e.g. a
+sound race detector losing alarms means it lost accesses). Fields absent
+from a baseline record are not checked for that record.
+
 Usage:
     bench_compare.py BASELINE.json NEW.json [--wall-warn RATIO]
+                     [--exact-field NAME]...
 """
 
 import argparse
@@ -62,6 +69,13 @@ def main():
         metavar="RATIO",
         help="warn (non-gating) when wall_ns exceeds baseline by RATIO",
     )
+    ap.add_argument(
+        "--exact-field",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="gate on exact equality of this integer field (repeatable)",
+    )
     args = ap.parse_args()
 
     base = index(load_records(args.baseline), args.baseline)
@@ -84,6 +98,14 @@ def main():
                 failures.append(f"{fmt_key(k)}: rhs_evals {be} -> {ne} (REGRESSION)")
             elif ne < be:
                 improvements += 1
+        for field in args.exact_field:
+            bf, nf = b.get(field), n.get(field)
+            if bf is None:
+                continue
+            if nf is None:
+                failures.append(f"{fmt_key(k)}: {field} missing from new report")
+            elif nf != bf:
+                failures.append(f"{fmt_key(k)}: {field} {bf} -> {nf} (MISMATCH)")
         bw, nw = b.get("wall_ns"), n.get("wall_ns")
         if bw and nw and nw > bw * args.wall_warn:
             wall_warnings.append(f"{fmt_key(k)}: wall {bw:.0f}ns -> {nw:.0f}ns " f"({nw / bw:.2f}x, non-gating)")

@@ -14,6 +14,7 @@
 ///     --context                         context-sensitive analysis
 ///     --thresholds                      program-constant threshold widening
 ///     --check                           report potential run-time errors
+///     --races                           lockset data-race detection
 ///     --dump-cfg                        print CFG edges instead of analyzing
 ///     --dump-dot                        print CFGs as Graphviz dot
 ///     --quiet                           only print the summary line
@@ -22,6 +23,7 @@
 
 #include "analysis/checks.h"
 #include "analysis/interproc.h"
+#include "analysis/races.h"
 #include "lang/parser.h"
 #include "lang/pretty.h"
 
@@ -39,7 +41,8 @@ namespace {
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--solver=warrow|widen|two-phase] [--context] "
-               "[--thresholds] [--dump-cfg] [--quiet] file.mc\n",
+               "[--thresholds] [--check] [--races] [--dump-cfg] [--quiet] "
+               "file.mc\n",
                Argv0);
 }
 
@@ -98,6 +101,7 @@ int main(int Argc, char **Argv) {
   bool DumpDot = false;
   bool Quiet = false;
   bool Check = false;
+  bool Races = false;
   const char *Path = nullptr;
 
   for (int I = 1; I < Argc; ++I) {
@@ -114,6 +118,8 @@ int main(int Argc, char **Argv) {
       Options.ThresholdWidening = true;
     } else if (std::strcmp(Arg, "--check") == 0) {
       Check = true;
+    } else if (std::strcmp(Arg, "--races") == 0) {
+      Races = true;
     } else if (std::strcmp(Arg, "--dump-cfg") == 0) {
       DumpCfg = true;
     } else if (std::strcmp(Arg, "--dump-dot") == 0) {
@@ -156,6 +162,36 @@ int main(int Argc, char **Argv) {
     return dumpDot(*P, Cfgs);
   if (DumpCfg)
     return dumpCfg(*P, Cfgs);
+
+  if (Races) {
+    RaceAnalysis Analysis(*P, Cfgs, Options);
+    RaceAnalysisResult Result = Analysis.run(Choice);
+    if (!Result.Stats.Converged) {
+      std::fprintf(stderr, "error: solver hit the evaluation budget (%s)\n",
+                   Result.Stats.str().c_str());
+      return 1;
+    }
+    std::vector<CheckFinding> Findings = raceCheckFindings(*P, Result.Races);
+    for (const CheckFinding &F : Findings)
+      std::printf("%s\n", F.str(*P).c_str());
+    if (!Quiet) {
+      for (const GlobalDecl &G : P->Globals) {
+        const AccessSet &Accesses = Result.accessesOf(G.Name);
+        if (Accesses.empty())
+          continue;
+        std::printf("accesses of %s:\n",
+                    P->Symbols.spelling(G.Name).c_str());
+        for (const RaceAccess &A : Accesses.accesses())
+          std::printf("  %s\n", A.str(*P).c_str());
+      }
+    }
+    std::printf("%s: %zu racy global(s) out of %zu, %llu unknowns, %s, "
+                "%.1f ms\n",
+                Path, Result.Races.size(), P->Globals.size(),
+                static_cast<unsigned long long>(Result.NumUnknowns),
+                Result.Stats.str().c_str(), Result.Seconds * 1e3);
+    return Result.Races.empty() ? 0 : 3;
+  }
 
   InterprocAnalysis Analysis(*P, Cfgs, Options);
   AnalysisResult Result = Analysis.run(Choice);
