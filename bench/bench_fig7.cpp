@@ -43,6 +43,8 @@ int main(int argc, char **argv) {
     uint64_t ClassicEvals;
     uint64_t WarrowCacheHits;
     uint64_t ClassicCacheHits;
+    SolverStats WarrowStats;
+    SolverStats ClassicStats;
   };
   std::vector<Row> Rows;
 
@@ -66,7 +68,8 @@ int main(int argc, char **argv) {
                     comparePrecision(Warrow.Solution, Classic.Solution),
                     Warrow.Seconds, Classic.Seconds, Warrow.Stats.RhsEvals,
                     Classic.Stats.RhsEvals, Warrow.Stats.RhsCacheHits,
-                    Classic.Stats.RhsCacheHits});
+                    Classic.Stats.RhsCacheHits, Warrow.Stats,
+                    Classic.Stats});
   }
 
   // Sorted by program size, as in the paper's figure.
@@ -108,13 +111,17 @@ int main(int argc, char **argv) {
   if (!JsonPath.empty()) {
     warrow::bench::JsonReport Report;
     for (const Row &R : Rows) {
-      Report.addRecord(R.Name, "slr+warrow", R.WarrowSeconds * 1e9, 1,
-                       R.WarrowEvals)
+      warrow::bench::setSolverStats(
+          Report.addRecord(R.Name, "slr+warrow", R.WarrowSeconds * 1e9, 1,
+                           R.WarrowEvals),
+          R.WarrowStats)
           .set("points", static_cast<uint64_t>(R.Cmp.ComparablePoints))
           .set("improved", static_cast<uint64_t>(R.Cmp.Improved))
           .set("cache_hits", R.WarrowCacheHits);
-      Report.addRecord(R.Name, "two-phase", R.ClassicSeconds * 1e9, 1,
-                       R.ClassicEvals)
+      warrow::bench::setSolverStats(
+          Report.addRecord(R.Name, "two-phase", R.ClassicSeconds * 1e9, 1,
+                           R.ClassicEvals),
+          R.ClassicStats)
           .set("cache_hits", R.ClassicCacheHits);
     }
     if (!Report.writeFile(JsonPath))

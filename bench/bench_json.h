@@ -25,6 +25,8 @@
 #ifndef WARROW_BENCH_BENCH_JSON_H
 #define WARROW_BENCH_BENCH_JSON_H
 
+#include "solvers/stats.h"
+
 #include <cinttypes>
 #include <cmath>
 #include <cstdint>
@@ -130,6 +132,22 @@ inline JsonRecord makeMetaRecord() {
 #ifdef WARROW_CXX_FLAGS
   R.set("cxx_flags", std::string(WARROW_CXX_FLAGS));
 #endif
+  return R;
+}
+
+/// Adds the full SolverStats of a run plus the tracing configuration to
+/// \p R. `traced` records whether a TraceSink was attached — published
+/// numbers must come from untraced runs, and the compare tooling can
+/// refuse mixed reports.
+inline JsonRecord &setSolverStats(JsonRecord &R, const SolverStats &S,
+                                  const SolverOptions &Options = {}) {
+  R.set("updates", S.Updates)
+      .set("vars_seen", S.VarsSeen)
+      .set("queue_max", S.QueueMax)
+      .set("rhs_cache_hits", S.RhsCacheHits)
+      .set("rhs_cache_misses", S.RhsCacheMisses)
+      .set("converged", S.Converged)
+      .set("traced", Options.Trace != nullptr);
   return R;
 }
 

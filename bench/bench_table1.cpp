@@ -38,6 +38,7 @@ struct Measurement {
   uint64_t Unknowns = 0;
   uint64_t RhsEvals = 0;
   bool Converged = false;
+  SolverStats Stats;
 };
 
 Measurement measure(const Program &P, const ProgramCfg &Cfgs,
@@ -47,7 +48,8 @@ Measurement measure(const Program &P, const ProgramCfg &Cfgs,
   Options.Solver.MaxRhsEvals = 500'000'000;
   InterprocAnalysis Analysis(P, Cfgs, Options);
   AnalysisResult R = Analysis.run(Choice);
-  return {R.Seconds, R.NumUnknowns, R.Stats.RhsEvals, R.Stats.Converged};
+  return {R.Seconds, R.NumUnknowns, R.Stats.RhsEvals, R.Stats.Converged,
+          R.Stats};
 }
 
 } // namespace
@@ -94,10 +96,11 @@ int main(int argc, char **argv) {
     for (Cfg C : {Cfg{"slr+widen", &NoCtxWiden}, Cfg{"slr+warrow", &NoCtxWarrow},
                   Cfg{"slr+widen-ctx", &CtxWiden},
                   Cfg{"slr+warrow-ctx", &CtxWarrow}})
-      Report.addRecord(Profile.Name, C.Solver, C.M->Seconds * 1e9, 1,
-                       C.M->RhsEvals)
-          .set("unknowns", C.M->Unknowns)
-          .set("converged", C.M->Converged);
+      warrow::bench::setSolverStats(
+          Report.addRecord(Profile.Name, C.Solver, C.M->Seconds * 1e9, 1,
+                           C.M->RhsEvals),
+          C.M->Stats)
+          .set("unknowns", C.M->Unknowns);
 
     T.addRow({Profile.Name, formatFixed(NoCtxWiden.Seconds, 2),
               formatThousands(NoCtxWiden.Unknowns),

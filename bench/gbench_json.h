@@ -75,6 +75,9 @@ public:
           Solver.empty() ? "unknown" : Solver, WallNs,
           static_cast<uint64_t>(R.iterations), Evals);
       Rec.set("name", R.benchmark_name());
+      // Benchmark loops never attach a TraceSink — mark the records so
+      // the compare tooling can refuse accidentally-traced numbers.
+      Rec.set("traced", false);
       for (const auto &[Name, Counter] : R.counters)
         if (Name != "evals")
           Rec.set(Name, Counter.value);

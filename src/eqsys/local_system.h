@@ -90,6 +90,11 @@ template <typename V, typename D> struct PartialSolution {
   /// Update sequence (unknown, new value); filled iff
   /// SolverOptions::RecordTrace was set.
   std::vector<std::pair<V, D>> Trace;
+  /// Unknowns in discovery order; filled iff SolverOptions::Trace was
+  /// set. Position == the dense unknown id used in trace events (the
+  /// negated priority `key` of Fig. 6), so tools can map event ids back
+  /// to variable names.
+  std::vector<V> DiscoveryOrder;
 
   /// Value of \p X, or the supplied default for unknowns outside dom.
   D value(const V &X, D Default = D::bot()) const {

@@ -30,6 +30,7 @@
 
 #include "eqsys/local_system.h"
 #include "solvers/stats.h"
+#include "trace/trace.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -46,10 +47,14 @@ PartialSolution<V, D> solveLRR(const LocalSystem<V, D> &System, const V &X0,
   // The worklist of known unknowns, in discovery order (deterministic).
   std::vector<V> Known;
   std::unordered_set<V> KnownSet;
+  // Discovery slot of each unknown = its trace event id (tracing only).
+  std::unordered_map<V, uint64_t> SlotOf;
   auto Discover = [&](const V &Y) {
     if (KnownSet.insert(Y).second) {
       Known.push_back(Y);
       Result.Sigma.emplace(Y, System.initial(Y));
+      if (Options.Trace)
+        SlotOf.emplace(Y, Known.size() - 1);
     }
   };
   Discover(X0);
@@ -64,19 +69,31 @@ PartialSolution<V, D> solveLRR(const LocalSystem<V, D> &System, const V &X0,
       if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
         Result.Stats.Converged = false;
         Result.Stats.VarsSeen = Result.Sigma.size();
+        Result.Stats.QueueMax = Known.size();
+        if (Options.Trace)
+          Result.DiscoveryOrder = Known;
         return Result;
       }
       ++Result.Stats.RhsEvals;
       const V X = Known[I];
       typename LocalSystem<V, D>::Get Get = [&](const V &Y) -> D {
         Discover(Y);
+        if (Options.Trace)
+          Options.Trace->event(TraceEvent::dependency(I, SlotOf.at(Y)));
         return Result.Sigma.at(Y);
       };
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::rhsBegin(I));
       // Evaluate the right-hand side before touching Sigma[X]: discovery
       // inserts into the map and would invalidate references.
       D RhsValue = System.rhs(X)(Get);
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::rhsEnd(I));
       D New = Combine(X, Result.Sigma.at(X), RhsValue);
       if (!(New == Result.Sigma.at(X))) {
+        if (Options.Trace)
+          Options.Trace->event(
+              TraceEvent::update(I, Result.Sigma.at(X), RhsValue, New));
         Result.Sigma[X] = std::move(New);
         ++Result.Stats.Updates;
         if (Options.RecordTrace)
@@ -88,6 +105,10 @@ PartialSolution<V, D> solveLRR(const LocalSystem<V, D> &System, const V &X0,
       Dirty = true; // Fresh unknowns need at least one evaluation.
   }
   Result.Stats.VarsSeen = Result.Sigma.size();
+  // The "worklist" of this solver is the growing Known set itself.
+  Result.Stats.QueueMax = Known.size();
+  if (Options.Trace)
+    Result.DiscoveryOrder = Known;
   return Result;
 }
 

@@ -56,6 +56,7 @@
 #include "solvers/stats.h"
 #include "support/indexed_heap.h"
 #include "support/thread_pool.h"
+#include "trace/trace.h"
 
 #include <atomic>
 #include <cstdint>
@@ -169,9 +170,15 @@ SolveResult<D> solveParallelSW(const DenseSystem<D> &System, C Combine,
     C LocalCombine = Combine;
     uint64_t LocalEvals = 0, LocalUpdates = 0, LocalQueueMax = 0;
 
-    auto Get = [&Sigma](Var Y) { return Sigma[Y]; };
+    Var Current = 0; // Unknown under evaluation, for dependency events.
+    auto Get = [&Sigma, &Options, &Current](Var Y) {
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::dependency(Current, Y));
+      return Sigma[Y];
+    };
     for (uint32_t M : Members)
-      Queue.push(M);
+      if (Queue.push(M) && Options.Trace)
+        Options.Trace->event(TraceEvent::enqueue(M));
     while (!Queue.empty()) {
       if (RhsEvals.load(std::memory_order_relaxed) + LocalEvals >=
           Options.MaxRhsEvals) {
@@ -181,19 +188,38 @@ SolveResult<D> solveParallelSW(const DenseSystem<D> &System, C Combine,
       }
       Var X = Queue.pop();
       ++LocalEvals;
-      D New = LocalCombine(X, Sigma[X], System.eval(X, Get));
+      if (Options.Trace) {
+        Current = X;
+        Options.Trace->event(TraceEvent::dequeue(X));
+        Options.Trace->event(TraceEvent::rhsBegin(X));
+      }
+      D Rhs = System.eval(X, Get);
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::rhsEnd(X));
+      D New = LocalCombine(X, Sigma[X], Rhs);
       if (Sigma[X] == New)
         continue;
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::update(X, Sigma[X], Rhs, New));
       Sigma[X] = std::move(New);
       ++LocalUpdates;
       if (Options.RecordTrace) {
         std::lock_guard<std::mutex> Lock(TraceMutex);
         Result.Trace.push_back({X, Sigma[X]});
       }
-      Queue.push(X); // Non-idempotent ⊕ precaution, as in Fig. 4.
+      if (Options.Trace) {
+        Options.Trace->event(TraceEvent::destabilize(X, X));
+        for (Var Y : System.influenced(X))
+          if (Cond.CompOf[Y] == Comp)
+            Options.Trace->event(TraceEvent::destabilize(Y, X));
+      }
+      // Non-idempotent ⊕ precaution, as in Fig. 4.
+      if (Queue.push(X) && Options.Trace)
+        Options.Trace->event(TraceEvent::enqueue(X));
       for (Var Y : System.influenced(X))
         if (Cond.CompOf[Y] == Comp)
-          Queue.push(Y);
+          if (Queue.push(Y) && Options.Trace)
+            Options.Trace->event(TraceEvent::enqueue(Y));
       if (Queue.size() > LocalQueueMax)
         LocalQueueMax = Queue.size();
     }

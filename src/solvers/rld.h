@@ -35,6 +35,7 @@
 
 #include "eqsys/local_system.h"
 #include "solvers/stats.h"
+#include "trace/trace.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -50,6 +51,15 @@ PartialSolution<V, D> solveRLD(const LocalSystem<V, D> &System, const V &X0,
   std::unordered_set<V> Stable;
   std::unordered_map<V, std::unordered_set<V>> Infl;
   bool Failed = false;
+
+  // First-sight slot of each unknown = its trace event id (tracing only).
+  std::unordered_map<V, uint64_t> SlotOf;
+  auto Slot = [&](const V &Y) -> uint64_t {
+    auto [It, Fresh] = SlotOf.emplace(Y, Result.DiscoveryOrder.size());
+    if (Fresh)
+      Result.DiscoveryOrder.push_back(Y);
+    return It->second;
+  };
 
   // `s` defaults any unseen unknown to its initial value.
   auto ValueOf = [&](const V &Y) -> D & {
@@ -68,22 +78,33 @@ PartialSolution<V, D> solveRLD(const LocalSystem<V, D> &System, const V &X0,
       return;
     }
     ++Result.Stats.RhsEvals;
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsBegin(Slot(X)));
     typename LocalSystem<V, D>::Get Eval = [&, X](const V &Y) -> D {
       Solve(Y);
       Infl[Y].insert(X);
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::dependency(Slot(X), Slot(Y)));
       return ValueOf(Y);
     };
     D New = System.rhs(X)(Eval);
-    D &Slot = ValueOf(X);
-    D Tmp = Combine(X, Slot, New);
-    if (Tmp == Slot)
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsEnd(Slot(X)));
+    D &SlotRef = ValueOf(X);
+    D Tmp = Combine(X, SlotRef, New);
+    if (Tmp == SlotRef)
       return;
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::update(Slot(X), SlotRef, New, Tmp));
     std::unordered_set<V> W = std::move(Infl[X]);
-    Slot = Tmp;
+    SlotRef = Tmp;
     ++Result.Stats.Updates;
     Infl[X].clear();
     for (const V &Y : W)
       Stable.erase(Y);
+    if (Options.Trace)
+      for (const V &Y : W)
+        Options.Trace->event(TraceEvent::destabilize(Slot(Y), Slot(X)));
     for (const V &Y : W)
       Solve(Y);
   };

@@ -56,6 +56,7 @@
 #include "eqsys/local_system.h"
 #include "solvers/stats.h"
 #include "support/indexed_heap.h"
+#include "trace/trace.h"
 
 #include <cassert>
 #include <cstdint>
@@ -81,7 +82,7 @@ public:
     // race with evaluations that end up not changing any value up the
     // recursion; the final assignment must be a partial ⊕-solution).
     while (!Failed && !Queue.empty())
-      solve(Queue.pop());
+      solve(popQ());
     PartialSolution<V, D> Result;
     Result.Sigma.reserve(VarOf.size());
     for (uint32_t S = 0; S < VarOf.size(); ++S)
@@ -89,6 +90,8 @@ public:
     Result.Stats = Stats;
     Result.Stats.Converged = !Failed;
     Result.Stats.VarsSeen = VarOf.size();
+    if (Options.Trace)
+      Result.DiscoveryOrder = VarOf;
     return Result;
   }
 
@@ -131,9 +134,17 @@ private:
   }
 
   void addQ(uint32_t S) {
-    Queue.push(S);
+    if (Queue.push(S) && Options.Trace)
+      Options.Trace->event(TraceEvent::enqueue(S));
     if (Queue.size() > Stats.QueueMax)
       Stats.QueueMax = Queue.size();
+  }
+
+  uint32_t popQ() {
+    uint32_t S = Queue.pop();
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::dequeue(S));
+    return S;
   }
 
   void solve(uint32_t XS) {
@@ -153,7 +164,12 @@ private:
       return;
     D Tmp = Combine(VarOf[XS], SigmaV[XS], New);
     if (!(Tmp == SigmaV[XS])) {
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::update(XS, SigmaV[XS], New, Tmp));
       std::vector<uint32_t> W = std::move(InflV[XS]);
+      if (Options.Trace)
+        for (uint32_t YS : W)
+          Options.Trace->event(TraceEvent::destabilize(YS, XS));
       for (uint32_t YS : W)
         addQ(YS);
       SigmaV[XS] = std::move(Tmp);
@@ -163,7 +179,7 @@ private:
         StableV[YS] = 0;
       // min_key Q <= key[x]  ⟺  max slot in Q >= slot(x).
       while (!Failed && !Queue.empty() && Queue.top() >= XS)
-        solve(Queue.pop());
+        solve(popQ());
     }
   }
 
@@ -175,6 +191,8 @@ private:
   D evaluate(uint32_t XS) {
     if (Options.RhsCache && CacheV[XS].Valid && cacheIsFresh(XS)) {
       ++Stats.RhsCacheHits;
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::rhsBegin(XS));
       // Replay the influence registrations the skipped evaluation would
       // have performed (same order, same back-dedup): dropping them
       // would lose future destabilizations of x. Every update of y
@@ -183,12 +201,18 @@ private:
         std::vector<uint32_t> &I = InflV[R.first];
         if (I.empty() || I.back() != XS)
           I.push_back(XS);
+        if (Options.Trace)
+          Options.Trace->event(TraceEvent::dependency(XS, R.first));
       }
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::rhsEnd(XS, /*FromCache=*/true));
       return CacheV[XS].Value;
     }
     if (Options.RhsCache)
       ++Stats.RhsCacheMisses;
     ++Stats.RhsEvals;
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsBegin(XS));
     // Reads lives in this frame: CacheV may reallocate while the RHS
     // recursively interns fresh unknowns, so no reference into it may be
     // held across the rhs() call (same reason everything below indexes).
@@ -201,6 +225,8 @@ private:
       return SigmaV[YS];
     };
     D New = System.rhs(VarOf[XS])(Eval);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsEnd(XS));
     if (!Failed && Options.RhsCache)
       CacheV[XS] = CacheEntry{std::move(Reads), New, true};
     return New;
@@ -231,6 +257,8 @@ private:
     std::vector<uint32_t> &I = InflV[YS];
     if (I.empty() || I.back() != XS)
       I.push_back(XS);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::dependency(XS, YS));
     return YS;
   }
 

@@ -50,6 +50,7 @@
 #include "eqsys/local_system.h"
 #include "solvers/stats.h"
 #include "support/indexed_heap.h"
+#include "trace/trace.h"
 
 #include <cassert>
 #include <cstdint>
@@ -88,7 +89,7 @@ public:
     // otherwise be left unsolved and the result would not be a partial
     // ⊕-solution).
     while (!Failed && !Queue.empty())
-      solve(Queue.pop());
+      solve(popQ());
     PartialSolution<V, D> Result;
     Result.Sigma.reserve(VarOf.size());
     for (uint32_t S = 0; S < VarOf.size(); ++S)
@@ -97,6 +98,8 @@ public:
     Result.Stats.Converged = !Failed;
     Result.Stats.VarsSeen = VarOf.size();
     Result.Trace = std::move(Trace);
+    if (Options.Trace)
+      Result.DiscoveryOrder = VarOf;
     return Result;
   }
 
@@ -161,9 +164,17 @@ private:
   }
 
   void addQ(uint32_t S) {
-    Queue.push(S);
+    if (Queue.push(S) && Options.Trace)
+      Options.Trace->event(TraceEvent::enqueue(S));
     if (Queue.size() > Stats.QueueMax)
       Stats.QueueMax = Queue.size();
+  }
+
+  uint32_t popQ() {
+    uint32_t S = Queue.pop();
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::dequeue(S));
+    return S;
   }
 
   void solve(uint32_t XS) {
@@ -197,7 +208,12 @@ private:
         !Localized || WideningPointV[XS] || SideEffectedV[XS];
     D Tmp = UseCombine ? Combine(VarOf[XS], SigmaV[XS], New) : New;
     if (!(Tmp == SigmaV[XS])) {
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::update(XS, SigmaV[XS], New, Tmp));
       std::vector<uint32_t> W = std::move(InflV[XS]);
+      if (Options.Trace)
+        for (uint32_t YS : W)
+          Options.Trace->event(TraceEvent::destabilize(YS, XS));
       for (uint32_t YS : W)
         addQ(YS);
       SigmaV[XS] = std::move(Tmp);
@@ -209,7 +225,7 @@ private:
         StableV[YS] = 0;
       // min_key Q <= key[x]  ⟺  max slot in Q >= slot(x).
       while (!Failed && !Queue.empty() && Queue.top() >= XS)
-        solve(Queue.pop());
+        solve(popQ());
     }
     OnStackV[XS] = 0;
   }
@@ -225,6 +241,8 @@ private:
   D evaluate(uint32_t XS) {
     if (Options.RhsCache && CacheV[XS].Valid && cacheIsFresh(XS)) {
       ++Stats.RhsCacheHits;
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::rhsBegin(XS));
       // Replay what a real re-evaluation would do per read, in order:
       // re-register influence (updates of y reset infl[y], so earlier
       // registrations may be gone) and re-run the localized widening-
@@ -236,12 +254,18 @@ private:
         std::vector<uint32_t> &I = InflV[R.first];
         if (I.empty() || I.back() != XS)
           I.push_back(XS);
+        if (Options.Trace)
+          Options.Trace->event(TraceEvent::dependency(XS, R.first));
       }
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::rhsEnd(XS, /*FromCache=*/true));
       return CacheV[XS].Value;
     }
     if (Options.RhsCache)
       ++Stats.RhsCacheMisses;
     ++Stats.RhsEvals;
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsBegin(XS));
     // Reads lives in this frame: CacheV may reallocate while the RHS
     // recursively interns fresh unknowns, so no reference into it may be
     // held across the rhs() call (everything below indexes).
@@ -256,6 +280,8 @@ private:
     typename SideEffectingSystem<V, D>::Side Side =
         [this, XS](const V &Y, const D &Value) { side(XS, Y, Value); };
     D New = System.rhs(VarOf[XS])(Eval, Side);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsEnd(XS));
     if (!Failed && Options.RhsCache)
       CacheV[XS] = CacheEntry{std::move(Reads), New, true};
     return New;
@@ -275,6 +301,8 @@ private:
     if (!WideningPointV[YS]) {
       WideningPointV[YS] = 1;
       WideningPoints.insert(VarOf[YS]);
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::wideningPoint(YS));
     }
   }
 
@@ -298,6 +326,8 @@ private:
     std::vector<uint32_t> &I = InflV[YS];
     if (I.empty() || I.back() != XS)
       I.push_back(XS);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::dependency(XS, YS));
     return YS;
   }
 
@@ -311,12 +341,19 @@ private:
     It->second = Value;
     auto SlotIt = SlotOf.find(Y);
     if (SlotIt != SlotOf.end()) {
+      if (Options.Trace) {
+        Options.Trace->event(
+            TraceEvent::sideContribution(SlotIt->second, XS));
+        Options.Trace->event(TraceEvent::destabilize(SlotIt->second, XS));
+      }
       SideEffectedV[SlotIt->second] = 1; // set[y] ∪= {x}
       StableV[SlotIt->second] = 0;
       addQ(SlotIt->second);
       return;
     }
     uint32_t YS = internFresh(Y);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::sideContribution(YS, XS));
     SideEffectedV[YS] = 1; // set[y] <- {x}
     solve(YS);
   }

@@ -34,6 +34,7 @@
 
 #include "eqsys/dense_system.h"
 #include "solvers/stats.h"
+#include "trace/trace.h"
 
 namespace warrow {
 
@@ -44,7 +45,12 @@ SolveResult<D> solveSRR(const DenseSystem<D> &System, C &&Combine,
   SolveResult<D> Result;
   Result.Sigma = System.initialAssignment();
   Result.Stats.VarsSeen = System.size();
-  auto Get = [&Result](Var Y) { return Result.Sigma[Y]; };
+  Var Current = 0; // Unknown under evaluation, for dependency events.
+  auto Get = [&Result, &Options, &Current](Var Y) {
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::dependency(Current, Y));
+    return Result.Sigma[Y];
+  };
 
   size_t I = 0; // Cursor over 0-based unknown indices.
   while (I < System.size()) {
@@ -54,11 +60,20 @@ SolveResult<D> solveSRR(const DenseSystem<D> &System, C &&Combine,
     }
     Var X = static_cast<Var>(I);
     ++Result.Stats.RhsEvals;
-    D New = Combine(X, Result.Sigma[X], System.eval(X, Get));
+    if (Options.Trace) {
+      Current = X;
+      Options.Trace->event(TraceEvent::rhsBegin(X));
+    }
+    D Rhs = System.eval(X, Get);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsEnd(X));
+    D New = Combine(X, Result.Sigma[X], Rhs);
     if (Result.Sigma[X] == New) {
       ++I;
       continue;
     }
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::update(X, Result.Sigma[X], Rhs, New));
     Result.Sigma[X] = New;
     ++Result.Stats.Updates;
     if (Options.RecordTrace)

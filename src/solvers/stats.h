@@ -21,6 +21,8 @@
 
 namespace warrow {
 
+class TraceSink; // trace/trace.h — solvers only pass the pointer through.
+
 /// Counters reported by every solver run.
 struct SolverStats {
   /// Number of right-hand-side evaluations performed.
@@ -57,6 +59,11 @@ struct SolverOptions {
   /// right-hand sides and bit-identical either way; off = measure the
   /// uncached solver (tests cross-check the two).
   bool RhsCache = true;
+  /// Structured event sink (see trace/trace.h). Null (the default) keeps
+  /// the instrumented paths compiled out of the hot loop behind a single
+  /// predictable branch; the traced-off run is bit-identical to a build
+  /// without tracing.
+  TraceSink *Trace = nullptr;
 };
 
 } // namespace warrow

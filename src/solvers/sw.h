@@ -32,6 +32,7 @@
 #include "eqsys/dense_system.h"
 #include "solvers/stats.h"
 #include "support/indexed_heap.h"
+#include "trace/trace.h"
 
 #include <vector>
 
@@ -44,14 +45,20 @@ SolveResult<D> solveSW(const DenseSystem<D> &System, C &&Combine,
   SolveResult<D> Result;
   Result.Sigma = System.initialAssignment();
   Result.Stats.VarsSeen = System.size();
-  auto Get = [&Result](Var Y) { return Result.Sigma[Y]; };
+  Var Current = 0; // Unknown under evaluation, for dependency events.
+  auto Get = [&Result, &Options, &Current](Var Y) {
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::dependency(Current, Y));
+    return Result.Sigma[Y];
+  };
 
   // Indexed min-heap over variable indices; push implements the `add` of
   // the paper (insert or leave unchanged).
   IndexedHeap<> Queue;
   Queue.resizeUniverse(System.size());
   auto Add = [&](Var Y) {
-    Queue.push(Y);
+    if (Queue.push(Y) && Options.Trace)
+      Options.Trace->event(TraceEvent::enqueue(Y));
     if (Queue.size() > Result.Stats.QueueMax)
       Result.Stats.QueueMax = Queue.size();
   };
@@ -65,13 +72,28 @@ SolveResult<D> solveSW(const DenseSystem<D> &System, C &&Combine,
     }
     Var X = Queue.pop();
     ++Result.Stats.RhsEvals;
-    D New = Combine(X, Result.Sigma[X], System.eval(X, Get));
+    if (Options.Trace) {
+      Current = X;
+      Options.Trace->event(TraceEvent::dequeue(X));
+      Options.Trace->event(TraceEvent::rhsBegin(X));
+    }
+    D Rhs = System.eval(X, Get);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsEnd(X));
+    D New = Combine(X, Result.Sigma[X], Rhs);
     if (Result.Sigma[X] == New)
       continue;
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::update(X, Result.Sigma[X], Rhs, New));
     Result.Sigma[X] = New;
     ++Result.Stats.Updates;
     if (Options.RecordTrace)
       Result.Trace.push_back({X, Result.Sigma[X]});
+    if (Options.Trace) {
+      Options.Trace->event(TraceEvent::destabilize(X, X));
+      for (Var Y : System.influenced(X))
+        Options.Trace->event(TraceEvent::destabilize(Y, X));
+    }
     Add(X); // Precaution for non-idempotent ⊕ (Fig. 4 line `add Q x_i`).
     for (Var Y : System.influenced(X))
       Add(Y);
@@ -92,7 +114,12 @@ SolveResult<D> solveOrderedSW(const DenseSystem<D> &System, C &&Combine,
   SolveResult<D> Result;
   Result.Sigma = System.initialAssignment();
   Result.Stats.VarsSeen = System.size();
-  auto Get = [&Result](Var Y) { return Result.Sigma[Y]; };
+  Var Current = 0; // Unknown under evaluation, for dependency events.
+  auto Get = [&Result, &Options, &Current](Var Y) {
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::dependency(Current, Y));
+    return Result.Sigma[Y];
+  };
 
   // The heap holds ranks; VarAt inverts the permutation on extraction.
   std::vector<Var> VarAt(System.size());
@@ -101,7 +128,8 @@ SolveResult<D> solveOrderedSW(const DenseSystem<D> &System, C &&Combine,
   IndexedHeap<> Queue;
   Queue.resizeUniverse(System.size());
   auto Add = [&](Var Y) {
-    Queue.push(Rank[Y]);
+    if (Queue.push(Rank[Y]) && Options.Trace)
+      Options.Trace->event(TraceEvent::enqueue(Y));
     if (Queue.size() > Result.Stats.QueueMax)
       Result.Stats.QueueMax = Queue.size();
   };
@@ -115,13 +143,28 @@ SolveResult<D> solveOrderedSW(const DenseSystem<D> &System, C &&Combine,
     }
     Var X = VarAt[Queue.pop()];
     ++Result.Stats.RhsEvals;
-    D New = Combine(X, Result.Sigma[X], System.eval(X, Get));
+    if (Options.Trace) {
+      Current = X;
+      Options.Trace->event(TraceEvent::dequeue(X));
+      Options.Trace->event(TraceEvent::rhsBegin(X));
+    }
+    D Rhs = System.eval(X, Get);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsEnd(X));
+    D New = Combine(X, Result.Sigma[X], Rhs);
     if (Result.Sigma[X] == New)
       continue;
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::update(X, Result.Sigma[X], Rhs, New));
     Result.Sigma[X] = New;
     ++Result.Stats.Updates;
     if (Options.RecordTrace)
       Result.Trace.push_back({X, Result.Sigma[X]});
+    if (Options.Trace) {
+      Options.Trace->event(TraceEvent::destabilize(X, X));
+      for (Var Y : System.influenced(X))
+        Options.Trace->event(TraceEvent::destabilize(Y, X));
+    }
     Add(X);
     for (Var Y : System.influenced(X))
       Add(Y);

@@ -24,6 +24,9 @@
 #include "lattice/combine.h"
 #include "solvers/stats.h"
 #include "solvers/sw.h"
+#include "trace/trace.h"
+
+#include <algorithm>
 
 namespace warrow {
 
@@ -36,6 +39,8 @@ SolveResult<D> solveTwoPhase(const DenseSystem<D> &System,
                              const SolverOptions &Options = {},
                              unsigned NarrowRounds = 1) {
   // Phase 1: ascending iteration with widening.
+  if (Options.Trace)
+    Options.Trace->event(TraceEvent::phaseChange(0));
   SolveResult<D> Up = solveSW(System, WidenCombine{}, Options);
   if (!Up.Stats.Converged)
     return Up;
@@ -43,6 +48,8 @@ SolveResult<D> solveTwoPhase(const DenseSystem<D> &System,
   // Phase 2: descending iteration with narrowing, seeded with the post
   // solution from phase 1.
   for (unsigned Round = 0; Round < NarrowRounds; ++Round) {
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::phaseChange(1, Round));
     // Re-run SW on a copy of the system state: build a wrapper system
     // whose initial assignment is the current sigma.
     DenseSystem<D> Seeded;
@@ -57,6 +64,7 @@ SolveResult<D> solveTwoPhase(const DenseSystem<D> &System,
     SolveResult<D> Down = solveSW(Seeded, NarrowCombine{}, Options);
     Up.Stats.RhsEvals += Down.Stats.RhsEvals;
     Up.Stats.Updates += Down.Stats.Updates;
+    Up.Stats.QueueMax = std::max(Up.Stats.QueueMax, Down.Stats.QueueMax);
     Up.Stats.Converged = Down.Stats.Converged;
     bool Changed = !(Down.Sigma == Up.Sigma);
     Up.Sigma = std::move(Down.Sigma);

@@ -33,6 +33,7 @@
 #include "lattice/combine.h"
 #include "solvers/slr_plus.h"
 #include "solvers/stats.h"
+#include "trace/trace.h"
 
 #include <algorithm>
 #include <unordered_map>
@@ -49,11 +50,19 @@ solveTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
                   const SolverOptions &Options = {},
                   unsigned MaxNarrowRounds = 8) {
   // Phase 1: ascending with widening.
+  if (Options.Trace)
+    Options.Trace->event(TraceEvent::phaseChange(0));
   SlrPlusSolver<V, D, WidenCombine> Ascending(System, WidenCombine{},
                                               Options);
   PartialSolution<V, D> Result = Ascending.solveFor(X0);
   if (!Result.Stats.Converged)
     return Result;
+
+  // Phase-2 events reuse phase 1's slot ids (key[x] = -slot, Fig. 6).
+  std::unordered_map<V, uint64_t> SlotOf;
+  if (Options.Trace)
+    for (const auto &[X, KeyValue] : Ascending.keys())
+      SlotOf.emplace(X, static_cast<uint64_t>(-KeyValue));
 
   // Stable iteration order: by discovery key, oldest (x0) last, so inner
   // (fresher) unknowns narrow first — mirroring SLR's priority discipline.
@@ -83,6 +92,8 @@ solveTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
 
   // Phase 2: descending sweeps with narrowing; frozen globals.
   for (unsigned Round = 0; Round < MaxNarrowRounds; ++Round) {
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::phaseChange(1, Round));
     bool Changed = false;
     for (const auto &[KeyValue, X] : Order) {
       if (Ascending.isSideEffected(X))
@@ -92,6 +103,13 @@ solveTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
         Result.Stats.Converged = false;
         return Result;
       }
+      const uint64_t XSlot =
+          Options.Trace ? SlotOf.at(X) : 0;
+      auto DepEvent = [&](const V &Y) {
+        auto It = SlotOf.find(Y);
+        if (It != SlotOf.end())
+          Options.Trace->event(TraceEvent::dependency(XSlot, It->second));
+      };
       D New;
       auto CIt = Options.RhsCache ? Cache.find(X) : Cache.end();
       bool Hit = CIt != Cache.end() &&
@@ -101,25 +119,41 @@ solveTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
                              });
       if (Hit) {
         ++Result.Stats.RhsCacheHits;
+        if (Options.Trace) {
+          Options.Trace->event(TraceEvent::rhsBegin(XSlot));
+          for (const auto &R : CIt->second.Reads)
+            DepEvent(R.first);
+          Options.Trace->event(TraceEvent::rhsEnd(XSlot,
+                                                  /*FromCache=*/true));
+        }
         New = CIt->second.Value;
       } else {
         if (Options.RhsCache)
           ++Result.Stats.RhsCacheMisses;
         ++Result.Stats.RhsEvals;
+        if (Options.Trace)
+          Options.Trace->event(TraceEvent::rhsBegin(XSlot));
         std::vector<std::pair<V, D>> Reads;
         typename SideEffectingSystem<V, D>::Get Get =
             [&](const V &Y) -> D {
           D Val = GetCurrent(Y);
           if (Options.RhsCache)
             Reads.emplace_back(Y, Val);
+          if (Options.Trace)
+            DepEvent(Y);
           return Val;
         };
         New = System.rhs(X)(Get, DiscardSide);
+        if (Options.Trace)
+          Options.Trace->event(TraceEvent::rhsEnd(XSlot));
         if (Options.RhsCache)
           Cache[X] = CacheEntry{std::move(Reads), New};
       }
       D Narrowed = Result.Sigma.at(X).narrow(New);
       if (!(Narrowed == Result.Sigma.at(X))) {
+        if (Options.Trace)
+          Options.Trace->event(
+              TraceEvent::update(XSlot, Result.Sigma.at(X), New, Narrowed));
         Result.Sigma[X] = std::move(Narrowed);
         ++Result.Stats.Updates;
         Changed = true;

@@ -29,6 +29,7 @@
 
 #include "eqsys/dense_system.h"
 #include "solvers/stats.h"
+#include "trace/trace.h"
 
 #include <deque>
 #include <vector>
@@ -48,7 +49,12 @@ SolveResult<D> solveW(const DenseSystem<D> &System, C &&Combine,
   SolveResult<D> Result;
   Result.Sigma = System.initialAssignment();
   Result.Stats.VarsSeen = System.size();
-  auto Get = [&Result](Var Y) { return Result.Sigma[Y]; };
+  Var Current = 0; // Unknown under evaluation, for dependency events.
+  auto Get = [&Result, &Options, &Current](Var Y) {
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::dependency(Current, Y));
+    return Result.Sigma[Y];
+  };
 
   // A deque covers both disciplines: LIFO pops the back, FIFO the front.
   std::deque<Var> Work;
@@ -58,6 +64,8 @@ SolveResult<D> solveW(const DenseSystem<D> &System, C &&Combine,
       return;
     InWork[Y] = 1;
     Work.push_back(Y);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::enqueue(Y));
     if (Work.size() > Result.Stats.QueueMax)
       Result.Stats.QueueMax = Work.size();
   };
@@ -85,17 +93,33 @@ SolveResult<D> solveW(const DenseSystem<D> &System, C &&Combine,
     }
     InWork[X] = 0;
     ++Result.Stats.RhsEvals;
-    D New = Combine(X, Result.Sigma[X], System.eval(X, Get));
+    if (Options.Trace) {
+      Current = X;
+      Options.Trace->event(TraceEvent::dequeue(X));
+      Options.Trace->event(TraceEvent::rhsBegin(X));
+    }
+    D Rhs = System.eval(X, Get);
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::rhsEnd(X));
+    D New = Combine(X, Result.Sigma[X], Rhs);
     if (Result.Sigma[X] == New)
       continue;
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::update(X, Result.Sigma[X], Rhs, New));
     Result.Sigma[X] = New;
     ++Result.Stats.Updates;
     if (Options.RecordTrace)
       Result.Trace.push_back({X, Result.Sigma[X]});
     // Push influenced unknowns; X itself last so it is re-evaluated first.
-    for (Var Y : System.influenced(X))
-      if (Y != X)
-        Push(Y);
+    for (Var Y : System.influenced(X)) {
+      if (Y == X)
+        continue;
+      if (Options.Trace)
+        Options.Trace->event(TraceEvent::destabilize(Y, X));
+      Push(Y);
+    }
+    if (Options.Trace)
+      Options.Trace->event(TraceEvent::destabilize(X, X));
     Push(X);
   }
   return Result;

@@ -1,0 +1,298 @@
+//===- trace/chrome_export.cpp - Chrome trace_event exporter ---------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/chrome_export.h"
+
+#include "trace/serialize.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace warrow;
+
+namespace {
+
+std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string nameOr(const UnknownNameFn &NameOf, uint64_t Id) {
+  if (NameOf)
+    return NameOf(Id);
+  return "u" + std::to_string(Id);
+}
+
+/// Timestamp in microseconds; falls back to the sequence number when the
+/// stream was recorded in replay mode (no wall clock).
+std::string tsOf(const TraceEvent &E) {
+  char Buf[48];
+  if (E.TimeNs != 0)
+    std::snprintf(Buf, sizeof(Buf), "%.3f",
+                  static_cast<double>(E.TimeNs) / 1000.0);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, E.Seq);
+  return Buf;
+}
+
+} // namespace
+
+std::string warrow::chromeTraceJson(const std::vector<TraceEvent> &Events,
+                                    const UnknownNameFn &NameOf) {
+  std::string Out = "[";
+  bool First = true;
+  auto Emit = [&Out, &First](const std::string &Obj) {
+    if (!First)
+      Out += ",";
+    Out += "\n  " + Obj;
+    First = false;
+  };
+
+  for (const TraceEvent &E : Events) {
+    std::string Common = "\"pid\": 1, \"tid\": " + std::to_string(E.Tid) +
+                         ", \"ts\": " + tsOf(E);
+    switch (E.Kind) {
+    case TraceEventKind::RhsEvalBegin:
+      Emit("{\"name\": \"eval " + escapeJson(nameOr(NameOf, E.Unknown)) +
+           "\", \"cat\": \"rhs\", \"ph\": \"B\", " + Common + "}");
+      break;
+    case TraceEventKind::RhsEvalEnd:
+      Emit("{\"name\": \"eval " + escapeJson(nameOr(NameOf, E.Unknown)) +
+           "\", \"cat\": \"rhs\", \"ph\": \"E\", " + Common +
+           ", \"args\": {\"from_cache\": " +
+           (E.FromCache ? "true" : "false") + "}}");
+      break;
+    default: {
+      std::string Args = "{\"unknown\": \"" +
+                         escapeJson(nameOr(NameOf, E.Unknown)) +
+                         "\", \"seq\": " + std::to_string(E.Seq);
+      if (E.Kind == TraceEventKind::Update)
+        Args += std::string(", \"kind\": \"") + updateKindName(E.UKind) +
+                "\", \"grew\": " + (E.Grew ? "true" : "false") +
+                ", \"shrank\": " + (E.Shrank ? "true" : "false");
+      if (E.Kind == TraceEventKind::Destabilize ||
+          E.Kind == TraceEventKind::DependencyRecord ||
+          E.Kind == TraceEventKind::SideContribution ||
+          E.Kind == TraceEventKind::PhaseChange)
+        Args += ", \"aux\": \"" + escapeJson(nameOr(NameOf, E.Aux)) + "\"";
+      Args += "}";
+      Emit(std::string("{\"name\": \"") + traceEventKindName(E.Kind) +
+           "\", \"cat\": \"solver\", \"ph\": \"i\", \"s\": \"t\", " +
+           Common + ", \"args\": " + Args + "}");
+      break;
+    }
+    }
+  }
+  Out += "\n]\n";
+  return Out;
+}
+
+namespace {
+
+/// Recursive-descent JSON checker over [Pos, Text.size()).
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &Text) : Text(Text) {}
+
+  bool run() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == Text.size();
+  }
+
+private:
+  bool value() {
+    if (Depth > 256 || Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return number();
+    return literal("true") || literal("false") || literal("null");
+  }
+
+  bool object() {
+    ++Depth;
+    ++Pos; // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++Pos;
+      --Depth;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (peek() != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        --Depth;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++Depth;
+    ++Pos; // '['
+    skipWs();
+    if (peek() == ']') {
+      ++Pos;
+      --Depth;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        --Depth;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"')
+      return false;
+    ++Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= Text.size())
+          return false;
+        char E = Text[Pos];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++Pos;
+            if (Pos >= Text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        return false;
+      }
+      ++Pos;
+    }
+    return false;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    if (!digits())
+      return false;
+    if (peek() == '.') {
+      ++Pos;
+      if (!digits())
+        return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      if (!digits())
+        return false;
+    }
+    return Pos > Start;
+  }
+
+  bool digits() {
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    return Pos > Start;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  int Depth = 0;
+};
+
+} // namespace
+
+bool warrow::validateJsonSyntax(const std::string &Text) {
+  return JsonChecker(Text).run();
+}

@@ -1,0 +1,43 @@
+//===- trace/chrome_export.h - Chrome trace_event exporter ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports an event stream in the Chrome `trace_event` JSON array format
+/// (loadable in `chrome://tracing` and Perfetto): RhsEvalBegin/End pairs
+/// become duration events ("ph":"B"/"E") on the emitting thread's track,
+/// everything else becomes instant events ("ph":"i") carrying the event
+/// payload in "args". Timestamps are microseconds from the recorded
+/// nanosecond clock; in replay mode (all-zero timestamps) the sequence
+/// number is used so the viewer still shows the order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_TRACE_CHROME_EXPORT_H
+#define WARROW_TRACE_CHROME_EXPORT_H
+
+#include "trace/trace.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// Maps an unknown id to a display name; nullable — ids print as "u<id>".
+using UnknownNameFn = std::function<std::string(uint64_t)>;
+
+/// Renders \p Events as a Chrome trace_event JSON array.
+std::string chromeTraceJson(const std::vector<TraceEvent> &Events,
+                            const UnknownNameFn &NameOf = nullptr);
+
+/// Minimal structural JSON validator (objects, arrays, strings, numbers,
+/// literals; UTF-8 passed through). Sufficient to assert exporter output
+/// is well-formed without a JSON library dependency.
+bool validateJsonSyntax(const std::string &Text);
+
+} // namespace warrow
+
+#endif // WARROW_TRACE_CHROME_EXPORT_H

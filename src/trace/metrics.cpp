@@ -1,0 +1,108 @@
+//===- trace/metrics.cpp - Per-unknown trace aggregation -------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace warrow;
+
+TraceMetrics warrow::aggregateTrace(const std::vector<TraceEvent> &Events) {
+  TraceMetrics M;
+  // Open Begin timestamps per unknown. Evaluations of one unknown never
+  // nest (stable/on-stack guards), but evaluations of *different*
+  // unknowns do (local solvers recurse), so the match is per-unknown.
+  std::unordered_map<uint64_t, uint64_t> OpenBegin;
+  // Last update regime per unknown, for mode-switch counting.
+  std::unordered_map<uint64_t, UpdateKind> LastRegime;
+
+  M.TotalEvents = Events.size();
+  for (const TraceEvent &E : Events) {
+    if (E.Kind == TraceEventKind::PhaseChange) {
+      ++M.PhaseChanges;
+      continue; // Carries no unknown.
+    }
+    UnknownMetrics &U = M.PerUnknown[E.Unknown];
+    U.FirstSeq = std::min(U.FirstSeq, E.Seq);
+    switch (E.Kind) {
+    case TraceEventKind::RhsEvalBegin:
+      OpenBegin[E.Unknown] = E.TimeNs;
+      break;
+    case TraceEventKind::RhsEvalEnd: {
+      ++U.Evals;
+      ++M.TotalEvals;
+      if (E.FromCache)
+        ++U.CachedEvals;
+      auto It = OpenBegin.find(E.Unknown);
+      if (It != OpenBegin.end()) {
+        if (E.TimeNs >= It->second)
+          U.TimeInRhsNs += E.TimeNs - It->second;
+        OpenBegin.erase(It);
+      }
+      break;
+    }
+    case TraceEventKind::Update: {
+      ++U.Updates;
+      ++M.TotalUpdates;
+      U.LastUpdateSeq = E.Seq;
+      switch (E.UKind) {
+      case UpdateKind::Widen:
+        ++U.Widens;
+        break;
+      case UpdateKind::Narrow:
+        ++U.Narrows;
+        break;
+      default:
+        ++U.Joins;
+        break;
+      }
+      auto [It, Fresh] = LastRegime.emplace(E.Unknown, E.UKind);
+      if (!Fresh) {
+        if (It->second == UpdateKind::Widen && E.UKind == UpdateKind::Narrow)
+          ++U.WidenToNarrow;
+        else if (It->second == UpdateKind::Narrow &&
+                 E.UKind == UpdateKind::Widen)
+          ++U.NarrowToWiden;
+        It->second = E.UKind;
+      }
+      break;
+    }
+    case TraceEventKind::Destabilize:
+      ++U.Destabilized;
+      break;
+    case TraceEventKind::Enqueue:
+      ++U.Enqueues;
+      break;
+    case TraceEventKind::WideningPointMark:
+      ++M.WideningPoints;
+      break;
+    case TraceEventKind::SideContribution:
+      ++M.SideContributions;
+      break;
+    case TraceEventKind::Dequeue:
+    case TraceEventKind::DependencyRecord:
+      break; // Counted only via FirstSeq presence.
+    case TraceEventKind::PhaseChange:
+      break; // Handled above.
+    }
+  }
+  return M;
+}
+
+std::vector<std::pair<uint64_t, UnknownMetrics>>
+warrow::hottestUnknowns(const TraceMetrics &Metrics, std::size_t K) {
+  std::vector<std::pair<uint64_t, UnknownMetrics>> All(
+      Metrics.PerUnknown.begin(), Metrics.PerUnknown.end());
+  std::sort(All.begin(), All.end(), [](const auto &A, const auto &B) {
+    if (A.second.Evals != B.second.Evals)
+      return A.second.Evals > B.second.Evals;
+    return A.first < B.first;
+  });
+  if (All.size() > K)
+    All.resize(K);
+  return All;
+}

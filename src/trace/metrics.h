@@ -1,0 +1,78 @@
+//===- trace/metrics.h - Per-unknown trace aggregation ----------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregates an event stream into per-unknown metrics: evaluation and
+/// update counts split by ⊟ regime, destabilization and queue traffic,
+/// wall time spent inside right-hand sides, the sequence number at which
+/// the unknown last changed (its final-stabilization point), and the
+/// widen->narrow / narrow->widen mode switches of Lemma 1.
+///
+/// Aggregation is a pure function of the stream, so it applies equally
+/// to live recorder output and to streams round-tripped through
+/// trace/serialize.h — the equivalence the trace tests pin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_TRACE_METRICS_H
+#define WARROW_TRACE_METRICS_H
+
+#include "trace/trace.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace warrow {
+
+/// Aggregate counters of one unknown.
+struct UnknownMetrics {
+  uint64_t Evals = 0;       ///< RhsEvalEnd events (cache hits included).
+  uint64_t CachedEvals = 0; ///< RhsEvalEnd events with FromCache.
+  uint64_t Updates = 0;
+  uint64_t Widens = 0;  ///< Updates in the widening regime.
+  uint64_t Narrows = 0; ///< Updates in the narrowing regime.
+  uint64_t Joins = 0;   ///< Updates with incomparable movement.
+  uint64_t Destabilized = 0;
+  uint64_t Enqueues = 0;
+  uint64_t TimeInRhsNs = 0; ///< Begin->End wall time (0 in replay mode).
+  /// Widen->narrow regime transitions (⊟ switching △ on, Lemma 1) and
+  /// narrow->widen transitions (only possible for non-monotonic systems
+  /// or degrading operators).
+  uint64_t WidenToNarrow = 0;
+  uint64_t NarrowToWiden = 0;
+  uint64_t FirstSeq = UINT64_MAX; ///< Seq of the first event mentioning x.
+  uint64_t LastUpdateSeq = 0;     ///< Seq of the final update (0 if none).
+
+  bool operator==(const UnknownMetrics &O) const = default;
+};
+
+/// Whole-run aggregation.
+struct TraceMetrics {
+  /// Keyed by unknown id; ordered so reports are deterministic.
+  std::map<uint64_t, UnknownMetrics> PerUnknown;
+  uint64_t TotalEvents = 0;
+  uint64_t TotalEvals = 0;
+  uint64_t TotalUpdates = 0;
+  uint64_t PhaseChanges = 0;
+  uint64_t WideningPoints = 0;
+  uint64_t SideContributions = 0;
+
+  bool operator==(const TraceMetrics &O) const = default;
+};
+
+/// Folds \p Events (in sequence order) into per-unknown metrics.
+TraceMetrics aggregateTrace(const std::vector<TraceEvent> &Events);
+
+/// The \p K unknowns with the most evaluations, hottest first (ties
+/// broken by id for determinism).
+std::vector<std::pair<uint64_t, UnknownMetrics>>
+hottestUnknowns(const TraceMetrics &Metrics, std::size_t K);
+
+} // namespace warrow
+
+#endif // WARROW_TRACE_METRICS_H

@@ -1,0 +1,92 @@
+//===- trace/recorder.cpp - Buffered trace recorder ------------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+using namespace warrow;
+
+namespace {
+
+std::atomic<uint64_t> NextEpoch{1};
+
+/// Per-thread registration: epoch -> buffer owned by the live recorder
+/// with that epoch. Entries for dead recorders are never looked up again
+/// (epochs are unique), so the map only grows by one entry per recorder
+/// a thread ever emitted into.
+thread_local std::unordered_map<uint64_t, void *> LocalBuffers;
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+BufferedTraceRecorder::BufferedTraceRecorder(bool CaptureTimestamps)
+    : Epoch(NextEpoch.fetch_add(1, std::memory_order_relaxed)),
+      CaptureTimestamps(CaptureTimestamps) {}
+
+BufferedTraceRecorder::~BufferedTraceRecorder() = default;
+
+BufferedTraceRecorder::Buffer &BufferedTraceRecorder::localBuffer() {
+  auto It = LocalBuffers.find(Epoch);
+  if (It != LocalBuffers.end())
+    return *static_cast<Buffer *>(It->second);
+  auto Fresh = std::make_unique<Buffer>();
+  Buffer *Raw = Fresh.get();
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    Raw->Tid = static_cast<uint32_t>(Buffers.size());
+    Buffers.push_back(std::move(Fresh));
+  }
+  LocalBuffers.emplace(Epoch, Raw);
+  return *Raw;
+}
+
+void BufferedTraceRecorder::event(TraceEvent E) {
+  Buffer &B = localBuffer();
+  E.Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  E.TimeNs = CaptureTimestamps ? nowNs() : 0;
+  E.Tid = B.Tid;
+  B.Events.push_back(E);
+}
+
+std::vector<TraceEvent> BufferedTraceRecorder::events() const {
+  std::vector<TraceEvent> All;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    size_t Total = 0;
+    for (const auto &B : Buffers)
+      Total += B->Events.size();
+    All.reserve(Total);
+    for (const auto &B : Buffers)
+      All.insert(All.end(), B->Events.begin(), B->Events.end());
+  }
+  std::sort(All.begin(), All.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              return A.Seq < B.Seq;
+            });
+  return All;
+}
+
+uint64_t BufferedTraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  uint64_t Total = 0;
+  for (const auto &B : Buffers)
+    Total += B->Events.size();
+  return Total;
+}
+
+uint32_t BufferedTraceRecorder::threadCount() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  return static_cast<uint32_t>(Buffers.size());
+}

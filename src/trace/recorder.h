@@ -1,0 +1,74 @@
+//===- trace/recorder.h - Buffered trace recorder ---------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `BufferedTraceRecorder` — the standard `TraceSink`: appends events to
+/// per-thread buffers so that concurrent emission from solveParallelSW
+/// workers contends only on one relaxed atomic (the global sequence
+/// counter), never on a lock. A mutex is taken once per *thread* (buffer
+/// registration), not per event. `events()` merges the buffers back into
+/// global emission order by sequence number.
+///
+/// Deterministic replay: constructed with `CaptureTimestamps = false`,
+/// the recorder stamps `TimeNs = 0` everywhere, making the serialized
+/// stream of a single-threaded run a pure function of the solver's
+/// decision sequence — the byte-identity property tests/trace_test.cpp
+/// pins for every sequential solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_TRACE_RECORDER_H
+#define WARROW_TRACE_RECORDER_H
+
+#include "trace/trace.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace warrow {
+
+/// Thread-safe buffering sink; see file comment.
+class BufferedTraceRecorder : public TraceSink {
+public:
+  explicit BufferedTraceRecorder(bool CaptureTimestamps = true);
+  ~BufferedTraceRecorder() override;
+
+  void event(TraceEvent E) override;
+
+  /// All recorded events in emission (sequence) order. Call only after
+  /// the traced solver run finished — merging is not synchronized with
+  /// concurrent emission.
+  std::vector<TraceEvent> events() const;
+
+  /// Number of events recorded so far.
+  uint64_t eventCount() const;
+
+  /// Number of distinct emitting threads seen.
+  uint32_t threadCount() const;
+
+private:
+  struct Buffer {
+    std::vector<TraceEvent> Events;
+    uint32_t Tid = 0;
+  };
+
+  Buffer &localBuffer();
+
+  /// Identity surviving address reuse: thread-local registrations are
+  /// keyed by this epoch, so a recorder allocated at a dead recorder's
+  /// address never inherits its buffers.
+  const uint64_t Epoch;
+  const bool CaptureTimestamps;
+  std::atomic<uint64_t> NextSeq{0};
+  mutable std::mutex RegistryMutex;
+  std::vector<std::unique_ptr<Buffer>> Buffers;
+};
+
+} // namespace warrow
+
+#endif // WARROW_TRACE_RECORDER_H

@@ -1,0 +1,96 @@
+//===- trace/report.cpp - Human-readable convergence report ----------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/report.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace warrow;
+
+namespace {
+
+std::string nameOr(const UnknownNameFn &NameOf, uint64_t Id) {
+  if (NameOf)
+    return NameOf(Id);
+  return "u" + std::to_string(Id);
+}
+
+std::string fmtTimeNs(uint64_t Ns) {
+  char Buf[48];
+  if (Ns == 0)
+    return "-";
+  if (Ns >= 1000000)
+    std::snprintf(Buf, sizeof(Buf), "%.2fms", static_cast<double>(Ns) / 1e6);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.1fus", static_cast<double>(Ns) / 1e3);
+  return Buf;
+}
+
+void appendRow(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendRow(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string warrow::convergenceReport(const TraceMetrics &Metrics,
+                                      std::size_t TopK,
+                                      const UnknownNameFn &NameOf) {
+  std::string Out;
+  Out += "=== convergence report ===\n";
+  appendRow(Out,
+            "events %" PRIu64 "  unknowns %zu  evals %" PRIu64
+            "  updates %" PRIu64 "\n",
+            Metrics.TotalEvents, Metrics.PerUnknown.size(), Metrics.TotalEvals,
+            Metrics.TotalUpdates);
+  appendRow(Out,
+            "widening points %" PRIu64 "  side contributions %" PRIu64
+            "  phase changes %" PRIu64 "\n",
+            Metrics.WideningPoints, Metrics.SideContributions,
+            Metrics.PhaseChanges);
+
+  Out += "\n--- hottest unknowns (by rhs evaluations) ---\n";
+  appendRow(Out, "%-24s %8s %7s %7s %7s %7s %9s %9s\n", "unknown", "evals",
+            "cached", "widen", "narrow", "join", "rhs-time", "last-upd");
+  for (const auto &[Id, U] : hottestUnknowns(Metrics, TopK))
+    appendRow(Out,
+              "%-24s %8" PRIu64 " %7" PRIu64 " %7" PRIu64 " %7" PRIu64
+              " %7" PRIu64 " %9s %9" PRIu64 "\n",
+              nameOr(NameOf, Id).c_str(), U.Evals, U.CachedEvals, U.Widens,
+              U.Narrows, U.Joins, fmtTimeNs(U.TimeInRhsNs).c_str(),
+              U.LastUpdateSeq);
+
+  // The ⊟ mode-switch table: unknowns whose update regime flipped between
+  // widening and narrowing. Lemma 1 says widen->narrow happens at most
+  // once per unknown under a plain ⊟ with monotonic rhs; narrow->widen
+  // flags non-monotonic behaviour or a degrading operator restart.
+  Out += "\n--- mode switches (widen<->narrow) ---\n";
+  bool Any = false;
+  for (const auto &[Id, U] : Metrics.PerUnknown) {
+    if (U.WidenToNarrow == 0 && U.NarrowToWiden == 0)
+      continue;
+    if (!Any) {
+      appendRow(Out, "%-24s %8s %8s %9s\n", "unknown", "w->n", "n->w",
+                "last-upd");
+      Any = true;
+    }
+    appendRow(Out, "%-24s %8" PRIu64 " %8" PRIu64 " %9" PRIu64 "\n",
+              nameOr(NameOf, Id).c_str(), U.WidenToNarrow, U.NarrowToWiden,
+              U.LastUpdateSeq);
+  }
+  if (!Any)
+    Out += "(none)\n";
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- trace/report.h - Human-readable convergence report -------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aggregated trace metrics as a plain-text convergence report:
+/// run totals, the top-k hottest unknowns (by evaluation count, with
+/// their update/regime split and time-in-rhs), and the ⊟ mode-switch
+/// table — every unknown that transitioned between the widening and
+/// narrowing regimes, with transition counts and its final-stabilization
+/// sequence number. This is the at-a-glance artifact for "why did this
+/// analysis take 40k evaluations" questions; the Chrome exporter covers
+/// the timeline view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_TRACE_REPORT_H
+#define WARROW_TRACE_REPORT_H
+
+#include "trace/chrome_export.h" // UnknownNameFn
+#include "trace/metrics.h"
+
+#include <string>
+
+namespace warrow {
+
+/// Renders \p Metrics; \p TopK bounds the hottest-unknown table.
+std::string convergenceReport(const TraceMetrics &Metrics,
+                              std::size_t TopK = 10,
+                              const UnknownNameFn &NameOf = nullptr);
+
+} // namespace warrow
+
+#endif // WARROW_TRACE_REPORT_H

@@ -1,0 +1,104 @@
+//===- trace/serialize.cpp - Event stream (de)serialization ----------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/serialize.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace warrow;
+
+namespace {
+
+constexpr std::array<const char *, 10> KindNames = {
+    "begin",   "end",  "update", "destab", "enq",
+    "deq",     "dep",  "wpoint", "side",   "phase",
+};
+
+constexpr std::array<const char *, 4> UpdateKindNames = {"-", "widen",
+                                                         "narrow", "join"};
+
+} // namespace
+
+const char *warrow::traceEventKindName(TraceEventKind Kind) {
+  return KindNames[static_cast<size_t>(Kind)];
+}
+
+const char *warrow::updateKindName(UpdateKind Kind) {
+  return UpdateKindNames[static_cast<size_t>(Kind)];
+}
+
+std::string warrow::serializeEvent(const TraceEvent &Event) {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "%" PRIu64 " %" PRIu64 " %" PRIu32 " %s %s %" PRIu64
+                " %" PRIu64 " %d%d%d",
+                Event.Seq, Event.TimeNs, Event.Tid,
+                traceEventKindName(Event.Kind), updateKindName(Event.UKind),
+                Event.Unknown, Event.Aux, Event.Grew ? 1 : 0,
+                Event.Shrank ? 1 : 0, Event.FromCache ? 1 : 0);
+  return Buf;
+}
+
+std::string warrow::serializeEvents(const std::vector<TraceEvent> &Events) {
+  std::string Out;
+  Out.reserve(Events.size() * 32);
+  for (const TraceEvent &E : Events) {
+    Out += serializeEvent(E);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::optional<std::vector<TraceEvent>>
+warrow::parseEvents(const std::string &Text) {
+  std::vector<TraceEvent> Events;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      return std::nullopt; // Every line must be newline-terminated.
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+
+    TraceEvent E;
+    char KindBuf[16] = {0};
+    char UKindBuf[16] = {0};
+    unsigned Grew = 0, Shrank = 0, FromCache = 0;
+    int Matched = std::sscanf(
+        Line.c_str(),
+        "%" SCNu64 " %" SCNu64 " %" SCNu32 " %15s %15s %" SCNu64 " %" SCNu64
+        " %1u%1u%1u",
+        &E.Seq, &E.TimeNs, &E.Tid, KindBuf, UKindBuf, &E.Unknown, &E.Aux,
+        &Grew, &Shrank, &FromCache);
+    if (Matched != 10)
+      return std::nullopt;
+    E.Grew = Grew != 0;
+    E.Shrank = Shrank != 0;
+    E.FromCache = FromCache != 0;
+
+    bool KindOk = false;
+    for (size_t I = 0; I < KindNames.size(); ++I)
+      if (std::strcmp(KindBuf, KindNames[I]) == 0) {
+        E.Kind = static_cast<TraceEventKind>(I);
+        KindOk = true;
+        break;
+      }
+    bool UKindOk = false;
+    for (size_t I = 0; I < UpdateKindNames.size(); ++I)
+      if (std::strcmp(UKindBuf, UpdateKindNames[I]) == 0) {
+        E.UKind = static_cast<UpdateKind>(I);
+        UKindOk = true;
+        break;
+      }
+    if (!KindOk || !UKindOk)
+      return std::nullopt;
+    Events.push_back(E);
+  }
+  return Events;
+}

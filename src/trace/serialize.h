@@ -1,0 +1,50 @@
+//===- trace/serialize.h - Event stream (de)serialization -------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable line-oriented text format for event streams: one event per
+/// line, fields space-separated, kinds spelled as short mnemonics. The
+/// format is a bijection on event contents, so
+///
+///     parseEvents(serializeEvents(Events)) == Events
+///
+/// — the round-trip the trace tests pin — and byte-comparing two
+/// serialized streams is exactly comparing the event sequences (the
+/// determinism tests). Timestamps are serialized verbatim; deterministic
+/// comparisons should record with `CaptureTimestamps = false`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_TRACE_SERIALIZE_H
+#define WARROW_TRACE_SERIALIZE_H
+
+#include "trace/trace.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// Short mnemonic of an event kind ("begin", "update", ...).
+const char *traceEventKindName(TraceEventKind Kind);
+
+/// Short mnemonic of an update kind ("widen", "narrow", "join", "-").
+const char *updateKindName(UpdateKind Kind);
+
+/// Serializes one event as a single line (no trailing newline).
+std::string serializeEvent(const TraceEvent &Event);
+
+/// Serializes a stream, one event per line, each line newline-terminated.
+std::string serializeEvents(const std::vector<TraceEvent> &Events);
+
+/// Parses a stream serialized by `serializeEvents`. Returns nullopt on
+/// any malformed line.
+std::optional<std::vector<TraceEvent>> parseEvents(const std::string &Text);
+
+} // namespace warrow
+
+#endif // WARROW_TRACE_SERIALIZE_H

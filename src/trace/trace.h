@@ -1,0 +1,174 @@
+//===- trace/trace.h - Solver observability events --------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event vocabulary of the solver observability layer (DESIGN §6d).
+/// Every solver, when handed a `TraceSink` through `SolverOptions::Trace`,
+/// narrates its run as a stream of typed `TraceEvent`s:
+///
+///   RhsEvalBegin/End    one right-hand-side evaluation (End carries a
+///                       from-cache flag when the read cache answered)
+///   Update              sigma[x] changed; carries the ⊟ regime the update
+///                       ran in (widen/narrow/join) and growth direction
+///   Destabilize         x was removed from `stable` (Aux = the unknown
+///                       whose update or side effect caused it)
+///   Enqueue/Dequeue     worklist / priority-queue traffic
+///   DependencyRecord    x read y through `eval` (Unknown = reader x,
+///                       Aux = read unknown y)
+///   WideningPointMark   x dynamically detected as a widening point
+///                       (SLR+ localized mode, Example 9)
+///   SideContribution    a side effect onto Unknown from contributor Aux
+///   PhaseChange         two-phase solvers: ascending -> descending
+///
+/// Unknowns are identified by dense ids: the variable index for dense
+/// systems, the discovery slot (the negated `key` of Fig. 6) for the
+/// local solvers. Sequence numbers, timestamps, and thread ids are
+/// stamped by the sink, not the solver, so deterministic replay can
+/// disable wall-clock capture (see recorder.h).
+///
+/// The traced-off path is bit- and perf-identical: every emission site
+/// is guarded by `if (Options.Trace)` and touches no solver state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_TRACE_TRACE_H
+#define WARROW_TRACE_TRACE_H
+
+#include <cstdint>
+
+namespace warrow {
+
+/// Discriminator of a trace event.
+enum class TraceEventKind : uint8_t {
+  RhsEvalBegin,
+  RhsEvalEnd,
+  Update,
+  Destabilize,
+  Enqueue,
+  Dequeue,
+  DependencyRecord,
+  WideningPointMark,
+  SideContribution,
+  PhaseChange,
+};
+
+/// The ⊟ regime an update ran in, classified from the value ordering
+/// (not from the operator object, which solvers treat as a black box):
+/// `Narrow` when the right-hand side stayed below the old value (the
+/// branch where ⊟ applies △), `Widen` when the combined result grew
+/// (the ▽ branch), `Join` for incomparable movement (possible only for
+/// non-⊟ operators, e.g. plain assignment under localized widening).
+enum class UpdateKind : uint8_t { None, Widen, Narrow, Join };
+
+/// One solver event. Plain data; `Seq`, `TimeNs`, and `Tid` are zero
+/// until a sink stamps them.
+struct TraceEvent {
+  uint64_t Seq = 0;    ///< Global emission order (stamped by the sink).
+  uint64_t TimeNs = 0; ///< Steady-clock nanoseconds (0 in replay mode).
+  uint32_t Tid = 0;    ///< Dense per-recorder thread id.
+  TraceEventKind Kind = TraceEventKind::RhsEvalBegin;
+  UpdateKind UKind = UpdateKind::None; ///< Valid for Update only.
+  uint64_t Unknown = 0; ///< Primary unknown id (see file comment).
+  uint64_t Aux = 0;     ///< Secondary id: cause / contributor / read.
+  bool Grew = false;    ///< Update: old ⊑ new.
+  bool Shrank = false;  ///< Update: new ⊑ old.
+  bool FromCache = false; ///< RhsEvalEnd: answered by the read cache.
+
+  bool operator==(const TraceEvent &O) const = default;
+
+  static TraceEvent rhsBegin(uint64_t X) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::RhsEvalBegin;
+    E.Unknown = X;
+    return E;
+  }
+  static TraceEvent rhsEnd(uint64_t X, bool FromCache = false) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::RhsEvalEnd;
+    E.Unknown = X;
+    E.FromCache = FromCache;
+    return E;
+  }
+  /// Classifies an accepted update from the three values involved:
+  /// \p Old = sigma[x] before, \p Rhs = f_x(sigma), \p Combined = the
+  /// new sigma[x] (which differs from Old at every emission site).
+  template <typename D>
+  static TraceEvent update(uint64_t X, const D &Old, const D &Rhs,
+                           const D &Combined) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::Update;
+    E.Unknown = X;
+    E.Grew = Old.leq(Combined);
+    E.Shrank = Combined.leq(Old);
+    if (Rhs.leq(Old))
+      E.UKind = UpdateKind::Narrow;
+    else if (E.Grew)
+      E.UKind = UpdateKind::Widen;
+    else
+      E.UKind = UpdateKind::Join;
+    return E;
+  }
+  static TraceEvent destabilize(uint64_t X, uint64_t Cause) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::Destabilize;
+    E.Unknown = X;
+    E.Aux = Cause;
+    return E;
+  }
+  static TraceEvent enqueue(uint64_t X) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::Enqueue;
+    E.Unknown = X;
+    return E;
+  }
+  static TraceEvent dequeue(uint64_t X) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::Dequeue;
+    E.Unknown = X;
+    return E;
+  }
+  static TraceEvent dependency(uint64_t Reader, uint64_t Read) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::DependencyRecord;
+    E.Unknown = Reader;
+    E.Aux = Read;
+    return E;
+  }
+  static TraceEvent wideningPoint(uint64_t X) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::WideningPointMark;
+    E.Unknown = X;
+    return E;
+  }
+  static TraceEvent sideContribution(uint64_t Target, uint64_t From) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::SideContribution;
+    E.Unknown = Target;
+    E.Aux = From;
+    return E;
+  }
+  /// \p Phase: 0 = ascending (widening), 1 = descending (narrowing);
+  /// \p Round numbers descending sweeps from 0.
+  static TraceEvent phaseChange(uint64_t Phase, uint64_t Round = 0) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::PhaseChange;
+    E.Unknown = Round;
+    E.Aux = Phase;
+    return E;
+  }
+};
+
+/// Receiver of solver events. Implementations must tolerate concurrent
+/// `event` calls (solveParallelSW emits from worker threads).
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void event(TraceEvent E) = 0;
+};
+
+} // namespace warrow
+
+#endif // WARROW_TRACE_TRACE_H

@@ -178,6 +178,67 @@ DenseSystem<Interval> warrow::manyComponentSystem(unsigned NumComps,
   return S;
 }
 
+DenseSystem<Interval> warrow::randomNonMonotoneSystem(unsigned Size,
+                                                      unsigned Degree,
+                                                      int64_t Bound,
+                                                      uint64_t Seed) {
+  DenseSystem<Interval> S;
+  using Get = DenseSystem<Interval>::GetFn;
+  Rng R(Seed);
+  for (unsigned I = 0; I < Size; ++I)
+    S.addVar("n" + std::to_string(I));
+  Interval Cap = Interval::make(0, Bound);
+  for (Var X = 0; X < Size; ++X) {
+    // Per dependency: 0 = monotone increment, 1 = negated, 2 = reset.
+    struct Dep {
+      Var Y;
+      int Kind;
+      int64_t A; // Increment / threshold.
+      int64_t B; // High value (negated) — the low branch is B / 2.
+    };
+    std::vector<Dep> Deps;
+    std::vector<Var> DepVars;
+    for (unsigned D = 0; D < Degree; ++D) {
+      Dep Item;
+      Item.Y = static_cast<Var>(R.below(Size));
+      Item.Kind = static_cast<int>(R.below(3));
+      Item.A = Item.Kind == 0 ? R.range(0, 3) : R.range(1, Bound);
+      Item.B = R.range(2, Bound);
+      Deps.push_back(Item);
+      DepVars.push_back(Item.Y);
+    }
+    bool Seeded = X == 0 || R.chance(1, 8);
+    S.define(
+        X,
+        [Deps, Cap, Seeded](const Get &G) {
+          Interval Acc = Seeded ? Interval::constant(0) : Interval::bot();
+          for (const Dep &Item : Deps) {
+            Interval V = G(Item.Y);
+            Interval Contribution;
+            switch (Item.Kind) {
+            case 0: // Monotone: capped increment.
+              Contribution =
+                  V.add(Interval::constant(Item.A)).meet(Cap);
+              break;
+            case 1: // Negated: shrinks as the dependency grows.
+              Contribution = V.leq(Interval::make(0, Item.A))
+                                 ? Interval::make(0, Item.B)
+                                 : Interval::make(0, Item.B / 2);
+              break;
+            default: // Reset: collapses once the dependency grows.
+              Contribution = V.leq(Interval::make(0, Item.A))
+                                 ? V.meet(Cap)
+                                 : Interval::constant(0);
+            }
+            Acc = Acc.join(Contribution);
+          }
+          return Acc;
+        },
+        DepVars);
+  }
+  return S;
+}
+
 DenseSystem<Interval> warrow::oscillatingSystem(int64_t K) {
   // x0 flips between [0,+inf) and [0,5] depending on its own value: a
   // non-monotone right-hand side under which plain ⊟ alternates widening

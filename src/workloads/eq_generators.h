@@ -67,6 +67,20 @@ DenseSystem<Interval> manyComponentSystem(unsigned NumComps,
                                           unsigned CompSize, int64_t Bound,
                                           unsigned CrossLinks, uint64_t Seed);
 
+/// A random sparse *non-monotone* interval system. The monotone core of
+/// `randomMonotoneSystem` (join of capped increments) is kept, but a
+/// random subset of the dependencies is perturbed:
+///  - *negated* dependencies contribute a large constant interval while
+///    the dependency is small and a strictly smaller one once it grows
+///    past a threshold (anti-monotone in the dependency);
+///  - *reset* dependencies collapse their contribution back to [0,0]
+///    once the dependency exceeds a threshold.
+/// All right-hand sides stay within [⊥, [0,Bound]], so runs with a
+/// degrading ⊟ terminate; plain ⊟ may oscillate forever (use a budget).
+/// Deterministic in `Seed`.
+DenseSystem<Interval> randomNonMonotoneSystem(unsigned Size, unsigned Degree,
+                                              int64_t Bound, uint64_t Seed);
+
 /// A *non-monotone* two-unknown system that oscillates forever under ⊟
 /// with plain narrowing, used to demonstrate the degrading operator ⊟ₖ:
 ///    x = if y <= [0,K] then [0,10] else [0,0]

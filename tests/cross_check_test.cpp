@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "eqsys/verify.h"
 #include "lattice/combine.h"
 #include "solvers/rld.h"
 #include "solvers/rr.h"
@@ -166,6 +167,55 @@ TEST_P(CrossCheck, TwoPhaseNeverBeatsWarrowOnSideSystems) {
     EXPECT_TRUE(Value.leq(Classic.value(X)))
         << "two-phase more precise than ⊟ at " << X << ": "
         << Value.str() << " vs " << Classic.value(X).str();
+  }
+}
+
+TEST_P(CrossCheck, DegradingWarrowOnNonMonotoneSystems) {
+  // Non-monotone right-hand sides: plain ⊟ may oscillate between the
+  // regimes forever, but the degrading ⊟ₖ caps the narrow->widen
+  // switches per unknown and must terminate — and by Lemma 1 (which
+  // never assumed monotonicity) land on a post solution.
+  DenseSystem<Interval> S = randomNonMonotoneSystem(22, 3, 100, GetParam());
+
+  DegradingWarrowCombine<Var> SrrCombine(4);
+  SolveResult<Interval> SRR = solveSRR(S, SrrCombine);
+  ASSERT_TRUE(SRR.Stats.Converged);
+  VerifyResult SrrCheck = verifyPostSolution(S, SRR.Sigma);
+  EXPECT_TRUE(SrrCheck.Ok) << SrrCheck.str();
+
+  DegradingWarrowCombine<Var> SwCombine(4);
+  SolveResult<Interval> SW = solveSW(S, SwCombine);
+  ASSERT_TRUE(SW.Stats.Converged);
+  VerifyResult SwCheck = verifyPostSolution(S, SW.Sigma);
+  EXPECT_TRUE(SwCheck.Ok) << SwCheck.str();
+
+  IntSys Local = IntSys([&S](int X) -> IntSys::Rhs {
+    return [&S, X](const IntSys::Get &Get) {
+      return S.eval(static_cast<Var>(X),
+                    [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+  DegradingWarrowCombine<int> SlrCombine(4);
+  PartialSolution<int, Interval> Slr = solveSLR(Local, 0, SlrCombine);
+  ASSERT_TRUE(Slr.Stats.Converged);
+  VerifyResult SlrCheck = verifyPartialPostSolution(Local, Slr);
+  EXPECT_TRUE(SlrCheck.Ok) << SlrCheck.str();
+}
+
+TEST_P(CrossCheck, PlainWarrowOnNonMonotoneSystemsIsHonest) {
+  // Plain ⊟ may or may not converge on a non-monotone system within the
+  // budget; either way the Converged flag must be truthful — a run that
+  // claims convergence has actually reached a post solution.
+  DenseSystem<Interval> S =
+      randomNonMonotoneSystem(22, 3, 100, GetParam() * 29 + 11);
+  SolverOptions Options;
+  Options.MaxRhsEvals = 50'000;
+  SolveResult<Interval> SW = solveSW(S, WarrowCombine{}, Options);
+  if (SW.Stats.Converged) {
+    VerifyResult Check = verifyPostSolution(S, SW.Sigma);
+    EXPECT_TRUE(Check.Ok) << Check.str();
+  } else {
+    EXPECT_GE(SW.Stats.RhsEvals, Options.MaxRhsEvals);
   }
 }
 

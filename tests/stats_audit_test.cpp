@@ -1,0 +1,151 @@
+//===- tests/stats_audit_test.cpp - SolverStats population audit ---------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every solver must populate every SolverStats field it can meaningfully
+// report — the bench JSON emitters publish the whole struct, so a field
+// silently left at zero reads as a measurement. This audit pins the
+// per-solver semantics:
+//
+//   RhsEvals / Updates / VarsSeen    nonzero everywhere (on live systems)
+//   QueueMax     queue/worklist solvers: > 0;
+//                LRR: |Known| (the growing known-set IS its worklist);
+//                RLD: 0 by design (queueless recursion) — pinned so a
+//                future queue doesn't land unreported;
+//                two-phase: max over both phases (the descending phase
+//                must not be dropped).
+//   RhsCacheHits/Misses   local caching solvers report both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/order.h"
+#include "lattice/combine.h"
+#include "solvers/lrr.h"
+#include "solvers/parallel_sw.h"
+#include "solvers/rld.h"
+#include "solvers/rr.h"
+#include "solvers/slr.h"
+#include "solvers/slr_plus.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "solvers/two_phase.h"
+#include "solvers/two_phase_local.h"
+#include "solvers/wl.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+using IntSys = LocalSystem<int, Interval>;
+using SideSys = SideEffectingSystem<int, Interval>;
+
+IntSys localView(const DenseSystem<Interval> &Dense) {
+  return IntSys([&Dense](int X) -> IntSys::Rhs {
+    return [&Dense, X](const IntSys::Get &Get) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+SideSys sideView(const DenseSystem<Interval> &Dense) {
+  return SideSys([&Dense](int X) -> SideSys::Rhs {
+    return [&Dense, X](const SideSys::Get &Get, const SideSys::Side &) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+void expectCoreStats(const SolverStats &S, const char *What) {
+  EXPECT_TRUE(S.Converged) << What;
+  EXPECT_GT(S.RhsEvals, 0u) << What << ": RhsEvals unpopulated";
+  EXPECT_GT(S.Updates, 0u) << What << ": Updates unpopulated";
+  EXPECT_GT(S.VarsSeen, 0u) << What << ": VarsSeen unpopulated";
+}
+
+TEST(StatsAudit, DenseSolversPopulateAllFields) {
+  DenseSystem<Interval> S = ringSystem(24, 50);
+
+  SolveResult<Interval> RR = solveRR(S, WarrowCombine{});
+  expectCoreStats(RR.Stats, "RR");
+  EXPECT_EQ(RR.Stats.VarsSeen, S.size());
+  // RR sweeps with no worklist: QueueMax stays 0 by design.
+  EXPECT_EQ(RR.Stats.QueueMax, 0u);
+
+  SolveResult<Interval> W = solveW(S, JoinCombine{});
+  expectCoreStats(W.Stats, "W");
+  EXPECT_GT(W.Stats.QueueMax, 0u) << "W: QueueMax unpopulated";
+
+  SolveResult<Interval> SRR = solveSRR(S, WarrowCombine{});
+  expectCoreStats(SRR.Stats, "SRR");
+
+  SolveResult<Interval> SW = solveSW(S, WarrowCombine{});
+  expectCoreStats(SW.Stats, "SW");
+  EXPECT_GT(SW.Stats.QueueMax, 0u) << "SW: QueueMax unpopulated";
+
+  const Condensation Cond = condense(extractDependencyGraph(S));
+  SolveResult<Interval> Ordered =
+      solveOrderedSW(S, WarrowCombine{}, topologicalRank(Cond));
+  expectCoreStats(Ordered.Stats, "SW/ordered");
+  EXPECT_GT(Ordered.Stats.QueueMax, 0u);
+
+  SolveResult<Interval> Par = solveParallelSW(S, WarrowCombine{});
+  expectCoreStats(Par.Stats, "parallel SW");
+  EXPECT_GT(Par.Stats.QueueMax, 0u) << "parallel SW: QueueMax unpopulated";
+}
+
+TEST(StatsAudit, TwoPhaseMergesBothPhases) {
+  DenseSystem<Interval> S = ringSystem(24, 50);
+  SolveResult<Interval> R = solveTwoPhase(S);
+  expectCoreStats(R.Stats, "two-phase");
+  // The merged QueueMax covers both phases: it can never be smaller than
+  // what the ascending phase alone observes.
+  SolveResult<Interval> Up = solveSW(S, WidenCombine{});
+  EXPECT_GE(R.Stats.QueueMax, Up.Stats.QueueMax)
+      << "two-phase dropped a phase's QueueMax";
+  EXPECT_GT(R.Stats.QueueMax, 0u);
+}
+
+TEST(StatsAudit, LocalSolversPopulateAllFields) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(20, 3, 60, 4);
+  IntSys Local = localView(Dense);
+  SideSys Side = sideView(Dense);
+
+  PartialSolution<int, Interval> Lrr = solveLRR(Local, 0, WarrowCombine{});
+  expectCoreStats(Lrr.Stats, "LRR");
+  // LRR's worklist IS the growing known-set: every round sweeps it all.
+  EXPECT_EQ(Lrr.Stats.QueueMax, Lrr.Sigma.size())
+      << "LRR: QueueMax must equal |Known|";
+
+  PartialSolution<int, Interval> Rld = solveRLD(Local, 0, WarrowCombine{});
+  expectCoreStats(Rld.Stats, "RLD");
+  // RLD recurses without any queue; pinned at 0 so a future worklist
+  // cannot land unreported.
+  EXPECT_EQ(Rld.Stats.QueueMax, 0u);
+
+  PartialSolution<int, Interval> Slr = solveSLR(Local, 0, WarrowCombine{});
+  expectCoreStats(Slr.Stats, "SLR");
+  EXPECT_GT(Slr.Stats.QueueMax, 0u) << "SLR: QueueMax unpopulated";
+  EXPECT_GT(Slr.Stats.RhsCacheHits + Slr.Stats.RhsCacheMisses, 0u)
+      << "SLR: cache counters unpopulated";
+
+  PartialSolution<int, Interval> SlrPlus =
+      solveSLRPlus(Side, 0, WarrowCombine{});
+  expectCoreStats(SlrPlus.Stats, "SLR+");
+  EXPECT_GT(SlrPlus.Stats.QueueMax, 0u) << "SLR+: QueueMax unpopulated";
+  EXPECT_GT(SlrPlus.Stats.RhsCacheHits + SlrPlus.Stats.RhsCacheMisses, 0u)
+      << "SLR+: cache counters unpopulated";
+
+  PartialSolution<int, Interval> TwoPhase = solveTwoPhaseLocal(Local, 0);
+  expectCoreStats(TwoPhase.Stats, "two-phase-local");
+  EXPECT_GT(TwoPhase.Stats.QueueMax, 0u)
+      << "two-phase-local: QueueMax unpopulated";
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+//===- tests/trace_determinism_test.cpp - Replay-mode determinism --------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// With timestamps disabled (`BufferedTraceRecorder(false)`), the event
+// stream of a single-threaded solver run is a pure function of the
+// solver's decision sequence: two runs on the same system serialize to
+// byte-identical text. Pinned here for every sequential solver.
+//
+// The parallel solver interleaves nondeterministically, so byte identity
+// is out — but its *update* behaviour is not schedule-dependent: each
+// component runs verbatim SW after its predecessors finalized, so the
+// multiset of (unknown, regime, direction) updates matches sequential SW
+// under a condensation-consistent order exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/order.h"
+#include "lattice/combine.h"
+#include "solvers/lrr.h"
+#include "solvers/parallel_sw.h"
+#include "solvers/rld.h"
+#include "solvers/rr.h"
+#include "solvers/slr.h"
+#include "solvers/slr_plus.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "solvers/two_phase.h"
+#include "solvers/two_phase_local.h"
+#include "solvers/wl.h"
+#include "trace/recorder.h"
+#include "trace/serialize.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace warrow;
+
+namespace {
+
+using IntSys = LocalSystem<int, Interval>;
+using SideSys = SideEffectingSystem<int, Interval>;
+
+IntSys localView(const DenseSystem<Interval> &Dense) {
+  return IntSys([&Dense](int X) -> IntSys::Rhs {
+    return [&Dense, X](const IntSys::Get &Get) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+SideSys sideView(const DenseSystem<Interval> &Dense) {
+  return SideSys([&Dense](int X) -> SideSys::Rhs {
+    return [&Dense, X](const SideSys::Get &Get, const SideSys::Side &) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+/// Records one run in replay mode and sanity-checks the recorder's
+/// stamping contract: timestamps all zero, sequence numbers dense from
+/// zero, a single thread.
+template <typename SolveFn>
+std::vector<TraceEvent> recordReplay(SolveFn &&Solve) {
+  BufferedTraceRecorder Recorder(/*CaptureTimestamps=*/false);
+  SolverOptions Options;
+  Options.Trace = &Recorder;
+  Solve(Options);
+  EXPECT_EQ(Recorder.threadCount(), 1u);
+  std::vector<TraceEvent> Events = Recorder.events();
+  for (size_t I = 0; I < Events.size(); ++I) {
+    EXPECT_EQ(Events[I].TimeNs, 0u) << "timestamp captured in replay mode";
+    EXPECT_EQ(Events[I].Seq, I) << "sequence numbers not dense";
+  }
+  return Events;
+}
+
+/// Two fresh runs must serialize byte-identically.
+template <typename SolveFn>
+void expectDeterministic(const char *What, SolveFn &&Solve) {
+  std::vector<TraceEvent> First = recordReplay(Solve);
+  std::vector<TraceEvent> Second = recordReplay(Solve);
+  EXPECT_FALSE(First.empty()) << What << ": solver emitted no events";
+  EXPECT_EQ(serializeEvents(First), serializeEvents(Second))
+      << What << ": event streams differ between identical runs";
+}
+
+TEST(TraceDeterminism, DenseSolversReplayByteIdentical) {
+  DenseSystem<Interval> S = randomMonotoneSystem(20, 3, 90, 7);
+  expectDeterministic("RR", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveRR(S, WarrowCombine{}, O).Stats.Converged);
+  });
+  expectDeterministic("W/lifo", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveW(S, JoinCombine{}, O).Stats.Converged);
+  });
+  expectDeterministic("W/fifo", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveW(S, JoinCombine{}, O, WorklistDiscipline::Fifo)
+                    .Stats.Converged);
+  });
+  expectDeterministic("SRR", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveSRR(S, WarrowCombine{}, O).Stats.Converged);
+  });
+  expectDeterministic("SW", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveSW(S, WarrowCombine{}, O).Stats.Converged);
+  });
+  const Condensation Cond = condense(extractDependencyGraph(S));
+  std::vector<uint32_t> Rank = topologicalRank(Cond);
+  expectDeterministic("SW/ordered", [&](const SolverOptions &O) {
+    ASSERT_TRUE(
+        solveOrderedSW(S, WarrowCombine{}, Rank, O).Stats.Converged);
+  });
+  expectDeterministic("two-phase", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveTwoPhase(S, O).Stats.Converged);
+  });
+}
+
+TEST(TraceDeterminism, LocalSolversReplayByteIdentical) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(18, 3, 70, 11);
+  IntSys Local = localView(Dense);
+  SideSys Side = sideView(Dense);
+  expectDeterministic("LRR", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveLRR(Local, 0, WarrowCombine{}, O).Stats.Converged);
+  });
+  expectDeterministic("RLD", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveRLD(Local, 0, WarrowCombine{}, O).Stats.Converged);
+  });
+  expectDeterministic("SLR", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveSLR(Local, 0, WarrowCombine{}, O).Stats.Converged);
+  });
+  expectDeterministic("SLR+", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveSLRPlus(Side, 0, WarrowCombine{}, O).Stats.Converged);
+  });
+  expectDeterministic("two-phase-local", [&](const SolverOptions &O) {
+    ASSERT_TRUE(solveTwoPhaseLocal(Local, 0, O).Stats.Converged);
+  });
+}
+
+/// The schedule-independent projection of an update event.
+using UpdateKey = std::tuple<uint64_t, UpdateKind, bool, bool>;
+
+std::map<UpdateKey, unsigned>
+updateMultiset(const std::vector<TraceEvent> &Events) {
+  std::map<UpdateKey, unsigned> M;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == TraceEventKind::Update)
+      ++M[{E.Unknown, E.UKind, E.Grew, E.Shrank}];
+  return M;
+}
+
+TEST(TraceDeterminism, ParallelSWUpdatesMatchSequentialOrderedSW) {
+  DenseSystem<Interval> S = manyComponentSystem(12, 8, 64, 2, 9);
+  const Condensation Cond = condense(extractDependencyGraph(S));
+  std::vector<uint32_t> Rank = topologicalRank(Cond);
+  std::vector<TraceEvent> SeqEvents = recordReplay([&](const SolverOptions &O) {
+    ASSERT_TRUE(
+        solveOrderedSW(S, WarrowCombine{}, Rank, O).Stats.Converged);
+  });
+  std::map<UpdateKey, unsigned> Expected = updateMultiset(SeqEvents);
+  ASSERT_FALSE(Expected.empty());
+
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    BufferedTraceRecorder Recorder(/*CaptureTimestamps=*/false);
+    SolverOptions Options;
+    Options.Trace = &Recorder;
+    ParallelOptions POpts;
+    POpts.Threads = Threads;
+    SolveResult<Interval> R =
+        solveParallelSW(S, WarrowCombine{}, POpts, Options);
+    ASSERT_TRUE(R.Stats.Converged) << "threads=" << Threads;
+    EXPECT_EQ(updateMultiset(Recorder.events()), Expected)
+        << "threads=" << Threads
+        << ": parallel update multiset diverges from sequential SW";
+  }
+}
+
+} // namespace

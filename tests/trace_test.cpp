@@ -1,0 +1,493 @@
+//===- tests/trace_test.cpp - Trace-backed solver property tests ---------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests over the solver observability layer (src/trace/): the
+// event streams the instrumented solvers emit are checked against the
+// paper's iteration discipline rather than against hand-picked values:
+//
+//  (a) Lemma 1 discipline: ⊟-updates in the narrowing regime never grow
+//      the value, and an unknown that narrowed only grows again after an
+//      intervening destabilization;
+//  (b) localized SLR+ marks widening points only at unknowns whose
+//      evaluation (or freshly updated value) is live at the mark, marks
+//      each unknown at most once, and never marks in non-localized mode;
+//  (c) every Destabilize event is justified — by a previously recorded
+//      dynamic dependency (local solvers), the static influence relation
+//      (dense solvers), a side-effect contribution, or self-rescheduling.
+//
+// Plus the exporter contracts: serialize/parse is a bijection, the
+// aggregation is stable under the round trip, and the Chrome trace JSON
+// of a real WCET benchmark run validates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "lang/parser.h"
+#include "lattice/combine.h"
+#include "solvers/rr.h"
+#include "solvers/slr.h"
+#include "solvers/slr_plus.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "solvers/wl.h"
+#include "trace/chrome_export.h"
+#include "trace/metrics.h"
+#include "trace/recorder.h"
+#include "trace/serialize.h"
+#include "workloads/eq_generators.h"
+#include "workloads/wcet_suite.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+using namespace warrow;
+
+namespace {
+
+// --- Stream well-formedness ------------------------------------------------
+
+/// Every Update's regime classification must be consistent with its
+/// growth flags: △ results stay below the old value, ▽ results grow, and
+/// incomparable movement is only ever tagged Join.
+void checkUpdateClassification(const std::vector<TraceEvent> &Events) {
+  for (const TraceEvent &E : Events) {
+    if (E.Kind != TraceEventKind::Update)
+      continue;
+    switch (E.UKind) {
+    case UpdateKind::Narrow:
+      EXPECT_TRUE(E.Shrank) << "narrowing grew the value at seq " << E.Seq;
+      break;
+    case UpdateKind::Widen:
+      EXPECT_TRUE(E.Grew) << "widening shrank the value at seq " << E.Seq;
+      break;
+    case UpdateKind::Join:
+      EXPECT_FALSE(E.Grew)
+          << "growing update misclassified as join at seq " << E.Seq;
+      break;
+    case UpdateKind::None:
+      ADD_FAILURE() << "update without a regime at seq " << E.Seq;
+      break;
+    }
+  }
+}
+
+/// Single-threaded streams must nest RhsEvalBegin/End like parentheses
+/// (local solvers recurse into sub-evaluations; dense solvers nest
+/// trivially).
+void checkEvalNesting(const std::vector<TraceEvent> &Events) {
+  std::vector<uint64_t> Stack;
+  for (const TraceEvent &E : Events) {
+    if (E.Kind == TraceEventKind::RhsEvalBegin) {
+      Stack.push_back(E.Unknown);
+    } else if (E.Kind == TraceEventKind::RhsEvalEnd) {
+      ASSERT_FALSE(Stack.empty()) << "end without begin at seq " << E.Seq;
+      EXPECT_EQ(Stack.back(), E.Unknown)
+          << "mismatched eval nesting at seq " << E.Seq;
+      Stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(Stack.empty()) << "unclosed evaluations at stream end";
+}
+
+// --- Property (a): Lemma 1 discipline --------------------------------------
+
+/// Stream-level Lemma 1 discipline, on any system: △-regime updates
+/// never strictly grow the value, and once an unknown narrowed, further
+/// growth requires an intervening Destabilize of that unknown — a stable
+/// unknown is never re-evaluated, let alone grown. (The destabilize leg
+/// only applies to solvers that reschedule through destabilize events;
+/// round-robin sweeps re-evaluate everything unconditionally.) The
+/// aggregator's regime-switch counters must agree with a direct scan.
+///
+/// Deliberately NOT claimed: that on monotone systems each unknown runs
+/// one widening phase followed by one narrowing phase. That is false
+/// under ⊟ — an unknown whose rhs momentarily shrinks (its deps still
+/// ascending) takes a △-step and is later pushed back up. Lemma 1
+/// speaks about the *final* state (every ⊟-solution is a post
+/// solution), which cross_check_test pins via verifyPostSolution; the
+/// stream-level residue of the lemma is exactly the discipline above.
+void checkLemmaOneDiscipline(const std::vector<TraceEvent> &Events) {
+  checkUpdateClassification(Events);
+  const bool HasDestab =
+      std::any_of(Events.begin(), Events.end(), [](const TraceEvent &E) {
+        return E.Kind == TraceEventKind::Destabilize;
+      });
+  std::map<uint64_t, bool> Narrowed;
+  std::map<uint64_t, uint64_t> LastNarrowSeq, LastDestabSeq;
+  std::map<uint64_t, UpdateKind> LastRegime;
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> Switches; // (w→n, n→w)
+  for (const TraceEvent &E : Events) {
+    if (E.Kind == TraceEventKind::Destabilize) {
+      LastDestabSeq[E.Unknown] = E.Seq;
+      continue;
+    }
+    if (E.Kind != TraceEventKind::Update)
+      continue;
+    bool &N = Narrowed[E.Unknown];
+    if (N && E.Grew && !E.Shrank && HasDestab) {
+      EXPECT_GT(LastDestabSeq[E.Unknown], LastNarrowSeq[E.Unknown])
+          << "unknown " << E.Unknown << " grew at seq " << E.Seq
+          << " without being destabilized since its last narrow";
+    }
+    if (E.UKind == UpdateKind::Narrow) {
+      N = true;
+      LastNarrowSeq[E.Unknown] = E.Seq;
+    }
+    auto [It, Fresh] = LastRegime.emplace(E.Unknown, E.UKind);
+    if (!Fresh) {
+      if (It->second == UpdateKind::Widen && E.UKind == UpdateKind::Narrow)
+        ++Switches[E.Unknown].first;
+      else if (It->second == UpdateKind::Narrow &&
+               E.UKind == UpdateKind::Widen)
+        ++Switches[E.Unknown].second;
+      It->second = E.UKind;
+    }
+  }
+  TraceMetrics Metrics = aggregateTrace(Events);
+  for (const auto &[X, M] : Metrics.PerUnknown) {
+    EXPECT_EQ(M.WidenToNarrow, Switches[X].first)
+        << "aggregator miscounts widen→narrow switches at unknown " << X;
+    EXPECT_EQ(M.NarrowToWiden, Switches[X].second)
+        << "aggregator miscounts narrow→widen switches at unknown " << X;
+  }
+}
+
+template <typename SolveFn>
+std::vector<TraceEvent> recordRun(SolveFn &&Solve) {
+  BufferedTraceRecorder Recorder(/*CaptureTimestamps=*/false);
+  SolverOptions Options;
+  Options.Trace = &Recorder;
+  Solve(Options);
+  return Recorder.events();
+}
+
+class TraceSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceSeeds, LemmaOneDisciplineOnMonotoneSystems) {
+  // The structured solvers terminate with ⊟ on monotone systems (plain
+  // worklist iteration need not — Example 2), but even here per-unknown
+  // regimes interleave: narrowing at one unknown can momentarily shrink
+  // a neighbour's rhs before the ascent resumes. The stream-level
+  // discipline is what must hold.
+  DenseSystem<Interval> S = randomMonotoneSystem(24, 3, 120, GetParam());
+  for (int Which = 0; Which < 2; ++Which) {
+    std::vector<TraceEvent> Events = recordRun([&](const SolverOptions &O) {
+      if (Which == 0)
+        ASSERT_TRUE(solveSRR(S, WarrowCombine{}, O).Stats.Converged);
+      else
+        ASSERT_TRUE(solveSW(S, WarrowCombine{}, O).Stats.Converged);
+    });
+    ASSERT_FALSE(Events.empty());
+    checkEvalNesting(Events);
+    checkLemmaOneDiscipline(Events);
+  }
+}
+
+TEST(TraceTest, LemmaOneDisciplineOnStructuredSystems) {
+  // Chains and rings iterate in dependency order: here the widen-then-
+  // narrow phasing IS clean per unknown — no unknown ever switches back
+  // from narrowing to widening. Pinned as a regression guard for the
+  // structured evaluation order.
+  for (const DenseSystem<Interval> &S :
+       {chainSystem(64, 40), ringSystem(48, 32)}) {
+    std::vector<TraceEvent> Events = recordRun([&](const SolverOptions &O) {
+      ASSERT_TRUE(solveSW(S, WarrowCombine{}, O).Stats.Converged);
+    });
+    checkLemmaOneDiscipline(Events);
+    TraceMetrics Metrics = aggregateTrace(Events);
+    for (const auto &[X, M] : Metrics.PerUnknown)
+      EXPECT_EQ(M.NarrowToWiden, 0u)
+          << "unknown " << X << " re-widened on a structured system";
+  }
+}
+
+/// Runs one traced interprocedural analysis of a WCET benchmark.
+std::vector<TraceEvent> recordWcetRun(const WcetBenchmark &B,
+                                      bool Localized = false,
+                                      bool Timestamps = false) {
+  DiagnosticEngine Diags;
+  auto P = parseProgram(B.Source, Diags);
+  EXPECT_TRUE(P) << B.Name << ":\n" << Diags.str();
+  if (!P)
+    return {};
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+  BufferedTraceRecorder Recorder(Timestamps);
+  AnalysisOptions Options;
+  Options.LocalizedWidening = Localized;
+  Options.Solver.Trace = &Recorder;
+  InterprocAnalysis Analysis(*P, Cfgs, Options);
+  AnalysisResult Result = Analysis.run(SolverChoice::Warrow);
+  EXPECT_TRUE(Result.Stats.Converged) << B.Name;
+  return Recorder.events();
+}
+
+TEST(TraceTest, LemmaOneDisciplineOnWcetSuite) {
+  // The interprocedural system is side-effecting, hence effectively
+  // non-monotonic: re-widening after narrowing is permitted, but only
+  // for unknowns destabilized in between, and △ never grows a value.
+  for (const WcetBenchmark &B : wcetSuite()) {
+    std::vector<TraceEvent> Events = recordWcetRun(B);
+    ASSERT_FALSE(Events.empty()) << B.Name;
+    checkEvalNesting(Events);
+    checkLemmaOneDiscipline(Events);
+  }
+}
+
+// --- Property (b): widening-point marks ------------------------------------
+
+using SideSys = SideEffectingSystem<int, Interval>;
+
+/// A small cyclic side-effecting system: a ring of N unknowns (each reads
+/// its predecessor, capped), where unknown 0 additionally contributes its
+/// value to a sink unknown N.
+SideSys cyclicSideSystem(unsigned N, int64_t Bound) {
+  return SideSys([N, Bound](int X) -> SideSys::Rhs {
+    if (X >= static_cast<int>(N))
+      return [](const SideSys::Get &, const SideSys::Side &) {
+        return Interval::bot();
+      };
+    return [X, N, Bound](const SideSys::Get &Get, const SideSys::Side &Side) {
+      int Prev = X == 0 ? static_cast<int>(N) - 1 : X - 1;
+      Interval Acc = Get(Prev)
+                         .add(Interval::constant(1))
+                         .meet(Interval::make(0, Bound));
+      if (X == 0) {
+        Acc = Acc.join(Interval::constant(0));
+        Side(static_cast<int>(N), Acc);
+      }
+      return Acc;
+    };
+  });
+}
+
+/// Checks the mark discipline: at every WideningPointMark(Y), Y's
+/// evaluation is either in progress (Begin without matching End — Y sits
+/// on the call stack, closing a dependency cycle) or Y's value was
+/// updated after its last evaluation finished (the drain-loop case where
+/// a nested evaluation re-reads the still-on-stack Y). Each unknown is
+/// marked at most once.
+void checkWideningPointMarks(const std::vector<TraceEvent> &Events) {
+  std::map<uint64_t, int> OpenEvals;
+  std::map<uint64_t, uint64_t> LastEndSeq, LastUpdateSeq;
+  std::set<uint64_t> Marked;
+  for (const TraceEvent &E : Events) {
+    switch (E.Kind) {
+    case TraceEventKind::RhsEvalBegin:
+      ++OpenEvals[E.Unknown];
+      break;
+    case TraceEventKind::RhsEvalEnd:
+      --OpenEvals[E.Unknown];
+      LastEndSeq[E.Unknown] = E.Seq;
+      break;
+    case TraceEventKind::Update:
+      LastUpdateSeq[E.Unknown] = E.Seq;
+      break;
+    case TraceEventKind::WideningPointMark: {
+      EXPECT_TRUE(Marked.insert(E.Unknown).second)
+          << "unknown " << E.Unknown << " marked twice at seq " << E.Seq;
+      bool EvalOpen = OpenEvals[E.Unknown] > 0;
+      bool UpdatedSinceEnd =
+          LastUpdateSeq.count(E.Unknown) &&
+          LastUpdateSeq[E.Unknown] > LastEndSeq[E.Unknown];
+      EXPECT_TRUE(EvalOpen || UpdatedSinceEnd)
+          << "unknown " << E.Unknown << " marked at seq " << E.Seq
+          << " while neither under evaluation nor freshly updated";
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+TEST(TraceTest, LocalizedSlrPlusMarksWideningPointsOnCycles) {
+  SideSys S = cyclicSideSystem(6, 40);
+  BufferedTraceRecorder Recorder(/*CaptureTimestamps=*/false);
+  SolverOptions Options;
+  Options.Trace = &Recorder;
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(
+      S, WarrowCombine{}, Options, /*LocalizedCombine=*/true);
+  PartialSolution<int, Interval> R = Solver.solveFor(0);
+  ASSERT_TRUE(R.Stats.Converged);
+  std::vector<TraceEvent> Events = Recorder.events();
+  TraceMetrics Metrics = aggregateTrace(Events);
+  // The ring is one dependency cycle: at least one mark must fire, and
+  // the mark events must agree with the solver's own account.
+  EXPECT_GE(Metrics.WideningPoints, 1u);
+  EXPECT_EQ(Metrics.WideningPoints, Solver.wideningPoints().size());
+  checkWideningPointMarks(Events);
+}
+
+TEST(TraceTest, NonLocalizedSlrPlusNeverMarks) {
+  SideSys S = cyclicSideSystem(6, 40);
+  std::vector<TraceEvent> Events = recordRun([&](const SolverOptions &O) {
+    ASSERT_TRUE(solveSLRPlus(S, 0, WarrowCombine{}, O).Stats.Converged);
+  });
+  for (const TraceEvent &E : Events)
+    EXPECT_NE(E.Kind, TraceEventKind::WideningPointMark)
+        << "mark emitted outside localized mode at seq " << E.Seq;
+}
+
+TEST(TraceTest, WideningPointMarksOnWcetSuite) {
+  for (const WcetBenchmark &B : wcetSuite()) {
+    std::vector<TraceEvent> Events = recordWcetRun(B, /*Localized=*/true);
+    ASSERT_FALSE(Events.empty()) << B.Name;
+    checkWideningPointMarks(Events);
+  }
+}
+
+// --- Property (c): destabilization is justified ----------------------------
+
+/// Local-solver streams: a Destabilize(Y, cause X) must be explainable
+/// from the stream itself — Y == X (self-rescheduling), Y read X earlier
+/// (a DependencyRecord with reader Y), or X contributed to Y by side
+/// effect (a SideContribution onto Y from X, emitted with the
+/// destabilization).
+void checkDestabilizeJustifiedDynamic(const std::vector<TraceEvent> &Events) {
+  std::set<std::pair<uint64_t, uint64_t>> Reads;    // (reader, read)
+  std::set<std::pair<uint64_t, uint64_t>> Contribs; // (target, from)
+  for (const TraceEvent &E : Events) {
+    switch (E.Kind) {
+    case TraceEventKind::DependencyRecord:
+      Reads.insert({E.Unknown, E.Aux});
+      break;
+    case TraceEventKind::SideContribution:
+      Contribs.insert({E.Unknown, E.Aux});
+      break;
+    case TraceEventKind::Destabilize:
+      EXPECT_TRUE(E.Unknown == E.Aux || Reads.count({E.Unknown, E.Aux}) ||
+                  Contribs.count({E.Unknown, E.Aux}))
+          << "destabilize of " << E.Unknown << " by " << E.Aux
+          << " at seq " << E.Seq << " has no recorded justification";
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+/// Dense-solver streams destabilize along the static influence relation.
+void checkDestabilizeJustifiedStatic(const std::vector<TraceEvent> &Events,
+                                     const DenseSystem<Interval> &S) {
+  for (const TraceEvent &E : Events) {
+    if (E.Kind != TraceEventKind::Destabilize || E.Unknown == E.Aux)
+      continue;
+    const std::vector<Var> &Infl = S.influenced(static_cast<Var>(E.Aux));
+    EXPECT_TRUE(std::find(Infl.begin(), Infl.end(),
+                          static_cast<Var>(E.Unknown)) != Infl.end())
+        << "destabilize of " << E.Unknown << " by " << E.Aux
+        << " outside the influence relation, seq " << E.Seq;
+  }
+}
+
+using IntSys = LocalSystem<int, Interval>;
+
+IntSys localView(const DenseSystem<Interval> &Dense) {
+  return IntSys([&Dense](int X) -> IntSys::Rhs {
+    return [&Dense, X](const IntSys::Get &Get) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+TEST_P(TraceSeeds, DestabilizationIsJustified) {
+  DenseSystem<Interval> S = randomMonotoneSystem(20, 3, 80, GetParam());
+  for (int Which = 0; Which < 2; ++Which) {
+    std::vector<TraceEvent> Events = recordRun([&](const SolverOptions &O) {
+      if (Which == 0)
+        ASSERT_TRUE(solveSW(S, WarrowCombine{}, O).Stats.Converged);
+      else
+        ASSERT_TRUE(solveW(S, WarrowCombine{}, O).Stats.Converged);
+    });
+    checkDestabilizeJustifiedStatic(Events, S);
+  }
+
+  IntSys Local = localView(S);
+  std::vector<TraceEvent> SlrEvents = recordRun([&](const SolverOptions &O) {
+    ASSERT_TRUE(solveSLR(Local, 0, WarrowCombine{}, O).Stats.Converged);
+  });
+  checkDestabilizeJustifiedDynamic(SlrEvents);
+}
+
+TEST(TraceTest, DestabilizationJustifiedOnWcetSuite) {
+  for (const WcetBenchmark &B : wcetSuite()) {
+    std::vector<TraceEvent> Events = recordWcetRun(B);
+    checkDestabilizeJustifiedDynamic(Events);
+  }
+}
+
+// --- Serialization, aggregation, and the Chrome exporter -------------------
+
+TEST(TraceTest, SerializationRoundTripsRealStream) {
+  DenseSystem<Interval> S = randomMonotoneSystem(16, 3, 60, 42);
+  std::vector<TraceEvent> Events = recordRun([&](const SolverOptions &O) {
+    ASSERT_TRUE(solveSW(S, WarrowCombine{}, O).Stats.Converged);
+  });
+  ASSERT_FALSE(Events.empty());
+  std::string Text = serializeEvents(Events);
+  std::optional<std::vector<TraceEvent>> Parsed = parseEvents(Text);
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(*Parsed, Events);
+  // Aggregation is a pure function of the stream: identical before and
+  // after the round trip.
+  EXPECT_EQ(aggregateTrace(*Parsed), aggregateTrace(Events));
+}
+
+TEST(TraceTest, ParseRejectsMalformedStreams) {
+  EXPECT_FALSE(parseEvents("not an event\n").has_value());
+  EXPECT_FALSE(parseEvents("0 0 0 bogus - 1 0 000\n").has_value());
+  EXPECT_TRUE(parseEvents("").has_value()); // Empty stream is valid.
+}
+
+TEST(TraceTest, ChromeTraceOfWcetBenchmarkValidates) {
+  const WcetBenchmark *B = !wcetSuite().empty() ? &wcetSuite().front()
+                                                : nullptr;
+  ASSERT_NE(B, nullptr);
+  std::vector<TraceEvent> Events =
+      recordWcetRun(*B, /*Localized=*/false, /*Timestamps=*/true);
+  ASSERT_FALSE(Events.empty());
+  std::string Json = chromeTraceJson(Events, [](uint64_t Id) {
+    return "unknown#" + std::to_string(Id);
+  });
+  EXPECT_TRUE(validateJsonSyntax(Json)) << "exporter emitted invalid JSON";
+  // The aggregator consumes the same stream the exporter renders, and
+  // the serialized form round-trips back to it: one pipeline, one truth.
+  std::optional<std::vector<TraceEvent>> Parsed =
+      parseEvents(serializeEvents(Events));
+  ASSERT_TRUE(Parsed.has_value());
+  TraceMetrics Metrics = aggregateTrace(*Parsed);
+  EXPECT_EQ(Metrics, aggregateTrace(Events));
+  EXPECT_EQ(Metrics.TotalEvents, Events.size());
+  EXPECT_GT(Metrics.TotalEvals, 0u);
+  EXPECT_GT(Metrics.TotalUpdates, 0u);
+  // Names flow through the exporter output.
+  EXPECT_NE(Json.find("unknown#0"), std::string::npos);
+}
+
+TEST(TraceTest, ConvergenceReportAndHottestUnknowns) {
+  DenseSystem<Interval> S = ringSystem(12, 30);
+  std::vector<TraceEvent> Events = recordRun([&](const SolverOptions &O) {
+    ASSERT_TRUE(solveSW(S, WarrowCombine{}, O).Stats.Converged);
+  });
+  TraceMetrics Metrics = aggregateTrace(Events);
+  std::vector<std::pair<uint64_t, UnknownMetrics>> Hot =
+      hottestUnknowns(Metrics, 5);
+  ASSERT_LE(Hot.size(), 5u);
+  for (size_t I = 1; I < Hot.size(); ++I)
+    EXPECT_GE(Hot[I - 1].second.Evals, Hot[I].second.Evals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSeeds,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull));
+
+} // namespace

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py — the CI gate for bench regressions.
+
+The gate's failure modes are what matter: a comparison that silently
+passes on a regressed report, a dropped record, or a missing field is a
+broken CI gate. Each test drives the real CLI through a subprocess so
+argument parsing and exit codes are covered too.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_compare.py")
+
+
+def run_compare(baseline, new, *extra_args):
+    """Writes both record lists to temp files and runs bench_compare.py."""
+    with tempfile.TemporaryDirectory() as tmp:
+        bpath = os.path.join(tmp, "baseline.json")
+        npath = os.path.join(tmp, "new.json")
+        with open(bpath, "w") as fp:
+            json.dump(baseline, fp)
+        with open(npath, "w") as fp:
+            json.dump(new, fp)
+        return subprocess.run(
+            [sys.executable, SCRIPT, bpath, npath, *extra_args],
+            capture_output=True,
+            text=True,
+        )
+
+
+def record(name, **fields):
+    return {"name": name, **fields}
+
+
+class RhsEvalsGate(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        recs = [record("a", rhs_evals=100), record("b", rhs_evals=7)]
+        r = run_compare(recs, recs)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("OK", r.stdout)
+
+    def test_regression_fails(self):
+        base = [record("a", rhs_evals=100)]
+        new = [record("a", rhs_evals=101)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("REGRESSION", r.stderr)
+
+    def test_improvement_passes_and_is_reported(self):
+        base = [record("a", rhs_evals=100)]
+        new = [record("a", rhs_evals=60)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("1 improved", r.stdout)
+
+    def test_missing_record_fails(self):
+        base = [record("a", rhs_evals=100), record("b", rhs_evals=7)]
+        new = [record("a", rhs_evals=100)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing from new report", r.stderr)
+
+    def test_missing_field_fails(self):
+        # A record that stops reporting rhs_evals must not read as "no
+        # regression".
+        base = [record("a", rhs_evals=100)]
+        new = [record("a")]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("rhs_evals missing", r.stderr)
+
+    def test_new_only_records_and_fields_are_safe(self):
+        # Reports may grow fields (e.g. "traced") and records without
+        # invalidating old baselines.
+        base = [record("a", rhs_evals=100)]
+        new = [record("a", rhs_evals=100, traced=False), record("b", rhs_evals=5)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("1 new-only", r.stdout)
+
+    def test_meta_records_are_skipped(self):
+        # Metadata records never gate, even when they carry counters.
+        base = [{"meta": True, "rhs_evals": 1}, record("a", rhs_evals=3)]
+        new = [{"meta": True, "rhs_evals": 999}, record("a", rhs_evals=3)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_workload_solver_keying(self):
+        # Without "name", records are keyed by (workload, solver).
+        base = [{"workload": "w", "solver": "slr", "rhs_evals": 9}]
+        new = [{"workload": "w", "solver": "slr", "rhs_evals": 10}]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("w/slr", r.stderr)
+
+    def test_duplicate_key_is_an_error(self):
+        recs = [record("a", rhs_evals=1), record("a", rhs_evals=2)]
+        r = run_compare(recs, recs)
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("duplicate record key", r.stderr)
+
+
+class ExactFieldGate(unittest.TestCase):
+    def test_exact_field_gates_both_directions(self):
+        base = [record("a", rhs_evals=5, race_alarms=3)]
+        for bad in (2, 4):
+            new = [record("a", rhs_evals=5, race_alarms=bad)]
+            r = run_compare(base, new, "--exact-field", "race_alarms")
+            self.assertEqual(r.returncode, 1, f"race_alarms={bad} passed")
+            self.assertIn("MISMATCH", r.stderr)
+        good = [record("a", rhs_evals=5, race_alarms=3)]
+        r = run_compare(base, good, "--exact-field", "race_alarms")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_exact_field_missing_from_new_fails(self):
+        base = [record("a", race_alarms=3)]
+        new = [record("a")]
+        r = run_compare(base, new, "--exact-field", "race_alarms")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("race_alarms missing", r.stderr)
+
+    def test_exact_field_absent_from_baseline_is_unchecked(self):
+        # Old baselines predating a field must keep passing.
+        base = [record("a", rhs_evals=5)]
+        new = [record("a", rhs_evals=5, race_alarms=17)]
+        r = run_compare(base, new, "--exact-field", "race_alarms")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+
+class WallTimeWarnings(unittest.TestCase):
+    def test_wall_blowup_warns_but_does_not_gate(self):
+        base = [record("a", rhs_evals=5, wall_ns=100.0)]
+        new = [record("a", rhs_evals=5, wall_ns=1000.0)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("warning:", r.stdout)
+        self.assertIn("non-gating", r.stdout)
+
+    def test_wall_warn_threshold_is_respected(self):
+        base = [record("a", rhs_evals=5, wall_ns=100.0)]
+        new = [record("a", rhs_evals=5, wall_ns=1000.0)]
+        r = run_compare(base, new, "--wall-warn", "20")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertNotIn("warning:", r.stdout)
+
+
+class MalformedInput(unittest.TestCase):
+    def test_non_array_report_is_an_error(self):
+        r = run_compare({"not": "an array"}, [])
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("expected a JSON array", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

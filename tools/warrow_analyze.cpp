@@ -17,6 +17,10 @@
 ///     --races                           lockset data-race detection
 ///     --dump-cfg                        print CFG edges instead of analyzing
 ///     --dump-dot                        print CFGs as Graphviz dot
+///     --trace                           record solver events; print the
+///                                       convergence report after the run
+///     --trace-out=FILE                  additionally write a Chrome
+///                                       trace_event JSON to FILE
 ///     --quiet                           only print the summary line
 ///
 //===----------------------------------------------------------------------===//
@@ -26,6 +30,10 @@
 #include "analysis/races.h"
 #include "lang/parser.h"
 #include "lang/pretty.h"
+#include "trace/chrome_export.h"
+#include "trace/metrics.h"
+#include "trace/recorder.h"
+#include "trace/report.h"
 
 #include <cstdio>
 #include <cstring>
@@ -41,9 +49,28 @@ namespace {
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--solver=warrow|widen|two-phase] [--context] "
-               "[--thresholds] [--check] [--races] [--dump-cfg] [--quiet] "
-               "file.mc\n",
+               "[--thresholds] [--check] [--races] [--dump-cfg] "
+               "[--trace] [--trace-out=FILE] [--quiet] file.mc\n",
                Argv0);
+}
+
+/// Emits the convergence report (and optionally the Chrome trace) for a
+/// finished traced run. \p NameOf maps trace unknown ids to names.
+int emitTrace(const BufferedTraceRecorder &Recorder, const char *TraceOut,
+              const UnknownNameFn &NameOf) {
+  std::vector<TraceEvent> Events = Recorder.events();
+  TraceMetrics Metrics = aggregateTrace(Events);
+  std::printf("%s", convergenceReport(Metrics, 10, NameOf).c_str());
+  if (!TraceOut)
+    return 0;
+  std::ofstream Out(TraceOut);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", TraceOut);
+    return 2;
+  }
+  Out << chromeTraceJson(Events, NameOf);
+  std::printf("trace: %zu events -> %s\n", Events.size(), TraceOut);
+  return 0;
 }
 
 /// Escapes a label for dot output.
@@ -102,6 +129,8 @@ int main(int Argc, char **Argv) {
   bool Quiet = false;
   bool Check = false;
   bool Races = false;
+  bool Trace = false;
+  const char *TraceOut = nullptr;
   const char *Path = nullptr;
 
   for (int I = 1; I < Argc; ++I) {
@@ -124,6 +153,11 @@ int main(int Argc, char **Argv) {
       DumpCfg = true;
     } else if (std::strcmp(Arg, "--dump-dot") == 0) {
       DumpDot = true;
+    } else if (std::strcmp(Arg, "--trace") == 0) {
+      Trace = true;
+    } else if (std::strncmp(Arg, "--trace-out=", 12) == 0) {
+      Trace = true;
+      TraceOut = Arg + 12;
     } else if (std::strcmp(Arg, "--quiet") == 0) {
       Quiet = true;
     } else if (Arg[0] == '-') {
@@ -163,6 +197,10 @@ int main(int Argc, char **Argv) {
   if (DumpCfg)
     return dumpCfg(*P, Cfgs);
 
+  BufferedTraceRecorder Recorder;
+  if (Trace)
+    Options.Solver.Trace = &Recorder;
+
   if (Races) {
     RaceAnalysis Analysis(*P, Cfgs, Options);
     RaceAnalysisResult Result = Analysis.run(Choice);
@@ -190,6 +228,15 @@ int main(int Argc, char **Argv) {
                 Path, Result.Races.size(), P->Globals.size(),
                 static_cast<unsigned long long>(Result.NumUnknowns),
                 Result.Stats.str().c_str(), Result.Seconds * 1e3);
+    if (Trace) {
+      const std::vector<RaceVar> &Order = Result.Solution.DiscoveryOrder;
+      int Ret = emitTrace(Recorder, TraceOut, [&](uint64_t Id) {
+        return Id < Order.size() ? Order[Id].str(*P)
+                                 : "u" + std::to_string(Id);
+      });
+      if (Ret != 0)
+        return Ret;
+    }
     return Result.Races.empty() ? 0 : 3;
   }
 
@@ -245,5 +292,12 @@ int main(int Argc, char **Argv) {
   std::printf("%s: %llu unknowns, %s, %.1f ms\n", Path,
               static_cast<unsigned long long>(Result.NumUnknowns),
               Result.Stats.str().c_str(), Result.Seconds * 1e3);
+  if (Trace) {
+    const std::vector<AnalysisVar> &Order = Result.Solution.DiscoveryOrder;
+    return emitTrace(Recorder, TraceOut, [&](uint64_t Id) {
+      return Id < Order.size() ? Order[Id].str(*P)
+                               : "u" + std::to_string(Id);
+    });
+  }
   return 0;
 }
