@@ -16,12 +16,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/gbench_json.h"
+#include "engine/solve.h"
 #include "lattice/combine.h"
-#include "solvers/rr.h"
-#include "solvers/srr.h"
 #include "solvers/sw.h"
+#include "solvers/srr.h"
 #include "solvers/two_phase.h"
-#include "solvers/wl.h"
 #include "workloads/eq_generators.h"
 
 #include <benchmark/benchmark.h>
@@ -64,27 +63,16 @@ void BM_RingSolvers(benchmark::State &State) {
   // work and report convergence as a counter instead of hanging.
   SolverOptions Options;
   Options.MaxRhsEvals = 300'000;
+  // Historical labels; the registry's case-insensitive lookup resolves
+  // them, replacing the hard-coded solver switch.
+  static const char *SolverNames[] = {"RR", "W", "SRR", "SW"};
   for (auto _ : State) {
-    SolveResult<Interval> R;
-    switch (Which) {
-    case 0:
-      R = solveRR(S, WarrowCombine{}, Options);
-      break;
-    case 1:
-      R = solveW(S, WarrowCombine{}, Options);
-      break;
-    case 2:
-      R = solveSRR(S, WarrowCombine{}, Options);
-      break;
-    default:
-      R = solveSW(S, WarrowCombine{}, Options);
-      break;
-    }
+    SolveResult<Interval> R = engine::solveDenseByName(
+        SolverNames[Which], S, WarrowCombine{}, Options);
     benchmark::DoNotOptimize(R.Stats.RhsEvals);
     State.counters["evals"] = static_cast<double>(R.Stats.RhsEvals);
     State.counters["converged"] = R.Stats.Converged ? 1 : 0;
   }
-  static const char *SolverNames[] = {"RR", "W", "SRR", "SW"};
   warrow::bench::setBenchMeta(State, "ring/" + std::to_string(Size),
                               std::string(SolverNames[Which]) + "+warrow");
 }

@@ -8,6 +8,7 @@
 
 #include "analysis/constants.h"
 #include "analysis/transfer.h"
+#include "engine/registry.h"
 #include "lattice/combine.h"
 #include "solvers/slr_plus.h"
 #include "solvers/two_phase_local.h"
@@ -16,6 +17,25 @@
 #include <cassert>
 
 using namespace warrow;
+
+std::optional<SolverChoice>
+warrow::solverChoiceForName(std::string_view Name) {
+  const engine::SolverInfo *Info = engine::findSolver(Name);
+  if (!Info || !Info->hasCap(engine::CapAnalysis))
+    return std::nullopt;
+  switch (Info->Strategy) {
+  case engine::StrategyKind::SlrPlus:
+    return Info->Operator == engine::OperatorKind::Widen
+               ? SolverChoice::WidenOnly
+               : SolverChoice::Warrow;
+  case engine::StrategyKind::TwoPhaseLocal:
+    return SolverChoice::TwoPhase;
+  case engine::StrategyKind::TwoPhaseLocalized:
+    return SolverChoice::TwoPhaseLocalized;
+  default:
+    return std::nullopt;
+  }
+}
 
 std::string AnalysisVar::str(const Program &P) const {
   if (isGlobal())
@@ -328,6 +348,11 @@ AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
   case SolverChoice::TwoPhase:
     Result.Solution = solveTwoPhaseSide(System, root(), Options.Solver,
                                         Options.TwoPhaseNarrowRounds);
+    break;
+  case SolverChoice::TwoPhaseLocalized:
+    Result.Solution = engine::runTwoPhaseSide(
+        System, root(), Options.Solver, Options.TwoPhaseNarrowRounds,
+        /*LocalizedAscending=*/true);
     break;
   }
   Result.Seconds = Clock.seconds();

@@ -30,6 +30,9 @@
 ///    `WidenOnly` SLR+ with plain ▽ (Table 1's baseline),
 ///    `TwoPhase`  ▽-phase then △-sweeps with frozen globals (Figure 7's
 ///                baseline; only sound for context-insensitive mode).
+///    `TwoPhaseLocalized`  the same baseline with a localized-widening
+///                ascending phase — a new strategy×operator combination
+///                made expressible by the engine layering.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,7 +48,9 @@
 #include "support/hash.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -147,8 +152,15 @@ struct AnalysisOptions {
   SolverOptions Solver;
 };
 
-/// Which solver strategy to run.
-enum class SolverChoice { Warrow, WidenOnly, TwoPhase };
+/// Which solver strategy to run. The analysis-capable subset of the
+/// engine's solver registry (engine/registry.h, CapAnalysis entries);
+/// `solverChoiceForName` maps registry names to choices.
+enum class SolverChoice { Warrow, WidenOnly, TwoPhase, TwoPhaseLocalized };
+
+/// Resolves a registry solver name (case-insensitive) to the analysis
+/// backend it selects; null when the name is unknown or the registered
+/// solver is not analysis-capable.
+std::optional<SolverChoice> solverChoiceForName(std::string_view Name);
 
 /// Result of one analysis run.
 struct AnalysisResult {

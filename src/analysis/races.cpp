@@ -737,6 +737,11 @@ RaceAnalysisResult RaceAnalysis::run(SolverChoice Choice) {
     Result.Solution = solveTwoPhaseSide(System, root(), Options.Solver,
                                         Options.TwoPhaseNarrowRounds);
     break;
+  case SolverChoice::TwoPhaseLocalized:
+    Result.Solution = engine::runTwoPhaseSide(
+        System, root(), Options.Solver, Options.TwoPhaseNarrowRounds,
+        /*LocalizedAscending=*/true);
+    break;
   }
   Result.Seconds = Clock.seconds();
   Result.Stats = Result.Solution.Stats;

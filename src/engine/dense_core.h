@@ -1,0 +1,100 @@
+//===- engine/dense_core.h - Core loop state for dense solvers --*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's core layer for *dense* systems: owns the assignment σ,
+/// the evaluation context (the `Get` handed to right-hand sides, with
+/// dependency-event emission), the budget, and the verified
+/// evaluate-combine-apply step shared by every dense iteration strategy.
+///
+/// A strategy decides *which* unknown to touch next and what to do on a
+/// change (destabilize, re-enqueue); the core performs the touch:
+///
+///     step(x, ⊕):  new <- σ[x] ⊕ f_x(σ);
+///                  if (σ[x] != new) { σ[x] <- new; return Changed; }
+///
+/// instrumented exactly as the paper's cost model counts it (one RhsEval
+/// per step, one Update per change) and exactly as the trace vocabulary
+/// describes it (rhsBegin/rhsEnd around the evaluation, one update event
+/// per change, dependency events from inside `Get`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_DENSE_CORE_H
+#define WARROW_ENGINE_DENSE_CORE_H
+
+#include "engine/instr.h"
+#include "eqsys/dense_system.h"
+#include "solvers/stats.h"
+
+namespace warrow::engine {
+
+/// Outcome of one core step.
+enum class StepOutcome : uint8_t { Unchanged, Changed };
+
+/// Shared state and the instrumented update step for one dense solver
+/// run. Strategies drive it; it never decides iteration order.
+template <typename D> class DenseCore {
+public:
+  DenseCore(const DenseSystem<D> &System, const SolverOptions &Options)
+      : System(System), Options(Options), Instr(Result.Stats, Options) {
+    Result.Sigma = System.initialAssignment();
+    Result.Stats.VarsSeen = System.size();
+    Get = [this](Var Y) {
+      Instr.trace().dependency(Current, Y);
+      return Result.Sigma[Y];
+    };
+  }
+
+  Instrumentation &instr() { return Instr; }
+  const TraceEmitter &trace() const { return Instr.trace(); }
+  size_t size() const { return System.size(); }
+
+  /// True when the evaluation budget is exhausted; marks the run as not
+  /// converged. Strategies check this *before* extracting the next
+  /// unknown, so a budget abort emits no dequeue event (the historical
+  /// contract the trace tests pin).
+  bool outOfBudget() {
+    if (!Instr.budgetExhausted())
+      return false;
+    Result.Stats.Converged = false;
+    return true;
+  }
+
+  /// One instrumented evaluate-combine-apply step on \p X.
+  template <typename C> StepOutcome step(Var X, C &Combine) {
+    Instr.chargeEval();
+    if (Instr.tracing())
+      Current = X;
+    Instr.trace().rhsBegin(X);
+    D Rhs = System.eval(X, Get);
+    Instr.trace().rhsEnd(X);
+    D New = Combine(X, Result.Sigma[X], Rhs);
+    if (Result.Sigma[X] == New)
+      return StepOutcome::Unchanged;
+    Instr.trace().update(X, Result.Sigma[X], Rhs, New);
+    Result.Sigma[X] = New;
+    Instr.chargeUpdate();
+    if (Options.RecordTrace)
+      Result.Trace.push_back({X, Result.Sigma[X]});
+    return StepOutcome::Changed;
+  }
+
+  /// Finishes the run and releases the result.
+  SolveResult<D> take() { return std::move(Result); }
+
+private:
+  const DenseSystem<D> &System;
+  const SolverOptions &Options;
+  SolveResult<D> Result;
+  Instrumentation Instr; // Binds Result.Stats; must follow Result.
+  Var Current = 0;       // Unknown under evaluation, for dependency events.
+  typename DenseSystem<D>::GetFn Get;
+};
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_DENSE_CORE_H

@@ -1,0 +1,151 @@
+//===- engine/instr.h - Solver instrumentation layer ------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's instrumentation layer: the single place where SolverStats
+/// accounting, evaluation budgets, and TraceSink emission live. Iteration
+/// strategies (engine/strategies/) never touch a raw `TraceSink` or spell
+/// an `if (Options.Trace)` guard around an event — they call the helpers
+/// here, which are no-ops (one predictable branch) when tracing is off.
+/// A hygiene test greps the strategy sources for raw sink usage.
+///
+/// Two classes:
+///  - `TraceEmitter`: a null-guarded facade over the optional sink, one
+///    method per event kind. Usable on its own where stats are kept in
+///    thread-local counters (the parallel strategy).
+///  - `Instrumentation`: stats counters + budget checks + a TraceEmitter,
+///    bound to one SolverStats instance for the duration of a run.
+///
+/// QueueMax convention (see stats.h): strategies report the high-water
+/// mark of their *pending-work set* through `noteQueueSize` /
+/// `noteSweepSet`; purely recursive strategies report nothing (0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_INSTR_H
+#define WARROW_ENGINE_INSTR_H
+
+#include "solvers/stats.h"
+#include "trace/trace.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace warrow::engine {
+
+/// Null-guarded event emission: each method forwards to the sink when one
+/// is attached and vanishes otherwise. Methods mirror the TraceEvent
+/// factories one-for-one; strategies never name TraceEvent directly.
+class TraceEmitter {
+public:
+  explicit TraceEmitter(TraceSink *Sink) : Sink(Sink) {}
+
+  /// True when events are being recorded (for strategies that must skip
+  /// trace-only bookkeeping like slot maps or discovery orders).
+  explicit operator bool() const { return Sink != nullptr; }
+
+  void rhsBegin(uint64_t X) const {
+    if (Sink)
+      Sink->event(TraceEvent::rhsBegin(X));
+  }
+  void rhsEnd(uint64_t X, bool FromCache = false) const {
+    if (Sink)
+      Sink->event(TraceEvent::rhsEnd(X, FromCache));
+  }
+  template <typename D>
+  void update(uint64_t X, const D &Old, const D &Rhs, const D &New) const {
+    if (Sink)
+      Sink->event(TraceEvent::update(X, Old, Rhs, New));
+  }
+  void destabilize(uint64_t X, uint64_t Cause) const {
+    if (Sink)
+      Sink->event(TraceEvent::destabilize(X, Cause));
+  }
+  void enqueue(uint64_t X) const {
+    if (Sink)
+      Sink->event(TraceEvent::enqueue(X));
+  }
+  /// Emits `enqueue` only when \p Fresh — pairs with `IndexedHeap::push`
+  /// (and friends) whose return value says whether the push inserted.
+  void enqueueIf(bool Fresh, uint64_t X) const {
+    if (Fresh && Sink)
+      Sink->event(TraceEvent::enqueue(X));
+  }
+  void dequeue(uint64_t X) const {
+    if (Sink)
+      Sink->event(TraceEvent::dequeue(X));
+  }
+  void dependency(uint64_t Reader, uint64_t Read) const {
+    if (Sink)
+      Sink->event(TraceEvent::dependency(Reader, Read));
+  }
+  void wideningPoint(uint64_t X) const {
+    if (Sink)
+      Sink->event(TraceEvent::wideningPoint(X));
+  }
+  void sideContribution(uint64_t Target, uint64_t From) const {
+    if (Sink)
+      Sink->event(TraceEvent::sideContribution(Target, From));
+  }
+  void phaseChange(uint64_t Phase, uint64_t Round = 0) const {
+    if (Sink)
+      Sink->event(TraceEvent::phaseChange(Phase, Round));
+  }
+
+private:
+  TraceSink *Sink;
+};
+
+/// Stats accounting + budget checks + trace emission for one solver run.
+/// Strategies own a SolverStats (usually inside their result object) and
+/// bind an Instrumentation to it; every counter bump goes through here so
+/// the counters' meaning is defined once (stats.h) and audited once
+/// (stats_audit_test.cpp).
+class Instrumentation {
+public:
+  Instrumentation(SolverStats &Stats, const SolverOptions &Options)
+      : Stats(Stats), MaxRhsEvals(Options.MaxRhsEvals), Trace(Options.Trace) {}
+
+  const TraceEmitter &trace() const { return Trace; }
+  bool tracing() const { return static_cast<bool>(Trace); }
+
+  /// True when the evaluation budget is exhausted (strategies without an
+  /// RHS cache: every evaluation is a real evaluation).
+  bool budgetExhausted() const { return Stats.RhsEvals >= MaxRhsEvals; }
+
+  /// Budget check for caching strategies: cache hits count against the
+  /// budget too, so the hit path cannot loop past MaxRhsEvals for free on
+  /// a divergent system. On convergent runs hits replace evals
+  /// one-for-one, so the sum equals the uncached eval count and
+  /// `Converged` is bit-identical either way.
+  bool budgetExhaustedWithCache() const {
+    return Stats.RhsEvals + Stats.RhsCacheHits >= MaxRhsEvals;
+  }
+
+  void chargeEval() { ++Stats.RhsEvals; }
+  void chargeUpdate() { ++Stats.Updates; }
+  void chargeCacheHit() { ++Stats.RhsCacheHits; }
+  void chargeCacheMiss() { ++Stats.RhsCacheMisses; }
+
+  /// Records the current size of a queue-driven strategy's pending set
+  /// (worklist / priority queue); QueueMax keeps the high-water mark.
+  void noteQueueSize(size_t N) {
+    if (N > Stats.QueueMax)
+      Stats.QueueMax = N;
+  }
+  /// Same convention for sweep-driven strategies, whose pending set is
+  /// the swept unknown set itself (all of it is pending every round).
+  void noteSweepSet(size_t N) { noteQueueSize(N); }
+
+private:
+  SolverStats &Stats;
+  uint64_t MaxRhsEvals;
+  TraceEmitter Trace;
+};
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_INSTR_H

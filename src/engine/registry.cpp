@@ -1,0 +1,130 @@
+//===- engine/registry.cpp - Runtime solver registry ----------------------==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/registry.h"
+
+namespace warrow::engine {
+
+const std::vector<SolverInfo> &solverRegistry() {
+  static const std::vector<SolverInfo> Registry = {
+      // --- Dense generic solvers (operator supplied by the caller) ------
+      {"rr", "round-robin sweeps (paper Fig. 1)", StrategyKind::RoundRobin,
+       OperatorKind::Parametric, CapDense},
+      {"srr", "structured round-robin (paper Fig. 3, Theorem 1)",
+       StrategyKind::StructuredRoundRobin, OperatorKind::Parametric,
+       CapDense},
+      {"w", "worklist, LIFO extraction (paper Fig. 2)",
+       StrategyKind::WorklistLifo, OperatorKind::Parametric, CapDense},
+      {"w-fifo", "worklist, FIFO extraction (paper Fig. 2)",
+       StrategyKind::WorklistFifo, OperatorKind::Parametric, CapDense},
+      {"sw", "structured worklist / priority queue (paper Fig. 4)",
+       StrategyKind::PriorityWorklist, OperatorKind::Parametric, CapDense},
+      {"sw-ordered", "structured worklist under an explicit priority order",
+       StrategyKind::OrderedPriorityWorklist, OperatorKind::Parametric,
+       CapDense},
+      {"sw-parallel", "structured worklist, SCC-parallel over the "
+                      "condensation",
+       StrategyKind::SccParallel, OperatorKind::Parametric,
+       CapDense | CapParallel},
+      // --- Dense two-phase drivers (fixed ▽-then-△ operator pair) -------
+      {"two-phase-dense", "classical widen-then-narrow over SW",
+       StrategyKind::TwoPhaseSW, OperatorKind::WidenNarrowPhases,
+       CapDense | CapFixedOperator},
+      {"two-phase-rr", "widen-then-narrow over round-robin sweeps",
+       StrategyKind::TwoPhaseRR, OperatorKind::WidenNarrowPhases,
+       CapDense | CapFixedOperator | CapNew},
+      // --- Local / side-effecting solvers -------------------------------
+      {"lrr", "local round-robin over the growing known set (Sec. 5)",
+       StrategyKind::LocalRoundRobin, OperatorKind::Parametric, CapLocal},
+      {"rld", "recursive local descent, the repaired baseline (Fig. 5)",
+       StrategyKind::RecursiveDescent, OperatorKind::Parametric, CapLocal},
+      {"slr", "structured local recursion (paper Fig. 6, Theorem 3)",
+       StrategyKind::Slr, OperatorKind::Parametric, CapLocal},
+      {"slr-plus", "SLR over side-effecting constraints (paper Sec. 6)",
+       StrategyKind::SlrPlus, OperatorKind::Parametric, CapSideEffecting},
+      // --- Analysis backends (operator baked in, warrow-analyze names) ---
+      {"warrow", "SLR+ with the combined ⊟ operator (degrading ⊟ₖ; "
+                 "threshold-aware)",
+       StrategyKind::SlrPlus, OperatorKind::Warrow,
+       CapSideEffecting | CapFixedOperator | CapAnalysis},
+      {"widen", "SLR+ with plain widening ▽ only",
+       StrategyKind::SlrPlus, OperatorKind::Widen,
+       CapSideEffecting | CapFixedOperator | CapAnalysis},
+      {"two-phase", "classical widen-then-narrow over ascending SLR+ "
+                    "(frozen globals)",
+       StrategyKind::TwoPhaseLocal, OperatorKind::WidenNarrowPhases,
+       CapLocal | CapSideEffecting | CapFixedOperator | CapAnalysis},
+      {"two-phase-localized", "widen-then-narrow with localized phase-1 "
+                              "widening points",
+       StrategyKind::TwoPhaseLocalized, OperatorKind::WidenNarrowPhases,
+       CapLocal | CapSideEffecting | CapFixedOperator | CapAnalysis |
+           CapNew},
+  };
+  return Registry;
+}
+
+static bool equalsLower(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    char CA = A[I], CB = B[I];
+    if (CA >= 'A' && CA <= 'Z')
+      CA = static_cast<char>(CA - 'A' + 'a');
+    if (CB >= 'A' && CB <= 'Z')
+      CB = static_cast<char>(CB - 'A' + 'a');
+    if (CA != CB)
+      return false;
+  }
+  return true;
+}
+
+const SolverInfo *findSolver(std::string_view Name) {
+  for (const SolverInfo &Info : solverRegistry())
+    if (equalsLower(Info.Name, Name))
+      return &Info;
+  return nullptr;
+}
+
+std::vector<std::string> solverNames() {
+  std::vector<std::string> Names;
+  Names.reserve(solverRegistry().size());
+  for (const SolverInfo &Info : solverRegistry())
+    Names.emplace_back(Info.Name);
+  return Names;
+}
+
+std::string solverListing() {
+  std::string Out;
+  for (const SolverInfo &Info : solverRegistry()) {
+    Out += Info.Name;
+    for (size_t I = std::string_view(Info.Name).size(); I < 22; ++I)
+      Out += ' ';
+    Out += Info.Description;
+    std::string Tags;
+    auto Tag = [&](SolverCaps Cap, const char *Text) {
+      if (Info.hasCap(Cap)) {
+        if (!Tags.empty())
+          Tags += ',';
+        Tags += Text;
+      }
+    };
+    Tag(CapDense, "dense");
+    Tag(CapLocal, "local");
+    Tag(CapSideEffecting, "side-effecting");
+    Tag(CapParallel, "parallel");
+    Tag(CapAnalysis, "analysis");
+    Tag(CapNew, "new");
+    if (!Tags.empty()) {
+      Out += "  [";
+      Out += Tags;
+      Out += ']';
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace warrow::engine

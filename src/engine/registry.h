@@ -1,0 +1,100 @@
+//===- engine/registry.h - Runtime solver registry --------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime solver registry: one named entry per solver instantiation
+/// the project ships — iteration strategy × combine-operator policy plus
+/// capability flags. The registry is the single source of truth for
+/// `warrow-analyze --solver=NAME` / `--list-solvers`, for the bench
+/// binaries' string lookup, and for the cross-product matrix test (which
+/// asserts that every entry is exercised — no silently unregistered
+/// solver).
+///
+/// Lookup is case-insensitive so historical bench labels ("RR", "SW")
+/// and CLI spellings ("rr", "sw") resolve to the same entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_REGISTRY_H
+#define WARROW_ENGINE_REGISTRY_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warrow::engine {
+
+/// Iteration-strategy policies of the engine (layer 2). Dense strategies
+/// iterate a DenseSystem; local strategies solve a LocalSystem or
+/// SideEffectingSystem on demand from one interesting unknown.
+enum class StrategyKind : uint8_t {
+  RoundRobin,              // Fig. 1 sweep.
+  StructuredRoundRobin,    // Fig. 3 cursor.
+  WorklistLifo,            // Fig. 2, LIFO extraction.
+  WorklistFifo,            // Fig. 2, FIFO extraction.
+  PriorityWorklist,        // Fig. 4, identity priority.
+  OrderedPriorityWorklist, // Fig. 4 under an explicit rank.
+  SccParallel,             // Fig. 4 over the condensation, thread pool.
+  TwoPhaseSW,              // ▽-then-△ driver over SW.
+  TwoPhaseRR,              // ▽-then-△ driver over RR (engine-new).
+  LocalRoundRobin,         // Section 5 sketch (growing known set).
+  RecursiveDescent,        // Fig. 5 (RLD baseline).
+  Slr,                     // Fig. 6.
+  SlrPlus,                 // Section 6 (side-effecting).
+  TwoPhaseLocal,           // ▽-then-△ over ascending SLR+.
+  TwoPhaseLocalized,       // Same with localized phase-1 ▽ (engine-new).
+};
+
+/// Combine-operator policy baked into a registered instantiation.
+/// `Parametric` entries accept any ⊕ at the call site (the paper's
+/// genericity); the others hard-wire the operator the analysis driver
+/// uses under that name.
+enum class OperatorKind : uint8_t {
+  Parametric,        // Caller supplies ⊕ (⊔, ▽, ⊟, ⊟ₖ, ...).
+  Widen,             // ⊕ = ▽ throughout.
+  Warrow,            // ⊕ = ⊟ (degrading/threshold variants per options).
+  WidenNarrowPhases, // Fixed ▽-phase then △-phase driver.
+};
+
+/// Capability flags of a registered solver.
+enum SolverCaps : uint32_t {
+  CapDense = 1u << 0,         // Solves DenseSystem.
+  CapLocal = 1u << 1,         // Solves LocalSystem (demand-driven).
+  CapSideEffecting = 1u << 2, // Solves SideEffectingSystem.
+  CapFixedOperator = 1u << 3, // Operator is hard-wired (not Parametric).
+  CapParallel = 1u << 4,      // Multi-threaded.
+  CapAnalysis = 1u << 5,      // Selectable as warrow-analyze backend.
+  CapNew = 1u << 6,           // Combination new with the engine layering.
+};
+
+/// One registered solver instantiation.
+struct SolverInfo {
+  const char *Name;        // Canonical (lowercase) lookup name.
+  const char *Description; // One line for --list-solvers.
+  StrategyKind Strategy;
+  OperatorKind Operator;
+  uint32_t Caps;
+
+  bool hasCap(SolverCaps Cap) const { return (Caps & Cap) != 0; }
+};
+
+/// All registered solvers, in listing order.
+const std::vector<SolverInfo> &solverRegistry();
+
+/// Case-insensitive lookup; null when \p Name is not registered.
+const SolverInfo *findSolver(std::string_view Name);
+
+/// Canonical names of all registered solvers, in listing order.
+std::vector<std::string> solverNames();
+
+/// The --list-solvers text: one `name  description [tags]` line per
+/// entry, shared by the CLI and asserted against in CI.
+std::string solverListing();
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_REGISTRY_H

@@ -1,0 +1,206 @@
+//===- engine/solve.h - Strategy dispatch for the engine --------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed and by-name dispatch over the engine's iteration strategies.
+/// `solveDense` / `solveLocal` / `solveSide` switch a StrategyKind to the
+/// corresponding `run*` strategy; the `*ByName` wrappers resolve a
+/// registry name first (callers validate names with `findSolver` — the
+/// by-name entry points abort on unknown or capability-mismatched names).
+///
+/// Fixed-operator strategies (the two-phase drivers) ignore the \p Combine
+/// argument: their ▽-then-△ operator pair is the strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_SOLVE_H
+#define WARROW_ENGINE_SOLVE_H
+
+#include "engine/registry.h"
+#include "engine/strategies/local_round_robin.h"
+#include "engine/strategies/priority_worklist.h"
+#include "engine/strategies/recursive_descent.h"
+#include "engine/strategies/round_robin.h"
+#include "engine/strategies/scc_parallel.h"
+#include "engine/strategies/slr.h"
+#include "engine/strategies/structured_round_robin.h"
+#include "engine/strategies/two_phase.h"
+#include "engine/strategies/two_phase_local.h"
+#include "engine/strategies/worklist.h"
+#include "graph/dependency_graph.h"
+#include "graph/order.h"
+#include "graph/scc.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace warrow::engine {
+
+/// Strategy-specific knobs for dense dispatch; defaults reproduce the
+/// historical entry points.
+struct DenseStrategyArgs {
+  /// Explicit priority order for OrderedPriorityWorklist; when null, a
+  /// condensation-consistent topological rank is computed on the fly.
+  const std::vector<uint32_t> *Rank = nullptr;
+  /// Thread configuration for SccParallel.
+  ParallelOptions Parallel;
+  /// Descending-round bound for the two-phase drivers.
+  unsigned NarrowRounds = 1;
+};
+
+/// Strategy-specific knobs for local / side-effecting dispatch.
+struct LocalStrategyArgs {
+  /// Descending-sweep bound for the two-phase baselines.
+  unsigned MaxNarrowRounds = 8;
+  /// Localized widening-point combine for SlrPlus (ignored elsewhere;
+  /// the TwoPhaseLocalized strategy implies it for its ascending phase).
+  bool LocalizedCombine = false;
+};
+
+/// Runs dense strategy \p Strategy on \p System.
+template <typename D, typename C>
+SolveResult<D> solveDense(StrategyKind Strategy, const DenseSystem<D> &System,
+                          C &&Combine, const SolverOptions &Options = {},
+                          const DenseStrategyArgs &Args = {}) {
+  switch (Strategy) {
+  case StrategyKind::RoundRobin:
+    return runRoundRobin(System, std::forward<C>(Combine), Options);
+  case StrategyKind::StructuredRoundRobin:
+    return runStructuredRoundRobin(System, std::forward<C>(Combine), Options);
+  case StrategyKind::WorklistLifo:
+    return runWorklist(System, std::forward<C>(Combine), Options,
+                       WorklistDiscipline::Lifo);
+  case StrategyKind::WorklistFifo:
+    return runWorklist(System, std::forward<C>(Combine), Options,
+                       WorklistDiscipline::Fifo);
+  case StrategyKind::PriorityWorklist:
+    return runPriorityWorklist(System, std::forward<C>(Combine), Options);
+  case StrategyKind::OrderedPriorityWorklist: {
+    if (Args.Rank)
+      return runPriorityWorklist(System, std::forward<C>(Combine), Options,
+                                 Args.Rank);
+    const std::vector<uint32_t> Rank =
+        topologicalRank(condense(extractDependencyGraph(System)));
+    return runPriorityWorklist(System, std::forward<C>(Combine), Options,
+                               &Rank);
+  }
+  case StrategyKind::SccParallel:
+    return runSccParallel(System, std::forward<C>(Combine), Args.Parallel,
+                          Options);
+  case StrategyKind::TwoPhaseSW:
+    return runTwoPhaseSW(System, Options, Args.NarrowRounds);
+  case StrategyKind::TwoPhaseRR:
+    return runTwoPhaseRR(System, Options, Args.NarrowRounds);
+  default:
+    assert(false && "strategy does not solve dense systems");
+    std::abort();
+  }
+}
+
+/// Runs local strategy \p Strategy for \p X0 on \p System.
+template <typename V, typename D, typename C>
+PartialSolution<V, D> solveLocal(StrategyKind Strategy,
+                                 const LocalSystem<V, D> &System, const V &X0,
+                                 C &&Combine, const SolverOptions &Options = {},
+                                 const LocalStrategyArgs &Args = {}) {
+  switch (Strategy) {
+  case StrategyKind::LocalRoundRobin:
+    return runLocalRoundRobin(System, X0, std::forward<C>(Combine), Options);
+  case StrategyKind::RecursiveDescent:
+    return runRecursiveDescent(System, X0, std::forward<C>(Combine), Options);
+  case StrategyKind::Slr: {
+    SlrEngine<V, D, std::decay_t<C>, /*WithSide=*/false> Solver(
+        System, std::forward<C>(Combine), Options);
+    return Solver.solveFor(X0);
+  }
+  case StrategyKind::TwoPhaseLocal:
+    return runTwoPhaseLocal(System, X0, Options, Args.MaxNarrowRounds,
+                            /*LocalizedAscending=*/false);
+  case StrategyKind::TwoPhaseLocalized:
+    return runTwoPhaseLocal(System, X0, Options, Args.MaxNarrowRounds,
+                            /*LocalizedAscending=*/true);
+  default:
+    assert(false && "strategy does not solve local systems");
+    std::abort();
+  }
+}
+
+/// Runs side-effecting strategy \p Strategy for \p X0 on \p System.
+template <typename V, typename D, typename C>
+PartialSolution<V, D> solveSide(StrategyKind Strategy,
+                                const SideEffectingSystem<V, D> &System,
+                                const V &X0, C &&Combine,
+                                const SolverOptions &Options = {},
+                                const LocalStrategyArgs &Args = {}) {
+  switch (Strategy) {
+  case StrategyKind::SlrPlus: {
+    SlrEngine<V, D, std::decay_t<C>, /*WithSide=*/true> Solver(
+        System, std::forward<C>(Combine), Options, Args.LocalizedCombine);
+    return Solver.solveFor(X0);
+  }
+  case StrategyKind::TwoPhaseLocal:
+    return runTwoPhaseSide(System, X0, Options, Args.MaxNarrowRounds,
+                           /*LocalizedAscending=*/false);
+  case StrategyKind::TwoPhaseLocalized:
+    return runTwoPhaseSide(System, X0, Options, Args.MaxNarrowRounds,
+                           /*LocalizedAscending=*/true);
+  default:
+    assert(false && "strategy does not solve side-effecting systems");
+    std::abort();
+  }
+}
+
+namespace detail {
+inline const SolverInfo &resolveOrDie(std::string_view Name,
+                                      SolverCaps Required) {
+  const SolverInfo *Info = findSolver(Name);
+  assert(Info && "unknown solver name — validate with findSolver first");
+  if (!Info || !Info->hasCap(Required))
+    std::abort();
+  return *Info;
+}
+} // namespace detail
+
+/// Registry-name dispatch for dense systems. \p Name must resolve to a
+/// CapDense entry (case-insensitive, so bench labels like "RR" work).
+template <typename D, typename C>
+SolveResult<D> solveDenseByName(std::string_view Name,
+                                const DenseSystem<D> &System, C &&Combine,
+                                const SolverOptions &Options = {},
+                                const DenseStrategyArgs &Args = {}) {
+  return solveDense(detail::resolveOrDie(Name, CapDense).Strategy, System,
+                    std::forward<C>(Combine), Options, Args);
+}
+
+/// Registry-name dispatch for local systems (CapLocal entries).
+template <typename V, typename D, typename C>
+PartialSolution<V, D> solveLocalByName(std::string_view Name,
+                                       const LocalSystem<V, D> &System,
+                                       const V &X0, C &&Combine,
+                                       const SolverOptions &Options = {},
+                                       const LocalStrategyArgs &Args = {}) {
+  return solveLocal(detail::resolveOrDie(Name, CapLocal).Strategy, System, X0,
+                    std::forward<C>(Combine), Options, Args);
+}
+
+/// Registry-name dispatch for side-effecting systems (CapSideEffecting).
+template <typename V, typename D, typename C>
+PartialSolution<V, D> solveSideByName(std::string_view Name,
+                                      const SideEffectingSystem<V, D> &System,
+                                      const V &X0, C &&Combine,
+                                      const SolverOptions &Options = {},
+                                      const LocalStrategyArgs &Args = {}) {
+  return solveSide(detail::resolveOrDie(Name, CapSideEffecting).Strategy,
+                   System, X0, std::forward<C>(Combine), Options, Args);
+}
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_SOLVE_H

@@ -1,0 +1,116 @@
+//===- engine/strategies/local_round_robin.h - LRR strategy -----*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The naive generic *local* strategy sketched in the paper's Section 5:
+///
+///   "one such instance can be derived from the round-robin algorithm.
+///    For that, the evaluation of right-hand sides is instrumented in
+///    such a way that it keeps track of the set of accessed unknowns.
+///    Each round then operates on a growing set of unknowns. In the
+///    first round, just x0 alone is considered. In any subsequent round
+///    all unknowns are added whose values have been newly accessed
+///    during the last iteration."
+///
+/// LRR is a *generic* local solver (right-hand sides are evaluated
+/// atomically against one assignment), so with ⊕ = ⊟ it returns partial
+/// post solutions on termination — but, inheriting round-robin's
+/// weakness, it may diverge under ⊟ even on finite monotonic systems
+/// (Example 1), unlike SLR. It serves as the baseline that motivates
+/// SLR's priority discipline, and as a second independent implementation
+/// for cross-checking SLR's results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STRATEGIES_LOCAL_ROUND_ROBIN_H
+#define WARROW_ENGINE_STRATEGIES_LOCAL_ROUND_ROBIN_H
+
+#include "engine/instr.h"
+#include "eqsys/local_system.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace warrow::engine {
+
+/// Runs local round-robin iteration for the interesting unknown \p X0.
+template <typename V, typename D, typename C>
+PartialSolution<V, D> runLocalRoundRobin(const LocalSystem<V, D> &System,
+                                         const V &X0, C &&Combine,
+                                         const SolverOptions &Options = {}) {
+  PartialSolution<V, D> Result;
+  Instrumentation Instr(Result.Stats, Options);
+
+  // The worklist of known unknowns, in discovery order (deterministic).
+  std::vector<V> Known;
+  std::unordered_set<V> KnownSet;
+  // Discovery slot of each unknown = its trace event id (tracing only).
+  std::unordered_map<V, uint64_t> SlotOf;
+  auto Discover = [&](const V &Y) {
+    if (KnownSet.insert(Y).second) {
+      Known.push_back(Y);
+      Result.Sigma.emplace(Y, System.initial(Y));
+      if (Instr.tracing())
+        SlotOf.emplace(Y, Known.size() - 1);
+    }
+  };
+  Discover(X0);
+
+  // The "worklist" of this strategy is the growing Known set itself; its
+  // final size is the pending-set high-water mark.
+  auto Finish = [&]() -> PartialSolution<V, D> {
+    Result.Stats.VarsSeen = Result.Sigma.size();
+    Instr.noteSweepSet(Known.size());
+    if (Instr.tracing())
+      Result.DiscoveryOrder = Known;
+    return std::move(Result);
+  };
+
+  bool Dirty = true;
+  while (Dirty) {
+    Dirty = false;
+    // Iterate over a snapshot: unknowns discovered this round join the
+    // next round (the paper's "growing set").
+    size_t RoundSize = Known.size();
+    for (size_t I = 0; I < RoundSize; ++I) {
+      if (Instr.budgetExhausted()) {
+        Result.Stats.Converged = false;
+        return Finish();
+      }
+      Instr.chargeEval();
+      const V X = Known[I];
+      typename LocalSystem<V, D>::Get Get = [&](const V &Y) -> D {
+        Discover(Y);
+        if (Instr.tracing())
+          Instr.trace().dependency(I, SlotOf.at(Y));
+        return Result.Sigma.at(Y);
+      };
+      Instr.trace().rhsBegin(I);
+      // Evaluate the right-hand side before touching Sigma[X]: discovery
+      // inserts into the map and would invalidate references.
+      D RhsValue = System.rhs(X)(Get);
+      Instr.trace().rhsEnd(I);
+      D New = Combine(X, Result.Sigma.at(X), RhsValue);
+      if (!(New == Result.Sigma.at(X))) {
+        Instr.trace().update(I, Result.Sigma.at(X), RhsValue, New);
+        Result.Sigma[X] = std::move(New);
+        Instr.chargeUpdate();
+        if (Options.RecordTrace)
+          Result.Trace.push_back({X, Result.Sigma.at(X)});
+        Dirty = true;
+      }
+    }
+    if (Known.size() > RoundSize)
+      Dirty = true; // Fresh unknowns need at least one evaluation.
+  }
+  return Finish();
+}
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_STRATEGIES_LOCAL_ROUND_ROBIN_H

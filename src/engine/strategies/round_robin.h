@@ -1,0 +1,56 @@
+//===- engine/strategies/round_robin.h - RR strategy (Fig. 1) ---*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The round-robin iteration strategy RR of the paper's Figure 1:
+///
+///     do {
+///       dirty <- false;
+///       forall (x in X) {
+///         new <- sigma[x] ⊕ f_x(sigma);
+///         if (sigma[x] != new) { sigma[x] <- new; dirty <- true; }
+///       }
+///     } while (dirty);
+///
+/// RR treats right-hand sides as black boxes (no dependency information
+/// needed) and works for any combine operator ⊕ — but, as the paper's
+/// Example 1 shows, it may diverge under ⊟ even for finite monotonic
+/// systems. Divergence is reported via `Stats.Converged`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STRATEGIES_ROUND_ROBIN_H
+#define WARROW_ENGINE_STRATEGIES_ROUND_ROBIN_H
+
+#include "engine/dense_core.h"
+
+namespace warrow::engine {
+
+/// Runs round-robin iteration with combine operator \p Combine, starting
+/// from the system's initial assignment.
+template <typename D, typename C>
+SolveResult<D> runRoundRobin(const DenseSystem<D> &System, C &&Combine,
+                             const SolverOptions &Options = {}) {
+  DenseCore<D> Core(System, Options);
+  // The pending set of a sweep strategy is the whole swept universe.
+  Core.instr().noteSweepSet(System.size());
+
+  bool Dirty = true;
+  while (Dirty) {
+    Dirty = false;
+    for (Var X = 0; X < System.size(); ++X) {
+      if (Core.outOfBudget())
+        return Core.take();
+      if (Core.step(X, Combine) == StepOutcome::Changed)
+        Dirty = true;
+    }
+  }
+  return Core.take();
+}
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_STRATEGIES_ROUND_ROBIN_H

@@ -1,0 +1,258 @@
+//===- engine/strategies/scc_parallel.h - SCC-parallel SW -------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured worklist strategy SW (Fig. 4), parallelized over the
+/// condensation of the static dependency graph:
+///
+///  1. extract the dependency graph, run Tarjan, obtain the condensation
+///     DAG with per-component predecessor ("ready") counts;
+///  2. a component whose predecessors have all stabilized is launched on
+///     a thread pool; independent ready components run concurrently;
+///  3. inside a component, plain sequential SW runs over the component's
+///     members with the *global* variable ordering as priority — exactly
+///     the iteration sequential SW performs once every unknown the
+///     component reads from has reached its final value.
+///
+/// Determinism contract: right-hand sides may only read declared
+/// dependencies, so a component's equations read (a) other members,
+/// iterated here in the unchanged SW priority order, and (b) members of
+/// predecessor components, which are final before the component starts.
+/// Component-local iteration from the initial assignment with fixed
+/// inputs is deterministic, so the computed values are independent of
+/// the launch interleaving — the thread count changes wall-clock time,
+/// never a single bit of the answer (asserted across the fuzz corpus by
+/// tests/parallel_sw_test.cpp).
+///
+/// Equality with sequential SW: the result is bit-identical to
+/// `solveOrderedSW` under any condensation-consistent variable order
+/// (graph/order.h), because such an order makes sequential SW stabilize
+/// each component before popping a successor's member — the exact
+/// schedule run here, minus the concurrency. When the raw variable ids
+/// already respect the condensation (chains, manyComponentSystem, every
+/// CFG numbered in reverse postorder) that is plain `solveSW`. For
+/// arbitrary numbering plain SW may interleave components and, ⊟ being
+/// history-sensitive, settle on a different (equally sound) post
+/// solution. The per-component iteration is verbatim SW, so Theorem 2's
+/// termination and complexity bounds carry over component-wise; see
+/// DESIGN.md "Parallel solving".
+///
+/// Memory model: a worker publishes its component's slice of sigma by
+/// the release fetch_sub on each successor's ready count; the worker
+/// that drops a count to zero acquires it before launching the
+/// successor, so cross-component reads are race-free without any lock
+/// on sigma itself.
+///
+/// This strategy keeps per-worker local counters and merges them into
+/// atomics at component end, so it uses the instrumentation layer's
+/// TraceEmitter directly rather than a stats-bound Instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STRATEGIES_SCC_PARALLEL_H
+#define WARROW_ENGINE_STRATEGIES_SCC_PARALLEL_H
+
+#include "engine/instr.h"
+#include "eqsys/dense_system.h"
+#include "graph/scc.h"
+#include "support/indexed_heap.h"
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace warrow {
+
+/// Knobs of the parallel solver.
+struct ParallelOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  unsigned Threads = 0;
+
+  unsigned effectiveThreads() const {
+    if (Threads != 0)
+      return Threads;
+    unsigned HW = std::thread::hardware_concurrency();
+    return HW == 0 ? 1 : HW;
+  }
+};
+
+namespace engine {
+namespace detail {
+
+/// Reusable per-component scratch: the priority heap and the component-
+/// membership guard. Pooled so that solving a million tiny components
+/// performs two allocations per *worker*, not per component.
+struct SwScratch {
+  IndexedHeap<> Queue;
+};
+
+/// Lock-protected free list of scratch blocks (components are coarse;
+/// one lock per component is noise).
+class ScratchPool {
+public:
+  explicit ScratchPool(size_t Universe) : Universe(Universe) {}
+
+  std::unique_ptr<SwScratch> acquire() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (!Free.empty()) {
+        std::unique_ptr<SwScratch> S = std::move(Free.back());
+        Free.pop_back();
+        return S;
+      }
+    }
+    auto S = std::make_unique<SwScratch>();
+    S->Queue.resizeUniverse(Universe);
+    return S;
+  }
+
+  void release(std::unique_ptr<SwScratch> S) {
+    S->Queue.clear();
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Free.push_back(std::move(S));
+  }
+
+private:
+  size_t Universe;
+  std::mutex Mutex;
+  std::vector<std::unique_ptr<SwScratch>> Free;
+};
+
+} // namespace detail
+
+/// Runs SW in parallel over the condensation of \p System's dependency
+/// graph. \p Combine is copied once per component, so stateful operators
+/// (whose state is keyed per unknown, like DegradingWarrowCombine) stay
+/// correct: every unknown lives in exactly one component.
+///
+/// Pass \p POpts.Threads = 1 for a single worker (still scheduled via
+/// the condensation) — useful to separate scheduling effects from
+/// parallelism in benchmarks.
+template <typename D, typename C>
+SolveResult<D> runSccParallel(const DenseSystem<D> &System, C Combine,
+                              const ParallelOptions &POpts = {},
+                              const SolverOptions &Options = {}) {
+  SolveResult<D> Result;
+  Result.Sigma = System.initialAssignment();
+  Result.Stats.VarsSeen = System.size();
+  if (System.size() == 0)
+    return Result;
+
+  const Condensation Cond = condense(extractDependencyGraph(System));
+  const size_t NumComps = Cond.numComponents();
+
+  // Shared mutable state. Distinct components touch disjoint sigma
+  // slots; cross-component reads are ordered by the ready-count
+  // release/acquire pairs (see file comment).
+  std::vector<D> &Sigma = Result.Sigma;
+  std::atomic<uint64_t> RhsEvals{0};
+  std::atomic<uint64_t> Updates{0};
+  std::atomic<uint64_t> QueueMax{0};
+  std::atomic<bool> Failed{false};
+  std::unique_ptr<std::atomic<uint32_t>[]> Ready(
+      new std::atomic<uint32_t>[NumComps]);
+  for (size_t I = 0; I < NumComps; ++I)
+    Ready[I].store(Cond.PredCount[I], std::memory_order_relaxed);
+
+  detail::ScratchPool Scratches(System.size());
+  std::mutex TraceMutex; // Trace order is schedule-dependent by nature.
+  TraceEmitter Emit(Options.Trace);
+
+  // Solves one component with verbatim SW restricted to its members.
+  auto SolveComponent = [&](CompId Comp) {
+    if (Failed.load(std::memory_order_relaxed))
+      return;
+    const std::vector<uint32_t> &Members = Cond.Members[Comp];
+    std::unique_ptr<detail::SwScratch> Scratch = Scratches.acquire();
+    IndexedHeap<> &Queue = Scratch->Queue;
+    C LocalCombine = Combine;
+    uint64_t LocalEvals = 0, LocalUpdates = 0, LocalQueueMax = 0;
+
+    Var Current = 0; // Unknown under evaluation, for dependency events.
+    auto Get = [&Sigma, &Emit, &Current](Var Y) {
+      Emit.dependency(Current, Y);
+      return Sigma[Y];
+    };
+    for (uint32_t M : Members)
+      Emit.enqueueIf(Queue.push(M), M);
+    while (!Queue.empty()) {
+      if (RhsEvals.load(std::memory_order_relaxed) + LocalEvals >=
+          Options.MaxRhsEvals) {
+        Failed.store(true, std::memory_order_relaxed);
+        Queue.clear();
+        break;
+      }
+      Var X = Queue.pop();
+      ++LocalEvals;
+      if (Emit)
+        Current = X;
+      Emit.dequeue(X);
+      Emit.rhsBegin(X);
+      D Rhs = System.eval(X, Get);
+      Emit.rhsEnd(X);
+      D New = LocalCombine(X, Sigma[X], Rhs);
+      if (Sigma[X] == New)
+        continue;
+      Emit.update(X, Sigma[X], Rhs, New);
+      Sigma[X] = std::move(New);
+      ++LocalUpdates;
+      if (Options.RecordTrace) {
+        std::lock_guard<std::mutex> Lock(TraceMutex);
+        Result.Trace.push_back({X, Sigma[X]});
+      }
+      if (Emit) {
+        Emit.destabilize(X, X);
+        for (Var Y : System.influenced(X))
+          if (Cond.CompOf[Y] == Comp)
+            Emit.destabilize(Y, X);
+      }
+      // Non-idempotent ⊕ precaution, as in Fig. 4.
+      Emit.enqueueIf(Queue.push(X), X);
+      for (Var Y : System.influenced(X))
+        if (Cond.CompOf[Y] == Comp)
+          Emit.enqueueIf(Queue.push(Y), Y);
+      if (Queue.size() > LocalQueueMax)
+        LocalQueueMax = Queue.size();
+    }
+
+    RhsEvals.fetch_add(LocalEvals, std::memory_order_relaxed);
+    Updates.fetch_add(LocalUpdates, std::memory_order_relaxed);
+    uint64_t Seen = QueueMax.load(std::memory_order_relaxed);
+    while (Seen < LocalQueueMax &&
+           !QueueMax.compare_exchange_weak(Seen, LocalQueueMax,
+                                           std::memory_order_relaxed))
+      ;
+    Scratches.release(std::move(Scratch));
+  };
+
+  ThreadPool Pool(POpts.effectiveThreads());
+  // The recursive launcher: finish a component, release its successors.
+  std::function<void(CompId)> Run = [&](CompId Comp) {
+    SolveComponent(Comp);
+    for (CompId Succ : Cond.CompSucc[Comp])
+      if (Ready[Succ].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        Pool.submit([&Run, Succ] { Run(Succ); });
+  };
+  for (CompId Comp = 0; Comp < NumComps; ++Comp)
+    if (Cond.PredCount[Comp] == 0)
+      Pool.submit([&Run, Comp] { Run(Comp); });
+  Pool.waitIdle();
+
+  Result.Stats.RhsEvals = RhsEvals.load();
+  Result.Stats.Updates = Updates.load();
+  Result.Stats.QueueMax = QueueMax.load();
+  Result.Stats.Converged = !Failed.load();
+  return Result;
+}
+
+} // namespace engine
+} // namespace warrow
+
+#endif // WARROW_ENGINE_STRATEGIES_SCC_PARALLEL_H

@@ -1,0 +1,451 @@
+//===- engine/strategies/slr.h - SLR / SLR+ engine (Figs. 6, Sec. 6) -*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured local recursive solver SLR — the paper's Figure 6 and
+/// main contribution on the algorithmic side — and its side-effecting
+/// extension SLR+ (Section 6), unified into one engine parameterized by
+/// the `WithSide` policy:
+///
+///     let rec solve x =
+///       if x ∉ stable then
+///         stable <- stable ∪ {x};
+///         tmp <- sigma[x] ⊕ f_x (eval x);
+///         if tmp != sigma[x] then
+///           W <- infl[x];
+///           foreach y in W do add Q y;
+///           sigma[x] <- tmp; infl[x] <- {x}; stable <- stable \ W;
+///           while (Q != {}) ∧ (min_key Q <= key[x]) do
+///             solve (extract_min Q)
+///     and init y =
+///       dom <- dom ∪ {y}; key[y] <- -count; count++;
+///       infl[y] <- {y}; sigma[y] <- sigma_0[y]
+///     and eval x y =
+///       if y ∉ dom then init y; solve y end;
+///       infl[y] <- infl[y] ∪ {x};
+///       sigma[y]
+///     in ... init x0; solve x0; sigma
+///
+/// Differences from RLD that make SLR a *generic* local solver (and
+/// terminating for monotonic systems under ⊟, Theorem 3):
+///  - `eval` recursively solves only *fresh* unknowns, so the evaluation
+///    of a right-hand side is effectively atomic;
+///  - every unknown always depends on itself (`infl[y] ∋ y`);
+///  - destabilized unknowns go into a global priority queue ordered by
+///    discovery time (fresher unknowns = smaller key = solved first), and
+///    `solve x` drains only entries with key <= key[x].
+///
+/// With `WithSide`, right-hand sides additionally receive a callback
+/// `side(z, d)` contributing the value d to unknown z (context-sensitive
+/// interprocedural analysis with flow-insensitive globals; Goblint). The
+/// crucial twist (Example 8): individual contributions must not be
+/// combined into the target with ⊟ one by one — narrowing on a single
+/// contribution is unsound. SLR+ therefore materializes one fresh unknown
+/// `(x, z)` per (contributing equation x, target z) holding the *last*
+/// contribution of x to z, maintains `set[z]` = all contributors seen,
+/// and extends z's right-hand side with `⊔ { sigma(x,z) | x in set[z] }`.
+/// The ⊟ operator is then applied to the *joined* value, which is safe:
+///
+///     side x y d =
+///       if (x,y) ∉ dom then sigma[(x,y)] <- ⊥;
+///       if d != sigma[(x,y)] then
+///         sigma[(x,y)] <- d;
+///         if y in dom then set[y] ∪= {x}; stable \= {y}; add Q y
+///         else init y; set[y] <- {x}; solve y
+///
+///     (in solve)
+///     tmp <- sigma(x) ⊕ (f_x (eval x) (side x) ⊔ ⊔{sigma(z,x) | z in set x})
+///
+/// The side policy also carries *localized widening* as a strategy-layer
+/// mixin: with `LocalizedCombine` enabled, ⊕ is applied only at
+/// dynamically detected widening points — unknowns whose evaluation was
+/// re-entered while already in progress (i.e. that sit on a dependency
+/// cycle) and unknowns receiving side effects; all other unknowns are
+/// combined with plain join-free assignment. Every cycle passes through a
+/// widening point, so termination for monotonic systems is preserved,
+/// while acyclic unknowns never lose precision to widening (the
+/// localized-widening refinement of the follow-up journal work on SLR).
+///
+/// Representation: unknowns are interned into dense *slots* in discovery
+/// order, so `key[y] = -slot(y)` and every piece of bookkeeping — sigma,
+/// stable, infl, the on-stack and widening-point marks, the priority
+/// queue, and the evaluation cache — is a flat vector indexed by slot
+/// instead of a node-based map keyed by V. The single hash lookup left on
+/// the hot path is the `y ∈ dom` test in `eval`. The queue is an indexed
+/// binary heap over slots; since keys are negated slots, the minimum key
+/// is the *maximum* slot, hence the `std::greater` instance. `infl`
+/// vectors may transiently hold duplicate entries (the set-insert of
+/// Fig. 6 is approximated by an append with a cheap back-check);
+/// duplicates are harmless because destabilization and re-queueing are
+/// both idempotent, and every update of y resets `infl[y]`. The
+/// per-contributor cells sigma(x,z) stay in a V-keyed map (contribution
+/// traffic is orders of magnitude below get traffic, and tests read the
+/// map through `contributions()`). `set[z]` itself is implicit: the join
+/// in solve() runs over *all* of z's cells — cells that never changed
+/// still hold ⊥ and join as no-ops, so the result is identical — and a
+/// per-slot flag tracks `set[z] != {}`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STRATEGIES_SLR_H
+#define WARROW_ENGINE_STRATEGIES_SLR_H
+
+#include "engine/instr.h"
+#include "eqsys/local_system.h"
+#include "support/indexed_heap.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace warrow::engine {
+
+/// The SLR family engine. \p WithSide selects the side-effecting SLR+
+/// policy (contribution cells, `set[z]`, localized widening); without it
+/// the engine is exactly Fig. 6's SLR over plain local systems. Kept as
+/// a class so that tests and the experiment drivers can inspect the
+/// discovered domain, keys, contributions, and widening points.
+template <typename V, typename D, typename C, bool WithSide> class SlrEngine {
+public:
+  using SystemT =
+      std::conditional_t<WithSide, SideEffectingSystem<V, D>,
+                         LocalSystem<V, D>>;
+
+  SlrEngine(const SystemT &System, C Combine, const SolverOptions &Options = {},
+            bool LocalizedCombine = false)
+      : System(System), Combine(std::move(Combine)), Options(Options),
+        Instr(Stats, this->Options), Localized(LocalizedCombine) {}
+
+  /// Solves for \p X0 and returns the partial ⊕-solution.
+  PartialSolution<V, D> solveFor(const V &X0) {
+    solve(internFresh(X0));
+    // Complete any work left in the queue (possible when destabilizations
+    // race with evaluations that end up not changing any value up the
+    // recursion; the final assignment must be a partial ⊕-solution).
+    while (!Failed && !Queue.empty())
+      solve(popQ());
+    PartialSolution<V, D> Result;
+    Result.Sigma.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      Result.Sigma.emplace(VarOf[S], SigmaV[S]);
+    Result.Stats = Stats;
+    Result.Stats.Converged = !Failed;
+    Result.Stats.VarsSeen = VarOf.size();
+    if constexpr (WithSide)
+      Result.Trace = std::move(Trace);
+    if (Instr.tracing())
+      Result.DiscoveryOrder = VarOf;
+    return Result;
+  }
+
+  // --- Introspection (used by the two-phase baseline and by tests) --------
+
+  /// Discovered unknowns in discovery order (slot order); `keys` of the
+  /// paper are the negated positions in this sequence.
+  const std::vector<V> &discoveryOrder() const { return VarOf; }
+
+  /// Materializes the paper's key map: key[y] = -(discovery index of y).
+  std::unordered_map<V, int64_t> keys() const {
+    std::unordered_map<V, int64_t> K;
+    K.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      K.emplace(VarOf[S], -static_cast<int64_t>(S));
+    return K;
+  }
+
+  /// Materializes the current assignment (diagnostics/tests only).
+  std::unordered_map<V, D> assignment() const {
+    std::unordered_map<V, D> A;
+    A.reserve(VarOf.size());
+    for (uint32_t S = 0; S < VarOf.size(); ++S)
+      A.emplace(VarOf[S], SigmaV[S]);
+    return A;
+  }
+
+  /// Contributions per target: target -> (contributor -> last value).
+  const std::unordered_map<V, std::unordered_map<V, D>> &
+  contributions() const {
+    return Contribs;
+  }
+
+  /// True if \p X ever received a side-effect contribution.
+  bool isSideEffected(const V &X) const {
+    auto It = SlotOf.find(X);
+    return It != SlotOf.end() && SideEffectedV[It->second];
+  }
+
+  /// Widening points detected so far (meaningful in localized mode).
+  const std::unordered_set<V> &wideningPoints() const {
+    return WideningPoints;
+  }
+
+  const SolverStats &stats() const { return Stats; }
+  bool failed() const { return Failed; }
+
+private:
+  /// Last evaluation of one unknown: the (slot, value) pairs read through
+  /// `Get`, in read order with duplicates, and the RHS result (before the
+  /// contribution join and ⊕, in side mode). Copies of consed values are
+  /// ref-count bumps, so keeping them is cheap.
+  struct CacheEntry {
+    std::vector<std::pair<uint32_t, D>> Reads;
+    D Value{};
+    bool Valid = false;
+  };
+
+  /// Interns \p Y, which must be fresh, into the next slot (`init` of
+  /// Fig. 6: key <- -count, infl <- {y}, sigma <- sigma_0).
+  uint32_t internFresh(const V &Y) {
+    assert(!SlotOf.count(Y) && "double init");
+    uint32_t S = static_cast<uint32_t>(VarOf.size());
+    SlotOf.emplace(Y, S);
+    VarOf.push_back(Y);
+    SigmaV.push_back(System.initial(Y));
+    InflV.push_back({S});
+    StableV.push_back(0);
+    if constexpr (WithSide) {
+      OnStackV.push_back(0);
+      WideningPointV.push_back(0);
+      SideEffectedV.push_back(0);
+    }
+    CacheV.emplace_back();
+    Queue.resizeUniverse(VarOf.size());
+    return S;
+  }
+
+  void addQ(uint32_t S) {
+    Instr.trace().enqueueIf(Queue.push(S), S);
+    Instr.noteQueueSize(Queue.size());
+  }
+
+  uint32_t popQ() {
+    uint32_t S = Queue.pop();
+    Instr.trace().dequeue(S);
+    return S;
+  }
+
+  void solve(uint32_t XS) {
+    if (Failed || StableV[XS])
+      return;
+    StableV[XS] = 1;
+    // Cache hits count against the budget too (see Instrumentation).
+    if (Instr.budgetExhaustedWithCache()) {
+      Failed = true;
+      return;
+    }
+    if constexpr (WithSide)
+      OnStackV[XS] = 1;
+    D New = evaluate(XS);
+    if (Failed) {
+      if constexpr (WithSide)
+        OnStackV[XS] = 0;
+      return;
+    }
+    bool UseCombine = true;
+    if constexpr (WithSide) {
+      // Join in the recorded contributions of all contributors (cells
+      // that never changed still hold ⊥ and drop out of the join).
+      auto ContribIt = Contribs.find(VarOf[XS]);
+      if (ContribIt != Contribs.end())
+        for (const auto &[Z, Value] : ContribIt->second)
+          New = New.join(Value);
+      // In localized mode, ⊕ is applied at widening points only;
+      // elsewhere the unknown simply tracks its right-hand side (plain
+      // assignment) — acyclic unknowns stabilize once their inputs do,
+      // values may both grow and shrink, and no widening-induced
+      // precision is lost.
+      UseCombine = !Localized || WideningPointV[XS] || SideEffectedV[XS];
+    }
+    D Tmp = UseCombine ? Combine(VarOf[XS], SigmaV[XS], New) : New;
+    if (!(Tmp == SigmaV[XS])) {
+      Instr.trace().update(XS, SigmaV[XS], New, Tmp);
+      std::vector<uint32_t> W = std::move(InflV[XS]);
+      if (Instr.tracing())
+        for (uint32_t YS : W)
+          Instr.trace().destabilize(YS, XS);
+      for (uint32_t YS : W)
+        addQ(YS);
+      SigmaV[XS] = std::move(Tmp);
+      Instr.chargeUpdate();
+      if constexpr (WithSide)
+        if (Options.RecordTrace)
+          Trace.push_back({VarOf[XS], SigmaV[XS]});
+      InflV[XS] = {XS};
+      for (uint32_t YS : W)
+        StableV[YS] = 0;
+      // min_key Q <= key[x]  ⟺  max slot in Q >= slot(x).
+      while (!Failed && !Queue.empty() && Queue.top() >= XS)
+        solve(popQ());
+    }
+    if constexpr (WithSide)
+      OnStackV[XS] = 0;
+  }
+
+  /// f_x (eval x) [(side x)], answered from the read cache when every
+  /// value the last evaluation of x read through `Get` is unchanged.
+  /// Right-hand sides are pure in the instrumented-Get sense (DESIGN §3):
+  /// same reads, same result — so a hit returns the identical value the
+  /// evaluation would have produced and the solver's behavior is
+  /// bit-for-bit unchanged. Sound despite side effects: contribution
+  /// values are a pure function of the reads, and only x's own
+  /// evaluations write x's contribution cells, so with identical reads
+  /// every `side` call the skipped evaluation would make finds its value
+  /// already recorded and early-returns (no destabilization). The
+  /// contribution join over set[x] stays in solve() — other contributors
+  /// can change without x's reads changing.
+  D evaluate(uint32_t XS) {
+    if (Options.RhsCache && CacheV[XS].Valid && cacheIsFresh(XS)) {
+      Instr.chargeCacheHit();
+      Instr.trace().rhsBegin(XS);
+      // Replay what a real re-evaluation would do per read, in order:
+      // re-register influence (updates of y reset infl[y], so earlier
+      // registrations may be gone) and — in localized side mode — re-run
+      // the widening-point detection (X is on the stack, exactly as
+      // during a real evaluation, so self-reads behave identically).
+      for (const auto &R : CacheV[XS].Reads) {
+        if constexpr (WithSide)
+          if (Localized && OnStackV[R.first])
+            markWideningPoint(R.first);
+        std::vector<uint32_t> &I = InflV[R.first];
+        if (I.empty() || I.back() != XS)
+          I.push_back(XS);
+        Instr.trace().dependency(XS, R.first);
+      }
+      Instr.trace().rhsEnd(XS, /*FromCache=*/true);
+      return CacheV[XS].Value;
+    }
+    if (Options.RhsCache)
+      Instr.chargeCacheMiss();
+    Instr.chargeEval();
+    Instr.trace().rhsBegin(XS);
+    // Reads lives in this frame: CacheV may reallocate while the RHS
+    // recursively interns fresh unknowns, so no reference into it may be
+    // held across the rhs() call (same reason everything below indexes).
+    std::vector<std::pair<uint32_t, D>> Reads;
+    typename SystemT::Get Eval = [this, XS, &Reads](const V &Y) -> D {
+      uint32_t YS = eval(XS, Y);
+      if (Options.RhsCache)
+        Reads.emplace_back(YS, SigmaV[YS]);
+      return SigmaV[YS];
+    };
+    D New = [&] {
+      if constexpr (WithSide) {
+        typename SystemT::Side Side =
+            [this, XS](const V &Y, const D &Value) { side(XS, Y, Value); };
+        return System.rhs(VarOf[XS])(Eval, Side);
+      } else {
+        return System.rhs(VarOf[XS])(Eval);
+      }
+    }();
+    Instr.trace().rhsEnd(XS);
+    if (!Failed && Options.RhsCache)
+      CacheV[XS] = CacheEntry{std::move(Reads), New, true};
+    return New;
+  }
+
+  /// True when every recorded read of x's last evaluation would return
+  /// the identical value today. With hash-consed environments each check
+  /// is (almost always) a pointer or memoized-hash compare.
+  bool cacheIsFresh(uint32_t XS) const {
+    for (const auto &R : CacheV[XS].Reads)
+      if (!(R.second == SigmaV[R.first]))
+        return false;
+    return true;
+  }
+
+  void markWideningPoint(uint32_t YS) {
+    if (!WideningPointV[YS]) {
+      WideningPointV[YS] = 1;
+      WideningPoints.insert(VarOf[YS]);
+      Instr.trace().wideningPoint(YS);
+    }
+  }
+
+  /// `eval x y` of Fig. 6 minus the value read; returns y's slot.
+  uint32_t eval(uint32_t XS, const V &Y) {
+    uint32_t YS;
+    auto It = SlotOf.find(Y);
+    if (It == SlotOf.end()) {
+      YS = internFresh(Y);
+      solve(YS);
+    } else {
+      YS = It->second;
+      if constexpr (WithSide)
+        if (Localized && OnStackV[YS]) {
+          // Y queried while its own evaluation is in progress: Y closes a
+          // dependency cycle and becomes a widening point.
+          markWideningPoint(YS);
+        }
+    }
+    // infl[y] ∪= {x}: append with a cheap duplicate filter; exact set
+    // semantics are not required (see file comment).
+    std::vector<uint32_t> &I = InflV[YS];
+    if (I.empty() || I.back() != XS)
+      I.push_back(XS);
+    Instr.trace().dependency(XS, YS);
+    return YS;
+  }
+
+  void side(uint32_t XS, const V &Y, const D &Value) {
+    auto &TargetContribs = Contribs[Y];
+    auto It = TargetContribs.find(VarOf[XS]);
+    if (It == TargetContribs.end())
+      It = TargetContribs.emplace(VarOf[XS], D::bot()).first; // <- ⊥
+    if (Value == It->second)
+      return;
+    It->second = Value;
+    auto SlotIt = SlotOf.find(Y);
+    if (SlotIt != SlotOf.end()) {
+      Instr.trace().sideContribution(SlotIt->second, XS);
+      Instr.trace().destabilize(SlotIt->second, XS);
+      SideEffectedV[SlotIt->second] = 1; // set[y] ∪= {x}
+      StableV[SlotIt->second] = 0;
+      addQ(SlotIt->second);
+      return;
+    }
+    uint32_t YS = internFresh(Y);
+    Instr.trace().sideContribution(YS, XS);
+    SideEffectedV[YS] = 1; // set[y] <- {x}
+    solve(YS);
+  }
+
+  const SystemT &System;
+  C Combine;
+  SolverOptions Options;
+
+  // Dense slot-indexed state; slots are discovery order (`count`).
+  std::unordered_map<V, uint32_t> SlotOf; // dom = keys(SlotOf).
+  std::vector<V> VarOf;
+  std::vector<D> SigmaV;
+  std::vector<std::vector<uint32_t>> InflV;
+  std::vector<uint8_t> StableV;
+  std::vector<uint8_t> OnStackV;       // Side policy only.
+  std::vector<uint8_t> WideningPointV; // Side policy only.
+  std::vector<uint8_t> SideEffectedV;  // Side policy only.
+  std::vector<CacheEntry> CacheV;
+  IndexedHeap<std::greater<uint32_t>> Queue; // top() = max slot = min key.
+
+  // Contribution cells sigma(x,z), target-major; V-keyed on purpose (see
+  // file comment). WideningPoints mirrors WideningPointV for the public
+  // accessor (writes are rare — once per detected point). Side policy
+  // only; empty otherwise.
+  std::unordered_map<V, std::unordered_map<V, D>> Contribs;
+  std::unordered_set<V> WideningPoints;
+  std::vector<std::pair<V, D>> Trace;
+  SolverStats Stats;
+  Instrumentation Instr; // Binds Stats; must follow Stats and Options.
+  bool Failed = false;
+  bool Localized = false;
+};
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_STRATEGIES_SLR_H

@@ -1,0 +1,113 @@
+//===- engine/strategies/two_phase.h - Two-phase driver (dense) -*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical two-phase iteration of Cousot & Cousot against which the
+/// paper's ⊟-solvers are compared: first an ascending (widening) phase
+/// with ⊕ = ▽ until stabilization, then a descending (narrowing) phase
+/// with ⊕ = △ on the obtained post solution (Fact 1). The narrowing phase
+/// is only sound for *monotonic* systems — which is precisely the
+/// limitation the paper removes.
+///
+/// The inner iteration strategy is a parameter (the engine layering at
+/// work): the classical baseline runs both phases over structured
+/// worklist iteration so that the comparison with the ⊟-solver isolates
+/// the operator, not the strategy; the same driver over round-robin
+/// (`two-phase-rr` in the registry) is a combination the pre-engine
+/// layout could not express without another solver file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STRATEGIES_TWO_PHASE_H
+#define WARROW_ENGINE_STRATEGIES_TWO_PHASE_H
+
+#include "engine/instr.h"
+#include "engine/strategies/priority_worklist.h"
+#include "engine/strategies/round_robin.h"
+#include "eqsys/dense_system.h"
+#include "lattice/combine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace warrow::engine {
+
+/// Runs the widening phase followed by the narrowing phase and merges the
+/// statistics. \p Inner is the iteration strategy both phases run —
+/// callable as `Inner(System, Combine, Options)` for ⊕ ∈ {▽, △}.
+/// \p NarrowRounds bounds the descending iteration: each round is one
+/// inner stabilization pass with ⊕ = △ (one round suffices for idempotent
+/// narrowings; 0 disables the phase entirely).
+template <typename D, typename InnerSolve>
+SolveResult<D> runTwoPhase(const DenseSystem<D> &System, InnerSolve &&Inner,
+                           const SolverOptions &Options = {},
+                           unsigned NarrowRounds = 1) {
+  TraceEmitter Emit(Options.Trace);
+  // Phase 1: ascending iteration with widening.
+  Emit.phaseChange(0);
+  SolveResult<D> Up = Inner(System, WidenCombine{}, Options);
+  if (!Up.Stats.Converged)
+    return Up;
+
+  // Phase 2: descending iteration with narrowing, seeded with the post
+  // solution from phase 1.
+  for (unsigned Round = 0; Round < NarrowRounds; ++Round) {
+    Emit.phaseChange(1, Round);
+    // Re-run the inner strategy on a copy of the system state: build a
+    // wrapper system whose initial assignment is the current sigma.
+    DenseSystem<D> Seeded;
+    for (Var X = 0; X < System.size(); ++X)
+      Seeded.addVar(System.name(X), Up.Sigma[X]);
+    for (Var X = 0; X < System.size(); ++X)
+      Seeded.define(
+          X, [&System, X](const typename DenseSystem<D>::GetFn &Get) {
+            return System.eval(X, Get);
+          },
+          System.deps(X));
+    SolveResult<D> Down = Inner(Seeded, NarrowCombine{}, Options);
+    Up.Stats.RhsEvals += Down.Stats.RhsEvals;
+    Up.Stats.Updates += Down.Stats.Updates;
+    Up.Stats.QueueMax = std::max(Up.Stats.QueueMax, Down.Stats.QueueMax);
+    Up.Stats.Converged = Down.Stats.Converged;
+    bool Changed = !(Down.Sigma == Up.Sigma);
+    Up.Sigma = std::move(Down.Sigma);
+    if (!Up.Stats.Converged || !Changed)
+      break;
+  }
+  return Up;
+}
+
+/// The classical baseline: two-phase over structured worklist iteration.
+template <typename D>
+SolveResult<D> runTwoPhaseSW(const DenseSystem<D> &System,
+                             const SolverOptions &Options = {},
+                             unsigned NarrowRounds = 1) {
+  return runTwoPhase(
+      System,
+      [](const DenseSystem<D> &S, auto &&Combine, const SolverOptions &O) {
+        return runPriorityWorklist(
+            S, std::forward<decltype(Combine)>(Combine), O);
+      },
+      Options, NarrowRounds);
+}
+
+/// Two-phase over round-robin sweeps — a new strategy×operator pairing
+/// enabled by the layering (registry name `two-phase-rr`).
+template <typename D>
+SolveResult<D> runTwoPhaseRR(const DenseSystem<D> &System,
+                             const SolverOptions &Options = {},
+                             unsigned NarrowRounds = 1) {
+  return runTwoPhase(
+      System,
+      [](const DenseSystem<D> &S, auto &&Combine, const SolverOptions &O) {
+        return runRoundRobin(S, std::forward<decltype(Combine)>(Combine), O);
+      },
+      Options, NarrowRounds);
+}
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_STRATEGIES_TWO_PHASE_H

@@ -1,0 +1,194 @@
+//===- engine/strategies/two_phase_local.h - Two-phase (local) --*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical two-phase widening/narrowing baseline for *side-effecting*
+/// local systems — the comparison point of the paper's Figure 7.
+///
+/// Phase 1 runs SLR+ with ⊕ = ▽ to obtain a post solution on the
+/// discovered domain. Phase 2 performs descending (narrowing) sweeps over
+/// that fixed domain with ⊕ = △, re-evaluating each right-hand side
+/// against the current assignment.
+///
+/// Faithful to the pre-paper state of the art, side-effected unknowns
+/// (globals) are *frozen* during phase 2: without SLR+'s per-contributor
+/// value tracking, narrowing a global from any individual contribution is
+/// unsound (paper, Example 8), so a classical solver must keep the widened
+/// value. Side effects emitted during phase-2 re-evaluations are therefore
+/// discarded. This is the precision gap the ⊟-solver closes.
+///
+/// Soundness requires monotonic right-hand sides and a fixed unknown set —
+/// exactly the conditions of Fact 1; the context-sensitive analyses of
+/// Table 1 violate them, which is why only ▽ and ⊟ are compared there.
+///
+/// The ascending phase's combine localization is a parameter (the engine
+/// layering at work): with \p LocalizedAscending, phase 1 widens only at
+/// detected widening points (cycle heads and side-effected unknowns) and
+/// plainly tracks every other unknown — still a post solution, since
+/// non-widening points satisfy sigma[x] = f_x(sigma) on stabilization —
+/// before the same descending sweeps run. This `two-phase-localized`
+/// combination could not be expressed pre-engine: the old baseline
+/// hard-wired a non-localized ascending SLR+.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STRATEGIES_TWO_PHASE_LOCAL_H
+#define WARROW_ENGINE_STRATEGIES_TWO_PHASE_LOCAL_H
+
+#include "engine/instr.h"
+#include "engine/strategies/slr.h"
+#include "eqsys/local_system.h"
+#include "lattice/combine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace warrow::engine {
+
+/// Runs the two-phase baseline on a side-effecting system, solving for
+/// \p X0. \p MaxNarrowRounds bounds the number of full descending sweeps;
+/// \p LocalizedAscending selects localized widening in phase 1.
+template <typename V, typename D>
+PartialSolution<V, D>
+runTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
+                const SolverOptions &Options = {},
+                unsigned MaxNarrowRounds = 8,
+                bool LocalizedAscending = false) {
+  TraceEmitter Emit(Options.Trace);
+  // Phase 1: ascending with widening.
+  Emit.phaseChange(0);
+  SlrEngine<V, D, WidenCombine, /*WithSide=*/true> Ascending(
+      System, WidenCombine{}, Options, LocalizedAscending);
+  PartialSolution<V, D> Result = Ascending.solveFor(X0);
+  if (!Result.Stats.Converged)
+    return Result;
+  Instrumentation Instr(Result.Stats, Options);
+
+  // Phase-2 events reuse phase 1's slot ids (key[x] = -slot, Fig. 6).
+  std::unordered_map<V, uint64_t> SlotOf;
+  if (Instr.tracing())
+    for (const auto &[X, KeyValue] : Ascending.keys())
+      SlotOf.emplace(X, static_cast<uint64_t>(-KeyValue));
+
+  // Stable iteration order: by discovery key, oldest (x0) last, so inner
+  // (fresher) unknowns narrow first — mirroring SLR's priority discipline.
+  std::vector<std::pair<int64_t, V>> Order;
+  Order.reserve(Result.Sigma.size());
+  for (const auto &[X, KeyValue] : Ascending.keys())
+    Order.push_back({KeyValue, X});
+  std::sort(Order.begin(), Order.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  auto GetCurrent = [&System, &Result](const V &Y) -> D {
+    auto It = Result.Sigma.find(Y);
+    return It == Result.Sigma.end() ? System.initial(Y) : It->second;
+  };
+  typename SideEffectingSystem<V, D>::Side DiscardSide =
+      [](const V &, const D &) {};
+
+  // Per-unknown read cache for the sweeps: a descending round mostly
+  // re-confirms values, so most right-hand sides see the exact inputs of
+  // the previous round and need not run (side effects are discarded in
+  // phase 2, so skipping is trivially sound here).
+  struct CacheEntry {
+    std::vector<std::pair<V, D>> Reads;
+    D Value{};
+  };
+  std::unordered_map<V, CacheEntry> Cache;
+
+  // Phase 2: descending sweeps with narrowing; frozen globals.
+  for (unsigned Round = 0; Round < MaxNarrowRounds; ++Round) {
+    Emit.phaseChange(1, Round);
+    bool Changed = false;
+    for (const auto &[KeyValue, X] : Order) {
+      if (Ascending.isSideEffected(X))
+        continue; // Frozen: classical solvers cannot narrow globals.
+      if (Instr.budgetExhaustedWithCache()) {
+        Result.Stats.Converged = false;
+        return Result;
+      }
+      const uint64_t XSlot = Instr.tracing() ? SlotOf.at(X) : 0;
+      auto DepEvent = [&](const V &Y) {
+        auto It = SlotOf.find(Y);
+        if (It != SlotOf.end())
+          Instr.trace().dependency(XSlot, It->second);
+      };
+      D New;
+      auto CIt = Options.RhsCache ? Cache.find(X) : Cache.end();
+      bool Hit = CIt != Cache.end() &&
+                 std::all_of(CIt->second.Reads.begin(),
+                             CIt->second.Reads.end(), [&](const auto &R) {
+                               return R.second == GetCurrent(R.first);
+                             });
+      if (Hit) {
+        Instr.chargeCacheHit();
+        if (Instr.tracing()) {
+          Instr.trace().rhsBegin(XSlot);
+          for (const auto &R : CIt->second.Reads)
+            DepEvent(R.first);
+          Instr.trace().rhsEnd(XSlot, /*FromCache=*/true);
+        }
+        New = CIt->second.Value;
+      } else {
+        if (Options.RhsCache)
+          Instr.chargeCacheMiss();
+        Instr.chargeEval();
+        Instr.trace().rhsBegin(XSlot);
+        std::vector<std::pair<V, D>> Reads;
+        typename SideEffectingSystem<V, D>::Get Get =
+            [&](const V &Y) -> D {
+          D Val = GetCurrent(Y);
+          if (Options.RhsCache)
+            Reads.emplace_back(Y, Val);
+          if (Instr.tracing())
+            DepEvent(Y);
+          return Val;
+        };
+        New = System.rhs(X)(Get, DiscardSide);
+        Instr.trace().rhsEnd(XSlot);
+        if (Options.RhsCache)
+          Cache[X] = CacheEntry{std::move(Reads), New};
+      }
+      D Narrowed = Result.Sigma.at(X).narrow(New);
+      if (!(Narrowed == Result.Sigma.at(X))) {
+        Instr.trace().update(XSlot, Result.Sigma.at(X), New, Narrowed);
+        Result.Sigma[X] = std::move(Narrowed);
+        Instr.chargeUpdate();
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return Result;
+}
+
+/// Two-phase baseline for plain (non-side-effecting) local systems,
+/// implemented by wrapping them as side-effecting systems with no effects.
+template <typename V, typename D>
+PartialSolution<V, D> runTwoPhaseLocal(const LocalSystem<V, D> &System,
+                                       const V &X0,
+                                       const SolverOptions &Options = {},
+                                       unsigned MaxNarrowRounds = 8,
+                                       bool LocalizedAscending = false) {
+  SideEffectingSystem<V, D> Wrapped(
+      [&System](const V &X) -> typename SideEffectingSystem<V, D>::Rhs {
+        typename LocalSystem<V, D>::Rhs F = System.rhs(X);
+        return [F](const typename SideEffectingSystem<V, D>::Get &Get,
+                   const typename SideEffectingSystem<V, D>::Side &) {
+          return F(Get);
+        };
+      },
+      [&System](const V &X) { return System.initial(X); });
+  return runTwoPhaseSide(Wrapped, X0, Options, MaxNarrowRounds,
+                         LocalizedAscending);
+}
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_STRATEGIES_TWO_PHASE_LOCAL_H

@@ -1,0 +1,102 @@
+//===- engine/strategies/worklist.h - Worklist strategy (Fig. 2) *- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic worklist strategy W of the paper's Figure 2:
+///
+///     W <- X;
+///     while (W != {}) {
+///       x <- extract(W);
+///       new <- sigma[x] ⊕ f_x(sigma);
+///       if (sigma[x] != new) { sigma[x] <- new; W <- W ∪ infl_x; }
+///     }
+///
+/// W needs the declared dependency sets to compute `infl`. The worklist is
+/// a *set* maintained with a LIFO extraction discipline (the discipline
+/// under which the paper's Example 2 diverges with ⊟): extraction pops the
+/// most recently pushed absent unknown; pushing an unknown already present
+/// leaves its position unchanged. On update of x the influence set is
+/// pushed with x itself last, so x is re-extracted first — the paper's
+/// precaution for non-idempotent ⊕.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STRATEGIES_WORKLIST_H
+#define WARROW_ENGINE_STRATEGIES_WORKLIST_H
+
+#include "engine/dense_core.h"
+
+#include <deque>
+#include <vector>
+
+namespace warrow {
+
+/// Extraction discipline of the worklist (the paper leaves it open; its
+/// Example 2 uses LIFO).
+enum class WorklistDiscipline { Lifo, Fifo };
+
+namespace engine {
+
+/// Runs worklist iteration with combine operator \p Combine.
+template <typename D, typename C>
+SolveResult<D> runWorklist(const DenseSystem<D> &System, C &&Combine,
+                           const SolverOptions &Options = {},
+                           WorklistDiscipline Discipline =
+                               WorklistDiscipline::Lifo) {
+  DenseCore<D> Core(System, Options);
+
+  // A deque covers both disciplines: LIFO pops the back, FIFO the front.
+  std::deque<Var> Work;
+  std::vector<char> InWork(System.size(), 0);
+  auto Push = [&](Var Y) {
+    if (InWork[Y])
+      return;
+    InWork[Y] = 1;
+    Work.push_back(Y);
+    Core.trace().enqueue(Y);
+    Core.instr().noteQueueSize(Work.size());
+  };
+  if (Discipline == WorklistDiscipline::Lifo) {
+    // All unknowns, first variable on top of the stack.
+    for (Var X = System.size(); X > 0; --X)
+      Push(X - 1);
+  } else {
+    for (Var X = 0; X < System.size(); ++X)
+      Push(X);
+  }
+
+  while (!Work.empty()) {
+    if (Core.outOfBudget())
+      return Core.take();
+    Var X;
+    if (Discipline == WorklistDiscipline::Lifo) {
+      X = Work.back();
+      Work.pop_back();
+    } else {
+      X = Work.front();
+      Work.pop_front();
+    }
+    InWork[X] = 0;
+    Core.trace().dequeue(X);
+    if (Core.step(X, Combine) == StepOutcome::Unchanged)
+      continue;
+    // Push influenced unknowns; X itself last so it is re-evaluated first.
+    for (Var Y : System.influenced(X)) {
+      if (Y == X)
+        continue;
+      Core.trace().destabilize(Y, X);
+      Push(Y);
+    }
+    Core.trace().destabilize(X, X);
+    Push(X);
+  }
+  return Core.take();
+}
+
+} // namespace engine
+} // namespace warrow
+
+#endif // WARROW_ENGINE_STRATEGIES_WORKLIST_H

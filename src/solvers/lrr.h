@@ -1,40 +1,22 @@
-//===- solvers/lrr.h - Local round-robin solver ------------------*- C++ -*-==//
+//===- solvers/lrr.h - Local round-robin solver (Sec. 5) --------*- C++ -*-==//
 //
 // Part of the warrow project, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The naive generic *local* solver sketched in the paper's Section 5:
-///
-///   "one such instance can be derived from the round-robin algorithm.
-///    For that, the evaluation of right-hand sides is instrumented in
-///    such a way that it keeps track of the set of accessed unknowns.
-///    Each round then operates on a growing set of unknowns. In the
-///    first round, just x0 alone is considered. In any subsequent round
-///    all unknowns are added whose values have been newly accessed
-///    during the last iteration."
-///
-/// LRR is a *generic* local solver (right-hand sides are evaluated
-/// atomically against one assignment), so with ⊕ = ⊟ it returns partial
-/// post solutions on termination — but, inheriting round-robin's
-/// weakness, it may diverge under ⊟ even on finite monotonic systems
-/// (Example 1), unlike SLR. It serves as the baseline that motivates
-/// SLR's priority discipline, and as a second independent implementation
-/// for cross-checking SLR's results.
+/// The local round-robin solver sketched in the paper's Section 5 — a
+/// thin shim over the engine's LocalRoundRobin strategy
+/// (engine/strategies/local_round_robin.h). Registered as "lrr".
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_LRR_H
 #define WARROW_SOLVERS_LRR_H
 
-#include "eqsys/local_system.h"
-#include "solvers/stats.h"
-#include "trace/trace.h"
+#include "engine/strategies/local_round_robin.h"
 
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
+#include <utility>
 
 namespace warrow {
 
@@ -42,74 +24,8 @@ namespace warrow {
 template <typename V, typename D, typename C>
 PartialSolution<V, D> solveLRR(const LocalSystem<V, D> &System, const V &X0,
                                C &&Combine, const SolverOptions &Options = {}) {
-  PartialSolution<V, D> Result;
-
-  // The worklist of known unknowns, in discovery order (deterministic).
-  std::vector<V> Known;
-  std::unordered_set<V> KnownSet;
-  // Discovery slot of each unknown = its trace event id (tracing only).
-  std::unordered_map<V, uint64_t> SlotOf;
-  auto Discover = [&](const V &Y) {
-    if (KnownSet.insert(Y).second) {
-      Known.push_back(Y);
-      Result.Sigma.emplace(Y, System.initial(Y));
-      if (Options.Trace)
-        SlotOf.emplace(Y, Known.size() - 1);
-    }
-  };
-  Discover(X0);
-
-  bool Dirty = true;
-  while (Dirty) {
-    Dirty = false;
-    // Iterate over a snapshot: unknowns discovered this round join the
-    // next round (the paper's "growing set").
-    size_t RoundSize = Known.size();
-    for (size_t I = 0; I < RoundSize; ++I) {
-      if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
-        Result.Stats.Converged = false;
-        Result.Stats.VarsSeen = Result.Sigma.size();
-        Result.Stats.QueueMax = Known.size();
-        if (Options.Trace)
-          Result.DiscoveryOrder = Known;
-        return Result;
-      }
-      ++Result.Stats.RhsEvals;
-      const V X = Known[I];
-      typename LocalSystem<V, D>::Get Get = [&](const V &Y) -> D {
-        Discover(Y);
-        if (Options.Trace)
-          Options.Trace->event(TraceEvent::dependency(I, SlotOf.at(Y)));
-        return Result.Sigma.at(Y);
-      };
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::rhsBegin(I));
-      // Evaluate the right-hand side before touching Sigma[X]: discovery
-      // inserts into the map and would invalidate references.
-      D RhsValue = System.rhs(X)(Get);
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::rhsEnd(I));
-      D New = Combine(X, Result.Sigma.at(X), RhsValue);
-      if (!(New == Result.Sigma.at(X))) {
-        if (Options.Trace)
-          Options.Trace->event(
-              TraceEvent::update(I, Result.Sigma.at(X), RhsValue, New));
-        Result.Sigma[X] = std::move(New);
-        ++Result.Stats.Updates;
-        if (Options.RecordTrace)
-          Result.Trace.push_back({X, Result.Sigma.at(X)});
-        Dirty = true;
-      }
-    }
-    if (Known.size() > RoundSize)
-      Dirty = true; // Fresh unknowns need at least one evaluation.
-  }
-  Result.Stats.VarsSeen = Result.Sigma.size();
-  // The "worklist" of this solver is the growing Known set itself.
-  Result.Stats.QueueMax = Known.size();
-  if (Options.Trace)
-    Result.DiscoveryOrder = Known;
-  return Result;
+  return engine::runLocalRoundRobin(System, X0, std::forward<C>(Combine),
+                                    Options);
 }
 
 } // namespace warrow

@@ -1,4 +1,4 @@
-//===- solvers/rld.h - The local solver RLD (paper Fig. 5) ------*- C++ -*-==//
+//===- solvers/rld.h - Recursive local descent (paper Fig. 5) ---*- C++ -*-==//
 //
 // Part of the warrow project, released under the MIT license.
 //
@@ -6,40 +6,18 @@
 ///
 /// \file
 /// The recursive local solver RLD of Hofmann, Karbyshev & Seidl (SAS'10),
-/// reproduced from the paper's Figure 5:
-///
-///     let rec solve x =
-///       if x ∉ stable then
-///         stable <- stable ∪ {x};
-///         tmp <- s[x] ⊕ f_x (eval x);
-///         if tmp != s[x] then
-///           W <- infl[x];
-///           s[x] <- tmp; infl[x] <- [];
-///           stable <- stable \ W;
-///           foreach y in W do solve y
-///     and eval x y =
-///       solve y; infl[y] <- infl[y] ∪ {x}; s[y]
-///     in stable <- {}; infl <- {}; s <- {}; solve x0; s
-///
-/// RLD is included as the *baseline the paper repairs*: because `eval`
-/// recursively solves every queried unknown, one right-hand side may be
-/// evaluated against several intermediate assignments, so RLD is not a
-/// generic solver in the paper's sense — with ⊕ = ⊟ it can return
-/// non-⊟-solutions even when it terminates (Section 5). The test suite
-/// exhibits such a case and shows SLR fixing it.
+/// the baseline the paper repairs — a thin shim over the engine's
+/// RecursiveDescent strategy (engine/strategies/recursive_descent.h).
+/// Registered as "rld".
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_RLD_H
 #define WARROW_SOLVERS_RLD_H
 
-#include "eqsys/local_system.h"
-#include "solvers/stats.h"
-#include "trace/trace.h"
+#include "engine/strategies/recursive_descent.h"
 
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
+#include <utility>
 
 namespace warrow {
 
@@ -47,72 +25,8 @@ namespace warrow {
 template <typename V, typename D, typename C>
 PartialSolution<V, D> solveRLD(const LocalSystem<V, D> &System, const V &X0,
                                C &&Combine, const SolverOptions &Options = {}) {
-  PartialSolution<V, D> Result;
-  std::unordered_set<V> Stable;
-  std::unordered_map<V, std::unordered_set<V>> Infl;
-  bool Failed = false;
-
-  // First-sight slot of each unknown = its trace event id (tracing only).
-  std::unordered_map<V, uint64_t> SlotOf;
-  auto Slot = [&](const V &Y) -> uint64_t {
-    auto [It, Fresh] = SlotOf.emplace(Y, Result.DiscoveryOrder.size());
-    if (Fresh)
-      Result.DiscoveryOrder.push_back(Y);
-    return It->second;
-  };
-
-  // `s` defaults any unseen unknown to its initial value.
-  auto ValueOf = [&](const V &Y) -> D & {
-    auto It = Result.Sigma.find(Y);
-    if (It == Result.Sigma.end())
-      It = Result.Sigma.emplace(Y, System.initial(Y)).first;
-    return It->second;
-  };
-
-  std::function<void(const V &)> Solve = [&](const V &X) {
-    if (Failed || Stable.count(X))
-      return;
-    Stable.insert(X);
-    if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
-      Failed = true;
-      return;
-    }
-    ++Result.Stats.RhsEvals;
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsBegin(Slot(X)));
-    typename LocalSystem<V, D>::Get Eval = [&, X](const V &Y) -> D {
-      Solve(Y);
-      Infl[Y].insert(X);
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::dependency(Slot(X), Slot(Y)));
-      return ValueOf(Y);
-    };
-    D New = System.rhs(X)(Eval);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsEnd(Slot(X)));
-    D &SlotRef = ValueOf(X);
-    D Tmp = Combine(X, SlotRef, New);
-    if (Tmp == SlotRef)
-      return;
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::update(Slot(X), SlotRef, New, Tmp));
-    std::unordered_set<V> W = std::move(Infl[X]);
-    SlotRef = Tmp;
-    ++Result.Stats.Updates;
-    Infl[X].clear();
-    for (const V &Y : W)
-      Stable.erase(Y);
-    if (Options.Trace)
-      for (const V &Y : W)
-        Options.Trace->event(TraceEvent::destabilize(Slot(Y), Slot(X)));
-    for (const V &Y : W)
-      Solve(Y);
-  };
-
-  Solve(X0);
-  Result.Stats.Converged = !Failed;
-  Result.Stats.VarsSeen = Result.Sigma.size();
-  return Result;
+  return engine::runRecursiveDescent(System, X0, std::forward<C>(Combine),
+                                     Options);
 }
 
 } // namespace warrow

@@ -5,29 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The generic round-robin solver RR of the paper's Figure 1:
-///
-///     do {
-///       dirty <- false;
-///       forall (x in X) {
-///         new <- sigma[x] ⊕ f_x(sigma);
-///         if (sigma[x] != new) { sigma[x] <- new; dirty <- true; }
-///       }
-///     } while (dirty);
-///
-/// RR treats right-hand sides as black boxes (no dependency information
-/// needed) and works for any combine operator ⊕ — but, as the paper's
-/// Example 1 shows, it may diverge under ⊟ even for finite monotonic
-/// systems. Divergence is reported via `Stats.Converged`.
+/// The generic round-robin solver RR of the paper's Figure 1 — a thin
+/// shim over the engine's RoundRobin strategy (engine/strategies/
+/// round_robin.h), kept for source compatibility. Registered as "rr".
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_RR_H
 #define WARROW_SOLVERS_RR_H
 
-#include "eqsys/dense_system.h"
-#include "solvers/stats.h"
-#include "trace/trace.h"
+#include "engine/strategies/round_robin.h"
+
+#include <utility>
 
 namespace warrow {
 
@@ -36,46 +25,7 @@ namespace warrow {
 template <typename D, typename C>
 SolveResult<D> solveRR(const DenseSystem<D> &System, C &&Combine,
                        const SolverOptions &Options = {}) {
-  SolveResult<D> Result;
-  Result.Sigma = System.initialAssignment();
-  Result.Stats.VarsSeen = System.size();
-  Var Current = 0; // Unknown under evaluation, for dependency events.
-  auto Get = [&Result, &Options, &Current](Var Y) {
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dependency(Current, Y));
-    return Result.Sigma[Y];
-  };
-
-  bool Dirty = true;
-  while (Dirty) {
-    Dirty = false;
-    for (Var X = 0; X < System.size(); ++X) {
-      if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
-        Result.Stats.Converged = false;
-        return Result;
-      }
-      ++Result.Stats.RhsEvals;
-      if (Options.Trace) {
-        Current = X;
-        Options.Trace->event(TraceEvent::rhsBegin(X));
-      }
-      D Rhs = System.eval(X, Get);
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::rhsEnd(X));
-      D New = Combine(X, Result.Sigma[X], Rhs);
-      if (!(Result.Sigma[X] == New)) {
-        if (Options.Trace)
-          Options.Trace->event(
-              TraceEvent::update(X, Result.Sigma[X], Rhs, New));
-        Result.Sigma[X] = New;
-        ++Result.Stats.Updates;
-        if (Options.RecordTrace)
-          Result.Trace.push_back({X, Result.Sigma[X]});
-        Dirty = true;
-      }
-    }
-  }
-  return Result;
+  return engine::runRoundRobin(System, std::forward<C>(Combine), Options);
 }
 
 } // namespace warrow

@@ -1,291 +1,31 @@
-//===- solvers/slr.h - The local solver SLR (paper Fig. 6) ------*- C++ -*-==//
+//===- solvers/slr.h - Structured local recursion (Fig. 6) ------*- C++ -*-==//
 //
 // Part of the warrow project, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The structured local recursive solver SLR, the paper's Figure 6 and
-/// main contribution on the algorithmic side:
-///
-///     let rec solve x =
-///       if x ∉ stable then
-///         stable <- stable ∪ {x};
-///         tmp <- sigma[x] ⊕ f_x (eval x);
-///         if tmp != sigma[x] then
-///           W <- infl[x];
-///           foreach y in W do add Q y;
-///           sigma[x] <- tmp; infl[x] <- {x}; stable <- stable \ W;
-///           while (Q != {}) ∧ (min_key Q <= key[x]) do
-///             solve (extract_min Q)
-///     and init y =
-///       dom <- dom ∪ {y}; key[y] <- -count; count++;
-///       infl[y] <- {y}; sigma[y] <- sigma_0[y]
-///     and eval x y =
-///       if y ∉ dom then init y; solve y end;
-///       infl[y] <- infl[y] ∪ {x};
-///       sigma[y]
-///     in ... init x0; solve x0; sigma
-///
-/// Differences from RLD that make SLR a *generic* local solver (and
-/// terminating for monotonic systems under ⊟, Theorem 3):
-///  - `eval` recursively solves only *fresh* unknowns, so the evaluation
-///    of a right-hand side is effectively atomic;
-///  - every unknown always depends on itself (`infl[y] ∋ y`);
-///  - destabilized unknowns go into a global priority queue ordered by
-///    discovery time (fresher unknowns = smaller key = solved first), and
-///    `solve x` drains only entries with key <= key[x].
-///
-/// Representation: unknowns are interned into dense *slots* in discovery
-/// order, so `key[y] = -slot(y)` and every piece of bookkeeping —
-/// sigma, stable, infl, the priority queue — is a flat vector indexed by
-/// slot instead of a node-based map keyed by V. The single hash lookup
-/// left on the hot path is the `y ∈ dom` test in `eval`. The queue is an
-/// indexed binary heap over slots; since keys are negated slots, the
-/// minimum key is the *maximum* slot, hence the `std::greater` instance.
-/// `infl` vectors may transiently hold duplicate entries (the set-insert
-/// of Fig. 6 is approximated by an append with a cheap back-check);
-/// duplicates are harmless because destabilization and re-queueing are
-/// both idempotent, and every update of y resets `infl[y]`.
+/// The structured local recursive solver SLR of the paper's Figure 6
+/// (Theorem 3) — a thin shim over the engine's unified SlrEngine
+/// (engine/strategies/slr.h), instantiated without side-effect support.
+/// Registered as "slr".
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_SLR_H
 #define WARROW_SOLVERS_SLR_H
 
-#include "eqsys/local_system.h"
-#include "solvers/stats.h"
-#include "support/indexed_heap.h"
-#include "trace/trace.h"
+#include "engine/strategies/slr.h"
 
-#include <cassert>
-#include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <type_traits>
 #include <utility>
-#include <vector>
 
 namespace warrow {
 
 /// SLR solver engine. Kept as a class so that tests and the experiment
 /// drivers can inspect the discovered domain, keys, and influence sets.
-template <typename V, typename D, typename C> class SlrSolver {
-public:
-  SlrSolver(const LocalSystem<V, D> &System, C Combine,
-            const SolverOptions &Options = {})
-      : System(System), Combine(std::move(Combine)), Options(Options) {}
-
-  /// Solves for \p X0 and returns the partial ⊕-solution.
-  PartialSolution<V, D> solveFor(const V &X0) {
-    solve(internFresh(X0));
-    // Complete any work left in the queue (possible when destabilizations
-    // race with evaluations that end up not changing any value up the
-    // recursion; the final assignment must be a partial ⊕-solution).
-    while (!Failed && !Queue.empty())
-      solve(popQ());
-    PartialSolution<V, D> Result;
-    Result.Sigma.reserve(VarOf.size());
-    for (uint32_t S = 0; S < VarOf.size(); ++S)
-      Result.Sigma.emplace(VarOf[S], SigmaV[S]);
-    Result.Stats = Stats;
-    Result.Stats.Converged = !Failed;
-    Result.Stats.VarsSeen = VarOf.size();
-    if (Options.Trace)
-      Result.DiscoveryOrder = VarOf;
-    return Result;
-  }
-
-  /// Discovered unknowns in discovery order (slot order); `keys` of the
-  /// paper are the negated positions in this sequence.
-  const std::vector<V> &discoveryOrder() const { return VarOf; }
-
-  /// Materializes the paper's key map (diagnostics/tests only).
-  std::unordered_map<V, int64_t> keys() const {
-    std::unordered_map<V, int64_t> K;
-    K.reserve(VarOf.size());
-    for (uint32_t S = 0; S < VarOf.size(); ++S)
-      K.emplace(VarOf[S], -static_cast<int64_t>(S));
-    return K;
-  }
-
-  /// Materializes the current assignment (diagnostics/tests only).
-  std::unordered_map<V, D> assignment() const {
-    std::unordered_map<V, D> A;
-    A.reserve(VarOf.size());
-    for (uint32_t S = 0; S < VarOf.size(); ++S)
-      A.emplace(VarOf[S], SigmaV[S]);
-    return A;
-  }
-
-private:
-  /// Interns \p Y, which must be fresh, into the next slot (`init` of
-  /// Fig. 6: key <- -count, infl <- {y}, sigma <- sigma_0).
-  uint32_t internFresh(const V &Y) {
-    assert(!SlotOf.count(Y) && "double init");
-    uint32_t S = static_cast<uint32_t>(VarOf.size());
-    SlotOf.emplace(Y, S);
-    VarOf.push_back(Y);
-    SigmaV.push_back(System.initial(Y));
-    InflV.push_back({S});
-    StableV.push_back(0);
-    CacheV.emplace_back();
-    Queue.resizeUniverse(VarOf.size());
-    return S;
-  }
-
-  void addQ(uint32_t S) {
-    if (Queue.push(S) && Options.Trace)
-      Options.Trace->event(TraceEvent::enqueue(S));
-    if (Queue.size() > Stats.QueueMax)
-      Stats.QueueMax = Queue.size();
-  }
-
-  uint32_t popQ() {
-    uint32_t S = Queue.pop();
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dequeue(S));
-    return S;
-  }
-
-  void solve(uint32_t XS) {
-    if (Failed || StableV[XS])
-      return;
-    StableV[XS] = 1;
-    // Cache hits count against the budget too: on a divergent system the
-    // hit path must not be able to loop past MaxRhsEvals for free. On
-    // convergent runs hits replace evals one-for-one, so the sum equals
-    // the uncached eval count and Converged is bit-identical either way.
-    if (Stats.RhsEvals + Stats.RhsCacheHits >= Options.MaxRhsEvals) {
-      Failed = true;
-      return;
-    }
-    D New = evaluate(XS);
-    if (Failed)
-      return;
-    D Tmp = Combine(VarOf[XS], SigmaV[XS], New);
-    if (!(Tmp == SigmaV[XS])) {
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::update(XS, SigmaV[XS], New, Tmp));
-      std::vector<uint32_t> W = std::move(InflV[XS]);
-      if (Options.Trace)
-        for (uint32_t YS : W)
-          Options.Trace->event(TraceEvent::destabilize(YS, XS));
-      for (uint32_t YS : W)
-        addQ(YS);
-      SigmaV[XS] = std::move(Tmp);
-      ++Stats.Updates;
-      InflV[XS] = {XS};
-      for (uint32_t YS : W)
-        StableV[YS] = 0;
-      // min_key Q <= key[x]  ⟺  max slot in Q >= slot(x).
-      while (!Failed && !Queue.empty() && Queue.top() >= XS)
-        solve(popQ());
-    }
-  }
-
-  /// f_x(eval x), answered from the read cache when every value the last
-  /// evaluation of x read through `Get` is unchanged. Right-hand sides
-  /// are pure in the instrumented-Get sense (DESIGN §3): same reads, same
-  /// result — so a hit returns the identical value the evaluation would
-  /// have produced and the solver's behavior is bit-for-bit unchanged.
-  D evaluate(uint32_t XS) {
-    if (Options.RhsCache && CacheV[XS].Valid && cacheIsFresh(XS)) {
-      ++Stats.RhsCacheHits;
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::rhsBegin(XS));
-      // Replay the influence registrations the skipped evaluation would
-      // have performed (same order, same back-dedup): dropping them
-      // would lose future destabilizations of x. Every update of y
-      // resets infl[y], so prior registrations may be gone by now.
-      for (const auto &R : CacheV[XS].Reads) {
-        std::vector<uint32_t> &I = InflV[R.first];
-        if (I.empty() || I.back() != XS)
-          I.push_back(XS);
-        if (Options.Trace)
-          Options.Trace->event(TraceEvent::dependency(XS, R.first));
-      }
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::rhsEnd(XS, /*FromCache=*/true));
-      return CacheV[XS].Value;
-    }
-    if (Options.RhsCache)
-      ++Stats.RhsCacheMisses;
-    ++Stats.RhsEvals;
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsBegin(XS));
-    // Reads lives in this frame: CacheV may reallocate while the RHS
-    // recursively interns fresh unknowns, so no reference into it may be
-    // held across the rhs() call (same reason everything below indexes).
-    std::vector<std::pair<uint32_t, D>> Reads;
-    typename LocalSystem<V, D>::Get Eval = [this, XS,
-                                            &Reads](const V &Y) -> D {
-      uint32_t YS = eval(XS, Y);
-      if (Options.RhsCache)
-        Reads.emplace_back(YS, SigmaV[YS]);
-      return SigmaV[YS];
-    };
-    D New = System.rhs(VarOf[XS])(Eval);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsEnd(XS));
-    if (!Failed && Options.RhsCache)
-      CacheV[XS] = CacheEntry{std::move(Reads), New, true};
-    return New;
-  }
-
-  /// True when every recorded read of x's last evaluation would return
-  /// the identical value today. With hash-consed environments each check
-  /// is (almost always) a pointer or memoized-hash compare.
-  bool cacheIsFresh(uint32_t XS) const {
-    for (const auto &R : CacheV[XS].Reads)
-      if (!(R.second == SigmaV[R.first]))
-        return false;
-    return true;
-  }
-
-  /// `eval x y` of Fig. 6 minus the value read; returns y's slot.
-  uint32_t eval(uint32_t XS, const V &Y) {
-    uint32_t YS;
-    auto It = SlotOf.find(Y);
-    if (It == SlotOf.end()) {
-      YS = internFresh(Y);
-      solve(YS);
-    } else {
-      YS = It->second;
-    }
-    // infl[y] ∪= {x}: append with a cheap duplicate filter; exact set
-    // semantics are not required (see file comment).
-    std::vector<uint32_t> &I = InflV[YS];
-    if (I.empty() || I.back() != XS)
-      I.push_back(XS);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dependency(XS, YS));
-    return YS;
-  }
-
-  /// Last evaluation of one unknown: the (slot, value) pairs read through
-  /// `Get`, in read order with duplicates, and the RHS result. Copies of
-  /// consed values are ref-count bumps, so keeping them is cheap.
-  struct CacheEntry {
-    std::vector<std::pair<uint32_t, D>> Reads;
-    D Value{};
-    bool Valid = false;
-  };
-
-  const LocalSystem<V, D> &System;
-  C Combine;
-  SolverOptions Options;
-
-  // Dense slot-indexed state; slots are discovery order (`count`).
-  std::unordered_map<V, uint32_t> SlotOf; // dom = keys(SlotOf).
-  std::vector<V> VarOf;
-  std::vector<D> SigmaV;
-  std::vector<std::vector<uint32_t>> InflV;
-  std::vector<uint8_t> StableV;
-  std::vector<CacheEntry> CacheV;
-  IndexedHeap<std::greater<uint32_t>> Queue; // top() = max slot = min key.
-  SolverStats Stats;
-  bool Failed = false;
-};
+template <typename V, typename D, typename C>
+using SlrSolver = engine::SlrEngine<V, D, C, /*WithSide=*/false>;
 
 /// Convenience wrapper running SLR once.
 template <typename V, typename D, typename C>

@@ -1,389 +1,33 @@
-//===- solvers/slr_plus.h - Side-effecting SLR+ (paper Sec. 6) --*- C++ -*-==//
+//===- solvers/slr_plus.h - SLR+ for side effects (Sec. 6) ------*- C++ -*-==//
 //
 // Part of the warrow project, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// SLR+ — the extension of SLR to side-effecting constraint systems
-/// (Section 6). Right-hand sides receive, besides `get`, a callback
-/// `side(z, d)` contributing the value d to unknown z; such systems
-/// express context-sensitive interprocedural analysis with flow-
-/// insensitive globals (Apinis/Seidl/Vojdani, APLAS'12; Goblint).
-///
-/// The crucial twist (Example 8): individual contributions must not be
-/// combined into the target with ⊟ one by one — narrowing on a single
-/// contribution is unsound. SLR+ therefore materializes one fresh unknown
-/// `(x, z)` per (contributing equation x, target z) holding the *last*
-/// contribution of x to z, maintains `set[z]` = all contributors seen, and
-/// extends z's right-hand side with `⊔ { sigma(x,z) | x in set[z] }`. The
-/// ⊟ operator is then applied to the *joined* value, which is safe.
-///
-/// Paper modifications relative to Fig. 6, implemented verbatim:
-///
-///     side x y d =
-///       if (x,y) ∉ dom then sigma[(x,y)] <- ⊥;
-///       if d != sigma[(x,y)] then
-///         sigma[(x,y)] <- d;
-///         if y in dom then set[y] ∪= {x}; stable \= {y}; add Q y
-///         else init y; set[y] <- {x}; solve y
-///
-///     (in solve)
-///     tmp <- sigma(x) ⊕ (f_x (eval x) (side x) ⊔ ⊔{sigma(z,x) | z in set x})
-///
-/// Representation (mirroring slr.h): unknowns are interned into dense
-/// *slots* in discovery order — sigma, stable, infl, the on-stack and
-/// widening-point marks, the priority queue, and the evaluation cache are
-/// flat vectors indexed by slot; the single V-keyed hash lookup left on
-/// the hot path is the `y ∈ dom` test. The per-contributor cells sigma(x,z)
-/// stay in a V-keyed map (contribution traffic is orders of magnitude
-/// below get traffic, and tests read the map through `contributions()`).
-/// `set[z]` itself is implicit: the join in solve() runs over *all* of
-/// z's cells — cells that never changed still hold ⊥ and join as no-ops,
-/// so the result is identical — and a per-slot flag tracks `set[z] != {}`.
+/// The side-effecting structured local solver SLR+ of the paper's
+/// Section 6, with per-contributor value cells and optional localized
+/// widening points — a thin shim over the engine's unified SlrEngine
+/// (engine/strategies/slr.h), instantiated with side-effect support.
+/// Registered as "slr-plus" (and, operator-fixed, as "warrow"/"widen").
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_SLR_PLUS_H
 #define WARROW_SOLVERS_SLR_PLUS_H
 
-#include "eqsys/local_system.h"
-#include "solvers/stats.h"
-#include "support/indexed_heap.h"
-#include "trace/trace.h"
+#include "engine/strategies/slr.h"
 
-#include <cassert>
-#include <cstdint>
-#include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
 #include <utility>
-#include <vector>
 
 namespace warrow {
 
-/// SLR+ solver engine for side-effecting systems.
-///
-/// With \p LocalizedCombine enabled, the ⊕ operator is applied only at
-/// dynamically detected *widening points* — unknowns whose evaluation was
-/// re-entered while already in progress (i.e. that sit on a dependency
-/// cycle) and unknowns receiving side effects; all other unknowns are
-/// combined with plain join. Every cycle passes through a widening point,
-/// so termination for monotonic systems is preserved, while acyclic
-/// unknowns never lose precision to widening (the localized-widening
-/// refinement of the follow-up journal work on SLR).
-template <typename V, typename D, typename C> class SlrPlusSolver {
-public:
-  SlrPlusSolver(const SideEffectingSystem<V, D> &System, C Combine,
-                const SolverOptions &Options = {},
-                bool LocalizedCombine = false)
-      : System(System), Combine(std::move(Combine)), Options(Options),
-        Localized(LocalizedCombine) {}
-
-  /// Solves for \p X0 and returns the partial ⊕-solution.
-  PartialSolution<V, D> solveFor(const V &X0) {
-    solve(internFresh(X0));
-    // Drain any unknowns destabilized by side effects that no enclosing
-    // update flushed (Fig. 6 drains inside the update branch only; if the
-    // chain up to x0 never changes value, destabilized unknowns would
-    // otherwise be left unsolved and the result would not be a partial
-    // ⊕-solution).
-    while (!Failed && !Queue.empty())
-      solve(popQ());
-    PartialSolution<V, D> Result;
-    Result.Sigma.reserve(VarOf.size());
-    for (uint32_t S = 0; S < VarOf.size(); ++S)
-      Result.Sigma.emplace(VarOf[S], SigmaV[S]);
-    Result.Stats = Stats;
-    Result.Stats.Converged = !Failed;
-    Result.Stats.VarsSeen = VarOf.size();
-    Result.Trace = std::move(Trace);
-    if (Options.Trace)
-      Result.DiscoveryOrder = VarOf;
-    return Result;
-  }
-
-  // --- Introspection (used by the two-phase baseline and by tests) --------
-  std::unordered_map<V, D> assignment() const {
-    std::unordered_map<V, D> A;
-    A.reserve(VarOf.size());
-    for (uint32_t S = 0; S < VarOf.size(); ++S)
-      A.emplace(VarOf[S], SigmaV[S]);
-    return A;
-  }
-  /// The paper's key map: key[y] = -(discovery index of y).
-  std::unordered_map<V, int64_t> keys() const {
-    std::unordered_map<V, int64_t> K;
-    K.reserve(VarOf.size());
-    for (uint32_t S = 0; S < VarOf.size(); ++S)
-      K.emplace(VarOf[S], -static_cast<int64_t>(S));
-    return K;
-  }
-  /// Contributions per target: target -> (contributor -> last value).
-  const std::unordered_map<V, std::unordered_map<V, D>> &
-  contributions() const {
-    return Contribs;
-  }
-  /// True if \p X ever received a side-effect contribution.
-  bool isSideEffected(const V &X) const {
-    auto It = SlotOf.find(X);
-    return It != SlotOf.end() && SideEffectedV[It->second];
-  }
-  /// Widening points detected so far (meaningful in localized mode).
-  const std::unordered_set<V> &wideningPoints() const {
-    return WideningPoints;
-  }
-  const SolverStats &stats() const { return Stats; }
-  bool failed() const { return Failed; }
-
-private:
-  /// Last evaluation of one unknown: the (slot, value) pairs read through
-  /// `Get`, in read order with duplicates, and the RHS result before the
-  /// contribution join and ⊕. Consed values make the copies cheap.
-  struct CacheEntry {
-    std::vector<std::pair<uint32_t, D>> Reads;
-    D Value{};
-    bool Valid = false;
-  };
-
-  /// `init` of Fig. 6: key <- -count, infl <- {y}, sigma <- sigma_0.
-  uint32_t internFresh(const V &Y) {
-    assert(!SlotOf.count(Y) && "double init");
-    uint32_t S = static_cast<uint32_t>(VarOf.size());
-    SlotOf.emplace(Y, S);
-    VarOf.push_back(Y);
-    SigmaV.push_back(System.initial(Y));
-    InflV.push_back({S});
-    StableV.push_back(0);
-    OnStackV.push_back(0);
-    WideningPointV.push_back(0);
-    SideEffectedV.push_back(0);
-    CacheV.emplace_back();
-    Queue.resizeUniverse(VarOf.size());
-    return S;
-  }
-
-  void addQ(uint32_t S) {
-    if (Queue.push(S) && Options.Trace)
-      Options.Trace->event(TraceEvent::enqueue(S));
-    if (Queue.size() > Stats.QueueMax)
-      Stats.QueueMax = Queue.size();
-  }
-
-  uint32_t popQ() {
-    uint32_t S = Queue.pop();
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dequeue(S));
-    return S;
-  }
-
-  void solve(uint32_t XS) {
-    if (Failed || StableV[XS])
-      return;
-    StableV[XS] = 1;
-    // Hits count against the budget so the hit path cannot loop past
-    // MaxRhsEvals on a divergent system; on convergent runs hits replace
-    // evals one-for-one and the sum matches the uncached eval count.
-    if (Stats.RhsEvals + Stats.RhsCacheHits >= Options.MaxRhsEvals) {
-      Failed = true;
-      return;
-    }
-    OnStackV[XS] = 1;
-    D New = evaluate(XS);
-    if (Failed) {
-      OnStackV[XS] = 0;
-      return;
-    }
-    // Join in the recorded contributions of all contributors (cells that
-    // never changed still hold ⊥ and drop out of the join).
-    auto ContribIt = Contribs.find(VarOf[XS]);
-    if (ContribIt != Contribs.end())
-      for (const auto &[Z, Value] : ContribIt->second)
-        New = New.join(Value);
-    // In localized mode, ⊕ is applied at widening points only; elsewhere
-    // the unknown simply tracks its right-hand side (plain assignment) —
-    // acyclic unknowns stabilize once their inputs do, values may both
-    // grow and shrink, and no widening-induced precision is lost.
-    bool UseCombine =
-        !Localized || WideningPointV[XS] || SideEffectedV[XS];
-    D Tmp = UseCombine ? Combine(VarOf[XS], SigmaV[XS], New) : New;
-    if (!(Tmp == SigmaV[XS])) {
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::update(XS, SigmaV[XS], New, Tmp));
-      std::vector<uint32_t> W = std::move(InflV[XS]);
-      if (Options.Trace)
-        for (uint32_t YS : W)
-          Options.Trace->event(TraceEvent::destabilize(YS, XS));
-      for (uint32_t YS : W)
-        addQ(YS);
-      SigmaV[XS] = std::move(Tmp);
-      ++Stats.Updates;
-      if (Options.RecordTrace)
-        Trace.push_back({VarOf[XS], SigmaV[XS]});
-      InflV[XS] = {XS};
-      for (uint32_t YS : W)
-        StableV[YS] = 0;
-      // min_key Q <= key[x]  ⟺  max slot in Q >= slot(x).
-      while (!Failed && !Queue.empty() && Queue.top() >= XS)
-        solve(popQ());
-    }
-    OnStackV[XS] = 0;
-  }
-
-  /// f_x (eval x) (side x), answered from the read cache when every value
-  /// x's last evaluation read through `Get` is unchanged. Sound despite
-  /// the side effects: contribution values are a pure function of the
-  /// reads, and only x's own evaluations write x's contribution cells, so
-  /// with identical reads every `side` call the skipped evaluation would
-  /// make finds its value already recorded and early-returns (no
-  /// destabilization). The contribution join over set[x] stays in solve()
-  /// — other contributors can change without x's reads changing.
-  D evaluate(uint32_t XS) {
-    if (Options.RhsCache && CacheV[XS].Valid && cacheIsFresh(XS)) {
-      ++Stats.RhsCacheHits;
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::rhsBegin(XS));
-      // Replay what a real re-evaluation would do per read, in order:
-      // re-register influence (updates of y reset infl[y], so earlier
-      // registrations may be gone) and re-run the localized widening-
-      // point detection (X is on the stack, exactly as during a real
-      // evaluation, so self-reads behave identically).
-      for (const auto &R : CacheV[XS].Reads) {
-        if (Localized && OnStackV[R.first])
-          markWideningPoint(R.first);
-        std::vector<uint32_t> &I = InflV[R.first];
-        if (I.empty() || I.back() != XS)
-          I.push_back(XS);
-        if (Options.Trace)
-          Options.Trace->event(TraceEvent::dependency(XS, R.first));
-      }
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::rhsEnd(XS, /*FromCache=*/true));
-      return CacheV[XS].Value;
-    }
-    if (Options.RhsCache)
-      ++Stats.RhsCacheMisses;
-    ++Stats.RhsEvals;
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsBegin(XS));
-    // Reads lives in this frame: CacheV may reallocate while the RHS
-    // recursively interns fresh unknowns, so no reference into it may be
-    // held across the rhs() call (everything below indexes).
-    std::vector<std::pair<uint32_t, D>> Reads;
-    typename SideEffectingSystem<V, D>::Get Eval =
-        [this, XS, &Reads](const V &Y) -> D {
-      uint32_t YS = eval(XS, Y);
-      if (Options.RhsCache)
-        Reads.emplace_back(YS, SigmaV[YS]);
-      return SigmaV[YS];
-    };
-    typename SideEffectingSystem<V, D>::Side Side =
-        [this, XS](const V &Y, const D &Value) { side(XS, Y, Value); };
-    D New = System.rhs(VarOf[XS])(Eval, Side);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsEnd(XS));
-    if (!Failed && Options.RhsCache)
-      CacheV[XS] = CacheEntry{std::move(Reads), New, true};
-    return New;
-  }
-
-  /// True when every recorded read of x's last evaluation would return
-  /// the identical value today; pointer/memoized-hash compares for
-  /// consed environments.
-  bool cacheIsFresh(uint32_t XS) const {
-    for (const auto &R : CacheV[XS].Reads)
-      if (!(R.second == SigmaV[R.first]))
-        return false;
-    return true;
-  }
-
-  void markWideningPoint(uint32_t YS) {
-    if (!WideningPointV[YS]) {
-      WideningPointV[YS] = 1;
-      WideningPoints.insert(VarOf[YS]);
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::wideningPoint(YS));
-    }
-  }
-
-  /// `eval x y` of the paper minus the value read; returns y's slot.
-  uint32_t eval(uint32_t XS, const V &Y) {
-    uint32_t YS;
-    auto It = SlotOf.find(Y);
-    if (It == SlotOf.end()) {
-      YS = internFresh(Y);
-      solve(YS);
-    } else {
-      YS = It->second;
-      if (Localized && OnStackV[YS]) {
-        // Y queried while its own evaluation is in progress: Y closes a
-        // dependency cycle and becomes a widening point.
-        markWideningPoint(YS);
-      }
-    }
-    // infl[y] ∪= {x}: append with a cheap duplicate filter (see slr.h —
-    // transient duplicates are harmless, updates of y reset infl[y]).
-    std::vector<uint32_t> &I = InflV[YS];
-    if (I.empty() || I.back() != XS)
-      I.push_back(XS);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dependency(XS, YS));
-    return YS;
-  }
-
-  void side(uint32_t XS, const V &Y, const D &Value) {
-    auto &TargetContribs = Contribs[Y];
-    auto It = TargetContribs.find(VarOf[XS]);
-    if (It == TargetContribs.end())
-      It = TargetContribs.emplace(VarOf[XS], D::bot()).first; // <- ⊥
-    if (Value == It->second)
-      return;
-    It->second = Value;
-    auto SlotIt = SlotOf.find(Y);
-    if (SlotIt != SlotOf.end()) {
-      if (Options.Trace) {
-        Options.Trace->event(
-            TraceEvent::sideContribution(SlotIt->second, XS));
-        Options.Trace->event(TraceEvent::destabilize(SlotIt->second, XS));
-      }
-      SideEffectedV[SlotIt->second] = 1; // set[y] ∪= {x}
-      StableV[SlotIt->second] = 0;
-      addQ(SlotIt->second);
-      return;
-    }
-    uint32_t YS = internFresh(Y);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::sideContribution(YS, XS));
-    SideEffectedV[YS] = 1; // set[y] <- {x}
-    solve(YS);
-  }
-
-  const SideEffectingSystem<V, D> &System;
-  C Combine;
-  SolverOptions Options;
-
-  // Dense slot-indexed state; slots are discovery order (`count`).
-  std::unordered_map<V, uint32_t> SlotOf; // dom = keys(SlotOf).
-  std::vector<V> VarOf;
-  std::vector<D> SigmaV;
-  std::vector<std::vector<uint32_t>> InflV;
-  std::vector<uint8_t> StableV;
-  std::vector<uint8_t> OnStackV;
-  std::vector<uint8_t> WideningPointV;
-  std::vector<uint8_t> SideEffectedV;
-  std::vector<CacheEntry> CacheV;
-  IndexedHeap<std::greater<uint32_t>> Queue; // top() = max slot = min key.
-
-  // Contribution cells sigma(x,z), target-major; V-keyed on purpose (see
-  // file comment). WideningPoints mirrors WideningPointV for the public
-  // accessor (writes are rare — once per detected point).
-  std::unordered_map<V, std::unordered_map<V, D>> Contribs;
-  std::unordered_set<V> WideningPoints;
-  std::vector<std::pair<V, D>> Trace;
-  SolverStats Stats;
-  bool Failed = false;
-  bool Localized = false;
-};
+/// SLR+ solver engine. Kept as a class so that tests, the analyses, and
+/// the experiment drivers can inspect contributions, widening points, and
+/// the discovered domain.
+template <typename V, typename D, typename C>
+using SlrPlusSolver = engine::SlrEngine<V, D, C, /*WithSide=*/true>;
 
 /// Convenience wrapper running SLR+ once.
 template <typename V, typename D, typename C>

@@ -5,36 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The structured round-robin solver SRR of the paper's Figure 3:
-///
-///     void solve i {
-///       if (i = 0) return;
-///       solve (i-1);
-///       new <- sigma[x_i] ⊕ f_i(sigma);
-///       if (sigma[x_i] != new) { sigma[x_i] <- new; solve i; }
-///     }
-///     // started as: solve n
-///
-/// SRR iterates on unknown x_i until stabilization, re-solving all smaller
-/// unknowns before each evaluation. Theorem 1: with ⊕ = ⊟ and monotonic
-/// right-hand sides SRR always terminates, and for ⊕ = ⊔ over a lattice of
-/// height h it needs at most `n + h/2 * n(n+1)` evaluations.
-///
-/// The implementation is an iterative reformulation of the recursion
-/// (which otherwise nests up to n*h frames deep): maintain a cursor i;
-/// evaluate x_i; on change restart the cursor at 1, else advance. The
-/// invariant is identical — whenever x_i is evaluated, all x_j with j < i
-/// satisfy sigma[x_j] = sigma[x_j] ⊕ f_j(sigma) — and the evaluation
-/// sequences coincide (verified against the paper's Example 3 trace).
+/// The structured round-robin solver SRR of the paper's Figure 3
+/// (Theorem 1) — a thin shim over the engine's StructuredRoundRobin
+/// strategy (engine/strategies/structured_round_robin.h). Registered as
+/// "srr".
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_SRR_H
 #define WARROW_SOLVERS_SRR_H
 
-#include "eqsys/dense_system.h"
-#include "solvers/stats.h"
-#include "trace/trace.h"
+#include "engine/strategies/structured_round_robin.h"
+
+#include <utility>
 
 namespace warrow {
 
@@ -42,45 +25,8 @@ namespace warrow {
 template <typename D, typename C>
 SolveResult<D> solveSRR(const DenseSystem<D> &System, C &&Combine,
                         const SolverOptions &Options = {}) {
-  SolveResult<D> Result;
-  Result.Sigma = System.initialAssignment();
-  Result.Stats.VarsSeen = System.size();
-  Var Current = 0; // Unknown under evaluation, for dependency events.
-  auto Get = [&Result, &Options, &Current](Var Y) {
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dependency(Current, Y));
-    return Result.Sigma[Y];
-  };
-
-  size_t I = 0; // Cursor over 0-based unknown indices.
-  while (I < System.size()) {
-    if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
-      Result.Stats.Converged = false;
-      return Result;
-    }
-    Var X = static_cast<Var>(I);
-    ++Result.Stats.RhsEvals;
-    if (Options.Trace) {
-      Current = X;
-      Options.Trace->event(TraceEvent::rhsBegin(X));
-    }
-    D Rhs = System.eval(X, Get);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsEnd(X));
-    D New = Combine(X, Result.Sigma[X], Rhs);
-    if (Result.Sigma[X] == New) {
-      ++I;
-      continue;
-    }
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::update(X, Result.Sigma[X], Rhs, New));
-    Result.Sigma[X] = New;
-    ++Result.Stats.Updates;
-    if (Options.RecordTrace)
-      Result.Trace.push_back({X, Result.Sigma[X]});
-    I = 0; // Re-stabilize all smaller unknowns, then revisit X.
-  }
-  return Result;
+  return engine::runStructuredRoundRobin(System, std::forward<C>(Combine),
+                                         Options);
 }
 
 } // namespace warrow

@@ -32,7 +32,15 @@ struct SolverStats {
   /// Number of distinct unknowns touched (== system size for dense
   /// solvers; the size of `dom` for local solvers).
   uint64_t VarsSeen = 0;
-  /// Largest observed size of the worklist / priority queue.
+  /// High-water mark of the solver's *pending-work set*, one convention
+  /// for every iteration strategy:
+  ///   - queue/worklist strategies (W, SW, SLR, SLR+): largest queue size;
+  ///   - sweep strategies (RR, SRR): size of the swept set, i.e. the
+  ///     system size — a full sweep has every unknown pending;
+  ///   - LRR: |Known| (the growing known-set IS its worklist);
+  ///   - pure recursion (RLD): 0 — there is no pending set;
+  ///   - two-phase drivers: max over both phases;
+  ///   - the SCC-parallel solver: max over per-component queues.
   uint64_t QueueMax = 0;
   /// Destabilized unknowns whose re-evaluation was skipped because every
   /// value read through `Get` last time is pointer-identical now (the RHS

@@ -5,35 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The structured worklist solver SW of the paper's Figure 4:
-///
-///     Q <- {};  for (i <- 1..n) add Q x_i;
-///     while (Q != {}) {
-///       x_i <- extract_min(Q);
-///       new <- sigma[x_i] ⊕ f_i(sigma);
-///       if (sigma[x_i] != new) {
-///         sigma[x_i] <- new;
-///         add Q x_i;
-///         forall (x_j in infl_i) add Q x_j;
-///       }
-///     }
-///
-/// SW replaces the plain worklist by a priority queue over the fixed
-/// variable ordering, always re-evaluating the *least* unstable unknown
-/// first. Theorem 2: complexity matches ordinary worklist iteration up to
-/// the log factor for the queue, and with ⊕ = ⊟ SW terminates for
-/// monotonic systems from any initial assignment.
+/// The structured worklist solver SW of the paper's Figure 4 (Theorem 2)
+/// — thin shims over the engine's PriorityWorklist strategy
+/// (engine/strategies/priority_worklist.h), which unifies the identity
+/// ordering and the explicitly ranked variant behind one loop.
+/// Registered as "sw" / "sw-ordered".
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_SW_H
 #define WARROW_SOLVERS_SW_H
 
-#include "eqsys/dense_system.h"
-#include "solvers/stats.h"
-#include "support/indexed_heap.h"
-#include "trace/trace.h"
+#include "engine/strategies/priority_worklist.h"
 
+#include <utility>
 #include <vector>
 
 namespace warrow {
@@ -42,63 +27,8 @@ namespace warrow {
 template <typename D, typename C>
 SolveResult<D> solveSW(const DenseSystem<D> &System, C &&Combine,
                        const SolverOptions &Options = {}) {
-  SolveResult<D> Result;
-  Result.Sigma = System.initialAssignment();
-  Result.Stats.VarsSeen = System.size();
-  Var Current = 0; // Unknown under evaluation, for dependency events.
-  auto Get = [&Result, &Options, &Current](Var Y) {
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dependency(Current, Y));
-    return Result.Sigma[Y];
-  };
-
-  // Indexed min-heap over variable indices; push implements the `add` of
-  // the paper (insert or leave unchanged).
-  IndexedHeap<> Queue;
-  Queue.resizeUniverse(System.size());
-  auto Add = [&](Var Y) {
-    if (Queue.push(Y) && Options.Trace)
-      Options.Trace->event(TraceEvent::enqueue(Y));
-    if (Queue.size() > Result.Stats.QueueMax)
-      Result.Stats.QueueMax = Queue.size();
-  };
-  for (Var X = 0; X < System.size(); ++X)
-    Add(X);
-
-  while (!Queue.empty()) {
-    if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
-      Result.Stats.Converged = false;
-      return Result;
-    }
-    Var X = Queue.pop();
-    ++Result.Stats.RhsEvals;
-    if (Options.Trace) {
-      Current = X;
-      Options.Trace->event(TraceEvent::dequeue(X));
-      Options.Trace->event(TraceEvent::rhsBegin(X));
-    }
-    D Rhs = System.eval(X, Get);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsEnd(X));
-    D New = Combine(X, Result.Sigma[X], Rhs);
-    if (Result.Sigma[X] == New)
-      continue;
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::update(X, Result.Sigma[X], Rhs, New));
-    Result.Sigma[X] = New;
-    ++Result.Stats.Updates;
-    if (Options.RecordTrace)
-      Result.Trace.push_back({X, Result.Sigma[X]});
-    if (Options.Trace) {
-      Options.Trace->event(TraceEvent::destabilize(X, X));
-      for (Var Y : System.influenced(X))
-        Options.Trace->event(TraceEvent::destabilize(Y, X));
-    }
-    Add(X); // Precaution for non-idempotent ⊕ (Fig. 4 line `add Q x_i`).
-    for (Var Y : System.influenced(X))
-      Add(Y);
-  }
-  return Result;
+  return engine::runPriorityWorklist(System, std::forward<C>(Combine),
+                                     Options);
 }
 
 /// SW under an explicit priority order: \p Rank maps each variable to
@@ -111,65 +41,8 @@ template <typename D, typename C>
 SolveResult<D> solveOrderedSW(const DenseSystem<D> &System, C &&Combine,
                               const std::vector<uint32_t> &Rank,
                               const SolverOptions &Options = {}) {
-  SolveResult<D> Result;
-  Result.Sigma = System.initialAssignment();
-  Result.Stats.VarsSeen = System.size();
-  Var Current = 0; // Unknown under evaluation, for dependency events.
-  auto Get = [&Result, &Options, &Current](Var Y) {
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dependency(Current, Y));
-    return Result.Sigma[Y];
-  };
-
-  // The heap holds ranks; VarAt inverts the permutation on extraction.
-  std::vector<Var> VarAt(System.size());
-  for (Var X = 0; X < System.size(); ++X)
-    VarAt[Rank[X]] = X;
-  IndexedHeap<> Queue;
-  Queue.resizeUniverse(System.size());
-  auto Add = [&](Var Y) {
-    if (Queue.push(Rank[Y]) && Options.Trace)
-      Options.Trace->event(TraceEvent::enqueue(Y));
-    if (Queue.size() > Result.Stats.QueueMax)
-      Result.Stats.QueueMax = Queue.size();
-  };
-  for (Var X = 0; X < System.size(); ++X)
-    Add(X);
-
-  while (!Queue.empty()) {
-    if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
-      Result.Stats.Converged = false;
-      return Result;
-    }
-    Var X = VarAt[Queue.pop()];
-    ++Result.Stats.RhsEvals;
-    if (Options.Trace) {
-      Current = X;
-      Options.Trace->event(TraceEvent::dequeue(X));
-      Options.Trace->event(TraceEvent::rhsBegin(X));
-    }
-    D Rhs = System.eval(X, Get);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsEnd(X));
-    D New = Combine(X, Result.Sigma[X], Rhs);
-    if (Result.Sigma[X] == New)
-      continue;
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::update(X, Result.Sigma[X], Rhs, New));
-    Result.Sigma[X] = New;
-    ++Result.Stats.Updates;
-    if (Options.RecordTrace)
-      Result.Trace.push_back({X, Result.Sigma[X]});
-    if (Options.Trace) {
-      Options.Trace->event(TraceEvent::destabilize(X, X));
-      for (Var Y : System.influenced(X))
-        Options.Trace->event(TraceEvent::destabilize(Y, X));
-    }
-    Add(X);
-    for (Var Y : System.influenced(X))
-      Add(Y);
-  }
-  return Result;
+  return engine::runPriorityWorklist(System, std::forward<C>(Combine),
+                                     Options, &Rank);
 }
 
 } // namespace warrow

@@ -6,27 +6,17 @@
 ///
 /// \file
 /// The classical two-phase iteration of Cousot & Cousot against which the
-/// paper's ⊟-solvers are compared: first an ascending (widening) phase
-/// with ⊕ = ▽ until stabilization, then a descending (narrowing) phase
-/// with ⊕ = △ on the obtained post solution (Fact 1). The narrowing phase
-/// is only sound for *monotonic* systems — which is precisely the
-/// limitation the paper removes.
-///
-/// Both phases run structured worklist iteration (SW) so that the
-/// comparison with the ⊟-solver isolates the operator, not the strategy.
+/// paper's ⊟-solvers are compared — a thin shim over the engine's
+/// TwoPhaseSW driver (engine/strategies/two_phase.h). Registered as
+/// "two-phase-dense"; the engine also registers the new "two-phase-rr"
+/// driver over round-robin sweeps.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_TWO_PHASE_H
 #define WARROW_SOLVERS_TWO_PHASE_H
 
-#include "eqsys/dense_system.h"
-#include "lattice/combine.h"
-#include "solvers/stats.h"
-#include "solvers/sw.h"
-#include "trace/trace.h"
-
-#include <algorithm>
+#include "engine/strategies/two_phase.h"
 
 namespace warrow {
 
@@ -38,40 +28,7 @@ template <typename D>
 SolveResult<D> solveTwoPhase(const DenseSystem<D> &System,
                              const SolverOptions &Options = {},
                              unsigned NarrowRounds = 1) {
-  // Phase 1: ascending iteration with widening.
-  if (Options.Trace)
-    Options.Trace->event(TraceEvent::phaseChange(0));
-  SolveResult<D> Up = solveSW(System, WidenCombine{}, Options);
-  if (!Up.Stats.Converged)
-    return Up;
-
-  // Phase 2: descending iteration with narrowing, seeded with the post
-  // solution from phase 1.
-  for (unsigned Round = 0; Round < NarrowRounds; ++Round) {
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::phaseChange(1, Round));
-    // Re-run SW on a copy of the system state: build a wrapper system
-    // whose initial assignment is the current sigma.
-    DenseSystem<D> Seeded;
-    for (Var X = 0; X < System.size(); ++X)
-      Seeded.addVar(System.name(X), Up.Sigma[X]);
-    for (Var X = 0; X < System.size(); ++X)
-      Seeded.define(
-          X, [&System, X](const typename DenseSystem<D>::GetFn &Get) {
-            return System.eval(X, Get);
-          },
-          System.deps(X));
-    SolveResult<D> Down = solveSW(Seeded, NarrowCombine{}, Options);
-    Up.Stats.RhsEvals += Down.Stats.RhsEvals;
-    Up.Stats.Updates += Down.Stats.Updates;
-    Up.Stats.QueueMax = std::max(Up.Stats.QueueMax, Down.Stats.QueueMax);
-    Up.Stats.Converged = Down.Stats.Converged;
-    bool Changed = !(Down.Sigma == Up.Sigma);
-    Up.Sigma = std::move(Down.Sigma);
-    if (!Up.Stats.Converged || !Changed)
-      break;
-  }
-  return Up;
+  return engine::runTwoPhaseSW(System, Options, NarrowRounds);
 }
 
 } // namespace warrow

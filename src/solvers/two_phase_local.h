@@ -1,44 +1,23 @@
-//===- solvers/two_phase_local.h - Two-phase baseline (local) ---*- C++ -*-==//
+//===- solvers/two_phase_local.h - Two-phase (local/side) -------*- C++ -*-==//
 //
 // Part of the warrow project, released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The classical two-phase widening/narrowing baseline for *side-effecting*
-/// local systems — the comparison point of the paper's Figure 7.
-///
-/// Phase 1 runs SLR+ with ⊕ = ▽ to obtain a post solution on the
-/// discovered domain. Phase 2 performs descending (narrowing) sweeps over
-/// that fixed domain with ⊕ = △, re-evaluating each right-hand side
-/// against the current assignment.
-///
-/// Faithful to the pre-paper state of the art, side-effected unknowns
-/// (globals) are *frozen* during phase 2: without SLR+'s per-contributor
-/// value tracking, narrowing a global from any individual contribution is
-/// unsound (paper, Example 8), so a classical solver must keep the widened
-/// value. Side effects emitted during phase-2 re-evaluations are therefore
-/// discarded. This is the precision gap the ⊟-solver closes.
-///
-/// Soundness requires monotonic right-hand sides and a fixed unknown set —
-/// exactly the conditions of Fact 1; the context-sensitive analyses of
-/// Table 1 violate them, which is why only ▽ and ⊟ are compared there.
+/// The classical two-phase widening/narrowing baseline for side-effecting
+/// local systems (the comparison point of the paper's Figure 7) — thin
+/// shims over the engine's TwoPhaseLocal strategy
+/// (engine/strategies/two_phase_local.h). Registered as "two-phase"; the
+/// engine additionally registers "two-phase-localized" with localized
+/// phase-1 widening points.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_TWO_PHASE_LOCAL_H
 #define WARROW_SOLVERS_TWO_PHASE_LOCAL_H
 
-#include "eqsys/local_system.h"
-#include "lattice/combine.h"
-#include "solvers/slr_plus.h"
-#include "solvers/stats.h"
-#include "trace/trace.h"
-
-#include <algorithm>
-#include <unordered_map>
-#include <utility>
-#include <vector>
+#include "engine/strategies/two_phase_local.h"
 
 namespace warrow {
 
@@ -49,120 +28,7 @@ PartialSolution<V, D>
 solveTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
                   const SolverOptions &Options = {},
                   unsigned MaxNarrowRounds = 8) {
-  // Phase 1: ascending with widening.
-  if (Options.Trace)
-    Options.Trace->event(TraceEvent::phaseChange(0));
-  SlrPlusSolver<V, D, WidenCombine> Ascending(System, WidenCombine{},
-                                              Options);
-  PartialSolution<V, D> Result = Ascending.solveFor(X0);
-  if (!Result.Stats.Converged)
-    return Result;
-
-  // Phase-2 events reuse phase 1's slot ids (key[x] = -slot, Fig. 6).
-  std::unordered_map<V, uint64_t> SlotOf;
-  if (Options.Trace)
-    for (const auto &[X, KeyValue] : Ascending.keys())
-      SlotOf.emplace(X, static_cast<uint64_t>(-KeyValue));
-
-  // Stable iteration order: by discovery key, oldest (x0) last, so inner
-  // (fresher) unknowns narrow first — mirroring SLR's priority discipline.
-  std::vector<std::pair<int64_t, V>> Order;
-  Order.reserve(Result.Sigma.size());
-  for (const auto &[X, KeyValue] : Ascending.keys())
-    Order.push_back({KeyValue, X});
-  std::sort(Order.begin(), Order.end(),
-            [](const auto &A, const auto &B) { return A.first < B.first; });
-
-  auto GetCurrent = [&System, &Result](const V &Y) -> D {
-    auto It = Result.Sigma.find(Y);
-    return It == Result.Sigma.end() ? System.initial(Y) : It->second;
-  };
-  typename SideEffectingSystem<V, D>::Side DiscardSide =
-      [](const V &, const D &) {};
-
-  // Per-unknown read cache for the sweeps: a descending round mostly
-  // re-confirms values, so most right-hand sides see the exact inputs of
-  // the previous round and need not run (side effects are discarded in
-  // phase 2, so skipping is trivially sound here).
-  struct CacheEntry {
-    std::vector<std::pair<V, D>> Reads;
-    D Value{};
-  };
-  std::unordered_map<V, CacheEntry> Cache;
-
-  // Phase 2: descending sweeps with narrowing; frozen globals.
-  for (unsigned Round = 0; Round < MaxNarrowRounds; ++Round) {
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::phaseChange(1, Round));
-    bool Changed = false;
-    for (const auto &[KeyValue, X] : Order) {
-      if (Ascending.isSideEffected(X))
-        continue; // Frozen: classical solvers cannot narrow globals.
-      if (Result.Stats.RhsEvals + Result.Stats.RhsCacheHits >=
-          Options.MaxRhsEvals) {
-        Result.Stats.Converged = false;
-        return Result;
-      }
-      const uint64_t XSlot =
-          Options.Trace ? SlotOf.at(X) : 0;
-      auto DepEvent = [&](const V &Y) {
-        auto It = SlotOf.find(Y);
-        if (It != SlotOf.end())
-          Options.Trace->event(TraceEvent::dependency(XSlot, It->second));
-      };
-      D New;
-      auto CIt = Options.RhsCache ? Cache.find(X) : Cache.end();
-      bool Hit = CIt != Cache.end() &&
-                 std::all_of(CIt->second.Reads.begin(),
-                             CIt->second.Reads.end(), [&](const auto &R) {
-                               return R.second == GetCurrent(R.first);
-                             });
-      if (Hit) {
-        ++Result.Stats.RhsCacheHits;
-        if (Options.Trace) {
-          Options.Trace->event(TraceEvent::rhsBegin(XSlot));
-          for (const auto &R : CIt->second.Reads)
-            DepEvent(R.first);
-          Options.Trace->event(TraceEvent::rhsEnd(XSlot,
-                                                  /*FromCache=*/true));
-        }
-        New = CIt->second.Value;
-      } else {
-        if (Options.RhsCache)
-          ++Result.Stats.RhsCacheMisses;
-        ++Result.Stats.RhsEvals;
-        if (Options.Trace)
-          Options.Trace->event(TraceEvent::rhsBegin(XSlot));
-        std::vector<std::pair<V, D>> Reads;
-        typename SideEffectingSystem<V, D>::Get Get =
-            [&](const V &Y) -> D {
-          D Val = GetCurrent(Y);
-          if (Options.RhsCache)
-            Reads.emplace_back(Y, Val);
-          if (Options.Trace)
-            DepEvent(Y);
-          return Val;
-        };
-        New = System.rhs(X)(Get, DiscardSide);
-        if (Options.Trace)
-          Options.Trace->event(TraceEvent::rhsEnd(XSlot));
-        if (Options.RhsCache)
-          Cache[X] = CacheEntry{std::move(Reads), New};
-      }
-      D Narrowed = Result.Sigma.at(X).narrow(New);
-      if (!(Narrowed == Result.Sigma.at(X))) {
-        if (Options.Trace)
-          Options.Trace->event(
-              TraceEvent::update(XSlot, Result.Sigma.at(X), New, Narrowed));
-        Result.Sigma[X] = std::move(Narrowed);
-        ++Result.Stats.Updates;
-        Changed = true;
-      }
-    }
-    if (!Changed)
-      break;
-  }
-  return Result;
+  return engine::runTwoPhaseSide(System, X0, Options, MaxNarrowRounds);
 }
 
 /// Two-phase baseline for plain (non-side-effecting) local systems,
@@ -172,16 +38,7 @@ PartialSolution<V, D> solveTwoPhaseLocal(const LocalSystem<V, D> &System,
                                          const V &X0,
                                          const SolverOptions &Options = {},
                                          unsigned MaxNarrowRounds = 8) {
-  SideEffectingSystem<V, D> Wrapped(
-      [&System](const V &X) -> typename SideEffectingSystem<V, D>::Rhs {
-        typename LocalSystem<V, D>::Rhs F = System.rhs(X);
-        return [F](const typename SideEffectingSystem<V, D>::Get &Get,
-                   const typename SideEffectingSystem<V, D>::Side &) {
-          return F(Get);
-        };
-      },
-      [&System](const V &X) { return System.initial(X); });
-  return solveTwoPhaseSide(Wrapped, X0, Options, MaxNarrowRounds);
+  return engine::runTwoPhaseLocal(System, X0, Options, MaxNarrowRounds);
 }
 
 } // namespace warrow

@@ -5,40 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The generic worklist solver W of the paper's Figure 2:
-///
-///     W <- X;
-///     while (W != {}) {
-///       x <- extract(W);
-///       new <- sigma[x] ⊕ f_x(sigma);
-///       if (sigma[x] != new) { sigma[x] <- new; W <- W ∪ infl_x; }
-///     }
-///
-/// W needs the declared dependency sets to compute `infl`. The worklist is
-/// a *set* maintained with a LIFO extraction discipline (the discipline
-/// under which the paper's Example 2 diverges with ⊟): extraction pops the
-/// most recently pushed absent unknown; pushing an unknown already present
-/// leaves its position unchanged. On update of x the influence set is
-/// pushed with x itself last, so x is re-extracted first — the paper's
-/// precaution for non-idempotent ⊕.
+/// The generic worklist solver W of the paper's Figure 2 — a thin shim
+/// over the engine's Worklist strategy (engine/strategies/worklist.h),
+/// which also defines WorklistDiscipline. Registered as "w" / "w-fifo".
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_SOLVERS_WL_H
 #define WARROW_SOLVERS_WL_H
 
-#include "eqsys/dense_system.h"
-#include "solvers/stats.h"
-#include "trace/trace.h"
+#include "engine/strategies/worklist.h"
 
-#include <deque>
-#include <vector>
+#include <utility>
 
 namespace warrow {
-
-/// Extraction discipline of the worklist (the paper leaves it open; its
-/// Example 2 uses LIFO).
-enum class WorklistDiscipline { Lifo, Fifo };
 
 /// Runs worklist iteration with combine operator \p Combine.
 template <typename D, typename C>
@@ -46,83 +26,8 @@ SolveResult<D> solveW(const DenseSystem<D> &System, C &&Combine,
                       const SolverOptions &Options = {},
                       WorklistDiscipline Discipline =
                           WorklistDiscipline::Lifo) {
-  SolveResult<D> Result;
-  Result.Sigma = System.initialAssignment();
-  Result.Stats.VarsSeen = System.size();
-  Var Current = 0; // Unknown under evaluation, for dependency events.
-  auto Get = [&Result, &Options, &Current](Var Y) {
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::dependency(Current, Y));
-    return Result.Sigma[Y];
-  };
-
-  // A deque covers both disciplines: LIFO pops the back, FIFO the front.
-  std::deque<Var> Work;
-  std::vector<char> InWork(System.size(), 0);
-  auto Push = [&](Var Y) {
-    if (InWork[Y])
-      return;
-    InWork[Y] = 1;
-    Work.push_back(Y);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::enqueue(Y));
-    if (Work.size() > Result.Stats.QueueMax)
-      Result.Stats.QueueMax = Work.size();
-  };
-  if (Discipline == WorklistDiscipline::Lifo) {
-    // All unknowns, first variable on top of the stack.
-    for (Var X = System.size(); X > 0; --X)
-      Push(X - 1);
-  } else {
-    for (Var X = 0; X < System.size(); ++X)
-      Push(X);
-  }
-
-  while (!Work.empty()) {
-    if (Result.Stats.RhsEvals >= Options.MaxRhsEvals) {
-      Result.Stats.Converged = false;
-      return Result;
-    }
-    Var X;
-    if (Discipline == WorklistDiscipline::Lifo) {
-      X = Work.back();
-      Work.pop_back();
-    } else {
-      X = Work.front();
-      Work.pop_front();
-    }
-    InWork[X] = 0;
-    ++Result.Stats.RhsEvals;
-    if (Options.Trace) {
-      Current = X;
-      Options.Trace->event(TraceEvent::dequeue(X));
-      Options.Trace->event(TraceEvent::rhsBegin(X));
-    }
-    D Rhs = System.eval(X, Get);
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::rhsEnd(X));
-    D New = Combine(X, Result.Sigma[X], Rhs);
-    if (Result.Sigma[X] == New)
-      continue;
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::update(X, Result.Sigma[X], Rhs, New));
-    Result.Sigma[X] = New;
-    ++Result.Stats.Updates;
-    if (Options.RecordTrace)
-      Result.Trace.push_back({X, Result.Sigma[X]});
-    // Push influenced unknowns; X itself last so it is re-evaluated first.
-    for (Var Y : System.influenced(X)) {
-      if (Y == X)
-        continue;
-      if (Options.Trace)
-        Options.Trace->event(TraceEvent::destabilize(Y, X));
-      Push(Y);
-    }
-    if (Options.Trace)
-      Options.Trace->event(TraceEvent::destabilize(X, X));
-    Push(X);
-  }
-  return Result;
+  return engine::runWorklist(System, std::forward<C>(Combine), Options,
+                             Discipline);
 }
 
 } // namespace warrow

@@ -1,0 +1,99 @@
+//===- tests/engine_hygiene_test.cpp - Engine layering hygiene gate ------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The instrumentation layer (engine/instr.h) is the only place allowed to
+// talk to the trace sink: strategies emit through TraceEmitter /
+// Instrumentation so the `if (Options.Trace)` boilerplate the refactor
+// removed cannot creep back in. This gate greps every header under
+// src/engine/strategies/ for direct TraceSink / TraceEvent usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef WARROW_SOURCE_DIR
+#error "WARROW_SOURCE_DIR must be defined by the test build"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string readFile(const fs::path &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Lines that use a forbidden token outside comments. Doc comments may
+/// mention the types; code may not.
+std::vector<std::string> violatingLines(const std::string &Text,
+                                        const std::string &Token) {
+  std::vector<std::string> Bad;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::string Code = Line.substr(0, Line.find("//"));
+    if (Code.find(Token) != std::string::npos)
+      Bad.push_back(Line);
+  }
+  return Bad;
+}
+
+TEST(EngineHygiene, StrategiesNeverTouchTheTraceSinkDirectly) {
+  fs::path Dir = fs::path(WARROW_SOURCE_DIR) / "src" / "engine" /
+                 "strategies";
+  ASSERT_TRUE(fs::is_directory(Dir)) << Dir;
+  size_t Headers = 0;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".h")
+      continue;
+    ++Headers;
+    std::string Text = readFile(Entry.path());
+    ASSERT_FALSE(Text.empty()) << Entry.path();
+    for (const char *Token :
+         {"Options.Trace->", "TraceSink", "TraceEvent::", "->event("}) {
+      std::vector<std::string> Bad = violatingLines(Text, Token);
+      EXPECT_TRUE(Bad.empty())
+          << Entry.path().filename() << " uses '" << Token
+          << "' directly; route it through engine/instr.h. First hit:\n  "
+          << Bad.front();
+    }
+  }
+  // All ten strategy headers scanned (a silently empty directory would
+  // pass vacuously otherwise).
+  EXPECT_EQ(Headers, 10u);
+}
+
+TEST(EngineHygiene, LegacySolverHeadersAreShims) {
+  // The tentpole's LoC contract: src/solvers/*.h forward to the engine
+  // and contain no iteration loops of their own.
+  fs::path Dir = fs::path(WARROW_SOURCE_DIR) / "src" / "solvers";
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".h" ||
+        Entry.path().filename() == "stats.h")
+      continue;
+    std::string Text = readFile(Entry.path());
+    EXPECT_NE(Text.find("engine/"), std::string::npos)
+        << Entry.path().filename() << ": shim must include the engine";
+    for (const char *Token : {"while (", "while(", "for (", "for("}) {
+      std::vector<std::string> Bad = violatingLines(Text, Token);
+      EXPECT_TRUE(Bad.empty())
+          << Entry.path().filename()
+          << " still contains an iteration loop; the engine owns those:\n  "
+          << Bad.front();
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,376 @@
+//===- tests/engine_matrix_test.cpp - Registry cross-product matrix ------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The engine refactor's contract, checked as a cross product:
+//
+//  1. The solver registry is exactly the expected set — a solver added
+//     without registration (or registered without a test) fails here, and
+//     CI diffs `warrow-analyze --list-solvers` against the same list.
+//  2. Every dense/local/side-effecting registry entry solves the random
+//     generator workloads and the result verifies (post / partial-post /
+//     side-effecting checks from eqsys/verify.h).
+//  3. Registry-name dispatch is byte-equivalent to the eleven legacy
+//     `solve*` entry points it replaces.
+//  4. Every analysis-capable entry runs the WCET suite through the
+//     interprocedural analysis and passes the independent soundness
+//     check — including the engine-new `two-phase-localized`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/interproc.h"
+#include "engine/solve.h"
+#include "eqsys/verify.h"
+#include "graph/order.h"
+#include "lattice/combine.h"
+#include "solvers/lrr.h"
+#include "solvers/parallel_sw.h"
+#include "solvers/rld.h"
+#include "solvers/rr.h"
+#include "solvers/slr.h"
+#include "solvers/slr_plus.h"
+#include "solvers/srr.h"
+#include "solvers/sw.h"
+#include "solvers/two_phase.h"
+#include "solvers/two_phase_local.h"
+#include "solvers/wl.h"
+#include "lang/parser.h"
+#include "workloads/eq_generators.h"
+#include "workloads/wcet_suite.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace warrow;
+
+namespace {
+
+using IntSys = LocalSystem<int, Interval>;
+using SideSys = SideEffectingSystem<int, Interval>;
+
+/// The full registry, in listing order. CI asserts that
+/// `warrow-analyze --list-solvers` prints exactly these names; keep the
+/// three lists in sync (engine/registry.cpp, here, .github/workflows).
+const std::vector<std::string> &expectedSolverNames() {
+  static const std::vector<std::string> Names = {
+      "rr",        "srr",          "w",
+      "w-fifo",    "sw",           "sw-ordered",
+      "sw-parallel", "two-phase-dense", "two-phase-rr",
+      "lrr",       "rld",          "slr",
+      "slr-plus",  "warrow",       "widen",
+      "two-phase", "two-phase-localized",
+  };
+  return Names;
+}
+
+IntSys localView(const DenseSystem<Interval> &Dense) {
+  return IntSys([&Dense](int X) -> IntSys::Rhs {
+    return [&Dense, X](const IntSys::Get &Get) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+/// Dense system wrapped as side-effecting, plus one genuine side effect:
+/// every unknown contributes its index interval to a global (id 1000)
+/// whose direct right-hand side is [0,0], exercising the contribution
+/// cells of every side-capable solver.
+SideSys sideViewWithGlobal(const DenseSystem<Interval> &Dense) {
+  const int Global = 1000;
+  return SideSys([&Dense, Global](int X) -> SideSys::Rhs {
+    if (X == Global)
+      return [](const SideSys::Get &, const SideSys::Side &) {
+        return Interval::constant(0);
+      };
+    return [&Dense, X, Global](const SideSys::Get &Get,
+                               const SideSys::Side &Side) {
+      Side(Global, Interval::make(0, X % 7));
+      Interval Direct = Dense.eval(
+          static_cast<Var>(X),
+          [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+      return Direct.join(Get(Global).meet(Interval::make(0, 6)));
+    };
+  });
+}
+
+TEST(EngineRegistry, MatchesExpectedSolverSet) {
+  std::vector<std::string> Names = engine::solverNames();
+  EXPECT_EQ(Names, expectedSolverNames())
+      << "registry drifted from the pinned solver set — update the matrix "
+         "tests AND the CI --list-solvers assertion together";
+}
+
+TEST(EngineRegistry, LookupIsCaseInsensitive) {
+  // Historical bench labels resolve to the canonical entries.
+  for (const char *Label : {"RR", "W", "SRR", "SW"})
+    EXPECT_NE(engine::findSolver(Label), nullptr) << Label;
+  EXPECT_EQ(engine::findSolver("RR"), engine::findSolver("rr"));
+  EXPECT_EQ(engine::findSolver("Two-Phase"), engine::findSolver("two-phase"));
+  EXPECT_EQ(engine::findSolver("no-such-solver"), nullptr);
+  EXPECT_EQ(engine::findSolver(""), nullptr);
+}
+
+TEST(EngineRegistry, ListingCoversEveryEntryWithTags) {
+  std::string Listing = engine::solverListing();
+  for (const engine::SolverInfo &Info : engine::solverRegistry()) {
+    EXPECT_NE(Listing.find(Info.Name), std::string::npos) << Info.Name;
+    EXPECT_NE(Listing.find(Info.Description), std::string::npos)
+        << Info.Name;
+  }
+  // Exactly the engine-new combinations carry the [new] tag.
+  size_t NewCount = 0;
+  for (const engine::SolverInfo &Info : engine::solverRegistry())
+    if (Info.hasCap(engine::CapNew))
+      ++NewCount;
+  EXPECT_EQ(NewCount, 2u) << "two-phase-rr and two-phase-localized";
+  EXPECT_TRUE(engine::findSolver("two-phase-rr")->hasCap(engine::CapNew));
+  EXPECT_TRUE(
+      engine::findSolver("two-phase-localized")->hasCap(engine::CapNew));
+}
+
+TEST(EngineRegistry, CapabilityFlagsPartitionTheSystems) {
+  for (const engine::SolverInfo &Info : engine::solverRegistry()) {
+    bool Dense = Info.hasCap(engine::CapDense);
+    bool LocalOrSide = Info.hasCap(engine::CapLocal) ||
+                       Info.hasCap(engine::CapSideEffecting);
+    EXPECT_TRUE(Dense || LocalOrSide) << Info.Name << ": no system cap";
+    EXPECT_FALSE(Dense && LocalOrSide)
+        << Info.Name << ": dense and local in one entry";
+    EXPECT_EQ(Info.hasCap(engine::CapFixedOperator),
+              Info.Operator != engine::OperatorKind::Parametric)
+        << Info.Name;
+  }
+}
+
+// Every dense registry entry, over a monotone and a non-monotone random
+// system: converges (monotone case) and verifies as a post solution.
+TEST(EngineMatrix, DenseStrategiesSolveAndVerify) {
+  struct Workload {
+    const char *Name;
+    DenseSystem<Interval> System;
+    bool Monotone;
+  };
+  std::vector<Workload> Workloads;
+  Workloads.push_back({"random-monotone", randomMonotoneSystem(24, 3, 90, 7),
+                       true});
+  Workloads.push_back({"ring", ringSystem(16, 40), true});
+  Workloads.push_back(
+      {"random-non-monotone", randomNonMonotoneSystem(24, 3, 90, 7), false});
+
+  SolverOptions Options;
+  Options.MaxRhsEvals = 2'000'000;
+  for (const engine::SolverInfo &Info : engine::solverRegistry()) {
+    if (!Info.hasCap(engine::CapDense))
+      continue;
+    for (const Workload &W : Workloads) {
+      // A degrading ⊟ terminates on the non-monotone generator too
+      // (plain ⊟ may oscillate); fixed-operator entries ignore it.
+      SolveResult<Interval> R = engine::solveDenseByName(
+          Info.Name, W.System, DegradingWarrowCombine<Var>(8), Options);
+      std::string Tag = std::string(Info.Name) + " on " + W.Name;
+      if (W.Monotone)
+        EXPECT_TRUE(R.Stats.Converged) << Tag;
+      // Fact 1: the ▽-then-△ drivers are only sound for monotonic
+      // systems — on the non-monotone workload their stabilized result
+      // legitimately need not be a post solution (the gap ⊟ closes).
+      if (!W.Monotone &&
+          Info.Operator == engine::OperatorKind::WidenNarrowPhases)
+        continue;
+      if (R.Stats.Converged) {
+        VerifyResult V = verifyPostSolution(W.System, R.Sigma);
+        EXPECT_TRUE(V.Ok) << Tag << ": " << V.str();
+        EXPECT_GT(R.Stats.RhsEvals, 0u) << Tag;
+      }
+    }
+  }
+}
+
+// Registry dispatch must be byte-equivalent to the legacy dense entry
+// points it replaced (same shims, pinned against future drift).
+TEST(EngineMatrix, DenseDispatchMatchesLegacyEntryPoints) {
+  DenseSystem<Interval> S = randomMonotoneSystem(30, 3, 120, 5);
+  SolverOptions Options;
+
+  auto ExpectSame = [](const SolveResult<Interval> &A,
+                       const SolveResult<Interval> &B, const char *What) {
+    EXPECT_EQ(A.Sigma, B.Sigma) << What;
+    EXPECT_EQ(A.Stats.RhsEvals, B.Stats.RhsEvals) << What;
+    EXPECT_EQ(A.Stats.Updates, B.Stats.Updates) << What;
+    EXPECT_EQ(A.Stats.QueueMax, B.Stats.QueueMax) << What;
+  };
+
+  WarrowCombine Op;
+  ExpectSame(engine::solveDenseByName("rr", S, Op, Options),
+             solveRR(S, Op, Options), "rr");
+  ExpectSame(engine::solveDenseByName("srr", S, Op, Options),
+             solveSRR(S, Op, Options), "srr");
+  ExpectSame(engine::solveDenseByName("w", S, Op, Options),
+             solveW(S, Op, Options, WorklistDiscipline::Lifo), "w");
+  ExpectSame(engine::solveDenseByName("w-fifo", S, Op, Options),
+             solveW(S, Op, Options, WorklistDiscipline::Fifo), "w-fifo");
+  ExpectSame(engine::solveDenseByName("sw", S, Op, Options),
+             solveSW(S, Op, Options), "sw");
+  const std::vector<uint32_t> Rank =
+      topologicalRank(condense(extractDependencyGraph(S)));
+  ExpectSame(engine::solveDenseByName("sw-ordered", S, Op, Options),
+             solveOrderedSW(S, Op, Rank, Options), "sw-ordered");
+  ExpectSame(engine::solveDenseByName("two-phase-dense", S, Op, Options),
+             solveTwoPhase(S, Options), "two-phase-dense");
+  // Parallel scheduling is nondeterministic in timing but deterministic
+  // in result: compare assignments only.
+  EXPECT_EQ(engine::solveDenseByName("sw-parallel", S, Op, Options).Sigma,
+            solveParallelSW(S, Op, ParallelOptions{}, Options).Sigma)
+      << "sw-parallel";
+}
+
+// The engine-new dense combination: widen-then-narrow over round-robin.
+TEST(EngineMatrix, TwoPhaseRRIsSoundAndNew) {
+  DenseSystem<Interval> S = randomMonotoneSystem(24, 3, 90, 7);
+  SolveResult<Interval> R = engine::solveDenseByName("two-phase-rr", S,
+                                                     JoinCombine{});
+  ASSERT_TRUE(R.Stats.Converged);
+  VerifyResult V = verifyPostSolution(S, R.Sigma);
+  EXPECT_TRUE(V.Ok) << V.str();
+  // Its descending phase narrows below the pure ascending solution.
+  SolveResult<Interval> Up = solveRR(S, WidenCombine{});
+  ASSERT_EQ(R.Sigma.size(), Up.Sigma.size());
+  for (Var X = 0; X < S.size(); ++X)
+    EXPECT_TRUE(R.Sigma[X].leq(Up.Sigma[X])) << S.name(X);
+}
+
+// Every local registry entry over the local view of a random system.
+TEST(EngineMatrix, LocalStrategiesSolveAndVerify) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(20, 3, 60, 4);
+  IntSys Local = localView(Dense);
+  for (const engine::SolverInfo &Info : engine::solverRegistry()) {
+    if (!Info.hasCap(engine::CapLocal))
+      continue;
+    PartialSolution<int, Interval> R =
+        engine::solveLocalByName(Info.Name, Local, 0, WarrowCombine{});
+    ASSERT_TRUE(R.Stats.Converged) << Info.Name;
+    VerifyResult V = verifyPartialPostSolution(Local, R);
+    EXPECT_TRUE(V.Ok) << Info.Name << ": " << V.str();
+    EXPECT_TRUE(R.inDomain(0)) << Info.Name;
+  }
+}
+
+TEST(EngineMatrix, LocalDispatchMatchesLegacyEntryPoints) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(20, 3, 60, 4);
+  IntSys Local = localView(Dense);
+  WarrowCombine Op;
+
+  auto ExpectSame = [](const PartialSolution<int, Interval> &A,
+                       const PartialSolution<int, Interval> &B,
+                       const char *What) {
+    EXPECT_EQ(A.Sigma, B.Sigma) << What;
+    EXPECT_EQ(A.Stats.RhsEvals, B.Stats.RhsEvals) << What;
+    EXPECT_EQ(A.Stats.Updates, B.Stats.Updates) << What;
+    EXPECT_EQ(A.Stats.QueueMax, B.Stats.QueueMax) << What;
+  };
+  ExpectSame(engine::solveLocalByName("lrr", Local, 0, Op),
+             solveLRR(Local, 0, Op), "lrr");
+  ExpectSame(engine::solveLocalByName("rld", Local, 0, Op),
+             solveRLD(Local, 0, Op), "rld");
+  ExpectSame(engine::solveLocalByName("slr", Local, 0, Op),
+             solveSLR(Local, 0, Op), "slr");
+  ExpectSame(engine::solveLocalByName("two-phase", Local, 0, Op),
+             solveTwoPhaseLocal(Local, 0), "two-phase");
+}
+
+// Every side-effecting registry entry over a system with a genuinely
+// side-effected global; the full no-cooperation soundness check must
+// pass for each.
+TEST(EngineMatrix, SideEffectingStrategiesSolveAndVerify) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(18, 3, 50, 9);
+  SideSys Side = sideViewWithGlobal(Dense);
+  for (const engine::SolverInfo &Info : engine::solverRegistry()) {
+    if (!Info.hasCap(engine::CapSideEffecting))
+      continue;
+    PartialSolution<int, Interval> R =
+        engine::solveSideByName(Info.Name, Side, 0, WarrowCombine{});
+    ASSERT_TRUE(R.Stats.Converged) << Info.Name;
+    VerifyResult V = verifySideEffectingSolution(Side, R);
+    EXPECT_TRUE(V.Ok) << Info.Name << ": " << V.str();
+    EXPECT_TRUE(R.inDomain(1000)) << Info.Name << ": global not discovered";
+  }
+}
+
+TEST(EngineMatrix, SideDispatchMatchesLegacyEntryPoints) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(18, 3, 50, 9);
+  SideSys Side = sideViewWithGlobal(Dense);
+  WarrowCombine Op;
+  PartialSolution<int, Interval> ByName =
+      engine::solveSideByName("slr-plus", Side, 0, Op);
+  PartialSolution<int, Interval> Legacy = solveSLRPlus(Side, 0, Op);
+  EXPECT_EQ(ByName.Sigma, Legacy.Sigma);
+  EXPECT_EQ(ByName.Stats.RhsEvals, Legacy.Stats.RhsEvals);
+
+  PartialSolution<int, Interval> TwoByName =
+      engine::solveSideByName("two-phase", Side, 0, Op);
+  PartialSolution<int, Interval> TwoLegacy = solveTwoPhaseSide(Side, 0);
+  EXPECT_EQ(TwoByName.Sigma, TwoLegacy.Sigma);
+  EXPECT_EQ(TwoByName.Stats.RhsEvals, TwoLegacy.Stats.RhsEvals);
+}
+
+// Analysis-capable entries resolve through solverChoiceForName; the rest
+// do not.
+TEST(EngineMatrix, SolverChoiceMappingFollowsRegistryCaps) {
+  EXPECT_EQ(solverChoiceForName("warrow"), SolverChoice::Warrow);
+  EXPECT_EQ(solverChoiceForName("WARROW"), SolverChoice::Warrow);
+  EXPECT_EQ(solverChoiceForName("widen"), SolverChoice::WidenOnly);
+  EXPECT_EQ(solverChoiceForName("two-phase"), SolverChoice::TwoPhase);
+  EXPECT_EQ(solverChoiceForName("two-phase-localized"),
+            SolverChoice::TwoPhaseLocalized);
+  for (const char *NonAnalysis : {"rr", "sw", "slr", "rld", "bogus"})
+    EXPECT_FALSE(solverChoiceForName(NonAnalysis).has_value())
+        << NonAnalysis;
+  // Exactly the CapAnalysis entries resolve.
+  for (const engine::SolverInfo &Info : engine::solverRegistry())
+    EXPECT_EQ(solverChoiceForName(Info.Name).has_value(),
+              Info.hasCap(engine::CapAnalysis))
+        << Info.Name;
+}
+
+// Every analysis backend over the WCET suite: converges and passes the
+// independent side-effecting soundness check — including the engine-new
+// two-phase-localized combination.
+TEST(EngineMatrix, AnalysisBackendsVerifyOnWcetSuite) {
+  for (const WcetBenchmark &B : wcetSuite()) {
+    DiagnosticEngine Diags;
+    auto P = parseProgram(B.Source, Diags);
+    ASSERT_TRUE(P) << B.Name << ":\n" << Diags.str();
+    ProgramCfg Cfgs = buildProgramCfg(*P);
+    for (const engine::SolverInfo &Info : engine::solverRegistry()) {
+      if (!Info.hasCap(engine::CapAnalysis))
+        continue;
+      std::optional<SolverChoice> Choice = solverChoiceForName(Info.Name);
+      ASSERT_TRUE(Choice.has_value()) << Info.Name;
+      InterprocAnalysis Analysis(*P, Cfgs, AnalysisOptions{});
+      AnalysisResult Result = Analysis.run(*Choice);
+      std::string Tag = std::string(Info.Name) + " on " + B.Name;
+      ASSERT_TRUE(Result.Stats.Converged) << Tag;
+      VerifyResult V = Analysis.verifySolution(Result);
+      EXPECT_TRUE(V.Ok) << Tag << ": " << V.str();
+    }
+  }
+}
+
+// The localized ascending phase must not lose soundness and must keep the
+// two-phase shape: side-effected globals stay frozen at widened values.
+TEST(EngineMatrix, TwoPhaseLocalizedKeepsBaselineShape) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(18, 3, 50, 9);
+  SideSys Side = sideViewWithGlobal(Dense);
+  PartialSolution<int, Interval> Localized =
+      engine::runTwoPhaseSide(Side, 0, SolverOptions{}, 8,
+                              /*LocalizedAscending=*/true);
+  ASSERT_TRUE(Localized.Stats.Converged);
+  VerifyResult V = verifySideEffectingSolution(Side, Localized);
+  EXPECT_TRUE(V.Ok) << V.str();
+}
+
+} // namespace

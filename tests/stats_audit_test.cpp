@@ -10,7 +10,9 @@
 // per-solver semantics:
 //
 //   RhsEvals / Updates / VarsSeen    nonzero everywhere (on live systems)
-//   QueueMax     queue/worklist solvers: > 0;
+//   QueueMax     the unified pending-work convention of stats.h:
+//                queue/worklist solvers: largest queue size (> 0);
+//                sweep solvers RR/SRR: the swept-set size == |system|;
 //                LRR: |Known| (the growing known-set IS its worklist);
 //                RLD: 0 by design (queueless recursion) — pinned so a
 //                future queue doesn't land unreported;
@@ -75,8 +77,9 @@ TEST(StatsAudit, DenseSolversPopulateAllFields) {
   SolveResult<Interval> RR = solveRR(S, WarrowCombine{});
   expectCoreStats(RR.Stats, "RR");
   EXPECT_EQ(RR.Stats.VarsSeen, S.size());
-  // RR sweeps with no worklist: QueueMax stays 0 by design.
-  EXPECT_EQ(RR.Stats.QueueMax, 0u);
+  // Sweep strategy: the pending-work set is the full swept set.
+  EXPECT_EQ(RR.Stats.QueueMax, S.size())
+      << "RR: QueueMax must equal the swept-set size";
 
   SolveResult<Interval> W = solveW(S, JoinCombine{});
   expectCoreStats(W.Stats, "W");
@@ -84,6 +87,8 @@ TEST(StatsAudit, DenseSolversPopulateAllFields) {
 
   SolveResult<Interval> SRR = solveSRR(S, WarrowCombine{});
   expectCoreStats(SRR.Stats, "SRR");
+  EXPECT_EQ(SRR.Stats.QueueMax, S.size())
+      << "SRR: QueueMax must equal the swept-set size";
 
   SolveResult<Interval> SW = solveSW(S, WarrowCombine{});
   expectCoreStats(SW.Stats, "SW");

@@ -10,7 +10,10 @@
 /// prints per-line invariants, global values, and solver statistics.
 ///
 ///   warrow-analyze [options] file.mc
-///     --solver=warrow|widen|two-phase   solver strategy (default warrow)
+///     --solver=NAME                     solver strategy by registry name
+///                                       (default warrow; any analysis-
+///                                       capable entry of --list-solvers)
+///     --list-solvers                    print the solver registry and exit
 ///     --context                         context-sensitive analysis
 ///     --thresholds                      program-constant threshold widening
 ///     --check                           report potential run-time errors
@@ -28,6 +31,7 @@
 #include "analysis/checks.h"
 #include "analysis/interproc.h"
 #include "analysis/races.h"
+#include "engine/registry.h"
 #include "lang/parser.h"
 #include "lang/pretty.h"
 #include "trace/chrome_export.h"
@@ -48,7 +52,7 @@ namespace {
 
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--solver=warrow|widen|two-phase] [--context] "
+               "usage: %s [--solver=NAME] [--list-solvers] [--context] "
                "[--thresholds] [--check] [--races] [--dump-cfg] "
                "[--trace] [--trace-out=FILE] [--quiet] file.mc\n",
                Argv0);
@@ -135,12 +139,22 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
-    if (std::strcmp(Arg, "--solver=warrow") == 0) {
-      Choice = SolverChoice::Warrow;
-    } else if (std::strcmp(Arg, "--solver=widen") == 0) {
-      Choice = SolverChoice::WidenOnly;
-    } else if (std::strcmp(Arg, "--solver=two-phase") == 0) {
-      Choice = SolverChoice::TwoPhase;
+    if (std::strncmp(Arg, "--solver=", 9) == 0) {
+      const char *Name = Arg + 9;
+      std::optional<SolverChoice> Resolved = solverChoiceForName(Name);
+      if (!Resolved) {
+        std::fprintf(stderr, "error: unknown or non-analysis solver '%s'\n",
+                     Name);
+        std::fprintf(stderr, "analysis-capable solvers:\n");
+        for (const engine::SolverInfo &Info : engine::solverRegistry())
+          if (Info.hasCap(engine::CapAnalysis))
+            std::fprintf(stderr, "  %s\n", Info.Name);
+        return 2;
+      }
+      Choice = *Resolved;
+    } else if (std::strcmp(Arg, "--list-solvers") == 0) {
+      std::printf("%s", engine::solverListing().c_str());
+      return 0;
     } else if (std::strcmp(Arg, "--context") == 0) {
       Options.ContextSensitive = true;
     } else if (std::strcmp(Arg, "--thresholds") == 0) {
