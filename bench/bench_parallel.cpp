@@ -5,23 +5,37 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Scaling sweep of the SCC-scheduled parallel SW solver against
-/// sequential SW, on condensations with many independent components
-/// (the shape the scheduler exploits) and with cross-linked components
-/// (a deeper DAG with less parallel slack). Thread counts 1/2/4/8 are
-/// measured so the speedup is *measured, not asserted*; on a 1-core
-/// machine the sweep degenerates to an overhead measurement of the
-/// scheduling layer, which is itself worth tracking.
+/// Scaling sweeps of the parallel solvers against their sequential
+/// baselines, on condensations with many independent components (the
+/// shape the schedulers exploit) and with cross-linked components (a
+/// deeper DAG with less parallel slack):
+///
+///  - the SCC-scheduled parallel SW solver vs sequential SW (dense), and
+///  - the work-stealing parallel SLR+ engine vs sequential SLR+ (local,
+///    side-effecting interface over the same dense workloads).
+///
+/// Thread counts 1/2/4/8 are measured so the speedup is *measured, not
+/// asserted*; on a 1-core machine the sweep degenerates to an overhead
+/// measurement of the scheduling layer, which is itself worth tracking —
+/// every record carries `hw_threads` (hardware_concurrency) so readers
+/// can tell the two regimes apart. The SLR+ records gate on exact
+/// `rhs_evals`: on these static systems the eval count is a pure
+/// function of the system (pre-pass + per-component solves + one eval
+/// per cross-component proxy), independent of the schedule.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bench/gbench_json.h"
+#include "engine/strategies/parallel_slr.h"
 #include "lattice/combine.h"
 #include "solvers/parallel_sw.h"
+#include "solvers/slr_plus.h"
 #include "solvers/sw.h"
 #include "workloads/eq_generators.h"
 
 #include <benchmark/benchmark.h>
+
+#include <thread>
 
 using namespace warrow;
 
@@ -91,6 +105,116 @@ void BM_SequentialSW_Linked(benchmark::State &State) {
   warrow::bench::setBenchMeta(State, "linked-components/128x256x2", "SW");
 }
 BENCHMARK(BM_SequentialSW_Linked)->Unit(benchmark::kMillisecond);
+
+// --- work-stealing parallel SLR+ -------------------------------------------
+
+using SideSys = SideEffectingSystem<int, Interval>;
+
+/// Local solving only visits what the root reaches, so the sweep starts
+/// from a synthetic root (-1) joining every ring entry — all components
+/// become reachable and the condensation has the full parallel slack.
+/// No actual side effects: the static case whose eval count is
+/// schedule-free, so `rhs_evals` can gate exactly across hosts and
+/// thread counts.
+constexpr int SlrRoot = -1;
+
+SideSys slrView(const DenseSystem<Interval> &Dense, unsigned NumComps,
+                unsigned CompSize) {
+  return SideSys([&Dense, NumComps, CompSize](int X) -> SideSys::Rhs {
+    if (X == SlrRoot)
+      return [NumComps, CompSize](const SideSys::Get &Get,
+                                  const SideSys::Side &) {
+        Interval Acc = Interval::bot();
+        for (unsigned C = 0; C < NumComps; ++C)
+          Acc = Acc.join(Get(static_cast<int>(C * CompSize)));
+        return Acc;
+      };
+    return [&Dense, X](const SideSys::Get &Get, const SideSys::Side &) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+// Smaller than the SW workloads: local solving tracks per-unknown state
+// the dense solver does not, and the sweep runs 4 thread counts twice.
+constexpr unsigned SlrComps = 64;
+constexpr unsigned SlrCompSize = 64;
+
+const DenseSystem<Interval> &slrIndependentWorkload() {
+  static DenseSystem<Interval> S =
+      manyComponentSystem(SlrComps, SlrCompSize, 512, 0, 44);
+  return S;
+}
+
+const DenseSystem<Interval> &slrLinkedWorkload() {
+  static DenseSystem<Interval> S =
+      manyComponentSystem(SlrComps, SlrCompSize, 512, 2, 45);
+  return S;
+}
+
+void recordCommon(benchmark::State &State, const SolverStats &Stats) {
+  State.counters["rhs_evals"] = static_cast<double>(Stats.RhsEvals);
+  State.counters["evals"] = static_cast<double>(Stats.RhsEvals);
+  State.counters["converged"] = Stats.Converged ? 1 : 0;
+  State.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
+void runParallelSlr(benchmark::State &State, const DenseSystem<Interval> &Dense,
+                    const std::string &Workload) {
+  SideSys Side = slrView(Dense, SlrComps, SlrCompSize);
+  SolverOptions Options;
+  Options.Threads = static_cast<unsigned>(State.range(0));
+  SolverStats Stats;
+  for (auto _ : State) {
+    PartialSolution<int, Interval> R =
+        engine::runParallelSlrPlus(Side, SlrRoot, WarrowCombine{}, Options);
+    benchmark::DoNotOptimize(&R.Sigma);
+    Stats = R.Stats;
+  }
+  recordCommon(State, Stats);
+  warrow::bench::setBenchMeta(State, Workload,
+                              "parallel-slr-plus/" +
+                                  std::to_string(State.range(0)) + "t");
+}
+
+void BM_ParallelSlrPlus_Independent(benchmark::State &State) {
+  runParallelSlr(State, slrIndependentWorkload(), "many-components/64x64");
+}
+BENCHMARK(BM_ParallelSlrPlus_Independent)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ParallelSlrPlus_Linked(benchmark::State &State) {
+  runParallelSlr(State, slrLinkedWorkload(), "linked-components/64x64x2");
+}
+BENCHMARK(BM_ParallelSlrPlus_Linked)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void runSequentialSlr(benchmark::State &State,
+                      const DenseSystem<Interval> &Dense,
+                      const std::string &Workload) {
+  SideSys Side = slrView(Dense, SlrComps, SlrCompSize);
+  SolverStats Stats;
+  for (auto _ : State) {
+    PartialSolution<int, Interval> R =
+        solveSLRPlus(Side, SlrRoot, WarrowCombine{});
+    benchmark::DoNotOptimize(&R.Sigma);
+    Stats = R.Stats;
+  }
+  recordCommon(State, Stats);
+  warrow::bench::setBenchMeta(State, Workload, "slr-plus");
+}
+
+void BM_SequentialSlrPlus_Independent(benchmark::State &State) {
+  runSequentialSlr(State, slrIndependentWorkload(), "many-components/64x64");
+}
+BENCHMARK(BM_SequentialSlrPlus_Independent)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialSlrPlus_Linked(benchmark::State &State) {
+  runSequentialSlr(State, slrLinkedWorkload(), "linked-components/64x64x2");
+}
+BENCHMARK(BM_SequentialSlrPlus_Linked)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -9,6 +9,7 @@
 #include "analysis/constants.h"
 #include "analysis/transfer.h"
 #include "engine/registry.h"
+#include "engine/strategies/parallel_slr.h"
 #include "lattice/combine.h"
 #include "solvers/slr_plus.h"
 #include "solvers/two_phase_local.h"
@@ -28,6 +29,8 @@ warrow::solverChoiceForName(std::string_view Name) {
     return Info->Operator == engine::OperatorKind::Widen
                ? SolverChoice::WidenOnly
                : SolverChoice::Warrow;
+  case engine::StrategyKind::ParallelSlrPlus:
+    return SolverChoice::ParallelWarrow;
   case engine::StrategyKind::TwoPhaseLocal:
     return SolverChoice::TwoPhase;
   case engine::StrategyKind::TwoPhaseLocalized:
@@ -57,6 +60,7 @@ uint32_t ContextTable::intern(const ContextValues &Values) {
     else
       Key += "C" + std::to_string(V.constantValue()) + ";";
   }
+  std::lock_guard<std::mutex> Lock(M);
   auto It = Ids.find(Key);
   if (It != Ids.end())
     return It->second;
@@ -163,6 +167,8 @@ private:
         Values.push_back(Flat<int64_t>::top());
     }
     uint32_t Ctx = A.Contexts.intern(Values);
+    // The gas transaction below must be atomic across workers.
+    std::lock_guard<std::mutex> Lock(A.CtxGasMutex);
     auto &Seen = A.CtxPerFunc[CalleeIdx];
     if (Seen.count(Ctx))
       return Ctx;
@@ -304,7 +310,7 @@ AnalysisVar InterprocAnalysis::root() const {
 
 AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
   // Reset per-run context state.
-  Contexts = ContextTable();
+  Contexts.clear();
   CtxPerFunc.clear();
   InitialCtx = Contexts.intern({}); // Id 0: the empty tuple.
 
@@ -353,6 +359,25 @@ AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
     Result.Solution = engine::runTwoPhaseSide(
         System, root(), Options.Solver, Options.TwoPhaseNarrowRounds,
         /*LocalizedAscending=*/true);
+    break;
+  case SolverChoice::ParallelWarrow:
+    if (Options.ThresholdWidening) {
+      auto Thresholds =
+          std::make_shared<ThresholdSet>(collectProgramConstants(P));
+      engine::ParallelSlrEngine<AnalysisVar, AbsValue, ThresholdWarrowCombine>
+          Solver(System,
+                 ThresholdWarrowCombine(std::move(Thresholds),
+                                        Options.WarrowMaxSwitches),
+                 Options.Solver, Options.LocalizedWidening);
+      Result.Solution = Solver.solveFor(root());
+    } else {
+      engine::ParallelSlrEngine<AnalysisVar, AbsValue,
+                                DegradingWarrowCombine<AnalysisVar>>
+          Solver(System,
+                 DegradingWarrowCombine<AnalysisVar>(Options.WarrowMaxSwitches),
+                 Options.Solver, Options.LocalizedWidening);
+      Result.Solution = Solver.solveFor(root());
+    }
     break;
   }
   Result.Seconds = Clock.seconds();

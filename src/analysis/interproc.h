@@ -48,6 +48,8 @@
 #include "support/hash.h"
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -112,17 +114,32 @@ namespace warrow {
 /// One calling context: flat-constant abstraction of the actuals.
 using ContextValues = std::vector<Flat<int64_t>>;
 
-/// Interns contexts to dense ids.
+/// Interns contexts to dense ids. Internally synchronized — the parallel
+/// solver evaluates right-hand sides (which intern contexts) from worker
+/// threads. References returned by `values` stay valid for the table's
+/// lifetime: storage is a deque, which never relocates elements.
 class ContextTable {
 public:
   ContextTable() = default;
 
   uint32_t intern(const ContextValues &Values);
-  const ContextValues &values(uint32_t Id) const { return Contexts[Id]; }
-  size_t size() const { return Contexts.size(); }
+  const ContextValues &values(uint32_t Id) const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Contexts[Id];
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Contexts.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    Contexts.clear();
+    Ids.clear();
+  }
 
 private:
-  std::vector<ContextValues> Contexts;
+  mutable std::mutex M;
+  std::deque<ContextValues> Contexts;
   // Keyed by a canonical string encoding (Flat<> has no operator<).
   std::unordered_map<std::string, uint32_t> Ids;
 };
@@ -155,7 +172,13 @@ struct AnalysisOptions {
 /// Which solver strategy to run. The analysis-capable subset of the
 /// engine's solver registry (engine/registry.h, CapAnalysis entries);
 /// `solverChoiceForName` maps registry names to choices.
-enum class SolverChoice { Warrow, WidenOnly, TwoPhase, TwoPhaseLocalized };
+enum class SolverChoice {
+  Warrow,
+  WidenOnly,
+  TwoPhase,
+  TwoPhaseLocalized,
+  ParallelWarrow, // Work-stealing parallel SLR+ with ⊟.
+};
 
 /// Resolves a registry solver name (case-insensitive) to the analysis
 /// backend it selects; null when the name is unknown or the registered
@@ -215,6 +238,9 @@ private:
   ContextTable Contexts;
   uint32_t InitialCtx = 0;
   std::unordered_map<uint32_t, std::unordered_set<uint32_t>> CtxPerFunc;
+  // Guards the CtxPerFunc context-gas transaction — the parallel solver
+  // runs contextFor from several workers.
+  std::mutex CtxGasMutex;
 };
 
 } // namespace warrow

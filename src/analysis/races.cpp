@@ -7,6 +7,7 @@
 #include "analysis/races.h"
 
 #include "analysis/transfer.h"
+#include "engine/strategies/parallel_slr.h"
 #include "lattice/combine.h"
 #include "solvers/slr_plus.h"
 #include "solvers/two_phase_local.h"
@@ -471,6 +472,8 @@ private:
         Values.push_back(Flat<int64_t>::top());
     }
     uint32_t Ctx = A.Contexts.intern(Values);
+    // The gas transaction below must be atomic across workers.
+    std::lock_guard<std::mutex> Lock(A.CtxGasMutex);
     auto &Seen = A.CtxPerFunc[CalleeIdx];
     if (Seen.count(Ctx))
       return Ctx;
@@ -710,7 +713,7 @@ RaceAnalysis::buildSystem(RaceRhs &Builder) {
 
 RaceAnalysisResult RaceAnalysis::run(SolverChoice Choice) {
   // Reset per-run context state.
-  Contexts = ContextTable();
+  Contexts.clear();
   CtxPerFunc.clear();
   InitialCtx = Contexts.intern({}); // Id 0: the empty tuple.
 
@@ -742,6 +745,15 @@ RaceAnalysisResult RaceAnalysis::run(SolverChoice Choice) {
         System, root(), Options.Solver, Options.TwoPhaseNarrowRounds,
         /*LocalizedAscending=*/true);
     break;
+  case SolverChoice::ParallelWarrow: {
+    engine::ParallelSlrEngine<RaceVar, RaceValue,
+                              DegradingWarrowCombine<RaceVar>>
+        Solver(System,
+               DegradingWarrowCombine<RaceVar>(Options.WarrowMaxSwitches),
+               Options.Solver, Options.LocalizedWidening);
+    Result.Solution = Solver.solveFor(root());
+    break;
+  }
   }
   Result.Seconds = Clock.seconds();
   Result.Stats = Result.Solution.Stats;

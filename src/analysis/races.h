@@ -356,6 +356,9 @@ private:
   ContextTable Contexts;
   uint32_t InitialCtx = 0;
   std::unordered_map<uint32_t, std::unordered_set<uint32_t>> CtxPerFunc;
+  // Guards the CtxPerFunc context-gas transaction — the parallel solver
+  // runs contextFor from several workers.
+  std::mutex CtxGasMutex;
 };
 
 /// Extracts the racy globals from the accumulated access sets: one

@@ -12,12 +12,19 @@
 /// here, which are no-ops (one predictable branch) when tracing is off.
 /// A hygiene test greps the strategy sources for raw sink usage.
 ///
-/// Two classes:
+/// Four classes:
 ///  - `TraceEmitter`: a null-guarded facade over the optional sink, one
 ///    method per event kind. Usable on its own where stats are kept in
-///    thread-local counters (the parallel strategy).
+///    thread-local counters (the parallel strategies).
 ///  - `Instrumentation`: stats counters + budget checks + a TraceEmitter,
 ///    bound to one SolverStats instance for the duration of a run.
+///  - `ShardedStats`: cache-line-padded per-worker SolverStats shards for
+///    parallel strategies — each worker binds an Instrumentation to its
+///    own shard (plain increments, no atomics on the hot path) and the
+///    driver sums the shards once at the end of the run.
+///  - `BudgetGate`: the one shared (atomic) piece of parallel
+///    instrumentation — workers publish charge batches at component
+///    boundaries and probe exhaustion with a single relaxed load.
 ///
 /// QueueMax convention (see stats.h): strategies report the high-water
 /// mark of their *pending-work set* through `noteQueueSize` /
@@ -31,8 +38,11 @@
 #include "solvers/stats.h"
 #include "trace/trace.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 namespace warrow::engine {
 
@@ -125,6 +135,11 @@ public:
     return Stats.RhsEvals + Stats.RhsCacheHits >= MaxRhsEvals;
   }
 
+  /// Rebinds the evaluation ceiling mid-run. The parallel driver uses
+  /// this to reconcile a per-component engine's private budget with the
+  /// shared BudgetGate between runs; sequential strategies never call it.
+  void setMaxRhsEvals(uint64_t Max) { MaxRhsEvals = Max; }
+
   void chargeEval() { ++Stats.RhsEvals; }
   void chargeUpdate() { ++Stats.Updates; }
   void chargeCacheHit() { ++Stats.RhsCacheHits; }
@@ -144,6 +159,106 @@ private:
   SolverStats &Stats;
   uint64_t MaxRhsEvals;
   TraceEmitter Trace;
+};
+
+/// Rewrites the dense unknown ids of a nested engine's events into the
+/// enclosing run's id space before forwarding to the shared sink. The
+/// parallel local strategy runs one sequential engine per component,
+/// each numbering its unknowns from 0; this sink translates those local
+/// slots into global discovery slots so a recorded parallel trace is
+/// directly comparable (update multisets, dependency edges) with a
+/// sequential one. The remap callback runs on the emitting worker's
+/// thread; the downstream sink must tolerate concurrent `event` calls,
+/// which is already the TraceSink contract.
+class IdRemapSink : public TraceSink {
+public:
+  IdRemapSink(TraceSink *Out, std::function<uint64_t(uint64_t)> Remap)
+      : Out(Out), Remap(std::move(Remap)) {}
+
+  void event(TraceEvent E) override {
+    if (E.Kind != TraceEventKind::PhaseChange) {
+      E.Unknown = Remap(E.Unknown);
+      if (E.Kind == TraceEventKind::Destabilize ||
+          E.Kind == TraceEventKind::DependencyRecord ||
+          E.Kind == TraceEventKind::SideContribution)
+        E.Aux = Remap(E.Aux);
+    }
+    Out->event(E);
+  }
+
+private:
+  TraceSink *Out;
+  std::function<uint64_t(uint64_t)> Remap;
+};
+
+/// Per-worker SolverStats shards for parallel strategies. Each worker
+/// binds an `Instrumentation` to `shard(workerIndex)` and bumps plain
+/// counters — no atomics, no false sharing (shards are padded to a
+/// cache line). `sumInto` merges once at the end of the run: additive
+/// counters (RhsEvals, Updates, RhsCacheHits, RhsCacheMisses) are
+/// summed, QueueMax is maxed (the per-component convention from
+/// stats.h), and VarsSeen / Converged are left for the driver, which
+/// knows them centrally.
+class ShardedStats {
+public:
+  explicit ShardedStats(unsigned Shards) : Shards(Shards) {}
+
+  SolverStats &shard(unsigned I) { return Shards[I].Stats; }
+  unsigned size() const { return static_cast<unsigned>(Shards.size()); }
+
+  void sumInto(SolverStats &Out) const {
+    for (const Padded &P : Shards) {
+      Out.RhsEvals += P.Stats.RhsEvals;
+      Out.Updates += P.Stats.Updates;
+      Out.RhsCacheHits += P.Stats.RhsCacheHits;
+      Out.RhsCacheMisses += P.Stats.RhsCacheMisses;
+      if (P.Stats.QueueMax > Out.QueueMax)
+        Out.QueueMax = P.Stats.QueueMax;
+    }
+  }
+
+private:
+  struct alignas(64) Padded {
+    SolverStats Stats;
+  };
+  std::vector<Padded> Shards;
+};
+
+/// Shared evaluation-budget gate for parallel strategies. Workers charge
+/// evaluations to their own shard and publish the batch here at component
+/// boundaries; the in-loop exhaustion probe is one relaxed load plus the
+/// not-yet-published local delta. The gate may therefore trip a batch
+/// late — the budget is a divergence backstop, not an exact limit, and
+/// `Converged = false` is still reported deterministically because every
+/// worker applies the same check to the same published prefix.
+class BudgetGate {
+public:
+  explicit BudgetGate(uint64_t Max) : Max(Max) {}
+
+  /// Adds a finished batch of charges (evals + cache hits) to the
+  /// published total.
+  void publish(uint64_t Delta) {
+    Charged.fetch_add(Delta, std::memory_order_relaxed);
+  }
+
+  /// True when published charges plus the caller's unpublished
+  /// \p LocalDelta meet the ceiling.
+  bool exhausted(uint64_t LocalDelta = 0) const {
+    return Charged.load(std::memory_order_relaxed) + LocalDelta >= Max;
+  }
+
+  uint64_t ceiling() const { return Max; }
+
+  /// Budget left under the ceiling given the published charges (0 when
+  /// exhausted; saturating, never underflows).
+  uint64_t remaining() const {
+    uint64_t C = Charged.load(std::memory_order_relaxed);
+    return C >= Max ? 0 : Max - C;
+  }
+
+private:
+  std::atomic<uint64_t> Charged{0};
+  uint64_t Max;
 };
 
 } // namespace warrow::engine

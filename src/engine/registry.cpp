@@ -45,6 +45,14 @@ const std::vector<SolverInfo> &solverRegistry() {
        StrategyKind::Slr, OperatorKind::Parametric, CapLocal},
       {"slr-plus", "SLR over side-effecting constraints (paper Sec. 6)",
        StrategyKind::SlrPlus, OperatorKind::Parametric, CapSideEffecting},
+      {"parallel-slr-plus", "work-stealing SLR+ over the discovered "
+                            "condensation (sharded side effects)",
+       StrategyKind::ParallelSlrPlus, OperatorKind::Parametric,
+       CapSideEffecting | CapParallel | CapNew},
+      {"parallel-two-phase", "widen-then-narrow over ascending parallel "
+                             "SLR+ (frozen globals)",
+       StrategyKind::ParallelTwoPhase, OperatorKind::WidenNarrowPhases,
+       CapSideEffecting | CapFixedOperator | CapParallel | CapNew},
       // --- Analysis backends (operator baked in, warrow-analyze names) ---
       {"warrow", "SLR+ with the combined ⊟ operator (degrading ⊟ₖ; "
                  "threshold-aware)",
@@ -61,6 +69,11 @@ const std::vector<SolverInfo> &solverRegistry() {
                               "widening points",
        StrategyKind::TwoPhaseLocalized, OperatorKind::WidenNarrowPhases,
        CapLocal | CapSideEffecting | CapFixedOperator | CapAnalysis |
+           CapNew},
+      {"parallel-warrow", "work-stealing parallel SLR+ with the combined "
+                          "⊟ operator (degrading ⊟ₖ)",
+       StrategyKind::ParallelSlrPlus, OperatorKind::Warrow,
+       CapSideEffecting | CapFixedOperator | CapParallel | CapAnalysis |
            CapNew},
   };
   return Registry;

@@ -47,6 +47,8 @@ enum class StrategyKind : uint8_t {
   SlrPlus,                 // Section 6 (side-effecting).
   TwoPhaseLocal,           // ▽-then-△ over ascending SLR+.
   TwoPhaseLocalized,       // Same with localized phase-1 ▽ (engine-new).
+  ParallelSlrPlus,         // Work-stealing SLR+ over the condensation.
+  ParallelTwoPhase,        // ▽-then-△ over ascending parallel SLR+.
 };
 
 /// Combine-operator policy baked into a registered instantiation.

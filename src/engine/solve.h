@@ -21,6 +21,7 @@
 
 #include "engine/registry.h"
 #include "engine/strategies/local_round_robin.h"
+#include "engine/strategies/parallel_slr.h"
 #include "engine/strategies/priority_worklist.h"
 #include "engine/strategies/recursive_descent.h"
 #include "engine/strategies/round_robin.h"
@@ -151,6 +152,11 @@ PartialSolution<V, D> solveSide(StrategyKind Strategy,
   case StrategyKind::TwoPhaseLocalized:
     return runTwoPhaseSide(System, X0, Options, Args.MaxNarrowRounds,
                            /*LocalizedAscending=*/true);
+  case StrategyKind::ParallelSlrPlus:
+    return runParallelSlrPlus(System, X0, std::forward<C>(Combine), Options,
+                              Args.LocalizedCombine);
+  case StrategyKind::ParallelTwoPhase:
+    return runParallelTwoPhaseSide(System, X0, Options, Args.MaxNarrowRounds);
   default:
     assert(false && "strategy does not solve side-effecting systems");
     std::abort();

@@ -1,0 +1,803 @@
+//===- engine/strategies/parallel_slr.h - Work-stealing SLR+ ----*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Work-stealing parallel SLR+ over the condensation of the dynamically
+/// discovered dependency graph. Where the SCC-parallel dense solver
+/// (scc_parallel.h) partitions a *static* system, the local solvers have
+/// no a-priori unknown set — so this strategy earns its partition first:
+///
+///  0. a sequential *pre-pass* evaluates every reachable right-hand side
+///     once against the initial assignment, interning unknowns in the
+///     exact discovery order sequential SLR+ would use and recording
+///     every `get` read and `side` target as a dependency edge;
+///  1. Tarjan + condensation (graph/scc.h) turn the discovered graph
+///     into a DAG of components with ready counts;
+///  2. each component is solved by its own nested sequential `SlrEngine`
+///     (the verbatim Fig. 6 / Sec. 6 iteration, per-component priority
+///     queue included) running as a task on a `WorkStealingPool`: a
+///     worker keeps its freshly destabilized components on its own LIFO
+///     deque and steals FIFO from a victim when it drains;
+///  3. cross-component traffic flows through a finely-locked per-
+///     component *mailbox*: when a component stabilizes, its runner
+///     publishes changed member values into a stripe-locked global map
+///     and posts slot-update mail to every registered remote reader;
+///     side effects whose target lives in another component are
+///     deduplicated in sharded per-(target, contributor) accumulator
+///     cells — the distributed `set[z]` of Sec. 6 — and forwarded as
+///     contribution mail, so the receiving engine joins contributions
+///     before applying ⊟ exactly as sequential SLR+ does (Example 8).
+///
+/// Remote reads become *proxy unknowns* of the reading component's
+/// engine: ordinary unknowns whose right-hand side returns the owner's
+/// last published value and whose initial value *is* that snapshot, so
+/// their first solve produces no update event. Proxies are tracked by
+/// plain assignment (`assignOnlyWhen`) — applying ⊕ to a mirrored value
+/// could overshoot what the owner published, losing precision unsoundly.
+/// When a published value changes, slot-update mail refreshes the proxy
+/// and explicitly invalidates the reader-side RHS caches that read it.
+///
+/// Determinism contract (asserted by tests/parallel_slr_test.cpp):
+///  - For systems whose reads are value-independent and side-effect-free,
+///    the *update multiset* — and the final assignment — equal sequential
+///    SLR+ at every thread count. Sequential SLR registers influence only
+///    after a nested solve returns, so a fresh subtree is always read at
+///    its final value; component-at-a-time stabilization in discovery
+///    order is therefore exactly what the sequential engine already does,
+///    and seeding only each component's first-discovered member (its
+///    head, the minimum global slot) replays it. Pre-pass slots coincide
+///    with sequential discovery slots, so traces are comparable id-by-id
+///    through `IdRemapSink`.
+///  - For side-effecting systems the interleaving of contribution mail is
+///    schedule-dependent; the strategy then guarantees a sound partial
+///    ⊕-solution on quiescence (verified by verifySideEffectingSolution
+///    in the race suite), with `RhsEvals` still deterministic across
+///    thread counts when discovery is static: pre-pass evaluations plus
+///    per-component evaluations are schedule-independent.
+///  - Reads that only materialize at post-initial values (value-dependent
+///    discovery) may leave members unreached by head-only seeding; the
+///    driver detects this at quiescence and seeds the stragglers, which
+///    preserves soundness at the cost of the equality guarantee.
+///
+/// Budget: workers publish evaluation charges to a shared `BudgetGate`
+/// at component-run boundaries; each nested engine's private ceiling is
+/// rebound to (its own published charges) + (global remaining) before
+/// every run, so the global ceiling can be overshot by at most one
+/// component batch (the gate is a divergence backstop, not a limit).
+///
+/// Stats: per-worker `ShardedStats` shards absorb per-run deltas with
+/// plain increments; the driver sums shards once at the end. QueueMax is
+/// the max over per-component local priority queues (stats.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STRATEGIES_PARALLEL_SLR_H
+#define WARROW_ENGINE_STRATEGIES_PARALLEL_SLR_H
+
+#include "engine/instr.h"
+#include "engine/strategies/slr.h"
+#include "engine/strategies/two_phase_local.h"
+#include "eqsys/local_system.h"
+#include "graph/dependency_graph.h"
+#include "graph/scc.h"
+#include "lattice/combine.h"
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace warrow::engine {
+
+/// Work-stealing parallel SLR+; see file comment. \p C is the combine
+/// operator, copied once per component (stateful operators keyed per
+/// unknown, like DegradingWarrowCombine, stay correct: every unknown is
+/// solved by exactly one component engine).
+template <typename V, typename D, typename C> class ParallelSlrEngine {
+public:
+  using SystemT = SideEffectingSystem<V, D>;
+
+  ParallelSlrEngine(const SystemT &System, C Combine,
+                    const SolverOptions &Options = {},
+                    bool LocalizedCombine = false)
+      : System(System), CombineProto(std::move(Combine)), Options(Options),
+        Localized(LocalizedCombine), PreInstr(PreStats, this->Options),
+        Gate(this->Options.MaxRhsEvals) {}
+
+  ParallelSlrEngine(const ParallelSlrEngine &) = delete;
+  ParallelSlrEngine &operator=(const ParallelSlrEngine &) = delete;
+
+  /// Solves for \p X0 and returns the partial ⊕-solution.
+  PartialSolution<V, D> solveFor(const V &X0) {
+    // A single worker gains nothing from the pre-pass, proxies, and
+    // mailboxes — delegate to the sequential engine outright, so a
+    // `--threads=1` run costs what sequential SLR+ costs. The public
+    // contract (assignment, update multiset, keys) is the one the
+    // parallel path reproduces anyway.
+    unsigned HW = std::thread::hardware_concurrency();
+    unsigned Threads = Options.Threads ? Options.Threads : (HW ? HW : 1);
+    if (Threads == 1) {
+      Sequential.reset(new SlrEngine<V, D, C, /*WithSide=*/true>(
+          System, CombineProto, Options, Localized));
+      return Sequential->solveFor(X0);
+    }
+    explore(X0);
+    NPre = static_cast<uint32_t>(GVars.size());
+    Graph.finalize();
+    Cond = condense(Graph);
+    GSigmaFixed.reserve(NPre);
+    for (uint32_t G = 0; G < NPre; ++G)
+      GSigmaFixed.push_back(System.initial(GVars[G]));
+    ReadersFixed.resize(NPre);
+
+    const size_t NumComps = Cond.numComponents();
+    for (size_t I = 0; I < NumComps; ++I) {
+      Comps.emplace_back();
+      Comps.back().Head = Cond.Members[I].front();
+    }
+    Gate.publish(PreStats.RhsEvals);
+
+    if (!PreFailed && NumComps != 0) {
+      WorkStealingPool PoolLocal(Threads);
+      ShardedStats StatsLocal(PoolLocal.shardCount());
+      Pool = &PoolLocal;
+      WStats = &StatsLocal;
+      ReadyCount.reset(new std::atomic<uint32_t>[NumComps]);
+      for (size_t I = 0; I < NumComps; ++I)
+        ReadyCount[I].store(Cond.PredCount[I], std::memory_order_relaxed);
+      for (CompId I = 0; I < NumComps; ++I)
+        if (Cond.PredCount[I] == 0) {
+          CompState &CS = Comps[I];
+          std::lock_guard<std::mutex> Lock(CS.M);
+          CS.Ready = true;
+          CS.Queued = true;
+          Pool->submit([this, I] { runComponent(I); });
+        }
+      // Quiesce; re-seed members head-only seeding missed (dynamic
+      // discovery), until a fully quiet round.
+      for (;;) {
+        Pool->waitIdle();
+        if (GFailed.load(std::memory_order_relaxed) || !seedUnreached())
+          break;
+      }
+      PartialSolution<V, D> Result = assemble();
+      Pool = nullptr;
+      WStats = nullptr;
+      return Result;
+    }
+    return assemble();
+  }
+
+  // --- Introspection (two-phase driver, tests) ----------------------------
+
+  /// Every discovered unknown in global discovery order (pre-pass order,
+  /// then late-adopted unknowns in adoption order).
+  std::vector<V> discoveredUnknowns() const {
+    if (Sequential)
+      return Sequential->discoveryOrder();
+    std::vector<V> All = GVars;
+    All.insert(All.end(), OverflowVars.begin(), OverflowVars.end());
+    return All;
+  }
+
+  /// The paper's key map over the discovered domain: key[y] = -(global
+  /// discovery slot of y). Post-quiescence only.
+  std::unordered_map<V, int64_t> keys() const {
+    if (Sequential)
+      return Sequential->keys();
+    std::unordered_map<V, int64_t> K;
+    K.reserve(GVars.size() + OverflowVars.size());
+    for (uint32_t S = 0; S < GVars.size(); ++S)
+      K.emplace(GVars[S], -static_cast<int64_t>(S));
+    for (uint32_t S = 0; S < OverflowVars.size(); ++S)
+      K.emplace(OverflowVars[S], -static_cast<int64_t>(NPre + S));
+    return K;
+  }
+
+  /// True if \p X ever received a side-effect contribution (routed to the
+  /// component engine owning X). Post-quiescence only.
+  bool isSideEffected(const V &X) const {
+    if (Sequential)
+      return Sequential->isSideEffected(X);
+    CompId Comp;
+    auto It = PreSlotOf.find(X);
+    if (It != PreSlotOf.end()) {
+      Comp = Cond.CompOf[It->second];
+    } else {
+      auto OIt = OverflowSlotOf.find(X);
+      if (OIt == OverflowSlotOf.end())
+        return false;
+      Comp = OverflowComp[OIt->second - NPre];
+    }
+    const CompState &CS = Comps[Comp];
+    return CS.Engine && CS.Engine->isSideEffected(X);
+  }
+
+private:
+  // --- Cross-component plumbing -------------------------------------------
+
+  struct MailItem {
+    enum Kind : uint8_t {
+      SlotUpdate,   ///< A remote slot this component reads was republished.
+      Contribution, ///< A remote equation contributed to a local target.
+      SeedMember    ///< Driver fallback: solve an unreached member.
+    };
+    Kind K = SlotUpdate;
+    V Var{};         ///< The proxy / target / member unknown.
+    V Contributor{}; ///< Contribution only: the remote contributor.
+    D Value{};       ///< New published value / contribution value.
+    uint32_t GSlot = 0;     ///< Global slot of Var (canonical mail order).
+    uint32_t FromGSlot = 0; ///< Global slot of Contributor (tie-break).
+  };
+
+  /// One partition: a nested sequential engine plus its mailbox. Lives in
+  /// a deque — mutexes make it immovable.
+  struct CompState {
+    std::mutex M; ///< Guards Mail / Ready / Queued / CompletedOnce.
+    bool Ready = false;
+    bool Queued = false;
+    bool CompletedOnce = false;
+    bool SeededHead = false;
+    std::vector<MailItem> Mail;
+    uint32_t Head = 0; ///< Global slot of the first-discovered member.
+
+    // Everything below is touched only by the (single) active runner
+    // task, ordered across runs by the M lock at task start/end.
+    std::unique_ptr<SystemT> View;
+    std::unique_ptr<SlrEngine<V, D, C, /*WithSide=*/true>> Engine;
+    std::unique_ptr<IdRemapSink> Sink;
+    std::unordered_map<uint32_t, D> RemoteVal; ///< gslot -> snapshot.
+    std::vector<uint32_t> LocalGslot;  ///< local slot -> global slot.
+    std::vector<uint8_t> LocalIsMember;
+    std::vector<D> PublishedVal; ///< members: last published; else D{}.
+    uint64_t SeenEvals = 0, SeenHits = 0, SeenMisses = 0, SeenUpdates = 0;
+    uint64_t PublishedCharges = 0; ///< Charges already in the BudgetGate.
+  };
+
+  /// Sharded side-effect accumulator: the distributed `set[z]` cells
+  /// sigma(x, z) for cross-component contributions. Same-value repeats
+  /// are dropped at the source shard, so mailboxes only carry changes.
+  struct ContribShard {
+    std::mutex M;
+    std::unordered_map<V, std::unordered_map<V, D>> Cells;
+  };
+
+  struct SlotComp {
+    uint32_t G;
+    CompId Comp;
+  };
+
+  // --- Phase 0: sequential discovery pre-pass -----------------------------
+
+  uint32_t internPre(const V &X) {
+    uint32_t S = static_cast<uint32_t>(GVars.size());
+    PreSlotOf.emplace(X, S);
+    GVars.push_back(X);
+    Graph.Succ.emplace_back();
+    return S;
+  }
+
+  /// Evaluates X once against the initial assignment, interning fresh
+  /// unknowns depth-first — mirroring sequential SLR+'s interning order —
+  /// and recording read/contribution edges.
+  void explore(const V &X) {
+    uint32_t S = internPre(X);
+    if (PreFailed)
+      return; // Keep interning (edges stay valid), stop evaluating.
+    if (PreInstr.budgetExhaustedWithCache()) {
+      PreFailed = true;
+      return;
+    }
+    PreInstr.chargeEval();
+    PreInstr.trace().rhsBegin(S);
+    typename SystemT::Get Get = [this, S](const V &Y) -> D {
+      uint32_t YS;
+      auto It = PreSlotOf.find(Y);
+      if (It == PreSlotOf.end()) {
+        YS = static_cast<uint32_t>(GVars.size());
+        explore(Y);
+      } else {
+        YS = It->second;
+      }
+      Graph.addEdge(YS, S);
+      PreInstr.trace().dependency(S, YS);
+      return System.initial(Y);
+    };
+    typename SystemT::Side Side = [this, S](const V &Z, const D &) {
+      uint32_t ZS;
+      auto It = PreSlotOf.find(Z);
+      if (It == PreSlotOf.end()) {
+        ZS = static_cast<uint32_t>(GVars.size());
+        explore(Z);
+      } else {
+        ZS = It->second;
+      }
+      Graph.addEdge(S, ZS); // Contributions flow from S into Z.
+      PreInstr.trace().sideContribution(ZS, S);
+    };
+    System.rhs(X)(Get, Side);
+    PreInstr.trace().rhsEnd(S);
+  }
+
+  // --- Global slot map + published values ---------------------------------
+
+  /// Slot and owning component of \p X; adopts a fresh unknown into the
+  /// overflow region owned by \p Adopter. Pre-pass unknowns resolve
+  /// lock-free (PreSlotOf is frozen after phase 0).
+  SlotComp slotAndComp(const V &X, CompId Adopter) {
+    auto It = PreSlotOf.find(X);
+    if (It != PreSlotOf.end())
+      return {It->second, Cond.CompOf[It->second]};
+    std::lock_guard<std::mutex> Lock(GlobalMutex);
+    auto OIt = OverflowSlotOf.find(X);
+    if (OIt != OverflowSlotOf.end())
+      return {OIt->second, OverflowComp[OIt->second - NPre]};
+    uint32_t G = NPre + static_cast<uint32_t>(OverflowVars.size());
+    OverflowSlotOf.emplace(X, G);
+    OverflowVars.push_back(X);
+    OverflowComp.push_back(Adopter);
+    OverflowVal.push_back(System.initial(X));
+    OverflowReaders.emplace_back();
+    return {G, Adopter};
+  }
+
+  /// Reads the published value of global slot \p G and registers
+  /// \p Reader for future slot-update mail — atomically, so a
+  /// publication cannot slip between the read and the registration.
+  D readAndRegister(uint32_t G, CompId Reader) {
+    if (G < NPre) {
+      std::lock_guard<std::mutex> Lock(Stripes[G % kStripes]);
+      ReadersFixed[G].push_back(Reader);
+      return GSigmaFixed[G];
+    }
+    std::lock_guard<std::mutex> Lock(GlobalMutex);
+    OverflowReaders[G - NPre].push_back(Reader);
+    return OverflowVal[G - NPre];
+  }
+
+  /// Publishes \p Val for slot \p G; returns false when unchanged, else
+  /// copies the registered readers into \p ReadersOut (mail is delivered
+  /// by the caller after the lock is gone — no nested locking).
+  bool publishSlot(uint32_t G, const D &Val, std::vector<CompId> &ReadersOut) {
+    if (G < NPre) {
+      std::lock_guard<std::mutex> Lock(Stripes[G % kStripes]);
+      if (GSigmaFixed[G] == Val)
+        return false;
+      GSigmaFixed[G] = Val;
+      ReadersOut = ReadersFixed[G];
+      return true;
+    }
+    std::lock_guard<std::mutex> Lock(GlobalMutex);
+    if (OverflowVal[G - NPre] == Val)
+      return false;
+    OverflowVal[G - NPre] = Val;
+    ReadersOut = OverflowReaders[G - NPre];
+    return true;
+  }
+
+  // --- Per-component engines ----------------------------------------------
+
+  /// Global slot of component \p Id's local slot \p L, lazily extending
+  /// the component's local-to-global tables from the nested engine's
+  /// discovery order. Runner-thread only.
+  uint32_t localToGlobal(CompId Id, uint32_t L) {
+    CompState &CS = Comps[Id];
+    while (CS.LocalGslot.size() <= L) {
+      const V &X =
+          CS.Engine->discoveryOrder()[CS.LocalGslot.size()];
+      SlotComp SC = slotAndComp(X, Id);
+      bool Member = SC.Comp == Id;
+      CS.LocalGslot.push_back(SC.G);
+      CS.LocalIsMember.push_back(Member ? 1 : 0);
+      CS.PublishedVal.push_back(Member ? System.initial(X) : D{});
+    }
+    return CS.LocalGslot[L];
+  }
+
+  /// First read of remote slot \p G by component \p Id: snapshot the
+  /// published value and register for updates; later reads return the
+  /// mailbox-refreshed snapshot.
+  D remoteSnapshot(CompId Id, uint32_t G) {
+    CompState &CS = Comps[Id];
+    auto It = CS.RemoteVal.find(G);
+    if (It != CS.RemoteVal.end())
+      return It->second;
+    D Val = readAndRegister(G, Id);
+    CS.RemoteVal.emplace(G, Val);
+    return Val;
+  }
+
+  /// Cross-component side effect from equation \p From (slot \p FromG)
+  /// onto \p Target owned by \p TargetComp: dedup through the sharded
+  /// accumulator cell, then mail the changed contribution.
+  void remoteContribute(uint32_t FromG, const V &From, uint32_t TargetG,
+                        const V &Target, const D &Val, CompId TargetComp) {
+    ContribShard &Sh = Shards[std::hash<V>{}(Target) % kShards];
+    {
+      std::lock_guard<std::mutex> Lock(Sh.M);
+      auto &Cell = Sh.Cells[Target];
+      auto It = Cell.find(From);
+      if (It == Cell.end())
+        It = Cell.emplace(From, D::bot()).first;
+      if (Val == It->second)
+        return;
+      It->second = Val;
+    }
+    MailItem Item;
+    Item.K = MailItem::Contribution;
+    Item.Var = Target;
+    Item.Contributor = From;
+    Item.Value = Val;
+    Item.GSlot = TargetG;
+    Item.FromGSlot = FromG;
+    deliver(TargetComp, std::move(Item));
+  }
+
+  /// Builds component \p Id's view system and nested engine. The view
+  /// maps member unknowns to the real system (with side effects split
+  /// into local-native and remote-mailed) and remote unknowns to proxy
+  /// equations over the mailbox snapshot.
+  void buildEngine(CompId Id) {
+    CompState &CS = Comps[Id];
+    CS.View = std::make_unique<SystemT>(
+        [this, Id](const V &X) -> typename SystemT::Rhs {
+          SlotComp SC = slotAndComp(X, Id);
+          if (SC.Comp != Id) {
+            uint32_t G = SC.G;
+            return [this, Id, G](const typename SystemT::Get &,
+                                 const typename SystemT::Side &) -> D {
+              return Comps[Id].RemoteVal.at(G);
+            };
+          }
+          uint32_t GX = SC.G;
+          typename SystemT::Rhs Inner = System.rhs(X);
+          return [this, Id, GX, X,
+                  Inner](const typename SystemT::Get &Get,
+                         const typename SystemT::Side &Side) -> D {
+            typename SystemT::Side WrapSide =
+                [this, Id, GX, &X, &Side](const V &Z, const D &Val) {
+                  SlotComp ZC = slotAndComp(Z, Id);
+                  if (ZC.Comp == Id) {
+                    Side(Z, Val); // Native SLR+ path: cells, set[z], marks.
+                    return;
+                  }
+                  remoteContribute(GX, X, ZC.G, Z, Val, ZC.Comp);
+                };
+            return Inner(Get, WrapSide);
+          };
+        },
+        [this, Id](const V &X) -> D {
+          SlotComp SC = slotAndComp(X, Id);
+          if (SC.Comp == Id)
+            return System.initial(X);
+          // Proxy initial == snapshot: the first solve of a proxy
+          // produces no update event (one eval, no growth).
+          return remoteSnapshot(Id, SC.G);
+        });
+    SolverOptions EngineOpts = Options;
+    EngineOpts.Threads = 0;
+    if (Options.Trace) {
+      CS.Sink = std::make_unique<IdRemapSink>(
+          Options.Trace, [this, Id](uint64_t L) -> uint64_t {
+            return localToGlobal(Id, static_cast<uint32_t>(L));
+          });
+      EngineOpts.Trace = CS.Sink.get();
+    }
+    CS.Engine = std::make_unique<SlrEngine<V, D, C, true>>(
+        *CS.View, CombineProto, EngineOpts, Localized);
+    CS.Engine->assignOnlyWhen(
+        [this, Id](const V &Y) { return slotAndComp(Y, Id).Comp != Id; });
+  }
+
+  // --- Scheduling ---------------------------------------------------------
+
+  /// Posts \p Item to component \p Target, scheduling a runner when the
+  /// component is ready but idle.
+  void deliver(CompId Target, MailItem Item) {
+    CompState &T = Comps[Target];
+    std::lock_guard<std::mutex> Lock(T.M);
+    T.Mail.push_back(std::move(Item));
+    if (T.Ready && !T.Queued) {
+      T.Queued = true;
+      Pool->submit([this, Target] { runComponent(Target); });
+    }
+  }
+
+  /// Applies a mail batch in canonical (kind, slot, contributor) order so
+  /// the nested engine's start state is independent of arrival order.
+  void applyMail(CompId Id, std::vector<MailItem> &Mail) {
+    std::stable_sort(Mail.begin(), Mail.end(),
+                     [](const MailItem &A, const MailItem &B) {
+                       if (A.K != B.K)
+                         return A.K < B.K;
+                       if (A.GSlot != B.GSlot)
+                         return A.GSlot < B.GSlot;
+                       return A.FromGSlot < B.FromGSlot;
+                     });
+    CompState &CS = Comps[Id];
+    for (MailItem &Item : Mail) {
+      switch (Item.K) {
+      case MailItem::SlotUpdate: {
+        auto It = CS.RemoteVal.find(Item.GSlot);
+        if (It == CS.RemoteVal.end() || It->second == Item.Value)
+          break; // Never snapshotted here, or already current.
+        It->second = Item.Value;
+        // Proxy RHS caches record no reads, so a remote move must both
+        // destabilize the proxy and drop its cache explicitly.
+        CS.Engine->invalidateCache(Item.Var);
+        CS.Engine->destabilize(Item.Var);
+        break;
+      }
+      case MailItem::Contribution:
+        CS.Engine->injectContribution(Item.Var, Item.Contributor, Item.Value);
+        break;
+      case MailItem::SeedMember:
+        CS.Engine->seed(Item.Var);
+        break;
+      }
+    }
+  }
+
+  /// Publishes changed member values (mailing registered readers) and
+  /// flushes this run's stats delta into the worker's shard.
+  void publishAndFlush(CompId Id, unsigned Shard) {
+    CompState &CS = Comps[Id];
+    const std::vector<V> &Order = CS.Engine->discoveryOrder();
+    if (!Order.empty())
+      localToGlobal(Id, static_cast<uint32_t>(Order.size()) - 1);
+    std::vector<std::pair<CompId, MailItem>> Outbox;
+    std::vector<CompId> Readers;
+    for (uint32_t L = 0; L < Order.size(); ++L) {
+      if (!CS.LocalIsMember[L])
+        continue;
+      const D &Val = CS.Engine->valueAt(L);
+      if (Val == CS.PublishedVal[L])
+        continue;
+      CS.PublishedVal[L] = Val;
+      Readers.clear();
+      if (!publishSlot(CS.LocalGslot[L], Val, Readers))
+        continue;
+      for (CompId R : Readers) {
+        if (R == Id)
+          continue;
+        MailItem Item;
+        Item.K = MailItem::SlotUpdate;
+        Item.Var = Order[L];
+        Item.Value = Val;
+        Item.GSlot = CS.LocalGslot[L];
+        Outbox.emplace_back(R, std::move(Item));
+      }
+    }
+    for (auto &P : Outbox)
+      deliver(P.first, std::move(P.second));
+
+    const SolverStats &ES = CS.Engine->stats();
+    SolverStats &SS = WStats->shard(Shard);
+    SS.RhsEvals += ES.RhsEvals - CS.SeenEvals;
+    SS.Updates += ES.Updates - CS.SeenUpdates;
+    SS.RhsCacheHits += ES.RhsCacheHits - CS.SeenHits;
+    SS.RhsCacheMisses += ES.RhsCacheMisses - CS.SeenMisses;
+    if (ES.QueueMax > SS.QueueMax)
+      SS.QueueMax = ES.QueueMax;
+    uint64_t NewCharges =
+        (ES.RhsEvals + ES.RhsCacheHits) - (CS.SeenEvals + CS.SeenHits);
+    CS.SeenEvals = ES.RhsEvals;
+    CS.SeenUpdates = ES.Updates;
+    CS.SeenHits = ES.RhsCacheHits;
+    CS.SeenMisses = ES.RhsCacheMisses;
+    CS.PublishedCharges += NewCharges;
+    Gate.publish(NewCharges);
+  }
+
+  /// The component runner task: drain mail, run the nested engine to
+  /// local quiescence, publish, repeat while mail arrived meanwhile. On
+  /// the first completion, release successor ready counts.
+  void runComponent(CompId Id) {
+    CompState &CS = Comps[Id];
+    const unsigned Shard = Pool->workerIndex();
+    std::vector<MailItem> Mail;
+    {
+      std::lock_guard<std::mutex> Lock(CS.M);
+      Mail.swap(CS.Mail);
+    }
+    for (;;) {
+      if (GFailed.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> Lock(CS.M);
+        CS.Queued = false;
+        return;
+      }
+      if (!CS.Engine)
+        buildEngine(Id);
+      applyMail(Id, Mail);
+      Mail.clear();
+      if (!CS.SeededHead) {
+        // Head-only seeding: the head pulls every member in by the
+        // within-component descent of `eval`, in sequential order.
+        CS.SeededHead = true;
+        CS.Engine->seed(GVars[CS.Head]);
+      }
+      CS.Engine->setBudgetCeiling(CS.PublishedCharges + Gate.remaining());
+      CS.Engine->run();
+      publishAndFlush(Id, Shard);
+      if (CS.Engine->failed())
+        GFailed.store(true, std::memory_order_relaxed);
+      bool First = false;
+      {
+        std::lock_guard<std::mutex> Lock(CS.M);
+        if (!CS.Mail.empty() && !GFailed.load(std::memory_order_relaxed)) {
+          Mail.swap(CS.Mail);
+          continue;
+        }
+        CS.Queued = false;
+        First = !CS.CompletedOnce;
+        CS.CompletedOnce = true;
+      }
+      if (First)
+        releaseSuccessors(Id);
+      return;
+    }
+  }
+
+  void releaseSuccessors(CompId Id) {
+    for (CompId Succ : Cond.CompSucc[Id])
+      if (ReadyCount[Succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        CompState &T = Comps[Succ];
+        std::lock_guard<std::mutex> Lock(T.M);
+        T.Ready = true;
+        if (!T.Queued) {
+          T.Queued = true;
+          Pool->submit([this, Succ] { runComponent(Succ); });
+        }
+      }
+  }
+
+  /// Post-quiescence check (driver thread): members never pulled in by
+  /// their head (reads that only materialize at post-initial values) are
+  /// seeded explicitly. Returns true when anything was re-scheduled.
+  bool seedUnreached() {
+    bool Any = false;
+    for (CompId I = 0; I < Comps.size(); ++I) {
+      CompState &CS = Comps[I];
+      for (uint32_t M : Cond.Members[I]) {
+        if (CS.Engine && CS.Engine->knows(GVars[M]))
+          continue;
+        Any = true;
+        MailItem Item;
+        Item.K = MailItem::SeedMember;
+        Item.Var = GVars[M];
+        Item.GSlot = M;
+        deliver(I, std::move(Item));
+      }
+    }
+    return Any;
+  }
+
+  // --- Result assembly (driver thread, post-quiescence) -------------------
+
+  PartialSolution<V, D> assemble() {
+    PartialSolution<V, D> Result;
+    Result.Sigma.reserve(GVars.size() + OverflowVars.size());
+    for (CompId I = 0; I < Comps.size(); ++I) {
+      CompState &CS = Comps[I];
+      if (CS.Engine) {
+        const std::vector<V> &Order = CS.Engine->discoveryOrder();
+        if (!Order.empty())
+          localToGlobal(I, static_cast<uint32_t>(Order.size()) - 1);
+        for (uint32_t L = 0; L < Order.size(); ++L)
+          if (CS.LocalIsMember[L])
+            Result.Sigma.emplace(Order[L], CS.Engine->valueAt(L));
+        if (Options.RecordTrace)
+          for (const auto &U : CS.Engine->updateTrace())
+            Result.Trace.push_back(U);
+      }
+      // Members never interned by their engine keep the initial value
+      // (pre-pass failure, or budget abort before the component ran).
+      for (uint32_t M : Cond.Members[I])
+        if (!Result.Sigma.count(GVars[M]))
+          Result.Sigma.emplace(GVars[M], GSigmaFixed.empty()
+                                             ? System.initial(GVars[M])
+                                             : GSigmaFixed[M]);
+    }
+    Result.Stats = PreStats;
+    if (WStats)
+      WStats->sumInto(Result.Stats);
+    Result.Stats.VarsSeen = GVars.size() + OverflowVars.size();
+    Result.Stats.Converged =
+        !PreFailed && !GFailed.load(std::memory_order_relaxed);
+    if (PreInstr.tracing())
+      Result.DiscoveryOrder = discoveredUnknowns();
+    return Result;
+  }
+
+  static constexpr unsigned kStripes = 64;
+  static constexpr unsigned kShards = 16;
+
+  const SystemT &System;
+  C CombineProto;
+  SolverOptions Options;
+  bool Localized;
+
+  // Phase-0 state; PreSlotOf / GVars / Graph / Cond freeze after phase 0.
+  std::unordered_map<V, uint32_t> PreSlotOf;
+  std::vector<V> GVars;
+  DepGraph Graph;
+  Condensation Cond;
+  uint32_t NPre = 0;
+  bool PreFailed = false;
+  SolverStats PreStats;
+  Instrumentation PreInstr; // Binds PreStats; must follow it and Options.
+
+  // Published values + reader registries. Fixed region: stripe-locked
+  // flat vectors. Overflow region (late-adopted unknowns): GlobalMutex.
+  std::vector<D> GSigmaFixed;
+  std::vector<std::vector<CompId>> ReadersFixed;
+  std::array<std::mutex, kStripes> Stripes;
+  std::mutex GlobalMutex;
+  std::unordered_map<V, uint32_t> OverflowSlotOf;
+  std::vector<V> OverflowVars;
+  std::vector<CompId> OverflowComp;
+  std::vector<D> OverflowVal;
+  std::vector<std::vector<CompId>> OverflowReaders;
+
+  std::array<ContribShard, kShards> Shards;
+  std::deque<CompState> Comps; // Deque: CompState is immovable.
+  std::unique_ptr<std::atomic<uint32_t>[]> ReadyCount;
+  std::atomic<bool> GFailed{false};
+  BudgetGate Gate;
+  WorkStealingPool *Pool = nullptr; // Phase 2 only.
+  ShardedStats *WStats = nullptr;   // Phase 2 only.
+  /// Single-worker runs bypass the parallel machinery entirely.
+  std::unique_ptr<SlrEngine<V, D, C, /*WithSide=*/true>> Sequential;
+};
+
+/// Runs work-stealing parallel SLR+ on a side-effecting system, solving
+/// for \p X0 with combine operator \p Combine.
+template <typename V, typename D, typename C>
+PartialSolution<V, D> runParallelSlrPlus(const SideEffectingSystem<V, D> &System,
+                                         const V &X0, C Combine,
+                                         const SolverOptions &Options = {},
+                                         bool LocalizedCombine = false) {
+  ParallelSlrEngine<V, D, C> Engine(System, std::move(Combine), Options,
+                                    LocalizedCombine);
+  return Engine.solveFor(X0);
+}
+
+/// Parallel two-phase driver: ascending parallel SLR+ with ⊕ = ▽, then
+/// the shared sequential descending sweeps (two_phase_local.h) with
+/// ⊕ = △ over the discovered domain, side-effected unknowns frozen.
+template <typename V, typename D>
+PartialSolution<V, D>
+runParallelTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
+                        const SolverOptions &Options = {},
+                        unsigned MaxNarrowRounds = 8) {
+  TraceEmitter Emit(Options.Trace);
+  Emit.phaseChange(0);
+  ParallelSlrEngine<V, D, WidenCombine> Ascending(System, WidenCombine{},
+                                                  Options);
+  PartialSolution<V, D> Result = Ascending.solveFor(X0);
+  if (!Result.Stats.Converged)
+    return Result;
+  Instrumentation Instr(Result.Stats, Options);
+  descendingSweeps(
+      System, Result, Ascending.keys(),
+      [&Ascending](const V &X) { return Ascending.isSideEffected(X); },
+      Options, MaxNarrowRounds, Instr);
+  return Result;
+}
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_STRATEGIES_PARALLEL_SLR_H

@@ -70,14 +70,20 @@
 
 namespace warrow {
 
-/// Knobs of the parallel solver.
+/// Knobs of the parallel solvers. `Threads` here overrides the shared
+/// `SolverOptions::Threads` knob (benches pinning a sweep point); most
+/// callers leave it 0 and set the SolverOptions field — or neither, for
+/// one worker per hardware thread.
 struct ParallelOptions {
-  /// Worker threads; 0 = one per hardware thread.
+  /// Worker threads; 0 = defer to SolverOptions::Threads, then to
+  /// hardware concurrency.
   unsigned Threads = 0;
 
-  unsigned effectiveThreads() const {
+  unsigned effectiveThreads(unsigned Fallback = 0) const {
     if (Threads != 0)
       return Threads;
+    if (Fallback != 0)
+      return Fallback;
     unsigned HW = std::thread::hardware_concurrency();
     return HW == 0 ? 1 : HW;
   }
@@ -232,7 +238,7 @@ SolveResult<D> runSccParallel(const DenseSystem<D> &System, C Combine,
     Scratches.release(std::move(Scratch));
   };
 
-  ThreadPool Pool(POpts.effectiveThreads());
+  ThreadPool Pool(POpts.effectiveThreads(Options.Threads));
   // The recursive launcher: finish a component, release its successors.
   std::function<void(CompId)> Run = [&](CompId Comp) {
     SolveComponent(Comp);

@@ -146,6 +146,107 @@ public:
     return Result;
   }
 
+  // --- Nested-engine interface --------------------------------------------
+  // The parallel local strategy drives one SlrEngine per dependency-graph
+  // component through the methods below: `seed` + `run` replace solveFor's
+  // closed loop, and the destabilize/invalidate/inject entry points feed
+  // cross-component traffic (published remote values, side-effect
+  // contributions) into the engine between runs. Sequential callers never
+  // touch these; solveFor is unchanged.
+
+  /// Interns \p X0 if fresh and queues it (a later `run` solves it); an
+  /// already-known unstable unknown is re-queued, a stable one ignored.
+  void seed(const V &X0) {
+    auto It = SlotOf.find(X0);
+    if (It == SlotOf.end()) {
+      addQ(internFresh(X0));
+      return;
+    }
+    if (!StableV[It->second])
+      addQ(It->second);
+  }
+
+  /// Drains the queue to quiescence — the tail loop of solveFor, exposed
+  /// so a driver can interleave runs with external destabilization.
+  void run() {
+    while (!Failed && !Queue.empty())
+      solve(popQ());
+  }
+
+  /// Rebinds the evaluation ceiling before a `run`. The parallel driver
+  /// sets it to (charges this engine already published) + (global budget
+  /// remaining), so the engine stops as soon as its own unpublished work
+  /// would exceed what is left of the shared budget.
+  void setBudgetCeiling(uint64_t Max) { Instr.setMaxRhsEvals(Max); }
+
+  /// Externally destabilizes \p Y (no-op for unknown Y): removes it from
+  /// `stable` and queues it for the next `run`.
+  void destabilize(const V &Y) {
+    auto It = SlotOf.find(Y);
+    if (It == SlotOf.end())
+      return;
+    Instr.trace().destabilize(It->second, It->second);
+    StableV[It->second] = 0;
+    addQ(It->second);
+  }
+
+  /// Drops \p Y's read cache so the next solve re-evaluates its
+  /// right-hand side even though no *recorded* read changed (the
+  /// parallel driver uses this when an input outside the engine's view —
+  /// a published remote value — moved).
+  void invalidateCache(const V &Y) {
+    auto It = SlotOf.find(Y);
+    if (It != SlotOf.end())
+      CacheV[It->second].Valid = false;
+  }
+
+  /// True when \p X has been interned (is in `dom`).
+  bool knows(const V &X) const { return SlotOf.count(X) != 0; }
+
+  /// Value of the unknown in discovery slot \p Slot.
+  const D &valueAt(uint32_t Slot) const { return SigmaV[Slot]; }
+
+  /// Side-effect contribution from an unknown *outside* this engine
+  /// (side policy only): records \p Value in the per-contributor cell
+  /// sigma(Contributor, Target) exactly as `side` would, destabilizing
+  /// and queueing \p Target on change. A fresh target is interned and
+  /// queued (not solved immediately — the driver's next `run` drains it).
+  void injectContribution(const V &Target, const V &Contributor,
+                          const D &Value) {
+    static_assert(WithSide, "contributions require the side policy");
+    auto &TargetContribs = Contribs[Target];
+    auto It = TargetContribs.find(Contributor);
+    if (It == TargetContribs.end())
+      It = TargetContribs.emplace(Contributor, D::bot()).first;
+    if (Value == It->second)
+      return;
+    It->second = Value;
+    auto SlotIt = SlotOf.find(Target);
+    uint32_t TS = SlotIt != SlotOf.end() ? SlotIt->second : internFresh(Target);
+    auto FromIt = SlotOf.find(Contributor);
+    if (FromIt != SlotOf.end())
+      Instr.trace().sideContribution(TS, FromIt->second);
+    Instr.trace().destabilize(TS, TS);
+    SideEffectedV[TS] = 1; // set[target] ∪= {contributor}
+    StableV[TS] = 0;
+    addQ(TS);
+  }
+
+  /// Installs a predicate marking unknowns that must be tracked by plain
+  /// assignment instead of ⊕ (side policy only; evaluated once, at
+  /// interning). The parallel driver marks remote *proxy* unknowns this
+  /// way: a proxy mirrors another component's published value verbatim,
+  /// and applying a widening operator on top would overshoot it. Must be
+  /// installed before the first unknown is interned.
+  void assignOnlyWhen(std::function<bool(const V &)> Pred) {
+    assert(VarOf.empty() && "assign-only policy must precede interning");
+    AssignOnlyPred = std::move(Pred);
+  }
+
+  /// Update trace recorded so far (side policy, RecordTrace only) — the
+  /// parallel driver merges per-engine traces; solveFor moves this.
+  const std::vector<std::pair<V, D>> &updateTrace() const { return Trace; }
+
   // --- Introspection (used by the two-phase baseline and by tests) --------
 
   /// Discovered unknowns in discovery order (slot order); `keys` of the
@@ -215,6 +316,7 @@ private:
       OnStackV.push_back(0);
       WideningPointV.push_back(0);
       SideEffectedV.push_back(0);
+      AssignOnlyV.push_back(AssignOnlyPred && AssignOnlyPred(Y) ? 1 : 0);
     }
     CacheV.emplace_back();
     Queue.resizeUniverse(VarOf.size());
@@ -262,7 +364,8 @@ private:
       // assignment) — acyclic unknowns stabilize once their inputs do,
       // values may both grow and shrink, and no widening-induced
       // precision is lost.
-      UseCombine = !Localized || WideningPointV[XS] || SideEffectedV[XS];
+      UseCombine = (!Localized || WideningPointV[XS] || SideEffectedV[XS]) &&
+                   !AssignOnlyV[XS];
     }
     D Tmp = UseCombine ? Combine(VarOf[XS], SigmaV[XS], New) : New;
     if (!(Tmp == SigmaV[XS])) {
@@ -430,6 +533,8 @@ private:
   std::vector<uint8_t> OnStackV;       // Side policy only.
   std::vector<uint8_t> WideningPointV; // Side policy only.
   std::vector<uint8_t> SideEffectedV;  // Side policy only.
+  std::vector<uint8_t> AssignOnlyV;    // Side policy only.
+  std::function<bool(const V &)> AssignOnlyPred; // Null for sequential use.
   std::vector<CacheEntry> CacheV;
   IndexedHeap<std::greater<uint32_t>> Queue; // top() = max slot = min key.
 

@@ -50,36 +50,31 @@
 
 namespace warrow::engine {
 
-/// Runs the two-phase baseline on a side-effecting system, solving for
-/// \p X0. \p MaxNarrowRounds bounds the number of full descending sweeps;
-/// \p LocalizedAscending selects localized widening in phase 1.
-template <typename V, typename D>
-PartialSolution<V, D>
-runTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
-                const SolverOptions &Options = {},
-                unsigned MaxNarrowRounds = 8,
-                bool LocalizedAscending = false) {
-  TraceEmitter Emit(Options.Trace);
-  // Phase 1: ascending with widening.
-  Emit.phaseChange(0);
-  SlrEngine<V, D, WidenCombine, /*WithSide=*/true> Ascending(
-      System, WidenCombine{}, Options, LocalizedAscending);
-  PartialSolution<V, D> Result = Ascending.solveFor(X0);
-  if (!Result.Stats.Converged)
-    return Result;
-  Instrumentation Instr(Result.Stats, Options);
-
-  // Phase-2 events reuse phase 1's slot ids (key[x] = -slot, Fig. 6).
+/// The descending half of a two-phase solve: narrowing sweeps over the
+/// fixed domain of an ascending result, shared by the sequential and the
+/// parallel two-phase drivers. \p Keys is the ascending phase's key map
+/// (key[x] = -slot); \p IsFrozen marks unknowns that must keep their
+/// widened value (side-effected globals — narrowing an individual
+/// contribution is unsound, Example 8). Side effects emitted during the
+/// sweeps are discarded. Mutates \p Result in place; clears `Converged`
+/// when the evaluation budget runs out mid-sweep.
+template <typename V, typename D, typename FrozenPred>
+void descendingSweeps(const SideEffectingSystem<V, D> &System,
+                      PartialSolution<V, D> &Result,
+                      const std::unordered_map<V, int64_t> &Keys,
+                      FrozenPred IsFrozen, const SolverOptions &Options,
+                      unsigned MaxNarrowRounds, Instrumentation &Instr) {
+  // Descending events reuse the ascending slot ids (key[x] = -slot).
   std::unordered_map<V, uint64_t> SlotOf;
   if (Instr.tracing())
-    for (const auto &[X, KeyValue] : Ascending.keys())
+    for (const auto &[X, KeyValue] : Keys)
       SlotOf.emplace(X, static_cast<uint64_t>(-KeyValue));
 
   // Stable iteration order: by discovery key, oldest (x0) last, so inner
   // (fresher) unknowns narrow first — mirroring SLR's priority discipline.
   std::vector<std::pair<int64_t, V>> Order;
   Order.reserve(Result.Sigma.size());
-  for (const auto &[X, KeyValue] : Ascending.keys())
+  for (const auto &[X, KeyValue] : Keys)
     Order.push_back({KeyValue, X});
   std::sort(Order.begin(), Order.end(),
             [](const auto &A, const auto &B) { return A.first < B.first; });
@@ -101,16 +96,16 @@ runTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
   };
   std::unordered_map<V, CacheEntry> Cache;
 
-  // Phase 2: descending sweeps with narrowing; frozen globals.
+  // Descending sweeps with narrowing; frozen globals.
   for (unsigned Round = 0; Round < MaxNarrowRounds; ++Round) {
-    Emit.phaseChange(1, Round);
+    Instr.trace().phaseChange(1, Round);
     bool Changed = false;
     for (const auto &[KeyValue, X] : Order) {
-      if (Ascending.isSideEffected(X))
+      if (IsFrozen(X))
         continue; // Frozen: classical solvers cannot narrow globals.
       if (Instr.budgetExhaustedWithCache()) {
         Result.Stats.Converged = false;
-        return Result;
+        return;
       }
       const uint64_t XSlot = Instr.tracing() ? SlotOf.at(X) : 0;
       auto DepEvent = [&](const V &Y) {
@@ -165,6 +160,31 @@ runTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
     if (!Changed)
       break;
   }
+}
+
+/// Runs the two-phase baseline on a side-effecting system, solving for
+/// \p X0. \p MaxNarrowRounds bounds the number of full descending sweeps;
+/// \p LocalizedAscending selects localized widening in phase 1.
+template <typename V, typename D>
+PartialSolution<V, D>
+runTwoPhaseSide(const SideEffectingSystem<V, D> &System, const V &X0,
+                const SolverOptions &Options = {},
+                unsigned MaxNarrowRounds = 8,
+                bool LocalizedAscending = false) {
+  TraceEmitter Emit(Options.Trace);
+  // Phase 1: ascending with widening.
+  Emit.phaseChange(0);
+  SlrEngine<V, D, WidenCombine, /*WithSide=*/true> Ascending(
+      System, WidenCombine{}, Options, LocalizedAscending);
+  PartialSolution<V, D> Result = Ascending.solveFor(X0);
+  if (!Result.Stats.Converged)
+    return Result;
+  Instrumentation Instr(Result.Stats, Options);
+  // Phase 2: descending sweeps on the discovered domain.
+  descendingSweeps(
+      System, Result, Ascending.keys(),
+      [&Ascending](const V &X) { return Ascending.isSideEffected(X); },
+      Options, MaxNarrowRounds, Instr);
   return Result;
 }
 

@@ -40,7 +40,13 @@ struct SolverStats {
   ///   - LRR: |Known| (the growing known-set IS its worklist);
   ///   - pure recursion (RLD): 0 — there is no pending set;
   ///   - two-phase drivers: max over both phases;
-  ///   - the SCC-parallel solver: max over per-component queues.
+  ///   - the SCC-parallel solver: max over per-component queues;
+  ///   - work-stealing strategies (parallel SLR+): max over the
+  ///     per-component *local* priority queues, exactly as for the
+  ///     SCC-parallel solver. Pool-level task deques and cross-worker
+  ///     mailboxes are scheduling plumbing, not pending solver work,
+  ///     and are not counted — so the figure stays comparable with the
+  ///     sequential SLR+ queue high-water mark at any thread count.
   uint64_t QueueMax = 0;
   /// Destabilized unknowns whose re-evaluation was skipped because every
   /// value read through `Get` last time is pointer-identical now (the RHS
@@ -67,6 +73,11 @@ struct SolverOptions {
   /// right-hand sides and bit-identical either way; off = measure the
   /// uncached solver (tests cross-check the two).
   bool RhsCache = true;
+  /// Worker-thread count for the parallel strategies (`parallel-sw`,
+  /// `parallel-slr-plus`, ...); sequential strategies ignore it. 0 (the
+  /// default) means `std::thread::hardware_concurrency()`. Benches and
+  /// tests set this instead of sizing pools themselves.
+  unsigned Threads = 0;
   /// Structured event sink (see trace/trace.h). Null (the default) keeps
   /// the instrumented paths compiled out of the hot loop behind a single
   /// predictable branch; the traced-off run is bit-identical to a build

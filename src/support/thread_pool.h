@@ -5,18 +5,30 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A deliberately simple fixed-size thread pool: one shared FIFO task
-/// queue behind a mutex, no work stealing. The parallel solver schedules
-/// whole SCCs — coarse tasks whose cost dwarfs a queue lock — so a
-/// stealing deque would buy nothing and cost determinism of the
+/// Two fixed-size thread pools.
+///
+/// `ThreadPool` is deliberately simple: one shared FIFO task queue
+/// behind a mutex, no work stealing. The SCC-parallel dense solver
+/// schedules whole SCCs — coarse tasks whose cost dwarfs a queue lock —
+/// so a stealing deque would buy nothing and cost determinism of the
 /// bookkeeping. Tasks may submit further tasks (that is exactly how the
 /// ready-count scheduler releases successor components); `waitIdle`
 /// accounts for in-flight tasks, not just queued ones, so it only
 /// returns once the transitive task graph has drained.
 ///
-/// `ThreadPool(0)` degenerates to inline execution on the caller's
-/// thread — the zero-overhead configuration used for single-threaded
-/// runs and for deterministic debugging.
+/// `WorkStealingPool` backs the parallel local strategy, whose
+/// component tasks vary wildly in cost: each worker owns a deque
+/// (LIFO for the owner, to keep the freshly destabilized component
+/// hot in cache) and steals FIFO from victims when its own queue
+/// drains. Every deque is guarded by its own mutex — tasks here are
+/// still whole components, so a lock per push/pop is noise and keeps
+/// the pool trivially TSan-clean. The pool also exposes a stable
+/// `workerIndex()` so strategies can keep per-worker stats shards
+/// without atomics on the hot path.
+///
+/// A pool constructed with 0 threads degenerates to inline execution
+/// on the caller's thread — the zero-overhead configuration used for
+/// single-threaded runs and for deterministic debugging.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -110,6 +122,166 @@ private:
   std::vector<std::thread> Workers;
   size_t Pending = 0; // Queued + running tasks.
   bool Stopping = false;
+};
+
+/// Work-stealing pool; see file comment. Tasks may submit further
+/// tasks; a task submitted from inside a worker lands on that worker's
+/// own deque (LIFO), tasks submitted from outside land on a shared
+/// injector queue that workers drain before stealing from each other.
+class WorkStealingPool {
+public:
+  /// Spawns \p Threads workers; 0 means "run tasks inline in submit".
+  explicit WorkStealingPool(unsigned Threads) : Locals(Threads) {
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I < Threads; ++I)
+      Workers.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  WorkStealingPool(const WorkStealingPool &) = delete;
+  WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+  ~WorkStealingPool() {
+    {
+      std::unique_lock<std::mutex> Lock(SyncMutex);
+      Stopping = true;
+    }
+    WakeWorkers.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Number of distinct values `workerIndex()` can return: one shard
+  /// per worker plus one for external callers (which is also the only
+  /// shard of an inline, zero-thread pool).
+  unsigned shardCount() const { return threadCount() + 1; }
+
+  /// Stable shard index of the calling thread: workers get [0,
+  /// threadCount()), any other thread (including the caller of an
+  /// inline pool) gets threadCount(). Strategies key per-worker stats
+  /// shards off this so the hot path never touches an atomic.
+  unsigned workerIndex() const {
+    return CurrentPool == this ? CurrentWorker : threadCount();
+  }
+
+  /// Enqueues \p Task. With no workers the task (and anything it
+  /// transitively submits) runs before submit returns.
+  void submit(std::function<void()> Task) {
+    if (Workers.empty()) {
+      Task();
+      return;
+    }
+    if (CurrentPool == this) {
+      std::unique_lock<std::mutex> Lock(Locals[CurrentWorker].Mutex);
+      Locals[CurrentWorker].Deque.push_front(std::move(Task));
+    } else {
+      std::unique_lock<std::mutex> Lock(SyncMutex);
+      Injector.push_back(std::move(Task));
+    }
+    {
+      std::unique_lock<std::mutex> Lock(SyncMutex);
+      ++Pending;
+    }
+    WakeWorkers.notify_one();
+  }
+
+  /// Blocks until every submitted task — including tasks submitted *by*
+  /// tasks — has finished.
+  void waitIdle() {
+    std::unique_lock<std::mutex> Lock(SyncMutex);
+    Idle.wait(Lock, [this] { return Pending == 0; });
+  }
+
+private:
+  struct LocalQueue {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Deque;
+  };
+
+  /// Own deque front, then injector, then steal the oldest task from
+  /// the first non-empty victim. Returns an empty function when every
+  /// queue is dry.
+  std::function<void()> tryPop(unsigned Self) {
+    {
+      std::unique_lock<std::mutex> Lock(Locals[Self].Mutex);
+      if (!Locals[Self].Deque.empty()) {
+        auto Task = std::move(Locals[Self].Deque.front());
+        Locals[Self].Deque.pop_front();
+        return Task;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> Lock(SyncMutex);
+      if (!Injector.empty()) {
+        auto Task = std::move(Injector.front());
+        Injector.pop_front();
+        return Task;
+      }
+    }
+    for (size_t Off = 1; Off < Locals.size(); ++Off) {
+      unsigned Victim = (Self + Off) % static_cast<unsigned>(Locals.size());
+      std::unique_lock<std::mutex> Lock(Locals[Victim].Mutex);
+      if (!Locals[Victim].Deque.empty()) {
+        auto Task = std::move(Locals[Victim].Deque.back());
+        Locals[Victim].Deque.pop_back();
+        return Task;
+      }
+    }
+    return {};
+  }
+
+  bool anyQueued() {
+    if (!Injector.empty())
+      return true;
+    for (LocalQueue &Q : Locals) {
+      std::unique_lock<std::mutex> Lock(Q.Mutex);
+      if (!Q.Deque.empty())
+        return true;
+    }
+    return false;
+  }
+
+  void workerLoop(unsigned Self) {
+    CurrentPool = this;
+    CurrentWorker = Self;
+    for (;;) {
+      std::function<void()> Task = tryPop(Self);
+      if (!Task) {
+        std::unique_lock<std::mutex> Lock(SyncMutex);
+        WakeWorkers.wait(Lock, [this] { return Stopping || anyQueued(); });
+        if (Stopping && !anyQueued())
+          return;
+        continue;
+      }
+      Task();
+      {
+        std::unique_lock<std::mutex> Lock(SyncMutex);
+        if (--Pending == 0)
+          Idle.notify_all();
+      }
+      // A task that submitted work onto its own deque never notified
+      // anyone awake enough to steal it; poke one sleeper.
+      WakeWorkers.notify_one();
+    }
+  }
+
+  // Lock order: SyncMutex may be taken with a LocalQueue mutex held
+  // only in anyQueued (SyncMutex first); no path takes SyncMutex while
+  // holding a queue mutex.
+  std::mutex SyncMutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Injector;
+  std::vector<LocalQueue> Locals;
+  std::vector<std::thread> Workers;
+  size_t Pending = 0; // Queued + running tasks.
+  bool Stopping = false;
+
+  inline static thread_local const WorkStealingPool *CurrentPool = nullptr;
+  inline static thread_local unsigned CurrentWorker = 0;
 };
 
 } // namespace warrow

@@ -70,9 +70,9 @@ TEST(EngineHygiene, StrategiesNeverTouchTheTraceSinkDirectly) {
           << Bad.front();
     }
   }
-  // All ten strategy headers scanned (a silently empty directory would
-  // pass vacuously otherwise).
-  EXPECT_EQ(Headers, 10u);
+  // All eleven strategy headers scanned (a silently empty directory
+  // would pass vacuously otherwise).
+  EXPECT_EQ(Headers, 11u);
 }
 
 TEST(EngineHygiene, LegacySolverHeadersAreShims) {

@@ -61,8 +61,9 @@ const std::vector<std::string> &expectedSolverNames() {
       "w-fifo",    "sw",           "sw-ordered",
       "sw-parallel", "two-phase-dense", "two-phase-rr",
       "lrr",       "rld",          "slr",
-      "slr-plus",  "warrow",       "widen",
-      "two-phase", "two-phase-localized",
+      "slr-plus",  "parallel-slr-plus", "parallel-two-phase",
+      "warrow",    "widen",        "two-phase",
+      "two-phase-localized", "parallel-warrow",
   };
   return Names;
 }
@@ -127,10 +128,16 @@ TEST(EngineRegistry, ListingCoversEveryEntryWithTags) {
   for (const engine::SolverInfo &Info : engine::solverRegistry())
     if (Info.hasCap(engine::CapNew))
       ++NewCount;
-  EXPECT_EQ(NewCount, 2u) << "two-phase-rr and two-phase-localized";
+  EXPECT_EQ(NewCount, 5u) << "two-phase-rr, two-phase-localized, and the "
+                             "three parallel strategies";
   EXPECT_TRUE(engine::findSolver("two-phase-rr")->hasCap(engine::CapNew));
   EXPECT_TRUE(
       engine::findSolver("two-phase-localized")->hasCap(engine::CapNew));
+  EXPECT_TRUE(
+      engine::findSolver("parallel-slr-plus")->hasCap(engine::CapNew));
+  EXPECT_TRUE(
+      engine::findSolver("parallel-two-phase")->hasCap(engine::CapNew));
+  EXPECT_TRUE(engine::findSolver("parallel-warrow")->hasCap(engine::CapNew));
 }
 
 TEST(EngineRegistry, CapabilityFlagsPartitionTheSystems) {
@@ -326,6 +333,8 @@ TEST(EngineMatrix, SolverChoiceMappingFollowsRegistryCaps) {
   EXPECT_EQ(solverChoiceForName("two-phase"), SolverChoice::TwoPhase);
   EXPECT_EQ(solverChoiceForName("two-phase-localized"),
             SolverChoice::TwoPhaseLocalized);
+  EXPECT_EQ(solverChoiceForName("parallel-warrow"),
+            SolverChoice::ParallelWarrow);
   for (const char *NonAnalysis : {"rr", "sw", "slr", "rld", "bogus"})
     EXPECT_FALSE(solverChoiceForName(NonAnalysis).has_value())
         << NonAnalysis;

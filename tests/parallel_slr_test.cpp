@@ -1,0 +1,280 @@
+//===- tests/parallel_slr_test.cpp - Work-stealing parallel SLR+ ---------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The parallel SLR+ determinism contract, pinned against sequential SLR+:
+//
+//  - On side-effect-free systems whose dependency structure is value-
+//    independent, the pre-pass discovers exactly the sequential domain,
+//    each condensation component replays sequential SLR+ verbatim after
+//    its predecessors finalized, and remote reads are snapshots of final
+//    values — so the assignment, the per-unknown update multiset, and
+//    even the rhs-eval count are identical at every thread count.
+//  - On genuinely side-effecting systems the schedule is observable
+//    (contributions race with reads), so only soundness is claimed:
+//    every run passes the independent side-effecting verifier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/solve.h"
+#include "engine/strategies/parallel_slr.h"
+#include "eqsys/verify.h"
+#include "lattice/combine.h"
+#include "solvers/slr_plus.h"
+#include "solvers/two_phase_local.h"
+#include "trace/recorder.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace warrow;
+
+namespace {
+
+using SideSys = SideEffectingSystem<int, Interval>;
+
+/// Dense system wrapped as a side-effecting system with no actual side
+/// effects — the static, value-independent case the determinism contract
+/// covers.
+SideSys sideView(const DenseSystem<Interval> &Dense) {
+  return SideSys([&Dense](int X) -> SideSys::Rhs {
+    return [&Dense, X](const SideSys::Get &Get, const SideSys::Side &) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+/// The root unknown local solving starts from: -1, joining the ring
+/// entry of every component of a `manyComponentSystem`.
+constexpr int Root = -1;
+
+/// Side-effect-free view of a `manyComponentSystem(NumComps, CompSize,
+/// ...)` with the extra Root unknown, so local solving discovers every
+/// component and the condensation has genuine parallel slack.
+SideSys rootedSideView(const DenseSystem<Interval> &Dense, unsigned NumComps,
+                       unsigned CompSize) {
+  return SideSys([&Dense, NumComps, CompSize](int X) -> SideSys::Rhs {
+    if (X == Root)
+      return [NumComps, CompSize](const SideSys::Get &Get,
+                                  const SideSys::Side &) {
+        Interval Acc = Interval::bot();
+        for (unsigned C = 0; C < NumComps; ++C)
+          Acc = Acc.join(Get(static_cast<int>(C * CompSize)));
+        return Acc;
+      };
+    return [&Dense, X](const SideSys::Get &Get, const SideSys::Side &) {
+      return Dense.eval(static_cast<Var>(X),
+                        [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+    };
+  });
+}
+
+/// Dense system plus one genuinely side-effected global (id 1000) with
+/// contributions from every unknown — the multi-contributor set[z] shape
+/// of the paper's Example 8.
+SideSys sideViewWithGlobal(const DenseSystem<Interval> &Dense) {
+  const int Global = 1000;
+  return SideSys([&Dense, Global](int X) -> SideSys::Rhs {
+    if (X == Global)
+      return [](const SideSys::Get &, const SideSys::Side &) {
+        return Interval::constant(0);
+      };
+    return [&Dense, X, Global](const SideSys::Get &Get,
+                               const SideSys::Side &Side) {
+      Side(Global, Interval::make(0, X % 7));
+      Interval Direct = Dense.eval(
+          static_cast<Var>(X),
+          [&Get](Var Y) { return Get(static_cast<int>(Y)); });
+      return Direct.join(Get(Global).meet(Interval::make(0, 6)));
+    };
+  });
+}
+
+/// The schedule-independent projection of an update event. Unknown ids
+/// are comparable across solvers because the parallel pre-pass interns in
+/// sequential discovery order and IdRemapSink restores global slots.
+using UpdateKey = std::tuple<uint64_t, UpdateKind, bool, bool>;
+
+std::map<UpdateKey, unsigned>
+updateMultiset(const std::vector<TraceEvent> &Events) {
+  std::map<UpdateKey, unsigned> M;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == TraceEventKind::Update)
+      ++M[{E.Unknown, E.UKind, E.Grew, E.Shrank}];
+  return M;
+}
+
+const std::vector<unsigned> &threadSweep() {
+  static const std::vector<unsigned> Threads = {1, 2, 4, 8};
+  return Threads;
+}
+
+// On a static side-effect-free system, the parallel assignment and
+// update multiset replay sequential SLR+ exactly at every thread count.
+TEST(ParallelSlr, MatchesSequentialSlrPlusOnStaticSystem) {
+  DenseSystem<Interval> Dense = manyComponentSystem(10, 6, 64, 2, 13);
+  SideSys Side = rootedSideView(Dense, 10, 6);
+
+  BufferedTraceRecorder SeqRecorder(/*CaptureTimestamps=*/false);
+  SolverOptions SeqOptions;
+  SeqOptions.Trace = &SeqRecorder;
+  PartialSolution<int, Interval> Seq =
+      solveSLRPlus(Side, Root, WarrowCombine{}, SeqOptions);
+  ASSERT_TRUE(Seq.Stats.Converged);
+  ASSERT_EQ(Seq.Sigma.size(), 10u * 6u + 1u) << "root must reach every ring";
+  std::map<UpdateKey, unsigned> Expected = updateMultiset(SeqRecorder.events());
+  ASSERT_FALSE(Expected.empty());
+
+  for (unsigned Threads : threadSweep()) {
+    BufferedTraceRecorder Recorder(/*CaptureTimestamps=*/false);
+    SolverOptions Options;
+    Options.Trace = &Recorder;
+    Options.Threads = Threads;
+    PartialSolution<int, Interval> Par =
+        engine::runParallelSlrPlus(Side, Root, WarrowCombine{}, Options);
+    ASSERT_TRUE(Par.Stats.Converged) << "threads=" << Threads;
+    EXPECT_EQ(Par.Sigma, Seq.Sigma) << "threads=" << Threads;
+    EXPECT_EQ(updateMultiset(Recorder.events()), Expected)
+        << "threads=" << Threads
+        << ": parallel update multiset diverges from sequential SLR+";
+  }
+}
+
+// Evals on the static system are a pure function of the system, not the
+// schedule. A single worker delegates to sequential SLR+ outright (no
+// pre-pass, no proxies), so its count equals the sequential solver's;
+// multi-worker counts agree with each other at pre-pass + per-component
+// solves + one eval per cross-component proxy.
+TEST(ParallelSlr, RhsEvalsIndependentOfThreadCount) {
+  DenseSystem<Interval> Dense = manyComponentSystem(8, 5, 48, 2, 29);
+  SideSys Side = rootedSideView(Dense, 8, 5);
+  auto evalsAt = [&](unsigned Threads) {
+    SolverOptions Options;
+    Options.Threads = Threads;
+    PartialSolution<int, Interval> R =
+        engine::runParallelSlrPlus(Side, Root, WarrowCombine{}, Options);
+    EXPECT_TRUE(R.Stats.Converged) << "threads=" << Threads;
+    return R.Stats.RhsEvals;
+  };
+  PartialSolution<int, Interval> Seq = solveSLRPlus(Side, Root, WarrowCombine{});
+  ASSERT_TRUE(Seq.Stats.Converged);
+  EXPECT_EQ(evalsAt(1), Seq.Stats.RhsEvals)
+      << "threads=1 must cost exactly what sequential SLR+ costs";
+  uint64_t Two = evalsAt(2);
+  for (unsigned Threads : {4u, 8u})
+    EXPECT_EQ(evalsAt(Threads), Two) << "threads=" << Threads;
+}
+
+// Localized widening composes with the parallel engine: per-component
+// widening points are detected in the local dependency structure.
+TEST(ParallelSlr, LocalizedCombineMatchesSequential) {
+  DenseSystem<Interval> Dense = manyComponentSystem(6, 6, 50, 2, 41);
+  SideSys Side = rootedSideView(Dense, 6, 6);
+  SlrPlusSolver<int, Interval, WarrowCombine> SeqSolver(
+      Side, WarrowCombine{}, SolverOptions{}, /*LocalizedCombine=*/true);
+  PartialSolution<int, Interval> Seq = SeqSolver.solveFor(Root);
+  ASSERT_TRUE(Seq.Stats.Converged);
+  for (unsigned Threads : {2u, 4u}) {
+    SolverOptions Options;
+    Options.Threads = Threads;
+    PartialSolution<int, Interval> Par = engine::runParallelSlrPlus(
+        Side, Root, WarrowCombine{}, Options, /*LocalizedCombine=*/true);
+    ASSERT_TRUE(Par.Stats.Converged) << "threads=" << Threads;
+    EXPECT_EQ(Par.Sigma, Seq.Sigma) << "threads=" << Threads;
+  }
+}
+
+// A degrading ⊟ terminates on the non-monotone generator under the
+// parallel engine too, and the result verifies.
+TEST(ParallelSlr, NonMonotoneDegradingConvergesAndVerifies) {
+  DenseSystem<Interval> Dense = randomNonMonotoneSystem(24, 3, 90, 7);
+  SideSys Side = sideView(Dense);
+  SolverOptions Options;
+  Options.MaxRhsEvals = 2'000'000;
+  for (unsigned Threads : {1u, 4u}) {
+    Options.Threads = Threads;
+    PartialSolution<int, Interval> R = engine::runParallelSlrPlus(
+        Side, 0, DegradingWarrowCombine<int>(8), Options);
+    ASSERT_TRUE(R.Stats.Converged) << "threads=" << Threads;
+    VerifyResult V = verifySideEffectingSolution(Side, R);
+    EXPECT_TRUE(V.Ok) << "threads=" << Threads << ": " << V.str();
+  }
+}
+
+// Genuinely side-effecting system: soundness at every thread count via
+// the independent verifier (the sharded accumulators must reproduce the
+// per-contributor cells of sequential SLR+).
+TEST(ParallelSlr, SideEffectedGlobalVerifiesAtEveryThreadCount) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(18, 3, 50, 9);
+  SideSys Side = sideViewWithGlobal(Dense);
+  for (unsigned Threads : threadSweep()) {
+    SolverOptions Options;
+    Options.Threads = Threads;
+    PartialSolution<int, Interval> R =
+        engine::runParallelSlrPlus(Side, 0, WarrowCombine{}, Options);
+    ASSERT_TRUE(R.Stats.Converged) << "threads=" << Threads;
+    VerifyResult V = verifySideEffectingSolution(Side, R);
+    EXPECT_TRUE(V.Ok) << "threads=" << Threads << ": " << V.str();
+    EXPECT_TRUE(R.inDomain(1000))
+        << "threads=" << Threads << ": global not discovered";
+  }
+}
+
+// The parallel two-phase driver: parallel ▽-ascent, then the shared
+// sequential △-sweeps with frozen globals — assignment matches the
+// sequential two-phase baseline on static systems.
+TEST(ParallelSlr, ParallelTwoPhaseMatchesSequentialBaseline) {
+  DenseSystem<Interval> Dense = manyComponentSystem(8, 5, 60, 2, 17);
+  SideSys Side = rootedSideView(Dense, 8, 5);
+  PartialSolution<int, Interval> Seq = solveTwoPhaseSide(Side, Root);
+  ASSERT_TRUE(Seq.Stats.Converged);
+  for (unsigned Threads : {1u, 4u}) {
+    SolverOptions Options;
+    Options.Threads = Threads;
+    PartialSolution<int, Interval> Par =
+        engine::runParallelTwoPhaseSide(Side, Root, Options);
+    ASSERT_TRUE(Par.Stats.Converged) << "threads=" << Threads;
+    EXPECT_EQ(Par.Sigma, Seq.Sigma) << "threads=" << Threads;
+    VerifyResult V = verifySideEffectingSolution(Side, Par);
+    EXPECT_TRUE(V.Ok) << "threads=" << Threads << ": " << V.str();
+  }
+}
+
+// Registry dispatch reaches the parallel strategies.
+TEST(ParallelSlr, RegistryDispatchReachesParallelStrategies) {
+  DenseSystem<Interval> Dense = randomMonotoneSystem(16, 3, 40, 5);
+  SideSys Side = sideView(Dense);
+  PartialSolution<int, Interval> Direct =
+      engine::runParallelSlrPlus(Side, 0, WarrowCombine{});
+  PartialSolution<int, Interval> ByName =
+      engine::solveSideByName("parallel-slr-plus", Side, 0, WarrowCombine{});
+  ASSERT_TRUE(ByName.Stats.Converged);
+  EXPECT_EQ(ByName.Sigma, Direct.Sigma);
+  PartialSolution<int, Interval> TwoByName =
+      engine::solveSideByName("parallel-two-phase", Side, 0, WarrowCombine{});
+  EXPECT_TRUE(TwoByName.Stats.Converged);
+}
+
+// The shared evaluation budget is respected across workers: a budget too
+// small for the system reports non-convergence instead of running away.
+TEST(ParallelSlr, RespectsEvalBudget) {
+  DenseSystem<Interval> Dense = manyComponentSystem(12, 8, 400, 2, 3);
+  SideSys Side = rootedSideView(Dense, 12, 8);
+  SolverOptions Options;
+  Options.MaxRhsEvals = 40;
+  Options.Threads = 4;
+  PartialSolution<int, Interval> R =
+      engine::runParallelSlrPlus(Side, Root, WarrowCombine{}, Options);
+  EXPECT_FALSE(R.Stats.Converged);
+  EXPECT_LE(R.Stats.RhsEvals, 2 * Options.MaxRhsEvals)
+      << "budget overshoot beyond the documented one-batch slack";
+}
+
+} // namespace

@@ -155,6 +155,33 @@ TEST_P(RaceSuite, TwoPhaseSoundButNoMorePrecise) {
   }
 }
 
+// The work-stealing parallel SLR+ backend reports exactly the same racy
+// set as sequential ⊟ at every thread count, and each run's solution is
+// re-checked with the independent side-effecting verifier — the sharded
+// set[z] accumulators must reproduce the sequential contribution cells.
+TEST_P(RaceSuite, ParallelWarrowMatchesKnownAnswerAndVerifies) {
+  const RaceBenchmark *B = findRaceBenchmark(GetParam());
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    AnalysisOptions Options;
+    Options.Solver.Threads = Threads;
+    RaceAnalysis Analysis(*PB.P, PB.Cfgs, Options);
+    RaceAnalysisResult Result = Analysis.run(SolverChoice::ParallelWarrow);
+    ASSERT_TRUE(Result.Stats.Converged)
+        << "threads=" << Threads << ": " << Result.Stats.str();
+
+    EXPECT_EQ(racyGlobals(*PB.P, Result), expectedGlobals(*B))
+        << "threads=" << Threads << "\n"
+        << describeRaces(*PB.P, Result);
+
+    VerifyResult V = Analysis.verify(Result);
+    EXPECT_TRUE(V.Ok) << "threads=" << Threads << ": " << V.str();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, RaceSuite,
                          ::testing::ValuesIn(suiteNames()), caseName);
 

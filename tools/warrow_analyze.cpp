@@ -14,6 +14,9 @@
 ///                                       (default warrow; any analysis-
 ///                                       capable entry of --list-solvers)
 ///     --list-solvers                    print the solver registry and exit
+///     --threads=N                       worker threads for the parallel
+///                                       solvers (default: hardware
+///                                       concurrency; ignored elsewhere)
 ///     --context                         context-sensitive analysis
 ///     --thresholds                      program-constant threshold widening
 ///     --check                           report potential run-time errors
@@ -40,6 +43,7 @@
 #include "trace/report.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -52,8 +56,8 @@ namespace {
 
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--solver=NAME] [--list-solvers] [--context] "
-               "[--thresholds] [--check] [--races] [--dump-cfg] "
+               "usage: %s [--solver=NAME] [--list-solvers] [--threads=N] "
+               "[--context] [--thresholds] [--check] [--races] [--dump-cfg] "
                "[--trace] [--trace-out=FILE] [--quiet] file.mc\n",
                Argv0);
 }
@@ -155,6 +159,14 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Arg, "--list-solvers") == 0) {
       std::printf("%s", engine::solverListing().c_str());
       return 0;
+    } else if (std::strncmp(Arg, "--threads=", 10) == 0) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Arg + 10, &End, 10);
+      if (End == Arg + 10 || *End != '\0') {
+        std::fprintf(stderr, "error: invalid thread count '%s'\n", Arg + 10);
+        return 2;
+      }
+      Options.Solver.Threads = static_cast<unsigned>(N);
     } else if (std::strcmp(Arg, "--context") == 0) {
       Options.ContextSensitive = true;
     } else if (std::strcmp(Arg, "--thresholds") == 0) {
