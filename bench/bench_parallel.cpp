@@ -154,7 +154,6 @@ const DenseSystem<Interval> &slrLinkedWorkload() {
 }
 
 void recordCommon(benchmark::State &State, const SolverStats &Stats) {
-  State.counters["rhs_evals"] = static_cast<double>(Stats.RhsEvals);
   State.counters["evals"] = static_cast<double>(Stats.RhsEvals);
   State.counters["converged"] = Stats.Converged ? 1 : 0;
   State.counters["hw_threads"] =

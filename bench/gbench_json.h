@@ -78,8 +78,10 @@ public:
       // Benchmark loops never attach a TraceSink — mark the records so
       // the compare tooling can refuse accidentally-traced numbers.
       Rec.set("traced", false);
+      // "evals" already landed in the schema's rhs_evals field; drop
+      // both spellings here so no record carries a duplicate key.
       for (const auto &[Name, Counter] : R.counters)
-        if (Name != "evals")
+        if (Name != "evals" && Name != "rhs_evals")
           Rec.set(Name, Counter.value);
     }
   }

@@ -174,16 +174,21 @@ public:
       Task();
       return;
     }
+    // Count the task before publishing it: a worker may steal and
+    // finish it the instant it hits a queue, and its --Pending must
+    // never observe the increment still outstanding (waitIdle would
+    // return early or Pending would underflow).
     if (CurrentPool == this) {
+      {
+        std::unique_lock<std::mutex> Lock(SyncMutex);
+        ++Pending;
+      }
       std::unique_lock<std::mutex> Lock(Locals[CurrentWorker].Mutex);
       Locals[CurrentWorker].Deque.push_front(std::move(Task));
     } else {
       std::unique_lock<std::mutex> Lock(SyncMutex);
-      Injector.push_back(std::move(Task));
-    }
-    {
-      std::unique_lock<std::mutex> Lock(SyncMutex);
       ++Pending;
+      Injector.push_back(std::move(Task));
     }
     WakeWorkers.notify_one();
   }

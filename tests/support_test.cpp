@@ -9,9 +9,11 @@
 #include "support/rng.h"
 #include "support/saturating.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
 #include <set>
 
@@ -159,6 +161,50 @@ TEST(Table, Formatting) {
   EXPECT_EQ(formatThousands(97785), "97 785");
   EXPECT_EQ(formatThousands(784), "784");
   EXPECT_EQ(formatThousands(1234567), "1 234 567");
+}
+
+// --- thread_pool -----------------------------------------------------------
+
+// Regression for the submit/waitIdle accounting race: submit used to
+// publish the task before incrementing Pending, so a worker could
+// finish the task in between and underflow the counter (waitIdle then
+// hangs) or waitIdle could return with a task still running. TSan
+// cannot see the bug — every access is mutex-guarded — so this stress
+// test checks the invariant directly: after waitIdle, every task
+// submitted so far (including tasks submitted from inside workers)
+// must have run to completion.
+TEST(WorkStealingPool, WaitIdleSeesAllTasks) {
+  WorkStealingPool Pool(4);
+  std::atomic<unsigned> Ran{0};
+  unsigned Expected = 0;
+  for (unsigned Round = 0; Round < 200; ++Round) {
+    // Tiny tasks maximize the window where a worker finishes the task
+    // before the old code got around to counting it.
+    for (unsigned I = 0; I < 8; ++I) {
+      Pool.submit([&Pool, &Ran] {
+        Pool.submit([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+        Ran.fetch_add(1, std::memory_order_relaxed);
+      });
+      Expected += 2;
+    }
+    Pool.waitIdle();
+    ASSERT_EQ(Ran.load(std::memory_order_relaxed), Expected)
+        << "waitIdle returned with tasks still pending (round " << Round
+        << ")";
+  }
+}
+
+TEST(WorkStealingPool, InlinePoolRunsInSubmit) {
+  WorkStealingPool Pool(0);
+  unsigned Ran = 0;
+  Pool.submit([&Pool, &Ran] {
+    Pool.submit([&Ran] { ++Ran; });
+    ++Ran;
+  });
+  EXPECT_EQ(Ran, 2u);
+  Pool.waitIdle(); // Nothing pending; must not block.
+  EXPECT_EQ(Pool.shardCount(), 1u);
+  EXPECT_EQ(Pool.workerIndex(), 0u);
 }
 
 } // namespace
