@@ -18,6 +18,8 @@ bool AbsValue::leq(const AbsValue &Other) const {
   assert(K == Other.K && "comparing values of different kinds");
   if (isEnv())
     return EnvValue.leq(Other.EnvValue);
+  if (isRel())
+    return RelValue.leq(Other.RelValue);
   return ItvValue.leq(Other.ItvValue);
 }
 
@@ -29,6 +31,8 @@ AbsValue AbsValue::join(const AbsValue &Other) const {
   assert(K == Other.K && "joining values of different kinds");
   if (isEnv())
     return env(EnvValue.join(Other.EnvValue));
+  if (isRel())
+    return rel(RelValue.join(Other.RelValue));
   return itv(ItvValue.join(Other.ItvValue));
 }
 
@@ -40,6 +44,8 @@ AbsValue AbsValue::widen(const AbsValue &Other) const {
   assert(K == Other.K && "widening values of different kinds");
   if (isEnv())
     return env(EnvValue.widen(Other.EnvValue));
+  if (isRel())
+    return rel(RelValue.widen(Other.RelValue));
   return itv(ItvValue.widen(Other.ItvValue));
 }
 
@@ -53,6 +59,8 @@ AbsValue::widenWithThresholds(const AbsValue &Other,
   assert(K == Other.K && "widening values of different kinds");
   if (isEnv())
     return env(EnvValue.widenWithThresholds(Other.EnvValue, Thresholds));
+  if (isRel())
+    return rel(RelValue.widenWithThresholds(Other.RelValue, Thresholds));
   return itv(ItvValue.widenWithThresholds(Other.ItvValue, Thresholds));
 }
 
@@ -63,6 +71,8 @@ AbsValue AbsValue::narrow(const AbsValue &Other) const {
   assert(K == Other.K && "narrowing values of different kinds");
   if (isEnv())
     return env(EnvValue.narrow(Other.EnvValue));
+  if (isRel())
+    return rel(RelValue.narrow(Other.RelValue));
   return itv(ItvValue.narrow(Other.ItvValue));
 }
 
@@ -71,6 +81,8 @@ bool AbsValue::operator==(const AbsValue &Other) const {
     return false;
   if (isEnv())
     return EnvValue == Other.EnvValue;
+  if (isRel())
+    return RelValue == Other.RelValue;
   if (isItv())
     return ItvValue == Other.ItvValue;
   return true; // Both bottom.
@@ -81,6 +93,8 @@ std::string AbsValue::str(const Interner &Symbols) const {
     return "unreachable";
   if (isEnv())
     return EnvValue.str(Symbols);
+  if (isRel())
+    return RelValue.str(Symbols);
   return ItvValue.str();
 }
 
@@ -89,6 +103,8 @@ std::string AbsValue::str() const {
     return "unreachable";
   if (isItv())
     return ItvValue.str();
+  if (isRel())
+    return "rel(" + std::to_string(RelValue.size()) + " vars)";
   std::string Out = "env(" + std::to_string(EnvValue.size()) + " vars)";
   return Out;
 }
@@ -98,5 +114,7 @@ size_t AbsValue::hashValue() const {
     return 0x0b;
   if (isEnv())
     return hashAll(static_cast<int>(K), EnvValue.hashValue());
+  if (isRel())
+    return hashAll(static_cast<int>(K), RelValue.hashValue());
   return hashAll(static_cast<int>(K), ItvValue.hashValue());
 }

@@ -11,10 +11,14 @@
 /// *intervals* — so `AbsValue` is a tagged sum with a polymorphic bottom:
 ///
 ///     Bot  <  Env(e)         (program point: Bot = "unreachable")
+///     Bot  <  Rel(r)         (program point under --domain=zones)
 ///     Bot  <  Itv(i)         (global: Bot = empty interval)
 ///
 /// Values of different non-bottom kinds never meet in a well-formed
 /// system (asserted). `Itv` of the empty interval normalizes to `Bot`.
+/// Under the zones domain program points carry `Rel` values while globals
+/// stay `Itv` (flow-insensitive globals are interval-valued in both
+/// domains).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +26,7 @@
 #define WARROW_ANALYSIS_ABSVALUE_H
 
 #include "analysis/env.h"
+#include "analysis/rel_env.h"
 #include "lattice/interval.h"
 
 #include <cassert>
@@ -29,10 +34,11 @@
 
 namespace warrow {
 
-/// Sum domain: bottom, reachable environment, or interval.
+/// Sum domain: bottom, reachable environment (interval or relational), or
+/// interval.
 class AbsValue {
 public:
-  enum class Kind : uint8_t { Bot, Env, Itv };
+  enum class Kind : uint8_t { Bot, Env, Rel, Itv };
 
   /// Default: bottom.
   AbsValue() : K(Kind::Bot) {}
@@ -48,6 +54,14 @@ public:
     V.EnvValue = std::move(E);
     return V;
   }
+  static AbsValue rel(RelEnv R) {
+    // Same choke point as env(): interned on entry to the value domain.
+    R.freeze();
+    AbsValue V;
+    V.K = Kind::Rel;
+    V.RelValue = std::move(R);
+    return V;
+  }
   static AbsValue itv(const Interval &I) {
     if (I.isBot())
       return bot();
@@ -60,15 +74,20 @@ public:
   Kind kind() const { return K; }
   bool isBot() const { return K == Kind::Bot; }
   bool isEnv() const { return K == Kind::Env; }
+  bool isRel() const { return K == Kind::Rel; }
   bool isItv() const { return K == Kind::Itv; }
 
   const AbsEnv &envValue() const {
     assert(isEnv() && "not an environment value");
     return EnvValue;
   }
+  const RelEnv &relValue() const {
+    assert(isRel() && "not a relational value");
+    return RelValue;
+  }
   /// Interval payload; bottom maps to the empty interval.
   Interval itvValue() const {
-    assert(!isEnv() && "not an interval value");
+    assert(!isEnv() && !isRel() && "not an interval value");
     return isBot() ? Interval::bot() : ItvValue;
   }
   /// Environment payload with bottom mapped "nowhere" — callers check
@@ -76,6 +95,11 @@ public:
   const AbsEnv &envValueOrTop() const {
     static const AbsEnv Top;
     return isEnv() ? EnvValue : Top;
+  }
+  /// Relational counterpart of envValueOrTop().
+  const RelEnv &relValueOrTop() const {
+    static const RelEnv Top;
+    return isRel() ? RelValue : Top;
   }
 
   bool leq(const AbsValue &Other) const;
@@ -96,6 +120,7 @@ public:
 private:
   Kind K;
   AbsEnv EnvValue;
+  RelEnv RelValue;
   Interval ItvValue;
 };
 

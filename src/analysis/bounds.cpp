@@ -1,0 +1,193 @@
+//===- analysis/bounds.cpp - Bounds / assert checker ---------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/bounds.h"
+
+#include "analysis/rel_env.h"
+#include "analysis/transfer.h"
+#include "lang/sema.h"
+#include "support/casting.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace warrow;
+
+std::string BoundsFinding::str(const Program &P) const {
+  std::string Out = P.Symbols.spelling(P.Functions[Func]->Name);
+  Out += ":" + std::to_string(Line) + ": ";
+  Out += Definite ? "error: " : "warning: ";
+  Out += Message;
+  return Out;
+}
+
+namespace {
+
+/// Per-edge hazard walker, generic over the environment domain: `EnvT` is
+/// `AbsEnv` or `RelEnv`, and `evalExpr` resolves to the matching overload
+/// (transfer.h / rel_env.h).
+template <typename EnvT> class EdgeChecker {
+public:
+  EdgeChecker(const Program &P, const FuncVars &Vars, uint32_t Func,
+              const EvalContext &Ctx, std::vector<BoundsFinding> &Out)
+      : P(P), Vars(Vars), Func(Func), Ctx(Ctx), Out(Out) {}
+
+  void checkEdge(const Action &A, const EnvT &Env, uint32_t Line) {
+    if (A.Value)
+      walk(*A.Value, Env, Line);
+    if (A.Index) {
+      walk(*A.Index, Env, Line);
+      if (A.K == Action::Kind::Store)
+        checkIndex(A.Lhs, *A.Index, Env, Line);
+    }
+    for (const Expr *Arg : A.Args)
+      walk(*Arg, Env, Line);
+    if (A.K == Action::Kind::Assert)
+      checkAssert(*A.Value, Env, Line);
+  }
+
+private:
+  void walk(const Expr &E, const EnvT &Env, uint32_t Line) {
+    switch (E.kind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::VarRef:
+      return;
+    case Expr::Kind::ArrayRef: {
+      const auto *A = cast<ArrayRef>(&E);
+      walk(A->index(), Env, Line);
+      checkIndex(A->name(), A->index(), Env, Line);
+      return;
+    }
+    case Expr::Kind::Unary:
+      walk(cast<UnaryExpr>(&E)->operand(), Env, Line);
+      return;
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(&E);
+      walk(B->lhs(), Env, Line);
+      walk(B->rhs(), Env, Line);
+      return;
+    }
+    case Expr::Kind::Call:
+      for (const ExprPtr &Arg : cast<CallExpr>(&E)->args())
+        walk(*Arg, Env, Line);
+      return;
+    }
+  }
+
+  void checkIndex(Symbol Array, const Expr &Index, const EnvT &Env,
+                  uint32_t Line) {
+    int64_t Size = -1;
+    if (const GlobalDecl *G = P.global(Array)) {
+      Size = G->ArraySize;
+    } else {
+      auto It = Vars.Arrays.find(Array);
+      if (It != Vars.Arrays.end())
+        Size = It->second;
+    }
+    if (Size < 0)
+      return;
+    Interval Idx = evalExpr(Index, Env, Ctx);
+    if (Idx.isBot())
+      return; // Index infeasible: nothing executes here.
+    Interval InBounds = Interval::make(0, Size - 1);
+    if (Idx.leq(InBounds))
+      return;
+    bool Definite = Idx.meet(InBounds).isBot();
+    Out.push_back({BoundsFinding::Kind::ArrayOutOfBounds, Func, Line,
+                   Definite,
+                   "index " + Idx.str() + " may leave " +
+                       P.Symbols.spelling(Array) + "[0.." +
+                       std::to_string(Size - 1) + "]"});
+  }
+
+  void checkAssert(const Expr &Cond, const EnvT &Env, uint32_t Line) {
+    Interval V = evalExpr(Cond, Env, Ctx);
+    if (V.isBot())
+      return; // Condition infeasible: the assert never executes.
+    if (!V.contains(0))
+      return; // Proven to hold.
+    bool Definite = V.leq(Interval::constant(0));
+    Out.push_back({BoundsFinding::Kind::AssertMayFail, Func, Line, Definite,
+                   std::string("assertion may fail: condition value ") +
+                       V.str()});
+  }
+
+  const Program &P;
+  const FuncVars &Vars;
+  uint32_t Func;
+  const EvalContext &Ctx;
+  std::vector<BoundsFinding> &Out;
+};
+
+} // namespace
+
+BoundsReport warrow::runBoundsChecker(const Program &P,
+                                      const ProgramCfg &Cfgs,
+                                      const AnalysisResult &Result) {
+  BoundsReport Report;
+
+  // Join point values over contexts once.
+  std::unordered_map<uint64_t, AbsValue> ByPoint;
+  for (const auto &[X, Value] : Result.Solution.Sigma) {
+    if (!X.isPoint())
+      continue;
+    uint64_t Key = (static_cast<uint64_t>(X.Func) << 32) | X.Node;
+    AbsValue &Slot = ByPoint[Key];
+    Slot = Slot.join(Value);
+  }
+
+  EvalContext Ctx = EvalContext::forProgram(P, [&Result](Symbol G) {
+    return Result.globalValue(G);
+  });
+
+  for (uint32_t Func = 0; Func < P.Functions.size(); ++Func) {
+    const Cfg &G = Cfgs.cfgOf(Func);
+    FuncVars Vars = collectFunctionVars(*P.Functions[Func]);
+    EdgeChecker<AbsEnv> ItvChecker(P, Vars, Func, Ctx, Report.Findings);
+    EdgeChecker<RelEnv> RelChecker(P, Vars, Func, Ctx, Report.Findings);
+
+    for (const CfgEdge &E : G.edges()) {
+      uint64_t Key = (static_cast<uint64_t>(Func) << 32) | E.From;
+      auto It = ByPoint.find(Key);
+      if (It == ByPoint.end() || It->second.isBot())
+        continue; // Unreachable: execution never evaluates this edge.
+      uint32_t Line = G.lineOf(E.From);
+      if (It->second.isRel())
+        RelChecker.checkEdge(E.Act, It->second.relValue().closedForm(),
+                             Line);
+      else
+        ItvChecker.checkEdge(E.Act, It->second.envValueOrTop(), Line);
+    }
+  }
+
+  std::sort(Report.Findings.begin(), Report.Findings.end(),
+            [](const BoundsFinding &A, const BoundsFinding &B) {
+              if (A.Func != B.Func)
+                return A.Func < B.Func;
+              if (A.Line != B.Line)
+                return A.Line < B.Line;
+              if (A.K != B.K)
+                return static_cast<int>(A.K) < static_cast<int>(B.K);
+              return A.Message < B.Message;
+            });
+  // Deduplicate: the same hazard surfaces once per CFG edge that
+  // evaluates it (e.g. both polarities of a guard).
+  Report.Findings.erase(
+      std::unique(Report.Findings.begin(), Report.Findings.end(),
+                  [](const BoundsFinding &A, const BoundsFinding &B) {
+                    return A.Func == B.Func && A.Line == B.Line &&
+                           A.K == B.K && A.Message == B.Message;
+                  }),
+      Report.Findings.end());
+
+  for (const BoundsFinding &F : Report.Findings) {
+    if (F.K == BoundsFinding::Kind::ArrayOutOfBounds)
+      ++Report.ArrayAlarms;
+    else
+      ++Report.AssertAlarms;
+  }
+  return Report;
+}

@@ -1,0 +1,69 @@
+//===- analysis/bounds.h - Bounds / assert checker --------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Array-bounds and `assert` reachability checker over interprocedural
+/// analysis results — the precision yardstick for the domain comparison:
+/// the same program analyzed with `--domain=interval` vs `--domain=zones`
+/// and with ⊟ vs the two-phase baseline produces different alarm counts,
+/// and those counts are what the Fig.-7-style experiments gate on.
+///
+/// Two alarm kinds:
+///
+///   - array accesses whose index may leave `[0, size)`,
+///   - `assert(c)` points where c may evaluate to zero.
+///
+/// Unlike the general checker (analysis/checks.h), this one is *domain
+/// aware*: under the zones domain it evaluates index and condition
+/// expressions with the relational `evalExpr` overload, so an invariant
+/// like `j - i == 3` proves `a[j - i]` in bounds even when both endpoint
+/// intervals are unbounded. Alarms are may-warnings; `Definite` marks
+/// errors that occur on every execution reaching the point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_BOUNDS_H
+#define WARROW_ANALYSIS_BOUNDS_H
+
+#include "analysis/interproc.h"
+#include "lang/cfg.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// One bounds-checker finding.
+struct BoundsFinding {
+  enum class Kind { ArrayOutOfBounds, AssertMayFail };
+  Kind K = Kind::ArrayOutOfBounds;
+  uint32_t Func = 0;
+  uint32_t Line = 0;
+  /// True when the error occurs on every execution reaching the point.
+  bool Definite = false;
+  std::string Message;
+
+  std::string str(const Program &P) const;
+};
+
+/// Alarm report; `alarms()` is the exact count the bench JSON gates on.
+struct BoundsReport {
+  std::vector<BoundsFinding> Findings;
+  uint64_t ArrayAlarms = 0;
+  uint64_t AssertAlarms = 0;
+
+  uint64_t alarms() const { return ArrayAlarms + AssertAlarms; }
+};
+
+/// Runs the bounds/assert checker against \p Result (point environments
+/// joined over contexts; the value kind selects the evaluation domain).
+BoundsReport runBoundsChecker(const Program &P, const ProgramCfg &Cfgs,
+                              const AnalysisResult &Result);
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_BOUNDS_H

@@ -194,7 +194,8 @@ CpEnv applyConstAction(const Action &Act, const CpEnv &Pre,
   }
   case Action::Kind::Store:
     return Pre;
-  case Action::Kind::Guard: {
+  case Action::Kind::Guard:
+  case Action::Kind::Assert: {
     CpValue Cond = evalConstExpr(*Act.Value, Pre, P);
     if (Cond.isBot())
       return CpEnv::bot();

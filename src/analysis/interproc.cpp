@@ -7,6 +7,7 @@
 #include "analysis/interproc.h"
 
 #include "analysis/constants.h"
+#include "analysis/rel_env.h"
 #include "analysis/transfer.h"
 #include "engine/registry.h"
 #include "engine/strategies/parallel_slr.h"
@@ -16,6 +17,7 @@
 #include "support/timer.h"
 
 #include <cassert>
+#include <cctype>
 
 using namespace warrow;
 
@@ -38,6 +40,26 @@ warrow::solverChoiceForName(std::string_view Name) {
   default:
     return std::nullopt;
   }
+}
+
+std::optional<AnalysisDomain> warrow::domainForName(std::string_view Name) {
+  auto Matches = [Name](std::string_view Canonical) {
+    if (Name.size() != Canonical.size())
+      return false;
+    for (size_t I = 0; I < Name.size(); ++I)
+      if (std::tolower(static_cast<unsigned char>(Name[I])) != Canonical[I])
+        return false;
+    return true;
+  };
+  if (Matches("interval"))
+    return AnalysisDomain::Interval;
+  if (Matches("zones"))
+    return AnalysisDomain::Zones;
+  return std::nullopt;
+}
+
+std::string_view warrow::domainName(AnalysisDomain D) {
+  return D == AnalysisDomain::Zones ? "zones" : "interval";
 }
 
 std::string AnalysisVar::str(const Program &P) const {
@@ -72,6 +94,25 @@ uint32_t ContextTable::intern(const ContextValues &Values) {
 
 namespace warrow {
 
+namespace {
+
+/// Maps an environment type to its AbsValue wrapping/unwrapping. The
+/// driver below is templated over EnvT; the overloaded transfer names
+/// (evalExpr, applyBasicAction) resolve per domain.
+template <typename EnvT> struct DomainOps;
+
+template <> struct DomainOps<AbsEnv> {
+  static AbsValue wrap(AbsEnv E) { return AbsValue::env(std::move(E)); }
+  static const AbsEnv &unwrap(const AbsValue &V) { return V.envValue(); }
+};
+
+template <> struct DomainOps<RelEnv> {
+  static AbsValue wrap(RelEnv E) { return AbsValue::rel(std::move(E)); }
+  static const RelEnv &unwrap(const AbsValue &V) { return V.relValue(); }
+};
+
+} // namespace
+
 /// Builds the right-hand sides of the constraint system. Kept out of the
 /// header; owns no state beyond references into the analysis object.
 class InterprocRhs {
@@ -84,6 +125,15 @@ public:
 
   AbsValue evalRhs(const AnalysisVar &X, const Get &GetFn,
                    const Side &SideFn) {
+    if (A.Options.Domain == AnalysisDomain::Zones)
+      return evalRhsIn<RelEnv>(X, GetFn, SideFn);
+    return evalRhsIn<AbsEnv>(X, GetFn, SideFn);
+  }
+
+private:
+  template <typename EnvT>
+  AbsValue evalRhsIn(const AnalysisVar &X, const Get &GetFn,
+                     const Side &SideFn) {
     if (X.isGlobal())
       return globalBase(X.Glob);
 
@@ -114,7 +164,7 @@ public:
     AbsValue Acc = AbsValue::bot();
     if (X.Node == G.entry()) {
       if (X.Func == A.MainIdx && X.Ctx == A.InitialCtx)
-        Acc = AbsValue::env(AbsEnv::top()); // Program start.
+        Acc = DomainOps<EnvT>::wrap(EnvT()); // Program start: top.
       // Other entries receive only side-effected parameter environments.
     } else {
       for (uint32_t EdgeId : G.inEdges(X.Node)) {
@@ -123,7 +173,7 @@ public:
             GetFn(AnalysisVar::point(X.Func, E.From, X.Ctx));
         if (Pre.isBot())
           continue;
-        const AbsEnv &PreEnv = Pre.envValue();
+        const EnvT &PreEnv = DomainOps<EnvT>::unwrap(Pre);
         if (E.Act.K == Action::Kind::Call) {
           applyCall(E.Act, PreEnv, Ctx, GetFn, Contribute, Acc);
           continue;
@@ -132,18 +182,16 @@ public:
           applySpawn(E.Act, PreEnv, Ctx, GetFn, Contribute, Acc);
           continue;
         }
-        BasicEffect Eff = applyBasicAction(E.Act, PreEnv, Ctx);
+        auto Eff = applyBasicAction(E.Act, PreEnv, Ctx);
         for (auto &[GlobalSym, Value] : Eff.GlobalWrites)
           Contribute(AnalysisVar::global(GlobalSym), AbsValue::itv(Value));
         if (Eff.Post)
-          Acc = Acc.join(AbsValue::env(std::move(*Eff.Post)));
+          Acc = Acc.join(DomainOps<EnvT>::wrap(std::move(*Eff.Post)));
       }
     }
 
     return Acc;
   }
-
-private:
   /// The base value of a global: its declared initializer (arrays start
   /// zeroed). Contributions are joined in by the solver.
   AbsValue globalBase(Symbol G) const {
@@ -183,8 +231,8 @@ private:
     return Ctx;
   }
 
-  template <typename ContributeFn>
-  void applyCall(const Action &Act, const AbsEnv &PreEnv,
+  template <typename EnvT, typename ContributeFn>
+  void applyCall(const Action &Act, const EnvT &PreEnv,
                  const EvalContext &Ctx, const Get &GetFn,
                  ContributeFn &Contribute, AbsValue &Acc) {
     size_t CalleeIdx = P.functionIndex(Act.Callee);
@@ -203,8 +251,10 @@ private:
     uint32_t CalleeCtx =
         contextFor(static_cast<uint32_t>(CalleeIdx), Args);
 
-    // Side-effect the parameter binding to the callee's entry.
-    AbsEnv ParamEnv;
+    // Side-effect the parameter binding to the callee's entry. Argument
+    // values cross the call boundary as intervals in both domains (the
+    // zones backend re-relates parameters inside the callee).
+    EnvT ParamEnv;
     for (size_t I = 0; I < Args.size(); ++I) {
       // In context-sensitive mode the context constants refine the
       // parameter (relevant once contexts collapse onto all-top).
@@ -216,28 +266,31 @@ private:
       }
       if (Bound.isBot())
         return; // Contradictory binding: unreachable.
-      ParamEnv.set(Callee.Params[I], Bound);
+      if (!Bound.isTop())
+        ParamEnv.set(Callee.Params[I], Bound);
     }
     Contribute(
         AnalysisVar::point(static_cast<uint32_t>(CalleeIdx),
                            Cfg::EntryNode, CalleeCtx),
-        AbsValue::env(std::move(ParamEnv)));
+        DomainOps<EnvT>::wrap(std::move(ParamEnv)));
 
     // Read the callee's exit and bind the return value.
     AbsValue ExitVal = GetFn(AnalysisVar::point(
         static_cast<uint32_t>(CalleeIdx), Cfg::ExitNode, CalleeCtx));
     if (ExitVal.isBot())
       return; // Callee (in this context) never returns.
-    Interval RetValue = ExitVal.envValue().get(A.RetSym);
+    Interval RetValue = DomainOps<EnvT>::unwrap(ExitVal).get(A.RetSym);
 
-    AbsEnv Post = PreEnv;
+    EnvT Post = PreEnv;
     if (Act.Lhs) {
       if (P.isGlobal(Act.Lhs))
         Contribute(AnalysisVar::global(Act.Lhs), AbsValue::itv(RetValue));
+      else if (RetValue.isBot())
+        return; // Exit binds no return value: treat as non-returning.
       else
         Post.set(Act.Lhs, RetValue);
     }
-    Acc = Acc.join(AbsValue::env(std::move(Post)));
+    Acc = Acc.join(DomainOps<EnvT>::wrap(std::move(Post)));
   }
 
   /// `spawn f(args)`: bind the arguments into the spawned function's
@@ -246,8 +299,8 @@ private:
   /// SLR+ is demand-driven — nothing else reads the spawned function's
   /// unknowns — so the exit is read (and discarded) purely to force
   /// exploration of the body.
-  template <typename ContributeFn>
-  void applySpawn(const Action &Act, const AbsEnv &PreEnv,
+  template <typename EnvT, typename ContributeFn>
+  void applySpawn(const Action &Act, const EnvT &PreEnv,
                   const EvalContext &Ctx, const Get &GetFn,
                   ContributeFn &Contribute, AbsValue &Acc) {
     size_t CalleeIdx = P.functionIndex(Act.Callee);
@@ -265,7 +318,7 @@ private:
 
     uint32_t CalleeCtx = contextFor(static_cast<uint32_t>(CalleeIdx), Args);
 
-    AbsEnv ParamEnv;
+    EnvT ParamEnv;
     for (size_t I = 0; I < Args.size(); ++I) {
       Interval Bound = Args[I];
       if (A.Options.ContextSensitive) {
@@ -275,16 +328,17 @@ private:
       }
       if (Bound.isBot())
         return;
-      ParamEnv.set(Callee.Params[I], Bound);
+      if (!Bound.isTop())
+        ParamEnv.set(Callee.Params[I], Bound);
     }
     Contribute(AnalysisVar::point(static_cast<uint32_t>(CalleeIdx),
                                   Cfg::EntryNode, CalleeCtx),
-               AbsValue::env(std::move(ParamEnv)));
+               DomainOps<EnvT>::wrap(std::move(ParamEnv)));
 
     (void)GetFn(AnalysisVar::point(static_cast<uint32_t>(CalleeIdx),
                                    Cfg::ExitNode, CalleeCtx));
 
-    Acc = Acc.join(AbsValue::env(PreEnv));
+    Acc = Acc.join(DomainOps<EnvT>::wrap(PreEnv));
   }
 
   InterprocAnalysis &A;

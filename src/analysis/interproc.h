@@ -144,8 +144,27 @@ private:
   std::unordered_map<std::string, uint32_t> Ids;
 };
 
+/// Value domain carried by program points. Globals are interval-valued in
+/// both: the flow-insensitive global unknowns cannot usefully hold
+/// relations between locals of different activation records, so the zones
+/// backend projects to intervals at the global boundary (the documented
+/// fallback).
+enum class AnalysisDomain : uint8_t {
+  Interval, ///< Non-relational interval environments (AbsEnv).
+  Zones,    ///< Difference-bound-matrix environments (RelEnv).
+};
+
+/// Parses a `--domain=` name ("interval" / "zones", case-insensitive);
+/// nullopt when unknown.
+std::optional<AnalysisDomain> domainForName(std::string_view Name);
+/// Canonical spelling of a domain.
+std::string_view domainName(AnalysisDomain D);
+
 /// Knobs of the analysis.
 struct AnalysisOptions {
+  /// Value domain of program points; every solver strategy runs unchanged
+  /// over either.
+  AnalysisDomain Domain = AnalysisDomain::Interval;
   bool ContextSensitive = false;
   /// Context gas: calls beyond this many distinct contexts per function
   /// collapse onto the all-top context.

@@ -1,0 +1,787 @@
+//===- analysis/rel_env.cpp - Relational (zones) environments -----------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/rel_env.h"
+
+#include "support/casting.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warrow;
+
+namespace {
+
+/// True when some tracked variable carries no constraint at all (its row
+/// and column are entirely +inf) — the normalized form drops such vars.
+bool needsCompaction(const RelData &D) {
+  size_t Dim = D.Matrix.dim();
+  for (size_t I = 1; I < Dim; ++I) {
+    bool Constrained = false;
+    for (size_t J = 0; J < Dim && !Constrained; ++J)
+      if (J != I && (!D.Matrix.at(I, J).isPosInf() ||
+                     !D.Matrix.at(J, I).isPosInf()))
+        Constrained = true;
+    if (!Constrained)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+const std::vector<Symbol> &RelEnv::vars() const {
+  static const std::vector<Symbol> Empty;
+  return Node ? Node->Vars : Empty;
+}
+
+RelData &RelEnv::mutableData() {
+  if (!Node)
+    Node = RelRef::make(RelData{});
+  else if (!Node.unique() || Node.frozen())
+    Node = RelRef::make(RelData(*Node));
+  return Node.mutableData();
+}
+
+size_t RelEnv::indexOf(Symbol Name) const {
+  if (!Node)
+    return 0;
+  const std::vector<Symbol> &Vars = Node->Vars;
+  auto It = std::lower_bound(Vars.begin(), Vars.end(), Name);
+  if (It == Vars.end() || *It != Name)
+    return 0;
+  return static_cast<size_t>(It - Vars.begin()) + 1;
+}
+
+size_t RelEnv::ensureVar(Symbol Name) {
+  if (size_t Idx = indexOf(Name))
+    return Idx;
+  RelData &D = mutableData();
+  auto It = std::lower_bound(D.Vars.begin(), D.Vars.end(), Name);
+  size_t Pos = static_cast<size_t>(It - D.Vars.begin());
+  D.Vars.insert(It, Name);
+  size_t OldDim = D.Matrix.dim();
+  bool WasClosed = D.Matrix.closed();
+  Dbm Grown(D.Vars.size());
+  // Old matrix index i keeps its slot when i <= Pos (var positions below
+  // the insertion point are unchanged); later indices shift up by one.
+  auto Remap = [Pos](size_t I) { return I <= Pos ? I : I + 1; };
+  for (size_t I = 0; I < OldDim; ++I)
+    for (size_t J = 0; J < OldDim; ++J)
+      if (I != J)
+        Grown.set(Remap(I), Remap(J), D.Matrix.at(I, J));
+  if (WasClosed)
+    Grown.markClosed(); // An unconstrained fresh var preserves closure.
+  D.Matrix = std::move(Grown);
+  return Pos + 1;
+}
+
+RelEnv RelEnv::fromData(RelData &&Data) {
+  if (Data.Vars.empty())
+    return RelEnv();
+  if (!needsCompaction(Data))
+    return RelEnv(RelRef::make(std::move(Data)));
+  size_t Dim = Data.Matrix.dim();
+  std::vector<size_t> Keep; // Matrix indices (>= 1) of constrained vars.
+  for (size_t I = 1; I < Dim; ++I) {
+    for (size_t J = 0; J < Dim; ++J)
+      if (J != I && (!Data.Matrix.at(I, J).isPosInf() ||
+                     !Data.Matrix.at(J, I).isPosInf())) {
+        Keep.push_back(I);
+        break;
+      }
+  }
+  if (Keep.empty())
+    return RelEnv();
+  RelData Out;
+  Out.Vars.reserve(Keep.size());
+  for (size_t I : Keep)
+    Out.Vars.push_back(Data.Vars[I - 1]);
+  bool WasClosed = Data.Matrix.closed();
+  Dbm Compact(Keep.size());
+  std::vector<size_t> Old;
+  Old.reserve(Keep.size() + 1);
+  Old.push_back(0);
+  Old.insert(Old.end(), Keep.begin(), Keep.end());
+  for (size_t I = 0; I < Old.size(); ++I)
+    for (size_t J = 0; J < Old.size(); ++J)
+      if (I != J)
+        Compact.set(I, J, Data.Matrix.at(Old[I], Old[J]));
+  if (WasClosed)
+    Compact.markClosed(); // Projecting away unconstrained vars preserves it.
+  Out.Matrix = std::move(Compact);
+  return RelEnv(RelRef::make(std::move(Out)));
+}
+
+RelEnv RelEnv::closedForm() const {
+  if (!Node || Node->Matrix.closed())
+    return *this;
+  RelEnv C = *this;
+  bool Ok = C.mutableData().Matrix.close();
+  assert(Ok && "stored environments are always feasible");
+  (void)Ok;
+  return C;
+}
+
+Interval RelEnv::get(Symbol Name) const {
+  if (!Node)
+    return Interval::top();
+  size_t Idx = indexOf(Name);
+  if (!Idx)
+    return Interval::top();
+  if (Node->Matrix.closed())
+    return Node->Matrix.bounds(Idx);
+  return closedForm().get(Name);
+}
+
+Interval RelEnv::diffBounds(Symbol X, Symbol Y) const {
+  if (X == Y)
+    return Interval::constant(0);
+  RelEnv C = closedForm();
+  size_t Ix = C.indexOf(X), Iy = C.indexOf(Y);
+  if (!Ix || !Iy)
+    return C.get(X).sub(C.get(Y));
+  return C.Node->Matrix.diffBounds(Ix, Iy);
+}
+
+void RelEnv::set(Symbol Name, const Interval &Value) {
+  assert(!Value.isBot() && "environments never bind bottom");
+  if (Value.isTop()) {
+    forget(Name);
+    return;
+  }
+  *this = closedForm();
+  size_t Idx = ensureVar(Name);
+  RelData &D = mutableData();
+  D.Matrix.forget(Idx);
+  bool Ok = D.Matrix.constrainInterval(Idx, Value);
+  assert(Ok && "fresh unary constraints cannot conflict");
+  (void)Ok;
+}
+
+void RelEnv::forget(Symbol Name) {
+  size_t Idx = indexOf(Name);
+  if (!Idx)
+    return;
+  // Close first: on an unclosed matrix, dropping Name's row/column would
+  // also lose constraints between other vars that route through it.
+  *this = closedForm();
+  RelData &D = mutableData();
+  D.Matrix.forget(indexOf(Name));
+}
+
+void RelEnv::assignShift(Symbol X, int64_t C) {
+  size_t Idx = indexOf(X);
+  if (!Idx || C == 0)
+    return;
+  RelData &D = mutableData();
+  Dbm &M = D.Matrix;
+  bool WasClosed = M.closed();
+  for (size_t J = 0; J < M.dim(); ++J) {
+    if (J == Idx)
+      continue;
+    Bound Row = M.at(Idx, J);
+    if (!Row.isPosInf())
+      M.set(Idx, J, Row + Bound(C));
+    Bound Col = M.at(J, Idx);
+    if (!Col.isPosInf())
+      M.set(J, Idx, Col - Bound(C));
+  }
+  if (WasClosed)
+    M.markClosed(); // A uniform shift preserves all triangle inequalities.
+}
+
+void RelEnv::assignDiff(Symbol X, Symbol Y, int64_t C) {
+  assert(X != Y && "use assignShift for self-assignments");
+  *this = closedForm();
+  ensureVar(X);
+  ensureVar(Y);
+  size_t Ix = indexOf(X), Iy = indexOf(Y);
+  RelData &D = mutableData();
+  D.Matrix.forget(Ix);
+  bool Ok = true;
+  if (D.Matrix.tighten(Ix, Iy, Bound(C)))
+    Ok = D.Matrix.closeAfterTighten(Ix, Iy) && Ok;
+  if (D.Matrix.tighten(Iy, Ix, Bound(satNeg64(C))))
+    Ok = D.Matrix.closeAfterTighten(Iy, Ix) && Ok;
+  assert(Ok && "a fresh equality on a forgotten var cannot conflict");
+  (void)Ok;
+}
+
+bool RelEnv::constrainDiff(Symbol X, Symbol Y, Bound C) {
+  if (C.isPosInf())
+    return true;
+  *this = closedForm();
+  ensureVar(X);
+  ensureVar(Y);
+  size_t Ix = indexOf(X), Iy = indexOf(Y);
+  RelData &D = mutableData();
+  if (!D.Matrix.tighten(Ix, Iy, C))
+    return true;
+  return D.Matrix.closeAfterTighten(Ix, Iy);
+}
+
+bool RelEnv::constrainVar(Symbol Name, const Interval &Value) {
+  assert(!Value.isBot() && "refinements check feasibility before applying");
+  if (Value.isTop())
+    return true;
+  *this = closedForm();
+  size_t Idx = ensureVar(Name);
+  return mutableData().Matrix.constrainInterval(Idx, Value);
+}
+
+std::vector<Symbol> RelEnv::unionVars(const RelEnv &A, const RelEnv &B) {
+  std::vector<Symbol> Out;
+  const std::vector<Symbol> &Va = A.vars();
+  const std::vector<Symbol> &Vb = B.vars();
+  Out.reserve(Va.size() + Vb.size());
+  std::set_union(Va.begin(), Va.end(), Vb.begin(), Vb.end(),
+                 std::back_inserter(Out));
+  return Out;
+}
+
+RelData RelEnv::embed(const std::vector<Symbol> &UnionVars) const {
+  RelData Out;
+  Out.Vars = UnionVars;
+  Dbm M(UnionVars.size());
+  if (Node) {
+    const RelData &D = *Node;
+    std::vector<size_t> Map(D.Vars.size() + 1, 0);
+    for (size_t I = 0; I < D.Vars.size(); ++I) {
+      auto It = std::lower_bound(UnionVars.begin(), UnionVars.end(),
+                                 D.Vars[I]);
+      assert(It != UnionVars.end() && *It == D.Vars[I] &&
+             "embedding target must contain every tracked var");
+      Map[I + 1] = static_cast<size_t>(It - UnionVars.begin()) + 1;
+    }
+    size_t Dim = D.Matrix.dim();
+    for (size_t I = 0; I < Dim; ++I)
+      for (size_t J = 0; J < Dim; ++J)
+        if (I != J)
+          M.set(Map[I], Map[J], D.Matrix.at(I, J));
+    if (D.Matrix.closed())
+      M.markClosed(); // Fresh vars are unconstrained: closure preserved.
+  }
+  Out.Matrix = std::move(M);
+  return Out;
+}
+
+bool RelEnv::leq(const RelEnv &Other) const {
+  if (Node == Other.Node)
+    return true;
+  if (!Other.Node)
+    return true; // Everything is below top.
+  // Zone inclusion: close(a) pointwise <= b. We close both sides so the
+  // check is exact regardless of either operand's stored form.
+  RelEnv A = closedForm();
+  RelEnv B = Other.closedForm();
+  std::vector<Symbol> U = unionVars(A, B);
+  return A.embed(U).Matrix.pointwiseLeq(B.embed(U).Matrix);
+}
+
+bool RelEnv::operator==(const RelEnv &Other) const {
+  if (Node == Other.Node)
+    return true;
+  if (!Node || !Other.Node)
+    return false;
+  // Same reasoning as AbsEnv: distinct frozen nodes from one pool differ,
+  // but values cross threads, so unequal memoized hashes are the O(1)
+  // negative answer and equal hashes fall back to the structural compare.
+  if (Node.frozen() && Other.Node.frozen() &&
+      Node.get()->Hash != Other.Node.get()->Hash)
+    return false;
+  return *Node == *Other.Node;
+}
+
+RelEnv RelEnv::join(const RelEnv &Other) const {
+  if (Node == Other.Node)
+    return *this; // e ⊔ e = e.
+  if (!Node || !Other.Node)
+    return RelEnv(); // Either side top.
+  RelEnv A = closedForm();
+  RelEnv B = Other.closedForm();
+  std::vector<Symbol> U = unionVars(A, B);
+  RelData Out;
+  Out.Matrix = Dbm::pointwiseMax(A.embed(U).Matrix, B.embed(U).Matrix);
+  Out.Vars = std::move(U);
+  return fromData(std::move(Out));
+}
+
+RelEnv RelEnv::widen(const RelEnv &Other) const {
+  if (Node == Other.Node)
+    return *this; // e ▽ e = e.
+  if (!Node || !Other.Node)
+    return RelEnv();
+  // Left operand in its *stored* form (see dbm.h: re-closing a widened
+  // matrix would break termination); right operand closed for precision.
+  RelEnv B = Other.closedForm();
+  std::vector<Symbol> U = unionVars(*this, B);
+  RelData Out;
+  Out.Matrix = embed(U).Matrix.widen(B.embed(U).Matrix);
+  Out.Vars = std::move(U);
+  return fromData(std::move(Out));
+}
+
+RelEnv RelEnv::widenWithThresholds(
+    const RelEnv &Other, const std::vector<int64_t> &Thresholds) const {
+  if (Node == Other.Node)
+    return *this;
+  if (!Node || !Other.Node)
+    return RelEnv();
+  RelEnv B = Other.closedForm();
+  std::vector<Symbol> U = unionVars(*this, B);
+  RelData Out;
+  Out.Matrix =
+      embed(U).Matrix.widenWithThresholds(B.embed(U).Matrix, Thresholds);
+  Out.Vars = std::move(U);
+  return fromData(std::move(Out));
+}
+
+RelEnv RelEnv::narrow(const RelEnv &Other) const {
+  // Precondition Other ⊑ *this. Only +inf entries adopt Other's bounds —
+  // including whole vars the widening dropped (the zones analogue of
+  // AbsEnv::narrow re-adopting Other-only bindings).
+  if (Node == Other.Node)
+    return *this; // e △ e = e.
+  if (!Other.Node)
+    return *this; // v △ top = v pointwise.
+  RelEnv B = Other.closedForm();
+  std::vector<Symbol> U = unionVars(*this, B);
+  RelData Out;
+  Out.Matrix = embed(U).Matrix.narrow(B.embed(U).Matrix);
+  Out.Vars = std::move(U);
+  bool Ok = Out.Matrix.close();
+  assert(Ok && "narrowing keeps the (feasible) new value as a lower bound");
+  (void)Ok;
+  return fromData(std::move(Out));
+}
+
+void RelEnv::freeze() {
+  if (!Node || Node.frozen())
+    return;
+  if (needsCompaction(*Node))
+    *this = fromData(RelData(*Node));
+  if (Node && !Node.frozen())
+    Node = RelPool::local().intern(std::move(Node));
+}
+
+std::string RelEnv::str(const Interner &Symbols) const {
+  RelEnv C = closedForm();
+  if (!C.Node)
+    return "{}";
+  const RelData &D = *C.Node;
+  size_t Dim = D.Matrix.dim();
+  std::string Out = "{";
+  bool First = true;
+  auto Emit = [&Out, &First](const std::string &S) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += S;
+  };
+  for (size_t I = 1; I < Dim; ++I) {
+    Interval B = D.Matrix.bounds(I);
+    if (!B.isTop())
+      Emit(Symbols.spelling(D.Vars[I - 1]) + "->" + B.str());
+  }
+  for (size_t I = 1; I < Dim; ++I)
+    for (size_t J = 1; J < Dim; ++J)
+      if (I != J && !D.Matrix.at(I, J).isPosInf())
+        Emit(Symbols.spelling(D.Vars[I - 1]) + "-" +
+             Symbols.spelling(D.Vars[J - 1]) + "<=" +
+             D.Matrix.at(I, J).str());
+  return Out + "}";
+}
+
+size_t RelEnv::hashValue() const {
+  if (!Node)
+    return 0; // RelDataHash of the empty contents.
+  if (Node.frozen())
+    return Node.get()->Hash;
+  return RelDataHash{}(*Node);
+}
+
+//===----------------------------------------------------------------------===//
+// Relational transfer functions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// `y + c` / `c + y` / `y - c` / `y` over a *local* variable; the forms
+/// the zones domain represents exactly.
+struct AffineForm {
+  Symbol Var;
+  int64_t Offset;
+};
+
+std::optional<AffineForm> matchAffine(const Expr &E, const EvalContext &Ctx) {
+  if (const auto *V = dyn_cast<VarRef>(&E)) {
+    if (!Ctx.isGlobal(V->name()))
+      return AffineForm{V->name(), 0};
+    return std::nullopt;
+  }
+  const auto *B = dyn_cast<BinaryExpr>(&E);
+  if (!B || (B->op() != BinaryOp::Add && B->op() != BinaryOp::Sub))
+    return std::nullopt;
+  const auto *LV = dyn_cast<VarRef>(&B->lhs());
+  const auto *LC = dyn_cast<IntLit>(&B->lhs());
+  const auto *RV = dyn_cast<VarRef>(&B->rhs());
+  const auto *RC = dyn_cast<IntLit>(&B->rhs());
+  if (LV && RC && !Ctx.isGlobal(LV->name()))
+    return AffineForm{LV->name(), B->op() == BinaryOp::Add
+                                      ? RC->value()
+                                      : satNeg64(RC->value())};
+  if (LC && RV && B->op() == BinaryOp::Add && !Ctx.isGlobal(RV->name()))
+    return AffineForm{RV->name(), LC->value()};
+  return std::nullopt;
+}
+
+/// The `x - y` difference of two local variables, if \p E has that shape.
+struct DiffForm {
+  Symbol X;
+  Symbol Y;
+};
+
+std::optional<DiffForm> matchDiff(const Expr &E, const EvalContext &Ctx) {
+  const auto *B = dyn_cast<BinaryExpr>(&E);
+  if (!B || B->op() != BinaryOp::Sub)
+    return std::nullopt;
+  const auto *LV = dyn_cast<VarRef>(&B->lhs());
+  const auto *RV = dyn_cast<VarRef>(&B->rhs());
+  if (LV && RV && !Ctx.isGlobal(LV->name()) && !Ctx.isGlobal(RV->name()))
+    return DiffForm{LV->name(), RV->name()};
+  return std::nullopt;
+}
+
+/// Expression evaluation over a *closed* environment.
+Interval evalRel(const Expr &E, const RelEnv &Env, const EvalContext &Ctx) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return Interval::constant(cast<IntLit>(&E)->value());
+  case Expr::Kind::VarRef: {
+    Symbol Name = cast<VarRef>(&E)->name();
+    if (Ctx.isGlobal(Name))
+      return Ctx.ReadGlobal(Name);
+    return Env.get(Name);
+  }
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(&E);
+    Interval Index = evalRel(A->index(), Env, Ctx);
+    if (Index.isBot())
+      return Interval::bot();
+    if (Ctx.isGlobal(A->name()))
+      return Ctx.ReadGlobal(A->name());
+    return Env.get(A->name());
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    Interval V = evalRel(U->operand(), Env, Ctx);
+    if (U->op() == UnaryOp::Neg)
+      return V.neg();
+    AbsTruth T = truthOf(V);
+    return truthInterval({T.CanBeTrue, T.CanBeFalse}); // !: swap roles.
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    // The relational payoff: differences of tracked locals read the
+    // closed matrix, which is at least as tight as interval arithmetic
+    // over the unary bounds (and strictly tighter whenever a relation
+    // survived widening that the endpoints did not).
+    if (std::optional<DiffForm> D = matchDiff(E, Ctx))
+      return Env.diffBounds(D->X, D->Y);
+    Interval L = evalRel(B->lhs(), Env, Ctx);
+    Interval R = evalRel(B->rhs(), Env, Ctx);
+    switch (B->op()) {
+    case BinaryOp::Add:
+      return L.add(R);
+    case BinaryOp::Sub:
+      return L.sub(R);
+    case BinaryOp::Mul:
+      return L.mul(R);
+    case BinaryOp::Div:
+      return L.div(R);
+    case BinaryOp::Rem:
+      return L.rem(R);
+    case BinaryOp::LAnd: {
+      AbsTruth TL = truthOf(L), TR = truthOf(R);
+      return truthInterval({TL.CanBeFalse || (TL.CanBeTrue && TR.CanBeFalse),
+                            TL.CanBeTrue && TR.CanBeTrue});
+    }
+    case BinaryOp::LOr: {
+      AbsTruth TL = truthOf(L), TR = truthOf(R);
+      return truthInterval({TL.CanBeFalse && TR.CanBeFalse,
+                            TL.CanBeTrue || (TL.CanBeFalse && TR.CanBeTrue)});
+    }
+    default: {
+      // Comparisons of two locals resolve through the difference, so a
+      // relation like i - j <= -1 decides i < j even with top endpoints.
+      const auto *LV = dyn_cast<VarRef>(&B->lhs());
+      const auto *RV = dyn_cast<VarRef>(&B->rhs());
+      if (LV && RV && !Ctx.isGlobal(LV->name()) &&
+          !Ctx.isGlobal(RV->name()))
+        return compareIntervals(B->op(),
+                                Env.diffBounds(LV->name(), RV->name()),
+                                Interval::constant(0));
+      return compareIntervals(B->op(), L, R);
+    }
+    }
+  }
+  case Expr::Kind::Call: {
+    const auto *Call = cast<CallExpr>(&E);
+    if (Ctx.UnknownSym && Call->callee() == Ctx.UnknownSym)
+      return Interval::top(); // unknown(): any integer.
+    assert(false && "function calls are handled by the driver");
+    return Interval::top();
+  }
+  }
+  return Interval::top();
+}
+
+/// Comparison refinement: `Lhs Op Rhs` assumed true. \p Env is closed on
+/// entry and left closed on success.
+bool refineCompareRel(RelEnv &Env, BinaryOp Op, const Expr &Lhs,
+                      const Expr &Rhs, const EvalContext &Ctx) {
+  Interval L = evalRel(Lhs, Env, Ctx);
+  Interval R = evalRel(Rhs, Env, Ctx);
+  if (L.isBot() || R.isBot())
+    return false;
+
+  const auto *LV = dyn_cast<VarRef>(&Lhs);
+  const auto *RV = dyn_cast<VarRef>(&Rhs);
+  bool LLocal = LV && !Ctx.isGlobal(LV->name());
+  bool RLocal = RV && !Ctx.isGlobal(RV->name());
+
+  // Two locals: the comparison is a difference constraint — exactly the
+  // zones' native language. Feasibility and refinement both go through
+  // the difference; incremental closure propagates to the unary bounds.
+  if (LLocal && RLocal) {
+    Interval Diff = Env.diffBounds(LV->name(), RV->name());
+    Interval Outcome = compareIntervals(Op, Diff, Interval::constant(0));
+    if (Outcome.isConstant() && Outcome.constantValue() == 0)
+      return false;
+    switch (Op) {
+    case BinaryOp::Lt:
+      return Env.constrainDiff(LV->name(), RV->name(), Bound(-1));
+    case BinaryOp::Le:
+      return Env.constrainDiff(LV->name(), RV->name(), Bound(0));
+    case BinaryOp::Gt:
+      return Env.constrainDiff(RV->name(), LV->name(), Bound(-1));
+    case BinaryOp::Ge:
+      return Env.constrainDiff(RV->name(), LV->name(), Bound(0));
+    case BinaryOp::Eq:
+      return Env.constrainDiff(LV->name(), RV->name(), Bound(0)) &&
+             Env.constrainDiff(RV->name(), LV->name(), Bound(0));
+    case BinaryOp::Ne:
+      break; // No zone refinement; fall through to the unary restricts.
+    default:
+      break;
+    }
+  }
+
+  // `x - y op e` (either side): restrict the difference interval and
+  // feed the refined bounds back as difference constraints.
+  auto ConstrainDiffTo = [&Env](const DiffForm &D, const Interval &Refined) {
+    if (Refined.isBot())
+      return false;
+    if (!Env.constrainDiff(D.X, D.Y, Refined.hi()))
+      return false;
+    return Env.constrainDiff(D.Y, D.X, -Refined.lo());
+  };
+  if (std::optional<DiffForm> D = matchDiff(Lhs, Ctx)) {
+    Interval Refined =
+        restrictByComparison(Op, Env.diffBounds(D->X, D->Y), R);
+    if (!ConstrainDiffTo(*D, Refined))
+      return false;
+  }
+  if (std::optional<DiffForm> D = matchDiff(Rhs, Ctx)) {
+    Interval Refined = restrictByComparison(
+        mirrorComparison(Op), Env.diffBounds(D->X, D->Y), L);
+    if (!ConstrainDiffTo(*D, Refined))
+      return false;
+  }
+
+  // Infeasible outright at the interval level?
+  Interval Outcome = compareIntervals(Op, L, R);
+  if (Outcome.isConstant() && Outcome.constantValue() == 0)
+    return false;
+
+  // Unary refinement of variable operands (locals only), as in the
+  // interval transfer.
+  if (LLocal) {
+    Interval Refined = restrictByComparison(Op, L, R);
+    if (Refined.isBot() || !Env.constrainVar(LV->name(), Refined))
+      return false;
+  }
+  if (RLocal) {
+    Interval Refined = restrictByComparison(mirrorComparison(Op), R, L);
+    if (Refined.isBot() || !Env.constrainVar(RV->name(), Refined))
+      return false;
+  }
+  return true;
+}
+
+/// Condition refinement over a closed environment (kept closed).
+bool refineRel(RelEnv &Env, const Expr &Cond, bool Positive,
+               const EvalContext &Ctx) {
+  if (const auto *U = dyn_cast<UnaryExpr>(&Cond)) {
+    if (U->op() == UnaryOp::Not)
+      return refineRel(Env, U->operand(), !Positive, Ctx);
+  }
+  if (const auto *B = dyn_cast<BinaryExpr>(&Cond)) {
+    bool IsConjunction = (B->op() == BinaryOp::LAnd && Positive) ||
+                         (B->op() == BinaryOp::LOr && !Positive);
+    bool IsDisjunction = (B->op() == BinaryOp::LOr && Positive) ||
+                         (B->op() == BinaryOp::LAnd && !Positive);
+    bool OperandPolarity = Positive;
+    if (IsConjunction && B->op() == BinaryOp::LOr)
+      OperandPolarity = false; // !(a||b) = !a && !b.
+    if (IsDisjunction && B->op() == BinaryOp::LAnd)
+      OperandPolarity = false; // !(a&&b) = !a || !b.
+    if (IsConjunction) {
+      return refineRel(Env, B->lhs(), OperandPolarity, Ctx) &&
+             refineRel(Env, B->rhs(), OperandPolarity, Ctx);
+    }
+    if (IsDisjunction) {
+      RelEnv Left = Env;
+      RelEnv Right = Env;
+      bool LeftOk = refineRel(Left, B->lhs(), OperandPolarity, Ctx);
+      bool RightOk = refineRel(Right, B->rhs(), OperandPolarity, Ctx);
+      if (!LeftOk && !RightOk)
+        return false;
+      Env = LeftOk && RightOk ? Left.join(Right) : (LeftOk ? Left : Right);
+      Env = Env.closedForm();
+      return true;
+    }
+    if (isComparison(B->op())) {
+      BinaryOp Op = Positive ? B->op() : negateComparison(B->op());
+      return refineCompareRel(Env, Op, B->lhs(), B->rhs(), Ctx);
+    }
+    // Fall through: arithmetic used as a truth value.
+  }
+
+  Interval V = evalRel(Cond, Env, Ctx);
+  AbsTruth T = truthOf(V);
+  if (Positive) {
+    if (!T.CanBeTrue)
+      return false;
+    if (const auto *Var = dyn_cast<VarRef>(&Cond)) {
+      if (!Ctx.isGlobal(Var->name())) {
+        Interval Refined = V.restrictNotEqual(Interval::constant(0));
+        if (Refined.isBot() || !Env.constrainVar(Var->name(), Refined))
+          return false;
+      }
+    }
+    return true;
+  }
+  if (!T.CanBeFalse)
+    return false;
+  if (const auto *Var = dyn_cast<VarRef>(&Cond)) {
+    if (!Ctx.isGlobal(Var->name()) &&
+        !Env.constrainVar(Var->name(), Interval::constant(0)))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+Interval warrow::evalExpr(const Expr &E, const RelEnv &Env,
+                          const EvalContext &Ctx) {
+  return evalRel(E, Env.closedForm(), Ctx);
+}
+
+bool warrow::refineByCond(RelEnv &Env, const Expr &Cond, bool Positive,
+                          const EvalContext &Ctx) {
+  RelEnv Closed = Env.closedForm();
+  if (!refineRel(Closed, Cond, Positive, Ctx))
+    return false;
+  Env = std::move(Closed);
+  return true;
+}
+
+RelBasicEffect warrow::applyBasicAction(const Action &Act, const RelEnv &Pre,
+                                        const EvalContext &Ctx) {
+  RelBasicEffect Effect;
+  RelEnv Env = Pre.closedForm();
+  switch (Act.K) {
+  case Action::Kind::Skip:
+    Effect.Post = std::move(Env);
+    return Effect;
+  case Action::Kind::DeclScalar:
+  case Action::Kind::DeclArray:
+    Env.set(Act.Lhs, Interval::constant(0)); // Declarations zero-init.
+    Effect.Post = std::move(Env);
+    return Effect;
+  case Action::Kind::Assign: {
+    if (!Ctx.isGlobal(Act.Lhs)) {
+      // Exactly representable assignments keep the relation: x = y + c.
+      if (std::optional<AffineForm> Form = matchAffine(*Act.Value, Ctx)) {
+        // A still-bottom global cannot occur here (locals only), so the
+        // relational path never needs the bottom escape below.
+        if (Form->Var == Act.Lhs)
+          Env.assignShift(Act.Lhs, Form->Offset);
+        else
+          Env.assignDiff(Act.Lhs, Form->Var, Form->Offset);
+        Effect.Post = std::move(Env);
+        return Effect;
+      }
+    }
+    Interval Value = evalRel(*Act.Value, Env, Ctx);
+    if (Value.isBot())
+      return Effect; // Unreachable (reads a still-bottom global).
+    if (Ctx.isGlobal(Act.Lhs)) {
+      Effect.GlobalWrites.push_back({Act.Lhs, Value});
+      Effect.Post = std::move(Env);
+      return Effect;
+    }
+    Env.set(Act.Lhs, Value); // Interval fallback: forget relations.
+    Effect.Post = std::move(Env);
+    return Effect;
+  }
+  case Action::Kind::Store: {
+    Interval Index = evalRel(*Act.Index, Env, Ctx);
+    Interval Value = evalRel(*Act.Value, Env, Ctx);
+    if (Index.isBot() || Value.isBot())
+      return Effect;
+    if (Ctx.isGlobal(Act.Lhs)) {
+      Effect.GlobalWrites.push_back({Act.Lhs, Value});
+      Effect.Post = std::move(Env);
+      return Effect;
+    }
+    // Weak update into the smashed local array (unary-only tracking).
+    Env.set(Act.Lhs, Env.get(Act.Lhs).join(Value));
+    Effect.Post = std::move(Env);
+    return Effect;
+  }
+  case Action::Kind::Guard:
+  case Action::Kind::Assert: {
+    // Asserts refine like positive guards: the checker reports the alarm
+    // (bounds.cpp); downstream code assumes the asserted fact.
+    if (refineRel(Env, *Act.Value, Act.Positive, Ctx))
+      Effect.Post = std::move(Env);
+    return Effect;
+  }
+  case Action::Kind::Input: {
+    if (Ctx.isGlobal(Act.Lhs)) {
+      Effect.GlobalWrites.push_back({Act.Lhs, Interval::top()});
+      Effect.Post = std::move(Env);
+      return Effect;
+    }
+    Env.forget(Act.Lhs);
+    Effect.Post = std::move(Env);
+    return Effect;
+  }
+  case Action::Kind::Lock:
+  case Action::Kind::Unlock:
+    Effect.Post = std::move(Env);
+    return Effect;
+  case Action::Kind::Call:
+  case Action::Kind::Spawn:
+    assert(false && "call/spawn actions are handled by the driver");
+    return Effect;
+  }
+  return Effect;
+}

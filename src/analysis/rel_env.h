@@ -1,0 +1,212 @@
+//===- analysis/rel_env.h - Relational (zones) environments -----*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relational abstract environments over the zones domain: a sorted set
+/// of constrained local variables plus a difference-bound matrix
+/// (lattice/dbm.h) over them. Unconstrained variables are absent — the
+/// empty environment is top, exactly like `AbsEnv` — and the environment
+/// is never infeasible (unreachability is `AbsValue::bot`, one level up).
+///
+/// Representation mirrors `AbsEnv`: a copy-on-write handle over
+/// hash-consed nodes (`RelPool`, one arena per thread), frozen at the
+/// solver choke point (`AbsValue::rel`), so σ-stability stays a pointer
+/// compare even though elements are O(n²).
+///
+/// Closure discipline (see dbm.h): every environment entering the solver
+/// is normalized, and every operation that needs canonical entries
+/// (`leq`, `join`, reads) closes on demand; *widening results are stored
+/// unclosed* — re-closing them would break the termination argument —
+/// and lazily re-closed by the next consumer.
+///
+/// The relational transfer functions for the mini-C frontend live here
+/// too, as overloads of the interval layer's names (`evalExpr`,
+/// `refineByCond`, `applyBasicAction`) so the interprocedural driver can
+/// be generic over the domain. Precisely representable forms
+/// (`x = y + c`, `x - y <= c` guards) become DBM constraints; everything
+/// else falls back to interval evaluation of the closed matrix's unary
+/// bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_REL_ENV_H
+#define WARROW_ANALYSIS_REL_ENV_H
+
+#include "analysis/transfer.h"
+#include "lattice/dbm.h"
+#include "lattice/hashcons.h"
+#include "support/hash.h"
+#include "support/interner.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace warrow {
+
+/// Interned contents of a relational environment: the sorted constrained
+/// variables and the DBM over them (matrix index i+1 is Vars[i]; index 0
+/// is the zero variable). The DBM's closed flag is a cached property of
+/// the entries and deliberately excluded from equality (Dbm::operator==
+/// compares entries only), so closed and not-yet-reclosed copies of the
+/// same matrix intern to one node.
+struct RelData {
+  std::vector<Symbol> Vars;
+  Dbm Matrix{0};
+
+  bool operator==(const RelData &Other) const {
+    return Vars == Other.Vars && Matrix == Other.Matrix;
+  }
+};
+
+struct RelDataHash {
+  size_t operator()(const RelData &D) const {
+    size_t Seed = D.Vars.size();
+    for (Symbol S : D.Vars)
+      hashCombine(Seed, S);
+    hashCombine(Seed, D.Matrix.hashValue());
+    return Seed;
+  }
+};
+
+using RelRef = ConsRef<RelData>;
+
+/// Thread-local interning arena for relational environments (the zones
+/// counterpart of EnvPool).
+class RelPool {
+public:
+  static RelPool &local() {
+    static thread_local RelPool Pool;
+    return Pool;
+  }
+
+  RelRef intern(RelRef Node) { return Arena.intern(std::move(Node)); }
+  RelRef intern(RelData &&Data) { return Arena.intern(std::move(Data)); }
+
+  size_t distinctEnvs() const { return Arena.size(); }
+  uint64_t internHits() const { return Arena.hits(); }
+  uint64_t internMisses() const { return Arena.misses(); }
+
+private:
+  HashConsArena<RelData, RelDataHash> Arena;
+};
+
+/// Zones environment over interned symbols; absent symbols are top.
+class RelEnv {
+public:
+  RelEnv() = default;
+
+  /// The top environment (no constraints on any variable).
+  static RelEnv top() { return RelEnv(); }
+
+  /// Unary bounds of \p Name (top when untracked). Never bottom. Closes
+  /// lazily when the stored matrix is unclosed.
+  Interval get(Symbol Name) const;
+  /// Bounds of `X - Y` ([-inf,+inf] when untracked; exact difference
+  /// bounds from the closed matrix otherwise).
+  Interval diffBounds(Symbol X, Symbol Y) const;
+
+  /// Strong update: forgets \p Name's constraints, then bounds it to
+  /// \p Value (top drops the variable). \p Value must be non-empty.
+  void set(Symbol Name, const Interval &Value);
+  /// Drops every constraint mentioning \p Name.
+  void forget(Symbol Name);
+  /// `X = X + C`: shifts every constraint on X by C (exact, relational).
+  void assignShift(Symbol X, int64_t C);
+  /// `X = Y + C` with X != Y: X's old constraints are forgotten and the
+  /// exact relation X - Y = C is added (X inherits Y's relations via
+  /// incremental closure).
+  void assignDiff(Symbol X, Symbol Y, int64_t C);
+  /// Adds the constraint `X - Y <= C`. Returns false when the result is
+  /// infeasible (environment left unspecified).
+  bool constrainDiff(Symbol X, Symbol Y, Bound C);
+  /// Meets \p Name's unary bounds with \p Value; false when infeasible.
+  bool constrainVar(Symbol Name, const Interval &Value);
+
+  bool isTop() const { return !Node; }
+  /// Number of constrained variables.
+  size_t size() const { return Node ? Node->Vars.size() : 0; }
+  const std::vector<Symbol> &vars() const;
+
+  /// A semantically equal environment whose matrix is in closed form
+  /// (returns *this unchanged when already closed). Reads and precision-
+  /// sensitive consumers go through this once, then use `get` freely.
+  RelEnv closedForm() const;
+
+  bool leq(const RelEnv &Other) const;
+  bool operator==(const RelEnv &Other) const;
+
+  RelEnv join(const RelEnv &Other) const;
+  RelEnv widen(const RelEnv &Other) const;
+  RelEnv narrow(const RelEnv &Other) const;
+  RelEnv widenWithThresholds(const RelEnv &Other,
+                             const std::vector<int64_t> &Thresholds) const;
+
+  /// Normalizes (drops unconstrained variables) and interns into the
+  /// thread-local pool. Idempotent; called at the solver choke point
+  /// (AbsValue::rel).
+  void freeze();
+  bool isFrozen() const { return !Node || Node.frozen(); }
+  const void *nodeId() const { return Node.get(); }
+
+  /// "{x-y<=0, x<=7, ...}" using the interner for names.
+  std::string str(const Interner &Symbols) const;
+
+  size_t hashValue() const;
+
+private:
+  explicit RelEnv(RelRef N) : Node(std::move(N)) {}
+  /// Normalizes (drops unconstrained vars; empty → top). Does not intern.
+  static RelEnv fromData(RelData &&Data);
+  /// Copy-on-write access: clones the node when shared or frozen.
+  RelData &mutableData();
+  /// Matrix index of \p Name (0 when untracked; tracked vars are >= 1).
+  size_t indexOf(Symbol Name) const;
+  /// Matrix index of \p Name, growing the matrix if needed (mutating).
+  size_t ensureVar(Symbol Name);
+  /// Embeds this environment over the union variable set \p UnionVars
+  /// (sorted); preserves closedness.
+  RelData embed(const std::vector<Symbol> &UnionVars) const;
+  /// Sorted union of both sides' variable sets.
+  static std::vector<Symbol> unionVars(const RelEnv &A, const RelEnv &B);
+
+  /// Null iff top; otherwise Vars non-empty after normalization.
+  RelRef Node;
+};
+
+// --- Relational transfer functions (zones mirror of transfer.h) ----------
+
+/// Abstract value of \p E under \p Env. Difference expressions `x - y`
+/// over tracked locals read the closed matrix directly; every other
+/// operator uses interval arithmetic over unary bounds.
+Interval evalExpr(const Expr &E, const RelEnv &Env, const EvalContext &Ctx);
+
+/// Refines \p Env under truth(Cond) == Positive. Comparisons of the
+/// forms `x op y`, `x op e`, and `x - y op e` become DBM constraints;
+/// returns false when the condition is infeasible.
+bool refineByCond(RelEnv &Env, const Expr &Cond, bool Positive,
+                  const EvalContext &Ctx);
+
+/// Result of a non-call action over zones (field names match BasicEffect
+/// so the interprocedural driver templates over the domain).
+struct RelBasicEffect {
+  std::optional<RelEnv> Post;
+  std::vector<std::pair<Symbol, Interval>> GlobalWrites;
+};
+
+/// Applies a Skip/Decl*/Assign/Store/Guard/Assert/Input action. `Call`
+/// actions are the interprocedural driver's job (asserted here).
+RelBasicEffect applyBasicAction(const Action &Act, const RelEnv &Pre,
+                                const EvalContext &Ctx);
+
+} // namespace warrow
+
+template <> struct std::hash<warrow::RelEnv> {
+  size_t operator()(const warrow::RelEnv &E) const { return E.hashValue(); }
+};
+
+#endif // WARROW_ANALYSIS_REL_ENV_H

@@ -13,15 +13,7 @@
 
 using namespace warrow;
 
-namespace {
-
-/// Abstract truth value of an interval: can it be zero / nonzero?
-struct Truth {
-  bool CanBeFalse;
-  bool CanBeTrue;
-};
-
-Truth truthOf(const Interval &I) {
+AbsTruth warrow::truthOf(const Interval &I) {
   if (I.isBot())
     return {false, false};
   bool HasZero = I.contains(0);
@@ -29,7 +21,7 @@ Truth truthOf(const Interval &I) {
   return {HasZero, HasNonZero};
 }
 
-Interval truthInterval(Truth T) {
+Interval warrow::truthInterval(AbsTruth T) {
   if (!T.CanBeFalse && !T.CanBeTrue)
     return Interval::bot();
   if (!T.CanBeFalse)
@@ -39,8 +31,8 @@ Interval truthInterval(Truth T) {
   return Interval::make(0, 1);
 }
 
-/// Result interval of `L op R` for a comparison operator.
-Interval compareIntervals(BinaryOp Op, const Interval &L, const Interval &R) {
+Interval warrow::compareIntervals(BinaryOp Op, const Interval &L,
+                                  const Interval &R) {
   if (L.isBot() || R.isBot())
     return Interval::bot();
   auto Definite = [](bool True, bool False) {
@@ -73,8 +65,7 @@ Interval compareIntervals(BinaryOp Op, const Interval &L, const Interval &R) {
   }
 }
 
-/// The comparison holding when `a op b` is *false*.
-BinaryOp negateComparison(BinaryOp Op) {
+BinaryOp warrow::negateComparison(BinaryOp Op) {
   switch (Op) {
   case BinaryOp::Lt:
     return BinaryOp::Ge;
@@ -94,9 +85,8 @@ BinaryOp negateComparison(BinaryOp Op) {
   }
 }
 
-/// Value of `a` refined by `a op b`.
-Interval restrictByComparison(BinaryOp Op, const Interval &A,
-                              const Interval &B) {
+Interval warrow::restrictByComparison(BinaryOp Op, const Interval &A,
+                                      const Interval &B) {
   switch (Op) {
   case BinaryOp::Lt:
     return A.restrictLess(B);
@@ -116,8 +106,7 @@ Interval restrictByComparison(BinaryOp Op, const Interval &A,
   }
 }
 
-/// The mirrored operator: `a op b` iff `b mirror(op) a`.
-BinaryOp mirrorComparison(BinaryOp Op) {
+BinaryOp warrow::mirrorComparison(BinaryOp Op) {
   switch (Op) {
   case BinaryOp::Lt:
     return BinaryOp::Gt;
@@ -131,8 +120,6 @@ BinaryOp mirrorComparison(BinaryOp Op) {
     return Op; // Eq/Ne are symmetric.
   }
 }
-
-} // namespace
 
 EvalContext EvalContext::forProgram(const Program &P, GlobalReader Reader) {
   EvalContext Ctx;
@@ -168,7 +155,7 @@ Interval warrow::evalExpr(const Expr &E, const AbsEnv &Env,
     Interval V = evalExpr(U->operand(), Env, Ctx);
     if (U->op() == UnaryOp::Neg)
       return V.neg();
-    Truth T = truthOf(V);
+    AbsTruth T = truthOf(V);
     return truthInterval({T.CanBeTrue, T.CanBeFalse}); // !: swap roles.
   }
   case Expr::Kind::Binary: {
@@ -187,13 +174,13 @@ Interval warrow::evalExpr(const Expr &E, const AbsEnv &Env,
     case BinaryOp::Rem:
       return L.rem(R);
     case BinaryOp::LAnd: {
-      Truth TL = truthOf(L), TR = truthOf(R);
+      AbsTruth TL = truthOf(L), TR = truthOf(R);
       return truthInterval(
           {TL.CanBeFalse || (TL.CanBeTrue && TR.CanBeFalse),
            TL.CanBeTrue && TR.CanBeTrue});
     }
     case BinaryOp::LOr: {
-      Truth TL = truthOf(L), TR = truthOf(R);
+      AbsTruth TL = truthOf(L), TR = truthOf(R);
       return truthInterval(
           {TL.CanBeFalse && TR.CanBeFalse,
            TL.CanBeTrue || (TL.CanBeFalse && TR.CanBeTrue)});
@@ -282,7 +269,7 @@ bool warrow::refineByCond(AbsEnv &Env, const Expr &Cond, bool Positive,
 
   // Generic condition: an expression tested against zero.
   Interval V = evalExpr(Cond, Env, Ctx);
-  Truth T = truthOf(V);
+  AbsTruth T = truthOf(V);
   if (Positive) {
     if (!T.CanBeTrue)
       return false;
@@ -354,7 +341,10 @@ BasicEffect warrow::applyBasicAction(const Action &Act, const AbsEnv &Pre,
     Effect.Post = std::move(Post);
     return Effect;
   }
-  case Action::Kind::Guard: {
+  case Action::Kind::Guard:
+  case Action::Kind::Assert: {
+    // Asserts refine like positive guards: the checker reports the alarm
+    // (bounds.cpp); downstream code assumes the asserted fact.
     AbsEnv Post = Pre;
     if (refineByCond(Post, *Act.Value, Act.Positive, Ctx))
       Effect.Post = std::move(Post);

@@ -49,6 +49,29 @@ struct EvalContext {
 /// initial bottom during iteration).
 Interval evalExpr(const Expr &E, const AbsEnv &Env, const EvalContext &Ctx);
 
+// --- Shared interval condition/comparison machinery -----------------------
+// Exposed so other value domains (the zones transfer in rel_env.cpp) reuse
+// the exact interval semantics for truth tests and comparison refinement
+// instead of re-deriving them.
+
+/// Abstract truth value of an interval: can it be zero / nonzero?
+struct AbsTruth {
+  bool CanBeFalse;
+  bool CanBeTrue;
+};
+AbsTruth truthOf(const Interval &I);
+/// The {0,1}-interval encoding of an abstract truth value.
+Interval truthInterval(AbsTruth T);
+/// Result interval of `L op R` for a comparison operator.
+Interval compareIntervals(BinaryOp Op, const Interval &L, const Interval &R);
+/// The comparison holding when `a op b` is *false*.
+BinaryOp negateComparison(BinaryOp Op);
+/// The mirrored operator: `a op b` iff `b mirror(op) a`.
+BinaryOp mirrorComparison(BinaryOp Op);
+/// Value of `a` refined by `a op b`.
+Interval restrictByComparison(BinaryOp Op, const Interval &A,
+                              const Interval &B);
+
 /// Refines \p Env under the assumption truth(Cond) == Positive. Returns
 /// false when the condition is infeasible (environment unreachable).
 bool refineByCond(AbsEnv &Env, const Expr &Cond, bool Positive,

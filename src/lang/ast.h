@@ -17,6 +17,7 @@
 ///   stmt     := decl | assign ';' | call ';' | if | while | for | return
 ///             | break ';' | continue ';' | block | ';'
 ///             | 'spawn' ident '(' args ')' ';'
+///             | 'assert' '(' expr ')' ';'
 ///             | 'lock' '(' ident ')' ';' | 'unlock' '(' ident ')' ';'
 ///   expr     := full arithmetic/relational/logical expression grammar;
 ///               calls (including the builtin `unknown()`, an arbitrary
@@ -202,6 +203,7 @@ public:
     Spawn,
     Lock,
     Unlock,
+    Assert,
   };
 
   Kind kind() const { return K; }
@@ -405,6 +407,21 @@ public:
 
 private:
   Symbol Mutex;
+};
+
+/// `assert(c);` — the bounds/assert checker reports program points where
+/// `c` may be zero; concretely a failed assertion traps. Downstream of
+/// the statement the analysis assumes `c` holds (it refines like a
+/// positive guard).
+class AssertStmt : public Stmt {
+public:
+  AssertStmt(ExprPtr Cond, uint32_t Line)
+      : Stmt(Kind::Assert, Line), Cond(std::move(Cond)) {}
+  const Expr &cond() const { return *Cond; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assert; }
+
+private:
+  ExprPtr Cond;
 };
 
 /// `unlock(m);` — release a declared mutex.

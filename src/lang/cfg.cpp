@@ -31,6 +31,8 @@ std::string Action::str(const Interner &Symbols) const {
   case Kind::Guard:
     return std::string(Positive ? "guard " : "guard !(") +
            printExpr(*Value, Symbols) + (Positive ? "" : ")");
+  case Kind::Assert:
+    return "assert(" + printExpr(*Value, Symbols) + ")";
   case Kind::Call: {
     std::string Out;
     if (Lhs)
@@ -340,6 +342,15 @@ uint32_t CfgBuilder::lower(const Stmt &S, uint32_t Cur) {
     A.Callee = Call.callee();
     for (const ExprPtr &Arg : Call.args())
       A.Args.push_back(Arg.get());
+    G.addEdge(Cur, Next, std::move(A));
+    return Next;
+  }
+  case Stmt::Kind::Assert: {
+    uint32_t Next = G.addNode(S.line());
+    Action A;
+    A.K = Action::Kind::Assert;
+    A.Value = &cast<AssertStmt>(&S)->cond();
+    A.Positive = true;
     G.addEdge(Cur, Next, std::move(A));
     return Next;
   }

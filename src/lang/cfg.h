@@ -47,6 +47,8 @@ struct Action {
     Assign,     ///< Lhs = Value (Lhs scalar local or global).
     Store,      ///< Lhs[Index] = Value (Lhs array local or global).
     Guard,      ///< Pass iff truth(Value) == Positive.
+    Assert,     ///< assert(Value): refines like a positive guard; the
+                ///< bounds checker alarms when Value may be zero.
     Call,       ///< Lhs = Callee(Args); Lhs may be 0 (ignored result).
     Input,      ///< Lhs = unknown() — an arbitrary integer.
     Spawn,      ///< spawn Callee(Args): start a thread, discard result.

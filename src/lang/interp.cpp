@@ -269,6 +269,14 @@ bool Interpreter::runFunction(size_t FuncIndex, ConcreteFrame Frame,
       (*Storage)[static_cast<size_t>(Index)] = Value;
       break;
     }
+    case Action::Kind::Assert: {
+      int64_t Cond;
+      if (!evalExpr(*A.Value, Frame, Cond))
+        return false;
+      if (Cond == 0)
+        return trap("assertion failed");
+      break;
+    }
     case Action::Kind::Input: {
       Frame.Scalars[A.Lhs] = nextInput();
       break;

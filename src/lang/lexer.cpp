@@ -31,6 +31,8 @@ TokenKind keywordKind(std::string_view Text) {
     return TokenKind::KwBreak;
   if (Text == "continue")
     return TokenKind::KwContinue;
+  if (Text == "assert")
+    return TokenKind::KwAssert;
   if (Text == "spawn")
     return TokenKind::KwSpawn;
   if (Text == "lock")

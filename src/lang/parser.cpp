@@ -72,6 +72,7 @@ void Parser::synchronize() {
     case TokenKind::KwFor:
     case TokenKind::KwReturn:
     case TokenKind::KwSpawn:
+    case TokenKind::KwAssert:
     case TokenKind::KwLock:
     case TokenKind::KwUnlock:
     case TokenKind::KwMutex:
@@ -337,6 +338,17 @@ StmtPtr Parser::parseStmt(Program &P) {
     auto Call =
         std::make_unique<CallExpr>(Callee, std::move(Args), NameTok.Line);
     return std::make_unique<SpawnStmt>(std::move(Call), T.Line);
+  }
+  case TokenKind::KwAssert: {
+    Token T = consume();
+    if (!expect(TokenKind::LParen, "after 'assert'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr(P);
+    if (!Cond || !expect(TokenKind::RParen, "after asserted condition"))
+      return nullptr;
+    if (!expect(TokenKind::Semicolon, "after 'assert'"))
+      return nullptr;
+    return std::make_unique<AssertStmt>(std::move(Cond), T.Line);
   }
   case TokenKind::KwMutex:
     // KwMutex is a synchronize() sync point (for top-level recovery), so

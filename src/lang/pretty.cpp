@@ -224,6 +224,12 @@ void printStmtInto(const Stmt &S, const Interner &Symbols, std::string &Out,
     printExprInto(cast<SpawnStmt>(&S)->call(), Symbols, Out, 0);
     Out += ";\n";
     return;
+  case Stmt::Kind::Assert:
+    indentInto(Out, Indent);
+    Out += "assert(";
+    printExprInto(cast<AssertStmt>(&S)->cond(), Symbols, Out, 0);
+    Out += ");\n";
+    return;
   case Stmt::Kind::Lock:
     indentInto(Out, Indent);
     Out += "lock(" + Symbols.spelling(cast<LockStmt>(&S)->mutex()) + ");\n";

@@ -331,6 +331,10 @@ void SemaChecker::checkStmt(const Stmt &S, unsigned LoopDepth) {
                       std::to_string(Call.args().size()) + ")");
     return;
   }
+  case Stmt::Kind::Assert:
+    checkExpr(cast<AssertStmt>(&S)->cond(), /*CallAllowed=*/false,
+              /*UnknownAllowed=*/false);
+    return;
   case Stmt::Kind::Lock: {
     Symbol M = cast<LockStmt>(&S)->mutex();
     if (!P.isMutex(M))

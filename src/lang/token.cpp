@@ -36,6 +36,8 @@ std::string_view warrow::tokenKindName(TokenKind Kind) {
     return "'break'";
   case TokenKind::KwContinue:
     return "'continue'";
+  case TokenKind::KwAssert:
+    return "'assert'";
   case TokenKind::KwSpawn:
     return "'spawn'";
   case TokenKind::KwLock:

@@ -34,6 +34,7 @@ enum class TokenKind : uint8_t {
   KwReturn,
   KwBreak,
   KwContinue,
+  KwAssert,
   // Concurrency keywords (Goblint-style multithreaded mini-C).
   KwSpawn,
   KwLock,

@@ -1,0 +1,229 @@
+//===- lattice/dbm.cpp - Difference-bound matrices ----------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/dbm.h"
+
+#include "support/hash.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace warrow;
+
+namespace {
+
+/// Path-weight addition: entries are finite or +inf, never -inf, so this
+/// is total without touching Bound's opposite-infinity assertions.
+inline Bound addWeights(Bound A, Bound B) {
+  if (A.isPosInf() || B.isPosInf())
+    return Bound::posInf();
+  return Bound(satAdd64(A.raw(), B.raw()));
+}
+
+} // namespace
+
+Dbm::Dbm(size_t NumVars)
+    : Dim(NumVars + 1), Closed(true),
+      M(Dim * Dim, Bound::posInf()) {
+  for (size_t I = 0; I < Dim; ++I)
+    M[I * Dim + I] = Bound(0);
+}
+
+bool Dbm::tighten(size_t I, size_t J, Bound B) {
+  Bound &Slot = M[I * Dim + J];
+  if (B >= Slot)
+    return false;
+  Slot = B;
+  return true;
+}
+
+bool Dbm::close() {
+  // Floyd–Warshall with the k loop outermost; for each k the inner sweep
+  // walks row i and row k left to right, so all accesses are contiguous
+  // (row-major) and the row-k pivot stays hot in cache.
+  for (size_t K = 0; K < Dim; ++K) {
+    const Bound *RowK = &M[K * Dim];
+    for (size_t I = 0; I < Dim; ++I) {
+      Bound Ik = M[I * Dim + K];
+      if (Ik.isPosInf())
+        continue;
+      Bound *RowI = &M[I * Dim];
+      for (size_t J = 0; J < Dim; ++J) {
+        Bound Via = addWeights(Ik, RowK[J]);
+        if (Via < RowI[J])
+          RowI[J] = Via;
+      }
+    }
+  }
+  for (size_t I = 0; I < Dim; ++I) {
+    if (M[I * Dim + I] < Bound(0))
+      return false; // Negative cycle: infeasible.
+    M[I * Dim + I] = Bound(0);
+  }
+  Closed = true;
+  return true;
+}
+
+bool Dbm::closeAfterTighten(size_t A, size_t B) {
+  // The only new shortest paths route through the tightened arc A -> B:
+  // M[i][j] <- min(M[i][j], M[i][A] + M[A][B] + M[B][j]). Two O(dim²)
+  // row-contiguous sweeps (first update column-ish via row A, then rows).
+  Bound W = M[A * Dim + B];
+  if (W.isPosInf()) {
+    Closed = true;
+    return true; // "Tightened" to nothing.
+  }
+  const Bound *RowB = &M[B * Dim];
+  for (size_t I = 0; I < Dim; ++I) {
+    Bound Ia = M[I * Dim + A];
+    if (Ia.isPosInf())
+      continue;
+    Bound Base = addWeights(Ia, W);
+    if (Base.isPosInf())
+      continue;
+    Bound *RowI = &M[I * Dim];
+    for (size_t J = 0; J < Dim; ++J) {
+      Bound Via = addWeights(Base, RowB[J]);
+      if (Via < RowI[J])
+        RowI[J] = Via;
+    }
+  }
+  for (size_t I = 0; I < Dim; ++I) {
+    if (M[I * Dim + I] < Bound(0))
+      return false;
+    M[I * Dim + I] = Bound(0);
+  }
+  Closed = true;
+  return true;
+}
+
+void Dbm::forget(size_t I) {
+  assert(I > 0 && I < Dim && "cannot forget the zero variable");
+  for (size_t J = 0; J < Dim; ++J) {
+    M[I * Dim + J] = Bound::posInf();
+    M[J * Dim + I] = Bound::posInf();
+  }
+  M[I * Dim + I] = Bound(0);
+  // Dropping constraints cannot create new shortest paths elsewhere, so a
+  // closed matrix stays closed.
+}
+
+Interval Dbm::bounds(size_t I) const { return diffBounds(I, 0); }
+
+Interval Dbm::diffBounds(size_t I, size_t J) const {
+  Bound Hi = at(I, J);
+  Bound Lo = -at(J, I);
+  if (Lo > Hi)
+    return Interval::bot(); // Only on inconsistent (un-closed) input.
+  return Interval::make(Lo, Hi);
+}
+
+bool Dbm::constrainInterval(size_t I, const Interval &V) {
+  assert(!V.isBot() && "constraining to the empty interval");
+  assert(Closed && "incremental closure needs a closed base");
+  if (!V.hi().isPosInf() && tighten(I, 0, V.hi()) && !closeAfterTighten(I, 0))
+    return false;
+  if (!V.lo().isNegInf() && tighten(0, I, -V.lo()) && !closeAfterTighten(0, I))
+    return false;
+  Closed = true;
+  return true;
+}
+
+bool Dbm::pointwiseLeq(const Dbm &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  for (size_t I = 0; I < M.size(); ++I)
+    if (!(M[I] <= Other.M[I]))
+      return false;
+  return true;
+}
+
+Dbm Dbm::pointwiseMax(const Dbm &A, const Dbm &B) {
+  assert(A.Dim == B.Dim && "dimension mismatch");
+  Dbm R(A.Dim - 1);
+  for (size_t I = 0; I < R.M.size(); ++I)
+    R.M[I] = max(A.M[I], B.M[I]);
+  // The pointwise max of two closed matrices is closed.
+  R.Closed = A.Closed && B.Closed;
+  return R;
+}
+
+Dbm Dbm::pointwiseMin(const Dbm &A, const Dbm &B) {
+  assert(A.Dim == B.Dim && "dimension mismatch");
+  Dbm R(A.Dim - 1);
+  for (size_t I = 0; I < R.M.size(); ++I)
+    R.M[I] = min(A.M[I], B.M[I]);
+  R.Closed = false;
+  return R;
+}
+
+Dbm Dbm::widen(const Dbm &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  Dbm R(Dim - 1);
+  for (size_t I = 0; I < M.size(); ++I)
+    R.M[I] = Other.M[I] <= M[I] ? M[I] : Bound::posInf();
+  R.Closed = false; // Deliberately left unclosed (termination).
+  return R;
+}
+
+Dbm Dbm::widenWithThresholds(const Dbm &Other,
+                             const std::vector<int64_t> &Thresholds) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  Dbm R(Dim - 1);
+  for (size_t I = 0; I < M.size(); ++I) {
+    if (Other.M[I] <= M[I]) {
+      R.M[I] = M[I];
+      continue;
+    }
+    Bound Snapped = Bound::posInf();
+    if (Other.M[I].isFinite()) {
+      auto It = std::lower_bound(Thresholds.begin(), Thresholds.end(),
+                                 Other.M[I].finite());
+      if (It != Thresholds.end())
+        Snapped = Bound(*It);
+    }
+    R.M[I] = Snapped;
+  }
+  R.Closed = false;
+  return R;
+}
+
+Dbm Dbm::narrow(const Dbm &Other) const {
+  assert(Dim == Other.Dim && "dimension mismatch");
+  Dbm R(Dim - 1);
+  for (size_t I = 0; I < M.size(); ++I)
+    R.M[I] = M[I].isPosInf() ? Other.M[I] : M[I];
+  R.Closed = false;
+  return R;
+}
+
+std::string Dbm::str() const {
+  std::string Out = "[";
+  bool First = true;
+  auto Name = [](size_t I) { return "x" + std::to_string(I); };
+  for (size_t I = 0; I < Dim; ++I) {
+    for (size_t J = 0; J < Dim; ++J) {
+      if (I == J || at(I, J).isPosInf())
+        continue;
+      if (!First)
+        Out += ", ";
+      First = false;
+      if (J == 0)
+        Out += Name(I) + "<=" + at(I, J).str();
+      else if (I == 0)
+        Out += "-" + Name(J) + "<=" + at(I, J).str();
+      else
+        Out += Name(I) + "-" + Name(J) + "<=" + at(I, J).str();
+    }
+  }
+  return Out + "]";
+}
+
+size_t Dbm::hashValue() const {
+  size_t Seed = Dim;
+  for (Bound B : M)
+    hashCombine(Seed, static_cast<size_t>(B.raw()));
+  return Seed;
+}

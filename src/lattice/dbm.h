@@ -1,0 +1,142 @@
+//===- lattice/dbm.h - Difference-bound matrices ----------------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense difference-bound matrices (the *zones* weakly-relational domain
+/// of Miné): a square matrix over `Bound` where entry (i, j) constrains
+/// v_i - v_j <= M[i][j]. Index 0 is the implicit zero variable, so row 0 /
+/// column 0 carry the unary bounds: v_i <= M[i][0] and -v_i <= M[0][i].
+///
+/// The canonical form is the shortest-path *closure* (Floyd–Warshall); a
+/// negative entry on the diagonal means the constraint set is infeasible
+/// (bottom — represented one level up, like the interval domain's empty
+/// case in `AbsValue`). The widening is the one from Bagnara et al.,
+/// *Widening Operators for Weakly-Relational Numeric Abstractions*: keep
+/// an entry if the new value still satisfies it, drop it to +inf
+/// otherwise — and, crucially for termination, the left operand is used
+/// in its *stored (possibly unclosed)* form and the result is left
+/// unclosed: re-closing a widened matrix can re-derive finite entries and
+/// restart the ascending chain. The narrowing refines only +inf entries,
+/// mirroring the interval domain's "only infinite bounds improve" rule,
+/// so +inf entry counts decrease monotonically along a narrowing chain.
+///
+/// Entries are never -inf (intervals are non-empty, so unary constraints
+/// are finite or +inf, and min/+ preserves that); saturating sums that
+/// clamp to +inf merely drop a derived constraint, which is sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_LATTICE_DBM_H
+#define WARROW_LATTICE_DBM_H
+
+#include "lattice/interval.h"
+#include "support/saturating.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace warrow {
+
+/// A difference-bound matrix over `NumVars` tracked variables plus the
+/// implicit zero variable (dimension NumVars + 1). Default state: top
+/// (no constraints), which is trivially closed.
+class Dbm {
+public:
+  /// Top over \p NumVars tracked variables.
+  explicit Dbm(size_t NumVars);
+
+  size_t numVars() const { return Dim - 1; }
+  size_t dim() const { return Dim; }
+
+  Bound at(size_t I, size_t J) const { return M[I * Dim + J]; }
+  /// Raw entry write; caller owns the closure discipline.
+  void set(size_t I, size_t J, Bound B) {
+    M[I * Dim + J] = B;
+    Closed = false;
+  }
+  /// Tightens entry (I, J) to min(current, B); returns true on change.
+  /// Keeps the `closed()` flag untouched — follow with
+  /// `closeAfterTighten(I, J)` to restore canonical form incrementally.
+  bool tighten(size_t I, size_t J, Bound B);
+
+  /// True when the matrix is known to be in shortest-path closed form.
+  bool closed() const { return Closed; }
+  /// Asserts closedness without running Floyd–Warshall; for callers that
+  /// rebuilt entries from a closed matrix by a closure-preserving
+  /// transformation (projection, embedding, uniform shift).
+  void markClosed() { Closed = true; }
+
+  /// Full Floyd–Warshall closure (O(dim³), row-major k-outer loops so the
+  /// inner sweep is a contiguous row walk). Returns false — leaving the
+  /// matrix unspecified — when a diagonal entry goes negative (bottom).
+  bool close();
+
+  /// Incremental O(dim²) re-closure after a single `tighten(A, B)` on an
+  /// otherwise closed matrix. Same bottom contract as `close`.
+  bool closeAfterTighten(size_t A, size_t B);
+
+  /// Projects out matrix index \p I (existential quantification): its row
+  /// and column revert to unconstrained. A closed matrix stays closed.
+  void forget(size_t I);
+
+  /// Unary bounds of matrix index \p I as an interval: [-M[0][I], M[I][0]].
+  /// Meaningful on closed matrices.
+  Interval bounds(size_t I) const;
+  /// Bounds of the difference v_I - v_J: [-M[J][I], M[I][J]].
+  Interval diffBounds(size_t I, size_t J) const;
+
+  /// Tightens the unary constraints of index \p I to \p V and re-closes
+  /// incrementally. \p V must be non-empty. False when infeasible.
+  bool constrainInterval(size_t I, const Interval &V);
+
+  // --- Lattice structure (operands must have equal dimension) -------------
+  /// Pointwise <=. For the semantic inclusion test close *this* first;
+  /// pointwise on a closed left operand vs a closed right operand is the
+  /// exact zone inclusion.
+  bool pointwiseLeq(const Dbm &Other) const;
+  /// Pointwise max — the join of two *closed* operands (closure-preserving).
+  static Dbm pointwiseMax(const Dbm &A, const Dbm &B);
+  /// Pointwise min — the meet; result needs a `close()` (may be bottom).
+  static Dbm pointwiseMin(const Dbm &A, const Dbm &B);
+
+  // --- Acceleration ---------------------------------------------------------
+  /// Bagnara-et-al. widening: entry kept where Other (closed) still
+  /// satisfies it, +inf otherwise. Apply to the stored (possibly
+  /// unclosed) *this*; the result is deliberately left unclosed.
+  Dbm widen(const Dbm &Other) const;
+  /// As `widen`, but an unstable entry first snaps to the smallest
+  /// enclosing threshold (sorted ascending; the program-constant sets are
+  /// closed under negation, so one rule serves unary and difference
+  /// entries alike) before falling to +inf.
+  Dbm widenWithThresholds(const Dbm &Other,
+                          const std::vector<int64_t> &Thresholds) const;
+  /// Stabilizing narrowing: only +inf entries adopt Other's (closed)
+  /// entries; everything finite is kept. Result needs a `close()`.
+  Dbm narrow(const Dbm &Other) const;
+
+  bool operator==(const Dbm &Other) const {
+    return Dim == Other.Dim && M == Other.M;
+  }
+
+  /// "[x1-x0<=3, x1<=7, ...]" using v0 for the zero var; omits +inf.
+  std::string str() const;
+
+  size_t hashValue() const;
+
+private:
+  size_t Dim;
+  bool Closed;
+  std::vector<Bound> M;
+};
+
+} // namespace warrow
+
+template <> struct std::hash<warrow::Dbm> {
+  size_t operator()(const warrow::Dbm &D) const { return D.hashValue(); }
+};
+
+#endif // WARROW_LATTICE_DBM_H

@@ -1,0 +1,78 @@
+//===- workloads/bounds_suite.h - Bounds/assert benchmarks ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Known-answer mini-C programs for the bounds/assert checker
+/// (analysis/bounds.h), covering the two precision axes of the domain
+/// comparison:
+///
+///   - ⊟ vs two-phase: programs whose only alarm sits in code reachable
+///     solely under widened loop bounds feeding a global — the
+///     ⊟-iteration retracts the stale side-effect contribution, while
+///     the two-phase baseline's frozen globals keep it (Fig. 7 style).
+///   - zones vs intervals: programs whose safety argument is a
+///     difference invariant (`j - i == c`) that survives DBM widening
+///     while both endpoint intervals widen to infinity.
+///
+/// The corpus is *directive-driven*: each program's expected alarm
+/// counts live in header comments of its own source, parsed by
+/// `parseBoundsDirectives`, so the known answers travel with the program
+/// text rather than a side table:
+///
+///     // EXPECT-ALARMS: <domain>/<solver> <n>
+///     // SOLVER: <registry solver name>
+///
+/// `<domain>` is `interval`, `zones` or `*`; `<solver>` is a registry
+/// name (`warrow`, `widen`, `two-phase`, ...) or `*`. More specific
+/// keys win (`zones/warrow` over `zones/*` over `*/warrow` over `*`).
+/// `SOLVER:` lines, when present, restrict which solvers a runner
+/// exercises; without any, runners use their own default set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_WORKLOADS_BOUNDS_SUITE_H
+#define WARROW_WORKLOADS_BOUNDS_SUITE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warrow {
+
+/// Parsed header directives of a bounds program.
+struct BoundsDirectives {
+  /// "domain/solver" (either side possibly "*") -> expected alarm count.
+  std::vector<std::pair<std::string, uint64_t>> ExpectedAlarms;
+  /// Solvers the runner should exercise (empty = runner default).
+  std::vector<std::string> Solvers;
+
+  /// Expected alarms for a configuration; most specific key wins,
+  /// nullopt when no key covers it.
+  std::optional<uint64_t> expectedFor(std::string_view Domain,
+                                      std::string_view Solver) const;
+};
+
+/// Parses `// EXPECT-ALARMS:` / `// SOLVER:` comment lines of \p Source.
+/// Malformed directive lines are ignored.
+BoundsDirectives parseBoundsDirectives(const std::string &Source);
+
+/// One bounds benchmark; the known answer is embedded in Source.
+struct BoundsBenchmark {
+  std::string Name;
+  std::string Source;
+};
+
+/// The full suite, in no particular order.
+const std::vector<BoundsBenchmark> &boundsSuite();
+
+/// Looks up a benchmark by name (null if absent).
+const BoundsBenchmark *findBoundsBenchmark(const std::string &Name);
+
+} // namespace warrow
+
+#endif // WARROW_WORKLOADS_BOUNDS_SUITE_H

@@ -1,0 +1,413 @@
+//===- tests/bounds_test.cpp - Bounds checker & zones backend ------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Known-answer tests for the bounds/assert checker over the directive-
+// driven bounds suite, across the full configuration matrix
+// {interval, zones} x {warrow, widen, two-phase, two-phase-localized,
+// parallel-warrow}:
+//
+//  - every configuration reproduces the alarm count embedded in the
+//    program's own `// EXPECT-ALARMS:` directives and passes the
+//    independent side-effecting verifier,
+//  - ⊟ never alarms more than the two-phase baseline, and on the
+//    Fig.-7-style programs strictly less — per domain,
+//  - the zones domain proves the difference-invariant programs that
+//    intervals cannot, under every solver,
+//  - parallel ⊟ over zones matches sequential alarms at every thread
+//    count, with update-multiset equality on the side-effect-free
+//    programs.
+//
+// Plus unit tests for the RelEnv transfer layer and the directive
+// parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/bounds.h"
+#include "analysis/rel_env.h"
+#include "lang/parser.h"
+#include "trace/recorder.h"
+#include "workloads/bounds_suite.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+using namespace warrow;
+
+namespace {
+
+struct ParsedBench {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+  BoundsDirectives Directives;
+};
+
+ParsedBench parseBench(const BoundsBenchmark &B) {
+  DiagnosticEngine Diags;
+  ParsedBench PB;
+  PB.P = parseProgram(B.Source, Diags);
+  EXPECT_TRUE(PB.P != nullptr) << B.Name << ":\n" << Diags.str();
+  if (PB.P)
+    PB.Cfgs = buildProgramCfg(*PB.P);
+  PB.Directives = parseBoundsDirectives(B.Source);
+  return PB;
+}
+
+struct RunOutcome {
+  std::unique_ptr<InterprocAnalysis> Analysis;
+  AnalysisResult Result;
+  BoundsReport Report;
+};
+
+RunOutcome runConfig(const Program &P, const ProgramCfg &Cfgs,
+                     AnalysisDomain Domain, SolverChoice Choice,
+                     unsigned Threads = 0, TraceSink *Trace = nullptr) {
+  AnalysisOptions Options;
+  Options.Domain = Domain;
+  Options.Solver.Threads = Threads;
+  Options.Solver.Trace = Trace;
+  RunOutcome O;
+  O.Analysis = std::make_unique<InterprocAnalysis>(P, Cfgs, Options);
+  O.Result = O.Analysis->run(Choice);
+  O.Report = runBoundsChecker(P, Cfgs, O.Result);
+  return O;
+}
+
+/// The full analysis-capable solver set, by registry name.
+const std::vector<std::string> &allSolvers() {
+  static const std::vector<std::string> Solvers = {
+      "warrow", "widen", "two-phase", "two-phase-localized",
+      "parallel-warrow"};
+  return Solvers;
+}
+
+const std::vector<AnalysisDomain> &bothDomains() {
+  static const std::vector<AnalysisDomain> Domains = {
+      AnalysisDomain::Interval, AnalysisDomain::Zones};
+  return Domains;
+}
+
+std::vector<std::string> suiteNames() {
+  std::vector<std::string> Names;
+  for (const BoundsBenchmark &B : boundsSuite())
+    Names.push_back(B.Name);
+  return Names;
+}
+
+std::string caseName(const ::testing::TestParamInfo<std::string> &Info) {
+  return Info.param;
+}
+
+/// Programs with no globals and no calls: their constraint systems are
+/// side-effect free, so the parallel determinism contract extends to the
+/// per-unknown update multiset.
+bool isSideEffectFree(const std::string &Name) {
+  return Name == "loop_exact" || Name == "off_by_one" ||
+         Name == "diff_invariant" || Name == "diff_assert" ||
+         Name == "assert_refines";
+}
+
+using UpdateKey = std::tuple<uint64_t, UpdateKind, bool, bool>;
+
+std::map<UpdateKey, unsigned>
+updateMultiset(const std::vector<TraceEvent> &Events) {
+  std::map<UpdateKey, unsigned> M;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == TraceEventKind::Update)
+      ++M[{E.Unknown, E.UKind, E.Grew, E.Shrank}];
+  return M;
+}
+
+class BoundsSuite : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+// Every configuration with a directive-known answer reproduces it
+// exactly and passes the independent side-effecting verifier.
+TEST_P(BoundsSuite, KnownAnswersAcrossConfigurations) {
+  const BoundsBenchmark *B = findBoundsBenchmark(GetParam());
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+  ASSERT_FALSE(PB.Directives.ExpectedAlarms.empty())
+      << B->Name << " has no EXPECT-ALARMS directives";
+
+  const std::vector<std::string> &Solvers =
+      PB.Directives.Solvers.empty() ? allSolvers() : PB.Directives.Solvers;
+  for (AnalysisDomain Domain : bothDomains()) {
+    for (const std::string &Solver : Solvers) {
+      std::optional<uint64_t> Expected =
+          PB.Directives.expectedFor(domainName(Domain), Solver);
+      if (!Expected)
+        continue;
+      std::optional<SolverChoice> Choice = solverChoiceForName(Solver);
+      ASSERT_TRUE(Choice.has_value()) << Solver;
+      RunOutcome O = runConfig(*PB.P, PB.Cfgs, Domain, *Choice);
+      std::string Tag = B->Name + " [" +
+                        std::string(domainName(Domain)) + "/" + Solver +
+                        "]";
+      ASSERT_TRUE(O.Result.Stats.Converged) << Tag;
+      EXPECT_EQ(O.Report.alarms(), *Expected) << Tag << "\nfindings:\n"
+                                              << [&] {
+                                                   std::string S;
+                                                   for (const auto &F :
+                                                        O.Report.Findings)
+                                                     S += F.str(*PB.P) + "\n";
+                                                   return S;
+                                                 }();
+      VerifyResult V = O.Analysis->verifySolution(O.Result);
+      EXPECT_TRUE(V.Ok) << Tag << ": " << V.str();
+    }
+  }
+}
+
+// Per domain: ⊟ alarms <= two-phase alarms on every program, with the
+// strict Fig.-7 gap on at least two programs.
+TEST(BoundsPrecision, WarrowNeverWorseThanTwoPhaseAndStrictlyBetterTwice) {
+  for (AnalysisDomain Domain : bothDomains()) {
+    unsigned StrictlyFewer = 0;
+    for (const BoundsBenchmark &B : boundsSuite()) {
+      ParsedBench PB = parseBench(B);
+      ASSERT_TRUE(PB.P != nullptr);
+      RunOutcome Warrow =
+          runConfig(*PB.P, PB.Cfgs, Domain, SolverChoice::Warrow);
+      RunOutcome TwoPhase =
+          runConfig(*PB.P, PB.Cfgs, Domain, SolverChoice::TwoPhase);
+      ASSERT_TRUE(Warrow.Result.Stats.Converged) << B.Name;
+      ASSERT_TRUE(TwoPhase.Result.Stats.Converged) << B.Name;
+      EXPECT_LE(Warrow.Report.alarms(), TwoPhase.Report.alarms())
+          << B.Name << " under " << domainName(Domain)
+          << ": ⊟ must never alarm more than two-phase";
+      if (Warrow.Report.alarms() < TwoPhase.Report.alarms())
+        ++StrictlyFewer;
+    }
+    EXPECT_GE(StrictlyFewer, 2u)
+        << domainName(Domain)
+        << ": expected the frozen-globals gap on at least two programs";
+  }
+}
+
+// The zones backend dominates intervals alarm-wise on this suite (its
+// fallback evaluation is the interval one), and proves the difference-
+// invariant programs intervals cannot, under every solver.
+TEST(BoundsPrecision, ZonesDominateIntervalsOnSuite) {
+  for (const BoundsBenchmark &B : boundsSuite()) {
+    ParsedBench PB = parseBench(B);
+    ASSERT_TRUE(PB.P != nullptr);
+    for (const std::string &Solver : allSolvers()) {
+      std::optional<SolverChoice> Choice = solverChoiceForName(Solver);
+      ASSERT_TRUE(Choice.has_value());
+      RunOutcome Itv =
+          runConfig(*PB.P, PB.Cfgs, AnalysisDomain::Interval, *Choice);
+      RunOutcome Zon =
+          runConfig(*PB.P, PB.Cfgs, AnalysisDomain::Zones, *Choice);
+      ASSERT_TRUE(Itv.Result.Stats.Converged) << B.Name << "/" << Solver;
+      ASSERT_TRUE(Zon.Result.Stats.Converged) << B.Name << "/" << Solver;
+      EXPECT_LE(Zon.Report.alarms(), Itv.Report.alarms())
+          << B.Name << "/" << Solver;
+    }
+  }
+}
+
+// Parallel ⊟ over zones: alarms match sequential at every thread count,
+// every run verifies, and on side-effect-free programs the per-unknown
+// update multiset replays sequential SLR+ exactly.
+TEST_P(BoundsSuite, ParallelWarrowZonesMatchesSequential) {
+  const BoundsBenchmark *B = findBoundsBenchmark(GetParam());
+  ASSERT_TRUE(B != nullptr);
+  ParsedBench PB = parseBench(*B);
+  ASSERT_TRUE(PB.P != nullptr);
+
+  BufferedTraceRecorder SeqRecorder(/*CaptureTimestamps=*/false);
+  RunOutcome Seq = runConfig(*PB.P, PB.Cfgs, AnalysisDomain::Zones,
+                             SolverChoice::Warrow, 0, &SeqRecorder);
+  ASSERT_TRUE(Seq.Result.Stats.Converged);
+  std::map<UpdateKey, unsigned> Expected =
+      updateMultiset(SeqRecorder.events());
+
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    BufferedTraceRecorder Recorder(/*CaptureTimestamps=*/false);
+    RunOutcome Par =
+        runConfig(*PB.P, PB.Cfgs, AnalysisDomain::Zones,
+                  SolverChoice::ParallelWarrow, Threads, &Recorder);
+    ASSERT_TRUE(Par.Result.Stats.Converged) << "threads=" << Threads;
+    EXPECT_EQ(Par.Report.alarms(), Seq.Report.alarms())
+        << "threads=" << Threads;
+    VerifyResult V = Par.Analysis->verifySolution(Par.Result);
+    EXPECT_TRUE(V.Ok) << "threads=" << Threads << ": " << V.str();
+    if (isSideEffectFree(B->Name))
+      EXPECT_EQ(updateMultiset(Recorder.events()), Expected)
+          << "threads=" << Threads
+          << ": zones update multiset diverges from sequential SLR+";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BoundsSuite,
+                         ::testing::ValuesIn(suiteNames()), caseName);
+
+// --- directive parser -----------------------------------------------------
+
+TEST(BoundsDirectivesTest, ParsesKeysAndSolvers) {
+  BoundsDirectives D = parseBoundsDirectives(
+      "// EXPECT-ALARMS: * 3\n"
+      "// EXPECT-ALARMS: zones/* 1\n"
+      "// EXPECT-ALARMS: zones/warrow 0\n"
+      "// EXPECT-ALARMS: */two-phase 2\n"
+      "// SOLVER: warrow\n"
+      "// SOLVER: two-phase\n"
+      "int main() { return 0; }\n");
+  ASSERT_EQ(D.ExpectedAlarms.size(), 4u);
+  ASSERT_EQ(D.Solvers.size(), 2u);
+  EXPECT_EQ(D.Solvers[0], "warrow");
+  // Most specific key wins.
+  EXPECT_EQ(D.expectedFor("zones", "warrow"), 0u);
+  EXPECT_EQ(D.expectedFor("zones", "widen"), 1u);
+  EXPECT_EQ(D.expectedFor("interval", "two-phase"), 2u);
+  EXPECT_EQ(D.expectedFor("interval", "widen"), 3u);
+}
+
+TEST(BoundsDirectivesTest, IgnoresMalformedAndMissing) {
+  BoundsDirectives D = parseBoundsDirectives(
+      "// EXPECT-ALARMS: zones/warrow\n" // missing count
+      "// EXPECT-ALARMS:\n"
+      "// SOLVER:\n"
+      "int main() { return 0; }\n");
+  EXPECT_TRUE(D.ExpectedAlarms.empty());
+  EXPECT_TRUE(D.Solvers.empty());
+  EXPECT_EQ(D.expectedFor("zones", "warrow"), std::nullopt);
+  // Every suite program carries at least one directive.
+  for (const BoundsBenchmark &B : boundsSuite())
+    EXPECT_FALSE(parseBoundsDirectives(B.Source).ExpectedAlarms.empty())
+        << B.Name;
+}
+
+// --- RelEnv transfer layer ------------------------------------------------
+
+namespace {
+
+struct RelFixture {
+  Interner Symbols;
+  Symbol X, Y, Z;
+  RelFixture()
+      : X(Symbols.intern("x")), Y(Symbols.intern("y")),
+        Z(Symbols.intern("z")) {}
+};
+
+} // namespace
+
+TEST(RelEnvTest, SetGetForgetRoundTrip) {
+  RelFixture F;
+  RelEnv E;
+  EXPECT_TRUE(E.isTop());
+  EXPECT_TRUE(E.get(F.X).isTop());
+  E.set(F.X, Interval::make(1, 5));
+  EXPECT_EQ(E.get(F.X), Interval::make(1, 5));
+  EXPECT_TRUE(E.get(F.Y).isTop());
+  E.forget(F.X);
+  EXPECT_TRUE(E.get(F.X).isTop());
+}
+
+TEST(RelEnvTest, AssignDiffTracksRelationThroughShift) {
+  RelFixture F;
+  RelEnv E;
+  E.set(F.X, Interval::make(0, 10));
+  E.assignDiff(F.Y, F.X, 3); // y = x + 3
+  EXPECT_EQ(E.diffBounds(F.Y, F.X), Interval::constant(3));
+  EXPECT_EQ(E.get(F.Y), Interval::make(3, 13));
+  E.assignShift(F.X, 1); // x = x + 1
+  EXPECT_EQ(E.diffBounds(F.Y, F.X), Interval::constant(2));
+  E.assignShift(F.Y, 1); // y = y + 1
+  EXPECT_EQ(E.diffBounds(F.Y, F.X), Interval::constant(3));
+  // Reassigning y breaks the exact relation; what remains is only the
+  // difference the closure derives from the unary bounds.
+  E.set(F.Y, Interval::make(0, 1));
+  EXPECT_EQ(E.diffBounds(F.Y, F.X), Interval::make(-11, 0));
+}
+
+TEST(RelEnvTest, ConstrainDiffPropagatesToUnaryBounds) {
+  RelFixture F;
+  RelEnv E;
+  E.set(F.X, Interval::make(0, 4));
+  ASSERT_TRUE(E.constrainDiff(F.Y, F.X, Bound(0)));  // y - x <= 0
+  ASSERT_TRUE(E.constrainDiff(F.Z, F.Y, Bound(-1))); // z - y <= -1
+  ASSERT_TRUE(E.constrainVar(F.Z, Interval::make(0, 100)));
+  // z <= y - 1 <= x - 1 <= 3, via the closure.
+  EXPECT_TRUE(E.get(F.Z).leq(Interval::make(0, 3)));
+  // Infeasible tightening reports false. (x = 1 forces z = 0, y = 1.)
+  RelEnv G = E;
+  ASSERT_TRUE(G.constrainVar(F.X, Interval::constant(1)));
+  EXPECT_FALSE(G.constrainDiff(F.X, F.Z, Bound(-1))); // x <= z - 1 = -1
+}
+
+TEST(RelEnvTest, LatticeOpsOverDifferingVarSets) {
+  RelFixture F;
+  RelEnv A;
+  A.set(F.X, Interval::make(0, 5));
+  RelEnv B;
+  B.set(F.Y, Interval::make(1, 2));
+  // A constrains x only, B constrains y only; both embed into {x, y}.
+  EXPECT_FALSE(A.leq(B));
+  EXPECT_FALSE(B.leq(A));
+  RelEnv J = A.join(B);
+  EXPECT_TRUE(A.leq(J));
+  EXPECT_TRUE(B.leq(J));
+  EXPECT_TRUE(J.get(F.X).isTop()) << "x unconstrained in B";
+  EXPECT_TRUE(J.get(F.Y).isTop()) << "y unconstrained in A";
+  EXPECT_TRUE(J.isTop());
+  RelEnv Top;
+  EXPECT_TRUE(A.leq(Top));
+  EXPECT_FALSE(Top.leq(A));
+}
+
+TEST(RelEnvTest, WidenDropsUnstableKeepsStable) {
+  RelFixture F;
+  RelEnv A;
+  A.set(F.X, Interval::make(0, 0));
+  A.assignDiff(F.Y, F.X, 3);
+  RelEnv B;
+  B.set(F.X, Interval::make(0, 1));
+  B.assignDiff(F.Y, F.X, 3);
+  RelEnv W = A.widen(A.join(B));
+  EXPECT_EQ(W.diffBounds(F.Y, F.X), Interval::constant(3))
+      << "stable difference must survive widening";
+  EXPECT_TRUE(W.get(F.X).hi().isPosInf())
+      << "unstable upper bound must widen: " << W.str(F.Symbols);
+  EXPECT_EQ(W.get(F.X).lo(), Bound(0));
+  // Narrowing recovers the dropped bound from the (smaller) refinement.
+  RelEnv N = W.narrow(B);
+  EXPECT_EQ(N.get(F.X), Interval::make(0, 1));
+  EXPECT_EQ(N.diffBounds(F.Y, F.X), Interval::constant(3));
+}
+
+TEST(RelEnvTest, FreezeInternsStructurally) {
+  RelFixture F;
+  RelEnv A;
+  A.set(F.X, Interval::make(0, 5));
+  A.assignDiff(F.Y, F.X, 1);
+  RelEnv B;
+  B.set(F.X, Interval::make(0, 5));
+  B.assignDiff(F.Y, F.X, 1);
+  A.freeze();
+  B.freeze();
+  EXPECT_TRUE(A.isFrozen());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.nodeId(), B.nodeId())
+      << "equal environments must intern to one node";
+  // Frozen handles are COW: mutating B leaves A untouched.
+  B.set(F.X, Interval::make(1, 2));
+  EXPECT_EQ(A.get(F.X), Interval::make(0, 5));
+}
+
+TEST(RelEnvTest, StrNamesConstraints) {
+  RelFixture F;
+  RelEnv E;
+  E.set(F.X, Interval::make(0, 5));
+  std::string S = E.str(F.Symbols);
+  EXPECT_NE(S.find("x"), std::string::npos) << S;
+  EXPECT_EQ(RelEnv().str(F.Symbols), "{}");
+}

@@ -1,0 +1,204 @@
+//===- tests/dbm_test.cpp - DBM lattice laws ------------------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized lattice-law tests for the zones domain (lattice/dbm.h),
+// mirroring the interval domain's property suite:
+//
+//   - semantic inclusion is a partial order (reflexive, antisymmetric on
+//     closed forms, transitive),
+//   - pointwise max of closed operands is an upper bound,
+//   - the Bagnara widening covers the join and stabilizes every
+//     ascending chain within #entries steps,
+//   - the narrowing is sound (keeps the smaller operand included) and
+//     decreasing,
+//   - Floyd–Warshall closure is idempotent, and the incremental
+//     `closeAfterTighten` agrees with the full closure.
+//
+// The closure discipline under test is the termination-critical one from
+// the header: widening applies to the *stored* form and its result stays
+// unclosed; the semantic inclusion test `closed(X) pointwise<= Y` is
+// valid for Y in any representation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lattice/dbm.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+constexpr size_t NumVars = 3;
+
+/// A random feasible zone in closed form: a handful of tightenings on
+/// top, then a full closure (resampled when infeasible).
+Dbm sampleClosed(Rng &R) {
+  for (;;) {
+    Dbm D(NumVars);
+    size_t Tightens = R.below(2 * NumVars + 2);
+    for (size_t T = 0; T < Tightens; ++T) {
+      size_t I = R.below(NumVars + 1);
+      size_t J = R.below(NumVars + 1);
+      if (I == J)
+        continue;
+      int64_t C = static_cast<int64_t>(R.below(21)) - 10;
+      D.tighten(I, J, Bound(C));
+    }
+    if (D.close())
+      return D;
+  }
+}
+
+/// Semantic zone inclusion: every constraint of \p B is entailed by
+/// \p A. Valid for B in any representation as long as A is closed.
+bool includes(const Dbm &A, const Dbm &B) { return A.pointwiseLeq(B); }
+
+class DbmLaws : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(DbmLaws, LeqIsPartialOrder) {
+  Rng R(GetParam());
+  for (int Round = 0; Round < 50; ++Round) {
+    Dbm A = sampleClosed(R), B = sampleClosed(R), C = sampleClosed(R);
+    EXPECT_TRUE(includes(A, A)) << A.str();
+    // Antisymmetry: closed forms are canonical.
+    if (includes(A, B) && includes(B, A))
+      EXPECT_EQ(A, B) << A.str() << " vs " << B.str();
+    // Transitivity.
+    if (includes(A, B) && includes(B, C))
+      EXPECT_TRUE(includes(A, C))
+          << A.str() << " <= " << B.str() << " <= " << C.str();
+  }
+}
+
+TEST_P(DbmLaws, JoinIsUpperBoundAndCommutes) {
+  Rng R(GetParam() + 1000);
+  for (int Round = 0; Round < 50; ++Round) {
+    Dbm A = sampleClosed(R), B = sampleClosed(R);
+    Dbm J = Dbm::pointwiseMax(A, B);
+    EXPECT_TRUE(includes(A, J));
+    EXPECT_TRUE(includes(B, J));
+    EXPECT_EQ(J, Dbm::pointwiseMax(B, A));
+    EXPECT_EQ(Dbm::pointwiseMax(A, A), A) << "join must be idempotent";
+  }
+}
+
+TEST_P(DbmLaws, WideningCoversJoin) {
+  Rng R(GetParam() + 2000);
+  for (int Round = 0; Round < 50; ++Round) {
+    Dbm A = sampleClosed(R), B = sampleClosed(R);
+    Dbm J = Dbm::pointwiseMax(A, B);
+    // The ascending-iteration shape: widen the stored value with the
+    // joined next value (closed). The result is deliberately unclosed;
+    // inclusion of the closed J against it is still the semantic test.
+    Dbm W = A.widen(J);
+    EXPECT_TRUE(includes(A, W)) << A.str() << " !<= " << W.str();
+    EXPECT_TRUE(includes(J, W)) << J.str() << " !<= " << W.str();
+  }
+}
+
+TEST_P(DbmLaws, WideningStabilizes) {
+  Rng R(GetParam() + 3000);
+  for (int Round = 0; Round < 20; ++Round) {
+    // Ascending chain: keep widening the stored (unclosed) accumulator
+    // with fresh samples joined in. Every unstable step drops at least
+    // one finite entry to +inf, so the chain settles within #entries
+    // changes regardless of the samples.
+    Dbm X = sampleClosed(R);
+    size_t Changes = 0;
+    const size_t MaxChanges = (NumVars + 1) * (NumVars + 1) + 1;
+    for (int Step = 0; Step < 200; ++Step) {
+      // Join the fresh sample with X's closed form, as a solver rhs
+      // would before handing the target to ▽.
+      Dbm XC = X;
+      ASSERT_TRUE(XC.close());
+      Dbm Target = Dbm::pointwiseMax(XC, sampleClosed(R));
+      Dbm W = X.widen(Target);
+      if (!(W == X)) {
+        ++Changes;
+        X = W;
+      }
+    }
+    EXPECT_LE(Changes, MaxChanges) << "widening chain failed to settle";
+  }
+}
+
+TEST_P(DbmLaws, NarrowingIsSoundAndDecreasing) {
+  Rng R(GetParam() + 4000);
+  for (int Round = 0; Round < 50; ++Round) {
+    Dbm A = sampleClosed(R), B = sampleClosed(R);
+    Dbm J = Dbm::pointwiseMax(A, B);
+    Dbm W = A.widen(J); // unclosed, includes J.
+    Dbm N = W.narrow(J);
+    ASSERT_TRUE(N.close()) << "narrowing an included operand stays feasible";
+    // Decreasing: N <= W.
+    EXPECT_TRUE(includes(N, W)) << N.str() << " !<= " << W.str();
+    // Sound: the smaller operand stays included.
+    EXPECT_TRUE(includes(J, N)) << J.str() << " !<= " << N.str();
+    // Stabilizing shape: only +inf entries of W were refined.
+    for (size_t I = 0; I <= NumVars; ++I)
+      for (size_t K = 0; K <= NumVars; ++K)
+        if (W.at(I, K).isFinite())
+          EXPECT_EQ(N.at(I, K), W.at(I, K))
+              << "narrowing touched a finite entry (" << I << "," << K
+              << ")";
+  }
+}
+
+TEST_P(DbmLaws, ClosureIsIdempotent) {
+  Rng R(GetParam() + 5000);
+  for (int Round = 0; Round < 50; ++Round) {
+    Dbm A = sampleClosed(R);
+    Dbm Twice = A;
+    ASSERT_TRUE(Twice.close());
+    EXPECT_EQ(Twice, A) << "closure must be idempotent";
+  }
+}
+
+TEST_P(DbmLaws, IncrementalClosureMatchesFull) {
+  Rng R(GetParam() + 6000);
+  for (int Round = 0; Round < 50; ++Round) {
+    Dbm A = sampleClosed(R);
+    size_t I = R.below(NumVars + 1), J = R.below(NumVars + 1);
+    if (I == J)
+      continue;
+    int64_t C = static_cast<int64_t>(R.below(11)) - 5;
+    Dbm Incremental = A;
+    bool Changed = Incremental.tighten(I, J, Bound(C));
+    bool IncFeasible = !Changed || Incremental.closeAfterTighten(I, J);
+    Dbm Full = A;
+    Full.set(I, J, std::min(A.at(I, J), Bound(C)));
+    bool FullFeasible = Full.close();
+    ASSERT_EQ(IncFeasible, FullFeasible);
+    if (IncFeasible)
+      EXPECT_EQ(Incremental, Full)
+          << "closeAfterTighten(" << I << "," << J << ") diverges";
+  }
+}
+
+TEST_P(DbmLaws, ThresholdWideningBetweenPlainAndJoin) {
+  Rng R(GetParam() + 7000);
+  const std::vector<int64_t> Thresholds = {-8, -4, -2, 0, 2, 4, 8};
+  for (int Round = 0; Round < 50; ++Round) {
+    Dbm A = sampleClosed(R), B = sampleClosed(R);
+    Dbm J = Dbm::pointwiseMax(A, B);
+    Dbm Plain = A.widen(J);
+    Dbm Snapped = A.widenWithThresholds(J, Thresholds);
+    // Still a widening: covers both operands...
+    EXPECT_TRUE(includes(A, Snapped));
+    EXPECT_TRUE(includes(J, Snapped));
+    // ...and at least as precise as the plain one, entry-wise.
+    for (size_t I = 0; I <= NumVars; ++I)
+      for (size_t K = 0; K <= NumVars; ++K)
+        EXPECT_LE(Snapped.at(I, K), Plain.at(I, K));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbmLaws,
+                         ::testing::Values(1u, 7u, 42u, 1337u));

@@ -37,6 +37,7 @@
 #include "trace/metrics.h"
 #include "trace/recorder.h"
 #include "trace/serialize.h"
+#include "workloads/bounds_suite.h"
 #include "workloads/eq_generators.h"
 #include "workloads/wcet_suite.h"
 
@@ -236,6 +237,32 @@ TEST(TraceTest, LemmaOneDisciplineOnWcetSuite) {
   for (const WcetBenchmark &B : wcetSuite()) {
     std::vector<TraceEvent> Events = recordWcetRun(B);
     ASSERT_FALSE(Events.empty()) << B.Name;
+    checkEvalNesting(Events);
+    checkLemmaOneDiscipline(Events);
+  }
+}
+
+TEST(TraceTest, LemmaOneDisciplineOnZonesRuns) {
+  // The Lemma 1 discipline is domain-agnostic: a ⊟-run over the zones
+  // backend must obey exactly the same regime rules as intervals — DBM
+  // narrowing never grows a value, and re-widening is justified only by
+  // interleaved destabilization. Runs the bounds suite, whose programs
+  // exercise the relational transfer and the global-retraction shapes.
+  for (const BoundsBenchmark &B : boundsSuite()) {
+    DiagnosticEngine Diags;
+    auto P = parseProgram(B.Source, Diags);
+    ASSERT_TRUE(P) << B.Name << ":\n" << Diags.str();
+    ProgramCfg Cfgs = buildProgramCfg(*P);
+    BufferedTraceRecorder Recorder(/*CaptureTimestamps=*/false);
+    AnalysisOptions Options;
+    Options.Domain = AnalysisDomain::Zones;
+    Options.Solver.Trace = &Recorder;
+    InterprocAnalysis Analysis(*P, Cfgs, Options);
+    AnalysisResult Result = Analysis.run(SolverChoice::Warrow);
+    ASSERT_TRUE(Result.Stats.Converged) << B.Name;
+    std::vector<TraceEvent> Events = Recorder.events();
+    ASSERT_FALSE(Events.empty()) << B.Name;
+    checkUpdateClassification(Events);
     checkEvalNesting(Events);
     checkLemmaOneDiscipline(Events);
   }

@@ -20,6 +20,15 @@ Additional exact gates can be requested with a repeatable
 sound race detector losing alarms means it lost accesses). Fields absent
 from a baseline record are not checked for that record.
 
+Metadata fields are optional everywhere: records missing ``hw_threads``
+or ``traced`` (table-regenerator reports like BENCH_races.json and
+BENCH_zones.json carry neither) compare fine against records that have
+them, so every baseline shares this one gate. When both sides do carry
+the metadata it is honoured: a new record from a traced run fails (trace
+overhead must never become a perf baseline), and wall-time warnings are
+suppressed when the two records ran with different ``hw_threads`` (the
+times are incomparable, and eval counts still gate).
+
 Usage:
     bench_compare.py BASELINE.json NEW.json [--wall-warn RATIO]
                      [--exact-field NAME]...
@@ -90,6 +99,8 @@ def main():
         if n is None:
             failures.append(f"{fmt_key(k)}: missing from new report")
             continue
+        if n.get("traced"):
+            failures.append(f"{fmt_key(k)}: new record comes from a traced run")
         be, ne = b.get("rhs_evals"), n.get("rhs_evals")
         if be is not None:
             if ne is None:
@@ -106,8 +117,10 @@ def main():
                 failures.append(f"{fmt_key(k)}: {field} missing from new report")
             elif nf != bf:
                 failures.append(f"{fmt_key(k)}: {field} {bf} -> {nf} (MISMATCH)")
+        bt, nt = b.get("hw_threads"), n.get("hw_threads")
+        comparable_walls = bt is None or nt is None or bt == nt
         bw, nw = b.get("wall_ns"), n.get("wall_ns")
-        if bw and nw and nw > bw * args.wall_warn:
+        if bw and nw and comparable_walls and nw > bw * args.wall_warn:
             wall_warnings.append(f"{fmt_key(k)}: wall {bw:.0f}ns -> {nw:.0f}ns " f"({nw / bw:.2f}x, non-gating)")
 
     extra = sorted(set(new) - set(base), key=fmt_key)

@@ -149,6 +149,39 @@ class WallTimeWarnings(unittest.TestCase):
         self.assertNotIn("warning:", r.stdout)
 
 
+class OptionalMetadata(unittest.TestCase):
+    def test_records_missing_hw_threads_and_traced_are_tolerated(self):
+        # Table-regenerator reports (BENCH_races.json, BENCH_zones.json)
+        # carry neither field; comparing them against a gbench baseline
+        # that has both must not KeyError or gate.
+        base = [record("a", rhs_evals=5, wall_ns=100.0, hw_threads=4, traced=False)]
+        new = [record("a", rhs_evals=5, wall_ns=110.0)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        r = run_compare(new, base)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_traced_new_record_fails(self):
+        # Trace overhead must never be compared as a perf number.
+        base = [record("a", rhs_evals=5)]
+        new = [record("a", rhs_evals=5, traced=True)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("traced run", r.stderr)
+
+    def test_hw_threads_mismatch_suppresses_wall_warning(self):
+        # Wall times from different thread counts are incomparable;
+        # rhs_evals still gate.
+        base = [record("a", rhs_evals=5, wall_ns=100.0, hw_threads=1)]
+        new = [record("a", rhs_evals=5, wall_ns=1000.0, hw_threads=8)]
+        r = run_compare(base, new)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertNotIn("warning:", r.stdout)
+        new_regressed = [record("a", rhs_evals=6, wall_ns=1000.0, hw_threads=8)]
+        r = run_compare(base, new_regressed)
+        self.assertEqual(r.returncode, 1)
+
+
 class MalformedInput(unittest.TestCase):
     def test_non_array_report_is_an_error(self):
         r = run_compare({"not": "an array"}, [])

@@ -13,6 +13,9 @@
 ///     --solver=NAME                     solver strategy by registry name
 ///                                       (default warrow; any analysis-
 ///                                       capable entry of --list-solvers)
+///     --domain={interval,zones}         value domain of program points
+///                                       (default interval; zones runs the
+///                                       DBM relational backend)
 ///     --list-solvers                    print the solver registry and exit
 ///     --threads=N                       worker threads for the parallel
 ///                                       solvers (default: hardware
@@ -20,6 +23,8 @@
 ///     --context                         context-sensitive analysis
 ///     --thresholds                      program-constant threshold widening
 ///     --check                           report potential run-time errors
+///     --bounds                          array-bounds / assert checker
+///                                       (domain-aware alarm counts)
 ///     --races                           lockset data-race detection
 ///     --dump-cfg                        print CFG edges instead of analyzing
 ///     --dump-dot                        print CFGs as Graphviz dot
@@ -31,6 +36,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/bounds.h"
 #include "analysis/checks.h"
 #include "analysis/interproc.h"
 #include "analysis/races.h"
@@ -56,9 +62,10 @@ namespace {
 
 void printUsage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--solver=NAME] [--list-solvers] [--threads=N] "
-               "[--context] [--thresholds] [--check] [--races] [--dump-cfg] "
-               "[--trace] [--trace-out=FILE] [--quiet] file.mc\n",
+               "usage: %s [--solver=NAME] [--domain=NAME] [--list-solvers] "
+               "[--threads=N] [--context] [--thresholds] [--check] "
+               "[--bounds] [--races] [--dump-cfg] [--trace] "
+               "[--trace-out=FILE] [--quiet] file.mc\n",
                Argv0);
 }
 
@@ -136,6 +143,7 @@ int main(int Argc, char **Argv) {
   bool DumpDot = false;
   bool Quiet = false;
   bool Check = false;
+  bool Bounds = false;
   bool Races = false;
   bool Trace = false;
   const char *TraceOut = nullptr;
@@ -156,6 +164,15 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Choice = *Resolved;
+    } else if (std::strncmp(Arg, "--domain=", 9) == 0) {
+      const char *Name = Arg + 9;
+      std::optional<AnalysisDomain> Domain = domainForName(Name);
+      if (!Domain) {
+        std::fprintf(stderr,
+                     "error: unknown domain '%s' (interval, zones)\n", Name);
+        return 2;
+      }
+      Options.Domain = *Domain;
     } else if (std::strcmp(Arg, "--list-solvers") == 0) {
       std::printf("%s", engine::solverListing().c_str());
       return 0;
@@ -173,6 +190,8 @@ int main(int Argc, char **Argv) {
       Options.ThresholdWidening = true;
     } else if (std::strcmp(Arg, "--check") == 0) {
       Check = true;
+    } else if (std::strcmp(Arg, "--bounds") == 0) {
+      Bounds = true;
     } else if (std::strcmp(Arg, "--races") == 0) {
       Races = true;
     } else if (std::strcmp(Arg, "--dump-cfg") == 0) {
@@ -273,6 +292,17 @@ int main(int Argc, char **Argv) {
                  "error: solver hit the evaluation budget (%s)\n",
                  Result.Stats.str().c_str());
     return 1;
+  }
+
+  if (Bounds) {
+    BoundsReport Report = runBoundsChecker(*P, Cfgs, Result);
+    for (const BoundsFinding &F : Report.Findings)
+      std::printf("%s\n", F.str(*P).c_str());
+    std::printf("%s [%s]: %llu bounds alarm(s), %llu assert alarm(s)\n",
+                Path, std::string(domainName(Options.Domain)).c_str(),
+                static_cast<unsigned long long>(Report.ArrayAlarms),
+                static_cast<unsigned long long>(Report.AssertAlarms));
+    return Report.alarms() > 0 ? 3 : 0;
   }
 
   if (Check) {
