@@ -1,0 +1,189 @@
+//===- bench/bench_stress.cpp - Million-unknown stress tier --------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stress tier: solves the implicit (storage-free) side-effecting
+/// system of `stressSideSystem` at 10⁶+ unknowns under the work-stealing
+/// parallel SLR+ engine and the sequential SLR+ baseline, tracking what
+/// the regular benches cannot: peak memory. Every record carries
+///
+///     unknowns      |dom σ| actually discovered (checked against the
+///                   generator's expected count — a partial exploration
+///                   must fail loudly, not report a fast solve)
+///     rhs_evals     the deterministic work counter (CI gates exact)
+///     wall_ns       one solve, wall clock
+///     peak_rss_kb   getrusage peak RSS. Monotone per process: the
+///                   second run's value includes the first's footprint,
+///                   so the run order (parallel first) is part of the
+///                   schema. Metadata-tolerant: never gated, absent
+///                   records compare fine (bench_compare.py).
+///     hw_threads    hardware_concurrency of the host
+///
+///     bench_stress [--json out.json] [--rings N] [--ring-size N]
+///                  [--threads N] [--check]
+///
+/// Defaults give 16384 rings × 64 = 1,048,576 ring unknowns (1,048,897
+/// total with the aggregator/accumulator layers). `--check` additionally
+/// verifies the parallel σ equals the sequential σ pointwise (slow-ish:
+/// one extra comparison pass over a million entries).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/bench_json.h"
+#include "engine/strategies/parallel_slr.h"
+#include "lattice/combine.h"
+#include "solvers/slr_plus.h"
+#include "workloads/eq_generators.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace warrow;
+
+namespace {
+
+/// Peak resident set size in KiB (ru_maxrss is KiB on Linux).
+uint64_t peakRssKb() {
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+  return static_cast<uint64_t>(Usage.ru_maxrss);
+}
+
+struct RunOutcome {
+  PartialSolution<uint64_t, Interval> Solution;
+  double WallNs = 0;
+  uint64_t PeakRssKb = 0;
+};
+
+template <typename Solve> RunOutcome timedRun(Solve &&DoSolve) {
+  RunOutcome Out;
+  auto Start = std::chrono::steady_clock::now();
+  Out.Solution = DoSolve();
+  auto End = std::chrono::steady_clock::now();
+  Out.WallNs = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(End - Start)
+          .count());
+  Out.PeakRssKb = peakRssKb();
+  return Out;
+}
+
+/// One record of the schema documented above; exits on any failed
+/// invariant so a broken stress run can never produce a plausible
+/// baseline.
+void record(bench::JsonReport &Report, const std::string &Workload,
+            const std::string &Solver, const RunOutcome &Run,
+            uint64_t ExpectedUnknowns) {
+  const SolverStats &Stats = Run.Solution.Stats;
+  if (!Stats.Converged) {
+    std::fprintf(stderr, "error: %s did not converge (%s)\n",
+                 Solver.c_str(), Stats.str().c_str());
+    std::exit(1);
+  }
+  if (Run.Solution.Sigma.size() != ExpectedUnknowns) {
+    std::fprintf(stderr,
+                 "error: %s explored %zu unknowns, expected %llu\n",
+                 Solver.c_str(), Run.Solution.Sigma.size(),
+                 static_cast<unsigned long long>(ExpectedUnknowns));
+    std::exit(1);
+  }
+  bench::JsonRecord &R = Report.addRecord(Workload, Solver, Run.WallNs,
+                                          /*Iterations=*/1, Stats.RhsEvals);
+  R.set("unknowns", static_cast<uint64_t>(Run.Solution.Sigma.size()))
+      .set("peak_rss_kb", Run.PeakRssKb)
+      .set("converged", Stats.Converged)
+      .set("hw_threads",
+           static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  std::printf("%-28s %-20s unknowns=%zu evals=%llu wall=%.2fs rss=%lluMiB\n",
+              Workload.c_str(), Solver.c_str(), Run.Solution.Sigma.size(),
+              static_cast<unsigned long long>(Stats.RhsEvals),
+              Run.WallNs / 1e9,
+              static_cast<unsigned long long>(Run.PeakRssKb / 1024));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  uint64_t NumRings = 16384;
+  unsigned RingSize = 64;
+  unsigned Threads = 2;
+  bool Check = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--json") == 0 && I + 1 < Argc) {
+      JsonPath = Argv[++I];
+    } else if (std::strcmp(Arg, "--rings") == 0 && I + 1 < Argc) {
+      NumRings = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Arg, "--ring-size") == 0 && I + 1 < Argc) {
+      RingSize = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (std::strcmp(Arg, "--threads") == 0 && I + 1 < Argc) {
+      Threads = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (std::strcmp(Arg, "--check") == 0) {
+      Check = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--rings N] [--ring-size N] "
+                   "[--threads N] [--check]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  StressSystem Stress =
+      stressSideSystem(NumRings, RingSize, /*Bound=*/32,
+                       /*CrossLinks=*/2, /*Seed=*/1234);
+  std::string Workload = "stress-rings/" + std::to_string(NumRings) + "x" +
+                         std::to_string(RingSize);
+
+  SolverOptions Options;
+  Options.MaxRhsEvals = 2'000'000'000ull;
+  Options.Threads = Threads;
+
+  bench::JsonReport Report;
+
+  // Parallel first: its peak_rss_kb is then a true measurement instead
+  // of inheriting the sequential run's footprint.
+  RunOutcome Par = timedRun([&] {
+    return engine::runParallelSlrPlus(Stress.System, Stress.Root,
+                                      WarrowCombine{}, Options);
+  });
+  record(Report, Workload, "parallel-warrow/" + std::to_string(Threads) + "t",
+         Par, Stress.NumUnknowns);
+
+  RunOutcome Seq = timedRun([&] {
+    return solveSLRPlus(Stress.System, Stress.Root, WarrowCombine{}, Options);
+  });
+  record(Report, Workload, "warrow", Seq, Stress.NumUnknowns);
+
+  if (Check) {
+    uint64_t Mismatches = 0;
+    for (const auto &[X, Value] : Seq.Solution.Sigma)
+      if (!(Par.Solution.value(X) == Value))
+        ++Mismatches;
+    if (Mismatches != 0 ||
+        Par.Solution.Sigma.size() != Seq.Solution.Sigma.size()) {
+      std::fprintf(stderr,
+                   "error: parallel sigma diverges from sequential "
+                   "(%llu mismatched values)\n",
+                   static_cast<unsigned long long>(Mismatches));
+      return 1;
+    }
+    std::printf("check: parallel sigma == sequential sigma (%zu unknowns)\n",
+                Seq.Solution.Sigma.size());
+  }
+
+  if (!JsonPath.empty() && !Report.writeFile(JsonPath))
+    return 1;
+  return 0;
+}

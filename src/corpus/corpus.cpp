@@ -1,0 +1,494 @@
+//===- corpus/corpus.cpp - On-disk regression corpus runner --------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+
+#include "analysis/bounds.h"
+#include "analysis/interproc.h"
+#include "analysis/races.h"
+#include "engine/registry.h"
+#include "lang/interp.h"
+#include "lang/parser.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace warrow;
+using namespace warrow::corpus;
+
+#ifndef WARROW_CORPUS_DIR
+#define WARROW_CORPUS_DIR ""
+#endif
+
+std::string warrow::corpus::corpusRoot() {
+  if (const char *Env = std::getenv("WARROW_CORPUS_DIR"))
+    if (*Env)
+      return Env;
+  return WARROW_CORPUS_DIR;
+}
+
+std::optional<CorpusFile>
+warrow::corpus::loadCorpusFile(const std::string &Path, std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err += Path + ": cannot open\n";
+    return std::nullopt;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  CorpusFile File;
+  File.Path = Path;
+  File.Name = std::filesystem::path(Path).stem().string();
+  File.Source = Buffer.str();
+  ParsedDirectives Parsed = parseCorpusDirectives(File.Source);
+  if (!Parsed.ok()) {
+    Err += Parsed.str(Path);
+    return std::nullopt;
+  }
+  File.D = std::move(Parsed.D);
+  // Cross-directive validation that needs the whole header.
+  if (File.D.Kind == CorpusKind::Races)
+    for (const std::string &Dom : File.D.Domains)
+      if (Dom != "interval") {
+        Err += Path + ":1: races programs support the interval domain "
+                      "only (got DOMAIN: " +
+               Dom + ")\n";
+        return std::nullopt;
+      }
+  for (const std::string &Sol : File.D.Solvers)
+    if (!solverChoiceForName(Sol)) {
+      Err += Path + ":1: SOLVER '" + Sol +
+             "' is not an analysis-capable registry solver\n";
+      return std::nullopt;
+    }
+  return File;
+}
+
+std::vector<CorpusFile> warrow::corpus::loadCorpus(const std::string &Dir,
+                                                   std::string &Err) {
+  std::vector<CorpusFile> Files;
+  std::error_code Ec;
+  std::filesystem::recursive_directory_iterator It(Dir, Ec), End;
+  if (Ec) {
+    Err += Dir + ": " + Ec.message() + "\n";
+    return Files;
+  }
+  std::vector<std::string> Paths;
+  for (; It != End; ++It)
+    if (It->is_regular_file() && It->path().extension() == ".mc")
+      Paths.push_back(It->path().string());
+  std::sort(Paths.begin(), Paths.end());
+  for (const std::string &P : Paths)
+    if (std::optional<CorpusFile> F = loadCorpusFile(P, Err))
+      Files.push_back(std::move(*F));
+  // Duplicate stems would make --only ambiguous and silently halve
+  // coverage expectations; reject them at load time.
+  std::set<std::string> Seen;
+  for (const CorpusFile &F : Files)
+    if (!Seen.insert(F.Name).second)
+      Err += F.Path + ": duplicate corpus program name '" + F.Name + "'\n";
+  std::sort(Files.begin(), Files.end(),
+            [](const CorpusFile &A, const CorpusFile &B) {
+              return A.Name < B.Name;
+            });
+  return Files;
+}
+
+namespace {
+
+/// The analysis-capable registry solver names, in registry order.
+std::vector<std::string> analysisSolvers() {
+  std::vector<std::string> Names;
+  for (const engine::SolverInfo &Info : engine::solverRegistry())
+    if (Info.hasCap(engine::CapAnalysis))
+      Names.push_back(Info.Name);
+  return Names;
+}
+
+} // namespace
+
+std::vector<MatrixCell>
+warrow::corpus::matrixFor(const CorpusDirectives &D) {
+  std::vector<std::string> Domains = D.Domains;
+  if (Domains.empty()) {
+    Domains = {"interval"};
+    if (D.Kind == CorpusKind::Bounds)
+      Domains.push_back("zones");
+  }
+  std::vector<std::string> Solvers =
+      D.Solvers.empty() ? analysisSolvers() : D.Solvers;
+  std::vector<MatrixCell> Matrix;
+  for (const std::string &Dom : Domains)
+    for (const std::string &Sol : Solvers)
+      Matrix.push_back({Dom, Sol});
+  return Matrix;
+}
+
+namespace {
+
+/// Collects failure messages with the repro prefix.
+class CaseContext {
+public:
+  CaseContext(const CorpusFile &File, const std::string &Cell,
+              CaseResult &Out)
+      : File(File), Cell(Cell), Out(Out) {}
+
+  void fail(const std::string &What) {
+    Out.Ok = false;
+    Out.Failures.push_back(File.Name + " [" + Cell + "]: " + What +
+                           " (repro: warrow-corpus --only=" + File.Name +
+                           (Cell == "concrete" ? "" : " --cell=" + Cell) +
+                           ")");
+  }
+
+private:
+  const CorpusFile &File;
+  std::string Cell;
+  CaseResult &Out;
+};
+
+/// Function index by spelling; nullopt when absent.
+std::optional<uint32_t> functionIndex(const Program &P,
+                                      const std::string &Name) {
+  for (uint32_t F = 0; F < P.Functions.size(); ++F)
+    if (P.Symbols.spelling(P.Functions[F]->Name) == Name)
+      return F;
+  return std::nullopt;
+}
+
+/// Joins σ over contexts and over every CFG node matching the label
+/// (`<func>:exit` = the exit node; `<func>:<line>` = every node at that
+/// source line). Returns nullopt when no node matches the label at all —
+/// a typoed label must fail loudly, not pass vacuously.
+std::optional<AbsValue> joinedAtLabel(const Cfg &G, uint32_t FuncIdx,
+                                      bool AtExit, uint32_t Line,
+                                      const AnalysisResult &Result) {
+  std::vector<uint32_t> Nodes;
+  for (uint32_t N = 0; N < G.numNodes(); ++N) {
+    if (AtExit ? N == G.exit() : G.lineOf(N) == Line)
+      Nodes.push_back(N);
+  }
+  if (Nodes.empty())
+    return std::nullopt;
+  AbsValue Joined;
+  for (const auto &[X, Value] : Result.Solution.Sigma) {
+    if (!X.isPoint() || X.Func != FuncIdx)
+      continue;
+    if (std::find(Nodes.begin(), Nodes.end(), X.Node) != Nodes.end())
+      Joined = Joined.join(Value);
+  }
+  return Joined;
+}
+
+/// Interval of \p Var in a joined point value: globals read the
+/// flow-insensitive unknown, locals read the (closed, for zones)
+/// environment.
+Interval varInterval(const Program &P, const AbsValue &V, Symbol Var,
+                     const AnalysisResult &Result) {
+  if (P.global(Var))
+    return Result.globalValue(Var);
+  if (V.isRel())
+    return V.relValue().closedForm().get(Var);
+  return V.envValueOrTop().get(Var);
+}
+
+std::string labelStr(const InvExpectation &E) {
+  return E.Func + ":" + (E.AtExit ? "exit" : std::to_string(E.LabelLine));
+}
+std::string labelStr(const RelExpectation &E) {
+  return E.Func + ":" + (E.AtExit ? "exit" : std::to_string(E.LabelLine));
+}
+
+void checkInvariants(const CorpusFile &File, const MatrixCell &Cell,
+                     const Program &P, const ProgramCfg &Cfgs,
+                     const AnalysisResult &Result, CaseContext &Ctx) {
+  for (const InvExpectation &E : File.D.Invariants) {
+    if (!CorpusDirectives::cellMatches(E.Cell, Cell.Domain, Cell.Solver))
+      continue;
+    std::optional<uint32_t> FuncIdx = functionIndex(P, E.Func);
+    if (!FuncIdx) {
+      Ctx.fail("EXPECT-INV " + labelStr(E) + ": unknown function '" +
+               E.Func + "'");
+      continue;
+    }
+    std::optional<AbsValue> V = joinedAtLabel(
+        Cfgs.cfgOf(*FuncIdx), *FuncIdx, E.AtExit, E.LabelLine, Result);
+    if (!V) {
+      Ctx.fail("EXPECT-INV " + labelStr(E) +
+               ": label matches no program point");
+      continue;
+    }
+    if (V->isBot()) {
+      Ctx.fail("EXPECT-INV " + labelStr(E) + ": point is unreachable");
+      continue;
+    }
+    Symbol Var = P.Symbols.lookup(E.Var);
+    Interval Got = varInterval(P, *V, Var, Result);
+    if (Got.isBot()) {
+      Ctx.fail("EXPECT-INV " + labelStr(E) + " " + E.Var +
+               ": value is bottom");
+      continue;
+    }
+    if (!Got.leq(E.Box))
+      Ctx.fail("EXPECT-INV " + labelStr(E) + " " + E.Var + ": got " +
+               Got.str() + ", expected within " + E.Box.str());
+  }
+}
+
+void checkRelations(const CorpusFile &File, const MatrixCell &Cell,
+                    const Program &P, const ProgramCfg &Cfgs,
+                    const AnalysisResult &Result, CaseContext &Ctx) {
+  if (Cell.Domain != "zones")
+    return; // Interval environments carry no relations.
+  for (const RelExpectation &E : File.D.Relations) {
+    if (!CorpusDirectives::cellMatches(E.Cell, Cell.Domain, Cell.Solver))
+      continue;
+    std::optional<uint32_t> FuncIdx = functionIndex(P, E.Func);
+    if (!FuncIdx) {
+      Ctx.fail("EXPECT-REL " + labelStr(E) + ": unknown function '" +
+               E.Func + "'");
+      continue;
+    }
+    std::optional<AbsValue> V = joinedAtLabel(
+        Cfgs.cfgOf(*FuncIdx), *FuncIdx, E.AtExit, E.LabelLine, Result);
+    if (!V) {
+      Ctx.fail("EXPECT-REL " + labelStr(E) +
+               ": label matches no program point");
+      continue;
+    }
+    if (V->isBot()) {
+      Ctx.fail("EXPECT-REL " + labelStr(E) + ": point is unreachable");
+      continue;
+    }
+    if (!V->isRel()) {
+      Ctx.fail("EXPECT-REL " + labelStr(E) +
+               ": point carries no relational value");
+      continue;
+    }
+    Symbol X = P.Symbols.lookup(E.Lhs);
+    Symbol Y = P.Symbols.lookup(E.Rhs);
+    Interval Diff = V->relValue().closedForm().diffBounds(X, Y);
+    if (!(Diff.hi() <= Bound(E.C)))
+      Ctx.fail("EXPECT-REL " + labelStr(E) + " " + E.Lhs + "-" + E.Rhs +
+               "<=" + std::to_string(E.C) + ": difference bounds are " +
+               Diff.str());
+  }
+}
+
+CaseResult runBoundsCase(const CorpusFile &File, const MatrixCell &Cell,
+                         const Program &P, const ProgramCfg &Cfgs,
+                         SolverChoice Choice) {
+  CaseResult Out;
+  CaseContext Ctx(File, Cell.Domain + "/" + Cell.Solver, Out);
+
+  AnalysisOptions Options;
+  Options.Domain = *domainForName(Cell.Domain);
+  if (File.D.MaxRhsEvals)
+    Options.Solver.MaxRhsEvals = *File.D.MaxRhsEvals;
+
+  InterprocAnalysis Analysis(P, Cfgs, Options);
+  AnalysisResult Result = Analysis.run(Choice);
+  Out.RhsEvals = Result.Stats.RhsEvals;
+  if (!Result.Stats.Converged) {
+    Ctx.fail("solver hit the evaluation budget (" + Result.Stats.str() +
+             ")");
+    return Out;
+  }
+  if (VerifyResult V = Analysis.verifySolution(Result); !V.Ok) {
+    Ctx.fail("verifySolution failed:\n" + V.str());
+    return Out;
+  }
+
+  BoundsReport Report = runBoundsChecker(P, Cfgs, Result);
+  Out.Alarms = Report.alarms();
+  if (std::optional<uint64_t> Expected =
+          File.D.expectedAlarmsFor(Cell.Domain, Cell.Solver);
+      Expected && *Expected != Out.Alarms) {
+    std::string What = "expected " + std::to_string(*Expected) +
+                       " alarm(s), got " + std::to_string(Out.Alarms);
+    for (const BoundsFinding &F : Report.Findings)
+      What += "\n  " + F.str(P);
+    Ctx.fail(What);
+  }
+
+  checkInvariants(File, Cell, P, Cfgs, Result, Ctx);
+  checkRelations(File, Cell, P, Cfgs, Result, Ctx);
+  return Out;
+}
+
+CaseResult runRacesCase(const CorpusFile &File, const MatrixCell &Cell,
+                        const Program &P, const ProgramCfg &Cfgs,
+                        SolverChoice Choice) {
+  CaseResult Out;
+  CaseContext Ctx(File, Cell.Domain + "/" + Cell.Solver, Out);
+
+  AnalysisOptions Options;
+  Options.Domain = AnalysisDomain::Interval;
+  if (File.D.MaxRhsEvals)
+    Options.Solver.MaxRhsEvals = *File.D.MaxRhsEvals;
+
+  RaceAnalysis Analysis(P, Cfgs, Options);
+  RaceAnalysisResult Result = Analysis.run(Choice);
+  Out.RhsEvals = Result.Stats.RhsEvals;
+  Out.Alarms = Result.Races.size();
+  if (!Result.Stats.Converged) {
+    Ctx.fail("solver hit the evaluation budget (" + Result.Stats.str() +
+             ")");
+    return Out;
+  }
+  // The two-phase family freezes the access accumulators at their
+  // ascending-phase values (that is the Example-8 imprecision the corpus
+  // documents), so its σ is intentionally not a post-solution; every
+  // other solver must verify.
+  bool TwoPhaseFamily = Choice == SolverChoice::TwoPhase ||
+                        Choice == SolverChoice::TwoPhaseLocalized;
+  if (!TwoPhaseFamily) {
+    if (VerifyResult V = Analysis.verify(Result); !V.Ok) {
+      Ctx.fail("verify failed:\n" + V.str());
+      return Out;
+    }
+  }
+
+  if (std::optional<uint64_t> Expected =
+          File.D.expectedAlarmsFor(Cell.Domain, Cell.Solver);
+      Expected && *Expected != Out.Alarms) {
+    std::string What = "expected " + std::to_string(*Expected) +
+                       " race alarm(s), got " + std::to_string(Out.Alarms);
+    for (const RaceFinding &F : Result.Races)
+      What += "\n  " + F.str(P);
+    Ctx.fail(What);
+  }
+
+  if (File.D.HasRaceAnswer) {
+    // Soundness: every genuinely racy global must be reported. Together
+    // with a matching alarm *count* this pins the reported set exactly
+    // (one finding per racy global).
+    std::set<std::string> Reported;
+    for (const RaceFinding &F : Result.Races)
+      Reported.insert(P.Symbols.spelling(F.Glob));
+    for (const std::string &G : File.D.RacyGlobals)
+      if (!Reported.count(G))
+        Ctx.fail("missed the known race on '" + G + "'");
+  }
+  return Out;
+}
+
+} // namespace
+
+CaseResult warrow::corpus::runCorpusCase(const CorpusFile &File,
+                                         const MatrixCell &Cell) {
+  CaseResult Out;
+  CaseContext Ctx(File, Cell.Domain + "/" + Cell.Solver, Out);
+
+  std::optional<SolverChoice> Choice = solverChoiceForName(Cell.Solver);
+  if (!Choice) {
+    Ctx.fail("unknown analysis solver '" + Cell.Solver + "'");
+    return Out;
+  }
+  if (!domainForName(Cell.Domain)) {
+    Ctx.fail("unknown domain '" + Cell.Domain + "'");
+    return Out;
+  }
+
+  DiagnosticEngine Diags;
+  auto P = parseProgram(File.Source, Diags);
+  if (!P) {
+    Ctx.fail("parse failed:\n" + Diags.str());
+    return Out;
+  }
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+
+  if (File.D.Kind == CorpusKind::Races)
+    return runRacesCase(File, Cell, *P, Cfgs, *Choice);
+  return runBoundsCase(File, Cell, *P, Cfgs, *Choice);
+}
+
+CaseResult warrow::corpus::runConcreteCase(const CorpusFile &File) {
+  CaseResult Out;
+  if (!File.D.ExpectedExit)
+    return Out;
+  CaseContext Ctx(File, "concrete", Out);
+
+  DiagnosticEngine Diags;
+  auto P = parseProgram(File.Source, Diags);
+  if (!P) {
+    Ctx.fail("parse failed:\n" + Diags.str());
+    return Out;
+  }
+  ProgramCfg Cfgs = buildProgramCfg(*P);
+  Interpreter Interp(*P, Cfgs, File.D.Inputs);
+  InterpResult R = Interp.run();
+  if (!R.finished()) {
+    Ctx.fail("concrete run did not finish (" +
+             (R.TrapReason.empty() ? std::string("out of fuel")
+                                   : R.TrapReason) +
+             ")");
+    return Out;
+  }
+  if (R.ReturnValue != *File.D.ExpectedExit)
+    Ctx.fail("EXPECT-EXIT " + std::to_string(*File.D.ExpectedExit) +
+             ": main returned " + std::to_string(R.ReturnValue));
+  return Out;
+}
+
+ShardReport warrow::corpus::runCorpusShard(
+    const std::vector<CorpusFile> &Files, unsigned Shard,
+    unsigned NumShards, bool Verbose, const CorpusFilter &Filter) {
+  ShardReport Report;
+  if (NumShards == 0)
+    NumShards = 1;
+
+  // The deterministic global case list: files (sorted by the loader) ×
+  // their matrix cells, plus one concrete case per EXPECT-EXIT file.
+  // Sharding is round-robin over this list so every shard mixes cheap
+  // and expensive cells.
+  struct Case {
+    const CorpusFile *File;
+    std::optional<MatrixCell> Cell; ///< nullopt = concrete run.
+  };
+  std::vector<Case> Cases;
+  for (const CorpusFile &F : Files) {
+    if (!Filter.Only.empty() && F.Name != Filter.Only)
+      continue;
+    for (const MatrixCell &Cell : matrixFor(F.D)) {
+      if (!Filter.Cell.empty() &&
+          Cell.Domain + "/" + Cell.Solver != Filter.Cell)
+        continue;
+      Cases.push_back({&F, Cell});
+    }
+    if (F.D.ExpectedExit && Filter.Cell.empty())
+      Cases.push_back({&F, std::nullopt});
+  }
+
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    if (I % NumShards != Shard)
+      continue;
+    const Case &C = Cases[I];
+    CaseResult R = C.Cell ? runCorpusCase(*C.File, *C.Cell)
+                          : runConcreteCase(*C.File);
+    ++Report.Cases;
+    if (!R.Ok)
+      ++Report.Failed;
+    if (Verbose) {
+      std::string CellName =
+          C.Cell ? C.Cell->Domain + "/" + C.Cell->Solver : "concrete";
+      std::printf("%-4s %-24s %-28s alarms=%llu evals=%llu\n",
+                  R.Ok ? "ok" : "FAIL", C.File->Name.c_str(),
+                  CellName.c_str(),
+                  static_cast<unsigned long long>(R.Alarms),
+                  static_cast<unsigned long long>(R.RhsEvals));
+    }
+    for (std::string &F : R.Failures)
+      Report.Failures.push_back(std::move(F));
+  }
+  return Report;
+}

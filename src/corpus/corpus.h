@@ -1,0 +1,116 @@
+//===- corpus/corpus.h - On-disk regression corpus runner -------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk regression corpus: `.mc` programs under `tests/corpus/`
+/// whose expected results travel in their own directive headers
+/// (corpus/directives.h), discovered and executed by one runner across
+/// the full solver × domain matrix — the CVC4-regress recipe for scaling
+/// scenario coverage. A bug report becomes one file dropped into the
+/// corpus directory; the sharded `warrow-corpus` ctest targets pick it
+/// up with no registration step.
+///
+/// Every analysis run is re-verified with the independent checkers
+/// (`InterprocAnalysis::verifySolution` /
+/// `verifySideEffectingSolution`-backed `RaceAnalysis::verify`), so a
+/// green corpus means both "expected alarms" and "σ is actually a
+/// solution" — except for the two-phase family on races, whose frozen
+/// accumulators are deliberately *not* a post-solution (Example 8); those
+/// runs check expectations only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_CORPUS_CORPUS_H
+#define WARROW_CORPUS_CORPUS_H
+
+#include "corpus/directives.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace warrow::corpus {
+
+/// One discovered corpus program.
+struct CorpusFile {
+  std::string Name; ///< File stem, e.g. "loop_exact".
+  std::string Path; ///< Path it was loaded from (diagnostics).
+  std::string Source;
+  CorpusDirectives D;
+};
+
+/// The corpus root: `$WARROW_CORPUS_DIR` when set, else the compiled-in
+/// source-tree default (`tests/corpus`).
+std::string corpusRoot();
+
+/// Loads one `.mc` file, parsing its directive header strictly. On
+/// failure (unreadable file or any directive error) appends "<path>:
+/// <line>: <message>" diagnostics to \p Err and returns nullopt.
+std::optional<CorpusFile> loadCorpusFile(const std::string &Path,
+                                         std::string &Err);
+
+/// Discovers every `.mc` file under \p Dir (recursive), sorted by name.
+/// Files that fail to load append to \p Err and are dropped — callers
+/// must treat a non-empty \p Err as fatal, not as a smaller corpus.
+std::vector<CorpusFile> loadCorpus(const std::string &Dir, std::string &Err);
+
+/// One configuration of the execution matrix.
+struct MatrixCell {
+  std::string Domain; ///< "interval" or "zones".
+  std::string Solver; ///< Registry name of an analysis-capable solver.
+};
+
+/// The matrix of one file: the directive-listed solvers/domains, or the
+/// defaults — every analysis-capable registry solver, over both domains
+/// for bounds programs and the interval domain for race programs (the
+/// race product value carries interval environments only).
+std::vector<MatrixCell> matrixFor(const CorpusDirectives &D);
+
+/// Outcome of one file × cell execution (or one concrete run).
+struct CaseResult {
+  bool Ok = true;
+  uint64_t Alarms = 0;
+  uint64_t RhsEvals = 0;
+  /// Each entry is self-contained: "<file> [<domain>/<solver>]: <what>",
+  /// so a failing cell reproduces with
+  /// `warrow-corpus --only=<file> --cell=<domain>/<solver>`.
+  std::vector<std::string> Failures;
+};
+
+/// Runs \p File under \p Cell: solve, re-verify, check every matching
+/// directive (alarm count, EXPECT-INV boxes, EXPECT-REL differences).
+CaseResult runCorpusCase(const CorpusFile &File, const MatrixCell &Cell);
+
+/// Concrete-execution check: interprets `main` over the `INPUT` tape and
+/// compares the exit value against `EXPECT-EXIT`. Trivially Ok when the
+/// file carries no EXPECT-EXIT directive.
+CaseResult runConcreteCase(const CorpusFile &File);
+
+/// Aggregate of one (sharded) corpus run.
+struct ShardReport {
+  uint64_t Cases = 0;
+  uint64_t Failed = 0;
+  std::vector<std::string> Failures;
+};
+
+/// Filter for partial runs (the repro path printed by failures).
+struct CorpusFilter {
+  std::string Only; ///< Run only the file with this name (empty = all).
+  std::string Cell; ///< Run only this "domain/solver" cell (empty = all).
+};
+
+/// Runs shard \p Shard of \p NumShards over the deterministic global
+/// case list (files sorted by name × their matrix cells, plus one
+/// concrete case per file with an EXPECT-EXIT). \p Verbose prints one
+/// line per case to stdout.
+ShardReport runCorpusShard(const std::vector<CorpusFile> &Files,
+                           unsigned Shard, unsigned NumShards, bool Verbose,
+                           const CorpusFilter &Filter = {});
+
+} // namespace warrow::corpus
+
+#endif // WARROW_CORPUS_CORPUS_H

@@ -1,0 +1,552 @@
+//===- corpus/directives.cpp - Embedded corpus directives ----------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/directives.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace warrow;
+using namespace warrow::corpus;
+
+namespace {
+
+/// Whole-token strict integer parse (no trailing garbage, no empty).
+std::optional<int64_t> parseInt64(std::string_view Tok) {
+  if (Tok.empty())
+    return std::nullopt;
+  std::string S(Tok);
+  char *End = nullptr;
+  errno = 0;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size() || errno == ERANGE)
+    return std::nullopt;
+  return static_cast<int64_t>(V);
+}
+
+std::optional<uint64_t> parseUint64(std::string_view Tok) {
+  if (Tok.empty() || Tok[0] == '-')
+    return std::nullopt;
+  std::string S(Tok);
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size() || errno == ERANGE)
+    return std::nullopt;
+  return static_cast<uint64_t>(V);
+}
+
+bool isIdentifier(std::string_view Tok) {
+  if (Tok.empty())
+    return false;
+  if (!std::isalpha(static_cast<unsigned char>(Tok[0])) && Tok[0] != '_')
+    return false;
+  for (char C : Tok)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return false;
+  return true;
+}
+
+/// One bound of an interval literal: `-inf`, `+inf`/`inf`, or an integer.
+std::optional<Bound> parseBoundTok(std::string_view Tok) {
+  if (Tok == "-inf")
+    return Bound::negInf();
+  if (Tok == "+inf" || Tok == "inf")
+    return Bound::posInf();
+  if (std::optional<int64_t> V = parseInt64(Tok))
+    return Bound(*V);
+  return std::nullopt;
+}
+
+/// `[lo,hi]`, written without internal spaces (it is one whitespace-
+/// delimited token of the directive).
+std::optional<Interval> parseIntervalTok(std::string_view Tok,
+                                         std::string &Why) {
+  if (Tok.size() < 2 || Tok.front() != '[' || Tok.back() != ']') {
+    Why = "expected '[lo,hi]'";
+    return std::nullopt;
+  }
+  std::string_view Body = Tok.substr(1, Tok.size() - 2);
+  size_t Comma = Body.find(',');
+  if (Comma == std::string_view::npos) {
+    Why = "expected ',' inside '[lo,hi]'";
+    return std::nullopt;
+  }
+  std::optional<Bound> Lo = parseBoundTok(Body.substr(0, Comma));
+  std::optional<Bound> Hi = parseBoundTok(Body.substr(Comma + 1));
+  if (!Lo || !Hi) {
+    Why = "bad bound (want an integer, '-inf' or '+inf')";
+    return std::nullopt;
+  }
+  if (!(*Lo <= *Hi)) {
+    Why = "empty interval (lo > hi)";
+    return std::nullopt;
+  }
+  return Interval::make(*Lo, *Hi);
+}
+
+/// Splits "dom/sol" (or the bare "*" shorthand) into its sides; nullopt
+/// with \p Why set when the domain side is not interval/zones/* or a side
+/// is empty.
+std::optional<std::pair<std::string, std::string>>
+parseCell(std::string_view Tok, std::string &Why) {
+  if (Tok == "*")
+    return std::make_pair(std::string("*"), std::string("*"));
+  size_t Slash = Tok.find('/');
+  if (Slash == std::string_view::npos) {
+    Why = "expected '<domain|*>/<solver|*>' (or bare '*')";
+    return std::nullopt;
+  }
+  std::string Dom(Tok.substr(0, Slash));
+  std::string Sol(Tok.substr(Slash + 1));
+  if (Dom != "*" && Dom != "interval" && Dom != "zones") {
+    Why = "unknown domain '" + Dom + "' (interval, zones, *)";
+    return std::nullopt;
+  }
+  if (Sol.empty() || Sol.find('/') != std::string::npos) {
+    Why = "bad solver side '" + Sol + "'";
+    return std::nullopt;
+  }
+  return std::make_pair(Dom, Sol);
+}
+
+/// Parses "<func>:<line|exit>" into the label fields of \p E.
+template <typename ExpT>
+bool parseLabel(std::string_view Tok, ExpT &E, std::string &Why) {
+  size_t Colon = Tok.find(':');
+  if (Colon == std::string_view::npos || Colon == 0) {
+    Why = "expected label '<func>:<line>' or '<func>:exit'";
+    return false;
+  }
+  std::string_view Func = Tok.substr(0, Colon);
+  std::string_view Point = Tok.substr(Colon + 1);
+  if (!isIdentifier(Func)) {
+    Why = "bad function name '" + std::string(Func) + "' in label";
+    return false;
+  }
+  E.Func = std::string(Func);
+  if (Point == "exit") {
+    E.AtExit = true;
+    return true;
+  }
+  std::optional<int64_t> L = parseInt64(Point);
+  if (!L || *L <= 0) {
+    Why = "bad label point '" + std::string(Point) +
+          "' (want a positive line or 'exit')";
+    return false;
+  }
+  E.LabelLine = static_cast<uint32_t>(*L);
+  return true;
+}
+
+/// Parses "<x>-<y><=<c>" (one token, no spaces).
+bool parseRelExpr(std::string_view Tok, RelExpectation &E, std::string &Why) {
+  size_t Le = Tok.find("<=");
+  if (Le == std::string_view::npos) {
+    Why = "expected '<x>-<y><=<c>'";
+    return false;
+  }
+  std::string_view Diff = Tok.substr(0, Le);
+  size_t Minus = Diff.find('-');
+  if (Minus == std::string_view::npos) {
+    Why = "expected '<x>-<y>' before '<='";
+    return false;
+  }
+  std::string_view X = Diff.substr(0, Minus);
+  std::string_view Y = Diff.substr(Minus + 1);
+  if (!isIdentifier(X) || !isIdentifier(Y)) {
+    Why = "bad variable in '" + std::string(Diff) + "'";
+    return false;
+  }
+  std::optional<int64_t> C = parseInt64(Tok.substr(Le + 2));
+  if (!C) {
+    Why = "bad constant after '<='";
+    return false;
+  }
+  E.Lhs = std::string(X);
+  E.Rhs = std::string(Y);
+  E.C = *C;
+  return true;
+}
+
+std::vector<std::string> tokenize(std::string_view Text) {
+  std::vector<std::string> Toks;
+  std::istringstream In{std::string(Text)};
+  std::string Tok;
+  while (In >> Tok)
+    Toks.push_back(Tok);
+  return Toks;
+}
+
+/// Stateful single-pass parser over the source lines.
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : In(Source) {}
+
+  ParsedDirectives run() {
+    std::string Line;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      size_t Start = Line.find_first_not_of(" \t");
+      if (Start == std::string::npos)
+        continue; // Blank.
+      std::string_view Rest(Line.data() + Start, Line.size() - Start);
+      if (Rest.substr(0, 2) != "//") {
+        SawCode = true;
+        continue;
+      }
+      Rest.remove_prefix(2);
+      handleComment(Rest);
+    }
+    return std::move(Out);
+  }
+
+private:
+  void error(std::string Message) {
+    Out.Errors.push_back({LineNo, std::move(Message)});
+  }
+
+  /// A comment line's content (after `//`). Directive keys are
+  /// `UPPERCASE[-...]:`; anything else is prose and ignored.
+  void handleComment(std::string_view Text) {
+    size_t Start = Text.find_first_not_of(" \t");
+    if (Start == std::string_view::npos)
+      return;
+    Text.remove_prefix(Start);
+    size_t KeyEnd = 0;
+    while (KeyEnd < Text.size() &&
+           (std::isupper(static_cast<unsigned char>(Text[KeyEnd])) ||
+            std::isdigit(static_cast<unsigned char>(Text[KeyEnd])) ||
+            Text[KeyEnd] == '-'))
+      ++KeyEnd;
+    if (KeyEnd == 0 || KeyEnd == Text.size() || Text[KeyEnd] != ':')
+      return; // Prose comment.
+    std::string Key(Text.substr(0, KeyEnd));
+    bool Known = Key == "KIND" || Key == "DOMAIN" || Key == "SOLVER" ||
+                 Key == "EXPECT-ALARMS" || Key == "EXPECT-INV" ||
+                 Key == "EXPECT-REL" || Key == "EXPECT-RACES" ||
+                 Key == "EXPECT-EXIT" || Key == "MAX-RHS-EVALS" ||
+                 Key == "INPUT";
+    bool Directiveish = Known || Key.rfind("EXPECT", 0) == 0 ||
+                        Key.rfind("SOLVER", 0) == 0;
+    if (!Directiveish)
+      return; // Prose comment that happens to look like "NOTE: ...".
+    if (SawCode) {
+      error("directive '" + Key + ":' after first non-comment line");
+      return;
+    }
+    if (!Known) {
+      error("unknown directive key '" + Key + ":'");
+      return;
+    }
+    dispatch(Key, tokenize(Text.substr(KeyEnd + 1)));
+  }
+
+  void dispatch(const std::string &Key, std::vector<std::string> Toks) {
+    if (Key == "KIND")
+      parseKind(Toks);
+    else if (Key == "DOMAIN")
+      parseDomain(Toks);
+    else if (Key == "SOLVER")
+      parseSolver(Toks);
+    else if (Key == "EXPECT-ALARMS")
+      parseAlarms(Toks);
+    else if (Key == "EXPECT-INV")
+      parseInv(Toks);
+    else if (Key == "EXPECT-REL")
+      parseRel(Toks);
+    else if (Key == "EXPECT-RACES")
+      parseRaces(Toks);
+    else if (Key == "EXPECT-EXIT")
+      parseExit(Toks);
+    else if (Key == "MAX-RHS-EVALS")
+      parseBudget(Toks);
+    else if (Key == "INPUT")
+      parseInput(Toks);
+  }
+
+  bool arity(const std::string &Key, const std::vector<std::string> &Toks,
+             size_t Min, size_t Max) {
+    if (Toks.size() < Min) {
+      error(Key + ": missing operand");
+      return false;
+    }
+    if (Toks.size() > Max) {
+      error(Key + ": trailing tokens after '" + Toks[Max - 1] + "'");
+      return false;
+    }
+    return true;
+  }
+
+  void parseKind(const std::vector<std::string> &Toks) {
+    if (!arity("KIND", Toks, 1, 1))
+      return;
+    if (SawKind) {
+      error("duplicate KIND directive");
+      return;
+    }
+    SawKind = true;
+    if (Toks[0] == "bounds")
+      Out.D.Kind = CorpusKind::Bounds;
+    else if (Toks[0] == "races")
+      Out.D.Kind = CorpusKind::Races;
+    else
+      error("KIND: unknown kind '" + Toks[0] + "' (bounds, races)");
+  }
+
+  void parseDomain(const std::vector<std::string> &Toks) {
+    if (!arity("DOMAIN", Toks, 1, 1))
+      return;
+    if (Toks[0] != "interval" && Toks[0] != "zones") {
+      error("DOMAIN: unknown domain '" + Toks[0] + "' (interval, zones)");
+      return;
+    }
+    for (const std::string &D : Out.D.Domains)
+      if (D == Toks[0]) {
+        error("duplicate DOMAIN: " + Toks[0]);
+        return;
+      }
+    Out.D.Domains.push_back(Toks[0]);
+  }
+
+  void parseSolver(const std::vector<std::string> &Toks) {
+    if (!arity("SOLVER", Toks, 1, 1))
+      return;
+    for (const std::string &S : Out.D.Solvers)
+      if (S == Toks[0]) {
+        error("duplicate SOLVER: " + Toks[0]);
+        return;
+      }
+    Out.D.Solvers.push_back(Toks[0]);
+  }
+
+  void parseAlarms(const std::vector<std::string> &Toks) {
+    if (!arity("EXPECT-ALARMS", Toks, 2, 2))
+      return;
+    std::string Why;
+    std::optional<std::pair<std::string, std::string>> Cell =
+        parseCell(Toks[0], Why);
+    if (!Cell) {
+      error("EXPECT-ALARMS: bad cell '" + Toks[0] + "': " + Why);
+      return;
+    }
+    std::optional<uint64_t> Count = parseUint64(Toks[1]);
+    if (!Count) {
+      error("EXPECT-ALARMS: bad count '" + Toks[1] + "'");
+      return;
+    }
+    std::string Norm = Cell->first + "/" + Cell->second;
+    for (const auto &[Key, Old] : Out.D.ExpectedAlarms)
+      if (Key == Norm) {
+        error("duplicate EXPECT-ALARMS for cell '" + Norm + "'");
+        return;
+      }
+    Out.D.ExpectedAlarms.push_back({Norm, *Count});
+  }
+
+  void parseInv(const std::vector<std::string> &Toks) {
+    // [cell] label var box — the optional cell is recognized by its '/'
+    // (labels always contain ':' and never '/').
+    size_t I = 0;
+    InvExpectation E;
+    E.Line = LineNo;
+    std::string Why;
+    if (!Toks.empty() &&
+        Toks[0].find('/') != std::string::npos) {
+      std::optional<std::pair<std::string, std::string>> Cell =
+          parseCell(Toks[0], Why);
+      if (!Cell) {
+        error("EXPECT-INV: bad cell '" + Toks[0] + "': " + Why);
+        return;
+      }
+      E.Cell = Cell->first + "/" + Cell->second;
+      I = 1;
+    }
+    if (!arity("EXPECT-INV", Toks, I + 3, I + 3))
+      return;
+    if (!parseLabel(Toks[I], E, Why)) {
+      error("EXPECT-INV: " + Why);
+      return;
+    }
+    if (!isIdentifier(Toks[I + 1])) {
+      error("EXPECT-INV: bad variable '" + Toks[I + 1] + "'");
+      return;
+    }
+    E.Var = Toks[I + 1];
+    std::optional<Interval> Box = parseIntervalTok(Toks[I + 2], Why);
+    if (!Box) {
+      error("EXPECT-INV: bad interval '" + Toks[I + 2] + "': " + Why);
+      return;
+    }
+    E.Box = *Box;
+    Out.D.Invariants.push_back(std::move(E));
+  }
+
+  void parseRel(const std::vector<std::string> &Toks) {
+    size_t I = 0;
+    RelExpectation E;
+    E.Line = LineNo;
+    std::string Why;
+    if (!Toks.empty() && Toks[0].find('/') != std::string::npos) {
+      std::optional<std::pair<std::string, std::string>> Cell =
+          parseCell(Toks[0], Why);
+      if (!Cell) {
+        error("EXPECT-REL: bad cell '" + Toks[0] + "': " + Why);
+        return;
+      }
+      E.Cell = Cell->first + "/" + Cell->second;
+      I = 1;
+    }
+    if (!arity("EXPECT-REL", Toks, I + 2, I + 2))
+      return;
+    if (!parseLabel(Toks[I], E, Why)) {
+      error("EXPECT-REL: " + Why);
+      return;
+    }
+    if (!parseRelExpr(Toks[I + 1], E, Why)) {
+      error("EXPECT-REL: " + Why);
+      return;
+    }
+    Out.D.Relations.push_back(std::move(E));
+  }
+
+  void parseRaces(const std::vector<std::string> &Toks) {
+    if (Toks.empty()) {
+      error("EXPECT-RACES: missing operand (globals or 'none')");
+      return;
+    }
+    if (Out.D.HasRaceAnswer) {
+      error("duplicate EXPECT-RACES directive");
+      return;
+    }
+    Out.D.HasRaceAnswer = true;
+    if (Toks.size() == 1 && Toks[0] == "none")
+      return;
+    for (const std::string &G : Toks) {
+      if (!isIdentifier(G) || G == "none") {
+        error("EXPECT-RACES: bad global '" + G + "'");
+        return;
+      }
+      for (const std::string &Seen : Out.D.RacyGlobals)
+        if (Seen == G) {
+          error("EXPECT-RACES: duplicate global '" + G + "'");
+          return;
+        }
+      Out.D.RacyGlobals.push_back(G);
+    }
+  }
+
+  void parseExit(const std::vector<std::string> &Toks) {
+    if (!arity("EXPECT-EXIT", Toks, 1, 1))
+      return;
+    if (Out.D.ExpectedExit) {
+      error("duplicate EXPECT-EXIT directive");
+      return;
+    }
+    std::optional<int64_t> V = parseInt64(Toks[0]);
+    if (!V) {
+      error("EXPECT-EXIT: bad value '" + Toks[0] + "'");
+      return;
+    }
+    Out.D.ExpectedExit = *V;
+  }
+
+  void parseBudget(const std::vector<std::string> &Toks) {
+    if (!arity("MAX-RHS-EVALS", Toks, 1, 1))
+      return;
+    if (Out.D.MaxRhsEvals) {
+      error("duplicate MAX-RHS-EVALS directive");
+      return;
+    }
+    std::optional<uint64_t> V = parseUint64(Toks[0]);
+    if (!V || *V == 0) {
+      error("MAX-RHS-EVALS: bad budget '" + Toks[0] + "'");
+      return;
+    }
+    Out.D.MaxRhsEvals = *V;
+  }
+
+  void parseInput(const std::vector<std::string> &Toks) {
+    if (Toks.empty()) {
+      error("INPUT: missing values");
+      return;
+    }
+    for (const std::string &T : Toks) {
+      std::optional<int64_t> V = parseInt64(T);
+      if (!V) {
+        error("INPUT: bad value '" + T + "'");
+        return;
+      }
+      Out.D.Inputs.push_back(*V);
+    }
+  }
+
+  std::istringstream In;
+  uint32_t LineNo = 0;
+  bool SawCode = false;
+  bool SawKind = false;
+  ParsedDirectives Out;
+};
+
+} // namespace
+
+bool CorpusDirectives::cellMatches(std::string_view Cell,
+                                   std::string_view Domain,
+                                   std::string_view Solver) {
+  size_t Slash = Cell.find('/');
+  std::string_view Dom = Slash == std::string_view::npos
+                             ? std::string_view("*")
+                             : Cell.substr(0, Slash);
+  std::string_view Sol = Slash == std::string_view::npos
+                             ? Cell
+                             : Cell.substr(Slash + 1);
+  if (Slash == std::string_view::npos && Cell == "*")
+    Sol = "*";
+  return (Dom == "*" || Dom == Domain) && (Sol == "*" || Sol == Solver);
+}
+
+std::optional<uint64_t>
+CorpusDirectives::expectedAlarmsFor(std::string_view Domain,
+                                    std::string_view Solver) const {
+  std::optional<uint64_t> Best;
+  int BestScore = -1;
+  for (const auto &[Key, Count] : ExpectedAlarms) {
+    // Keys are normalized to "dom/sol" by the parser; tolerate the bare
+    // "*" shorthand in hand-built tables.
+    size_t Slash = Key.find('/');
+    std::string_view Dom = Slash == std::string::npos
+                               ? std::string_view("*")
+                               : std::string_view(Key.data(), Slash);
+    std::string_view Sol =
+        Slash == std::string::npos
+            ? std::string_view("*")
+            : std::string_view(Key.data() + Slash + 1, Key.size() - Slash - 1);
+    if (Dom != "*" && Dom != Domain)
+      continue;
+    if (Sol != "*" && Sol != Solver)
+      continue;
+    int Score = (Dom != "*" ? 2 : 0) + (Sol != "*" ? 1 : 0);
+    if (Score > BestScore) {
+      BestScore = Score;
+      Best = Count;
+    }
+  }
+  return Best;
+}
+
+std::string ParsedDirectives::str(const std::string &File) const {
+  std::string Out;
+  for (const DirectiveError &E : Errors) {
+    Out += File + ":" + std::to_string(E.Line) + ": " + E.Message + "\n";
+  }
+  return Out;
+}
+
+ParsedDirectives warrow::corpus::parseCorpusDirectives(
+    const std::string &Source) {
+  return Parser(Source).run();
+}

@@ -1,0 +1,162 @@
+//===- corpus/directives.h - Embedded corpus directives ---------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The embedded-directive header format of corpus `.mc` programs — the
+/// generalization of the bounds suite's seeded `// EXPECT-ALARMS:` /
+/// `// SOLVER:` lines into a full regression grammar, in the spirit of
+/// CVC4's `; COMMAND-LINE:` / `; EXPECT:` regression headers: every
+/// expectation travels in the program's own header comments, so a bug
+/// report becomes a one-file regression the corpus runner picks up
+/// automatically.
+///
+/// Grammar (one directive per `//` comment line, header block only):
+///
+///     // KIND: bounds | races
+///     // DOMAIN: interval | zones                      (repeatable)
+///     // SOLVER: <registry solver name>                (repeatable)
+///     // EXPECT-ALARMS: <domain|*>[/<solver|*>] <n>
+///     // EXPECT-INV: [<domain|*>/<solver|*>] <func>:<line|exit> <var> [lo,hi]
+///     // EXPECT-REL: [<domain|*>/<solver|*>] <func>:<line|exit> <x>-<y><=<c>
+///     // EXPECT-RACES: <global>... | none
+///     // EXPECT-EXIT: <n>
+///     // MAX-RHS-EVALS: <n>
+///     // INPUT: <n>...                                 (repeatable)
+///
+/// Semantics:
+///  - `KIND` selects the checker the runner drives (bounds/assert checker
+///    vs the lockset race detector); default `bounds`.
+///  - `DOMAIN` / `SOLVER` lines restrict the matrix a runner executes;
+///    without them the runner uses every registered analysis solver over
+///    both domains (races: the interval domain only — the race product
+///    value carries interval environments).
+///  - `EXPECT-ALARMS` keys are matched most-specific-first exactly as the
+///    seeded bounds format (`zones/warrow` over `zones/*` over
+///    `*/warrow` over `*`).
+///  - `EXPECT-INV` states that the invariant of `<var>`, joined over
+///    contexts and over all CFG nodes of `<func>` at source line
+///    `<line>` (or at the function exit), is non-bottom and contained in
+///    `[lo,hi]` (`-inf`/`+inf` permitted). An optional leading matrix
+///    cell (recognized by the `/`) restricts which configurations are
+///    held to it — solver-dependent invariants are the point of the
+///    paper, so `*/warrow` vs `*/widen` expectations routinely differ.
+///  - `EXPECT-REL` states the relational invariant `x - y <= c` at a
+///    labeled point; it is checked under the zones domain only (interval
+///    environments carry no relations) but still accepts a cell prefix.
+///  - `EXPECT-RACES` names the genuinely racy globals (the known answer
+///    the ⊟-solver must match exactly, and every sound solver must cover)
+///    — `none` for race-free programs. Only meaningful for KIND races.
+///  - `EXPECT-EXIT` pins the concrete interpreter's `main` return value
+///    over the `INPUT` tape — the cheap soundness anchor per file.
+///  - `MAX-RHS-EVALS` is the per-case solver budget
+///    (`SolverOptions::MaxRhsEvals`); the solver must converge within it.
+///
+/// Parsing is *strict*: unknown `EXPECT-*`/`SOLVER`-prefixed keys, bad
+/// interval syntax, duplicate `EXPECT-ALARMS` for one matrix cell, and
+/// directives after the first non-comment line are all hard errors with
+/// file:line diagnostics — a typoed directive must fail the corpus run,
+/// never produce a vacuously passing expectation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_CORPUS_DIRECTIVES_H
+#define WARROW_CORPUS_DIRECTIVES_H
+
+#include "lattice/interval.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warrow::corpus {
+
+/// Which checker a corpus program exercises.
+enum class CorpusKind : uint8_t {
+  Bounds, ///< Array-bounds / assert checker (analysis/bounds.h).
+  Races,  ///< Lockset race detector (analysis/races.h).
+};
+
+/// One `EXPECT-INV` expectation: at the labeled point, `Var`'s interval
+/// is non-bottom and contained in `Box`.
+struct InvExpectation {
+  std::string Cell = "*/*"; ///< "<domain|*>/<solver|*>".
+  std::string Func;         ///< Function name of the label.
+  bool AtExit = false;      ///< True for "<func>:exit" labels.
+  uint32_t LabelLine = 0;   ///< Source line of the label (AtExit false).
+  std::string Var;
+  Interval Box;
+  uint32_t Line = 0; ///< Directive line (diagnostics).
+};
+
+/// One `EXPECT-REL` expectation: at the labeled point, `Lhs - Rhs <= C`.
+struct RelExpectation {
+  std::string Cell = "*/*";
+  std::string Func;
+  bool AtExit = false;
+  uint32_t LabelLine = 0;
+  std::string Lhs, Rhs;
+  int64_t C = 0;
+  uint32_t Line = 0;
+};
+
+/// Parsed header directives of one corpus program.
+struct CorpusDirectives {
+  CorpusKind Kind = CorpusKind::Bounds;
+  /// "domain/solver" (either side possibly "*") -> expected alarm count.
+  std::vector<std::pair<std::string, uint64_t>> ExpectedAlarms;
+  /// Solvers the runner should exercise (empty = runner default).
+  std::vector<std::string> Solvers;
+  /// Domains the runner should exercise (empty = runner default).
+  std::vector<std::string> Domains;
+  std::vector<InvExpectation> Invariants;
+  std::vector<RelExpectation> Relations;
+  /// Globals that genuinely race (KIND races); meaningful only when
+  /// HasRaceAnswer is set — `EXPECT-RACES: none` yields the empty list.
+  std::vector<std::string> RacyGlobals;
+  bool HasRaceAnswer = false;
+  std::optional<int64_t> ExpectedExit;
+  std::optional<uint64_t> MaxRhsEvals;
+  /// Input tape for concrete runs (`unknown()` pops from it).
+  std::vector<int64_t> Inputs;
+
+  /// Expected alarms for a configuration; most specific key wins,
+  /// nullopt when no key covers it.
+  std::optional<uint64_t> expectedAlarmsFor(std::string_view Domain,
+                                            std::string_view Solver) const;
+
+  /// True when \p Cell ("<domain|*>/<solver|*>") covers the
+  /// configuration.
+  static bool cellMatches(std::string_view Cell, std::string_view Domain,
+                          std::string_view Solver);
+};
+
+/// One parse diagnostic, anchored to a 1-based source line.
+struct DirectiveError {
+  uint32_t Line = 0;
+  std::string Message;
+};
+
+/// Parser outcome: the directives plus every diagnostic found. A file
+/// with any error must be rejected by runners — partial directives are
+/// returned for tooling but carry no expectation guarantees.
+struct ParsedDirectives {
+  CorpusDirectives D;
+  std::vector<DirectiveError> Errors;
+
+  bool ok() const { return Errors.empty(); }
+  /// All diagnostics as "<file>:<line>: <message>" lines.
+  std::string str(const std::string &File) const;
+};
+
+/// Parses the embedded-directive header of \p Source (strict grammar
+/// above).
+ParsedDirectives parseCorpusDirectives(const std::string &Source);
+
+} // namespace warrow::corpus
+
+#endif // WARROW_CORPUS_DIRECTIVES_H

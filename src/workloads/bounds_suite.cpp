@@ -6,191 +6,41 @@
 
 #include "workloads/bounds_suite.h"
 
-#include <sstream>
+#include "corpus/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
 
 using namespace warrow;
 
 namespace {
 
-// --- loop_exact: narrowing recovers the exact loop bound ------------------
-// Safe under every narrowing configuration. Plain widening still alarms:
-// the body point itself is a ▽ point, so its value jumps past the
-// guard-refined [0,9] during ascent and only a descending pass recovers
-// it. Lists the full analysis solver set explicitly to seed the SOLVER
-// directive format.
-const char *LoopExactSource = R"(// EXPECT-ALARMS: * 0
-// EXPECT-ALARMS: */widen 1
-// SOLVER: warrow
-// SOLVER: widen
-// SOLVER: two-phase
-// SOLVER: two-phase-localized
-// SOLVER: parallel-warrow
-int main() {
-  int a[10];
-  int i = 0;
-  while (i < 10) {
-    a[i] = i;
-    i = i + 1;
+/// Loads the on-disk corpus tier backing this suite. The suite is the
+/// known-answer baseline of the bounds benches and tests, so a missing
+/// or malformed corpus is a build-tree problem, not a smaller suite:
+/// fail loudly instead of returning fewer programs.
+std::vector<BoundsBenchmark> loadSuite() {
+  std::string Dir = corpus::corpusRoot() + "/bounds";
+  std::string Err;
+  std::vector<corpus::CorpusFile> Files = corpus::loadCorpus(Dir, Err);
+  if (!Err.empty() || Files.empty()) {
+    std::fprintf(stderr,
+                 "bounds_suite: cannot load the corpus from '%s' (set "
+                 "WARROW_CORPUS_DIR to relocate)\n%s",
+                 Dir.c_str(), Err.c_str());
+    std::abort();
   }
-  return a[9];
+  std::vector<BoundsBenchmark> Suite;
+  Suite.reserve(Files.size());
+  for (corpus::CorpusFile &F : Files)
+    Suite.push_back({std::move(F.Name), std::move(F.Source)});
+  return Suite;
 }
-)";
-
-// --- off_by_one: a genuine bug every sound configuration must keep --------
-// The `<=` guard lets i reach 10 inside the body.
-const char *OffByOneSource = R"(// EXPECT-ALARMS: * 1
-int main() {
-  int a[10];
-  int i = 0;
-  while (i <= 10) {
-    a[i] = 0;
-    i = i + 1;
-  }
-  return 0;
-}
-)";
-
-// --- global_bound_narrow: the Fig.-7 ⊟ vs two-phase gap (array form) ------
-// During ascent the loop counter is widened to [0,+inf), so the guarded
-// branch looks reachable and side-effects g with 11. The ⊟-iteration
-// narrows i back to exactly 10, refutes the branch and *retracts* the
-// stale contribution (g stays 0); the two-phase baseline's frozen globals
-// keep g = [0,11] and the access alarms.
-const char *GlobalBoundNarrowSource = R"(// EXPECT-ALARMS: */warrow 0
-// EXPECT-ALARMS: */parallel-warrow 0
-// EXPECT-ALARMS: */two-phase 1
-// EXPECT-ALARMS: */two-phase-localized 1
-// EXPECT-ALARMS: */widen 1
-int g = 0;
-
-int main() {
-  int a[10];
-  int i = 0;
-  while (i < 10) {
-    i = i + 1;
-  }
-  if (i > 10) {
-    g = 11;
-  }
-  return a[g];
-}
-)";
-
-// --- assert_global_narrow: the same gap, assert form ----------------------
-const char *AssertGlobalNarrowSource = R"(// EXPECT-ALARMS: */warrow 0
-// EXPECT-ALARMS: */parallel-warrow 0
-// EXPECT-ALARMS: */two-phase 1
-// EXPECT-ALARMS: */two-phase-localized 1
-// EXPECT-ALARMS: */widen 1
-int g = 0;
-
-int main() {
-  int i = 0;
-  while (i < 10) {
-    i = i + 1;
-  }
-  if (i > 10) {
-    g = 11;
-  }
-  assert(g < 10);
-  return g;
-}
-)";
-
-// --- diff_invariant: the zones vs intervals gap (array form) --------------
-// `j - i == 3` is stable through the loop, so DBM widening keeps it while
-// both endpoints widen; intervals lose the relation (j has no upper
-// guard) and alarm on a[j - i] under every solver.
-const char *DiffInvariantSource = R"(// EXPECT-ALARMS: interval/* 1
-// EXPECT-ALARMS: zones/* 0
-int main() {
-  int a[10];
-  int i = 0;
-  int j = i + 3;
-  while (i < 100) {
-    i = i + 1;
-    j = j + 1;
-  }
-  return a[j - i];
-}
-)";
-
-// --- diff_assert: the zones gap, assert form, unbounded iteration ---------
-// The trip count is unknown, so no interval reasoning can bound j - i;
-// the difference invariant alone proves the assert.
-const char *DiffAssertSource = R"(// EXPECT-ALARMS: interval/* 1
-// EXPECT-ALARMS: zones/* 0
-int main() {
-  int i = 0;
-  int j = i + 3;
-  int n = 0;
-  n = unknown();
-  int k = 0;
-  while (k < n) {
-    i = i + 1;
-    j = j + 1;
-    k = k + 1;
-  }
-  assert(j - i == 3);
-  return j;
-}
-)";
-
-// --- assert_refines: the assert itself alarms, but guards downstream ------
-// x is arbitrary, so the assert may fail (one alarm in every
-// configuration) — and exactly because asserts refine like positive
-// guards, the array access after it is in bounds.
-const char *AssertRefinesSource = R"(// EXPECT-ALARMS: * 1
-int main() {
-  int a[10];
-  int x = 0;
-  x = unknown();
-  assert(x >= 0 && x < 10);
-  a[x] = 1;
-  return a[x];
-}
-)";
-
-// --- call_chain: the ⊟ vs two-phase gap through a call boundary -----------
-// The increment runs through a callee, and call parameter passing is a
-// *side effect* onto the callee entry — which the two-phase baseline
-// freezes at its widened ascent value ([0,+inf)), so the callee's return
-// never narrows and both accesses alarm. The ⊟-iteration re-narrows
-// through the call and proves i == 9 at the exit; plain widening alarms
-// for the usual reason.
-const char *CallChainSource = R"(// EXPECT-ALARMS: */warrow 0
-// EXPECT-ALARMS: */parallel-warrow 0
-// EXPECT-ALARMS: */two-phase 2
-// EXPECT-ALARMS: */two-phase-localized 2
-// EXPECT-ALARMS: */widen 2
-int inc(int x) {
-  return x + 1;
-}
-
-int main() {
-  int a[10];
-  int i = 0;
-  while (i < 9) {
-    i = inc(i);
-  }
-  a[i] = 1;
-  return a[i];
-}
-)";
 
 } // namespace
 
 const std::vector<BoundsBenchmark> &warrow::boundsSuite() {
-  static const std::vector<BoundsBenchmark> Suite = {
-      {"loop_exact", LoopExactSource},
-      {"off_by_one", OffByOneSource},
-      {"global_bound_narrow", GlobalBoundNarrowSource},
-      {"assert_global_narrow", AssertGlobalNarrowSource},
-      {"diff_invariant", DiffInvariantSource},
-      {"diff_assert", DiffAssertSource},
-      {"assert_refines", AssertRefinesSource},
-      {"call_chain", CallChainSource},
-  };
+  static const std::vector<BoundsBenchmark> Suite = loadSuite();
   return Suite;
 }
 
@@ -201,66 +51,20 @@ const BoundsBenchmark *warrow::findBoundsBenchmark(const std::string &Name) {
   return nullptr;
 }
 
-namespace {
-
-/// Splits a directive key ("zones/warrow", "interval/*", "*") into its
-/// domain and solver parts; a missing slash means both sides wildcard.
-std::pair<std::string, std::string> splitKey(const std::string &Key) {
-  size_t Slash = Key.find('/');
-  if (Slash == std::string::npos)
-    return {"*", "*"};
-  return {Key.substr(0, Slash), Key.substr(Slash + 1)};
-}
-
-} // namespace
-
 std::optional<uint64_t>
 BoundsDirectives::expectedFor(std::string_view Domain,
                               std::string_view Solver) const {
-  std::optional<uint64_t> Best;
-  int BestScore = -1;
-  for (const auto &[Key, Count] : ExpectedAlarms) {
-    auto [Dom, Sol] = splitKey(Key);
-    if (Dom != "*" && Dom != Domain)
-      continue;
-    if (Sol != "*" && Sol != Solver)
-      continue;
-    int Score = (Dom != "*" ? 2 : 0) + (Sol != "*" ? 1 : 0);
-    if (Score > BestScore) {
-      BestScore = Score;
-      Best = Count;
-    }
-  }
-  return Best;
+  corpus::CorpusDirectives D;
+  D.ExpectedAlarms = ExpectedAlarms;
+  return D.expectedAlarmsFor(Domain, Solver);
 }
 
 BoundsDirectives warrow::parseBoundsDirectives(const std::string &Source) {
+  corpus::ParsedDirectives Parsed = corpus::parseCorpusDirectives(Source);
   BoundsDirectives D;
-  std::istringstream In(Source);
-  std::string Line;
-  while (std::getline(In, Line)) {
-    size_t Start = Line.find_first_not_of(" \t");
-    if (Start == std::string::npos)
-      continue;
-    std::string_view Rest(Line.data() + Start, Line.size() - Start);
-    auto Consume = [&Rest](std::string_view Prefix) {
-      if (Rest.substr(0, Prefix.size()) != Prefix)
-        return false;
-      Rest.remove_prefix(Prefix.size());
-      return true;
-    };
-    if (Consume("// EXPECT-ALARMS:")) {
-      std::istringstream Fields{std::string(Rest)};
-      std::string Key;
-      uint64_t Count = 0;
-      if (Fields >> Key >> Count)
-        D.ExpectedAlarms.push_back({Key, Count});
-    } else if (Consume("// SOLVER:")) {
-      std::istringstream Fields{std::string(Rest)};
-      std::string Name;
-      if (Fields >> Name)
-        D.Solvers.push_back(Name);
-    }
-  }
+  D.ExpectedAlarms = std::move(Parsed.D.ExpectedAlarms);
+  D.Solvers = std::move(Parsed.D.Solvers);
+  for (const corpus::DirectiveError &E : Parsed.Errors)
+    D.Errors.push_back("line " + std::to_string(E.Line) + ": " + E.Message);
   return D;
 }

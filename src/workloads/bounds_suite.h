@@ -31,6 +31,12 @@
 /// `SOLVER:` lines, when present, restrict which solvers a runner
 /// exercises; without any, runners use their own default set.
 ///
+/// As of the corpus-runner generalization the programs live on disk
+/// under `tests/corpus/bounds/` (see corpus/corpus.h) and this suite is
+/// a thin loader over them; `parseBoundsDirectives` delegates to the
+/// strict corpus parser, so malformed or unknown directives surface in
+/// `BoundsDirectives::Errors` instead of being silently dropped.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_WORKLOADS_BOUNDS_SUITE_H
@@ -50,6 +56,10 @@ struct BoundsDirectives {
   std::vector<std::pair<std::string, uint64_t>> ExpectedAlarms;
   /// Solvers the runner should exercise (empty = runner default).
   std::vector<std::string> Solvers;
+  /// Parse diagnostics ("line N: message"). Non-empty means the header
+  /// is malformed — consumers must treat the directives as unusable, so
+  /// a typoed `EXPECT-*` key can never pass vacuously.
+  std::vector<std::string> Errors;
 
   /// Expected alarms for a configuration; most specific key wins,
   /// nullopt when no key covers it.
@@ -57,8 +67,10 @@ struct BoundsDirectives {
                                       std::string_view Solver) const;
 };
 
-/// Parses `// EXPECT-ALARMS:` / `// SOLVER:` comment lines of \p Source.
-/// Malformed directive lines are ignored.
+/// Parses `// EXPECT-ALARMS:` / `// SOLVER:` comment lines of \p Source
+/// via the strict corpus parser (corpus/directives.h). Malformed
+/// directive lines and unknown `EXPECT-*`/`SOLVER`-prefixed keys are
+/// hard errors reported in `Errors`.
 BoundsDirectives parseBoundsDirectives(const std::string &Source);
 
 /// One bounds benchmark; the known answer is embedded in Source.

@@ -8,6 +8,8 @@
 
 #include "support/rng.h"
 
+#include <algorithm>
+
 using namespace warrow;
 
 DenseSystem<NatInf> warrow::paperExampleOne() {
@@ -237,6 +239,76 @@ DenseSystem<Interval> warrow::randomNonMonotoneSystem(unsigned Size,
         DepVars);
   }
   return S;
+}
+
+StressSystem warrow::stressSideSystem(uint64_t NumRings, unsigned RingSize,
+                                      int64_t Bound, unsigned CrossLinks,
+                                      uint64_t Seed) {
+  // Id scheme: ring node (r, p) = r * RingSize + p (requires the ring
+  // range to stay below the tag bits); tagged ranges for the synthetic
+  // layers so no id arithmetic ever needs the exact layer sizes.
+  constexpr uint64_t AccTag = 1ull << 40;
+  constexpr uint64_t AggTag = 1ull << 41;
+  constexpr uint64_t RootId = 1ull << 42;
+  constexpr uint64_t NumAccs = 64;
+  constexpr uint64_t AggArity = 64;
+  const uint64_t NumAggs = (NumRings + AggArity - 1) / AggArity;
+
+  using Sys = SideEffectingSystem<uint64_t, Interval>;
+  const Interval Cap = Interval::make(0, Bound);
+  const Interval Step = Interval::make(0, 1);
+
+  StressSystem Out;
+  Out.Root = RootId;
+  Out.NumUnknowns = NumRings * RingSize + NumAggs + NumAccs + 1;
+  Out.System = Sys(
+      [=](uint64_t X) -> Sys::Rhs {
+        if (X == RootId)
+          return [=](const Sys::Get &Get, const Sys::Side &) {
+            Interval Acc = Interval::bot();
+            for (uint64_t A = 0; A < NumAggs; ++A)
+              Acc = Acc.join(Get(AggTag | A));
+            for (uint64_t K = 0; K < NumAccs; ++K)
+              Acc = Acc.join(Get(AccTag | K));
+            return Acc;
+          };
+        if (X & AggTag) {
+          uint64_t A = X & ~AggTag;
+          return [=](const Sys::Get &Get, const Sys::Side &) {
+            Interval Acc = Interval::bot();
+            uint64_t End = std::min((A + 1) * AggArity, NumRings);
+            for (uint64_t R = A * AggArity; R < End; ++R)
+              Acc = Acc.join(Get(R * RingSize));
+            return Acc;
+          };
+        }
+        if (X & AccTag)
+          // Accumulators have no equation of their own: their value is
+          // the join of the ring heads' side-effect contributions.
+          return [](const Sys::Get &, const Sys::Side &) {
+            return Interval::bot();
+          };
+        uint64_t R = X / RingSize;
+        uint64_t P = X % RingSize;
+        if (P != 0)
+          return [=](const Sys::Get &Get, const Sys::Side &) {
+            return Get(X - 1).add(Step).meet(Cap);
+          };
+        // Ring head: close the cycle from the tail, seed [0,0], join the
+        // hash-chosen earlier heads, and contribute to an accumulator.
+        return [=](const Sys::Get &Get, const Sys::Side &Side) {
+          Interval Acc = Interval::constant(0);
+          Acc = Acc.join(Get(X + RingSize - 1).add(Step).meet(Cap));
+          if (R > 0) {
+            Rng Links(Seed ^ (R * 0x9e3779b97f4a7c15ull));
+            for (unsigned L = 0; L < CrossLinks; ++L)
+              Acc = Acc.join(Get(Links.below(R) * RingSize).meet(Cap));
+          }
+          Side(AccTag | (Rng(Seed ^ ~R).below(NumAccs)), Acc);
+          return Acc;
+        };
+      });
+  return Out;
 }
 
 DenseSystem<Interval> warrow::oscillatingSystem(int64_t K) {

@@ -87,6 +87,37 @@ DenseSystem<Interval> randomNonMonotoneSystem(unsigned Size, unsigned Degree,
 ///    y = x + [1,1]
 DenseSystem<Interval> oscillatingSystem(int64_t K);
 
+/// The stress-tier system (bench_stress): a storage-free *implicit*
+/// side-effecting system whose right-hand sides are computed from the
+/// unknown id alone, so generating a 10⁶-10⁷-unknown instance costs no
+/// memory up front — all allocation is the solver's own per-unknown
+/// state, which is exactly what the stress tier measures.
+///
+/// Shape (deterministic in `Seed`):
+///  - `NumRings` rings of `RingSize` unknowns, each a widening/narrowing
+///    SCC: x_{r,p} = (x_{r,p-1} + [0,1]) ⊓ [0,Bound], the head closing
+///    the cycle from the tail and seeding [0,0];
+///  - each ring head additionally joins `CrossLinks` hash-chosen earlier
+///    ring heads (a random condensation DAG — parallel slack with real
+///    cross-component edges) and *side-effects* its value into one of 64
+///    accumulator unknowns, exercising the side-effect machinery (and
+///    the parallel engine's sharded accumulators) at scale;
+///  - a 64-ary layer of aggregator unknowns joins the ring heads, and a
+///    single root joins the aggregators plus the accumulators, so local
+///    solving from `Root` reaches every unknown without any right-hand
+///    side fanning in more than ~64 dependencies.
+struct StressSystem {
+  SideEffectingSystem<uint64_t, Interval> System;
+  /// Unknown to solve for (reaches everything).
+  uint64_t Root = 0;
+  /// Total unknowns reachable from Root (ring nodes + aggregators +
+  /// accumulators + the root itself) — the expected |dom σ|.
+  uint64_t NumUnknowns = 0;
+};
+StressSystem stressSideSystem(uint64_t NumRings, unsigned RingSize,
+                              int64_t Bound, unsigned CrossLinks,
+                              uint64_t Seed);
+
 } // namespace warrow
 
 #endif // WARROW_WORKLOADS_EQ_GENERATORS_H

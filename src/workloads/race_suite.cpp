@@ -6,294 +6,54 @@
 
 #include "workloads/race_suite.h"
 
+#include "corpus/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+
 using namespace warrow;
 
 namespace {
 
-// --- counter_locked: both threads increment under the same mutex ----------
-// No race: every access to g holds m.
-const char *CounterLockedSource = R"(
-int g = 0;
-mutex m;
-
-void worker(int n) {
-  int j = 0;
-  while (j < n) {
-    lock(m);
-    g = g + 1;
-    unlock(m);
-    j = j + 1;
+/// Loads the on-disk corpus tier backing this suite
+/// (tests/corpus/races/*.mc). The known answers come from each file's
+/// own directive header: `EXPECT-RACES` names the genuinely racy
+/// globals, and the frozen-accumulator precision flag is *derived* from
+/// the per-solver `EXPECT-ALARMS` cells (warrow strictly fewer alarms
+/// than two-phase) so the directives stay the single source of truth.
+std::vector<RaceBenchmark> loadSuite() {
+  std::string Dir = corpus::corpusRoot() + "/races";
+  std::string Err;
+  std::vector<corpus::CorpusFile> Files = corpus::loadCorpus(Dir, Err);
+  if (!Err.empty() || Files.empty()) {
+    std::fprintf(stderr,
+                 "race_suite: cannot load the corpus from '%s' (set "
+                 "WARROW_CORPUS_DIR to relocate)\n%s",
+                 Dir.c_str(), Err.c_str());
+    std::abort();
   }
-}
-
-int main() {
-  spawn worker(5);
-  int i = 0;
-  while (i < 5) {
-    lock(m);
-    g = g + 2;
-    unlock(m);
-    i = i + 1;
-  }
-  lock(m);
-  int snapshot = g;
-  unlock(m);
-  return snapshot;
-}
-)";
-
-// --- counter_unlocked: the worker forgets the lock ------------------------
-// Race on g: main's locked writes vs the worker's bare writes.
-const char *CounterUnlockedSource = R"(
-int g = 0;
-mutex m;
-
-void worker(int n) {
-  int j = 0;
-  while (j < n) {
-    g = g + 1;
-    j = j + 1;
-  }
-}
-
-int main() {
-  spawn worker(5);
-  int i = 0;
-  while (i < 5) {
-    lock(m);
-    g = g + 2;
-    unlock(m);
-    i = i + 1;
-  }
-  return 0;
-}
-)";
-
-// --- mixed_protect: consistent locking, but of *different* mutexes --------
-// Race on g: both writes are protected, yet the locksets are disjoint.
-const char *MixedProtectSource = R"(
-int g = 0;
-mutex a;
-mutex b;
-
-void worker() {
-  lock(b);
-  g = g + 1;
-  unlock(b);
-}
-
-int main() {
-  spawn worker();
-  lock(a);
-  g = g + 2;
-  unlock(a);
-  return 0;
-}
-)";
-
-// --- phase_protect: unprotected access only before the spawn --------------
-// No race: the bare initialization write is single-threaded; every
-// multithreaded access holds m. Exercises the threading-phase flag.
-const char *PhaseProtectSource = R"(
-int g = 0;
-mutex m;
-
-void worker() {
-  lock(m);
-  g = g + 1;
-  unlock(m);
-}
-
-int main() {
-  g = 42;
-  spawn worker();
-  lock(m);
-  g = g + 1;
-  unlock(m);
-  lock(m);
-  int snapshot = g;
-  unlock(m);
-  return snapshot;
-}
-)";
-
-// --- reader_writer: unlocked read against a locked write ------------------
-// Race on g: the worker's write holds m but main's read holds nothing,
-// and read/write pairs race too.
-const char *ReaderWriterSource = R"(
-int g = 0;
-mutex m;
-
-void worker(int n) {
-  int j = 0;
-  while (j < n) {
-    lock(m);
-    g = j;
-    unlock(m);
-    j = j + 1;
-  }
-}
-
-int main() {
-  spawn worker(8);
-  int seen = g;
-  if (seen > 4)
-    seen = 4;
-  return seen;
-}
-)";
-
-// --- two_counters: one disciplined global, one racy one -------------------
-// Race on unsafe only: two spawned workers hammer it bare, while safe is
-// always accessed under m by everyone.
-const char *TwoCountersSource = R"(
-int safe = 0;
-int unsafe = 0;
-mutex m;
-
-void bumper(int n) {
-  int j = 0;
-  while (j < n) {
-    unsafe = unsafe + 1;
-    lock(m);
-    safe = safe + 1;
-    unlock(m);
-    j = j + 1;
-  }
-}
-
-int main() {
-  spawn bumper(3);
-  spawn bumper(4);
-  lock(m);
-  int total = safe;
-  unlock(m);
-  return total;
-}
-)";
-
-// --- lock_split: extra locks never hurt; a second global left bare --------
-// Race on h only: g's writers share m (main additionally holds n, which
-// is harmless); h has a bare multithreaded write.
-const char *LockSplitSource = R"(
-int g = 0;
-int h = 0;
-mutex m;
-mutex n;
-
-void worker() {
-  lock(m);
-  g = g + 1;
-  unlock(m);
-  h = h + 1;
-}
-
-int main() {
-  spawn worker();
-  lock(n);
-  lock(m);
-  g = g + 2;
-  unlock(m);
-  unlock(n);
-  lock(m);
-  h = h + 2;
-  unlock(m);
-  return 0;
-}
-)";
-
-// --- narrow_guard: the Example-7-style precision program ------------------
-// No real race: every live access to g holds m. The only bare write sits
-// under `if (i > 10)` after a `while (i < 10)` loop — dead, but reachable
-// in the widened phase-1 state (i becomes [0,+inf]). The ⊟-iteration
-// narrows i to [10,10] at the exit, refutes the guard and *replaces* the
-// stale access contribution with the empty set; the two-phase baseline
-// freezes the accumulator after phase 1 and keeps the spurious race.
-const char *NarrowGuardSource = R"(
-int g = 0;
-mutex m;
-
-void worker(int n) {
-  int j = 0;
-  while (j < n) {
-    lock(m);
-    g = g + 1;
-    unlock(m);
-    j = j + 1;
-  }
-}
-
-int main() {
-  spawn worker(10);
-  int i = 0;
-  while (i < 10) {
-    lock(m);
-    g = g + 1;
-    unlock(m);
-    i = i + 1;
-  }
-  if (i > 10) {
-    g = 0;
-  }
-  return i;
-}
-)";
-
-// --- narrow_bound_read: dead unlocked read, same mechanism ----------------
-// No real race: g's live accesses all hold m; the bare read `s = g + 1`
-// requires i > 100 after a loop bounded by 8.
-const char *NarrowBoundReadSource = R"(
-int g = 0;
-mutex m;
-
-void worker(int n) {
-  int j = 0;
-  while (j < n) {
-    lock(m);
-    g = g + j;
-    unlock(m);
-    j = j + 1;
-  }
-}
-
-int main() {
-  spawn worker(8);
-  int i = 0;
-  int s = 0;
-  while (i < 8) {
-    lock(m);
-    s = g;
-    unlock(m);
-    i = i + 1;
-  }
-  if (i > 100) {
-    s = g + 1;
-  }
-  return s;
-}
-)";
-
-std::vector<RaceBenchmark> buildSuite() {
   std::vector<RaceBenchmark> Suite;
-  Suite.push_back({"counter_locked", CounterLockedSource, {}, false, {}});
-  Suite.push_back(
-      {"counter_unlocked", CounterUnlockedSource, {"g"}, false, {}});
-  Suite.push_back({"mixed_protect", MixedProtectSource, {"g"}, false, {}});
-  Suite.push_back({"phase_protect", PhaseProtectSource, {}, false, {}});
-  Suite.push_back({"reader_writer", ReaderWriterSource, {"g"}, false, {}});
-  Suite.push_back(
-      {"two_counters", TwoCountersSource, {"unsafe"}, false, {}});
-  Suite.push_back({"lock_split", LockSplitSource, {"h"}, false, {}});
-  Suite.push_back({"narrow_guard", NarrowGuardSource, {}, true, {}});
-  Suite.push_back(
-      {"narrow_bound_read", NarrowBoundReadSource, {}, true, {}});
+  Suite.reserve(Files.size());
+  for (corpus::CorpusFile &F : Files) {
+    RaceBenchmark B;
+    B.Name = std::move(F.Name);
+    B.Source = std::move(F.Source);
+    B.RacyGlobals = std::move(F.D.RacyGlobals);
+    B.Inputs = std::move(F.D.Inputs);
+    std::optional<uint64_t> Warrow =
+        F.D.expectedAlarmsFor("interval", "warrow");
+    std::optional<uint64_t> TwoPhase =
+        F.D.expectedAlarmsFor("interval", "two-phase");
+    B.WarrowBeatsTwoPhase = Warrow && TwoPhase && *Warrow < *TwoPhase;
+    Suite.push_back(std::move(B));
+  }
   return Suite;
 }
 
 } // namespace
 
 const std::vector<RaceBenchmark> &warrow::raceSuite() {
-  static const std::vector<RaceBenchmark> Suite = buildSuite();
+  static const std::vector<RaceBenchmark> Suite = loadSuite();
   return Suite;
 }
 

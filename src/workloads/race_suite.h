@@ -19,6 +19,12 @@
 /// frozen accumulators keep it — the race-flavored version of the paper's
 /// Example 7 precision gap.
 ///
+/// The programs live on disk under `tests/corpus/races/` with directive
+/// headers (corpus/directives.h); this suite is a thin loader: the known
+/// answer comes from each file's `EXPECT-RACES` line and the
+/// `WarrowBeatsTwoPhase` flag is derived from its per-solver
+/// `EXPECT-ALARMS` cells.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WARROW_WORKLOADS_RACE_SUITE_H

@@ -271,7 +271,10 @@ TEST(BoundsDirectivesTest, ParsesKeysAndSolvers) {
   EXPECT_EQ(D.expectedFor("interval", "widen"), 3u);
 }
 
-TEST(BoundsDirectivesTest, IgnoresMalformedAndMissing) {
+TEST(BoundsDirectivesTest, RejectsMalformedAsHardErrors) {
+  // Malformed directive lines used to be silently dropped, so a typoed
+  // key could make an expectation pass vacuously. They are hard parse
+  // errors now, each carrying the offending line number.
   BoundsDirectives D = parseBoundsDirectives(
       "// EXPECT-ALARMS: zones/warrow\n" // missing count
       "// EXPECT-ALARMS:\n"
@@ -280,10 +283,34 @@ TEST(BoundsDirectivesTest, IgnoresMalformedAndMissing) {
   EXPECT_TRUE(D.ExpectedAlarms.empty());
   EXPECT_TRUE(D.Solvers.empty());
   EXPECT_EQ(D.expectedFor("zones", "warrow"), std::nullopt);
-  // Every suite program carries at least one directive.
-  for (const BoundsBenchmark &B : boundsSuite())
-    EXPECT_FALSE(parseBoundsDirectives(B.Source).ExpectedAlarms.empty())
-        << B.Name;
+  ASSERT_EQ(D.Errors.size(), 3u);
+  EXPECT_NE(D.Errors[0].find("line 1"), std::string::npos) << D.Errors[0];
+  EXPECT_NE(D.Errors[1].find("line 2"), std::string::npos) << D.Errors[1];
+  EXPECT_NE(D.Errors[2].find("line 3"), std::string::npos) << D.Errors[2];
+}
+
+TEST(BoundsDirectivesTest, RejectsUnknownDirectiveKeys) {
+  // An unrecognized EXPECT-*/SOLVER-flavored key is a typo, not prose.
+  BoundsDirectives D = parseBoundsDirectives(
+      "// EXPECT-ALARM: * 1\n" // singular: typo of EXPECT-ALARMS
+      "// SOLVERS: warrow\n"
+      "int main() { return 0; }\n");
+  EXPECT_TRUE(D.ExpectedAlarms.empty());
+  ASSERT_EQ(D.Errors.size(), 2u);
+  EXPECT_NE(D.Errors[0].find("EXPECT-ALARM"), std::string::npos)
+      << D.Errors[0];
+  EXPECT_NE(D.Errors[1].find("SOLVERS"), std::string::npos) << D.Errors[1];
+}
+
+TEST(BoundsDirectivesTest, SuiteProgramsAllParseClean) {
+  // Every on-disk suite program carries at least one directive, and its
+  // header survives the strict parser without diagnostics.
+  for (const BoundsBenchmark &B : boundsSuite()) {
+    BoundsDirectives D = parseBoundsDirectives(B.Source);
+    EXPECT_FALSE(D.ExpectedAlarms.empty()) << B.Name;
+    EXPECT_TRUE(D.Errors.empty())
+        << B.Name << ": " << (D.Errors.empty() ? "" : D.Errors.front());
+  }
 }
 
 // --- RelEnv transfer layer ------------------------------------------------

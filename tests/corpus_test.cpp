@@ -1,0 +1,451 @@
+//===- tests/corpus_test.cpp - Corpus runner & directive tests -----------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the directive-driven corpus stack (corpus/directives.h,
+/// corpus/corpus.h):
+///
+///  - strictness of the directive parser: every malformed-header shape
+///    (unknown key, bad interval syntax, duplicate EXPECT-ALARMS cell,
+///    directive after the first non-comment line, ...) is a hard error
+///    with a file:line diagnostic;
+///  - the on-disk corpus loader (discovery, duplicate-stem rejection,
+///    cross-directive validation);
+///  - the differential precision test: every corpus program, solved by
+///    every sequential narrowing strategy, yields a σ pointwise ≤ the
+///    two-phase baseline's, while the widening-only solver (no
+///    narrowing phase at all) stays pointwise ≥ it — and every
+///    sequential solver's alarm count matches the file's directives.
+///    Failures name the offending file and matrix cell so a single
+///    `warrow-corpus --only=<file> --cell=<cell>` reproduces them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+
+#include "analysis/bounds.h"
+#include "analysis/interproc.h"
+#include "analysis/races.h"
+#include "engine/registry.h"
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+using namespace warrow;
+using namespace warrow::corpus;
+
+namespace {
+
+ParsedDirectives parse(const std::string &Source) {
+  return parseCorpusDirectives(Source);
+}
+
+/// All diagnostics of \p P joined into one string (for substring
+/// assertions on failure messages).
+std::string diagsOf(const ParsedDirectives &P) { return P.str("<mem>"); }
+
+// --- parser: the full grammar round-trips ---------------------------------
+
+TEST(CorpusDirectivesTest, ParsesFullGrammar) {
+  ParsedDirectives P = parse(
+      "// KIND: bounds\n"
+      "// DOMAIN: interval\n"
+      "// DOMAIN: zones\n"
+      "// SOLVER: warrow\n"
+      "// SOLVER: two-phase\n"
+      "// EXPECT-ALARMS: * 2\n"
+      "// EXPECT-ALARMS: zones/warrow 0\n"
+      "// EXPECT-INV: */warrow main:exit i [10,10]\n"
+      "// EXPECT-INV: main:7 g [-inf,5]\n"
+      "// EXPECT-REL: zones/* loop:exit j-i<=3\n"
+      "// EXPECT-EXIT: 9\n"
+      "// MAX-RHS-EVALS: 1000\n"
+      "// INPUT: 1 -2 3\n"
+      "int main() { return 9; }\n");
+  ASSERT_TRUE(P.ok()) << diagsOf(P);
+  const CorpusDirectives &D = P.D;
+  EXPECT_EQ(D.Kind, CorpusKind::Bounds);
+  EXPECT_EQ(D.Domains, (std::vector<std::string>{"interval", "zones"}));
+  EXPECT_EQ(D.Solvers, (std::vector<std::string>{"warrow", "two-phase"}));
+  EXPECT_EQ(D.expectedAlarmsFor("zones", "warrow"), 0u);
+  EXPECT_EQ(D.expectedAlarmsFor("interval", "widen"), 2u);
+
+  ASSERT_EQ(D.Invariants.size(), 2u);
+  EXPECT_EQ(D.Invariants[0].Cell, "*/warrow");
+  EXPECT_EQ(D.Invariants[0].Func, "main");
+  EXPECT_TRUE(D.Invariants[0].AtExit);
+  EXPECT_EQ(D.Invariants[0].Var, "i");
+  EXPECT_EQ(D.Invariants[0].Box, Interval::make(10, 10));
+  EXPECT_EQ(D.Invariants[1].Cell, "*/*"); // No cell prefix: all cells.
+  EXPECT_EQ(D.Invariants[1].LabelLine, 7u);
+  EXPECT_EQ(D.Invariants[1].Box,
+            Interval::make(Bound::negInf(), Bound(5)));
+
+  ASSERT_EQ(D.Relations.size(), 1u);
+  EXPECT_EQ(D.Relations[0].Func, "loop");
+  EXPECT_EQ(D.Relations[0].Lhs, "j");
+  EXPECT_EQ(D.Relations[0].Rhs, "i");
+  EXPECT_EQ(D.Relations[0].C, 3);
+
+  EXPECT_EQ(D.ExpectedExit, 9);
+  EXPECT_EQ(D.MaxRhsEvals, 1000u);
+  EXPECT_EQ(D.Inputs, (std::vector<int64_t>{1, -2, 3}));
+}
+
+TEST(CorpusDirectivesTest, ProseCommentsAreNotDirectives) {
+  // Ordinary header prose — no UPPERCASE-KEY: shape — parses clean.
+  ParsedDirectives P = parse(
+      "// the loop narrows i back to [10,10] after widening overshoots.\n"
+      "// EXPECT-ALARMS: * 0\n"
+      "int main() { return 0; }\n");
+  EXPECT_TRUE(P.ok()) << diagsOf(P);
+  EXPECT_EQ(P.D.ExpectedAlarms.size(), 1u);
+}
+
+// --- parser: every malformed shape is a hard error ------------------------
+
+TEST(CorpusDirectivesTest, RejectsUnknownDirectiveKey) {
+  ParsedDirectives P = parse(
+      "// EXPECT-ALARM: * 1\n" // Singular: a typo of EXPECT-ALARMS.
+      "int main() { return 0; }\n");
+  ASSERT_EQ(P.Errors.size(), 1u);
+  EXPECT_EQ(P.Errors[0].Line, 1u);
+  EXPECT_NE(P.Errors[0].Message.find("EXPECT-ALARM"), std::string::npos)
+      << P.Errors[0].Message;
+  EXPECT_TRUE(P.D.ExpectedAlarms.empty());
+}
+
+TEST(CorpusDirectivesTest, RejectsBadIntervalSyntax) {
+  for (const char *Bad : {"[5,2]",   // Empty interval (lo > hi).
+                          "[a,b]",   // Non-numeric bounds.
+                          "10,10",   // Missing brackets.
+                          "[10,10",  // Unclosed.
+                          "[+inf,3]" // lo = +inf is empty.
+       }) {
+    ParsedDirectives P = parse(std::string("// EXPECT-INV: main:exit i ") +
+                               Bad + "\nint main() { return 0; }\n");
+    EXPECT_FALSE(P.ok()) << "accepted bad interval: " << Bad;
+    EXPECT_TRUE(P.D.Invariants.empty()) << Bad;
+  }
+}
+
+TEST(CorpusDirectivesTest, RejectsDuplicateAlarmsCell) {
+  ParsedDirectives P = parse(
+      "// EXPECT-ALARMS: zones/warrow 0\n"
+      "// EXPECT-ALARMS: zones/warrow 1\n"
+      "int main() { return 0; }\n");
+  ASSERT_EQ(P.Errors.size(), 1u);
+  EXPECT_EQ(P.Errors[0].Line, 2u);
+  EXPECT_NE(P.Errors[0].Message.find("zones/warrow"), std::string::npos)
+      << P.Errors[0].Message;
+}
+
+TEST(CorpusDirectivesTest, RejectsDirectiveAfterCode) {
+  ParsedDirectives P = parse(
+      "// EXPECT-ALARMS: * 0\n"
+      "int main() {\n"
+      "  // EXPECT-EXIT: 0\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_EQ(P.Errors.size(), 1u);
+  EXPECT_EQ(P.Errors[0].Line, 3u);
+  EXPECT_NE(P.Errors[0].Message.find("non-comment"), std::string::npos)
+      << P.Errors[0].Message;
+}
+
+TEST(CorpusDirectivesTest, RejectsDuplicateSingletonDirectives) {
+  for (const char *Dup :
+       {"// KIND: bounds\n// KIND: races\n",
+        "// EXPECT-EXIT: 1\n// EXPECT-EXIT: 2\n",
+        "// MAX-RHS-EVALS: 10\n// MAX-RHS-EVALS: 20\n",
+        "// DOMAIN: zones\n// DOMAIN: zones\n",
+        "// SOLVER: warrow\n// SOLVER: warrow\n",
+        "// EXPECT-RACES: none\n// EXPECT-RACES: g\n"}) {
+    ParsedDirectives P =
+        parse(std::string(Dup) + "int main() { return 0; }\n");
+    ASSERT_EQ(P.Errors.size(), 1u) << Dup << diagsOf(P);
+    EXPECT_EQ(P.Errors[0].Line, 2u) << Dup;
+  }
+}
+
+TEST(CorpusDirectivesTest, RejectsArityAndValueErrors) {
+  for (const char *Bad : {
+           "// EXPECT-ALARMS: zones/warrow\n",     // Missing count.
+           "// EXPECT-ALARMS: * 1 trailing\n",     // Trailing token.
+           "// EXPECT-ALARMS: * -1\n",             // Negative count.
+           "// EXPECT-ALARMS: dbm/warrow 1\n",     // Unknown domain.
+           "// KIND: typestate\n",                 // Unknown kind.
+           "// SOLVER:\n",                         // Empty value.
+           "// EXPECT-EXIT: soon\n",               // Non-numeric.
+           "// INPUT: 1 two 3\n",                  // Non-numeric item.
+           "// EXPECT-INV: main:exit [1,2]\n",     // Missing variable.
+           "// EXPECT-REL: main:exit j-i<3\n",     // Not <=.
+           "// EXPECT-INV: nowhere i [1,2]\n",     // Label without ':'.
+       }) {
+    ParsedDirectives P =
+        parse(std::string(Bad) + "int main() { return 0; }\n");
+    EXPECT_FALSE(P.ok()) << "accepted: " << Bad;
+  }
+}
+
+TEST(CorpusDirectivesTest, DiagnosticsNameFileAndLine) {
+  ParsedDirectives P = parse(
+      "// EXPECT-ALARMS: * 0\n"
+      "// EXPECT-BOGUS: 1\n"
+      "int main() { return 0; }\n");
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.str("tests/corpus/x.mc").find("tests/corpus/x.mc:2: "),
+            std::string::npos)
+      << P.str("tests/corpus/x.mc");
+}
+
+TEST(CorpusDirectivesTest, CellMatchingAndSpecificity) {
+  EXPECT_TRUE(CorpusDirectives::cellMatches("*/*", "zones", "warrow"));
+  EXPECT_TRUE(CorpusDirectives::cellMatches("zones/*", "zones", "widen"));
+  EXPECT_FALSE(
+      CorpusDirectives::cellMatches("zones/*", "interval", "widen"));
+  EXPECT_TRUE(CorpusDirectives::cellMatches("*/warrow", "zones", "warrow"));
+  EXPECT_FALSE(
+      CorpusDirectives::cellMatches("*/warrow", "zones", "two-phase"));
+
+  CorpusDirectives D;
+  D.ExpectedAlarms = {{"*/*", 3}, {"zones/*", 1}, {"zones/warrow", 0}};
+  EXPECT_EQ(D.expectedAlarmsFor("zones", "warrow"), 0u);
+  EXPECT_EQ(D.expectedAlarmsFor("zones", "widen"), 1u);
+  EXPECT_EQ(D.expectedAlarmsFor("interval", "warrow"), 3u);
+}
+
+// --- loader ---------------------------------------------------------------
+
+TEST(CorpusLoaderTest, LoadsTheFullCorpus) {
+  std::string Err;
+  std::vector<CorpusFile> Files = loadCorpus(corpusRoot(), Err);
+  EXPECT_TRUE(Err.empty()) << Err;
+  // The migrated seed: 8 bounds + 9 races programs, and growing.
+  EXPECT_GE(Files.size(), 17u);
+  // Sorted, unique names; every file has an expectation to check.
+  for (size_t I = 0; I < Files.size(); ++I) {
+    if (I)
+      EXPECT_LT(Files[I - 1].Name, Files[I].Name);
+    EXPECT_FALSE(Files[I].D.ExpectedAlarms.empty()) << Files[I].Name;
+  }
+}
+
+TEST(CorpusLoaderTest, RejectsMalformedFilesAtLoadTime) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "warrow_bad_corpus";
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream Out(Dir / "typo.mc");
+    Out << "// EXPECT-ALARM: * 1\nint main() { return 0; }\n";
+  }
+  std::string Err;
+  std::vector<CorpusFile> Files = loadCorpus(Dir.string(), Err);
+  EXPECT_TRUE(Files.empty());
+  EXPECT_NE(Err.find("typo.mc:1"), std::string::npos) << Err;
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CorpusLoaderTest, RejectsDuplicateProgramNames) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "warrow_dup_corpus";
+  std::filesystem::create_directories(Dir / "a");
+  std::filesystem::create_directories(Dir / "b");
+  for (const char *Sub : {"a", "b"}) {
+    std::ofstream Out(Dir / Sub / "same.mc");
+    Out << "// EXPECT-ALARMS: * 0\nint main() { return 0; }\n";
+  }
+  std::string Err;
+  loadCorpus(Dir.string(), Err);
+  EXPECT_NE(Err.find("duplicate corpus program name 'same'"),
+            std::string::npos)
+      << Err;
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(CorpusLoaderTest, RejectsUnknownSolverAndRacesZones) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "warrow_xval_corpus";
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream Out(Dir / "badsolver.mc");
+    Out << "// SOLVER: kleene\n// EXPECT-ALARMS: * 0\n"
+           "int main() { return 0; }\n";
+  }
+  {
+    std::ofstream Out(Dir / "raceszones.mc");
+    Out << "// KIND: races\n// DOMAIN: zones\n// EXPECT-ALARMS: * 0\n"
+           "int main() { return 0; }\n";
+  }
+  std::string Err;
+  std::vector<CorpusFile> Files = loadCorpus(Dir.string(), Err);
+  EXPECT_TRUE(Files.empty());
+  EXPECT_NE(Err.find("'kleene'"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("interval domain only"), std::string::npos) << Err;
+  std::filesystem::remove_all(Dir);
+}
+
+// --- the runner's own guard rails -----------------------------------------
+
+TEST(CorpusRunnerTest, EveryCaseOfEveryShardIsGreen) {
+  std::string Err;
+  std::vector<CorpusFile> Files = loadCorpus(corpusRoot(), Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  ASSERT_FALSE(Files.empty());
+  // One shard covering everything — the ctest registration fans the same
+  // case list out over N shards, so this also pins the shard math: N=1
+  // must equal the union of any N-way split.
+  ShardReport All = runCorpusShard(Files, 0, 1, false, {});
+  uint64_t Split = 0;
+  for (unsigned S = 0; S < 4; ++S) {
+    ShardReport R = runCorpusShard(Files, S, 4, false, {});
+    EXPECT_EQ(R.Failed, 0u)
+        << (R.Failures.empty() ? "" : R.Failures.front());
+    Split += R.Cases;
+  }
+  EXPECT_EQ(All.Failed, 0u)
+      << (All.Failures.empty() ? "" : All.Failures.front());
+  EXPECT_EQ(All.Cases, Split);
+}
+
+TEST(CorpusRunnerTest, FailuresNameFileAndCell) {
+  // A deliberately wrong expectation must fail with the one-command
+  // repro (file + matrix cell) in the message.
+  CorpusFile F;
+  F.Name = "wrong";
+  F.Source = "// EXPECT-ALARMS: * 7\nint main() { return 0; }\n";
+  ParsedDirectives P = parseCorpusDirectives(F.Source);
+  ASSERT_TRUE(P.ok()) << diagsOf(P);
+  F.D = P.D;
+  CaseResult R = runCorpusCase(F, {"interval", "warrow"});
+  ASSERT_FALSE(R.Ok);
+  ASSERT_FALSE(R.Failures.empty());
+  EXPECT_NE(R.Failures[0].find("wrong [interval/warrow]"),
+            std::string::npos)
+      << R.Failures[0];
+  EXPECT_NE(R.Failures[0].find(
+                "repro: warrow-corpus --only=wrong --cell=interval/warrow"),
+            std::string::npos)
+      << R.Failures[0];
+}
+
+// --- differential precision test ------------------------------------------
+
+std::string varStr(const AnalysisVar &X, const Program &P) {
+  return X.str(P);
+}
+std::string varStr(const RaceVar &X, const Program &P) { return X.str(P); }
+std::string valueStr(const AbsValue &V, const Program &P) {
+  return V.str(P.Symbols);
+}
+std::string valueStr(const RaceValue &V, const Program &P) {
+  return V.str(P.Symbols);
+}
+
+/// σ(candidate) pointwise ≤ σ(baseline)? Unknowns outside a domain are
+/// ⊥ (PartialSolution is partial), so the comparison ranges over the
+/// candidate's domain with the baseline defaulting to ⊥.
+template <typename Result>
+std::string pointwiseLeq(const Result &Cand, const Result &Base,
+                         const Program &P) {
+  for (const auto &[X, Value] : Cand.Solution.Sigma)
+    if (!Value.leq(Base.Solution.value(X)))
+      return "sigma(" + varStr(X, P) + ") = " + valueStr(Value, P) +
+             " exceeds the baseline's " +
+             valueStr(Base.Solution.value(X), P);
+  return "";
+}
+
+/// The registered sequential analysis strategies (the parallel solver is
+/// exercised by the corpus shards and the dedicated parallel tests).
+const std::vector<std::string> &sequentialSolvers() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> Out;
+    for (const engine::SolverInfo &Info : engine::solverRegistry())
+      if (Info.hasCap(engine::CapAnalysis) &&
+          std::string_view(Info.Name) != "parallel-warrow")
+        Out.push_back(Info.Name);
+    return Out;
+  }();
+  return Names;
+}
+
+/// Differential corpus sweep: for every file × domain, solve with every
+/// sequential strategy and compare against the two-phase baseline.
+/// Narrowing strategies (⊟, localized two-phase) must be pointwise ≤ the
+/// baseline; the widening-only solver — two-phase *without* its
+/// narrowing phase — must be pointwise ≥ it. Alarm counts must match the
+/// file's own directives for every cell.
+TEST(CorpusDifferentialTest, SequentialStrategiesBracketTwoPhase) {
+  std::string Err;
+  std::vector<CorpusFile> Files = loadCorpus(corpusRoot(), Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+
+  for (const CorpusFile &File : Files) {
+    DiagnosticEngine Diags;
+    auto P = parseProgram(File.Source, Diags);
+    ASSERT_TRUE(P) << File.Name << ": " << Diags.str();
+    ProgramCfg Cfgs = buildProgramCfg(*P);
+
+    std::vector<std::string> Domains;
+    for (const MatrixCell &Cell : matrixFor(File.D))
+      if (std::find(Domains.begin(), Domains.end(), Cell.Domain) ==
+          Domains.end())
+        Domains.push_back(Cell.Domain);
+
+    for (const std::string &Dom : Domains) {
+      auto Repro = [&](const std::string &Solver) {
+        return File.Name + " [" + Dom + "/" + Solver +
+               "] (repro: warrow-corpus --only=" + File.Name +
+               " --cell=" + Dom + "/" + Solver + ")";
+      };
+
+      AnalysisOptions Options;
+      Options.Domain = *domainForName(Dom);
+      if (File.D.MaxRhsEvals)
+        Options.Solver.MaxRhsEvals = *File.D.MaxRhsEvals;
+
+      if (File.D.Kind == CorpusKind::Races) {
+        RaceAnalysis Analysis(*P, Cfgs, Options);
+        RaceAnalysisResult Base = Analysis.run(SolverChoice::TwoPhase);
+        for (const std::string &Solver : sequentialSolvers()) {
+          RaceAnalysisResult R =
+              Analysis.run(*solverChoiceForName(Solver));
+          ASSERT_TRUE(R.Stats.Converged) << Repro(Solver);
+          if (std::optional<uint64_t> Want =
+                  File.D.expectedAlarmsFor(Dom, Solver))
+            EXPECT_EQ(R.Races.size(), *Want) << Repro(Solver);
+          if (Solver == "widen")
+            EXPECT_EQ(pointwiseLeq(Base, R, *P), "") << Repro(Solver);
+          else
+            EXPECT_EQ(pointwiseLeq(R, Base, *P), "") << Repro(Solver);
+        }
+      } else {
+        InterprocAnalysis Analysis(*P, Cfgs, Options);
+        AnalysisResult Base = Analysis.run(SolverChoice::TwoPhase);
+        for (const std::string &Solver : sequentialSolvers()) {
+          AnalysisResult R = Analysis.run(*solverChoiceForName(Solver));
+          ASSERT_TRUE(R.Stats.Converged) << Repro(Solver);
+          if (std::optional<uint64_t> Want =
+                  File.D.expectedAlarmsFor(Dom, Solver)) {
+            BoundsReport Report = runBoundsChecker(*P, Cfgs, R);
+            EXPECT_EQ(Report.alarms(), *Want) << Repro(Solver);
+          }
+          if (Solver == "widen")
+            EXPECT_EQ(pointwiseLeq(Base, R, *P), "") << Repro(Solver);
+          else
+            EXPECT_EQ(pointwiseLeq(R, Base, *P), "") << Repro(Solver);
+        }
+      }
+    }
+  }
+}
+
+} // namespace

@@ -4,8 +4,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/strategies/parallel_slr.h"
 #include "lang/interp.h"
 #include "lang/parser.h"
+#include "lattice/combine.h"
+#include "solvers/slr_plus.h"
+#include "workloads/eq_generators.h"
 #include "workloads/spec_generator.h"
 #include "workloads/wcet_suite.h"
 
@@ -90,6 +94,32 @@ TEST(SpecGenerator, SuiteHasSevenPrograms) {
        {"401.bzip2", "429.mcf", "433.milc", "456.hmmer", "458.sjeng",
         "470.lbm", "482.sphinx"})
     EXPECT_TRUE(findSpecProfile(Name) != nullptr) << Name;
+}
+
+// Tiny instance of the stress-tier generator (bench_stress runs it at
+// 10^6+ unknowns): local solving from the root must discover exactly
+// the predicted unknown count, converge, and the parallel engine must
+// reproduce the sequential sigma bit for bit.
+TEST(StressSystemTest, TinyInstanceSolvesAndMatchesParallel) {
+  StressSystem Stress = stressSideSystem(/*NumRings=*/32, /*RingSize=*/8,
+                                         /*Bound=*/16, /*CrossLinks=*/2,
+                                         /*Seed=*/1234);
+  EXPECT_EQ(Stress.NumUnknowns, 32u * 8 + 1 + 64 + 1);
+
+  PartialSolution<uint64_t, Interval> Seq =
+      solveSLRPlus(Stress.System, Stress.Root, WarrowCombine{});
+  EXPECT_TRUE(Seq.Stats.Converged);
+  EXPECT_EQ(Seq.Sigma.size(), Stress.NumUnknowns);
+  EXPECT_FALSE(Seq.value(Stress.Root).isBot());
+
+  SolverOptions Options;
+  Options.Threads = 2;
+  PartialSolution<uint64_t, Interval> Par = engine::runParallelSlrPlus(
+      Stress.System, Stress.Root, WarrowCombine{}, Options);
+  EXPECT_TRUE(Par.Stats.Converged);
+  ASSERT_EQ(Par.Sigma.size(), Seq.Sigma.size());
+  for (const auto &[X, Value] : Seq.Sigma)
+    EXPECT_TRUE(Par.value(X) == Value) << "unknown " << X;
 }
 
 } // namespace

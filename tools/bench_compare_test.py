@@ -132,6 +132,25 @@ class ExactFieldGate(unittest.TestCase):
         self.assertEqual(r.returncode, 0, r.stderr)
 
 
+class MemoryFields(unittest.TestCase):
+    def test_peak_rss_is_metadata_tolerant_and_never_gates(self):
+        # The stress tier (BENCH_stress.json) records peak_rss_kb; RSS
+        # varies with allocator and host, so it must never gate — in
+        # either direction — and baselines without it must compare fine.
+        base = [record("a", rhs_evals=5, peak_rss_kb=700000)]
+        for rss in (1, 700000, 9999999):
+            new = [record("a", rhs_evals=5, peak_rss_kb=rss)]
+            r = run_compare(base, new, "--exact-field", "rhs_evals")
+            self.assertEqual(r.returncode, 0, r.stderr)
+        r = run_compare(base, [record("a", rhs_evals=5)])
+        self.assertEqual(r.returncode, 0, r.stderr)
+        r = run_compare(
+            [record("a", rhs_evals=5)],
+            [record("a", rhs_evals=5, peak_rss_kb=123)],
+        )
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+
 class WallTimeWarnings(unittest.TestCase):
     def test_wall_blowup_warns_but_does_not_gate(self):
         base = [record("a", rhs_evals=5, wall_ns=100.0)]

@@ -1,0 +1,133 @@
+//===- tools/warrow_corpus.cpp - Directive-corpus runner ------------------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `warrow-corpus` — discovers the on-disk regression corpus
+/// (`tests/corpus/**/*.mc`, directive headers per corpus/directives.h)
+/// and executes every file across its solver × domain matrix, verifying
+/// each run with the independent solution checkers and every embedded
+/// expectation (alarm counts, invariant boxes, difference bounds,
+/// concrete exit codes).
+///
+///   warrow-corpus [options]
+///     --dir=DIR          corpus root (default: compiled-in tests/corpus,
+///                        overridable via $WARROW_CORPUS_DIR)
+///     --shard=I/N        run the I-th of N round-robin shards (0-based);
+///                        the ctest registration fans the corpus out this
+///                        way so shards run in parallel
+///     --only=NAME        run a single program (the repro knob printed by
+///                        failures)
+///     --cell=DOM/SOLVER  run a single matrix cell
+///     --list             print the case list (file × cell) and exit
+///     --quiet            only print the summary line
+///
+/// Exit codes: 0 all green, 1 expectation/verification failures,
+/// 2 usage or corpus-load errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace warrow;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dir=DIR] [--shard=I/N] [--only=NAME] "
+               "[--cell=DOM/SOLVER] [--list] [--quiet]\n",
+               Argv0);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Dir;
+  unsigned Shard = 0;
+  unsigned NumShards = 1;
+  bool List = false;
+  bool Quiet = false;
+  corpus::CorpusFilter Filter;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--dir=", 6) == 0) {
+      Dir = Arg + 6;
+    } else if (std::strncmp(Arg, "--shard=", 8) == 0) {
+      char *End = nullptr;
+      unsigned long S = std::strtoul(Arg + 8, &End, 10);
+      unsigned long N = 0;
+      if (End && *End == '/')
+        N = std::strtoul(End + 1, &End, 10);
+      if (!End || *End != '\0' || N == 0 || S >= N) {
+        std::fprintf(stderr, "error: bad --shard '%s' (want I/N, I < N)\n",
+                     Arg + 8);
+        return 2;
+      }
+      Shard = static_cast<unsigned>(S);
+      NumShards = static_cast<unsigned>(N);
+    } else if (std::strncmp(Arg, "--only=", 7) == 0) {
+      Filter.Only = Arg + 7;
+    } else if (std::strncmp(Arg, "--cell=", 7) == 0) {
+      Filter.Cell = Arg + 7;
+    } else if (std::strcmp(Arg, "--list") == 0) {
+      List = true;
+    } else if (std::strcmp(Arg, "--quiet") == 0) {
+      Quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      printUsage(Argv[0]);
+      return 2;
+    }
+  }
+
+  if (Dir.empty())
+    Dir = corpus::corpusRoot();
+  if (Dir.empty()) {
+    std::fprintf(stderr,
+                 "error: no corpus directory (pass --dir=DIR or set "
+                 "WARROW_CORPUS_DIR)\n");
+    return 2;
+  }
+
+  std::string Err;
+  std::vector<corpus::CorpusFile> Files = corpus::loadCorpus(Dir, Err);
+  if (!Err.empty()) {
+    std::fprintf(stderr, "%s", Err.c_str());
+    return 2;
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: no .mc files under '%s'\n", Dir.c_str());
+    return 2;
+  }
+
+  if (List) {
+    for (const corpus::CorpusFile &F : Files) {
+      for (const corpus::MatrixCell &Cell : corpus::matrixFor(F.D))
+        std::printf("%s %s/%s\n", F.Name.c_str(), Cell.Domain.c_str(),
+                    Cell.Solver.c_str());
+      if (F.D.ExpectedExit)
+        std::printf("%s concrete\n", F.Name.c_str());
+    }
+    return 0;
+  }
+
+  corpus::ShardReport Report =
+      corpus::runCorpusShard(Files, Shard, NumShards, !Quiet, Filter);
+  for (const std::string &F : Report.Failures)
+    std::fprintf(stderr, "FAIL: %s\n", F.c_str());
+  std::printf("warrow-corpus: %zu program(s), shard %u/%u: %llu case(s), "
+              "%llu failed\n",
+              Files.size(), Shard, NumShards,
+              static_cast<unsigned long long>(Report.Cases),
+              static_cast<unsigned long long>(Report.Failed));
+  return Report.Failed == 0 ? 0 : 1;
+}
