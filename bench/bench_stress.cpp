@@ -22,13 +22,18 @@
 ///                   records compare fine (bench_compare.py).
 ///     hw_threads    hardware_concurrency of the host
 ///
-///     bench_stress [--json out.json] [--rings N] [--ring-size N]
-///                  [--threads N] [--check]
+///     bench_stress [--json out.json] [--size small|nightly] [--rings N]
+///                  [--ring-size N] [--threads N] [--check]
 ///
 /// Defaults give 16384 rings × 64 = 1,048,576 ring unknowns (1,048,897
 /// total with the aggregator/accumulator layers). `--check` additionally
 /// verifies the parallel σ equals the sequential σ pointwise (slow-ish:
 /// one extra comparison pass over a million entries).
+///
+/// `--size` selects a preset tier: `small` is the default above (the
+/// blocking CI job), `nightly` is 156250 rings × 64 = 10,000,000 ring
+/// unknowns for the scheduled non-blocking job. Explicit `--rings` /
+/// `--ring-size` override whichever preset came before them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -123,6 +128,20 @@ int main(int Argc, char **Argv) {
     const char *Arg = Argv[I];
     if (std::strcmp(Arg, "--json") == 0 && I + 1 < Argc) {
       JsonPath = Argv[++I];
+    } else if (std::strcmp(Arg, "--size") == 0 && I + 1 < Argc) {
+      const char *Size = Argv[++I];
+      if (std::strcmp(Size, "small") == 0) {
+        NumRings = 16384;
+        RingSize = 64;
+      } else if (std::strcmp(Size, "nightly") == 0) {
+        NumRings = 156250;
+        RingSize = 64;
+      } else {
+        std::fprintf(stderr, "error: unknown size tier '%s' "
+                             "(small, nightly)\n",
+                     Size);
+        return 2;
+      }
     } else if (std::strcmp(Arg, "--rings") == 0 && I + 1 < Argc) {
       NumRings = std::strtoull(Argv[++I], nullptr, 10);
     } else if (std::strcmp(Arg, "--ring-size") == 0 && I + 1 < Argc) {
@@ -133,8 +152,8 @@ int main(int Argc, char **Argv) {
       Check = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json out.json] [--rings N] [--ring-size N] "
-                   "[--threads N] [--check]\n",
+                   "usage: %s [--json out.json] [--size small|nightly] "
+                   "[--rings N] [--ring-size N] [--threads N] [--check]\n",
                    Argv[0]);
       return 2;
     }

@@ -8,6 +8,7 @@
 
 #include "analysis/constants.h"
 #include "analysis/rel_env.h"
+#include "analysis/snapshot.h"
 #include "analysis/transfer.h"
 #include "engine/registry.h"
 #include "engine/strategies/parallel_slr.h"
@@ -90,6 +91,21 @@ uint32_t ContextTable::intern(const ContextValues &Values) {
   Contexts.push_back(Values);
   Ids.emplace(std::move(Key), Id);
   return Id;
+}
+
+std::vector<ContextValues> ContextTable::exportAll() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return {Contexts.begin(), Contexts.end()};
+}
+
+bool ContextTable::importAll(const std::vector<ContextValues> &All) {
+  clear();
+  for (size_t I = 0; I < All.size(); ++I)
+    if (intern(All[I]) != I) {
+      clear(); // Duplicate entry: ids would shift.
+      return false;
+    }
+  return true;
 }
 
 namespace warrow {
@@ -362,7 +378,8 @@ AnalysisVar InterprocAnalysis::root() const {
   return AnalysisVar::point(MainIdx, Cfg::ExitNode, InitialCtx);
 }
 
-AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
+AnalysisResult InterprocAnalysis::run(SolverChoice Choice,
+                                      AnalysisSnapshot *Capture) {
   // Reset per-run context state.
   Contexts.clear();
   CtxPerFunc.clear();
@@ -379,6 +396,15 @@ AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
       });
 
   AnalysisResult Result;
+  if (Capture)
+    Capture->State = {}; // Two-phase choices leave it empty.
+  // Solve, then (for the resumable SLR+ engines) capture the solver's
+  // externalized state while the engine is still alive.
+  auto SolveAndCapture = [&](auto &Solver) {
+    Result.Solution = Solver.solveFor(root());
+    if (Capture)
+      Capture->State = Solver.snapshot();
+  };
   Timer Clock;
   switch (Choice) {
   case SolverChoice::Warrow:
@@ -390,7 +416,7 @@ AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
           ThresholdWarrowCombine(std::move(Thresholds),
                                  Options.WarrowMaxSwitches),
           Options.Solver, Options.LocalizedWidening);
-      Result.Solution = Solver.solveFor(root());
+      SolveAndCapture(Solver);
     } else {
       SlrPlusSolver<AnalysisVar, AbsValue,
                     DegradingWarrowCombine<AnalysisVar>>
@@ -398,13 +424,15 @@ AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
                  DegradingWarrowCombine<AnalysisVar>(
                      Options.WarrowMaxSwitches),
                  Options.Solver, Options.LocalizedWidening);
-      Result.Solution = Solver.solveFor(root());
+      SolveAndCapture(Solver);
     }
     break;
-  case SolverChoice::WidenOnly:
-    Result.Solution =
-        solveSLRPlus(System, root(), WidenCombine{}, Options.Solver);
+  case SolverChoice::WidenOnly: {
+    SlrPlusSolver<AnalysisVar, AbsValue, WidenCombine> Solver(
+        System, WidenCombine{}, Options.Solver);
+    SolveAndCapture(Solver);
     break;
+  }
   case SolverChoice::TwoPhase:
     Result.Solution = solveTwoPhaseSide(System, root(), Options.Solver,
                                         Options.TwoPhaseNarrowRounds);
@@ -423,20 +451,383 @@ AnalysisResult InterprocAnalysis::run(SolverChoice Choice) {
                  ThresholdWarrowCombine(std::move(Thresholds),
                                         Options.WarrowMaxSwitches),
                  Options.Solver, Options.LocalizedWidening);
-      Result.Solution = Solver.solveFor(root());
+      SolveAndCapture(Solver);
     } else {
       engine::ParallelSlrEngine<AnalysisVar, AbsValue,
                                 DegradingWarrowCombine<AnalysisVar>>
           Solver(System,
                  DegradingWarrowCombine<AnalysisVar>(Options.WarrowMaxSwitches),
                  Options.Solver, Options.LocalizedWidening);
-      Result.Solution = Solver.solveFor(root());
+      SolveAndCapture(Solver);
     }
     break;
   }
   Result.Seconds = Clock.seconds();
   Result.Stats = Result.Solution.Stats;
   Result.NumUnknowns = Result.Solution.Sigma.size();
+  if (Capture) {
+    Capture->Contexts = Contexts.exportAll();
+    Capture->Domain = Options.Domain;
+    Capture->ContextSensitive = Options.ContextSensitive;
+    snapshotShapes(P, Cfgs, *Capture);
+  }
+  return Result;
+}
+
+AnalysisResult InterprocAnalysis::runIncremental(SolverChoice Choice,
+                                                 const AnalysisSnapshot &Snap,
+                                                 const Program &OldP,
+                                                 AnalysisSnapshot *Capture,
+                                                 IncrementalStats *IncOut) {
+  IncrementalStats Inc;
+  Inc.SnapshotUnknowns = Snap.State.size();
+  auto Fallback = [&] {
+    Inc.ColdFallback = true;
+    if (IncOut)
+      *IncOut = Inc;
+    return run(Choice, Capture);
+  };
+  // Resume needs a resumable engine and a snapshot of the same analysis
+  // configuration; anything else cold-solves.
+  const bool Resumable = (Choice == SolverChoice::Warrow ||
+                          Choice == SolverChoice::WidenOnly ||
+                          Choice == SolverChoice::ParallelWarrow) &&
+                         Snap.Domain == Options.Domain &&
+                         Snap.ContextSensitive == Options.ContextSensitive &&
+                         !Snap.empty() && !Snap.Contexts.empty() &&
+                         Snap.Contexts.front().empty();
+  if (!Resumable)
+    return Fallback();
+
+  Timer Clock; // Warm time includes the diff and the state surgery.
+  ProgramDiff Diff = diffSnapshot(Snap, P, Cfgs);
+
+  // --- Identity remaps: snapshot (OldP) ids -> this program's ids. -------
+  // Functions match by name; a changed/removed fingerprint drops every
+  // unknown of the function. Symbols match by spelling (lookup only —
+  // kept functions are textually unchanged, so their locals exist here).
+  std::unordered_map<std::string_view, uint32_t> NewFuncIdx;
+  for (size_t I = 0; I < P.Functions.size(); ++I)
+    NewFuncIdx.emplace(P.Symbols.spelling(P.Functions[I]->Name),
+                       static_cast<uint32_t>(I));
+  std::unordered_set<std::string_view> SnapFuncs;
+  for (const FuncShape &F : Snap.Funcs)
+    SnapFuncs.insert(F.Name);
+  std::vector<int64_t> FuncMap(OldP.Functions.size(), -1);
+  for (size_t I = 0; I < OldP.Functions.size(); ++I) {
+    const std::string &Name = OldP.Symbols.spelling(OldP.Functions[I]->Name);
+    if (Diff.ChangedFuncs.count(Name) || !SnapFuncs.count(Name))
+      continue;
+    auto It = NewFuncIdx.find(Name);
+    if (It != NewFuncIdx.end())
+      FuncMap[I] = It->second;
+  }
+  const bool SameProgram = &OldP == &P;
+  auto MapSym = [&](Symbol S) -> Symbol {
+    if (SameProgram)
+      return S;
+    return S ? P.Symbols.lookup(OldP.Symbols.spelling(S)) : 0;
+  };
+  auto MapVar = [&](const AnalysisVar &X) -> std::optional<AnalysisVar> {
+    if (X.isGlobal()) {
+      if (!X.Glob || Diff.ChangedGlobals.count(OldP.Symbols.spelling(X.Glob)))
+        return std::nullopt;
+      Symbol NS = MapSym(X.Glob);
+      if (!NS || !P.isGlobal(NS))
+        return std::nullopt;
+      return AnalysisVar::global(NS);
+    }
+    if (X.Func >= FuncMap.size() || FuncMap[X.Func] < 0 ||
+        X.Ctx >= Snap.Contexts.size())
+      return std::nullopt;
+    uint32_t NewFunc = static_cast<uint32_t>(FuncMap[X.Func]);
+    if (X.Node >= Cfgs.cfgOf(NewFunc).numNodes())
+      return std::nullopt;
+    return AnalysisVar::point(NewFunc, X.Node, X.Ctx);
+  };
+
+  // --- Which snapshot slots survive, and with which identity? ------------
+  const auto &S0 = Snap.State;
+  const uint32_t N = static_cast<uint32_t>(S0.size());
+  std::vector<uint8_t> Keep(N, 0);
+  std::vector<AnalysisVar> NewVar(N);
+  for (uint32_t I = 0; I < N; ++I)
+    if (std::optional<AnalysisVar> X = MapVar(S0.Vars[I])) {
+      NewVar[I] = *X;
+      Keep[I] = 1;
+    }
+  std::unordered_map<AnalysisVar, uint32_t> OldSlotOf;
+  OldSlotOf.reserve(N);
+  for (uint32_t I = 0; I < N; ++I)
+    OldSlotOf.emplace(S0.Vars[I], I);
+
+  // Values re-expressed over this program's interner; a failed remap
+  // restarts the slot instead of dropping it (topology must survive).
+  std::vector<AbsValue> NewSigma(N);
+  std::vector<uint8_t> SigmaOk(N, 0);
+  for (uint32_t I = 0; I < N; ++I)
+    if (Keep[I]) {
+      if (std::optional<AbsValue> V = remapAbsValue(S0.Sigma[I], OldP, P)) {
+        NewSigma[I] = std::move(*V);
+        SigmaOk[I] = 1;
+      }
+    }
+
+  // --- Seeds of the restart closure. --------------------------------------
+  // A kept slot must restart when its last evaluation can no longer be
+  // trusted: it read a dropped slot, its value failed to remap, or it was
+  // unstable at capture time.
+  std::vector<uint8_t> Seed(N, 0);
+  for (uint32_t I = 0; I < N; ++I) {
+    if (!Keep[I]) {
+      // Readers of a dropped slot re-evaluate against its replacement.
+      for (uint32_t R : S0.Infl[I])
+        if (R != I && Keep[R])
+          Seed[R] = 1;
+      continue;
+    }
+    if (!SigmaOk[I] || !S0.Stable[I])
+      Seed[I] = 1;
+    for (const auto &[RS, RV] : S0.Cache[I].Reads)
+      if (RS < N && !Keep[RS])
+        Seed[I] = 1;
+  }
+
+  // --- Side-effect cells: classify, seed, and wire closure edges. ---------
+  // A cell survives only when its contributor survives un-restarted (a
+  // restarted contributor re-evaluates and re-announces; its recorded
+  // contribution is a stale sample that must be retracted for ⊟ to stay
+  // sound). A retracted cell seeds its target, which then restarts and
+  // re-joins the remaining contributions from the initial value.
+  struct PendingCell {
+    uint32_t CSlot;
+    AnalysisVar Target; // This-program identity (may be a dropped slot).
+    std::optional<uint32_t> TSlot;
+    AbsValue Value;
+  };
+  std::vector<PendingCell> Tentative;
+  Tentative.reserve(S0.Cells.size());
+  for (const auto &Cell : S0.Cells) {
+    auto CIt = OldSlotOf.find(Cell.Contributor);
+    auto TIt = OldSlotOf.find(Cell.Target);
+    std::optional<uint32_t> TSlot;
+    if (TIt != OldSlotOf.end())
+      TSlot = TIt->second;
+    std::optional<AnalysisVar> TV =
+        TSlot && Keep[*TSlot] ? std::optional(NewVar[*TSlot])
+                              : MapVar(Cell.Target);
+    std::optional<AbsValue> Val = remapAbsValue(Cell.Value, OldP, P);
+    if (CIt == OldSlotOf.end() || !Keep[CIt->second] || !TV || !Val) {
+      ++Inc.RetractedCells;
+      if (TSlot && Keep[*TSlot])
+        Seed[*TSlot] = 1;
+      // A kept contributor whose cell we cannot carry must re-announce.
+      if (CIt != OldSlotOf.end() && Keep[CIt->second])
+        Seed[CIt->second] = 1;
+      continue;
+    }
+    Tentative.push_back({CIt->second, *TV, TSlot, std::move(*Val)});
+  }
+
+  // --- Transitive restart closure over influence + contribution edges. ----
+  // Plain destabilization is not enough: the narrowing phase of ⊟ only
+  // refines infinite bounds, so a stale finite bound would survive any
+  // number of re-evaluations. Affected unknowns restart from the initial
+  // assignment, exactly like a cold solve of the edited program.
+  std::vector<std::vector<uint32_t>> Out(N);
+  for (uint32_t I = 0; I < N; ++I)
+    if (Keep[I])
+      for (uint32_t R : S0.Infl[I])
+        if (R != I && Keep[R])
+          Out[I].push_back(R);
+  for (const PendingCell &C : Tentative)
+    if (C.TSlot && Keep[*C.TSlot])
+      Out[C.CSlot].push_back(*C.TSlot);
+  std::vector<uint8_t> Restart(N, 0);
+  std::vector<uint32_t> Work;
+  for (uint32_t I = 0; I < N; ++I)
+    if (Keep[I] && Seed[I]) {
+      Restart[I] = 1;
+      Work.push_back(I);
+    }
+  while (!Work.empty()) {
+    uint32_t I = Work.back();
+    Work.pop_back();
+    for (uint32_t J : Out[I])
+      if (!Restart[J]) {
+        Restart[J] = 1;
+        Work.push_back(J);
+      }
+  }
+
+  // --- Repack the *unaffected* slots densely into a fresh state. ----------
+  // Restarted slots are dropped from the table entirely, not loaded at ⊥:
+  // the warm solve re-interns them on demand, so the affected region is
+  // re-discovered in exactly the recursive demand order a cold solve of
+  // the edited program uses. Preloading them (old slot numbers, stale
+  // influence rows, a pre-filled queue) was observably wrong for σ-
+  // equality: a restarted unknown could be *first*-evaluated against an
+  // input that had already overshot to an infinite bound, capping it into
+  // a finite bound ⊟'s narrowing can never undo — where cold, first
+  // evaluating it earlier against the still-small input, widens through
+  // the infinite bound and narrows back precisely. Every slot that stays
+  // in the table is stable with all of its (transitive) reads in the
+  // table, so the kept region acts as already-final constants under the
+  // warm solve, never re-evaluates, and never destabilizes anyone.
+  engine::SolverState<AnalysisVar, AbsValue> W;
+  std::vector<uint32_t> OldToNew(N, UINT32_MAX);
+  for (uint32_t I = 0; I < N; ++I) {
+    if (!Keep[I])
+      continue;
+    if (Restart[I]) {
+      ++Inc.RestartedUnknowns;
+      continue;
+    }
+    OldToNew[I] = static_cast<uint32_t>(W.Vars.size());
+    W.Vars.push_back(NewVar[I]);
+  }
+  const size_t M = W.Vars.size();
+  W.Sigma.resize(M);
+  W.Infl.resize(M);
+  W.Stable.assign(M, 1);
+  W.WideningPoint.assign(M, 0);
+  W.SideEffected.assign(M, 0);
+  W.Cache.resize(M);
+  for (uint32_t I = 0; I < N; ++I) {
+    if (OldToNew[I] == UINT32_MAX)
+      continue;
+    uint32_t J = OldToNew[I];
+    auto &Row = W.Infl[J];
+    Row.push_back(J); // Self-influence invariant.
+    for (uint32_t R : S0.Infl[I])
+      if (R != I && R < N && OldToNew[R] != UINT32_MAX)
+        Row.push_back(OldToNew[R]);
+    W.Sigma[J] = std::move(NewSigma[I]);
+    W.WideningPoint[J] = S0.WideningPoint[I];
+    W.SideEffected[J] = S0.SideEffected[I];
+    if (S0.Cache[I].Valid) {
+      engine::SolverState<AnalysisVar, AbsValue>::CacheRecord Rec;
+      Rec.Valid = true;
+      if (std::optional<AbsValue> CV = remapAbsValue(S0.Cache[I].Value, OldP, P))
+        Rec.Value = std::move(*CV);
+      else
+        Rec.Valid = false;
+      for (const auto &[RS, RV] : S0.Cache[I].Reads) {
+        if (!Rec.Valid)
+          break;
+        std::optional<AbsValue> RVal = remapAbsValue(RV, OldP, P);
+        if (RS >= N || OldToNew[RS] == UINT32_MAX || !RVal) {
+          Rec.Valid = false;
+          break;
+        }
+        Rec.Reads.emplace_back(OldToNew[RS], std::move(*RVal));
+      }
+      if (Rec.Valid)
+        W.Cache[J] = std::move(Rec);
+    }
+  }
+  for (PendingCell &C : Tentative) {
+    if (Restart[C.CSlot]) {
+      ++Inc.RetractedCells; // Contributor restarts and re-announces.
+      continue;
+    }
+    ++Inc.KeptCells;
+    if (C.TSlot && OldToNew[*C.TSlot] != UINT32_MAX)
+      W.SideEffected[OldToNew[*C.TSlot]] = 1;
+    // A target outside the slot table (dropped or restarted, and
+    // re-discovered later) is legal: restore() holds it as a pending
+    // side-effect mark.
+    W.Cells.push_back({C.Target, NewVar[C.CSlot], std::move(C.Value)});
+  }
+  Inc.DroppedUnknowns = N - Inc.RestartedUnknowns - static_cast<uint64_t>(M);
+
+  // --- Re-attach analysis-level state and resume. --------------------------
+  if (!Contexts.importAll(Snap.Contexts))
+    return Fallback();
+  InitialCtx = 0;
+  CtxPerFunc.clear();
+  for (uint32_t I = 0; I < N; ++I)
+    if (Keep[I] && NewVar[I].isPoint())
+      CtxPerFunc[NewVar[I].Func].insert(NewVar[I].Ctx);
+
+  InterprocRhs RhsBuilder(*this, P, Cfgs);
+  SideEffectingSystem<AnalysisVar, AbsValue> System(
+      [&RhsBuilder](const AnalysisVar &X)
+          -> SideEffectingSystem<AnalysisVar, AbsValue>::Rhs {
+        return [&RhsBuilder, X](const InterprocRhs::Get &GetFn,
+                                const InterprocRhs::Side &SideFn) {
+          return RhsBuilder.evalRhs(X, GetFn, SideFn);
+        };
+      });
+
+  AnalysisResult Result;
+  auto WarmSolve = [&](auto &Solver) {
+    Solver.restore(W);
+    Result.Solution = Solver.solveFor(root());
+    if (Capture)
+      Capture->State = Solver.snapshot();
+  };
+  switch (Choice) {
+  case SolverChoice::Warrow:
+    if (Options.ThresholdWidening) {
+      auto Thresholds =
+          std::make_shared<ThresholdSet>(collectProgramConstants(P));
+      SlrPlusSolver<AnalysisVar, AbsValue, ThresholdWarrowCombine> Solver(
+          System,
+          ThresholdWarrowCombine(std::move(Thresholds),
+                                 Options.WarrowMaxSwitches),
+          Options.Solver, Options.LocalizedWidening);
+      WarmSolve(Solver);
+    } else {
+      SlrPlusSolver<AnalysisVar, AbsValue,
+                    DegradingWarrowCombine<AnalysisVar>>
+          Solver(System,
+                 DegradingWarrowCombine<AnalysisVar>(
+                     Options.WarrowMaxSwitches),
+                 Options.Solver, Options.LocalizedWidening);
+      WarmSolve(Solver);
+    }
+    break;
+  case SolverChoice::WidenOnly: {
+    SlrPlusSolver<AnalysisVar, AbsValue, WidenCombine> Solver(
+        System, WidenCombine{}, Options.Solver);
+    WarmSolve(Solver);
+    break;
+  }
+  case SolverChoice::ParallelWarrow:
+    if (Options.ThresholdWidening) {
+      auto Thresholds =
+          std::make_shared<ThresholdSet>(collectProgramConstants(P));
+      engine::ParallelSlrEngine<AnalysisVar, AbsValue, ThresholdWarrowCombine>
+          Solver(System,
+                 ThresholdWarrowCombine(std::move(Thresholds),
+                                        Options.WarrowMaxSwitches),
+                 Options.Solver, Options.LocalizedWidening);
+      WarmSolve(Solver);
+    } else {
+      engine::ParallelSlrEngine<AnalysisVar, AbsValue,
+                                DegradingWarrowCombine<AnalysisVar>>
+          Solver(System,
+                 DegradingWarrowCombine<AnalysisVar>(Options.WarrowMaxSwitches),
+                 Options.Solver, Options.LocalizedWidening);
+      WarmSolve(Solver);
+    }
+    break;
+  default:
+    assert(false && "Resumable filtered non-SLR+ choices above");
+    break;
+  }
+  Result.Seconds = Clock.seconds();
+  Result.Stats = Result.Solution.Stats;
+  Result.NumUnknowns = Result.Solution.Sigma.size();
+  if (Capture) {
+    Capture->Contexts = Contexts.exportAll();
+    Capture->Domain = Options.Domain;
+    Capture->ContextSensitive = Options.ContextSensitive;
+    snapshotShapes(P, Cfgs, *Capture);
+  }
+  if (IncOut)
+    *IncOut = Inc;
   return Result;
 }
 

@@ -127,6 +127,13 @@ public:
     std::lock_guard<std::mutex> Lock(M);
     return Contexts[Id];
   }
+  /// All interned contexts in id order (snapshot capture).
+  std::vector<ContextValues> exportAll() const;
+  /// Replaces the table's contents with \p All, assigning ids 0..n-1 in
+  /// order (snapshot restore; the exported order preserves ids). False —
+  /// leaving the table cleared — when \p All contains duplicates, which
+  /// would shift ids.
+  bool importAll(const std::vector<ContextValues> &All);
   size_t size() const {
     std::lock_guard<std::mutex> Lock(M);
     return Contexts.size();
@@ -223,14 +230,40 @@ struct AnalysisResult {
   }
 };
 
+struct AnalysisSnapshot;
+struct IncrementalStats;
+
 /// Builds and solves the interprocedural constraint system.
 class InterprocAnalysis {
 public:
   InterprocAnalysis(const Program &P, const ProgramCfg &Cfgs,
                     AnalysisOptions Options = {});
 
-  /// Runs the chosen solver from scratch.
-  AnalysisResult run(SolverChoice Choice);
+  /// Runs the chosen solver from scratch. When \p Capture is non-null the
+  /// externalized solver state is captured into it after the solve
+  /// (SLR+-based choices only — Warrow / WidenOnly / ParallelWarrow; the
+  /// two-phase baselines have no resumable state and leave the snapshot
+  /// empty apart from the program shapes).
+  AnalysisResult run(SolverChoice Choice, AnalysisSnapshot *Capture = nullptr);
+
+  /// Resumes from \p Snap instead of cold-solving (DESIGN §6i): diffs the
+  /// snapshot's recorded shapes against this analysis' program, drops the
+  /// unknowns of changed functions/globals, retracts their side-effect
+  /// contributions, transitively *restarts* (resets to the initial value)
+  /// every kept unknown reachable from the change through influence or
+  /// contribution edges — plain destabilization is not enough, ⊟'s
+  /// narrowing phase cannot shrink stale finite bounds — and hands the
+  /// repacked state to the solver via restore(). \p OldP is the program
+  /// the snapshot's ids refer to (pass this analysis' own program for a
+  /// snapshot produced by parseAnalysisSnapshot). Falls back to a cold
+  /// run() when the snapshot is empty, the domain/context mode differs,
+  /// or \p Choice is not SLR+-based; \p Inc (optional) reports what
+  /// happened either way.
+  AnalysisResult runIncremental(SolverChoice Choice,
+                                const AnalysisSnapshot &Snap,
+                                const Program &OldP,
+                                AnalysisSnapshot *Capture = nullptr,
+                                IncrementalStats *Inc = nullptr);
 
   /// Independent soundness check: re-evaluates every right-hand side over
   /// the solved assignment and compares direct results and side-effect

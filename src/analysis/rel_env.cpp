@@ -38,6 +38,20 @@ const std::vector<Symbol> &RelEnv::vars() const {
   return Node ? Node->Vars : Empty;
 }
 
+RelEnv RelEnv::fromRaw(std::vector<Symbol> Vars, Dbm Matrix) {
+  assert(Matrix.dim() == Vars.size() + 1 && "matrix/variable mismatch");
+  assert(std::is_sorted(Vars.begin(), Vars.end()) && "vars must be sorted");
+  RelData Data;
+  Data.Vars = std::move(Vars);
+  Data.Matrix = std::move(Matrix);
+  return fromData(std::move(Data));
+}
+
+const Dbm &RelEnv::matrix() const {
+  static const Dbm Top(0);
+  return Node ? Node->Matrix : Top;
+}
+
 RelData &RelEnv::mutableData() {
   if (!Node)
     Node = RelRef::make(RelData{});

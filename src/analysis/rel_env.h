@@ -132,6 +132,15 @@ public:
   size_t size() const { return Node ? Node->Vars.size() : 0; }
   const std::vector<Symbol> &vars() const;
 
+  /// Rebuilds an environment from its raw representation (snapshot
+  /// deserialization and cross-program symbol remapping): \p Vars sorted
+  /// ascending with matrix index i+1 = Vars[i]. Normalizes exactly like
+  /// the internal constructor, so `fromRaw(E.vars(), E.matrix()) == E`.
+  static RelEnv fromRaw(std::vector<Symbol> Vars, Dbm Matrix);
+  /// The stored matrix (possibly unclosed — see the closure discipline);
+  /// a dimension-1 top matrix when the environment is top.
+  const Dbm &matrix() const;
+
   /// A semantically equal environment whose matrix is in closed form
   /// (returns *this unchanged when already closed). Reads and precision-
   /// sensitive consumers go through this once, then use `get` freely.

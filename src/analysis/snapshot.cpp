@@ -1,0 +1,545 @@
+//===- analysis/snapshot.cpp - Analysis snapshots & program diffs --------===//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/snapshot.h"
+
+#include "engine/state_io.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace warrow;
+
+//===----------------------------------------------------------------------===//
+// Fingerprints and shapes
+//===----------------------------------------------------------------------===//
+
+std::string warrow::functionFingerprint(const Program &P, const Cfg &G,
+                                        const FuncDecl &F) {
+  // Everything the constraint system's right-hand sides can observe about
+  // the function: node count, return kind, parameter spellings, and each
+  // edge's action rendered with names (ids shift across parses, spellings
+  // do not). Local array sizes are absent from actions but also absent
+  // from the abstract transfer functions (arrays are smashed), so the
+  // fingerprint stays faithful.
+  std::string Out = "nodes " + std::to_string(G.numNodes());
+  Out += " ret " + std::to_string(int(F.ReturnsVoid));
+  Out += " params";
+  for (Symbol S : F.Params) {
+    Out += ' ';
+    Out += P.Symbols.spelling(S);
+  }
+  Out += '\n';
+  for (const CfgEdge &E : G.edges()) {
+    Out += std::to_string(E.From) + ">" + std::to_string(E.To) + " ";
+    Out += E.Act.str(P.Symbols);
+    Out += '\n';
+  }
+  return Out;
+}
+
+void warrow::snapshotShapes(const Program &P, const ProgramCfg &Cfgs,
+                            AnalysisSnapshot &Out) {
+  Out.Funcs.clear();
+  Out.Globals.clear();
+  Out.Funcs.reserve(P.Functions.size());
+  for (size_t I = 0; I < P.Functions.size(); ++I)
+    Out.Funcs.push_back({P.Symbols.spelling(P.Functions[I]->Name),
+                         functionFingerprint(P, Cfgs.cfgOf(I),
+                                             *P.Functions[I])});
+  Out.Globals.reserve(P.Globals.size());
+  for (const GlobalDecl &G : P.Globals)
+    Out.Globals.push_back({P.Symbols.spelling(G.Name), G.Init, G.ArraySize});
+}
+
+ProgramDiff warrow::diffSnapshot(const AnalysisSnapshot &Snap,
+                                 const Program &P, const ProgramCfg &Cfgs) {
+  ProgramDiff D;
+  std::unordered_map<std::string, std::string> NewFp;
+  for (size_t I = 0; I < P.Functions.size(); ++I)
+    NewFp.emplace(P.Symbols.spelling(P.Functions[I]->Name),
+                  functionFingerprint(P, Cfgs.cfgOf(I), *P.Functions[I]));
+  std::unordered_set<std::string> Known;
+  for (const FuncShape &F : Snap.Funcs) {
+    Known.insert(F.Name);
+    auto It = NewFp.find(F.Name);
+    if (It == NewFp.end() || It->second != F.Fingerprint)
+      D.ChangedFuncs.insert(F.Name);
+  }
+  for (const auto &[Name, Fp] : NewFp)
+    if (!Known.count(Name))
+      D.AddedFuncs.push_back(Name);
+
+  std::unordered_map<std::string, const GlobalDecl *> NewGlobals;
+  for (const GlobalDecl &G : P.Globals)
+    NewGlobals.emplace(P.Symbols.spelling(G.Name), &G);
+  for (const GlobalShape &G : Snap.Globals) {
+    auto It = NewGlobals.find(G.Name);
+    if (It == NewGlobals.end() || It->second->Init != G.Init ||
+        It->second->ArraySize != G.ArraySize)
+      D.ChangedGlobals.insert(G.Name);
+  }
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Value remapping (old program ids -> new program ids, by spelling)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds a relational environment whose variables were renumbered:
+/// \p Vars holds the *new* symbols in the matrix's current order (matrix
+/// index i+1 = Vars[i]); entries are permuted into new-symbol sorted
+/// order. nullopt when two variables collapsed onto one symbol.
+std::optional<RelEnv> relFromPermuted(const std::vector<Symbol> &Vars,
+                                      const Dbm &M, bool Closed) {
+  const size_t K = Vars.size();
+  assert(M.dim() == K + 1 && "matrix/variable mismatch");
+  std::vector<size_t> Order(K);
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::sort(Order.begin(), Order.end(),
+            [&Vars](size_t A, size_t B) { return Vars[A] < Vars[B]; });
+  std::vector<Symbol> Sorted;
+  Sorted.reserve(K);
+  for (size_t I : Order) {
+    if (!Sorted.empty() && Sorted.back() == Vars[I])
+      return std::nullopt;
+    Sorted.push_back(Vars[I]);
+  }
+  Dbm Out(K);
+  // New matrix index i+1 takes old index Order[i]+1; index 0 (the zero
+  // variable) is fixed. The permutation preserves closedness.
+  std::vector<size_t> Src(K + 1);
+  Src[0] = 0;
+  for (size_t I = 0; I < K; ++I)
+    Src[I + 1] = Order[I] + 1;
+  for (size_t I = 0; I <= K; ++I)
+    for (size_t J = 0; J <= K; ++J)
+      Out.set(I, J, M.at(Src[I], Src[J]));
+  if (Closed)
+    Out.markClosed();
+  return RelEnv::fromRaw(std::move(Sorted), std::move(Out));
+}
+
+} // namespace
+
+std::optional<AbsValue> warrow::remapAbsValue(const AbsValue &V,
+                                              const Program &OldP,
+                                              const Program &NewP) {
+  if (&OldP == &NewP)
+    return V;
+  auto MapSym = [&](Symbol S) -> Symbol {
+    return S ? NewP.Symbols.lookup(OldP.Symbols.spelling(S)) : 0;
+  };
+  switch (V.kind()) {
+  case AbsValue::Kind::Bot:
+  case AbsValue::Kind::Itv:
+    return V; // No symbols inside.
+  case AbsValue::Kind::Env: {
+    AbsEnv E;
+    for (const auto &[S, I] : V.envValue().entries()) {
+      Symbol NS = MapSym(S);
+      if (!NS)
+        return std::nullopt;
+      E.set(NS, I);
+    }
+    return AbsValue::env(std::move(E));
+  }
+  case AbsValue::Kind::Rel: {
+    const RelEnv &R = V.relValue();
+    std::vector<Symbol> NewVars;
+    NewVars.reserve(R.vars().size());
+    for (Symbol S : R.vars()) {
+      Symbol NS = MapSym(S);
+      if (!NS)
+        return std::nullopt;
+      NewVars.push_back(NS);
+    }
+    std::optional<RelEnv> Rel =
+        relFromPermuted(NewVars, R.matrix(), R.matrix().closed());
+    if (!Rel)
+      return std::nullopt;
+    return AbsValue::rel(std::move(*Rel));
+  }
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical comparison form
+//===----------------------------------------------------------------------===//
+
+std::map<std::string, std::string>
+warrow::canonicalSigma(const PartialSolution<AnalysisVar, AbsValue> &Sol,
+                       const Program &P,
+                       const std::vector<ContextValues> &Contexts) {
+  std::map<std::string, std::string> Out;
+  for (const auto &[X, Value] : Sol.Sigma) {
+    if (Value.isBot())
+      continue;
+    std::string Key;
+    if (X.isGlobal()) {
+      Key = "global:" + P.Symbols.spelling(X.Glob);
+    } else {
+      Key = P.Symbols.spelling(P.Functions[X.Func]->Name);
+      Key += ":" + std::to_string(X.Node) + "@(";
+      if (X.Ctx < Contexts.size()) {
+        for (const Flat<int64_t> &V : Contexts[X.Ctx]) {
+          if (V.isTop())
+            Key += "T,";
+          else if (V.isBot())
+            Key += "B,";
+          else
+            Key += "C" + std::to_string(V.constantValue()) + ",";
+        }
+      } else {
+        Key += "#" + std::to_string(X.Ctx); // No table: fall back to the id.
+      }
+      Key += ")";
+    }
+    Out[Key] = Value.str(P.Symbols);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::optional<int64_t> parseI64(std::string_view Tok) {
+  if (Tok.empty())
+    return std::nullopt;
+  bool Neg = Tok[0] == '-';
+  size_t I = Neg ? 1 : 0;
+  if (I >= Tok.size())
+    return std::nullopt;
+  uint64_t Mag = 0;
+  const uint64_t Limit =
+      Neg ? uint64_t(INT64_MAX) + 1 : uint64_t(INT64_MAX);
+  for (; I < Tok.size(); ++I) {
+    char C = Tok[I];
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    if (Mag > (Limit - uint64_t(C - '0')) / 10)
+      return std::nullopt;
+    Mag = Mag * 10 + uint64_t(C - '0');
+  }
+  return Neg ? -int64_t(Mag - 1) - 1 : int64_t(Mag);
+}
+
+/// Splits a codec payload on '\n' (identifier spellings cannot contain
+/// newlines, so this is unambiguous).
+std::vector<std::string_view> splitFields(const std::string &S) {
+  std::vector<std::string_view> Out;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t End = S.find('\n', Start);
+    if (End == std::string::npos) {
+      Out.push_back(std::string_view(S).substr(Start));
+      break;
+    }
+    Out.push_back(std::string_view(S).substr(Start, End - Start));
+    Start = End + 1;
+  }
+  return Out;
+}
+
+/// AnalysisVar codec: "g\n<name>", "p\n<func>\n<node>\n<ctx>", or a
+/// tombstone "t\n<node>\n<ctx>" for unknowns of functions the target
+/// program no longer has (the diff drops them).
+std::string encodeVar(const AnalysisVar &X, const Program &P) {
+  if (X.isGlobal())
+    return "g\n" + P.Symbols.spelling(X.Glob);
+  if (X.Func == UINT32_MAX)
+    return "t\n" + std::to_string(X.Node) + "\n" + std::to_string(X.Ctx);
+  return "p\n" + P.Symbols.spelling(P.Functions[X.Func]->Name) + "\n" +
+         std::to_string(X.Node) + "\n" + std::to_string(X.Ctx);
+}
+
+std::optional<AnalysisVar> decodeVar(const std::string &Bytes, Program &P) {
+  std::vector<std::string_view> F = splitFields(Bytes);
+  if (F.empty())
+    return std::nullopt;
+  if (F[0] == "g") {
+    if (F.size() != 2 || F[1].empty())
+      return std::nullopt;
+    return AnalysisVar::global(P.Symbols.intern(F[1]));
+  }
+  if (F[0] == "t") {
+    if (F.size() != 3)
+      return std::nullopt;
+    auto Node = parseI64(F[1]), Ctx = parseI64(F[2]);
+    if (!Node || !Ctx || *Node < 0 || *Ctx < 0 || *Node > UINT32_MAX ||
+        *Ctx > UINT32_MAX)
+      return std::nullopt;
+    return AnalysisVar::point(UINT32_MAX, uint32_t(*Node), uint32_t(*Ctx));
+  }
+  if (F[0] != "p" || F.size() != 4 || F[1].empty())
+    return std::nullopt;
+  auto Node = parseI64(F[2]), Ctx = parseI64(F[3]);
+  if (!Node || !Ctx || *Node < 0 || *Ctx < 0 || *Node > UINT32_MAX ||
+      *Ctx > UINT32_MAX)
+    return std::nullopt;
+  Symbol FS = P.Symbols.lookup(F[1]);
+  size_t Idx = FS ? P.functionIndex(FS) : P.Functions.size();
+  if (Idx >= P.Functions.size()) // Function gone: tombstone.
+    return AnalysisVar::point(UINT32_MAX, uint32_t(*Node), uint32_t(*Ctx));
+  return AnalysisVar::point(uint32_t(Idx), uint32_t(*Node), uint32_t(*Ctx));
+}
+
+/// AbsValue codec: "b", "i\n<lo>\n<hi>" (raw bounds), "e\n<k>" followed
+/// by k (name, lo, hi) triples, or "r\n<k>\n<closed>" followed by k
+/// names and the full (k+1)² raw matrix.
+std::string encodeValue(const AbsValue &V, const Program &P) {
+  switch (V.kind()) {
+  case AbsValue::Kind::Bot:
+    return "b";
+  case AbsValue::Kind::Itv: {
+    Interval I = V.itvValue();
+    return "i\n" + std::to_string(I.lo().raw()) + "\n" +
+           std::to_string(I.hi().raw());
+  }
+  case AbsValue::Kind::Env: {
+    const EnvData &E = V.envValue().entries();
+    std::string Out = "e\n" + std::to_string(E.size());
+    for (const auto &[S, I] : E)
+      Out += "\n" + P.Symbols.spelling(S) + "\n" +
+             std::to_string(I.lo().raw()) + "\n" +
+             std::to_string(I.hi().raw());
+    return Out;
+  }
+  case AbsValue::Kind::Rel: {
+    const RelEnv &R = V.relValue();
+    const Dbm &M = R.matrix();
+    std::string Out = "r\n" + std::to_string(R.vars().size()) + "\n" +
+                      std::to_string(int(M.closed()));
+    for (Symbol S : R.vars())
+      Out += "\n" + P.Symbols.spelling(S);
+    for (size_t I = 0; I < M.dim(); ++I)
+      for (size_t J = 0; J < M.dim(); ++J)
+        Out += "\n" + std::to_string(M.at(I, J).raw());
+    return Out;
+  }
+  }
+  return "b";
+}
+
+std::optional<AbsValue> decodeValue(const std::string &Bytes, Program &P) {
+  std::vector<std::string_view> F = splitFields(Bytes);
+  if (F.empty())
+    return std::nullopt;
+  if (F[0] == "b")
+    return F.size() == 1 ? std::optional<AbsValue>(AbsValue::bot())
+                         : std::nullopt;
+  if (F[0] == "i") {
+    if (F.size() != 3)
+      return std::nullopt;
+    auto Lo = parseI64(F[1]), Hi = parseI64(F[2]);
+    if (!Lo || !Hi || *Lo > *Hi)
+      return std::nullopt;
+    return AbsValue::itv(Interval::make(Bound(*Lo), Bound(*Hi)));
+  }
+  if (F[0] == "e") {
+    if (F.size() < 2)
+      return std::nullopt;
+    auto K = parseI64(F[1]);
+    if (!K || *K < 0 || F.size() != 2 + size_t(*K) * 3)
+      return std::nullopt;
+    AbsEnv E;
+    for (int64_t I = 0; I < *K; ++I) {
+      std::string_view Name = F[2 + size_t(I) * 3];
+      auto Lo = parseI64(F[3 + size_t(I) * 3]);
+      auto Hi = parseI64(F[4 + size_t(I) * 3]);
+      // Entries are never top or empty in a well-formed environment.
+      if (Name.empty() || !Lo || !Hi || *Lo > *Hi ||
+          (Bound(*Lo).isNegInf() && Bound(*Hi).isPosInf()))
+        return std::nullopt;
+      E.set(P.Symbols.intern(Name), Interval::make(Bound(*Lo), Bound(*Hi)));
+    }
+    return AbsValue::env(std::move(E));
+  }
+  if (F[0] != "r" || F.size() < 3)
+    return std::nullopt;
+  auto K = parseI64(F[1]);
+  auto ClosedFlag = parseI64(F[2]);
+  if (!K || *K < 0 || !ClosedFlag || (*ClosedFlag != 0 && *ClosedFlag != 1))
+    return std::nullopt;
+  const size_t NV = size_t(*K), Dim = NV + 1;
+  if (F.size() != 3 + NV + Dim * Dim)
+    return std::nullopt;
+  std::vector<Symbol> Vars;
+  Vars.reserve(NV);
+  for (size_t I = 0; I < NV; ++I) {
+    if (F[3 + I].empty())
+      return std::nullopt;
+    Vars.push_back(P.Symbols.intern(F[3 + I]));
+  }
+  Dbm M(NV);
+  for (size_t I = 0; I < Dim; ++I)
+    for (size_t J = 0; J < Dim; ++J) {
+      auto B = parseI64(F[3 + NV + I * Dim + J]);
+      if (!B)
+        return std::nullopt;
+      M.set(I, J, Bound(*B));
+    }
+  if (*ClosedFlag)
+    M.markClosed();
+  std::optional<RelEnv> Rel = relFromPermuted(Vars, M, *ClosedFlag != 0);
+  if (!Rel)
+    return std::nullopt;
+  return AbsValue::rel(std::move(*Rel));
+}
+
+} // namespace
+
+std::string warrow::serializeAnalysisSnapshot(const AnalysisSnapshot &Snap,
+                                              const Program &P) {
+  using engine::state_io_detail::putNetstring;
+  std::string Out = "warrow-analysis-snapshot v1\n";
+  Out += "domain ";
+  putNetstring(Out, std::string(domainName(Snap.Domain)));
+  Out += "\nctxsens " + std::to_string(int(Snap.ContextSensitive)) + "\n";
+  Out += "contexts " + std::to_string(Snap.Contexts.size()) + "\n";
+  for (const ContextValues &C : Snap.Contexts) {
+    Out += "k " + std::to_string(C.size());
+    for (const Flat<int64_t> &V : C) {
+      if (V.isTop())
+        Out += " T";
+      else if (V.isBot())
+        Out += " B";
+      else {
+        Out += " C ";
+        putNetstring(Out, std::to_string(V.constantValue()));
+      }
+    }
+    Out += '\n';
+  }
+  Out += "funcs " + std::to_string(Snap.Funcs.size()) + "\n";
+  for (const FuncShape &F : Snap.Funcs) {
+    Out += "fn ";
+    putNetstring(Out, F.Name);
+    Out += ' ';
+    putNetstring(Out, F.Fingerprint);
+    Out += '\n';
+  }
+  Out += "globals " + std::to_string(Snap.Globals.size()) + "\n";
+  for (const GlobalShape &G : Snap.Globals) {
+    Out += "gl ";
+    putNetstring(Out, G.Name);
+    Out += ' ';
+    putNetstring(Out, std::to_string(G.Init));
+    Out += ' ';
+    putNetstring(Out, std::to_string(G.ArraySize));
+    Out += '\n';
+  }
+  Out += "state ";
+  putNetstring(
+      Out, engine::serializeSolverState(
+               Snap.State,
+               [&P](const AnalysisVar &X) { return encodeVar(X, P); },
+               [&P](const AbsValue &V) { return encodeValue(V, P); }));
+  Out += "\nend\n";
+  return Out;
+}
+
+std::optional<AnalysisSnapshot>
+warrow::parseAnalysisSnapshot(std::string_view Text, Program &P) {
+  engine::state_io_detail::Cursor In(Text);
+  AnalysisSnapshot Snap;
+  In.keyword("warrow-analysis-snapshot");
+  In.keyword("v1");
+  In.keyword("domain");
+  std::optional<AnalysisDomain> Domain = domainForName(In.netstring());
+  if (!In.ok() || !Domain)
+    return std::nullopt;
+  Snap.Domain = *Domain;
+  In.keyword("ctxsens");
+  Snap.ContextSensitive = In.flag();
+  In.keyword("contexts");
+  uint64_t NumCtx = In.u64();
+  if (!In.ok() || NumCtx > Text.size())
+    return std::nullopt;
+  Snap.Contexts.reserve(NumCtx);
+  for (uint64_t I = 0; I < NumCtx; ++I) {
+    In.keyword("k");
+    uint64_t K = In.u64();
+    if (!In.ok() || K > Text.size())
+      return std::nullopt;
+    ContextValues C;
+    C.reserve(K);
+    for (uint64_t J = 0; J < K; ++J) {
+      std::string_view W = In.word();
+      if (W == "T")
+        C.push_back(Flat<int64_t>::top());
+      else if (W == "B")
+        C.push_back(Flat<int64_t>::bot());
+      else if (W == "C") {
+        auto Value = parseI64(In.netstring());
+        if (!In.ok() || !Value)
+          return std::nullopt;
+        C.push_back(Flat<int64_t>::constant(*Value));
+      } else
+        return std::nullopt;
+    }
+    if (!In.ok())
+      return std::nullopt;
+    Snap.Contexts.push_back(std::move(C));
+  }
+  In.keyword("funcs");
+  uint64_t NumFuncs = In.u64();
+  if (!In.ok() || NumFuncs > Text.size())
+    return std::nullopt;
+  for (uint64_t I = 0; I < NumFuncs; ++I) {
+    In.keyword("fn");
+    std::string Name = In.netstring();
+    std::string Fp = In.netstring();
+    if (!In.ok() || Name.empty())
+      return std::nullopt;
+    Snap.Funcs.push_back({std::move(Name), std::move(Fp)});
+  }
+  In.keyword("globals");
+  uint64_t NumGlobals = In.u64();
+  if (!In.ok() || NumGlobals > Text.size())
+    return std::nullopt;
+  for (uint64_t I = 0; I < NumGlobals; ++I) {
+    In.keyword("gl");
+    std::string Name = In.netstring();
+    auto Init = parseI64(In.netstring());
+    auto ArraySize = parseI64(In.netstring());
+    if (!In.ok() || Name.empty() || !Init || !ArraySize)
+      return std::nullopt;
+    Snap.Globals.push_back({std::move(Name), *Init, *ArraySize});
+  }
+  In.keyword("state");
+  std::string StateText = In.netstring();
+  In.keyword("end");
+  if (!In.ok() || !In.atEnd())
+    return std::nullopt;
+  std::optional<engine::SolverState<AnalysisVar, AbsValue>> State =
+      engine::parseSolverState<AnalysisVar, AbsValue>(
+          StateText,
+          [&P](const std::string &Bytes) { return decodeVar(Bytes, P); },
+          [&P](const std::string &Bytes) { return decodeValue(Bytes, P); });
+  if (!State)
+    return std::nullopt;
+  // Context ids must refer to the table above (capture only records
+  // interned ids; anything else is malformed input).
+  auto CtxOk = [&](const AnalysisVar &X) {
+    return !X.isPoint() || X.Ctx < Snap.Contexts.size();
+  };
+  for (const AnalysisVar &X : State->Vars)
+    if (!CtxOk(X))
+      return std::nullopt;
+  for (const auto &Cell : State->Cells)
+    if (!CtxOk(Cell.Target) || !CtxOk(Cell.Contributor))
+      return std::nullopt;
+  Snap.State = std::move(*State);
+  return Snap;
+}

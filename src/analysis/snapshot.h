@@ -1,0 +1,150 @@
+//===- analysis/snapshot.h - Analysis snapshots & program diffs -*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Externalized interprocedural-analysis state (DESIGN §6i): an
+/// `AnalysisSnapshot` pairs the engine-level `SolverState` over
+/// `AnalysisVar`/`AbsValue` with everything needed to re-attach that
+/// state to a *different* parse of the program — the interned calling
+/// contexts, the analysis domain, and per-function/per-global shape
+/// fingerprints. `diffSnapshot` compares a snapshot's fingerprints
+/// against a (possibly edited) program; `InterprocAnalysis::
+/// runIncremental` consumes the diff to resume instead of cold-solving.
+///
+/// Serialization follows the trace serializer's contract: bijective
+/// round trip, nullopt on malformed input. Unknowns and values travel by
+/// *name* (function names, symbol spellings), never by numeric id, so a
+/// snapshot written against one parse loads against a re-parse whose ids
+/// shifted. Names absent from the target program are interned on demand
+/// (harmless: the interner is just a string table); unknowns of functions
+/// the target no longer has become tombstones (`Func == UINT32_MAX`) the
+/// diff is guaranteed to drop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ANALYSIS_SNAPSHOT_H
+#define WARROW_ANALYSIS_SNAPSHOT_H
+
+#include "analysis/interproc.h"
+#include "engine/solver_state.h"
+#include "lang/cfg.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace warrow {
+
+/// Shape of one function as far as the constraint system is concerned:
+/// re-running the analysis over a function with an identical fingerprint
+/// yields identical right-hand sides for its program points.
+struct FuncShape {
+  std::string Name;
+  std::string Fingerprint;
+};
+
+/// Shape of one global (its base value feeds the global unknown's RHS).
+struct GlobalShape {
+  std::string Name;
+  int64_t Init = 0;
+  int64_t ArraySize = -1;
+};
+
+/// A solved analysis, externalized. `State.Vars` are expressed in the ids
+/// of the program the snapshot was captured against (or, after
+/// `parseAnalysisSnapshot`, of the program it was parsed against).
+struct AnalysisSnapshot {
+  engine::SolverState<AnalysisVar, AbsValue> State;
+  /// Context id -> values, in interning order (id 0 is the empty tuple).
+  std::vector<ContextValues> Contexts;
+  AnalysisDomain Domain = AnalysisDomain::Interval;
+  bool ContextSensitive = false;
+  std::vector<FuncShape> Funcs;
+  std::vector<GlobalShape> Globals;
+
+  /// True when there is no state to resume from (e.g. the run's solver
+  /// does not support snapshots); runIncremental falls back to a cold
+  /// solve on an empty snapshot.
+  bool empty() const { return State.size() == 0; }
+};
+
+/// Canonical fingerprint of \p F's CFG under \p P's interner: node count,
+/// parameter spellings, and every edge's action rendering. Two parses
+/// with equal fingerprints induce identical right-hand sides for the
+/// function's program points (modulo global/context state).
+std::string functionFingerprint(const Program &P, const Cfg &G,
+                                const FuncDecl &F);
+
+/// Fills \p Out.Funcs / \p Out.Globals with \p P's shapes.
+void snapshotShapes(const Program &P, const ProgramCfg &Cfgs,
+                    AnalysisSnapshot &Out);
+
+/// Which parts of a program no longer match a snapshot. Names rather than
+/// indices: the diff is computed between two different parses.
+struct ProgramDiff {
+  /// Functions whose fingerprint changed or that the program dropped.
+  std::unordered_set<std::string> ChangedFuncs;
+  /// Globals whose declaration changed or that the program dropped.
+  std::unordered_set<std::string> ChangedGlobals;
+  /// Functions the snapshot has never seen (informational; their unknowns
+  /// are discovered fresh by the warm solve).
+  std::vector<std::string> AddedFuncs;
+
+  bool anyChange() const {
+    return !ChangedFuncs.empty() || !ChangedGlobals.empty() ||
+           !AddedFuncs.empty();
+  }
+};
+
+/// Compares \p Snap's recorded shapes against \p P.
+ProgramDiff diffSnapshot(const AnalysisSnapshot &Snap, const Program &P,
+                         const ProgramCfg &Cfgs);
+
+/// Bookkeeping of one incremental resume (for benches and tests).
+struct IncrementalStats {
+  uint64_t SnapshotUnknowns = 0; ///< Slots in the incoming snapshot.
+  uint64_t DroppedUnknowns = 0;  ///< Slots of changed/removed funcs+globals.
+  uint64_t RestartedUnknowns = 0; ///< Kept slots reset to the initial value.
+  uint64_t RetractedCells = 0;   ///< Side-effect cells withdrawn.
+  uint64_t KeptCells = 0;        ///< Cells carried into the warm run.
+  bool ColdFallback = false;     ///< True when resume was not possible.
+};
+
+/// Re-expresses \p V (an AbsValue whose symbols belong to \p OldP) over
+/// \p NewP's interner, matching symbols by spelling. nullopt when some
+/// symbol has no spelling in \p NewP — callers restart the affected slot.
+std::optional<AbsValue> remapAbsValue(const AbsValue &V, const Program &OldP,
+                                      const Program &NewP);
+
+/// Canonical, context-id-independent rendering of a solution's non-bottom
+/// part: keys name unknowns as "func:node@(ctx-values)" / "global:name",
+/// values are the AbsValue renderings. Two runs over the same program
+/// that interned contexts in different orders — a warm resume vs a cold
+/// solve — compare equal exactly when they computed the same assignment
+/// on the reachable (non-bottom) unknowns; bottom entries are dropped
+/// because a warm run retains restarted-but-now-dead unknowns at bottom.
+std::map<std::string, std::string>
+canonicalSigma(const PartialSolution<AnalysisVar, AbsValue> &Sol,
+               const Program &P, const std::vector<ContextValues> &Contexts);
+
+/// Serializes \p Snap; unknowns and values are rendered with \p P's
+/// spellings (the program the snapshot's ids refer to).
+std::string serializeAnalysisSnapshot(const AnalysisSnapshot &Snap,
+                                      const Program &P);
+
+/// Parses a serialized snapshot *against* \p P: names resolve to \p P's
+/// ids (missing spellings are interned; unknowns of missing functions
+/// become tombstones the diff drops). nullopt on malformed input.
+std::optional<AnalysisSnapshot> parseAnalysisSnapshot(std::string_view Text,
+                                                      Program &P);
+
+} // namespace warrow
+
+#endif // WARROW_ANALYSIS_SNAPSHOT_H

@@ -1,0 +1,105 @@
+//===- engine/solver_state.h - Externalized solver state ---------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-class solver state (DESIGN §6i): everything an SLR/SLR+ run
+/// accumulates — σ, the influence map, the stable set, localized
+/// widening-point marks, the `set[z] != {}` flags, the read cache (which
+/// doubles as the dependency records: the exact (slot, value) pairs the
+/// last evaluation of each unknown read), and the per-contributor
+/// side-effect cells sigma(x,z) — in the same dense slot-indexed
+/// representation the engines use internally. A `SolverState` is what
+/// `SlrEngine::snapshot()` returns and `SlrEngine::restore()` consumes;
+/// the incremental driver (src/analysis/incremental.h) edits one between
+/// runs, and engine/state_io.h serializes one to text.
+///
+/// Invariants a state coming out of a quiescent engine satisfies (and a
+/// state handed to `restore` must preserve for soundness):
+///  - `Infl[y] ∋ y` for every slot, and `Infl[y] ⊇ {stable x : y was
+///    read by x's last evaluation}` — the reverse dependency edges the
+///    solver needs to destabilize readers when y moves;
+///  - a cache record with `Valid` replays only if every recorded read
+///    still matches σ, so stale values force a real re-evaluation;
+///  - every cell's target is either a slot with `SideEffected` set, or
+///    absent from the slot table entirely (a retracted-then-readopted
+///    target the engine re-interns on demand).
+///
+/// The "called" set of the paper (the on-stack marks) is deliberately
+/// absent: it is empty at quiescence, which is the only point where
+/// snapshotting is meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_SOLVER_STATE_H
+#define WARROW_ENGINE_SOLVER_STATE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace warrow::engine {
+
+/// Dense slot-indexed solver state. \p V is the unknown type, \p D the
+/// domain. All per-slot vectors have identical length `size()`.
+template <typename V, typename D> struct SolverState {
+  /// Last evaluation of one unknown: the (slot, value) pairs read through
+  /// `Get` in read order, and the RHS result (before the contribution
+  /// join and ⊕). Mirrors the engine's cache entry exactly.
+  struct CacheRecord {
+    std::vector<std::pair<uint32_t, D>> Reads;
+    D Value{};
+    bool Valid = false;
+
+    friend bool operator==(const CacheRecord &A, const CacheRecord &B) {
+      if (A.Valid != B.Valid)
+        return false;
+      if (!A.Valid && !B.Valid)
+        return true; // Stale reads/value carry no meaning.
+      return A.Reads == B.Reads && A.Value == B.Value;
+    }
+  };
+
+  /// One side-effect contribution cell sigma(contributor, target).
+  struct ContribCell {
+    V Target{};
+    V Contributor{};
+    D Value{};
+  };
+
+  std::vector<V> Vars;                     ///< Slot -> unknown.
+  std::vector<D> Sigma;                    ///< Slot -> value.
+  std::vector<std::vector<uint32_t>> Infl; ///< Slot -> influenced slots.
+  std::vector<uint8_t> Stable;             ///< Slot -> in `stable`.
+  std::vector<uint8_t> WideningPoint;      ///< Slot -> localized ▽ point.
+  std::vector<uint8_t> SideEffected;       ///< Slot -> set[z] != {}.
+  std::vector<CacheRecord> Cache;          ///< Slot -> last evaluation.
+  std::vector<ContribCell> Cells;          ///< sigma(x,z) cells, any order.
+
+  size_t size() const { return Vars.size(); }
+
+  /// Cells as target -> (contributor -> value), the order-insensitive
+  /// view equality and the engine's own `Contribs` map use.
+  std::unordered_map<V, std::unordered_map<V, D>> cellMap() const {
+    std::unordered_map<V, std::unordered_map<V, D>> M;
+    for (const ContribCell &Cell : Cells)
+      M[Cell.Target][Cell.Contributor] = Cell.Value;
+    return M;
+  }
+
+  /// Structural equality; cell order is irrelevant.
+  friend bool operator==(const SolverState &A, const SolverState &B) {
+    return A.Vars == B.Vars && A.Sigma == B.Sigma && A.Infl == B.Infl &&
+           A.Stable == B.Stable && A.WideningPoint == B.WideningPoint &&
+           A.SideEffected == B.SideEffected && A.Cache == B.Cache &&
+           A.cellMap() == B.cellMap();
+  }
+};
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_SOLVER_STATE_H

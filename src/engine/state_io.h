@@ -1,0 +1,341 @@
+//===- engine/state_io.h - Solver state text serialization -------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for SolverState (engine/solver_state.h), following
+/// the trace serializer's contract (src/trace/serialize.h): the format is
+/// bijective — `parseSolverState(serializeSolverState(S)) == S` — and
+/// parsing returns nullopt on any malformed input instead of guessing.
+///
+/// The format is token-oriented rather than line-oriented because unknown
+/// and value payloads are produced by caller-supplied codecs and may
+/// contain arbitrary bytes; every payload travels as a netstring
+/// `<len>:<bytes>`, so whitespace inside payloads cannot confuse the
+/// reader. Layout (newlines are cosmetic):
+///
+///     warrow-solver-state v1
+///     vars <N>
+///     v <var>                          one per slot
+///     sigma
+///     d <value>                        one per slot
+///     infl
+///     i <k> <slot>...                  one per slot
+///     flags
+///     f <stable> <wp> <side>           one per slot
+///     cache
+///     c <valid> <value> <k> r <slot> <value> ...
+///     cells <M>
+///     x <target> <contributor> <value>
+///     end
+///
+/// Codecs: `EncodeVar(V) -> std::string`, `DecodeVar(std::string) ->
+/// std::optional<V>`, and the same pair for D. A codec returning nullopt
+/// fails the whole parse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_ENGINE_STATE_IO_H
+#define WARROW_ENGINE_STATE_IO_H
+
+#include "engine/solver_state.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace warrow::engine {
+
+namespace state_io_detail {
+
+inline void putNetstring(std::string &Out, const std::string &Bytes) {
+  Out += std::to_string(Bytes.size());
+  Out += ':';
+  Out += Bytes;
+}
+
+/// Whitespace-separated token reader with netstring support; sticky
+/// failure (every accessor no-ops once `Ok` dropped).
+class Cursor {
+public:
+  explicit Cursor(std::string_view Text) : Text(Text) {}
+
+  bool ok() const { return Ok; }
+
+  /// Consumes the exact keyword \p Word.
+  void keyword(std::string_view Word) {
+    std::string_view Tok = token();
+    if (Tok != Word)
+      Ok = false;
+  }
+
+  uint64_t u64() {
+    std::string_view Tok = token();
+    if (!Ok || Tok.empty())
+      return fail();
+    uint64_t Value = 0;
+    for (char C : Tok) {
+      if (C < '0' || C > '9')
+        return fail();
+      if (Value > (UINT64_MAX - (C - '0')) / 10)
+        return fail();
+      Value = Value * 10 + static_cast<uint64_t>(C - '0');
+    }
+    return Value;
+  }
+
+  bool flag() {
+    uint64_t Value = u64();
+    if (Value > 1)
+      Ok = false;
+    return Value != 0;
+  }
+
+  /// Reads one netstring payload.
+  std::string netstring() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    if (Pos == Start || Pos >= Text.size() || Text[Pos] != ':') {
+      Ok = false;
+      return {};
+    }
+    uint64_t Len = 0;
+    for (size_t I = Start; I < Pos; ++I) {
+      if (Len > (UINT64_MAX - (Text[I] - '0')) / 10) {
+        Ok = false;
+        return {};
+      }
+      Len = Len * 10 + static_cast<uint64_t>(Text[I] - '0');
+    }
+    ++Pos; // ':'
+    if (Len > Text.size() - Pos) {
+      Ok = false;
+      return {};
+    }
+    std::string Bytes(Text.substr(Pos, Len));
+    Pos += Len;
+    return Bytes;
+  }
+
+  /// Reads one whitespace-delimited token (fails at end of input). For
+  /// callers choosing between keyword alternatives.
+  std::string_view word() { return token(); }
+
+  /// True when only trailing whitespace remains.
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+private:
+  uint64_t fail() {
+    Ok = false;
+    return 0;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\n' || Text[Pos] == '\t' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  std::string_view token() {
+    skipSpace();
+    if (Pos >= Text.size()) {
+      Ok = false;
+      return {};
+    }
+    size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] != ' ' && Text[Pos] != '\n' &&
+           Text[Pos] != '\t' && Text[Pos] != '\r')
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  bool Ok = true;
+};
+
+} // namespace state_io_detail
+
+template <typename V, typename D, typename VEnc, typename DEnc>
+std::string serializeSolverState(const SolverState<V, D> &S,
+                                 VEnc &&EncodeVar, DEnc &&EncodeValue) {
+  using state_io_detail::putNetstring;
+  std::string Out;
+  const size_t N = S.size();
+  Out += "warrow-solver-state v1\n";
+  Out += "vars " + std::to_string(N) + "\n";
+  for (const V &X : S.Vars) {
+    Out += "v ";
+    putNetstring(Out, EncodeVar(X));
+    Out += '\n';
+  }
+  Out += "sigma\n";
+  for (const D &Value : S.Sigma) {
+    Out += "d ";
+    putNetstring(Out, EncodeValue(Value));
+    Out += '\n';
+  }
+  Out += "infl\n";
+  for (const std::vector<uint32_t> &Row : S.Infl) {
+    Out += "i " + std::to_string(Row.size());
+    for (uint32_t Slot : Row)
+      Out += ' ' + std::to_string(Slot);
+    Out += '\n';
+  }
+  Out += "flags\n";
+  for (size_t I = 0; I < N; ++I)
+    Out += "f " + std::to_string(int(S.Stable[I])) + ' ' +
+           std::to_string(int(S.WideningPoint[I])) + ' ' +
+           std::to_string(int(S.SideEffected[I])) + '\n';
+  Out += "cache\n";
+  for (const auto &Entry : S.Cache) {
+    Out += "c " + std::to_string(int(Entry.Valid)) + ' ';
+    // Invalid entries carry no meaning (the state's equality ignores
+    // their stale reads/value); serialize them empty for a clean
+    // round trip.
+    if (!Entry.Valid) {
+      putNetstring(Out, std::string());
+      Out += " 0\n";
+      continue;
+    }
+    putNetstring(Out, EncodeValue(Entry.Value));
+    Out += ' ' + std::to_string(Entry.Reads.size());
+    for (const auto &[Slot, Value] : Entry.Reads) {
+      Out += " r " + std::to_string(Slot) + ' ';
+      putNetstring(Out, EncodeValue(Value));
+    }
+    Out += '\n';
+  }
+  Out += "cells " + std::to_string(S.Cells.size()) + "\n";
+  for (const auto &Cell : S.Cells) {
+    Out += "x ";
+    putNetstring(Out, EncodeVar(Cell.Target));
+    Out += ' ';
+    putNetstring(Out, EncodeVar(Cell.Contributor));
+    Out += ' ';
+    putNetstring(Out, EncodeValue(Cell.Value));
+    Out += '\n';
+  }
+  Out += "end\n";
+  return Out;
+}
+
+template <typename V, typename D, typename VDec, typename DDec>
+std::optional<SolverState<V, D>>
+parseSolverState(std::string_view Text, VDec &&DecodeVar,
+                 DDec &&DecodeValue) {
+  state_io_detail::Cursor In(Text);
+  SolverState<V, D> S;
+  In.keyword("warrow-solver-state");
+  In.keyword("v1");
+  In.keyword("vars");
+  uint64_t N = In.u64();
+  if (!In.ok() || N > Text.size()) // Cheap sanity bound on slot count.
+    return std::nullopt;
+  S.Vars.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    In.keyword("v");
+    std::optional<V> X = DecodeVar(In.netstring());
+    if (!In.ok() || !X)
+      return std::nullopt;
+    S.Vars.push_back(std::move(*X));
+  }
+  In.keyword("sigma");
+  S.Sigma.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    In.keyword("d");
+    std::optional<D> Value = DecodeValue(In.netstring());
+    if (!In.ok() || !Value)
+      return std::nullopt;
+    S.Sigma.push_back(std::move(*Value));
+  }
+  In.keyword("infl");
+  S.Infl.resize(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    In.keyword("i");
+    uint64_t K = In.u64();
+    if (!In.ok() || K > Text.size())
+      return std::nullopt;
+    S.Infl[I].reserve(K);
+    for (uint64_t J = 0; J < K; ++J) {
+      uint64_t Slot = In.u64();
+      if (!In.ok() || Slot >= N)
+        return std::nullopt;
+      S.Infl[I].push_back(static_cast<uint32_t>(Slot));
+    }
+  }
+  In.keyword("flags");
+  S.Stable.resize(N);
+  S.WideningPoint.resize(N);
+  S.SideEffected.resize(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    In.keyword("f");
+    S.Stable[I] = In.flag() ? 1 : 0;
+    S.WideningPoint[I] = In.flag() ? 1 : 0;
+    S.SideEffected[I] = In.flag() ? 1 : 0;
+    if (!In.ok())
+      return std::nullopt;
+  }
+  In.keyword("cache");
+  S.Cache.resize(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    In.keyword("c");
+    bool Valid = In.flag();
+    std::string ValueBytes = In.netstring();
+    uint64_t K = In.u64();
+    if (!In.ok() || K > Text.size())
+      return std::nullopt;
+    auto &Entry = S.Cache[I];
+    Entry.Valid = Valid;
+    if (Valid) {
+      std::optional<D> Value = DecodeValue(ValueBytes);
+      if (!Value)
+        return std::nullopt;
+      Entry.Value = std::move(*Value);
+    } else if (!ValueBytes.empty() || K != 0) {
+      return std::nullopt;
+    }
+    Entry.Reads.reserve(K);
+    for (uint64_t J = 0; J < K; ++J) {
+      In.keyword("r");
+      uint64_t Slot = In.u64();
+      std::optional<D> Value = DecodeValue(In.netstring());
+      if (!In.ok() || Slot >= N || !Value)
+        return std::nullopt;
+      Entry.Reads.emplace_back(static_cast<uint32_t>(Slot),
+                               std::move(*Value));
+    }
+  }
+  In.keyword("cells");
+  uint64_t M = In.u64();
+  if (!In.ok() || M > Text.size())
+    return std::nullopt;
+  S.Cells.reserve(M);
+  for (uint64_t I = 0; I < M; ++I) {
+    In.keyword("x");
+    std::optional<V> Target = DecodeVar(In.netstring());
+    std::optional<V> Contributor = DecodeVar(In.netstring());
+    std::optional<D> Value = DecodeValue(In.netstring());
+    if (!In.ok() || !Target || !Contributor || !Value)
+      return std::nullopt;
+    S.Cells.push_back({std::move(*Target), std::move(*Contributor),
+                       std::move(*Value)});
+  }
+  In.keyword("end");
+  if (!In.ok() || !In.atEnd())
+    return std::nullopt;
+  return S;
+}
+
+} // namespace warrow::engine
+
+#endif // WARROW_ENGINE_STATE_IO_H

@@ -122,6 +122,12 @@ public:
 
   /// Solves for \p X0 and returns the partial ⊕-solution.
   PartialSolution<V, D> solveFor(const V &X0) {
+    // A restored engine (see `restore`) resumes on the nested sequential
+    // engine regardless of thread count: the destabilized region of an
+    // incremental run is small by design, so there is nothing to
+    // partition.
+    if (Sequential)
+      return Sequential->solveFor(X0);
     // A single worker gains nothing from the pre-pass, proxies, and
     // mailboxes — delegate to the sequential engine outright, so a
     // `--threads=1` run costs what sequential SLR+ costs. The public
@@ -179,6 +185,108 @@ public:
       return Result;
     }
     return assemble();
+  }
+
+  // --- Snapshot / restore (DESIGN §6i) ------------------------------------
+
+  /// Externalizes the merged global solver state. Post-quiescence only.
+  /// With one worker this is the sequential engine's snapshot verbatim;
+  /// otherwise the per-component engine snapshots merge in global
+  /// discovery-slot order:
+  ///  - each unknown appears once, from its owning component — *proxy*
+  ///    slots are dropped, but their influence rows and the cache reads
+  ///    through them are remapped onto the owner's global slot, so
+  ///    cross-component dependency edges survive as ordinary influence
+  ///    edges (a proxy's snapshot value equals the owner's published
+  ///    value at quiescence, so the remapped cache reads stay fresh);
+  ///  - contribution cells come from the owning engines only (the
+  ///    sharded accumulator cells are mirrors of the mailed-in cells);
+  ///  - members never interned by any engine (pre-pass failure or budget
+  ///    abort) keep the published/initial value and stay unstable, so a
+  ///    restore finishes the remaining work.
+  SolverState<V, D> snapshot() {
+    if (Sequential)
+      return Sequential->snapshot();
+    SolverState<V, D> S;
+    const size_t N = GVars.size() + OverflowVars.size();
+    S.Vars = GVars;
+    S.Vars.insert(S.Vars.end(), OverflowVars.begin(), OverflowVars.end());
+    S.Sigma.reserve(N);
+    for (size_t G = 0; G < N; ++G)
+      S.Sigma.push_back(G < NPre ? (GSigmaFixed.empty()
+                                        ? System.initial(GVars[G])
+                                        : GSigmaFixed[G])
+                                 : OverflowVal[G - NPre]);
+    S.Infl.resize(N);
+    S.Stable.assign(N, 0);
+    S.WideningPoint.assign(N, 0);
+    S.SideEffected.assign(N, 0);
+    S.Cache.resize(N);
+    for (CompId I = 0; I < Comps.size(); ++I) {
+      CompState &CS = Comps[I];
+      if (!CS.Engine)
+        continue;
+      const std::vector<V> &Order = CS.Engine->discoveryOrder();
+      if (!Order.empty())
+        localToGlobal(I, static_cast<uint32_t>(Order.size()) - 1);
+      SolverState<V, D> ES = CS.Engine->snapshot();
+      for (uint32_t L = 0; L < ES.size(); ++L) {
+        uint32_t G = CS.LocalGslot[L];
+        for (uint32_t R : ES.Infl[L]) {
+          uint32_t GR = CS.LocalGslot[R];
+          std::vector<uint32_t> &Row = S.Infl[G];
+          if (std::find(Row.begin(), Row.end(), GR) == Row.end())
+            Row.push_back(GR);
+        }
+        if (!CS.LocalIsMember[L])
+          continue;
+        S.Sigma[G] = ES.Sigma[L];
+        S.Stable[G] = ES.Stable[L];
+        S.WideningPoint[G] = ES.WideningPoint[L];
+        S.SideEffected[G] = ES.SideEffected[L];
+        auto &Entry = S.Cache[G];
+        Entry.Valid = ES.Cache[L].Valid;
+        if (Entry.Valid) {
+          Entry.Value = ES.Cache[L].Value;
+          Entry.Reads.reserve(ES.Cache[L].Reads.size());
+          for (const auto &[RS, RV] : ES.Cache[L].Reads)
+            Entry.Reads.emplace_back(CS.LocalGslot[RS], RV);
+        }
+      }
+      for (auto &Cell : ES.Cells)
+        S.Cells.push_back(std::move(Cell));
+    }
+    for (size_t G = 0; G < N; ++G)
+      if (S.Infl[G].empty())
+        S.Infl[G].push_back(static_cast<uint32_t>(G));
+    // Canonical cell order by global slot (serialized snapshots diff
+    // cleanly); every endpoint was discovered or adopted, so the lookup
+    // always hits.
+    std::unordered_map<V, uint32_t> GSlotOf;
+    GSlotOf.reserve(N);
+    for (uint32_t G = 0; G < S.Vars.size(); ++G)
+      GSlotOf.emplace(S.Vars[G], G);
+    auto SlotKey = [&GSlotOf](const V &X) {
+      auto It = GSlotOf.find(X);
+      return It != GSlotOf.end() ? It->second : UINT32_MAX;
+    };
+    std::sort(S.Cells.begin(), S.Cells.end(),
+              [&](const auto &A, const auto &B) {
+                uint32_t AT = SlotKey(A.Target), BT = SlotKey(B.Target);
+                if (AT != BT)
+                  return AT < BT;
+                return SlotKey(A.Contributor) < SlotKey(B.Contributor);
+              });
+    return S;
+  }
+
+  /// Rebuilds from \p S for warm resumption on the nested sequential
+  /// engine (see solveFor). Must be called on a fresh engine.
+  void restore(const SolverState<V, D> &S) {
+    assert(!Sequential && GVars.empty() && "restore requires a fresh engine");
+    Sequential.reset(new SlrEngine<V, D, C, /*WithSide=*/true>(
+        System, CombineProto, Options, Localized));
+    Sequential->restore(S);
   }
 
   // --- Introspection (two-phase driver, tests) ----------------------------

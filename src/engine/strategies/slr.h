@@ -94,9 +94,11 @@
 #define WARROW_ENGINE_STRATEGIES_SLR_H
 
 #include "engine/instr.h"
+#include "engine/solver_state.h"
 #include "eqsys/local_system.h"
 #include "support/indexed_heap.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -124,9 +126,12 @@ public:
       : System(System), Combine(std::move(Combine)), Options(Options),
         Instr(Stats, this->Options), Localized(LocalizedCombine) {}
 
-  /// Solves for \p X0 and returns the partial ⊕-solution.
+  /// Solves for \p X0 and returns the partial ⊕-solution. On a fresh
+  /// engine X0 is interned into slot 0; on a restored engine (see
+  /// `restore`) an already-known root resumes from its snapshot slot.
   PartialSolution<V, D> solveFor(const V &X0) {
-    solve(internFresh(X0));
+    auto RootIt = SlotOf.find(X0);
+    solve(RootIt != SlotOf.end() ? RootIt->second : internFresh(X0));
     // Complete any work left in the queue (possible when destabilizations
     // race with evaluations that end up not changing any value up the
     // recursion; the final assignment must be a partial ⊕-solution).
@@ -247,6 +252,103 @@ public:
   /// parallel driver merges per-engine traces; solveFor moves this.
   const std::vector<std::pair<V, D>> &updateTrace() const { return Trace; }
 
+  // --- Snapshot / restore (DESIGN §6i) ------------------------------------
+
+  /// Externalizes the complete solver state: σ, infl, stable, the
+  /// localized widening-point and set[z] marks, the read cache (the
+  /// dependency records), and the per-contributor cells. Meaningful at
+  /// quiescence (after solveFor / a drained run); the on-stack marks are
+  /// empty there and are not captured.
+  SolverState<V, D> snapshot() const {
+    SolverState<V, D> S;
+    const size_t N = VarOf.size();
+    S.Vars = VarOf;
+    S.Sigma = SigmaV;
+    S.Infl = InflV;
+    S.Stable = StableV;
+    if constexpr (WithSide) {
+      S.WideningPoint = WideningPointV;
+      S.SideEffected = SideEffectedV;
+    } else {
+      S.WideningPoint.assign(N, 0);
+      S.SideEffected.assign(N, 0);
+    }
+    S.Cache.resize(N);
+    for (size_t I = 0; I < N; ++I) {
+      S.Cache[I].Reads = CacheV[I].Reads;
+      S.Cache[I].Value = CacheV[I].Value;
+      S.Cache[I].Valid = CacheV[I].Valid;
+    }
+    for (const auto &[Target, Cells] : Contribs)
+      for (const auto &[Contributor, Value] : Cells)
+        S.Cells.push_back({Target, Contributor, Value});
+    // Deterministic cell order where slots exist (keeps serialized
+    // snapshots diffable run to run); cells whose endpoint was never
+    // interned sort last.
+    auto SlotKey = [this](const V &X) {
+      auto It = SlotOf.find(X);
+      return It != SlotOf.end() ? It->second : UINT32_MAX;
+    };
+    std::sort(S.Cells.begin(), S.Cells.end(),
+              [&](const auto &A, const auto &B) {
+                uint32_t AT = SlotKey(A.Target), BT = SlotKey(B.Target);
+                if (AT != BT)
+                  return AT < BT;
+                return SlotKey(A.Contributor) < SlotKey(B.Contributor);
+              });
+    return S;
+  }
+
+  /// Rebuilds the engine from \p S. Must be called on a fresh engine
+  /// (nothing interned yet); unstable slots are queued so the next
+  /// solveFor/run resumes exactly where the snapshot's destabilization
+  /// left off. Cells whose target is absent from the slot table mark the
+  /// target for `SideEffected` adoption when it is re-interned — without
+  /// that mark, `side`'s value-dedup would never re-announce an unchanged
+  /// contribution and the localized-widening policy would miss set[z].
+  void restore(const SolverState<V, D> &S) {
+    assert(VarOf.empty() && "restore requires a fresh engine");
+    const size_t N = S.size();
+    VarOf = S.Vars;
+    SigmaV = S.Sigma;
+    InflV = S.Infl;
+    StableV = S.Stable;
+    SlotOf.reserve(N);
+    for (uint32_t I = 0; I < N; ++I)
+      SlotOf.emplace(VarOf[I], I);
+    if constexpr (WithSide) {
+      OnStackV.assign(N, 0); // The called set is empty at quiescence.
+      WideningPointV = S.WideningPoint;
+      SideEffectedV = S.SideEffected;
+      AssignOnlyV.resize(N);
+      for (uint32_t I = 0; I < N; ++I)
+        AssignOnlyV[I] = AssignOnlyPred && AssignOnlyPred(VarOf[I]) ? 1 : 0;
+      for (uint32_t I = 0; I < N; ++I)
+        if (WideningPointV[I])
+          WideningPoints.insert(VarOf[I]);
+    }
+    CacheV.resize(N);
+    for (size_t I = 0; I < N; ++I) {
+      CacheV[I].Reads = S.Cache[I].Reads;
+      CacheV[I].Value = S.Cache[I].Value;
+      CacheV[I].Valid = S.Cache[I].Valid && Options.RhsCache;
+    }
+    Queue.resizeUniverse(N);
+    for (uint32_t I = 0; I < N; ++I)
+      if (!StableV[I])
+        addQ(I);
+    if constexpr (WithSide) {
+      for (const auto &Cell : S.Cells) {
+        Contribs[Cell.Target][Cell.Contributor] = Cell.Value;
+        auto It = SlotOf.find(Cell.Target);
+        if (It == SlotOf.end())
+          PendingSideMark.insert(Cell.Target);
+        else
+          SideEffectedV[It->second] = 1;
+      }
+    }
+  }
+
   // --- Introspection (used by the two-phase baseline and by tests) --------
 
   /// Discovered unknowns in discovery order (slot order); `keys` of the
@@ -315,7 +417,11 @@ private:
     if constexpr (WithSide) {
       OnStackV.push_back(0);
       WideningPointV.push_back(0);
-      SideEffectedV.push_back(0);
+      // A restored cell may target an unknown outside the snapshot's
+      // slot table; re-adopting it here keeps set[z] sound (the
+      // contributor's value-dedup in `side` will never re-announce it).
+      SideEffectedV.push_back(
+          !PendingSideMark.empty() && PendingSideMark.erase(Y) != 0 ? 1 : 0);
       AssignOnlyV.push_back(AssignOnlyPred && AssignOnlyPred(Y) ? 1 : 0);
     }
     CacheV.emplace_back();
@@ -544,6 +650,7 @@ private:
   // only; empty otherwise.
   std::unordered_map<V, std::unordered_map<V, D>> Contribs;
   std::unordered_set<V> WideningPoints;
+  std::unordered_set<V> PendingSideMark; // Restored cells awaiting re-intern.
   std::vector<std::pair<V, D>> Trace;
   SolverStats Stats;
   Instrumentation Instr; // Binds Stats; must follow Stats and Options.

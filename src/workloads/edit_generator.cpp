@@ -1,0 +1,262 @@
+//===- workloads/edit_generator.cpp - Program edit sequences -------------====//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/edit_generator.h"
+
+#include "support/rng.h"
+
+#include <cassert>
+
+using namespace warrow;
+
+namespace {
+
+/// Source emission helper (same shape as spec_generator's).
+class SourceWriter {
+public:
+  void line(const std::string &Text) {
+    Out.append(2 * Indent, ' ');
+    Out += Text;
+    Out += '\n';
+  }
+  void open(const std::string &Text) {
+    line(Text + " {");
+    ++Indent;
+  }
+  void close() {
+    --Indent;
+    line("}");
+  }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+  unsigned Indent = 0;
+};
+
+/// Independent per-declaration stream: the body of a function (or a
+/// global's base initializer) is a pure function of these inputs, so one
+/// edit re-draws exactly one declaration.
+Rng streamFor(uint64_t Seed, uint64_t Decl, uint64_t Variant) {
+  return Rng(Seed ^ (Decl + 1) * 0x9e3779b97f4a7c15ULL ^
+             (Variant + 1) * 0xbf58476d1ce4e5b9ULL);
+}
+
+unsigned levelOf(const EditProgramSpec &Spec, unsigned F) {
+  unsigned Depth = Spec.MaxCallDepth == 0 ? 1 : Spec.MaxCallDepth;
+  if (F >= Spec.NumFunctions)
+    return Depth - 1; // Added functions are leaves.
+  return static_cast<unsigned>((static_cast<uint64_t>(F) * Depth) /
+                               Spec.NumFunctions);
+}
+
+unsigned firstOfLevel(const EditProgramSpec &Spec, unsigned L) {
+  unsigned Depth = Spec.MaxCallDepth == 0 ? 1 : Spec.MaxCallDepth;
+  uint64_t Num = static_cast<uint64_t>(L) * Spec.NumFunctions;
+  unsigned F = static_cast<unsigned>((Num + Depth - 1) / Depth);
+  while (F < Spec.NumFunctions && levelOf(Spec, F) != L)
+    ++F;
+  return F;
+}
+
+int64_t baseGlobalInit(const EditProgramSpec &Spec, unsigned G) {
+  Rng R = streamFor(Spec.Seed, 1000000 + G, 0);
+  return static_cast<int64_t>(R.below(20));
+}
+
+/// Emits function F's body into W. Depends only on (Seed, F, Variant) and
+/// the *spec* (base function count, depth, global count) — never on other
+/// functions' variants, so their text survives the edit byte-identically.
+void emitFunction(const EditProgramSpec &Spec, unsigned F, uint32_t Variant,
+                  SourceWriter &W) {
+  Rng R = streamFor(Spec.Seed, F, Variant);
+  unsigned Depth = Spec.MaxCallDepth == 0 ? 1 : Spec.MaxCallDepth;
+  unsigned Level = levelOf(Spec, F);
+  std::string Name = "f" + std::to_string(F);
+
+  W.open("int " + Name + "(int p0, int p1)");
+  W.line("int acc = p0 % " + std::to_string(10 + R.below(40)) + ";");
+  W.line("int key = p1;");
+
+  unsigned Loops = 1 + static_cast<unsigned>(R.below(2));
+  for (unsigned L = 0; L < Loops; ++L) {
+    std::string IV = "i" + std::to_string(L);
+    int64_t Bound = 3 + static_cast<int64_t>(R.below(12));
+    int64_t Scale = 1 + static_cast<int64_t>(R.below(4));
+    int64_t Cap = 100 + static_cast<int64_t>(R.below(900));
+    W.line("int " + IV + " = 0;");
+    W.open("while (" + IV + " < " + std::to_string(Bound) + ")");
+    W.line("acc = acc + " + IV + " * " + std::to_string(Scale) + ";");
+    W.line("if (acc > " + std::to_string(Cap) + ")");
+    W.line("  acc = " + std::to_string(Cap) + ";");
+    if (Spec.NumGlobals > 0 && R.chance(1, 2)) {
+      unsigned G = static_cast<unsigned>(R.below(Spec.NumGlobals));
+      W.line("g" + std::to_string(G) + " = " + IV + ";");
+    }
+    W.line(IV + " = " + IV + " + 1;");
+    W.close();
+  }
+
+  if (Spec.NumGlobals > 0 && R.chance(2, 3)) {
+    unsigned G = static_cast<unsigned>(R.below(Spec.NumGlobals));
+    W.line("int gin = g" + std::to_string(G) + ";");
+    W.open("if (gin > acc)");
+    W.line("acc = acc + " + std::to_string(1 + R.below(5)) + ";");
+    W.close();
+  }
+
+  // Calls into the next level of the *base* layout; added functions (and
+  // bottom-level base functions) are leaves.
+  if (F < Spec.NumFunctions && Level + 1 < Depth) {
+    unsigned Lo = firstOfLevel(Spec, Level + 1);
+    unsigned Hi =
+        Level + 2 < Depth ? firstOfLevel(Spec, Level + 2) : Spec.NumFunctions;
+    if (Lo < Hi) {
+      unsigned Calls = 1 + static_cast<unsigned>(R.below(2));
+      for (unsigned C = 0; C < Calls; ++C) {
+        unsigned Callee = Lo + static_cast<unsigned>(R.below(Hi - Lo));
+        std::string Result = "t" + std::to_string(C);
+        std::string ArgOne = R.chance(1, 2)
+                                 ? std::to_string(3 + R.below(30))
+                                 : std::string("key");
+        W.line("int " + Result + " = f" + std::to_string(Callee) + "(acc % " +
+               std::to_string(5 + R.below(20)) + ", " + ArgOne + ");");
+        W.line("acc = (acc + " + Result + ") % " +
+               std::to_string(200 + R.below(300)) + ";");
+      }
+    }
+  }
+
+  if (Spec.NumGlobals > 0 && R.chance(1, 2)) {
+    unsigned G = static_cast<unsigned>(R.below(Spec.NumGlobals));
+    W.line("g" + std::to_string(G) + " = acc % " +
+           std::to_string(16 + R.below(112)) + ";");
+  }
+  // The variant literal makes a body change *certain*, independent of the
+  // re-drawn structure above coinciding.
+  W.line("acc = (acc + " + std::to_string(Variant) + ") % 97;");
+  W.line("return acc % " + std::to_string(100 + R.below(900)) + ";");
+  W.close();
+  W.line("");
+}
+
+} // namespace
+
+EditProgramState warrow::initialEditState(const EditProgramSpec &Spec) {
+  EditProgramState State;
+  State.BodyVariant.assign(Spec.NumFunctions, 0);
+  State.GlobalBump.assign(Spec.NumGlobals, 0);
+  return State;
+}
+
+void warrow::applyEdit(const EditProgramSpec &Spec, EditProgramState &State,
+                       const EditStep &Step) {
+  switch (Step.Kind) {
+  case EditKind::ChangeBody:
+    assert(Step.Target < State.BodyVariant.size() && "no such function");
+    ++State.BodyVariant[Step.Target];
+    break;
+  case EditKind::ChangeGlobalInit:
+    assert(Step.Target < State.GlobalBump.size() && "no such global");
+    ++State.GlobalBump[Step.Target];
+    break;
+  case EditKind::AddFunction:
+    ++State.AddedFunctions;
+    State.BodyVariant.push_back(0);
+    break;
+  }
+  (void)Spec;
+}
+
+std::string warrow::renderEditProgram(const EditProgramSpec &Spec,
+                                      const EditProgramState &State) {
+  assert(State.BodyVariant.size() == Spec.NumFunctions + State.AddedFunctions &&
+         "state/spec mismatch");
+  SourceWriter W;
+
+  W.line("// Edit-generated program (seed " + std::to_string(Spec.Seed) +
+         "). Do not edit by hand.");
+  for (unsigned G = 0; G < Spec.NumGlobals; ++G)
+    W.line("int g" + std::to_string(G) + " = " +
+           std::to_string(baseGlobalInit(Spec, G) + State.GlobalBump[G]) +
+           ";");
+  W.line("");
+
+  for (unsigned F = 0; F < State.BodyVariant.size(); ++F)
+    emitFunction(Spec, F, State.BodyVariant[F], W);
+
+  // main drives every level-0 base function plus each added function. Its
+  // text depends only on the added-function count (an AddFunction edit is
+  // predicted to change main; nothing else changes it).
+  unsigned Depth = Spec.MaxCallDepth == 0 ? 1 : Spec.MaxCallDepth;
+  unsigned TopEnd = Depth > 1 ? firstOfLevel(Spec, 1) : Spec.NumFunctions;
+  W.open("int main()");
+  W.line("int total = 0;");
+  W.line("int it = 0;");
+  W.open("while (it < 3)");
+  for (unsigned F = 0; F < TopEnd; ++F) {
+    std::string Result = "r" + std::to_string(F);
+    W.line("int " + Result + " = f" + std::to_string(F) + "(it, " +
+           std::to_string(5 + 11 * F) + ");");
+    W.line("total = (total + " + Result + ") % 10000;");
+  }
+  W.line("it = it + 1;");
+  W.close();
+  for (unsigned A = 0; A < State.AddedFunctions; ++A) {
+    unsigned F = Spec.NumFunctions + A;
+    std::string Result = "a" + std::to_string(A);
+    W.line("int " + Result + " = f" + std::to_string(F) + "(total % 13, " +
+           std::to_string(7 + 13 * A) + ");");
+    W.line("total = (total + " + Result + ") % 10000;");
+  }
+  W.line("return total;");
+  W.close();
+
+  return W.take();
+}
+
+std::vector<EditStep>
+warrow::generateEditScript(const EditProgramSpec &Spec, unsigned NumSteps) {
+  Rng R(Spec.Seed ^ 0x5ced17ed5eedULL);
+  std::vector<EditStep> Steps;
+  unsigned NumFuncs = Spec.NumFunctions;
+  for (unsigned I = 0; I < NumSteps; ++I) {
+    EditStep Step;
+    uint64_t Roll = R.below(10);
+    if (Roll < 6 || Spec.NumGlobals == 0) {
+      Step.Kind = EditKind::ChangeBody;
+      Step.Target = static_cast<unsigned>(R.below(NumFuncs));
+    } else if (Roll < 8) {
+      Step.Kind = EditKind::ChangeGlobalInit;
+      Step.Target = static_cast<unsigned>(R.below(Spec.NumGlobals));
+    } else {
+      Step.Kind = EditKind::AddFunction;
+      ++NumFuncs;
+    }
+    Steps.push_back(Step);
+  }
+  return Steps;
+}
+
+EditPrediction warrow::predictEdit(const EditProgramSpec &Spec,
+                                   const EditProgramState &State,
+                                   const EditStep &Step) {
+  EditPrediction P;
+  switch (Step.Kind) {
+  case EditKind::ChangeBody:
+    P.ChangedFuncs.insert("f" + std::to_string(Step.Target));
+    break;
+  case EditKind::ChangeGlobalInit:
+    P.ChangedGlobals.insert("g" + std::to_string(Step.Target));
+    break;
+  case EditKind::AddFunction:
+    P.AddedFuncs.insert(
+        "f" + std::to_string(Spec.NumFunctions + State.AddedFunctions));
+    P.ChangedFuncs.insert("main");
+    break;
+  }
+  return P;
+}

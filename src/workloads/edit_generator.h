@@ -1,0 +1,94 @@
+//===- workloads/edit_generator.h - Program edit sequences ------*- C++ -*-==//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of *edit sequences* over mini-C programs, the
+/// fuzzing companion of incremental re-solving (DESIGN §6i). Where the
+/// fuzzer (fuzz_generator.h) emits one random program, this generator
+/// emits a base program plus a script of localized edits — change one
+/// function's body, change one global's initializer, add a function —
+/// with each version's source derivable from the spec and the applied
+/// edit prefix alone.
+///
+/// Every function's text is drawn from its own sub-seeded Rng stream
+/// keyed by (Seed, function, body variant), so applying an edit changes
+/// exactly the predicted declarations and leaves every other function
+/// byte-identical. `predictEdit` states the contract (which functions /
+/// globals the diff must report changed); the edit-generator unit tests
+/// pin it against `diffSnapshot` fingerprints without running a solver,
+/// and the incremental tests fuzz warm-vs-cold σ-equality over it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WARROW_WORKLOADS_EDIT_GENERATOR_H
+#define WARROW_WORKLOADS_EDIT_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace warrow {
+
+/// Shape of the base program and the universe edits draw from.
+struct EditProgramSpec {
+  uint64_t Seed = 1;
+  unsigned NumFunctions = 6; ///< Base functions besides main (f0..fN-1).
+  unsigned NumGlobals = 3;   ///< g0..gM-1.
+  unsigned MaxCallDepth = 3; ///< Layered acyclic call graph depth.
+};
+
+/// One localized edit.
+enum class EditKind : uint8_t {
+  ChangeBody,       ///< Re-draw function Target's body (next variant).
+  ChangeGlobalInit, ///< Bump global Target's initializer.
+  AddFunction,      ///< Append a leaf function; main gains a call to it.
+};
+
+struct EditStep {
+  EditKind Kind = EditKind::ChangeBody;
+  unsigned Target = 0; ///< Function index / global index; unused for Add.
+};
+
+/// The evolving version state: the spec plus an applied edit prefix.
+struct EditProgramState {
+  std::vector<uint32_t> BodyVariant; ///< Per base+added function.
+  std::vector<int64_t> GlobalBump;   ///< Per global, added to the base init.
+  unsigned AddedFunctions = 0;
+};
+
+/// Initial state for \p Spec (all variants 0, no bumps, no additions).
+EditProgramState initialEditState(const EditProgramSpec &Spec);
+
+/// Applies one edit in place.
+void applyEdit(const EditProgramSpec &Spec, EditProgramState &State,
+               const EditStep &Step);
+
+/// Renders the mini-C source of the version \p State describes.
+std::string renderEditProgram(const EditProgramSpec &Spec,
+                              const EditProgramState &State);
+
+/// Deterministic edit script of \p NumSteps steps for \p Spec.
+std::vector<EditStep> generateEditScript(const EditProgramSpec &Spec,
+                                         unsigned NumSteps);
+
+/// What a well-formed edit is allowed to touch, by name.
+struct EditPrediction {
+  std::unordered_set<std::string> ChangedFuncs; ///< Bodies that may differ.
+  std::unordered_set<std::string> ChangedGlobals;
+  std::unordered_set<std::string> AddedFuncs; ///< New in the edited version.
+};
+
+/// Predicts the effect of applying \p Step to \p State: exactly the named
+/// functions/globals change between the two renderings; everything else
+/// must fingerprint identically (the edit-generator tests enforce this).
+EditPrediction predictEdit(const EditProgramSpec &Spec,
+                           const EditProgramState &State,
+                           const EditStep &Step);
+
+} // namespace warrow
+
+#endif // WARROW_WORKLOADS_EDIT_GENERATOR_H

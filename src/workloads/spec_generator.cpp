@@ -175,6 +175,12 @@ std::string warrow::generateSpecProgram(const SpecProfile &Profile) {
       unsigned G = static_cast<unsigned>(R.below(Profile.NumGlobals));
       W.line("g" + std::to_string(G) + " = acc % 128;");
     }
+    // The single-function edit (no Rng draws: other functions stay
+    // byte-identical across the edit).
+    if (Profile.EditFunction >= 0 &&
+        F == static_cast<unsigned>(Profile.EditFunction))
+      W.line("acc = (acc + " + std::to_string(Profile.EditDelta) +
+             ") % 512;");
     W.line("return acc % 1000;");
     W.close();
     W.line("");
@@ -182,6 +188,39 @@ std::string warrow::generateSpecProgram(const SpecProfile &Profile) {
 
   for (unsigned F = 0; F < NumFuncs; ++F)
     EmitFunction(F);
+
+  // Pure helpers: no globals, no calls — their incremental-edit cone is
+  // just the helper plus main's post-loop suffix. Each draws from its own
+  // Rng stream so the functions above and main's driver loop stay
+  // byte-identical whether or not helpers exist.
+  for (unsigned H = 0; H < Profile.PureHelpers; ++H) {
+    Rng HR(Profile.Seed ^ (0x9e3779b97f4a7c15ull * (H + 1)));
+    std::string Name = "h" + std::to_string(H);
+    W.open("int " + Name + "(int p0, int p1)");
+    W.line("int acc = p0 % 40;");
+    int64_t Bound = 6 + static_cast<int64_t>(HR.below(20));
+    int64_t Scale = 1 + static_cast<int64_t>(HR.below(4));
+    int64_t Cap = 300 + static_cast<int64_t>(HR.below(600));
+    W.line("int j = 0;");
+    W.open("while (j < " + std::to_string(Bound) + ")");
+    W.line("acc = acc + j * " + std::to_string(Scale) + ";");
+    W.line("if (acc > " + std::to_string(Cap) + ")");
+    W.line("  acc = " + std::to_string(Cap) + ";");
+    W.line("j = j + 1;");
+    W.close();
+    W.open("if (p1 > acc)");
+    W.line("acc = acc + p1 % 7;");
+    W.close();
+    // The single-function edit knob addresses helper I as
+    // NumFunctions + I (no Rng draws, like the f<N> knob).
+    if (Profile.EditFunction >= 0 &&
+        static_cast<unsigned>(Profile.EditFunction) == NumFuncs + H)
+      W.line("acc = (acc + " + std::to_string(Profile.EditDelta) +
+             ") % 512;");
+    W.line("return acc % 800;");
+    W.close();
+    W.line("");
+  }
 
   // main: drive the level-0 functions.
   W.open("int main()");
@@ -205,6 +244,12 @@ std::string warrow::generateSpecProgram(const SpecProfile &Profile) {
   }
   W.line("it = it + 1;");
   W.close();
+  for (unsigned H = 0; H < Profile.PureHelpers; ++H) {
+    std::string Result = "hr" + std::to_string(H);
+    W.line("int " + Result + " = h" + std::to_string(H) + "(total % 9, " +
+           std::to_string(7 + 13 * H) + ");");
+    W.line("total = (total + " + Result + ") % 10000;");
+  }
   W.line("g_result = total;");
   W.line("return total;");
   W.close();

@@ -57,6 +57,23 @@ struct SpecProfile {
   ///    0  neither.
   int ContextDrift = 0;
   uint64_t Seed = 1;
+  /// When >= 0, function `f<EditFunction>` gains one extra statement
+  /// (`acc = (acc + EditDelta) % 512;`) just before its return. The knob
+  /// consumes no randomness, so every *other* function's text is
+  /// byte-identical to the unedited program — the single-function "program
+  /// edit" the incremental re-solving benchmarks diff against.
+  int EditFunction = -1;
+  int64_t EditDelta = 0;
+  /// Appends this many *pure helper* functions `h0..h<K-1>` — loop-and-
+  /// parameter arithmetic only, no global reads or writes, no calls —
+  /// each invoked once from main after the driver loop. Their helper
+  /// bodies draw from a dedicated Rng stream and main's driver loop is
+  /// emitted before the helper calls, so a profile with `PureHelpers == 0`
+  /// renders byte-identically to one generated before the knob existed.
+  /// Editing a helper (`EditFunction = NumFunctions + I` targets `h<I>`)
+  /// produces the smallest possible incremental cone: the helper itself
+  /// plus main's post-loop suffix, never the global side-effect fan-out.
+  unsigned PureHelpers = 0;
 };
 
 /// Emits the program's mini-C source (parse with `parseProgram`).

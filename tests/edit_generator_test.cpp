@@ -1,0 +1,137 @@
+//===- tests/edit_generator_test.cpp - Edit-sequence well-formedness ------====//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Solver-independent properties of the edit-sequence generator: every
+// version parses and is sema-clean, the CFG diff between consecutive
+// versions matches the generator's own prediction exactly, and the
+// unknown-set delta is confined to the predicted declarations (unchanged
+// functions keep identical fingerprints and node counts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/snapshot.h"
+#include "lang/parser.h"
+#include "workloads/edit_generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+struct Version {
+  std::string Source;
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+};
+
+Version parseVersion(const std::string &Source) {
+  Version V;
+  V.Source = Source;
+  DiagnosticEngine Diags;
+  V.P = parseProgram(Source, Diags);
+  EXPECT_TRUE(V.P != nullptr) << Diags.str() << "\n" << Source;
+  if (V.P)
+    V.Cfgs = buildProgramCfg(*V.P);
+  return V;
+}
+
+/// Shapes-only snapshot of a version (no solver involved).
+AnalysisSnapshot shapesOf(const Version &V) {
+  AnalysisSnapshot Snap;
+  snapshotShapes(*V.P, V.Cfgs, Snap);
+  return Snap;
+}
+
+class EditGen : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EditGen, EveryVersionParsesAndDiffMatchesPrediction) {
+  EditProgramSpec Spec;
+  Spec.Seed = GetParam();
+  Spec.NumFunctions = 5 + static_cast<unsigned>(GetParam() % 4);
+  Spec.NumGlobals = 2 + static_cast<unsigned>(GetParam() % 3);
+  Spec.MaxCallDepth = 2 + static_cast<unsigned>(GetParam() % 3);
+
+  EditProgramState State = initialEditState(Spec);
+  Version Before = parseVersion(renderEditProgram(Spec, State));
+  ASSERT_TRUE(Before.P != nullptr);
+
+  std::vector<EditStep> Script = generateEditScript(Spec, 6);
+  ASSERT_EQ(Script.size(), 6u);
+
+  for (size_t I = 0; I < Script.size(); ++I) {
+    const EditStep &Step = Script[I];
+    EditPrediction Want = predictEdit(Spec, State, Step);
+
+    AnalysisSnapshot Snap = shapesOf(Before);
+    applyEdit(Spec, State, Step);
+    Version After = parseVersion(renderEditProgram(Spec, State));
+    ASSERT_TRUE(After.P != nullptr) << "step " << I;
+
+    // The CFG diff applies cleanly and reports exactly the prediction.
+    ProgramDiff Diff = diffSnapshot(Snap, *After.P, After.Cfgs);
+    EXPECT_EQ(Diff.ChangedFuncs, Want.ChangedFuncs) << "step " << I;
+    EXPECT_EQ(Diff.ChangedGlobals, Want.ChangedGlobals) << "step " << I;
+    std::unordered_set<std::string> Added(Diff.AddedFuncs.begin(),
+                                          Diff.AddedFuncs.end());
+    EXPECT_EQ(Added, Want.AddedFuncs) << "step " << I;
+
+    // Unknown-set delta: every unchanged function keeps its fingerprint
+    // and node count, so its point unknowns are untouched by the edit.
+    for (const FuncShape &F : Snap.Funcs) {
+      if (Want.ChangedFuncs.count(F.Name))
+        continue;
+      Symbol S = After.P->Symbols.lookup(F.Name);
+      ASSERT_NE(S, 0u) << F.Name << " vanished at step " << I;
+      size_t Idx = After.P->functionIndex(S);
+      ASSERT_LT(Idx, After.P->Functions.size()) << F.Name;
+      EXPECT_EQ(functionFingerprint(*After.P, After.Cfgs.cfgOf(Idx),
+                                    *After.P->Functions[Idx]),
+                F.Fingerprint)
+          << F.Name << " changed unpredictedly at step " << I;
+    }
+
+    Before = std::move(After);
+  }
+}
+
+TEST(EditGen, RenderingIsDeterministic) {
+  EditProgramSpec Spec;
+  Spec.Seed = 42;
+  EditProgramState State = initialEditState(Spec);
+  std::string A = renderEditProgram(Spec, State);
+  std::string B = renderEditProgram(Spec, State);
+  EXPECT_EQ(A, B);
+
+  // An edit makes the source differ; the prediction is never empty.
+  EditStep Step{EditKind::ChangeBody, 2};
+  EditPrediction P = predictEdit(Spec, State, Step);
+  EXPECT_FALSE(P.ChangedFuncs.empty());
+  applyEdit(Spec, State, Step);
+  EXPECT_NE(renderEditProgram(Spec, State), A);
+}
+
+TEST(EditGen, AddFunctionGrowsTheProgram) {
+  EditProgramSpec Spec;
+  Spec.Seed = 7;
+  EditProgramState State = initialEditState(Spec);
+  Version Base = parseVersion(renderEditProgram(Spec, State));
+  ASSERT_TRUE(Base.P != nullptr);
+  size_t BaseFuncs = Base.P->Functions.size();
+
+  applyEdit(Spec, State, EditStep{EditKind::AddFunction, 0});
+  Version Bigger = parseVersion(renderEditProgram(Spec, State));
+  ASSERT_TRUE(Bigger.P != nullptr);
+  EXPECT_EQ(Bigger.P->Functions.size(), BaseFuncs + 1);
+  // The new function is reachable: main calls it.
+  EXPECT_NE(Bigger.Source.find("f" + std::to_string(Spec.NumFunctions) + "("),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditGen,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

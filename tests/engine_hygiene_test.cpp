@@ -12,10 +12,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/registry.h"
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -93,6 +96,38 @@ TEST(EngineHygiene, LegacySolverHeadersAreShims) {
           << " still contains an iteration loop; the engine owns those:\n  "
           << Bad.front();
     }
+  }
+}
+
+TEST(EngineHygiene, DocumentedSolverCountsMatchTheRegistry) {
+  // `--list-solvers` (the registry) is the source of truth for how many
+  // strategy×operator combinations exist; prose counts in the docs have
+  // drifted before (17 vs 20 across PRs 7-8). Every numeric claim in the
+  // three documents must equal the live registry size, and each document
+  // must still contain its claim — a silently deleted sentence would
+  // make this gate vacuous.
+  const size_t Registered = warrow::engine::solverRegistry().size();
+  const std::regex ClaimRe(
+      "([0-9]+) (?:registered|named) strategy\xC3\x97operator|"
+      "registry at ([0-9]+) entries");
+  for (const char *Doc : {"README.md", "DESIGN.md", "ROADMAP.md"}) {
+    fs::path DocPath = fs::path(WARROW_SOURCE_DIR) / Doc;
+    std::string Text = readFile(DocPath);
+    ASSERT_FALSE(Text.empty()) << DocPath;
+    size_t Claims = 0;
+    for (std::sregex_iterator It(Text.begin(), Text.end(), ClaimRe), End;
+         It != End; ++It) {
+      const std::smatch &M = *It;
+      std::string Count = M[1].matched ? M[1].str() : M[2].str();
+      ++Claims;
+      EXPECT_EQ(std::stoul(Count), Registered)
+          << Doc << " claims " << Count << " solver registry entries but "
+          << "the registry has " << Registered
+          << "; run --list-solvers and fix the doc (or this regex)";
+    }
+    EXPECT_GE(Claims, 1u)
+        << Doc << " no longer states the registry size; keep one claim "
+        << "so readers and this gate stay honest";
   }
 }
 

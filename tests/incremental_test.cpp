@@ -1,0 +1,394 @@
+//===- tests/incremental_test.cpp - Incremental re-solving ----------------====//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The incremental tentpole contract (DESIGN §6i): after any program edit,
+// resuming from a snapshot must (a) pass the independent verifier on the
+// edited program and (b) compute the same canonical assignment as a cold
+// solve of the edited program — fuzzed over generated edit sequences, in
+// the interval and zones domains, sequential and parallel, chained across
+// multiple edits (each warm solve's capture feeds the next resume).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/snapshot.h"
+#include "lang/parser.h"
+#include "workloads/edit_generator.h"
+#include "workloads/spec_generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace warrow;
+
+namespace {
+
+struct Version {
+  std::unique_ptr<Program> P;
+  ProgramCfg Cfgs;
+};
+
+Version parseVersion(const std::string &Source) {
+  Version V;
+  DiagnosticEngine Diags;
+  V.P = parseProgram(Source, Diags);
+  EXPECT_TRUE(V.P != nullptr) << Diags.str() << "\n" << Source;
+  if (V.P)
+    V.Cfgs = buildProgramCfg(*V.P);
+  return V;
+}
+
+/// Cold-solves \p V and returns (result, capture) for σ comparison.
+struct ColdRun {
+  AnalysisResult Result;
+  AnalysisSnapshot Snap;
+};
+
+ColdRun coldSolve(const Version &V, SolverChoice Choice,
+                  const AnalysisOptions &Options) {
+  ColdRun Out;
+  InterprocAnalysis A(*V.P, V.Cfgs, Options);
+  Out.Result = A.run(Choice, &Out.Snap);
+  EXPECT_TRUE(Out.Result.Stats.Converged);
+  VerifyResult Verify = A.verifySolution(Out.Result);
+  EXPECT_TRUE(Verify.Ok) << Verify.str();
+  return Out;
+}
+
+/// Warm-solves \p V from \p Snap (whose ids refer to \p OldP), checks the
+/// verifier and σ-equality against a cold solve of \p V, and returns the
+/// new capture for chaining.
+AnalysisSnapshot warmMatchesCold(const Version &V, const Program &OldP,
+                                 const AnalysisSnapshot &Snap,
+                                 SolverChoice Choice,
+                                 const AnalysisOptions &Options,
+                                 IncrementalStats *IncOut = nullptr) {
+  AnalysisSnapshot WarmCap;
+  IncrementalStats Inc;
+  InterprocAnalysis Warm(*V.P, V.Cfgs, Options);
+  AnalysisResult WarmResult = Warm.runIncremental(Choice, Snap, OldP, &WarmCap, &Inc);
+  EXPECT_TRUE(WarmResult.Stats.Converged);
+  VerifyResult Verify = Warm.verifySolution(WarmResult);
+  EXPECT_TRUE(Verify.Ok) << Verify.str();
+
+  ColdRun Cold = coldSolve(V, Choice, Options);
+  EXPECT_EQ(canonicalSigma(WarmResult.Solution, *V.P, WarmCap.Contexts),
+            canonicalSigma(Cold.Result.Solution, *V.P, Cold.Snap.Contexts))
+      << "warm σ diverged from cold σ";
+  if (IncOut)
+    *IncOut = Inc;
+  return WarmCap;
+}
+
+SpecProfile smallSpec(int EditFunction, int64_t EditDelta) {
+  SpecProfile P;
+  P.Name = "inc-test";
+  P.NumFunctions = 24;
+  P.LoopsPerFunction = 2;
+  P.CallsPerFunction = 2;
+  P.NumGlobals = 4;
+  P.ContextVariants = 2;
+  P.MaxCallDepth = 4;
+  P.Seed = 99;
+  P.EditFunction = EditFunction;
+  P.EditDelta = EditDelta;
+  return P;
+}
+
+TEST(Incremental, SpecEditWarmMatchesColdInterval) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  Version Edited = parseVersion(generateSpecProgram(smallSpec(10, 5)));
+  ASSERT_TRUE(Base.P && Edited.P);
+
+  AnalysisOptions Options;
+  ColdRun BaseCold = coldSolve(Base, SolverChoice::Warrow, Options);
+
+  IncrementalStats Inc;
+  warmMatchesCold(Edited, *Base.P, BaseCold.Snap, SolverChoice::Warrow,
+                  Options, &Inc);
+  EXPECT_FALSE(Inc.ColdFallback);
+  EXPECT_GT(Inc.DroppedUnknowns, 0u) << "the edited function's unknowns";
+  EXPECT_LT(Inc.DroppedUnknowns + Inc.RestartedUnknowns, Inc.SnapshotUnknowns)
+      << "a single-function edit must not restart the whole program";
+}
+
+TEST(Incremental, SpecEditWarmIsCheaperThanCold) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  Version Edited = parseVersion(generateSpecProgram(smallSpec(10, 5)));
+  ASSERT_TRUE(Base.P && Edited.P);
+
+  AnalysisOptions Options;
+  ColdRun BaseCold = coldSolve(Base, SolverChoice::Warrow, Options);
+  ColdRun EditedCold = coldSolve(Edited, SolverChoice::Warrow, Options);
+
+  AnalysisSnapshot WarmCap;
+  IncrementalStats Inc;
+  InterprocAnalysis Warm(*Edited.P, Edited.Cfgs, Options);
+  AnalysisResult WarmResult =
+      Warm.runIncremental(SolverChoice::Warrow, BaseCold.Snap, *Base.P,
+                          &WarmCap, &Inc);
+  ASSERT_TRUE(WarmResult.Stats.Converged);
+  EXPECT_FALSE(Inc.ColdFallback);
+  EXPECT_LT(WarmResult.Stats.RhsEvals, EditedCold.Result.Stats.RhsEvals)
+      << "resuming must beat cold-solving on rhs evaluations";
+}
+
+TEST(Incremental, SpecEditWarmMatchesColdZones) {
+  SpecProfile Prof = smallSpec(-1, 0);
+  Prof.NumFunctions = 12; // Zones transfer is costlier; keep it snappy.
+  Version Base = parseVersion(generateSpecProgram(Prof));
+  Prof.EditFunction = 5;
+  Prof.EditDelta = 3;
+  Version Edited = parseVersion(generateSpecProgram(Prof));
+  ASSERT_TRUE(Base.P && Edited.P);
+
+  AnalysisOptions Options;
+  Options.Domain = AnalysisDomain::Zones;
+  ColdRun BaseCold = coldSolve(Base, SolverChoice::Warrow, Options);
+  IncrementalStats Inc;
+  warmMatchesCold(Edited, *Base.P, BaseCold.Snap, SolverChoice::Warrow,
+                  Options, &Inc);
+  EXPECT_FALSE(Inc.ColdFallback);
+}
+
+TEST(Incremental, SpecEditWarmMatchesColdParallel) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  Version Edited = parseVersion(generateSpecProgram(smallSpec(7, -4)));
+  ASSERT_TRUE(Base.P && Edited.P);
+
+  AnalysisOptions Options;
+  Options.Solver.Threads = 4;
+  ColdRun BaseCold = coldSolve(Base, SolverChoice::ParallelWarrow, Options);
+  IncrementalStats Inc;
+  warmMatchesCold(Edited, *Base.P, BaseCold.Snap, SolverChoice::ParallelWarrow,
+                  Options, &Inc);
+  EXPECT_FALSE(Inc.ColdFallback);
+}
+
+TEST(Incremental, SpecEditWarmMatchesColdContextSensitive) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  Version Edited = parseVersion(generateSpecProgram(smallSpec(10, 5)));
+  ASSERT_TRUE(Base.P && Edited.P);
+
+  AnalysisOptions Options;
+  Options.ContextSensitive = true;
+  ColdRun BaseCold = coldSolve(Base, SolverChoice::Warrow, Options);
+  IncrementalStats Inc;
+  warmMatchesCold(Edited, *Base.P, BaseCold.Snap, SolverChoice::Warrow,
+                  Options, &Inc);
+  EXPECT_FALSE(Inc.ColdFallback);
+}
+
+/// Fuzzed edit chains: cold-solve the base once, then resume across every
+/// scripted edit, re-capturing after each warm solve. σ must match a cold
+/// solve at every version.
+class IncrementalFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalFuzz, EditChainWarmMatchesColdInterval) {
+  EditProgramSpec Spec;
+  Spec.Seed = GetParam();
+  Spec.NumFunctions = 6;
+  Spec.NumGlobals = 3;
+  Spec.MaxCallDepth = 3;
+
+  EditProgramState State = initialEditState(Spec);
+  // Versions own their programs: each snapshot's ids refer to the version
+  // it was captured against, which must outlive the next resume.
+  std::vector<Version> Versions;
+  Versions.push_back(parseVersion(renderEditProgram(Spec, State)));
+  ASSERT_TRUE(Versions.back().P != nullptr);
+
+  AnalysisOptions Options;
+  ColdRun Cold = coldSolve(Versions.back(), SolverChoice::Warrow, Options);
+  AnalysisSnapshot Snap = std::move(Cold.Snap);
+
+  for (const EditStep &Step : generateEditScript(Spec, 4)) {
+    applyEdit(Spec, State, Step);
+    Versions.push_back(parseVersion(renderEditProgram(Spec, State)));
+    ASSERT_TRUE(Versions.back().P != nullptr);
+    const Version &Prev = Versions[Versions.size() - 2];
+    IncrementalStats Inc;
+    Snap = warmMatchesCold(Versions.back(), *Prev.P, Snap,
+                           SolverChoice::Warrow, Options, &Inc);
+    EXPECT_FALSE(Inc.ColdFallback);
+  }
+}
+
+TEST_P(IncrementalFuzz, EditChainWarmMatchesColdZones) {
+  EditProgramSpec Spec;
+  Spec.Seed = GetParam() ^ 0xd0b5;
+  Spec.NumFunctions = 5;
+  Spec.NumGlobals = 2;
+  Spec.MaxCallDepth = 2;
+
+  EditProgramState State = initialEditState(Spec);
+  std::vector<Version> Versions;
+  Versions.push_back(parseVersion(renderEditProgram(Spec, State)));
+  ASSERT_TRUE(Versions.back().P != nullptr);
+
+  AnalysisOptions Options;
+  Options.Domain = AnalysisDomain::Zones;
+  ColdRun Cold = coldSolve(Versions.back(), SolverChoice::Warrow, Options);
+  AnalysisSnapshot Snap = std::move(Cold.Snap);
+
+  for (const EditStep &Step : generateEditScript(Spec, 3)) {
+    applyEdit(Spec, State, Step);
+    Versions.push_back(parseVersion(renderEditProgram(Spec, State)));
+    ASSERT_TRUE(Versions.back().P != nullptr);
+    const Version &Prev = Versions[Versions.size() - 2];
+    Snap = warmMatchesCold(Versions.back(), *Prev.P, Snap,
+                           SolverChoice::Warrow, Options);
+  }
+}
+
+TEST_P(IncrementalFuzz, EditChainWarmMatchesColdContextSensitive) {
+  EditProgramSpec Spec;
+  Spec.Seed = GetParam() ^ 0xc0117e87;
+  Spec.NumFunctions = 6;
+  Spec.NumGlobals = 2;
+  Spec.MaxCallDepth = 3;
+
+  EditProgramState State = initialEditState(Spec);
+  std::vector<Version> Versions;
+  Versions.push_back(parseVersion(renderEditProgram(Spec, State)));
+  ASSERT_TRUE(Versions.back().P != nullptr);
+
+  AnalysisOptions Options;
+  Options.ContextSensitive = true;
+  ColdRun Cold = coldSolve(Versions.back(), SolverChoice::Warrow, Options);
+  AnalysisSnapshot Snap = std::move(Cold.Snap);
+
+  for (const EditStep &Step : generateEditScript(Spec, 3)) {
+    applyEdit(Spec, State, Step);
+    Versions.push_back(parseVersion(renderEditProgram(Spec, State)));
+    ASSERT_TRUE(Versions.back().P != nullptr);
+    const Version &Prev = Versions[Versions.size() - 2];
+    Snap = warmMatchesCold(Versions.back(), *Prev.P, Snap,
+                           SolverChoice::Warrow, Options);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz,
+                         ::testing::Values(11, 23, 47, 81));
+
+TEST(Incremental, SerializedSnapshotRoundTrips) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  ASSERT_TRUE(Base.P != nullptr);
+
+  AnalysisOptions Options;
+  ColdRun Cold = coldSolve(Base, SolverChoice::Warrow, Options);
+  std::string Text = serializeAnalysisSnapshot(Cold.Snap, *Base.P);
+
+  // A fresh parse of the same source: ids may differ; names must carry.
+  Version Fresh = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  ASSERT_TRUE(Fresh.P != nullptr);
+  std::optional<AnalysisSnapshot> Loaded =
+      parseAnalysisSnapshot(Text, *Fresh.P);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->State.size(), Cold.Snap.State.size());
+
+  // Byte-exact re-serialization against the program it was parsed into.
+  EXPECT_EQ(serializeAnalysisSnapshot(*Loaded, *Fresh.P), Text);
+
+  // Resuming from the loaded snapshot on the unchanged program drops
+  // nothing and reproduces σ.
+  InterprocAnalysis Warm(*Fresh.P, Fresh.Cfgs, Options);
+  IncrementalStats Inc;
+  AnalysisSnapshot WarmCap;
+  AnalysisResult WarmResult = Warm.runIncremental(
+      SolverChoice::Warrow, *Loaded, *Fresh.P, &WarmCap, &Inc);
+  ASSERT_TRUE(WarmResult.Stats.Converged);
+  EXPECT_FALSE(Inc.ColdFallback);
+  EXPECT_EQ(Inc.DroppedUnknowns, 0u);
+  EXPECT_EQ(Inc.RestartedUnknowns, 0u);
+  VerifyResult Verify = Warm.verifySolution(WarmResult);
+  EXPECT_TRUE(Verify.Ok) << Verify.str();
+  EXPECT_EQ(canonicalSigma(WarmResult.Solution, *Fresh.P, WarmCap.Contexts),
+            canonicalSigma(Cold.Result.Solution, *Base.P, Cold.Snap.Contexts));
+}
+
+TEST(Incremental, SerializedSnapshotRoundTripsZones) {
+  SpecProfile Prof = smallSpec(-1, 0);
+  Prof.NumFunctions = 10;
+  Version Base = parseVersion(generateSpecProgram(Prof));
+  ASSERT_TRUE(Base.P != nullptr);
+
+  AnalysisOptions Options;
+  Options.Domain = AnalysisDomain::Zones;
+  ColdRun Cold = coldSolve(Base, SolverChoice::Warrow, Options);
+  std::string Text = serializeAnalysisSnapshot(Cold.Snap, *Base.P);
+
+  Version Fresh = parseVersion(generateSpecProgram(Prof));
+  ASSERT_TRUE(Fresh.P != nullptr);
+  std::optional<AnalysisSnapshot> Loaded =
+      parseAnalysisSnapshot(Text, *Fresh.P);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(serializeAnalysisSnapshot(*Loaded, *Fresh.P), Text);
+}
+
+TEST(Incremental, MalformedSnapshotTextIsRejected) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  ASSERT_TRUE(Base.P != nullptr);
+  EXPECT_FALSE(parseAnalysisSnapshot("", *Base.P).has_value());
+  EXPECT_FALSE(parseAnalysisSnapshot("bogus", *Base.P).has_value());
+
+  AnalysisOptions Options;
+  ColdRun Cold = coldSolve(Base, SolverChoice::Warrow, Options);
+  std::string Text = serializeAnalysisSnapshot(Cold.Snap, *Base.P);
+  // Truncations must fail cleanly, never crash.
+  for (size_t Cut : {Text.size() / 4, Text.size() / 2, Text.size() - 2})
+    EXPECT_FALSE(
+        parseAnalysisSnapshot(std::string_view(Text).substr(0, Cut), *Base.P)
+            .has_value())
+        << "cut at " << Cut;
+}
+
+TEST(Incremental, EmptySnapshotFallsBackToCold) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  ASSERT_TRUE(Base.P != nullptr);
+
+  AnalysisOptions Options;
+  AnalysisSnapshot Empty;
+  IncrementalStats Inc;
+  InterprocAnalysis A(*Base.P, Base.Cfgs, Options);
+  AnalysisResult R =
+      A.runIncremental(SolverChoice::Warrow, Empty, *Base.P, nullptr, &Inc);
+  EXPECT_TRUE(Inc.ColdFallback);
+  ASSERT_TRUE(R.Stats.Converged);
+  VerifyResult Verify = A.verifySolution(R);
+  EXPECT_TRUE(Verify.Ok) << Verify.str();
+}
+
+TEST(Incremental, DomainMismatchFallsBackToCold) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  ASSERT_TRUE(Base.P != nullptr);
+
+  AnalysisOptions IntervalOpts;
+  ColdRun Cold = coldSolve(Base, SolverChoice::Warrow, IntervalOpts);
+
+  AnalysisOptions ZoneOpts;
+  ZoneOpts.Domain = AnalysisDomain::Zones;
+  IncrementalStats Inc;
+  InterprocAnalysis A(*Base.P, Base.Cfgs, ZoneOpts);
+  AnalysisResult R = A.runIncremental(SolverChoice::Warrow, Cold.Snap,
+                                      *Base.P, nullptr, &Inc);
+  EXPECT_TRUE(Inc.ColdFallback) << "an interval snapshot cannot seed zones";
+  ASSERT_TRUE(R.Stats.Converged);
+}
+
+TEST(Incremental, TwoPhaseChoiceFallsBackToCold) {
+  Version Base = parseVersion(generateSpecProgram(smallSpec(-1, 0)));
+  ASSERT_TRUE(Base.P != nullptr);
+
+  AnalysisOptions Options;
+  ColdRun Cold = coldSolve(Base, SolverChoice::Warrow, Options);
+  IncrementalStats Inc;
+  InterprocAnalysis A(*Base.P, Base.Cfgs, Options);
+  AnalysisResult R = A.runIncremental(SolverChoice::TwoPhase, Cold.Snap,
+                                      *Base.P, nullptr, &Inc);
+  EXPECT_TRUE(Inc.ColdFallback) << "two-phase has no resumable state";
+  ASSERT_TRUE(R.Stats.Converged);
+}
+
+} // namespace

@@ -1,0 +1,363 @@
+//===- tests/solver_state_test.cpp - Snapshot/restore layer tests --------------=//
+//
+// Part of the warrow project, released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The externalized solver state (engine/solver_state.h): snapshot and
+// restore on the sequential and parallel SLR+ engines, warm resumption
+// semantics (a restored quiescent state re-solves for free; an edited
+// state repairs only the destabilized region), contribution retraction
+// soundness under ⊟, and the text serialization round trip
+// (engine/state_io.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/state_io.h"
+#include "engine/strategies/parallel_slr.h"
+#include "lattice/combine.h"
+#include "lattice/interval.h"
+#include "solvers/slr_plus.h"
+#include "workloads/eq_generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+
+using namespace warrow;
+using namespace warrow::engine;
+
+namespace {
+
+using Sys = SideEffectingSystem<int, Interval>;
+using State = SolverState<int, Interval>;
+
+Interval Iv(int64_t Lo, int64_t Hi) { return Interval::make(Lo, Hi); }
+
+/// The paper's Example 7/9 structure (see slr_plus_test.cpp): unknown 100
+/// is the global g, 1 and 2 contribute to it, 0 reads everything.
+/// \p WithSecondCall toggles whether unknown 2 still contributes — the
+/// "program edit" the retraction tests exercise.
+Sys exampleSystem(bool WithSecondCall = true) {
+  return Sys([WithSecondCall](int X) -> Sys::Rhs {
+    switch (X) {
+    case 100:
+      return [](const Sys::Get &, const Sys::Side &) {
+        return Interval::constant(0);
+      };
+    case 1:
+      return [](const Sys::Get &, const Sys::Side &Side) {
+        Side(100, Interval::constant(2));
+        return Interval::constant(1);
+      };
+    case 2:
+      return [WithSecondCall](const Sys::Get &, const Sys::Side &Side) {
+        if (WithSecondCall)
+          Side(100, Interval::constant(3));
+        return Interval::constant(2);
+      };
+    default:
+      return [](const Sys::Get &Get, const Sys::Side &) {
+        Interval A = Get(1);
+        Interval B = Get(2);
+        return Get(100).join(A).join(B);
+      };
+    }
+  });
+}
+
+std::string encodeInt(const int &X) { return std::to_string(X); }
+
+std::optional<int> decodeInt(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  return std::atoi(S.c_str());
+}
+
+std::string encodeItv(const Interval &I) {
+  if (I.isBot())
+    return "b";
+  std::ostringstream Out;
+  Out << I.lo().raw() << ' ' << I.hi().raw();
+  return Out.str();
+}
+
+std::optional<Interval> decodeItv(const std::string &S) {
+  if (S == "b")
+    return Interval::bot();
+  std::istringstream In(S);
+  int64_t Lo = 0, Hi = 0;
+  if (!(In >> Lo >> Hi))
+    return std::nullopt;
+  return Interval::make(Bound(Lo), Bound(Hi));
+}
+
+std::string encodeU64(const uint64_t &X) { return std::to_string(X); }
+
+std::optional<uint64_t> decodeU64(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  return std::strtoull(S.c_str(), nullptr, 10);
+}
+
+TEST(SolverState, SnapshotRestoreIsIdentity) {
+  Sys S = exampleSystem();
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  PartialSolution<int, Interval> Cold = Solver.solveFor(0);
+  ASSERT_TRUE(Cold.Stats.Converged);
+
+  State Snap = Solver.snapshot();
+  ASSERT_EQ(Snap.size(), Cold.Sigma.size());
+  // Quiescence: everything stable, every influence row self-containing.
+  for (size_t I = 0; I < Snap.size(); ++I) {
+    EXPECT_TRUE(Snap.Stable[I]) << "slot " << I;
+    EXPECT_NE(std::find(Snap.Infl[I].begin(), Snap.Infl[I].end(),
+                        static_cast<uint32_t>(I)),
+              Snap.Infl[I].end())
+        << "infl[" << I << "] must contain " << I;
+  }
+
+  SlrPlusSolver<int, Interval, WarrowCombine> Restored(S, WarrowCombine{});
+  Restored.restore(Snap);
+  EXPECT_EQ(Restored.snapshot(), Snap) << "restore must be lossless";
+
+  // A quiescent snapshot re-solves for free: no evaluations at all.
+  PartialSolution<int, Interval> Warm = Restored.solveFor(0);
+  ASSERT_TRUE(Warm.Stats.Converged);
+  EXPECT_EQ(Warm.Stats.RhsEvals, 0u);
+  EXPECT_EQ(Warm.Sigma, Cold.Sigma);
+}
+
+TEST(SolverState, WarmResumeRepairsDestabilizedRegion) {
+  Sys S = exampleSystem();
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  PartialSolution<int, Interval> Cold = Solver.solveFor(0);
+  State Snap = Solver.snapshot();
+
+  SlrPlusSolver<int, Interval, WarrowCombine> Restored(S, WarrowCombine{});
+  Restored.restore(Snap);
+  Restored.invalidateCache(0);
+  Restored.destabilize(0);
+  PartialSolution<int, Interval> Warm = Restored.solveFor(0);
+  ASSERT_TRUE(Warm.Stats.Converged);
+  EXPECT_EQ(Warm.Sigma, Cold.Sigma);
+  EXPECT_GE(Warm.Stats.RhsEvals, 1u);
+  EXPECT_LT(Warm.Stats.RhsEvals, Cold.Stats.RhsEvals)
+      << "repairing one unknown must not redo the cold solve";
+}
+
+TEST(SolverState, RetractedContributionResetsToEditedColdFixpoint) {
+  // Solve with both contributors, then "edit the program": unknown 2 no
+  // longer contributes. Retract its cell and *restart* the transitively
+  // affected unknowns (2, its target 100, and their reader 0): reset to
+  // the initial assignment, destabilize, drop the caches. Plain
+  // destabilization is not enough — the standard △ only refines
+  // infinite bounds, so a finite stale bound like [0,3] would survive;
+  // restarting from ⊥ is what makes ⊟ sound under retraction (the
+  // Schulze Frielinghaus/Seidl/Vogler restart policy the incremental
+  // driver implements).
+  Sys Before = exampleSystem(true);
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(Before, WarrowCombine{});
+  ASSERT_TRUE(Solver.solveFor(0).Stats.Converged);
+  State Snap = Solver.snapshot();
+
+  State Edited = Snap;
+  Edited.Cells.clear();
+  for (const State::ContribCell &Cell : Snap.Cells)
+    if (Cell.Contributor != 2)
+      Edited.Cells.push_back(Cell);
+  ASSERT_EQ(Edited.Cells.size() + 1, Snap.Cells.size());
+  for (size_t I = 0; I < Edited.size(); ++I)
+    if (Edited.Vars[I] == 2 || Edited.Vars[I] == 100 ||
+        Edited.Vars[I] == 0) {
+      Edited.Stable[I] = 0;
+      Edited.Sigma[I] = Interval::bot(); // Restart from the initial value.
+      Edited.Cache[I].Valid = false;     // The edited RHS may differ.
+    }
+
+  Sys After = exampleSystem(false);
+  SlrPlusSolver<int, Interval, WarrowCombine> Warm(After, WarrowCombine{});
+  Warm.restore(Edited);
+  PartialSolution<int, Interval> WarmR = Warm.solveFor(0);
+  ASSERT_TRUE(WarmR.Stats.Converged);
+
+  PartialSolution<int, Interval> ColdR =
+      solveSLRPlus(After, 0, WarrowCombine{});
+  ASSERT_TRUE(ColdR.Stats.Converged);
+  EXPECT_EQ(ColdR.value(100), Iv(0, 2));
+  EXPECT_EQ(WarmR.Sigma, ColdR.Sigma)
+      << "warm resume after retraction must match the edited cold solve";
+}
+
+TEST(SolverState, CellForUnknownTargetMarksSideEffectedOnReintern) {
+  // A state may carry a cell whose target is outside the slot table (a
+  // dropped-then-readopted unknown). On re-interning, the engine must
+  // adopt the mark so the localized policy still treats the target as
+  // side-effected, and the cell must join into its value.
+  Sys S = exampleSystem();
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  ASSERT_TRUE(Solver.solveFor(0).Stats.Converged);
+  State Snap = Solver.snapshot();
+
+  // Drop the global's slot entirely (keep the cells); re-pack the state
+  // by filtering every per-slot structure and destabilizing readers.
+  uint32_t GSlot = UINT32_MAX;
+  for (uint32_t I = 0; I < Snap.size(); ++I)
+    if (Snap.Vars[I] == 100)
+      GSlot = I;
+  ASSERT_NE(GSlot, UINT32_MAX);
+  State Dropped;
+  std::vector<uint32_t> OldToNew(Snap.size(), UINT32_MAX);
+  for (uint32_t I = 0; I < Snap.size(); ++I) {
+    if (I == GSlot)
+      continue;
+    OldToNew[I] = static_cast<uint32_t>(Dropped.Vars.size());
+    Dropped.Vars.push_back(Snap.Vars[I]);
+    Dropped.Sigma.push_back(Snap.Sigma[I]);
+    Dropped.Stable.push_back(Snap.Stable[I]);
+    Dropped.WideningPoint.push_back(Snap.WideningPoint[I]);
+    Dropped.SideEffected.push_back(Snap.SideEffected[I]);
+    Dropped.Infl.emplace_back();
+    Dropped.Cache.emplace_back();
+  }
+  for (uint32_t I = 0; I < Snap.size(); ++I) {
+    if (OldToNew[I] == UINT32_MAX)
+      continue;
+    for (uint32_t R : Snap.Infl[I])
+      if (OldToNew[R] != UINT32_MAX)
+        Dropped.Infl[OldToNew[I]].push_back(OldToNew[R]);
+    bool ReadsDropped = false;
+    for (const auto &Read : Snap.Cache[I].Reads)
+      if (OldToNew[Read.first] == UINT32_MAX)
+        ReadsDropped = true;
+    if (ReadsDropped || !Snap.Cache[I].Valid) {
+      Dropped.Stable[OldToNew[I]] = 0;
+    } else {
+      auto &Entry = Dropped.Cache[OldToNew[I]];
+      Entry.Valid = true;
+      Entry.Value = Snap.Cache[I].Value;
+      for (const auto &Read : Snap.Cache[I].Reads)
+        Entry.Reads.emplace_back(OldToNew[Read.first], Read.second);
+    }
+  }
+  Dropped.Cells = Snap.Cells; // Targets 100: now outside the table.
+
+  SlrPlusSolver<int, Interval, WarrowCombine> Warm(S, WarrowCombine{});
+  Warm.restore(Dropped);
+  PartialSolution<int, Interval> WarmR = Warm.solveFor(0);
+  ASSERT_TRUE(WarmR.Stats.Converged);
+  EXPECT_EQ(WarmR.value(100), Iv(0, 3))
+      << "re-interned target must re-adopt its contribution cells";
+  EXPECT_TRUE(Warm.isSideEffected(100));
+}
+
+TEST(SolverState, SerializationRoundTrips) {
+  Sys S = exampleSystem();
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  ASSERT_TRUE(Solver.solveFor(0).Stats.Converged);
+  State Snap = Solver.snapshot();
+  ASSERT_FALSE(Snap.Cells.empty());
+
+  std::string Text = serializeSolverState(Snap, encodeInt, encodeItv);
+  std::optional<State> Back =
+      parseSolverState<int, Interval>(Text, decodeInt, decodeItv);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, Snap);
+
+  // Serialization is deterministic (canonical cell order).
+  EXPECT_EQ(serializeSolverState(*Back, encodeInt, encodeItv), Text);
+}
+
+TEST(SolverState, SerializationRejectsMalformedInput) {
+  Sys S = exampleSystem();
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  ASSERT_TRUE(Solver.solveFor(0).Stats.Converged);
+  std::string Text =
+      serializeSolverState(Solver.snapshot(), encodeInt, encodeItv);
+
+  auto Parse = [](const std::string &T) {
+    return parseSolverState<int, Interval>(T, decodeInt, decodeItv);
+  };
+  EXPECT_FALSE(Parse(""));
+  EXPECT_FALSE(Parse("warrow-solver-state v2\nvars 0\n"));
+  EXPECT_FALSE(Parse(Text.substr(0, Text.size() / 2))) << "truncation";
+  EXPECT_FALSE(Parse(Text + "trailing"));
+  std::string BadSlot = Text;
+  size_t P = BadSlot.find("i 1 ");
+  ASSERT_NE(P, std::string::npos);
+  BadSlot.replace(P, 4, "i 1 9999 "); // Influence slot out of range...
+  EXPECT_FALSE(Parse(BadSlot));
+}
+
+TEST(SolverState, ParallelSnapshotMergesComponents) {
+  // A multi-component side-effecting workload solved on two workers; the
+  // merged snapshot must restore into a sequential engine that (a) agrees
+  // with the parallel σ without doing any work, and (b) repairs external
+  // destabilization to the same fixpoint.
+  StressSystem Stress = stressSideSystem(/*NumRings=*/4, /*RingSize=*/8,
+                                         /*Bound=*/16, /*CrossLinks=*/2,
+                                         /*Seed=*/7);
+  SolverOptions Options;
+  Options.Threads = 2;
+  ParallelSlrEngine<uint64_t, Interval, WarrowCombine> Par(
+      Stress.System, WarrowCombine{}, Options);
+  PartialSolution<uint64_t, Interval> ParR = Par.solveFor(Stress.Root);
+  ASSERT_TRUE(ParR.Stats.Converged);
+  ASSERT_EQ(ParR.Sigma.size(), Stress.NumUnknowns);
+
+  SolverState<uint64_t, Interval> Snap = Par.snapshot();
+  EXPECT_EQ(Snap.size(), Stress.NumUnknowns)
+      << "proxy slots must not appear in the merged snapshot";
+  for (size_t I = 0; I < Snap.size(); ++I)
+    EXPECT_EQ(Snap.Sigma[I], ParR.value(Snap.Vars[I])) << "slot " << I;
+
+  SlrPlusSolver<uint64_t, Interval, WarrowCombine> Seq(Stress.System,
+                                                       WarrowCombine{});
+  Seq.restore(Snap);
+  PartialSolution<uint64_t, Interval> Warm = Seq.solveFor(Stress.Root);
+  ASSERT_TRUE(Warm.Stats.Converged);
+  EXPECT_EQ(Warm.Stats.RhsEvals, 0u)
+      << "a quiescent merged snapshot must re-solve for free";
+  EXPECT_EQ(Warm.Sigma, ParR.Sigma);
+
+  // Round two: restore again, poke an arbitrary unknown, and re-run.
+  SlrPlusSolver<uint64_t, Interval, WarrowCombine> Seq2(Stress.System,
+                                                        WarrowCombine{});
+  Seq2.restore(Snap);
+  Seq2.invalidateCache(Snap.Vars[Snap.size() / 2]);
+  Seq2.destabilize(Snap.Vars[Snap.size() / 2]);
+  PartialSolution<uint64_t, Interval> Warm2 = Seq2.solveFor(Stress.Root);
+  ASSERT_TRUE(Warm2.Stats.Converged);
+  EXPECT_EQ(Warm2.Sigma, ParR.Sigma);
+  EXPECT_LT(Warm2.Stats.RhsEvals, ParR.Stats.RhsEvals);
+
+  // The merged snapshot serializes and round-trips like any other.
+  std::string Text = serializeSolverState(Snap, encodeU64, encodeItv);
+  std::optional<SolverState<uint64_t, Interval>> Back =
+      parseSolverState<uint64_t, Interval>(Text, decodeU64, decodeItv);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, Snap);
+}
+
+TEST(SolverState, ParallelRestoreDelegatesToSequential) {
+  Sys S = exampleSystem();
+  SlrPlusSolver<int, Interval, WarrowCombine> Solver(S, WarrowCombine{});
+  PartialSolution<int, Interval> Cold = Solver.solveFor(0);
+  State Snap = Solver.snapshot();
+
+  SolverOptions Options;
+  Options.Threads = 4;
+  ParallelSlrEngine<int, Interval, WarrowCombine> Par(S, WarrowCombine{},
+                                                      Options);
+  Par.restore(Snap);
+  PartialSolution<int, Interval> Warm = Par.solveFor(0);
+  ASSERT_TRUE(Warm.Stats.Converged);
+  EXPECT_EQ(Warm.Stats.RhsEvals, 0u);
+  EXPECT_EQ(Warm.Sigma, Cold.Sigma);
+}
+
+} // namespace

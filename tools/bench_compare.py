@@ -20,6 +20,14 @@ Additional exact gates can be requested with a repeatable
 sound race detector losing alarms means it lost accesses). Fields absent
 from a baseline record are not checked for that record.
 
+Ratio floors are requested with a repeatable ``--min-ratio NAME=MIN``:
+any record whose *baseline* value of the named field meets MIN must keep
+meeting it in the new report (BENCH_incremental.json gates the >=10x
+``speedup_rhs_evals`` of the pure-helper edits this way). Records whose
+baseline value is below the floor — like the deliberately-hard edit-mid
+records — are exempt, so one schema serves both the gated and the
+informational rows.
+
 Metadata fields are optional everywhere: records missing ``hw_threads``
 or ``traced`` (table-regenerator reports like BENCH_races.json and
 BENCH_zones.json carry neither) compare fine against records that have
@@ -85,7 +93,25 @@ def main():
         metavar="NAME",
         help="gate on exact equality of this integer field (repeatable)",
     )
+    ap.add_argument(
+        "--min-ratio",
+        action="append",
+        default=[],
+        metavar="NAME=MIN",
+        help="records whose baseline NAME >= MIN must keep NAME >= MIN "
+        "(repeatable)",
+    )
     args = ap.parse_args()
+
+    ratio_floors = []
+    for spec in args.min_ratio:
+        name, sep, minimum = spec.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"error: --min-ratio expects NAME=MIN, got {spec!r}")
+        try:
+            ratio_floors.append((name, float(minimum)))
+        except ValueError:
+            raise SystemExit(f"error: --min-ratio {spec!r}: MIN must be a number")
 
     base = index(load_records(args.baseline), args.baseline)
     new = index(load_records(args.new), args.new)
@@ -117,6 +143,17 @@ def main():
                 failures.append(f"{fmt_key(k)}: {field} missing from new report")
             elif nf != bf:
                 failures.append(f"{fmt_key(k)}: {field} {bf} -> {nf} (MISMATCH)")
+        for field, floor in ratio_floors:
+            bf, nf = b.get(field), n.get(field)
+            if bf is None or bf < floor:
+                continue
+            if nf is None:
+                failures.append(f"{fmt_key(k)}: {field} missing from new report")
+            elif nf < floor:
+                failures.append(
+                    f"{fmt_key(k)}: {field} {nf} below the required floor "
+                    f"{floor} (baseline {bf})"
+                )
         bt, nt = b.get("hw_threads"), n.get("hw_threads")
         comparable_walls = bt is None or nt is None or bt == nt
         bw, nw = b.get("wall_ns"), n.get("wall_ns")

@@ -132,6 +132,48 @@ class ExactFieldGate(unittest.TestCase):
         self.assertEqual(r.returncode, 0, r.stderr)
 
 
+class MinRatioGate(unittest.TestCase):
+    def test_ratio_below_floor_fails(self):
+        # The incremental tier's >=10x acceptance: a gated record whose
+        # warm/cold speedup collapses must fail the run.
+        base = [record("a", rhs_evals=5, speedup_rhs_evals=111.9)]
+        new = [record("a", rhs_evals=5, speedup_rhs_evals=3.2)]
+        r = run_compare(base, new, "--min-ratio", "speedup_rhs_evals=10")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("below the required floor", r.stderr)
+
+    def test_ratio_at_or_above_floor_passes(self):
+        base = [record("a", rhs_evals=5, speedup_rhs_evals=111.9)]
+        for ok in (10.0, 80.0, 500.0):
+            new = [record("a", rhs_evals=5, speedup_rhs_evals=ok)]
+            r = run_compare(base, new, "--min-ratio", "speedup_rhs_evals=10")
+            self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_informational_records_are_exempt(self):
+        # edit-mid rows carry the same field but their baseline sits below
+        # the floor — they document the hard case and must never gate.
+        base = [record("mid", rhs_evals=5, speedup_rhs_evals=1.01)]
+        new = [record("mid", rhs_evals=5, speedup_rhs_evals=0.9)]
+        r = run_compare(base, new, "--min-ratio", "speedup_rhs_evals=10")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_gated_record_losing_the_field_fails(self):
+        base = [record("a", rhs_evals=5, speedup_rhs_evals=111.9)]
+        new = [record("a", rhs_evals=5)]
+        r = run_compare(base, new, "--min-ratio", "speedup_rhs_evals=10")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("speedup_rhs_evals missing", r.stderr)
+
+    def test_malformed_spec_is_an_error(self):
+        base = [record("a", rhs_evals=5)]
+        r = run_compare(base, base, "--min-ratio", "speedup_rhs_evals")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("NAME=MIN", r.stderr)
+        r = run_compare(base, base, "--min-ratio", "speedup_rhs_evals=ten")
+        self.assertNotEqual(r.returncode, 0)
+        self.assertIn("must be a number", r.stderr)
+
+
 class MemoryFields(unittest.TestCase):
     def test_peak_rss_is_metadata_tolerant_and_never_gates(self):
         # The stress tier (BENCH_stress.json) records peak_rss_kb; RSS

@@ -32,6 +32,13 @@
 ///                                       convergence report after the run
 ///     --trace-out=FILE                  additionally write a Chrome
 ///                                       trace_event JSON to FILE
+///     --snapshot-out=FILE               write the solver state after the
+///                                       run (text serialization) so a
+///                                       later --snapshot-in resumes it
+///     --snapshot-in=FILE                incremental mode: diff against
+///                                       the snapshot and re-solve warm
+///                                       instead of cold (SLR+ solvers;
+///                                       falls back to cold otherwise)
 ///     --quiet                           only print the summary line
 ///
 //===----------------------------------------------------------------------===//
@@ -40,6 +47,7 @@
 #include "analysis/checks.h"
 #include "analysis/interproc.h"
 #include "analysis/races.h"
+#include "analysis/snapshot.h"
 #include "engine/registry.h"
 #include "lang/parser.h"
 #include "lang/pretty.h"
@@ -147,6 +155,8 @@ int main(int Argc, char **Argv) {
   bool Races = false;
   bool Trace = false;
   const char *TraceOut = nullptr;
+  const char *SnapshotOut = nullptr;
+  const char *SnapshotIn = nullptr;
   const char *Path = nullptr;
 
   for (int I = 1; I < Argc; ++I) {
@@ -203,6 +213,10 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(Arg, "--trace-out=", 12) == 0) {
       Trace = true;
       TraceOut = Arg + 12;
+    } else if (std::strncmp(Arg, "--snapshot-out=", 15) == 0) {
+      SnapshotOut = Arg + 15;
+    } else if (std::strncmp(Arg, "--snapshot-in=", 14) == 0) {
+      SnapshotIn = Arg + 14;
     } else if (std::strcmp(Arg, "--quiet") == 0) {
       Quiet = true;
     } else if (Arg[0] == '-') {
@@ -246,6 +260,13 @@ int main(int Argc, char **Argv) {
   if (Trace)
     Options.Solver.Trace = &Recorder;
 
+  if (Races && (SnapshotOut || SnapshotIn)) {
+    std::fprintf(stderr,
+                 "error: --snapshot-out/--snapshot-in do not apply to the "
+                 "race analysis\n");
+    return 2;
+  }
+
   if (Races) {
     RaceAnalysis Analysis(*P, Cfgs, Options);
     RaceAnalysisResult Result = Analysis.run(Choice);
@@ -286,12 +307,56 @@ int main(int Argc, char **Argv) {
   }
 
   InterprocAnalysis Analysis(*P, Cfgs, Options);
-  AnalysisResult Result = Analysis.run(Choice);
+  AnalysisSnapshot Capture;
+  AnalysisSnapshot *CapturePtr = SnapshotOut ? &Capture : nullptr;
+  AnalysisResult Result;
+  if (SnapshotIn) {
+    std::ifstream SnapStream(SnapshotIn);
+    if (!SnapStream) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", SnapshotIn);
+      return 2;
+    }
+    std::stringstream SnapBuffer;
+    SnapBuffer << SnapStream.rdbuf();
+    std::optional<AnalysisSnapshot> Snap =
+        parseAnalysisSnapshot(SnapBuffer.str(), *P);
+    if (!Snap) {
+      std::fprintf(stderr, "error: '%s' is not a valid analysis snapshot\n",
+                   SnapshotIn);
+      return 2;
+    }
+    IncrementalStats Inc;
+    Result = Analysis.runIncremental(Choice, *Snap, *P, CapturePtr, &Inc);
+    std::printf("incremental: %llu snapshot unknowns, %llu dropped, "
+                "%llu restarted, %llu cells retracted, %llu kept%s\n",
+                static_cast<unsigned long long>(Inc.SnapshotUnknowns),
+                static_cast<unsigned long long>(Inc.DroppedUnknowns),
+                static_cast<unsigned long long>(Inc.RestartedUnknowns),
+                static_cast<unsigned long long>(Inc.RetractedCells),
+                static_cast<unsigned long long>(Inc.KeptCells),
+                Inc.ColdFallback ? " (cold fallback)" : "");
+  } else {
+    Result = Analysis.run(Choice, CapturePtr);
+  }
   if (!Result.Stats.Converged) {
     std::fprintf(stderr,
                  "error: solver hit the evaluation budget (%s)\n",
                  Result.Stats.str().c_str());
     return 1;
+  }
+  if (SnapshotOut) {
+    if (Capture.empty())
+      std::fprintf(stderr, "warning: the chosen solver does not produce "
+                           "snapshots; writing an empty one\n");
+    std::ofstream SnapOut(SnapshotOut);
+    if (!SnapOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", SnapshotOut);
+      return 2;
+    }
+    SnapOut << serializeAnalysisSnapshot(Capture, *P);
+    if (!Quiet)
+      std::printf("snapshot: %zu unknowns -> %s\n",
+                  Capture.State.Vars.size(), SnapshotOut);
   }
 
   if (Bounds) {
